@@ -1,0 +1,127 @@
+// Ablation A2 — corrector iterations (DESIGN.md; Kokubo, Yoshinaga & Makino
+// 1998). The paper ran the standard PEC Hermite scheme; the same group later
+// showed that iterating the corrector (P(EC)^n) makes the constant-step
+// scheme time-symmetric and kills the secular energy drift. This bench
+// regenerates that trade-off: drift and cost vs iteration count, on a fixed-
+// step eccentric orbit and on the planetesimal disk.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "disk/kepler.hpp"
+#include "nbody/hermite6.hpp"
+#include "nbody/energy.hpp"
+
+using namespace g6;
+using namespace g6::bench;
+
+namespace {
+
+struct Run {
+  double drift = 0.0;
+  std::uint64_t interactions = 0;
+  std::uint64_t steps = 0;
+  double wall = 0.0;
+};
+
+Run kepler_run(int iterations, double dt, double orbits) {
+  disk::OrbitalElements el;
+  el.a = 1.0;
+  el.e = 0.3;
+  const auto sv = disk::elements_to_state(el, 1.0);
+  nbody::ParticleSystem ps;
+  ps.add(1e-12, sv.pos, sv.vel);
+  nbody::CpuDirectBackend backend(0.0);
+  nbody::IntegratorConfig cfg;
+  cfg.solar_gm = 1.0;
+  cfg.dt_max = dt;
+  cfg.dt_min = dt;  // constant steps: the time-symmetric regime
+  cfg.eta = 1e9;
+  cfg.eta_init = 1e9;
+  cfg.corrector_iterations = iterations;
+  nbody::HermiteIntegrator integ(ps, backend, cfg);
+  util::Timer t;
+  integ.initialize();
+  const double e0 = 0.5 * norm2(ps.vel(0)) - 1.0 / norm(ps.pos(0));
+  integ.evolve(orbits * 2.0 * std::numbers::pi);
+  const double e1 = 0.5 * norm2(ps.vel(0)) - 1.0 / norm(ps.pos(0));
+  return {std::abs((e1 - e0) / e0), backend.interaction_count(),
+          integ.stats().steps, t.seconds()};
+}
+
+Run disk_run(int iterations, std::size_t n, double t_end) {
+  disk::DiskConfig dcfg = disk::uranus_neptune_config(n);
+  dcfg.seed = 606;
+  auto d = disk::make_disk(dcfg);
+  nbody::CpuDirectBackend backend(0.008);
+  auto icfg = disk_config();
+  icfg.corrector_iterations = iterations;
+  icfg.record_block_sizes = false;
+  nbody::HermiteIntegrator integ(d.system, backend, icfg);
+  util::Timer t;
+  integ.initialize();
+  const double e0 = nbody::compute_energy(d.system, 0.008, 1.0).total();
+  integ.evolve(t_end);
+  const double e1 = nbody::compute_energy(d.system, 0.008, 1.0).total();
+  return {std::abs((e1 - e0) / e0), backend.interaction_count(),
+          integ.stats().steps, t.seconds()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = full_mode(argc, argv);
+
+  std::printf("A2: corrector-iteration ablation (PEC vs P(EC)^n)\n");
+  std::printf("--------------------------------------------------\n\n");
+
+  std::printf("(a) fixed-step e = 0.3 Kepler orbit, 50 orbits, dt = 2^-6:\n");
+  util::Table ta({"scheme", "|dE/E|", "particle steps", "wall [ms]"});
+  double pec_drift = 0.0, pec2_drift = 0.0;
+  for (int it : {1, 2, 3}) {
+    const Run r = kepler_run(it, 0x1p-6, 50.0);
+    ta.row({"P(EC)^" + std::to_string(it), util::fmt_sci(r.drift, 2),
+            util::fmt_int(static_cast<long long>(r.steps)),
+            util::fmt(r.wall * 1e3, 3)});
+    if (it == 1) pec_drift = r.drift;
+    if (it == 2) pec2_drift = r.drift;
+  }
+  // The 6th-order extension (NM08) at the same step, for scheme context.
+  {
+    g6::disk::OrbitalElements el;
+    el.a = 1.0;
+    el.e = 0.3;
+    const auto sv = disk::elements_to_state(el, 1.0);
+    nbody::ParticleSystem ps;
+    ps.add(1e-12, sv.pos, sv.vel);
+    nbody::Hermite6Integrator h6(ps, 0x1p-6, 0.0, 1.0, 2);
+    util::Timer t;
+    h6.initialize();
+    const double e0 = 0.5 * norm2(ps.vel(0)) - 1.0 / norm(ps.pos(0));
+    h6.evolve(50.0 * 2.0 * std::numbers::pi);
+    const double e1 = 0.5 * norm2(ps.vel(0)) - 1.0 / norm(ps.pos(0));
+    ta.row({"Hermite6 (NM08)", util::fmt_sci(std::abs((e1 - e0) / e0), 2),
+            util::fmt_int(static_cast<long long>(h6.steps())),
+            util::fmt(t.seconds() * 1e3, 3)});
+  }
+  std::printf("%s\n", ta.render().c_str());
+
+  std::printf("(b) planetesimal disk (adaptive block steps), N = %d, T = %g:\n",
+              full ? 600 : 250, full ? 256.0 : 128.0);
+  util::Table tb({"scheme", "|dE/E|", "interactions", "wall [s]"});
+  for (int it : {1, 2}) {
+    const Run r = disk_run(it, full ? 600 : 250, full ? 256.0 : 128.0);
+    tb.row({"P(EC)^" + std::to_string(it), util::fmt_sci(r.drift, 2),
+            util::fmt_sci(double(r.interactions), 2), util::fmt(r.wall, 3)});
+  }
+  std::printf("%s\n", tb.render().c_str());
+
+  std::printf("reading: with constant steps the iterated corrector removes the\n"
+              "secular drift entirely (time symmetry); with adaptive block\n"
+              "steps the gain is smaller — which is why the paper's production\n"
+              "scheme stayed with the cheaper PEC + Aarseth-controlled steps.\n\n");
+
+  const bool ok = pec2_drift < 1e-3 * pec_drift;
+  std::printf("shape check: P(EC)^2 kills the fixed-step secular drift "
+              "(>1000x): %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

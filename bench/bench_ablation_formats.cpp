@@ -1,0 +1,132 @@
+// Ablation A1 — the GRAPE-6 number formats (§5.2 / DESIGN.md).
+//
+// Three design choices of the hardware are quantified against alternatives:
+//   (a) pipeline datapath width: per-interaction force error vs mantissa
+//       bits (GRAPE-6's short floats ~ 24 bits);
+//   (b) fixed-point force accumulation: bit-exact order independence (what
+//       makes the reduction trees deterministic), vs the order-dependent
+//       scatter of double-precision summation;
+//   (c) virtual-multipipeline utilisation: fraction of pipeline cycles doing
+//       useful work vs block size (why §4.2 worries about small blocks).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "grape6/chip.hpp"
+#include "nbody/force_direct.hpp"
+#include "util/rng.hpp"
+
+using namespace g6;
+using namespace g6::bench;
+
+int main(int, char**) {
+  std::printf("A1: number-format ablations\n");
+  std::printf("----------------------------\n\n");
+
+  util::Rng rng(2002);
+  const double eps2 = 0.008 * 0.008;
+
+  // A shared random interaction set.
+  const int nj = 512;
+  std::vector<util::Vec3> xs(nj), vs(nj);
+  std::vector<double> ms(nj);
+  for (int j = 0; j < nj; ++j) {
+    xs[j] = {rng.uniform(-30, 30), rng.uniform(-30, 30), rng.uniform(-1, 1)};
+    vs[j] = {rng.uniform(-0.2, 0.2), rng.uniform(-0.2, 0.2), 0};
+    ms[j] = rng.uniform(1e-10, 1e-9);
+  }
+  const util::Vec3 xi{5.0, -3.0, 0.1};
+
+  // (a) mantissa sweep.
+  nbody::Force ref{};
+  for (int j = 0; j < nj; ++j)
+    nbody::pairwise_force(xi, {}, xs[j], vs[j], ms[j], eps2, ref);
+
+  std::printf("(a) total-force error vs pipeline mantissa width "
+              "(512 j-particles):\n");
+  util::Table ta({"mantissa bits", "rel. acc error", "rel. pot error"});
+  for (int bits : {12, 16, 20, 24, 32, 40}) {
+    hw::FormatSpec fmt;
+    fmt.mantissa_bits = bits;
+    hw::ForceAccumulator acc(fmt);
+    const hw::IParticle ip = hw::make_i_particle(9999, xi, {}, fmt);
+    for (int j = 0; j < nj; ++j) {
+      hw::JParticle p;
+      p.id = static_cast<std::uint32_t>(j);
+      p.mass = ms[j];
+      p.x0 = util::FixedVec3::quantize(xs[j], fmt.pos_lsb);
+      p.v0 = vs[j];
+      hw::pipeline_interact(ip, hw::predict_j(p, 0.0, fmt), eps2, fmt, acc);
+    }
+    ta.row({util::fmt_int(bits),
+            util::fmt_sci(norm(acc.acc.to_vec3() - ref.acc) / norm(ref.acc), 2),
+            util::fmt_sci(std::abs(acc.pot.to_double() - ref.pot) /
+                              std::abs(ref.pot), 2)});
+  }
+  std::printf("%s\n", ta.render().c_str());
+
+  // (b) order independence.
+  std::printf("(b) summation-order sensitivity over 64 random orders:\n");
+  std::vector<int> order(nj);
+  for (int j = 0; j < nj; ++j) order[static_cast<std::size_t>(j)] = j;
+
+  const hw::FormatSpec fmt;
+  std::int64_t fixed_first = 0;
+  bool fixed_identical = true;
+  double dbl_min = 1e300, dbl_max = -1e300;
+  for (int trial = 0; trial < 64; ++trial) {
+    for (std::size_t k = order.size(); k > 1; --k)
+      std::swap(order[k - 1], order[rng.below(k)]);
+
+    hw::ForceAccumulator acc(fmt);
+    const hw::IParticle ip = hw::make_i_particle(9999, xi, {}, fmt);
+    double dsum = 0.0;
+    for (int j : order) {
+      hw::JParticle p;
+      p.id = static_cast<std::uint32_t>(j);
+      p.mass = ms[j];
+      p.x0 = util::FixedVec3::quantize(xs[j], fmt.pos_lsb);
+      p.v0 = vs[j];
+      hw::pipeline_interact(ip, hw::predict_j(p, 0.0, fmt), eps2, fmt, acc);
+      nbody::Force f{};
+      nbody::pairwise_force(xi, {}, xs[j], vs[j], ms[j], eps2, f);
+      dsum += f.acc.x;
+    }
+    if (trial == 0) fixed_first = acc.acc.x().raw();
+    if (acc.acc.x().raw() != fixed_first) fixed_identical = false;
+    dbl_min = std::min(dbl_min, dsum);
+    dbl_max = std::max(dbl_max, dsum);
+  }
+  util::Table tb({"accumulator", "order sensitivity"});
+  tb.row({"64-bit fixed point (hardware)",
+          fixed_identical ? "bit-identical across all orders" : "VARIES (BUG)"});
+  tb.row({"double precision (software)",
+          "spread " + util::fmt_sci(dbl_max - dbl_min, 2)});
+  std::printf("%s\n", tb.render().c_str());
+
+  // (c) pipeline utilisation vs block size.
+  std::printf("(c) pipeline utilisation vs i-block size (one chip, 1024 j):\n");
+  hw::Chip chip(fmt, 2048);
+  for (int j = 0; j < 1024; ++j) {
+    hw::JParticle p;
+    p.id = static_cast<std::uint32_t>(j);
+    p.mass = 1e-9;
+    p.x0 = util::FixedVec3::quantize(xs[static_cast<std::size_t>(j % nj)], fmt.pos_lsb);
+    chip.store_j(p);
+  }
+  util::Table tc({"i-block size", "cycles", "useful fraction"});
+  for (std::size_t ni : {1ul, 6ul, 24ul, 48ul, 96ul, 480ul}) {
+    const auto cycles = chip.compute_cycles(ni);
+    // Useful work: ni * nj interactions at 6 per cycle.
+    const double useful = double(ni) * 1024.0 / hw::kPipesPerChip;
+    tc.row({util::fmt_int(static_cast<long long>(ni)),
+            util::fmt_int(static_cast<long long>(cycles)),
+            util::fmt_pct(useful / double(cycles))});
+  }
+  std::printf("%s\n", tc.render().c_str());
+
+  const bool ok = fixed_identical;
+  std::printf("shape check: fixed-point accumulation is order independent: %s\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,114 @@
+#pragma once
+/// \file bench_common.hpp
+/// \brief Shared plumbing for the paper-reproduction bench binaries: flag
+///        parsing (default sizes are CI-friendly; --full or G6_FULL=1 runs
+///        the larger configurations), scaled disk runs, and block-size
+///        distribution collection.
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/perf_model.hpp"
+#include "disk/disk_model.hpp"
+#include "nbody/force_direct.hpp"
+#include "nbody/integrator.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace g6::bench {
+
+/// True when the binary should run the larger (“full”) configuration.
+inline bool full_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--full") == 0) return true;
+  const char* env = std::getenv("G6_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+/// Value of a `--name=value` style flag (or fallback).
+inline double flag_value(int argc, char** argv, const char* name, double fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+      return std::atof(argv[i] + prefix.size());
+  }
+  return fallback;
+}
+
+/// Result of a scaled-down dynamics run on the paper's disk.
+struct ScaledRun {
+  std::size_t n_total = 0;
+  double t_end = 0.0;
+  double wall_seconds = 0.0;
+  g6::nbody::IntegratorStats stats;
+  /// Histogram of block sizes: block size -> number of blocks.
+  std::map<std::size_t, std::uint64_t> block_histogram;
+
+  /// The distribution expressed as (n_act, count) pairs.
+  std::vector<g6::cluster::BlockCount> distribution() const {
+    std::vector<g6::cluster::BlockCount> out;
+    for (const auto& [n, c] : block_histogram) out.push_back({n, c});
+    return out;
+  }
+
+  /// Rescale the measured block sizes to a target N (block sizes are scaled
+  /// proportionally; counts preserved). This is how the small-N measurement
+  /// parameterises the full-machine performance model.
+  std::vector<g6::cluster::BlockCount> distribution_scaled_to(std::size_t n_target) const {
+    std::vector<g6::cluster::BlockCount> out;
+    const double scale =
+        static_cast<double>(n_target) / static_cast<double>(n_total);
+    for (const auto& [n, c] : block_histogram) {
+      const auto scaled = static_cast<std::size_t>(
+          std::max(1.0, static_cast<double>(n) * scale));
+      out.push_back({scaled, c});
+    }
+    return out;
+  }
+};
+
+/// Integrator settings used by every dynamics bench (paper algorithm).
+inline g6::nbody::IntegratorConfig disk_config() {
+  g6::nbody::IntegratorConfig cfg;
+  cfg.solar_gm = 1.0;
+  cfg.eta = 0.02;
+  cfg.eta_init = 0.01;
+  cfg.dt_max = 4.0;
+  cfg.dt_min = 0x1p-30;
+  cfg.record_block_sizes = true;
+  return cfg;
+}
+
+/// Run the scaled Uranus-Neptune disk to \p t_end with the CPU backend and
+/// collect block statistics.
+inline ScaledRun run_scaled_disk(std::size_t n, double t_end,
+                                 std::uint64_t seed = 20020101,
+                                 double protoplanet_mass = 1.0e-5) {
+  g6::disk::DiskConfig dcfg = g6::disk::uranus_neptune_config(n);
+  dcfg.seed = seed;
+  for (auto& pp : dcfg.protoplanets) pp.mass = protoplanet_mass;
+  auto disk = g6::disk::make_disk(dcfg);
+
+  g6::nbody::CpuDirectBackend backend(0.008);
+  g6::nbody::HermiteIntegrator integ(disk.system, backend, disk_config());
+
+  g6::util::Timer timer;
+  integ.initialize();
+  integ.evolve(t_end);
+
+  ScaledRun run;
+  run.n_total = disk.system.size();
+  run.t_end = t_end;
+  run.wall_seconds = timer.seconds();
+  run.stats = integ.stats();
+  for (std::uint32_t b : run.stats.block_sizes) ++run.block_histogram[b];
+  return run;
+}
+
+/// The paper's headline particle count.
+inline constexpr std::size_t kPaperN = 1799998 + 2;
+
+}  // namespace g6::bench

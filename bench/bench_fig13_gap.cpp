@@ -1,0 +1,169 @@
+// E2 — Figure 13 of the paper: the distribution of planetesimals at T = 800
+// and at a later time; "Gap of the distribution is formed near the radius of
+// protoplanets".
+//
+// Reproduction scope: the paper evolved 1.8 M particles on 63 Tflops of
+// hardware; carving a fully-emptied gap takes many synodic periods. At bench
+// scale (N ~ 10^3 on one CPU core) we reproduce, at the paper's own
+// parameters (protoplanet mass 1e-5 M_sun, softening 0.008 AU):
+//   (i)  the visual snapshots of Figure 13 (face-on particle distribution),
+//   (ii) the a-e distribution, where the protoplanets imprint local
+//        eccentricity spikes at 20 and 30 AU, and
+//   (iii) quantitatively, the localised stirring at the protoplanet radii —
+//        the mechanism that opens the gap — measured as the rms eccentricity
+//        in bands at 20/30 AU against a control band at 25 AU.
+// Pass --boost to multiply the protoplanet masses by 30 to push the system
+// further toward the gap-opening regime within the bench horizon.
+#include <cstdio>
+#include <algorithm>
+#include <cstring>
+
+#include "analysis/disk_analysis.hpp"
+#include "bench_common.hpp"
+#include "util/ascii_plot.hpp"
+#include "util/image.hpp"
+
+using namespace g6;
+using namespace g6::bench;
+
+namespace {
+
+void render_xy(const nbody::ParticleSystem& ps,
+               const std::vector<std::size_t>& pps, double t) {
+  // Figure-13-style image artefact (face-on particle map, print polarity).
+  util::GrayImage img(512, 512);
+  for (std::size_t i = 0; i < ps.size(); ++i)
+    img.splat(ps.pos(i).x, ps.pos(i).y, -40, 40, -40, 40);
+  char path[64];
+  std::snprintf(path, sizeof path, "fig13_T%05.0f.pgm", t);
+  img.write_pgm_file(path);
+  std::printf("[wrote %s]\n", path);
+
+  util::AsciiPlot plot(-40, 40, -40, 40, 72, 30);
+  for (std::size_t i = 0; i < ps.size(); ++i) plot.point(ps.pos(i).x, ps.pos(i).y);
+  for (std::size_t p : pps) plot.marker(ps.pos(p).x, ps.pos(p).y, 'O');
+  char title[96];
+  std::snprintf(title, sizeof title,
+                "face-on distribution at T = %.0f ('O' = protoplanet)", t);
+  std::printf("%s\n", plot.render(title).c_str());
+}
+
+void render_ae(const nbody::ParticleSystem& ps,
+               const std::vector<std::size_t>& exclude, double t, double e_max) {
+  const auto elems = analysis::all_elements(ps, 1.0, exclude);
+  util::AsciiPlot plot(14, 36, 0.0, e_max, 72, 20);
+  for (const auto& pe : elems)
+    if (pe.bound) plot.point(pe.el.a, pe.el.e);
+  plot.marker(20.0, 0.0, 'O');
+  plot.marker(30.0, 0.0, 'O');
+  char title[96];
+  std::snprintf(title, sizeof title, "a-e distribution at T = %.0f", t);
+  std::printf("%s\n", plot.render(title).c_str());
+}
+
+// Fraction of a band's particles that have been pumped above e_hot. This is
+// the robust localisation statistic: protoplanet stirring excites a large
+// fraction of its band, while an occasional deep planetesimal-planetesimal
+// encounter in the control band moves only one or two bodies (and would
+// dominate an rms).
+double band_hot_fraction(const nbody::ParticleSystem& ps,
+                         const std::vector<std::size_t>& exclude, double a0,
+                         double w, double e_hot) {
+  const auto elems = analysis::all_elements(ps, 1.0, exclude);
+  std::size_t in_band = 0, hot = 0;
+  for (const auto& pe : elems) {
+    if (!pe.bound || std::abs(pe.el.a - a0) > w) continue;
+    ++in_band;
+    if (pe.el.e > e_hot) ++hot;
+  }
+  return in_band > 0 ? double(hot) / double(in_band) : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = full_mode(argc, argv);
+  bool boost = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--boost") == 0) boost = true;
+
+  const std::size_t n = static_cast<std::size_t>(
+      flag_value(argc, argv, "n", full ? 2400 : 800));
+  const double t1 = 800.0;  // the paper's first snapshot time
+  const double t2 = flag_value(argc, argv, "t2", full ? 4800.0 : 2400.0);
+  const double mpp = boost ? 3.0e-4 : 1.0e-5;
+
+  std::printf("E2: Figure 13 — planetesimal distribution and protoplanet "
+              "stirring\n");
+  std::printf("------------------------------------------------------------"
+              "----\n");
+  std::printf("N = %zu planetesimals + 2 protoplanets (m = %g M_sun%s) at 20 "
+              "and 30 AU,\nsoftening 0.008 AU, T snapshots at 0 / %.0f / %.0f\n\n",
+              n, mpp, boost ? ", boosted" : ", paper value", t1, t2);
+
+  disk::DiskConfig dcfg = disk::uranus_neptune_config(n);
+  dcfg.seed = 20020101;
+  for (auto& pp : dcfg.protoplanets) pp.mass = mpp;
+  auto d = disk::make_disk(dcfg);
+  std::vector<std::size_t> exclude(d.protoplanet_indices.begin(),
+                                   d.protoplanet_indices.end());
+
+  nbody::CpuDirectBackend backend(0.008);
+  nbody::HermiteIntegrator integ(d.system, backend, disk_config());
+  util::Timer timer;
+  integ.initialize();
+
+  const double e_plot = boost ? 0.25 : 0.05;
+  // "Hot": e above ~3x the initial median (Rayleigh sigma 0.002).
+  const double e_hot = boost ? 0.02 : 0.008;
+  auto hot = [&](double a0, double w) {
+    return band_hot_fraction(d.system, exclude, a0, w, e_hot);
+  };
+  util::Table heat({"T", "hot frac @20 AU", "hot frac @25 AU (control)",
+                    "hot frac @30 AU", "gap contrast @20", "gap contrast @30"});
+  auto record = [&](double t) {
+    heat.row({util::fmt(t, 5), util::fmt_pct(hot(20.0, 1.0)),
+              util::fmt_pct(hot(25.0, 1.0)), util::fmt_pct(hot(30.0, 1.5)),
+              util::fmt(analysis::gap_contrast(d.system, 1.0, 20.0, 0.6, exclude), 3),
+              util::fmt(analysis::gap_contrast(d.system, 1.0, 30.0, 0.6, exclude), 3)});
+  };
+
+  std::printf("=== T = 0 (initial conditions) ===\n");
+  render_xy(d.system, d.protoplanet_indices, 0.0);
+  record(0.0);
+
+  integ.evolve(t1);
+  std::printf("=== T = %.0f (paper's first snapshot) ===\n", t1);
+  render_xy(d.system, d.protoplanet_indices, t1);
+  render_ae(d.system, exclude, t1, e_plot);
+  record(t1);
+
+  integ.evolve(t2);
+  std::printf("=== T = %.0f (late snapshot) ===\n", t2);
+  render_xy(d.system, d.protoplanet_indices, t2);
+  render_ae(d.system, exclude, t2, e_plot);
+  record(t2);
+  const double hot20 = hot(20.0, 1.0);
+  const double hot25 = hot(25.0, 1.0);
+  const double hot30 = hot(30.0, 1.5);
+
+  std::printf("stirring at the protoplanet radii vs the 25 AU control band:\n%s\n",
+              heat.render().c_str());
+  std::printf("run: %llu blocks, %llu steps, wall %.1fs\n\n",
+              static_cast<unsigned long long>(integ.stats().blocks),
+              static_cast<unsigned long long>(integ.stats().steps),
+              timer.seconds());
+
+  // Shape check: by the late snapshot a substantial fraction of the inner
+  // protoplanet's band is dynamically hot, well above the control band —
+  // the gap-opening mechanism, localised where the paper's figure forms its
+  // gaps. The outer protoplanet (orbital period 1033 time units) has only
+  // completed ~2 orbits by T=2400 and is reported as informational; the
+  // fully-emptied gap needs the paper-scale run length (see EXPERIMENTS.md).
+  const bool ok = hot20 > 0.25 && hot20 > 2.0 * hot25;
+  std::printf("shape check: inner protoplanet band heated (hot fraction "
+              "%.0f%% @20 AU vs %.0f%% control; 30 AU informational: %.0f%%): "
+              "%s\n", hot20 * 100, hot25 * 100, hot30 * 100,
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

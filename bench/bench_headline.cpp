@@ -1,0 +1,131 @@
+// E1 + E10 — the paper's headline (§6): 29.5 Tflops sustained out of a
+// 63.4 Tflops theoretical peak for the 1.8-million-planetesimal simulation.
+//
+// Method: run the scaled disk to measure the block-size distribution of the
+// paper's algorithm on the paper's workload, rescale the distribution to
+// N = 1,799,998 + 2, and drive the full-machine analytic model (2048 chips,
+// PCI/LVDS/GbE links, host integration costs) with it. Also prints the
+// Gordon Bell operation accounting of §6.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "grape6/g6_types.hpp"
+
+using namespace g6;
+using namespace g6::bench;
+
+int main(int argc, char** argv) {
+  const bool full = full_mode(argc, argv);
+  const std::size_t n_scaled = full ? 4000 : 2000;
+  const double t_end = full ? 256.0 : 128.0;
+
+  std::printf("E1: headline performance (paper §6)\n");
+  std::printf("-----------------------------------\n");
+  std::printf("measuring block-size distribution on a scaled run: N=%zu, T=%g\n\n",
+              n_scaled, t_end);
+
+  const ScaledRun run = run_scaled_disk(n_scaled, t_end);
+  std::printf("scaled run: %llu blocks, %llu individual steps, mean block %.1f "
+              "(%.1f%% of N), wall %.1fs\n\n",
+              static_cast<unsigned long long>(run.stats.blocks),
+              static_cast<unsigned long long>(run.stats.steps),
+              run.stats.mean_block_size(),
+              100.0 * run.stats.mean_block_size() / double(run.n_total),
+              run.wall_seconds);
+
+  cluster::PerfModel model{cluster::PerfParams{}};
+  const auto blocks = run.distribution_scaled_to(kPaperN);
+  const auto est = model.run(kPaperN, blocks);
+
+  // Fixed reference operating points for sensitivity.
+  auto fixed_point = [&](std::size_t n_act) {
+    std::vector<cluster::BlockCount> one{{n_act, 1}};
+    return model.run(kPaperN, one);
+  };
+
+  util::Table t({"quantity", "paper", "model", "note"});
+  t.row({"peak [Tflops]", "63.4", util::fmt(model.peak_flops() / 1e12, 3),
+         "2048 chips x 6 pipes x 90 MHz x 57 ops"});
+  t.row({"sustained [Tflops]", "29.5", util::fmt(est.sustained_flops / 1e12, 3),
+         "measured block distribution, rescaled to 1.8M"});
+  t.row({"efficiency", "46.5%", util::fmt_pct(est.efficiency),
+         "sustained / peak"});
+  t.row({"sustained @ n_act=1000", "-",
+         util::fmt(fixed_point(1000).sustained_flops / 1e12, 3), "sensitivity"});
+  t.row({"sustained @ n_act=2000", "-",
+         util::fmt(fixed_point(2000).sustained_flops / 1e12, 3), "sensitivity"});
+  t.row({"sustained @ n_act=8000", "-",
+         util::fmt(fixed_point(8000).sustained_flops / 1e12, 3), "sensitivity"});
+  std::printf("%s\n", t.render().c_str());
+
+  // Per-term breakdown at the mean operating point.
+  const auto mean_block = static_cast<std::size_t>(std::max(
+      1.0, run.stats.mean_block_size() * double(kPaperN) / double(run.n_total)));
+  const auto bd = model.blockstep(kPaperN, mean_block);
+  util::Table tb({"step term", "ms", "share"});
+  const double total = bd.total();
+  auto row = [&](const char* name, double sec) {
+    tb.row({name, util::fmt(sec * 1e3, 3), util::fmt_pct(sec / total)});
+  };
+  row("predictor", bd.predict);
+  row("pipelines", bd.pipeline);
+  row("i-particle comm", bd.i_comm);
+  row("result comm", bd.result_comm);
+  row("j-update", bd.j_update);
+  row("host integration", bd.host);
+  row("synchronisation", bd.sync);
+  tb.row({"total", util::fmt(total * 1e3, 3), "100.0%"});
+  std::printf("block-step breakdown at n_act = %zu (of N = %zu):\n%s\n",
+              mean_block, kPaperN, tb.render().c_str());
+
+  // E10: operation accounting in the paper's convention.
+  const double ops_per_step = 57.0 * double(kPaperN);
+  const double steps_per_unit_time =
+      double(run.stats.steps) / run.t_end * double(kPaperN) / double(run.n_total);
+  const double t_paper = 2000.0;  // dynamical time units, paper-scale run
+  const double total_steps = steps_per_unit_time * t_paper;
+  const double total_ops = total_steps * ops_per_step;
+  std::printf("E10: operation accounting (\"one particle-particle interaction "
+              "amounts to 57 floating point operations\")\n");
+  util::Table ta({"quantity", "value"});
+  ta.row({"individual steps / time unit (scaled up)", util::fmt_sci(steps_per_unit_time)});
+  ta.row({"assumed run length [time units]", util::fmt(t_paper, 4)});
+  ta.row({"total individual steps", util::fmt_sci(total_steps)});
+  ta.row({"ops per individual step (57 N)", util::fmt_sci(ops_per_step)});
+  ta.row({"total floating point operations", util::fmt_sci(total_ops)});
+  ta.row({"hours at modeled sustained speed",
+          util::fmt(total_ops / est.sustained_flops / 3600.0, 4)});
+  std::printf("%s\n", ta.render().c_str());
+
+  // Sensitivity of the headline conclusion to the model's free parameters.
+  std::printf("model sensitivity (sustained Tflops at the measured "
+              "distribution):\n");
+  util::Table ts({"variant", "sustained [Tflops]", "efficiency"});
+  auto variant = [&](const char* name, cluster::PerfParams p) {
+    const cluster::PerfModel m(p);
+    const auto e = m.run(kPaperN, blocks);
+    ts.row({name, util::fmt(e.sustained_flops / 1e12, 3), util::fmt_pct(e.efficiency)});
+  };
+  variant("baseline", cluster::PerfParams{});
+  {
+    cluster::PerfParams p;
+    p.host_flops = 200e6;
+    variant("half-speed hosts", p);
+  }
+  {
+    cluster::PerfParams p;
+    p.gbe_bytes_per_sec = 60e6;
+    variant("half-speed Ethernet", p);
+  }
+  {
+    cluster::PerfParams p;
+    p.overlap_comm = true;
+    variant("comm/compute overlap", p);
+  }
+  std::printf("%s\n", ts.render().c_str());
+
+  const bool shape_ok = est.efficiency > 0.25 && est.efficiency < 0.75;
+  std::printf("shape check: efficiency in the paper's band (25-75%%): %s\n",
+              shape_ok ? "PASS" : "FAIL");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,145 @@
+// E5 — paper §4.3 + figures 3-6: the three ways to attach multiple hosts.
+// The naive configuration (fig. 3) moves O(n_act) particle data between all
+// hosts every step and therefore does not scale; the GRAPE network boards
+// (figs. 4-5) eliminate host-to-host particle traffic entirely; the 2-D
+// host matrix (fig. 6) emulates the network boards over Gigabit Ethernet.
+//
+// Part 1 measures actual bytes moved by the functional multi-host simulator;
+// part 2 runs the analytic model at the paper's full scale.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cluster/parallel_sim.hpp"
+#include "grape6/fabric.hpp"
+#include "util/rng.hpp"
+
+using namespace g6;
+using namespace g6::bench;
+using cluster::HostMode;
+
+namespace {
+
+std::vector<hw::JParticle> disk_cloud(std::size_t n, const hw::FormatSpec& fmt) {
+  disk::DiskConfig dcfg = disk::uranus_neptune_config(n);
+  dcfg.seed = 777;
+  auto d = disk::make_disk(dcfg);
+  std::vector<hw::JParticle> js(d.system.size());
+  for (std::size_t i = 0; i < d.system.size(); ++i) {
+    js[i].id = static_cast<std::uint32_t>(i);
+    js[i].mass = d.system.mass(i);
+    js[i].x0 = util::FixedVec3::quantize(d.system.pos(i), fmt.pos_lsb);
+    js[i].v0 = d.system.vel(i);
+  }
+  return js;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = full_mode(argc, argv);
+  const std::size_t n = full ? 2048 : 512;
+  const std::size_t n_act = n / 8;
+
+  std::printf("E5: multi-host organisations (paper §4.3, figs. 3-6)\n");
+  std::printf("-----------------------------------------------------\n\n");
+
+  const hw::FormatSpec fmt;
+  const auto js = disk_cloud(n, fmt);
+  std::vector<hw::IParticle> batch;
+  for (std::size_t k = 0; k < n_act; ++k)
+    batch.push_back(hw::make_i_particle(js[k * 7 % js.size()].id,
+                                        js[k * 7 % js.size()].x0.to_vec3(),
+                                        js[k * 7 % js.size()].v0, fmt));
+
+  std::printf("part 1: functional simulation, %zu particles, block of %zu, "
+              "one force step + one update step, 16 hosts\n\n", js.size(), n_act);
+
+  util::Table t1({"mode", "Ethernet bytes", "PCI bytes", "LVDS bytes",
+                  "forces identical"});
+  std::vector<cluster::ForceAccumulator> reference;
+  for (HostMode mode : {HostMode::kNaive, HostMode::kHardwareNet, HostMode::kMatrix2D}) {
+    cluster::ParallelHostSystem sys(16, mode, fmt, 0.008);
+    sys.load(js);
+    std::vector<cluster::ForceAccumulator> out;
+    sys.compute(0.0, batch, out);
+    // Simulate the post-step writeback of the corrected block.
+    std::vector<hw::JParticle> corrected;
+    for (std::size_t k = 0; k < n_act; ++k) corrected.push_back(js[k]);
+    sys.update(corrected);
+
+    bool identical = true;
+    if (reference.empty()) {
+      reference = out;
+    } else {
+      for (std::size_t k = 0; k < out.size(); ++k)
+        if (!(out[k] == reference[k])) identical = false;
+    }
+    t1.row({cluster::host_mode_name(mode),
+            util::fmt_sci(double(sys.ethernet_bytes()), 3),
+            util::fmt_sci(double(sys.hardware_bytes().pci), 3),
+            util::fmt_sci(double(sys.hardware_bytes().lvds), 3),
+            identical ? "yes (bitwise)" : "NO"});
+  }
+  std::printf("%s\n", t1.render().c_str());
+
+  std::printf("part 1b: routed cluster fabric (fig. 7 wiring), one block of "
+              "%zu on a 4-host cluster,\nper-link ledger as a single entity "
+              "vs partitioned into four units\n\n", n_act);
+  {
+    util::Table tf({"partition", "PCI bytes", "cascade bytes", "board bytes",
+                    "modeled us"});
+    for (int groups : {1, 2, 4}) {
+      hw::ClusterFabric fabric(fmt, 4, 4, 4, 4096);
+      fabric.set_partition(groups);
+      fabric.load_group(0, js);
+      fabric.predict_all(0.0);
+      std::vector<hw::ForceAccumulator> out;
+      // The per-compute ledger (the lifetime ledger also holds load writes).
+      const auto t = fabric.compute(0, batch, 0.008 * 0.008, out);
+      char label[32];
+      std::snprintf(label, sizeof label, "%d unit%s", groups,
+                    groups == 1 ? "" : "s");
+      tf.row({label, util::fmt_sci(double(t.pci_bytes), 2),
+              util::fmt_sci(double(t.cascade_bytes), 2),
+              util::fmt_sci(double(t.board_bytes), 2),
+              util::fmt(t.modeled_seconds * 1e6, 4)});
+    }
+    std::printf("%s\n", tf.render().c_str());
+  }
+
+  std::printf("part 2: analytic model at the paper scale (N = 1.8M, "
+              "n_act = 2000), time per block step vs hosts\n\n");
+  util::Table t2({"hosts", "naive [ms]", "hardware net [ms]", "2-D matrix [ms]"});
+  double naive_first = 0, naive_last = 0, hw_first = 0, hw_last = 0;
+  for (int hosts : {1, 4, 16}) {
+    cluster::PerfParams p;
+    p.machine.clusters = 1;
+    p.machine.hosts_per_cluster = hosts;
+    const cluster::PerfModel m(p);
+    const double t_naive = m.blockstep_seconds(kPaperN, 2000, HostMode::kNaive);
+    const double t_hw = m.blockstep_seconds(kPaperN, 2000, HostMode::kHardwareNet);
+    // 1, 4 and 16 are all perfect squares, so the matrix mode is defined.
+    const double t_2d = m.blockstep_seconds(kPaperN, 2000, HostMode::kMatrix2D);
+    t2.row({util::fmt_int(hosts), util::fmt(t_naive * 1e3, 4),
+            util::fmt(t_hw * 1e3, 4), util::fmt(t_2d * 1e3, 4)});
+    if (hosts == 1) {
+      naive_first = t_naive;
+      hw_first = t_hw;
+    }
+    if (hosts == 16) {
+      naive_last = t_naive;
+      hw_last = t_hw;
+    }
+  }
+  std::printf("%s\n", t2.render().c_str());
+
+  const double naive_speedup = naive_first / naive_last;
+  const double hw_speedup = hw_first / hw_last;
+  std::printf("speedup 1 -> 16 hosts:  naive %.2fx,  hardware-net %.2fx\n",
+              naive_speedup, hw_speedup);
+
+  const bool ok = hw_speedup > naive_speedup && naive_speedup < 8.0;
+  std::printf("shape check: hardware network scales better than naive, and "
+              "naive is far from ideal 16x: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

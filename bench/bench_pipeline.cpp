@@ -1,0 +1,162 @@
+// E8 — microbenchmarks (google-benchmark) of the computational kernels:
+// the software model of the GRAPE-6 force pipeline, the on-chip predictor,
+// the CPU reference kernel, and the Hermite host-side kernels. These measure
+// this reproduction's software throughput; the paper's per-chip numbers
+// (one interaction per pipeline per 90 MHz cycle, 30.7 Gflops/chip) are
+// printed for reference by bench_headline.
+#include <benchmark/benchmark.h>
+
+#include "grape6/chip.hpp"
+#include "nbody/blockstep.hpp"
+#include "nbody/force_direct.hpp"
+#include "nbody/hermite.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using g6::hw::FormatSpec;
+using g6::hw::ForceAccumulator;
+using g6::hw::IParticle;
+using g6::hw::JParticle;
+using g6::hw::JPredicted;
+using g6::util::Rng;
+using g6::util::Vec3;
+
+Vec3 rand_pos(Rng& rng) {
+  return {rng.uniform(-30, 30), rng.uniform(-30, 30), rng.uniform(-1, 1)};
+}
+
+void BM_PairwiseForceCpu(benchmark::State& state) {
+  Rng rng(1);
+  const int n = 1024;
+  std::vector<Vec3> xs(n), vs(n);
+  std::vector<double> ms(n);
+  for (int j = 0; j < n; ++j) {
+    xs[j] = rand_pos(rng);
+    vs[j] = {rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3), 0};
+    ms[j] = rng.uniform(1e-10, 1e-9);
+  }
+  const Vec3 xi = rand_pos(rng);
+  const double eps2 = 6.4e-5;
+  for (auto _ : state) {
+    g6::nbody::Force f{};
+    for (int j = 0; j < n; ++j)
+      g6::nbody::pairwise_force(xi, {}, xs[j], vs[j], ms[j], eps2, f);
+    benchmark::DoNotOptimize(f);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["Minter/s"] = benchmark::Counter(
+      double(state.iterations()) * n / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PairwiseForceCpu);
+
+void BM_PipelineInteract(benchmark::State& state) {
+  Rng rng(2);
+  const FormatSpec fmt;
+  const int n = 1024;
+  std::vector<JPredicted> js(n);
+  for (int j = 0; j < n; ++j) {
+    JParticle p;
+    p.id = static_cast<std::uint32_t>(j + 1);
+    p.mass = rng.uniform(1e-10, 1e-9);
+    p.x0 = g6::util::FixedVec3::quantize(rand_pos(rng), fmt.pos_lsb);
+    js[j] = g6::hw::predict_j(p, 0.0, fmt);
+  }
+  const IParticle ip = g6::hw::make_i_particle(0, rand_pos(rng), {}, fmt);
+  for (auto _ : state) {
+    ForceAccumulator acc(fmt);
+    for (int j = 0; j < n; ++j)
+      g6::hw::pipeline_interact(ip, js[j], 6.4e-5, fmt, acc);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["Minter/s"] = benchmark::Counter(
+      double(state.iterations()) * n / 1e6, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PipelineInteract);
+
+void BM_PredictorPipeline(benchmark::State& state) {
+  Rng rng(3);
+  const FormatSpec fmt;
+  JParticle p;
+  p.mass = 1e-9;
+  p.x0 = g6::util::FixedVec3::quantize(rand_pos(rng), fmt.pos_lsb);
+  p.v0 = {0.1, -0.05, 0.001};
+  p.a0 = {1e-3, 2e-3, 0};
+  p.j0 = {1e-5, -1e-5, 0};
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 1e-6;
+    benchmark::DoNotOptimize(g6::hw::predict_j(p, t, fmt));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PredictorPipeline);
+
+void BM_HermitePredictCorrect(benchmark::State& state) {
+  const Vec3 x{1, 2, 0}, v{0.1, -0.2, 0}, a{1e-3, 2e-3, 0}, j{1e-5, 0, 0};
+  const Vec3 a1{1.1e-3, 1.9e-3, 0}, j1{0.9e-5, 1e-6, 0};
+  const double dt = 0.0078125;
+  for (auto _ : state) {
+    const auto pred = g6::nbody::hermite_predict(x, v, a, j, dt);
+    const auto d = g6::nbody::hermite_derivatives(a, j, a1, j1, dt);
+    const auto corr = g6::nbody::hermite_correct(pred, d, dt);
+    benchmark::DoNotOptimize(corr);
+    benchmark::DoNotOptimize(
+        g6::nbody::aarseth_dt(a1, j1, d, dt, 0.02));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HermitePredictCorrect);
+
+void BM_ChipComputePass(benchmark::State& state) {
+  // One full chip pass: 48 i-particles against n_j local j-particles.
+  Rng rng(4);
+  const FormatSpec fmt;
+  const auto n_j = static_cast<std::size_t>(state.range(0));
+  g6::hw::Chip chip(fmt, n_j);
+  for (std::size_t j = 0; j < n_j; ++j) {
+    JParticle p;
+    p.id = static_cast<std::uint32_t>(j + 100);
+    p.mass = rng.uniform(1e-10, 1e-9);
+    p.x0 = g6::util::FixedVec3::quantize(rand_pos(rng), fmt.pos_lsb);
+    chip.store_j(p);
+  }
+  chip.predict_all(0.0);
+  std::vector<IParticle> batch;
+  for (int k = 0; k < g6::hw::kIPerChipPass; ++k)
+    batch.push_back(g6::hw::make_i_particle(static_cast<std::uint32_t>(k),
+                                            rand_pos(rng), {}, fmt));
+  std::vector<ForceAccumulator> acc;
+  for (auto _ : state) {
+    acc.assign(batch.size(), ForceAccumulator(fmt));
+    chip.compute(batch, 6.4e-5, acc);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * batch.size() * n_j);
+  // The real chip needs kVmp * n_j + latency cycles at 90 MHz for this.
+  state.counters["hw_us"] =
+      double(chip.compute_cycles(batch.size())) / g6::hw::kClockHz * 1e6;
+}
+BENCHMARK(BM_ChipComputePass)->Arg(256)->Arg(1024);
+
+void BM_BlockSchedulerChurn(benchmark::State& state) {
+  const std::size_t n = 4096;
+  std::vector<double> times(n, 0.0), dts(n);
+  Rng rng(5);
+  for (auto& d : dts) d = std::ldexp(1.0, -static_cast<int>(rng.below(6)));
+  g6::nbody::BlockScheduler sched;
+  sched.reset(times, dts);
+  std::vector<std::uint32_t> block;
+  for (auto _ : state) {
+    const double t = sched.pop_block(block);
+    for (std::uint32_t i : block) sched.push(i, t + dts[i]);
+    benchmark::DoNotOptimize(block);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockSchedulerChurn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// E6 — system scaling (paper §5, figures 7 and 11): sustained performance as
+// the installation grows from one node (1 host, 4 boards, 128 chips) to the
+// full four-cluster system (16 hosts, 64 boards, 2048 chips), on the paper's
+// workload. Uses the analytic model with the hybrid NB-tree + GbE
+// organisation the paper adopted.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace g6;
+using namespace g6::bench;
+
+int main(int argc, char** argv) {
+  const bool full = full_mode(argc, argv);
+  const std::size_t n_scaled = full ? 2400 : 1000;
+  const double t_end = full ? 128.0 : 64.0;
+
+  std::printf("E6: sustained performance vs machine size (paper §5)\n");
+  std::printf("-----------------------------------------------------\n");
+  std::printf("workload: N = 1.8M, block distribution measured on a scaled "
+              "run (N=%zu)\n\n", n_scaled);
+
+  const ScaledRun run = run_scaled_disk(n_scaled, t_end);
+  const auto blocks = run.distribution_scaled_to(kPaperN);
+
+  struct Row {
+    const char* label;
+    int clusters, hosts;
+  };
+  const Row rows[] = {
+      {"1 node  (128 chips)", 1, 1},
+      {"2 nodes (256 chips)", 1, 2},
+      {"1 cluster (512 chips)", 1, 4},
+      {"2 clusters (1024 chips)", 2, 4},
+      {"full system (2048 chips)", 4, 4},
+  };
+
+  util::Table t({"configuration", "peak [Tflops]", "sustained [Tflops]",
+                 "efficiency", "speedup vs 1 node"});
+  double first = 0.0;
+  double last_eff = 0.0, last_sustained = 0.0;
+  for (const Row& r : rows) {
+    cluster::PerfParams p;
+    p.machine.clusters = r.clusters;
+    p.machine.hosts_per_cluster = r.hosts;
+    const cluster::PerfModel m(p);
+    const auto est = m.run(kPaperN, blocks);
+    if (first == 0.0) first = est.sustained_flops;
+    t.row({r.label, util::fmt(m.peak_flops() / 1e12, 3),
+           util::fmt(est.sustained_flops / 1e12, 3), util::fmt_pct(est.efficiency),
+           util::fmt(est.sustained_flops / first, 3) + "x"});
+    last_eff = est.efficiency;
+    last_sustained = est.sustained_flops;
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("paper: full system sustained 29.5 Tflops (46.5%% of 63.4)\n\n");
+
+  // Shape checks: near-linear scaling to the full machine and a final
+  // operating point in the paper's efficiency band.
+  const bool ok = last_sustained / first > 8.0 && last_eff > 0.25 &&
+                  last_eff < 0.75;
+  std::printf("shape check: >8x speedup over 16x more hardware and final "
+              "efficiency in band: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,88 @@
+// E7 — efficiency vs problem size. §4.2 of the paper explains that the
+// machine must "deliver reasonable performance when asked to evaluate the
+// forces on a relatively small number of particles"; the flip side is that
+// sustained speed climbs with N (more j-work per i-particle amortises the
+// communication and host terms). This bench sweeps N from 10^4 to the
+// paper's 1.8M on the full-machine model, using a block-size fraction
+// measured from scaled dynamics, and verifies the small-N functional model
+// against the cycle counters of the machine simulator.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "grape6/backend.hpp"
+
+using namespace g6;
+using namespace g6::bench;
+
+int main(int argc, char** argv) {
+  const bool full = full_mode(argc, argv);
+  const std::size_t n_scaled = full ? 2400 : 1000;
+  const double t_end = full ? 128.0 : 64.0;
+
+  std::printf("E7: sustained performance vs N (full machine)\n");
+  std::printf("-----------------------------------------------\n\n");
+
+  // Measure the typical active fraction once.
+  const ScaledRun run = run_scaled_disk(n_scaled, t_end);
+  const double active_fraction =
+      run.stats.mean_block_size() / double(run.n_total);
+  std::printf("measured mean active fraction per block: %.3f (N=%zu run)\n\n",
+              active_fraction, run.n_total);
+
+  const cluster::PerfModel model{cluster::PerfParams{}};
+  util::Table t({"N", "mean n_act", "sustained [Tflops]", "efficiency",
+                 "ms / block step"});
+  double eff_small = 0.0, eff_large = 0.0;
+  for (std::size_t n : {std::size_t{10000}, std::size_t{30000}, std::size_t{100000},
+                        std::size_t{300000}, std::size_t{600000}, kPaperN}) {
+    const auto n_act = static_cast<std::size_t>(
+        std::max(1.0, active_fraction * double(n)));
+    std::vector<cluster::BlockCount> blocks{{n_act, 1}};
+    const auto est = model.run(n, blocks);
+    t.row({util::fmt_int(static_cast<long long>(n)),
+           util::fmt_int(static_cast<long long>(n_act)),
+           util::fmt(est.sustained_flops / 1e12, 3), util::fmt_pct(est.efficiency),
+           util::fmt(est.seconds * 1e3, 3)});
+    if (n == 10000) eff_small = est.efficiency;
+    if (n == kPaperN) eff_large = est.efficiency;
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  // Cross-check: the analytic pipeline term equals the machine simulator's
+  // cycle counters on a small configuration.
+  {
+    const std::size_t n_check = 512, n_act = 64;
+    hw::MachineConfig mc = hw::MachineConfig::mini(4, 4, 64);
+    hw::Grape6Machine machine(mc);
+    std::vector<hw::JParticle> js(n_check);
+    for (std::size_t j = 0; j < n_check; ++j) {
+      js[j].id = static_cast<std::uint32_t>(j);
+      js[j].mass = 1e-9;
+      js[j].x0 = util::FixedVec3::quantize(
+          {20.0 + 0.001 * double(j), 0.01 * double(j % 7), 0.0}, mc.fmt.pos_lsb);
+    }
+    machine.load(js);
+
+    // Analytic: passes * (vmp * nj_chip + latency) + reduction drain.
+    const double nj_chip = std::ceil(double(n_check) / double(mc.total_chips()));
+    const double passes = std::ceil(double(n_act) / hw::kIPerChipPass);
+    const double analytic =
+        passes * (hw::kVmp * nj_chip + hw::kPipelineLatency) / hw::kClockHz;
+    const double simulated = machine.pipeline_seconds(n_act);
+    std::printf("cycle-counter cross-check (16 chips, N=%zu, n_act=%zu): "
+                "analytic %.3f us, simulated %.3f us\n",
+                n_check, n_act, analytic * 1e6, simulated * 1e6);
+    // The simulator adds the per-pass reduction-tree drain the closed form
+    // above omits; agreement must be within a few percent.
+    if (std::abs(simulated - analytic) / simulated > 0.05) {
+      std::printf("shape check: FAIL (model and simulator disagree)\n");
+      return 1;
+    }
+  }
+
+  const bool ok = eff_large > 4.0 * eff_small && eff_large > 0.25;
+  std::printf("\nshape check: efficiency rises strongly with N and reaches "
+              "the paper band at 1.8M: %s (%.1f%% -> %.1f%%)\n",
+              ok ? "PASS" : "FAIL", eff_small * 100, eff_large * 100);
+  return ok ? 0 : 1;
+}

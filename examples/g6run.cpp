@@ -1,0 +1,236 @@
+// g6run — the general-purpose driver binary: choose a model (or load a
+// snapshot), choose a force engine (CPU / GRAPE-6 model / multi-host
+// cluster), integrate with the paper's block-timestep Hermite scheme, with
+// optional collisional accretion, periodic diagnostics and snapshot output.
+//
+//   ./g6run --model=disk --n=1000 --t=800 --backend=grape --snap=200 --out=run
+//
+// Options (defaults in brackets):
+//   --model=disk|plummer|coldsphere|file   initial conditions        [disk]
+//   --file=<path>         snapshot to load when --model=file
+//   --n=<int>             particle count                             [1000]
+//   --seed=<int>          RNG seed                                   [20020101]
+//   --mpp=<float>         disk protoplanet mass, M_sun               [1e-5]
+//   --backend=cpu|grape|cluster                                      [cpu]
+//   --cluster-mode=naive|hwnet|matrix   host organisation            [hwnet]
+//   --hosts=<int>         simulated hosts for --backend=cluster      [16]
+//   --t=<float>           end time (code units; 1 yr = 2*pi)         [400]
+//   --eta=<float>         Aarseth accuracy parameter                 [0.02]
+//   --dtmax=<float>       largest block step (power of two)          [model]
+//   --eps=<float>         softening length                           [model]
+//   --iters=<int>         corrector passes (P(EC)^n)                 [1]
+//   --snap=<float>        diagnostics/snapshot interval              [t/8]
+//   --out=<prefix>        write snapshots <prefix>_T.snap
+//   --binary              write binary snapshots
+//   --collisions=<f>      enable accretion with radius enhancement f
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "analysis/disk_analysis.hpp"
+#include "cluster/cluster_backend.hpp"
+#include "disk/disk_model.hpp"
+#include "grape6/backend.hpp"
+#include "nbody/accretion.hpp"
+#include "nbody/energy.hpp"
+#include "nbody/force_direct.hpp"
+#include "nbody/integrator.hpp"
+#include "nbody/models.hpp"
+#include "nbody/snapshot.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+double flag(int argc, char** argv, const char* name, double fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+      return std::atof(argv[i] + prefix.size());
+  return fallback;
+}
+
+std::string flag_str(int argc, char** argv, const char* name,
+                     const std::string& fallback = {}) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+      return argv[i] + prefix.size();
+  return fallback;
+}
+
+bool has_flag(int argc, char** argv, const char* name) {
+  const std::string want = std::string("--") + name;
+  for (int i = 1; i < argc; ++i)
+    if (want == argv[i]) return true;
+  return false;
+}
+
+g6::hw::FormatSpec format_for(const g6::nbody::ParticleSystem& ps) {
+  double extent = 1.0, acc = 0.0;
+  for (std::size_t i = 0; i < ps.size(); ++i)
+    extent = std::max(extent, norm(ps.pos(i)));
+  acc = std::max(1e-12, ps.total_mass() / (extent * extent));
+  return g6::hw::FormatSpec::for_scales(2.0 * extent, acc);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string model = flag_str(argc, argv, "model", "disk");
+  const auto n = static_cast<std::size_t>(flag(argc, argv, "n", 1000));
+  const auto seed = static_cast<std::uint64_t>(flag(argc, argv, "seed", 20020101));
+
+  // --- initial conditions ---------------------------------------------------
+  g6::nbody::ParticleSystem ps;
+  std::vector<std::size_t> exclude;  // protoplanets, for disk analysis
+  double default_eps = 0.008, default_dtmax = 4.0, solar_gm = 1.0;
+  if (model == "disk") {
+    g6::disk::DiskConfig cfg = g6::disk::uranus_neptune_config(n);
+    cfg.seed = seed;
+    const double mpp = flag(argc, argv, "mpp", 1e-5);
+    for (auto& pp : cfg.protoplanets) pp.mass = mpp;
+    auto d = g6::disk::make_disk(cfg);
+    ps = std::move(d.system);
+    exclude.assign(d.protoplanet_indices.begin(), d.protoplanet_indices.end());
+  } else if (model == "plummer") {
+    g6::util::Rng rng(seed);
+    ps = g6::nbody::plummer_sphere(n, 1.0, 1.0, rng);
+    default_eps = 4.0 / static_cast<double>(n);  // the usual 1/N softening scale
+    default_dtmax = 0x1p-3;
+    solar_gm = 0.0;
+  } else if (model == "coldsphere") {
+    g6::util::Rng rng(seed);
+    ps = g6::nbody::cold_uniform_sphere(n, 1.0, 1.0, rng);
+    default_eps = 4.0 / static_cast<double>(n);
+    default_dtmax = 0x1p-5;
+    solar_gm = 0.0;
+  } else if (model == "file") {
+    const std::string path = flag_str(argc, argv, "file");
+    if (path.empty()) {
+      std::fprintf(stderr, "--model=file needs --file=<path>\n");
+      return 2;
+    }
+    g6::nbody::read_snapshot_file(path, ps);
+  } else {
+    std::fprintf(stderr, "unknown model '%s'\n", model.c_str());
+    return 2;
+  }
+
+  const double eps = flag(argc, argv, "eps", default_eps);
+  const double t_end = flag(argc, argv, "t", 400.0);
+  const double snap_every = flag(argc, argv, "snap", t_end / 8.0);
+  const std::string out_prefix = flag_str(argc, argv, "out");
+  const bool binary = has_flag(argc, argv, "binary");
+  const double collisions = flag(argc, argv, "collisions", 0.0);
+
+  g6::nbody::IntegratorConfig icfg;
+  icfg.solar_gm = solar_gm;
+  icfg.eta = flag(argc, argv, "eta", 0.02);
+  icfg.eta_init = icfg.eta / 2.0;
+  icfg.dt_max = flag(argc, argv, "dtmax", default_dtmax);
+  icfg.corrector_iterations = static_cast<int>(flag(argc, argv, "iters", 1));
+
+  // --- force engine -----------------------------------------------------------
+  const std::string backend_name = flag_str(argc, argv, "backend", "cpu");
+  auto make_backend = [&](double soft) -> std::unique_ptr<g6::nbody::ForceBackend> {
+    if (backend_name == "cpu") {
+      return std::make_unique<g6::nbody::CpuDirectBackend>(soft);
+    }
+    if (backend_name == "grape") {
+      g6::hw::MachineConfig mc = g6::hw::MachineConfig::mini(4, 8, 1 << 16);
+      mc.fmt = format_for(ps);
+      return std::make_unique<g6::hw::Grape6Backend>(mc, soft);
+    }
+    if (backend_name == "cluster") {
+      const std::string mode_name = flag_str(argc, argv, "cluster-mode", "hwnet");
+      g6::cluster::HostMode mode = g6::cluster::HostMode::kHardwareNet;
+      if (mode_name == "naive") mode = g6::cluster::HostMode::kNaive;
+      if (mode_name == "matrix") mode = g6::cluster::HostMode::kMatrix2D;
+      const int hosts = static_cast<int>(flag(argc, argv, "hosts", 16));
+      return std::make_unique<g6::cluster::ClusterBackend>(hosts, mode,
+                                                           format_for(ps), soft);
+    }
+    return nullptr;
+  };
+  auto backend = make_backend(eps);
+  if (!backend) {
+    std::fprintf(stderr, "unknown backend '%s'\n", backend_name.c_str());
+    return 2;
+  }
+
+  std::printf("g6run: model=%s N=%zu backend=%s eps=%g eta=%g dt_max=%g "
+              "iters=%d t_end=%g\n\n",
+              model.c_str(), ps.size(), backend->name().c_str(), eps, icfg.eta,
+              icfg.dt_max, icfg.corrector_iterations, t_end);
+
+  g6::util::Timer timer;
+  g6::util::Table table({"T", "N", "|dE/E|", "|dL/L|", "blocks", "steps",
+                         "wall [s]"});
+  const auto e0 = g6::nbody::compute_energy(ps, eps, solar_gm).total();
+  const auto l0 = norm(g6::nbody::total_angular_momentum(ps));
+
+  auto write_snap = [&](const g6::nbody::ParticleSystem& s, double t) {
+    if (out_prefix.empty()) return;
+    char path[512];
+    std::snprintf(path, sizeof path, "%s_%08.1f.%s", out_prefix.c_str(), t,
+                  binary ? "bsnap" : "snap");
+    if (binary) {
+      g6::nbody::write_snapshot_binary_file(path, s, t);
+    } else {
+      g6::nbody::write_snapshot_file(path, s, t);
+    }
+  };
+
+  if (collisions > 0.0) {
+    // Accretion mode: the driver owns integrator + backend lifecycles.
+    g6::nbody::CollisionConfig ccfg;
+    ccfg.radius_enhancement = collisions;
+    g6::nbody::AccretionDriver driver(std::move(ps), ccfg, icfg, eps,
+                                      [&](double soft) { return make_backend(soft); });
+    for (double t = 0.0; t <= t_end + 1e-9; t += snap_every) {
+      driver.evolve(t, snap_every / 4.0);
+      const auto& s = driver.system();
+      const double e = g6::nbody::compute_energy(s, eps, solar_gm).total();
+      table.row({g6::util::fmt(t, 5),
+                 g6::util::fmt_int(static_cast<long long>(s.size())),
+                 g6::util::fmt_sci(std::abs((e - e0) / e0), 1), "-",
+                 g6::util::fmt_int(static_cast<long long>(driver.total_mergers())),
+                 "-", g6::util::fmt(timer.seconds(), 3)});
+      write_snap(s, t);
+    }
+    std::printf("%s\n(the 'blocks' column counts mergers in accretion mode)\n",
+                table.render().c_str());
+    return 0;
+  }
+
+  g6::nbody::HermiteIntegrator integ(ps, *backend, icfg);
+  integ.initialize();
+  for (double t = 0.0; t <= t_end + 1e-9; t += snap_every) {
+    integ.evolve(t);
+    const double e = g6::nbody::compute_energy(ps, eps, solar_gm).total();
+    const double l = norm(g6::nbody::total_angular_momentum(ps));
+    table.row({g6::util::fmt(t, 5),
+               g6::util::fmt_int(static_cast<long long>(ps.size())),
+               g6::util::fmt_sci(std::abs((e - e0) / e0), 1),
+               g6::util::fmt_sci(l0 > 0 ? std::abs((l - l0) / l0) : 0.0, 1),
+               g6::util::fmt_int(static_cast<long long>(integ.stats().blocks)),
+               g6::util::fmt_int(static_cast<long long>(integ.stats().steps)),
+               g6::util::fmt(timer.seconds(), 3)});
+    write_snap(ps, t);
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  if (model == "disk") {
+    const auto census =
+        g6::analysis::population_census(ps, solar_gm, {20.0, 30.0}, exclude);
+    std::printf("population census: %zu cold, %zu protoplanet-crossing, "
+                "%zu scattered (e > 0.3), %zu unbound\n",
+                census.n_cold, census.n_crossing, census.n_scattered,
+                census.n_unbound);
+  }
+  std::printf("interactions: %llu\n",
+              static_cast<unsigned long long>(backend->interaction_count()));
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Planetesimal-protoplanet scattering experiment (paper §2: "This scattering
+// efficiency is an important key to understand the planetesimal evolution in
+// the Neptune region", and the origin of the Oort cloud).
+//
+// A proto-Neptune on a circular orbit at 30 AU meets a ring of test
+// planetesimals with semi-major axes offset by a range of impact parameters
+// b (in Hill radii). For each encounter we integrate a few synodic periods
+// and classify the outcome: accreted-region crossing, scattered inward/
+// outward, ejected toward the Oort cloud (specific energy > threshold), or
+// still on a near-initial orbit.
+//
+//   ./scattering_experiment [n_per_bin]
+#include <cstdio>
+#include <cstdlib>
+
+#include "disk/hill.hpp"
+#include "disk/kepler.hpp"
+#include "nbody/force_direct.hpp"
+#include "nbody/integrator.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using g6::util::Vec3;
+
+namespace {
+
+struct Outcome {
+  int inward = 0;    // final a < initial band
+  int outward = 0;   // final a > initial band
+  int excited = 0;   // large eccentricity gain, similar a
+  int quiet = 0;     // barely perturbed
+  int unbound = 0;   // positive energy: Oort-cloud / ejection channel
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n_per_bin = argc > 1 ? std::atoi(argv[1]) : 24;
+
+  const double m_pp = 1.0e-5;  // paper protoplanet mass
+  const double a_pp = 30.0;
+  const double r_hill = g6::disk::hill_radius(a_pp, m_pp, 1.0);
+  const double eps = 0.008;
+
+  std::printf("scattering by a %g M_sun protoplanet at %g AU "
+              "(Hill radius %.3f AU)\n", m_pp, a_pp, r_hill);
+  std::printf("%d planetesimals per impact-parameter bin, a few synodic "
+              "periods each\n\n", n_per_bin);
+
+  g6::util::Table table({"b [r_Hill]", "quiet", "excited", "scattered in",
+                         "scattered out", "unbound", "mean |da| [r_Hill]",
+                         "mean de"});
+
+  for (double b_hill : {1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 6.0}) {
+    g6::util::Rng rng(static_cast<std::uint64_t>(b_hill * 1000));
+    Outcome out;
+    double sum_da = 0.0, sum_de = 0.0;
+
+    for (int trial = 0; trial < n_per_bin; ++trial) {
+      // Protoplanet + one planetesimal, synodic phase randomised.
+      g6::nbody::ParticleSystem ps;
+      g6::disk::OrbitalElements pel;
+      pel.a = a_pp;
+      const auto psv = g6::disk::elements_to_state(pel, 1.0);
+      ps.add(m_pp, psv.pos, psv.vel);
+
+      g6::disk::OrbitalElements el;
+      el.a = a_pp + b_hill * r_hill;
+      el.e = 0.001;
+      el.inc = 0.0005;
+      el.Omega = rng.angle();
+      el.omega = rng.angle();
+      el.M = rng.angle();
+      const auto sv = g6::disk::elements_to_state(el, 1.0);
+      ps.add(1.0e-12, sv.pos, sv.vel);
+
+      g6::nbody::CpuDirectBackend backend(eps);
+      g6::nbody::IntegratorConfig icfg;
+      icfg.solar_gm = 1.0;
+      icfg.eta = 0.01;
+      icfg.dt_max = 2.0;
+      g6::nbody::HermiteIntegrator integ(ps, backend, icfg);
+      integ.initialize();
+
+      // Synodic period for this offset; integrate ~2 of them (capped).
+      const double da = el.a - a_pp;
+      const double p_orb = g6::disk::orbital_period(a_pp, 1.0);
+      const double t_syn = std::min(p_orb * 2.0 * a_pp / (3.0 * std::abs(da)), 40000.0);
+      integ.evolve(std::min(2.0 * t_syn, 60000.0));
+
+      const g6::disk::StateVector fin{ps.pos(1), ps.vel(1)};
+      if (g6::disk::specific_energy(fin, 1.0) >= 0.0) {
+        ++out.unbound;
+        continue;
+      }
+      const auto f = g6::disk::state_to_elements(fin, 1.0);
+      sum_da += std::abs(f.a - el.a) / r_hill;
+      sum_de += f.e - el.e;
+      if (f.a < a_pp - 0.5 * r_hill && f.a < el.a - r_hill) {
+        ++out.inward;
+      } else if (f.a > el.a + r_hill) {
+        ++out.outward;
+      } else if (f.e > 10.0 * el.e) {
+        ++out.excited;
+      } else {
+        ++out.quiet;
+      }
+    }
+
+    const int bound = n_per_bin - out.unbound;
+    table.row({g6::util::fmt(b_hill, 2), g6::util::fmt_int(out.quiet),
+               g6::util::fmt_int(out.excited), g6::util::fmt_int(out.inward),
+               g6::util::fmt_int(out.outward), g6::util::fmt_int(out.unbound),
+               g6::util::fmt(bound > 0 ? sum_da / bound : 0.0, 3),
+               g6::util::fmt(bound > 0 ? sum_de / bound : 0.0, 3)});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf("reading: within ~2.5 Hill radii encounters strongly perturb the\n"
+              "orbit (the protoplanet's feeding/scattering zone); far outside,\n"
+              "the disk is only weakly stirred. Strong scatterings feed the\n"
+              "outward/unbound channels that build the Oort cloud (paper §2).\n");
+  return 0;
+}

@@ -1,0 +1,156 @@
+#include "analysis/disk_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace g6::analysis {
+
+namespace {
+std::vector<bool> exclusion_mask(std::size_t n, const std::vector<std::size_t>& exclude) {
+  std::vector<bool> mask(n, false);
+  for (std::size_t i : exclude) {
+    G6_CHECK(i < n, "exclusion index out of range");
+    mask[i] = true;
+  }
+  return mask;
+}
+}  // namespace
+
+g6::util::Histogram surface_density(const ParticleSystem& ps, double r_in,
+                                    double r_out, std::size_t nbins,
+                                    const std::vector<std::size_t>& exclude) {
+  g6::util::Histogram h(r_in, r_out, nbins);
+  const auto mask = exclusion_mask(ps.size(), exclude);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    if (mask[i]) continue;
+    const double r = std::hypot(ps.pos(i).x, ps.pos(i).y);  // cylindrical
+    h.add(r, ps.mass(i));
+  }
+  // Convert accumulated mass to surface density by dividing by annulus area.
+  g6::util::Histogram sigma(r_in, r_out, nbins);
+  for (std::size_t b = 0; b < nbins; ++b) {
+    const double lo = h.edge_lo(b);
+    const double hi = h.edge_hi(b);
+    const double area = std::numbers::pi * (hi * hi - lo * lo);
+    if (h.count(b) > 0.0) sigma.add(h.center(b), h.count(b) / area);
+  }
+  return sigma;
+}
+
+std::vector<ParticleElements> all_elements(const ParticleSystem& ps, double solar_gm,
+                                           const std::vector<std::size_t>& exclude) {
+  const auto mask = exclusion_mask(ps.size(), exclude);
+  std::vector<ParticleElements> out(ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    if (mask[i]) continue;
+    g6::disk::StateVector sv{ps.pos(i), ps.vel(i)};
+    if (g6::disk::specific_energy(sv, solar_gm) >= 0.0) continue;  // unbound
+    out[i].bound = true;
+    out[i].el = g6::disk::state_to_elements(sv, solar_gm);
+  }
+  return out;
+}
+
+DispersionReport dispersions(const ParticleSystem& ps, double solar_gm,
+                             const std::vector<std::size_t>& exclude) {
+  DispersionReport rep;
+  const auto elems = all_elements(ps, solar_gm, exclude);
+  const auto mask = exclusion_mask(ps.size(), exclude);
+  double se2 = 0.0, si2 = 0.0, mtot = 0.0;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    if (mask[i]) continue;
+    if (!elems[i].bound) {
+      ++rep.n_unbound;
+      continue;
+    }
+    ++rep.n_bound;
+    const double m = ps.mass(i);
+    se2 += m * elems[i].el.e * elems[i].el.e;
+    si2 += m * elems[i].el.inc * elems[i].el.inc;
+    mtot += m;
+  }
+  if (mtot > 0.0) {
+    rep.rms_e = std::sqrt(se2 / mtot);
+    rep.rms_i = std::sqrt(si2 / mtot);
+  }
+  return rep;
+}
+
+std::vector<double> rms_e_profile(const ParticleSystem& ps, double solar_gm,
+                                  double a_in, double a_out, std::size_t nbins,
+                                  const std::vector<std::size_t>& exclude) {
+  G6_CHECK(nbins > 0 && a_out > a_in, "bad profile bins");
+  std::vector<double> se2(nbins, 0.0), mass(nbins, 0.0);
+  const auto elems = all_elements(ps, solar_gm, exclude);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    if (!elems[i].bound) continue;
+    const double a = elems[i].el.a;
+    if (a < a_in || a >= a_out) continue;
+    const auto b = static_cast<std::size_t>((a - a_in) / (a_out - a_in) *
+                                            static_cast<double>(nbins));
+    se2[std::min(b, nbins - 1)] += ps.mass(i) * elems[i].el.e * elems[i].el.e;
+    mass[std::min(b, nbins - 1)] += ps.mass(i);
+  }
+  std::vector<double> out(nbins, 0.0);
+  for (std::size_t b = 0; b < nbins; ++b)
+    if (mass[b] > 0.0) out[b] = std::sqrt(se2[b] / mass[b]);
+  return out;
+}
+
+PopulationCensus population_census(const ParticleSystem& ps, double solar_gm,
+                                   const std::vector<double>& protoplanet_a,
+                                   const std::vector<std::size_t>& exclude,
+                                   double e_scatter) {
+  const auto mask = exclusion_mask(ps.size(), exclude);
+  PopulationCensus census;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    if (mask[i]) continue;
+    const g6::disk::StateVector sv{ps.pos(i), ps.vel(i)};
+    if (g6::disk::specific_energy(sv, solar_gm) >= 0.0) {
+      ++census.n_unbound;
+      continue;
+    }
+    const auto el = g6::disk::state_to_elements(sv, solar_gm);
+    if (el.e > e_scatter) {
+      ++census.n_scattered;
+      continue;
+    }
+    const double q = el.a * (1.0 - el.e);
+    const double bigq = el.a * (1.0 + el.e);
+    bool crossing = false;
+    for (double app : protoplanet_a)
+      if (q <= app && app <= bigq) crossing = true;
+    if (crossing) {
+      ++census.n_crossing;
+    } else {
+      ++census.n_cold;
+    }
+  }
+  return census;
+}
+
+double gap_contrast(const ParticleSystem& ps, double solar_gm, double a_gap,
+                    double width, const std::vector<std::size_t>& exclude,
+                    bool mass_weighted) {
+  G6_CHECK(width > 0.0, "gap width must be positive");
+  const auto elems = all_elements(ps, solar_gm, exclude);
+  double m_gap = 0.0, m_ref = 0.0;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    if (!elems[i].bound) continue;
+    const double a = elems[i].el.a;
+    const double m = mass_weighted ? ps.mass(i) : 1.0;
+    if (std::abs(a - a_gap) <= width) {
+      m_gap += m;
+    } else if (std::abs(a - a_gap) <= 3.0 * width) {
+      m_ref += m;  // two flanking bands, each 2w wide -> 4w total
+    }
+  }
+  if (m_ref <= 0.0) return m_gap > 0.0 ? 2.0 : 1.0;
+  // Normalise band areas: gap band is 2w wide, reference 4w.
+  return (m_gap / (2.0 * width)) / (m_ref / (4.0 * width));
+}
+
+}  // namespace g6::analysis

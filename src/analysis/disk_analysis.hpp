@@ -1,0 +1,81 @@
+#pragma once
+/// \file disk_analysis.hpp
+/// \brief Analysis of planetesimal-disk snapshots: radial surface-density
+///        profiles, orbital-element statistics, velocity dispersions and the
+///        gap-contrast metric used to quantify the paper's Figure 13 ("Gap
+///        of the distribution is formed near the radius of protoplanets").
+
+#include <cstddef>
+#include <vector>
+
+#include "disk/kepler.hpp"
+#include "nbody/particle.hpp"
+#include "util/histogram.hpp"
+
+namespace g6::analysis {
+
+using g6::nbody::ParticleSystem;
+
+/// Radial surface-density profile Σ(r): mass per unit area in annular bins.
+/// \p exclude lists particle indices to skip (the protoplanets).
+g6::util::Histogram surface_density(const ParticleSystem& ps, double r_in,
+                                    double r_out, std::size_t nbins,
+                                    const std::vector<std::size_t>& exclude = {});
+
+/// Orbital elements of every (bound) particle. Unbound/degenerate states
+/// yield has_elements = false.
+struct ParticleElements {
+  bool bound = false;
+  g6::disk::OrbitalElements el;
+};
+std::vector<ParticleElements> all_elements(const ParticleSystem& ps, double solar_gm,
+                                           const std::vector<std::size_t>& exclude = {});
+
+/// RMS eccentricity / inclination (mass-weighted) over the bound particles —
+/// the dynamical temperature of the disk.
+struct DispersionReport {
+  double rms_e = 0.0;
+  double rms_i = 0.0;
+  std::size_t n_bound = 0;
+  std::size_t n_unbound = 0;
+};
+DispersionReport dispersions(const ParticleSystem& ps, double solar_gm,
+                             const std::vector<std::size_t>& exclude = {});
+
+/// RMS eccentricity in annular bins of semi-major axis (heating profile).
+std::vector<double> rms_e_profile(const ParticleSystem& ps, double solar_gm,
+                                  double a_in, double a_out, std::size_t nbins,
+                                  const std::vector<std::size_t>& exclude = {});
+
+/// Dynamical classification of the planetesimal population (paper §2: "some
+/// planetesimals are accreted and others are scattered away from the solar
+/// system by Neptune. This scattering efficiency is an important key...").
+struct PopulationCensus {
+  std::size_t n_cold = 0;       ///< bound, orbit crosses no protoplanet
+  std::size_t n_crossing = 0;   ///< bound, perihelion..aphelion brackets a protoplanet
+  std::size_t n_scattered = 0;  ///< bound but e > e_scatter (strongly kicked)
+  std::size_t n_unbound = 0;    ///< hyperbolic: the ejection / Oort channel
+
+  std::size_t total() const {
+    return n_cold + n_crossing + n_scattered + n_unbound;
+  }
+};
+
+/// Classify every (non-excluded) particle against the protoplanet orbits.
+/// A particle is "crossing" when its radial range [q, Q] brackets any of
+/// \p protoplanet_a; "scattered" when bound with e > e_scatter.
+PopulationCensus population_census(const ParticleSystem& ps, double solar_gm,
+                                   const std::vector<double>& protoplanet_a,
+                                   const std::vector<std::size_t>& exclude = {},
+                                   double e_scatter = 0.3);
+
+/// Gap contrast around semi-major axis \p a_gap: the ratio of the mean
+/// surface number density in [a_gap - w, a_gap + w] to the mean in the two
+/// flanking reference bands. 1 = no gap, -> 0 as the gap empties. Number-
+/// weighted by default (the paper's Figure 13 shows particle positions);
+/// pass mass_weighted = true for a mass-density contrast.
+double gap_contrast(const ParticleSystem& ps, double solar_gm, double a_gap,
+                    double width, const std::vector<std::size_t>& exclude = {},
+                    bool mass_weighted = false);
+
+}  // namespace g6::analysis

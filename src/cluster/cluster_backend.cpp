@@ -1,0 +1,99 @@
+#include "cluster/cluster_backend.hpp"
+
+#include "nbody/hermite.hpp"
+#include "util/check.hpp"
+
+namespace g6::cluster {
+
+using g6::nbody::ParticleSystem;
+
+ClusterBackend::ClusterBackend(int n_hosts, HostMode mode, FormatSpec fmt,
+                               double eps, LinkSpec ethernet)
+    : fmt_(fmt), eps_(eps), mode_(mode) {
+  G6_CHECK(eps >= 0.0, "softening must be non-negative");
+  sys_ = std::make_unique<ParallelHostSystem>(n_hosts, mode, fmt, eps, ethernet);
+}
+
+std::string ClusterBackend::name() const {
+  return std::string("cluster/") + host_mode_name(mode_);
+}
+
+JParticle ClusterBackend::format_j(std::uint32_t i, const ParticleSystem& ps) const {
+  return g6::hw::make_j_particle(i, ps.mass(i), ps.time(i), ps.pos(i), ps.vel(i),
+                                 ps.acc(i), ps.jerk(i), fmt_);
+}
+
+void ClusterBackend::load(const ParticleSystem& ps) {
+  const std::size_t n = ps.size();
+  std::vector<JParticle> js(n);
+  t0_.resize(n);
+  x0_.resize(n);
+  v0_.resize(n);
+  a0_.resize(n);
+  j0_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    js[i] = format_j(static_cast<std::uint32_t>(i), ps);
+    t0_[i] = ps.time(i);
+    x0_[i] = ps.pos(i);
+    v0_[i] = ps.vel(i);
+    a0_[i] = ps.acc(i);
+    j0_[i] = ps.jerk(i);
+  }
+  // Rebuild the host system so a re-load starts from empty j-stores.
+  sys_ = std::make_unique<ParallelHostSystem>(sys_->hosts(), mode_, fmt_, eps_,
+                                              sys_->transport().link());
+  sys_->load(js);
+}
+
+void ClusterBackend::update(std::span<const std::uint32_t> indices,
+                            const ParticleSystem& ps) {
+  std::vector<JParticle> corrected;
+  corrected.reserve(indices.size());
+  for (std::uint32_t i : indices) {
+    G6_CHECK(i < t0_.size(), "update index out of range");
+    corrected.push_back(format_j(i, ps));
+    t0_[i] = ps.time(i);
+    x0_[i] = ps.pos(i);
+    v0_[i] = ps.vel(i);
+    a0_[i] = ps.acc(i);
+    j0_[i] = ps.jerk(i);
+  }
+  sys_->update(corrected);
+}
+
+void ClusterBackend::compute(double t, std::span<const std::uint32_t> ilist,
+                             std::span<g6::nbody::Force> out) {
+  std::vector<g6::util::Vec3> pos(ilist.size()), vel(ilist.size());
+  for (std::size_t k = 0; k < ilist.size(); ++k) {
+    const std::uint32_t i = ilist[k];
+    G6_CHECK(i < t0_.size(), "i-particle index out of range");
+    const auto pred =
+        g6::nbody::hermite_predict(x0_[i], v0_[i], a0_[i], j0_[i], t - t0_[i]);
+    pos[k] = pred.pos;
+    vel[k] = pred.vel;
+  }
+  compute_states(t, ilist, pos, vel, out);
+}
+
+void ClusterBackend::compute_states(double t, std::span<const std::uint32_t> ilist,
+                                    std::span<const g6::util::Vec3> pos,
+                                    std::span<const g6::util::Vec3> vel,
+                                    std::span<g6::nbody::Force> out) {
+  G6_CHECK(out.size() == ilist.size() && pos.size() == ilist.size() &&
+               vel.size() == ilist.size(),
+           "i-state span size mismatch");
+  batch_.resize(ilist.size());
+  for (std::size_t k = 0; k < ilist.size(); ++k) {
+    G6_CHECK(ilist[k] < t0_.size(), "i-particle index out of range");
+    batch_[k] = g6::hw::make_i_particle(ilist[k], pos[k], vel[k], fmt_);
+  }
+  sys_->compute(t, batch_, accum_);
+  for (std::size_t k = 0; k < ilist.size(); ++k) {
+    out[k].acc = accum_[k].acc.to_vec3();
+    out[k].jerk = accum_[k].jerk.to_vec3();
+    out[k].pot = accum_[k].pot.to_double();
+  }
+  interactions_ += ilist.size() * t0_.size();
+}
+
+}  // namespace g6::cluster

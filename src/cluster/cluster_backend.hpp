@@ -1,0 +1,61 @@
+#pragma once
+/// \file cluster_backend.hpp
+/// \brief ClusterBackend — the multi-host simulation as a ForceBackend, so
+///        the integrator can run the paper's algorithm over any of the three
+///        host organisations of §4.3 and the benches can account the real
+///        message traffic of a full dynamical integration.
+///
+/// Forces are bit-identical across host modes (fixed-point accumulation), so
+/// the same trajectory is produced by every organisation — only the byte
+/// counters differ. That is precisely the paper's argument for the network
+/// boards: the organisation changes the communication pattern, not the
+/// physics.
+
+#include <memory>
+#include <vector>
+
+#include "cluster/parallel_sim.hpp"
+#include "nbody/force.hpp"
+
+namespace g6::cluster {
+
+/// ForceBackend over ParallelHostSystem.
+class ClusterBackend final : public g6::nbody::ForceBackend {
+ public:
+  ClusterBackend(int n_hosts, HostMode mode, FormatSpec fmt, double eps,
+                 LinkSpec ethernet = {});
+
+  std::string name() const override;
+  void load(const g6::nbody::ParticleSystem& ps) override;
+  void update(std::span<const std::uint32_t> indices,
+              const g6::nbody::ParticleSystem& ps) override;
+  void compute(double t, std::span<const std::uint32_t> ilist,
+               std::span<g6::nbody::Force> out) override;
+  void compute_states(double t, std::span<const std::uint32_t> ilist,
+                      std::span<const g6::util::Vec3> pos,
+                      std::span<const g6::util::Vec3> vel,
+                      std::span<g6::nbody::Force> out) override;
+  std::uint64_t interaction_count() const override { return interactions_; }
+  double softening() const override { return eps_; }
+
+  ParallelHostSystem& system() { return *sys_; }
+  const ParallelHostSystem& system() const { return *sys_; }
+
+ private:
+  JParticle format_j(std::uint32_t i, const g6::nbody::ParticleSystem& ps) const;
+
+  FormatSpec fmt_;
+  double eps_;
+  HostMode mode_;
+  std::unique_ptr<ParallelHostSystem> sys_;
+
+  // Host-side mirror for i-particle prediction.
+  std::vector<double> t0_;
+  std::vector<g6::util::Vec3> x0_, v0_, a0_, j0_;
+
+  std::uint64_t interactions_ = 0;
+  std::vector<IParticle> batch_;
+  std::vector<ForceAccumulator> accum_;
+};
+
+}  // namespace g6::cluster

@@ -1,0 +1,141 @@
+#include "cluster/collectives.hpp"
+
+#include "util/check.hpp"
+
+namespace g6::cluster {
+
+namespace {
+
+/// Serialize / deserialize accumulator batches (register-level).
+std::vector<std::byte> pack_batch(const std::vector<g6::hw::ForceAccumulator>& a) {
+  std::vector<std::byte> buf;
+  buf.reserve(a.size() * 7 * sizeof(std::int64_t));
+  for (const auto& f : a) {
+    append_pod(buf, f.acc.x().raw());
+    append_pod(buf, f.acc.y().raw());
+    append_pod(buf, f.acc.z().raw());
+    append_pod(buf, f.jerk.x().raw());
+    append_pod(buf, f.jerk.y().raw());
+    append_pod(buf, f.jerk.z().raw());
+    append_pod(buf, f.pot.raw());
+  }
+  return buf;
+}
+
+std::vector<g6::hw::ForceAccumulator> unpack_batch(const std::vector<std::byte>& buf,
+                                                   const g6::hw::FormatSpec& fmt) {
+  std::vector<g6::hw::ForceAccumulator> out;
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    g6::hw::ForceAccumulator f(fmt);
+    const auto ax = read_pod<std::int64_t>(buf, off);
+    const auto ay = read_pod<std::int64_t>(buf, off);
+    const auto az = read_pod<std::int64_t>(buf, off);
+    const auto jx = read_pod<std::int64_t>(buf, off);
+    const auto jy = read_pod<std::int64_t>(buf, off);
+    const auto jz = read_pod<std::int64_t>(buf, off);
+    const auto pr = read_pod<std::int64_t>(buf, off);
+    f.acc = g6::util::FixedVec3::from_raw(ax, ay, az, fmt.acc_lsb);
+    f.jerk = g6::util::FixedVec3::from_raw(jx, jy, jz, fmt.jerk_lsb);
+    f.pot = g6::util::Fixed64::from_raw(pr, fmt.pot_lsb);
+    out.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::byte>> tree_broadcast(Transport& transport, int root,
+                                                   const std::vector<std::byte>& payload,
+                                                   int tag) {
+  const int p = transport.ranks();
+  G6_CHECK(root >= 0 && root < p, "broadcast root out of range");
+  std::vector<std::vector<std::byte>> received(static_cast<std::size_t>(p));
+  received[static_cast<std::size_t>(root)] = payload;
+
+  // Binomial tree in root-relative rank space: at distance d, every rank
+  // that already holds the data forwards it d ranks ahead.
+  for (int d = 1; d < p; d *= 2) {
+    for (int rel = 0; rel < d && rel + d < p; ++rel) {
+      const int src = (root + rel) % p;
+      const int dst = (root + rel + d) % p;
+      transport.send(src, dst, tag, received[static_cast<std::size_t>(src)]);
+      received[static_cast<std::size_t>(dst)] =
+          transport.recv(dst, src, tag).payload;
+    }
+  }
+  return received;
+}
+
+std::vector<std::vector<std::byte>> ring_all_gather(
+    Transport& transport, const std::vector<std::vector<std::byte>>& inputs,
+    int tag) {
+  const int p = transport.ranks();
+  G6_CHECK(static_cast<int>(inputs.size()) == p, "one input per rank required");
+
+  // blocks[r][k] = rank k's contribution as known to rank r.
+  std::vector<std::vector<std::vector<std::byte>>> blocks(
+      static_cast<std::size_t>(p),
+      std::vector<std::vector<std::byte>>(static_cast<std::size_t>(p)));
+  for (int r = 0; r < p; ++r)
+    blocks[static_cast<std::size_t>(r)][static_cast<std::size_t>(r)] =
+        inputs[static_cast<std::size_t>(r)];
+
+  // p-1 ring steps: in step s, rank r forwards block (r - s) to rank r+1.
+  for (int s = 0; s < p - 1; ++s) {
+    for (int r = 0; r < p; ++r) {
+      const int dst = (r + 1) % p;
+      const int block = ((r - s) % p + p) % p;
+      transport.send(r, dst, tag,
+                     blocks[static_cast<std::size_t>(r)][static_cast<std::size_t>(block)]);
+    }
+    for (int r = 0; r < p; ++r) {
+      const int src = ((r - 1) % p + p) % p;
+      const int block = ((src - s) % p + p) % p;
+      blocks[static_cast<std::size_t>(r)][static_cast<std::size_t>(block)] =
+          transport.recv(r, src, tag).payload;
+    }
+  }
+
+  // Concatenate in rank order.
+  std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    for (int k = 0; k < p; ++k) {
+      const auto& b = blocks[static_cast<std::size_t>(r)][static_cast<std::size_t>(k)];
+      out[static_cast<std::size_t>(r)].insert(out[static_cast<std::size_t>(r)].end(),
+                                              b.begin(), b.end());
+    }
+  }
+  return out;
+}
+
+std::vector<g6::hw::ForceAccumulator> tree_reduce(
+    Transport& transport, int root,
+    std::vector<std::vector<g6::hw::ForceAccumulator>> batches,
+    const g6::hw::FormatSpec& fmt, int tag) {
+  const int p = transport.ranks();
+  G6_CHECK(root >= 0 && root < p, "reduce root out of range");
+  G6_CHECK(static_cast<int>(batches.size()) == p, "one batch per rank required");
+  const std::size_t len = batches[0].size();
+  for (const auto& b : batches)
+    G6_CHECK(b.size() == len, "all batches must have equal length");
+
+  // Mirror of the broadcast tree: at distance d (descending), rank rel+d
+  // sends its partial to rank rel, which merges (exact fixed-point adds).
+  int top = 1;
+  while (top < p) top *= 2;
+  for (int d = top / 2; d >= 1; d /= 2) {
+    for (int rel = 0; rel < d && rel + d < p; ++rel) {
+      const int src = (root + rel + d) % p;
+      const int dst = (root + rel) % p;
+      transport.send(src, dst, tag, pack_batch(batches[static_cast<std::size_t>(src)]));
+      const auto received =
+          unpack_batch(transport.recv(dst, src, tag).payload, fmt);
+      auto& acc = batches[static_cast<std::size_t>(dst)];
+      for (std::size_t k = 0; k < len; ++k) acc[k] += received[k];
+    }
+  }
+  return batches[static_cast<std::size_t>(root)];
+}
+
+}  // namespace g6::cluster

@@ -1,0 +1,39 @@
+#pragma once
+/// \file collectives.hpp
+/// \brief Collective operations over the host Transport — the message
+///        patterns the paper's 2-D host matrix (figure 6) executes in
+///        software to emulate the network boards: broadcast of i-particles,
+///        all-gather of block membership, and tree reduction of partial
+///        forces. Built from point-to-point sends so the Transport's byte
+///        and time accounting reflects the real traffic.
+
+#include <vector>
+
+#include "cluster/transport.hpp"
+#include "grape6/g6_types.hpp"
+
+namespace g6::cluster {
+
+/// Binomial-tree broadcast of \p payload from \p root to every rank.
+/// Returns the payload as received by each rank (index = rank). Total bytes
+/// on the wire: (ranks-1) * payload size; modeled critical path:
+/// ceil(log2(ranks)) link transfers.
+std::vector<std::vector<std::byte>> tree_broadcast(
+    Transport& transport, int root, const std::vector<std::byte>& payload,
+    int tag);
+
+/// Ring all-gather: every rank contributes inputs[rank]; every rank ends
+/// with the concatenation (in rank order). Returns the per-rank results
+/// (identical contents, one per rank).
+std::vector<std::vector<std::byte>> ring_all_gather(
+    Transport& transport, const std::vector<std::vector<std::byte>>& inputs,
+    int tag);
+
+/// Binomial-tree reduction of per-rank force-accumulator batches to \p root.
+/// Fixed-point merging makes the result independent of the tree shape.
+std::vector<g6::hw::ForceAccumulator> tree_reduce(
+    Transport& transport, int root,
+    std::vector<std::vector<g6::hw::ForceAccumulator>> batches,
+    const g6::hw::FormatSpec& fmt, int tag);
+
+}  // namespace g6::cluster

@@ -1,0 +1,350 @@
+#include "cluster/parallel_sim.hpp"
+
+#include <cmath>
+
+namespace g6::cluster {
+
+namespace {
+// Message tags of the mini-protocol.
+constexpr int kTagJUpdate = 1;
+constexpr int kTagIBatch = 2;
+constexpr int kTagPartial = 3;
+
+std::vector<std::byte> pack_i_batch(const std::vector<IParticle>& batch) {
+  std::vector<std::byte> buf;
+  buf.reserve(batch.size() * sizeof(IParticle));
+  for (const IParticle& p : batch) append_pod(buf, p);
+  return buf;
+}
+
+std::vector<std::byte> pack_accumulators(const std::vector<ForceAccumulator>& a) {
+  std::vector<std::byte> buf;
+  buf.reserve(a.size() * 7 * sizeof(std::int64_t));
+  for (const ForceAccumulator& f : a) {
+    append_pod(buf, f.acc.x().raw());
+    append_pod(buf, f.acc.y().raw());
+    append_pod(buf, f.acc.z().raw());
+    append_pod(buf, f.jerk.x().raw());
+    append_pod(buf, f.jerk.y().raw());
+    append_pod(buf, f.jerk.z().raw());
+    append_pod(buf, f.pot.raw());
+  }
+  return buf;
+}
+
+std::vector<ForceAccumulator> unpack_accumulators(const std::vector<std::byte>& buf,
+                                                  const FormatSpec& fmt) {
+  std::vector<ForceAccumulator> out;
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    ForceAccumulator f(fmt);
+    const auto ax = read_pod<std::int64_t>(buf, off);
+    const auto ay = read_pod<std::int64_t>(buf, off);
+    const auto az = read_pod<std::int64_t>(buf, off);
+    const auto jx = read_pod<std::int64_t>(buf, off);
+    const auto jy = read_pod<std::int64_t>(buf, off);
+    const auto jz = read_pod<std::int64_t>(buf, off);
+    const auto pr = read_pod<std::int64_t>(buf, off);
+    f.acc = g6::util::FixedVec3::from_raw(ax, ay, az, fmt.acc_lsb);
+    f.jerk = g6::util::FixedVec3::from_raw(jx, jy, jz, fmt.jerk_lsb);
+    f.pot = g6::util::Fixed64::from_raw(pr, fmt.pot_lsb);
+    out.push_back(f);
+  }
+  return out;
+}
+}  // namespace
+
+const char* host_mode_name(HostMode mode) {
+  switch (mode) {
+    case HostMode::kNaive: return "naive (fig. 3)";
+    case HostMode::kHardwareNet: return "hardware-network (figs. 4-5)";
+    case HostMode::kMatrix2D: return "2-D host matrix (fig. 6)";
+  }
+  return "?";
+}
+
+std::vector<std::byte> pack_j(const JParticle& p) {
+  std::vector<std::byte> buf;
+  append_pod(buf, p.id);
+  append_pod(buf, p.mass);
+  append_pod(buf, p.t0);
+  append_pod(buf, p.x0.x().raw());
+  append_pod(buf, p.x0.y().raw());
+  append_pod(buf, p.x0.z().raw());
+  append_pod(buf, p.x0.lsb());
+  append_pod(buf, p.v0);
+  append_pod(buf, p.a0);
+  append_pod(buf, p.j0);
+  return buf;
+}
+
+JParticle unpack_j(const std::vector<std::byte>& buf, std::size_t& offset) {
+  JParticle p;
+  p.id = read_pod<std::uint32_t>(buf, offset);
+  p.mass = read_pod<double>(buf, offset);
+  p.t0 = read_pod<double>(buf, offset);
+  const auto rx = read_pod<std::int64_t>(buf, offset);
+  const auto ry = read_pod<std::int64_t>(buf, offset);
+  const auto rz = read_pod<std::int64_t>(buf, offset);
+  const auto lsb = read_pod<double>(buf, offset);
+  p.x0 = g6::util::FixedVec3::from_raw(rx, ry, rz, lsb);
+  p.v0 = read_pod<g6::util::Vec3>(buf, offset);
+  p.a0 = read_pod<g6::util::Vec3>(buf, offset);
+  p.j0 = read_pod<g6::util::Vec3>(buf, offset);
+  return p;
+}
+
+// --- SimHost ---------------------------------------------------------------
+
+void SimHost::write_j(std::uint32_t gid, const JParticle& p) {
+  if (index_.size() <= gid) index_.resize(gid + 1, -1);
+  if (index_[gid] < 0) {
+    index_[gid] = static_cast<std::int64_t>(jstore_.size());
+    jstore_.push_back(p);
+  } else {
+    jstore_[static_cast<std::size_t>(index_[gid])] = p;
+  }
+}
+
+bool SimHost::has_j(std::uint32_t gid) const {
+  return gid < index_.size() && index_[gid] >= 0;
+}
+
+const JParticle& SimHost::read_j(std::uint32_t gid) const {
+  G6_CHECK(has_j(gid), "host " + std::to_string(rank_) + " has no j-image of " +
+                           std::to_string(gid));
+  return jstore_[static_cast<std::size_t>(index_[gid])];
+}
+
+void SimHost::partial_forces(double t, const std::vector<IParticle>& i_batch,
+                             double eps2, std::vector<ForceAccumulator>& out) const {
+  out.assign(i_batch.size(), ForceAccumulator(fmt_));
+  std::vector<g6::hw::JPredicted> pred(jstore_.size());
+  for (std::size_t j = 0; j < jstore_.size(); ++j)
+    pred[j] = g6::hw::predict_j(jstore_[j], t, fmt_);
+  for (std::size_t k = 0; k < i_batch.size(); ++k) {
+    for (const auto& jp : pred)
+      g6::hw::pipeline_interact(i_batch[k], jp, eps2, fmt_, out[k]);
+  }
+}
+
+// --- ParallelHostSystem ------------------------------------------------------
+
+ParallelHostSystem::ParallelHostSystem(int n_hosts, HostMode mode, FormatSpec fmt,
+                                       double eps, LinkSpec ethernet)
+    : mode_(mode), fmt_(fmt), eps2_(eps * eps) {
+  G6_CHECK(n_hosts > 0, "need at least one host");
+  if (mode == HostMode::kMatrix2D) {
+    const int side = static_cast<int>(std::lround(std::sqrt(double(n_hosts))));
+    G6_CHECK(side * side == n_hosts, "matrix mode needs a square host count");
+  }
+  hosts_.reserve(static_cast<std::size_t>(n_hosts));
+  for (int h = 0; h < n_hosts; ++h) hosts_.emplace_back(h, fmt);
+  transport_ = std::make_unique<Transport>(n_hosts, ethernet);
+}
+
+int ParallelHostSystem::grid_side() const {
+  return static_cast<int>(std::lround(std::sqrt(double(hosts_.size()))));
+}
+
+int ParallelHostSystem::real_hosts() const {
+  return mode_ == HostMode::kMatrix2D ? grid_side() : hosts();
+}
+
+int ParallelHostSystem::owner_of(std::uint32_t gid) const {
+  return static_cast<int>(gid % static_cast<std::uint32_t>(real_hosts()));
+}
+
+void ParallelHostSystem::load(std::span<const JParticle> particles) {
+  n_particles_ = particles.size();
+  for (const JParticle& p : particles) {
+    switch (mode_) {
+      case HostMode::kNaive:
+        for (auto& h : hosts_) h.write_j(p.id, p);
+        break;
+      case HostMode::kHardwareNet:
+        hosts_[static_cast<std::size_t>(owner_of(p.id))].write_j(p.id, p);
+        break;
+      case HostMode::kMatrix2D: {
+        const int side = grid_side();
+        const int col = owner_of(p.id);
+        const int row = static_cast<int>((p.id / static_cast<std::uint32_t>(side)) %
+                                         static_cast<std::uint32_t>(side));
+        hosts_[static_cast<std::size_t>(row * side + col)].write_j(p.id, p);
+        break;
+      }
+    }
+  }
+}
+
+void ParallelHostSystem::update(std::span<const JParticle> particles) {
+  for (const JParticle& p : particles) {
+    const int owner = owner_of(p.id);
+    switch (mode_) {
+      case HostMode::kNaive: {
+        // The owner corrects the particle, then every other host needs the
+        // new state for its full replica: all-to-all over Ethernet. This is
+        // the non-scaling traffic of figure 3.
+        hosts_[static_cast<std::size_t>(owner)].write_j(p.id, p);
+        for (int h = 0; h < hosts(); ++h) {
+          if (h == owner) continue;
+          transport_->send(owner, h, kTagJUpdate, pack_j(p));
+          auto msg = transport_->recv(h, owner, kTagJUpdate);
+          std::size_t off = 0;
+          hosts_[static_cast<std::size_t>(h)].write_j(p.id, unpack_j(msg.payload, off));
+        }
+        hw_bytes_.pci += g6::hw::kJParticleBytes * hosts_.size();
+        break;
+      }
+      case HostMode::kHardwareNet:
+        // The j-image lives on the owner's own boards: PCI + one LVDS hop,
+        // no host-to-host traffic at all.
+        hosts_[static_cast<std::size_t>(owner)].write_j(p.id, p);
+        hw_bytes_.pci += g6::hw::kJParticleBytes;
+        hw_bytes_.lvds += g6::hw::kJParticleBytes;
+        break;
+      case HostMode::kMatrix2D: {
+        const int side = grid_side();
+        const int row = static_cast<int>((p.id / static_cast<std::uint32_t>(side)) %
+                                         static_cast<std::uint32_t>(side));
+        // Hop down the owner's column to the row that holds the j-image.
+        int prev = owner;
+        for (int r = 1; r <= row; ++r) {
+          const int next = r * side + owner;
+          transport_->send(prev, next, kTagJUpdate, pack_j(p));
+          (void)transport_->recv(next, prev, kTagJUpdate);
+          prev = next;
+        }
+        hosts_[static_cast<std::size_t>(prev)].write_j(p.id, p);
+        hw_bytes_.pci += g6::hw::kJParticleBytes;
+        break;
+      }
+    }
+  }
+}
+
+void ParallelHostSystem::compute(double t, const std::vector<IParticle>& i_batch,
+                                 std::vector<ForceAccumulator>& out) {
+  switch (mode_) {
+    case HostMode::kNaive: return compute_naive(t, i_batch, out);
+    case HostMode::kHardwareNet: return compute_hardware_net(t, i_batch, out);
+    case HostMode::kMatrix2D: return compute_matrix(t, i_batch, out);
+  }
+}
+
+void ParallelHostSystem::compute_naive(double t, const std::vector<IParticle>& i_batch,
+                                       std::vector<ForceAccumulator>& out) {
+  // Each host evaluates the FULL force for the i-particles it owns, on its
+  // own full-replica GRAPE. No inter-host traffic here (it was all paid in
+  // update()).
+  out.assign(i_batch.size(), ForceAccumulator(fmt_));
+  for (int h = 0; h < hosts(); ++h) {
+    std::vector<IParticle> mine;
+    std::vector<std::size_t> where;
+    for (std::size_t k = 0; k < i_batch.size(); ++k) {
+      if (owner_of(i_batch[k].id) == h) {
+        mine.push_back(i_batch[k]);
+        where.push_back(k);
+      }
+    }
+    if (mine.empty()) continue;
+    std::vector<ForceAccumulator> part;
+    hosts_[static_cast<std::size_t>(h)].partial_forces(t, mine, eps2_, part);
+    for (std::size_t m = 0; m < mine.size(); ++m) out[where[m]] += part[m];
+    hw_bytes_.pci += mine.size() * (g6::hw::kIParticleBytes + g6::hw::kResultBytes);
+    hw_bytes_.lvds += mine.size() * (g6::hw::kIParticleBytes + g6::hw::kResultBytes);
+  }
+}
+
+void ParallelHostSystem::compute_hardware_net(double t,
+                                              const std::vector<IParticle>& i_batch,
+                                              std::vector<ForceAccumulator>& out) {
+  // The network boards broadcast every i-particle to every host's boards and
+  // reduce the partial forces in hardware — all on LVDS, nothing on Ethernet.
+  out.assign(i_batch.size(), ForceAccumulator(fmt_));
+  for (int h = 0; h < hosts(); ++h) {
+    std::vector<ForceAccumulator> part;
+    hosts_[static_cast<std::size_t>(h)].partial_forces(t, i_batch, eps2_, part);
+    for (std::size_t k = 0; k < i_batch.size(); ++k) out[k] += part[k];
+  }
+  hw_bytes_.pci += i_batch.size() * (g6::hw::kIParticleBytes + g6::hw::kResultBytes);
+  hw_bytes_.lvds +=
+      i_batch.size() * (g6::hw::kIParticleBytes + g6::hw::kResultBytes) * hosts_.size();
+}
+
+void ParallelHostSystem::compute_matrix(double t, const std::vector<IParticle>& i_batch,
+                                        std::vector<ForceAccumulator>& out) {
+  const int side = grid_side();
+
+  // Phase 1: row-0 all-gather — every real host sends the i-particles it
+  // owns to the other real hosts (after this all real hosts hold the full
+  // batch; we use the caller's batch directly but pay the traffic).
+  for (int c = 0; c < side; ++c) {
+    std::vector<IParticle> mine;
+    for (const IParticle& p : i_batch)
+      if (owner_of(p.id) == c) mine.push_back(p);
+    const auto payload = pack_i_batch(mine);
+    for (int c2 = 0; c2 < side; ++c2) {
+      if (c2 == c) continue;
+      transport_->send(c, c2, kTagIBatch, payload);
+      (void)transport_->recv(c2, c, kTagIBatch);
+    }
+  }
+
+  // Phase 2: each real host broadcasts the full batch down its column
+  // (store-and-forward, hop by hop — these hosts emulate network boards).
+  const auto full = pack_i_batch(i_batch);
+  for (int c = 0; c < side; ++c) {
+    for (int r = 1; r < side; ++r) {
+      const int prev = (r - 1) * side + c;
+      const int next = r * side + c;
+      transport_->send(prev, next, kTagIBatch, full);
+      (void)transport_->recv(next, prev, kTagIBatch);
+    }
+  }
+  hw_bytes_.pci += i_batch.size() * (g6::hw::kIParticleBytes + g6::hw::kResultBytes) *
+                   static_cast<std::uint64_t>(side);
+
+  // Phase 3: every host computes partials from its slice; column reduction
+  // back to row 0 (merge hop by hop, exact).
+  std::vector<std::vector<ForceAccumulator>> column_total(
+      static_cast<std::size_t>(side));
+  for (int c = 0; c < side; ++c) {
+    std::vector<ForceAccumulator> acc;
+    hosts_[static_cast<std::size_t>((side - 1) * side + c)].partial_forces(
+        t, i_batch, eps2_, acc);
+    for (int r = side - 2; r >= 0; --r) {
+      const int from = (r + 1) * side + c;
+      const int to = r * side + c;
+      transport_->send(from, to, kTagPartial, pack_accumulators(acc));
+      auto msg = transport_->recv(to, from, kTagPartial);
+      auto received = unpack_accumulators(msg.payload, fmt_);
+      std::vector<ForceAccumulator> local;
+      hosts_[static_cast<std::size_t>(to)].partial_forces(t, i_batch, eps2_, local);
+      for (std::size_t k = 0; k < local.size(); ++k) local[k] += received[k];
+      acc = std::move(local);
+    }
+    column_total[static_cast<std::size_t>(c)] = std::move(acc);
+  }
+
+  // Phase 4: row-0 all-reduce of the column totals (merge in column order so
+  // the result is deterministic — and exact anyway).
+  out.assign(i_batch.size(), ForceAccumulator(fmt_));
+  for (int c = 0; c < side; ++c) {
+    if (c != 0) {
+      const auto payload = pack_accumulators(column_total[static_cast<std::size_t>(c)]);
+      transport_->send(c, 0, kTagPartial, payload);
+      (void)transport_->recv(0, c, kTagPartial);
+    }
+    const auto& part = column_total[static_cast<std::size_t>(c)];
+    for (std::size_t k = 0; k < i_batch.size(); ++k) out[k] += part[k];
+  }
+}
+
+std::uint64_t ParallelHostSystem::ethernet_bytes() const {
+  std::uint64_t total = 0;
+  for (int h = 0; h < hosts(); ++h) total += transport_->stats(h).bytes_sent;
+  return total;
+}
+
+}  // namespace g6::cluster

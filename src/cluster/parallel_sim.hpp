@@ -1,0 +1,139 @@
+#pragma once
+/// \file parallel_sim.hpp
+/// \brief Functional simulation of the three multi-host organisations the
+///        paper discusses (§4.3):
+///
+///   kNaive       (figure 3) — every host keeps a full particle replica on
+///                 its own GRAPE; after every step all corrected particles
+///                 must be exchanged between all hosts over Ethernet. The
+///                 communication volume does not shrink with host count.
+///   kHardwareNet (figures 4–5) — j-space is divided across hosts; the
+///                 GRAPE network boards broadcast i-particles and reduce
+///                 partial forces in hardware. Hosts exchange no particle
+///                 data at all ("they still have to synchronize at the
+///                 beginning of each timestep, but no further communication
+///                 is necessary").
+///   kMatrix2D    (figure 6) — hosts form an r x c matrix; one row acts as
+///                 real hosts and the rest emulate network boards, with
+///                 i-broadcast and force-reduction travelling over Ethernet
+///                 along rows and columns.
+///
+/// All three modes compute bit-identical forces (fixed-point accumulation is
+/// exact under any summation order); what differs — and what the benches
+/// measure — is where the bytes flow: the Transport (Ethernet) counters vs
+/// the hardware (PCI/LVDS) counters.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/transport.hpp"
+#include "grape6/pipeline.hpp"
+#include "nbody/force.hpp"
+
+namespace g6::cluster {
+
+using g6::hw::ForceAccumulator;
+using g6::hw::FormatSpec;
+using g6::hw::IParticle;
+using g6::hw::JParticle;
+
+/// Host organisation (paper §4.3).
+enum class HostMode { kNaive, kHardwareNet, kMatrix2D };
+
+const char* host_mode_name(HostMode mode);
+
+/// Bytes moved over the GRAPE hardware paths (PCI + LVDS), as opposed to
+/// host-to-host Ethernet which the Transport counts.
+struct HardwareBytes {
+  std::uint64_t pci = 0;
+  std::uint64_t lvds = 0;
+};
+
+/// One simulated host: its j-store (replica or slice) plus its software
+/// GRAPE (the pipeline functional model applied to the local j-particles).
+class SimHost {
+ public:
+  SimHost(int rank, FormatSpec fmt) : rank_(rank), fmt_(fmt) {}
+
+  int rank() const { return rank_; }
+  std::size_t j_count() const { return jstore_.size(); }
+
+  /// Insert/overwrite the image of global particle \p gid.
+  void write_j(std::uint32_t gid, const JParticle& p);
+  bool has_j(std::uint32_t gid) const;
+  const JParticle& read_j(std::uint32_t gid) const;
+
+  /// Compute this host's partial forces on the i-batch from its local
+  /// j-store (predicting to time t), in exact fixed-point accumulators.
+  void partial_forces(double t, const std::vector<IParticle>& i_batch, double eps2,
+                      std::vector<ForceAccumulator>& out) const;
+
+ private:
+  int rank_;
+  FormatSpec fmt_;
+  std::vector<JParticle> jstore_;
+  std::vector<std::int64_t> index_;  ///< gid -> local slot (-1 when absent)
+};
+
+/// The multi-host force engine.
+class ParallelHostSystem {
+ public:
+  /// \p n_hosts total simulated hosts. For kMatrix2D, n_hosts must be a
+  /// perfect square and the first row are the "real" hosts.
+  ParallelHostSystem(int n_hosts, HostMode mode, FormatSpec fmt, double eps,
+                     LinkSpec ethernet = {});
+
+  int hosts() const { return static_cast<int>(hosts_.size()); }
+  HostMode mode() const { return mode_; }
+
+  /// Number of hosts that perform time integration (all of them, except in
+  /// matrix mode where it is one row).
+  int real_hosts() const;
+
+  /// Which real host integrates (owns) global particle \p gid.
+  int owner_of(std::uint32_t gid) const;
+
+  /// Load all particles (distributes / replicates according to the mode).
+  void load(std::span<const JParticle> particles);
+
+  /// Propagate corrected particles to every j-image that holds them,
+  /// moving bytes the way the mode prescribes.
+  void update(std::span<const JParticle> particles);
+
+  /// Compute total forces on the i-batch at time \p t. out[k] is the exact
+  /// fixed-point total for i_batch[k] — identical across modes.
+  void compute(double t, const std::vector<IParticle>& i_batch,
+               std::vector<ForceAccumulator>& out);
+
+  const Transport& transport() const { return *transport_; }
+  Transport& transport() { return *transport_; }
+  const HardwareBytes& hardware_bytes() const { return hw_bytes_; }
+
+  /// Total Ethernet bytes sent by all hosts so far.
+  std::uint64_t ethernet_bytes() const;
+
+ private:
+  void compute_hardware_net(double t, const std::vector<IParticle>& i_batch,
+                            std::vector<ForceAccumulator>& out);
+  void compute_naive(double t, const std::vector<IParticle>& i_batch,
+                     std::vector<ForceAccumulator>& out);
+  void compute_matrix(double t, const std::vector<IParticle>& i_batch,
+                      std::vector<ForceAccumulator>& out);
+
+  int grid_side() const;  ///< matrix mode: sqrt(n_hosts)
+
+  HostMode mode_;
+  FormatSpec fmt_;
+  double eps2_;
+  std::vector<SimHost> hosts_;
+  std::unique_ptr<Transport> transport_;
+  HardwareBytes hw_bytes_;
+  std::size_t n_particles_ = 0;
+};
+
+/// Serialize a JParticle / accumulator batch into transport payloads.
+std::vector<std::byte> pack_j(const JParticle& p);
+JParticle unpack_j(const std::vector<std::byte>& buf, std::size_t& offset);
+
+}  // namespace g6::cluster

@@ -1,0 +1,137 @@
+#include "cluster/perf_model.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace g6::cluster {
+
+namespace hw = g6::hw;
+
+PerfModel::PerfModel(PerfParams params) : p_(params) {
+  G6_CHECK(p_.machine.total_chips() > 0, "empty machine");
+  G6_CHECK(p_.host_flops > 0.0, "host speed must be positive");
+}
+
+StepBreakdown PerfModel::blockstep(std::size_t n_total, std::size_t n_act,
+                                   HostMode mode) const {
+  G6_CHECK(n_act > 0 && n_act <= n_total, "bad block size");
+  const auto& m = p_.machine;
+  const double clock = hw::kClockHz;
+  const int p = m.total_nodes();           // hosts
+  const int clusters = m.clusters;
+  const auto chips = static_cast<double>(m.total_chips());
+  const double n = static_cast<double>(n_total);
+  const double na = static_cast<double>(n_act);
+
+  StepBreakdown t;
+
+  auto pipeline_time = [&](double nj_chip, double ni_per_board) {
+    const double passes = std::ceil(ni_per_board / hw::kIPerChipPass);
+    return passes * (hw::kVmp * nj_chip + hw::kPipelineLatency) / clock;
+  };
+
+  switch (mode) {
+    case HostMode::kHardwareNet:
+    case HostMode::kMatrix2D: {
+      // j-space divided over every chip in the machine; all boards see the
+      // full i-batch.
+      const double nj_chip = std::ceil(n / chips);
+      t.predict = nj_chip / clock;
+      t.pipeline = pipeline_time(nj_chip, na);
+
+      const double i_bytes = na * hw::kIParticleBytes;
+      const double r_bytes = na * hw::kResultBytes;
+      const double own = na / p;  // each host's share of the block
+
+      if (mode == HostMode::kHardwareNet) {
+        // PCI: the host pushes its own i-particles; LVDS: the NB tree
+        // broadcasts the full batch into each board.
+        t.i_comm = own * hw::kIParticleBytes / p_.pci_bytes_per_sec +
+                   i_bytes / p_.lvds_bytes_per_sec + p_.lvds_latency_sec;
+        t.result_comm = r_bytes / p_.lvds_bytes_per_sec +
+                        own * hw::kResultBytes / p_.pci_bytes_per_sec +
+                        p_.lvds_latency_sec;
+        // Cross-cluster traffic over GbE: all-gather of i-particles and the
+        // return of partial forces for the host's own i-particles.
+        if (clusters > 1) {
+          const double frac = static_cast<double>(clusters - 1) / clusters;
+          t.i_comm += i_bytes * frac / p_.gbe_bytes_per_sec +
+                      std::ceil(std::log2(clusters)) * p_.gbe_latency_sec;
+          t.result_comm += own * hw::kResultBytes * (clusters - 1) * 2 /
+                               p_.gbe_bytes_per_sec +
+                           (clusters - 1) * p_.gbe_latency_sec;
+        }
+        t.host = own * p_.host_ops_per_step / p_.host_flops;
+      } else {
+        // 2-D matrix: the same logical traffic, but every hop rides GbE and
+        // the column broadcast is store-and-forward over side-1 hops.
+        const int side = static_cast<int>(std::lround(std::sqrt(double(p))));
+        G6_CHECK(side * side == p, "matrix mode needs a square host count");
+        const double own_row = na / side;  // real hosts = one row
+        t.i_comm = own_row * hw::kIParticleBytes / p_.pci_bytes_per_sec +
+                   // row all-gather + column store-and-forward broadcast
+                   (i_bytes * (side - 1) / side) / p_.gbe_bytes_per_sec +
+                   (side - 1) * (i_bytes / p_.gbe_bytes_per_sec +
+                                 p_.gbe_latency_sec);
+        t.result_comm = own_row * hw::kResultBytes / p_.pci_bytes_per_sec +
+                        (side - 1) * (r_bytes / p_.gbe_bytes_per_sec +
+                                      p_.gbe_latency_sec) +
+                        (r_bytes * (side - 1) / side) / p_.gbe_bytes_per_sec;
+        t.host = own_row * p_.host_ops_per_step / p_.host_flops;
+      }
+
+      const double own_upd =
+          na / (mode == HostMode::kHardwareNet
+                    ? p
+                    : static_cast<int>(std::lround(std::sqrt(double(p)))));
+      t.j_update = own_upd * hw::kJParticleBytes *
+                   (1.0 / p_.pci_bytes_per_sec + 1.0 / p_.lvds_bytes_per_sec);
+      t.sync = 2.0 * p_.gbe_latency_sec * std::ceil(std::log2(std::max(p, 2)));
+      break;
+    }
+
+    case HostMode::kNaive: {
+      // Figure 3: every host replicates all N particles on its own 1/p of
+      // the machine; communication is the all-to-all exchange of corrected
+      // particles, which does not shrink with p.
+      const double chips_per_host = chips / p;
+      const double nj_chip = std::ceil(n / chips_per_host);
+      const double own = na / p;
+      t.predict = nj_chip / clock;
+      t.pipeline = pipeline_time(nj_chip, own);
+      t.i_comm = own * hw::kIParticleBytes / p_.pci_bytes_per_sec +
+                 own * hw::kIParticleBytes / p_.lvds_bytes_per_sec;
+      t.result_comm = own * hw::kResultBytes / p_.pci_bytes_per_sec +
+                      own * hw::kResultBytes / p_.lvds_bytes_per_sec;
+      // Every host must send its corrected particles to all others and
+      // receive everyone else's: ~2 * n_act * (p-1)/p particle records.
+      const double xfer = 2.0 * na * hw::kJParticleBytes *
+                          (static_cast<double>(p - 1) / p);
+      t.j_update = own * hw::kJParticleBytes *
+                       (1.0 / p_.pci_bytes_per_sec + 1.0 / p_.lvds_bytes_per_sec) +
+                   xfer / p_.gbe_bytes_per_sec +
+                   (p - 1) * p_.gbe_latency_sec;
+      t.host = own * p_.host_ops_per_step / p_.host_flops;
+      t.sync = 2.0 * p_.gbe_latency_sec * std::ceil(std::log2(std::max(p, 2)));
+      break;
+    }
+  }
+  return t;
+}
+
+RunEstimate PerfModel::run(std::size_t n_total, std::span<const BlockCount> blocks,
+                           HostMode mode) const {
+  RunEstimate est;
+  for (const BlockCount& b : blocks) {
+    if (b.count == 0 || b.n_act == 0) continue;
+    const double per_step = blockstep_seconds(n_total, b.n_act, mode);
+    est.seconds += per_step * static_cast<double>(b.count);
+    est.operations += step_operations(n_total, b.n_act) * static_cast<double>(b.count);
+  }
+  if (est.seconds > 0.0) est.sustained_flops = est.operations / est.seconds;
+  est.efficiency = est.sustained_flops / peak_flops();
+  return est;
+}
+
+}  // namespace g6::cluster

@@ -1,0 +1,65 @@
+#include "cluster/transport.hpp"
+
+#include <cstring>
+
+namespace g6::cluster {
+
+Transport::Transport(int n_ranks, LinkSpec link) : n_ranks_(n_ranks), link_(link) {
+  G6_CHECK(n_ranks > 0, "transport needs at least one rank");
+  queues_.resize(static_cast<std::size_t>(n_ranks) * n_ranks);
+  failed_.assign(static_cast<std::size_t>(n_ranks) * n_ranks, false);
+  stats_.resize(static_cast<std::size_t>(n_ranks));
+}
+
+std::size_t Transport::link_index(int src, int dst) const {
+  G6_CHECK(src >= 0 && src < n_ranks_ && dst >= 0 && dst < n_ranks_,
+           "rank out of range");
+  return static_cast<std::size_t>(src) * n_ranks_ + dst;
+}
+
+void Transport::send(int src, int dst, int tag, std::vector<std::byte> payload) {
+  const std::size_t li = link_index(src, dst);
+  G6_CHECK(!failed_[li], "link " + std::to_string(src) + "->" + std::to_string(dst) +
+                             " has failed");
+  auto& st = stats_[static_cast<std::size_t>(src)];
+  st.bytes_sent += payload.size();
+  st.messages_sent += 1;
+  st.modeled_seconds += link_.time(payload.size());
+  stats_[static_cast<std::size_t>(dst)].bytes_received += payload.size();
+  queues_[static_cast<std::size_t>(dst) * n_ranks_ + src].push_back(
+      Message{src, tag, std::move(payload)});
+}
+
+Message Transport::recv(int dst, int src, int tag) {
+  auto& q = queues_[link_index(dst, src) /* dst*n+src */];
+  G6_CHECK(!q.empty(), "no pending message from " + std::to_string(src) + " to " +
+                           std::to_string(dst));
+  G6_CHECK(q.front().tag == tag, "message tag mismatch (protocol error)");
+  Message m = std::move(q.front());
+  q.pop_front();
+  return m;
+}
+
+std::size_t Transport::pending(int dst) const {
+  std::size_t n = 0;
+  for (int src = 0; src < n_ranks_; ++src)
+    n += queues_[static_cast<std::size_t>(dst) * n_ranks_ + src].size();
+  return n;
+}
+
+void Transport::fail_link(int src, int dst) { failed_[link_index(src, dst)] = true; }
+void Transport::restore_link(int src, int dst) { failed_[link_index(src, dst)] = false; }
+
+const TransportStats& Transport::stats(int rank) const {
+  G6_CHECK(rank >= 0 && rank < n_ranks_, "rank out of range");
+  return stats_[static_cast<std::size_t>(rank)];
+}
+
+double Transport::charge(int rank, std::size_t bytes) {
+  G6_CHECK(rank >= 0 && rank < n_ranks_, "rank out of range");
+  const double t = link_.time(bytes);
+  stats_[static_cast<std::size_t>(rank)].modeled_seconds += t;
+  return t;
+}
+
+}  // namespace g6::cluster

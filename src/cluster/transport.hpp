@@ -1,0 +1,105 @@
+#pragma once
+/// \file transport.hpp
+/// \brief In-process message-passing substrate standing in for the paper's
+///        physical interconnects (PCI, LVDS board links, Gigabit Ethernet).
+///
+/// The parallel-host simulation is bulk-synchronous, so the transport is a
+/// deterministic mailbox fabric: FIFO queues per (src, dst) pair with
+/// per-link byte counters and a bandwidth/latency cost model. Link failure
+/// injection lets tests exercise the error paths.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace g6::cluster {
+
+/// Bandwidth/latency description of one link class.
+struct LinkSpec {
+  double bytes_per_sec = 125.0e6;  ///< GbE default
+  double latency_sec = 60.0e-6;
+
+  double time(std::size_t bytes) const {
+    return latency_sec + static_cast<double>(bytes) / bytes_per_sec;
+  }
+};
+
+/// A message in flight (opaque payload + size used for cost accounting).
+struct Message {
+  int src = 0;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Per-rank transport statistics.
+struct TransportStats {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t messages_sent = 0;
+  double modeled_seconds = 0.0;  ///< accumulated link time charged to the rank
+};
+
+/// Deterministic mailbox transport between \p n_ranks simulated hosts.
+class Transport {
+ public:
+  Transport(int n_ranks, LinkSpec link);
+
+  int ranks() const { return n_ranks_; }
+  const LinkSpec& link() const { return link_; }
+
+  /// Enqueue a message from \p src to \p dst. Throws g6::util::Error if the
+  /// link has been failed. Charges the sender the modeled link time.
+  void send(int src, int dst, int tag, std::vector<std::byte> payload);
+
+  /// Dequeue the oldest message for \p dst from \p src with \p tag.
+  /// Throws if none is pending (the BSP schedule guarantees arrival order).
+  Message recv(int dst, int src, int tag);
+
+  /// Number of pending messages for \p dst (any source).
+  std::size_t pending(int dst) const;
+
+  /// Mark the (src -> dst) link as failed; subsequent sends throw.
+  void fail_link(int src, int dst);
+  /// Restore a failed link.
+  void restore_link(int src, int dst);
+
+  const TransportStats& stats(int rank) const;
+
+  /// Convenience cost helpers (no data movement): charge a broadcast /
+  /// all-gather pattern to the model only.
+  double charge(int rank, std::size_t bytes);
+
+ private:
+  std::size_t link_index(int src, int dst) const;
+
+  int n_ranks_;
+  LinkSpec link_;
+  std::vector<std::deque<Message>> queues_;  ///< indexed dst * n + src
+  std::vector<bool> failed_;                 ///< indexed src * n + dst
+  std::vector<TransportStats> stats_;
+};
+
+/// Serialize helpers: POD in/out of byte vectors.
+template <typename T>
+void append_pod(std::vector<std::byte>& buf, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* p = reinterpret_cast<const std::byte*>(&value);
+  buf.insert(buf.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T read_pod(const std::vector<std::byte>& buf, std::size_t& offset) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  G6_CHECK(offset + sizeof(T) <= buf.size(), "message payload truncated");
+  T value;
+  std::memcpy(&value, buf.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return value;
+}
+
+}  // namespace g6::cluster

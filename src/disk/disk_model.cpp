@@ -1,0 +1,75 @@
+#include "disk/disk_model.hpp"
+
+#include <cmath>
+
+#include "disk/kepler.hpp"
+#include "util/check.hpp"
+
+namespace g6::disk {
+
+double sample_radius(const DiskConfig& cfg, g6::util::Rng& rng) {
+  // Number density per radius: dN/dr ∝ r * Σ(r) ∝ r^(p+1). Inverse-transform
+  // on the cumulative ∝ r^(p+2) (p = -1.5 gives the paper's r^0.5 CDF).
+  const double q = cfg.surface_density_exponent + 2.0;
+  G6_CHECK(q != 0.0, "surface density exponent -2 needs a log sampler");
+  const double lo = std::pow(cfg.r_inner, q);
+  const double hi = std::pow(cfg.r_outer, q);
+  return std::pow(lo + rng.uniform() * (hi - lo), 1.0 / q);
+}
+
+DiskRealization make_disk(const DiskConfig& cfg) {
+  G6_CHECK(cfg.n_planetesimals > 0, "disk needs at least one planetesimal");
+  G6_CHECK(cfg.r_outer > cfg.r_inner && cfg.r_inner > 0.0, "bad ring radii");
+  G6_CHECK(cfg.solar_gm > 0.0, "central mass must be positive");
+
+  g6::util::Rng rng(cfg.seed);
+  MassFunction mf(cfg.mass_exponent, cfg.m_lower, cfg.m_upper);
+
+  DiskRealization out;
+  auto& ps = out.system;
+
+  double ring_mass = 0.0;
+  for (std::size_t k = 0; k < cfg.n_planetesimals; ++k) {
+    OrbitalElements el;
+    el.a = sample_radius(cfg, rng);
+    el.e = rng.rayleigh(cfg.e_sigma);
+    el.inc = rng.rayleigh(cfg.i_sigma);
+    el.Omega = rng.angle();
+    el.omega = rng.angle();
+    el.M = rng.angle();
+    // Reject the (vanishingly rare) e >= 1 tail of the Rayleigh draw.
+    while (el.e >= 1.0) el.e = rng.rayleigh(cfg.e_sigma);
+
+    const double m = mf.sample(rng);
+    const StateVector sv = elements_to_state(el, cfg.solar_gm);
+    ps.add(m, sv.pos, sv.vel);
+    ring_mass += m;
+  }
+
+  if (cfg.total_ring_mass > 0.0) {
+    const double scale = cfg.total_ring_mass / ring_mass;
+    for (std::size_t i = 0; i < ps.size(); ++i) ps.mass(i) *= scale;
+    ring_mass = cfg.total_ring_mass;
+  }
+  out.ring_mass = ring_mass;
+
+  for (const Protoplanet& pp : cfg.protoplanets) {
+    G6_CHECK(pp.mass > 0.0 && pp.a > 0.0, "bad protoplanet parameters");
+    OrbitalElements el;
+    el.a = pp.a;
+    el.e = 0.0;
+    el.inc = 0.0;
+    el.M = pp.phase;
+    const StateVector sv = elements_to_state(el, cfg.solar_gm);
+    out.protoplanet_indices.push_back(ps.add(pp.mass, sv.pos, sv.vel));
+  }
+  return out;
+}
+
+DiskConfig uranus_neptune_config(std::size_t n) {
+  DiskConfig cfg;  // defaults are already the paper's ring
+  cfg.n_planetesimals = n;
+  return cfg;
+}
+
+}  // namespace g6::disk

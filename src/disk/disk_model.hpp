@@ -1,0 +1,85 @@
+#pragma once
+/// \file disk_model.hpp
+/// \brief Generator for the paper's initial conditions (§2): a ring of
+///        planetesimals between 15 and 35 AU with surface density ∝ r^-1.5,
+///        a power-law mass spectrum, and two 1e-5 M☉ protoplanets on circular
+///        non-inclined orbits at 20 and 30 AU.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "disk/massfunc.hpp"
+#include "nbody/particle.hpp"
+#include "util/rng.hpp"
+
+namespace g6::disk {
+
+/// One embedded protoplanet.
+struct Protoplanet {
+  double mass = 1.0e-5;  ///< M☉
+  double a = 20.0;       ///< semi-major axis [AU]
+  double phase = 0.0;    ///< initial mean anomaly [rad]
+};
+
+/// Full configuration of the planetesimal ring.
+struct DiskConfig {
+  std::size_t n_planetesimals = 4000;
+
+  double r_inner = 15.0;  ///< AU (paper value)
+  double r_outer = 35.0;  ///< AU (paper value)
+
+  /// Surface (mass and number) density index: Σ ∝ r^p with p = -1.5.
+  double surface_density_exponent = -1.5;
+
+  /// Differential mass-function index (paper: -2.5) and cutoffs. The paper's
+  /// cutoff values are chosen so that ~1.8e6 bodies carry the minimum-mass
+  /// solar nebula's solid mass in 15–35 AU (~9e-5 M☉, Hayashi 1981).
+  double mass_exponent = -2.5;
+  double m_lower = 1.0e-11;  ///< M☉
+  double m_upper = 1.0e-9;   ///< M☉
+
+  /// When > 0, particle masses are rescaled after sampling so the ring's
+  /// total mass equals this value — the paper's "amount of planetesimals is
+  /// consistent with the standard Solar nebula model" at any N.
+  double total_ring_mass = 8.7e-5;  ///< M☉ (MMSN solids, 15–35 AU)
+
+  /// Rayleigh dispersions of eccentricity and inclination (dynamically cold
+  /// start; i dispersion is half the e dispersion, the standard equilibrium
+  /// ratio).
+  double e_sigma = 0.002;
+  double i_sigma = 0.001;
+
+  /// Embedded protoplanets (paper: 1e-5 M☉ at 20 and 30 AU, circular,
+  /// non-inclined).
+  std::vector<Protoplanet> protoplanets = {{1.0e-5, 20.0, 0.0},
+                                           {1.0e-5, 30.0, 3.1}};
+
+  /// Central mass parameter (GM☉ = 1 in code units).
+  double solar_gm = 1.0;
+
+  std::uint64_t seed = 20020101;  ///< deterministic IC seed
+};
+
+/// Result of disk generation: the particle system plus the indices of the
+/// protoplanets inside it (they are ordinary particles dynamically, but the
+/// analysis code wants to find them).
+struct DiskRealization {
+  g6::nbody::ParticleSystem system;
+  std::vector<std::size_t> protoplanet_indices;
+  double ring_mass = 0.0;  ///< total planetesimal mass actually realised
+};
+
+/// Draw a full realisation of the disk. Planetesimals first (indices
+/// [0, n)), protoplanets appended after them.
+DiskRealization make_disk(const DiskConfig& cfg);
+
+/// The paper's headline configuration: N = 1,799,998 planetesimals + 2
+/// protoplanets. \p n rescales the particle number while preserving the ring
+/// mass (pass 1799998 for the true run).
+DiskConfig uranus_neptune_config(std::size_t n = 1799998);
+
+/// Sample an orbital radius from the surface-density law of \p cfg.
+double sample_radius(const DiskConfig& cfg, g6::util::Rng& rng);
+
+}  // namespace g6::disk

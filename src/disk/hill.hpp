@@ -1,0 +1,33 @@
+#pragma once
+/// \file hill.hpp
+/// \brief Hill-sphere scales for protoplanet–planetesimal dynamics.
+///
+/// The paper calibrates its softening against the Hill radius of the
+/// protoplanets ("This softening is two orders of magnitude smaller than the
+/// Hill radius of the protoplanets").
+
+#include <cmath>
+
+namespace g6::disk {
+
+/// Hill radius of a body of mass \p m orbiting mass \p m_central at
+/// semi-major axis \p a: r_H = a (m / 3 M)^{1/3}.
+inline double hill_radius(double a, double m, double m_central) {
+  return a * std::cbrt(m / (3.0 * m_central));
+}
+
+/// Reduced Hill factor h = (m / 3 M)^{1/3} (the eccentricity scale of
+/// Hill's approximation).
+inline double reduced_hill(double m, double m_central) {
+  return std::cbrt(m / (3.0 * m_central));
+}
+
+/// Circular Keplerian speed at radius \p r for central parameter \p gm.
+inline double keplerian_speed(double r, double gm) { return std::sqrt(gm / r); }
+
+/// Surface escape speed of a body of mass m and radius R (code units).
+inline double escape_speed(double m, double radius) {
+  return std::sqrt(2.0 * m / radius);
+}
+
+}  // namespace g6::disk

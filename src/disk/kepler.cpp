@@ -1,0 +1,156 @@
+#include "disk/kepler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace g6::disk {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Wrap an angle into [0, 2*pi).
+double wrap_angle(double x) {
+  x = std::fmod(x, kTwoPi);
+  return x < 0.0 ? x + kTwoPi : x;
+}
+}  // namespace
+
+double solve_kepler(double mean_anomaly, double e) {
+  G6_CHECK(e >= 0.0 && e < 1.0, "solve_kepler requires 0 <= e < 1");
+  const double m = wrap_angle(mean_anomaly);
+  // f(E) = E - e sin E - m is monotonically increasing with a root bracketed
+  // by [m - e, m + e]. Newton from Danby's starter, with a bisection
+  // safeguard that keeps every iterate inside the bracket — robust for any
+  // e < 1 (plain Newton cycles for e ≳ 0.99 near M ~ 2π).
+  double lo = m - e, hi = m + e;
+  double E = m + 0.85 * e * (std::sin(m) >= 0.0 ? 1.0 : -1.0);
+  for (int it = 0; it < 100; ++it) {
+    const double s = std::sin(E);
+    const double f = E - e * s - m;
+    if (std::abs(f) < 1e-14) break;
+    if (f > 0.0) {
+      hi = E;
+    } else {
+      lo = E;
+    }
+    const double fp = 1.0 - e * std::cos(E);
+    double next = E - f / fp;
+    if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);  // safeguard
+    if (next == E) break;
+    E = next;
+  }
+  return E;
+}
+
+StateVector elements_to_state(const OrbitalElements& el, double gm) {
+  G6_CHECK(el.a > 0.0, "semi-major axis must be positive");
+  G6_CHECK(el.e >= 0.0 && el.e < 1.0, "elements_to_state requires a bound orbit");
+  G6_CHECK(gm > 0.0, "central mass parameter must be positive");
+
+  const double E = solve_kepler(el.M, el.e);
+  const double cE = std::cos(E);
+  const double sE = std::sin(E);
+  const double b_over_a = std::sqrt(1.0 - el.e * el.e);
+
+  // Position/velocity in the orbital (perifocal) plane.
+  const double xp = el.a * (cE - el.e);
+  const double yp = el.a * b_over_a * sE;
+  const double n = std::sqrt(gm / (el.a * el.a * el.a));  // mean motion
+  const double edot = n / (1.0 - el.e * cE);
+  const double vxp = -el.a * sE * edot;
+  const double vyp = el.a * b_over_a * cE * edot;
+
+  // Rotate by argument of pericentre, inclination, node.
+  const double cO = std::cos(el.Omega), sO = std::sin(el.Omega);
+  const double ci = std::cos(el.inc), si = std::sin(el.inc);
+  const double cw = std::cos(el.omega), sw = std::sin(el.omega);
+
+  const double r11 = cO * cw - sO * sw * ci;
+  const double r12 = -cO * sw - sO * cw * ci;
+  const double r21 = sO * cw + cO * sw * ci;
+  const double r22 = -sO * sw + cO * cw * ci;
+  const double r31 = sw * si;
+  const double r32 = cw * si;
+
+  StateVector sv;
+  sv.pos = {r11 * xp + r12 * yp, r21 * xp + r22 * yp, r31 * xp + r32 * yp};
+  sv.vel = {r11 * vxp + r12 * vyp, r21 * vxp + r22 * vyp, r31 * vxp + r32 * vyp};
+  return sv;
+}
+
+double specific_energy(const StateVector& sv, double gm) {
+  return 0.5 * norm2(sv.vel) - gm / norm(sv.pos);
+}
+
+OrbitalElements state_to_elements(const StateVector& sv, double gm) {
+  G6_CHECK(gm > 0.0, "central mass parameter must be positive");
+  const Vec3& r = sv.pos;
+  const Vec3& v = sv.vel;
+  const double rn = norm(r);
+  G6_CHECK(rn > 0.0, "state at the origin has no elements");
+
+  const double energy = specific_energy(sv, gm);
+  G6_CHECK(energy < 0.0, "state_to_elements requires a bound orbit");
+
+  const Vec3 h = cross(r, v);
+  const double hn = norm(h);
+  const Vec3 evec = cross(v, h) / gm - r / rn;
+
+  OrbitalElements el;
+  el.a = -gm / (2.0 * energy);
+  el.e = norm(evec);
+  el.inc = std::acos(std::clamp(h.z / hn, -1.0, 1.0));
+
+  // Node vector (z-hat cross h).
+  const Vec3 nvec{-h.y, h.x, 0.0};
+  const double nn = norm(nvec);
+
+  constexpr double kTiny = 1e-12;
+  if (nn < kTiny * hn) {
+    // Equatorial orbit: node undefined, fold it into omega.
+    el.Omega = 0.0;
+    if (el.e > kTiny) {
+      el.omega = std::atan2(evec.y, evec.x);
+      if (h.z < 0.0) el.omega = -el.omega;
+    } else {
+      el.omega = 0.0;
+    }
+  } else {
+    el.Omega = std::atan2(nvec.y, nvec.x);
+    if (el.e > kTiny) {
+      el.omega = std::acos(std::clamp(dot(nvec, evec) / (nn * el.e), -1.0, 1.0));
+      if (evec.z < 0.0) el.omega = -el.omega;
+    } else {
+      el.omega = 0.0;
+    }
+  }
+
+  // True anomaly -> eccentric -> mean.
+  double nu;
+  if (el.e > kTiny) {
+    nu = std::acos(std::clamp(dot(evec, r) / (el.e * rn), -1.0, 1.0));
+    if (dot(r, v) < 0.0) nu = -nu;
+  } else {
+    // Circular: measure from the node (or x-axis when equatorial).
+    const Vec3 ref = nn < kTiny * hn ? Vec3{1.0, 0.0, 0.0} : nvec / nn;
+    nu = std::acos(std::clamp(dot(ref, r) / rn, -1.0, 1.0));
+    const Vec3 c = cross(ref, r);
+    if (dot(c, h) < 0.0) nu = -nu;
+  }
+  const double E = 2.0 * std::atan2(std::sqrt(1.0 - el.e) * std::sin(0.5 * nu),
+                                    std::sqrt(1.0 + el.e) * std::cos(0.5 * nu));
+  el.M = wrap_angle(E - el.e * std::sin(E));
+  el.Omega = wrap_angle(el.Omega);
+  el.omega = wrap_angle(el.omega);
+  return el;
+}
+
+double orbital_period(double a, double gm) {
+  G6_CHECK(a > 0.0 && gm > 0.0, "period needs positive a and gm");
+  return 2.0 * std::numbers::pi * std::sqrt(a * a * a / gm);
+}
+
+}  // namespace g6::disk

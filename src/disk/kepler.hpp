@@ -1,0 +1,49 @@
+#pragma once
+/// \file kepler.hpp
+/// \brief Two-body (Keplerian) orbit machinery: Kepler-equation solver and
+///        conversions between orbital elements and Cartesian state vectors.
+///
+/// Used to generate the planetesimal disk (elements -> state) and to analyse
+/// simulation output (state -> elements for a–e scatter plots and gap
+/// detection). Heliocentric elements about a central mass GM at the origin.
+
+#include "util/vec3.hpp"
+
+namespace g6::disk {
+
+using g6::util::Vec3;
+
+/// Classical orbital elements of a bound (e < 1) heliocentric orbit.
+struct OrbitalElements {
+  double a = 1.0;       ///< semi-major axis
+  double e = 0.0;       ///< eccentricity
+  double inc = 0.0;     ///< inclination [rad]
+  double Omega = 0.0;   ///< longitude of ascending node [rad]
+  double omega = 0.0;   ///< argument of pericentre [rad]
+  double M = 0.0;       ///< mean anomaly [rad]
+};
+
+/// Cartesian heliocentric state.
+struct StateVector {
+  Vec3 pos;
+  Vec3 vel;
+};
+
+/// Solve Kepler's equation E - e sin(E) = M for the eccentric anomaly E.
+/// Newton–Raphson with a cubic starter; converges to ~1e-14 for all e < 1.
+double solve_kepler(double mean_anomaly, double e);
+
+/// Convert elements to a Cartesian state for central mass parameter \p gm.
+StateVector elements_to_state(const OrbitalElements& el, double gm);
+
+/// Convert a Cartesian state to elements. Requires a bound orbit (the
+/// routine checks and throws g6::util::Error for unbound states).
+OrbitalElements state_to_elements(const StateVector& sv, double gm);
+
+/// Orbital period of a bound orbit with semi-major axis \p a.
+double orbital_period(double a, double gm);
+
+/// Specific orbital energy of a state (negative for bound orbits).
+double specific_energy(const StateVector& sv, double gm);
+
+}  // namespace g6::disk

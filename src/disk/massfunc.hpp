@@ -1,0 +1,51 @@
+#pragma once
+/// \file massfunc.hpp
+/// \brief The planetesimal mass function of the paper (§2): N(m) dm ∝ m^-2.5
+///        between a lower and an upper cutoff — "a stationary distribution
+///        found by numerical simulations and confirmed by simple analytic
+///        argument".
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace g6::disk {
+
+/// Truncated power-law mass function.
+class MassFunction {
+ public:
+  /// \p exponent is the differential index (paper: -2.5); cutoffs in M_sun.
+  MassFunction(double exponent, double m_lo, double m_hi)
+      : exponent_(exponent), m_lo_(m_lo), m_hi_(m_hi) {
+    G6_CHECK(m_lo > 0.0 && m_hi > m_lo, "mass cutoffs must satisfy 0 < lo < hi");
+  }
+
+  double exponent() const { return exponent_; }
+  double lower_cutoff() const { return m_lo_; }
+  double upper_cutoff() const { return m_hi_; }
+
+  /// Draw one mass.
+  double sample(g6::util::Rng& rng) const {
+    return rng.power_law(exponent_, m_lo_, m_hi_);
+  }
+
+  /// Analytic mean of the distribution.
+  double mean() const {
+    const double a = exponent_;
+    auto moment = [&](double p) {
+      // ∫ m^(a+p) dm over [lo, hi]
+      const double q = a + p + 1.0;
+      if (q == 0.0) return std::log(m_hi_ / m_lo_);
+      return (std::pow(m_hi_, q) - std::pow(m_lo_, q)) / q;
+    };
+    return moment(1.0) / moment(0.0);
+  }
+
+ private:
+  double exponent_;
+  double m_lo_;
+  double m_hi_;
+};
+
+}  // namespace g6::disk

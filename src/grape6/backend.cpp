@@ -1,0 +1,96 @@
+#include "grape6/backend.hpp"
+
+#include "nbody/hermite.hpp"
+#include "util/check.hpp"
+
+namespace g6::hw {
+
+using g6::nbody::ParticleSystem;
+
+Grape6Backend::Grape6Backend(MachineConfig cfg, double eps)
+    : machine_(cfg), eps_(eps) {
+  G6_CHECK(eps >= 0.0, "softening must be non-negative");
+}
+
+JParticle Grape6Backend::to_j_particle(std::uint32_t i, const ParticleSystem& ps) const {
+  return make_j_particle(i, ps.mass(i), ps.time(i), ps.pos(i), ps.vel(i),
+                         ps.acc(i), ps.jerk(i), machine_.config().fmt);
+}
+
+void Grape6Backend::load(const ParticleSystem& ps) {
+  const std::size_t n = ps.size();
+  G6_CHECK(n <= machine_.capacity(),
+           "particle count exceeds machine j-memory capacity");
+  machine_.clear();
+  std::vector<JParticle> jp(n);
+  t0_.resize(n);
+  x0_.resize(n);
+  v0_.resize(n);
+  a0_.resize(n);
+  j0_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    jp[i] = to_j_particle(static_cast<std::uint32_t>(i), ps);
+    t0_[i] = ps.time(i);
+    x0_[i] = ps.pos(i);
+    v0_[i] = ps.vel(i);
+    a0_[i] = ps.acc(i);
+    j0_[i] = ps.jerk(i);
+  }
+  machine_.load(jp);
+}
+
+void Grape6Backend::update(std::span<const std::uint32_t> indices,
+                           const ParticleSystem& ps) {
+  for (std::uint32_t i : indices) {
+    machine_.write_j(i, to_j_particle(i, ps));
+    t0_[i] = ps.time(i);
+    x0_[i] = ps.pos(i);
+    v0_[i] = ps.vel(i);
+    a0_[i] = ps.acc(i);
+    j0_[i] = ps.jerk(i);
+  }
+}
+
+void Grape6Backend::compute(double t, std::span<const std::uint32_t> ilist,
+                            std::span<g6::nbody::Force> out) {
+  // The host predicts the i-particles (full doubles) and formats them for
+  // the broadcast network.
+  std::vector<Vec3> pos(ilist.size()), vel(ilist.size());
+  for (std::size_t k = 0; k < ilist.size(); ++k) {
+    const std::uint32_t i = ilist[k];
+    G6_CHECK(i < t0_.size(), "i-particle index out of range");
+    const auto pred =
+        g6::nbody::hermite_predict(x0_[i], v0_[i], a0_[i], j0_[i], t - t0_[i]);
+    pos[k] = pred.pos;
+    vel[k] = pred.vel;
+  }
+  compute_states(t, ilist, pos, vel, out);
+}
+
+void Grape6Backend::compute_states(double t, std::span<const std::uint32_t> ilist,
+                                   std::span<const g6::util::Vec3> pos,
+                                   std::span<const g6::util::Vec3> vel,
+                                   std::span<g6::nbody::Force> out) {
+  G6_CHECK(out.size() == ilist.size() && pos.size() == ilist.size() &&
+               vel.size() == ilist.size(),
+           "i-state span size mismatch");
+  const FormatSpec& fmt = machine_.config().fmt;
+  machine_.predict_all(t);
+
+  i_batch_.resize(ilist.size());
+  for (std::size_t k = 0; k < ilist.size(); ++k) {
+    G6_CHECK(ilist[k] < t0_.size(), "i-particle index out of range");
+    i_batch_[k] = make_i_particle(ilist[k], pos[k], vel[k], fmt);
+  }
+
+  machine_.compute(i_batch_, eps_ * eps_, accum_);
+  hw_seconds_ += machine_.predict_seconds() + machine_.pipeline_seconds(ilist.size());
+
+  for (std::size_t k = 0; k < ilist.size(); ++k) {
+    out[k].acc = accum_[k].acc.to_vec3();
+    out[k].jerk = accum_[k].jerk.to_vec3();
+    out[k].pot = accum_[k].pot.to_double();
+  }
+}
+
+}  // namespace g6::hw

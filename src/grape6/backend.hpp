@@ -1,0 +1,64 @@
+#pragma once
+/// \file backend.hpp
+/// \brief Grape6Backend — plugs the GRAPE-6 machine model into the
+///        integrator's ForceBackend interface, playing the role of the real
+///        host library: it mirrors particle states for i-particle
+///        prediction, formats data into the hardware number formats, and
+///        keeps the modeled hardware time.
+
+#include <memory>
+#include <vector>
+
+#include "grape6/machine.hpp"
+#include "nbody/force.hpp"
+
+namespace g6::hw {
+
+/// ForceBackend implementation on top of Grape6Machine.
+class Grape6Backend final : public g6::nbody::ForceBackend {
+ public:
+  /// \p cfg machine topology/formats, \p eps softening length.
+  Grape6Backend(MachineConfig cfg, double eps);
+
+  std::string name() const override { return "grape6"; }
+  void load(const g6::nbody::ParticleSystem& ps) override;
+  void update(std::span<const std::uint32_t> indices,
+              const g6::nbody::ParticleSystem& ps) override;
+  void compute(double t, std::span<const std::uint32_t> ilist,
+               std::span<g6::nbody::Force> out) override;
+  void compute_states(double t, std::span<const std::uint32_t> ilist,
+                      std::span<const g6::util::Vec3> pos,
+                      std::span<const g6::util::Vec3> vel,
+                      std::span<g6::nbody::Force> out) override;
+  std::uint64_t interaction_count() const override {
+    return machine_.counters().interactions;
+  }
+  double softening() const override { return eps_; }
+
+  /// Modeled hardware wall time (predictor + pipelines) accumulated over all
+  /// compute() calls — what the performance benches combine with the
+  /// communication model.
+  double modeled_hw_seconds() const { return hw_seconds_; }
+
+  Grape6Machine& machine() { return machine_; }
+  const Grape6Machine& machine() const { return machine_; }
+
+ private:
+  /// Format one host particle into the j-particle wire/memory image.
+  JParticle to_j_particle(std::uint32_t i,
+                          const g6::nbody::ParticleSystem& ps) const;
+
+  Grape6Machine machine_;
+  double eps_;
+  double hw_seconds_ = 0.0;
+
+  // Host-side mirror used to predict i-particles (the host keeps full
+  // double-precision states; only the wire format is reduced).
+  std::vector<double> t0_;
+  std::vector<g6::util::Vec3> x0_, v0_, a0_, j0_;
+
+  std::vector<IParticle> i_batch_;
+  std::vector<ForceAccumulator> accum_;
+};
+
+}  // namespace g6::hw

@@ -1,0 +1,94 @@
+#include "grape6/board.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace g6::hw {
+
+ProcessorBoard::ProcessorBoard(const FormatSpec& fmt, int n_chips,
+                               std::size_t jmem_per_chip)
+    : fmt_(fmt) {
+  G6_CHECK(n_chips > 0, "board needs at least one chip");
+  chips_.reserve(static_cast<std::size_t>(n_chips));
+  for (int c = 0; c < n_chips; ++c) chips_.emplace_back(fmt, jmem_per_chip);
+}
+
+std::size_t ProcessorBoard::capacity() const {
+  std::size_t cap = 0;
+  for (const Chip& c : chips_) cap += c.capacity();
+  return cap;
+}
+
+JAddress ProcessorBoard::store_j(const JParticle& p) {
+  // Least-loaded chip keeps the per-chip j-counts balanced (the critical
+  // path is the fullest chip).
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < chips_.size(); ++c)
+    if (chips_[c].j_count() < chips_[best].j_count()) best = c;
+  const std::size_t slot = chips_[best].store_j(p);
+  ++j_total_;
+  return {static_cast<std::uint32_t>(best), static_cast<std::uint32_t>(slot)};
+}
+
+void ProcessorBoard::write_j(const JAddress& addr, const JParticle& p) {
+  G6_CHECK(addr.chip < chips_.size(), "chip index out of range");
+  chips_[addr.chip].write_j(addr.slot, p);
+}
+
+const JParticle& ProcessorBoard::read_j(const JAddress& addr) const {
+  G6_CHECK(addr.chip < chips_.size(), "chip index out of range");
+  return chips_[addr.chip].read_j(addr.slot);
+}
+
+void ProcessorBoard::predict_all(double t) {
+  for (Chip& c : chips_) c.predict_all(t);
+  counters_.predict_ops += j_total_;
+}
+
+void ProcessorBoard::compute(const std::vector<IParticle>& i_batch, double eps2,
+                             std::vector<ForceAccumulator>& out) const {
+  G6_CHECK(out.size() == i_batch.size(), "output batch size mismatch");
+
+  // Each chip produces a partial accumulator per i-particle...
+  std::vector<std::vector<ForceAccumulator>> partial(chips_.size());
+  for (std::size_t c = 0; c < chips_.size(); ++c) {
+    partial[c].assign(i_batch.size(), ForceAccumulator(fmt_));
+    chips_[c].compute(i_batch, eps2, partial[c]);
+  }
+
+  // ...and the reduction tree merges them pairwise. Fixed-point addition is
+  // exact, so this equals any other summation order bit-for-bit.
+  std::size_t width = chips_.size();
+  while (width > 1) {
+    const std::size_t half = (width + 1) / 2;
+    for (std::size_t c = 0; c + half < width; ++c)
+      for (std::size_t k = 0; k < i_batch.size(); ++k)
+        partial[c][k] += partial[c + half][k];
+    width = half;
+  }
+  for (std::size_t k = 0; k < i_batch.size(); ++k) out[k] += partial[0][k];
+
+  counters_.interactions +=
+      static_cast<std::uint64_t>(i_batch.size()) * j_total_;
+  counters_.passes += (i_batch.size() + kIPerChipPass - 1) / kIPerChipPass;
+  counters_.pipe_cycles += compute_cycles(i_batch.size());
+}
+
+std::uint64_t ProcessorBoard::compute_cycles(std::size_t ni) const {
+  std::uint64_t worst = 0;
+  for (const Chip& c : chips_) worst = std::max(worst, c.compute_cycles(ni));
+  // Reduction tree: log2(chips) stages, a few cycles each, per pass.
+  const std::uint64_t passes = (ni + kIPerChipPass - 1) / kIPerChipPass;
+  std::uint64_t stages = 0;
+  for (std::size_t w = chips_.size(); w > 1; w = (w + 1) / 2) ++stages;
+  return worst + passes * stages * 4;
+}
+
+std::uint64_t ProcessorBoard::predict_cycles() const {
+  std::uint64_t worst = 0;
+  for (const Chip& c : chips_) worst = std::max(worst, c.predict_cycles());
+  return worst;
+}
+
+}  // namespace g6::hw

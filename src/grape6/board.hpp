@@ -1,0 +1,71 @@
+#pragma once
+/// \file board.hpp
+/// \brief A GRAPE-6 processor board: 32 chips sharing a broadcast i-particle
+///        bus, with a hardware reduction tree that sums the chips' partial
+///        forces (paper §4.2, §5.2, figure 8).
+///
+/// j-space is divided across the chips of a board; every chip sees the same
+/// i-particles. The reduction tree merges partial ForceAccumulators pairwise
+/// in fixed point — exactly, so the result is independent of the tree shape
+/// and of the distribution of j-particles over chips.
+
+#include <cstdint>
+#include <vector>
+
+#include "grape6/chip.hpp"
+
+namespace g6::hw {
+
+/// Address of a j-particle inside a board.
+struct JAddress {
+  std::uint32_t chip = 0;
+  std::uint32_t slot = 0;
+};
+
+/// Functional + cycle model of one processor board.
+class ProcessorBoard {
+ public:
+  explicit ProcessorBoard(const FormatSpec& fmt, int n_chips = kChipsPerBoard,
+                          std::size_t jmem_per_chip = kJMemPerChip);
+
+  int chip_count() const { return static_cast<int>(chips_.size()); }
+  std::size_t j_count() const { return j_total_; }
+  std::size_t capacity() const;
+
+  /// Store a j-particle on the least-loaded chip; returns its address.
+  JAddress store_j(const JParticle& p);
+
+  /// Overwrite the j-particle at \p addr.
+  void write_j(const JAddress& addr, const JParticle& p);
+  const JParticle& read_j(const JAddress& addr) const;
+
+  /// Run every chip's predictor for block time \p t.
+  void predict_all(double t);
+
+  /// Compute the partial force from this board's j-particles on each
+  /// i-particle, returned as exact fixed-point accumulators (the output of
+  /// the board's reduction tree).
+  void compute(const std::vector<IParticle>& i_batch, double eps2,
+               std::vector<ForceAccumulator>& out) const;
+
+  /// Cycle cost of one compute() call with \p ni i-particles: the slowest
+  /// chip's pipeline time plus the reduction-tree drain.
+  std::uint64_t compute_cycles(std::size_t ni) const;
+
+  /// Cycle cost of one predict_all() call (chips predict in parallel).
+  std::uint64_t predict_cycles() const;
+
+  /// Per-call counter bundle for the last compute (interactions, passes).
+  HwCounters& counters() { return counters_; }
+  const HwCounters& counters() const { return counters_; }
+
+  const FormatSpec& format() const { return fmt_; }
+
+ private:
+  FormatSpec fmt_;
+  std::vector<Chip> chips_;
+  std::size_t j_total_ = 0;
+  mutable HwCounters counters_;
+};
+
+}  // namespace g6::hw

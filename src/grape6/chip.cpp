@@ -1,0 +1,51 @@
+#include "grape6/chip.hpp"
+
+#include "util/check.hpp"
+
+namespace g6::hw {
+
+std::size_t Chip::store_j(const JParticle& p) {
+  G6_CHECK(jmem_.size() < capacity_, "chip j-memory full");
+  jmem_.push_back(p);
+  predictions_valid_ = false;
+  return jmem_.size() - 1;
+}
+
+void Chip::write_j(std::size_t addr, const JParticle& p) {
+  G6_CHECK(addr < jmem_.size(), "j-memory address out of range");
+  jmem_[addr] = p;
+  predictions_valid_ = false;
+}
+
+const JParticle& Chip::read_j(std::size_t addr) const {
+  G6_CHECK(addr < jmem_.size(), "j-memory address out of range");
+  return jmem_[addr];
+}
+
+void Chip::predict_all(double t) {
+  if (predictions_valid_ && predicted_time_ == t) return;
+  predicted_.resize(jmem_.size());
+  for (std::size_t k = 0; k < jmem_.size(); ++k)
+    predicted_[k] = predict_j(jmem_[k], t, fmt_);
+  predicted_time_ = t;
+  predictions_valid_ = true;
+}
+
+void Chip::compute(const std::vector<IParticle>& i_batch, double eps2,
+                   std::vector<ForceAccumulator>& accum) const {
+  G6_CHECK(predictions_valid_, "predict_all must run before compute");
+  G6_CHECK(accum.size() == i_batch.size(), "accumulator batch size mismatch");
+  for (std::size_t k = 0; k < i_batch.size(); ++k) {
+    const IParticle& ip = i_batch[k];
+    ForceAccumulator& a = accum[k];
+    for (const JPredicted& jp : predicted_) pipeline_interact(ip, jp, eps2, fmt_, a);
+  }
+}
+
+std::uint64_t Chip::compute_cycles(std::size_t ni) const {
+  if (ni == 0 || jmem_.empty()) return 0;
+  const std::uint64_t passes = (ni + kIPerChipPass - 1) / kIPerChipPass;
+  return passes * (static_cast<std::uint64_t>(kVmp) * jmem_.size() + kPipelineLatency);
+}
+
+}  // namespace g6::hw

@@ -1,0 +1,64 @@
+#pragma once
+/// \file chip.hpp
+/// \brief One GRAPE-6 processor chip: six force pipelines (virtually
+///        multiplexed to 48 i-particles per pass), one predictor pipeline,
+///        and the attached SSRAM j-particle memory (paper §5.2, figure 9).
+
+#include <cstdint>
+#include <vector>
+
+#include "grape6/pipeline.hpp"
+
+namespace g6::hw {
+
+/// Functional + cycle model of one processor chip.
+class Chip {
+ public:
+  explicit Chip(const FormatSpec& fmt, std::size_t jmem_capacity = kJMemPerChip)
+      : fmt_(fmt), capacity_(jmem_capacity) {}
+
+  /// Number of j-particles currently resident.
+  std::size_t j_count() const { return jmem_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Append a j-particle; returns its local address. Throws when the SSRAM
+  /// is full (the host library is responsible for partitioning).
+  std::size_t store_j(const JParticle& p);
+
+  /// Overwrite the j-particle at local address \p addr.
+  void write_j(std::size_t addr, const JParticle& p);
+
+  /// Read back a j-particle image (diagnostics/tests).
+  const JParticle& read_j(std::size_t addr) const;
+
+  /// Run the predictor pipeline over the whole j-memory for block time \p t.
+  /// Costs j_count() predictor cycles. Results are cached until the next
+  /// predict_all or j write.
+  void predict_all(double t);
+
+  /// Compute forces from this chip's j-particles on the given i-particles,
+  /// adding into accum[k] for i_batch[k]. predict_all(t) must have run for
+  /// the current time. i_batch may be any size; the cycle model charges
+  /// ceil(size / 48) passes over the j-memory.
+  void compute(const std::vector<IParticle>& i_batch, double eps2,
+               std::vector<ForceAccumulator>& accum) const;
+
+  /// Pipeline cycles this chip needs for \p ni i-particles against its
+  /// current j-count: passes * (kVmp * nj + latency).
+  std::uint64_t compute_cycles(std::size_t ni) const;
+
+  /// Predictor cycles for one predict_all call.
+  std::uint64_t predict_cycles() const { return jmem_.size(); }
+
+  const FormatSpec& format() const { return fmt_; }
+
+ private:
+  FormatSpec fmt_;
+  std::size_t capacity_;
+  std::vector<JParticle> jmem_;
+  std::vector<JPredicted> predicted_;
+  double predicted_time_ = 0.0;
+  bool predictions_valid_ = false;
+};
+
+}  // namespace g6::hw

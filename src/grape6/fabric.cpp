@@ -1,0 +1,177 @@
+#include "grape6/fabric.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace g6::hw {
+
+ClusterFabric::ClusterFabric(FormatSpec fmt, int hosts, int boards_per_host,
+                             int chips_per_board, std::size_t jmem_per_chip)
+    : fmt_(fmt), hosts_(hosts), boards_per_host_(boards_per_host) {
+  G6_CHECK(hosts > 0 && boards_per_host > 0, "fabric topology must be non-empty");
+  boards_.reserve(static_cast<std::size_t>(hosts) * boards_per_host);
+  for (int b = 0; b < hosts * boards_per_host; ++b)
+    boards_.emplace_back(fmt, chips_per_board, jmem_per_chip);
+  nbs_.reserve(static_cast<std::size_t>(hosts));
+  for (int h = 0; h < hosts; ++h) nbs_.emplace_back(boards_per_host, lvds_);
+  group_j_count_.assign(1, 0);
+}
+
+std::size_t ClusterFabric::capacity() const {
+  std::size_t cap = 0;
+  for (const auto& b : boards_) cap += b.capacity();
+  return cap;
+}
+
+void ClusterFabric::set_partition(int group_count) {
+  G6_CHECK(group_count > 0 && hosts_ % group_count == 0,
+           "group count must divide the host count");
+  group_count_ = group_count;
+  // Re-partitioning invalidates the j-space layout: start clean.
+  const int chips = boards_.empty() ? 0 : boards_[0].chip_count();
+  const std::size_t jmem =
+      boards_.empty() ? 0 : boards_[0].capacity() / static_cast<std::size_t>(chips);
+  for (auto& b : boards_) b = ProcessorBoard(fmt_, chips, jmem);
+  addr_.clear();
+  group_of_j_.clear();
+  owner_host_.clear();
+  group_j_count_.assign(static_cast<std::size_t>(group_count), 0);
+}
+
+int ClusterFabric::group_of_host(int host) const {
+  G6_CHECK(host >= 0 && host < hosts_, "host out of range");
+  return host / hosts_per_group();
+}
+
+void ClusterFabric::load_group(int group, std::span<const JParticle> particles) {
+  G6_CHECK(group >= 0 && group < group_count_, "group out of range");
+  const int gb = hosts_per_group() * boards_per_host_;  // boards per group
+  const int b0 = first_host(group) * boards_per_host_;
+  for (const JParticle& p : particles) {
+    const auto slot = group_j_count_[static_cast<std::size_t>(group)]++;
+    const auto b = static_cast<std::uint32_t>(
+        b0 + static_cast<int>(slot % static_cast<std::size_t>(gb)));
+    const JAddress local = boards_[b].store_j(p);
+    addr_.push_back({b, local});
+    group_of_j_.push_back(group);
+    // Owner host: round-robin over the group's hosts by per-group ordinal.
+    owner_host_.push_back(first_host(group) +
+                          static_cast<int>(slot % static_cast<std::size_t>(
+                                               hosts_per_group())));
+    write_j(addr_.size() - 1, p);
+  }
+}
+
+void ClusterFabric::load(std::span<const JParticle> particles) {
+  load_group(0, particles);
+}
+
+void ClusterFabric::write_j(std::size_t index, const JParticle& p) {
+  G6_CHECK(index < addr_.size(), "j index out of range");
+  const GlobalJAddress& a = addr_[index];
+  boards_[a.board].write_j(a.local, p);
+
+  // Route accounting: owner host -> its NB (PCI), possibly one cascade hop,
+  // then the board link.
+  const auto owner = static_cast<std::size_t>(owner_host_[index]);
+  const std::size_t target_host = a.board / static_cast<std::size_t>(boards_per_host_);
+  FabricTraffic t;
+  t.pci_bytes += kJParticleBytes;
+  double path = pci_.time(kJParticleBytes);
+  if (owner != target_host) {
+    t.cascade_bytes += kJParticleBytes;
+    path += lvds_.time(kJParticleBytes);
+  }
+  t.board_bytes += kJParticleBytes;
+  path += lvds_.time(kJParticleBytes);
+  t.modeled_seconds = path;
+  total_ += t;
+}
+
+const JParticle& ClusterFabric::read_j(std::size_t index) const {
+  G6_CHECK(index < addr_.size(), "j index out of range");
+  const GlobalJAddress& a = addr_[index];
+  return boards_[a.board].read_j(a.local);
+}
+
+void ClusterFabric::predict_all(double t) {
+  for (auto& b : boards_) b.predict_all(t);
+}
+
+FabricTraffic ClusterFabric::compute(int host, const std::vector<IParticle>& i_batch,
+                                     double eps2, std::vector<ForceAccumulator>& out) {
+  G6_CHECK(host >= 0 && host < hosts_, "host out of range");
+  G6_CHECK(!i_batch.empty(), "empty i-batch");
+
+  // The request is scoped to the host's group: its own boards plus the
+  // cascade-reachable boards of the group's other hosts.
+  const int group = group_of_host(host);
+  const int gh0 = first_host(group);
+  const int gh1 = gh0 + hosts_per_group();
+
+  const std::size_t i_bytes = i_batch.size() * kIParticleBytes;
+  const std::size_t r_bytes = i_batch.size() * kResultBytes;
+  FabricTraffic t;
+
+  // Downward path: host -> its NB (PCI), then in parallel the local board
+  // broadcast and the cascade to the group's peer NBs.
+  t.pci_bytes += i_bytes;
+  double down = pci_.time(i_bytes);
+  const double local_bcast = nbs_[static_cast<std::size_t>(host)].send_down(i_bytes);
+  double remote_path = 0.0;
+  for (int h = gh0; h < gh1; ++h) {
+    if (h == host) continue;
+    t.cascade_bytes += i_bytes;
+    const double hop = lvds_.time(i_bytes);
+    const double fwd = nbs_[static_cast<std::size_t>(h)].send_down(i_bytes);
+    remote_path = std::max(remote_path, hop + fwd);
+  }
+  const std::size_t group_boards =
+      static_cast<std::size_t>(hosts_per_group()) * boards_per_host_;
+  t.board_bytes += i_bytes * group_boards;
+  down += std::max(local_bcast, remote_path);
+
+  // Pipelines: every board of the group computes its partial (parallel).
+  std::vector<std::vector<ForceAccumulator>> partial(group_boards);
+  std::uint64_t worst_cycles = 0;
+  for (std::size_t g = 0; g < group_boards; ++g) {
+    const std::size_t b = static_cast<std::size_t>(gh0 * boards_per_host_) + g;
+    partial[g].assign(i_batch.size(), ForceAccumulator(fmt_));
+    boards_[b].compute(i_batch, eps2, partial[g]);
+    worst_cycles = std::max(worst_cycles, boards_[b].compute_cycles(i_batch.size()));
+  }
+  const double pipe = static_cast<double>(worst_cycles) / kClockHz;
+
+  // Upward path: each group NB reduces its boards; partials cascade back to
+  // the requesting NB, merge, and go up the PCI link.
+  std::vector<std::vector<ForceAccumulator>> per_host(
+      static_cast<std::size_t>(hosts_per_group()));
+  double reduce_local = 0.0;
+  for (int h = gh0; h < gh1; ++h) {
+    std::vector<std::vector<ForceAccumulator>> mine;
+    for (int b = 0; b < boards_per_host_; ++b)
+      mine.push_back(partial[static_cast<std::size_t>((h - gh0) * boards_per_host_ + b)]);
+    reduce_local = std::max(
+        reduce_local, nbs_[static_cast<std::size_t>(h)].reduce_up(
+                          mine, per_host[static_cast<std::size_t>(h - gh0)]));
+    t.board_bytes += r_bytes * static_cast<std::size_t>(boards_per_host_);
+  }
+  double cascade_back = 0.0;
+  out = per_host[static_cast<std::size_t>(host - gh0)];
+  for (int h = gh0; h < gh1; ++h) {
+    if (h == host) continue;
+    t.cascade_bytes += r_bytes;
+    cascade_back = std::max(cascade_back, lvds_.time(r_bytes));
+    for (std::size_t k = 0; k < out.size(); ++k)
+      out[k] += per_host[static_cast<std::size_t>(h - gh0)][k];
+  }
+  t.pci_bytes += r_bytes;
+  const double up = reduce_local + cascade_back + pci_.time(r_bytes);
+
+  t.modeled_seconds = down + pipe + up;
+  total_ += t;
+  return t;
+}
+
+}  // namespace g6::hw

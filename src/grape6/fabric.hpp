@@ -1,0 +1,123 @@
+#pragma once
+/// \file fabric.hpp
+/// \brief The wired data path of one GRAPE-6 cluster (paper §5.1, figure 7):
+///        four hosts, each with one network board and four processor boards,
+///        the network boards cross-connected by cascade links so that any
+///        host's i-particles reach all sixteen boards and the partial forces
+///        reduce back through hardware.
+///
+/// Grape6Machine models the *functional* machine (j-distribution, pipelines,
+/// exact reduction) with a closed-form cycle model; ClusterFabric models the
+/// *routed* machine: every byte of a force request is walked across the PCI
+/// link, the local network board, the cascade links and the board links,
+/// with per-link byte counters and a store-and-forward time model. The two
+/// produce bit-identical forces (same chips, same reduction algebra), which
+/// the tests assert — the fabric adds the communication ledger.
+
+#include <cstdint>
+#include <vector>
+
+#include "grape6/board.hpp"
+#include "grape6/machine.hpp"  // GlobalJAddress
+#include "grape6/netboard.hpp"
+
+namespace g6::hw {
+
+/// Per-link byte/time ledger of one fabric operation or lifetime.
+struct FabricTraffic {
+  std::uint64_t pci_bytes = 0;      ///< host <-> its network board
+  std::uint64_t board_bytes = 0;    ///< network board <-> processor boards
+  std::uint64_t cascade_bytes = 0;  ///< network board <-> network board
+  double modeled_seconds = 0.0;     ///< critical-path link time
+
+  FabricTraffic& operator+=(const FabricTraffic& o) {
+    pci_bytes += o.pci_bytes;
+    board_bytes += o.board_bytes;
+    cascade_bytes += o.cascade_bytes;
+    modeled_seconds += o.modeled_seconds;
+    return *this;
+  }
+};
+
+/// One GRAPE-6 cluster with explicit routing.
+class ClusterFabric {
+ public:
+  /// \p hosts hosts, each with \p boards_per_host processor boards of
+  /// \p chips_per_board chips. Defaults are the paper's cluster.
+  ClusterFabric(FormatSpec fmt, int hosts = kHostsPerCluster,
+                int boards_per_host = kBoardsPerHost,
+                int chips_per_board = kChipsPerBoard,
+                std::size_t jmem_per_chip = kJMemPerChip);
+
+  int hosts() const { return hosts_; }
+  int boards_per_host() const { return boards_per_host_; }
+  std::size_t board_count() const { return boards_.size(); }
+  std::size_t j_count() const { return addr_.size(); }
+  std::size_t capacity() const;
+
+  /// Partition the cluster (paper §4.3: "we can use a 4-host,
+  /// 16-processor-board system as single entity, as two units, and as four
+  /// separate units"). \p group_count must divide hosts(); hosts are split
+  /// into contiguous groups, each an independent virtual machine with its
+  /// own j-space. Group scoping is what the network-board broadcast /
+  /// 2-way-multicast / point-to-point modes select in the real switch:
+  /// cascade traffic never crosses a group boundary. Clears all j-memory.
+  void set_partition(int group_count);
+
+  int group_count() const { return group_count_; }
+  int group_of_host(int host) const;
+
+  /// Load particles into the j-space of \p group (round-robin across that
+  /// group's boards). The single-group overload below loads group 0.
+  void load_group(int group, std::span<const JParticle> particles);
+
+  /// Load particles round-robin across every board in the cluster. The
+  /// write travels host -> NB (-> cascade) -> board and is accounted.
+  /// Particle k is owned by host (k mod hosts) — its writes originate there.
+  void load(std::span<const JParticle> particles);
+
+  /// Overwrite j-particle \p index (write routed from its owner host).
+  void write_j(std::size_t index, const JParticle& p);
+  const JParticle& read_j(std::size_t index) const;
+
+  /// Predict every board to block time \p t.
+  void predict_all(double t);
+
+  /// Force request issued by \p host for its i-batch: broadcast the batch
+  /// through the network boards to all boards of the cluster, compute,
+  /// reduce back to the requesting host. Returns the exact fixed-point
+  /// totals and accounts every link. predict_all(t) must have run.
+  FabricTraffic compute(int host, const std::vector<IParticle>& i_batch,
+                        double eps2, std::vector<ForceAccumulator>& out);
+
+  /// Lifetime traffic ledger (sum over all operations).
+  const FabricTraffic& traffic() const { return total_; }
+
+  /// The network board of \p host (mode inspection / tests).
+  NetworkBoard& netboard(int host) { return nbs_[static_cast<std::size_t>(host)]; }
+
+  ProcessorBoard& board(std::size_t b) { return boards_[b]; }
+  const ProcessorBoard& board(std::size_t b) const { return boards_[b]; }
+
+ private:
+  int hosts_per_group() const { return hosts_ / group_count_; }
+  /// Hosts of \p group are [first_host, first_host + hosts_per_group).
+  int first_host(int group) const { return group * hosts_per_group(); }
+
+  FormatSpec fmt_;
+  int hosts_;
+  int boards_per_host_;
+  int group_count_ = 1;
+  std::vector<ProcessorBoard> boards_;  ///< host-major: board b belongs to
+                                        ///< host b / boards_per_host
+  std::vector<NetworkBoard> nbs_;       ///< one per host
+  std::vector<GlobalJAddress> addr_;
+  std::vector<int> group_of_j_;         ///< j index -> group
+  std::vector<int> owner_host_;         ///< j index -> owning host
+  std::vector<std::size_t> group_j_count_;
+  LinkModel pci_{kPciBytesPerSec, kLvdsLatencySec};
+  LinkModel lvds_{};
+  FabricTraffic total_;
+};
+
+}  // namespace g6::hw

@@ -1,0 +1,154 @@
+#include "grape6/g6_api.hpp"
+
+#include <array>
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace g6::hw::api {
+
+namespace {
+
+constexpr int kMaxClusters = 8;
+
+/// Per-cluster driver state.
+struct ClusterState {
+  std::unique_ptr<Grape6Machine> machine;
+  double ti = 0.0;              ///< current prediction time
+  bool predicted = false;       ///< predict_all(ti) has run
+  int pending_ni = 0;           ///< i-count of an in-flight calculation
+  double pending_eps2 = 0.0;
+  std::vector<IParticle> pending_i;
+  std::vector<std::size_t> loaded;  ///< j addresses ever written (capacity map)
+};
+
+std::array<std::optional<ClusterState>, kMaxClusters>& table() {
+  static std::array<std::optional<ClusterState>, kMaxClusters> t;
+  return t;
+}
+
+ClusterState& state(int clusterid) {
+  G6_CHECK(clusterid >= 0 && clusterid < kMaxClusters, "bad cluster id");
+  auto& slot = table()[static_cast<std::size_t>(clusterid)];
+  G6_CHECK(slot.has_value(), "cluster not open");
+  return *slot;
+}
+
+}  // namespace
+
+int g6_open(int clusterid, const MachineConfig& cfg) {
+  if (clusterid < 0 || clusterid >= kMaxClusters) return -1;
+  auto& slot = table()[static_cast<std::size_t>(clusterid)];
+  if (slot.has_value()) return -1;
+  slot.emplace();
+  slot->machine = std::make_unique<Grape6Machine>(cfg);
+  return 0;
+}
+
+int g6_close(int clusterid) {
+  if (clusterid < 0 || clusterid >= kMaxClusters) return -1;
+  auto& slot = table()[static_cast<std::size_t>(clusterid)];
+  if (!slot.has_value()) return -1;
+  slot.reset();
+  return 0;
+}
+
+int g6_npipes() { return kIPerChipPass; }
+
+void g6_set_tunit(int, int) {
+  // Time is kept in doubles host-side; the call exists for API parity.
+}
+
+void g6_set_xunit(int clusterid, int xunit) {
+  ClusterState& st = state(clusterid);
+  G6_CHECK(st.machine->j_count() == 0, "set the unit before loading particles");
+  MachineConfig cfg = st.machine->config();
+  cfg.fmt.pos_lsb = std::ldexp(1.0, -xunit);
+  st.machine = std::make_unique<Grape6Machine>(cfg);
+  st.loaded.clear();
+}
+
+void g6_set_j_particle(int clusterid, int address, int index, double tj,
+                       double /*dtj*/, double mass, const g6::util::Vec3& /*k18*/,
+                       const g6::util::Vec3& j6, const g6::util::Vec3& a2,
+                       const g6::util::Vec3& v, const g6::util::Vec3& x) {
+  ClusterState& st = state(clusterid);
+  const FormatSpec& fmt = st.machine->config().fmt;
+
+  JParticle p;
+  p.id = static_cast<std::uint32_t>(index);
+  p.t0 = tj;
+  p.mass = round_to_mantissa(mass, fmt.mantissa_bits);
+  p.x0 = g6::util::FixedVec3::quantize(x, fmt.pos_lsb);
+  auto shorten = [&](const g6::util::Vec3& w) {
+    return g6::util::Vec3{round_to_mantissa(w.x, fmt.mantissa_bits),
+                          round_to_mantissa(w.y, fmt.mantissa_bits),
+                          round_to_mantissa(w.z, fmt.mantissa_bits)};
+  };
+  p.v0 = shorten(v);
+  p.a0 = shorten(2.0 * a2);  // the caller passes acc/2, jerk/6 (hardware form)
+  p.j0 = shorten(6.0 * j6);
+
+  const auto addr = static_cast<std::size_t>(address);
+  G6_CHECK(address >= 0, "negative j address");
+  if (addr < st.machine->j_count()) {
+    st.machine->write_j(addr, p);
+  } else {
+    // Addresses must be written densely (the real library maps address ->
+    // board/chip/slot the same way).
+    G6_CHECK(addr == st.machine->j_count(), "j addresses must be contiguous");
+    st.machine->load(std::span<const JParticle>{&p, 1});
+  }
+  st.predicted = false;
+}
+
+void g6_set_ti(int clusterid, double ti) {
+  ClusterState& st = state(clusterid);
+  st.ti = ti;
+  st.machine->predict_all(ti);
+  st.predicted = true;
+}
+
+void g6_calc_firsthalf(int clusterid, int ni, const int* index,
+                       const g6::util::Vec3* x, const g6::util::Vec3* v,
+                       double eps2) {
+  ClusterState& st = state(clusterid);
+  G6_CHECK(ni > 0 && ni <= g6_npipes(), "ni must be in [1, g6_npipes()]");
+  G6_CHECK(st.pending_ni == 0, "a calculation is already in flight");
+  G6_CHECK(st.predicted, "call g6_set_ti before g6_calc_firsthalf");
+  const FormatSpec& fmt = st.machine->config().fmt;
+  st.pending_i.clear();
+  for (int k = 0; k < ni; ++k) {
+    st.pending_i.push_back(make_i_particle(
+        static_cast<std::uint32_t>(index[k]), x[k], v[k], fmt));
+  }
+  st.pending_ni = ni;
+  st.pending_eps2 = eps2;
+}
+
+int g6_calc_lasthalf(int clusterid, int ni, g6::util::Vec3* acc,
+                     g6::util::Vec3* jerk, double* pot) {
+  ClusterState& st = state(clusterid);
+  G6_CHECK(st.pending_ni == ni, "lasthalf ni does not match firsthalf");
+  std::vector<ForceAccumulator> out;
+  st.machine->compute(st.pending_i, st.pending_eps2, out);
+  for (int k = 0; k < ni; ++k) {
+    const auto ku = static_cast<std::size_t>(k);
+    acc[k] = out[ku].acc.to_vec3();
+    jerk[k] = out[ku].jerk.to_vec3();
+    pot[k] = out[ku].pot.to_double();
+  }
+  st.pending_ni = 0;
+  return 0;
+}
+
+Grape6Machine& g6_machine(int clusterid) { return *state(clusterid).machine; }
+
+void g6_reset_all() {
+  for (auto& slot : table()) slot.reset();
+}
+
+}  // namespace g6::hw::api

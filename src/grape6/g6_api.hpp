@@ -1,0 +1,79 @@
+#pragma once
+/// \file g6_api.hpp
+/// \brief Compatibility facade mimicking the classic GRAPE-6 host library
+///        (Makino's `g6_` C API) on top of the machine model.
+///
+/// Real GRAPE-6 application codes (NBODY4, the planetesimal code of this
+/// paper, GORB, ...) drive the hardware through a small C API: open a
+/// cluster, set the time unit scaling, write j-particles, set the prediction
+/// time, push i-particles, and read back forces. This header provides the
+/// same call shapes so such code ports onto the simulator nearly verbatim.
+///
+/// The subset implemented here covers the calls the paper's algorithm needs:
+///
+///   g6_open / g6_close            — attach/detach a (simulated) cluster
+///   g6_npipes                     — i-particles accepted per call
+///   g6_set_tunit / g6_set_xunit   — fixed-point scaling (powers of two)
+///   g6_set_j_particle             — write one particle into j-memory
+///   g6_set_ti                     — set the prediction time
+///   g6_calc_firsthalf             — start a force calculation (i-broadcast)
+///   g6_calc_lasthalf              — finish it and fetch acc/jerk/potential
+///
+/// Unlike the hardware library this one is object-backed: `clusterid` indexes
+/// a table of Grape6Machine instances, so tests can open several "clusters".
+
+#include <cstdint>
+
+#include "grape6/machine.hpp"
+#include "util/vec3.hpp"
+
+namespace g6::hw::api {
+
+/// Open (simulated) cluster \p clusterid with the given machine topology.
+/// Returns 0 on success, -1 if the id is already open or invalid.
+int g6_open(int clusterid, const MachineConfig& cfg = MachineConfig::mini(4, 8, 4096));
+
+/// Release the cluster. Returns 0 on success, -1 if it was not open.
+int g6_close(int clusterid);
+
+/// Number of i-particles one g6_calc_firsthalf call accepts (the hardware's
+/// virtual pipeline count).
+int g6_npipes();
+
+/// Set the time / length scaling exponents (the hardware works on
+/// power-of-two fixed-point grids; `xunit` picks the position LSB as
+/// 2^-xunit length units). Mirrors g6_set_tunit/g6_set_xunit.
+void g6_set_tunit(int clusterid, int tunit);
+void g6_set_xunit(int clusterid, int xunit);
+
+/// Write particle \p address of the cluster's j-memory. The argument order
+/// follows the historical call: the host passes the scaled Taylor
+/// coefficients (snap/18, jerk/6, acc/2) along with velocity and position.
+/// `k18` (snap term) is accepted for signature compatibility but ignored —
+/// this model's predictor is cubic, like the GRAPE-6 hardware predictor.
+void g6_set_j_particle(int clusterid, int address, int index, double tj,
+                       double dtj, double mass, const g6::util::Vec3& k18,
+                       const g6::util::Vec3& j6, const g6::util::Vec3& a2,
+                       const g6::util::Vec3& v, const g6::util::Vec3& x);
+
+/// Set the prediction time for the next force calculation.
+void g6_set_ti(int clusterid, double ti);
+
+/// Begin a force calculation on up to g6_npipes() i-particles.
+void g6_calc_firsthalf(int clusterid, int ni, const int* index,
+                       const g6::util::Vec3* x, const g6::util::Vec3* v,
+                       double eps2);
+
+/// Finish the calculation started by g6_calc_firsthalf; fills acc, jerk and
+/// pot (size ni). Returns 0 on success.
+int g6_calc_lasthalf(int clusterid, int ni, g6::util::Vec3* acc,
+                     g6::util::Vec3* jerk, double* pot);
+
+/// Direct access to the backing machine (tests/diagnostics; not part of the
+/// historical API).
+Grape6Machine& g6_machine(int clusterid);
+
+/// Reset the whole API state (closes every cluster). Tests only.
+void g6_reset_all();
+
+}  // namespace g6::hw::api

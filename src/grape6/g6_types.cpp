@@ -1,0 +1,21 @@
+#include "grape6/g6_types.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace g6::hw {
+
+FormatSpec FormatSpec::for_scales(double length_scale, double acc_scale) {
+  G6_CHECK(length_scale > 0.0 && acc_scale > 0.0, "scales must be positive");
+  FormatSpec fmt;
+  // Position grid: 2^13 * length_scale of range, 2^-50 * 2^13 resolution.
+  fmt.pos_lsb = std::ldexp(length_scale, -50) * 8192.0;
+  // Accumulators: 2^13 * acc_scale of headroom before wraparound.
+  fmt.acc_lsb = std::ldexp(acc_scale, -50);
+  fmt.jerk_lsb = fmt.acc_lsb;   // jerk ~ acc / dynamical-time; same grid works
+  fmt.pot_lsb = std::ldexp(acc_scale * length_scale, -50);
+  return fmt;
+}
+
+}  // namespace g6::hw

@@ -1,0 +1,160 @@
+#pragma once
+/// \file g6_types.hpp
+/// \brief Architectural constants and number formats of the GRAPE-6 model.
+///
+/// Constants follow the paper (§5): 90 MHz pipeline clock, six force
+/// pipelines per chip, 57 floating-point operations charged per interaction
+/// (38 force + 19 jerk — the Gordon Bell convention), 32 chips per processor
+/// board, 4 boards per host, 4 hosts per cluster, 4 clusters. Theoretical
+/// peak of the full machine: 2048 chips * 6 pipes * 90 MHz * 57 ops
+/// = 63.0e12 ops/s (the paper quotes 63.4 Tflops with its rounding).
+///
+/// Number formats: GRAPE-6 keeps particle positions and force accumulators
+/// in 64-bit fixed point and runs the pipeline datapaths in shortened
+/// floating point. We model this as: positions quantised to a fixed-point
+/// grid, per-interaction results rounded to a reduced mantissa, and
+/// accumulation performed exactly in 64-bit fixed point (hence bit-identical
+/// results under any summation order — the property the hardware reduction
+/// trees rely on).
+
+#include <cstdint>
+
+#include "util/fixed_point.hpp"
+#include "util/vec3.hpp"
+
+namespace g6::hw {
+
+using g6::util::FixedVec3;
+using g6::util::Vec3;
+
+// --- Gordon Bell operation-counting convention (paper §5.2) ---------------
+inline constexpr int kOpsPerForce = 38;
+inline constexpr int kOpsPerJerk = 19;
+inline constexpr int kOpsPerInteraction = kOpsPerForce + kOpsPerJerk;  // 57
+
+// --- Chip micro-architecture (paper §5.2, figure 9) -----------------------
+inline constexpr double kClockHz = 90.0e6;   ///< pipeline clock
+inline constexpr int kPipesPerChip = 6;      ///< force pipelines per chip
+/// Virtual multi-pipeline factor: each physical pipeline time-multiplexes
+/// this many i-particles, so a chip serves kPipesPerChip * kVmp i-particles
+/// per pass over its j-memory (GRAPE-6 used 8).
+inline constexpr int kVmp = 8;
+inline constexpr int kIPerChipPass = kPipesPerChip * kVmp;  // 48
+/// Pipeline fill/drain latency per pass, in cycles.
+inline constexpr int kPipelineLatency = 56;
+/// j-particle memory capacity per chip (SSRAM).
+inline constexpr std::size_t kJMemPerChip = 16384;
+
+// --- Board / system organisation (paper §5.1–5.3) -------------------------
+inline constexpr int kChipsPerBoard = 32;
+inline constexpr int kBoardsPerHost = 4;
+inline constexpr int kHostsPerCluster = 4;
+inline constexpr int kClusters = 4;
+
+/// Peak interaction rate of one chip (interactions per second).
+inline constexpr double kChipInteractionsPerSec =
+    static_cast<double>(kPipesPerChip) * kClockHz;
+
+/// Peak speed of one chip in flops (30.78e9; paper: "30.7 Gflops").
+inline constexpr double kChipPeakFlops =
+    kChipInteractionsPerSec * kOpsPerInteraction;
+
+// --- Link speeds (paper §5.2–5.3) ------------------------------------------
+inline constexpr double kLvdsBytesPerSec = 90.0e6;   ///< board/NB link, 90 MB/s
+inline constexpr double kPciBytesPerSec = 133.0e6;   ///< host PCI bus (32b/33MHz)
+inline constexpr double kGbeBytesPerSec = 125.0e6;   ///< Gigabit Ethernet peak
+inline constexpr double kGbeLatencySec = 60.0e-6;    ///< per-message GbE latency
+inline constexpr double kLvdsLatencySec = 2.0e-6;    ///< per-transfer LVDS latency
+
+// --- Wire formats (bytes per particle on the links) ------------------------
+/// i-particle packet: fixed-point position (3*8) + velocity (3*8) + id/eps.
+inline constexpr std::size_t kIParticleBytes = 56;
+/// force result packet: acc (3*8) + jerk (3*8) + potential (8).
+inline constexpr std::size_t kResultBytes = 56;
+/// j-particle packet: mass, t0, x (3*8), v (3*8), a (3*8), jerk (3*8) + id.
+inline constexpr std::size_t kJParticleBytes = 116;
+
+// --- Number formats ---------------------------------------------------------
+/// Scaling configuration of the fixed-point and short-float datapaths.
+/// The host library chooses these for a given simulation (as the real
+/// library does through its unit-scaling call).
+struct FormatSpec {
+  double pos_lsb = 0x1p-50;   ///< position grid: ±2^13 length units of range
+  double acc_lsb = 0x1p-60;   ///< acceleration accumulator grid (range ±8)
+  double jerk_lsb = 0x1p-60;  ///< jerk accumulator grid
+  double pot_lsb = 0x1p-56;   ///< potential accumulator grid (range ±128)
+  int mantissa_bits = 24;     ///< short-float mantissa width in the pipeline
+
+  /// A format scaled for a heliocentric disk of the given extent and
+  /// characteristic acceleration (leaves ~2^13 of headroom above, and
+  /// resolution ~2^-47 of the characteristic scale below).
+  static FormatSpec for_scales(double length_scale, double acc_scale);
+};
+
+/// Exact-width double rounding used by the pipeline model.
+using g6::util::round_to_mantissa;
+
+/// The j-particle memory image: everything the predictor pipeline needs.
+/// The host writes this after every corrector step of the particle.
+struct JParticle {
+  std::uint32_t id = 0;   ///< identity, used for self-interaction cut
+  double mass = 0.0;
+  double t0 = 0.0;        ///< time of validity of the polynomial
+  FixedVec3 x0;           ///< position, 64-bit fixed point
+  Vec3 v0, a0, j0;        ///< velocity / acceleration / jerk (short floats)
+};
+
+/// An i-particle as sent down the broadcast network: already predicted to
+/// the block time by the host, position on the fixed-point grid.
+struct IParticle {
+  std::uint32_t id = 0;
+  FixedVec3 x;  ///< predicted position (fixed point)
+  Vec3 v;       ///< predicted velocity (short float)
+};
+
+/// Per-i-particle force accumulation registers (fixed point — exact and
+/// order-independent under merging).
+struct ForceAccumulator {
+  FixedVec3 acc;
+  FixedVec3 jerk;
+  g6::util::Fixed64 pot;
+
+  explicit ForceAccumulator(const FormatSpec& fmt = {})
+      : acc(fmt.acc_lsb), jerk(fmt.jerk_lsb),
+        pot(g6::util::Fixed64::quantize(0.0, fmt.pot_lsb)) {}
+
+  /// Reduction-tree merge: exact fixed-point addition.
+  ForceAccumulator& operator+=(const ForceAccumulator& o) {
+    acc += o.acc;
+    jerk += o.jerk;
+    pot += o.pot;
+    return *this;
+  }
+
+  friend bool operator==(const ForceAccumulator&, const ForceAccumulator&) = default;
+};
+
+/// Hardware activity counters (cycles and link bytes) accumulated by the
+/// machine model; the performance benches convert these to seconds/Tflops.
+struct HwCounters {
+  std::uint64_t interactions = 0;      ///< particle-particle interactions
+  std::uint64_t predict_ops = 0;       ///< j-particles predicted
+  std::uint64_t pipe_cycles = 0;       ///< critical-path pipeline cycles
+  std::uint64_t passes = 0;            ///< i-batch passes over j-memory
+  std::uint64_t i_particles_sent = 0;  ///< i-particles broadcast
+  std::uint64_t results_returned = 0;  ///< force packets returned
+  std::uint64_t j_writes = 0;          ///< j-memory updates
+
+  HwCounters& operator+=(const HwCounters& o) {
+    interactions += o.interactions;
+    predict_ops += o.predict_ops;
+    pipe_cycles += o.pipe_cycles;
+    passes += o.passes;
+    i_particles_sent += o.i_particles_sent;
+    results_returned += o.results_returned;
+    j_writes += o.j_writes;
+    return *this;
+  }
+};
+
+}  // namespace g6::hw

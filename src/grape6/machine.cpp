@@ -1,0 +1,88 @@
+#include "grape6/machine.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace g6::hw {
+
+Grape6Machine::Grape6Machine(MachineConfig cfg) : cfg_(cfg) {
+  G6_CHECK(cfg.clusters > 0 && cfg.hosts_per_cluster > 0 && cfg.boards_per_host > 0,
+           "machine topology must be non-empty");
+  const int nb = cfg.total_boards();
+  boards_.reserve(static_cast<std::size_t>(nb));
+  for (int b = 0; b < nb; ++b)
+    boards_.emplace_back(cfg.fmt, cfg.chips_per_board, cfg.jmem_per_chip);
+}
+
+std::size_t Grape6Machine::capacity() const {
+  std::size_t cap = 0;
+  for (const auto& b : boards_) cap += b.capacity();
+  return cap;
+}
+
+void Grape6Machine::clear() {
+  for (auto& b : boards_) b = ProcessorBoard(cfg_.fmt, cfg_.chips_per_board,
+                                             cfg_.jmem_per_chip);
+  addr_.clear();
+}
+
+void Grape6Machine::load(std::span<const JParticle> particles) {
+  G6_CHECK(addr_.size() + particles.size() <= capacity(),
+           "machine j-memory capacity exceeded");
+  for (const JParticle& p : particles) {
+    const auto b = static_cast<std::uint32_t>(addr_.size() % boards_.size());
+    const JAddress local = boards_[b].store_j(p);
+    addr_.push_back({b, local});
+  }
+}
+
+void Grape6Machine::write_j(std::size_t index, const JParticle& p) {
+  G6_CHECK(index < addr_.size(), "j index out of range");
+  const GlobalJAddress& a = addr_[index];
+  boards_[a.board].write_j(a.local, p);
+  // The update travels host -> network board -> processor board.
+}
+
+const JParticle& Grape6Machine::read_j(std::size_t index) const {
+  G6_CHECK(index < addr_.size(), "j index out of range");
+  const GlobalJAddress& a = addr_[index];
+  return boards_[a.board].read_j(a.local);
+}
+
+void Grape6Machine::predict_all(double t) {
+  for (auto& b : boards_) b.predict_all(t);
+}
+
+void Grape6Machine::compute(const std::vector<IParticle>& i_batch, double eps2,
+                            std::vector<ForceAccumulator>& out) {
+  out.assign(i_batch.size(), ForceAccumulator(cfg_.fmt));
+  scratch_.resize(boards_.size());
+  for (std::size_t b = 0; b < boards_.size(); ++b) {
+    scratch_[b].assign(i_batch.size(), ForceAccumulator(cfg_.fmt));
+    boards_[b].compute(i_batch, eps2, scratch_[b]);
+  }
+  // Network reduction across boards — exact, order independent.
+  for (std::size_t b = 0; b < boards_.size(); ++b)
+    for (std::size_t k = 0; k < i_batch.size(); ++k) out[k] += scratch_[b][k];
+}
+
+double Grape6Machine::pipeline_seconds(std::size_t ni) const {
+  std::uint64_t worst = 0;
+  for (const auto& b : boards_) worst = std::max(worst, b.compute_cycles(ni));
+  return static_cast<double>(worst) / kClockHz;
+}
+
+double Grape6Machine::predict_seconds() const {
+  std::uint64_t worst = 0;
+  for (const auto& b : boards_) worst = std::max(worst, b.predict_cycles());
+  return static_cast<double>(worst) / kClockHz;
+}
+
+HwCounters Grape6Machine::counters() const {
+  HwCounters total;
+  for (const auto& b : boards_) total += b.counters();
+  return total;
+}
+
+}  // namespace g6::hw

@@ -1,0 +1,119 @@
+#pragma once
+/// \file machine.hpp
+/// \brief The assembled GRAPE-6 machine: clusters of nodes, each node one
+///        host port, one network board and four processor boards (paper §5,
+///        figures 7 and 11). Presents the whole installation as a single
+///        force engine ("we can use a 4-host, 16-processor-board system as a
+///        single entity").
+///
+/// j-space is divided across every processor board in the machine;
+/// i-particles are broadcast to all boards through the network-board trees;
+/// partial forces come back through the hardware reduction units and are
+/// merged exactly (fixed point).
+
+#include <cstdint>
+#include <vector>
+
+#include "grape6/board.hpp"
+#include "grape6/netboard.hpp"
+
+namespace g6::hw {
+
+/// Machine topology + formats. Defaults are the paper's full system
+/// (4 clusters x 4 hosts x 4 boards x 32 chips = 2048 chips).
+struct MachineConfig {
+  int clusters = kClusters;
+  int hosts_per_cluster = kHostsPerCluster;
+  int boards_per_host = kBoardsPerHost;
+  int chips_per_board = kChipsPerBoard;
+  std::size_t jmem_per_chip = kJMemPerChip;
+  FormatSpec fmt{};
+
+  int total_nodes() const { return clusters * hosts_per_cluster; }
+  int total_boards() const { return total_nodes() * boards_per_host; }
+  long long total_chips() const {
+    return static_cast<long long>(total_boards()) * chips_per_board;
+  }
+  long long total_pipelines() const { return total_chips() * kPipesPerChip; }
+
+  /// Theoretical peak in flops under the 57-op convention.
+  double peak_flops() const {
+    return static_cast<double>(total_pipelines()) * kClockHz * kOpsPerInteraction;
+  }
+
+  /// The paper's full installation.
+  static MachineConfig full_system() { return {}; }
+
+  /// A small configuration for functional tests (1 node, few chips).
+  static MachineConfig mini(int boards = 2, int chips = 4,
+                            std::size_t jmem = 1024) {
+    MachineConfig cfg;
+    cfg.clusters = 1;
+    cfg.hosts_per_cluster = 1;
+    cfg.boards_per_host = boards;
+    cfg.chips_per_board = chips;
+    cfg.jmem_per_chip = jmem;
+    return cfg;
+  }
+};
+
+/// Where a j-particle lives in the machine.
+struct GlobalJAddress {
+  std::uint32_t board = 0;
+  JAddress local;
+};
+
+/// Functional + cycle model of the complete GRAPE-6 installation.
+class Grape6Machine {
+ public:
+  explicit Grape6Machine(MachineConfig cfg);
+
+  const MachineConfig& config() const { return cfg_; }
+  std::size_t j_count() const { return addr_.size(); }
+  std::size_t capacity() const;
+
+  /// Drop all j-particles (keeps the topology).
+  void clear();
+
+  /// Load particles; particle k goes to board (k mod boards) so the per-
+  /// board j-counts stay balanced (round-robin, like the real library).
+  void load(std::span<const JParticle> particles);
+
+  /// Overwrite j-particle \p index (0-based load order).
+  void write_j(std::size_t index, const JParticle& p);
+
+  /// Read back the j-memory image of particle \p index.
+  const JParticle& read_j(std::size_t index) const;
+
+  /// Run every board's predictor pipelines for block time \p t.
+  void predict_all(double t);
+
+  /// Force on each i-particle from every j-particle in the machine.
+  /// predict_all(t) must have been called for the block time. The result is
+  /// the exact fixed-point sum over all boards (network reduction).
+  void compute(const std::vector<IParticle>& i_batch, double eps2,
+               std::vector<ForceAccumulator>& out);
+
+  /// Modeled pipeline wall-time (seconds) of one compute() with \p ni
+  /// i-particles: boards run concurrently, so the slowest board decides.
+  double pipeline_seconds(std::size_t ni) const;
+
+  /// Modeled predictor wall-time for one block step.
+  double predict_seconds() const;
+
+  /// Aggregated hardware counters over all boards.
+  HwCounters counters() const;
+
+  /// Direct board access (tests, benches).
+  ProcessorBoard& board(std::size_t b) { return boards_[b]; }
+  const ProcessorBoard& board(std::size_t b) const { return boards_[b]; }
+  std::size_t board_count() const { return boards_.size(); }
+
+ private:
+  MachineConfig cfg_;
+  std::vector<ProcessorBoard> boards_;
+  std::vector<GlobalJAddress> addr_;  ///< load order -> machine address
+  std::vector<std::vector<ForceAccumulator>> scratch_;  ///< per-board partials
+};
+
+}  // namespace g6::hw

@@ -1,0 +1,67 @@
+#include "grape6/netboard.hpp"
+
+namespace g6::hw {
+
+void NetworkBoard::set_mode(NetMode mode) {
+  if (mode == NetMode::kMulticast2) {
+    G6_CHECK(n_downlinks_ >= 2 && n_downlinks_ % 2 == 0,
+             "2-way multicast needs an even number of downlinks");
+  }
+  mode_ = mode;
+}
+
+std::vector<int> NetworkBoard::route(int select) const {
+  std::vector<int> ports;
+  switch (mode_) {
+    case NetMode::kBroadcast:
+      for (int d = 0; d < n_downlinks_; ++d) ports.push_back(d);
+      break;
+    case NetMode::kMulticast2: {
+      G6_CHECK(select == 0 || select == 1, "multicast group must be 0 or 1");
+      const int half = n_downlinks_ / 2;
+      for (int d = select * half; d < (select + 1) * half; ++d) ports.push_back(d);
+      break;
+    }
+    case NetMode::kPointToPoint:
+      G6_CHECK(select >= 0 && select < n_downlinks_, "p2p port out of range");
+      ports.push_back(select);
+      break;
+  }
+  return ports;
+}
+
+double NetworkBoard::send_down(std::size_t bytes, int select) {
+  const std::vector<int> ports = route(select);
+  // The switch fans out in hardware: all selected ports stream in parallel,
+  // so wall time is a single link transfer regardless of fan-out.
+  const double t = link_.time(bytes);
+  counters_.bytes_down += bytes * ports.size();
+  counters_.messages += 1;
+  counters_.busy_seconds += t;
+  return t;
+}
+
+double NetworkBoard::reduce_up(std::span<const std::vector<ForceAccumulator>> partials,
+                               std::vector<ForceAccumulator>& out) {
+  G6_CHECK(!partials.empty(), "reduce_up needs at least one partial batch");
+  G6_CHECK(partials.size() <= static_cast<std::size_t>(n_downlinks_),
+           "more partial batches than downlinks");
+  const std::size_t batch = partials[0].size();
+  for (const auto& p : partials)
+    G6_CHECK(p.size() == batch, "partial batches must have equal size");
+
+  out = partials[0];
+  for (std::size_t d = 1; d < partials.size(); ++d)
+    for (std::size_t k = 0; k < batch; ++k) out[k] += partials[d][k];
+
+  // The reduction unit consumes the downlink streams in parallel and emits
+  // one merged stream on the uplink: one result-batch transfer of wall time.
+  const std::size_t bytes = batch * kResultBytes;
+  const double t = link_.time(bytes);
+  counters_.bytes_up += bytes;
+  counters_.messages += 1;
+  counters_.busy_seconds += t;
+  return t;
+}
+
+}  // namespace g6::hw

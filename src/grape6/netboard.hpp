@@ -1,0 +1,84 @@
+#pragma once
+/// \file netboard.hpp
+/// \brief The GRAPE-6 network board (NB) model (paper §4.3, §5.2, figures
+///        5 and 10): a configurable fan-out/fan-in switch between one uplink
+///        (host or parent NB) and four downlinks (processor boards or child
+///        NBs), with a hardware reduction unit for the upward force path.
+///
+/// The network can run in three modes — broadcast, 2-way multicast and
+/// point-to-point — which is what lets a 4-host / 16-board cluster be used
+/// as one entity, as two halves, or as four independent nodes.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "grape6/g6_types.hpp"
+#include "util/check.hpp"
+
+namespace g6::hw {
+
+/// Routing mode of a network board (paper §4.3).
+enum class NetMode { kBroadcast, kMulticast2, kPointToPoint };
+
+/// A modeled unidirectional link (LVDS semi-serial, 90 MB/s).
+struct LinkModel {
+  double bytes_per_sec = kLvdsBytesPerSec;
+  double latency_sec = kLvdsLatencySec;
+
+  /// Transfer time of a message of \p bytes.
+  double time(std::size_t bytes) const {
+    return latency_sec + static_cast<double>(bytes) / bytes_per_sec;
+  }
+};
+
+/// Byte/time counters of one network board.
+struct NetCounters {
+  std::uint64_t bytes_down = 0;  ///< bytes forwarded toward processor boards
+  std::uint64_t bytes_up = 0;    ///< bytes returned toward the host
+  std::uint64_t messages = 0;
+  double busy_seconds = 0.0;     ///< accumulated modeled link time
+};
+
+/// Functional + timing model of one network board.
+class NetworkBoard {
+ public:
+  explicit NetworkBoard(int n_downlinks = 4, LinkModel link = {})
+      : n_downlinks_(n_downlinks), link_(link) {
+    G6_CHECK(n_downlinks > 0, "network board needs at least one downlink");
+  }
+
+  int downlinks() const { return n_downlinks_; }
+  NetMode mode() const { return mode_; }
+
+  /// Reconfigure the switching network. Multicast needs an even downlink
+  /// count (the two halves must be non-empty and disjoint).
+  void set_mode(NetMode mode);
+
+  /// Route one downward message of \p bytes to the downlink set implied by
+  /// the mode: all of them (broadcast), one half (multicast group 0/1), or a
+  /// single port (point-to-point). Returns the modeled wall time of the
+  /// transfer (one store-and-forward hop; fan-out is simultaneous).
+  /// \p select is the multicast group or the p2p port; ignored for broadcast.
+  double send_down(std::size_t bytes, int select = 0);
+
+  /// Downlink ports reached by a send_down with the given \p select under
+  /// the current mode (used by tests and by the cluster router).
+  std::vector<int> route(int select = 0) const;
+
+  /// The upward path: merge per-downlink partial force batches with the
+  /// reduction unit (exact fixed-point adds) into \p out, and account the
+  /// link time of one result batch. `partials[d]` is downlink d's batch.
+  double reduce_up(std::span<const std::vector<ForceAccumulator>> partials,
+                   std::vector<ForceAccumulator>& out);
+
+  const NetCounters& counters() const { return counters_; }
+
+ private:
+  int n_downlinks_;
+  LinkModel link_;
+  NetMode mode_ = NetMode::kBroadcast;
+  NetCounters counters_;
+};
+
+}  // namespace g6::hw

@@ -1,0 +1,88 @@
+#include "grape6/pipeline.hpp"
+
+#include <cmath>
+
+namespace g6::hw {
+
+JPredicted predict_j(const JParticle& j, double t, const FormatSpec& fmt) {
+  const double dt = t - j.t0;
+  const double dt2 = 0.5 * dt * dt;
+  const double dt3 = dt * dt2 * (1.0 / 3.0);
+
+  JPredicted out;
+  out.id = j.id;
+  out.mass = j.mass;
+
+  // The polynomial increment is computed in the short-float datapath and
+  // added to the fixed-point base position.
+  const Vec3 dx{round_to_mantissa(j.v0.x * dt + j.a0.x * dt2 + j.j0.x * dt3,
+                                  fmt.mantissa_bits),
+                round_to_mantissa(j.v0.y * dt + j.a0.y * dt2 + j.j0.y * dt3,
+                                  fmt.mantissa_bits),
+                round_to_mantissa(j.v0.z * dt + j.a0.z * dt2 + j.j0.z * dt3,
+                                  fmt.mantissa_bits)};
+  out.x = FixedVec3::quantize(j.x0.to_vec3() + dx, fmt.pos_lsb);
+
+  out.v = {round_to_mantissa(j.v0.x + j.a0.x * dt + j.j0.x * dt2, fmt.mantissa_bits),
+           round_to_mantissa(j.v0.y + j.a0.y * dt + j.j0.y * dt2, fmt.mantissa_bits),
+           round_to_mantissa(j.v0.z + j.a0.z * dt + j.j0.z * dt2, fmt.mantissa_bits)};
+  return out;
+}
+
+void pipeline_interact(const IParticle& i, const JPredicted& j, double eps2,
+                       const FormatSpec& fmt, ForceAccumulator& accum) {
+  if (i.id == j.id) return;  // self-interaction cut (still costs the cycle)
+
+  // dx: exact fixed-point subtraction, then into the short-float datapath.
+  const Vec3 dr = j.x.to_vec3() - i.x.to_vec3();
+  const Vec3 dv = j.v - i.v;
+
+  const double r2 = norm2(dr) + eps2;
+  const double rinv = 1.0 / std::sqrt(r2);
+  const double rinv2 = rinv * rinv;
+  const double mr3inv = j.mass * rinv * rinv2;
+  const double rv = dot(dr, dv);
+
+  const int mb = fmt.mantissa_bits;
+  const Vec3 da = mr3inv * dr;
+  const Vec3 dj = mr3inv * (dv - 3.0 * (rv * rinv2) * dr);
+
+  accum.acc.accumulate({round_to_mantissa(da.x, mb), round_to_mantissa(da.y, mb),
+                        round_to_mantissa(da.z, mb)});
+  accum.jerk.accumulate({round_to_mantissa(dj.x, mb), round_to_mantissa(dj.y, mb),
+                         round_to_mantissa(dj.z, mb)});
+  accum.pot += g6::util::Fixed64::quantize(
+      round_to_mantissa(-j.mass * rinv, mb), accum.pot.lsb());
+}
+
+JParticle make_j_particle(std::uint32_t id, double mass, double t0, const Vec3& x,
+                          const Vec3& v, const Vec3& a, const Vec3& j,
+                          const FormatSpec& fmt) {
+  JParticle p;
+  p.id = id;
+  p.mass = round_to_mantissa(mass, fmt.mantissa_bits);
+  p.t0 = t0;
+  p.x0 = FixedVec3::quantize(x, fmt.pos_lsb);
+  auto shorten = [&](const Vec3& w) {
+    return Vec3{round_to_mantissa(w.x, fmt.mantissa_bits),
+                round_to_mantissa(w.y, fmt.mantissa_bits),
+                round_to_mantissa(w.z, fmt.mantissa_bits)};
+  };
+  p.v0 = shorten(v);
+  p.a0 = shorten(a);
+  p.j0 = shorten(j);
+  return p;
+}
+
+IParticle make_i_particle(std::uint32_t id, const Vec3& x, const Vec3& v,
+                          const FormatSpec& fmt) {
+  IParticle p;
+  p.id = id;
+  p.x = FixedVec3::quantize(x, fmt.pos_lsb);
+  p.v = {round_to_mantissa(v.x, fmt.mantissa_bits),
+         round_to_mantissa(v.y, fmt.mantissa_bits),
+         round_to_mantissa(v.z, fmt.mantissa_bits)};
+  return p;
+}
+
+}  // namespace g6::hw

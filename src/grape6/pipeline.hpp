@@ -1,0 +1,50 @@
+#pragma once
+/// \file pipeline.hpp
+/// \brief Functional models of the two pipeline types on a GRAPE-6 chip
+///        (paper figure 9): the force pipeline (one particle–particle
+///        interaction per cycle) and the predictor pipeline (evaluates the
+///        Hermite polynomials of j-particles).
+
+#include "grape6/g6_types.hpp"
+
+namespace g6::hw {
+
+/// Predicted j-particle state, as produced by the on-chip predictor.
+struct JPredicted {
+  std::uint32_t id = 0;
+  double mass = 0.0;
+  FixedVec3 x;  ///< predicted position on the fixed-point grid
+  Vec3 v;       ///< predicted velocity (short float)
+};
+
+/// Predictor pipeline: evaluate the position/velocity polynomials
+///   x(t) = x0 + v0 dt + a0 dt^2/2 + j0 dt^3/6
+///   v(t) = v0 + a0 dt + j0 dt^2/2
+/// with the polynomial terms computed in short floats and the result
+/// re-quantised to the position grid.
+JPredicted predict_j(const JParticle& j, double t, const FormatSpec& fmt);
+
+/// Force pipeline: one softened particle–particle interaction. Both particle
+/// positions sit on the fixed-point grid; their difference is exact. The
+/// arithmetic datapath works in shortened floats (modelled by rounding the
+/// per-interaction contributions to fmt.mantissa_bits), and the results are
+/// accumulated exactly in the fixed-point registers of \p accum.
+///
+/// Interactions with j.id == i.id are suppressed (the hardware's
+/// self-interaction cut); they still occupy a pipeline cycle.
+void pipeline_interact(const IParticle& i, const JPredicted& j, double eps2,
+                       const FormatSpec& fmt, ForceAccumulator& accum);
+
+/// Convert a particle state to the i-particle wire format (quantise the
+/// position, shorten the velocity) — the host does this before broadcast.
+IParticle make_i_particle(std::uint32_t id, const Vec3& x, const Vec3& v,
+                          const FormatSpec& fmt);
+
+/// Format a full Hermite state into the j-particle memory image (quantised
+/// position, shortened velocity/acc/jerk/mass) — what every host-side
+/// driver does before a j-memory write.
+JParticle make_j_particle(std::uint32_t id, double mass, double t0, const Vec3& x,
+                          const Vec3& v, const Vec3& a, const Vec3& j,
+                          const FormatSpec& fmt);
+
+}  // namespace g6::hw

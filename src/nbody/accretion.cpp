@@ -1,0 +1,114 @@
+#include "nbody/accretion.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace g6::nbody {
+
+double physical_radius(double mass, const CollisionConfig& cfg) {
+  G6_CHECK(mass > 0.0 && cfg.density > 0.0, "mass and density must be positive");
+  return cfg.radius_enhancement *
+         std::cbrt(3.0 * mass / (4.0 * std::numbers::pi * cfg.density));
+}
+
+std::vector<Overlap> find_overlaps(const ParticleSystem& ps,
+                                   const CollisionConfig& cfg) {
+  const std::size_t n = ps.size();
+  std::vector<double> radius(n);
+  for (std::size_t i = 0; i < n; ++i) radius[i] = physical_radius(ps.mass(i), cfg);
+
+  std::vector<Overlap> hits;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double rsum = radius[i] + radius[j];
+      const double d2 = norm2(ps.pos(j) - ps.pos(i));
+      if (d2 < rsum * rsum) hits.push_back({i, j, std::sqrt(d2)});
+    }
+  }
+  return hits;
+}
+
+MergeReport apply_mergers(const ParticleSystem& ps,
+                          const std::vector<Overlap>& overlaps) {
+  const std::size_t n = ps.size();
+  // Union-find over the overlap graph: simultaneous multi-body contacts
+  // collapse into one body.
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const Overlap& o : overlaps) {
+    G6_CHECK(o.i < n && o.j < n && o.i < o.j, "bad overlap pair");
+    parent[find(o.j)] = find(o.i);
+  }
+
+  // Accumulate mass / momentum / mass-weighted position per group root.
+  std::vector<double> mass(n, 0.0);
+  std::vector<Vec3> mom(n), mx(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t r = find(i);
+    mass[r] += ps.mass(i);
+    mom[r] += ps.mass(i) * ps.vel(i);
+    mx[r] += ps.mass(i) * ps.pos(i);
+  }
+
+  MergeReport rep;
+  const double t = ps.empty() ? 0.0 : ps.time(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (find(i) != i) {
+      ++rep.mergers;
+      continue;  // absorbed into its root
+    }
+    const std::size_t k = rep.system.add(mass[i], mx[i] / mass[i], mom[i] / mass[i]);
+    rep.system.time(k) = t;
+  }
+  return rep;
+}
+
+AccretionDriver::AccretionDriver(ParticleSystem initial, CollisionConfig ccfg,
+                                 IntegratorConfig icfg, double eps,
+                                 BackendFactory factory)
+    : ps_(std::move(initial)), ccfg_(ccfg), icfg_(icfg), eps_(eps),
+      factory_(std::move(factory)) {
+  G6_CHECK(static_cast<bool>(factory_), "backend factory required");
+  t_ = ps_.empty() ? 0.0 : ps_.time(0);
+  rebuild();
+}
+
+void AccretionDriver::rebuild() {
+  backend_ = factory_(eps_);
+  integ_ = std::make_unique<HermiteIntegrator>(ps_, *backend_, icfg_);
+  integ_->initialize();
+}
+
+void AccretionDriver::evolve(double t_end, double check_interval) {
+  G6_CHECK(check_interval > 0.0, "check interval must be positive");
+  while (t_ < t_end) {
+    const double t_next = std::min(t_end, t_ + check_interval);
+    integ_->evolve(t_next);
+    t_ = t_next;
+    const auto overlaps = find_overlaps(ps_, ccfg_);
+    if (!overlaps.empty()) {
+      MergeReport rep = apply_mergers(ps_, overlaps);
+      mergers_ += rep.mergers;
+      ps_ = std::move(rep.system);
+      rebuild();
+    }
+  }
+}
+
+double AccretionDriver::largest_mass() const {
+  double m = 0.0;
+  for (std::size_t i = 0; i < ps_.size(); ++i) m = std::max(m, ps_.mass(i));
+  return m;
+}
+
+}  // namespace g6::nbody

@@ -1,0 +1,102 @@
+#pragma once
+/// \file accretion.hpp
+/// \brief Collisional accretion: physical radii, overlap detection and
+///        perfect merging.
+///
+/// The paper's scientific context is planetary accretion — "planetesimals
+/// accrete to form terrestrial and uranian planets" (§2). The SC2002 run
+/// itself used purely softened gravity, but the production planetesimal
+/// codes of the same group (Kokubo & Ida) merge physically colliding bodies.
+/// This module provides that capability as an optional layer over the
+/// integrator: radii from an internal density (with the customary
+/// radius-enhancement factor used to accelerate accretion at small N),
+/// O(N^2) overlap detection on a synchronised system, and momentum-
+/// conserving perfect mergers.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nbody/force.hpp"
+#include "nbody/integrator.hpp"
+#include "nbody/particle.hpp"
+
+namespace g6::nbody {
+
+/// Physical-size model for planetesimals.
+struct CollisionConfig {
+  /// Internal density in code units (M_sun / AU^3). 2 g/cm^3 (icy bodies)
+  /// is ~3.4e6 in these units.
+  double density = 3.4e6;
+
+  /// Radius enhancement factor f: radii are scaled by f to shorten the
+  /// accretion timescale in small-N runs (Kokubo & Ida used f ~ a few).
+  double radius_enhancement = 1.0;
+};
+
+/// Physical radius of a body of mass \p m: f * (3m / 4 pi rho)^(1/3).
+double physical_radius(double mass, const CollisionConfig& cfg);
+
+/// A detected collision (indices into the particle system, i < j).
+struct Overlap {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  double separation = 0.0;  ///< |x_i - x_j| at detection
+};
+
+/// Find all overlapping pairs (separation < R_i + R_j) in a synchronised
+/// system. O(N^2).
+std::vector<Overlap> find_overlaps(const ParticleSystem& ps,
+                                   const CollisionConfig& cfg);
+
+/// Result of applying a set of mergers.
+struct MergeReport {
+  std::size_t mergers = 0;
+  ParticleSystem system;  ///< the compacted post-merge system
+};
+
+/// Apply perfect mergers for the given overlaps: each connected group of
+/// overlapping bodies becomes one body at its centre of mass with the summed
+/// mass and conserved momentum. Particles keep the common time of \p ps.
+MergeReport apply_mergers(const ParticleSystem& ps,
+                          const std::vector<Overlap>& overlaps);
+
+/// Driver that interleaves block-timestep integration with collision sweeps.
+/// After every \p check_interval of simulation time the system is
+/// synchronised, overlaps are merged, and the integrator/backend are rebuilt
+/// on the compacted system.
+class AccretionDriver {
+ public:
+  /// The factory builds a fresh force backend for a given softening (called
+  /// after every merge sweep since particle count changes).
+  using BackendFactory = std::function<std::unique_ptr<ForceBackend>(double eps)>;
+
+  AccretionDriver(ParticleSystem initial, CollisionConfig ccfg,
+                  IntegratorConfig icfg, double eps, BackendFactory factory);
+
+  /// Evolve to \p t_end, sweeping for collisions every \p check_interval.
+  void evolve(double t_end, double check_interval);
+
+  const ParticleSystem& system() const { return ps_; }
+  std::uint64_t total_mergers() const { return mergers_; }
+  double current_time() const { return t_; }
+
+  /// Mass of the largest body (the growing protoplanet).
+  double largest_mass() const;
+
+ private:
+  void rebuild();
+
+  ParticleSystem ps_;
+  CollisionConfig ccfg_;
+  IntegratorConfig icfg_;
+  double eps_;
+  BackendFactory factory_;
+  std::unique_ptr<ForceBackend> backend_;
+  std::unique_ptr<HermiteIntegrator> integ_;
+  double t_ = 0.0;
+  std::uint64_t mergers_ = 0;
+};
+
+}  // namespace g6::nbody

@@ -1,0 +1,91 @@
+#include "nbody/blockstep.hpp"
+
+#include <cmath>
+
+namespace g6::nbody {
+
+bool is_power_of_two_step(double dt) {
+  if (!(dt > 0.0) || !std::isfinite(dt)) return false;
+  int exp = 0;
+  const double frac = std::frexp(dt, &exp);
+  return frac == 0.5;  // dt == 2^(exp-1) exactly
+}
+
+double quantize_dt(double dt_req, double dt_max, double dt_min) {
+  G6_CHECK(is_power_of_two_step(dt_max), "dt_max must be a power of two");
+  G6_CHECK(is_power_of_two_step(dt_min), "dt_min must be a power of two");
+  G6_CHECK(dt_min <= dt_max, "dt_min must not exceed dt_max");
+  if (!(dt_req > 0.0) || !std::isfinite(dt_req)) return dt_min;
+  if (dt_req >= dt_max) return dt_max;
+  // Largest 2^k <= dt_req: frexp gives dt_req = f * 2^e with f in [0.5, 1),
+  // so 2^(e-1) <= dt_req < 2^e.
+  int exp = 0;
+  (void)std::frexp(dt_req, &exp);
+  double dt = std::ldexp(1.0, exp - 1);
+  if (dt < dt_min) dt = dt_min;
+  return dt;
+}
+
+bool is_commensurate(double t, double dt) {
+  G6_CHECK(dt > 0.0, "dt must be positive");
+  const double q = t / dt;  // exact: dividing by a power of two
+  return q == std::floor(q);
+}
+
+double next_block_dt(double t_new, double dt_old, double dt_req, double dt_max,
+                     double dt_min) {
+  G6_CHECK(is_power_of_two_step(dt_old), "current dt must be a power of two");
+  double dt = dt_old;
+  if (dt_req < dt) {
+    // Shrink freely; halving preserves commensurability of t_new.
+    while (dt > dt_min && dt > dt_req) dt *= 0.5;
+  } else if (dt_req >= 2.0 * dt && dt < dt_max && is_commensurate(t_new, 2.0 * dt)) {
+    // Grow by at most one level per step, and only on an even boundary.
+    dt *= 2.0;
+  }
+  if (dt > dt_max) dt = dt_max;
+  if (dt < dt_min) dt = dt_min;
+  return dt;
+}
+
+void BlockScheduler::reset(std::span<const double> times, std::span<const double> dts) {
+  G6_CHECK(times.size() == dts.size(), "times/dts size mismatch");
+  heap_ = {};
+  t_next_.assign(times.size(), 0.0);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    G6_CHECK(dts[i] > 0.0, "every particle needs a positive dt");
+    t_next_[i] = times[i] + dts[i];
+    heap_.push({t_next_[i], static_cast<std::uint32_t>(i)});
+  }
+}
+
+void BlockScheduler::drop_stale() const {
+  while (!heap_.empty() && heap_.top().t != t_next_[heap_.top().idx]) heap_.pop();
+}
+
+double BlockScheduler::next_time() const {
+  drop_stale();
+  G6_CHECK(!heap_.empty(), "scheduler is empty");
+  return heap_.top().t;
+}
+
+double BlockScheduler::pop_block(std::vector<std::uint32_t>& block) {
+  const double t = next_time();
+  block.clear();
+  for (;;) {
+    drop_stale();
+    if (heap_.empty() || heap_.top().t != t) break;
+    block.push_back(heap_.top().idx);
+    heap_.pop();
+  }
+  G6_CHECK(!block.empty(), "a block must contain at least one particle");
+  return t;
+}
+
+void BlockScheduler::push(std::uint32_t i, double t_next) {
+  G6_CHECK(i < t_next_.size(), "particle index out of range");
+  t_next_[i] = t_next;
+  heap_.push({t_next, i});
+}
+
+}  // namespace g6::nbody

@@ -1,0 +1,79 @@
+#pragma once
+/// \file blockstep.hpp
+/// \brief The block individual timestep scheduler (McMillan 1986, Makino
+///        1991) — the algorithm named by the paper as the key to extracting
+///        parallelism from individual timesteps.
+///
+/// Timesteps are forced to powers of two, so at any system time the set of
+/// particles due for integration ("the block") share exactly the same update
+/// time and can be integrated in parallel. The scheduler maintains a binary
+/// heap of (next update time, particle) pairs with lazy invalidation.
+
+#include <cmath>
+#include <cstdint>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace g6::nbody {
+
+/// Largest power of two that is <= dt_req, clamped to [dt_min, dt_max].
+/// dt_max and dt_min must themselves be powers of two.
+double quantize_dt(double dt_req, double dt_max, double dt_min);
+
+/// True iff \p t is an integer multiple of \p dt (dt a power of two).
+/// Powers of two are exact in binary floating point, so this is exact.
+bool is_commensurate(double t, double dt);
+
+/// Block-timestep update rule for a particle that has just been corrected at
+/// time \p t_new with previous step \p dt_old and a desired (Aarseth) step
+/// \p dt_req:
+///  - shrinking: halve as many times as needed (always allowed);
+///  - growing: at most double, and only if t_new is commensurate with 2*dt_old.
+double next_block_dt(double t_new, double dt_old, double dt_req, double dt_max,
+                     double dt_min);
+
+/// True iff \p dt is a power of two (2^k for integer k, possibly negative).
+bool is_power_of_two_step(double dt);
+
+/// Min-heap scheduler over particle update times.
+class BlockScheduler {
+ public:
+  BlockScheduler() = default;
+
+  /// Initialise for \p n particles, all with next update time time[i]+dt[i].
+  void reset(std::span<const double> times, std::span<const double> dts);
+
+  /// Number of scheduled particles.
+  std::size_t size() const { return t_next_.size(); }
+
+  /// The earliest pending update time. Requires a non-empty schedule.
+  double next_time() const;
+
+  /// Extract the full block due at next_time() into \p block (overwritten).
+  /// Returns the block time.
+  double pop_block(std::vector<std::uint32_t>& block);
+
+  /// Re-schedule particle \p i for update at \p t_next (call after its
+  /// corrector step assigned a new time and dt).
+  void push(std::uint32_t i, double t_next);
+
+ private:
+  struct Entry {
+    double t;
+    std::uint32_t idx;
+    bool operator>(const Entry& o) const {
+      return t > o.t || (t == o.t && idx > o.idx);
+    }
+  };
+
+  void drop_stale() const;
+
+  // Lazy heap: entries whose time no longer matches t_next_ are stale.
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::vector<double> t_next_;
+};
+
+}  // namespace g6::nbody

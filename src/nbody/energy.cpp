@@ -1,0 +1,72 @@
+#include "nbody/energy.hpp"
+
+#include <cmath>
+#include <mutex>
+
+namespace g6::nbody {
+
+EnergyReport compute_energy(const ParticleSystem& ps, double eps, double solar_gm,
+                            g6::util::ThreadPool* pool) {
+  EnergyReport rep;
+  const std::size_t n = ps.size();
+  const double eps2 = eps * eps;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    rep.kinetic += 0.5 * ps.mass(i) * norm2(ps.vel(i));
+    if (solar_gm != 0.0) rep.potential_solar -= solar_gm * ps.mass(i) / norm(ps.pos(i));
+  }
+
+  auto pair_sum = [&](std::size_t begin, std::size_t end) {
+    double pe = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const Vec3 xi = ps.pos(i);
+      const double mi = ps.mass(i);
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double r2 = norm2(ps.pos(j) - xi) + eps2;
+        pe -= mi * ps.mass(j) / std::sqrt(r2);
+      }
+    }
+    return pe;
+  };
+
+  if (pool == nullptr || pool->size() == 1) {
+    rep.potential_mutual = pair_sum(0, n);
+  } else {
+    std::mutex mu;
+    pool->parallel_for(n, [&](std::size_t b, std::size_t e) {
+      const double pe = pair_sum(b, e);
+      std::lock_guard lk(mu);
+      rep.potential_mutual += pe;
+    });
+  }
+  return rep;
+}
+
+Vec3 total_angular_momentum(const ParticleSystem& ps) {
+  Vec3 l{};
+  for (std::size_t i = 0; i < ps.size(); ++i)
+    l += ps.mass(i) * cross(ps.pos(i), ps.vel(i));
+  return l;
+}
+
+Vec3 center_of_mass(const ParticleSystem& ps) {
+  Vec3 c{};
+  double m = 0.0;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    c += ps.mass(i) * ps.pos(i);
+    m += ps.mass(i);
+  }
+  return m > 0.0 ? c / m : c;
+}
+
+Vec3 center_of_mass_velocity(const ParticleSystem& ps) {
+  Vec3 c{};
+  double m = 0.0;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    c += ps.mass(i) * ps.vel(i);
+    m += ps.mass(i);
+  }
+  return m > 0.0 ? c / m : c;
+}
+
+}  // namespace g6::nbody

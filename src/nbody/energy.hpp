@@ -1,0 +1,34 @@
+#pragma once
+/// \file energy.hpp
+/// \brief Conserved-quantity diagnostics: total energy (kinetic + softened
+///        mutual potential + solar potential) and angular momentum.
+///
+/// Energies are only meaningful on a synchronised system (all particles at a
+/// common time) — call HermiteIntegrator::synchronize() first.
+
+#include "nbody/particle.hpp"
+#include "util/thread_pool.hpp"
+
+namespace g6::nbody {
+
+/// Breakdown of the system energy.
+struct EnergyReport {
+  double kinetic = 0.0;
+  double potential_mutual = 0.0;  ///< softened pairwise potential energy
+  double potential_solar = 0.0;   ///< external solar potential energy
+  double total() const { return kinetic + potential_mutual + potential_solar; }
+};
+
+/// Compute the energy of \p ps with softening \p eps and solar strength
+/// \p solar_gm. O(N^2); pass a pool to parallelise the pair sum.
+EnergyReport compute_energy(const ParticleSystem& ps, double eps, double solar_gm,
+                            g6::util::ThreadPool* pool = nullptr);
+
+/// Total angular momentum about the origin.
+Vec3 total_angular_momentum(const ParticleSystem& ps);
+
+/// Centre-of-mass position / velocity.
+Vec3 center_of_mass(const ParticleSystem& ps);
+Vec3 center_of_mass_velocity(const ParticleSystem& ps);
+
+}  // namespace g6::nbody

@@ -1,0 +1,43 @@
+#pragma once
+/// \file external_potential.hpp
+/// \brief The Sun as an external potential (paper §2: "All gravitational
+///        interactions (except for the Solar gravity, which is treated as an
+///        external potential field)...").
+///
+/// The Sun sits at the origin of the heliocentric frame and is not softened.
+/// Its contribution is added by the host (the integrator), not by GRAPE —
+/// which is also how the real code splits the work: an O(1)-per-particle term
+/// stays on the host, the O(N) term goes to the hardware.
+
+#include <cmath>
+
+#include "nbody/particle.hpp"
+#include "util/vec3.hpp"
+
+namespace g6::nbody {
+
+/// Point-mass potential fixed at the origin.
+struct SolarPotential {
+  double gm = 0.0;  ///< G * M_sun in code units (0 disables the term)
+
+  /// Add the solar acceleration, jerk and potential for a particle at
+  /// position \p x with velocity \p v.
+  void apply(const Vec3& x, const Vec3& v, Force& f) const {
+    if (gm == 0.0) return;
+    const double r2 = norm2(x);
+    const double rinv = 1.0 / std::sqrt(r2);
+    const double rinv2 = rinv * rinv;
+    const double gmr3 = gm * rinv * rinv2;
+    f.acc -= gmr3 * x;
+    f.jerk -= gmr3 * (v - 3.0 * (dot(x, v) * rinv2) * x);
+    f.pot -= gm * rinv;
+  }
+
+  /// Potential energy of a particle of mass m at position x.
+  double potential_energy(double m, const Vec3& x) const {
+    if (gm == 0.0) return 0.0;
+    return -gm * m / norm(x);
+  }
+};
+
+}  // namespace g6::nbody

@@ -1,0 +1,69 @@
+#pragma once
+/// \file force.hpp
+/// \brief The pluggable force-calculation interface.
+///
+/// The paper's division of labour — "the PC cluster performs the time
+/// integration and GRAPE-6 boards perform the force calculation" — maps onto
+/// this interface: the integrator never computes gravity itself, it talks to
+/// a ForceBackend. Implementations:
+///   - CpuDirectBackend   (src/nbody)  : double-precision direct summation
+///   - Grape6Backend      (src/grape6) : the GRAPE-6 hardware simulator
+///   - ClusterBackend     (src/cluster): multi-host j-decomposition
+///   - TreeBackend        (src/tree)   : Barnes–Hut baseline (§3 comparison)
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "nbody/particle.hpp"
+
+namespace g6::nbody {
+
+/// Abstract gravity engine operating on a mirrored set of "j-particles".
+///
+/// Protocol (mirrors the real GRAPE-6 host library):
+///   1. load(ps)            — write every particle into j-memory.
+///   2. compute(t, ilist)   — predict all j-particles to time t and return
+///                            force, jerk and potential on each i-particle.
+///   3. update(indices, ps) — after the host corrects a block, refresh those
+///                            particles' j-memory images.
+/// Self-interaction is excluded by particle identity, not by distance.
+class ForceBackend {
+ public:
+  virtual ~ForceBackend() = default;
+
+  /// Human-readable backend name for bench output.
+  virtual std::string name() const = 0;
+
+  /// Load (or reload) all particles of \p ps into j-memory.
+  virtual void load(const ParticleSystem& ps) = 0;
+
+  /// Refresh the j-memory images of the listed particles from \p ps.
+  virtual void update(std::span<const std::uint32_t> indices,
+                      const ParticleSystem& ps) = 0;
+
+  /// Evaluate gravity at time \p t on the particles listed in \p ilist.
+  /// The i-particle states are taken from j-memory predictions (identical
+  /// polynomials to what the host would send). \p out must have ilist.size()
+  /// entries; out[k] receives the force on particle ilist[k].
+  virtual void compute(double t, std::span<const std::uint32_t> ilist,
+                       std::span<Force> out) = 0;
+
+  /// Same as compute(), but with the i-particle phase-space states supplied
+  /// explicitly (pos[k], vel[k] for particle ilist[k]) instead of predicted
+  /// from j-memory. This is the entry point of iterated (time-symmetric)
+  /// Hermite correctors (Kokubo, Yoshinaga & Makino 1998): the second and
+  /// later corrector passes evaluate the force at the *corrected* state.
+  /// Self-interaction is still excluded via the ids in \p ilist.
+  virtual void compute_states(double t, std::span<const std::uint32_t> ilist,
+                              std::span<const Vec3> pos, std::span<const Vec3> vel,
+                              std::span<Force> out) = 0;
+
+  /// Total particle–particle interactions evaluated so far.
+  virtual std::uint64_t interaction_count() const = 0;
+
+  /// Gravitational softening length used by this backend.
+  virtual double softening() const = 0;
+};
+
+}  // namespace g6::nbody

@@ -1,0 +1,105 @@
+#include "nbody/force_direct.hpp"
+
+#include "nbody/hermite.hpp"
+#include "util/check.hpp"
+
+namespace g6::nbody {
+
+CpuDirectBackend::CpuDirectBackend(double eps, g6::util::ThreadPool* pool)
+    : eps_(eps), pool_(pool) {
+  G6_CHECK(eps >= 0.0, "softening must be non-negative");
+  if (pool_ == nullptr) {
+    owned_pool_ = std::make_unique<g6::util::ThreadPool>(1);
+    pool_ = owned_pool_.get();
+  }
+}
+
+void CpuDirectBackend::load(const ParticleSystem& ps) {
+  const std::size_t n = ps.size();
+  t0_.resize(n);
+  mass_.resize(n);
+  x0_.resize(n);
+  v0_.resize(n);
+  a0_.resize(n);
+  j0_.resize(n);
+  xp_.resize(n);
+  vp_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t0_[i] = ps.time(i);
+    mass_[i] = ps.mass(i);
+    x0_[i] = ps.pos(i);
+    v0_[i] = ps.vel(i);
+    a0_[i] = ps.acc(i);
+    j0_[i] = ps.jerk(i);
+  }
+}
+
+void CpuDirectBackend::update(std::span<const std::uint32_t> indices,
+                              const ParticleSystem& ps) {
+  G6_CHECK(ps.size() == mass_.size(), "system size changed; call load() instead");
+  for (std::uint32_t i : indices) {
+    G6_CHECK(i < mass_.size(), "update index out of range");
+    t0_[i] = ps.time(i);
+    mass_[i] = ps.mass(i);
+    x0_[i] = ps.pos(i);
+    v0_[i] = ps.vel(i);
+    a0_[i] = ps.acc(i);
+    j0_[i] = ps.jerk(i);
+  }
+}
+
+void CpuDirectBackend::predict_all(double t) {
+  const std::size_t n = mass_.size();
+  pool_->parallel_for(n, [&](std::size_t b, std::size_t e) {
+    for (std::size_t j = b; j < e; ++j) {
+      const Predicted p = hermite_predict(x0_[j], v0_[j], a0_[j], j0_[j], t - t0_[j]);
+      xp_[j] = p.pos;
+      vp_[j] = p.vel;
+    }
+  });
+}
+
+void CpuDirectBackend::compute(double t, std::span<const std::uint32_t> ilist,
+                               std::span<Force> out) {
+  G6_CHECK(out.size() == ilist.size(), "output span size mismatch");
+  G6_CHECK(!mass_.empty(), "no particles loaded");
+  predict_all(t);
+  // The i-particle states are their own j-memory predictions.
+  std::vector<Vec3> pos(ilist.size()), vel(ilist.size());
+  for (std::size_t k = 0; k < ilist.size(); ++k) {
+    G6_CHECK(ilist[k] < mass_.size(), "i-particle index out of range");
+    pos[k] = xp_[ilist[k]];
+    vel[k] = vp_[ilist[k]];
+  }
+  compute_states(t, ilist, pos, vel, out);
+}
+
+void CpuDirectBackend::compute_states(double t, std::span<const std::uint32_t> ilist,
+                                      std::span<const Vec3> pos,
+                                      std::span<const Vec3> vel,
+                                      std::span<Force> out) {
+  G6_CHECK(out.size() == ilist.size() && pos.size() == ilist.size() &&
+               vel.size() == ilist.size(),
+           "i-state span size mismatch");
+  G6_CHECK(!mass_.empty(), "no particles loaded");
+  predict_all(t);
+  const std::size_t n = mass_.size();
+  const double eps2 = eps_ * eps_;
+  pool_->parallel_for(ilist.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t k = b; k < e; ++k) {
+      const std::uint32_t i = ilist[k];
+      G6_CHECK(i < n, "i-particle index out of range");
+      const Vec3 xi = pos[k];
+      const Vec3 vi = vel[k];
+      Force f{};
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        pairwise_force(xi, vi, xp_[j], vp_[j], mass_[j], eps2, f);
+      }
+      out[k] = f;
+    }
+  });
+  interactions_ += static_cast<std::uint64_t>(ilist.size()) * (n - 1);
+}
+
+}  // namespace g6::nbody

@@ -1,0 +1,154 @@
+#include "nbody/hermite6.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace g6::nbody {
+
+namespace {
+
+/// Pairwise acc/jerk/snap of a source of mass \p m at relative position
+/// \p dx, relative velocity \p dv and relative acceleration \p da
+/// (Nitadori & Makino 2008, eqs. 8-12, with Plummer softening).
+void pair_force6(const Vec3& dx, const Vec3& dv, const Vec3& da, double m,
+                 double eps2, Force6& f) {
+  const double r2 = norm2(dx) + eps2;
+  const double rinv2 = 1.0 / r2;
+  const double rinv = std::sqrt(rinv2);
+  const double mr3 = m * rinv * rinv2;
+
+  const double alpha = dot(dx, dv) * rinv2;
+  const double beta = (norm2(dv) + dot(dx, da)) * rinv2 + alpha * alpha;
+
+  const Vec3 a = mr3 * dx;
+  const Vec3 j = mr3 * dv - 3.0 * alpha * a;
+  const Vec3 s = mr3 * da - 6.0 * alpha * j - 3.0 * beta * a;
+
+  f.acc += a;
+  f.jerk += j;
+  f.snap += s;
+  f.pot -= m * rinv;
+}
+
+}  // namespace
+
+void compute_force6(const ParticleSystem& ps, double eps, const SolarPotential& solar,
+                    std::vector<Force6>& out) {
+  const std::size_t n = ps.size();
+  out.assign(n, Force6{});
+  const double eps2 = eps * eps;
+
+  // Pass 1: Newtonian accelerations (mutual + solar) — needed for the
+  // relative-acceleration term of the snap.
+  std::vector<Vec3> acc(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec3 ai{};
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k == i) continue;
+      const Vec3 dx = ps.pos(k) - ps.pos(i);
+      const double r2 = norm2(dx) + eps2;
+      const double rinv = 1.0 / std::sqrt(r2);
+      ai += (ps.mass(k) * rinv * rinv * rinv) * dx;
+    }
+    if (solar.gm != 0.0) {
+      const double r2 = norm2(ps.pos(i));
+      const double rinv = 1.0 / std::sqrt(r2);
+      ai -= (solar.gm * rinv * rinv * rinv) * ps.pos(i);
+    }
+    acc[i] = ai;
+  }
+
+  // Pass 2: acc/jerk/snap with the full relative accelerations.
+  for (std::size_t i = 0; i < n; ++i) {
+    Force6 f{};
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k == i) continue;
+      pair_force6(ps.pos(k) - ps.pos(i), ps.vel(k) - ps.vel(i), acc[k] - acc[i],
+                  ps.mass(k), eps2, f);
+    }
+    if (solar.gm != 0.0) {
+      // The Sun: a fixed source at the origin (dx = -x, dv = -v, da = -a_i),
+      // unsoftened.
+      pair_force6(-ps.pos(i), -ps.vel(i), -acc[i], solar.gm, 0.0, f);
+    }
+    out[i] = f;
+  }
+}
+
+Hermite6Integrator::Hermite6Integrator(ParticleSystem& ps, double dt, double eps,
+                                       double solar_gm, int iterations)
+    : ps_(ps), dt_(dt), eps_(eps), iterations_(iterations) {
+  G6_CHECK(dt > 0.0, "timestep must be positive");
+  G6_CHECK(eps >= 0.0, "softening must be non-negative");
+  G6_CHECK(iterations >= 1, "need at least one corrector pass");
+  solar_.gm = solar_gm;
+}
+
+void Hermite6Integrator::initialize() {
+  G6_CHECK(!ps_.empty(), "cannot integrate an empty system");
+  compute_force6(ps_, eps_, solar_, f0_);
+  ++force_evals_;
+  t_ = ps_.time(0);
+  initialized_ = true;
+}
+
+void Hermite6Integrator::step() {
+  G6_CHECK(initialized_, "call initialize() first");
+  const std::size_t n = ps_.size();
+  const double dt = dt_;
+
+  x0_.resize(n);
+  v0_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x0_[i] = ps_.pos(i);
+    v0_[i] = ps_.vel(i);
+  }
+
+  // Predictor: Taylor series through the snap.
+  for (std::size_t i = 0; i < n; ++i) {
+    const Force6& f = f0_[i];
+    ps_.pos(i) = x0_[i] + v0_[i] * dt + f.acc * (dt * dt / 2.0) +
+                 f.jerk * (dt * dt * dt / 6.0) + f.snap * (dt * dt * dt * dt / 24.0);
+    ps_.vel(i) = v0_[i] + f.acc * dt + f.jerk * (dt * dt / 2.0) +
+                 f.snap * (dt * dt * dt / 6.0);
+  }
+
+  // Iterated corrector: evaluate at the current end state, apply the
+  // two-point quintic Hermite rule, repeat.
+  for (int pass = 0; pass < iterations_; ++pass) {
+    compute_force6(ps_, eps_, solar_, f1_);
+    ++force_evals_;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Force6& a0 = f0_[i];
+      const Force6& a1 = f1_[i];
+      const Vec3 v1 = v0_[i] + (a0.acc + a1.acc) * (dt / 2.0) +
+                      (a0.jerk - a1.jerk) * (dt * dt / 10.0) +
+                      (a0.snap + a1.snap) * (dt * dt * dt / 120.0);
+      const Vec3 x1 = x0_[i] + (v0_[i] + v1) * (dt / 2.0) +
+                      (a0.acc - a1.acc) * (dt * dt / 10.0) +
+                      (a0.jerk + a1.jerk) * (dt * dt * dt / 120.0);
+      ps_.pos(i) = x1;
+      ps_.vel(i) = v1;
+    }
+  }
+
+  // Final evaluation at the accepted state seeds the next step.
+  compute_force6(ps_, eps_, solar_, f0_);
+  ++force_evals_;
+
+  t_ += dt;
+  ++steps_;
+  for (std::size_t i = 0; i < n; ++i) {
+    ps_.time(i) = t_;
+    ps_.acc(i) = f0_[i].acc;
+    ps_.jerk(i) = f0_[i].jerk;
+    ps_.pot(i) = f0_[i].pot;
+  }
+}
+
+void Hermite6Integrator::evolve(double t_end) {
+  while (t_ + 0.5 * dt_ < t_end) step();
+}
+
+}  // namespace g6::nbody

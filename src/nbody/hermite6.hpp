@@ -1,0 +1,76 @@
+#pragma once
+/// \file hermite6.hpp
+/// \brief Sixth-order Hermite integrator (Nitadori & Makino 2008) — the
+///        scheme the GRAPE lineage moved to after the paper, included here
+///        as the repository's "future work" extension.
+///
+/// The 4th-order scheme interpolates the force from (a, j) at both ends of
+/// the step; the 6th-order scheme adds the snap s = d2a/dt2, whose pairwise
+/// evaluation needs the *relative acceleration* of the pair — hence a
+/// two-pass force calculation:
+///   pass 1: Newtonian acc (+ jerk) for every particle;
+///   pass 2: snap from (dx, dv, da).
+/// Corrector (the two-point quintic Hermite rule):
+///   v1 = v0 + dt/2 (a0+a1) + dt^2/10 (j0-j1) + dt^3/120 (s0+s1)
+///   x1 = x0 + dt/2 (v0+v1) + dt^2/10 (a0-a1) + dt^3/120 (j0+j1)
+/// Implemented as a shared-timestep scheme with a P(EC)^n iteration (the
+/// corrector needs forces at the corrected state to reach full order).
+
+#include <cstdint>
+
+#include "nbody/external_potential.hpp"
+#include "nbody/particle.hpp"
+
+namespace g6::nbody {
+
+/// Per-particle force with second derivative.
+struct Force6 {
+  Vec3 acc;
+  Vec3 jerk;
+  Vec3 snap;
+  double pot = 0.0;
+};
+
+/// Two-pass direct-summation evaluation of acc/jerk/snap (+ the external
+/// solar potential's contributions) for every particle of \p ps.
+/// O(N^2) per pass.
+void compute_force6(const ParticleSystem& ps, double eps, const SolarPotential& solar,
+                    std::vector<Force6>& out);
+
+/// Shared-timestep 6th-order Hermite integrator.
+class Hermite6Integrator {
+ public:
+  /// \p dt constant step; \p iterations corrector passes (>= 2 recommended:
+  /// the first pass predicts only to 4th order).
+  Hermite6Integrator(ParticleSystem& ps, double dt, double eps,
+                     double solar_gm = 0.0, int iterations = 2);
+
+  /// Evaluate initial forces. Must be called before step()/evolve().
+  void initialize();
+
+  /// One step of length dt.
+  void step();
+
+  /// Step until the system time reaches at least \p t_end.
+  void evolve(double t_end);
+
+  double current_time() const { return t_; }
+  std::uint64_t steps() const { return steps_; }
+  std::uint64_t force_evaluations() const { return force_evals_; }
+
+ private:
+  ParticleSystem& ps_;
+  double dt_;
+  double eps_;
+  SolarPotential solar_;
+  int iterations_;
+  double t_ = 0.0;
+  std::uint64_t steps_ = 0;
+  std::uint64_t force_evals_ = 0;
+  bool initialized_ = false;
+
+  std::vector<Force6> f0_, f1_;
+  std::vector<Vec3> x0_, v0_;
+};
+
+}  // namespace g6::nbody

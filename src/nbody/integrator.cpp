@@ -1,0 +1,186 @@
+#include "nbody/integrator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nbody/hermite.hpp"
+#include "util/check.hpp"
+
+namespace g6::nbody {
+
+HermiteIntegrator::HermiteIntegrator(ParticleSystem& ps, ForceBackend& backend,
+                                     IntegratorConfig cfg, g6::util::ThreadPool* pool)
+    : ps_(ps), backend_(backend), cfg_(cfg), pool_(pool) {
+  G6_CHECK(cfg_.eta > 0.0 && cfg_.eta_init > 0.0, "eta parameters must be positive");
+  G6_CHECK(is_power_of_two_step(cfg_.dt_max), "dt_max must be a power of two");
+  G6_CHECK(is_power_of_two_step(cfg_.dt_min), "dt_min must be a power of two");
+  G6_CHECK(cfg_.dt_min <= cfg_.dt_max, "dt_min must not exceed dt_max");
+  G6_CHECK(cfg_.corrector_iterations >= 1, "need at least one corrector pass");
+  if (pool_ == nullptr) {
+    owned_pool_ = std::make_unique<g6::util::ThreadPool>(1);
+    pool_ = owned_pool_.get();
+  }
+  solar_.gm = cfg_.solar_gm;
+}
+
+void HermiteIntegrator::initialize() {
+  const std::size_t n = ps_.size();
+  G6_CHECK(n > 0, "cannot integrate an empty system");
+  for (std::size_t i = 0; i < n; ++i) {
+    G6_CHECK(ps_.time(i) == ps_.time(0), "all particles must start at a common time");
+  }
+  t_sys_ = ps_.time(0);
+
+  backend_.load(ps_);
+  std::vector<std::uint32_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = static_cast<std::uint32_t>(i);
+  std::vector<Force> f(n);
+  backend_.compute(t_sys_, all, f);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    solar_.apply(ps_.pos(i), ps_.vel(i), f[i]);
+    ps_.acc(i) = f[i].acc;
+    ps_.jerk(i) = f[i].jerk;
+    ps_.pot(i) = f[i].pot;
+    const double dt_req = initial_dt(f[i].acc, f[i].jerk, cfg_.eta_init, cfg_.dt_max);
+    double dt = quantize_dt(dt_req, cfg_.dt_max, cfg_.dt_min);
+    // The first block boundary must be commensurate with the start time.
+    while (dt > cfg_.dt_min && !is_commensurate(t_sys_, dt)) dt *= 0.5;
+    ps_.dt(i) = dt;
+  }
+  // j-memory must see the initial acc/jerk for its predictor polynomials.
+  backend_.load(ps_);
+  scheduler_.reset(ps_.times(), ps_.dts());
+  stats_ = {};
+  initialized_ = true;
+}
+
+void HermiteIntegrator::correct_block(double t, std::span<const std::uint32_t> block,
+                                      std::span<const Force> forces, bool requantize) {
+  const std::size_t m = block.size();
+  std::vector<Predicted> pred(m);
+  std::vector<Predicted> corr(m);
+  std::vector<Force> f(m);
+  std::vector<HermiteDerivatives> deriv(m);
+
+  // First corrector pass from the predicted state (standard PEC) —
+  // per-particle work is independent; this is what the paper spreads over
+  // the 16 host PCs.
+  pool_->parallel_for(m, [&](std::size_t b, std::size_t e) {
+    for (std::size_t k = b; k < e; ++k) {
+      const std::uint32_t i = block[k];
+      const double dt = t - ps_.time(i);
+      pred[k] = hermite_predict(ps_.pos(i), ps_.vel(i), ps_.acc(i), ps_.jerk(i), dt);
+      f[k] = forces[k];
+      solar_.apply(pred[k].pos, pred[k].vel, f[k]);
+      deriv[k] = hermite_derivatives(ps_.acc(i), ps_.jerk(i), f[k].acc, f[k].jerk, dt);
+      corr[k] = hermite_correct(pred[k], deriv[k], dt);
+    }
+  });
+
+  // Optional P(EC)^n iterations: re-evaluate the force at the corrected
+  // state and correct again (time-symmetric for constant steps, KYM98).
+  for (int pass = 1; pass < cfg_.corrector_iterations; ++pass) {
+    std::vector<Vec3> pos(m), vel(m);
+    for (std::size_t k = 0; k < m; ++k) {
+      pos[k] = corr[k].pos;
+      vel[k] = corr[k].vel;
+    }
+    std::vector<Force> f2(m);
+    backend_.compute_states(t, block, pos, vel, f2);
+    pool_->parallel_for(m, [&](std::size_t b, std::size_t e) {
+      for (std::size_t k = b; k < e; ++k) {
+        const std::uint32_t i = block[k];
+        const double dt = t - ps_.time(i);
+        f[k] = f2[k];
+        solar_.apply(corr[k].pos, corr[k].vel, f[k]);
+        deriv[k] =
+            hermite_derivatives(ps_.acc(i), ps_.jerk(i), f[k].acc, f[k].jerk, dt);
+        corr[k] = hermite_correct(pred[k], deriv[k], dt);
+      }
+    });
+  }
+
+  // Finalise: timestep selection and state writeback.
+  pool_->parallel_for(m, [&](std::size_t b, std::size_t e) {
+    for (std::size_t k = b; k < e; ++k) {
+      const std::uint32_t i = block[k];
+      const double dt = t - ps_.time(i);
+      const double dt_req = aarseth_dt(f[k].acc, f[k].jerk, deriv[k], dt, cfg_.eta);
+      double dt_new;
+      if (requantize) {
+        dt_new = quantize_dt(dt_req, cfg_.dt_max, cfg_.dt_min);
+        while (dt_new > cfg_.dt_min && !is_commensurate(t, dt_new)) dt_new *= 0.5;
+      } else {
+        dt_new = next_block_dt(t, ps_.dt(i), dt_req, cfg_.dt_max, cfg_.dt_min);
+      }
+
+      ps_.pos(i) = corr[k].pos;
+      ps_.vel(i) = corr[k].vel;
+      ps_.acc(i) = f[k].acc;
+      ps_.jerk(i) = f[k].jerk;
+      ps_.pot(i) = f[k].pot;
+      ps_.time(i) = t;
+      ps_.dt(i) = dt_new;
+    }
+  });
+  // Scheduler pushes and stats stay on the driving thread.
+  for (std::uint32_t i : block) {
+    scheduler_.push(i, t + ps_.dt(i));
+  }
+}
+
+double HermiteIntegrator::step() {
+  G6_CHECK(initialized_, "call initialize() first");
+  const double t = scheduler_.pop_block(block_);
+  forces_.resize(block_.size());
+  backend_.compute(t, block_, forces_);
+
+  // Track dt changes for the stats before they are overwritten.
+  std::vector<double> old_dt(block_.size());
+  for (std::size_t k = 0; k < block_.size(); ++k) old_dt[k] = ps_.dt(block_[k]);
+
+  correct_block(t, block_, forces_, /*requantize=*/false);
+  backend_.update(block_, ps_);
+
+  for (std::size_t k = 0; k < block_.size(); ++k) {
+    if (ps_.dt(block_[k]) < old_dt[k]) ++stats_.dt_shrinks;
+    if (ps_.dt(block_[k]) > old_dt[k]) ++stats_.dt_grows;
+  }
+  ++stats_.blocks;
+  stats_.steps += block_.size();
+  if (cfg_.record_block_sizes)
+    stats_.block_sizes.push_back(static_cast<std::uint32_t>(block_.size()));
+  if (on_block) on_block(t, block_.size());
+  t_sys_ = t;
+  return t;
+}
+
+void HermiteIntegrator::evolve(double t_end) {
+  G6_CHECK(initialized_, "call initialize() first");
+  G6_CHECK(t_end >= t_sys_, "cannot evolve backwards");
+  while (scheduler_.next_time() <= t_end) step();
+  synchronize(t_end);
+}
+
+void HermiteIntegrator::synchronize(double t) {
+  G6_CHECK(initialized_, "call initialize() first");
+  std::vector<std::uint32_t> lagging;
+  for (std::size_t i = 0; i < ps_.size(); ++i) {
+    G6_CHECK(ps_.time(i) <= t, "synchronize target precedes a particle time");
+    if (ps_.time(i) < t) lagging.push_back(static_cast<std::uint32_t>(i));
+  }
+  if (lagging.empty()) {
+    t_sys_ = t;
+    return;
+  }
+  std::vector<Force> f(lagging.size());
+  backend_.compute(t, lagging, f);
+  correct_block(t, lagging, f, /*requantize=*/true);
+  backend_.update(lagging, ps_);
+  ++stats_.blocks;
+  stats_.steps += lagging.size();
+  t_sys_ = t;
+}
+
+}  // namespace g6::nbody

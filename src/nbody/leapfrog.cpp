@@ -1,0 +1,84 @@
+#include "nbody/leapfrog.hpp"
+
+#include <cmath>
+
+#include "nbody/force_direct.hpp"
+#include "util/check.hpp"
+
+namespace g6::nbody {
+
+void DirectAccelBackend::compute_all(const ParticleSystem& ps, std::span<Force> out) {
+  const std::size_t n = ps.size();
+  G6_CHECK(out.size() == n, "output span size mismatch");
+  const double eps2 = eps_ * eps_;
+  auto body = [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      Force f{};
+      const Vec3 xi = ps.pos(i);
+      const Vec3 vi = ps.vel(i);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        pairwise_force(xi, vi, ps.pos(j), ps.vel(j), ps.mass(j), eps2, f);
+      }
+      f.jerk = {};  // leapfrog does not use the jerk
+      out[i] = f;
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(n, body);
+  } else {
+    body(0, n);
+  }
+  interactions_ += static_cast<std::uint64_t>(n) * (n - 1);
+}
+
+LeapfrogIntegrator::LeapfrogIntegrator(ParticleSystem& ps, AccelBackend& backend,
+                                       double dt, double solar_gm)
+    : ps_(ps), backend_(backend), dt_(dt) {
+  G6_CHECK(dt > 0.0, "leapfrog timestep must be positive");
+  solar_.gm = solar_gm;
+}
+
+void LeapfrogIntegrator::apply_solar(std::span<Force> f) const {
+  for (std::size_t i = 0; i < ps_.size(); ++i)
+    solar_.apply(ps_.pos(i), ps_.vel(i), f[i]);
+}
+
+void LeapfrogIntegrator::initialize() {
+  forces_.assign(ps_.size(), Force{});
+  backend_.compute_all(ps_, forces_);
+  apply_solar(forces_);
+  for (std::size_t i = 0; i < ps_.size(); ++i) {
+    ps_.acc(i) = forces_[i].acc;
+    ps_.pot(i) = forces_[i].pot;
+  }
+  t_ = ps_.size() > 0 ? ps_.time(0) : 0.0;
+  initialized_ = true;
+}
+
+void LeapfrogIntegrator::step() {
+  G6_CHECK(initialized_, "call initialize() first");
+  const double half = 0.5 * dt_;
+  // Kick.
+  for (std::size_t i = 0; i < ps_.size(); ++i) ps_.vel(i) += half * ps_.acc(i);
+  // Drift.
+  for (std::size_t i = 0; i < ps_.size(); ++i) ps_.pos(i) += dt_ * ps_.vel(i);
+  // Force at the new positions.
+  backend_.compute_all(ps_, forces_);
+  apply_solar(forces_);
+  for (std::size_t i = 0; i < ps_.size(); ++i) {
+    ps_.acc(i) = forces_[i].acc;
+    ps_.pot(i) = forces_[i].pot;
+  }
+  // Kick.
+  for (std::size_t i = 0; i < ps_.size(); ++i) ps_.vel(i) += half * ps_.acc(i);
+  t_ += dt_;
+  ++steps_;
+  for (std::size_t i = 0; i < ps_.size(); ++i) ps_.time(i) = t_;
+}
+
+void LeapfrogIntegrator::evolve(double t_end) {
+  while (t_ + 0.5 * dt_ < t_end) step();
+}
+
+}  // namespace g6::nbody

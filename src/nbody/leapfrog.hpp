@@ -1,0 +1,75 @@
+#pragma once
+/// \file leapfrog.hpp
+/// \brief Shared-timestep kick-drift-kick leapfrog — the baseline scheme for
+///        systems whose particles share similar timescales (paper §3). Used
+///        by the tree-vs-direct bench and as a sanity reference in tests.
+
+#include <cstdint>
+#include <functional>
+
+#include "nbody/external_potential.hpp"
+#include "nbody/particle.hpp"
+#include "util/thread_pool.hpp"
+
+namespace g6::nbody {
+
+/// Acceleration-only force engine for leapfrog: fills out[i] with the
+/// acceleration (and potential) on every particle of the system.
+/// Implementations: direct summation (below) or the Barnes–Hut tree.
+class AccelBackend {
+ public:
+  virtual ~AccelBackend() = default;
+  virtual std::string name() const = 0;
+  /// Compute acceleration + potential for all particles of \p ps.
+  virtual void compute_all(const ParticleSystem& ps, std::span<Force> out) = 0;
+  virtual std::uint64_t interaction_count() const = 0;
+};
+
+/// Direct-summation O(N^2) acceleration backend.
+class DirectAccelBackend final : public AccelBackend {
+ public:
+  explicit DirectAccelBackend(double eps, g6::util::ThreadPool* pool = nullptr)
+      : eps_(eps), pool_(pool) {}
+
+  std::string name() const override { return "direct-accel"; }
+  void compute_all(const ParticleSystem& ps, std::span<Force> out) override;
+  std::uint64_t interaction_count() const override { return interactions_; }
+
+ private:
+  double eps_;
+  g6::util::ThreadPool* pool_;
+  std::uint64_t interactions_ = 0;
+};
+
+/// Fixed shared-timestep KDK leapfrog integrator.
+class LeapfrogIntegrator {
+ public:
+  LeapfrogIntegrator(ParticleSystem& ps, AccelBackend& backend, double dt,
+                     double solar_gm = 0.0);
+
+  /// Evaluate initial accelerations (call once before stepping).
+  void initialize();
+
+  /// One KDK step of length dt.
+  void step();
+
+  /// Step until the system time reaches (at least) t_end.
+  void evolve(double t_end);
+
+  double current_time() const { return t_; }
+  std::uint64_t steps() const { return steps_; }
+
+ private:
+  void apply_solar(std::span<Force> f) const;
+
+  ParticleSystem& ps_;
+  AccelBackend& backend_;
+  double dt_;
+  SolarPotential solar_;
+  double t_ = 0.0;
+  std::uint64_t steps_ = 0;
+  std::vector<Force> forces_;
+  bool initialized_ = false;
+};
+
+}  // namespace g6::nbody

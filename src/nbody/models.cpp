@@ -1,0 +1,79 @@
+#include "nbody/models.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "nbody/energy.hpp"
+#include "util/check.hpp"
+
+namespace g6::nbody {
+
+namespace {
+
+/// Isotropic random direction.
+Vec3 random_direction(g6::util::Rng& rng) {
+  const double z = rng.uniform(-1.0, 1.0);
+  const double phi = rng.angle();
+  const double s = std::sqrt(1.0 - z * z);
+  return {s * std::cos(phi), s * std::sin(phi), z};
+}
+
+}  // namespace
+
+void to_center_of_mass_frame(ParticleSystem& ps) {
+  const Vec3 x0 = center_of_mass(ps);
+  const Vec3 v0 = center_of_mass_velocity(ps);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    ps.pos(i) -= x0;
+    ps.vel(i) -= v0;
+  }
+}
+
+ParticleSystem plummer_sphere(std::size_t n, double total_mass, double scale,
+                              g6::util::Rng& rng) {
+  G6_CHECK(n > 0 && total_mass > 0.0 && scale > 0.0, "bad Plummer parameters");
+  ParticleSystem ps;
+  const double m = total_mass / static_cast<double>(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Radius from the cumulative mass profile M(r) ∝ (1 + (a/r)^2)^(-3/2).
+    double u;
+    do { u = rng.uniform(); } while (u == 0.0);
+    const double r = scale / std::sqrt(std::pow(u, -2.0 / 3.0) - 1.0);
+
+    // Velocity modulus by von Neumann rejection on q^2 (1-q^2)^{7/2}
+    // (Aarseth, Hénon & Wielen 1974), q = v / v_escape.
+    double q, g;
+    do {
+      q = rng.uniform();
+      g = rng.uniform(0.0, 0.1);
+    } while (g > q * q * std::pow(1.0 - q * q, 3.5));
+    const double v_esc =
+        std::sqrt(2.0 * total_mass) * std::pow(r * r + scale * scale, -0.25);
+
+    ps.add(m, r * random_direction(rng), q * v_esc * random_direction(rng));
+  }
+  to_center_of_mass_frame(ps);
+  return ps;
+}
+
+ParticleSystem cold_uniform_sphere(std::size_t n, double total_mass, double radius,
+                                   g6::util::Rng& rng) {
+  G6_CHECK(n > 0 && total_mass > 0.0 && radius > 0.0, "bad sphere parameters");
+  ParticleSystem ps;
+  const double m = total_mass / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double r = radius * std::cbrt(rng.uniform());
+    ps.add(m, r * random_direction(rng), {});
+  }
+  to_center_of_mass_frame(ps);
+  return ps;
+}
+
+double virial_ratio(const ParticleSystem& ps, double eps) {
+  const EnergyReport rep = compute_energy(ps, eps, 0.0);
+  G6_CHECK(rep.potential_mutual < 0.0, "virial ratio of an unbound system");
+  return -rep.kinetic / rep.potential_mutual;
+}
+
+}  // namespace g6::nbody

@@ -1,0 +1,33 @@
+#pragma once
+/// \file models.hpp
+/// \brief Classic N-body initial-condition generators used to exercise the
+///        GRAPE machinery outside the planetesimal problem: the Plummer
+///        sphere (the standard benchmark model of the GRAPE papers and of
+///        collisional stellar dynamics) and the cold uniform sphere.
+
+#include <cstdint>
+
+#include "nbody/particle.hpp"
+#include "util/rng.hpp"
+
+namespace g6::nbody {
+
+/// Equal-mass Plummer model with total mass \p total_mass and Plummer scale
+/// radius \p scale (virial-equilibrium velocities, isotropic). Standard
+/// Aarseth–Hénon–Wielen rejection sampling; the result is shifted to the
+/// centre-of-mass frame.
+ParticleSystem plummer_sphere(std::size_t n, double total_mass, double scale,
+                              g6::util::Rng& rng);
+
+/// Cold (zero-velocity) homogeneous sphere of radius \p radius — the classic
+/// violent-relaxation / cold-collapse test.
+ParticleSystem cold_uniform_sphere(std::size_t n, double total_mass, double radius,
+                                   g6::util::Rng& rng);
+
+/// Shift a system to its centre-of-mass frame (position and velocity).
+void to_center_of_mass_frame(ParticleSystem& ps);
+
+/// Virial ratio Q = -T/W of a snapshot (0.5 in equilibrium). O(N^2).
+double virial_ratio(const ParticleSystem& ps, double eps = 0.0);
+
+}  // namespace g6::nbody

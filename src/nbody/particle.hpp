@@ -1,0 +1,113 @@
+#pragma once
+/// \file particle.hpp
+/// \brief Structure-of-arrays particle storage for the Hermite/block-timestep
+///        engine.
+///
+/// Each particle carries the full 4th-order Hermite state: position, velocity,
+/// acceleration and jerk evaluated at its *individual* time `t`, plus its
+/// individual timestep `dt` (a power of two under the block scheme). The
+/// layout is SoA because the force kernels and the GRAPE j-particle memory
+/// both stream per-component arrays.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/vec3.hpp"
+
+namespace g6::nbody {
+
+using g6::util::Vec3;
+
+/// Result of one force evaluation on one particle.
+struct Force {
+  Vec3 acc;     ///< acceleration
+  Vec3 jerk;    ///< time derivative of acceleration
+  double pot = 0.0;  ///< potential (per unit mass, negative-definite part)
+};
+
+/// SoA particle container.
+class ParticleSystem {
+ public:
+  ParticleSystem() = default;
+
+  /// Construct with \p n zero-initialised particles.
+  explicit ParticleSystem(std::size_t n) { resize(n); }
+
+  void resize(std::size_t n) {
+    mass_.resize(n, 0.0);
+    pos_.resize(n);
+    vel_.resize(n);
+    acc_.resize(n);
+    jerk_.resize(n);
+    pot_.resize(n, 0.0);
+    time_.resize(n, 0.0);
+    dt_.resize(n, 0.0);
+    id_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) id_[i] = static_cast<std::uint32_t>(i);
+  }
+
+  /// Append one particle at time 0; returns its index.
+  std::size_t add(double m, const Vec3& x, const Vec3& v) {
+    mass_.push_back(m);
+    pos_.push_back(x);
+    vel_.push_back(v);
+    acc_.push_back({});
+    jerk_.push_back({});
+    pot_.push_back(0.0);
+    time_.push_back(0.0);
+    dt_.push_back(0.0);
+    id_.push_back(static_cast<std::uint32_t>(id_.size()));
+    return mass_.size() - 1;
+  }
+
+  std::size_t size() const { return mass_.size(); }
+  bool empty() const { return mass_.empty(); }
+
+  // Mutable / const field access.
+  double& mass(std::size_t i) { return mass_[i]; }
+  double mass(std::size_t i) const { return mass_[i]; }
+  Vec3& pos(std::size_t i) { return pos_[i]; }
+  const Vec3& pos(std::size_t i) const { return pos_[i]; }
+  Vec3& vel(std::size_t i) { return vel_[i]; }
+  const Vec3& vel(std::size_t i) const { return vel_[i]; }
+  Vec3& acc(std::size_t i) { return acc_[i]; }
+  const Vec3& acc(std::size_t i) const { return acc_[i]; }
+  Vec3& jerk(std::size_t i) { return jerk_[i]; }
+  const Vec3& jerk(std::size_t i) const { return jerk_[i]; }
+  double& pot(std::size_t i) { return pot_[i]; }
+  double pot(std::size_t i) const { return pot_[i]; }
+  double& time(std::size_t i) { return time_[i]; }
+  double time(std::size_t i) const { return time_[i]; }
+  double& dt(std::size_t i) { return dt_[i]; }
+  double dt(std::size_t i) const { return dt_[i]; }
+  std::uint32_t id(std::size_t i) const { return id_[i]; }
+
+  // Whole-array views (for kernels and the hardware model).
+  std::span<const double> masses() const { return mass_; }
+  std::span<const Vec3> positions() const { return pos_; }
+  std::span<const Vec3> velocities() const { return vel_; }
+  std::span<const Vec3> accelerations() const { return acc_; }
+  std::span<const Vec3> jerks() const { return jerk_; }
+  std::span<const double> times() const { return time_; }
+  std::span<const double> dts() const { return dt_; }
+
+  /// Total mass of all particles.
+  double total_mass() const {
+    double m = 0.0;
+    for (double mi : mass_) m += mi;
+    return m;
+  }
+
+ private:
+  std::vector<double> mass_;
+  std::vector<Vec3> pos_, vel_, acc_, jerk_;
+  std::vector<double> pot_;
+  std::vector<double> time_;  ///< individual time of validity of the state
+  std::vector<double> dt_;    ///< individual timestep (power of two)
+  std::vector<std::uint32_t> id_;
+};
+
+}  // namespace g6::nbody

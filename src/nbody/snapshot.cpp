@@ -1,0 +1,118 @@
+#include "nbody/snapshot.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace g6::nbody {
+
+void write_snapshot(std::ostream& os, const ParticleSystem& ps, double time) {
+  os.precision(17);
+  os << "g6snap " << ps.size() << ' ' << time << '\n';
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const auto& x = ps.pos(i);
+    const auto& v = ps.vel(i);
+    os << ps.id(i) << ' ' << ps.mass(i) << ' ' << x.x << ' ' << x.y << ' ' << x.z << ' '
+       << v.x << ' ' << v.y << ' ' << v.z << '\n';
+  }
+  G6_CHECK(os.good(), "snapshot write failed");
+}
+
+void write_snapshot_file(const std::string& path, const ParticleSystem& ps, double time) {
+  std::ofstream os(path);
+  G6_CHECK(os.is_open(), "cannot open snapshot file for writing: " + path);
+  write_snapshot(os, ps, time);
+}
+
+double read_snapshot(std::istream& is, ParticleSystem& ps) {
+  std::string magic;
+  std::size_t n = 0;
+  double time = 0.0;
+  is >> magic >> n >> time;
+  G6_CHECK(is.good() && magic == "g6snap", "not a g6 snapshot stream");
+  ps.resize(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t id = 0;
+    double m = 0.0;
+    Vec3 x, v;
+    is >> id >> m >> x.x >> x.y >> x.z >> v.x >> v.y >> v.z;
+    G6_CHECK(!is.fail(), "truncated snapshot at particle " + std::to_string(i));
+    const std::size_t k = ps.add(m, x, v);
+    ps.time(k) = time;
+  }
+  return time;
+}
+
+double read_snapshot_file(const std::string& path, ParticleSystem& ps) {
+  std::ifstream is(path);
+  G6_CHECK(is.is_open(), "cannot open snapshot file for reading: " + path);
+  return read_snapshot(is, ps);
+}
+
+namespace {
+
+constexpr char kBinaryMagic[8] = {'G', '6', 'S', 'N', 'A', 'P', 'B', '1'};
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod_stream(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  G6_CHECK(is.good(), "truncated binary snapshot");
+  return value;
+}
+
+}  // namespace
+
+void write_snapshot_binary(std::ostream& os, const ParticleSystem& ps, double time) {
+  os.write(kBinaryMagic, sizeof kBinaryMagic);
+  write_pod(os, static_cast<std::uint64_t>(ps.size()));
+  write_pod(os, time);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    write_pod(os, static_cast<std::uint64_t>(ps.id(i)));
+    write_pod(os, ps.mass(i));
+    write_pod(os, ps.pos(i));
+    write_pod(os, ps.vel(i));
+  }
+  G6_CHECK(os.good(), "binary snapshot write failed");
+}
+
+void write_snapshot_binary_file(const std::string& path, const ParticleSystem& ps,
+                                double time) {
+  std::ofstream os(path, std::ios::binary);
+  G6_CHECK(os.is_open(), "cannot open snapshot file for writing: " + path);
+  write_snapshot_binary(os, ps, time);
+}
+
+double read_snapshot_binary(std::istream& is, ParticleSystem& ps) {
+  char magic[8] = {};
+  is.read(magic, sizeof magic);
+  G6_CHECK(is.good() && std::memcmp(magic, kBinaryMagic, sizeof magic) == 0,
+           "not a g6 binary snapshot stream");
+  const auto n = read_pod_stream<std::uint64_t>(is);
+  const auto time = read_pod_stream<double>(is);
+  ps.resize(0);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    (void)read_pod_stream<std::uint64_t>(is);  // id (reassigned on add)
+    const auto m = read_pod_stream<double>(is);
+    const auto x = read_pod_stream<Vec3>(is);
+    const auto v = read_pod_stream<Vec3>(is);
+    const std::size_t k = ps.add(m, x, v);
+    ps.time(k) = time;
+  }
+  return time;
+}
+
+double read_snapshot_binary_file(const std::string& path, ParticleSystem& ps) {
+  std::ifstream is(path, std::ios::binary);
+  G6_CHECK(is.is_open(), "cannot open snapshot file for reading: " + path);
+  return read_snapshot_binary(is, ps);
+}
+
+}  // namespace g6::nbody

@@ -1,0 +1,34 @@
+#pragma once
+/// \file snapshot.hpp
+/// \brief Plain-text snapshot I/O ("The whole simulation, including file
+///        operations" — §6). Round-trip exact: values are written with 17
+///        significant digits.
+
+#include <iosfwd>
+#include <string>
+
+#include "nbody/particle.hpp"
+
+namespace g6::nbody {
+
+/// Write a snapshot: header line `g6snap <n> <time>` followed by one line per
+/// particle: `id mass x y z vx vy vz`.
+void write_snapshot(std::ostream& os, const ParticleSystem& ps, double time);
+void write_snapshot_file(const std::string& path, const ParticleSystem& ps, double time);
+
+/// Read a snapshot written by write_snapshot. All particles are placed at the
+/// snapshot time with zero acc/jerk (call HermiteIntegrator::initialize()
+/// to rebuild derivatives). Returns the snapshot time.
+double read_snapshot(std::istream& is, ParticleSystem& ps);
+double read_snapshot_file(const std::string& path, ParticleSystem& ps);
+
+/// Binary snapshot (production-run sized outputs; §6 mentions the run's
+/// file operations): magic "G6SNAPB1", particle count, time, then packed
+/// per-particle records (id, mass, pos, vel as native doubles/uint64).
+void write_snapshot_binary(std::ostream& os, const ParticleSystem& ps, double time);
+void write_snapshot_binary_file(const std::string& path, const ParticleSystem& ps,
+                                double time);
+double read_snapshot_binary(std::istream& is, ParticleSystem& ps);
+double read_snapshot_binary_file(const std::string& path, ParticleSystem& ps);
+
+}  // namespace g6::nbody

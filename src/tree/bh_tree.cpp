@@ -1,0 +1,226 @@
+#include "tree/bh_tree.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace g6::tree {
+
+namespace {
+/// Octant of \p x relative to \p center (bit 0: x, bit 1: y, bit 2: z).
+int octant_of(const Vec3& x, const Vec3& center) {
+  return (x.x >= center.x ? 1 : 0) | (x.y >= center.y ? 2 : 0) |
+         (x.z >= center.z ? 4 : 0);
+}
+
+Vec3 child_center(const Vec3& center, double quarter, int oct) {
+  return {center.x + ((oct & 1) != 0 ? quarter : -quarter),
+          center.y + ((oct & 2) != 0 ? quarter : -quarter),
+          center.z + ((oct & 4) != 0 ? quarter : -quarter)};
+}
+
+bool contains(const TreeNode& n, const Vec3& x) {
+  return std::abs(x.x - n.center.x) <= n.half &&
+         std::abs(x.y - n.center.y) <= n.half &&
+         std::abs(x.z - n.center.z) <= n.half;
+}
+}  // namespace
+
+void BarnesHutTree::build(std::span<const Vec3> pos, std::span<const double> mass) {
+  G6_CHECK(pos.size() == mass.size(), "position/mass size mismatch");
+  G6_CHECK(!pos.empty(), "cannot build a tree over zero particles");
+
+  pos_.assign(pos.begin(), pos.end());
+  mass_.assign(mass.begin(), mass.end());
+  order_.resize(pos.size());
+  for (std::size_t i = 0; i < pos.size(); ++i)
+    order_[i] = static_cast<std::uint32_t>(i);
+
+  Vec3 lo = pos[0], hi = pos[0];
+  for (const Vec3& x : pos) {
+    lo = g6::util::min(lo, x);
+    hi = g6::util::max(hi, x);
+  }
+  const Vec3 center = 0.5 * (lo + hi);
+  double half = 0.0;
+  for (int c = 0; c < 3; ++c) half = std::max(half, 0.5 * (hi[c] - lo[c]));
+  half = std::max(half, 1e-12) * 1.0000001;  // avoid zero-size root
+
+  nodes_.clear();
+  nodes_.reserve(2 * pos.size());
+  build_node(center, half, 0, static_cast<std::uint32_t>(pos.size()), 0);
+  compute_moments(0);
+}
+
+std::int32_t BarnesHutTree::build_node(const Vec3& center, double half,
+                                       std::uint32_t first, std::uint32_t count,
+                                       int depth) {
+  const auto id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back({});
+  {
+    TreeNode& n = nodes_.back();
+    n.center = center;
+    n.half = half;
+    n.first = first;
+    n.count = count;
+  }
+
+  if (count <= cfg_.leaf_capacity || depth >= cfg_.max_depth) {
+    nodes_[static_cast<std::size_t>(id)].leaf = true;
+    return id;
+  }
+
+  // Bucket the subrange by octant (stable; keeps ranges contiguous).
+  std::array<std::vector<std::uint32_t>, 8> bucket;
+  for (std::uint32_t k = first; k < first + count; ++k) {
+    const std::uint32_t p = order_[k];
+    bucket[static_cast<std::size_t>(octant_of(pos_[p], center))].push_back(p);
+  }
+  std::uint32_t cursor = first;
+  std::array<std::pair<std::uint32_t, std::uint32_t>, 8> range;
+  for (int oct = 0; oct < 8; ++oct) {
+    range[static_cast<std::size_t>(oct)] = {
+        cursor, static_cast<std::uint32_t>(bucket[static_cast<std::size_t>(oct)].size())};
+    for (std::uint32_t p : bucket[static_cast<std::size_t>(oct)]) order_[cursor++] = p;
+  }
+
+  nodes_[static_cast<std::size_t>(id)].leaf = false;
+  const double quarter = 0.5 * half;
+  for (int oct = 0; oct < 8; ++oct) {
+    const auto [b, c] = range[static_cast<std::size_t>(oct)];
+    if (c == 0) continue;
+    const std::int32_t ch =
+        build_node(child_center(center, quarter, oct), quarter, b, c, depth + 1);
+    nodes_[static_cast<std::size_t>(id)].child[oct] = ch;
+  }
+  return id;
+}
+
+void BarnesHutTree::compute_moments(std::int32_t n) {
+  TreeNode& node = nodes_[static_cast<std::size_t>(n)];
+  // Every node covers a contiguous order_ range, so moments come straight
+  // from the particles (leaves and internal nodes alike).
+  double m = 0.0;
+  Vec3 com{};
+  for (std::uint32_t k = node.first; k < node.first + node.count; ++k) {
+    const std::uint32_t p = order_[k];
+    m += mass_[p];
+    com += mass_[p] * pos_[p];
+  }
+  node.mass = m;
+  node.com = m > 0.0 ? com / m : node.center;
+
+  if (cfg_.quadrupole) {
+    double q[6] = {};
+    for (std::uint32_t k = node.first; k < node.first + node.count; ++k) {
+      const std::uint32_t p = order_[k];
+      const Vec3 d = pos_[p] - node.com;
+      const double d2 = norm2(d);
+      q[0] += mass_[p] * (3.0 * d.x * d.x - d2);
+      q[1] += mass_[p] * (3.0 * d.y * d.y - d2);
+      q[2] += mass_[p] * (3.0 * d.z * d.z - d2);
+      q[3] += mass_[p] * 3.0 * d.x * d.y;
+      q[4] += mass_[p] * 3.0 * d.x * d.z;
+      q[5] += mass_[p] * 3.0 * d.y * d.z;
+    }
+    for (int c = 0; c < 6; ++c) node.quad[c] = q[c];
+  }
+
+  if (!node.leaf) {
+    for (const std::int32_t ch : node.child)
+      if (ch >= 0) compute_moments(ch);
+  }
+}
+
+void BarnesHutTree::accumulate(std::int32_t n, const Vec3& x, double eps2,
+                               std::int64_t skip, Force& f) const {
+  const TreeNode& node = nodes_[static_cast<std::size_t>(n)];
+  if (node.count == 0) return;
+
+  const Vec3 d = x - node.com;
+  const double r2 = norm2(d) + eps2;
+
+  // Opening criterion (applies to leaves too): open when s/d >= theta, or
+  // when the evaluation point lies inside the cell (an interior point can
+  // be far from the centre of mass and still must not see a multipole).
+  const double s = 2.0 * node.half;
+  const bool must_open =
+      s * s >= cfg_.theta * cfg_.theta * r2 || contains(node, x);
+
+  if (!node.leaf && must_open) {
+    for (const std::int32_t ch : node.child)
+      if (ch >= 0) accumulate(ch, x, eps2, skip, f);
+    return;
+  }
+
+  // A leaf that must open — or any leaf that holds the excluded particle —
+  // is summed per particle.
+  bool leaf_direct = node.leaf && must_open;
+  if (node.leaf && !leaf_direct && skip >= 0) {
+    for (std::uint32_t k = node.first; k < node.first + node.count; ++k)
+      if (order_[k] == static_cast<std::uint32_t>(skip)) {
+        leaf_direct = true;
+        break;
+      }
+  }
+  if (leaf_direct) {
+    for (std::uint32_t k = node.first; k < node.first + node.count; ++k) {
+      const std::uint32_t p = order_[k];
+      if (skip >= 0 && p == static_cast<std::uint32_t>(skip)) continue;
+      const Vec3 dp = x - pos_[p];
+      const double rp2 = norm2(dp) + eps2;
+      const double rinv = 1.0 / std::sqrt(rp2);
+      const double mr3 = mass_[p] * rinv * rinv * rinv;
+      f.acc -= mr3 * dp;
+      f.pot -= mass_[p] * rinv;
+      ++interactions_;
+    }
+    return;
+  }
+
+  // Accept the cell: monopole (+ optional quadrupole).
+  const double rinv = 1.0 / std::sqrt(r2);
+  const double rinv2 = rinv * rinv;
+  const double mr3 = node.mass * rinv * rinv2;
+  f.acc -= mr3 * d;
+  f.pot -= node.mass * rinv;
+  if (cfg_.quadrupole) {
+    const double* q = node.quad;
+    const Vec3 qd{q[0] * d.x + q[3] * d.y + q[4] * d.z,
+                  q[3] * d.x + q[1] * d.y + q[5] * d.z,
+                  q[4] * d.x + q[5] * d.y + q[2] * d.z};
+    const double dqd = dot(d, qd);
+    const double rinv5 = rinv2 * rinv2 * rinv;
+    const double rinv7 = rinv5 * rinv2;
+    f.acc += qd * rinv5 - (2.5 * dqd * rinv7) * d;
+    f.pot -= 0.5 * dqd * rinv5;
+  }
+  ++interactions_;
+}
+
+Force BarnesHutTree::force_on(std::size_t i, double eps2) const {
+  G6_CHECK(!nodes_.empty(), "tree not built");
+  G6_CHECK(i < pos_.size(), "particle index out of range");
+  Force f{};
+  accumulate(0, pos_[i], eps2, static_cast<std::int64_t>(i), f);
+  return f;
+}
+
+Force BarnesHutTree::force_at(const Vec3& x, double eps2) const {
+  G6_CHECK(!nodes_.empty(), "tree not built");
+  Force f{};
+  accumulate(0, x, eps2, -1, f);
+  return f;
+}
+
+void TreeAccelBackend::compute_all(const g6::nbody::ParticleSystem& ps,
+                                   std::span<Force> out) {
+  G6_CHECK(out.size() == ps.size(), "output span size mismatch");
+  tree_.build(ps.positions(), ps.masses());
+  const double eps2 = eps_ * eps_;
+  for (std::size_t i = 0; i < ps.size(); ++i) out[i] = tree_.force_on(i, eps2);
+}
+
+}  // namespace g6::tree

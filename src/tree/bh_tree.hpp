@@ -1,0 +1,107 @@
+#pragma once
+/// \file bh_tree.hpp
+/// \brief Barnes–Hut octree gravity — the O(N log N) alternative the paper
+///        weighs and rejects for this problem class (§3: "it is very
+///        difficult to achieve high efficiency with these algorithms when
+///        the timesteps of particles vary widely").
+///
+/// Built to make that comparison quantitative (bench E4): recursive octree
+/// with monopole and optional quadrupole cell moments, opening-angle
+/// acceptance criterion, softened forces, and interaction counting.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nbody/leapfrog.hpp"
+#include "nbody/particle.hpp"
+#include "util/vec3.hpp"
+
+namespace g6::tree {
+
+using g6::nbody::Force;
+using g6::util::Vec3;
+
+/// Tree accuracy/shape parameters.
+struct TreeConfig {
+  double theta = 0.5;             ///< opening angle (s/d < theta accepts)
+  std::size_t leaf_capacity = 8;  ///< max particles per leaf
+  bool quadrupole = false;        ///< include quadrupole cell moments
+  int max_depth = 64;             ///< guard against coincident particles
+};
+
+/// One octree node (internal or leaf).
+struct TreeNode {
+  Vec3 center;         ///< geometric centre of the cube
+  double half = 0.0;   ///< half edge length
+  double mass = 0.0;   ///< total mass
+  Vec3 com;            ///< centre of mass
+  double quad[6] = {}; ///< traceless quadrupole: xx, yy, zz, xy, xz, yz
+  std::int32_t child[8] = {-1, -1, -1, -1, -1, -1, -1, -1};
+  std::uint32_t first = 0, count = 0;  ///< particle index range (leaves)
+  bool leaf = true;
+};
+
+/// Barnes–Hut octree over a particle snapshot.
+class BarnesHutTree {
+ public:
+  explicit BarnesHutTree(TreeConfig cfg = {}) : cfg_(cfg) {}
+
+  const TreeConfig& config() const { return cfg_; }
+
+  /// Build from positions/masses (copied by index; rebuild after motion).
+  void build(std::span<const Vec3> pos, std::span<const double> mass);
+
+  /// Number of nodes in the current tree.
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Acceleration + potential at the position of particle \p i (excluded
+  /// from its own force). Requires a built tree.
+  Force force_on(std::size_t i, double eps2) const;
+
+  /// Acceleration + potential at an arbitrary point (no exclusion).
+  Force force_at(const Vec3& x, double eps2) const;
+
+  /// Cell+particle interactions evaluated since construction.
+  std::uint64_t interaction_count() const { return interactions_; }
+
+  /// Root node (diagnostics/tests).
+  const TreeNode& root() const { return nodes_.front(); }
+  const TreeNode& node(std::size_t k) const { return nodes_[k]; }
+
+ private:
+  std::int32_t build_node(const Vec3& center, double half, std::uint32_t first,
+                          std::uint32_t count, int depth);
+  void compute_moments(std::int32_t n);
+  void accumulate(std::int32_t n, const Vec3& x, double eps2, std::int64_t skip,
+                  Force& f) const;
+
+  TreeConfig cfg_;
+  std::vector<TreeNode> nodes_;
+  std::vector<std::uint32_t> order_;  ///< particle indices, tree-ordered
+  std::vector<Vec3> pos_;
+  std::vector<double> mass_;
+  mutable std::uint64_t interactions_ = 0;
+};
+
+/// AccelBackend adapter: rebuilds the tree and evaluates all forces — the
+/// force engine of the tree+leapfrog baseline.
+class TreeAccelBackend final : public g6::nbody::AccelBackend {
+ public:
+  TreeAccelBackend(TreeConfig cfg, double eps) : tree_(cfg), eps_(eps) {}
+
+  std::string name() const override { return "barnes-hut"; }
+  void compute_all(const g6::nbody::ParticleSystem& ps,
+                   std::span<Force> out) override;
+  std::uint64_t interaction_count() const override {
+    return tree_.interaction_count();
+  }
+
+  const BarnesHutTree& tree() const { return tree_; }
+
+ private:
+  BarnesHutTree tree_;
+  double eps_;
+};
+
+}  // namespace g6::tree

@@ -1,0 +1,88 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace g6::util {
+
+namespace {
+// Density ramp from sparse to dense.
+constexpr char kRamp[] = {'.', ':', '-', '=', '+', '*', '#', '%', '@'};
+constexpr int kRampSize = static_cast<int>(sizeof kRamp);
+}  // namespace
+
+AsciiPlot::AsciiPlot(double xlo, double xhi, double ylo, double yhi,
+                     std::size_t cols, std::size_t rows)
+    : xlo_(xlo), xhi_(xhi), ylo_(ylo), yhi_(yhi), cols_(cols), rows_(rows),
+      density_(cols * rows, 0), overlay_(cols * rows, '\0') {
+  G6_CHECK(xhi > xlo && yhi > ylo, "plot range must be non-empty");
+  G6_CHECK(cols > 0 && rows > 0, "plot canvas must be non-empty");
+}
+
+bool AsciiPlot::to_cell(double x, double y, std::size_t& c, std::size_t& r) const {
+  const double fx = (x - xlo_) / (xhi_ - xlo_);
+  const double fy = (y - ylo_) / (yhi_ - ylo_);
+  if (fx < 0.0 || fx >= 1.0 || fy < 0.0 || fy >= 1.0) return false;
+  c = std::min(static_cast<std::size_t>(fx * static_cast<double>(cols_)), cols_ - 1);
+  // Row 0 is the top of the canvas -> largest y.
+  r = rows_ - 1 -
+      std::min(static_cast<std::size_t>(fy * static_cast<double>(rows_)), rows_ - 1);
+  return true;
+}
+
+void AsciiPlot::point(double x, double y) {
+  std::size_t c, r;
+  if (to_cell(x, y, c, r)) ++density_[r * cols_ + c];
+}
+
+void AsciiPlot::marker(double x, double y, char glyph) {
+  std::size_t c, r;
+  if (to_cell(x, y, c, r)) overlay_[r * cols_ + c] = glyph;
+}
+
+std::string AsciiPlot::render(const std::string& title) const {
+  int peak = 0;
+  for (int d : density_) peak = std::max(peak, d);
+
+  std::string out;
+  if (!title.empty()) out += title + '\n';
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "y: [%g, %g]  x: [%g, %g]\n", ylo_, yhi_, xlo_, xhi_);
+  out += buf;
+
+  out += '+';
+  out.append(cols_, '-');
+  out += "+\n";
+  for (std::size_t r = 0; r < rows_; ++r) {
+    out += '|';
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const char ov = overlay_[r * cols_ + c];
+      if (ov != '\0') {
+        out += ov;
+        continue;
+      }
+      const int d = density_[r * cols_ + c];
+      if (d == 0 || peak == 0) {
+        out += ' ';
+      } else if (d == 1) {
+        out += kRamp[0];  // lone points always render light
+      } else {
+        // Log shading: single points stay visible next to dense clumps.
+        const double f = std::log(1.0 + d) / std::log(1.0 + peak);
+        const int idx =
+            std::min(kRampSize - 1, static_cast<int>(f * (kRampSize - 1) + 0.999));
+        out += kRamp[idx];
+      }
+    }
+    out += "|\n";
+  }
+  out += '+';
+  out.append(cols_, '-');
+  out += "+\n";
+  return out;
+}
+
+}  // namespace g6::util

@@ -1,0 +1,37 @@
+#pragma once
+/// \file ascii_plot.hpp
+/// \brief Terminal scatter plots, used to render the reproduction of the
+///        paper's Figure 13 (planetesimal distribution snapshots) in bench
+///        output without a graphics dependency.
+
+#include <string>
+#include <vector>
+
+namespace g6::util {
+
+/// A character-cell scatter plot with density shading.
+class AsciiPlot {
+ public:
+  /// \p cols x \p rows character canvas covering [xlo,xhi] x [ylo,yhi].
+  AsciiPlot(double xlo, double xhi, double ylo, double yhi,
+            std::size_t cols = 72, std::size_t rows = 24);
+
+  /// Register one point; density per cell selects the glyph.
+  void point(double x, double y);
+
+  /// Overlay a labelled marker (e.g. a protoplanet) drawn above the density.
+  void marker(double x, double y, char glyph);
+
+  /// Render with a frame and axis annotations.
+  std::string render(const std::string& title = {}) const;
+
+ private:
+  bool to_cell(double x, double y, std::size_t& c, std::size_t& r) const;
+
+  double xlo_, xhi_, ylo_, yhi_;
+  std::size_t cols_, rows_;
+  std::vector<int> density_;
+  std::vector<char> overlay_;
+};
+
+}  // namespace g6::util

@@ -1,0 +1,32 @@
+#pragma once
+/// \file check.hpp
+/// \brief Invariant checking used across all modules.
+///
+/// G6_CHECK is always on (release builds included): the hardware simulator
+/// and the scheduler rely on these to reject invalid configurations rather
+/// than silently producing wrong physics. Violations throw g6::util::Error
+/// so tests can assert on them.
+
+#include <stdexcept>
+#include <string>
+
+namespace g6::util {
+
+/// Exception type thrown on invariant violation or invalid configuration.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void raise(const std::string& msg) { throw Error(msg); }
+
+}  // namespace g6::util
+
+/// Check a precondition/invariant; throws g6::util::Error with location info.
+#define G6_CHECK(cond, msg)                                                      \
+  do {                                                                           \
+    if (!(cond)) {                                                               \
+      ::g6::util::raise(std::string(__FILE__) + ":" + std::to_string(__LINE__) + \
+                        ": check failed: " #cond " — " + (msg));                 \
+    }                                                                            \
+  } while (0)

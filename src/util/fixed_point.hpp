@@ -1,0 +1,169 @@
+#pragma once
+/// \file fixed_point.hpp
+/// \brief Fixed-point number formats used by the GRAPE-6 arithmetic model.
+///
+/// GRAPE-6 stores particle positions and accumulates partial forces in 64-bit
+/// fixed-point registers (Makino & Taiji 1998). Two properties of the real
+/// hardware matter for the reproduction and are preserved here exactly:
+///
+///  1. **Order independence.** Fixed-point addition is associative, so the
+///     hardware reduction tree that sums partial forces across pipelines,
+///     chips and boards produces bit-identical results for any summation
+///     order. This is what makes the parallel machine deterministic.
+///  2. **Quantisation.** Converting a real-valued position or force into the
+///     format rounds to the nearest representable value for a given scale,
+///     which bounds the absolute (not relative) error.
+///
+/// The scale is a runtime parameter (value of one least-significant bit),
+/// mirroring the host library's responsibility of choosing the dynamic range
+/// for a given simulation.
+
+#include <cstdint>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+#include "util/vec3.hpp"
+
+namespace g6::util {
+
+/// A 64-bit fixed-point value with an explicit scale (the real value of one
+/// LSB). Addition/subtraction between values of the same scale is exact
+/// (modulo two's-complement wraparound, like the hardware).
+class Fixed64 {
+ public:
+  constexpr Fixed64() = default;
+
+  /// Construct from a raw register value and its scale.
+  static constexpr Fixed64 from_raw(std::int64_t raw, double lsb) {
+    Fixed64 f;
+    f.raw_ = raw;
+    f.lsb_ = lsb;
+    return f;
+  }
+
+  /// Quantise a real value: round-to-nearest at the given LSB.
+  /// Values outside the representable range saturate (the hardware clamps).
+  static Fixed64 quantize(double value, double lsb) {
+    G6_CHECK(lsb > 0.0, "fixed-point LSB must be positive");
+    const double scaled = value / lsb;
+    constexpr double kMax = 9.223372036854775e18;  // ~ 2^63
+    Fixed64 f;
+    f.lsb_ = lsb;
+    if (scaled >= kMax) {
+      f.raw_ = std::numeric_limits<std::int64_t>::max();
+    } else if (scaled <= -kMax) {
+      f.raw_ = std::numeric_limits<std::int64_t>::min();
+    } else {
+      f.raw_ = static_cast<std::int64_t>(std::llround(scaled));
+    }
+    return f;
+  }
+
+  /// The raw 64-bit register content.
+  constexpr std::int64_t raw() const { return raw_; }
+
+  /// Value of one least-significant bit.
+  constexpr double lsb() const { return lsb_; }
+
+  /// Convert back to a double.
+  constexpr double to_double() const { return static_cast<double>(raw_) * lsb_; }
+
+  /// Exact accumulation. Both operands must share a scale; wraparound on
+  /// overflow matches two's-complement hardware adders.
+  Fixed64& operator+=(const Fixed64& o) {
+    G6_CHECK(lsb_ == o.lsb_, "fixed-point addition requires identical scales");
+    raw_ = static_cast<std::int64_t>(static_cast<std::uint64_t>(raw_) +
+                                     static_cast<std::uint64_t>(o.raw_));
+    return *this;
+  }
+  Fixed64& operator-=(const Fixed64& o) {
+    G6_CHECK(lsb_ == o.lsb_, "fixed-point subtraction requires identical scales");
+    raw_ = static_cast<std::int64_t>(static_cast<std::uint64_t>(raw_) -
+                                     static_cast<std::uint64_t>(o.raw_));
+    return *this;
+  }
+  friend Fixed64 operator+(Fixed64 a, const Fixed64& b) { return a += b; }
+  friend Fixed64 operator-(Fixed64 a, const Fixed64& b) { return a -= b; }
+
+  friend constexpr bool operator==(const Fixed64&, const Fixed64&) = default;
+
+ private:
+  std::int64_t raw_ = 0;
+  double lsb_ = 1.0;
+};
+
+/// A fixed-point 3-vector accumulator with a shared scale — the model of the
+/// force accumulation registers and the position words in j-particle memory.
+class FixedVec3 {
+ public:
+  FixedVec3() : FixedVec3(1.0) {}
+  explicit FixedVec3(double lsb)
+      : x_(Fixed64::quantize(0.0, lsb)),
+        y_(Fixed64::quantize(0.0, lsb)),
+        z_(Fixed64::quantize(0.0, lsb)) {}
+
+  static FixedVec3 quantize(const Vec3& v, double lsb) {
+    FixedVec3 f(lsb);
+    f.x_ = Fixed64::quantize(v.x, lsb);
+    f.y_ = Fixed64::quantize(v.y, lsb);
+    f.z_ = Fixed64::quantize(v.z, lsb);
+    return f;
+  }
+
+  Vec3 to_vec3() const { return {x_.to_double(), y_.to_double(), z_.to_double()}; }
+
+  /// Accumulate a real-valued contribution: quantise then add exactly —
+  /// precisely what the pipeline's accumulator stage does per interaction.
+  void accumulate(const Vec3& v) {
+    x_ += Fixed64::quantize(v.x, x_.lsb());
+    y_ += Fixed64::quantize(v.y, y_.lsb());
+    z_ += Fixed64::quantize(v.z, z_.lsb());
+  }
+
+  /// Exact merge of two accumulators (the reduction-tree operation).
+  FixedVec3& operator+=(const FixedVec3& o) {
+    x_ += o.x_;
+    y_ += o.y_;
+    z_ += o.z_;
+    return *this;
+  }
+
+  double lsb() const { return x_.lsb(); }
+
+  /// Component access (register-level, for serialisation and tests).
+  const Fixed64& x() const { return x_; }
+  const Fixed64& y() const { return y_; }
+  const Fixed64& z() const { return z_; }
+
+  /// Rebuild from raw register values.
+  static FixedVec3 from_raw(std::int64_t rx, std::int64_t ry, std::int64_t rz,
+                            double lsb) {
+    FixedVec3 f(lsb);
+    f.x_ = Fixed64::from_raw(rx, lsb);
+    f.y_ = Fixed64::from_raw(ry, lsb);
+    f.z_ = Fixed64::from_raw(rz, lsb);
+    return f;
+  }
+
+  friend bool operator==(const FixedVec3&, const FixedVec3&) = default;
+
+ private:
+  Fixed64 x_, y_, z_;
+};
+
+/// Round a double to a reduced-precision binary float with \p mantissa_bits
+/// bits of mantissa (excluding the implicit leading 1). Models GRAPE-6's
+/// shortened floating-point datapaths (e.g. velocities and intermediate
+/// pipeline values). mantissa_bits >= 52 is the identity.
+inline double round_to_mantissa(double value, int mantissa_bits) {
+  if (mantissa_bits >= 52 || value == 0.0 || !std::isfinite(value)) return value;
+  const int drop = 52 - mantissa_bits;
+  int exp = 0;
+  const double frac = std::frexp(value, &exp);  // |frac| in [0.5, 1)
+  const double scale = std::ldexp(1.0, 53 - drop);
+  const double rounded = std::nearbyint(frac * scale) / scale;
+  return std::ldexp(rounded, exp);
+}
+
+}  // namespace g6::util

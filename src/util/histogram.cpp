@@ -1,0 +1,75 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace g6::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t nbins, BinScale scale)
+    : lo_(lo), hi_(hi), scale_(scale), counts_(nbins, 0.0) {
+  G6_CHECK(nbins > 0, "histogram needs at least one bin");
+  G6_CHECK(hi > lo, "histogram range must be non-empty");
+  if (scale_ == BinScale::kLog) {
+    G6_CHECK(lo > 0.0, "log-scale histogram needs positive bounds");
+    log_lo_ = std::log(lo);
+    log_hi_ = std::log(hi);
+  }
+}
+
+void Histogram::add(double x, double weight) {
+  double frac;
+  if (scale_ == BinScale::kLinear) {
+    frac = (x - lo_) / (hi_ - lo_);
+  } else {
+    if (x <= 0.0) {
+      underflow_ += weight;
+      return;
+    }
+    frac = (std::log(x) - log_lo_) / (log_hi_ - log_lo_);
+  }
+  if (frac < 0.0) {
+    underflow_ += weight;
+    return;
+  }
+  if (frac >= 1.0) {
+    overflow_ += weight;
+    return;
+  }
+  const auto bin = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  counts_[std::min(bin, counts_.size() - 1)] += weight;
+  total_ += weight;
+}
+
+double Histogram::edge_lo(std::size_t i) const {
+  const double f = static_cast<double>(i) / static_cast<double>(counts_.size());
+  if (scale_ == BinScale::kLinear) return lo_ + f * (hi_ - lo_);
+  return std::exp(log_lo_ + f * (log_hi_ - log_lo_));
+}
+
+double Histogram::center(std::size_t i) const {
+  if (scale_ == BinScale::kLinear) return 0.5 * (edge_lo(i) + edge_hi(i));
+  return std::sqrt(edge_lo(i) * edge_hi(i));
+}
+
+std::string Histogram::to_ascii(std::size_t width) const {
+  double peak = 0.0;
+  for (double c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char buf[128];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = peak > 0.0
+        ? static_cast<std::size_t>(std::lround(counts_[i] / peak * static_cast<double>(width)))
+        : std::size_t{0};
+    std::snprintf(buf, sizeof buf, "%12.4g .. %-12.4g |%-10.4g| ", edge_lo(i), edge_hi(i),
+                  counts_[i]);
+    out += buf;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace g6::util

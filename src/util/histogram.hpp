@@ -1,0 +1,58 @@
+#pragma once
+/// \file histogram.hpp
+/// \brief 1-D histograms (linear or logarithmic bins) used by the analysis
+///        module and by the block-timestep statistics benches.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace g6::util {
+
+/// Binning rule for Histogram.
+enum class BinScale { kLinear, kLog };
+
+/// A fixed-range 1-D histogram with weight accumulation.
+class Histogram {
+ public:
+  /// Construct with \p nbins bins covering [lo, hi). For BinScale::kLog the
+  /// bounds must be positive.
+  Histogram(double lo, double hi, std::size_t nbins, BinScale scale = BinScale::kLinear);
+
+  /// Add a sample with the given weight. Out-of-range samples are counted in
+  /// underflow/overflow, not in any bin.
+  void add(double x, double weight = 1.0);
+
+  /// Number of bins.
+  std::size_t size() const { return counts_.size(); }
+
+  /// Accumulated weight in bin \p i.
+  double count(std::size_t i) const { return counts_[i]; }
+
+  /// Lower/upper edge of bin \p i.
+  double edge_lo(std::size_t i) const;
+  double edge_hi(std::size_t i) const { return edge_lo(i + 1); }
+
+  /// Geometric/arithmetic centre of bin \p i (matching the scale).
+  double center(std::size_t i) const;
+
+  /// Total in-range weight.
+  double total() const { return total_; }
+  double underflow() const { return underflow_; }
+  double overflow() const { return overflow_; }
+
+  /// All bin weights.
+  const std::vector<double>& counts() const { return counts_; }
+
+  /// Render as an ASCII bar chart (one line per bin), for bench output.
+  std::string to_ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  BinScale scale_;
+  double log_lo_ = 0.0, log_hi_ = 0.0;
+  std::vector<double> counts_;
+  double total_ = 0.0, underflow_ = 0.0, overflow_ = 0.0;
+};
+
+}  // namespace g6::util

@@ -1,0 +1,63 @@
+#include "util/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace g6::util {
+
+GrayImage::GrayImage(std::size_t width, std::size_t height)
+    : width_(width), height_(height), data_(width * height, 0.0) {
+  G6_CHECK(width > 0 && height > 0, "image must be non-empty");
+}
+
+void GrayImage::deposit(std::size_t x, std::size_t y, double weight) {
+  G6_CHECK(x < width_ && y < height_, "pixel out of range");
+  data_[y * width_ + x] += weight;
+}
+
+double GrayImage::at(std::size_t x, std::size_t y) const {
+  G6_CHECK(x < width_ && y < height_, "pixel out of range");
+  return data_[y * width_ + x];
+}
+
+void GrayImage::splat(double x, double y, double xlo, double xhi, double ylo,
+                      double yhi, double weight) {
+  G6_CHECK(xhi > xlo && yhi > ylo, "splat range must be non-empty");
+  const double fx = (x - xlo) / (xhi - xlo);
+  const double fy = (y - ylo) / (yhi - ylo);
+  if (fx < 0.0 || fx >= 1.0 || fy < 0.0 || fy >= 1.0) return;
+  const auto px = static_cast<std::size_t>(fx * static_cast<double>(width_));
+  // Data-space y points up; raster y points down.
+  const auto py = height_ - 1 -
+                  static_cast<std::size_t>(fy * static_cast<double>(height_));
+  deposit(std::min(px, width_ - 1), std::min(py, height_ - 1), weight);
+}
+
+void GrayImage::write_pgm(std::ostream& os, bool invert) const {
+  double peak = 0.0;
+  for (double v : data_) peak = std::max(peak, v);
+
+  os << "P5\n" << width_ << ' ' << height_ << "\n255\n";
+  const double denom = peak > 0.0 ? std::log1p(peak) : 1.0;
+  for (double v : data_) {
+    const double f = v > 0.0 ? std::log1p(v) / denom : 0.0;
+    int level = static_cast<int>(std::lround(f * 255.0));
+    level = std::clamp(level, 0, 255);
+    if (invert) level = 255 - level;
+    const char byte = static_cast<char>(level);
+    os.write(&byte, 1);
+  }
+  G6_CHECK(os.good(), "PGM write failed");
+}
+
+void GrayImage::write_pgm_file(const std::string& path, bool invert) const {
+  std::ofstream os(path, std::ios::binary);
+  G6_CHECK(os.is_open(), "cannot open image file for writing: " + path);
+  write_pgm(os, invert);
+}
+
+}  // namespace g6::util

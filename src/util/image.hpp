@@ -1,0 +1,44 @@
+#pragma once
+/// \file image.hpp
+/// \brief Minimal grayscale raster + PGM writer, used to render the paper's
+///        Figure 13 (particle distribution maps) as real image files with no
+///        graphics dependency.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace g6::util {
+
+/// A float-valued grayscale raster with accumulate-then-tone-map semantics.
+class GrayImage {
+ public:
+  GrayImage(std::size_t width, std::size_t height);
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+
+  /// Add \p weight at pixel (x, y); (0,0) is the top-left corner.
+  void deposit(std::size_t x, std::size_t y, double weight = 1.0);
+
+  /// Pixel accessor (accumulated weight).
+  double at(std::size_t x, std::size_t y) const;
+
+  /// Map a data-space point into the raster covering [xlo,xhi] x [ylo,yhi]
+  /// (y up in data space) and deposit there; out-of-range points are dropped.
+  void splat(double x, double y, double xlo, double xhi, double ylo, double yhi,
+             double weight = 1.0);
+
+  /// Write an 8-bit binary PGM ("P5"). Intensities are tone-mapped with
+  /// log(1 + w / peak-scaled) so single particles stay visible; \p invert
+  /// renders dense regions dark on white (print style, like the paper).
+  void write_pgm(std::ostream& os, bool invert = true) const;
+  void write_pgm_file(const std::string& path, bool invert = true) const;
+
+ private:
+  std::size_t width_, height_;
+  std::vector<double> data_;
+};
+
+}  // namespace g6::util

@@ -1,0 +1,37 @@
+#pragma once
+/// \file log.hpp
+/// \brief Minimal leveled logging to stderr. Quiet by default so bench output
+///        stays machine-readable; raise the level for debugging runs.
+
+#include <sstream>
+#include <string>
+
+namespace g6::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold (messages below it are dropped). Defaults to kWarn;
+/// the G6_LOG environment variable (debug/info/warn/error/off) overrides it
+/// at first use.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emit one log line (internal; use the G6_LOG_* macros).
+void log_emit(LogLevel level, const std::string& msg);
+
+}  // namespace g6::util
+
+#define G6_LOG_AT(level, expr)                               \
+  do {                                                       \
+    if (static_cast<int>(level) >=                           \
+        static_cast<int>(::g6::util::log_level())) {         \
+      std::ostringstream g6_log_oss_;                        \
+      g6_log_oss_ << expr;                                   \
+      ::g6::util::log_emit(level, g6_log_oss_.str());        \
+    }                                                        \
+  } while (0)
+
+#define G6_LOG_DEBUG(expr) G6_LOG_AT(::g6::util::LogLevel::kDebug, expr)
+#define G6_LOG_INFO(expr) G6_LOG_AT(::g6::util::LogLevel::kInfo, expr)
+#define G6_LOG_WARN(expr) G6_LOG_AT(::g6::util::LogLevel::kWarn, expr)
+#define G6_LOG_ERROR(expr) G6_LOG_AT(::g6::util::LogLevel::kError, expr)

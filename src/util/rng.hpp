@@ -1,0 +1,135 @@
+#pragma once
+/// \file rng.hpp
+/// \brief Deterministic random number generation and the samplers the
+///        planetesimal disk generator needs.
+///
+/// Everything in the reproduction is seeded: the same seed produces the same
+/// initial conditions, the same block schedules and the same benchmark rows on
+/// every run. We use xoshiro256** (public-domain algorithm by Blackman &
+/// Vigna) rather than std::mt19937 so that the state is 4 words and results
+/// are identical across standard libraries.
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace g6::util {
+
+/// splitmix64 — used to expand a single 64-bit seed into generator state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9c0ffee123456789ULL) { reseed(seed); }
+
+  /// Re-initialise the state from a 64-bit seed.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) {
+    G6_CHECK(n > 0, "below(0) is meaningless");
+    // Lemire's multiply-shift rejection method (unbiased).
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < n) {
+      const std::uint64_t t = (0 - n) % n;
+      while (l < t) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal deviate (Marsaglia polar method).
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double f = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * f;
+    have_spare_ = true;
+    return u * f;
+  }
+
+  /// Normal deviate with given mean and standard deviation.
+  double normal(double mean, double sigma) { return mean + sigma * normal(); }
+
+  /// Rayleigh deviate with scale (mode) sigma — the standard distribution for
+  /// planetesimal eccentricities and inclinations.
+  double rayleigh(double sigma) {
+    double u;
+    do { u = uniform(); } while (u == 0.0);
+    return sigma * std::sqrt(-2.0 * std::log(u));
+  }
+
+  /// Sample from a truncated power-law PDF p(x) ∝ x^alpha on [lo, hi]
+  /// (alpha != -1) by inverse-transform sampling. This is the paper's
+  /// planetesimal mass function with alpha = -2.5.
+  double power_law(double alpha, double lo, double hi) {
+    G6_CHECK(lo > 0.0 && hi > lo, "power_law needs 0 < lo < hi");
+    const double u = uniform();
+    if (alpha == -1.0) return lo * std::pow(hi / lo, u);
+    const double ap1 = alpha + 1.0;
+    const double l = std::pow(lo, ap1);
+    const double h = std::pow(hi, ap1);
+    return std::pow(l + u * (h - l), 1.0 / ap1);
+  }
+
+  /// Uniform angle in [0, 2*pi).
+  double angle() { return uniform(0.0, 2.0 * std::numbers::pi); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace g6::util

@@ -1,0 +1,41 @@
+#pragma once
+/// \file table.hpp
+/// \brief Aligned text-table printer — every bench binary reports its results
+///        through this so the output reads like the paper's tables.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace g6::util {
+
+/// Builds and renders a column-aligned text table.
+///
+///   Table t({"N", "Tflops", "efficiency"});
+///   t.row({fmt(n), fmt(tf), fmt(eff)});
+///   std::cout << t.render();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have the same number of cells as the header.
+  void row(std::vector<std::string> cells);
+
+  /// Number of data rows so far.
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with column alignment and a header separator.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formatting helpers for table cells.
+std::string fmt(double v, int precision = 4);
+std::string fmt_int(long long v);
+std::string fmt_pct(double fraction, int precision = 1);
+std::string fmt_sci(double v, int precision = 3);
+
+}  // namespace g6::util

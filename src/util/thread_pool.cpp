@@ -1,0 +1,76 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace g6::util {
+
+ThreadPool::ThreadPool(std::size_t nthreads) {
+  std::size_t n = nthreads;
+  if (n == 0) n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  // n-1 workers; the calling thread contributes the n-th lane.
+  jobs_.resize(n > 0 ? n - 1 : 0);
+  workers_.reserve(jobs_.size());
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lk(mu_);
+      cv_work_.wait(lk, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = jobs_[worker_index];
+    }
+    const bool had_work = job.fn != nullptr && job.begin < job.end;
+    if (had_work) {
+      (*job.fn)(job.begin, job.end);
+      {
+        std::lock_guard lk(mu_);
+        --pending_;
+      }
+      cv_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t, std::size_t)>& fn) {
+  const std::size_t lanes = size();
+  if (n == 0) return;
+  if (lanes == 1 || n == 1) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t chunk = (n + lanes - 1) / lanes;
+  std::size_t own_begin = 0, own_end = std::min(chunk, n);
+  {
+    std::lock_guard lk(mu_);
+    for (std::size_t w = 0; w < jobs_.size(); ++w) {
+      const std::size_t b = std::min(n, (w + 1) * chunk);
+      const std::size_t e = std::min(n, (w + 2) * chunk);
+      jobs_[w] = Job{&fn, b, e};
+      if (b < e) ++pending_;
+    }
+    ++generation_;
+  }
+  cv_work_.notify_all();
+  fn(own_begin, own_end);
+  std::unique_lock lk(mu_);
+  cv_done_.wait(lk, [&] { return pending_ == 0; });
+}
+
+}  // namespace g6::util

@@ -1,0 +1,55 @@
+#pragma once
+/// \file thread_pool.hpp
+/// \brief A small work-sharing thread pool with a blocked parallel_for.
+///
+/// The host side of the reproduction is explicitly parallel (the paper's 16
+/// PCs each integrate a slice of the active block). Within one process we use
+/// a classic pool + static block decomposition — the same structure an OpenMP
+/// `parallel for schedule(static)` would produce, but with no runtime
+/// dependency and with deterministic partitioning.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace g6::util {
+
+/// Fixed-size thread pool. Threads are created once and reused; parallel_for
+/// blocks the caller until every range chunk has completed.
+class ThreadPool {
+ public:
+  /// \p nthreads 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t nthreads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size() + 1; }  // workers + caller
+
+  /// Run fn(begin, end) over [0, n) split into size() contiguous chunks.
+  /// The caller's thread executes one chunk itself.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::size_t begin = 0, end = 0;
+  };
+
+  void worker_loop(std::size_t worker_index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::vector<Job> jobs_;        // one slot per worker
+  std::size_t generation_ = 0;   // bumped per parallel_for call
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace g6::util

@@ -1,0 +1,28 @@
+#pragma once
+/// \file timer.hpp
+/// \brief Wall-clock stopwatch for host-side timing (the measured component
+///        of the performance model; the GRAPE side is cycle-counted).
+
+#include <chrono>
+
+namespace g6::util {
+
+/// Monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace g6::util

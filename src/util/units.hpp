@@ -1,0 +1,34 @@
+#pragma once
+/// \file units.hpp
+/// \brief The paper's system of units and physical constants.
+///
+/// The SC2002 paper (§2) chooses units such that the Astronomical Unit,
+/// the Solar mass and the gravitational constant are all unity; one year
+/// is then 2*pi time units.
+
+#include <numbers>
+
+namespace g6::units {
+
+/// Gravitational constant (unity by construction).
+inline constexpr double G = 1.0;
+
+/// Solar mass in code units.
+inline constexpr double Msun = 1.0;
+
+/// Astronomical unit in code units.
+inline constexpr double AU = 1.0;
+
+/// One Julian year expressed in code time units (2*pi).
+inline constexpr double year = 2.0 * std::numbers::pi;
+
+/// Earth mass in Solar masses (for convenience in examples).
+inline constexpr double Mearth = 3.003e-6;
+
+/// Conversion: code time units -> years.
+inline constexpr double to_years(double code_time) { return code_time / year; }
+
+/// Conversion: years -> code time units.
+inline constexpr double from_years(double years_) { return years_ * year; }
+
+}  // namespace g6::units

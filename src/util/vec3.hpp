@@ -1,0 +1,80 @@
+#pragma once
+/// \file vec3.hpp
+/// \brief Minimal double-precision 3-vector used throughout the N-body engine.
+///
+/// Deliberately a plain aggregate: the hot loops (force kernels, predictors)
+/// rely on the compiler seeing through every operation, and the GRAPE-6
+/// hardware model needs to take the components apart anyway.
+
+#include <cmath>
+#include <cstddef>
+#include <iosfwd>
+
+namespace g6::util {
+
+/// A 3-component Cartesian vector of doubles.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr double& operator[](std::size_t i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr double operator[](std::size_t i) const { return i == 0 ? x : (i == 1 ? y : z); }
+
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x; y += o.y; z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x; y -= o.y; z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) {
+    x *= s; y *= s; z *= s;
+    return *this;
+  }
+  constexpr Vec3& operator/=(double s) { return (*this) *= (1.0 / s); }
+
+  friend constexpr Vec3 operator+(Vec3 a, const Vec3& b) { return a += b; }
+  friend constexpr Vec3 operator-(Vec3 a, const Vec3& b) { return a -= b; }
+  friend constexpr Vec3 operator*(Vec3 a, double s) { return a *= s; }
+  friend constexpr Vec3 operator*(double s, Vec3 a) { return a *= s; }
+  friend constexpr Vec3 operator/(Vec3 a, double s) { return a /= s; }
+  friend constexpr Vec3 operator-(const Vec3& a) { return {-a.x, -a.y, -a.z}; }
+
+  friend constexpr bool operator==(const Vec3&, const Vec3&) = default;
+};
+
+/// Dot product.
+constexpr double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+/// Cross product.
+constexpr Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+/// Squared Euclidean norm.
+constexpr double norm2(const Vec3& a) { return dot(a, a); }
+
+/// Euclidean norm.
+inline double norm(const Vec3& a) { return std::sqrt(norm2(a)); }
+
+/// Unit vector in the direction of \p a. Undefined for the zero vector.
+inline Vec3 normalized(const Vec3& a) { return a / norm(a); }
+
+/// Component-wise minimum / maximum, used for bounding boxes in the tree code.
+constexpr Vec3 min(const Vec3& a, const Vec3& b) {
+  return {a.x < b.x ? a.x : b.x, a.y < b.y ? a.y : b.y, a.z < b.z ? a.z : b.z};
+}
+constexpr Vec3 max(const Vec3& a, const Vec3& b) {
+  return {a.x > b.x ? a.x : b.x, a.y > b.y ? a.y : b.y, a.z > b.z ? a.z : b.z};
+}
+
+std::ostream& operator<<(std::ostream& os, const Vec3& v);
+
+}  // namespace g6::util

@@ -1,0 +1,169 @@
+// Tests for the collisional-accretion layer.
+#include "nbody/accretion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "nbody/energy.hpp"
+#include "nbody/force_direct.hpp"
+
+namespace {
+
+using g6::nbody::AccretionDriver;
+using g6::nbody::apply_mergers;
+using g6::nbody::CollisionConfig;
+using g6::nbody::find_overlaps;
+using g6::nbody::Overlap;
+using g6::nbody::ParticleSystem;
+using g6::nbody::physical_radius;
+using g6::util::Vec3;
+
+TEST(PhysicalRadius, DensityFormula) {
+  CollisionConfig cfg;
+  cfg.density = 3.0 / (4.0 * std::numbers::pi);  // makes R = m^(1/3)
+  cfg.radius_enhancement = 1.0;
+  EXPECT_NEAR(physical_radius(8.0, cfg), 2.0, 1e-12);
+  cfg.radius_enhancement = 5.0;
+  EXPECT_NEAR(physical_radius(8.0, cfg), 10.0, 1e-12);
+}
+
+TEST(PhysicalRadius, RealisticPlanetesimalScale) {
+  // A 2e20 kg (~1e-10 M_sun) icy body has a ~300 km radius ~ 2e-6 AU.
+  CollisionConfig cfg;  // default density 2 g/cm^3 in code units
+  const double r = physical_radius(1e-10, cfg);
+  EXPECT_GT(r, 1e-6);
+  EXPECT_LT(r, 4e-6);
+}
+
+TEST(PhysicalRadius, Validation) {
+  CollisionConfig cfg;
+  EXPECT_THROW(physical_radius(0.0, cfg), g6::util::Error);
+  cfg.density = 0.0;
+  EXPECT_THROW(physical_radius(1.0, cfg), g6::util::Error);
+}
+
+CollisionConfig unit_radius_config() {
+  CollisionConfig cfg;
+  cfg.density = 3.0 / (4.0 * std::numbers::pi);  // R = m^(1/3)
+  return cfg;
+}
+
+TEST(FindOverlaps, DetectsTouchingPair) {
+  ParticleSystem ps;
+  ps.add(1.0, {0, 0, 0}, {});      // R = 1
+  ps.add(1.0, {1.5, 0, 0}, {});    // R = 1, separation 1.5 < 2
+  ps.add(1.0, {10, 0, 0}, {});     // far away
+  const auto hits = find_overlaps(ps, unit_radius_config());
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].i, 0u);
+  EXPECT_EQ(hits[0].j, 1u);
+  EXPECT_NEAR(hits[0].separation, 1.5, 1e-12);
+}
+
+TEST(FindOverlaps, EmptyWhenSeparated) {
+  ParticleSystem ps;
+  ps.add(1.0, {0, 0, 0}, {});
+  ps.add(1.0, {3, 0, 0}, {});
+  EXPECT_TRUE(find_overlaps(ps, unit_radius_config()).empty());
+}
+
+TEST(ApplyMergers, ConservesMassAndMomentum) {
+  ParticleSystem ps;
+  ps.add(2.0, {0, 0, 0}, {1, 0, 0});
+  ps.add(1.0, {1, 0, 0}, {-1, 1, 0});
+  ps.add(5.0, {10, 0, 0}, {0, 0, 1});
+  ps.time(0) = ps.time(1) = ps.time(2) = 3.5;
+
+  const auto rep = apply_mergers(ps, {{0, 1, 1.0}});
+  EXPECT_EQ(rep.mergers, 1u);
+  ASSERT_EQ(rep.system.size(), 2u);
+  // Merged body: mass 3, COM position 1/3, momentum (1,1,0)/3.
+  EXPECT_NEAR(rep.system.mass(0), 3.0, 1e-12);
+  EXPECT_NEAR(rep.system.pos(0).x, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(norm(rep.system.vel(0) - Vec3(1.0 / 3.0, 1.0 / 3.0, 0)), 0.0, 1e-12);
+  EXPECT_EQ(rep.system.time(0), 3.5);
+  // Untouched body survives.
+  EXPECT_EQ(rep.system.mass(1), 5.0);
+  // Global conservation.
+  EXPECT_NEAR(rep.system.total_mass(), ps.total_mass(), 1e-12);
+  EXPECT_NEAR(norm(g6::nbody::center_of_mass_velocity(rep.system) -
+                   g6::nbody::center_of_mass_velocity(ps)),
+              0.0, 1e-12);
+}
+
+TEST(ApplyMergers, ChainCollapsesToOneBody) {
+  ParticleSystem ps;
+  for (int k = 0; k < 4; ++k) ps.add(1.0, {double(k), 0, 0}, {});
+  // 0-1, 1-2, 2-3 overlapping: one group.
+  const auto rep = apply_mergers(ps, {{0, 1, 1}, {1, 2, 1}, {2, 3, 1}});
+  EXPECT_EQ(rep.mergers, 3u);
+  ASSERT_EQ(rep.system.size(), 1u);
+  EXPECT_NEAR(rep.system.mass(0), 4.0, 1e-12);
+  EXPECT_NEAR(rep.system.pos(0).x, 1.5, 1e-12);
+}
+
+TEST(ApplyMergers, NoOverlapsIsIdentity) {
+  ParticleSystem ps;
+  ps.add(1.0, {0, 0, 0}, {1, 2, 3});
+  const auto rep = apply_mergers(ps, {});
+  EXPECT_EQ(rep.mergers, 0u);
+  ASSERT_EQ(rep.system.size(), 1u);
+  EXPECT_EQ(rep.system.vel(0), Vec3(1, 2, 3));
+}
+
+TEST(AccretionDriver, HeadOnCollisionMerges) {
+  // Two bodies on a head-on Keplerian collision course around the Sun.
+  ParticleSystem ps;
+  ps.add(1e-8, {1.0, 0, 0}, {0, 1.0, 0});
+  ps.add(1e-8, {1.02, 0, 0}, {0, -1.0, 0});  // counter-orbiting: meets #0
+
+  CollisionConfig ccfg;
+  ccfg.density = 3.0 / (4.0 * std::numbers::pi);
+  ccfg.radius_enhancement = 3000.0;  // R ~ 0.006: they collide when they meet
+
+  g6::nbody::IntegratorConfig icfg;
+  icfg.solar_gm = 1.0;
+  icfg.eta = 0.01;
+  icfg.dt_max = 0x1p-6;
+  AccretionDriver driver(
+      ps, ccfg, icfg, /*eps=*/1e-4,
+      [](double eps) { return std::make_unique<g6::nbody::CpuDirectBackend>(eps); });
+  driver.evolve(2.0, /*check_interval=*/0x1p-4);
+
+  EXPECT_EQ(driver.total_mergers(), 1u);
+  EXPECT_EQ(driver.system().size(), 1u);
+  EXPECT_NEAR(driver.system().mass(0), 2e-8, 1e-20);
+  EXPECT_NEAR(driver.largest_mass(), 2e-8, 1e-20);
+}
+
+TEST(AccretionDriver, QuietSystemNeverMerges) {
+  ParticleSystem ps;
+  ps.add(1e-10, {1.0, 0, 0}, {0, 1.0, 0});
+  ps.add(1e-10, {2.0, 0, 0}, {0, std::sqrt(0.5), 0});
+  CollisionConfig ccfg;  // realistic tiny radii
+  g6::nbody::IntegratorConfig icfg;
+  icfg.solar_gm = 1.0;
+  AccretionDriver driver(
+      ps, ccfg, icfg, 1e-4,
+      [](double eps) { return std::make_unique<g6::nbody::CpuDirectBackend>(eps); });
+  driver.evolve(4.0, 1.0);
+  EXPECT_EQ(driver.total_mergers(), 0u);
+  EXPECT_EQ(driver.system().size(), 2u);
+  EXPECT_NEAR(driver.current_time(), 4.0, 1e-12);
+}
+
+TEST(AccretionDriver, Validation) {
+  ParticleSystem ps;
+  ps.add(1.0, {1, 0, 0}, {0, 1, 0});
+  CollisionConfig ccfg;
+  g6::nbody::IntegratorConfig icfg;
+  EXPECT_THROW(AccretionDriver(ps, ccfg, icfg, 0.0, nullptr), g6::util::Error);
+  AccretionDriver driver(ps, ccfg, icfg, 0.0, [](double eps) {
+    return std::make_unique<g6::nbody::CpuDirectBackend>(eps);
+  });
+  EXPECT_THROW(driver.evolve(1.0, 0.0), g6::util::Error);
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// Tests for the disk-analysis module.
+#include "analysis/disk_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "disk/disk_model.hpp"
+
+namespace {
+
+using g6::analysis::dispersions;
+using g6::analysis::gap_contrast;
+using g6::analysis::surface_density;
+using g6::nbody::ParticleSystem;
+
+g6::disk::DiskRealization test_disk(std::size_t n = 5000) {
+  g6::disk::DiskConfig cfg = g6::disk::uranus_neptune_config(n);
+  cfg.seed = 777;
+  return g6::disk::make_disk(cfg);
+}
+
+TEST(SurfaceDensity, FollowsPowerLaw) {
+  const auto d = test_disk(40000);
+  std::vector<std::size_t> exclude(d.protoplanet_indices.begin(),
+                                   d.protoplanet_indices.end());
+  const auto sigma = surface_density(d.system, 16.0, 34.0, 9, exclude);
+  // Sigma(r) ∝ r^-1.5: compare widely separated bins.
+  const double r1 = sigma.center(1), r2 = sigma.center(7);
+  const double expect = std::pow(r2 / r1, -1.5);
+  EXPECT_NEAR(sigma.count(7) / sigma.count(1), expect, 0.25 * expect);
+}
+
+TEST(SurfaceDensity, ExcludesListedParticles) {
+  ParticleSystem ps;
+  ps.add(1.0, {20, 0, 0}, {});
+  ps.add(5.0, {20, 0, 0}, {});
+  const auto all = surface_density(ps, 15, 25, 2);
+  const auto some = surface_density(ps, 15, 25, 2, {1});
+  EXPECT_NEAR(all.count(1) / some.count(1), 6.0, 1e-9);
+}
+
+TEST(Elements, BoundFlagAndValues) {
+  ParticleSystem ps;
+  ps.add(1e-10, {20, 0, 0}, {0, std::sqrt(1.0 / 20.0), 0});  // circular
+  ps.add(1e-10, {20, 0, 0}, {0, 1.0, 0});                    // unbound
+  const auto elems = g6::analysis::all_elements(ps, 1.0);
+  ASSERT_TRUE(elems[0].bound);
+  EXPECT_NEAR(elems[0].el.a, 20.0, 1e-9);
+  EXPECT_NEAR(elems[0].el.e, 0.0, 1e-9);
+  EXPECT_FALSE(elems[1].bound);
+}
+
+TEST(Dispersions, RecoverInputRayleighSigma) {
+  g6::disk::DiskConfig cfg = g6::disk::uranus_neptune_config(20000);
+  cfg.e_sigma = 0.004;
+  cfg.i_sigma = 0.002;
+  cfg.seed = 11;
+  const auto d = g6::disk::make_disk(cfg);
+  std::vector<std::size_t> exclude(d.protoplanet_indices.begin(),
+                                   d.protoplanet_indices.end());
+  const auto rep = dispersions(d.system, 1.0, exclude);
+  EXPECT_EQ(rep.n_unbound, 0u);
+  EXPECT_EQ(rep.n_bound, 20000u);
+  // Rayleigh: rms = sigma * sqrt(2).
+  EXPECT_NEAR(rep.rms_e, 0.004 * std::sqrt(2.0), 4e-4);
+  EXPECT_NEAR(rep.rms_i, 0.002 * std::sqrt(2.0), 2e-4);
+}
+
+TEST(RmsProfile, FlatForUniformDispersion) {
+  const auto d = test_disk(20000);
+  std::vector<std::size_t> exclude(d.protoplanet_indices.begin(),
+                                   d.protoplanet_indices.end());
+  const auto prof =
+      g6::analysis::rms_e_profile(d.system, 1.0, 16.0, 34.0, 6, exclude);
+  for (double v : prof) EXPECT_NEAR(v, 0.002 * std::sqrt(2.0), 6e-4);
+}
+
+TEST(GapContrast, UnityForSmoothDisk) {
+  const auto d = test_disk(30000);
+  std::vector<std::size_t> exclude(d.protoplanet_indices.begin(),
+                                   d.protoplanet_indices.end());
+  const double c = gap_contrast(d.system, 1.0, 25.0, 1.0, exclude);
+  EXPECT_NEAR(c, 1.0, 0.1);
+}
+
+TEST(GapContrast, DetectsCarvedGap) {
+  // Build a disk, then remove everything within 1 AU of a = 25.
+  auto d = test_disk(20000);
+  const auto elems = g6::analysis::all_elements(d.system, 1.0);
+  ParticleSystem carved;
+  for (std::size_t i = 0; i < d.system.size(); ++i) {
+    if (elems[i].bound && std::abs(elems[i].el.a - 25.0) < 1.0) continue;
+    carved.add(d.system.mass(i), d.system.pos(i), d.system.vel(i));
+  }
+  const double c = gap_contrast(carved, 1.0, 25.0, 1.0);
+  EXPECT_LT(c, 0.1);
+}
+
+TEST(GapContrast, ValidatesWidth) {
+  const auto d = test_disk(100);
+  EXPECT_THROW(gap_contrast(d.system, 1.0, 25.0, 0.0), g6::util::Error);
+}
+
+TEST(Analysis, ExclusionIndexOutOfRangeThrows) {
+  ParticleSystem ps;
+  ps.add(1.0, {20, 0, 0}, {});
+  EXPECT_THROW(surface_density(ps, 15, 25, 2, {5}), g6::util::Error);
+}
+
+}  // namespace
+
+namespace {
+
+TEST(PopulationCensus, ClassifiesConstructedOrbits) {
+  g6::nbody::ParticleSystem ps;
+  auto add_orbit = [&](double a, double e) {
+    g6::disk::OrbitalElements el;
+    el.a = a;
+    el.e = e;
+    const auto sv = g6::disk::elements_to_state(el, 1.0);
+    ps.add(1e-10, sv.pos, sv.vel);
+  };
+  add_orbit(25.0, 0.01);   // cold: [24.75, 25.25] crosses nothing
+  add_orbit(21.0, 0.10);   // crossing: q = 18.9 < 20 < Q = 23.1
+  add_orbit(25.0, 0.50);   // scattered: e > 0.3
+  ps.add(1e-10, {10, 0, 0}, {0, 1.0, 0});  // unbound (v > v_esc at r=10)
+
+  const auto census = g6::analysis::population_census(ps, 1.0, {20.0, 30.0});
+  EXPECT_EQ(census.n_cold, 1u);
+  EXPECT_EQ(census.n_crossing, 1u);
+  EXPECT_EQ(census.n_scattered, 1u);
+  EXPECT_EQ(census.n_unbound, 1u);
+  EXPECT_EQ(census.total(), 4u);
+}
+
+TEST(PopulationCensus, ColdDiskStartsMostlyCold) {
+  const auto d = test_disk(5000);
+  std::vector<std::size_t> exclude(d.protoplanet_indices.begin(),
+                                   d.protoplanet_indices.end());
+  const auto census =
+      g6::analysis::population_census(d.system, 1.0, {20.0, 30.0}, exclude);
+  EXPECT_EQ(census.total(), 5000u);
+  EXPECT_EQ(census.n_unbound, 0u);
+  EXPECT_EQ(census.n_scattered, 0u);  // e_sigma = 0.002 << 0.3
+  // With e ~ 0.002 only a thin band around each protoplanet crosses it.
+  EXPECT_LT(census.n_crossing, 500u);
+  EXPECT_GT(census.n_cold, 4500u);
+}
+
+TEST(PopulationCensus, ExclusionRespected) {
+  g6::nbody::ParticleSystem ps;
+  ps.add(1e-10, {25, 0, 0}, {0, 0.2, 0});
+  ps.add(1e-5, {20, 0, 0}, {0, std::sqrt(1.0 / 20.0), 0});  // the protoplanet
+  const auto census = g6::analysis::population_census(ps, 1.0, {20.0}, {1});
+  EXPECT_EQ(census.total(), 1u);
+}
+
+}  // namespace

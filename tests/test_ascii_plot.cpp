@@ -1,0 +1,65 @@
+// Tests for the ASCII scatter plotter.
+#include "util/ascii_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace {
+
+using g6::util::AsciiPlot;
+
+TEST(AsciiPlot, EmptyCanvasRenders) {
+  AsciiPlot p(0, 1, 0, 1, 10, 4);
+  const std::string out = p.render("title");
+  EXPECT_NE(out.find("title"), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(AsciiPlot, PointAppears) {
+  AsciiPlot p(0, 1, 0, 1, 10, 10);
+  p.point(0.5, 0.5);
+  const std::string out = p.render();
+  EXPECT_NE(out.find('.'), std::string::npos);
+}
+
+TEST(AsciiPlot, OutOfRangePointsIgnored) {
+  AsciiPlot p(0, 1, 0, 1, 8, 8);
+  p.point(2.0, 0.5);
+  p.point(-1.0, 0.5);
+  p.point(0.5, 5.0);
+  const std::string out = p.render();
+  EXPECT_EQ(out.find('.'), std::string::npos);
+}
+
+TEST(AsciiPlot, MarkerOverridesDensity) {
+  AsciiPlot p(0, 1, 0, 1, 4, 4);
+  for (int i = 0; i < 100; ++i) p.point(0.5, 0.5);
+  p.marker(0.5, 0.5, 'X');
+  const std::string out = p.render();
+  EXPECT_NE(out.find('X'), std::string::npos);
+}
+
+TEST(AsciiPlot, DenseCellsUseDarkerGlyphs) {
+  AsciiPlot p(0, 1, 0, 1, 2, 1);
+  p.point(0.25, 0.5);  // single point left cell
+  for (int i = 0; i < 500; ++i) p.point(0.75, 0.5);
+  const std::string out = p.render();
+  EXPECT_NE(out.find('@'), std::string::npos);  // dense cell
+  EXPECT_NE(out.find('.'), std::string::npos);  // sparse cell
+}
+
+TEST(AsciiPlot, InvalidRangeThrows) {
+  EXPECT_THROW(AsciiPlot(1, 1, 0, 1), g6::util::Error);
+  EXPECT_THROW(AsciiPlot(0, 1, 2, 1), g6::util::Error);
+}
+
+TEST(AsciiPlot, TopRowIsLargeY) {
+  AsciiPlot p(0, 1, 0, 1, 3, 3);
+  p.marker(0.5, 0.99, 'T');
+  p.marker(0.5, 0.01, 'B');
+  const std::string out = p.render();
+  EXPECT_LT(out.find('T'), out.find('B'));
+}
+
+}  // namespace

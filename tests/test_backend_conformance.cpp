@@ -1,0 +1,192 @@
+// Conformance suite: every ForceBackend implementation must satisfy the same
+// contract (load/update/compute protocol, self-exclusion, prediction,
+// physical correctness, usability for integration). Parameterized over all
+// engines so a new backend inherits the whole suite.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "cluster/cluster_backend.hpp"
+#include "disk/disk_model.hpp"
+#include "grape6/backend.hpp"
+#include "nbody/energy.hpp"
+#include "nbody/force_direct.hpp"
+#include "nbody/integrator.hpp"
+
+namespace {
+
+using g6::nbody::Force;
+using g6::nbody::ForceBackend;
+using g6::nbody::ParticleSystem;
+using g6::util::Vec3;
+
+enum class Kind { kCpu, kGrape, kClusterNaive, kClusterHwNet, kClusterMatrix };
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kCpu: return "cpu";
+    case Kind::kGrape: return "grape";
+    case Kind::kClusterNaive: return "cluster_naive";
+    case Kind::kClusterHwNet: return "cluster_hwnet";
+    case Kind::kClusterMatrix: return "cluster_matrix";
+  }
+  return "?";
+}
+
+std::unique_ptr<ForceBackend> make_backend(Kind kind, double eps) {
+  const g6::hw::FormatSpec fmt = g6::hw::FormatSpec::for_scales(64.0, 1.0);
+  switch (kind) {
+    case Kind::kCpu:
+      return std::make_unique<g6::nbody::CpuDirectBackend>(eps);
+    case Kind::kGrape: {
+      g6::hw::MachineConfig mc = g6::hw::MachineConfig::mini(2, 4, 256);
+      mc.fmt = fmt;
+      return std::make_unique<g6::hw::Grape6Backend>(mc, eps);
+    }
+    case Kind::kClusterNaive:
+      return std::make_unique<g6::cluster::ClusterBackend>(
+          4, g6::cluster::HostMode::kNaive, fmt, eps);
+    case Kind::kClusterHwNet:
+      return std::make_unique<g6::cluster::ClusterBackend>(
+          4, g6::cluster::HostMode::kHardwareNet, fmt, eps);
+    case Kind::kClusterMatrix:
+      return std::make_unique<g6::cluster::ClusterBackend>(
+          4, g6::cluster::HostMode::kMatrix2D, fmt, eps);
+  }
+  return nullptr;
+}
+
+// Relative force tolerance: exact for CPU, format-limited otherwise.
+double tol_for(Kind kind) { return kind == Kind::kCpu ? 1e-14 : 3e-6; }
+
+class BackendConformance : public ::testing::TestWithParam<Kind> {};
+
+TEST_P(BackendConformance, TwoParticleForceIsAnalytic) {
+  auto backend = make_backend(GetParam(), 0.0);
+  ParticleSystem ps;
+  ps.add(2.0, {0, 0, 0}, {0, 0, 0});
+  ps.add(3.0, {4, 0, 0}, {0, 0, 0});
+  backend->load(ps);
+  std::vector<std::uint32_t> ilist{0, 1};
+  std::vector<Force> f(2);
+  backend->compute(0.0, ilist, f);
+  EXPECT_NEAR(f[0].acc.x, 3.0 / 16.0, tol_for(GetParam()) * (3.0 / 16.0));
+  EXPECT_NEAR(f[1].acc.x, -2.0 / 16.0, tol_for(GetParam()) * (2.0 / 16.0));
+  EXPECT_NEAR(f[0].pot, -3.0 / 4.0, tol_for(GetParam()));
+  EXPECT_NEAR(f[1].pot, -2.0 / 4.0, tol_for(GetParam()));
+}
+
+TEST_P(BackendConformance, SelfInteractionExcluded) {
+  auto backend = make_backend(GetParam(), 0.1);
+  ParticleSystem ps;
+  ps.add(1.0, {1, 2, 3}, {0.1, 0, 0});
+  backend->load(ps);
+  std::vector<std::uint32_t> ilist{0};
+  std::vector<Force> f(1);
+  backend->compute(0.0, ilist, f);
+  EXPECT_EQ(f[0].acc, Vec3(0, 0, 0));
+}
+
+TEST_P(BackendConformance, JPredictionAdvancesSources) {
+  auto backend = make_backend(GetParam(), 0.0);
+  ParticleSystem ps;
+  ps.add(1e-12, {0, 0, 0}, {0, 0, 0});
+  ps.add(1.0, {1, 0, 0}, {1, 0, 0});  // drifts to x = 3 by t = 2
+  backend->load(ps);
+  std::vector<std::uint32_t> ilist{0};
+  std::vector<Force> f(1);
+  backend->compute(2.0, ilist, f);
+  EXPECT_NEAR(f[0].acc.x, 1.0 / 9.0, 1e-5 / 9.0);
+}
+
+TEST_P(BackendConformance, UpdateTakesEffect) {
+  auto backend = make_backend(GetParam(), 0.0);
+  ParticleSystem ps;
+  ps.add(1e-12, {0, 0, 0}, {});
+  ps.add(1.0, {2, 0, 0}, {});
+  backend->load(ps);
+  ps.mass(1) = 4.0;
+  const std::vector<std::uint32_t> upd{1};
+  backend->update(upd, ps);
+  std::vector<std::uint32_t> ilist{0};
+  std::vector<Force> f(1);
+  backend->compute(0.0, ilist, f);
+  EXPECT_NEAR(f[0].acc.x, 1.0, 1e-5);
+}
+
+TEST_P(BackendConformance, ComputeStatesUsesProvidedState) {
+  auto backend = make_backend(GetParam(), 0.0);
+  ParticleSystem ps;
+  ps.add(1e-12, {0, 0, 0}, {});
+  ps.add(1.0, {2, 0, 0}, {});
+  backend->load(ps);
+  std::vector<std::uint32_t> ilist{0};
+  std::vector<Vec3> pos{{1, 0, 0}}, vel{{0, 0, 0}};  // not the stored state
+  std::vector<Force> f(1);
+  backend->compute_states(0.0, ilist, pos, vel, f);
+  EXPECT_NEAR(f[0].acc.x, 1.0, 1e-5);  // distance 1, not 2
+}
+
+TEST_P(BackendConformance, InteractionCounterMonotone) {
+  auto backend = make_backend(GetParam(), 0.01);
+  ParticleSystem ps;
+  for (int i = 0; i < 8; ++i) ps.add(1.0, {double(i), 0, 0}, {});
+  backend->load(ps);
+  std::vector<std::uint32_t> ilist{0, 3};
+  std::vector<Force> f(2);
+  const auto c0 = backend->interaction_count();
+  backend->compute(0.0, ilist, f);
+  const auto c1 = backend->interaction_count();
+  EXPECT_GT(c1, c0);
+  backend->compute(0.0, ilist, f);
+  EXPECT_GT(backend->interaction_count(), c1);
+}
+
+TEST_P(BackendConformance, SofteningAccessor) {
+  auto backend = make_backend(GetParam(), 0.025);
+  EXPECT_EQ(backend->softening(), 0.025);
+}
+
+TEST_P(BackendConformance, BinaryOrbitEnergyBounded) {
+  auto backend = make_backend(GetParam(), 0.0);
+  ParticleSystem ps;
+  ps.add(0.5, {0.5, 0, 0}, {0, 0.5, 0});
+  ps.add(0.5, {-0.5, 0, 0}, {0, -0.5, 0});
+  g6::nbody::IntegratorConfig cfg;
+  cfg.eta = 0.01;
+  cfg.dt_max = 0x1p-5;
+  g6::nbody::HermiteIntegrator integ(ps, *backend, cfg);
+  integ.initialize();
+  const double e0 = g6::nbody::compute_energy(ps, 0.0, 0.0).total();
+  integ.evolve(2.0 * std::numbers::pi);
+  const double e1 = g6::nbody::compute_energy(ps, 0.0, 0.0).total();
+  EXPECT_NEAR((e1 - e0) / std::abs(e0), 0.0, 1e-5);
+}
+
+TEST_P(BackendConformance, DiskBlockIntegrationRuns) {
+  auto d = g6::disk::make_disk(g6::disk::uranus_neptune_config(60));
+  auto backend = make_backend(GetParam(), 0.008);
+  g6::nbody::IntegratorConfig cfg;
+  cfg.solar_gm = 1.0;
+  cfg.eta = 0.02;
+  cfg.dt_max = 4.0;
+  g6::nbody::HermiteIntegrator integ(d.system, *backend, cfg);
+  integ.initialize();
+  integ.evolve(32.0);
+  for (std::size_t i = 0; i < d.system.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(d.system.pos(i).x)) << i;
+    EXPECT_DOUBLE_EQ(d.system.time(i), 32.0) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendConformance,
+                         ::testing::Values(Kind::kCpu, Kind::kGrape,
+                                           Kind::kClusterNaive,
+                                           Kind::kClusterHwNet,
+                                           Kind::kClusterMatrix),
+                         [](const ::testing::TestParamInfo<Kind>& info) {
+                           return kind_name(info.param);
+                         });
+
+}  // namespace

@@ -1,0 +1,179 @@
+// Tests for power-of-two timestep quantisation and the block scheduler.
+#include "nbody/blockstep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using g6::nbody::BlockScheduler;
+using g6::nbody::is_commensurate;
+using g6::nbody::is_power_of_two_step;
+using g6::nbody::next_block_dt;
+using g6::nbody::quantize_dt;
+
+TEST(PowerOfTwo, Recognition) {
+  EXPECT_TRUE(is_power_of_two_step(1.0));
+  EXPECT_TRUE(is_power_of_two_step(0.5));
+  EXPECT_TRUE(is_power_of_two_step(0x1p-30));
+  EXPECT_TRUE(is_power_of_two_step(4.0));
+  EXPECT_FALSE(is_power_of_two_step(0.3));
+  EXPECT_FALSE(is_power_of_two_step(0.75));
+  EXPECT_FALSE(is_power_of_two_step(0.0));
+  EXPECT_FALSE(is_power_of_two_step(-0.5));
+}
+
+TEST(QuantizeDt, LargestPowerOfTwoBelow) {
+  EXPECT_DOUBLE_EQ(quantize_dt(0.3, 1.0, 0x1p-30), 0.25);
+  EXPECT_DOUBLE_EQ(quantize_dt(0.25, 1.0, 0x1p-30), 0.25);
+  EXPECT_DOUBLE_EQ(quantize_dt(0.9, 1.0, 0x1p-30), 0.5);
+  EXPECT_DOUBLE_EQ(quantize_dt(1.7, 1.0, 0x1p-30), 1.0);  // clamp to dt_max
+}
+
+TEST(QuantizeDt, ClampsToMin) {
+  EXPECT_DOUBLE_EQ(quantize_dt(1e-30, 1.0, 0x1p-20), 0x1p-20);
+  EXPECT_DOUBLE_EQ(quantize_dt(0.0, 1.0, 0x1p-20), 0x1p-20);
+  EXPECT_DOUBLE_EQ(quantize_dt(-1.0, 1.0, 0x1p-20), 0x1p-20);
+}
+
+TEST(QuantizeDt, ValidatesBounds) {
+  EXPECT_THROW(quantize_dt(0.1, 0.3, 0x1p-10), g6::util::Error);   // dt_max not 2^k
+  EXPECT_THROW(quantize_dt(0.1, 0.5, 0.3), g6::util::Error);       // dt_min not 2^k
+  EXPECT_THROW(quantize_dt(0.1, 0x1p-10, 1.0), g6::util::Error);   // min > max
+}
+
+TEST(Commensurate, ExactChecks) {
+  EXPECT_TRUE(is_commensurate(0.0, 0.25));
+  EXPECT_TRUE(is_commensurate(1.75, 0.25));
+  EXPECT_FALSE(is_commensurate(1.8, 0.25));
+  EXPECT_TRUE(is_commensurate(800.0, 32.0));  // 800 = 25 * 32
+  EXPECT_FALSE(is_commensurate(800.0, 64.0));
+}
+
+TEST(NextBlockDt, ShrinksFreely) {
+  // From 0.25 down to 0.03125 in one call (three halvings).
+  EXPECT_DOUBLE_EQ(next_block_dt(0.25, 0.25, 0.04, 1.0, 0x1p-30), 0x1p-5);
+}
+
+TEST(NextBlockDt, GrowsOnlyOnEvenBoundary) {
+  // t = 0.5 is commensurate with 0.5 (= 2 * 0.25): may double.
+  EXPECT_DOUBLE_EQ(next_block_dt(0.5, 0.25, 10.0, 1.0, 0x1p-30), 0.5);
+  // t = 0.75 is NOT commensurate with 0.5: must hold.
+  EXPECT_DOUBLE_EQ(next_block_dt(0.75, 0.25, 10.0, 1.0, 0x1p-30), 0.25);
+}
+
+TEST(NextBlockDt, AtMostOneDoubling) {
+  EXPECT_DOUBLE_EQ(next_block_dt(1.0, 0.25, 100.0, 4.0, 0x1p-30), 0.5);
+}
+
+TEST(NextBlockDt, HoldsWhenRequestInBand) {
+  // dt_req in [dt, 2dt) keeps the current step.
+  EXPECT_DOUBLE_EQ(next_block_dt(0.5, 0.25, 0.3, 1.0, 0x1p-30), 0.25);
+}
+
+TEST(NextBlockDt, RespectsBounds) {
+  EXPECT_DOUBLE_EQ(next_block_dt(1.0, 1.0, 100.0, 1.0, 0x1p-30), 1.0);
+  EXPECT_DOUBLE_EQ(next_block_dt(0.5, 0x1p-20, 0.0, 1.0, 0x1p-20), 0x1p-20);
+}
+
+// Property: repeated application of the update rule keeps dt a power of two
+// and keeps every event time commensurate with the current dt.
+TEST(NextBlockDt, InvariantUnderRandomWalk) {
+  g6::util::Rng rng(123);
+  double t = 0.0, dt = 0.25;
+  const double dt_max = 1.0, dt_min = 0x1p-24;
+  for (int step = 0; step < 5000; ++step) {
+    t += dt;
+    const double dt_req = dt * std::exp(rng.uniform(-1.5, 1.5));
+    dt = next_block_dt(t, dt, dt_req, dt_max, dt_min);
+    ASSERT_TRUE(is_power_of_two_step(dt));
+    ASSERT_TRUE(is_commensurate(t, dt)) << "t=" << t << " dt=" << dt;
+  }
+}
+
+// --- scheduler ---------------------------------------------------------------
+
+TEST(Scheduler, PopsEarliestBlock) {
+  BlockScheduler s;
+  const std::vector<double> times{0.0, 0.0, 0.0};
+  const std::vector<double> dts{0.5, 0.25, 0.25};
+  s.reset(times, dts);
+  std::vector<std::uint32_t> block;
+  EXPECT_DOUBLE_EQ(s.pop_block(block), 0.25);
+  ASSERT_EQ(block.size(), 2u);
+  EXPECT_EQ(block[0] + block[1], 3u);  // particles 1 and 2
+}
+
+TEST(Scheduler, PushReschedules) {
+  BlockScheduler s;
+  s.reset(std::vector<double>{0.0, 0.0}, std::vector<double>{0.25, 0.5});
+  std::vector<std::uint32_t> block;
+  EXPECT_DOUBLE_EQ(s.pop_block(block), 0.25);
+  EXPECT_EQ(block, (std::vector<std::uint32_t>{0}));
+  s.push(0, 0.5);
+  EXPECT_DOUBLE_EQ(s.pop_block(block), 0.5);
+  EXPECT_EQ(block.size(), 2u);  // both due at 0.5 now
+}
+
+TEST(Scheduler, LazyInvalidation) {
+  BlockScheduler s;
+  s.reset(std::vector<double>{0.0, 0.0}, std::vector<double>{0.25, 1.0});
+  std::vector<std::uint32_t> block;
+  s.pop_block(block);  // particle 0 at 0.25
+  // Re-push particle 0 far in the future twice; only the last push counts.
+  s.push(0, 2.0);
+  s.push(0, 4.0);
+  EXPECT_DOUBLE_EQ(s.next_time(), 1.0);
+  s.pop_block(block);
+  EXPECT_EQ(block, (std::vector<std::uint32_t>{1}));
+  EXPECT_DOUBLE_EQ(s.next_time(), 4.0);  // the stale 2.0 entry is skipped
+}
+
+TEST(Scheduler, EmptyAndErrors) {
+  BlockScheduler s;
+  s.reset(std::vector<double>{0.0}, std::vector<double>{0.5});
+  std::vector<std::uint32_t> block;
+  s.pop_block(block);
+  EXPECT_THROW(s.next_time(), g6::util::Error);  // nothing scheduled
+  EXPECT_THROW(s.push(5, 1.0), g6::util::Error); // out of range
+}
+
+TEST(Scheduler, RejectsNonPositiveDt) {
+  BlockScheduler s;
+  EXPECT_THROW(
+      s.reset(std::vector<double>{0.0}, std::vector<double>{0.0}),
+      g6::util::Error);
+}
+
+// Property: driving the scheduler like the integrator does produces evolving
+// block times that never decrease, and every particle is visited.
+TEST(Scheduler, MonotoneBlockTimes) {
+  g6::util::Rng rng(7);
+  const std::size_t n = 64;
+  std::vector<double> times(n, 0.0), dts(n);
+  for (auto& d : dts) d = std::ldexp(1.0, -static_cast<int>(rng.below(5)));
+  BlockScheduler s;
+  s.reset(times, dts);
+  std::vector<std::uint32_t> block;
+  std::vector<int> visits(n, 0);
+  double last_t = 0.0;
+  for (int step = 0; step < 500; ++step) {
+    const double t = s.pop_block(block);
+    ASSERT_GE(t, last_t);
+    last_t = t;
+    for (std::uint32_t i : block) {
+      ++visits[i];
+      const double dt = std::ldexp(1.0, -static_cast<int>(rng.below(5)));
+      const double nd = g6::nbody::next_block_dt(t, dts[i], dt, 1.0, 0x1p-10);
+      dts[i] = nd;
+      s.push(i, t + nd);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) EXPECT_GT(visits[i], 0) << i;
+}
+
+}  // namespace

@@ -1,0 +1,37 @@
+// Tests for the invariant-check macro and error type.
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Check, PassingConditionDoesNothing) {
+  EXPECT_NO_THROW(G6_CHECK(1 + 1 == 2, "math works"));
+}
+
+TEST(Check, FailingConditionThrowsError) {
+  EXPECT_THROW(G6_CHECK(false, "boom"), g6::util::Error);
+}
+
+TEST(Check, MessageContainsContext) {
+  try {
+    G6_CHECK(2 > 3, "two is not greater than three");
+    FAIL() << "should have thrown";
+  } catch (const g6::util::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 > 3"), std::string::npos);
+    EXPECT_NE(what.find("two is not greater than three"), std::string::npos);
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, RaiseAlwaysThrows) {
+  EXPECT_THROW(g6::util::raise("direct"), g6::util::Error);
+}
+
+TEST(Check, ErrorIsRuntimeError) {
+  // Callers may catch std::runtime_error at module boundaries.
+  EXPECT_THROW(g6::util::raise("x"), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+// Tests for the multi-host ForceBackend: trajectory equality across host
+// organisations and agreement with the single-machine GRAPE backend.
+#include "cluster/cluster_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include "disk/disk_model.hpp"
+#include "grape6/backend.hpp"
+#include "nbody/energy.hpp"
+#include "nbody/force_direct.hpp"
+#include "nbody/integrator.hpp"
+
+namespace {
+
+using g6::cluster::ClusterBackend;
+using g6::cluster::HostMode;
+using g6::nbody::Force;
+using g6::nbody::HermiteIntegrator;
+using g6::nbody::IntegratorConfig;
+using g6::nbody::ParticleSystem;
+
+constexpr double kEps = 0.008;
+
+ParticleSystem small_disk(std::size_t n, std::uint64_t seed = 404) {
+  g6::disk::DiskConfig cfg = g6::disk::uranus_neptune_config(n);
+  cfg.seed = seed;
+  return g6::disk::make_disk(cfg).system;
+}
+
+g6::hw::FormatSpec disk_fmt() {
+  return g6::hw::FormatSpec::for_scales(64.0, 1e-4);
+}
+
+IntegratorConfig icfg() {
+  IntegratorConfig c;
+  c.solar_gm = 1.0;
+  c.eta = 0.02;
+  c.dt_max = 4.0;
+  return c;
+}
+
+TEST(ClusterBackend, ForcesMatchCpuToFormatPrecision) {
+  ParticleSystem ps = small_disk(120);
+  ClusterBackend cb(4, HostMode::kHardwareNet, disk_fmt(), kEps);
+  g6::nbody::CpuDirectBackend cpu(kEps);
+  cb.load(ps);
+  cpu.load(ps);
+  std::vector<std::uint32_t> ilist{0, 17, 60, 119};
+  std::vector<Force> a(4), b(4);
+  cb.compute(0.0, ilist, a);
+  cpu.compute(0.0, ilist, b);
+  for (int k = 0; k < 4; ++k) {
+    const auto ku = static_cast<std::size_t>(k);
+    EXPECT_NEAR(norm(a[ku].acc - b[ku].acc), 0.0, 3e-6 * norm(b[ku].acc)) << k;
+  }
+}
+
+TEST(ClusterBackend, TrajectoriesIdenticalAcrossModes) {
+  // The paper's point: the host organisation changes the communication
+  // pattern only. With fixed-point force accumulation the integrated
+  // trajectories are bit-identical across all three modes.
+  auto run = [&](HostMode mode, int hosts) {
+    ParticleSystem ps = small_disk(80);
+    ClusterBackend cb(hosts, mode, disk_fmt(), kEps);
+    HermiteIntegrator integ(ps, cb, icfg());
+    integ.initialize();
+    integ.evolve(32.0);
+    return ps;
+  };
+  const ParticleSystem naive = run(HostMode::kNaive, 4);
+  const ParticleSystem hwnet = run(HostMode::kHardwareNet, 4);
+  const ParticleSystem matrix = run(HostMode::kMatrix2D, 4);
+  const ParticleSystem hwnet8 = run(HostMode::kHardwareNet, 8);
+  for (std::size_t i = 0; i < naive.size(); ++i) {
+    EXPECT_EQ(naive.pos(i), hwnet.pos(i)) << i;
+    EXPECT_EQ(naive.pos(i), matrix.pos(i)) << i;
+    EXPECT_EQ(naive.vel(i), hwnet8.vel(i)) << i;
+  }
+}
+
+TEST(ClusterBackend, MatchesGrape6BackendBitwise) {
+  // Same formats, same arithmetic, different organisations: the cluster of
+  // software GRAPEs and the monolithic machine agree bit for bit.
+  ParticleSystem ps = small_disk(100);
+
+  ClusterBackend cb(4, HostMode::kHardwareNet, disk_fmt(), kEps);
+  g6::hw::MachineConfig mc = g6::hw::MachineConfig::mini(2, 4, 64);
+  mc.fmt = disk_fmt();
+  g6::hw::Grape6Backend gb(mc, kEps);
+
+  cb.load(ps);
+  gb.load(ps);
+  std::vector<std::uint32_t> ilist;
+  for (std::uint32_t i = 0; i < ps.size(); i += 11) ilist.push_back(i);
+  std::vector<Force> a(ilist.size()), b(ilist.size());
+  cb.compute(0.0, ilist, a);
+  gb.compute(0.0, ilist, b);
+  for (std::size_t k = 0; k < ilist.size(); ++k) {
+    EXPECT_EQ(a[k].acc, b[k].acc) << k;
+    EXPECT_EQ(a[k].jerk, b[k].jerk) << k;
+    EXPECT_EQ(a[k].pot, b[k].pot) << k;
+  }
+}
+
+TEST(ClusterBackend, EnergyConservedThroughFullIntegration) {
+  ParticleSystem ps = small_disk(100);
+  ClusterBackend cb(4, HostMode::kHardwareNet, disk_fmt(), kEps);
+  HermiteIntegrator integ(ps, cb, icfg());
+  integ.initialize();
+  const double e0 = g6::nbody::compute_energy(ps, kEps, 1.0).total();
+  integ.evolve(64.0);
+  const double e1 = g6::nbody::compute_energy(ps, kEps, 1.0).total();
+  EXPECT_NEAR((e1 - e0) / std::abs(e0), 0.0, 1e-6);
+}
+
+TEST(ClusterBackend, TrafficAccumulatesOverARun) {
+  ParticleSystem ps = small_disk(60);
+  ClusterBackend naive(4, HostMode::kNaive, disk_fmt(), kEps);
+  ClusterBackend hwnet(4, HostMode::kHardwareNet, disk_fmt(), kEps);
+  {
+    HermiteIntegrator integ(ps, naive, icfg());
+    integ.initialize();
+    integ.evolve(16.0);
+  }
+  {
+    ParticleSystem ps2 = small_disk(60);
+    HermiteIntegrator integ(ps2, hwnet, icfg());
+    integ.initialize();
+    integ.evolve(16.0);
+  }
+  EXPECT_GT(naive.system().ethernet_bytes(), 0u);
+  EXPECT_EQ(hwnet.system().ethernet_bytes(), 0u);
+  EXPECT_GT(hwnet.system().hardware_bytes().lvds, 0u);
+  EXPECT_GT(naive.interaction_count(), 0u);
+}
+
+TEST(ClusterBackend, NameIncludesMode) {
+  ClusterBackend cb(4, HostMode::kNaive, disk_fmt(), kEps);
+  EXPECT_NE(cb.name().find("naive"), std::string::npos);
+}
+
+TEST(ClusterBackend, ReloadResetsState) {
+  ParticleSystem ps = small_disk(40);
+  ClusterBackend cb(4, HostMode::kHardwareNet, disk_fmt(), kEps);
+  cb.load(ps);
+  cb.load(ps);  // reload must not duplicate particles
+  std::vector<std::uint32_t> ilist{0};
+  std::vector<Force> f(1);
+  cb.compute(0.0, ilist, f);
+
+  g6::nbody::CpuDirectBackend cpu(kEps);
+  cpu.load(ps);
+  std::vector<Force> ref(1);
+  cpu.compute(0.0, ilist, ref);
+  EXPECT_NEAR(norm(f[0].acc - ref[0].acc), 0.0, 3e-6 * norm(ref[0].acc));
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Tests for the transport collectives (broadcast / all-gather / reduce).
+#include "cluster/collectives.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using g6::cluster::ring_all_gather;
+using g6::cluster::Transport;
+using g6::cluster::tree_broadcast;
+using g6::cluster::tree_reduce;
+using g6::hw::ForceAccumulator;
+using g6::hw::FormatSpec;
+
+std::vector<std::byte> bytes_of(const std::string& s) {
+  std::vector<std::byte> b;
+  for (char c : s) b.push_back(static_cast<std::byte>(c));
+  return b;
+}
+
+std::string string_of(const std::vector<std::byte>& b) {
+  std::string s;
+  for (std::byte x : b) s.push_back(static_cast<char>(x));
+  return s;
+}
+
+class BroadcastSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(BroadcastSizes, EveryRankReceivesPayload) {
+  const int p = GetParam();
+  Transport t(p, {});
+  const auto payload = bytes_of("i-particles");
+  const auto received = tree_broadcast(t, 0, payload, 1);
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r)
+    EXPECT_EQ(string_of(received[static_cast<std::size_t>(r)]), "i-particles") << r;
+  // Exactly p-1 copies cross the wire.
+  std::uint64_t total = 0;
+  for (int r = 0; r < p; ++r) total += t.stats(r).bytes_sent;
+  EXPECT_EQ(total, payload.size() * static_cast<std::uint64_t>(p - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BroadcastSizes, ::testing::Values(1, 2, 3, 4, 7, 16));
+
+TEST(Broadcast, NonZeroRoot) {
+  Transport t(5, {});
+  const auto received = tree_broadcast(t, 3, bytes_of("x"), 1);
+  for (int r = 0; r < 5; ++r)
+    EXPECT_EQ(string_of(received[static_cast<std::size_t>(r)]), "x");
+  EXPECT_THROW(tree_broadcast(t, 9, bytes_of("x"), 1), g6::util::Error);
+}
+
+class AllGatherSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllGatherSizes, ConcatenatesInRankOrder) {
+  const int p = GetParam();
+  Transport t(p, {});
+  std::vector<std::vector<std::byte>> inputs;
+  std::string expect;
+  for (int r = 0; r < p; ++r) {
+    const std::string s = "r" + std::to_string(r) + ";";
+    inputs.push_back(bytes_of(s));
+    expect += s;
+  }
+  const auto out = ring_all_gather(t, inputs, 2);
+  for (int r = 0; r < p; ++r)
+    EXPECT_EQ(string_of(out[static_cast<std::size_t>(r)]), expect) << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AllGatherSizes, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(AllGather, InputCountValidated) {
+  Transport t(3, {});
+  EXPECT_THROW(ring_all_gather(t, {bytes_of("a")}, 2), g6::util::Error);
+}
+
+TEST(TreeReduce, MatchesSerialMergeBitwise) {
+  const FormatSpec fmt;
+  g6::util::Rng rng(9);
+  for (int p : {1, 2, 3, 5, 8}) {
+    Transport t(p, {});
+    const std::size_t len = 4;
+    std::vector<std::vector<ForceAccumulator>> batches(
+        static_cast<std::size_t>(p),
+        std::vector<ForceAccumulator>(len, ForceAccumulator(fmt)));
+    std::vector<ForceAccumulator> expect(len, ForceAccumulator(fmt));
+    for (auto& batch : batches) {
+      for (std::size_t k = 0; k < len; ++k) {
+        const g6::util::Vec3 c{rng.uniform(-1e-6, 1e-6), rng.uniform(-1e-6, 1e-6),
+                               rng.uniform(-1e-6, 1e-6)};
+        batch[k].acc.accumulate(c);
+        expect[k].acc.accumulate(c);
+      }
+    }
+    const auto result = tree_reduce(t, 0, batches, fmt, 3);
+    ASSERT_EQ(result.size(), len);
+    for (std::size_t k = 0; k < len; ++k)
+      EXPECT_EQ(result[k].acc, expect[k].acc) << "p=" << p << " k=" << k;
+  }
+}
+
+TEST(TreeReduce, NonZeroRootAndValidation) {
+  const FormatSpec fmt;
+  Transport t(4, {});
+  std::vector<std::vector<ForceAccumulator>> batches(
+      4, std::vector<ForceAccumulator>(2, ForceAccumulator(fmt)));
+  batches[2][0].acc.accumulate({1e-6, 0, 0});
+  const auto result = tree_reduce(t, 2, batches, fmt, 3);
+  EXPECT_NEAR(result[0].acc.to_vec3().x, 1e-6, 1e-12);
+
+  std::vector<std::vector<ForceAccumulator>> ragged(
+      4, std::vector<ForceAccumulator>(2, ForceAccumulator(fmt)));
+  ragged[1].resize(3, ForceAccumulator(fmt));
+  EXPECT_THROW(tree_reduce(t, 0, ragged, fmt, 3), g6::util::Error);
+}
+
+TEST(Collectives, FailedLinkSurfacesError) {
+  Transport t(4, {});
+  t.fail_link(0, 1);
+  EXPECT_THROW(tree_broadcast(t, 0, bytes_of("x"), 1), g6::util::Error);
+}
+
+}  // namespace

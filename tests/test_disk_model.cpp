@@ -1,0 +1,164 @@
+// Tests for the planetesimal ring generator (the paper's initial conditions).
+#include "disk/disk_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "disk/hill.hpp"
+#include "disk/kepler.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using g6::disk::DiskConfig;
+using g6::disk::DiskRealization;
+using g6::disk::make_disk;
+using g6::disk::uranus_neptune_config;
+
+DiskConfig small_config(std::size_t n = 2000) {
+  DiskConfig cfg = uranus_neptune_config(n);
+  return cfg;
+}
+
+TEST(DiskModel, ParticleCounts) {
+  const DiskRealization d = make_disk(small_config(1000));
+  EXPECT_EQ(d.system.size(), 1002u);  // planetesimals + 2 protoplanets
+  EXPECT_EQ(d.protoplanet_indices.size(), 2u);
+  EXPECT_EQ(d.protoplanet_indices[0], 1000u);
+  EXPECT_EQ(d.protoplanet_indices[1], 1001u);
+}
+
+TEST(DiskModel, RadiiInsideRing) {
+  const DiskRealization d = make_disk(small_config());
+  for (std::size_t i = 0; i < 2000; ++i) {
+    const double r = norm(d.system.pos(i));
+    // e and i are small, so instantaneous radius stays near [15, 35].
+    EXPECT_GT(r, 14.0) << i;
+    EXPECT_LT(r, 36.5) << i;
+  }
+}
+
+TEST(DiskModel, ProtoplanetsOnPaperOrbits) {
+  const DiskRealization d = make_disk(small_config());
+  const auto& ps = d.system;
+  const std::size_t p0 = d.protoplanet_indices[0];
+  const std::size_t p1 = d.protoplanet_indices[1];
+  EXPECT_DOUBLE_EQ(ps.mass(p0), 1.0e-5);
+  EXPECT_DOUBLE_EQ(ps.mass(p1), 1.0e-5);
+  EXPECT_NEAR(norm(ps.pos(p0)), 20.0, 1e-9);
+  EXPECT_NEAR(norm(ps.pos(p1)), 30.0, 1e-9);
+  EXPECT_DOUBLE_EQ(ps.pos(p0).z, 0.0);  // non-inclined circular orbits
+  EXPECT_NEAR(norm(ps.vel(p0)), std::sqrt(1.0 / 20.0), 1e-9);
+}
+
+TEST(DiskModel, TotalRingMassNormalised) {
+  DiskConfig cfg = small_config();
+  cfg.total_ring_mass = 8.7e-5;
+  const DiskRealization d = make_disk(cfg);
+  double ring = 0.0;
+  for (std::size_t i = 0; i < cfg.n_planetesimals; ++i) ring += d.system.mass(i);
+  EXPECT_NEAR(ring, 8.7e-5, 1e-12);
+  EXPECT_NEAR(d.ring_mass, 8.7e-5, 1e-12);
+}
+
+TEST(DiskModel, UnnormalisedMassFollowsMassFunction) {
+  DiskConfig cfg = small_config(5000);
+  cfg.total_ring_mass = 0.0;  // keep raw samples
+  const DiskRealization d = make_disk(cfg);
+  g6::disk::MassFunction mf(cfg.mass_exponent, cfg.m_lower, cfg.m_upper);
+  EXPECT_NEAR(d.ring_mass / (5000.0 * mf.mean()), 1.0, 0.15);
+}
+
+TEST(DiskModel, DeterministicForSeed) {
+  const DiskRealization a = make_disk(small_config());
+  const DiskRealization b = make_disk(small_config());
+  for (std::size_t i = 0; i < a.system.size(); ++i) {
+    EXPECT_EQ(a.system.pos(i), b.system.pos(i));
+    EXPECT_EQ(a.system.vel(i), b.system.vel(i));
+    EXPECT_EQ(a.system.mass(i), b.system.mass(i));
+  }
+}
+
+TEST(DiskModel, DifferentSeedsDiffer) {
+  DiskConfig cfg1 = small_config();
+  DiskConfig cfg2 = small_config();
+  cfg2.seed = cfg1.seed + 1;
+  const DiskRealization a = make_disk(cfg1);
+  const DiskRealization b = make_disk(cfg2);
+  EXPECT_NE(a.system.pos(0), b.system.pos(0));
+}
+
+TEST(DiskModel, SurfaceDensitySlope) {
+  // Sigma ∝ r^-1.5: the cumulative number inside r grows like r^0.5.
+  DiskConfig cfg = small_config(40000);
+  const DiskRealization d = make_disk(cfg);
+  double inner = 0, mid = 0;
+  for (std::size_t i = 0; i < cfg.n_planetesimals; ++i) {
+    const g6::disk::StateVector sv{d.system.pos(i), d.system.vel(i)};
+    const double a = g6::disk::state_to_elements(sv, 1.0).a;
+    if (a < 23.0) ++inner;
+    if (a < 29.0) ++mid;
+  }
+  auto cdf = [&](double r) {
+    return (std::sqrt(r) - std::sqrt(15.0)) / (std::sqrt(35.0) - std::sqrt(15.0));
+  };
+  EXPECT_NEAR(inner / 40000.0, cdf(23.0), 0.01);
+  EXPECT_NEAR(mid / 40000.0, cdf(29.0), 0.01);
+}
+
+TEST(DiskModel, EccentricityDispersionMatchesRayleigh) {
+  DiskConfig cfg = small_config(20000);
+  cfg.e_sigma = 0.002;
+  cfg.i_sigma = 0.001;
+  const DiskRealization d = make_disk(cfg);
+  double se2 = 0.0, si2 = 0.0;
+  for (std::size_t i = 0; i < cfg.n_planetesimals; ++i) {
+    const g6::disk::StateVector sv{d.system.pos(i), d.system.vel(i)};
+    const auto el = g6::disk::state_to_elements(sv, 1.0);
+    se2 += el.e * el.e;
+    si2 += el.inc * el.inc;
+  }
+  // Rayleigh: E[x^2] = 2 sigma^2.
+  EXPECT_NEAR(std::sqrt(se2 / 20000.0), 0.002 * std::sqrt(2.0), 2e-4);
+  EXPECT_NEAR(std::sqrt(si2 / 20000.0), 0.001 * std::sqrt(2.0), 1e-4);
+}
+
+TEST(DiskModel, SofteningWellBelowHillRadius) {
+  // Paper: softening (0.008 AU) is two orders of magnitude below the
+  // protoplanet Hill radius.
+  const double rh = g6::disk::hill_radius(20.0, 1.0e-5, 1.0);
+  EXPECT_NEAR(rh, 0.2986, 1e-3);
+  EXPECT_LT(0.008, rh / 30.0);
+}
+
+TEST(DiskModel, InvalidConfigsThrow) {
+  DiskConfig cfg = small_config();
+  cfg.n_planetesimals = 0;
+  EXPECT_THROW(make_disk(cfg), g6::util::Error);
+  cfg = small_config();
+  cfg.r_inner = 40.0;  // > r_outer
+  EXPECT_THROW(make_disk(cfg), g6::util::Error);
+  cfg = small_config();
+  cfg.protoplanets[0].mass = -1.0;
+  EXPECT_THROW(make_disk(cfg), g6::util::Error);
+}
+
+TEST(DiskModel, SampleRadiusWithinBounds) {
+  DiskConfig cfg = small_config();
+  g6::util::Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double r = g6::disk::sample_radius(cfg, rng);
+    EXPECT_GE(r, cfg.r_inner);
+    EXPECT_LE(r, cfg.r_outer);
+  }
+}
+
+TEST(Hill, Helpers) {
+  EXPECT_NEAR(g6::disk::reduced_hill(3.0, 1.0), 1.0, 1e-12);
+  EXPECT_NEAR(g6::disk::hill_radius(10.0, 3.0e-6, 1.0), 0.1, 1e-9);
+  EXPECT_NEAR(g6::disk::keplerian_speed(4.0, 1.0), 0.5, 1e-12);
+  EXPECT_NEAR(g6::disk::escape_speed(2.0, 1.0), 2.0, 1e-12);
+}
+
+}  // namespace

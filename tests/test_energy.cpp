@@ -1,0 +1,78 @@
+// Tests for the conserved-quantity diagnostics.
+#include "nbody/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using g6::nbody::compute_energy;
+using g6::nbody::ParticleSystem;
+using g6::util::Vec3;
+
+TEST(Energy, KineticOnly) {
+  ParticleSystem ps;
+  ps.add(2.0, {0, 0, 0}, {3, 0, 0});  // KE = 0.5*2*9 = 9
+  ps.add(1.0, {10, 0, 0}, {0, 4, 0}); // KE = 8
+  const auto rep = compute_energy(ps, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(rep.kinetic, 17.0);
+  EXPECT_NEAR(rep.potential_mutual, -2.0 / 10.0, 1e-15);
+  EXPECT_DOUBLE_EQ(rep.potential_solar, 0.0);
+}
+
+TEST(Energy, PairPotentialWithSoftening) {
+  ParticleSystem ps;
+  ps.add(3.0, {0, 0, 0}, {});
+  ps.add(4.0, {0, 3, 4}, {});  // r = 5
+  const double eps = 12.0;     // sqrt(25 + 144) = 13
+  const auto rep = compute_energy(ps, eps, 0.0);
+  EXPECT_DOUBLE_EQ(rep.potential_mutual, -12.0 / 13.0);
+}
+
+TEST(Energy, SolarTerm) {
+  ParticleSystem ps;
+  ps.add(2.0, {0, 3, 4}, {});  // r = 5
+  const auto rep = compute_energy(ps, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(rep.potential_solar, -2.0 / 5.0);
+  EXPECT_DOUBLE_EQ(rep.total(), -0.4);
+}
+
+TEST(Energy, ParallelMatchesSerial) {
+  g6::util::Rng rng(5);
+  ParticleSystem ps;
+  for (int i = 0; i < 200; ++i)
+    ps.add(rng.uniform(0.1, 1.0),
+           {rng.uniform(-5, 5), rng.uniform(-5, 5), rng.uniform(-5, 5)},
+           {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)});
+  g6::util::ThreadPool pool(4);
+  const auto serial = compute_energy(ps, 0.01, 1.0);
+  const auto parallel = compute_energy(ps, 0.01, 1.0, &pool);
+  EXPECT_NEAR(parallel.potential_mutual, serial.potential_mutual,
+              1e-12 * std::abs(serial.potential_mutual));
+  EXPECT_DOUBLE_EQ(parallel.kinetic, serial.kinetic);
+}
+
+TEST(AngularMomentum, CircularOrbitAboutOrigin) {
+  ParticleSystem ps;
+  ps.add(2.0, {3, 0, 0}, {0, 1, 0});
+  const Vec3 l = g6::nbody::total_angular_momentum(ps);
+  EXPECT_EQ(l, Vec3(0, 0, 6));
+}
+
+TEST(CenterOfMass, WeightedMean) {
+  ParticleSystem ps;
+  ps.add(1.0, {0, 0, 0}, {1, 0, 0});
+  ps.add(3.0, {4, 0, 0}, {-1, 0, 0});
+  EXPECT_EQ(g6::nbody::center_of_mass(ps), Vec3(3, 0, 0));
+  EXPECT_EQ(g6::nbody::center_of_mass_velocity(ps), Vec3(-0.5, 0, 0));
+}
+
+TEST(CenterOfMass, EmptySystemIsZero) {
+  ParticleSystem ps;
+  EXPECT_EQ(g6::nbody::center_of_mass(ps), Vec3(0, 0, 0));
+}
+
+}  // namespace

@@ -1,0 +1,164 @@
+// Tests for the GRAPE fixed-point formats: quantisation, exactness of
+// accumulation, order independence, saturation and mantissa rounding.
+#include "util/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using g6::util::Fixed64;
+using g6::util::FixedVec3;
+using g6::util::round_to_mantissa;
+using g6::util::Vec3;
+
+TEST(Fixed64, QuantizeRoundTrip) {
+  const double lsb = 0x1p-30;
+  for (double v : {0.0, 1.0, -1.0, 0.3333333, -2.718281828, 123456.789}) {
+    const Fixed64 f = Fixed64::quantize(v, lsb);
+    EXPECT_NEAR(f.to_double(), v, lsb / 2.0 + 1e-18);
+  }
+}
+
+TEST(Fixed64, QuantizeRoundsToNearest) {
+  const double lsb = 1.0;
+  EXPECT_EQ(Fixed64::quantize(0.4, lsb).raw(), 0);
+  EXPECT_EQ(Fixed64::quantize(0.6, lsb).raw(), 1);
+  EXPECT_EQ(Fixed64::quantize(-0.6, lsb).raw(), -1);
+}
+
+TEST(Fixed64, AdditionIsExact) {
+  const double lsb = 0x1p-20;
+  Fixed64 a = Fixed64::quantize(1.25, lsb);
+  const Fixed64 b = Fixed64::quantize(2.5, lsb);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.to_double(), 3.75);
+}
+
+TEST(Fixed64, SubtractionIsExact) {
+  const double lsb = 0x1p-20;
+  Fixed64 a = Fixed64::quantize(1.0, lsb);
+  a -= Fixed64::quantize(0.25, lsb);
+  EXPECT_DOUBLE_EQ(a.to_double(), 0.75);
+}
+
+TEST(Fixed64, MixedScalesRejected) {
+  Fixed64 a = Fixed64::quantize(1.0, 0x1p-10);
+  const Fixed64 b = Fixed64::quantize(1.0, 0x1p-20);
+  EXPECT_THROW(a += b, g6::util::Error);
+}
+
+TEST(Fixed64, SaturatesAtRangeEnds) {
+  const double lsb = 1.0;
+  EXPECT_EQ(Fixed64::quantize(1e30, lsb).raw(), std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(Fixed64::quantize(-1e30, lsb).raw(), std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(Fixed64, NonPositiveLsbRejected) {
+  EXPECT_THROW(Fixed64::quantize(1.0, 0.0), g6::util::Error);
+  EXPECT_THROW(Fixed64::quantize(1.0, -1.0), g6::util::Error);
+}
+
+TEST(FixedVec3, QuantizeAndBack) {
+  const Vec3 v{1.5, -2.25, 0.125};
+  const FixedVec3 f = FixedVec3::quantize(v, 0x1p-20);
+  EXPECT_EQ(f.to_vec3(), v);  // dyadic values are exact
+}
+
+TEST(FixedVec3, AccumulateQuantizesEachContribution) {
+  FixedVec3 f(1.0);  // coarse grid: lsb = 1
+  f.accumulate({0.4, 0.6, 1.5});
+  EXPECT_EQ(f.to_vec3(), Vec3(0.0, 1.0, 2.0));
+}
+
+TEST(FixedVec3, FromRawRoundTrip) {
+  const FixedVec3 f = FixedVec3::quantize({1.0, 2.0, 3.0}, 0x1p-16);
+  const FixedVec3 g = FixedVec3::from_raw(f.x().raw(), f.y().raw(), f.z().raw(),
+                                          f.lsb());
+  EXPECT_EQ(f, g);
+}
+
+// The property the hardware reduction tree relies on: summation order does
+// not change the result, bit for bit.
+class FixedOrderIndependence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FixedOrderIndependence, AnyOrderSameBits) {
+  g6::util::Rng rng(GetParam());
+  const double lsb = 0x1p-40;
+  std::vector<Vec3> contributions(200);
+  for (auto& c : contributions)
+    c = {rng.uniform(-1e-3, 1e-3), rng.uniform(-1e-3, 1e-3), rng.uniform(-1e-3, 1e-3)};
+
+  FixedVec3 forward(lsb);
+  for (const auto& c : contributions) forward.accumulate(c);
+
+  // Shuffle and re-sum several times.
+  std::vector<std::size_t> idx(contributions.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  for (int trial = 0; trial < 5; ++trial) {
+    for (std::size_t i = idx.size(); i > 1; --i)
+      std::swap(idx[i - 1], idx[rng.below(i)]);
+    FixedVec3 shuffled(lsb);
+    for (std::size_t i : idx) shuffled.accumulate(contributions[i]);
+    EXPECT_EQ(forward, shuffled);
+  }
+
+  // Tree-shaped partial merging also matches.
+  FixedVec3 left(lsb), right(lsb);
+  for (std::size_t i = 0; i < contributions.size() / 2; ++i)
+    left.accumulate(contributions[i]);
+  for (std::size_t i = contributions.size() / 2; i < contributions.size(); ++i)
+    right.accumulate(contributions[i]);
+  left += right;
+  EXPECT_EQ(forward, left);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FixedOrderIndependence,
+                         ::testing::Values(2u, 71u, 4242u));
+
+TEST(RoundToMantissa, IdentityForFullWidth) {
+  EXPECT_EQ(round_to_mantissa(0.1, 52), 0.1);
+  EXPECT_EQ(round_to_mantissa(0.1, 60), 0.1);
+}
+
+TEST(RoundToMantissa, ZeroAndNonFinite) {
+  EXPECT_EQ(round_to_mantissa(0.0, 24), 0.0);
+  EXPECT_TRUE(std::isinf(round_to_mantissa(INFINITY, 24)));
+  EXPECT_TRUE(std::isnan(round_to_mantissa(NAN, 24)));
+}
+
+TEST(RoundToMantissa, RelativeErrorBounded) {
+  g6::util::Rng rng(77);
+  for (int mb : {10, 16, 24, 32}) {
+    const double tol = std::ldexp(1.0, -mb);  // half-ulp would be 2^-(mb+1)
+    for (int i = 0; i < 1000; ++i) {
+      const double v = rng.uniform(-1e10, 1e10);
+      const double r = round_to_mantissa(v, mb);
+      if (v != 0.0) {
+        EXPECT_LE(std::abs(r - v) / std::abs(v), tol);
+      }
+    }
+  }
+}
+
+TEST(RoundToMantissa, ExactlyRepresentableUnchanged) {
+  // 1.5 has a 1-bit mantissa fraction; survives any width >= 1.
+  EXPECT_EQ(round_to_mantissa(1.5, 8), 1.5);
+  EXPECT_EQ(round_to_mantissa(-3.0, 4), -3.0);
+  EXPECT_EQ(round_to_mantissa(0.375, 8), 0.375);
+}
+
+TEST(RoundToMantissa, CoarseRoundingQuantizes) {
+  // With 2 mantissa bits, 1.3 rounds to a multiple of 0.125 near 1.3...
+  const double r = round_to_mantissa(1.3, 2);
+  EXPECT_NE(r, 1.3);
+  EXPECT_NEAR(r, 1.3, 0.13);
+}
+
+}  // namespace

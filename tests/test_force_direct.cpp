@@ -1,0 +1,220 @@
+// Tests for the double-precision direct-summation backend.
+#include "nbody/force_direct.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nbody/hermite.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using g6::nbody::CpuDirectBackend;
+using g6::nbody::Force;
+using g6::nbody::pairwise_force;
+using g6::nbody::ParticleSystem;
+using g6::util::Vec3;
+
+TEST(PairwiseForce, InverseSquareNoSoftening) {
+  Force f{};
+  pairwise_force({0, 0, 0}, {0, 0, 0}, {2, 0, 0}, {0, 0, 0}, 3.0, 0.0, f);
+  EXPECT_DOUBLE_EQ(f.acc.x, 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(f.acc.y, 0.0);
+  EXPECT_DOUBLE_EQ(f.pot, -1.5);
+}
+
+TEST(PairwiseForce, SofteningWeakensCloseForce) {
+  Force hard{}, soft{};
+  pairwise_force({0, 0, 0}, {}, {0.01, 0, 0}, {}, 1.0, 0.0, hard);
+  pairwise_force({0, 0, 0}, {}, {0.01, 0, 0}, {}, 1.0, 0.008 * 0.008, soft);
+  EXPECT_GT(hard.acc.x, soft.acc.x);
+  EXPECT_GT(soft.acc.x, 0.0);
+}
+
+TEST(PairwiseForce, JerkMatchesNumericalDerivative) {
+  // Move j along its velocity; d(acc)/dt should match the analytic jerk.
+  const Vec3 xi{0, 0, 0}, vi{0.1, -0.2, 0.05};
+  const Vec3 xj{1.0, 0.5, -0.3}, vj{-0.3, 0.4, 0.2};
+  const double m = 2.0, eps2 = 0.01;
+
+  Force f0{};
+  pairwise_force(xi, vi, xj, vj, m, eps2, f0);
+
+  const double h = 1e-6;
+  Force fp{}, fm{};
+  pairwise_force(xi + vi * h, vi, xj + vj * h, vj, m, eps2, fp);
+  pairwise_force(xi - vi * h, vi, xj - vj * h, vj, m, eps2, fm);
+  const Vec3 num_jerk = (fp.acc - fm.acc) / (2.0 * h);
+  EXPECT_NEAR(norm(num_jerk - f0.jerk), 0.0, 1e-6 * norm(f0.jerk) + 1e-10);
+}
+
+TEST(PairwiseForce, NewtonThirdLaw) {
+  const Vec3 xi{0.3, -0.1, 0.7}, vi{0.01, 0.02, -0.01};
+  const Vec3 xj{-0.5, 0.2, 0.1}, vj{-0.02, 0.01, 0.03};
+  Force fij{}, fji{};
+  pairwise_force(xi, vi, xj, vj, 3.0, 0.01, fij);  // force of j (m=3) on i
+  pairwise_force(xj, vj, xi, vi, 2.0, 0.01, fji);  // force of i (m=2) on j
+  // m_i * a_i = -m_j * a_j
+  EXPECT_NEAR(norm(2.0 * fij.acc + 3.0 * fji.acc), 0.0, 1e-15);
+}
+
+ParticleSystem three_body() {
+  ParticleSystem ps;
+  ps.add(1.0, {0, 0, 0}, {0, 0.1, 0});
+  ps.add(2.0, {1, 0, 0}, {0, -0.1, 0});
+  ps.add(0.5, {0, 2, 0}, {0.3, 0, 0});
+  return ps;
+}
+
+TEST(CpuDirectBackend, MatchesManualSum) {
+  ParticleSystem ps = three_body();
+  CpuDirectBackend backend(0.0);
+  backend.load(ps);
+  std::vector<std::uint32_t> ilist{0, 1, 2};
+  std::vector<Force> out(3);
+  backend.compute(0.0, ilist, out);
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    Force expect{};
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (j == i) continue;
+      pairwise_force(ps.pos(i), ps.vel(i), ps.pos(j), ps.vel(j), ps.mass(j), 0.0,
+                     expect);
+    }
+    EXPECT_NEAR(norm(out[i].acc - expect.acc), 0.0, 1e-15) << i;
+    EXPECT_NEAR(norm(out[i].jerk - expect.jerk), 0.0, 1e-15) << i;
+    EXPECT_NEAR(out[i].pot, expect.pot, 1e-15) << i;
+  }
+}
+
+TEST(CpuDirectBackend, SelfInteractionExcluded) {
+  ParticleSystem ps;
+  ps.add(1.0, {0, 0, 0}, {0, 0, 0});
+  CpuDirectBackend backend(0.1);
+  backend.load(ps);
+  std::vector<std::uint32_t> ilist{0};
+  std::vector<Force> out(1);
+  backend.compute(0.0, ilist, out);
+  EXPECT_EQ(out[0].acc, Vec3(0, 0, 0));
+  EXPECT_EQ(out[0].pot, 0.0);
+}
+
+TEST(CpuDirectBackend, PredictsJParticlesToRequestedTime) {
+  ParticleSystem ps;
+  // j-particle moving with constant velocity; i-particle at rest at origin.
+  ps.add(1e-12, {0, 0, 0}, {0, 0, 0});
+  ps.add(1.0, {1, 0, 0}, {1, 0, 0});
+  CpuDirectBackend backend(0.0);
+  backend.load(ps);
+  std::vector<std::uint32_t> ilist{0};
+  std::vector<Force> out(1);
+  backend.compute(1.0, ilist, out);  // j should be at x=2
+  EXPECT_NEAR(out[0].acc.x, 1.0 / 4.0, 1e-14);
+}
+
+TEST(CpuDirectBackend, UpdateRefreshesJMemory) {
+  ParticleSystem ps = three_body();
+  CpuDirectBackend backend(0.0);
+  backend.load(ps);
+
+  ps.pos(1) = {5, 0, 0};
+  const std::vector<std::uint32_t> upd{1};
+  backend.update(upd, ps);
+
+  std::vector<std::uint32_t> ilist{0};
+  std::vector<Force> out(1);
+  backend.compute(0.0, ilist, out);
+
+  Force expect{};
+  pairwise_force(ps.pos(0), ps.vel(0), ps.pos(1), ps.vel(1), ps.mass(1), 0.0, expect);
+  pairwise_force(ps.pos(0), ps.vel(0), ps.pos(2), ps.vel(2), ps.mass(2), 0.0, expect);
+  EXPECT_NEAR(norm(out[0].acc - expect.acc), 0.0, 1e-15);
+}
+
+TEST(CpuDirectBackend, InteractionCounter) {
+  ParticleSystem ps = three_body();
+  CpuDirectBackend backend(0.0);
+  backend.load(ps);
+  std::vector<std::uint32_t> ilist{0, 2};
+  std::vector<Force> out(2);
+  backend.compute(0.0, ilist, out);
+  EXPECT_EQ(backend.interaction_count(), 2u * 2u);  // 2 i-particles x (3-1) j
+}
+
+TEST(CpuDirectBackend, ParallelMatchesSerial) {
+  g6::util::Rng rng(31);
+  ParticleSystem ps;
+  for (int i = 0; i < 100; ++i)
+    ps.add(rng.uniform(0.5, 1.5),
+           {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)},
+           {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)});
+
+  g6::util::ThreadPool pool4(4);
+  CpuDirectBackend serial(0.01);
+  CpuDirectBackend parallel(0.01, &pool4);
+  serial.load(ps);
+  parallel.load(ps);
+
+  std::vector<std::uint32_t> ilist(100);
+  for (std::uint32_t i = 0; i < 100; ++i) ilist[i] = i;
+  std::vector<Force> a(100), b(100);
+  serial.compute(0.0, ilist, a);
+  parallel.compute(0.0, ilist, b);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a[i].acc, b[i].acc) << i;   // same summation order -> bitwise
+    EXPECT_EQ(a[i].jerk, b[i].jerk) << i;
+  }
+}
+
+TEST(CpuDirectBackend, ErrorsOnMisuse) {
+  ParticleSystem ps = three_body();
+  CpuDirectBackend backend(0.0);
+  std::vector<std::uint32_t> ilist{0};
+  std::vector<Force> one(1);
+  EXPECT_THROW(backend.compute(0.0, ilist, one), g6::util::Error);  // no load yet
+  backend.load(ps);
+  std::vector<Force> wrong(2);
+  EXPECT_THROW(backend.compute(0.0, ilist, wrong),
+               g6::util::Error);  // size mismatch
+  EXPECT_THROW(CpuDirectBackend(-1.0), g6::util::Error);  // bad softening
+}
+
+}  // namespace
+
+namespace {
+
+// Consistency: the acceleration is (minus) the gradient of the potential.
+// Checked by finite differences of the backend potential field.
+TEST(CpuDirectBackend, AccelerationIsPotentialGradient) {
+  g6::util::Rng rng(71);
+  ParticleSystem ps;
+  for (int i = 0; i < 20; ++i)
+    ps.add(rng.uniform(0.5, 1.5),
+           {rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)}, {});
+  // A massless probe whose force we differentiate.
+  const std::size_t probe = ps.add(1e-15, {0.1, 0.2, 0.3}, {});
+
+  const double eps = 0.1;
+  CpuDirectBackend backend(eps);
+  backend.load(ps);
+  std::vector<std::uint32_t> ilist{static_cast<std::uint32_t>(probe)};
+  std::vector<Force> f(1);
+
+  auto pot_at = [&](const Vec3& x) {
+    std::vector<Vec3> pos{x}, vel{{0, 0, 0}};
+    std::vector<Force> out(1);
+    backend.compute_states(0.0, ilist, pos, vel, out);
+    return out[0].pot;
+  };
+
+  backend.compute(0.0, ilist, f);
+  const double h = 1e-6;
+  const Vec3 x0 = ps.pos(probe);
+  const Vec3 grad{(pot_at(x0 + Vec3{h, 0, 0}) - pot_at(x0 - Vec3{h, 0, 0})) / (2 * h),
+                  (pot_at(x0 + Vec3{0, h, 0}) - pot_at(x0 - Vec3{0, h, 0})) / (2 * h),
+                  (pot_at(x0 + Vec3{0, 0, h}) - pot_at(x0 - Vec3{0, 0, h})) / (2 * h)};
+  EXPECT_NEAR(norm(f[0].acc + grad), 0.0, 1e-7 * norm(f[0].acc));
+}
+
+}  // namespace

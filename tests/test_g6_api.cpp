@@ -1,0 +1,150 @@
+// Tests for the classic g6_ host-library facade.
+#include "grape6/g6_api.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nbody/force_direct.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace api = g6::hw::api;
+using g6::util::Vec3;
+
+class G6Api : public ::testing::Test {
+ protected:
+  void TearDown() override { api::g6_reset_all(); }
+};
+
+TEST_F(G6Api, OpenCloseLifecycle) {
+  EXPECT_EQ(api::g6_open(0), 0);
+  EXPECT_EQ(api::g6_open(0), -1);  // double open
+  EXPECT_EQ(api::g6_close(0), 0);
+  EXPECT_EQ(api::g6_close(0), -1);  // double close
+  EXPECT_EQ(api::g6_open(-1), -1);
+  EXPECT_EQ(api::g6_open(99), -1);
+}
+
+TEST_F(G6Api, NpipesMatchesChipPassWidth) {
+  EXPECT_EQ(api::g6_npipes(), g6::hw::kIPerChipPass);
+}
+
+TEST_F(G6Api, CallsOnClosedClusterThrow) {
+  EXPECT_THROW(api::g6_set_ti(0, 0.0), g6::util::Error);
+  EXPECT_THROW(api::g6_machine(0), g6::util::Error);
+}
+
+TEST_F(G6Api, ForceMatchesCpuReference) {
+  ASSERT_EQ(api::g6_open(0), 0);
+  g6::util::Rng rng(5);
+
+  const int n = 64;
+  std::vector<Vec3> xs(n), vs(n);
+  std::vector<double> ms(n);
+  for (int j = 0; j < n; ++j) {
+    xs[j] = {rng.uniform(-20, 20), rng.uniform(-20, 20), rng.uniform(-1, 1)};
+    vs[j] = {rng.uniform(-0.1, 0.1), rng.uniform(-0.1, 0.1), 0};
+    ms[j] = rng.uniform(1e-9, 1e-8);
+    // The hardware form passes acc/2 and jerk/6; zero here.
+    api::g6_set_j_particle(0, j, j, 0.0, 0.0, ms[j], {}, {}, {}, vs[j], xs[j]);
+  }
+  api::g6_set_ti(0, 0.0);
+
+  const int ni = 8;
+  std::vector<int> idx(ni);
+  std::vector<Vec3> xi(ni), vi(ni), acc(ni), jerk(ni);
+  std::vector<double> pot(ni);
+  for (int k = 0; k < ni; ++k) {
+    idx[k] = k * 5;
+    xi[k] = xs[static_cast<std::size_t>(k * 5)];
+    vi[k] = vs[static_cast<std::size_t>(k * 5)];
+  }
+  const double eps2 = 1e-4;
+  api::g6_calc_firsthalf(0, ni, idx.data(), xi.data(), vi.data(), eps2);
+  ASSERT_EQ(api::g6_calc_lasthalf(0, ni, acc.data(), jerk.data(), pot.data()), 0);
+
+  for (int k = 0; k < ni; ++k) {
+    g6::nbody::Force ref{};
+    for (int j = 0; j < n; ++j) {
+      if (j == idx[k]) continue;
+      g6::nbody::pairwise_force(xi[static_cast<std::size_t>(k)],
+                                vi[static_cast<std::size_t>(k)],
+                                xs[static_cast<std::size_t>(j)],
+                                vs[static_cast<std::size_t>(j)],
+                                ms[static_cast<std::size_t>(j)], eps2, ref);
+    }
+    EXPECT_NEAR(norm(acc[static_cast<std::size_t>(k)] - ref.acc), 0.0,
+                2e-6 * norm(ref.acc))
+        << k;
+    EXPECT_NEAR(pot[static_cast<std::size_t>(k)], ref.pot,
+                2e-6 * std::abs(ref.pot));
+  }
+}
+
+TEST_F(G6Api, PredictionUsesHardwareCoefficients) {
+  ASSERT_EQ(api::g6_open(0), 0);
+  // j-particle with velocity and acceleration; i-particle probing the force
+  // after prediction to t = 2: x_j(2) = 1 + 0.5*2 + 0.5*a*4.
+  const Vec3 v{0.5, 0, 0};
+  const Vec3 a{0.25, 0, 0};  // passes acc/2 = 0.125
+  api::g6_set_j_particle(0, 0, 0, 0.0, 0.0, 1.0, {}, {}, 0.5 * a, v, {1, 0, 0});
+  api::g6_set_ti(0, 2.0);
+
+  const int idx = 1000;
+  const Vec3 xi{0, 0, 0}, vi{};
+  api::g6_calc_firsthalf(0, 1, &idx, &xi, &vi, 0.0);
+  Vec3 acc, jerk;
+  double pot;
+  api::g6_calc_lasthalf(0, 1, &acc, &jerk, &pot);
+  const double xj = 1.0 + 0.5 * 2.0 + 0.5 * 0.25 * 4.0;  // 2.5
+  EXPECT_NEAR(acc.x, 1.0 / (xj * xj), 1e-5);
+}
+
+TEST_F(G6Api, JParticleOverwriteByAddress) {
+  ASSERT_EQ(api::g6_open(0), 0);
+  api::g6_set_j_particle(0, 0, 0, 0.0, 0.0, 1.0, {}, {}, {}, {}, {2, 0, 0});
+  api::g6_set_j_particle(0, 0, 0, 0.0, 0.0, 4.0, {}, {}, {}, {}, {2, 0, 0});
+  EXPECT_EQ(api::g6_machine(0).j_count(), 1u);
+  EXPECT_NEAR(api::g6_machine(0).read_j(0).mass, 4.0, 1e-6);
+  // Sparse addresses rejected.
+  EXPECT_THROW(
+      api::g6_set_j_particle(0, 7, 7, 0.0, 0.0, 1.0, {}, {}, {}, {}, {}),
+      g6::util::Error);
+}
+
+TEST_F(G6Api, ProtocolErrors) {
+  ASSERT_EQ(api::g6_open(0), 0);
+  api::g6_set_j_particle(0, 0, 0, 0.0, 0.0, 1.0, {}, {}, {}, {}, {1, 0, 0});
+  const int idx = 5;
+  const Vec3 x{}, v{};
+  // firsthalf before set_ti.
+  EXPECT_THROW(api::g6_calc_firsthalf(0, 1, &idx, &x, &v, 0.0), g6::util::Error);
+  api::g6_set_ti(0, 0.0);
+  api::g6_calc_firsthalf(0, 1, &idx, &x, &v, 0.0);
+  // Double firsthalf.
+  EXPECT_THROW(api::g6_calc_firsthalf(0, 1, &idx, &x, &v, 0.0), g6::util::Error);
+  Vec3 acc, jerk;
+  double pot;
+  // Mismatched ni.
+  EXPECT_THROW(api::g6_calc_lasthalf(0, 2, &acc, &jerk, &pot), g6::util::Error);
+  EXPECT_EQ(api::g6_calc_lasthalf(0, 1, &acc, &jerk, &pot), 0);
+}
+
+TEST_F(G6Api, XunitControlsPositionGrid) {
+  ASSERT_EQ(api::g6_open(0), 0);
+  api::g6_set_xunit(0, 10);  // LSB = 2^-10
+  EXPECT_EQ(api::g6_machine(0).config().fmt.pos_lsb, 0x1p-10);
+  // Once particles are loaded the unit is frozen.
+  api::g6_set_j_particle(0, 0, 0, 0.0, 0.0, 1.0, {}, {}, {}, {}, {1, 0, 0});
+  EXPECT_THROW(api::g6_set_xunit(0, 20), g6::util::Error);
+}
+
+TEST_F(G6Api, TwoIndependentClusters) {
+  ASSERT_EQ(api::g6_open(0), 0);
+  ASSERT_EQ(api::g6_open(1), 0);
+  api::g6_set_j_particle(0, 0, 0, 0.0, 0.0, 1.0, {}, {}, {}, {}, {1, 0, 0});
+  EXPECT_EQ(api::g6_machine(0).j_count(), 1u);
+  EXPECT_EQ(api::g6_machine(1).j_count(), 0u);
+}
+
+}  // namespace

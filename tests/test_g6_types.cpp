@@ -1,0 +1,94 @@
+// Tests for the GRAPE-6 architectural constants and counter plumbing.
+#include "grape6/g6_types.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grape6/fabric.hpp"
+
+namespace {
+
+using g6::hw::FabricTraffic;
+using g6::hw::HwCounters;
+
+TEST(Constants, GordonBellConvention) {
+  // Paper §5.2: 38 ops for the force, +19 for the time derivative, 57 total.
+  EXPECT_EQ(g6::hw::kOpsPerForce, 38);
+  EXPECT_EQ(g6::hw::kOpsPerJerk, 19);
+  EXPECT_EQ(g6::hw::kOpsPerInteraction, 57);
+}
+
+TEST(Constants, ChipArithmetic) {
+  // "With the present pipeline clock frequency of 90 MHz, the peak speed of
+  // a chip is 30.7 Gflops" — 6 pipelines x 90 MHz x 57 ops = 30.78e9.
+  EXPECT_EQ(g6::hw::kPipesPerChip, 6);
+  EXPECT_DOUBLE_EQ(g6::hw::kClockHz, 90.0e6);
+  EXPECT_NEAR(g6::hw::kChipPeakFlops, 30.78e9, 1e7);
+  EXPECT_DOUBLE_EQ(g6::hw::kChipInteractionsPerSec, 540.0e6);
+}
+
+TEST(Constants, SystemTopology) {
+  // 32 chips/board x 4 boards/host x 4 hosts/cluster x 4 clusters = 2048.
+  EXPECT_EQ(g6::hw::kChipsPerBoard * g6::hw::kBoardsPerHost *
+                g6::hw::kHostsPerCluster * g6::hw::kClusters,
+            2048);
+}
+
+TEST(Constants, LinkSpeeds) {
+  // Paper: "Data transfer rate through a link is 90 MB/s" (LVDS); PCI
+  // 32-bit/33-MHz ~ 133 MB/s; GbE 125 MB/s peak.
+  EXPECT_DOUBLE_EQ(g6::hw::kLvdsBytesPerSec, 90.0e6);
+  EXPECT_DOUBLE_EQ(g6::hw::kPciBytesPerSec, 133.0e6);
+  EXPECT_DOUBLE_EQ(g6::hw::kGbeBytesPerSec, 125.0e6);
+}
+
+TEST(Constants, WireFormatsCoverTheFields) {
+  // i-particle: position (24B) + velocity (24B) + id/eps; result: acc +
+  // jerk + pot; j-particle adds mass, t0 and two more derivatives.
+  EXPECT_GE(g6::hw::kIParticleBytes, 48u);
+  EXPECT_GE(g6::hw::kResultBytes, 56u);
+  EXPECT_GE(g6::hw::kJParticleBytes, 100u);
+}
+
+TEST(HwCountersOps, Accumulate) {
+  HwCounters a, b;
+  a.interactions = 10;
+  a.pipe_cycles = 100;
+  a.passes = 2;
+  b.interactions = 5;
+  b.predict_ops = 7;
+  b.i_particles_sent = 3;
+  a += b;
+  EXPECT_EQ(a.interactions, 15u);
+  EXPECT_EQ(a.predict_ops, 7u);
+  EXPECT_EQ(a.pipe_cycles, 100u);
+  EXPECT_EQ(a.i_particles_sent, 3u);
+  EXPECT_EQ(a.passes, 2u);
+}
+
+TEST(FabricTrafficOps, Accumulate) {
+  FabricTraffic a, b;
+  a.pci_bytes = 100;
+  a.modeled_seconds = 0.5;
+  b.pci_bytes = 20;
+  b.cascade_bytes = 7;
+  b.board_bytes = 9;
+  b.modeled_seconds = 0.25;
+  a += b;
+  EXPECT_EQ(a.pci_bytes, 120u);
+  EXPECT_EQ(a.cascade_bytes, 7u);
+  EXPECT_EQ(a.board_bytes, 9u);
+  EXPECT_DOUBLE_EQ(a.modeled_seconds, 0.75);
+}
+
+TEST(ForceAccumulatorOps, DefaultFormatRanges) {
+  // Accumulator grids must cover the disk problem's dynamic range: the
+  // strongest softened protoplanet pull (~0.15) with headroom, down to the
+  // weakest planetesimal contribution (~1e-13) above quantisation.
+  const g6::hw::FormatSpec fmt;
+  EXPECT_GT(0x1p63 * fmt.acc_lsb, 1.0);      // range
+  EXPECT_LT(fmt.acc_lsb, 1e-15);             // resolution
+  EXPECT_GT(0x1p63 * fmt.pot_lsb, 100.0);
+  EXPECT_LT(fmt.pos_lsb * 0x1p63, 1e16);
+}
+
+}  // namespace

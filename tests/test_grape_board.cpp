@@ -1,0 +1,145 @@
+// Tests for the processor board: chip balancing, reduction-tree exactness
+// and the board cycle model.
+#include "grape6/board.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nbody/force_direct.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using g6::hw::FormatSpec;
+using g6::hw::ForceAccumulator;
+using g6::hw::IParticle;
+using g6::hw::JAddress;
+using g6::hw::JParticle;
+using g6::hw::ProcessorBoard;
+using g6::util::FixedVec3;
+using g6::util::Vec3;
+
+JParticle make_j(std::uint32_t id, double m, const Vec3& x, const FormatSpec& fmt) {
+  JParticle p;
+  p.id = id;
+  p.mass = m;
+  p.x0 = FixedVec3::quantize(x, fmt.pos_lsb);
+  return p;
+}
+
+std::vector<JParticle> random_cloud(int n, const FormatSpec& fmt, std::uint64_t seed) {
+  g6::util::Rng rng(seed);
+  std::vector<JParticle> js;
+  for (int j = 0; j < n; ++j)
+    js.push_back(make_j(static_cast<std::uint32_t>(j), rng.uniform(1e-10, 1e-9),
+                        {rng.uniform(-20, 20), rng.uniform(-20, 20),
+                         rng.uniform(-0.5, 0.5)},
+                        fmt));
+  return js;
+}
+
+TEST(Board, BalancesChips) {
+  const FormatSpec fmt;
+  ProcessorBoard board(fmt, 4, 64);
+  std::vector<JAddress> addrs;
+  for (int j = 0; j < 10; ++j)
+    addrs.push_back(board.store_j(make_j(0, 1.0, {1, 0, 0}, fmt)));
+  // 10 particles over 4 chips via least-loaded placement: loads 3,3,2,2.
+  std::vector<int> load(4, 0);
+  for (const JAddress& a : addrs) ++load[a.chip];
+  for (int l : load) {
+    EXPECT_GE(l, 2);
+    EXPECT_LE(l, 3);
+  }
+  EXPECT_EQ(board.j_count(), 10u);
+  EXPECT_EQ(board.capacity(), 4u * 64u);
+}
+
+// The paper's reduction-tree property: the total force is bit-identical no
+// matter how j-particles are spread over chips.
+class BoardDistribution : public ::testing::TestWithParam<int> {};  // #chips
+
+TEST_P(BoardDistribution, ResultIndependentOfChipCount) {
+  const FormatSpec fmt;
+  const auto cloud = random_cloud(64, fmt, 5);
+  const double eps2 = 0.008 * 0.008;
+  std::vector<IParticle> batch;
+  for (int k = 0; k < 5; ++k)
+    batch.push_back(g6::hw::make_i_particle(
+        1000 + static_cast<std::uint32_t>(k), {0.5 * k, -0.2 * k, 0.1}, {}, fmt));
+
+  // Reference: a single-chip "board".
+  ProcessorBoard ref_board(fmt, 1, 256);
+  for (const auto& j : cloud) ref_board.store_j(j);
+  ref_board.predict_all(0.0);
+  std::vector<ForceAccumulator> ref(batch.size(), ForceAccumulator(fmt));
+  ref_board.compute(batch, eps2, ref);
+
+  ProcessorBoard board(fmt, GetParam(), 256);
+  for (const auto& j : cloud) board.store_j(j);
+  board.predict_all(0.0);
+  std::vector<ForceAccumulator> out(batch.size(), ForceAccumulator(fmt));
+  board.compute(batch, eps2, out);
+
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    EXPECT_EQ(out[k], ref[k]) << "i=" << k << " chips=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChipCounts, BoardDistribution,
+                         ::testing::Values(2, 3, 7, 32));
+
+TEST(Board, MatchesCpuReference) {
+  const FormatSpec fmt;
+  const auto cloud = random_cloud(128, fmt, 9);
+  ProcessorBoard board(fmt, 8, 64);
+  for (const auto& j : cloud) board.store_j(j);
+  board.predict_all(0.0);
+
+  const Vec3 xi{3.0, -1.0, 0.2};
+  std::vector<IParticle> batch{g6::hw::make_i_particle(9999, xi, {}, fmt)};
+  std::vector<ForceAccumulator> out(1, ForceAccumulator(fmt));
+  const double eps2 = 1e-4;
+  board.compute(batch, eps2, out);
+
+  g6::nbody::Force expect{};
+  for (const auto& j : cloud)
+    g6::nbody::pairwise_force(xi, {}, j.x0.to_vec3(), j.v0, j.mass, eps2, expect);
+  EXPECT_NEAR(norm(out[0].acc.to_vec3() - expect.acc), 0.0, 1e-6 * norm(expect.acc));
+}
+
+TEST(Board, WriteJByAddress) {
+  const FormatSpec fmt;
+  ProcessorBoard board(fmt, 2, 8);
+  const JAddress a = board.store_j(make_j(0, 1.0, {1, 0, 0}, fmt));
+  board.write_j(a, make_j(0, 9.0, {1, 0, 0}, fmt));
+  EXPECT_EQ(board.read_j(a).mass, 9.0);
+  EXPECT_THROW(board.write_j({9, 0}, make_j(0, 1.0, {1, 0, 0}, fmt)),
+               g6::util::Error);
+}
+
+TEST(Board, CycleModelUsesWorstChipPlusReduction) {
+  const FormatSpec fmt;
+  ProcessorBoard board(fmt, 2, 64);
+  // 3 particles -> chips hold 2 and 1.
+  for (int j = 0; j < 3; ++j) board.store_j(make_j(0, 1.0, {1, 0, 0}, fmt));
+  const std::uint64_t worst_chip = g6::hw::kVmp * 2 + g6::hw::kPipelineLatency;
+  const std::uint64_t reduction = 1u * 1u * 4u;  // 1 pass, 1 stage, 4 cycles
+  EXPECT_EQ(board.compute_cycles(1), worst_chip + reduction);
+  EXPECT_EQ(board.predict_cycles(), 2u);
+}
+
+TEST(Board, CountersAccumulate) {
+  const FormatSpec fmt;
+  ProcessorBoard board(fmt, 2, 64);
+  for (int j = 0; j < 10; ++j) board.store_j(make_j(0, 1.0, {1, 0, 0}, fmt));
+  board.predict_all(0.0);
+  std::vector<IParticle> batch{g6::hw::make_i_particle(50, {0, 0, 0}, {}, fmt)};
+  std::vector<ForceAccumulator> out(1, ForceAccumulator(fmt));
+  board.compute(batch, 0.0, out);
+  EXPECT_EQ(board.counters().interactions, 10u);
+  EXPECT_EQ(board.counters().predict_ops, 10u);
+  EXPECT_EQ(board.counters().passes, 1u);
+  EXPECT_GT(board.counters().pipe_cycles, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+// Tests for the processor-chip model: j-memory, predictor sweep, compute and
+// the cycle model.
+#include "grape6/chip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nbody/force_direct.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using g6::hw::Chip;
+using g6::hw::FormatSpec;
+using g6::hw::ForceAccumulator;
+using g6::hw::IParticle;
+using g6::hw::JParticle;
+using g6::hw::kIPerChipPass;
+using g6::hw::kPipelineLatency;
+using g6::hw::kVmp;
+using g6::util::FixedVec3;
+using g6::util::Vec3;
+
+JParticle make_j(std::uint32_t id, double m, const Vec3& x, const FormatSpec& fmt) {
+  JParticle p;
+  p.id = id;
+  p.mass = m;
+  p.x0 = FixedVec3::quantize(x, fmt.pos_lsb);
+  return p;
+}
+
+TEST(Chip, StoreAndReadBack) {
+  const FormatSpec fmt;
+  Chip chip(fmt, 4);
+  EXPECT_EQ(chip.j_count(), 0u);
+  const auto a0 = chip.store_j(make_j(0, 1.0, {1, 0, 0}, fmt));
+  const auto a1 = chip.store_j(make_j(1, 2.0, {2, 0, 0}, fmt));
+  EXPECT_EQ(a0, 0u);
+  EXPECT_EQ(a1, 1u);
+  EXPECT_EQ(chip.j_count(), 2u);
+  EXPECT_EQ(chip.read_j(1).mass, 2.0);
+}
+
+TEST(Chip, CapacityEnforced) {
+  const FormatSpec fmt;
+  Chip chip(fmt, 2);
+  chip.store_j(make_j(0, 1.0, {1, 0, 0}, fmt));
+  chip.store_j(make_j(1, 1.0, {2, 0, 0}, fmt));
+  EXPECT_THROW(chip.store_j(make_j(2, 1.0, {3, 0, 0}, fmt)), g6::util::Error);
+}
+
+TEST(Chip, WriteJOverwrites) {
+  const FormatSpec fmt;
+  Chip chip(fmt, 4);
+  chip.store_j(make_j(0, 1.0, {1, 0, 0}, fmt));
+  chip.write_j(0, make_j(0, 5.0, {2, 0, 0}, fmt));
+  EXPECT_EQ(chip.read_j(0).mass, 5.0);
+  EXPECT_THROW(chip.write_j(3, make_j(0, 1.0, {1, 0, 0}, fmt)), g6::util::Error);
+}
+
+TEST(Chip, ComputeRequiresPrediction) {
+  const FormatSpec fmt;
+  Chip chip(fmt, 4);
+  chip.store_j(make_j(0, 1.0, {1, 0, 0}, fmt));
+  std::vector<IParticle> batch{g6::hw::make_i_particle(9, {0, 0, 0}, {}, fmt)};
+  std::vector<ForceAccumulator> acc(1, ForceAccumulator(fmt));
+  EXPECT_THROW(chip.compute(batch, 0.0, acc), g6::util::Error);
+  chip.predict_all(0.0);
+  EXPECT_NO_THROW(chip.compute(batch, 0.0, acc));
+  EXPECT_NEAR(acc[0].acc.to_vec3().x, 1.0, 1e-6);
+}
+
+TEST(Chip, MatchesCpuKernel) {
+  const FormatSpec fmt;
+  g6::util::Rng rng(4);
+  Chip chip(fmt, 64);
+  std::vector<Vec3> xs;
+  std::vector<double> ms;
+  for (int j = 0; j < 40; ++j) {
+    const Vec3 x{rng.uniform(-20, 20), rng.uniform(-20, 20), rng.uniform(-0.5, 0.5)};
+    const double m = rng.uniform(1e-10, 1e-9);
+    chip.store_j(make_j(static_cast<std::uint32_t>(j), m, x, fmt));
+    xs.push_back(x);
+    ms.push_back(m);
+  }
+  chip.predict_all(0.0);
+
+  const Vec3 xi{1.0, 2.0, 0.0};
+  const double eps2 = 0.008 * 0.008;
+  std::vector<IParticle> batch{g6::hw::make_i_particle(1000, xi, {}, fmt)};
+  std::vector<ForceAccumulator> acc(1, ForceAccumulator(fmt));
+  chip.compute(batch, eps2, acc);
+
+  g6::nbody::Force ref{};
+  for (int j = 0; j < 40; ++j)
+    g6::nbody::pairwise_force(xi, {}, xs[static_cast<std::size_t>(j)], {},
+                              ms[static_cast<std::size_t>(j)], eps2, ref);
+  EXPECT_NEAR(norm(acc[0].acc.to_vec3() - ref.acc), 0.0, 1e-6 * norm(ref.acc));
+  EXPECT_NEAR(acc[0].pot.to_double(), ref.pot, 1e-6 * std::abs(ref.pot));
+}
+
+TEST(Chip, CycleModel) {
+  const FormatSpec fmt;
+  Chip chip(fmt, 1024);
+  for (int j = 0; j < 100; ++j) chip.store_j(make_j(0, 1.0, {1, 0, 0}, fmt));
+
+  // One pass serves up to 48 i-particles in vmp * nj + latency cycles.
+  const std::uint64_t one_pass = kVmp * 100 + kPipelineLatency;
+  EXPECT_EQ(chip.compute_cycles(1), one_pass);
+  EXPECT_EQ(chip.compute_cycles(kIPerChipPass), one_pass);
+  EXPECT_EQ(chip.compute_cycles(kIPerChipPass + 1), 2 * one_pass);
+  EXPECT_EQ(chip.compute_cycles(0), 0u);
+  EXPECT_EQ(chip.predict_cycles(), 100u);
+}
+
+TEST(Chip, PredictionCachedUntilWrite) {
+  const FormatSpec fmt;
+  Chip chip(fmt, 8);
+  chip.store_j(make_j(0, 1.0, {1, 0, 0}, fmt));
+  chip.predict_all(0.5);
+  // Re-predicting at the same time is a no-op; a j write invalidates.
+  chip.predict_all(0.5);
+  chip.write_j(0, make_j(0, 2.0, {1, 0, 0}, fmt));
+  std::vector<IParticle> batch{g6::hw::make_i_particle(9, {0, 0, 0}, {}, fmt)};
+  std::vector<ForceAccumulator> acc(1, ForceAccumulator(fmt));
+  EXPECT_THROW(chip.compute(batch, 0.0, acc), g6::util::Error);
+  chip.predict_all(0.5);
+  chip.compute(batch, 0.0, acc);
+  EXPECT_NEAR(acc[0].acc.to_vec3().x, 2.0, 1e-5);
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+// Tests for the assembled machine model: topology, capacity, distribution
+// invariance and the timing helpers.
+#include "grape6/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using g6::hw::ForceAccumulator;
+using g6::hw::FormatSpec;
+using g6::hw::Grape6Machine;
+using g6::hw::IParticle;
+using g6::hw::JParticle;
+using g6::hw::MachineConfig;
+using g6::util::FixedVec3;
+using g6::util::Vec3;
+
+std::vector<JParticle> cloud(int n, const FormatSpec& fmt, std::uint64_t seed) {
+  g6::util::Rng rng(seed);
+  std::vector<JParticle> js(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    auto& p = js[static_cast<std::size_t>(j)];
+    p.id = static_cast<std::uint32_t>(j);
+    p.mass = rng.uniform(1e-10, 1e-9);
+    p.x0 = FixedVec3::quantize(
+        {rng.uniform(-20, 20), rng.uniform(-20, 20), rng.uniform(-0.5, 0.5)},
+        fmt.pos_lsb);
+  }
+  return js;
+}
+
+TEST(MachineConfig, PaperTopology) {
+  const MachineConfig cfg = MachineConfig::full_system();
+  EXPECT_EQ(cfg.total_nodes(), 16);
+  EXPECT_EQ(cfg.total_boards(), 64);
+  EXPECT_EQ(cfg.total_chips(), 2048);
+  EXPECT_EQ(cfg.total_pipelines(), 2048 * 6);
+  // Paper: "theoretical peak performance is 63.4 Tflops" (57 ops, 90 MHz).
+  EXPECT_NEAR(cfg.peak_flops() / 1e12, 63.0, 0.5);
+  // Paper: per chip "the peak speed of a chip is 30.7 Gflops".
+  EXPECT_NEAR(g6::hw::kChipPeakFlops / 1e9, 30.8, 0.1);
+}
+
+TEST(MachineConfig, CapacityCoversPaperN) {
+  const MachineConfig cfg = MachineConfig::full_system();
+  Grape6Machine machine(cfg);
+  EXPECT_GE(machine.capacity(), 1800000u);
+}
+
+TEST(Machine, LoadDistributesRoundRobin) {
+  MachineConfig cfg = MachineConfig::mini(4, 2, 16);
+  Grape6Machine machine(cfg);
+  const FormatSpec fmt = cfg.fmt;
+  const auto js = cloud(10, fmt, 2);
+  machine.load(js);
+  EXPECT_EQ(machine.j_count(), 10u);
+  // Boards 0,1 get 3 each; 2,3 get 2 each.
+  EXPECT_EQ(machine.board(0).j_count(), 3u);
+  EXPECT_EQ(machine.board(1).j_count(), 3u);
+  EXPECT_EQ(machine.board(2).j_count(), 2u);
+  EXPECT_EQ(machine.board(3).j_count(), 2u);
+}
+
+TEST(Machine, CapacityEnforced) {
+  MachineConfig cfg = MachineConfig::mini(1, 1, 4);
+  Grape6Machine machine(cfg);
+  const auto js = cloud(5, cfg.fmt, 3);
+  EXPECT_THROW(machine.load(js), g6::util::Error);
+}
+
+TEST(Machine, WriteAndReadBack) {
+  MachineConfig cfg = MachineConfig::mini(2, 2, 16);
+  Grape6Machine machine(cfg);
+  auto js = cloud(6, cfg.fmt, 4);
+  machine.load(js);
+  js[3].mass = 42.0;
+  machine.write_j(3, js[3]);
+  EXPECT_EQ(machine.read_j(3).mass, 42.0);
+  EXPECT_THROW(machine.read_j(99), g6::util::Error);
+}
+
+// Machine-level distribution invariance: any topology gives bit-identical
+// totals (board partials merge exactly).
+class MachineTopology : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(MachineTopology, ForceIndependentOfTopology) {
+  const auto [boards, chips] = GetParam();
+  const FormatSpec fmt;
+  const auto js = cloud(96, fmt, 7);
+  std::vector<IParticle> batch;
+  for (int k = 0; k < 4; ++k)
+    batch.push_back(g6::hw::make_i_particle(500 + static_cast<std::uint32_t>(k),
+                                            {1.0 * k, -0.5 * k, 0.0}, {}, fmt));
+
+  MachineConfig ref_cfg = MachineConfig::mini(1, 1, 256);
+  Grape6Machine ref(ref_cfg);
+  ref.load(js);
+  ref.predict_all(0.0);
+  std::vector<ForceAccumulator> expect;
+  ref.compute(batch, 1e-4, expect);
+
+  MachineConfig cfg = MachineConfig::mini(boards, chips, 64);
+  Grape6Machine machine(cfg);
+  machine.load(js);
+  machine.predict_all(0.0);
+  std::vector<ForceAccumulator> out;
+  machine.compute(batch, 1e-4, out);
+
+  for (std::size_t k = 0; k < batch.size(); ++k)
+    EXPECT_EQ(out[k], expect[k]) << "boards=" << boards << " chips=" << chips;
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, MachineTopology,
+                         ::testing::Values(std::pair{2, 2}, std::pair{4, 4},
+                                           std::pair{3, 5}, std::pair{8, 2}));
+
+TEST(Machine, TimingHelpersPositiveAndMonotone) {
+  MachineConfig cfg = MachineConfig::mini(2, 4, 256);
+  Grape6Machine machine(cfg);
+  machine.load(cloud(100, cfg.fmt, 8));
+  const double t1 = machine.pipeline_seconds(10);
+  const double t2 = machine.pipeline_seconds(100);
+  EXPECT_GT(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  EXPECT_GT(machine.predict_seconds(), 0.0);
+}
+
+TEST(Machine, ClearEmptiesJMemory) {
+  MachineConfig cfg = MachineConfig::mini(2, 2, 16);
+  Grape6Machine machine(cfg);
+  machine.load(cloud(8, cfg.fmt, 9));
+  machine.clear();
+  EXPECT_EQ(machine.j_count(), 0u);
+  EXPECT_EQ(machine.board(0).j_count(), 0u);
+}
+
+TEST(Machine, CountersAggregate) {
+  MachineConfig cfg = MachineConfig::mini(2, 2, 64);
+  Grape6Machine machine(cfg);
+  machine.load(cloud(20, cfg.fmt, 10));
+  machine.predict_all(0.0);
+  std::vector<IParticle> batch{
+      g6::hw::make_i_particle(900, {0, 0, 0}, {}, cfg.fmt)};
+  std::vector<ForceAccumulator> out;
+  machine.compute(batch, 0.0, out);
+  EXPECT_EQ(machine.counters().interactions, 20u);  // all j's, across boards
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+// Tests for the GRAPE-6 pipeline functional model: reduced-precision force
+// evaluation and the on-chip predictor.
+#include "grape6/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nbody/force_direct.hpp"
+#include "nbody/hermite.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using g6::hw::FormatSpec;
+using g6::hw::ForceAccumulator;
+using g6::hw::IParticle;
+using g6::hw::JParticle;
+using g6::hw::JPredicted;
+using g6::hw::make_i_particle;
+using g6::hw::pipeline_interact;
+using g6::hw::predict_j;
+using g6::util::FixedVec3;
+using g6::util::Vec3;
+
+JParticle make_j(std::uint32_t id, double m, const Vec3& x, const Vec3& v,
+                 const FormatSpec& fmt) {
+  JParticle p;
+  p.id = id;
+  p.mass = m;
+  p.t0 = 0.0;
+  p.x0 = FixedVec3::quantize(x, fmt.pos_lsb);
+  p.v0 = v;
+  return p;
+}
+
+TEST(Pipeline, MatchesDoubleReferenceToFormatPrecision) {
+  const FormatSpec fmt;
+  g6::util::Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Vec3 xi{rng.uniform(-30, 30), rng.uniform(-30, 30), rng.uniform(-1, 1)};
+    const Vec3 xj{rng.uniform(-30, 30), rng.uniform(-30, 30), rng.uniform(-1, 1)};
+    const Vec3 vi{rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3), 0.0};
+    const Vec3 vj{rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3), 0.0};
+    const double m = rng.uniform(1e-11, 1e-9);
+    const double eps2 = 0.008 * 0.008;
+
+    const IParticle ip = make_i_particle(0, xi, vi, fmt);
+    JParticle jp = make_j(1, m, xj, vj, fmt);
+    const JPredicted jpred = predict_j(jp, 0.0, fmt);
+    ForceAccumulator acc(fmt);
+    pipeline_interact(ip, jpred, eps2, fmt, acc);
+
+    g6::nbody::Force ref{};
+    g6::nbody::pairwise_force(xi, vi, xj, vj, m, eps2, ref);
+
+    const double scale = norm(ref.acc);
+    EXPECT_NEAR(norm(acc.acc.to_vec3() - ref.acc), 0.0, 1e-6 * scale + 1e-18)
+        << "trial " << trial;
+    EXPECT_NEAR(acc.pot.to_double(), ref.pot, 1e-6 * std::abs(ref.pot) + 1e-15);
+  }
+}
+
+TEST(Pipeline, SelfInteractionSuppressed) {
+  const FormatSpec fmt;
+  const IParticle ip = make_i_particle(7, {1, 2, 3}, {0, 0, 0}, fmt);
+  JParticle jp = make_j(7, 1.0, {1, 2, 3}, {0, 0, 0}, fmt);
+  const JPredicted jpred = predict_j(jp, 0.0, fmt);
+  ForceAccumulator acc(fmt);
+  pipeline_interact(ip, jpred, 0.01, fmt, acc);
+  EXPECT_EQ(acc.acc.to_vec3(), Vec3(0, 0, 0));
+  EXPECT_EQ(acc.pot.to_double(), 0.0);
+}
+
+TEST(Pipeline, CoincidentDistinctParticlesUseSoftening) {
+  const FormatSpec fmt;
+  const IParticle ip = make_i_particle(0, {1, 2, 3}, {0, 0, 0}, fmt);
+  JParticle jp = make_j(1, 1.0, {1, 2, 3}, {0, 0, 0}, fmt);
+  const JPredicted jpred = predict_j(jp, 0.0, fmt);
+  ForceAccumulator acc(fmt);
+  pipeline_interact(ip, jpred, 0.01, fmt, acc);
+  EXPECT_EQ(acc.acc.to_vec3(), Vec3(0, 0, 0));      // dx = 0 -> no force
+  EXPECT_NEAR(acc.pot.to_double(), -1.0 / 0.1, 1e-6);  // but potential -m/eps
+}
+
+TEST(Predictor, MatchesHermitePredictToFormatPrecision) {
+  FormatSpec fmt;
+  g6::util::Rng rng(11);
+  for (int trial = 0; trial < 100; ++trial) {
+    JParticle jp;
+    jp.id = 0;
+    jp.mass = 1e-10;
+    jp.t0 = rng.uniform(0.0, 1.0);
+    const Vec3 x{rng.uniform(-30, 30), rng.uniform(-30, 30), rng.uniform(-1, 1)};
+    const Vec3 v{rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3), 0.01};
+    const Vec3 a{rng.uniform(-1e-2, 1e-2), rng.uniform(-1e-2, 1e-2), 0.0};
+    const Vec3 j{rng.uniform(-1e-3, 1e-3), rng.uniform(-1e-3, 1e-3), 0.0};
+    jp.x0 = FixedVec3::quantize(x, fmt.pos_lsb);
+    jp.v0 = v;
+    jp.a0 = a;
+    jp.j0 = j;
+
+    const double t = jp.t0 + rng.uniform(0.0, 0.125);
+    const JPredicted pred = predict_j(jp, t, fmt);
+    const auto ref = g6::nbody::hermite_predict(x, v, a, j, t - jp.t0);
+    EXPECT_NEAR(norm(pred.x.to_vec3() - ref.pos), 0.0, 1e-6 * norm(ref.pos) + 1e-9);
+    EXPECT_NEAR(norm(pred.v - ref.vel), 0.0, 1e-6 * norm(ref.vel) + 1e-12);
+  }
+}
+
+TEST(Predictor, ZeroDtReturnsStoredState) {
+  const FormatSpec fmt;
+  // Dyadic velocities survive the short-float rounding exactly.
+  JParticle jp = make_j(0, 1.0, {10, -5, 2}, {0.125, 0.25, 0.5}, fmt);
+  const JPredicted pred = predict_j(jp, 0.0, fmt);
+  EXPECT_EQ(pred.x.to_vec3(), jp.x0.to_vec3());
+  EXPECT_EQ(pred.v, jp.v0);
+}
+
+TEST(FormatSpec, ForScalesGivesSaneGrids) {
+  const FormatSpec fmt = FormatSpec::for_scales(35.0, 1e-5);
+  EXPECT_GT(fmt.pos_lsb, 0.0);
+  EXPECT_LT(fmt.pos_lsb, 1e-9);          // far finer than the softening
+  EXPECT_LT(fmt.acc_lsb, 1e-5 * 1e-9);   // resolves tiny contributions
+  EXPECT_THROW(FormatSpec::for_scales(0.0, 1.0), g6::util::Error);
+}
+
+TEST(MakeIParticle, QuantisesToGrid) {
+  const FormatSpec fmt;
+  const IParticle p = make_i_particle(3, {1.0 / 3.0, 0, 0}, {1.0 / 7.0, 0, 0}, fmt);
+  EXPECT_EQ(p.id, 3u);
+  // Position snapped to the fixed-point grid.
+  const double q = p.x.to_vec3().x / fmt.pos_lsb;
+  EXPECT_EQ(q, std::floor(q + 0.5));
+  // Velocity carries at most 24 mantissa bits.
+  EXPECT_EQ(p.v.x, g6::util::round_to_mantissa(1.0 / 7.0, fmt.mantissa_bits));
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+// Tests for the 4th-order Hermite scheme kernels.
+#include "nbody/hermite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using g6::nbody::aarseth_dt;
+using g6::nbody::hermite_correct;
+using g6::nbody::hermite_derivatives;
+using g6::nbody::hermite_predict;
+using g6::nbody::HermiteDerivatives;
+using g6::nbody::initial_dt;
+using g6::nbody::Predicted;
+using g6::util::Vec3;
+
+TEST(HermitePredict, ZeroDtIsIdentity) {
+  const Vec3 x{1, 2, 3}, v{4, 5, 6}, a{7, 8, 9}, j{1, 1, 1};
+  const Predicted p = hermite_predict(x, v, a, j, 0.0);
+  EXPECT_EQ(p.pos, x);
+  EXPECT_EQ(p.vel, v);
+}
+
+TEST(HermitePredict, MatchesTaylorSeries) {
+  const Vec3 x{1, 0, 0}, v{0, 1, 0}, a{0, 0, 2}, j{6, 0, 0};
+  const double dt = 0.5;
+  const Predicted p = hermite_predict(x, v, a, j, dt);
+  EXPECT_DOUBLE_EQ(p.pos.x, 1.0 + 6.0 * dt * dt * dt / 6.0);
+  EXPECT_DOUBLE_EQ(p.pos.y, dt);
+  EXPECT_DOUBLE_EQ(p.pos.z, dt * dt);
+  EXPECT_DOUBLE_EQ(p.vel.x, 6.0 * dt * dt / 2.0);
+  EXPECT_DOUBLE_EQ(p.vel.y, 1.0);
+  EXPECT_DOUBLE_EQ(p.vel.z, 2.0 * dt);
+}
+
+// If the true acceleration is a cubic polynomial of time, the Hermite
+// corrector reconstructs position and velocity exactly (the scheme is
+// 4th order: exact through a^(3) = const).
+TEST(HermiteCorrect, ExactForCubicAcceleration) {
+  // a(t) = a0 + j0 t + s0 t^2/2 + c0 t^3/6 per component.
+  const Vec3 a0{1.0, -2.0, 0.5}, j0{0.3, 0.1, -0.2}, s0{0.05, -0.02, 0.01},
+      c0{0.004, 0.002, -0.006};
+  const Vec3 x0{0.1, 0.2, 0.3}, v0{-0.5, 0.4, 0.0};
+  const double dt = 0.37;
+
+  auto acc_at = [&](double t) {
+    return a0 + j0 * t + s0 * (0.5 * t * t) + c0 * (t * t * t / 6.0);
+  };
+  auto jerk_at = [&](double t) { return j0 + s0 * t + c0 * (0.5 * t * t); };
+  // Exact integrals.
+  auto vel_at = [&](double t) {
+    return v0 + a0 * t + j0 * (0.5 * t * t) + s0 * (t * t * t / 6.0) +
+           c0 * (t * t * t * t / 24.0);
+  };
+  auto pos_at = [&](double t) {
+    return x0 + v0 * t + a0 * (0.5 * t * t) + j0 * (t * t * t / 6.0) +
+           s0 * (t * t * t * t / 24.0) + c0 * (t * t * t * t * t / 120.0);
+  };
+
+  const Predicted pred = hermite_predict(x0, v0, a0, j0, dt);
+  const HermiteDerivatives d =
+      hermite_derivatives(a0, j0, acc_at(dt), jerk_at(dt), dt);
+  const Predicted corr = hermite_correct(pred, d, dt);
+
+  EXPECT_NEAR(norm(corr.pos - pos_at(dt)), 0.0, 1e-14);
+  EXPECT_NEAR(norm(corr.vel - vel_at(dt)), 0.0, 1e-14);
+  // The recovered derivatives match the generating polynomial.
+  EXPECT_NEAR(norm(d.snap - s0), 0.0, 1e-12);
+  EXPECT_NEAR(norm(d.crackle - c0), 0.0, 1e-12);
+}
+
+// Convergence order sweep: the per-step error of the corrector on a known
+// smooth trajectory (circular orbit) scales as dt^5 (local), i.e. 4th-order
+// global accuracy.
+class HermiteOrder : public ::testing::TestWithParam<double> {};
+
+namespace orbit {
+// Circular Kepler orbit about a unit point mass: everything analytic.
+Vec3 pos(double t) { return {std::cos(t), std::sin(t), 0.0}; }
+Vec3 vel(double t) { return {-std::sin(t), std::cos(t), 0.0}; }
+Vec3 acc(double t) { return {-std::cos(t), -std::sin(t), 0.0}; }
+Vec3 jerk(double t) { return {std::sin(t), -std::cos(t), 0.0}; }
+}  // namespace orbit
+
+TEST_P(HermiteOrder, LocalErrorScalesAsDt5) {
+  const double dt = GetParam();
+  const Predicted pred =
+      hermite_predict(orbit::pos(0), orbit::vel(0), orbit::acc(0), orbit::jerk(0), dt);
+  const HermiteDerivatives d = hermite_derivatives(
+      orbit::acc(0), orbit::jerk(0), orbit::acc(dt), orbit::jerk(dt), dt);
+  const Predicted corr = hermite_correct(pred, d, dt);
+  const double err = norm(corr.pos - orbit::pos(dt));
+  // |err| <= C dt^6 for this scheme variant on an analytic force sampled
+  // exactly; allow dt^5 with a loose constant.
+  EXPECT_LT(err, 0.05 * std::pow(dt, 5)) << "dt=" << dt;
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, HermiteOrder,
+                         ::testing::Values(0.2, 0.1, 0.05, 0.025, 0.0125));
+
+TEST(HermiteOrder, ErrorRatioConfirmsOrder) {
+  auto local_err = [](double dt) {
+    const Predicted pred = hermite_predict(orbit::pos(0), orbit::vel(0),
+                                           orbit::acc(0), orbit::jerk(0), dt);
+    const HermiteDerivatives d = hermite_derivatives(
+        orbit::acc(0), orbit::jerk(0), orbit::acc(dt), orbit::jerk(dt), dt);
+    return norm(hermite_correct(pred, d, dt).pos - orbit::pos(dt));
+  };
+  const double r = local_err(0.2) / local_err(0.1);
+  // Halving dt should shrink the local error by ~2^5..2^6.
+  EXPECT_GT(r, 20.0);
+  EXPECT_LT(r, 90.0);
+}
+
+TEST(AarsethDt, ScalesWithEta) {
+  const Vec3 a{1, 0, 0}, j{0.1, 0, 0};
+  const HermiteDerivatives d{{0.01, 0, 0}, {0.001, 0, 0}};
+  const double dt1 = aarseth_dt(a, j, d, 0.1, 0.01);
+  const double dt2 = aarseth_dt(a, j, d, 0.1, 0.04);
+  EXPECT_NEAR(dt2 / dt1, 2.0, 1e-12);  // sqrt(4)
+}
+
+TEST(AarsethDt, GrowsWhenDerivativesVanish) {
+  const Vec3 a{1, 0, 0}, j{};
+  const HermiteDerivatives d{{}, {}};
+  EXPECT_GT(aarseth_dt(a, j, d, 0.25, 0.01), 0.25);
+}
+
+TEST(AarsethDt, SmallForStronglyVaryingForce) {
+  const Vec3 a{1, 0, 0}, j{100, 0, 0};
+  const HermiteDerivatives d{{1e4, 0, 0}, {1e6, 0, 0}};
+  EXPECT_LT(aarseth_dt(a, j, d, 0.1, 0.01), 0.01);
+}
+
+TEST(InitialDt, CappedAtMax) {
+  EXPECT_DOUBLE_EQ(initial_dt({1, 0, 0}, {}, 0.01, 0.25), 0.25);
+  EXPECT_DOUBLE_EQ(initial_dt({1, 0, 0}, {1000, 0, 0}, 0.01, 0.25), 1e-5);
+}
+
+}  // namespace

@@ -1,0 +1,198 @@
+// Tests for the 6th-order Hermite extension (Nitadori & Makino 2008).
+#include "nbody/hermite6.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "disk/kepler.hpp"
+#include "nbody/energy.hpp"
+#include "nbody/force_direct.hpp"
+#include "nbody/integrator.hpp"
+
+namespace {
+
+using g6::nbody::compute_force6;
+using g6::nbody::Force6;
+using g6::nbody::Hermite6Integrator;
+using g6::nbody::ParticleSystem;
+using g6::nbody::SolarPotential;
+using g6::util::Vec3;
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Force6, AccAndJerkMatchFourthOrderKernel) {
+  ParticleSystem ps;
+  ps.add(1.0, {0, 0, 0}, {0.1, 0, 0});
+  ps.add(2.0, {1.5, 0.5, -0.2}, {-0.2, 0.3, 0.1});
+  ps.add(0.5, {-1, 2, 0.4}, {0, -0.1, 0.2});
+
+  std::vector<Force6> f6;
+  compute_force6(ps, 0.01, SolarPotential{}, f6);
+
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    g6::nbody::Force ref{};
+    for (std::size_t j = 0; j < ps.size(); ++j) {
+      if (j == i) continue;
+      g6::nbody::pairwise_force(ps.pos(i), ps.vel(i), ps.pos(j), ps.vel(j),
+                                ps.mass(j), 0.0001, ref);
+    }
+    EXPECT_NEAR(norm(f6[i].acc - ref.acc), 0.0, 1e-14) << i;
+    EXPECT_NEAR(norm(f6[i].jerk - ref.jerk), 0.0, 1e-14) << i;
+    EXPECT_NEAR(f6[i].pot, ref.pot, 1e-14) << i;
+  }
+}
+
+TEST(Force6, SnapMatchesNumericalSecondDerivative) {
+  // Advance a three-body system ballistically under its true dynamics with
+  // a tiny leapfrog and differentiate the measured acceleration twice.
+  ParticleSystem ps;
+  ps.add(1.0, {2.0, 1.0, 0}, {0.05, 0.1, 0});
+  ps.add(2.0, {1.5, -1.5, -0.2}, {-0.2, 0.3, 0.1});
+  ps.add(0.5, {-1, 2, 0.4}, {0, -0.1, 0.2});
+  const double eps = 0.05;
+  const SolarPotential solar{0.5};
+
+  std::vector<Force6> f0;
+  compute_force6(ps, eps, solar, f0);
+
+  // Acceleration along the exact trajectory at +/- h via an accurate
+  // integration (many tiny 6th-order steps would be circular; use the
+  // independent 4th-order integrator instead).
+  auto acc_at = [&](double h) {
+    ParticleSystem copy = ps;
+    if (h > 0) {
+      g6::nbody::CpuDirectBackend backend(eps);
+      g6::nbody::IntegratorConfig cfg;
+      cfg.solar_gm = solar.gm;
+      cfg.eta = 1e9;
+      cfg.eta_init = 1e9;
+      cfg.dt_max = 0x1p-12;
+      cfg.dt_min = 0x1p-12;
+      g6::nbody::HermiteIntegrator integ(copy, backend, cfg);
+      integ.initialize();
+      integ.evolve(h);
+    }
+    std::vector<Force6> f;
+    compute_force6(copy, eps, solar, f);
+    return f;
+  };
+
+  const double h = 0x1p-8;
+  const auto fp = acc_at(2.0 * h);
+  const auto fm = acc_at(0.0);
+  const auto fc = acc_at(h);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const Vec3 num_snap =
+        (fp[i].acc - 2.0 * fc[i].acc + fm[i].acc) / (h * h);
+    const double scale = std::max(norm(fc[i].snap), 1e-3);
+    EXPECT_NEAR(norm(num_snap - fc[i].snap), 0.0, 2e-2 * scale) << i;
+  }
+}
+
+TEST(Hermite6, CircularOrbitExactishOverOneOrbit) {
+  ParticleSystem ps;
+  ps.add(1e-12, {1, 0, 0}, {0, 1, 0});
+  Hermite6Integrator integ(ps, 2.0 * kPi / 64.0, 0.0, 1.0);
+  integ.initialize();
+  integ.evolve(2.0 * kPi);
+  EXPECT_NEAR(norm(ps.pos(0) - Vec3(1, 0, 0)), 0.0, 5e-9);
+}
+
+TEST(Hermite6, SixthOrderConvergence) {
+  auto final_error = [](double dt) {
+    g6::disk::OrbitalElements el;
+    el.a = 1.0;
+    el.e = 0.4;
+    const auto sv = g6::disk::elements_to_state(el, 1.0);
+    ParticleSystem ps;
+    ps.add(1e-12, sv.pos, sv.vel);
+    Hermite6Integrator integ(ps, dt, 0.0, 1.0, /*iterations=*/2);
+    integ.initialize();
+    integ.evolve(2.0 * kPi);  // one orbit
+    const auto back = g6::disk::elements_to_state(el, 1.0);  // closed orbit
+    return norm(ps.pos(0) - back.pos);
+  };
+  const double e1 = final_error(2.0 * kPi / 128.0);
+  const double e2 = final_error(2.0 * kPi / 256.0);
+  // 6th order: halving dt shrinks the error by ~64.
+  EXPECT_GT(e1 / e2, 30.0);
+  EXPECT_LT(e1 / e2, 140.0);
+}
+
+TEST(Hermite6, BeatsFourthOrderAtSameStep) {
+  auto run6 = [](double dt) {
+    ParticleSystem ps;
+    g6::disk::OrbitalElements el;
+    el.a = 1.0;
+    el.e = 0.3;
+    const auto sv = g6::disk::elements_to_state(el, 1.0);
+    ps.add(1e-12, sv.pos, sv.vel);
+    Hermite6Integrator integ(ps, dt, 0.0, 1.0);
+    integ.initialize();
+    const double e0 = 0.5 * norm2(ps.vel(0)) - 1.0 / norm(ps.pos(0));
+    integ.evolve(10.0 * 2.0 * kPi);
+    const double e1 = 0.5 * norm2(ps.vel(0)) - 1.0 / norm(ps.pos(0));
+    return std::abs((e1 - e0) / e0);
+  };
+  auto run4 = [](double dt) {
+    ParticleSystem ps;
+    g6::disk::OrbitalElements el;
+    el.a = 1.0;
+    el.e = 0.3;
+    const auto sv = g6::disk::elements_to_state(el, 1.0);
+    ps.add(1e-12, sv.pos, sv.vel);
+    g6::nbody::CpuDirectBackend backend(0.0);
+    g6::nbody::IntegratorConfig cfg;
+    cfg.solar_gm = 1.0;
+    cfg.dt_max = dt;
+    cfg.dt_min = dt;
+    cfg.eta = 1e9;
+    cfg.eta_init = 1e9;
+    g6::nbody::HermiteIntegrator integ(ps, backend, cfg);
+    integ.initialize();
+    const double e0 = 0.5 * norm2(ps.vel(0)) - 1.0 / norm(ps.pos(0));
+    integ.evolve(10.0 * 2.0 * kPi);
+    const double e1 = 0.5 * norm2(ps.vel(0)) - 1.0 / norm(ps.pos(0));
+    return std::abs((e1 - e0) / e0);
+  };
+  const double dt = 0x1p-6;
+  EXPECT_LT(run6(dt), 0.1 * run4(dt));
+}
+
+TEST(Hermite6, BinaryEnergyConserved) {
+  ParticleSystem ps;
+  ps.add(0.5, {0.5, 0, 0}, {0, 0.5, 0});
+  ps.add(0.5, {-0.5, 0, 0}, {0, -0.5, 0});
+  Hermite6Integrator integ(ps, 2.0 * kPi / 256.0, 0.0);
+  integ.initialize();
+  const double e0 = g6::nbody::compute_energy(ps, 0.0, 0.0).total();
+  integ.evolve(4.0 * kPi);
+  const double e1 = g6::nbody::compute_energy(ps, 0.0, 0.0).total();
+  EXPECT_NEAR((e1 - e0) / std::abs(e0), 0.0, 1e-12);
+}
+
+TEST(Hermite6, Validation) {
+  ParticleSystem ps;
+  ps.add(1.0, {1, 0, 0}, {0, 1, 0});
+  EXPECT_THROW(Hermite6Integrator(ps, 0.0, 0.0), g6::util::Error);
+  EXPECT_THROW(Hermite6Integrator(ps, 0.1, -1.0), g6::util::Error);
+  EXPECT_THROW(Hermite6Integrator(ps, 0.1, 0.0, 0.0, 0), g6::util::Error);
+  Hermite6Integrator integ(ps, 0.1, 0.0, 1.0);
+  EXPECT_THROW(integ.step(), g6::util::Error);  // not initialized
+}
+
+TEST(Hermite6, CountsForceEvaluations) {
+  ParticleSystem ps;
+  ps.add(1e-12, {1, 0, 0}, {0, 1, 0});
+  Hermite6Integrator integ(ps, 0.1, 0.0, 1.0, 2);
+  integ.initialize();
+  EXPECT_EQ(integ.force_evaluations(), 1u);
+  integ.step();
+  // 2 corrector passes + the final evaluation.
+  EXPECT_EQ(integ.force_evaluations(), 4u);
+  EXPECT_EQ(integ.steps(), 1u);
+}
+
+}  // namespace

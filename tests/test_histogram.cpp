@@ -1,0 +1,97 @@
+// Tests for the histogram utility.
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace {
+
+using g6::util::BinScale;
+using g6::util::Histogram;
+
+TEST(Histogram, LinearBinning) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(9.99);
+  EXPECT_EQ(h.count(0), 1.0);
+  EXPECT_EQ(h.count(5), 1.0);
+  EXPECT_EQ(h.count(9), 1.0);
+  EXPECT_EQ(h.total(), 3.0);
+}
+
+TEST(Histogram, Weights) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25, 2.5);
+  h.add(0.75, 0.5);
+  EXPECT_EQ(h.count(0), 2.5);
+  EXPECT_EQ(h.count(1), 0.5);
+  EXPECT_EQ(h.total(), 3.0);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.1);
+  h.add(1.0);  // hi edge is exclusive
+  h.add(2.0);
+  EXPECT_EQ(h.underflow(), 1.0);
+  EXPECT_EQ(h.overflow(), 2.0);
+  EXPECT_EQ(h.total(), 0.0);
+}
+
+TEST(Histogram, EdgesLinear) {
+  Histogram h(2.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.edge_lo(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.edge_hi(3), 4.0);
+  EXPECT_DOUBLE_EQ(h.center(1), 2.75);
+}
+
+TEST(Histogram, LogBinning) {
+  Histogram h(1.0, 1000.0, 3, BinScale::kLog);
+  h.add(2.0);    // [1, 10)
+  h.add(50.0);   // [10, 100)
+  h.add(500.0);  // [100, 1000)
+  EXPECT_EQ(h.count(0), 1.0);
+  EXPECT_EQ(h.count(1), 1.0);
+  EXPECT_EQ(h.count(2), 1.0);
+  EXPECT_NEAR(h.edge_lo(1), 10.0, 1e-9);
+  EXPECT_NEAR(h.center(1), std::sqrt(10.0 * 100.0), 1e-9);
+}
+
+TEST(Histogram, LogRejectsNonPositiveSamplesQuietly) {
+  Histogram h(1.0, 100.0, 2, BinScale::kLog);
+  h.add(0.0);
+  h.add(-5.0);
+  EXPECT_EQ(h.underflow(), 2.0);
+  EXPECT_EQ(h.total(), 0.0);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), g6::util::Error);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), g6::util::Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 4, BinScale::kLog), g6::util::Error);
+}
+
+TEST(Histogram, AsciiRenderContainsBars) {
+  Histogram h(0.0, 2.0, 2);
+  for (int i = 0; i < 10; ++i) h.add(0.5);
+  h.add(1.5);
+  const std::string art = h.to_ascii(20);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  // Two lines, the first much longer in #'s.
+  const auto first_line = art.substr(0, art.find('\n'));
+  EXPECT_NE(first_line.find("####"), std::string::npos);
+}
+
+TEST(Histogram, BoundaryGoesToCorrectBin) {
+  Histogram h(0.0, 1.0, 10);
+  h.add(0.0);
+  EXPECT_EQ(h.count(0), 1.0);
+  h.add(0.1);  // exactly an edge -> bin 1
+  EXPECT_EQ(h.count(1), 1.0);
+}
+
+}  // namespace

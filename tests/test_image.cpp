@@ -1,0 +1,75 @@
+// Tests for the grayscale raster / PGM writer.
+#include "util/image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace {
+
+using g6::util::GrayImage;
+
+TEST(GrayImage, DepositAndRead) {
+  GrayImage img(4, 3);
+  img.deposit(1, 2, 2.5);
+  img.deposit(1, 2, 0.5);
+  EXPECT_DOUBLE_EQ(img.at(1, 2), 3.0);
+  EXPECT_DOUBLE_EQ(img.at(0, 0), 0.0);
+}
+
+TEST(GrayImage, BoundsChecked) {
+  GrayImage img(2, 2);
+  EXPECT_THROW(img.deposit(2, 0), g6::util::Error);
+  EXPECT_THROW(img.at(0, 5), g6::util::Error);
+  EXPECT_THROW(GrayImage(0, 4), g6::util::Error);
+}
+
+TEST(GrayImage, SplatMapsDataSpace) {
+  GrayImage img(10, 10);
+  img.splat(0.0, 0.0, -1.0, 1.0, -1.0, 1.0);  // centre
+  EXPECT_GT(img.at(5, 4) + img.at(5, 5) + img.at(4, 4) + img.at(4, 5), 0.0);
+  img.splat(5.0, 0.0, -1.0, 1.0, -1.0, 1.0);  // out of range: dropped
+}
+
+TEST(GrayImage, SplatYAxisPointsUp) {
+  GrayImage img(3, 3);
+  img.splat(0.0, 0.9, -1.0, 1.0, -1.0, 1.0);  // high y -> top row (raster y=0)
+  double top = 0.0;
+  for (std::size_t x = 0; x < 3; ++x) top += img.at(x, 0);
+  EXPECT_GT(top, 0.0);
+}
+
+TEST(GrayImage, PgmHeaderAndSize) {
+  GrayImage img(6, 2);
+  img.deposit(0, 0, 5.0);
+  std::ostringstream os;
+  img.write_pgm(os, /*invert=*/false);
+  const std::string s = os.str();
+  EXPECT_EQ(s.rfind("P5\n6 2\n255\n", 0), 0u);
+  // Header + 12 pixel bytes.
+  EXPECT_EQ(s.size(), std::string("P5\n6 2\n255\n").size() + 12);
+}
+
+TEST(GrayImage, InvertFlipsPolarity) {
+  GrayImage img(1, 1);
+  img.deposit(0, 0, 10.0);
+  std::ostringstream normal, inverted;
+  img.write_pgm(normal, false);
+  img.write_pgm(inverted, true);
+  const auto pn = static_cast<unsigned char>(normal.str().back());
+  const auto pi = static_cast<unsigned char>(inverted.str().back());
+  EXPECT_EQ(pn, 255u);  // the peak pixel is white...
+  EXPECT_EQ(pi, 0u);    // ...or black when inverted (print style)
+}
+
+TEST(GrayImage, EmptyImageWritesBackground) {
+  GrayImage img(2, 2);
+  std::ostringstream os;
+  img.write_pgm(os, true);
+  for (std::size_t k = os.str().size() - 4; k < os.str().size(); ++k)
+    EXPECT_EQ(static_cast<unsigned char>(os.str()[k]), 255u);  // white page
+}
+
+}  // namespace

@@ -1,0 +1,221 @@
+// Tests for the Kepler solver and element/state conversions.
+#include "disk/kepler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using g6::disk::elements_to_state;
+using g6::disk::OrbitalElements;
+using g6::disk::orbital_period;
+using g6::disk::solve_kepler;
+using g6::disk::state_to_elements;
+using g6::disk::StateVector;
+using g6::util::Vec3;
+
+constexpr double kPi = std::numbers::pi;
+
+// --- Kepler equation --------------------------------------------------------
+
+class KeplerGrid : public ::testing::TestWithParam<double> {};  // param = e
+
+TEST_P(KeplerGrid, ResidualTiny) {
+  const double e = GetParam();
+  for (int k = 0; k <= 40; ++k) {
+    const double m = 2.0 * kPi * k / 40.0;
+    const double E = solve_kepler(m, e);
+    const double resid = E - e * std::sin(E) - std::fmod(m, 2.0 * kPi);
+    EXPECT_NEAR(std::remainder(resid, 2.0 * kPi), 0.0, 1e-12)
+        << "e=" << e << " M=" << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Eccentricities, KeplerGrid,
+                         ::testing::Values(0.0, 0.01, 0.1, 0.3, 0.6, 0.9, 0.99,
+                                           0.999));
+
+TEST(Kepler, CircularIdentity) {
+  EXPECT_DOUBLE_EQ(solve_kepler(1.234, 0.0), 1.234);
+}
+
+TEST(Kepler, NegativeMeanAnomalyWraps) {
+  const double E = solve_kepler(-0.5, 0.3);
+  const double resid = E - 0.3 * std::sin(E) - (2.0 * kPi - 0.5);
+  EXPECT_NEAR(std::remainder(resid, 2.0 * kPi), 0.0, 1e-12);
+}
+
+TEST(Kepler, RejectsUnboundEccentricity) {
+  EXPECT_THROW(solve_kepler(1.0, 1.0), g6::util::Error);
+  EXPECT_THROW(solve_kepler(1.0, -0.1), g6::util::Error);
+}
+
+// --- elements -> state -------------------------------------------------------
+
+TEST(Elements, CircularOrbitSpeed) {
+  OrbitalElements el;
+  el.a = 20.0;
+  const StateVector sv = elements_to_state(el, 1.0);
+  EXPECT_NEAR(norm(sv.pos), 20.0, 1e-12);
+  EXPECT_NEAR(norm(sv.vel), std::sqrt(1.0 / 20.0), 1e-12);
+  EXPECT_NEAR(dot(sv.pos, sv.vel), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(sv.pos.z, 0.0);
+}
+
+TEST(Elements, PericentreApocentreDistances) {
+  OrbitalElements el;
+  el.a = 10.0;
+  el.e = 0.5;
+  el.M = 0.0;  // at pericentre
+  StateVector sv = elements_to_state(el, 1.0);
+  EXPECT_NEAR(norm(sv.pos), 10.0 * (1.0 - 0.5), 1e-12);
+  el.M = kPi;  // apocentre
+  sv = elements_to_state(el, 1.0);
+  EXPECT_NEAR(norm(sv.pos), 10.0 * (1.0 + 0.5), 1e-12);
+}
+
+TEST(Elements, VisVivaHolds) {
+  OrbitalElements el;
+  el.a = 5.0;
+  el.e = 0.3;
+  el.inc = 0.4;
+  el.Omega = 1.0;
+  el.omega = 2.0;
+  el.M = 2.5;
+  const double gm = 1.0;
+  const StateVector sv = elements_to_state(el, gm);
+  const double r = norm(sv.pos);
+  const double v2 = norm2(sv.vel);
+  EXPECT_NEAR(v2, gm * (2.0 / r - 1.0 / el.a), 1e-12);
+}
+
+TEST(Elements, AngularMomentumMagnitude) {
+  OrbitalElements el;
+  el.a = 3.0;
+  el.e = 0.25;
+  el.inc = 0.7;
+  const StateVector sv = elements_to_state(el, 1.0);
+  const double h = norm(cross(sv.pos, sv.vel));
+  EXPECT_NEAR(h, std::sqrt(3.0 * (1.0 - 0.25 * 0.25)), 1e-12);
+}
+
+TEST(Elements, InclinationTiltsPlane) {
+  OrbitalElements el;
+  el.a = 1.0;
+  el.inc = 0.3;
+  el.M = kPi / 2.0;
+  const StateVector sv = elements_to_state(el, 1.0);
+  const Vec3 h = cross(sv.pos, sv.vel);
+  EXPECT_NEAR(std::acos(h.z / norm(h)), 0.3, 1e-12);
+}
+
+TEST(Elements, InvalidInputsThrow) {
+  OrbitalElements el;
+  el.a = -1.0;
+  EXPECT_THROW(elements_to_state(el, 1.0), g6::util::Error);
+  el.a = 1.0;
+  el.e = 1.5;
+  EXPECT_THROW(elements_to_state(el, 1.0), g6::util::Error);
+  el.e = 0.0;
+  EXPECT_THROW(elements_to_state(el, 0.0), g6::util::Error);
+}
+
+// --- round trip --------------------------------------------------------------
+
+struct RoundTripCase {
+  double a, e, inc, Omega, omega, M;
+};
+
+class ElementsRoundTrip : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(ElementsRoundTrip, StateToElementsInvertsElementsToState) {
+  const auto& c = GetParam();
+  OrbitalElements el;
+  el.a = c.a;
+  el.e = c.e;
+  el.inc = c.inc;
+  el.Omega = c.Omega;
+  el.omega = c.omega;
+  el.M = c.M;
+  const StateVector sv = elements_to_state(el, 1.0);
+  const OrbitalElements back = state_to_elements(sv, 1.0);
+  EXPECT_NEAR(back.a, el.a, 1e-9 * el.a);
+  EXPECT_NEAR(back.e, el.e, 1e-9);
+  EXPECT_NEAR(back.inc, el.inc, 1e-9);
+  if (el.e > 1e-6 && el.inc > 1e-6) {
+    EXPECT_NEAR(std::remainder(back.Omega - el.Omega, 2.0 * kPi), 0.0, 1e-8);
+    EXPECT_NEAR(std::remainder(back.omega - el.omega, 2.0 * kPi), 0.0, 1e-7);
+    EXPECT_NEAR(std::remainder(back.M - el.M, 2.0 * kPi), 0.0, 1e-7);
+  }
+  // The reconstructed state must match regardless of angle degeneracies.
+  const StateVector sv2 = elements_to_state(back, 1.0);
+  EXPECT_NEAR(norm(sv2.pos - sv.pos), 0.0, 1e-8 * el.a);
+  EXPECT_NEAR(norm(sv2.vel - sv.vel), 0.0, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ElementsRoundTrip,
+    ::testing::Values(RoundTripCase{1.0, 0.1, 0.2, 0.3, 0.4, 0.5},
+                      RoundTripCase{20.0, 0.002, 0.001, 1.0, 2.0, 3.0},
+                      RoundTripCase{35.0, 0.5, 1.2, 4.0, 5.0, 6.0},
+                      RoundTripCase{15.0, 0.9, 0.05, 0.0, 0.0, 1.0},
+                      RoundTripCase{5.0, 0.0, 0.0, 0.0, 0.0, 2.0},     // circular planar
+                      RoundTripCase{5.0, 0.3, 0.0, 0.0, 1.0, 2.0},     // planar
+                      RoundTripCase{5.0, 0.0, 0.5, 1.0, 0.0, 2.0}));   // circular tilted
+
+TEST(StateToElements, RejectsUnbound) {
+  StateVector sv;
+  sv.pos = {1.0, 0.0, 0.0};
+  sv.vel = {0.0, 2.0, 0.0};  // v > v_escape
+  EXPECT_THROW(state_to_elements(sv, 1.0), g6::util::Error);
+}
+
+TEST(StateToElements, RadialInfallHasZeroAngularMomentum) {
+  StateVector sv;
+  sv.pos = {1.0, 0.0, 0.0};
+  sv.vel = {-0.1, 0.0, 0.0};
+  const OrbitalElements el = state_to_elements(sv, 1.0);
+  EXPECT_NEAR(el.e, 1.0, 1e-9);
+}
+
+// --- period ------------------------------------------------------------------
+
+TEST(Period, KeplerThirdLaw) {
+  EXPECT_NEAR(orbital_period(1.0, 1.0), 2.0 * kPi, 1e-12);
+  EXPECT_NEAR(orbital_period(4.0, 1.0), 2.0 * kPi * 8.0, 1e-12);
+  // Paper scale: ~100-year orbits in the Uranus-Neptune region.
+  const double years_at_20au = orbital_period(20.0, 1.0) / (2.0 * kPi);
+  EXPECT_NEAR(years_at_20au, std::sqrt(20.0 * 20.0 * 20.0), 1e-9);  // 89.4 yr
+}
+
+TEST(Period, InvalidThrow) {
+  EXPECT_THROW(orbital_period(-1.0, 1.0), g6::util::Error);
+  EXPECT_THROW(orbital_period(1.0, 0.0), g6::util::Error);
+}
+
+// Mean-anomaly propagation consistency: advancing M by n*dt equals the
+// two-body orbit integrated around the Sun.
+TEST(Elements, MeanMotionAdvancesPhase) {
+  OrbitalElements el;
+  el.a = 2.0;
+  el.e = 0.2;
+  el.M = 0.3;
+  const double gm = 1.0;
+  const double n = std::sqrt(gm / (el.a * el.a * el.a));
+  const double dt = 0.7;
+  OrbitalElements later = el;
+  later.M = el.M + n * dt;
+  const StateVector s0 = elements_to_state(el, gm);
+  const StateVector s1 = elements_to_state(later, gm);
+  // Energy and |h| conserved along the orbit.
+  EXPECT_NEAR(0.5 * norm2(s0.vel) - gm / norm(s0.pos),
+              0.5 * norm2(s1.vel) - gm / norm(s1.pos), 1e-12);
+  EXPECT_NEAR(norm(cross(s0.pos, s0.vel)), norm(cross(s1.pos, s1.vel)), 1e-12);
+}
+
+}  // namespace

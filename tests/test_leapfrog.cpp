@@ -1,0 +1,95 @@
+// Tests for the shared-timestep leapfrog baseline.
+#include "nbody/leapfrog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "nbody/energy.hpp"
+#include "nbody/force_direct.hpp"
+
+namespace {
+
+using g6::nbody::compute_energy;
+using g6::nbody::DirectAccelBackend;
+using g6::nbody::Force;
+using g6::nbody::LeapfrogIntegrator;
+using g6::nbody::ParticleSystem;
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(DirectAccel, MatchesPairwise) {
+  ParticleSystem ps;
+  ps.add(1.0, {0, 0, 0}, {});
+  ps.add(2.0, {1, 0, 0}, {});
+  DirectAccelBackend backend(0.0);
+  std::vector<Force> f(2);
+  backend.compute_all(ps, f);
+  EXPECT_DOUBLE_EQ(f[0].acc.x, 2.0);
+  EXPECT_DOUBLE_EQ(f[1].acc.x, -1.0);
+  EXPECT_EQ(backend.interaction_count(), 2u);
+}
+
+TEST(Leapfrog, CircularOrbitClosesOnItself) {
+  ParticleSystem ps;
+  ps.add(1e-12, {1, 0, 0}, {0, 1, 0});
+  DirectAccelBackend backend(0.0);
+  LeapfrogIntegrator lf(ps, backend, 2.0 * kPi / 1000.0, /*solar_gm=*/1.0);
+  lf.initialize();
+  lf.evolve(2.0 * kPi);
+  EXPECT_NEAR(ps.pos(0).x, 1.0, 1e-3);
+  EXPECT_NEAR(norm(ps.pos(0)), 1.0, 1e-5);
+  EXPECT_EQ(lf.steps(), 1000u);
+}
+
+TEST(Leapfrog, EnergyBoundedOverManyOrbits) {
+  // Symplectic integrator: energy error oscillates but stays bounded.
+  ParticleSystem ps;
+  ps.add(0.5, {0.5, 0, 0}, {0, 0.5, 0});
+  ps.add(0.5, {-0.5, 0, 0}, {0, -0.5, 0});
+  DirectAccelBackend backend(0.0);
+  LeapfrogIntegrator lf(ps, backend, 0.01);
+  lf.initialize();
+  const double e0 = compute_energy(ps, 0.0, 0.0).total();
+  double worst = 0.0;
+  for (int orbit = 0; orbit < 10; ++orbit) {
+    lf.evolve(lf.current_time() + 2.0 * kPi);
+    const double e = compute_energy(ps, 0.0, 0.0).total();
+    worst = std::max(worst, std::abs((e - e0) / e0));
+  }
+  EXPECT_LT(worst, 2e-4);
+}
+
+TEST(Leapfrog, SecondOrderConvergence) {
+  auto final_error = [](double dt) {
+    ParticleSystem ps;
+    ps.add(1e-12, {1, 0, 0}, {0, 1, 0});
+    DirectAccelBackend backend(0.0);
+    LeapfrogIntegrator lf(ps, backend, dt, 1.0);
+    lf.initialize();
+    lf.evolve(2.0 * kPi);
+    return norm(ps.pos(0) - g6::util::Vec3{1, 0, 0});
+  };
+  const double e1 = final_error(2.0 * kPi / 500.0);
+  const double e2 = final_error(2.0 * kPi / 1000.0);
+  EXPECT_GT(e1 / e2, 3.0);  // ~4 for 2nd order
+  EXPECT_LT(e1 / e2, 5.0);
+}
+
+TEST(Leapfrog, InvalidDtThrows) {
+  ParticleSystem ps;
+  ps.add(1.0, {1, 0, 0}, {0, 1, 0});
+  DirectAccelBackend backend(0.0);
+  EXPECT_THROW(LeapfrogIntegrator(ps, backend, 0.0), g6::util::Error);
+}
+
+TEST(Leapfrog, StepBeforeInitializeThrows) {
+  ParticleSystem ps;
+  ps.add(1.0, {1, 0, 0}, {0, 1, 0});
+  DirectAccelBackend backend(0.0);
+  LeapfrogIntegrator lf(ps, backend, 0.1);
+  EXPECT_THROW(lf.step(), g6::util::Error);
+}
+
+}  // namespace

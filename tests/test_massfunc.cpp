@@ -1,0 +1,75 @@
+// Tests for the planetesimal mass function.
+#include "disk/massfunc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using g6::disk::MassFunction;
+
+TEST(MassFunction, CutoffsEnforced) {
+  MassFunction mf(-2.5, 1e-11, 1e-9);
+  g6::util::Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const double m = mf.sample(rng);
+    EXPECT_GE(m, 1e-11);
+    EXPECT_LE(m, 1e-9);
+  }
+}
+
+TEST(MassFunction, AccessorsReflectConstruction) {
+  MassFunction mf(-2.5, 2e-11, 5e-10);
+  EXPECT_EQ(mf.exponent(), -2.5);
+  EXPECT_EQ(mf.lower_cutoff(), 2e-11);
+  EXPECT_EQ(mf.upper_cutoff(), 5e-10);
+}
+
+TEST(MassFunction, InvalidCutoffsThrow) {
+  EXPECT_THROW(MassFunction(-2.5, 0.0, 1e-9), g6::util::Error);
+  EXPECT_THROW(MassFunction(-2.5, 1e-9, 1e-11), g6::util::Error);
+}
+
+class MassFunctionExponents : public ::testing::TestWithParam<double> {};
+
+TEST_P(MassFunctionExponents, SampleMeanMatchesAnalytic) {
+  const double alpha = GetParam();
+  MassFunction mf(alpha, 1e-11, 1e-9);
+  g6::util::Rng rng(99);
+  double sum = 0.0;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) sum += mf.sample(rng);
+  EXPECT_NEAR(sum / n / mf.mean(), 1.0, 0.02) << "alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, MassFunctionExponents,
+                         ::testing::Values(-2.5, -2.0, -1.5, -3.5, -1.0, 0.0));
+
+TEST(MassFunction, MeanBetweenCutoffs) {
+  MassFunction mf(-2.5, 1e-11, 1e-9);
+  EXPECT_GT(mf.mean(), 1e-11);
+  EXPECT_LT(mf.mean(), 1e-9);
+  // A steep negative slope puts the mean near the lower cutoff.
+  EXPECT_LT(mf.mean(), 1e-10);
+}
+
+TEST(MassFunction, SteeperSlopeSmallerMean) {
+  MassFunction shallow(-1.5, 1e-11, 1e-9);
+  MassFunction steep(-3.5, 1e-11, 1e-9);
+  EXPECT_LT(steep.mean(), shallow.mean());
+}
+
+TEST(MassFunction, PaperScaleTotals) {
+  // With the default cutoffs, 1.8 million bodies carry a few tens of Earth
+  // masses — the MMSN solid content of 15-35 AU (paper §2).
+  MassFunction mf(-2.5, 1e-11, 1e-9);
+  const double total = mf.mean() * 1.8e6;          // M_sun
+  const double earth_masses = total / 3.003e-6;
+  EXPECT_GT(earth_masses, 5.0);
+  EXPECT_LT(earth_masses, 60.0);
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+// Tests for the classic IC generators (Plummer sphere, cold sphere).
+#include "nbody/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "nbody/energy.hpp"
+#include "nbody/force_direct.hpp"
+#include "nbody/integrator.hpp"
+
+namespace {
+
+using g6::nbody::cold_uniform_sphere;
+using g6::nbody::ParticleSystem;
+using g6::nbody::plummer_sphere;
+using g6::nbody::virial_ratio;
+using g6::util::Rng;
+
+TEST(Plummer, BasicProperties) {
+  Rng rng(42);
+  const ParticleSystem ps = plummer_sphere(2000, 1.0, 1.0, rng);
+  EXPECT_EQ(ps.size(), 2000u);
+  EXPECT_NEAR(ps.total_mass(), 1.0, 1e-12);
+  EXPECT_NEAR(norm(g6::nbody::center_of_mass(ps)), 0.0, 1e-12);
+  EXPECT_NEAR(norm(g6::nbody::center_of_mass_velocity(ps)), 0.0, 1e-12);
+}
+
+TEST(Plummer, HalfMassRadius) {
+  // The Plummer half-mass radius is ~1.3048 scale radii.
+  Rng rng(1);
+  const ParticleSystem ps = plummer_sphere(20000, 1.0, 1.0, rng);
+  std::vector<double> r(ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) r[i] = norm(ps.pos(i));
+  std::nth_element(r.begin(), r.begin() + r.size() / 2, r.end());
+  EXPECT_NEAR(r[r.size() / 2], 1.3048, 0.06);
+}
+
+TEST(Plummer, VirialEquilibrium) {
+  Rng rng(2);
+  const ParticleSystem ps = plummer_sphere(20000, 1.0, 1.0, rng);
+  EXPECT_NEAR(virial_ratio(ps), 0.5, 0.02);
+}
+
+TEST(Plummer, ValidatesParameters) {
+  Rng rng(3);
+  EXPECT_THROW(plummer_sphere(0, 1.0, 1.0, rng), g6::util::Error);
+  EXPECT_THROW(plummer_sphere(10, -1.0, 1.0, rng), g6::util::Error);
+  EXPECT_THROW(plummer_sphere(10, 1.0, 0.0, rng), g6::util::Error);
+}
+
+TEST(Plummer, StaysNearEquilibriumWhenIntegrated) {
+  // A (softened) Plummer model integrated for a fraction of a crossing time
+  // stays near virial equilibrium — the classic GRAPE smoke test.
+  Rng rng(4);
+  ParticleSystem ps = plummer_sphere(300, 1.0, 1.0, rng);
+  g6::nbody::CpuDirectBackend backend(0.02);
+  g6::nbody::IntegratorConfig cfg;
+  cfg.eta = 0.02;
+  cfg.dt_max = 0x1p-4;
+  g6::nbody::HermiteIntegrator integ(ps, backend, cfg);
+  integ.initialize();
+  const double e0 = g6::nbody::compute_energy(ps, 0.02, 0.0).total();
+  integ.evolve(1.0);
+  const double e1 = g6::nbody::compute_energy(ps, 0.02, 0.0).total();
+  EXPECT_NEAR((e1 - e0) / std::abs(e0), 0.0, 1e-5);
+  EXPECT_NEAR(virial_ratio(ps, 0.02), 0.5, 0.15);
+}
+
+TEST(ColdSphere, UniformDensityProfile) {
+  Rng rng(5);
+  const ParticleSystem ps = cold_uniform_sphere(20000, 1.0, 2.0, rng);
+  // Mass within r scales as r^3: half the mass inside 2^(1/3)... check the
+  // radius enclosing half the mass ~ 2 * 0.5^(1/3) = 1.5874.
+  std::vector<double> r(ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) r[i] = norm(ps.pos(i));
+  std::nth_element(r.begin(), r.begin() + r.size() / 2, r.end());
+  EXPECT_NEAR(r[r.size() / 2], 2.0 * std::cbrt(0.5), 0.03);
+  // The COM shift can push points marginally past the nominal radius.
+  for (double ri : r) EXPECT_LE(ri, 2.05);
+}
+
+TEST(ColdSphere, ZeroVelocities) {
+  Rng rng(6);
+  const ParticleSystem ps = cold_uniform_sphere(100, 1.0, 1.0, rng);
+  // COM correction is the only velocity contribution: essentially zero.
+  for (std::size_t i = 0; i < ps.size(); ++i)
+    EXPECT_NEAR(norm(ps.vel(i)), 0.0, 1e-12);
+}
+
+TEST(ColdSphere, CollapsesWhenIntegrated) {
+  // Violent relaxation: the cold sphere contracts; kinetic energy appears.
+  Rng rng(7);
+  ParticleSystem ps = cold_uniform_sphere(200, 1.0, 1.0, rng);
+  g6::nbody::CpuDirectBackend backend(0.05);
+  g6::nbody::IntegratorConfig cfg;
+  cfg.eta = 0.02;
+  cfg.dt_max = 0x1p-5;
+  g6::nbody::HermiteIntegrator integ(ps, backend, cfg);
+  integ.initialize();
+  integ.evolve(1.0);  // free-fall time is ~ pi/2 * sqrt(R^3/(2GM)) ~ 1.11
+  const auto rep = g6::nbody::compute_energy(ps, 0.05, 0.0);
+  EXPECT_GT(rep.kinetic, 0.05);  // falling fast by t = 1
+}
+
+}  // namespace

@@ -1,0 +1,135 @@
+// Tests for the network-board model: routing modes, byte accounting and the
+// hardware reduction unit.
+#include "grape6/netboard.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using g6::hw::ForceAccumulator;
+using g6::hw::FormatSpec;
+using g6::hw::LinkModel;
+using g6::hw::NetMode;
+using g6::hw::NetworkBoard;
+
+TEST(NetworkBoard, BroadcastReachesAllDownlinks) {
+  NetworkBoard nb(4);
+  nb.set_mode(NetMode::kBroadcast);
+  EXPECT_EQ(nb.route(), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(NetworkBoard, MulticastSplitsInHalves) {
+  NetworkBoard nb(4);
+  nb.set_mode(NetMode::kMulticast2);
+  EXPECT_EQ(nb.route(0), (std::vector<int>{0, 1}));
+  EXPECT_EQ(nb.route(1), (std::vector<int>{2, 3}));
+  EXPECT_THROW(nb.route(2), g6::util::Error);
+}
+
+TEST(NetworkBoard, PointToPointSingleTarget) {
+  NetworkBoard nb(4);
+  nb.set_mode(NetMode::kPointToPoint);
+  EXPECT_EQ(nb.route(3), (std::vector<int>{3}));
+  EXPECT_THROW(nb.route(4), g6::util::Error);
+  EXPECT_THROW(nb.route(-1), g6::util::Error);
+}
+
+TEST(NetworkBoard, MulticastNeedsEvenDownlinks) {
+  NetworkBoard nb(3);
+  EXPECT_THROW(nb.set_mode(NetMode::kMulticast2), g6::util::Error);
+}
+
+TEST(NetworkBoard, SendDownCountsFanOutBytes) {
+  NetworkBoard nb(4);
+  nb.set_mode(NetMode::kBroadcast);
+  nb.send_down(100);
+  EXPECT_EQ(nb.counters().bytes_down, 400u);  // 100 bytes x 4 ports
+  nb.set_mode(NetMode::kPointToPoint);
+  nb.send_down(100, 2);
+  EXPECT_EQ(nb.counters().bytes_down, 500u);
+  EXPECT_EQ(nb.counters().messages, 2u);
+}
+
+TEST(NetworkBoard, TransferTimeFollowsLinkModel) {
+  LinkModel link{90.0e6, 2.0e-6};
+  NetworkBoard nb(4, link);
+  const double t = nb.send_down(9000);
+  EXPECT_NEAR(t, 2.0e-6 + 9000.0 / 90.0e6, 1e-12);
+}
+
+TEST(NetworkBoard, ReduceUpMergesExactly) {
+  const FormatSpec fmt;
+  NetworkBoard nb(4);
+  g6::util::Rng rng(3);
+
+  // Four downlinks each deliver a batch of 3 partial accumulators.
+  std::vector<std::vector<ForceAccumulator>> partials(
+      4, std::vector<ForceAccumulator>(3, ForceAccumulator(fmt)));
+  std::vector<ForceAccumulator> expect(3, ForceAccumulator(fmt));
+  for (auto& batch : partials) {
+    for (std::size_t k = 0; k < 3; ++k) {
+      const g6::util::Vec3 contrib{rng.uniform(-1e-6, 1e-6),
+                                   rng.uniform(-1e-6, 1e-6),
+                                   rng.uniform(-1e-6, 1e-6)};
+      batch[k].acc.accumulate(contrib);
+      expect[k].acc.accumulate(contrib);
+    }
+  }
+
+  std::vector<ForceAccumulator> out;
+  const double t = nb.reduce_up(partials, out);
+  EXPECT_GT(t, 0.0);
+  ASSERT_EQ(out.size(), 3u);
+  for (std::size_t k = 0; k < 3; ++k) EXPECT_EQ(out[k].acc, expect[k].acc);
+  EXPECT_EQ(nb.counters().bytes_up, 3u * g6::hw::kResultBytes);
+}
+
+TEST(NetworkBoard, ReduceUpValidatesBatches) {
+  const FormatSpec fmt;
+  NetworkBoard nb(2);
+  std::vector<std::vector<ForceAccumulator>> empty;
+  std::vector<ForceAccumulator> out;
+  EXPECT_THROW(nb.reduce_up(empty, out), g6::util::Error);
+
+  std::vector<std::vector<ForceAccumulator>> ragged{
+      std::vector<ForceAccumulator>(2, ForceAccumulator(fmt)),
+      std::vector<ForceAccumulator>(3, ForceAccumulator(fmt))};
+  EXPECT_THROW(nb.reduce_up(ragged, out), g6::util::Error);
+
+  std::vector<std::vector<ForceAccumulator>> too_many(
+      3, std::vector<ForceAccumulator>(1, ForceAccumulator(fmt)));
+  EXPECT_THROW(nb.reduce_up(too_many, out), g6::util::Error);
+}
+
+TEST(NetworkBoard, CascadeTreeAccumulatesAcrossLevels) {
+  // Two leaf NBs reduce their boards; a root NB reduces the two leaves —
+  // the tree structure of figure 5/7.
+  const FormatSpec fmt;
+  NetworkBoard leaf0(2), leaf1(2), root(2);
+
+  auto batch_with = [&](double v) {
+    std::vector<ForceAccumulator> b(1, ForceAccumulator(fmt));
+    b[0].acc.accumulate({v, 0, 0});
+    return b;
+  };
+  std::vector<std::vector<ForceAccumulator>> l0{batch_with(1e-6), batch_with(2e-6)};
+  std::vector<std::vector<ForceAccumulator>> l1{batch_with(3e-6), batch_with(4e-6)};
+
+  std::vector<ForceAccumulator> r0, r1, total;
+  leaf0.reduce_up(l0, r0);
+  leaf1.reduce_up(l1, r1);
+  std::vector<std::vector<ForceAccumulator>> level2{r0, r1};
+  root.reduce_up(level2, total);
+
+  ForceAccumulator expect(fmt);
+  for (double v : {1e-6, 2e-6, 3e-6, 4e-6}) expect.acc.accumulate({v, 0, 0});
+  EXPECT_EQ(total[0].acc, expect.acc);
+}
+
+TEST(NetworkBoard, NeedsAtLeastOneDownlink) {
+  EXPECT_THROW(NetworkBoard(0), g6::util::Error);
+}
+
+}  // namespace

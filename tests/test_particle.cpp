@@ -1,0 +1,95 @@
+// Tests for the SoA particle container and the unit-system constants.
+#include "nbody/particle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "util/units.hpp"
+
+namespace {
+
+using g6::nbody::ParticleSystem;
+using g6::util::Vec3;
+
+TEST(ParticleSystem, StartsEmpty) {
+  ParticleSystem ps;
+  EXPECT_EQ(ps.size(), 0u);
+  EXPECT_TRUE(ps.empty());
+  EXPECT_EQ(ps.total_mass(), 0.0);
+}
+
+TEST(ParticleSystem, SizedConstructionZeroInitialises) {
+  ParticleSystem ps(5);
+  EXPECT_EQ(ps.size(), 5u);
+  EXPECT_EQ(ps.mass(3), 0.0);
+  EXPECT_EQ(ps.pos(3), Vec3(0, 0, 0));
+  EXPECT_EQ(ps.time(3), 0.0);
+  EXPECT_EQ(ps.id(3), 3u);
+}
+
+TEST(ParticleSystem, AddAssignsSequentialIds) {
+  ParticleSystem ps;
+  EXPECT_EQ(ps.add(1.0, {1, 0, 0}, {0, 1, 0}), 0u);
+  EXPECT_EQ(ps.add(2.0, {2, 0, 0}, {0, 2, 0}), 1u);
+  EXPECT_EQ(ps.id(0), 0u);
+  EXPECT_EQ(ps.id(1), 1u);
+  EXPECT_EQ(ps.mass(1), 2.0);
+  EXPECT_EQ(ps.vel(1), Vec3(0, 2, 0));
+}
+
+TEST(ParticleSystem, FieldMutation) {
+  ParticleSystem ps;
+  ps.add(1.0, {}, {});
+  ps.pos(0) = {1, 2, 3};
+  ps.acc(0) = {4, 5, 6};
+  ps.jerk(0) = {7, 8, 9};
+  ps.time(0) = 2.5;
+  ps.dt(0) = 0.25;
+  ps.pot(0) = -1.5;
+  EXPECT_EQ(ps.pos(0), Vec3(1, 2, 3));
+  EXPECT_EQ(ps.acc(0), Vec3(4, 5, 6));
+  EXPECT_EQ(ps.jerk(0), Vec3(7, 8, 9));
+  EXPECT_EQ(ps.time(0), 2.5);
+  EXPECT_EQ(ps.dt(0), 0.25);
+  EXPECT_EQ(ps.pot(0), -1.5);
+}
+
+TEST(ParticleSystem, SpansViewLiveData) {
+  ParticleSystem ps;
+  ps.add(1.0, {1, 0, 0}, {});
+  ps.add(2.0, {2, 0, 0}, {});
+  const auto masses = ps.masses();
+  ASSERT_EQ(masses.size(), 2u);
+  EXPECT_EQ(masses[1], 2.0);
+  ps.mass(1) = 5.0;
+  EXPECT_EQ(masses[1], 5.0);  // span aliases storage
+  EXPECT_EQ(ps.positions()[0], Vec3(1, 0, 0));
+  EXPECT_EQ(ps.times().size(), 2u);
+  EXPECT_EQ(ps.dts().size(), 2u);
+}
+
+TEST(ParticleSystem, TotalMass) {
+  ParticleSystem ps;
+  ps.add(1.5, {}, {});
+  ps.add(2.5, {}, {});
+  EXPECT_DOUBLE_EQ(ps.total_mass(), 4.0);
+}
+
+TEST(Units, PaperConventions) {
+  EXPECT_EQ(g6::units::G, 1.0);
+  EXPECT_EQ(g6::units::Msun, 1.0);
+  EXPECT_EQ(g6::units::AU, 1.0);
+  // "1 year is 2 pi time units" (paper §2).
+  EXPECT_DOUBLE_EQ(g6::units::year, 2.0 * std::numbers::pi);
+  EXPECT_DOUBLE_EQ(g6::units::to_years(2.0 * std::numbers::pi), 1.0);
+  EXPECT_DOUBLE_EQ(g6::units::from_years(10.0), 20.0 * std::numbers::pi);
+}
+
+TEST(Units, EarthMassScale) {
+  EXPECT_NEAR(g6::units::Mearth, 3.0e-6, 1e-7);
+  // The paper's protoplanets (1e-5 M_sun) are ~3.3 Earth masses.
+  EXPECT_NEAR(1.0e-5 / g6::units::Mearth, 3.33, 0.05);
+}
+
+}  // namespace

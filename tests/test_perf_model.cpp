@@ -1,0 +1,164 @@
+// Tests for the analytic performance model — the machinery that regenerates
+// the paper's 29.5 / 63.4 Tflops numbers.
+#include "cluster/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using g6::cluster::BlockCount;
+using g6::cluster::HostMode;
+using g6::cluster::PerfModel;
+using g6::cluster::PerfParams;
+using g6::cluster::StepBreakdown;
+
+PerfModel full_model() { return PerfModel(PerfParams{}); }
+
+TEST(PerfModel, PeakMatchesPaper) {
+  EXPECT_NEAR(full_model().peak_flops() / 1e12, 63.0, 0.5);
+}
+
+TEST(PerfModel, BreakdownTermsPositive) {
+  const StepBreakdown t = full_model().blockstep(1799998, 2000);
+  EXPECT_GT(t.predict, 0.0);
+  EXPECT_GT(t.pipeline, 0.0);
+  EXPECT_GT(t.i_comm, 0.0);
+  EXPECT_GT(t.result_comm, 0.0);
+  EXPECT_GT(t.j_update, 0.0);
+  EXPECT_GT(t.host, 0.0);
+  EXPECT_GT(t.sync, 0.0);
+  EXPECT_GT(t.total(), t.pipeline);
+}
+
+TEST(PerfModel, EfficiencyGrowsWithBlockSize) {
+  const PerfModel m = full_model();
+  const std::size_t N = 1799998;
+  auto eff = [&](std::size_t n_act) {
+    const double ops = PerfModel::step_operations(N, n_act);
+    return ops / m.blockstep_seconds(N, n_act) / m.peak_flops();
+  };
+  EXPECT_LT(eff(10), eff(100));
+  EXPECT_LT(eff(100), eff(1000));
+  EXPECT_LT(eff(1000), eff(10000));
+}
+
+TEST(PerfModel, PaperOperatingPointNearHalfPeak) {
+  // At the paper's N with kilo-particle blocks, sustained speed sits in the
+  // 40-60% band (the paper achieved 46.5%).
+  const PerfModel m = full_model();
+  const std::size_t N = 1799998;
+  std::vector<BlockCount> blocks{{2000, 1000}};
+  const auto est = m.run(N, blocks);
+  EXPECT_GT(est.efficiency, 0.30);
+  EXPECT_LT(est.efficiency, 0.70);
+  EXPECT_GT(est.sustained_flops, 20e12);
+  EXPECT_LT(est.sustained_flops, 45e12);
+}
+
+TEST(PerfModel, SmallNIsInefficient) {
+  const PerfModel m = full_model();
+  std::vector<BlockCount> blocks{{100, 100}};
+  const auto est = m.run(10000, blocks);
+  EXPECT_LT(est.efficiency, 0.05);
+}
+
+TEST(PerfModel, NaiveCommunicationDoesNotScale) {
+  // Figure 3's flaw: with more hosts the naive config's exchange time per
+  // step stays ~constant while the hardware-network config's shrinks.
+  const std::size_t N = 1799998, n_act = 2000;
+
+  auto with_hosts = [&](int hosts, HostMode mode) {
+    PerfParams p;
+    p.machine.clusters = 1;
+    p.machine.hosts_per_cluster = hosts;
+    return PerfModel(p).blockstep(N, n_act, mode);
+  };
+
+  const double naive4 = with_hosts(4, HostMode::kNaive).j_update;
+  const double naive16 = with_hosts(16, HostMode::kNaive).j_update;
+  EXPECT_GT(naive16, 0.8 * naive4);  // all-to-all exchange does not shrink
+
+  const double hw4 = with_hosts(4, HostMode::kHardwareNet).j_update;
+  const double hw16 = with_hosts(16, HostMode::kHardwareNet).j_update;
+  EXPECT_LT(hw16, 0.5 * hw4);  // per-host share shrinks with p
+}
+
+TEST(PerfModel, HardwareNetBeatsNaiveAtScale) {
+  const PerfModel m = full_model();
+  const std::size_t N = 1799998, n_act = 2000;
+  const double t_hw = m.blockstep_seconds(N, n_act, HostMode::kHardwareNet);
+  const double t_naive = m.blockstep_seconds(N, n_act, HostMode::kNaive);
+  EXPECT_LT(t_hw, t_naive);
+}
+
+TEST(PerfModel, MatrixModeSlowerThanHardwareNetButScalable) {
+  const PerfModel m = full_model();
+  const std::size_t N = 1799998, n_act = 2000;
+  const double t_hw = m.blockstep_seconds(N, n_act, HostMode::kHardwareNet);
+  const double t_2d = m.blockstep_seconds(N, n_act, HostMode::kMatrix2D);
+  EXPECT_GT(t_2d, t_hw);       // GbE store-and-forward costs more than LVDS
+  EXPECT_LT(t_2d, 3.0 * t_hw); // but "theoretical peak of GbE barely okay"
+}
+
+TEST(PerfModel, RunAggregatesDistribution) {
+  const PerfModel m = full_model();
+  std::vector<BlockCount> blocks{{1000, 10}, {2000, 5}, {0, 3}, {500, 0}};
+  const auto est = m.run(1799998, blocks);
+  // Zero-size and zero-count entries are ignored.
+  const double ops = PerfModel::step_operations(1799998, 1000) * 10 +
+                     PerfModel::step_operations(1799998, 2000) * 5;
+  EXPECT_DOUBLE_EQ(est.operations, ops);
+  EXPECT_GT(est.seconds, 0.0);
+  EXPECT_NEAR(est.sustained_flops, ops / est.seconds, 1e-3);
+}
+
+TEST(PerfModel, StepOperationsConvention) {
+  // 57 ops per interaction (38 force + 19 jerk), N * n_act interactions.
+  EXPECT_DOUBLE_EQ(PerfModel::step_operations(1000, 10), 57.0 * 1000 * 10);
+}
+
+TEST(PerfModel, OverlapReducesTotal) {
+  PerfParams p;
+  p.overlap_comm = true;
+  const PerfModel overlapped(p);
+  const PerfModel summed(PerfParams{});
+  const std::size_t N = 1799998, n_act = 2000;
+  EXPECT_LT(overlapped.blockstep_seconds(N, n_act),
+            summed.blockstep_seconds(N, n_act));
+}
+
+TEST(PerfModel, ValidatesInput) {
+  const PerfModel m = full_model();
+  EXPECT_THROW(m.blockstep(100, 0), g6::util::Error);
+  EXPECT_THROW(m.blockstep(100, 200), g6::util::Error);
+}
+
+}  // namespace
+
+namespace {
+
+TEST(PerfModel, MatrixModeNeedsSquareHostCount) {
+  g6::cluster::PerfParams p;
+  p.machine.clusters = 1;
+  p.machine.hosts_per_cluster = 2;  // 2 hosts: not a perfect square
+  const g6::cluster::PerfModel m(p);
+  EXPECT_THROW(m.blockstep(100000, 1000, g6::cluster::HostMode::kMatrix2D),
+               g6::util::Error);
+  EXPECT_NO_THROW(m.blockstep(100000, 1000, g6::cluster::HostMode::kNaive));
+}
+
+TEST(PerfModel, BlockstepTimeMonotoneInN) {
+  const g6::cluster::PerfModel m{g6::cluster::PerfParams{}};
+  const double t1 = m.blockstep_seconds(100000, 1000);
+  const double t2 = m.blockstep_seconds(1000000, 1000);
+  EXPECT_GT(t2, t1);  // more j-work per i-particle
+}
+
+TEST(PerfModel, PredictTermScalesWithPerChipLoad) {
+  const g6::cluster::PerfModel m{g6::cluster::PerfParams{}};
+  const auto small = m.blockstep(100000, 1000);
+  const auto large = m.blockstep(1600000, 1000);
+  EXPECT_GT(large.predict, small.predict);
+}
+
+}  // namespace

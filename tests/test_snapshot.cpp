@@ -1,0 +1,149 @@
+// Tests for snapshot I/O.
+#include "nbody/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using g6::nbody::ParticleSystem;
+using g6::nbody::read_snapshot;
+using g6::nbody::write_snapshot;
+
+ParticleSystem random_system(int n, std::uint64_t seed) {
+  g6::util::Rng rng(seed);
+  ParticleSystem ps;
+  for (int i = 0; i < n; ++i)
+    ps.add(rng.uniform(1e-11, 1e-9),
+           {rng.uniform(-35, 35), rng.uniform(-35, 35), rng.uniform(-1, 1)},
+           {rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3), rng.uniform(-0.01, 0.01)});
+  return ps;
+}
+
+TEST(Snapshot, RoundTripExact) {
+  const ParticleSystem ps = random_system(50, 17);
+  std::stringstream ss;
+  write_snapshot(ss, ps, 12.75);
+
+  ParticleSystem back;
+  const double t = read_snapshot(ss, back);
+  EXPECT_DOUBLE_EQ(t, 12.75);
+  ASSERT_EQ(back.size(), ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_EQ(back.mass(i), ps.mass(i)) << i;
+    EXPECT_EQ(back.pos(i), ps.pos(i)) << i;
+    EXPECT_EQ(back.vel(i), ps.vel(i)) << i;
+    EXPECT_EQ(back.time(i), 12.75) << i;
+  }
+}
+
+TEST(Snapshot, HeaderFormat) {
+  ParticleSystem ps;
+  ps.add(1.0, {1, 2, 3}, {4, 5, 6});
+  std::stringstream ss;
+  write_snapshot(ss, ps, 0.5);
+  std::string magic;
+  std::size_t n;
+  double t;
+  ss >> magic >> n >> t;
+  EXPECT_EQ(magic, "g6snap");
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(t, 0.5);
+}
+
+TEST(Snapshot, RejectsBadMagic) {
+  std::stringstream ss("notasnap 1 0.0\n0 1 0 0 0 0 0 0\n");
+  ParticleSystem ps;
+  EXPECT_THROW(read_snapshot(ss, ps), g6::util::Error);
+}
+
+TEST(Snapshot, RejectsTruncated) {
+  ParticleSystem ps;
+  ps.add(1.0, {1, 2, 3}, {4, 5, 6});
+  ps.add(2.0, {7, 8, 9}, {0, 1, 2});
+  std::stringstream ss;
+  write_snapshot(ss, ps, 0.0);
+  std::string text = ss.str();
+  text.resize(text.size() / 2);  // cut mid-record
+  std::stringstream cut(text);
+  ParticleSystem back;
+  EXPECT_THROW(read_snapshot(cut, back), g6::util::Error);
+}
+
+TEST(Snapshot, FileRoundTrip) {
+  const ParticleSystem ps = random_system(10, 3);
+  const std::string path = "/tmp/g6_test_snapshot.txt";
+  g6::nbody::write_snapshot_file(path, ps, 3.25);
+  ParticleSystem back;
+  const double t = g6::nbody::read_snapshot_file(path, back);
+  EXPECT_DOUBLE_EQ(t, 3.25);
+  EXPECT_EQ(back.size(), ps.size());
+  EXPECT_EQ(back.pos(4), ps.pos(4));
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, MissingFileThrows) {
+  ParticleSystem ps;
+  EXPECT_THROW(g6::nbody::read_snapshot_file("/nonexistent/g6.txt", ps),
+               g6::util::Error);
+}
+
+}  // namespace
+
+namespace {
+
+TEST(BinarySnapshot, RoundTripExact) {
+  const g6::nbody::ParticleSystem ps = random_system(80, 21);
+  std::stringstream ss;
+  g6::nbody::write_snapshot_binary(ss, ps, 7.5);
+  g6::nbody::ParticleSystem back;
+  const double t = g6::nbody::read_snapshot_binary(ss, back);
+  EXPECT_DOUBLE_EQ(t, 7.5);
+  ASSERT_EQ(back.size(), ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_EQ(back.mass(i), ps.mass(i));
+    EXPECT_EQ(back.pos(i), ps.pos(i));
+    EXPECT_EQ(back.vel(i), ps.vel(i));
+  }
+}
+
+TEST(BinarySnapshot, RejectsBadMagic) {
+  std::stringstream ss("NOTSNAPXxxxxxxxxxxxxxxxx");
+  g6::nbody::ParticleSystem ps;
+  EXPECT_THROW(g6::nbody::read_snapshot_binary(ss, ps), g6::util::Error);
+}
+
+TEST(BinarySnapshot, RejectsTruncated) {
+  g6::nbody::ParticleSystem ps = random_system(5, 22);
+  std::stringstream ss;
+  g6::nbody::write_snapshot_binary(ss, ps, 0.0);
+  std::string data = ss.str();
+  data.resize(data.size() - 10);
+  std::stringstream cut(data);
+  g6::nbody::ParticleSystem back;
+  EXPECT_THROW(g6::nbody::read_snapshot_binary(cut, back), g6::util::Error);
+}
+
+TEST(BinarySnapshot, FileRoundTrip) {
+  const g6::nbody::ParticleSystem ps = random_system(12, 23);
+  const std::string path = "/tmp/g6_test_snapshot.bin";
+  g6::nbody::write_snapshot_binary_file(path, ps, 1.25);
+  g6::nbody::ParticleSystem back;
+  EXPECT_DOUBLE_EQ(g6::nbody::read_snapshot_binary_file(path, back), 1.25);
+  EXPECT_EQ(back.pos(7), ps.pos(7));
+  std::remove(path.c_str());
+}
+
+TEST(BinarySnapshot, SmallerThanTextForLargeN) {
+  const g6::nbody::ParticleSystem ps = random_system(500, 24);
+  std::stringstream text, binary;
+  g6::nbody::write_snapshot(text, ps, 0.0);
+  g6::nbody::write_snapshot_binary(binary, ps, 0.0);
+  EXPECT_LT(binary.str().size(), text.str().size());
+}
+
+}  // namespace

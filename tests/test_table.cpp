@@ -1,0 +1,56 @@
+// Tests for the table renderer and formatting helpers.
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace {
+
+using g6::util::Table;
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"b", "12345"});
+  const std::string out = t.render();
+  // Header, separator, two rows.
+  int lines = 0;
+  for (char c : out)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 4);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("12345"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), g6::util::Error);
+}
+
+TEST(Table, EmptyHeaderThrows) { EXPECT_THROW(Table({}), g6::util::Error); }
+
+TEST(Table, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.row({"1"});
+  t.row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableFmt, Double) {
+  EXPECT_EQ(g6::util::fmt(3.14159, 3), "3.14");
+  EXPECT_EQ(g6::util::fmt(1000000.0, 4), "1e+06");
+}
+
+TEST(TableFmt, Int) { EXPECT_EQ(g6::util::fmt_int(1234567), "1234567"); }
+
+TEST(TableFmt, Pct) {
+  EXPECT_EQ(g6::util::fmt_pct(0.465, 1), "46.5%");
+  EXPECT_EQ(g6::util::fmt_pct(1.0, 0), "100%");
+}
+
+TEST(TableFmt, Sci) { EXPECT_EQ(g6::util::fmt_sci(29.5e12, 2), "2.95e+13"); }
+
+}  // namespace

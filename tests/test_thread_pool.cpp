@@ -1,0 +1,70 @@
+// Tests for the thread pool's parallel_for.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace {
+
+using g6::util::ThreadPool;
+
+class PoolSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PoolSizes, CoversRangeExactlyOnce) {
+  ThreadPool pool(GetParam());
+  for (std::size_t n : {0ul, 1ul, 7ul, 64ul, 1000ul}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << "i=" << i;
+  }
+}
+
+TEST_P(PoolSizes, SumReduction) {
+  ThreadPool pool(GetParam());
+  const std::size_t n = 10000;
+  std::vector<long long> partial(pool.size(), 0);
+  std::atomic<std::size_t> lane{0};
+  pool.parallel_for(n, [&](std::size_t b, std::size_t e) {
+    long long s = 0;
+    for (std::size_t i = b; i < e; ++i) s += static_cast<long long>(i);
+    partial[lane.fetch_add(1)] += s;
+  });
+  const long long total = std::accumulate(partial.begin(), partial.end(), 0ll);
+  EXPECT_EQ(total, static_cast<long long>(n) * (n - 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PoolSizes, ::testing::Values(1u, 2u, 3u, 8u));
+
+TEST(ThreadPool, SizeReportsLanes) {
+  ThreadPool p1(1);
+  EXPECT_EQ(p1.size(), 1u);
+  ThreadPool p4(4);
+  EXPECT_EQ(p4.size(), 4u);
+}
+
+TEST(ThreadPool, ReusableAcrossManyCalls) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.parallel_for(16, [&](std::size_t b, std::size_t e) {
+      counter.fetch_add(static_cast<int>(e - b));
+    });
+  }
+  EXPECT_EQ(counter.load(), 200 * 16);
+}
+
+TEST(ThreadPool, SmallRangeFewerChunksThanLanes) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+}  // namespace

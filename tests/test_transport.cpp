@@ -1,0 +1,101 @@
+// Tests for the simulated host-to-host transport.
+#include "cluster/transport.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using g6::cluster::LinkSpec;
+using g6::cluster::Message;
+using g6::cluster::Transport;
+
+std::vector<std::byte> bytes(std::initializer_list<int> vals) {
+  std::vector<std::byte> out;
+  for (int v : vals) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+TEST(Transport, SendRecvRoundTrip) {
+  Transport t(4, {});
+  t.send(0, 2, 7, bytes({1, 2, 3}));
+  const Message m = t.recv(2, 0, 7);
+  EXPECT_EQ(m.src, 0);
+  EXPECT_EQ(m.tag, 7);
+  EXPECT_EQ(m.payload, bytes({1, 2, 3}));
+}
+
+TEST(Transport, FifoOrderPerLink) {
+  Transport t(2, {});
+  t.send(0, 1, 5, bytes({1}));
+  t.send(0, 1, 5, bytes({2}));
+  EXPECT_EQ(t.recv(1, 0, 5).payload, bytes({1}));
+  EXPECT_EQ(t.recv(1, 0, 5).payload, bytes({2}));
+}
+
+TEST(Transport, RecvWithoutMessageThrows) {
+  Transport t(2, {});
+  EXPECT_THROW(t.recv(1, 0, 0), g6::util::Error);
+}
+
+TEST(Transport, TagMismatchThrows) {
+  Transport t(2, {});
+  t.send(0, 1, 5, bytes({1}));
+  EXPECT_THROW(t.recv(1, 0, 6), g6::util::Error);
+}
+
+TEST(Transport, RanksValidated) {
+  Transport t(2, {});
+  EXPECT_THROW(t.send(0, 5, 0, bytes({1})), g6::util::Error);
+  EXPECT_THROW(t.send(-1, 1, 0, bytes({1})), g6::util::Error);
+  EXPECT_THROW(t.stats(9), g6::util::Error);
+}
+
+TEST(Transport, StatsCountBytesAndTime) {
+  LinkSpec link{100.0, 0.5};  // 100 B/s, 0.5 s latency: easy arithmetic
+  Transport t(2, link);
+  t.send(0, 1, 0, bytes({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+  EXPECT_EQ(t.stats(0).bytes_sent, 10u);
+  EXPECT_EQ(t.stats(0).messages_sent, 1u);
+  EXPECT_EQ(t.stats(1).bytes_received, 10u);
+  EXPECT_NEAR(t.stats(0).modeled_seconds, 0.5 + 0.1, 1e-12);
+}
+
+TEST(Transport, PendingCountsAllSources) {
+  Transport t(3, {});
+  t.send(0, 2, 0, bytes({1}));
+  t.send(1, 2, 0, bytes({2}));
+  EXPECT_EQ(t.pending(2), 2u);
+  t.recv(2, 0, 0);
+  EXPECT_EQ(t.pending(2), 1u);
+}
+
+TEST(Transport, LinkFailureInjection) {
+  Transport t(2, {});
+  t.fail_link(0, 1);
+  EXPECT_THROW(t.send(0, 1, 0, bytes({1})), g6::util::Error);
+  // Reverse direction unaffected.
+  EXPECT_NO_THROW(t.send(1, 0, 0, bytes({1})));
+  t.restore_link(0, 1);
+  EXPECT_NO_THROW(t.send(0, 1, 0, bytes({1})));
+}
+
+TEST(Transport, ChargeModelsCollectiveCost) {
+  LinkSpec link{1000.0, 0.0};
+  Transport t(2, link);
+  const double sec = t.charge(0, 500);
+  EXPECT_NEAR(sec, 0.5, 1e-12);
+  EXPECT_NEAR(t.stats(0).modeled_seconds, 0.5, 1e-12);
+}
+
+TEST(TransportPod, PackUnpackRoundTrip) {
+  std::vector<std::byte> buf;
+  g6::cluster::append_pod(buf, 42);
+  g6::cluster::append_pod(buf, 2.5);
+  std::size_t off = 0;
+  EXPECT_EQ(g6::cluster::read_pod<int>(buf, off), 42);
+  EXPECT_EQ(g6::cluster::read_pod<double>(buf, off), 2.5);
+  EXPECT_EQ(off, buf.size());
+  EXPECT_THROW(g6::cluster::read_pod<int>(buf, off), g6::util::Error);
+}
+
+}  // namespace

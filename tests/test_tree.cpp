@@ -1,0 +1,193 @@
+// Tests for the Barnes-Hut octree baseline.
+#include "tree/bh_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "disk/disk_model.hpp"
+#include "nbody/force_direct.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using g6::nbody::Force;
+using g6::nbody::ParticleSystem;
+using g6::tree::BarnesHutTree;
+using g6::tree::TreeConfig;
+using g6::util::Vec3;
+
+ParticleSystem random_cloud(int n, std::uint64_t seed) {
+  g6::util::Rng rng(seed);
+  ParticleSystem ps;
+  for (int i = 0; i < n; ++i)
+    ps.add(rng.uniform(0.5, 1.5),
+           {rng.uniform(-10, 10), rng.uniform(-10, 10), rng.uniform(-10, 10)},
+           {});
+  return ps;
+}
+
+Force direct_force_on(const ParticleSystem& ps, std::size_t i, double eps2) {
+  Force f{};
+  for (std::size_t j = 0; j < ps.size(); ++j) {
+    if (j == i) continue;
+    g6::nbody::pairwise_force(ps.pos(i), {}, ps.pos(j), {}, ps.mass(j), eps2, f);
+  }
+  return f;
+}
+
+TEST(Tree, SingleParticleZeroForce) {
+  ParticleSystem ps;
+  ps.add(1.0, {1, 2, 3}, {});
+  BarnesHutTree tree;
+  tree.build(ps.positions(), ps.masses());
+  const Force f = tree.force_on(0, 0.0);
+  EXPECT_EQ(f.acc, Vec3(0, 0, 0));
+}
+
+TEST(Tree, TwoParticlesExact) {
+  ParticleSystem ps;
+  ps.add(2.0, {0, 0, 0}, {});
+  ps.add(3.0, {4, 0, 0}, {});
+  BarnesHutTree tree;
+  tree.build(ps.positions(), ps.masses());
+  const Force f = tree.force_on(0, 0.0);
+  EXPECT_NEAR(f.acc.x, 3.0 / 16.0, 1e-14);
+  EXPECT_NEAR(f.pot, -3.0 / 4.0, 1e-14);
+}
+
+TEST(Tree, RootCoversAllMass) {
+  ParticleSystem ps = random_cloud(100, 3);
+  BarnesHutTree tree;
+  tree.build(ps.positions(), ps.masses());
+  EXPECT_NEAR(tree.root().mass, ps.total_mass(), 1e-10);
+  EXPECT_EQ(tree.root().count, 100u);
+  EXPECT_GT(tree.node_count(), 1u);
+}
+
+class TreeTheta : public ::testing::TestWithParam<double> {};
+
+TEST_P(TreeTheta, ForceErrorBoundedAndShrinksWithTheta) {
+  const double theta = GetParam();
+  ParticleSystem ps = random_cloud(500, 11);
+  TreeConfig cfg;
+  cfg.theta = theta;
+  BarnesHutTree tree(cfg);
+  tree.build(ps.positions(), ps.masses());
+
+  double worst = 0.0;
+  for (std::size_t i = 0; i < ps.size(); i += 13) {
+    const Force t = tree.force_on(i, 1e-4);
+    const Force d = direct_force_on(ps, i, 1e-4);
+    worst = std::max(worst, norm(t.acc - d.acc) / norm(d.acc));
+  }
+  // Typical BH error budget for monopole-only cells.
+  const double bound = theta <= 0.3 ? 0.01 : (theta <= 0.6 ? 0.05 : 0.15);
+  EXPECT_LT(worst, bound) << "theta=" << theta;
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, TreeTheta, ::testing::Values(0.2, 0.5, 0.8));
+
+TEST(Tree, QuadrupoleImprovesAccuracy) {
+  ParticleSystem ps = random_cloud(800, 13);
+  TreeConfig mono;
+  mono.theta = 0.7;
+  TreeConfig quad = mono;
+  quad.quadrupole = true;
+
+  BarnesHutTree t_mono(mono), t_quad(quad);
+  t_mono.build(ps.positions(), ps.masses());
+  t_quad.build(ps.positions(), ps.masses());
+
+  double err_mono = 0.0, err_quad = 0.0;
+  for (std::size_t i = 0; i < ps.size(); i += 17) {
+    const Force d = direct_force_on(ps, i, 1e-4);
+    err_mono += norm(t_mono.force_on(i, 1e-4).acc - d.acc) / norm(d.acc);
+    err_quad += norm(t_quad.force_on(i, 1e-4).acc - d.acc) / norm(d.acc);
+  }
+  EXPECT_LT(err_quad, 0.5 * err_mono);
+}
+
+TEST(Tree, SmallThetaApproachesDirect) {
+  ParticleSystem ps = random_cloud(200, 17);
+  TreeConfig cfg;
+  cfg.theta = 1e-6;  // opens everything -> exact direct summation
+  BarnesHutTree tree(cfg);
+  tree.build(ps.positions(), ps.masses());
+  for (std::size_t i = 0; i < ps.size(); i += 29) {
+    const Force t = tree.force_on(i, 1e-4);
+    const Force d = direct_force_on(ps, i, 1e-4);
+    EXPECT_NEAR(norm(t.acc - d.acc), 0.0, 1e-12 * norm(d.acc));
+  }
+}
+
+TEST(Tree, InteractionCountBelowDirectForLargeN) {
+  ParticleSystem ps = random_cloud(2000, 19);
+  TreeConfig cfg;
+  cfg.theta = 0.6;
+  BarnesHutTree tree(cfg);
+  tree.build(ps.positions(), ps.masses());
+  for (std::size_t i = 0; i < ps.size(); ++i) (void)tree.force_on(i, 1e-4);
+  EXPECT_LT(tree.interaction_count(),
+            static_cast<std::uint64_t>(ps.size()) * (ps.size() - 1) / 2);
+}
+
+TEST(Tree, ForceAtArbitraryPoint) {
+  ParticleSystem ps;
+  ps.add(1.0, {0, 0, 0}, {});
+  BarnesHutTree tree;
+  tree.build(ps.positions(), ps.masses());
+  const Force f = tree.force_at({2, 0, 0}, 0.0);
+  EXPECT_NEAR(f.acc.x, -0.25, 1e-14);  // pulled toward the origin
+}
+
+TEST(Tree, CoincidentParticlesTerminates) {
+  ParticleSystem ps;
+  for (int i = 0; i < 20; ++i) ps.add(1.0, {1, 1, 1}, {});
+  ps.add(1.0, {2, 2, 2}, {});
+  TreeConfig cfg;
+  cfg.leaf_capacity = 2;
+  BarnesHutTree tree(cfg);
+  EXPECT_NO_THROW(tree.build(ps.positions(), ps.masses()));
+  const Force f = tree.force_on(20, 1e-2);
+  EXPECT_GT(norm(f.acc), 0.0);
+}
+
+TEST(Tree, EmptyBuildThrows) {
+  BarnesHutTree tree;
+  EXPECT_THROW(tree.build({}, {}), g6::util::Error);
+  EXPECT_THROW(tree.force_at({0, 0, 0}, 0.0), g6::util::Error);
+}
+
+TEST(TreeBackend, ComputeAllMatchesDirectBackend) {
+  ParticleSystem ps = random_cloud(300, 23);
+  g6::tree::TreeAccelBackend tree_b({.theta = 0.3}, 0.01);
+  g6::nbody::DirectAccelBackend direct_b(0.01);
+  std::vector<Force> ft(ps.size()), fd(ps.size());
+  tree_b.compute_all(ps, ft);
+  direct_b.compute_all(ps, fd);
+  for (std::size_t i = 0; i < ps.size(); i += 11) {
+    EXPECT_NEAR(norm(ft[i].acc - fd[i].acc) / norm(fd[i].acc), 0.0, 0.02) << i;
+  }
+  EXPECT_GT(tree_b.interaction_count(), 0u);
+}
+
+TEST(TreeBackend, WorksOnDiskGeometry) {
+  // Flat ring geometry (the paper's workload shape) — far-field cells in the
+  // plane must still satisfy the error bound.
+  auto disk = g6::disk::make_disk(g6::disk::uranus_neptune_config(1500));
+  auto& ps = disk.system;
+  TreeConfig cfg;
+  cfg.theta = 0.4;
+  BarnesHutTree tree(cfg);
+  tree.build(ps.positions(), ps.masses());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < ps.size(); i += 97) {
+    const Force t = tree.force_on(i, 0.008 * 0.008);
+    const Force d = direct_force_on(ps, i, 0.008 * 0.008);
+    if (norm(d.acc) > 0.0) worst = std::max(worst, norm(t.acc - d.acc) / norm(d.acc));
+  }
+  EXPECT_LT(worst, 0.05);
+}
+
+}  // namespace

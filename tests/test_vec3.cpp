@@ -1,0 +1,108 @@
+// Unit tests for the Vec3 primitive.
+#include "util/vec3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using g6::util::Vec3;
+
+TEST(Vec3, DefaultIsZero) {
+  Vec3 v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+  EXPECT_EQ(v.z, 0.0);
+}
+
+TEST(Vec3, ComponentIndexing) {
+  Vec3 v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v[0], 1.0);
+  EXPECT_EQ(v[1], 2.0);
+  EXPECT_EQ(v[2], 3.0);
+  v[1] = 7.0;
+  EXPECT_EQ(v.y, 7.0);
+}
+
+TEST(Vec3, AdditionSubtraction) {
+  const Vec3 a{1.0, 2.0, 3.0};
+  const Vec3 b{-4.0, 0.5, 2.0};
+  EXPECT_EQ(a + b, Vec3(-3.0, 2.5, 5.0));
+  EXPECT_EQ(a - b, Vec3(5.0, 1.5, 1.0));
+  EXPECT_EQ(-(a - a), Vec3(0.0, 0.0, 0.0));
+}
+
+TEST(Vec3, ScalarOps) {
+  const Vec3 a{1.0, -2.0, 4.0};
+  EXPECT_EQ(2.0 * a, Vec3(2.0, -4.0, 8.0));
+  EXPECT_EQ(a * 2.0, Vec3(2.0, -4.0, 8.0));
+  EXPECT_EQ(a / 2.0, Vec3(0.5, -1.0, 2.0));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 a{1.0, 1.0, 1.0};
+  a += Vec3{1.0, 2.0, 3.0};
+  EXPECT_EQ(a, Vec3(2.0, 3.0, 4.0));
+  a -= Vec3{2.0, 3.0, 4.0};
+  EXPECT_EQ(a, Vec3(0.0, 0.0, 0.0));
+  a = {1.0, 2.0, 3.0};
+  a *= 3.0;
+  EXPECT_EQ(a, Vec3(3.0, 6.0, 9.0));
+  a /= 3.0;
+  EXPECT_EQ(a, Vec3(1.0, 2.0, 3.0));
+}
+
+TEST(Vec3, DotProduct) {
+  EXPECT_EQ(dot(Vec3(1, 2, 3), Vec3(4, -5, 6)), 4.0 - 10.0 + 18.0);
+  EXPECT_EQ(dot(Vec3(1, 0, 0), Vec3(0, 1, 0)), 0.0);
+}
+
+TEST(Vec3, CrossProduct) {
+  EXPECT_EQ(cross(Vec3(1, 0, 0), Vec3(0, 1, 0)), Vec3(0, 0, 1));
+  EXPECT_EQ(cross(Vec3(0, 1, 0), Vec3(0, 0, 1)), Vec3(1, 0, 0));
+  // a x a = 0
+  const Vec3 a{2.0, -3.0, 5.0};
+  EXPECT_EQ(cross(a, a), Vec3(0, 0, 0));
+  // Anti-commutativity.
+  const Vec3 b{1.0, 4.0, -2.0};
+  EXPECT_EQ(cross(a, b), -cross(b, a));
+}
+
+TEST(Vec3, Norms) {
+  const Vec3 v{3.0, 4.0, 12.0};
+  EXPECT_EQ(norm2(v), 169.0);
+  EXPECT_DOUBLE_EQ(norm(v), 13.0);
+}
+
+TEST(Vec3, Normalized) {
+  const Vec3 v{0.0, 3.0, 4.0};
+  const Vec3 u = normalized(v);
+  EXPECT_DOUBLE_EQ(norm(u), 1.0);
+  EXPECT_DOUBLE_EQ(u.y, 0.6);
+  EXPECT_DOUBLE_EQ(u.z, 0.8);
+}
+
+TEST(Vec3, MinMax) {
+  const Vec3 a{1.0, 5.0, -2.0};
+  const Vec3 b{3.0, 2.0, -7.0};
+  EXPECT_EQ(g6::util::min(a, b), Vec3(1.0, 2.0, -7.0));
+  EXPECT_EQ(g6::util::max(a, b), Vec3(3.0, 5.0, -2.0));
+}
+
+TEST(Vec3, StreamOutput) {
+  std::ostringstream os;
+  os << Vec3{1.0, 2.5, -3.0};
+  EXPECT_EQ(os.str(), "(1, 2.5, -3)");
+}
+
+TEST(Vec3, Triple_ProductIdentity) {
+  // a . (b x c) is invariant under cyclic permutation.
+  const Vec3 a{1.2, -0.7, 2.2};
+  const Vec3 b{0.3, 1.9, -1.1};
+  const Vec3 c{-2.0, 0.4, 0.9};
+  EXPECT_NEAR(dot(a, cross(b, c)), dot(b, cross(c, a)), 1e-12);
+  EXPECT_NEAR(dot(a, cross(b, c)), dot(c, cross(a, b)), 1e-12);
+}
+
+}  // namespace
