@@ -13,6 +13,7 @@ using namespace g6::bench;
 
 int main(int argc, char** argv) {
   const bool full = full_mode(argc, argv);
+  const ObsOptions obs = obs_options(argc, argv);
   const std::size_t n = full ? 4000 : 1200;
   const double t_end = full ? 256.0 : 128.0;
 
@@ -30,6 +31,8 @@ int main(int argc, char** argv) {
   nbody::CpuDirectBackend backend(0.008);
   auto icfg = disk_config();
   nbody::HermiteIntegrator integ(d.system, backend, icfg);
+  g6::obs::BlockstepRecorder recorder;
+  if (obs.any()) integ.set_step_recorder(&recorder);
   integ.initialize();
 
   // Sample the dt distribution at regular epochs.
@@ -75,6 +78,10 @@ int main(int argc, char** argv) {
   t.row({"timestep growth events", util::fmt_int(static_cast<long long>(
                                        integ.stats().dt_grows))});
   std::printf("%s\n", t.render().c_str());
+
+  auto& registry = g6::obs::MetricsRegistry::global();
+  nbody::publish_metrics(integ.stats(), registry);
+  write_obs_files(obs, registry, obs.any() ? &recorder : nullptr);
 
   // Shape checks: a wide dt range and blocks much smaller than N on average
   // are exactly why §3 rejects shared timesteps.

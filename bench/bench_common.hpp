@@ -2,19 +2,27 @@
 /// \file bench_common.hpp
 /// \brief Shared plumbing for the paper-reproduction bench binaries: flag
 ///        parsing (default sizes are CI-friendly; --full or G6_FULL=1 runs
-///        the larger configurations), scaled disk runs, and block-size
-///        distribution collection.
+///        the larger configurations), scaled disk runs, block-size
+///        distribution collection, and the observability wiring
+///        (--trace <file> / --metrics <file>, see docs/OBSERVABILITY.md).
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/perf_model.hpp"
 #include "disk/disk_model.hpp"
+#include "grape6/backend.hpp"
 #include "nbody/force_direct.hpp"
 #include "nbody/integrator.hpp"
+#include "obs/blockstep_record.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -36,6 +44,65 @@ inline double flag_value(int argc, char** argv, const char* name, double fallbac
       return std::atof(argv[i] + prefix.size());
   }
   return fallback;
+}
+
+/// String flag: accepts both `--name=value` and `--name value`.
+inline std::string flag_str(int argc, char** argv, const char* name,
+                            const char* fallback = "") {
+  const std::string eq = std::string("--") + name + "=";
+  const std::string bare = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], eq.c_str(), eq.size()) == 0) return argv[i] + eq.size();
+    // Space form: the next argv must be a value, not another --flag.
+    if (bare == argv[i] && i + 1 < argc &&
+        std::strncmp(argv[i + 1], "--", 2) != 0)
+      return argv[i + 1];
+  }
+  return fallback;
+}
+
+/// The `--trace <file>` / `--metrics <file>` flag pair every instrumented
+/// binary supports.
+struct ObsOptions {
+  std::string trace_path;    ///< Chrome trace_event JSON destination
+  std::string metrics_path;  ///< metrics snapshot JSON destination
+  bool any() const { return !trace_path.empty() || !metrics_path.empty(); }
+};
+
+/// Parse the flag pair; requesting a trace enables the global recorder.
+inline ObsOptions obs_options(int argc, char** argv) {
+  ObsOptions opt;
+  opt.trace_path = flag_str(argc, argv, "trace");
+  opt.metrics_path = flag_str(argc, argv, "metrics");
+  if (!opt.trace_path.empty()) g6::obs::TraceRecorder::global().enable();
+  return opt;
+}
+
+/// Write the requested observability outputs. \p recorder (optional) embeds
+/// the per-blockstep measured breakdowns into the metrics JSON; \p cmp
+/// (optional) embeds the measured-vs-model report.
+inline void write_obs_files(const ObsOptions& opt,
+                            g6::obs::MetricsRegistry& registry,
+                            const g6::obs::BlockstepRecorder* recorder = nullptr,
+                            const g6::obs::ModelComparison* cmp = nullptr) {
+  if (!opt.metrics_path.empty()) {
+    std::vector<std::pair<std::string, std::string>> extras;
+    if (recorder != nullptr) extras.emplace_back("blocksteps", recorder->to_json());
+    if (cmp != nullptr)
+      extras.emplace_back("measured_vs_model", g6::obs::comparison_to_json(*cmp));
+    if (g6::obs::write_metrics_json(opt.metrics_path, registry.snapshot(), extras))
+      std::printf("metrics snapshot written to %s\n", opt.metrics_path.c_str());
+    else
+      std::fprintf(stderr, "failed to write metrics to %s\n",
+                   opt.metrics_path.c_str());
+  }
+  if (!opt.trace_path.empty()) {
+    if (g6::obs::TraceRecorder::global().write_chrome_trace(opt.trace_path))
+      std::printf("trace written to %s (load in chrome://tracing or "
+                  "https://ui.perfetto.dev)\n", opt.trace_path.c_str());
+    else
+      std::fprintf(stderr, "failed to write trace to %s\n", opt.trace_path.c_str());
+  }
 }
 
 /// Result of a scaled-down dynamics run on the paper's disk.
@@ -83,10 +150,12 @@ inline g6::nbody::IntegratorConfig disk_config() {
 }
 
 /// Run the scaled Uranus-Neptune disk to \p t_end with the CPU backend and
-/// collect block statistics.
+/// collect block statistics. An optional recorder collects the measured
+/// per-blockstep phase breakdown.
 inline ScaledRun run_scaled_disk(std::size_t n, double t_end,
                                  std::uint64_t seed = 20020101,
-                                 double protoplanet_mass = 1.0e-5) {
+                                 double protoplanet_mass = 1.0e-5,
+                                 g6::obs::BlockstepRecorder* recorder = nullptr) {
   g6::disk::DiskConfig dcfg = g6::disk::uranus_neptune_config(n);
   dcfg.seed = seed;
   for (auto& pp : dcfg.protoplanets) pp.mass = protoplanet_mass;
@@ -94,18 +163,73 @@ inline ScaledRun run_scaled_disk(std::size_t n, double t_end,
 
   g6::nbody::CpuDirectBackend backend(0.008);
   g6::nbody::HermiteIntegrator integ(disk.system, backend, disk_config());
-
-  g6::util::Timer timer;
-  integ.initialize();
-  integ.evolve(t_end);
+  if (recorder != nullptr) integ.set_step_recorder(recorder);
 
   ScaledRun run;
+  {
+    g6::util::ScopedTimer wall(run.wall_seconds);
+    integ.initialize();
+    integ.evolve(t_end);
+  }
   run.n_total = disk.system.size();
   run.t_end = t_end;
-  run.wall_seconds = timer.seconds();
   run.stats = integ.stats();
   for (std::uint32_t b : run.stats.block_sizes) ++run.block_histogram[b];
   return run;
+}
+
+/// A scaled disk run on a small GRAPE-6 machine model with full phase
+/// recording — the measured side of the paper's §4 accounting. The recorder
+/// holds one StepRecord per block step (cycle-accounted predictor/pipeline
+/// time, byte-accounted link phases, wall-clock host/sync phases).
+struct MeasuredRun {
+  ScaledRun run;
+  g6::hw::MachineConfig machine;
+  g6::obs::BlockstepRecorder recorder;
+  g6::hw::HwCounters hw;
+};
+
+inline MeasuredRun run_measured_disk(std::size_t n, double t_end,
+                                     std::uint64_t seed = 20020101,
+                                     double protoplanet_mass = 1.0e-5) {
+  MeasuredRun mr;
+  mr.machine = g6::hw::MachineConfig::mini(4, 8, 4096);
+  mr.machine.fmt = g6::hw::FormatSpec::for_scales(64.0, 1e-4);
+
+  g6::disk::DiskConfig dcfg = g6::disk::uranus_neptune_config(n);
+  dcfg.seed = seed;
+  for (auto& pp : dcfg.protoplanets) pp.mass = protoplanet_mass;
+  auto disk = g6::disk::make_disk(dcfg);
+
+  g6::hw::Grape6Backend backend(mr.machine, 0.008);
+  g6::nbody::HermiteIntegrator integ(disk.system, backend, disk_config());
+  integ.set_step_recorder(&mr.recorder);
+  {
+    g6::util::ScopedTimer wall(mr.run.wall_seconds);
+    integ.initialize();
+    integ.evolve(t_end);
+  }
+  mr.run.n_total = disk.system.size();
+  mr.run.t_end = t_end;
+  mr.run.stats = integ.stats();
+  mr.hw = backend.machine().counters();
+  for (std::uint32_t b : mr.run.stats.block_sizes) ++mr.run.block_histogram[b];
+  return mr;
+}
+
+/// Join a measured run against the analytic model of the same machine:
+/// per-term measured/modeled ratios plus sustained-speed accounting.
+inline g6::obs::ModelComparison measured_vs_model(
+    const MeasuredRun& mr,
+    g6::cluster::HostMode mode = g6::cluster::HostMode::kHardwareNet) {
+  g6::cluster::PerfParams pp;
+  pp.machine = mr.machine;
+  const g6::cluster::PerfModel model(pp);
+  return g6::obs::compare_to_model(
+      mr.recorder.records(), mr.run.n_total, [&](std::size_t n_act) {
+        return g6::cluster::to_phase_array(
+            model.blockstep(mr.run.n_total, n_act, mode));
+      });
 }
 
 /// The paper's headline particle count.

@@ -16,6 +16,7 @@ using namespace g6::bench;
 
 int main(int argc, char** argv) {
   const bool full = full_mode(argc, argv);
+  const ObsOptions obs = obs_options(argc, argv);
   const std::size_t n_scaled = full ? 4000 : 2000;
   const double t_end = full ? 256.0 : 128.0;
 
@@ -123,6 +124,22 @@ int main(int argc, char** argv) {
     variant("comm/compute overlap", p);
   }
   std::printf("%s\n", ts.render().c_str());
+
+  // Measured-vs-model validation: re-run a small disk through the functional
+  // GRAPE machine model with the blockstep recorder attached, and join the
+  // measured per-phase breakdown against the analytic model of that same
+  // (mini) machine.  This is the §4 consistency check: if the two columns
+  // diverge, either the model or the instrumented machine drifted.
+  std::printf("measured vs modeled block-step accounting (mini machine):\n");
+  const MeasuredRun mr = run_measured_disk(full ? 1024 : 512, full ? 64.0 : 16.0);
+  const auto cmp = measured_vs_model(mr);
+  std::printf("%s\n", g6::obs::render_comparison(cmp).c_str());
+
+  auto& registry = g6::obs::MetricsRegistry::global();
+  nbody::publish_metrics(run.stats, registry);
+  hw::publish_metrics(mr.hw, registry);
+  registry.gauge("g6.bench.wall_seconds").set(run.wall_seconds);
+  write_obs_files(obs, registry, &mr.recorder, &cmp);
 
   const bool shape_ok = est.efficiency > 0.25 && est.efficiency < 0.75;
   std::printf("shape check: efficiency in the paper's band (25-75%%): %s\n",

@@ -9,19 +9,28 @@
 //     --snap=<float>   snapshot interval               (default 400)
 //     --grape          run on the GRAPE-6 machine model instead of the CPU
 //     --out=<prefix>   write snapshot files <prefix>_T.snap
+//     --trace <file>   write a Chrome trace_event JSON of the run
+//     --metrics <file> write a metrics snapshot JSON (includes the
+//                      per-blockstep measured phase breakdown)
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "analysis/disk_analysis.hpp"
 #include "disk/disk_model.hpp"
 #include "disk/hill.hpp"
 #include "grape6/backend.hpp"
+#include "grape6/g6_types.hpp"
 #include "nbody/energy.hpp"
 #include "nbody/force_direct.hpp"
 #include "nbody/integrator.hpp"
 #include "nbody/snapshot.hpp"
+#include "obs/blockstep_record.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 #include "util/units.hpp"
@@ -43,11 +52,18 @@ bool has_flag(int argc, char** argv, const char* name) {
   return false;
 }
 
+// Accepts both `--name=value` and `--name value`.
 std::string flag_str(int argc, char** argv, const char* name) {
   const std::string prefix = std::string("--") + name + "=";
-  for (int i = 1; i < argc; ++i)
+  const std::string bare = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
       return argv[i] + prefix.size();
+    // Space form: the next argv must be a value, not another --flag.
+    if (bare == argv[i] && i + 1 < argc &&
+        std::strncmp(argv[i + 1], "--", 2) != 0)
+      return argv[i + 1];
+  }
   return {};
 }
 
@@ -60,6 +76,9 @@ int main(int argc, char** argv) {
   const double snap_every = flag(argc, argv, "snap", 400.0);
   const bool use_grape = has_flag(argc, argv, "grape");
   const std::string out_prefix = flag_str(argc, argv, "out");
+  const std::string trace_path = flag_str(argc, argv, "trace");
+  const std::string metrics_path = flag_str(argc, argv, "metrics");
+  if (!trace_path.empty()) g6::obs::TraceRecorder::global().enable();
 
   const double eps = 0.008;
 
@@ -94,6 +113,9 @@ int main(int argc, char** argv) {
   icfg.eta = 0.02;
   icfg.dt_max = 4.0;
   g6::nbody::HermiteIntegrator integ(ps, *backend, icfg);
+  g6::obs::BlockstepRecorder recorder;
+  const bool record_steps = !trace_path.empty() || !metrics_path.empty();
+  if (record_steps) integ.set_step_recorder(&recorder);
   g6::util::Timer timer;
   integ.initialize();
   const double e0 = g6::nbody::compute_energy(ps, eps, 1.0).total();
@@ -126,5 +148,27 @@ int main(int argc, char** argv) {
   std::printf("interactions: %llu (%.3g Gordon-Bell ops)\n",
               static_cast<unsigned long long>(backend->interaction_count()),
               57.0 * static_cast<double>(backend->interaction_count()));
+
+  if (record_steps) {
+    auto& registry = g6::obs::MetricsRegistry::global();
+    g6::nbody::publish_metrics(integ.stats(), registry);
+    if (use_grape)
+      g6::hw::publish_metrics(
+          static_cast<g6::hw::Grape6Backend*>(backend.get())->machine().counters(),
+          registry);
+    registry.gauge("g6.example.wall_seconds").set(timer.seconds());
+    if (!metrics_path.empty()) {
+      std::vector<std::pair<std::string, std::string>> extras;
+      extras.emplace_back("blocksteps", recorder.to_json());
+      if (g6::obs::write_metrics_json(metrics_path, registry.snapshot(), extras))
+        std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
+      else
+        std::fprintf(stderr, "failed to write metrics to %s\n",
+                     metrics_path.c_str());
+    }
+    if (!trace_path.empty() &&
+        g6::obs::TraceRecorder::global().write_chrome_trace(trace_path))
+      std::printf("trace written to %s\n", trace_path.c_str());
+  }
   return 0;
 }

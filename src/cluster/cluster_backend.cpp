@@ -1,7 +1,9 @@
 #include "cluster/cluster_backend.hpp"
 
 #include "nbody/hermite.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
+#include "util/timer.hpp"
 
 namespace g6::cluster {
 
@@ -58,7 +60,13 @@ void ClusterBackend::update(std::span<const std::uint32_t> indices,
     a0_[i] = ps.acc(i);
     j0_[i] = ps.jerk(i);
   }
+  G6_TRACE_SPAN_CAT("j-update", "cluster");
+  const double link_before = sys_->transport().total_stats().modeled_seconds;
   sys_->update(corrected);
+  if (recorder_ != nullptr) {
+    recorder_->add(g6::obs::Phase::kJUpdate,
+                   sys_->transport().total_stats().modeled_seconds - link_before);
+  }
 }
 
 void ClusterBackend::compute(double t, std::span<const std::uint32_t> ilist,
@@ -87,7 +95,19 @@ void ClusterBackend::compute_states(double t, std::span<const std::uint32_t> ili
     G6_CHECK(ilist[k] < t0_.size(), "i-particle index out of range");
     batch_[k] = g6::hw::make_i_particle(ilist[k], pos[k], vel[k], fmt_);
   }
-  sys_->compute(t, batch_, accum_);
+  {
+    G6_TRACE_SPAN_CAT("compute", "cluster");
+    const double link_before = sys_->transport().total_stats().modeled_seconds;
+    g6::util::Timer timer;
+    sys_->compute(t, batch_, accum_);
+    if (recorder_ != nullptr) {
+      const double link =
+          sys_->transport().total_stats().modeled_seconds - link_before;
+      recorder_->add(g6::obs::Phase::kPipeline, timer.seconds());
+      recorder_->add(g6::obs::Phase::kIComm, 0.5 * link);
+      recorder_->add(g6::obs::Phase::kResultComm, 0.5 * link);
+    }
+  }
   for (std::size_t k = 0; k < ilist.size(); ++k) {
     out[k].acc = accum_[k].acc.to_vec3();
     out[k].jerk = accum_[k].jerk.to_vec3();

@@ -38,6 +38,12 @@ class ClusterBackend final : public g6::nbody::ForceBackend {
   std::uint64_t interaction_count() const override { return interactions_; }
   double softening() const override { return eps_; }
 
+  /// The cluster backend charges its own phases: host partial-force wall
+  /// time to the pipeline phase and the transport's modeled link time to the
+  /// communication phases (split evenly between the i-particle and result
+  /// directions — the BSP exchange is symmetric).
+  bool records_phases() const override { return true; }
+
   ParallelHostSystem& system() { return *sys_; }
   const ParallelHostSystem& system() const { return *sys_; }
 

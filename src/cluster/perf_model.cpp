@@ -134,4 +134,17 @@ RunEstimate PerfModel::run(std::size_t n_total, std::span<const BlockCount> bloc
   return est;
 }
 
+std::array<double, g6::obs::kPhaseCount> to_phase_array(const StepBreakdown& bd) {
+  using g6::obs::Phase;
+  std::array<double, g6::obs::kPhaseCount> out{};
+  out[static_cast<std::size_t>(Phase::kPredict)] = bd.predict;
+  out[static_cast<std::size_t>(Phase::kPipeline)] = bd.pipeline;
+  out[static_cast<std::size_t>(Phase::kIComm)] = bd.i_comm;
+  out[static_cast<std::size_t>(Phase::kResultComm)] = bd.result_comm;
+  out[static_cast<std::size_t>(Phase::kJUpdate)] = bd.j_update;
+  out[static_cast<std::size_t>(Phase::kHost)] = bd.host;
+  out[static_cast<std::size_t>(Phase::kSync)] = bd.sync;
+  return out;
+}
+
 }  // namespace g6::cluster

@@ -18,11 +18,13 @@
 /// Sustained speed is 57 * N * n_act operations divided by that time,
 /// averaged over the block-size distribution of the run.
 
+#include <array>
 #include <cstdint>
 #include <span>
 
 #include "cluster/parallel_sim.hpp"  // HostMode
 #include "grape6/machine.hpp"
+#include "obs/blockstep_record.hpp"
 
 namespace g6::cluster {
 
@@ -114,5 +116,12 @@ class PerfModel {
  private:
   PerfParams p_;
 };
+
+/// Adapter for the observability layer: the breakdown's terms in
+/// obs::Phase order, so a PerfModel plugs straight into
+/// obs::compare_to_model:
+///   auto fn = [&](std::size_t n_act) {
+///     return to_phase_array(model.blockstep(n_total, n_act)); };
+std::array<double, g6::obs::kPhaseCount> to_phase_array(const StepBreakdown& bd);
 
 }  // namespace g6::cluster

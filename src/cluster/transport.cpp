@@ -62,4 +62,23 @@ double Transport::charge(int rank, std::size_t bytes) {
   return t;
 }
 
+TransportStats Transport::total_stats() const {
+  TransportStats total;
+  for (const TransportStats& st : stats_) {
+    total.bytes_sent += st.bytes_sent;
+    total.bytes_received += st.bytes_received;
+    total.messages_sent += st.messages_sent;
+    total.modeled_seconds += st.modeled_seconds;
+  }
+  return total;
+}
+
+void publish_metrics(const Transport& transport, g6::obs::MetricsRegistry& registry) {
+  const TransportStats total = transport.total_stats();
+  registry.counter("g6.cluster.bytes_sent").set(total.bytes_sent);
+  registry.counter("g6.cluster.bytes_received").set(total.bytes_received);
+  registry.counter("g6.cluster.messages_sent").set(total.messages_sent);
+  registry.gauge("g6.cluster.modeled_link_seconds").set(total.modeled_seconds);
+}
+
 }  // namespace g6::cluster

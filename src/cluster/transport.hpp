@@ -15,6 +15,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace g6::cluster {
@@ -70,6 +71,9 @@ class Transport {
 
   const TransportStats& stats(int rank) const;
 
+  /// Sum of the per-rank statistics over the whole fabric.
+  TransportStats total_stats() const;
+
   /// Convenience cost helpers (no data movement): charge a broadcast /
   /// all-gather pattern to the model only.
   double charge(int rank, std::size_t bytes);
@@ -83,6 +87,10 @@ class Transport {
   std::vector<bool> failed_;                 ///< indexed src * n + dst
   std::vector<TransportStats> stats_;
 };
+
+/// Publish the fabric-wide transport counters into a metrics registry under
+/// `g6.cluster.*` (docs/OBSERVABILITY.md naming convention).
+void publish_metrics(const Transport& transport, g6::obs::MetricsRegistry& registry);
 
 /// Serialize helpers: POD in/out of byte vectors.
 template <typename T>

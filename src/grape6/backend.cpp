@@ -1,6 +1,7 @@
 #include "grape6/backend.hpp"
 
 #include "nbody/hermite.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace g6::hw {
@@ -41,6 +42,7 @@ void Grape6Backend::load(const ParticleSystem& ps) {
 
 void Grape6Backend::update(std::span<const std::uint32_t> indices,
                            const ParticleSystem& ps) {
+  G6_TRACE_SPAN_CAT("j-update", "hw");
   for (std::uint32_t i : indices) {
     machine_.write_j(i, to_j_particle(i, ps));
     t0_[i] = ps.time(i);
@@ -48,6 +50,12 @@ void Grape6Backend::update(std::span<const std::uint32_t> indices,
     v0_[i] = ps.vel(i);
     a0_[i] = ps.acc(i);
     j0_[i] = ps.jerk(i);
+  }
+  if (recorder_ != nullptr) {
+    // Corrected particles travel host -> PCI -> LVDS into the j-memory.
+    recorder_->add(g6::obs::Phase::kJUpdate,
+                   static_cast<double>(indices.size()) * kJParticleBytes *
+                       (1.0 / kPciBytesPerSec + 1.0 / kLvdsBytesPerSec));
   }
 }
 
@@ -75,7 +83,10 @@ void Grape6Backend::compute_states(double t, std::span<const std::uint32_t> ilis
                vel.size() == ilist.size(),
            "i-state span size mismatch");
   const FormatSpec& fmt = machine_.config().fmt;
-  machine_.predict_all(t);
+  {
+    G6_TRACE_SPAN_CAT("predict", "hw");
+    machine_.predict_all(t);
+  }
 
   i_batch_.resize(ilist.size());
   for (std::size_t k = 0; k < ilist.size(); ++k) {
@@ -83,8 +94,28 @@ void Grape6Backend::compute_states(double t, std::span<const std::uint32_t> ilis
     i_batch_[k] = make_i_particle(ilist[k], pos[k], vel[k], fmt);
   }
 
-  machine_.compute(i_batch_, eps_ * eps_, accum_);
+  {
+    G6_TRACE_SPAN_CAT("pipeline", "hw");
+    machine_.compute(i_batch_, eps_ * eps_, accum_);
+  }
   hw_seconds_ += machine_.predict_seconds() + machine_.pipeline_seconds(ilist.size());
+  if (recorder_ != nullptr) {
+    // The measured side of the paper's accounting: predictor and pipeline
+    // from the machine's cycle counts, link phases from the wire formats
+    // over PCI (host side) and LVDS (board broadcast / reduction return).
+    const double ni = static_cast<double>(ilist.size());
+    recorder_->add(g6::obs::Phase::kPredict, machine_.predict_seconds());
+    recorder_->add(g6::obs::Phase::kPipeline,
+                   machine_.pipeline_seconds(ilist.size()));
+    recorder_->add(g6::obs::Phase::kIComm,
+                   ni * kIParticleBytes *
+                           (1.0 / kPciBytesPerSec + 1.0 / kLvdsBytesPerSec) +
+                       kLvdsLatencySec);
+    recorder_->add(g6::obs::Phase::kResultComm,
+                   ni * kResultBytes *
+                           (1.0 / kLvdsBytesPerSec + 1.0 / kPciBytesPerSec) +
+                       kLvdsLatencySec);
+  }
 
   for (std::size_t k = 0; k < ilist.size(); ++k) {
     out[k].acc = accum_[k].acc.to_vec3();

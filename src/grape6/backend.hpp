@@ -35,6 +35,12 @@ class Grape6Backend final : public g6::nbody::ForceBackend {
   }
   double softening() const override { return eps_; }
 
+  /// The hardware backend charges its own phases into the step recorder:
+  /// predictor and pipeline time from the machine's cycle accounting, link
+  /// phases (i-particle, result, j-update) from the wire formats and the
+  /// PCI/LVDS bandwidths — the measured side of the §4 accounting.
+  bool records_phases() const override { return true; }
+
   /// Modeled hardware wall time (predictor + pipelines) accumulated over all
   /// compute() calls — what the performance benches combine with the
   /// communication model.

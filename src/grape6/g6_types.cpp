@@ -18,4 +18,14 @@ FormatSpec FormatSpec::for_scales(double length_scale, double acc_scale) {
   return fmt;
 }
 
+void publish_metrics(const HwCounters& counters, g6::obs::MetricsRegistry& registry) {
+  registry.counter("g6.hw.interactions").set(counters.interactions);
+  registry.counter("g6.hw.predict_ops").set(counters.predict_ops);
+  registry.counter("g6.hw.pipe_cycles").set(counters.pipe_cycles);
+  registry.counter("g6.hw.passes").set(counters.passes);
+  registry.counter("g6.hw.i_particles_sent").set(counters.i_particles_sent);
+  registry.counter("g6.hw.results_returned").set(counters.results_returned);
+  registry.counter("g6.hw.j_writes").set(counters.j_writes);
+}
+
 }  // namespace g6::hw

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 
+#include "obs/metrics.hpp"
 #include "util/fixed_point.hpp"
 #include "util/vec3.hpp"
 
@@ -156,5 +157,11 @@ struct HwCounters {
     return *this;
   }
 };
+
+/// Publish the counters into a metrics registry under `g6.hw.*` so one
+/// snapshot captures the hardware model alongside the integrator and
+/// transport counters (docs/OBSERVABILITY.md).
+void publish_metrics(const HwCounters& counters,
+                     g6::obs::MetricsRegistry& registry);
 
 }  // namespace g6::hw

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "nbody/particle.hpp"
+#include "obs/blockstep_record.hpp"
 
 namespace g6::nbody {
 
@@ -64,6 +65,23 @@ class ForceBackend {
 
   /// Gravitational softening length used by this backend.
   virtual double softening() const = 0;
+
+  /// Attach (or detach, with nullptr) a blockstep recorder. Backends that
+  /// model hardware charge their phase times (predict/pipeline/comm/
+  /// j-update) into it; the integrator charges the host-side phases.
+  virtual void set_step_recorder(g6::obs::BlockstepRecorder* rec) {
+    recorder_ = rec;
+  }
+  g6::obs::BlockstepRecorder* step_recorder() const { return recorder_; }
+
+  /// True when the backend attributes its own compute()/update() time to
+  /// recorder phases. False (the default) makes the integrator charge the
+  /// wall time of compute() to the pipeline phase and of update() to the
+  /// j-update phase.
+  virtual bool records_phases() const { return false; }
+
+ protected:
+  g6::obs::BlockstepRecorder* recorder_ = nullptr;
 };
 
 }  // namespace g6::nbody

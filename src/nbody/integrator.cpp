@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "nbody/hermite.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace g6::nbody {
@@ -132,16 +133,40 @@ void HermiteIntegrator::correct_block(double t, std::span<const std::uint32_t> b
 
 double HermiteIntegrator::step() {
   G6_CHECK(initialized_, "call initialize() first");
-  const double t = scheduler_.pop_block(block_);
+  G6_TRACE_SPAN("blockstep");
+  g6::obs::BlockstepRecorder* rec = recorder_;
+  if (rec != nullptr) rec->begin_step();
+  // Scheduler pop is the single-host stand-in for the inter-host sync point
+  // at the head of every block step.
+  const double t = [&] {
+    g6::obs::PhaseTimer pt(rec, g6::obs::Phase::kSync);
+    return scheduler_.pop_block(block_);
+  }();
   forces_.resize(block_.size());
-  backend_.compute(t, block_, forces_);
+  {
+    // Hardware backends attribute their own phases (predict/pipeline/comm);
+    // for plain backends the whole force evaluation is the pipeline phase.
+    g6::obs::PhaseTimer pt(backend_.records_phases() ? nullptr : rec,
+                           g6::obs::Phase::kPipeline);
+    G6_TRACE_SPAN("force");
+    backend_.compute(t, block_, forces_);
+  }
 
   // Track dt changes for the stats before they are overwritten.
   std::vector<double> old_dt(block_.size());
   for (std::size_t k = 0; k < block_.size(); ++k) old_dt[k] = ps_.dt(block_[k]);
 
-  correct_block(t, block_, forces_, /*requantize=*/false);
-  backend_.update(block_, ps_);
+  {
+    g6::obs::PhaseTimer pt(rec, g6::obs::Phase::kHost);
+    G6_TRACE_SPAN("correct");
+    correct_block(t, block_, forces_, /*requantize=*/false);
+  }
+  {
+    g6::obs::PhaseTimer pt(backend_.records_phases() ? nullptr : rec,
+                           g6::obs::Phase::kJUpdate);
+    G6_TRACE_SPAN("j-update");
+    backend_.update(block_, ps_);
+  }
 
   for (std::size_t k = 0; k < block_.size(); ++k) {
     if (ps_.dt(block_[k]) < old_dt[k]) ++stats_.dt_shrinks;
@@ -151,6 +176,10 @@ double HermiteIntegrator::step() {
   stats_.steps += block_.size();
   if (cfg_.record_block_sizes)
     stats_.block_sizes.push_back(static_cast<std::uint32_t>(block_.size()));
+  if (rec != nullptr) {
+    rec->annotate(t, block_.size());
+    rec->end_step();
+  }
   if (on_block) on_block(t, block_.size());
   t_sys_ = t;
   return t;
@@ -181,6 +210,20 @@ void HermiteIntegrator::synchronize(double t) {
   ++stats_.blocks;
   stats_.steps += lagging.size();
   t_sys_ = t;
+}
+
+void publish_metrics(const IntegratorStats& stats, g6::obs::MetricsRegistry& registry) {
+  registry.counter("g6.nbody.blocks").set(stats.blocks);
+  registry.counter("g6.nbody.steps").set(stats.steps);
+  registry.counter("g6.nbody.dt_shrinks").set(stats.dt_shrinks);
+  registry.counter("g6.nbody.dt_grows").set(stats.dt_grows);
+  registry.gauge("g6.nbody.mean_block_size").set(stats.mean_block_size());
+  // Histogram entries accumulate: publish once per run (the counters above
+  // use set() and stay idempotent).
+  if (!stats.block_sizes.empty()) {
+    auto hist = registry.histogram("g6.nbody.block_size");
+    for (std::uint32_t b : stats.block_sizes) hist.add(static_cast<double>(b));
+  }
 }
 
 }  // namespace g6::nbody

@@ -18,6 +18,8 @@
 #include "nbody/external_potential.hpp"
 #include "nbody/force.hpp"
 #include "nbody/particle.hpp"
+#include "obs/blockstep_record.hpp"
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace g6::nbody {
@@ -52,6 +54,13 @@ struct IntegratorStats {
     return blocks == 0 ? 0.0 : static_cast<double>(steps) / static_cast<double>(blocks);
   }
 };
+
+/// Publish the counters into a metrics registry under `g6.nbody.*`
+/// (see docs/OBSERVABILITY.md for the naming convention). Typically wired as
+/// a snapshot provider:
+///   registry.add_provider([&integ](auto& r) {
+///     publish_metrics(integ.stats(), r); });
+void publish_metrics(const IntegratorStats& stats, g6::obs::MetricsRegistry& registry);
 
 /// 4th-order Hermite integrator with block individual timesteps.
 class HermiteIntegrator {
@@ -92,6 +101,14 @@ class HermiteIntegrator {
   /// every block step (used by the performance-model benches).
   std::function<void(double, std::size_t)> on_block;
 
+  /// Attach a blockstep recorder: every step() closes one measured
+  /// StepRecord (the integrator charges host/sync phases, the backend its
+  /// hardware phases). Also forwarded to the backend. nullptr detaches.
+  void set_step_recorder(g6::obs::BlockstepRecorder* rec) {
+    recorder_ = rec;
+    backend_.set_step_recorder(rec);
+  }
+
  private:
   /// Correct the particles in \p block at time \p t given backend forces
   /// \p forces, assign new timesteps, and push them back onto the scheduler.
@@ -108,6 +125,7 @@ class HermiteIntegrator {
   SolarPotential solar_;
   BlockScheduler scheduler_;
   IntegratorStats stats_;
+  g6::obs::BlockstepRecorder* recorder_ = nullptr;
   double t_sys_ = 0.0;
   bool initialized_ = false;
 

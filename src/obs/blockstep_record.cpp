@@ -1,0 +1,79 @@
+#include "obs/blockstep_record.hpp"
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace g6::obs {
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kPredict: return "predict";
+    case Phase::kPipeline: return "pipeline";
+    case Phase::kIComm: return "i_comm";
+    case Phase::kResultComm: return "result_comm";
+    case Phase::kJUpdate: return "j_update";
+    case Phase::kHost: return "host";
+    case Phase::kSync: return "sync";
+  }
+  return "?";
+}
+
+void BlockstepRecorder::begin_step() {
+  G6_CHECK(!open_, "begin_step with a step already open");
+  current_ = StepRecord{};
+  open_ = true;
+}
+
+void BlockstepRecorder::annotate(double t, std::size_t n_act) {
+  G6_CHECK(open_, "annotate without an open step");
+  current_.t = t;
+  current_.n_act = n_act;
+}
+
+void BlockstepRecorder::end_step() {
+  G6_CHECK(open_, "end_step without an open step");
+  records_.push_back(current_);
+  open_ = false;
+}
+
+void BlockstepRecorder::add(Phase p, double seconds) {
+  (open_ ? current_ : outside_)[p] += seconds;
+}
+
+void BlockstepRecorder::clear() {
+  open_ = false;
+  current_ = StepRecord{};
+  outside_ = StepRecord{};
+  records_.clear();
+}
+
+StepRecord BlockstepRecorder::sum() const {
+  StepRecord total;
+  for (const StepRecord& r : records_) {
+    total.t = r.t;
+    total.n_act += r.n_act;
+    for (std::size_t k = 0; k < kPhaseCount; ++k) total.seconds[k] += r.seconds[k];
+  }
+  return total;
+}
+
+std::string BlockstepRecorder::to_json() const {
+  std::string out = "[";
+  bool first = true;
+  for (const StepRecord& r : records_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"t\":" + json_number(r.t) +
+           ",\"n_act\":" + json_number(static_cast<double>(r.n_act));
+    for (std::size_t k = 0; k < kPhaseCount; ++k) {
+      out += ",\"";
+      out += phase_name(static_cast<Phase>(k));
+      out += "\":" + json_number(r.seconds[k]);
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace g6::obs

@@ -1,0 +1,108 @@
+#pragma once
+/// \file blockstep_record.hpp
+/// \brief Per-blockstep timeline recorder: the measured counterpart of
+///        cluster::StepBreakdown.
+///
+/// The GRAPE-6 system paper (Makino et al. 2003, §9) reports the time of one
+/// block step as a sum of named phases — predictor sweep, pipeline passes,
+/// i-particle/result communication, j-memory update, host work, inter-host
+/// sync. The analytic PerfModel reproduces that accounting; this recorder
+/// *measures* it: the integrator charges host/scheduler wall time, hardware
+/// backends charge their cycle- and byte-accounted phase times, and each
+/// block step closes into one StepRecord. The report module joins these
+/// records against the model term by term.
+///
+/// Threading: one recorder belongs to one integration driver thread (begin/
+/// annotate/end and add() are called from the thread running the step loop).
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace g6::obs {
+
+/// The phases of one block step, in StepBreakdown order.
+enum class Phase {
+  kPredict = 0,  ///< predictor sweep over j-memory
+  kPipeline,     ///< pipeline passes (force evaluation)
+  kIComm,        ///< i-particle distribution
+  kResultComm,   ///< force-result return path
+  kJUpdate,      ///< corrected-particle writeback to j-memory
+  kHost,         ///< host integration work (corrector, timestep, scheduler push)
+  kSync,         ///< scheduler pop / inter-host barrier
+};
+inline constexpr std::size_t kPhaseCount = 7;
+
+const char* phase_name(Phase p);
+
+/// Measured record of one block step.
+struct StepRecord {
+  double t = 0.0;          ///< block time
+  std::size_t n_act = 0;   ///< active particles in the block
+  std::array<double, kPhaseCount> seconds{};  ///< per-phase seconds
+
+  double& operator[](Phase p) { return seconds[static_cast<std::size_t>(p)]; }
+  double operator[](Phase p) const { return seconds[static_cast<std::size_t>(p)]; }
+
+  double total() const {
+    double s = 0.0;
+    for (double v : seconds) s += v;
+    return s;
+  }
+};
+
+/// Collects StepRecords over a run.
+class BlockstepRecorder {
+ public:
+  /// Open a new record (phase times may arrive before t/n_act are known).
+  void begin_step();
+  /// Fill in the block time and size of the open record.
+  void annotate(double t, std::size_t n_act);
+  /// Close the open record and append it to records().
+  void end_step();
+  bool step_open() const { return open_; }
+
+  /// Accumulate seconds into the open record's phase. Outside a step (e.g.
+  /// the initial full-system force evaluation) the time lands in outside().
+  void add(Phase p, double seconds);
+
+  const std::vector<StepRecord>& records() const { return records_; }
+  /// Phase time charged while no step was open.
+  const StepRecord& outside() const { return outside_; }
+
+  void clear();
+
+  /// Element-wise sum over records() (t = last block time, n_act summed).
+  StepRecord sum() const;
+
+  /// JSON array of the records: [{"t":..,"n_act":..,"predict":..,...},..].
+  std::string to_json() const;
+
+ private:
+  bool open_ = false;
+  StepRecord current_;
+  StepRecord outside_;
+  std::vector<StepRecord> records_;
+};
+
+/// RAII helper: adds the scope's wall time into a recorder phase (no-op when
+/// the recorder is null, so call sites stay unconditional).
+class PhaseTimer {
+ public:
+  PhaseTimer(BlockstepRecorder* rec, Phase p) : rec_(rec), phase_(p) {}
+  ~PhaseTimer() {
+    if (rec_ != nullptr) rec_->add(phase_, timer_.seconds());
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  BlockstepRecorder* rec_;
+  Phase phase_;
+  util::Timer timer_;
+};
+
+}  // namespace g6::obs

@@ -1,0 +1,74 @@
+#pragma once
+/// \file json.hpp
+/// \brief Minimal JSON document model: enough of a writer (escaping, number
+///        formatting) for the observability exports and enough of a parser
+///        for the tests to load those exports back and assert on them.
+///
+/// Not a general-purpose JSON library — no streaming, no unicode surrogate
+/// handling beyond pass-through — but everything the metrics/trace files use
+/// round-trips exactly.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace g6::obs {
+
+/// A parsed JSON value (tagged union over the seven JSON shapes).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw g6::util::Error on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+  const std::vector<std::pair<std::string, JsonValue>>& as_object() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+
+  /// Array element access (throws when out of range or not an array).
+  const JsonValue& at(std::size_t i) const;
+  std::size_t size() const;
+
+  /// Parse a complete JSON document; throws g6::util::Error on malformed
+  /// input or trailing garbage.
+  static JsonValue parse(std::string_view text);
+
+  // Construction helpers used by the parser.
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Escape a string for inclusion inside JSON double quotes.
+std::string json_escape(std::string_view s);
+
+/// Format a double the way the exports do: shortest round-trippable form,
+/// with non-finite values mapped to null (JSON has no NaN/Inf).
+std::string json_number(double v);
+
+}  // namespace g6::obs

@@ -1,0 +1,242 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace g6::obs {
+
+int LogHistogramState::bucket_index(double x) {
+  if (!(x > 0.0)) return -1;  // underflow (also catches NaN)
+  const double d = std::log10(x) - kDecadeLo;
+  if (d < 0.0) return -1;
+  const int i = static_cast<int>(d * kBucketsPerDecade);
+  if (i >= kBuckets) return kBuckets;  // overflow
+  return i;
+}
+
+double LogHistogramState::bucket_lo(int i) {
+  return std::pow(10.0, kDecadeLo + static_cast<double>(i) / kBucketsPerDecade);
+}
+
+double LogHistogramState::bucket_center(int i) {
+  return std::pow(10.0,
+                  kDecadeLo + (static_cast<double>(i) + 0.5) / kBucketsPerDecade);
+}
+
+void LogHistogram::add(double x) {
+  if (state_ == nullptr) return;
+  const int i = LogHistogramState::bucket_index(x);
+  if (i < 0)
+    state_->underflow.fetch_add(1, std::memory_order_relaxed);
+  else if (i >= LogHistogramState::kBuckets)
+    state_->overflow.fetch_add(1, std::memory_order_relaxed);
+  else
+    state_->buckets[i].fetch_add(1, std::memory_order_relaxed);
+  state_->count.fetch_add(1, std::memory_order_relaxed);
+  state_->sum.fetch_add(x, std::memory_order_relaxed);
+}
+
+namespace {
+
+double percentile_of(const LogHistogramState& s, double fraction) {
+  const std::uint64_t n = s.count.load(std::memory_order_relaxed);
+  if (n == 0) return 0.0;
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const double rank = fraction * static_cast<double>(n);
+  double cum = static_cast<double>(s.underflow.load(std::memory_order_relaxed));
+  if (cum >= rank && cum > 0.0) return LogHistogramState::bucket_lo(0);
+  for (int i = 0; i < LogHistogramState::kBuckets; ++i) {
+    cum += static_cast<double>(s.buckets[i].load(std::memory_order_relaxed));
+    if (cum >= rank) return LogHistogramState::bucket_center(i);
+  }
+  return LogHistogramState::bucket_lo(LogHistogramState::kBuckets);
+}
+
+}  // namespace
+
+double LogHistogram::percentile(double fraction) const {
+  return state_ == nullptr ? 0.0 : percentile_of(*state_, fraction);
+}
+
+const char* metric_kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Node& MetricsRegistry::node(std::string_view name, MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Node& n : nodes_) {
+    if (n.name == name) {
+      G6_CHECK(n.kind == kind,
+               "metric '" + std::string(name) + "' already registered as " +
+                   metric_kind_name(n.kind));
+      return n;
+    }
+  }
+  Node& n = nodes_.emplace_back();
+  n.name = std::string(name);
+  n.kind = kind;
+  if (kind == MetricKind::kHistogram) n.hist = std::make_unique<LogHistogramState>();
+  return n;
+}
+
+Counter MetricsRegistry::counter(std::string_view name) {
+  return Counter(&node(name, MetricKind::kCounter).counter);
+}
+
+Gauge MetricsRegistry::gauge(std::string_view name) {
+  return Gauge(&node(name, MetricKind::kGauge).gauge);
+}
+
+LogHistogram MetricsRegistry::histogram(std::string_view name) {
+  return LogHistogram(node(name, MetricKind::kHistogram).hist.get());
+}
+
+std::size_t MetricsRegistry::add_provider(std::function<void(MetricsRegistry&)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t id = next_provider_id_++;
+  providers_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void MetricsRegistry::remove_provider(std::size_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::erase_if(providers_, [id](const auto& p) { return p.first == id; });
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return nodes_.size();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() {
+  // Run providers outside the lock: they call back into counter()/gauge().
+  std::vector<std::function<void(MetricsRegistry&)>> providers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    providers.reserve(providers_.size());
+    for (const auto& [id, fn] : providers_) providers.push_back(fn);
+  }
+  for (const auto& fn : providers) fn(*this);
+
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.metrics.reserve(nodes_.size());
+  for (const Node& n : nodes_) {
+    MetricSnapshot m;
+    m.name = n.name;
+    m.kind = n.kind;
+    switch (n.kind) {
+      case MetricKind::kCounter:
+        m.value = static_cast<double>(n.counter.load(std::memory_order_relaxed));
+        break;
+      case MetricKind::kGauge:
+        m.value = n.gauge.load(std::memory_order_relaxed);
+        break;
+      case MetricKind::kHistogram: {
+        const LogHistogramState& s = *n.hist;
+        m.hist.count = s.count.load(std::memory_order_relaxed);
+        m.hist.sum = s.sum.load(std::memory_order_relaxed);
+        m.hist.underflow = s.underflow.load(std::memory_order_relaxed);
+        m.hist.overflow = s.overflow.load(std::memory_order_relaxed);
+        m.hist.p50 = percentile_of(s, 0.50);
+        m.hist.p90 = percentile_of(s, 0.90);
+        m.hist.p99 = percentile_of(s, 0.99);
+        for (int i = 0; i < LogHistogramState::kBuckets; ++i) {
+          const std::uint64_t c = s.buckets[i].load(std::memory_order_relaxed);
+          if (c != 0)
+            m.hist.buckets.emplace_back(LogHistogramState::bucket_center(i), c);
+        }
+        m.value = static_cast<double>(m.hist.count);
+        break;
+      }
+    }
+    snap.metrics.push_back(std::move(m));
+  }
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+const MetricSnapshot* MetricsSnapshot::find(std::string_view name) const {
+  for (const MetricSnapshot& m : metrics)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "[";
+  bool first = true;
+  for (const MetricSnapshot& m : metrics) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + json_escape(m.name) + "\",\"kind\":\"" +
+           metric_kind_name(m.kind) + "\"";
+    if (m.kind == MetricKind::kHistogram) {
+      out += ",\"count\":" + json_number(static_cast<double>(m.hist.count));
+      out += ",\"sum\":" + json_number(m.hist.sum);
+      out += ",\"p50\":" + json_number(m.hist.p50);
+      out += ",\"p90\":" + json_number(m.hist.p90);
+      out += ",\"p99\":" + json_number(m.hist.p99);
+      out += ",\"underflow\":" + json_number(static_cast<double>(m.hist.underflow));
+      out += ",\"overflow\":" + json_number(static_cast<double>(m.hist.overflow));
+      out += ",\"buckets\":[";
+      for (std::size_t i = 0; i < m.hist.buckets.size(); ++i) {
+        if (i != 0) out += ",";
+        out += "[" + json_number(m.hist.buckets[i].first) + "," +
+               json_number(static_cast<double>(m.hist.buckets[i].second)) + "]";
+      }
+      out += "]";
+    } else {
+      out += ",\"value\":" + json_number(m.value);
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+std::string MetricsSnapshot::to_table() const {
+  util::Table t({"metric", "kind", "value", "p50", "p99"});
+  for (const MetricSnapshot& m : metrics) {
+    if (m.kind == MetricKind::kHistogram) {
+      t.row({m.name, metric_kind_name(m.kind),
+             util::fmt_int(static_cast<long long>(m.hist.count)),
+             util::fmt_sci(m.hist.p50), util::fmt_sci(m.hist.p99)});
+    } else {
+      t.row({m.name, metric_kind_name(m.kind), util::fmt_sci(m.value), "-", "-"});
+    }
+  }
+  return t.render();
+}
+
+bool write_metrics_json(const std::string& path, const MetricsSnapshot& snap,
+                        const std::vector<std::pair<std::string, std::string>>&
+                            extra_members) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string doc = "{\"metrics\":" + snap.to_json();
+  for (const auto& [key, value] : extra_members)
+    doc += ",\"" + json_escape(key) + "\":" + value;
+  doc += "}\n";
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace g6::obs

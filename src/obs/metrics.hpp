@@ -1,0 +1,205 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Lock-cheap metrics registry: named counters, gauges and log-scale
+///        histograms with typed handles.
+///
+/// Handle creation (by name) takes the registry mutex once; every subsequent
+/// add()/set() through the handle is a relaxed atomic on a stable cell, so
+/// hot paths pay one atomic op and no lock. Snapshots pull every registered
+/// metric — plus anything published by registered providers — into a plain
+/// value struct that renders to JSON or a util::Table.
+///
+/// Naming convention: `g6.<subsystem>.<name>` (see docs/OBSERVABILITY.md),
+/// e.g. `g6.hw.interactions`, `g6.nbody.blocks`, `g6.cluster.bytes_sent`.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace g6::obs {
+
+class MetricsRegistry;
+
+/// Monotonic (or externally-accumulated) integer metric.
+class Counter {
+ public:
+  Counter() = default;
+  void add(std::uint64_t v = 1) {
+    if (cell_ != nullptr) cell_->fetch_add(v, std::memory_order_relaxed);
+  }
+  /// Overwrite with an absolute value — for publishing an externally
+  /// accumulated count (e.g. a stats struct) into the registry.
+  void set(std::uint64_t v) {
+    if (cell_ != nullptr) cell_->store(v, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return cell_ == nullptr ? 0 : cell_->load(std::memory_order_relaxed);
+  }
+  bool valid() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::atomic<std::uint64_t>* cell) : cell_(cell) {}
+  std::atomic<std::uint64_t>* cell_ = nullptr;
+};
+
+/// Point-in-time floating-point metric.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v) {
+    if (cell_ != nullptr) cell_->store(v, std::memory_order_relaxed);
+  }
+  void add(double v) {
+    if (cell_ != nullptr) cell_->fetch_add(v, std::memory_order_relaxed);
+  }
+  double value() const {
+    return cell_ == nullptr ? 0.0 : cell_->load(std::memory_order_relaxed);
+  }
+  bool valid() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::atomic<double>* cell) : cell_(cell) {}
+  std::atomic<double>* cell_ = nullptr;
+};
+
+/// Fixed-layout log-scale histogram: geometric buckets spanning
+/// [1e-12, 1e12) at kBucketsPerDecade resolution, plus under/overflow.
+/// add() is lock-free (one relaxed fetch_add on the bucket and two on the
+/// aggregates), so it is safe in hot loops and across threads.
+struct LogHistogramState {
+  static constexpr int kBucketsPerDecade = 8;
+  static constexpr int kDecadeLo = -12;  ///< first bucket edge: 1e-12
+  static constexpr int kDecadeHi = 12;   ///< last bucket edge: 1e12
+  static constexpr int kBuckets = (kDecadeHi - kDecadeLo) * kBucketsPerDecade;
+
+  std::atomic<std::uint64_t> buckets[kBuckets] = {};
+  std::atomic<std::uint64_t> underflow{0};  ///< x <= 0 or x < 1e-12
+  std::atomic<std::uint64_t> overflow{0};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<double> sum{0.0};
+
+  static int bucket_index(double x);
+  /// Geometric centre of bucket \p i.
+  static double bucket_center(int i);
+  static double bucket_lo(int i);
+};
+
+/// Typed handle to a log-scale histogram.
+class LogHistogram {
+ public:
+  LogHistogram() = default;
+  void add(double x);
+  std::uint64_t count() const {
+    return state_ == nullptr ? 0 : state_->count.load(std::memory_order_relaxed);
+  }
+  double sum() const {
+    return state_ == nullptr ? 0.0 : state_->sum.load(std::memory_order_relaxed);
+  }
+  /// Value below which \p fraction (0..1) of the samples fall, resolved to
+  /// bucket granularity (returns the geometric centre of the bucket that
+  /// crosses the rank). Returns 0 with no samples.
+  double percentile(double fraction) const;
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit LogHistogram(LogHistogramState* state) : state_(state) {}
+  LogHistogramState* state_ = nullptr;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+const char* metric_kind_name(MetricKind k);
+
+/// Snapshot of one histogram (non-empty buckets only).
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+  std::uint64_t underflow = 0, overflow = 0;
+  /// (bucket geometric centre, sample count) for every non-empty bucket.
+  std::vector<std::pair<double, std::uint64_t>> buckets;
+};
+
+/// Snapshot of one metric.
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;  ///< counter (exact up to 2^53) or gauge value
+  HistogramSnapshot hist;
+};
+
+/// A full registry snapshot; renders to JSON or an aligned table.
+struct MetricsSnapshot {
+  std::vector<MetricSnapshot> metrics;
+
+  const MetricSnapshot* find(std::string_view name) const;
+  std::string to_json() const;
+  std::string to_table() const;
+};
+
+/// The registry. Instantiable (tests use private registries); production
+/// code shares global().
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& global();
+
+  /// Get-or-create handles. Repeated calls with the same name return handles
+  /// onto the same cell. A name is permanently bound to its first kind;
+  /// re-requesting it as a different kind throws.
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  LogHistogram histogram(std::string_view name);
+
+  /// Register a callback run at the start of every snapshot(); providers
+  /// publish externally-owned counters (IntegratorStats, HwCounters,
+  /// transport stats, ...) into the registry so one snapshot captures all
+  /// subsystems. Returns an id usable with remove_provider.
+  std::size_t add_provider(std::function<void(MetricsRegistry&)> fn);
+  void remove_provider(std::size_t id);
+
+  /// Read every metric (after running the providers).
+  MetricsSnapshot snapshot();
+
+  /// Number of registered metrics.
+  std::size_t size() const;
+
+ private:
+  struct Node {
+    std::string name;
+    MetricKind kind;
+    std::atomic<std::uint64_t> counter{0};
+    std::atomic<double> gauge{0.0};
+    std::unique_ptr<LogHistogramState> hist;
+  };
+
+  Node& node(std::string_view name, MetricKind kind);
+
+  mutable std::mutex mu_;                    ///< guards nodes_/index_/providers_
+  std::deque<Node> nodes_;                   ///< deque: stable cell addresses
+  std::vector<std::pair<std::size_t, std::function<void(MetricsRegistry&)>>> providers_;
+  std::size_t next_provider_id_ = 0;
+};
+
+/// Write a snapshot (plus optional extra top-level JSON members, already
+/// serialized) to \p path as a JSON document:
+///   {"metrics": [...], <extras>}
+/// Returns false when the file cannot be written.
+bool write_metrics_json(const std::string& path, const MetricsSnapshot& snap,
+                        const std::vector<std::pair<std::string, std::string>>&
+                            extra_members = {});
+
+}  // namespace g6::obs

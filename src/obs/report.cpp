@@ -1,0 +1,88 @@
+#include "obs/report.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "obs/json.hpp"
+#include "util/table.hpp"
+
+namespace g6::obs {
+
+double ModelComparison::ratio(Phase p) const {
+  const double m = modeled_of(p);
+  if (m == 0.0)
+    return measured_of(p) == 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
+  return measured_of(p) / m;
+}
+
+ModelComparison compare_to_model(std::span<const StepRecord> records,
+                                 std::size_t n_total, const ModelTermsFn& model,
+                                 double ops_per_interaction) {
+  ModelComparison cmp;
+  cmp.n_total = n_total;
+  for (const StepRecord& r : records) {
+    if (r.n_act == 0) continue;
+    ++cmp.steps;
+    cmp.operations += ops_per_interaction * static_cast<double>(n_total) *
+                      static_cast<double>(r.n_act);
+    const std::array<double, kPhaseCount> m = model(r.n_act);
+    for (std::size_t k = 0; k < kPhaseCount; ++k) {
+      cmp.measured[k] += r.seconds[k];
+      cmp.modeled[k] += m[k];
+    }
+  }
+  for (std::size_t k = 0; k < kPhaseCount; ++k) {
+    cmp.measured_seconds += cmp.measured[k];
+    cmp.modeled_seconds += cmp.modeled[k];
+  }
+  if (cmp.measured_seconds > 0.0)
+    cmp.measured_flops = cmp.operations / cmp.measured_seconds;
+  if (cmp.modeled_seconds > 0.0)
+    cmp.modeled_flops = cmp.operations / cmp.modeled_seconds;
+  return cmp;
+}
+
+std::string render_comparison(const ModelComparison& cmp) {
+  util::Table t({"step term", "measured [s]", "modeled [s]", "measured/modeled"});
+  for (std::size_t k = 0; k < kPhaseCount; ++k) {
+    const Phase p = static_cast<Phase>(k);
+    t.row({phase_name(p), util::fmt_sci(cmp.measured_of(p)),
+           util::fmt_sci(cmp.modeled_of(p)), util::fmt(cmp.ratio(p), 3)});
+  }
+  t.row({"total", util::fmt_sci(cmp.measured_seconds),
+         util::fmt_sci(cmp.modeled_seconds),
+         util::fmt(cmp.modeled_seconds == 0.0
+                       ? 1.0
+                       : cmp.measured_seconds / cmp.modeled_seconds,
+                   3)});
+  t.row({"sustained [flops]", util::fmt_sci(cmp.measured_flops),
+         util::fmt_sci(cmp.modeled_flops), "-"});
+  std::string out = t.render();
+  out += "(" + std::to_string(cmp.steps) + " block steps, " +
+         json_number(cmp.operations) + " operations in the 57-op convention)\n";
+  return out;
+}
+
+std::string comparison_to_json(const ModelComparison& cmp) {
+  std::string out = "{\"steps\":" + json_number(static_cast<double>(cmp.steps)) +
+                    ",\"n_total\":" + json_number(static_cast<double>(cmp.n_total)) +
+                    ",\"operations\":" + json_number(cmp.operations) +
+                    ",\"measured_seconds\":" + json_number(cmp.measured_seconds) +
+                    ",\"modeled_seconds\":" + json_number(cmp.modeled_seconds) +
+                    ",\"measured_flops\":" + json_number(cmp.measured_flops) +
+                    ",\"modeled_flops\":" + json_number(cmp.modeled_flops) +
+                    ",\"terms\":{";
+  for (std::size_t k = 0; k < kPhaseCount; ++k) {
+    const Phase p = static_cast<Phase>(k);
+    if (k != 0) out += ",";
+    out += "\"";
+    out += phase_name(p);
+    out += "\":{\"measured\":" + json_number(cmp.measured_of(p)) +
+           ",\"modeled\":" + json_number(cmp.modeled_of(p)) +
+           ",\"ratio\":" + json_number(cmp.ratio(p)) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace g6::obs

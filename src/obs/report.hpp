@@ -1,0 +1,58 @@
+#pragma once
+/// \file report.hpp
+/// \brief Measured-vs-model performance accounting: join the blockstep
+///        recorder's measured phase times against an analytic per-term model
+///        (cluster::PerfModel in production; any callback in tests) and
+///        report per-term ratios plus sustained-speed numbers in the paper's
+///        57-operations-per-interaction convention.
+///
+/// obs does not depend on cluster; the model side enters as a callback that
+/// maps a block size to the seven modeled phase times (see
+/// cluster::to_phase_array for the PerfModel adapter).
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "obs/blockstep_record.hpp"
+
+namespace g6::obs {
+
+/// Maps n_act -> modeled seconds per phase for one block step.
+using ModelTermsFn = std::function<std::array<double, kPhaseCount>(std::size_t)>;
+
+/// Aggregate of the measured records joined with the model.
+struct ModelComparison {
+  std::size_t steps = 0;          ///< number of block steps joined
+  std::size_t n_total = 0;        ///< system size (for the op count)
+  double operations = 0.0;        ///< 57 * N * sum(n_act)
+  std::array<double, kPhaseCount> measured{};  ///< summed measured seconds
+  std::array<double, kPhaseCount> modeled{};   ///< summed modeled seconds
+  double measured_seconds = 0.0;
+  double modeled_seconds = 0.0;
+  double measured_flops = 0.0;  ///< operations / measured_seconds
+  double modeled_flops = 0.0;   ///< operations / modeled_seconds
+
+  double measured_of(Phase p) const { return measured[static_cast<std::size_t>(p)]; }
+  double modeled_of(Phase p) const { return modeled[static_cast<std::size_t>(p)]; }
+  /// measured / modeled for one phase (inf when the model term is zero).
+  double ratio(Phase p) const;
+};
+
+/// Join measured records against the model. \p ops_per_interaction defaults
+/// to the Gordon Bell convention (57).
+ModelComparison compare_to_model(std::span<const StepRecord> records,
+                                 std::size_t n_total, const ModelTermsFn& model,
+                                 double ops_per_interaction = 57.0);
+
+/// Render the per-term table:
+///   term | measured [s] | modeled [s] | measured/modeled
+/// plus total and sustained-flops rows.
+std::string render_comparison(const ModelComparison& cmp);
+
+/// JSON object for embedding in the metrics export.
+std::string comparison_to_json(const ModelComparison& cmp);
+
+}  // namespace g6::obs

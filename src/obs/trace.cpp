@@ -1,0 +1,129 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace g6::obs {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::set_thread_capacity(std::size_t events) {
+  capacity_.store(events == 0 ? 1 : events, std::memory_order_relaxed);
+}
+
+std::uint64_t TraceRecorder::now_ns() const {
+  std::uint64_t epoch = epoch_ns_.load(std::memory_order_relaxed);
+  const std::uint64_t now = steady_ns();
+  if (epoch == 0) {
+    // First caller pins the epoch; ties resolved by CAS so all threads agree.
+    std::uint64_t expected = 0;
+    const_cast<std::atomic<std::uint64_t>&>(epoch_ns_)
+        .compare_exchange_strong(expected, now, std::memory_order_relaxed);
+    epoch = epoch_ns_.load(std::memory_order_relaxed);
+  }
+  return now >= epoch ? now - epoch : 0;
+}
+
+TraceRecorder::ThreadBuf* TraceRecorder::thread_buf() {
+  struct Tls {
+    TraceRecorder* owner = nullptr;
+    ThreadBuf* buf = nullptr;
+  };
+  static thread_local Tls tls;
+  if (tls.owner == this && tls.buf != nullptr) return tls.buf;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto buf = std::make_unique<ThreadBuf>();
+  buf->ring.resize(capacity_.load(std::memory_order_relaxed));
+  buf->tid = static_cast<std::uint32_t>(threads_.size());
+  threads_.push_back(std::move(buf));
+  tls.owner = this;
+  tls.buf = threads_.back().get();
+  return tls.buf;
+}
+
+void TraceRecorder::record(const char* name, const char* cat,
+                           std::uint64_t start_ns, std::uint64_t dur_ns) {
+  ThreadBuf* buf = thread_buf();
+  std::lock_guard<std::mutex> lock(buf->mu);  // uncontended except at export
+  TraceEvent& slot = buf->ring[buf->head];
+  if (buf->count == buf->ring.size())
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  else
+    ++buf->count;
+  slot = TraceEvent{name, cat, start_ns, dur_ns, buf->tid};
+  buf->head = (buf->head + 1) % buf->ring.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : threads_) {
+    std::lock_guard<std::mutex> blk(buf->mu);
+    // Oldest retained event sits at head when the ring has wrapped.
+    const std::size_t n = buf->count;
+    const std::size_t cap = buf->ring.size();
+    const std::size_t first = (buf->head + cap - n) % cap;
+    for (std::size_t k = 0; k < n; ++k) out.push_back(buf->ring[(first + k) % cap]);
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    return a.start_ns < b.start_ns;
+  });
+  return out;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : threads_) {
+    std::lock_guard<std::mutex> blk(buf->mu);
+    buf->head = 0;
+    buf->count = 0;
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  const std::vector<TraceEvent> evs = events();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : evs) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + json_escape(e.name ? e.name : "?") + "\"";
+    out += ",\"cat\":\"" + json_escape(e.cat ? e.cat : "g6") + "\"";
+    out += ",\"ph\":\"X\",\"pid\":1";
+    out += ",\"tid\":" + std::to_string(e.tid);
+    out += ",\"ts\":" + json_number(static_cast<double>(e.start_ns) / 1e3);
+    out += ",\"dur\":" + json_number(static_cast<double>(e.dur_ns) / 1e3);
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool TraceRecorder::write_chrome_trace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = to_chrome_json();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace g6::obs

@@ -1,0 +1,148 @@
+#pragma once
+/// \file trace.hpp
+/// \brief Scoped phase tracing: RAII spans recorded into per-thread ring
+///        buffers, exported as Chrome trace_event JSON (loadable in
+///        chrome://tracing or https://ui.perfetto.dev).
+///
+/// Use through the macros, never by naming TraceSpan directly:
+///
+///   void step() {
+///     G6_TRACE_SPAN("blockstep");          // category defaults to "g6"
+///     ...
+///     { G6_TRACE_SPAN_CAT("pipeline", "hw"); machine.compute(...); }
+///   }
+///
+/// Recording is off by default; TraceRecorder::global().enable() turns it
+/// on (a disabled span costs one relaxed atomic load). Compiling with
+/// G6_OBS_DISABLED removes the spans entirely — the macros expand to
+/// `((void)0)`, so instrumented code carries zero runtime and zero code-size
+/// cost in stripped builds. Span names/categories must be string literals
+/// (or otherwise outlive the recorder): only the pointer is stored.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace g6::obs {
+
+/// One completed span, timestamped in nanoseconds since the recorder epoch.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;
+};
+
+/// Per-thread ring buffers of completed spans.
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  static TraceRecorder& global();
+
+  /// Start/stop recording. Spans opened while disabled record nothing.
+  void enable(bool on = true) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Ring capacity per thread (default 65536 events). Applies to threads
+  /// that record their first event after the call.
+  void set_thread_capacity(std::size_t events);
+
+  /// Nanoseconds since this recorder's epoch (steady clock).
+  std::uint64_t now_ns() const;
+
+  /// Append one completed span for the calling thread.
+  void record(const char* name, const char* cat, std::uint64_t start_ns,
+              std::uint64_t dur_ns);
+
+  /// All retained events, merged across threads, sorted by start time.
+  std::vector<TraceEvent> events() const;
+
+  /// Events overwritten because a thread ring was full.
+  std::uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Drop all retained events (keeps thread registrations and the epoch).
+  void clear();
+
+  /// Chrome trace_event JSON (the "JSON array format" wrapped in an object
+  /// with displayTimeUnit; timestamps in microseconds).
+  std::string to_chrome_json() const;
+
+  /// Write to_chrome_json() to \p path; false on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+ private:
+  struct ThreadBuf {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> ring;
+    std::size_t head = 0;   ///< next write position
+    std::size_t count = 0;  ///< valid events (saturates at ring.size())
+    std::uint32_t tid = 0;
+  };
+
+  ThreadBuf* thread_buf();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::size_t> capacity_{65536};
+
+  mutable std::mutex mu_;  ///< guards threads_ growth
+  std::vector<std::unique_ptr<ThreadBuf>> threads_;
+
+  // Epoch captured on first use so timestamps stay small.
+  std::atomic<std::uint64_t> epoch_ns_{0};
+};
+
+/// RAII span. Captures the recorder's enabled state at open; zero work when
+/// tracing is off. Use the G6_TRACE_SPAN* macros.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* cat = "g6")
+      : rec_(TraceRecorder::global().enabled() ? &TraceRecorder::global()
+                                               : nullptr) {
+    if (rec_ != nullptr) {
+      name_ = name;
+      cat_ = cat;
+      start_ns_ = rec_->now_ns();
+    }
+  }
+  ~TraceSpan() {
+    if (rec_ != nullptr)
+      rec_->record(name_, cat_, start_ns_, rec_->now_ns() - start_ns_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceRecorder* rec_;
+  const char* name_ = nullptr;
+  const char* cat_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace g6::obs
+
+#ifdef G6_OBS_DISABLED
+
+#define G6_TRACE_SPAN(name) ((void)0)
+#define G6_TRACE_SPAN_CAT(name, cat) ((void)0)
+
+#else
+
+#define G6_OBS_CONCAT_INNER(a, b) a##b
+#define G6_OBS_CONCAT(a, b) G6_OBS_CONCAT_INNER(a, b)
+
+/// Open a span covering the rest of the enclosing scope.
+#define G6_TRACE_SPAN(name) \
+  ::g6::obs::TraceSpan G6_OBS_CONCAT(g6_trace_span_, __LINE__)(name)
+#define G6_TRACE_SPAN_CAT(name, cat) \
+  ::g6::obs::TraceSpan G6_OBS_CONCAT(g6_trace_span_, __LINE__)(name, cat)
+
+#endif  // G6_OBS_DISABLED

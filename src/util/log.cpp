@@ -1,9 +1,11 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 namespace g6::util {
 
@@ -35,14 +37,48 @@ const char* level_name(LogLevel level) {
   }
 }
 
+std::mutex& emit_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::atomic<std::FILE*>& stream_storage() {
+  static std::atomic<std::FILE*> stream{nullptr};  // nullptr = stderr
+  return stream;
+}
+
+/// Monotonic seconds since the first log call (process-lifetime clock).
+double uptime_seconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
 }  // namespace
 
 LogLevel log_level() { return static_cast<LogLevel>(level_storage().load()); }
 
 void set_log_level(LogLevel level) { level_storage().store(static_cast<int>(level)); }
 
+void set_log_stream(std::FILE* stream) { stream_storage().store(stream); }
+
 void log_emit(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[g6 %s] %s\n", level_name(level), msg.c_str());
+  // Build the complete line first, then write it in one call under the
+  // mutex: concurrent loggers can never interleave mid-line.
+  char prefix[64];
+  std::snprintf(prefix, sizeof prefix, "[g6 +%.6fs %s] ", uptime_seconds(),
+                level_name(level));
+  std::string line;
+  line.reserve(std::strlen(prefix) + msg.size() + 1);
+  line += prefix;
+  line += msg;
+  line += '\n';
+
+  std::FILE* out = stream_storage().load();
+  if (out == nullptr) out = stderr;
+  std::lock_guard<std::mutex> lock(emit_mutex());
+  std::fwrite(line.data(), 1, line.size(), out);
+  std::fflush(out);
 }
 
 }  // namespace g6::util

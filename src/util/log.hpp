@@ -2,7 +2,13 @@
 /// \file log.hpp
 /// \brief Minimal leveled logging to stderr. Quiet by default so bench output
 ///        stays machine-readable; raise the level for debugging runs.
+///
+/// Emission is thread-safe: each line is formatted in full — with a
+/// monotonic timestamp (seconds since process start) and a level tag — and
+/// written under a single mutex, so concurrent loggers never interleave
+/// mid-line.
 
+#include <cstdio>
 #include <sstream>
 #include <string>
 
@@ -16,7 +22,12 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
-/// Emit one log line (internal; use the G6_LOG_* macros).
+/// Redirect log output (default stderr; tests point this at a tmpfile).
+/// Passing nullptr restores stderr. The caller keeps ownership.
+void set_log_stream(std::FILE* stream);
+
+/// Emit one log line (internal; use the G6_LOG_* macros). Format:
+///   [g6 +<seconds>s LEVEL] <msg>\n
 void log_emit(LogLevel level, const std::string& msg);
 
 }  // namespace g6::util

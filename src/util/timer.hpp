@@ -10,19 +10,54 @@ namespace g6::util {
 /// Monotonic stopwatch.
 class Timer {
  public:
-  Timer() : start_(Clock::now()) {}
+  Timer() : start_(Clock::now()), lap_(start_) {}
 
-  /// Restart the stopwatch.
-  void reset() { start_ = Clock::now(); }
+  /// Restart the stopwatch (also resets the lap mark).
+  void reset() {
+    start_ = Clock::now();
+    lap_ = start_;
+  }
 
   /// Seconds elapsed since construction or the last reset().
   double seconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
 
+  /// Seconds since the last lap()/reset()/construction, and start a new lap.
+  /// Splits a run into consecutive intervals without touching the total:
+  /// seconds() still reports time since reset().
+  double lap() {
+    const auto now = Clock::now();
+    const double dt = std::chrono::duration<double>(now - lap_).count();
+    lap_ = now;
+    return dt;
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+  Clock::time_point lap_;
+};
+
+/// RAII accumulator: adds the scope's wall time into a caller-owned sink on
+/// destruction. Replaces the manual timer-start/read pairs around timed
+/// sections:
+///
+///   double io_seconds = 0.0;
+///   { ScopedTimer st(io_seconds); write_snapshot(...); }
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double& sink) : sink_(sink) {}
+  ~ScopedTimer() { sink_ += timer_.seconds(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Seconds elapsed so far in this scope (the sink is only updated at exit).
+  double seconds() const { return timer_.seconds(); }
+
+ private:
+  double& sink_;
+  Timer timer_;
 };
 
 }  // namespace g6::util

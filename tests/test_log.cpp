@@ -1,0 +1,123 @@
+// Tests for the leveled logger: line format, level filtering, stream
+// redirection, and the regression check that concurrent loggers never
+// interleave mid-line.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/log.hpp"
+
+using g6::util::LogLevel;
+
+namespace {
+
+// Capture everything logged by \p body into a string via a tmpfile.
+std::string capture_log(const std::function<void()>& body) {
+  std::FILE* f = std::tmpfile();
+  EXPECT_NE(f, nullptr);
+  g6::util::set_log_stream(f);
+  body();
+  g6::util::set_log_stream(nullptr);
+  std::fseek(f, 0, SEEK_SET);
+  std::string text;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, got);
+  std::fclose(f);
+  return text;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+}  // namespace
+
+TEST(Log, LineFormat) {
+  const std::string text = capture_log([] {
+    g6::util::log_emit(LogLevel::kWarn, "hello world");
+  });
+  // [g6 +<seconds>s WARN] hello world
+  const std::regex re(R"(^\[g6 \+\d+\.\d{6}s WARN\] hello world$)");
+  const auto lines = split_lines(text);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_TRUE(std::regex_match(lines[0], re)) << lines[0];
+}
+
+TEST(Log, TimestampsAreMonotonic) {
+  const std::string text = capture_log([] {
+    for (int i = 0; i < 5; ++i) g6::util::log_emit(LogLevel::kError, "tick");
+  });
+  const std::regex re(R"(^\[g6 \+(\d+\.\d{6})s ERROR\] tick$)");
+  double prev = -1.0;
+  for (const auto& line : split_lines(text)) {
+    std::smatch m;
+    ASSERT_TRUE(std::regex_match(line, m, re)) << line;
+    const double t = std::stod(m[1].str());
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Log, LevelFiltering) {
+  const LogLevel saved = g6::util::log_level();
+  const std::string text = capture_log([] {
+    g6::util::set_log_level(LogLevel::kWarn);
+    G6_LOG_DEBUG("dropped debug");
+    G6_LOG_INFO("dropped info");
+    G6_LOG_WARN("kept warn");
+    G6_LOG_ERROR("kept error");
+  });
+  g6::util::set_log_level(saved);
+  EXPECT_EQ(text.find("dropped"), std::string::npos);
+  EXPECT_NE(text.find("kept warn"), std::string::npos);
+  EXPECT_NE(text.find("kept error"), std::string::npos);
+}
+
+// The satellite regression test: many threads logging concurrently must
+// produce only complete, well-formed lines — no mid-line interleaving.
+TEST(Log, ConcurrentLoggingNeverInterleavesMidLine) {
+  constexpr int kThreads = 8;
+  constexpr int kLines = 400;
+  // A long payload makes torn writes overwhelmingly likely if emission were
+  // not atomic per line.
+  const std::string filler(120, 'x');
+
+  const std::string text = capture_log([&] {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([t, &filler] {
+        for (int i = 0; i < kLines; ++i) {
+          g6::util::log_emit(LogLevel::kWarn,
+                             "T" + std::to_string(t) + " L" + std::to_string(i) +
+                                 " " + filler + " end");
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  });
+
+  const std::regex re(
+      R"(^\[g6 \+\d+\.\d{6}s WARN\] T(\d+) L(\d+) x{120} end$)");
+  const auto lines = split_lines(text);
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(kThreads) * kLines);
+  std::map<int, int> per_thread;
+  for (const auto& line : lines) {
+    std::smatch m;
+    ASSERT_TRUE(std::regex_match(line, m, re)) << "torn line: " << line;
+    ++per_thread[std::stoi(m[1].str())];
+  }
+  ASSERT_EQ(per_thread.size(), static_cast<std::size_t>(kThreads));
+  for (const auto& [tid, n] : per_thread) EXPECT_EQ(n, kLines) << "thread " << tid;
+}

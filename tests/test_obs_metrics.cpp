@@ -1,0 +1,234 @@
+// Tests for the metrics registry: typed handles, kind binding, log-scale
+// histogram percentiles, providers, and the snapshot JSON round-trip.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+using g6::obs::JsonValue;
+using g6::obs::LogHistogramState;
+using g6::obs::MetricKind;
+using g6::obs::MetricsRegistry;
+
+TEST(ObsMetrics, CounterBasics) {
+  MetricsRegistry reg;
+  auto c = reg.counter("g6.test.count");
+  EXPECT_TRUE(c.valid());
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(5);
+  EXPECT_EQ(c.value(), 6u);
+  c.set(42);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(ObsMetrics, SameNameSharesCell) {
+  MetricsRegistry reg;
+  auto a = reg.counter("g6.test.shared");
+  auto b = reg.counter("g6.test.shared");
+  a.add(3);
+  b.add(4);
+  EXPECT_EQ(a.value(), 7u);
+  EXPECT_EQ(b.value(), 7u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(ObsMetrics, GaugeSetAdd) {
+  MetricsRegistry reg;
+  auto g = reg.gauge("g6.test.gauge");
+  g.set(1.5);
+  g.add(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+}
+
+TEST(ObsMetrics, KindConflictThrows) {
+  MetricsRegistry reg;
+  reg.counter("g6.test.bound");
+  EXPECT_THROW(reg.gauge("g6.test.bound"), g6::util::Error);
+  EXPECT_THROW(reg.histogram("g6.test.bound"), g6::util::Error);
+}
+
+TEST(ObsMetrics, InvalidHandlesAreInert) {
+  g6::obs::Counter c;
+  g6::obs::Gauge g;
+  g6::obs::LogHistogram h;
+  EXPECT_FALSE(c.valid());
+  c.add();  // must not crash
+  g.set(1.0);
+  h.add(1.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+}
+
+TEST(ObsMetrics, HistogramPercentiles) {
+  MetricsRegistry reg;
+  auto h = reg.histogram("g6.test.hist");
+  // 900 samples at 1.0, 90 at 100.0, 10 at 1e4: known rank structure.
+  for (int i = 0; i < 900; ++i) h.add(1.0);
+  for (int i = 0; i < 90; ++i) h.add(100.0);
+  for (int i = 0; i < 10; ++i) h.add(1e4);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_NEAR(h.sum(), 900.0 + 9000.0 + 1e5, 1e-6);
+  // Percentiles resolve to bucket granularity (8 buckets/decade => within a
+  // factor of 10^(1/8) ~ 1.33 of the exact value).
+  EXPECT_NEAR(std::log10(h.percentile(0.50)), 0.0, 0.15);
+  EXPECT_NEAR(std::log10(h.percentile(0.95)), 2.0, 0.15);
+  EXPECT_NEAR(std::log10(h.percentile(0.995)), 4.0, 0.15);
+}
+
+TEST(ObsMetrics, HistogramUnderOverflow) {
+  MetricsRegistry reg;
+  auto h = reg.histogram("g6.test.uo");
+  h.add(0.0);
+  h.add(-3.0);
+  h.add(1e-20);
+  h.add(1e20);
+  h.add(1.0);
+  EXPECT_EQ(h.count(), 5u);
+  auto snap = reg.snapshot();
+  const auto* m = snap.find("g6.test.uo");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->hist.underflow, 3u);
+  EXPECT_EQ(m->hist.overflow, 1u);
+  ASSERT_EQ(m->hist.buckets.size(), 1u);
+  EXPECT_EQ(m->hist.buckets[0].second, 1u);
+}
+
+TEST(ObsMetrics, BucketIndexEdges) {
+  EXPECT_EQ(LogHistogramState::bucket_index(0.0), -1);
+  EXPECT_EQ(LogHistogramState::bucket_index(-1.0), -1);
+  EXPECT_EQ(LogHistogramState::bucket_index(1e-13), -1);
+  EXPECT_EQ(LogHistogramState::bucket_index(1e13), LogHistogramState::kBuckets);
+  const int mid = LogHistogramState::bucket_index(1.0);
+  EXPECT_GE(mid, 0);
+  EXPECT_LT(mid, LogHistogramState::kBuckets);
+  // bucket_lo(i) <= 1.0 < bucket_lo(i+1)
+  EXPECT_LE(LogHistogramState::bucket_lo(mid), 1.0 + 1e-12);
+  EXPECT_GT(LogHistogramState::bucket_lo(mid + 1), 1.0);
+}
+
+TEST(ObsMetrics, ProviderRunsAtSnapshot) {
+  MetricsRegistry reg;
+  int runs = 0;
+  const std::size_t id = reg.add_provider([&runs](MetricsRegistry& r) {
+    ++runs;
+    r.counter("g6.test.provided").set(static_cast<std::uint64_t>(runs));
+  });
+  EXPECT_EQ(runs, 0);
+  auto snap1 = reg.snapshot();
+  EXPECT_EQ(runs, 1);
+  ASSERT_NE(snap1.find("g6.test.provided"), nullptr);
+  EXPECT_DOUBLE_EQ(snap1.find("g6.test.provided")->value, 1.0);
+  reg.remove_provider(id);
+  auto snap2 = reg.snapshot();
+  EXPECT_EQ(runs, 1);  // removed provider no longer runs
+  EXPECT_DOUBLE_EQ(snap2.find("g6.test.provided")->value, 1.0);
+}
+
+TEST(ObsMetrics, SnapshotSortedByName) {
+  MetricsRegistry reg;
+  reg.counter("g6.z.last");
+  reg.counter("g6.a.first");
+  auto snap = reg.snapshot();
+  ASSERT_EQ(snap.metrics.size(), 2u);
+  EXPECT_EQ(snap.metrics[0].name, "g6.a.first");
+  EXPECT_EQ(snap.metrics[1].name, "g6.z.last");
+}
+
+TEST(ObsMetrics, SnapshotJsonRoundTrip) {
+  MetricsRegistry reg;
+  reg.counter("g6.test.counter").set(123);
+  reg.gauge("g6.test.gauge").set(2.5);
+  auto h = reg.histogram("g6.test.hist");
+  for (int i = 0; i < 10; ++i) h.add(1.0);
+
+  const auto snap = reg.snapshot();
+  const JsonValue doc = JsonValue::parse(snap.to_json());
+  ASSERT_TRUE(doc.is_array());
+  ASSERT_EQ(doc.size(), 3u);
+
+  bool saw_counter = false, saw_gauge = false, saw_hist = false;
+  for (std::size_t i = 0; i < doc.size(); ++i) {
+    const JsonValue& m = doc.at(i);
+    ASSERT_TRUE(m.is_object());
+    const std::string& name = m.find("name")->as_string();
+    const std::string& kind = m.find("kind")->as_string();
+    if (name == "g6.test.counter") {
+      saw_counter = true;
+      EXPECT_EQ(kind, "counter");
+      EXPECT_DOUBLE_EQ(m.find("value")->as_number(), 123.0);
+    } else if (name == "g6.test.gauge") {
+      saw_gauge = true;
+      EXPECT_EQ(kind, "gauge");
+      EXPECT_DOUBLE_EQ(m.find("value")->as_number(), 2.5);
+    } else if (name == "g6.test.hist") {
+      saw_hist = true;
+      EXPECT_EQ(kind, "histogram");
+      EXPECT_DOUBLE_EQ(m.find("count")->as_number(), 10.0);
+      EXPECT_DOUBLE_EQ(m.find("sum")->as_number(), 10.0);
+      ASSERT_TRUE(m.find("buckets")->is_array());
+      ASSERT_EQ(m.find("buckets")->size(), 1u);
+      EXPECT_DOUBLE_EQ(m.find("buckets")->at(0).at(1).as_number(), 10.0);
+    }
+  }
+  EXPECT_TRUE(saw_counter && saw_gauge && saw_hist);
+}
+
+TEST(ObsMetrics, WriteMetricsJsonWithExtras) {
+  MetricsRegistry reg;
+  reg.counter("g6.test.c").set(7);
+  const std::string path = ::testing::TempDir() + "/g6_metrics_test.json";
+  ASSERT_TRUE(g6::obs::write_metrics_json(path, reg.snapshot(),
+                                          {{"blocksteps", "[1,2,3]"}}));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text(1 << 16, '\0');
+  text.resize(std::fread(text.data(), 1, text.size(), f));
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  const JsonValue doc = JsonValue::parse(text);
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_NE(doc.find("metrics"), nullptr);
+  EXPECT_TRUE(doc.find("metrics")->is_array());
+  ASSERT_NE(doc.find("blocksteps"), nullptr);
+  EXPECT_EQ(doc.find("blocksteps")->size(), 3u);
+}
+
+TEST(ObsMetrics, ConcurrentCountersAreExact) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      auto c = reg.counter("g6.test.mt");
+      auto h = reg.histogram("g6.test.mt_hist");
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.add(1.0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.counter("g6.test.mt").value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(reg.histogram("g6.test.mt_hist").count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsMetrics, JsonNumberNonFinite) {
+  EXPECT_EQ(g6::obs::json_number(std::nan("")), "null");
+  EXPECT_EQ(g6::obs::json_number(INFINITY), "null");
+  // Round-trips exactly through the parser.
+  const double v = 0.1 + 0.2;
+  const JsonValue parsed = JsonValue::parse(g6::obs::json_number(v));
+  EXPECT_EQ(parsed.as_number(), v);
+}

@@ -1,0 +1,172 @@
+// Tests for the blockstep recorder and the measured-vs-model report: unit
+// checks on the join arithmetic, plus an end-to-end N=256 run through the
+// GRAPE machine model joined against the analytic PerfModel of the same
+// machine — every term ratio must come out finite and positive.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <string>
+
+#include "cluster/perf_model.hpp"
+#include "disk/disk_model.hpp"
+#include "grape6/backend.hpp"
+#include "nbody/integrator.hpp"
+#include "obs/blockstep_record.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+using g6::obs::BlockstepRecorder;
+using g6::obs::JsonValue;
+using g6::obs::kPhaseCount;
+using g6::obs::Phase;
+using g6::obs::StepRecord;
+
+TEST(ObsBlockstepRecorder, RecordsAndOutside) {
+  BlockstepRecorder rec;
+  rec.add(Phase::kPipeline, 0.5);  // before any step -> outside()
+  EXPECT_DOUBLE_EQ(rec.outside()[Phase::kPipeline], 0.5);
+
+  rec.begin_step();
+  EXPECT_TRUE(rec.step_open());
+  rec.add(Phase::kPredict, 1.0);
+  rec.add(Phase::kPredict, 0.5);
+  rec.add(Phase::kHost, 2.0);
+  rec.annotate(4.0, 17);
+  rec.end_step();
+  EXPECT_FALSE(rec.step_open());
+
+  ASSERT_EQ(rec.records().size(), 1u);
+  const StepRecord& r = rec.records()[0];
+  EXPECT_DOUBLE_EQ(r.t, 4.0);
+  EXPECT_EQ(r.n_act, 17u);
+  EXPECT_DOUBLE_EQ(r[Phase::kPredict], 1.5);
+  EXPECT_DOUBLE_EQ(r[Phase::kHost], 2.0);
+  EXPECT_DOUBLE_EQ(r.total(), 3.5);
+
+  rec.clear();
+  EXPECT_TRUE(rec.records().empty());
+  EXPECT_DOUBLE_EQ(rec.outside().total(), 0.0);
+}
+
+TEST(ObsBlockstepRecorder, SumAndJson) {
+  BlockstepRecorder rec;
+  for (int i = 0; i < 3; ++i) {
+    rec.begin_step();
+    rec.add(Phase::kPipeline, 1.0);
+    rec.annotate(static_cast<double>(i), 10);
+    rec.end_step();
+  }
+  const StepRecord s = rec.sum();
+  EXPECT_EQ(s.n_act, 30u);
+  EXPECT_DOUBLE_EQ(s[Phase::kPipeline], 3.0);
+
+  const JsonValue doc = JsonValue::parse(rec.to_json());
+  ASSERT_TRUE(doc.is_array());
+  ASSERT_EQ(doc.size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.at(1).find("t")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(doc.at(1).find("n_act")->as_number(), 10.0);
+  EXPECT_DOUBLE_EQ(doc.at(1).find("pipeline")->as_number(), 1.0);
+}
+
+TEST(ObsReport, JoinArithmetic) {
+  BlockstepRecorder rec;
+  rec.begin_step();
+  for (std::size_t p = 0; p < kPhaseCount; ++p)
+    rec.add(static_cast<Phase>(p), 2.0);
+  rec.annotate(0.0, 100);
+  rec.end_step();
+
+  const auto model = [](std::size_t n_act) {
+    std::array<double, kPhaseCount> out{};
+    out.fill(static_cast<double>(n_act) * 0.01);  // 1.0 for n_act=100
+    return out;
+  };
+  const auto cmp =
+      g6::obs::compare_to_model(rec.records(), 1000, model, 57.0);
+  EXPECT_EQ(cmp.steps, 1u);
+  EXPECT_DOUBLE_EQ(cmp.operations, 57.0 * 1000.0 * 100.0);
+  EXPECT_DOUBLE_EQ(cmp.measured_seconds, 14.0);
+  EXPECT_DOUBLE_EQ(cmp.modeled_seconds, 7.0);
+  for (std::size_t p = 0; p < kPhaseCount; ++p)
+    EXPECT_DOUBLE_EQ(cmp.ratio(static_cast<Phase>(p)), 2.0);
+  EXPECT_DOUBLE_EQ(cmp.measured_flops, cmp.operations / 14.0);
+  EXPECT_DOUBLE_EQ(cmp.modeled_flops, cmp.operations / 7.0);
+}
+
+TEST(ObsReport, ZeroTermsConvention) {
+  BlockstepRecorder rec;
+  rec.begin_step();
+  rec.annotate(0.0, 10);
+  rec.end_step();
+  // Model returns all-zero terms: 0/0 ratios report 1.0 (agreement).
+  const auto zero = [](std::size_t) {
+    return std::array<double, kPhaseCount>{};
+  };
+  const auto cmp = g6::obs::compare_to_model(rec.records(), 100, zero);
+  for (std::size_t p = 0; p < kPhaseCount; ++p)
+    EXPECT_DOUBLE_EQ(cmp.ratio(static_cast<Phase>(p)), 1.0);
+}
+
+// End-to-end: integrate a tiny disk on the functional GRAPE machine model
+// with the recorder attached, then join the measured records against the
+// analytic model of the same machine. This is the §4 consistency check.
+TEST(ObsReport, MeasuredVsModelEndToEnd) {
+  g6::hw::MachineConfig mc = g6::hw::MachineConfig::mini(4, 8, 4096);
+  mc.fmt = g6::hw::FormatSpec::for_scales(64.0, 1e-4);
+
+  g6::disk::DiskConfig dcfg = g6::disk::uranus_neptune_config(254);
+  dcfg.seed = 1234;
+  auto disk = g6::disk::make_disk(dcfg);
+
+  g6::hw::Grape6Backend backend(mc, 0.008);
+  g6::nbody::IntegratorConfig icfg;
+  icfg.solar_gm = 1.0;
+  icfg.eta = 0.02;
+  icfg.eta_init = 0.01;
+  icfg.dt_max = 4.0;
+  icfg.dt_min = 0x1p-30;
+  g6::nbody::HermiteIntegrator integ(disk.system, backend, icfg);
+
+  BlockstepRecorder rec;
+  integ.set_step_recorder(&rec);
+  integ.initialize();
+  integ.evolve(4.0);
+
+  const std::size_t n_total = disk.system.size();
+  ASSERT_EQ(rec.records().size(), integ.stats().blocks);
+  ASSERT_GT(rec.records().size(), 0u);
+
+  g6::cluster::PerfParams pp;
+  pp.machine = mc;
+  const g6::cluster::PerfModel model(pp);
+  const auto cmp = g6::obs::compare_to_model(
+      rec.records(), n_total, [&](std::size_t n_act) {
+        return g6::cluster::to_phase_array(model.blockstep(
+            n_total, n_act, g6::cluster::HostMode::kHardwareNet));
+      });
+
+  EXPECT_EQ(cmp.steps, rec.records().size());
+  EXPECT_GT(cmp.operations, 0.0);
+  // Every term: measured > 0, modeled > 0, ratio finite and positive.
+  for (std::size_t p = 0; p < kPhaseCount; ++p) {
+    const auto phase = static_cast<Phase>(p);
+    EXPECT_GT(cmp.measured_of(phase), 0.0)
+        << "measured " << g6::obs::phase_name(phase);
+    EXPECT_GT(cmp.modeled_of(phase), 0.0)
+        << "modeled " << g6::obs::phase_name(phase);
+    const double ratio = cmp.ratio(phase);
+    EXPECT_TRUE(std::isfinite(ratio) && ratio > 0.0)
+        << g6::obs::phase_name(phase) << " ratio " << ratio;
+  }
+  EXPECT_TRUE(std::isfinite(cmp.measured_flops) && cmp.measured_flops > 0.0);
+  EXPECT_TRUE(std::isfinite(cmp.modeled_flops) && cmp.modeled_flops > 0.0);
+
+  // The rendered report and the JSON form are well-formed.
+  const std::string table = g6::obs::render_comparison(cmp);
+  EXPECT_NE(table.find("pipeline"), std::string::npos);
+  const JsonValue doc = JsonValue::parse(g6::obs::comparison_to_json(cmp));
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc.find("steps")->as_number(),
+                   static_cast<double>(cmp.steps));
+}

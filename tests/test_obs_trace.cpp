@@ -1,0 +1,165 @@
+// Tests for the trace recorder: span recording, enable/disable, ring
+// overflow, Chrome JSON export well-formedness, and (under G6_OBS_DISABLED)
+// that the span macros compile to no-ops.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+using g6::obs::JsonValue;
+using g6::obs::TraceRecorder;
+
+namespace {
+
+// The global recorder is shared across tests in this binary; each test
+// resets it to a known state.
+void reset_global() {
+  TraceRecorder::global().enable(false);
+  TraceRecorder::global().clear();
+}
+
+void traced_fn() {
+  G6_TRACE_SPAN("traced_fn");
+  volatile int sink = 0;
+  for (int i = 0; i < 1000; ++i) sink = sink + i;
+}
+
+}  // namespace
+
+#ifdef G6_OBS_DISABLED
+
+// Build-flag verification: with G6_OBS_DISABLED the macros must expand to
+// nothing — no span objects, no events, even with recording enabled.
+TEST(ObsTraceDisabled, MacrosAreNoOps) {
+  reset_global();
+  TraceRecorder::global().enable();
+  traced_fn();
+  {
+    G6_TRACE_SPAN("outer");
+    G6_TRACE_SPAN_CAT("inner", "test");
+  }
+  EXPECT_TRUE(TraceRecorder::global().events().empty());
+  reset_global();
+}
+
+#else  // !G6_OBS_DISABLED
+
+TEST(ObsTrace, DisabledRecordsNothing) {
+  reset_global();
+  traced_fn();
+  EXPECT_TRUE(TraceRecorder::global().events().empty());
+}
+
+TEST(ObsTrace, SpansRecordNameCatAndDuration) {
+  reset_global();
+  TraceRecorder::global().enable();
+  {
+    G6_TRACE_SPAN_CAT("outer", "test");
+    traced_fn();
+  }
+  TraceRecorder::global().enable(false);
+
+  const auto events = TraceRecorder::global().events();
+  ASSERT_EQ(events.size(), 2u);
+  // Sorted by start time: outer opens first.
+  EXPECT_STREQ(events[0].name, "outer");
+  EXPECT_STREQ(events[0].cat, "test");
+  EXPECT_STREQ(events[1].name, "traced_fn");
+  EXPECT_STREQ(events[1].cat, "g6");
+  // Nesting: outer contains traced_fn.
+  EXPECT_LE(events[0].start_ns, events[1].start_ns);
+  EXPECT_GE(events[0].start_ns + events[0].dur_ns,
+            events[1].start_ns + events[1].dur_ns);
+  reset_global();
+}
+
+TEST(ObsTrace, ClearDropsEvents) {
+  reset_global();
+  TraceRecorder::global().enable();
+  traced_fn();
+  EXPECT_FALSE(TraceRecorder::global().events().empty());
+  TraceRecorder::global().clear();
+  EXPECT_TRUE(TraceRecorder::global().events().empty());
+  reset_global();
+}
+
+TEST(ObsTrace, RingOverflowKeepsNewestAndCountsDropped) {
+  TraceRecorder rec;
+  rec.set_thread_capacity(8);
+  rec.enable();
+  for (int i = 0; i < 20; ++i) rec.record("ev", "test", 100 + i, 1);
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 8u);
+  EXPECT_EQ(rec.dropped(), 12u);
+  // The retained events are the newest 12..19, sorted.
+  EXPECT_EQ(events.front().start_ns, 112u);
+  EXPECT_EQ(events.back().start_ns, 119u);
+}
+
+TEST(ObsTrace, MultiThreadedSpansCarryDistinctTids) {
+  TraceRecorder rec;
+  rec.enable();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&rec] {
+      const auto t0 = rec.now_ns();
+      rec.record("worker", "test", t0, 10);
+    });
+  for (auto& th : threads) th.join();
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 4u);
+  std::vector<std::uint32_t> tids;
+  for (const auto& e : events) tids.push_back(e.tid);
+  std::sort(tids.begin(), tids.end());
+  EXPECT_EQ(std::unique(tids.begin(), tids.end()), tids.end());
+}
+
+TEST(ObsTrace, ChromeJsonParsesBack) {
+  TraceRecorder rec;
+  rec.enable();
+  rec.record("phase \"a\"", "g6", 1000, 2500);  // name needing escaping
+  rec.record("phase_b", "hw", 4000, 1500);
+
+  const JsonValue doc = JsonValue::parse(rec.to_chrome_json());
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_NE(doc.find("displayTimeUnit"), nullptr);
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->size(), 2u);
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const JsonValue& e = events->at(i);
+    EXPECT_EQ(e.find("ph")->as_string(), "X");
+    EXPECT_DOUBLE_EQ(e.find("pid")->as_number(), 1.0);
+    EXPECT_TRUE(e.find("tid")->is_number());
+    EXPECT_TRUE(e.find("ts")->is_number());
+    EXPECT_TRUE(e.find("dur")->is_number());
+  }
+  // Timestamps are microseconds: 1000 ns -> 1 us, 2500 ns -> 2.5 us.
+  EXPECT_DOUBLE_EQ(events->at(0).find("ts")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(events->at(0).find("dur")->as_number(), 2.5);
+  EXPECT_EQ(events->at(0).find("name")->as_string(), "phase \"a\"");
+}
+
+TEST(ObsTrace, WriteChromeTraceFile) {
+  TraceRecorder rec;
+  rec.enable();
+  rec.record("ev", "g6", 0, 100);
+  const std::string path = ::testing::TempDir() + "/g6_trace_test.json";
+  ASSERT_TRUE(rec.write_chrome_trace(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text(1 << 16, '\0');
+  text.resize(std::fread(text.data(), 1, text.size(), f));
+  std::fclose(f);
+  std::remove(path.c_str());
+  const JsonValue doc = JsonValue::parse(text);
+  EXPECT_EQ(doc.find("traceEvents")->size(), 1u);
+}
+
+#endif  // G6_OBS_DISABLED

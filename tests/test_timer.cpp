@@ -1,0 +1,67 @@
+// Tests for Timer::lap() and the accumulating ScopedTimer.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "util/timer.hpp"
+
+using g6::util::ScopedTimer;
+using g6::util::Timer;
+
+namespace {
+void spin_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+}  // namespace
+
+TEST(Timer, SecondsIncreases) {
+  Timer t;
+  spin_ms(5);
+  const double a = t.seconds();
+  EXPECT_GT(a, 0.0);
+  spin_ms(5);
+  EXPECT_GT(t.seconds(), a);
+}
+
+TEST(Timer, LapSplitsWithoutTouchingTotal) {
+  Timer t;
+  spin_ms(5);
+  const double lap1 = t.lap();
+  spin_ms(5);
+  const double lap2 = t.lap();
+  EXPECT_GT(lap1, 0.0);
+  EXPECT_GT(lap2, 0.0);
+  // The laps partition the total elapsed time.
+  const double total = t.seconds();
+  EXPECT_GE(total, lap1 + lap2);
+  // A lap taken immediately is (nearly) empty, while the total keeps growing.
+  EXPECT_LT(t.lap(), lap1 + lap2);
+  EXPECT_GE(t.seconds(), total);
+}
+
+TEST(Timer, ResetRestartsBothClocks) {
+  Timer t;
+  spin_ms(5);
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.004);
+  EXPECT_LT(t.lap(), 0.004);
+}
+
+TEST(ScopedTimer, AccumulatesIntoSink) {
+  double sink = 0.0;
+  {
+    ScopedTimer st(sink);
+    spin_ms(5);
+    EXPECT_GT(st.seconds(), 0.0);
+    EXPECT_EQ(sink, 0.0);  // sink only updated at scope exit
+  }
+  EXPECT_GT(sink, 0.0);
+  const double after_first = sink;
+  {
+    ScopedTimer st(sink);
+    spin_ms(5);
+  }
+  // Accumulates (does not overwrite).
+  EXPECT_GT(sink, after_first);
+}
