@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "grape6/g6_types.hpp"
 
 using namespace g6;
@@ -141,8 +142,65 @@ int main(int argc, char** argv) {
   registry.gauge("g6.bench.wall_seconds").set(run.wall_seconds);
   write_obs_files(obs, registry, &mr.recorder, &cmp);
 
+  // CPU-kernel and GRAPE-emulation throughput (docs/PERFORMANCE.md). The
+  // reference row is the seed's scalar loop — the pre-SoA operating point —
+  // so its speedup column reads the effect of this optimisation layer.
+  const std::size_t n_kernel = full ? 8192 : 4096;
+  const int reps = full ? 7 : 5;
+  std::printf("CPU force-kernel throughput (N=%zu, best of %d sweeps):\n",
+              n_kernel, reps);
+  const auto kernels = measure_cpu_kernels(n_kernel, reps);
+  util::Table tk({"kernel", "Minter/s", "ns/inter", "speedup", "bit-identical",
+                  "max rel err"});
+  for (const auto& m : kernels) {
+    tk.row({m.kernel, util::fmt(m.interactions_per_sec / 1e6, 1),
+            util::fmt(m.ns_per_interaction, 3), util::fmt(m.speedup_vs_reference, 2),
+            m.bit_identical ? "yes" : "no", util::fmt_sci(m.max_rel_err)});
+  }
+  std::printf("%s\n", tk.render().c_str());
+
+  const std::size_t n_grape = full ? 2048 : 1024;
+  const auto grape = measure_grape_chip(n_grape, full ? 5 : 3);
+  std::printf("GRAPE chip emulation (nj=ni=%zu): batched %.1f Minter/s, "
+              "unbatched %.1f Minter/s (%.2fx), registers %s\n\n",
+              n_grape, grape.batched_interactions_per_sec / 1e6,
+              grape.unbatched_interactions_per_sec / 1e6, grape.speedup,
+              grape.bit_identical ? "identical" : "DIFFER");
+
+  // Machine-readable export for CI's perf-smoke floor check.
+  const std::string json_path =
+      flag_str(argc, argv, "json", "BENCH_headline.json");
+  JsonBuilder kernels_json = JsonBuilder::array();
+  for (const auto& m : kernels) kernels_json.push(m.to_json());
+  JsonBuilder ratios = JsonBuilder::object();
+  bool ratios_ok = true;
+  for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+    const double r = cmp.ratio(static_cast<obs::Phase>(p));
+    ratios.field(obs::phase_name(static_cast<obs::Phase>(p)), r);
+    if (!std::isfinite(r) || r <= 0.0) ratios_ok = false;
+  }
+  const JsonBuilder doc =
+      JsonBuilder::object()
+          .field("bench", "headline")
+          .field("n_scaled", double(n_scaled))
+          .field("wall_seconds", run.wall_seconds)
+          .field("sustained_model_tflops", est.sustained_flops / 1e12)
+          .field("peak_model_tflops", model.peak_flops() / 1e12)
+          .field("efficiency", est.efficiency)
+          .field("cpu_kernel_n", double(n_kernel))
+          .field("cpu_kernels", kernels_json)
+          .field("grape_chip", grape.to_json())
+          .field("measured_vs_model_ratios", ratios)
+          .field("measured_vs_model_ratios_finite_positive", ratios_ok);
+  if (write_json_file(json_path, doc))
+    std::printf("bench JSON written to %s\n", json_path.c_str());
+
   const bool shape_ok = est.efficiency > 0.25 && est.efficiency < 0.75;
   std::printf("shape check: efficiency in the paper's band (25-75%%): %s\n",
               shape_ok ? "PASS" : "FAIL");
-  return shape_ok ? 0 : 1;
+  const bool kernels_ok = kernels[1].bit_identical && kernels[2].bit_identical &&
+                          grape.bit_identical;
+  std::printf("bit-identity check (tiled, simd, grape batched): %s\n",
+              kernels_ok ? "PASS" : "FAIL");
+  return (shape_ok && kernels_ok) ? 0 : 1;
 }

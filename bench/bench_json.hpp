@@ -1,0 +1,263 @@
+#pragma once
+/// \file bench_json.hpp
+/// \brief Machine-readable bench output: a tiny JSON builder over the
+///        obs/json.hpp primitives plus the kernel-throughput measurements
+///        that bench_headline and bench_scaling_n export as
+///        BENCH_headline.json / BENCH_scaling_n.json (docs/PERFORMANCE.md).
+///        CI's perf-smoke job parses these files and fails the build when
+///        the CPU-kernel interaction rate regresses past the checked-in
+///        floor (bench/perf_floor.json).
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <numeric>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "grape6/chip.hpp"
+#include "nbody/force_direct.hpp"
+#include "obs/json.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace g6::bench {
+
+/// Eagerly-rendered JSON document builder. obs/json.hpp provides the parser
+/// and the escaping/number rules; this adds just enough composition to write
+/// the BENCH_* exports without hand-assembled format strings.
+class JsonBuilder {
+ public:
+  static JsonBuilder object() { return JsonBuilder('{', '}'); }
+  static JsonBuilder array() { return JsonBuilder('[', ']'); }
+
+  JsonBuilder& field(std::string_view key, double v) {
+    return raw(key, g6::obs::json_number(v));
+  }
+  JsonBuilder& field(std::string_view key, bool v) { return raw(key, v ? "true" : "false"); }
+  JsonBuilder& field(std::string_view key, std::string_view s) {
+    return raw(key, quoted(s));
+  }
+  // Without this overload a string literal converts to bool, not string_view.
+  JsonBuilder& field(std::string_view key, const char* s) { return raw(key, quoted(s)); }
+  JsonBuilder& field(std::string_view key, const JsonBuilder& sub) {
+    return raw(key, sub.render());
+  }
+
+  JsonBuilder& push(double v) { return raw({}, g6::obs::json_number(v)); }
+  JsonBuilder& push(std::string_view s) { return raw({}, quoted(s)); }
+  JsonBuilder& push(const char* s) { return raw({}, quoted(s)); }
+  JsonBuilder& push(const JsonBuilder& sub) { return raw({}, sub.render()); }
+
+  std::string render() const { return open_ + body_ + close_; }
+
+ private:
+  JsonBuilder(char open, char close) : open_(1, open), close_(1, close) {}
+
+  // Append-only string building: GCC 12's -Wrestrict misfires on chained
+  // std::string operator+ at -O3 (PR105329), and CI builds with -Werror.
+  static std::string quoted(std::string_view s) {
+    std::string out;
+    out += '"';
+    out += g6::obs::json_escape(s);
+    out += '"';
+    return out;
+  }
+
+  JsonBuilder& raw(std::string_view key, std::string_view rendered) {
+    if (!body_.empty()) body_ += ',';
+    if (!key.empty()) {
+      body_ += quoted(key);
+      body_ += ':';
+    }
+    body_ += rendered;
+    return *this;
+  }
+
+  std::string open_, close_, body_;
+};
+
+/// Write a rendered document; returns false (with a stderr note) on failure.
+inline bool write_json_file(const std::string& path, const JsonBuilder& doc) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "failed to open %s for writing\n", path.c_str());
+    return false;
+  }
+  const std::string text = doc.render() + "\n";
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  return ok;
+}
+
+// --- CPU force-kernel throughput -------------------------------------------
+
+/// One kernel's measured operating point on the n-body hot loop.
+struct KernelMeasurement {
+  std::string kernel;
+  double interactions_per_sec = 0.0;
+  double ns_per_interaction = 0.0;
+  double wall_seconds = 0.0;        ///< best-of-repetitions wall per sweep
+  bool bit_identical = false;       ///< forces match the reference bit for bit
+  double max_rel_err = 0.0;         ///< worst relative acc error vs reference
+  double speedup_vs_reference = 1.0;
+
+  JsonBuilder to_json() const {
+    return JsonBuilder::object()
+        .field("kernel", kernel)
+        .field("interactions_per_sec", interactions_per_sec)
+        .field("ns_per_interaction", ns_per_interaction)
+        .field("wall_seconds", wall_seconds)
+        .field("bit_identical", bit_identical)
+        .field("max_rel_err", max_rel_err)
+        .field("speedup_vs_reference", speedup_vs_reference);
+  }
+};
+
+/// Fixed-seed system for the throughput sweeps: a thin disk-like cloud, the
+/// same shape the conformance tests pin their golden forces on.
+inline g6::nbody::ParticleSystem kernel_bench_system(std::size_t n) {
+  g6::util::Rng rng(20020101);
+  g6::nbody::ParticleSystem ps;
+  for (std::size_t i = 0; i < n; ++i) {
+    ps.add(rng.uniform(1e-12, 1e-9),
+           {rng.uniform(-30.0, 30.0), rng.uniform(-30.0, 30.0), rng.uniform(-1.0, 1.0)},
+           {rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3), rng.uniform(-0.03, 0.03)});
+  }
+  return ps;
+}
+
+/// Time one kernel: best-of-\p reps full force sweeps (all i against all j)
+/// at a fixed block time, plus a bitwise comparison of the resulting forces
+/// against \p reference (pass nullptr when measuring the reference itself).
+inline KernelMeasurement measure_cpu_kernel(
+    g6::nbody::CpuKernel kernel, const g6::nbody::ParticleSystem& ps, int reps,
+    const std::vector<g6::nbody::Force>* reference,
+    std::vector<g6::nbody::Force>* out_forces = nullptr) {
+  const std::size_t n = ps.size();
+  g6::nbody::CpuDirectBackend backend(0.008);
+  backend.set_kernel(kernel);
+  backend.load(ps);
+  std::vector<std::uint32_t> ilist(n);
+  std::iota(ilist.begin(), ilist.end(), 0u);
+  std::vector<g6::nbody::Force> f(n);
+
+  backend.compute(0.0, ilist, f);  // warm-up; also the compared forces
+  KernelMeasurement m;
+  m.kernel = g6::nbody::cpu_kernel_name(kernel);
+  m.wall_seconds = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    std::fill(f.begin(), f.end(), g6::nbody::Force{});
+    g6::util::Timer t;
+    backend.compute(0.0, ilist, f);
+    m.wall_seconds = std::min(m.wall_seconds, t.seconds());
+  }
+  const double interactions = double(n) * double(n - 1);
+  m.interactions_per_sec = interactions / m.wall_seconds;
+  m.ns_per_interaction = 1e9 * m.wall_seconds / interactions;
+
+  if (reference != nullptr) {
+    m.bit_identical = true;
+    auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+    for (std::size_t i = 0; i < n; ++i) {
+      const g6::nbody::Force& r = (*reference)[i];
+      for (auto [a, b] : {std::pair{f[i].acc.x, r.acc.x}, {f[i].acc.y, r.acc.y},
+                          {f[i].acc.z, r.acc.z}, {f[i].jerk.x, r.jerk.x},
+                          {f[i].jerk.y, r.jerk.y}, {f[i].jerk.z, r.jerk.z},
+                          {f[i].pot, r.pot}}) {
+        if (bits(a) != bits(b)) m.bit_identical = false;
+      }
+      const double scale = std::sqrt(norm2(r.acc)) + 1e-300;
+      for (auto [a, b] : {std::pair{f[i].acc.x, r.acc.x}, {f[i].acc.y, r.acc.y},
+                          {f[i].acc.z, r.acc.z}}) {
+        m.max_rel_err = std::max(m.max_rel_err, std::abs(a - b) / scale);
+      }
+    }
+  }
+  if (out_forces != nullptr) *out_forces = f;
+  return m;
+}
+
+/// All four kernels on one system; speedups are relative to the measured
+/// reference (the seed's scalar loop, the pre-SoA operating point).
+inline std::vector<KernelMeasurement> measure_cpu_kernels(std::size_t n, int reps) {
+  const g6::nbody::ParticleSystem ps = kernel_bench_system(n);
+  std::vector<g6::nbody::Force> ref_forces;
+  std::vector<KernelMeasurement> out;
+  out.push_back(measure_cpu_kernel(g6::nbody::CpuKernel::kReference, ps, reps,
+                                   nullptr, &ref_forces));
+  out.front().bit_identical = true;
+  for (auto k : {g6::nbody::CpuKernel::kTiled, g6::nbody::CpuKernel::kSimd,
+                 g6::nbody::CpuKernel::kFast}) {
+    out.push_back(measure_cpu_kernel(k, ps, reps, &ref_forces));
+  }
+  for (auto& m : out)
+    m.speedup_vs_reference = m.interactions_per_sec / out.front().interactions_per_sec;
+  return out;
+}
+
+// --- GRAPE chip: batched vs unbatched pipeline emulation -------------------
+
+struct GrapeMeasurement {
+  double batched_interactions_per_sec = 0.0;
+  double unbatched_interactions_per_sec = 0.0;
+  double speedup = 1.0;
+  bool bit_identical = false;  ///< identical fixed-point accumulator registers
+
+  JsonBuilder to_json() const {
+    return JsonBuilder::object()
+        .field("batched_interactions_per_sec", batched_interactions_per_sec)
+        .field("unbatched_interactions_per_sec", unbatched_interactions_per_sec)
+        .field("speedup", speedup)
+        .field("bit_identical", bit_identical);
+  }
+};
+
+/// One chip, nj resident j-particles, nj i-particles: time the force
+/// evaluation with the batched emulation on and off and compare every
+/// accumulator register.
+inline GrapeMeasurement measure_grape_chip(std::size_t nj, int reps) {
+  const g6::hw::FormatSpec fmt = g6::hw::FormatSpec::for_scales(64.0, 1.0);
+  g6::util::Rng rng(20020101);
+  g6::hw::Chip chip(fmt, nj);
+  std::vector<g6::hw::IParticle> is;
+  for (std::size_t j = 0; j < nj; ++j) {
+    const auto id = static_cast<std::uint32_t>(j);
+    const g6::hw::Vec3 x{rng.uniform(-20.0, 20.0), rng.uniform(-20.0, 20.0),
+                         rng.uniform(-0.5, 0.5)};
+    const g6::hw::Vec3 v{rng.uniform(-0.2, 0.2), rng.uniform(-0.2, 0.2),
+                         rng.uniform(-0.02, 0.02)};
+    chip.store_j(g6::hw::make_j_particle(id, rng.uniform(1e-9, 1e-7), 0.0, x, v,
+                                         {}, {}, fmt));
+    is.push_back(g6::hw::make_i_particle(id, x, v, fmt));
+  }
+  chip.predict_all(0.0);
+
+  GrapeMeasurement m;
+  std::vector<g6::hw::ForceAccumulator> batched_acc, unbatched_acc;
+  auto time_path = [&](bool batched, std::vector<g6::hw::ForceAccumulator>& keep) {
+    chip.set_batched(batched);
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep <= reps; ++rep) {  // rep 0 is the warm-up
+      std::vector<g6::hw::ForceAccumulator> acc(is.size(),
+                                                g6::hw::ForceAccumulator(fmt));
+      g6::util::Timer t;
+      chip.compute(is, 1e-4, acc);
+      if (rep > 0) best = std::min(best, t.seconds());
+      keep = std::move(acc);
+    }
+    return double(nj) * double(is.size()) / best;
+  };
+  m.batched_interactions_per_sec = time_path(true, batched_acc);
+  m.unbatched_interactions_per_sec = time_path(false, unbatched_acc);
+  m.speedup = m.batched_interactions_per_sec / m.unbatched_interactions_per_sec;
+  m.bit_identical = batched_acc == unbatched_acc;
+  return m;
+}
+
+}  // namespace g6::bench

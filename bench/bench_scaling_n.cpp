@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "grape6/backend.hpp"
 
 using namespace g6;
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
   util::Table t({"N", "mean n_act", "sustained [Tflops]", "efficiency",
                  "ms / block step"});
   double eff_small = 0.0, eff_large = 0.0;
+  JsonBuilder model_rows = JsonBuilder::array();
   for (std::size_t n : {std::size_t{10000}, std::size_t{30000}, std::size_t{100000},
                         std::size_t{300000}, std::size_t{600000}, kPaperN}) {
     const auto n_act = static_cast<std::size_t>(
@@ -43,10 +45,51 @@ int main(int argc, char** argv) {
            util::fmt_int(static_cast<long long>(n_act)),
            util::fmt(est.sustained_flops / 1e12, 3), util::fmt_pct(est.efficiency),
            util::fmt(est.seconds * 1e3, 3)});
+    model_rows.push(JsonBuilder::object()
+                        .field("n", double(n))
+                        .field("n_act", double(n_act))
+                        .field("sustained_model_tflops", est.sustained_flops / 1e12)
+                        .field("efficiency", est.efficiency)
+                        .field("seconds_per_blockstep", est.seconds));
     if (n == 10000) eff_small = est.efficiency;
     if (n == kPaperN) eff_large = est.efficiency;
   }
   std::printf("%s\n", t.render().c_str());
+
+  // Measured CPU-kernel scaling: interaction rate of the default SoA/SIMD
+  // kernel and the scalar reference as the j-store grows out of cache.
+  std::printf("CPU kernel scaling (best-of-3 sweeps):\n");
+  util::Table tk({"N", "kernel", "Minter/s", "ns/inter", "speedup"});
+  JsonBuilder kernel_rows = JsonBuilder::array();
+  for (std::size_t n : {std::size_t{256}, std::size_t{1024}, std::size_t{4096},
+                        full ? std::size_t{16384} : std::size_t{8192}}) {
+    const auto ps = kernel_bench_system(n);
+    std::vector<nbody::Force> ref_forces;
+    auto ref = measure_cpu_kernel(nbody::CpuKernel::kReference, ps, 3, nullptr,
+                                  &ref_forces);
+    auto simd = measure_cpu_kernel(nbody::CpuKernel::kSimd, ps, 3, &ref_forces);
+    ref.speedup_vs_reference = 1.0;
+    simd.speedup_vs_reference = simd.interactions_per_sec / ref.interactions_per_sec;
+    for (const auto& m : {ref, simd}) {
+      tk.row({util::fmt_int(static_cast<long long>(n)), m.kernel,
+              util::fmt(m.interactions_per_sec / 1e6, 1),
+              util::fmt(m.ns_per_interaction, 3),
+              util::fmt(m.speedup_vs_reference, 2)});
+      kernel_rows.push(m.to_json().field("n", double(n)));
+    }
+  }
+  std::printf("%s\n", tk.render().c_str());
+
+  const std::string json_path =
+      flag_str(argc, argv, "json", "BENCH_scaling_n.json");
+  const JsonBuilder doc = JsonBuilder::object()
+                              .field("bench", "scaling_n")
+                              .field("wall_seconds", run.wall_seconds)
+                              .field("active_fraction", active_fraction)
+                              .field("model_scaling", model_rows)
+                              .field("cpu_kernel_scaling", kernel_rows);
+  if (write_json_file(json_path, doc))
+    std::printf("bench JSON written to %s\n", json_path.c_str());
 
   // Cross-check: the analytic pipeline term equals the machine simulator's
   // cycle counters on a small configuration.

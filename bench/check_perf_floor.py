@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""CI perf-smoke gate: fail when bench_headline's measured kernel throughput
+regresses past the checked-in floor, or when any of the correctness flags the
+bench embeds in its JSON export went false.
+
+Usage: check_perf_floor.py BENCH_headline.json [perf_floor.json]
+
+A kernel fails the gate when
+
+    measured_interactions_per_sec < floor / regression_factor
+
+with both numbers from perf_floor.json (floors are already derated for CI
+hardware; regression_factor 2.0 means "fail on a >2x regression"). On top of
+the throughput floors the gate enforces the invariants the bench measured:
+the tiled/simd CPU kernels and the batched GRAPE path must be bit-identical
+to their references, and every measured-vs-model term ratio must be finite
+and positive.
+"""
+
+import json
+import pathlib
+import sys
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    bench = json.load(open(argv[1]))
+    floor_path = (
+        argv[2] if len(argv) > 2 else pathlib.Path(__file__).parent / "perf_floor.json"
+    )
+    floor = json.load(open(floor_path))
+    factor = float(floor.get("regression_factor", 2.0))
+
+    failures = []
+    kernels = {k["kernel"]: k for k in bench["cpu_kernels"]}
+    for name, fl in floor["floors_interactions_per_sec"].items():
+        if name == "grape_batched":
+            measured = bench["grape_chip"]["batched_interactions_per_sec"]
+        else:
+            measured = kernels[name]["interactions_per_sec"]
+        limit = fl / factor
+        status = "ok" if measured >= limit else "FAIL"
+        print(
+            f"{name:14s} {measured / 1e6:10.1f} Minter/s  "
+            f"(floor {fl / 1e6:.1f}, limit {limit / 1e6:.1f})  {status}"
+        )
+        if measured < limit:
+            failures.append(f"{name}: {measured / 1e6:.1f} < {limit / 1e6:.1f} Minter/s")
+
+    for name in ("tiled", "simd"):
+        if not kernels[name]["bit_identical"]:
+            failures.append(f"{name} kernel is not bit-identical to the reference")
+    if not bench["grape_chip"]["bit_identical"]:
+        failures.append("GRAPE batched path accumulators differ from unbatched")
+    if not bench["measured_vs_model_ratios_finite_positive"]:
+        failures.append(
+            "measured-vs-model ratios not finite and positive: "
+            + json.dumps(bench["measured_vs_model_ratios"])
+        )
+
+    if failures:
+        print("\nperf-smoke FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nperf-smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,8 +1,30 @@
 #include "grape6/chip.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "util/check.hpp"
 
 namespace g6::hw {
+
+bool Chip::batched_from_env() {
+  static const bool value = [] {
+    const char* env = std::getenv("G6_GRAPE_BATCHED");
+    return !(env && env[0] == '0' && env[1] == '\0');
+  }();
+  return value;
+}
+
+void Chip::PredictedSoA::resize(std::size_t n) {
+  id.resize(n);
+  m.resize(n);
+  x.resize(n);
+  y.resize(n);
+  z.resize(n);
+  vx.resize(n);
+  vy.resize(n);
+  vz.resize(n);
+}
 
 std::size_t Chip::store_j(const JParticle& p) {
   G6_CHECK(jmem_.size() < capacity_, "chip j-memory full");
@@ -24,9 +46,22 @@ const JParticle& Chip::read_j(std::size_t addr) const {
 
 void Chip::predict_all(double t) {
   if (predictions_valid_ && predicted_time_ == t) return;
-  predicted_.resize(jmem_.size());
-  for (std::size_t k = 0; k < jmem_.size(); ++k)
+  const std::size_t n = jmem_.size();
+  predicted_.resize(n);
+  soa_.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
     predicted_[k] = predict_j(jmem_[k], t, fmt_);
+    const JPredicted& p = predicted_[k];
+    const Vec3 px = p.x.to_vec3();  // fixed -> double once per j per block
+    soa_.id[k] = p.id;
+    soa_.m[k] = p.mass;
+    soa_.x[k] = px.x;
+    soa_.y[k] = px.y;
+    soa_.z[k] = px.z;
+    soa_.vx[k] = p.v.x;
+    soa_.vy[k] = p.v.y;
+    soa_.vz[k] = p.v.z;
+  }
   predicted_time_ = t;
   predictions_valid_ = true;
 }
@@ -35,10 +70,46 @@ void Chip::compute(const std::vector<IParticle>& i_batch, double eps2,
                    std::vector<ForceAccumulator>& accum) const {
   G6_CHECK(predictions_valid_, "predict_all must run before compute");
   G6_CHECK(accum.size() == i_batch.size(), "accumulator batch size mismatch");
+  if (batched_) {
+    compute_batched(i_batch, eps2, accum);
+    return;
+  }
   for (std::size_t k = 0; k < i_batch.size(); ++k) {
     const IParticle& ip = i_batch[k];
     ForceAccumulator& a = accum[k];
     for (const JPredicted& jp : predicted_) pipeline_interact(ip, jp, eps2, fmt_, a);
+  }
+}
+
+void Chip::compute_batched(const std::vector<IParticle>& i_batch, double eps2,
+                           std::vector<ForceAccumulator>& accum) const {
+  const std::size_t ni = i_batch.size();
+  const std::size_t nj = jmem_.size();
+  constexpr std::size_t kGroup = kIPerChipPass;
+  for (std::size_t g0 = 0; g0 < ni; g0 += kGroup) {
+    const std::size_t gn = std::min(kGroup, ni - g0);
+    // Hoist each i-particle's fixed-point -> double conversion out of the
+    // j loop: done once per pass, like the hardware latching the broadcast
+    // i-state into its virtual-pipeline registers.
+    std::uint32_t iid[kGroup];
+    Vec3 ix[kGroup], iv[kGroup];
+    for (std::size_t k = 0; k < gn; ++k) {
+      const IParticle& ip = i_batch[g0 + k];
+      iid[k] = ip.id;
+      ix[k] = ip.x.to_vec3();
+      iv[k] = ip.v;
+    }
+    // Stream the predicted j-memory once per pass; each j is loaded once and
+    // served to the whole i-group.
+    for (std::size_t jj = 0; jj < nj; ++jj) {
+      const std::uint32_t jid = soa_.id[jj];
+      const double jm = soa_.m[jj];
+      const Vec3 jx{soa_.x[jj], soa_.y[jj], soa_.z[jj]};
+      const Vec3 jv{soa_.vx[jj], soa_.vy[jj], soa_.vz[jj]};
+      for (std::size_t k = 0; k < gn; ++k)
+        pipeline_interact_core(iid[k], ix[k], iv[k], jid, jm, jx, jv, eps2, fmt_,
+                               accum[g0 + k]);
+    }
   }
 }
 

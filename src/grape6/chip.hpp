@@ -40,8 +40,21 @@ class Chip {
   /// adding into accum[k] for i_batch[k]. predict_all(t) must have run for
   /// the current time. i_batch may be any size; the cycle model charges
   /// ceil(size / 48) passes over the j-memory.
+  ///
+  /// Two evaluation orders are implemented. The batched path (default, like
+  /// the hardware) walks i-particles in passes of kIPerChipPass and streams
+  /// the predicted j-memory through each pass, with the fixed-point -> double
+  /// position conversions hoisted out of the pair loop. The unbatched
+  /// reference path evaluates one i against all j at a time. The fixed-point
+  /// accumulators make the two bit-identical (order-independent addition);
+  /// the conformance tests enforce it. Select with set_batched() or the
+  /// G6_GRAPE_BATCHED environment variable (set to 0 to disable).
   void compute(const std::vector<IParticle>& i_batch, double eps2,
                std::vector<ForceAccumulator>& accum) const;
+
+  /// Override the batched/unbatched selection (tests compare the two paths).
+  void set_batched(bool on) { batched_ = on; }
+  bool batched() const { return batched_; }
 
   /// Pipeline cycles this chip needs for \p ni i-particles against its
   /// current j-count: passes * (kVmp * nj + latency).
@@ -53,12 +66,27 @@ class Chip {
   const FormatSpec& format() const { return fmt_; }
 
  private:
+  /// Predicted j-memory in structure-of-arrays layout with the fixed-point
+  /// positions already converted to doubles — filled once per predict_all,
+  /// read j-outer by the batched compute path.
+  struct PredictedSoA {
+    std::vector<std::uint32_t> id;
+    std::vector<double> m, x, y, z, vx, vy, vz;
+    void resize(std::size_t n);
+  };
+
+  static bool batched_from_env();
+  void compute_batched(const std::vector<IParticle>& i_batch, double eps2,
+                       std::vector<ForceAccumulator>& accum) const;
+
   FormatSpec fmt_;
   std::size_t capacity_;
   std::vector<JParticle> jmem_;
   std::vector<JPredicted> predicted_;
+  PredictedSoA soa_;
   double predicted_time_ = 0.0;
   bool predictions_valid_ = false;
+  bool batched_ = batched_from_env();
 };
 
 }  // namespace g6::hw

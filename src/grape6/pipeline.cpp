@@ -31,28 +31,8 @@ JPredicted predict_j(const JParticle& j, double t, const FormatSpec& fmt) {
 
 void pipeline_interact(const IParticle& i, const JPredicted& j, double eps2,
                        const FormatSpec& fmt, ForceAccumulator& accum) {
-  if (i.id == j.id) return;  // self-interaction cut (still costs the cycle)
-
-  // dx: exact fixed-point subtraction, then into the short-float datapath.
-  const Vec3 dr = j.x.to_vec3() - i.x.to_vec3();
-  const Vec3 dv = j.v - i.v;
-
-  const double r2 = norm2(dr) + eps2;
-  const double rinv = 1.0 / std::sqrt(r2);
-  const double rinv2 = rinv * rinv;
-  const double mr3inv = j.mass * rinv * rinv2;
-  const double rv = dot(dr, dv);
-
-  const int mb = fmt.mantissa_bits;
-  const Vec3 da = mr3inv * dr;
-  const Vec3 dj = mr3inv * (dv - 3.0 * (rv * rinv2) * dr);
-
-  accum.acc.accumulate({round_to_mantissa(da.x, mb), round_to_mantissa(da.y, mb),
-                        round_to_mantissa(da.z, mb)});
-  accum.jerk.accumulate({round_to_mantissa(dj.x, mb), round_to_mantissa(dj.y, mb),
-                         round_to_mantissa(dj.z, mb)});
-  accum.pot += g6::util::Fixed64::quantize(
-      round_to_mantissa(-j.mass * rinv, mb), accum.pot.lsb());
+  pipeline_interact_core(i.id, i.x.to_vec3(), i.v, j.id, j.mass, j.x.to_vec3(), j.v,
+                         eps2, fmt, accum);
 }
 
 JParticle make_j_particle(std::uint32_t id, double mass, double t0, const Vec3& x,

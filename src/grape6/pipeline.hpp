@@ -5,6 +5,8 @@
 ///        interaction per cycle) and the predictor pipeline (evaluates the
 ///        Hermite polynomials of j-particles).
 
+#include <cmath>
+
 #include "grape6/g6_types.hpp"
 
 namespace g6::hw {
@@ -34,6 +36,39 @@ JPredicted predict_j(const JParticle& j, double t, const FormatSpec& fmt);
 /// self-interaction cut); they still occupy a pipeline cycle.
 void pipeline_interact(const IParticle& i, const JPredicted& j, double eps2,
                        const FormatSpec& fmt, ForceAccumulator& accum);
+
+/// The datapath of pipeline_interact with the fixed-point -> double position
+/// conversions already done by the caller. Chip::compute's batched path hoists
+/// those conversions out of the pair loop (once per i per pass, once per j per
+/// predict); since to_vec3() is a pure function of the register content, the
+/// per-interaction arithmetic — and therefore every accumulator register — is
+/// bit-identical to the unbatched path (enforced by the conformance tests).
+inline void pipeline_interact_core(std::uint32_t i_id, const Vec3& ix, const Vec3& iv,
+                                   std::uint32_t j_id, double j_mass, const Vec3& jx,
+                                   const Vec3& jv, double eps2, const FormatSpec& fmt,
+                                   ForceAccumulator& accum) {
+  if (i_id == j_id) return;  // self-interaction cut (still costs the cycle)
+
+  const Vec3 dr = jx - ix;
+  const Vec3 dv = jv - iv;
+
+  const double r2 = norm2(dr) + eps2;
+  const double rinv = 1.0 / std::sqrt(r2);
+  const double rinv2 = rinv * rinv;
+  const double mr3inv = j_mass * rinv * rinv2;
+  const double rv = dot(dr, dv);
+
+  const int mb = fmt.mantissa_bits;
+  const Vec3 da = mr3inv * dr;
+  const Vec3 dj = mr3inv * (dv - 3.0 * (rv * rinv2) * dr);
+
+  accum.acc.accumulate({round_to_mantissa(da.x, mb), round_to_mantissa(da.y, mb),
+                        round_to_mantissa(da.z, mb)});
+  accum.jerk.accumulate({round_to_mantissa(dj.x, mb), round_to_mantissa(dj.y, mb),
+                         round_to_mantissa(dj.z, mb)});
+  accum.pot += g6::util::Fixed64::quantize(
+      round_to_mantissa(-j_mass * rinv, mb), accum.pot.lsb());
+}
 
 /// Convert a particle state to the i-particle wire format (quantise the
 /// position, shorten the velocity) — the host does this before broadcast.

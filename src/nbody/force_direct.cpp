@@ -22,16 +22,17 @@ void CpuDirectBackend::load(const ParticleSystem& ps) {
   v0_.resize(n);
   a0_.resize(n);
   j0_.resize(n);
-  xp_.resize(n);
-  vp_.resize(n);
+  pred_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     t0_[i] = ps.time(i);
     mass_[i] = ps.mass(i);
+    pred_.m[i] = ps.mass(i);
     x0_[i] = ps.pos(i);
     v0_[i] = ps.vel(i);
     a0_[i] = ps.acc(i);
     j0_[i] = ps.jerk(i);
   }
+  predictions_valid_ = false;
 }
 
 void CpuDirectBackend::update(std::span<const std::uint32_t> indices,
@@ -41,22 +42,31 @@ void CpuDirectBackend::update(std::span<const std::uint32_t> indices,
     G6_CHECK(i < mass_.size(), "update index out of range");
     t0_[i] = ps.time(i);
     mass_[i] = ps.mass(i);
+    pred_.m[i] = ps.mass(i);
     x0_[i] = ps.pos(i);
     v0_[i] = ps.vel(i);
     a0_[i] = ps.acc(i);
     j0_[i] = ps.jerk(i);
   }
+  predictions_valid_ = false;
 }
 
 void CpuDirectBackend::predict_all(double t) {
+  if (predictions_valid_ && predicted_t_ == t) return;
   const std::size_t n = mass_.size();
   pool_->parallel_for(n, [&](std::size_t b, std::size_t e) {
     for (std::size_t j = b; j < e; ++j) {
       const Predicted p = hermite_predict(x0_[j], v0_[j], a0_[j], j0_[j], t - t0_[j]);
-      xp_[j] = p.pos;
-      vp_[j] = p.vel;
+      pred_.x[j] = p.pos.x;
+      pred_.y[j] = p.pos.y;
+      pred_.z[j] = p.pos.z;
+      pred_.vx[j] = p.vel.x;
+      pred_.vy[j] = p.vel.y;
+      pred_.vz[j] = p.vel.z;
     }
   });
+  predicted_t_ = t;
+  predictions_valid_ = true;
 }
 
 void CpuDirectBackend::compute(double t, std::span<const std::uint32_t> ilist,
@@ -64,14 +74,17 @@ void CpuDirectBackend::compute(double t, std::span<const std::uint32_t> ilist,
   G6_CHECK(out.size() == ilist.size(), "output span size mismatch");
   G6_CHECK(!mass_.empty(), "no particles loaded");
   predict_all(t);
-  // The i-particle states are their own j-memory predictions.
-  std::vector<Vec3> pos(ilist.size()), vel(ilist.size());
+  // The i-particle states are their own j-memory predictions; the cached
+  // prediction makes the compute_states() call below predict-free.
+  scratch_pos_.resize(ilist.size());
+  scratch_vel_.resize(ilist.size());
   for (std::size_t k = 0; k < ilist.size(); ++k) {
-    G6_CHECK(ilist[k] < mass_.size(), "i-particle index out of range");
-    pos[k] = xp_[ilist[k]];
-    vel[k] = vp_[ilist[k]];
+    const std::uint32_t i = ilist[k];
+    G6_CHECK(i < mass_.size(), "i-particle index out of range");
+    scratch_pos_[k] = {pred_.x[i], pred_.y[i], pred_.z[i]};
+    scratch_vel_[k] = {pred_.vx[i], pred_.vy[i], pred_.vz[i]};
   }
-  compute_states(t, ilist, pos, vel, out);
+  compute_states(t, ilist, scratch_pos_, scratch_vel_, out);
 }
 
 void CpuDirectBackend::compute_states(double t, std::span<const std::uint32_t> ilist,
@@ -82,20 +95,16 @@ void CpuDirectBackend::compute_states(double t, std::span<const std::uint32_t> i
                vel.size() == ilist.size(),
            "i-state span size mismatch");
   G6_CHECK(!mass_.empty(), "no particles loaded");
-  predict_all(t);
+  predict_all(t);  // cache hit when arriving via compute()
   const std::size_t n = mass_.size();
   const double eps2 = eps_ * eps_;
+  const CpuKernel kernel = kernel_;
   pool_->parallel_for(ilist.size(), [&](std::size_t b, std::size_t e) {
     for (std::size_t k = b; k < e; ++k) {
       const std::uint32_t i = ilist[k];
       G6_CHECK(i < n, "i-particle index out of range");
-      const Vec3 xi = pos[k];
-      const Vec3 vi = vel[k];
       Force f{};
-      for (std::size_t j = 0; j < n; ++j) {
-        if (j == i) continue;
-        pairwise_force(xi, vi, xp_[j], vp_[j], mass_[j], eps2, f);
-      }
+      force_on_i(kernel, pred_, pos[k], vel[k], i, eps2, f);
       out[k] = f;
     }
   });

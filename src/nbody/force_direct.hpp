@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "nbody/force.hpp"
+#include "nbody/force_kernels.hpp"
 #include "util/thread_pool.hpp"
 
 namespace g6::nbody {
@@ -34,7 +35,10 @@ inline void pairwise_force(const Vec3& xi, const Vec3& vi, const Vec3& xj,
 /// CPU direct-summation backend. Keeps its own j-particle store (time of
 /// validity, position, velocity, acc, jerk, mass per particle) exactly like
 /// the hardware's j-memory, and predicts all of them to the requested time
-/// before each force evaluation.
+/// before each force evaluation. The predicted store is structure-of-arrays
+/// (force_kernels.hpp) and is cached per block time: repeated evaluations at
+/// the same t (e.g. compute() delegating to compute_states(), or iterated
+/// correctors) predict once.
 class CpuDirectBackend final : public ForceBackend {
  public:
   /// \p eps softening length; \p pool optional shared thread pool (a private
@@ -55,18 +59,28 @@ class CpuDirectBackend final : public ForceBackend {
   /// Number of j-particles currently loaded.
   std::size_t j_count() const { return mass_.size(); }
 
+  /// Inner kernel in use (default: G6_CPU_KERNEL env, else the bit-exact
+  /// SIMD kernel). Settable so benches/tests can pin variants.
+  CpuKernel kernel() const { return kernel_; }
+  void set_kernel(CpuKernel k) { kernel_ = k; }
+
  private:
   void predict_all(double t);
 
   double eps_;
   g6::util::ThreadPool* pool_;
   std::unique_ptr<g6::util::ThreadPool> owned_pool_;
+  CpuKernel kernel_ = cpu_kernel_from_env();
 
   // j-particle store (state at each particle's own time t0).
   std::vector<double> t0_, mass_;
   std::vector<Vec3> x0_, v0_, a0_, j0_;
-  // Predicted state at the last compute() time.
-  std::vector<Vec3> xp_, vp_;
+  // SoA predicted state, cached at time predicted_t_.
+  SoAPredicted pred_;
+  double predicted_t_ = 0.0;
+  bool predictions_valid_ = false;
+  // Scratch i-particle staging for compute() (avoids per-call allocation).
+  std::vector<Vec3> scratch_pos_, scratch_vel_;
 
   std::uint64_t interactions_ = 0;
 };

@@ -1,0 +1,70 @@
+#pragma once
+/// \file force_kernels.hpp
+/// \brief Structure-of-arrays force kernels for the CPU direct-summation
+///        backend (docs/PERFORMANCE.md).
+///
+/// The backend keeps its predicted j-particle store as seven contiguous
+/// double arrays (x, y, z, vx, vy, vz, m) instead of arrays of Vec3, so the
+/// inner force loop streams unit-stride and vectorizes. Four kernels share
+/// that layout:
+///
+///   kReference — the seed's scalar loop (pairwise_force per j). The oracle.
+///   kTiled     — plain-C tiled loop: per j-tile, contributions go to small
+///                stack arrays (auto-vectorizable, check with -fopt-info-vec)
+///                and are then accumulated in j-order. Bit-identical to
+///                kReference.
+///   kSimd      — explicit G6_SIMD kernel (util/simd.hpp): the contribution
+///                arithmetic runs at vector width, the accumulation replays
+///                in strict j-order. Bit-identical to kReference; this is the
+///                default.
+///   kFast      — opt-in approximate kernel: rsqrt estimate + two
+///                Newton–Raphson steps, FMA contraction, vector-lane
+///                accumulators. Not bit-identical (relative error ~1e-15);
+///                mirrors the spirit of the GRAPE pipeline's shortened
+///                arithmetic. Selected only via G6_CPU_KERNEL=fast.
+///
+/// Bit-identity of kTiled/kSimd holds because (a) every per-pair expression
+/// is evaluated in the seed's association order with no FMA contraction, and
+/// (b) the per-accumulator additions happen in exactly the seed's j-order.
+
+#include <cstddef>
+#include <vector>
+
+#include "nbody/particle.hpp"
+
+namespace g6::nbody {
+
+/// Inner-kernel selector for CpuDirectBackend. Runtime-selectable so the
+/// benches and conformance tests can pin any variant against the reference.
+enum class CpuKernel { kReference, kTiled, kSimd, kFast };
+
+/// Kernel requested by the G6_CPU_KERNEL environment variable
+/// (reference|tiled|simd|fast); kSimd when unset or unrecognised.
+CpuKernel cpu_kernel_from_env();
+
+/// Display name ("reference", "tiled", "simd", "fast").
+const char* cpu_kernel_name(CpuKernel k);
+
+/// The SoA predicted j-particle store.
+struct SoAPredicted {
+  std::vector<double> x, y, z;     ///< predicted positions
+  std::vector<double> vx, vy, vz;  ///< predicted velocities
+  std::vector<double> m;           ///< masses
+
+  void resize(std::size_t n) {
+    x.resize(n); y.resize(n); z.resize(n);
+    vx.resize(n); vy.resize(n); vz.resize(n);
+    m.resize(n);
+  }
+  std::size_t size() const { return m.size(); }
+};
+
+/// Index value meaning "no self-particle in the j-range".
+inline constexpr std::size_t kNoSelf = static_cast<std::size_t>(-1);
+
+/// Force of all j-particles in \p js (except index \p self) on the i-particle
+/// at (xi, vi), accumulated into \p out exactly like the seed loop.
+void force_on_i(CpuKernel kernel, const SoAPredicted& js, const Vec3& xi,
+                const Vec3& vi, std::size_t self, double eps2, Force& out);
+
+}  // namespace g6::nbody

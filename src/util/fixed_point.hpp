@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "util/check.hpp"
@@ -152,11 +153,10 @@ class FixedVec3 {
   Fixed64 x_, y_, z_;
 };
 
-/// Round a double to a reduced-precision binary float with \p mantissa_bits
-/// bits of mantissa (excluding the implicit leading 1). Models GRAPE-6's
-/// shortened floating-point datapaths (e.g. velocities and intermediate
-/// pipeline values). mantissa_bits >= 52 is the identity.
-inline double round_to_mantissa(double value, int mantissa_bits) {
+/// Reference implementation of the mantissa shortening via frexp/ldexp.
+/// Kept as the oracle for the bit-identity tests of the fast path below;
+/// not used on the hot paths.
+inline double round_to_mantissa_reference(double value, int mantissa_bits) {
   if (mantissa_bits >= 52 || value == 0.0 || !std::isfinite(value)) return value;
   const int drop = 52 - mantissa_bits;
   int exp = 0;
@@ -164,6 +164,38 @@ inline double round_to_mantissa(double value, int mantissa_bits) {
   const double scale = std::ldexp(1.0, 53 - drop);
   const double rounded = std::nearbyint(frac * scale) / scale;
   return std::ldexp(rounded, exp);
+}
+
+/// Round a double to a reduced-precision binary float with \p mantissa_bits
+/// bits of mantissa (excluding the implicit leading 1). Models GRAPE-6's
+/// shortened floating-point datapaths (e.g. velocities and intermediate
+/// pipeline values). mantissa_bits >= 52 is the identity.
+///
+/// Branch-free bit manipulation on the IEEE-754 representation, bit-identical
+/// to round_to_mantissa_reference (enforced by tests/test_fixed_point.cpp):
+/// the pipeline model calls this once per produced component, so the
+/// frexp/ldexp libm round-trips of the reference were a measurable cost.
+inline double round_to_mantissa(double value, int mantissa_bits) {
+  const int drop = 52 - mantissa_bits;
+  if (drop < 1 || drop > 51) return round_to_mantissa_reference(value, mantissa_bits);
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof bits);
+  const std::uint64_t exp_field = (bits >> 52) & 0x7ffu;
+  // Zero, subnormals, infinities and NaNs have no normalised mantissa to
+  // round; the reference passes them through unchanged.
+  if (exp_field - 1 >= 0x7feu) return round_to_mantissa_reference(value, mantissa_bits);
+  // Round-to-nearest-even on the top mantissa_bits of the mantissa: add half
+  // an output ULP minus one plus the kept LSB (so exact ties round to the
+  // even kept mantissa), then clear the dropped bits. A carry out of the
+  // mantissa field increments the exponent, which is exactly the
+  // re-normalisation step (1.11..1 -> 10.0..0), and overflow of the top
+  // binade to infinity matches the reference's ldexp. The sign bit is
+  // untouched because the exponent field cannot carry past 0x7ff.
+  bits += ((std::uint64_t{1} << (drop - 1)) - 1) + ((bits >> drop) & 1u);
+  bits &= ~((std::uint64_t{1} << drop) - 1);
+  double out;
+  std::memcpy(&out, &bits, sizeof out);
+  return out;
 }
 
 }  // namespace g6::util

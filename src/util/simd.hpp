@@ -1,0 +1,148 @@
+#pragma once
+/// \file simd.hpp
+/// \brief Width-agnostic SIMD wrapper for the force kernels (G6_SIMD).
+///
+/// The hot kernels operate on packs of `kWidth` doubles. The pack type is a
+/// GCC/Clang vector extension, so +,-,* compile to single vector instructions
+/// and the same kernel source serves AVX-512 (8 lanes), AVX (4), SSE2 (2) and
+/// plain scalar (1) builds — the width is fixed at compile time from the
+/// target architecture.
+///
+/// Two classes of helpers live here:
+///
+///  * IEEE-exact: load/store/broadcast/vsqrt/div. Lane k of the result is
+///    bit-identical to the corresponding scalar expression, which is what
+///    lets force_kernels.cpp replay the scalar reference kernel at vector
+///    width (the build disables FMA contraction, see the top-level
+///    CMakeLists).
+///  * Approximate: rsqrt_approx / fmadd / fnmadd, used only by the opt-in
+///    "fast" kernel (docs/PERFORMANCE.md). kHasFastRsqrt tells the kernel
+///    whether a hardware reciprocal-sqrt estimate exists; without it the
+///    fast kernel falls back to the exact one.
+
+#include <cmath>
+#include <cstddef>
+#include <cstring>
+
+#if defined(__SSE2__) || defined(__x86_64__)
+// GCC 12's AVX-512 intrinsics initialise their "undefined" source operand with
+// a self-assignment (`__m512d __Y = __Y;`), which trips -Wmaybe-uninitialized
+// after inlining (GCC PR105593). The warning is attributed to the header
+// lines, so an ignored-region around the include silences it without masking
+// diagnostics in our own code.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+#include <immintrin.h>
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+#endif
+
+namespace g6::util::simd {
+
+#if defined(__AVX512F__)
+inline constexpr int kWidth = 8;
+#elif defined(__AVX__)
+inline constexpr int kWidth = 4;
+#elif defined(__SSE2__) || defined(__x86_64__)
+inline constexpr int kWidth = 2;
+#else
+inline constexpr int kWidth = 1;
+#endif
+
+#if defined(__FMA__) && defined(__AVX512F__)
+inline constexpr bool kHasFastRsqrt = true;
+#else
+inline constexpr bool kHasFastRsqrt = false;
+#endif
+
+#if defined(__SSE2__) || defined(__x86_64__)
+typedef double VecD __attribute__((vector_size(kWidth * sizeof(double))));
+#else
+using VecD = double;  // scalar fallback: a "vector" of one lane
+#endif
+
+/// Unaligned load of kWidth consecutive doubles.
+inline VecD load(const double* p) {
+  VecD v;
+  std::memcpy(&v, p, sizeof(VecD));
+  return v;
+}
+
+/// Unaligned store of kWidth consecutive doubles.
+inline void store(double* p, VecD v) { std::memcpy(p, &v, sizeof(VecD)); }
+
+/// All lanes = s.
+inline VecD broadcast(double s) {
+#if defined(__SSE2__) || defined(__x86_64__)
+  VecD v = {};
+  v += s;  // vector + scalar broadcasts
+  return v;
+#else
+  return s;
+#endif
+}
+
+/// Per-lane IEEE-correctly-rounded sqrt (bit-identical to std::sqrt per lane).
+inline VecD vsqrt(VecD v) {
+#if defined(__AVX512F__)
+  return (VecD)_mm512_sqrt_pd((__m512d)v);
+#elif defined(__AVX__)
+  return (VecD)_mm256_sqrt_pd((__m256d)v);
+#elif defined(__SSE2__) || defined(__x86_64__)
+  return (VecD)_mm_sqrt_pd((__m128d)v);
+#else
+  return std::sqrt(v);
+#endif
+}
+
+// --- approximate helpers (fast kernel only) --------------------------------
+
+/// ~14-bit reciprocal square root estimate (AVX-512 only; elsewhere the fast
+/// kernel is not selected, see kHasFastRsqrt).
+inline VecD rsqrt_approx(VecD v) {
+#if defined(__AVX512F__)
+  return (VecD)_mm512_rsqrt14_pd((__m512d)v);
+#else
+  return vsqrt(v);  // placeholder, never reached when !kHasFastRsqrt
+#endif
+}
+
+/// a*b + c with a single rounding where FMA hardware exists.
+inline VecD fmadd(VecD a, VecD b, VecD c) {
+#if defined(__AVX512F__) && defined(__FMA__)
+  return (VecD)_mm512_fmadd_pd((__m512d)a, (__m512d)b, (__m512d)c);
+#elif defined(__AVX__) && defined(__FMA__)
+  return (VecD)_mm256_fmadd_pd((__m256d)a, (__m256d)b, (__m256d)c);
+#else
+  return a * b + c;
+#endif
+}
+
+/// -(a*b) + c with a single rounding where FMA hardware exists.
+inline VecD fnmadd(VecD a, VecD b, VecD c) {
+#if defined(__AVX512F__) && defined(__FMA__)
+  return (VecD)_mm512_fnmadd_pd((__m512d)a, (__m512d)b, (__m512d)c);
+#elif defined(__AVX__) && defined(__FMA__)
+  return (VecD)_mm256_fnmadd_pd((__m256d)a, (__m256d)b, (__m256d)c);
+#else
+  return c - a * b;
+#endif
+}
+
+/// Horizontal sum, left-to-right over the lanes (deterministic order).
+inline double reduce_add(VecD v) {
+#if defined(__SSE2__) || defined(__x86_64__)
+  alignas(64) double lanes[kWidth];
+  store(lanes, v);
+  double s = lanes[0];
+  for (int k = 1; k < kWidth; ++k) s += lanes[k];
+  return s;
+#else
+  return v;
+#endif
+}
+
+}  // namespace g6::util::simd

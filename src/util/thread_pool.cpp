@@ -51,7 +51,7 @@ void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t, std::size_t)>& fn) {
   const std::size_t lanes = size();
   if (n == 0) return;
-  if (lanes == 1 || n == 1) {
+  if (lanes == 1 || n < kSerialGrain) {
     fn(0, n);
     return;
   }

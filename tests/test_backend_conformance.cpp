@@ -4,15 +4,20 @@
 // engines so a new backend inherits the whole suite.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <memory>
+#include <numeric>
 
 #include "cluster/cluster_backend.hpp"
 #include "disk/disk_model.hpp"
 #include "grape6/backend.hpp"
+#include "grape6/chip.hpp"
 #include "nbody/energy.hpp"
 #include "nbody/force_direct.hpp"
 #include "nbody/integrator.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -188,5 +193,126 @@ INSTANTIATE_TEST_SUITE_P(AllBackends, BackendConformance,
                          [](const ::testing::TestParamInfo<Kind>& info) {
                            return kind_name(info.param);
                          });
+
+// --- golden bit-identity of the SoA/SIMD CPU kernels vs the scalar seed ----
+
+/// Fixed-seed random system: reproducible golden input for the kernel
+/// bit-identity tests (masses, positions and velocities span several orders
+/// of magnitude like the planetesimal disk).
+ParticleSystem golden_system(std::size_t n, std::uint64_t seed) {
+  g6::util::Rng rng(seed);
+  ParticleSystem ps;
+  for (std::size_t i = 0; i < n; ++i) {
+    ps.add(rng.uniform(1e-12, 1e-9),
+           {rng.uniform(-30.0, 30.0), rng.uniform(-30.0, 30.0), rng.uniform(-1.0, 1.0)},
+           {rng.uniform(-0.3, 0.3), rng.uniform(-0.3, 0.3), rng.uniform(-0.03, 0.03)});
+  }
+  return ps;
+}
+
+std::vector<Force> cpu_forces(g6::nbody::CpuKernel kernel, const ParticleSystem& ps,
+                              double t) {
+  g6::nbody::CpuDirectBackend backend(0.008);
+  backend.set_kernel(kernel);
+  backend.load(ps);
+  std::vector<std::uint32_t> ilist(ps.size());
+  std::iota(ilist.begin(), ilist.end(), 0u);
+  std::vector<Force> f(ps.size());
+  backend.compute(t, ilist, f);
+  return f;
+}
+
+void expect_forces_bitwise_equal(const std::vector<Force>& a, const std::vector<Force>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(bits(a[i].acc.x), bits(b[i].acc.x)) << "acc.x i=" << i;
+    EXPECT_EQ(bits(a[i].acc.y), bits(b[i].acc.y)) << "acc.y i=" << i;
+    EXPECT_EQ(bits(a[i].acc.z), bits(b[i].acc.z)) << "acc.z i=" << i;
+    EXPECT_EQ(bits(a[i].jerk.x), bits(b[i].jerk.x)) << "jerk.x i=" << i;
+    EXPECT_EQ(bits(a[i].jerk.y), bits(b[i].jerk.y)) << "jerk.y i=" << i;
+    EXPECT_EQ(bits(a[i].jerk.z), bits(b[i].jerk.z)) << "jerk.z i=" << i;
+    EXPECT_EQ(bits(a[i].pot), bits(b[i].pot)) << "pot i=" << i;
+  }
+}
+
+class CpuKernelBitIdentity : public ::testing::TestWithParam<g6::nbody::CpuKernel> {};
+
+TEST_P(CpuKernelBitIdentity, MatchesScalarReferenceBitwise) {
+  // 193 particles: not a multiple of the tile size or any vector width, so
+  // both the blocked main loops and the scalar tails are exercised. t = 0.5
+  // makes the prediction path part of the pipeline under test.
+  const ParticleSystem ps = golden_system(193, 0x9e3779b97f4a7c15ULL);
+  const auto ref = cpu_forces(g6::nbody::CpuKernel::kReference, ps, 0.5);
+  const auto got = cpu_forces(GetParam(), ps, 0.5);
+  expect_forces_bitwise_equal(ref, got);
+}
+
+INSTANTIATE_TEST_SUITE_P(ExactKernels, CpuKernelBitIdentity,
+                         ::testing::Values(g6::nbody::CpuKernel::kTiled,
+                                           g6::nbody::CpuKernel::kSimd),
+                         [](const ::testing::TestParamInfo<g6::nbody::CpuKernel>& info) {
+                           return g6::nbody::cpu_kernel_name(info.param);
+                         });
+
+TEST(CpuKernelFast, MatchesReferenceToRsqrtTolerance) {
+  const ParticleSystem ps = golden_system(193, 0x9e3779b97f4a7c15ULL);
+  const auto ref = cpu_forces(g6::nbody::CpuKernel::kReference, ps, 0.5);
+  const auto got = cpu_forces(g6::nbody::CpuKernel::kFast, ps, 0.5);
+  ASSERT_EQ(ref.size(), got.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const double scale = std::sqrt(norm2(ref[i].acc)) + 1e-300;
+    EXPECT_NEAR(got[i].acc.x, ref[i].acc.x, 1e-10 * scale) << i;
+    EXPECT_NEAR(got[i].acc.y, ref[i].acc.y, 1e-10 * scale) << i;
+    EXPECT_NEAR(got[i].acc.z, ref[i].acc.z, 1e-10 * scale) << i;
+    EXPECT_NEAR(got[i].pot, ref[i].pot, 1e-10 * std::abs(ref[i].pot)) << i;
+  }
+}
+
+// --- GRAPE batched pipeline: identical accumulator registers ---------------
+
+TEST(GrapeBatchedIdentity, BatchedAndUnbatchedProduceIdenticalRegisters) {
+  const g6::hw::FormatSpec fmt = g6::hw::FormatSpec::for_scales(64.0, 1.0);
+  g6::hw::Chip batched(fmt), unbatched(fmt);
+  batched.set_batched(true);
+  unbatched.set_batched(false);
+
+  g6::util::Rng rng(1234);
+  const std::size_t nj = 100;
+  for (std::size_t j = 0; j < nj; ++j) {
+    const auto jp = g6::hw::make_j_particle(
+        static_cast<std::uint32_t>(j), rng.uniform(1e-9, 1e-7), 0.0,
+        {rng.uniform(-20.0, 20.0), rng.uniform(-20.0, 20.0), rng.uniform(-0.5, 0.5)},
+        {rng.uniform(-0.2, 0.2), rng.uniform(-0.2, 0.2), rng.uniform(-0.02, 0.02)},
+        {rng.uniform(-1e-4, 1e-4), rng.uniform(-1e-4, 1e-4), rng.uniform(-1e-5, 1e-5)},
+        {rng.uniform(-1e-6, 1e-6), rng.uniform(-1e-6, 1e-6), rng.uniform(-1e-7, 1e-7)},
+        fmt);
+    batched.store_j(jp);
+    unbatched.store_j(jp);
+  }
+  batched.predict_all(0.25);
+  unbatched.predict_all(0.25);
+
+  // 100 i-particles forces three passes of 48/48/4; the first nj share ids
+  // with resident j-particles, exercising the self-interaction cut in every
+  // pass position.
+  std::vector<g6::hw::IParticle> is;
+  for (std::size_t i = 0; i < nj; ++i) {
+    is.push_back(g6::hw::make_i_particle(
+        static_cast<std::uint32_t>(i),
+        {rng.uniform(-20.0, 20.0), rng.uniform(-20.0, 20.0), rng.uniform(-0.5, 0.5)},
+        {rng.uniform(-0.2, 0.2), rng.uniform(-0.2, 0.2), rng.uniform(-0.02, 0.02)},
+        fmt));
+  }
+  std::vector<g6::hw::ForceAccumulator> fa(is.size(), g6::hw::ForceAccumulator(fmt));
+  std::vector<g6::hw::ForceAccumulator> fb = fa;
+  batched.compute(is, 1e-4, fa);
+  unbatched.compute(is, 1e-4, fb);
+  for (std::size_t i = 0; i < is.size(); ++i) {
+    EXPECT_EQ(fa[i].acc, fb[i].acc) << i;
+    EXPECT_EQ(fa[i].jerk, fb[i].jerk) << i;
+    EXPECT_EQ(fa[i].pot, fb[i].pot) << i;
+  }
+}
 
 }  // namespace

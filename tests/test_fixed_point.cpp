@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -159,6 +161,95 @@ TEST(RoundToMantissa, CoarseRoundingQuantizes) {
   const double r = round_to_mantissa(1.3, 2);
   EXPECT_NE(r, 1.3);
   EXPECT_NEAR(r, 1.3, 0.13);
+}
+
+// --- bit-identity of the bit-manipulation fast path vs the frexp/ldexp
+// --- reference (round_to_mantissa_reference). NaN compares by payload bits.
+
+using g6::util::round_to_mantissa_reference;
+
+void expect_same_bits(double v, int mb) {
+  const auto fast = std::bit_cast<std::uint64_t>(round_to_mantissa(v, mb));
+  const auto ref = std::bit_cast<std::uint64_t>(round_to_mantissa_reference(v, mb));
+  EXPECT_EQ(fast, ref) << "value=" << std::hexfloat << v << " mantissa_bits=" << mb;
+}
+
+TEST(RoundToMantissaBitIdentity, RandomBitPatterns) {
+  // Raw 64-bit patterns: uniform over signs, exponents (including subnormal
+  // and non-finite encodings) and mantissas.
+  g6::util::Rng rng(20260805);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const double v = std::bit_cast<double>(rng());
+    for (int mb : {1, 2, 11, 24, 25, 51, 52}) expect_same_bits(v, mb);
+  }
+}
+
+TEST(RoundToMantissaBitIdentity, RandomUniformValues) {
+  g6::util::Rng rng(4242);
+  for (int trial = 0; trial < 20000; ++trial) {
+    const double v = rng.uniform(-1e3, 1e3);
+    for (int mb = 1; mb <= 52; ++mb) expect_same_bits(v, mb);
+  }
+}
+
+TEST(RoundToMantissaBitIdentity, SubnormalsAndNearSubnormals) {
+  g6::util::Rng rng(99);
+  for (int trial = 0; trial < 5000; ++trial) {
+    // Exponent field 0 (subnormal) or 1 (smallest normal binade).
+    const std::uint64_t sign = rng() & (std::uint64_t{1} << 63);
+    const std::uint64_t exp = (rng() & 1u) << 52;
+    const std::uint64_t mant = rng() & ((std::uint64_t{1} << 52) - 1);
+    const double v = std::bit_cast<double>(sign | exp | mant);
+    for (int mb : {1, 8, 24, 51}) expect_same_bits(v, mb);
+  }
+}
+
+TEST(RoundToMantissaBitIdentity, ExactTiesBothParities) {
+  // Construct values whose dropped bits are exactly half an output ULP, with
+  // the kept LSB both even and odd — the round-to-nearest-even tiebreak.
+  for (int mb : {1, 2, 8, 24, 51}) {
+    const int drop = 52 - mb;
+    for (std::uint64_t kept : {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{2},
+                               (std::uint64_t{1} << mb) - 1}) {
+      if (kept >> mb) continue;  // does not fit in the kept field
+      const std::uint64_t mant = (kept << drop) | (std::uint64_t{1} << (drop - 1));
+      for (std::uint64_t sign : {std::uint64_t{0}, std::uint64_t{1} << 63}) {
+        const double v = std::bit_cast<double>(sign | (std::uint64_t{1023} << 52) | mant);
+        expect_same_bits(v, mb);
+      }
+    }
+  }
+}
+
+TEST(RoundToMantissaBitIdentity, CarryPropagationAndOverflow) {
+  // All-ones mantissas round up across the binade; in the top binade the
+  // carry must overflow to infinity exactly like the reference.
+  for (int mb : {1, 8, 24, 51}) {
+    const std::uint64_t mant = (std::uint64_t{1} << 52) - 1;  // 1.111...1
+    for (std::uint64_t exp : {std::uint64_t{1}, std::uint64_t{1023},
+                              std::uint64_t{2046}}) {
+      for (std::uint64_t sign : {std::uint64_t{0}, std::uint64_t{1} << 63}) {
+        const double v = std::bit_cast<double>(sign | (exp << 52) | mant);
+        expect_same_bits(v, mb);
+      }
+    }
+  }
+  EXPECT_TRUE(std::isinf(round_to_mantissa(std::bit_cast<double>(
+      (std::uint64_t{2046} << 52) | ((std::uint64_t{1} << 52) - 1)), 8)));
+}
+
+TEST(RoundToMantissaBitIdentity, SpecialValues) {
+  for (int mb : {1, 24, 51, 52, 60}) {
+    for (double v : {0.0, -0.0, std::numeric_limits<double>::infinity(),
+                     -std::numeric_limits<double>::infinity(),
+                     std::numeric_limits<double>::quiet_NaN(),
+                     std::numeric_limits<double>::denorm_min(),
+                     -std::numeric_limits<double>::denorm_min(),
+                     std::numeric_limits<double>::min(),
+                     std::numeric_limits<double>::max(), 1.0, -1.0}) {
+      expect_same_bits(v, mb);
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,150 @@
+// Kernel-level tests for the SoA force kernels (force_kernels.hpp): every
+// exact kernel must reproduce the scalar seed loop (pairwise_force) bit for
+// bit across block-boundary sizes, self-exclusion placements and softening
+// choices; the opt-in fast kernel must stay within its rsqrt+Newton error
+// envelope.
+#include "nbody/force_kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "nbody/force_direct.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using g6::nbody::CpuKernel;
+using g6::nbody::Force;
+using g6::nbody::SoAPredicted;
+using g6::util::Vec3;
+
+SoAPredicted random_store(std::size_t n, std::uint64_t seed) {
+  g6::util::Rng rng(seed);
+  SoAPredicted js;
+  js.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    js.x[j] = rng.uniform(-30.0, 30.0);
+    js.y[j] = rng.uniform(-30.0, 30.0);
+    js.z[j] = rng.uniform(-1.0, 1.0);
+    js.vx[j] = rng.uniform(-0.3, 0.3);
+    js.vy[j] = rng.uniform(-0.3, 0.3);
+    js.vz[j] = rng.uniform(-0.03, 0.03);
+    js.m[j] = rng.uniform(1e-12, 1e-9);
+  }
+  return js;
+}
+
+/// The seed's own loop: pairwise_force per j in ascending order, skipping
+/// `self`, accumulating into \p f — the oracle all exact kernels are
+/// measured against.
+void seed_loop_into(const SoAPredicted& js, const Vec3& xi, const Vec3& vi,
+                    std::size_t self, double eps2, Force& f) {
+  for (std::size_t j = 0; j < js.size(); ++j) {
+    if (j == self) continue;
+    g6::nbody::pairwise_force(xi, vi, {js.x[j], js.y[j], js.z[j]},
+                              {js.vx[j], js.vy[j], js.vz[j]}, js.m[j], eps2, f);
+  }
+}
+
+Force seed_loop(const SoAPredicted& js, const Vec3& xi, const Vec3& vi,
+                std::size_t self, double eps2) {
+  Force f;
+  seed_loop_into(js, xi, vi, self, eps2, f);
+  return f;
+}
+
+void expect_force_bits_equal(const Force& a, const Force& b, const char* what) {
+  auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  EXPECT_EQ(bits(a.acc.x), bits(b.acc.x)) << what;
+  EXPECT_EQ(bits(a.acc.y), bits(b.acc.y)) << what;
+  EXPECT_EQ(bits(a.acc.z), bits(b.acc.z)) << what;
+  EXPECT_EQ(bits(a.jerk.x), bits(b.jerk.x)) << what;
+  EXPECT_EQ(bits(a.jerk.y), bits(b.jerk.y)) << what;
+  EXPECT_EQ(bits(a.jerk.z), bits(b.jerk.z)) << what;
+  EXPECT_EQ(bits(a.pot), bits(b.pot)) << what;
+}
+
+class ExactKernels : public ::testing::TestWithParam<CpuKernel> {};
+
+// Sizes straddle the tile size (64) and every vector width; self placed at
+// the range ends, mid-range and absent.
+TEST_P(ExactKernels, BitIdenticalToSeedLoopAcrossSizes) {
+  for (std::size_t n : {0ul, 1ul, 2ul, 7ul, 8ul, 9ul, 63ul, 64ul, 65ul, 200ul}) {
+    const SoAPredicted js = random_store(n, 0xabcdef12 + n);
+    const Vec3 xi{0.5, -0.25, 0.03}, vi{0.01, -0.02, 0.003};
+    std::vector<std::size_t> selves{g6::nbody::kNoSelf};
+    if (n > 0) {
+      selves.push_back(0);
+      selves.push_back(n / 2);
+      selves.push_back(n - 1);
+    }
+    for (std::size_t self : selves) {
+      for (double eps2 : {0.0, 1e-4}) {
+        const Force want = seed_loop(js, xi, vi, self, eps2);
+        Force got;
+        g6::nbody::force_on_i(GetParam(), js, xi, vi, self, eps2, got);
+        expect_force_bits_equal(want, got, g6::nbody::cpu_kernel_name(GetParam()));
+      }
+    }
+  }
+}
+
+// Kernels accumulate into a caller-initialised Force (the integrator adds the
+// central star term first) — the incoming value must be preserved exactly.
+TEST_P(ExactKernels, AccumulatesIntoExistingForce) {
+  const SoAPredicted js = random_store(100, 42);
+  const Vec3 xi{1.0, 2.0, 0.1}, vi{0.0, 0.1, 0.0};
+  Force base;
+  base.acc = {1.0, -2.0, 3.0};
+  base.jerk = {-0.5, 0.25, -0.125};
+  base.pot = -7.0;
+
+  // The kernels add term by term starting from the incoming value, so the
+  // oracle must do the same (adding a separately-computed total would round
+  // differently).
+  Force want = base;
+  seed_loop_into(js, xi, vi, g6::nbody::kNoSelf, 1e-6, want);
+
+  Force got = base;
+  g6::nbody::force_on_i(GetParam(), js, xi, vi, g6::nbody::kNoSelf, 1e-6, got);
+  expect_force_bits_equal(want, got, g6::nbody::cpu_kernel_name(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ExactKernels,
+                         ::testing::Values(CpuKernel::kReference, CpuKernel::kTiled,
+                                           CpuKernel::kSimd),
+                         [](const ::testing::TestParamInfo<CpuKernel>& info) {
+                           return g6::nbody::cpu_kernel_name(info.param);
+                         });
+
+TEST(FastKernel, WithinRsqrtNewtonTolerance) {
+  for (std::size_t n : {7ul, 64ul, 200ul, 1024ul}) {
+    const SoAPredicted js = random_store(n, 0x5eed + n);
+    const Vec3 xi{0.5, -0.25, 0.03}, vi{0.01, -0.02, 0.003};
+    const Force want = seed_loop(js, xi, vi, g6::nbody::kNoSelf, 1e-6);
+    Force got;
+    g6::nbody::force_on_i(CpuKernel::kFast, js, xi, vi, g6::nbody::kNoSelf, 1e-6, got);
+    const double ascale = std::sqrt(norm2(want.acc)) + 1e-300;
+    EXPECT_NEAR(got.acc.x, want.acc.x, 1e-10 * ascale);
+    EXPECT_NEAR(got.acc.y, want.acc.y, 1e-10 * ascale);
+    EXPECT_NEAR(got.acc.z, want.acc.z, 1e-10 * ascale);
+    const double jscale = std::sqrt(norm2(want.jerk)) + 1e-300;
+    EXPECT_NEAR(got.jerk.x, want.jerk.x, 1e-10 * jscale);
+    EXPECT_NEAR(got.jerk.y, want.jerk.y, 1e-10 * jscale);
+    EXPECT_NEAR(got.jerk.z, want.jerk.z, 1e-10 * jscale);
+    EXPECT_NEAR(got.pot, want.pot, 1e-10 * std::abs(want.pot));
+  }
+}
+
+TEST(KernelSelection, EnvNamesRoundTrip) {
+  EXPECT_STREQ(g6::nbody::cpu_kernel_name(CpuKernel::kReference), "reference");
+  EXPECT_STREQ(g6::nbody::cpu_kernel_name(CpuKernel::kTiled), "tiled");
+  EXPECT_STREQ(g6::nbody::cpu_kernel_name(CpuKernel::kSimd), "simd");
+  EXPECT_STREQ(g6::nbody::cpu_kernel_name(CpuKernel::kFast), "fast");
+}
+
+}  // namespace

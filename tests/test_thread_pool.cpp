@@ -3,8 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
+#include <thread>
+#include <utility>
 #include <vector>
 
 namespace {
@@ -65,6 +69,57 @@ TEST(ThreadPool, SmallRangeFewerChunksThanLanes) {
     for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
   });
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// Ranges below the serial grain must not wake the workers: a single chunk,
+// executed on the caller's thread. The block-step scheduler issues mostly
+// tiny i-lists, where the dispatch overhead would dominate.
+TEST(ThreadPool, TinyRangeRunsSeriallyOnCaller) {
+  ThreadPool pool(8);
+  const auto caller = std::this_thread::get_id();
+  for (std::size_t n : {1ul, 2ul, ThreadPool::kSerialGrain - 1}) {
+    int chunks = 0;
+    std::size_t covered = 0;
+    pool.parallel_for(n, [&](std::size_t b, std::size_t e) {
+      EXPECT_EQ(std::this_thread::get_id(), caller);
+      ++chunks;  // no race: single-threaded by the assertion above
+      EXPECT_EQ(b, 0u);
+      covered += e - b;
+    });
+    EXPECT_EQ(chunks, 1) << "n=" << n;
+    EXPECT_EQ(covered, n);
+  }
+}
+
+TEST(ThreadPool, GrainSizedRangeUsesMultipleChunks) {
+  ThreadPool pool(4);
+  std::atomic<int> chunks{0};
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for(ThreadPool::kSerialGrain, [&](std::size_t b, std::size_t e) {
+    chunks.fetch_add(1);
+    covered.fetch_add(e - b);
+  });
+  EXPECT_GT(chunks.load(), 1);
+  EXPECT_EQ(covered.load(), ThreadPool::kSerialGrain);
+}
+
+// The static partition is a pure function of (n, size()): repeated calls see
+// identical chunk boundaries, which keeps reductions reproducible.
+TEST(ThreadPool, PartitionIsDeterministic) {
+  ThreadPool pool(3);
+  const std::size_t n = 1000;
+  auto collect = [&] {
+    std::mutex mu;
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    pool.parallel_for(n, [&](std::size_t b, std::size_t e) {
+      std::lock_guard lk(mu);
+      chunks.emplace_back(b, e);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  const auto first = collect();
+  for (int round = 0; round < 5; ++round) EXPECT_EQ(collect(), first);
 }
 
 }  // namespace
