@@ -167,6 +167,24 @@ int main(int argc, char** argv) {
               grape.unbatched_interactions_per_sec / 1e6, grape.speedup,
               grape.bit_identical ? "identical" : "DIFFER");
 
+  // Thread-parallel machine emulation on the full-system-shaped topology
+  // (64 boards). Default lanes: the perf-floor operating point (8), unless
+  // G6_NUM_THREADS pins the process (CI runs both to export the 1-vs-N
+  // comparison). --threads=K overrides.
+  std::size_t par_threads =
+      static_cast<std::size_t>(flag_value(argc, argv, "threads", 0.0));
+  if (par_threads == 0)
+    par_threads = std::getenv("G6_NUM_THREADS") != nullptr
+                      ? g6::util::concurrency()
+                      : 8;
+  const auto par = measure_grape_parallel(par_threads, full ? 5 : 3);
+  std::printf("GRAPE machine emulation, 64 boards (serial vs %zu threads on "
+              "%zu-way hardware): %.3fs vs %.3fs = %.2fx, %.1f Minter/s, "
+              "registers %s\n\n",
+              par.threads, par.hardware_concurrency, par.serial_seconds,
+              par.parallel_seconds, par.speedup, par.interactions_per_sec / 1e6,
+              par.bit_identical ? "identical" : "DIFFER");
+
   // Machine-readable export for CI's perf-smoke floor check.
   const std::string json_path =
       flag_str(argc, argv, "json", "BENCH_headline.json");
@@ -190,6 +208,7 @@ int main(int argc, char** argv) {
           .field("cpu_kernel_n", double(n_kernel))
           .field("cpu_kernels", kernels_json)
           .field("grape_chip", grape.to_json())
+          .field("grape_parallel", par.to_json())
           .field("measured_vs_model_ratios", ratios)
           .field("measured_vs_model_ratios_finite_positive", ratios_ok);
   if (write_json_file(json_path, doc))
@@ -199,8 +218,9 @@ int main(int argc, char** argv) {
   std::printf("shape check: efficiency in the paper's band (25-75%%): %s\n",
               shape_ok ? "PASS" : "FAIL");
   const bool kernels_ok = kernels[1].bit_identical && kernels[2].bit_identical &&
-                          grape.bit_identical;
-  std::printf("bit-identity check (tiled, simd, grape batched): %s\n",
+                          grape.bit_identical && par.bit_identical;
+  std::printf("bit-identity check (tiled, simd, grape batched, parallel "
+              "machine): %s\n",
               kernels_ok ? "PASS" : "FAIL");
   return (shape_ok && kernels_ok) ? 0 : 1;
 }

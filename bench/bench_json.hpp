@@ -17,13 +17,16 @@
 #include <numeric>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "grape6/chip.hpp"
+#include "grape6/machine.hpp"
 #include "nbody/force_direct.hpp"
 #include "obs/json.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace g6::bench {
@@ -257,6 +260,100 @@ inline GrapeMeasurement measure_grape_chip(std::size_t nj, int reps) {
   m.unbatched_interactions_per_sec = time_path(false, unbatched_acc);
   m.speedup = m.batched_interactions_per_sec / m.unbatched_interactions_per_sec;
   m.bit_identical = batched_acc == unbatched_acc;
+  return m;
+}
+
+// --- GRAPE machine: serial vs thread-parallel board emulation --------------
+
+/// One serial-vs-parallel operating point of the full machine emulation
+/// (predict_all + compute, every board fanned over a ThreadPool). The gate
+/// in check_perf_floor.py enforces min_speedup only when the measuring
+/// machine actually has >= the floor's thread count (hardware_concurrency is
+/// exported for exactly that decision); bit_identical is enforced always —
+/// the fixed-point reduction must not depend on the schedule.
+struct ParallelMeasurement {
+  std::size_t threads = 1;              ///< lanes of the parallel pool
+  std::size_t hardware_concurrency = 1; ///< what this machine can actually run
+  double serial_seconds = 0.0;          ///< best-of-reps, 1-lane pool
+  double parallel_seconds = 0.0;        ///< best-of-reps, threads-lane pool
+  double speedup = 1.0;
+  double interactions_per_sec = 0.0;    ///< parallel-path throughput
+  bool bit_identical = false;           ///< parallel accumulators == serial
+
+  JsonBuilder to_json() const {
+    return JsonBuilder::object()
+        .field("threads", double(threads))
+        .field("hardware_concurrency", double(hardware_concurrency))
+        .field("serial_seconds", serial_seconds)
+        .field("parallel_seconds", parallel_seconds)
+        .field("speedup", speedup)
+        .field("interactions_per_sec", interactions_per_sec)
+        .field("bit_identical", bit_identical);
+  }
+};
+
+/// A full-system-shaped mini machine: the real 4 clusters x 4 hosts x
+/// 4 boards topology (64 boards — the concurrency the hardware actually
+/// has), with fewer chips and a small j-memory so one compute pass stays
+/// CI-sized.
+inline g6::hw::MachineConfig parallel_bench_machine() {
+  g6::hw::MachineConfig cfg;
+  cfg.clusters = 4;
+  cfg.hosts_per_cluster = 4;
+  cfg.boards_per_host = 4;
+  cfg.chips_per_board = 2;
+  cfg.jmem_per_chip = 128;
+  cfg.fmt = g6::hw::FormatSpec::for_scales(64.0, 1.0);
+  return cfg;
+}
+
+/// Time the machine emulation with a 1-lane pool vs a \p threads-lane pool
+/// on the full-system-shaped config and compare every accumulator register.
+inline ParallelMeasurement measure_grape_parallel(std::size_t threads, int reps,
+                                                  std::size_t nj = 8192,
+                                                  std::size_t ni = 256) {
+  const g6::hw::MachineConfig cfg = parallel_bench_machine();
+  g6::util::Rng rng(20020101);
+  std::vector<g6::hw::JParticle> js;
+  std::vector<g6::hw::IParticle> is;
+  for (std::size_t j = 0; j < nj; ++j) {
+    const auto id = static_cast<std::uint32_t>(j);
+    const g6::hw::Vec3 x{rng.uniform(-20.0, 20.0), rng.uniform(-20.0, 20.0),
+                         rng.uniform(-0.5, 0.5)};
+    const g6::hw::Vec3 v{rng.uniform(-0.2, 0.2), rng.uniform(-0.2, 0.2),
+                         rng.uniform(-0.02, 0.02)};
+    js.push_back(g6::hw::make_j_particle(id, rng.uniform(1e-9, 1e-7), 0.0, x, v,
+                                         {}, {}, cfg.fmt));
+    if (is.size() < ni) is.push_back(g6::hw::make_i_particle(id, x, v, cfg.fmt));
+  }
+
+  auto time_machine = [&](std::size_t lanes,
+                          std::vector<g6::hw::ForceAccumulator>& keep) {
+    g6::util::ThreadPool pool(lanes);
+    g6::hw::Grape6Machine machine(cfg, &pool);
+    machine.load(js);
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep <= reps; ++rep) {  // rep 0 is the warm-up
+      std::vector<g6::hw::ForceAccumulator> acc;
+      g6::util::Timer t;
+      machine.predict_all(0.0);
+      machine.compute(is, 1e-4, acc);
+      if (rep > 0) best = std::min(best, t.seconds());
+      keep = std::move(acc);
+    }
+    return best;
+  };
+
+  ParallelMeasurement m;
+  m.threads = threads;
+  m.hardware_concurrency =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  std::vector<g6::hw::ForceAccumulator> serial_acc, parallel_acc;
+  m.serial_seconds = time_machine(1, serial_acc);
+  m.parallel_seconds = time_machine(threads, parallel_acc);
+  m.speedup = m.serial_seconds / m.parallel_seconds;
+  m.interactions_per_sec = double(nj) * double(is.size()) / m.parallel_seconds;
+  m.bit_identical = serial_acc == parallel_acc;
   return m;
 }
 

@@ -7,10 +7,12 @@
 #include <benchmark/benchmark.h>
 
 #include "grape6/chip.hpp"
+#include "grape6/machine.hpp"
 #include "nbody/blockstep.hpp"
 #include "nbody/force_direct.hpp"
 #include "nbody/hermite.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -139,6 +141,46 @@ void BM_ChipComputePass(benchmark::State& state) {
       double(chip.compute_cycles(batch.size())) / g6::hw::kClockHz * 1e6;
 }
 BENCHMARK(BM_ChipComputePass)->Arg(256)->Arg(1024);
+
+void BM_MachineCompute(benchmark::State& state) {
+  // The whole machine emulation — the full-system-shaped 64-board topology
+  // fanned over a pool of Arg lanes (1 is the serial baseline; the Minter/s
+  // ratio between Args is the emulation's thread scaling).
+  Rng rng(6);
+  g6::hw::MachineConfig cfg;
+  cfg.clusters = 4;
+  cfg.hosts_per_cluster = 4;
+  cfg.boards_per_host = 4;
+  cfg.chips_per_board = 2;
+  cfg.jmem_per_chip = 64;
+  cfg.fmt = FormatSpec::for_scales(64.0, 1.0);
+  const std::size_t nj = 4096, ni = 128;
+
+  g6::util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  g6::hw::Grape6Machine machine(cfg, &pool);
+  std::vector<JParticle> js;
+  std::vector<IParticle> batch;
+  for (std::size_t j = 0; j < nj; ++j) {
+    const auto id = static_cast<std::uint32_t>(j);
+    const Vec3 x = rand_pos(rng);
+    const Vec3 v{rng.uniform(-0.2, 0.2), rng.uniform(-0.2, 0.2), 0};
+    js.push_back(g6::hw::make_j_particle(id, rng.uniform(1e-10, 1e-9), 0.0, x, v,
+                                         {}, {}, cfg.fmt));
+    if (batch.size() < ni) batch.push_back(g6::hw::make_i_particle(id, x, v, cfg.fmt));
+  }
+  machine.load(js);
+  machine.predict_all(0.0);
+  std::vector<ForceAccumulator> acc;
+  for (auto _ : state) {
+    machine.compute(batch, 6.4e-5, acc);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * batch.size() * nj);
+  state.counters["Minter/s"] = benchmark::Counter(
+      double(state.iterations()) * double(batch.size()) * double(nj) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MachineCompute)->Arg(1)->Arg(2)->Arg(8)->UseRealTime();
 
 void BM_BlockSchedulerChurn(benchmark::State& state) {
   const std::size_t n = 4096;

@@ -1,0 +1,159 @@
+// E11 — thread-scaling sweep of the hardware emulation: the 64-board GRAPE
+// machine model and the 16-host cluster simulation, each stepped by pools of
+// 1..8 lanes. Every point is checked bit-identical against the 1-lane
+// schedule (fixed-point merging is exactly associative, so the parallel
+// reduction must reproduce the serial registers), and the sweep is exported
+// as BENCH_threads.json for CI and bench/recorded/.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "bench_json.hpp"
+#include "cluster/parallel_sim.hpp"
+
+using namespace g6;
+using namespace g6::bench;
+
+namespace {
+
+struct SweepPoint {
+  std::size_t threads = 1;
+  double seconds = 0.0;
+  double interactions_per_sec = 0.0;
+  double speedup = 1.0;       ///< vs the 1-lane point of the same sweep
+  bool bit_identical = false; ///< accumulators == the 1-lane accumulators
+
+  JsonBuilder to_json() const {
+    return JsonBuilder::object()
+        .field("threads", double(threads))
+        .field("seconds", seconds)
+        .field("interactions_per_sec", interactions_per_sec)
+        .field("speedup", speedup)
+        .field("bit_identical", bit_identical);
+  }
+};
+
+/// Best-of-reps sweep over the lane counts, comparing every point's
+/// accumulators against the 1-lane result. \p factory gets the pool and
+/// returns the timed pass (setup — construction, load — stays outside the
+/// timer); the pass returns the per-call accumulators.
+template <typename Factory>
+std::vector<SweepPoint> sweep(const std::vector<std::size_t>& lanes, int reps,
+                              double interactions, Factory&& factory) {
+  std::vector<SweepPoint> out;
+  std::vector<hw::ForceAccumulator> baseline;
+  for (std::size_t t : lanes) {
+    util::ThreadPool pool(t);
+    auto pass = factory(pool);
+    SweepPoint p;
+    p.threads = t;
+    p.seconds = std::numeric_limits<double>::infinity();
+    std::vector<hw::ForceAccumulator> acc;
+    for (int rep = 0; rep <= reps; ++rep) {  // rep 0 is the warm-up
+      util::Timer timer;
+      acc = pass();
+      if (rep > 0) p.seconds = std::min(p.seconds, timer.seconds());
+    }
+    if (baseline.empty()) baseline = acc;
+    p.bit_identical = acc == baseline;
+    p.interactions_per_sec = interactions / p.seconds;
+    p.speedup = out.empty() ? 1.0 : out.front().seconds / p.seconds;
+    out.push_back(p);
+  }
+  return out;
+}
+
+void print_sweep(const char* what, const std::vector<SweepPoint>& points) {
+  util::Table t({"threads", "ms/pass", "Minter/s", "speedup", "bit-identical"});
+  for (const auto& p : points) {
+    t.row({util::fmt_int(static_cast<long long>(p.threads)),
+           util::fmt(p.seconds * 1e3, 3), util::fmt(p.interactions_per_sec / 1e6, 3),
+           util::fmt(p.speedup, 3), p.bit_identical ? "yes" : "no"});
+  }
+  std::printf("%s\n%s\n", what, t.render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = full_mode(argc, argv);
+  const int reps = full ? 5 : 3;
+  const std::size_t nj = full ? 8192 : 4096;
+  const std::size_t ni = 256;
+  const std::vector<std::size_t> lanes{1, 2, 4, 8};
+
+  std::printf("E11: emulation thread scaling (hardware has %zu threads; "
+              "sweeps are bit-identity-checked against 1 lane)\n\n",
+              std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+
+  // Shared particle cloud (fixed seed, disk-like shape).
+  const hw::MachineConfig cfg = parallel_bench_machine();
+  util::Rng rng(20020101);
+  std::vector<hw::JParticle> js;
+  std::vector<hw::IParticle> is;
+  for (std::size_t j = 0; j < nj; ++j) {
+    const auto id = static_cast<std::uint32_t>(j);
+    const hw::Vec3 x{rng.uniform(-20.0, 20.0), rng.uniform(-20.0, 20.0),
+                     rng.uniform(-0.5, 0.5)};
+    const hw::Vec3 v{rng.uniform(-0.2, 0.2), rng.uniform(-0.2, 0.2),
+                     rng.uniform(-0.02, 0.02)};
+    js.push_back(
+        hw::make_j_particle(id, rng.uniform(1e-9, 1e-7), 0.0, x, v, {}, {}, cfg.fmt));
+    if (is.size() < ni) is.push_back(hw::make_i_particle(id, x, v, cfg.fmt));
+  }
+  const double interactions = double(nj) * double(is.size());
+
+  // Sweep 1: the 64-board machine emulation (predict + compute + reduction).
+  const auto machine_sweep = sweep(lanes, reps, interactions, [&](util::ThreadPool& pool) {
+    auto machine = std::make_shared<hw::Grape6Machine>(cfg, &pool);
+    machine->load(js);
+    return [machine, &is] {
+      machine->predict_all(0.0);
+      std::vector<hw::ForceAccumulator> acc;
+      machine->compute(is, 1e-4, acc);
+      return acc;
+    };
+  });
+  print_sweep("GRAPE machine, 64 boards:", machine_sweep);
+
+  // Sweep 2: the 16-host cluster simulation (hardware-net organisation —
+  // the paper's figure 4/5 cluster, hosts stepped concurrently).
+  const auto cluster_sweep = sweep(lanes, reps, interactions, [&](util::ThreadPool& pool) {
+    auto sys = std::make_shared<cluster::ParallelHostSystem>(
+        16, cluster::HostMode::kHardwareNet, cfg.fmt, 0.008, cluster::LinkSpec{},
+        &pool);
+    sys->load(js);
+    return [sys, &is] {
+      std::vector<hw::ForceAccumulator> acc;
+      sys->compute(0.0, is, acc);
+      return acc;
+    };
+  });
+  print_sweep("cluster simulation, 16 hosts (hardware-net):", cluster_sweep);
+
+  bool identical = true;
+  for (const auto& p : machine_sweep) identical = identical && p.bit_identical;
+  for (const auto& p : cluster_sweep) identical = identical && p.bit_identical;
+
+  const std::string json_path = flag_str(argc, argv, "json", "BENCH_threads.json");
+  JsonBuilder mj = JsonBuilder::array();
+  for (const auto& p : machine_sweep) mj.push(p.to_json());
+  JsonBuilder cj = JsonBuilder::array();
+  for (const auto& p : cluster_sweep) cj.push(p.to_json());
+  const JsonBuilder doc =
+      JsonBuilder::object()
+          .field("bench", "threads")
+          .field("hardware_concurrency",
+                 double(std::max<std::size_t>(1, std::thread::hardware_concurrency())))
+          .field("nj", double(nj))
+          .field("ni", double(is.size()))
+          .field("machine_sweep", mj)
+          .field("cluster_sweep", cj)
+          .field("bit_identical", identical);
+  if (write_json_file(json_path, doc))
+    std::printf("bench JSON written to %s\n", json_path.c_str());
+
+  std::printf("bit-identity check (all sweep points vs 1 lane): %s\n",
+              identical ? "PASS" : "FAIL");
+  return identical ? 0 : 1;
+}

@@ -12,9 +12,16 @@ A kernel fails the gate when
 with both numbers from perf_floor.json (floors are already derated for CI
 hardware; regression_factor 2.0 means "fail on a >2x regression"). On top of
 the throughput floors the gate enforces the invariants the bench measured:
-the tiled/simd CPU kernels and the batched GRAPE path must be bit-identical
-to their references, and every measured-vs-model term ratio must be finite
-and positive.
+the tiled/simd CPU kernels, the batched GRAPE path and the thread-parallel
+machine emulation must be bit-identical to their references, and every
+measured-vs-model term ratio must be finite and positive.
+
+The parallel_emulation floor (min speedup of the N-thread machine emulation
+over 1 thread) is hardware-conditional: it is enforced only when the bench
+ran with at least the floor's thread count AND the measuring machine has
+that many hardware threads — a 1-core runner cannot exhibit parallel
+speedup, and oversubscribed lanes prove nothing. Bit-identity of the
+parallel schedule is enforced unconditionally.
 """
 
 import json
@@ -54,6 +61,32 @@ def main(argv):
             failures.append(f"{name} kernel is not bit-identical to the reference")
     if not bench["grape_chip"]["bit_identical"]:
         failures.append("GRAPE batched path accumulators differ from unbatched")
+
+    par_floor = floor.get("parallel_emulation")
+    par = bench.get("grape_parallel")
+    if par_floor is not None and par is not None:
+        if not par["bit_identical"]:
+            failures.append(
+                "parallel machine emulation accumulators differ from serial"
+            )
+        need = int(par_floor["threads"])
+        if par["threads"] >= need and par["hardware_concurrency"] >= need:
+            status = "ok" if par["speedup"] >= par_floor["min_speedup"] else "FAIL"
+            print(
+                f"parallel x{int(par['threads'])}   speedup {par['speedup']:.2f}  "
+                f"(floor {par_floor['min_speedup']:.2f})  {status}"
+            )
+            if par["speedup"] < par_floor["min_speedup"]:
+                failures.append(
+                    f"parallel emulation speedup {par['speedup']:.2f} < "
+                    f"{par_floor['min_speedup']:.2f} at {int(par['threads'])} threads"
+                )
+        else:
+            print(
+                f"parallel x{int(par['threads'])}   speedup {par['speedup']:.2f}  "
+                f"(floor skipped: needs {need} threads, hardware has "
+                f"{int(par['hardware_concurrency'])})"
+            )
     if not bench["measured_vs_model_ratios_finite_positive"]:
         failures.append(
             "measured-vs-model ratios not finite and positive: "

@@ -10,10 +10,13 @@ namespace g6::cluster {
 using g6::nbody::ParticleSystem;
 
 ClusterBackend::ClusterBackend(int n_hosts, HostMode mode, FormatSpec fmt,
-                               double eps, LinkSpec ethernet)
-    : fmt_(fmt), eps_(eps), mode_(mode) {
+                               double eps, LinkSpec ethernet,
+                               g6::util::ThreadPool* pool)
+    : fmt_(fmt), eps_(eps), mode_(mode),
+      pool_(pool != nullptr ? pool : &g6::util::shared_pool()) {
   G6_CHECK(eps >= 0.0, "softening must be non-negative");
-  sys_ = std::make_unique<ParallelHostSystem>(n_hosts, mode, fmt, eps, ethernet);
+  sys_ = std::make_unique<ParallelHostSystem>(n_hosts, mode, fmt, eps, ethernet,
+                                              pool_);
 }
 
 std::string ClusterBackend::name() const {
@@ -43,7 +46,7 @@ void ClusterBackend::load(const ParticleSystem& ps) {
   }
   // Rebuild the host system so a re-load starts from empty j-stores.
   sys_ = std::make_unique<ParallelHostSystem>(sys_->hosts(), mode_, fmt_, eps_,
-                                              sys_->transport().link());
+                                              sys_->transport().link(), pool_);
   sys_->load(js);
 }
 

@@ -22,8 +22,10 @@ namespace g6::cluster {
 /// ForceBackend over ParallelHostSystem.
 class ClusterBackend final : public g6::nbody::ForceBackend {
  public:
+  /// \p pool steps the simulated hosts concurrently (nullptr = the
+  /// process-wide shared pool); share it with the integrator.
   ClusterBackend(int n_hosts, HostMode mode, FormatSpec fmt, double eps,
-                 LinkSpec ethernet = {});
+                 LinkSpec ethernet = {}, g6::util::ThreadPool* pool = nullptr);
 
   std::string name() const override;
   void load(const g6::nbody::ParticleSystem& ps) override;
@@ -53,6 +55,7 @@ class ClusterBackend final : public g6::nbody::ForceBackend {
   FormatSpec fmt_;
   double eps_;
   HostMode mode_;
+  g6::util::ThreadPool* pool_;
   std::unique_ptr<ParallelHostSystem> sys_;
 
   // Host-side mirror for i-particle prediction.

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/trace.hpp"
+
 namespace g6::cluster {
 
 namespace {
@@ -118,12 +120,15 @@ const JParticle& SimHost::read_j(std::uint32_t gid) const {
 
 void SimHost::partial_forces(double t, const std::vector<IParticle>& i_batch,
                              double eps2, std::vector<ForceAccumulator>& out) const {
-  out.assign(i_batch.size(), ForceAccumulator(fmt_));
-  std::vector<g6::hw::JPredicted> pred(jstore_.size());
+  // Grow-only scratch: resize never shrinks capacity, the value reset is in
+  // place, so steady-state calls do not touch the allocator.
+  out.resize(i_batch.size(), ForceAccumulator(fmt_));
+  for (auto& f : out) f = ForceAccumulator(fmt_);
+  pred_.resize(jstore_.size());
   for (std::size_t j = 0; j < jstore_.size(); ++j)
-    pred[j] = g6::hw::predict_j(jstore_[j], t, fmt_);
+    pred_[j] = g6::hw::predict_j(jstore_[j], t, fmt_);
   for (std::size_t k = 0; k < i_batch.size(); ++k) {
-    for (const auto& jp : pred)
+    for (const auto& jp : pred_)
       g6::hw::pipeline_interact(i_batch[k], jp, eps2, fmt_, out[k]);
   }
 }
@@ -131,8 +136,10 @@ void SimHost::partial_forces(double t, const std::vector<IParticle>& i_batch,
 // --- ParallelHostSystem ------------------------------------------------------
 
 ParallelHostSystem::ParallelHostSystem(int n_hosts, HostMode mode, FormatSpec fmt,
-                                       double eps, LinkSpec ethernet)
-    : mode_(mode), fmt_(fmt), eps2_(eps * eps) {
+                                       double eps, LinkSpec ethernet,
+                                       g6::util::ThreadPool* pool)
+    : mode_(mode), fmt_(fmt), eps2_(eps * eps),
+      pool_(pool != nullptr ? pool : &g6::util::shared_pool()) {
   G6_CHECK(n_hosts > 0, "need at least one host");
   if (mode == HostMode::kMatrix2D) {
     const int side = static_cast<int>(std::lround(std::sqrt(double(n_hosts))));
@@ -141,6 +148,27 @@ ParallelHostSystem::ParallelHostSystem(int n_hosts, HostMode mode, FormatSpec fm
   hosts_.reserve(static_cast<std::size_t>(n_hosts));
   for (int h = 0; h < n_hosts; ++h) hosts_.emplace_back(h, fmt);
   transport_ = std::make_unique<Transport>(n_hosts, ethernet);
+  host_partial_.resize(static_cast<std::size_t>(n_hosts));
+  host_batch_.resize(static_cast<std::size_t>(n_hosts));
+  host_batch_idx_.resize(static_cast<std::size_t>(n_hosts));
+}
+
+void ParallelHostSystem::parallel_partials(double t, const std::vector<IParticle>& batch,
+                                           std::size_t n_hosts_active) {
+  // The barrier-separated compute phase of the BSP timeline: every simulated
+  // host runs its software GRAPE concurrently, writing only its own partial
+  // buffer and per-host scratch. parallel_for returns when all hosts are
+  // done — the synchronisation point the paper's hosts hit before the next
+  // exchange phase.
+  pool_->parallel_for(
+      n_hosts_active,
+      [&](std::size_t h0, std::size_t h1) {
+        for (std::size_t h = h0; h < h1; ++h) {
+          G6_TRACE_SPAN_CAT("host-partial", "cluster");
+          hosts_[h].partial_forces(t, batch, eps2_, host_partial_[h]);
+        }
+      },
+      /*grain=*/1);
 }
 
 int ParallelHostSystem::grid_side() const {
@@ -236,23 +264,37 @@ void ParallelHostSystem::compute_naive(double t, const std::vector<IParticle>& i
                                        std::vector<ForceAccumulator>& out) {
   // Each host evaluates the FULL force for the i-particles it owns, on its
   // own full-replica GRAPE. No inter-host traffic here (it was all paid in
-  // update()).
+  // update()). Ownership slicing stays on the driving thread; the hosts
+  // then step concurrently, each on its own i-slice.
   out.assign(i_batch.size(), ForceAccumulator(fmt_));
-  for (int h = 0; h < hosts(); ++h) {
-    std::vector<IParticle> mine;
-    std::vector<std::size_t> where;
-    for (std::size_t k = 0; k < i_batch.size(); ++k) {
-      if (owner_of(i_batch[k].id) == h) {
-        mine.push_back(i_batch[k]);
-        where.push_back(k);
-      }
-    }
-    if (mine.empty()) continue;
-    std::vector<ForceAccumulator> part;
-    hosts_[static_cast<std::size_t>(h)].partial_forces(t, mine, eps2_, part);
-    for (std::size_t m = 0; m < mine.size(); ++m) out[where[m]] += part[m];
-    hw_bytes_.pci += mine.size() * (g6::hw::kIParticleBytes + g6::hw::kResultBytes);
-    hw_bytes_.lvds += mine.size() * (g6::hw::kIParticleBytes + g6::hw::kResultBytes);
+  const auto nh = static_cast<std::size_t>(hosts());
+  for (std::size_t h = 0; h < nh; ++h) {
+    host_batch_[h].clear();
+    host_batch_idx_[h].clear();
+  }
+  for (std::size_t k = 0; k < i_batch.size(); ++k) {
+    const auto h = static_cast<std::size_t>(owner_of(i_batch[k].id));
+    host_batch_[h].push_back(i_batch[k]);
+    host_batch_idx_[h].push_back(k);
+  }
+  pool_->parallel_for(
+      nh,
+      [&](std::size_t h0, std::size_t h1) {
+        for (std::size_t h = h0; h < h1; ++h) {
+          if (host_batch_[h].empty()) continue;
+          G6_TRACE_SPAN_CAT("host-partial", "cluster");
+          hosts_[h].partial_forces(t, host_batch_[h], eps2_, host_partial_[h]);
+        }
+      },
+      /*grain=*/1);
+  for (std::size_t h = 0; h < nh; ++h) {
+    if (host_batch_[h].empty()) continue;
+    for (std::size_t m = 0; m < host_batch_[h].size(); ++m)
+      out[host_batch_idx_[h][m]] += host_partial_[h][m];
+    hw_bytes_.pci +=
+        host_batch_[h].size() * (g6::hw::kIParticleBytes + g6::hw::kResultBytes);
+    hw_bytes_.lvds +=
+        host_batch_[h].size() * (g6::hw::kIParticleBytes + g6::hw::kResultBytes);
   }
 }
 
@@ -261,10 +303,12 @@ void ParallelHostSystem::compute_hardware_net(double t,
                                               std::vector<ForceAccumulator>& out) {
   // The network boards broadcast every i-particle to every host's boards and
   // reduce the partial forces in hardware — all on LVDS, nothing on Ethernet.
+  // All hosts compute concurrently; the reduction below merges in host order
+  // (exact fixed point, so identical to any other order bit for bit).
+  parallel_partials(t, i_batch, static_cast<std::size_t>(hosts()));
   out.assign(i_batch.size(), ForceAccumulator(fmt_));
   for (int h = 0; h < hosts(); ++h) {
-    std::vector<ForceAccumulator> part;
-    hosts_[static_cast<std::size_t>(h)].partial_forces(t, i_batch, eps2_, part);
+    const auto& part = host_partial_[static_cast<std::size_t>(h)];
     for (std::size_t k = 0; k < i_batch.size(); ++k) out[k] += part[k];
   }
   hw_bytes_.pci += i_batch.size() * (g6::hw::kIParticleBytes + g6::hw::kResultBytes);
@@ -305,22 +349,25 @@ void ParallelHostSystem::compute_matrix(double t, const std::vector<IParticle>& 
   hw_bytes_.pci += i_batch.size() * (g6::hw::kIParticleBytes + g6::hw::kResultBytes) *
                    static_cast<std::uint64_t>(side);
 
-  // Phase 3: every host computes partials from its slice; column reduction
-  // back to row 0 (merge hop by hop, exact).
+  // Phase 3a: every host computes its partial forces from its j-slice —
+  // the concurrent compute phase of the matrix timeline (all side*side
+  // hosts step in parallel, then barrier).
+  parallel_partials(t, i_batch, hosts_.size());
+
+  // Phase 3b: column reduction back to row 0 (merge hop by hop, exact).
+  // The wire carries the same running sums as the serial schedule did.
   std::vector<std::vector<ForceAccumulator>> column_total(
       static_cast<std::size_t>(side));
   for (int c = 0; c < side; ++c) {
-    std::vector<ForceAccumulator> acc;
-    hosts_[static_cast<std::size_t>((side - 1) * side + c)].partial_forces(
-        t, i_batch, eps2_, acc);
+    std::vector<ForceAccumulator> acc =
+        host_partial_[static_cast<std::size_t>((side - 1) * side + c)];
     for (int r = side - 2; r >= 0; --r) {
       const int from = (r + 1) * side + c;
       const int to = r * side + c;
       transport_->send(from, to, kTagPartial, pack_accumulators(acc));
       auto msg = transport_->recv(to, from, kTagPartial);
       auto received = unpack_accumulators(msg.payload, fmt_);
-      std::vector<ForceAccumulator> local;
-      hosts_[static_cast<std::size_t>(to)].partial_forces(t, i_batch, eps2_, local);
+      std::vector<ForceAccumulator> local = host_partial_[static_cast<std::size_t>(to)];
       for (std::size_t k = 0; k < local.size(); ++k) local[k] += received[k];
       acc = std::move(local);
     }

@@ -22,6 +22,14 @@
 /// exact under any summation order); what differs — and what the benches
 /// measure — is where the bytes flow: the Transport (Ethernet) counters vs
 /// the hardware (PCI/LVDS) counters.
+///
+/// The simulated hosts step concurrently, like the real cluster: every
+/// compute() is organised as barrier-separated phases where the embarrass-
+/// ingly parallel part — each host running its software GRAPE over its own
+/// j-store — fans out over a ThreadPool, while the Transport exchanges (the
+/// modeled wire) stay on the driving thread between barriers. Fixed-point
+/// merging keeps the result bit-identical to the serial host loop at any
+/// thread count.
 
 #include <cstdint>
 #include <memory>
@@ -30,6 +38,7 @@
 #include "cluster/transport.hpp"
 #include "grape6/pipeline.hpp"
 #include "nbody/force.hpp"
+#include "util/thread_pool.hpp"
 
 namespace g6::cluster {
 
@@ -74,15 +83,19 @@ class SimHost {
   FormatSpec fmt_;
   std::vector<JParticle> jstore_;
   std::vector<std::int64_t> index_;  ///< gid -> local slot (-1 when absent)
+  /// Predicted-j scratch reused across partial_forces calls (grow-only). One
+  /// host is stepped by at most one worker at a time, so no synchronisation.
+  mutable std::vector<g6::hw::JPredicted> pred_;
 };
 
 /// The multi-host force engine.
 class ParallelHostSystem {
  public:
   /// \p n_hosts total simulated hosts. For kMatrix2D, n_hosts must be a
-  /// perfect square and the first row are the "real" hosts.
+  /// perfect square and the first row are the "real" hosts. \p pool steps
+  /// the hosts concurrently (nullptr = the process-wide shared pool).
   ParallelHostSystem(int n_hosts, HostMode mode, FormatSpec fmt, double eps,
-                     LinkSpec ethernet = {});
+                     LinkSpec ethernet = {}, g6::util::ThreadPool* pool = nullptr);
 
   int hosts() const { return static_cast<int>(hosts_.size()); }
   HostMode mode() const { return mode_; }
@@ -123,13 +136,25 @@ class ParallelHostSystem {
 
   int grid_side() const;  ///< matrix mode: sqrt(n_hosts)
 
+  /// Barrier-separated parallel phase: every host in [0, n) runs its
+  /// software GRAPE on \p batch into host_partial_[h]. Returns after all
+  /// hosts finished (the BSP barrier).
+  void parallel_partials(double t, const std::vector<IParticle>& batch,
+                         std::size_t n_hosts_active);
+
   HostMode mode_;
   FormatSpec fmt_;
   double eps2_;
+  g6::util::ThreadPool* pool_;
   std::vector<SimHost> hosts_;
   std::unique_ptr<Transport> transport_;
   HardwareBytes hw_bytes_;
   std::size_t n_particles_ = 0;
+  /// Per-host partial-force buffers, persistent across compute() calls so
+  /// the hot path does not reallocate (grow-only, value-reset in place).
+  std::vector<std::vector<ForceAccumulator>> host_partial_;
+  std::vector<std::vector<IParticle>> host_batch_;        ///< naive mode i-slices
+  std::vector<std::vector<std::size_t>> host_batch_idx_;  ///< slice -> batch index
 };
 
 /// Serialize a JParticle / accumulator batch into transport payloads.

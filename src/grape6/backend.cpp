@@ -8,8 +8,8 @@ namespace g6::hw {
 
 using g6::nbody::ParticleSystem;
 
-Grape6Backend::Grape6Backend(MachineConfig cfg, double eps)
-    : machine_(cfg), eps_(eps) {
+Grape6Backend::Grape6Backend(MachineConfig cfg, double eps, g6::util::ThreadPool* pool)
+    : machine_(cfg, pool), eps_(eps) {
   G6_CHECK(eps >= 0.0, "softening must be non-negative");
 }
 

@@ -17,8 +17,11 @@ namespace g6::hw {
 /// ForceBackend implementation on top of Grape6Machine.
 class Grape6Backend final : public g6::nbody::ForceBackend {
  public:
-  /// \p cfg machine topology/formats, \p eps softening length.
-  Grape6Backend(MachineConfig cfg, double eps);
+  /// \p cfg machine topology/formats, \p eps softening length. \p pool runs
+  /// the emulated boards concurrently (nullptr = the process-wide shared
+  /// pool) — share it with the integrator so all layers use one set of
+  /// worker threads.
+  Grape6Backend(MachineConfig cfg, double eps, g6::util::ThreadPool* pool = nullptr);
 
   std::string name() const override { return "grape6"; }
   void load(const g6::nbody::ParticleSystem& ps) override;

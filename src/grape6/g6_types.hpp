@@ -156,6 +156,8 @@ struct HwCounters {
     j_writes += o.j_writes;
     return *this;
   }
+
+  friend bool operator==(const HwCounters&, const HwCounters&) = default;
 };
 
 /// Publish the counters into a metrics registry under `g6.hw.*` so one

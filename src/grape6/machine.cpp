@@ -2,17 +2,24 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace g6::hw {
 
-Grape6Machine::Grape6Machine(MachineConfig cfg) : cfg_(cfg) {
+Grape6Machine::Grape6Machine(MachineConfig cfg, g6::util::ThreadPool* pool)
+    : cfg_(cfg), pool_(pool != nullptr ? pool : &g6::util::shared_pool()) {
   G6_CHECK(cfg.clusters > 0 && cfg.hosts_per_cluster > 0 && cfg.boards_per_host > 0,
            "machine topology must be non-empty");
   const int nb = cfg.total_boards();
   boards_.reserve(static_cast<std::size_t>(nb));
   for (int b = 0; b < nb; ++b)
     boards_.emplace_back(cfg.fmt, cfg.chips_per_board, cfg.jmem_per_chip);
+  scratch_.resize(boards_.size());
+}
+
+void Grape6Machine::set_pool(g6::util::ThreadPool* pool) {
+  pool_ = pool != nullptr ? pool : &g6::util::shared_pool();
 }
 
 std::size_t Grape6Machine::capacity() const {
@@ -51,20 +58,52 @@ const JParticle& Grape6Machine::read_j(std::size_t index) const {
 }
 
 void Grape6Machine::predict_all(double t) {
-  for (auto& b : boards_) b.predict_all(t);
+  // Every board's predictor pipelines run concurrently, as in hardware.
+  // Each board only touches its own chips, so tasks are disjoint.
+  pool_->parallel_for(
+      boards_.size(),
+      [&](std::size_t b0, std::size_t b1) {
+        for (std::size_t b = b0; b < b1; ++b) {
+          G6_TRACE_SPAN_CAT("board-predict", "hw");
+          boards_[b].predict_all(t);
+        }
+      },
+      /*grain=*/1);
 }
 
 void Grape6Machine::compute(const std::vector<IParticle>& i_batch, double eps2,
                             std::vector<ForceAccumulator>& out) {
-  out.assign(i_batch.size(), ForceAccumulator(cfg_.fmt));
-  scratch_.resize(boards_.size());
-  for (std::size_t b = 0; b < boards_.size(); ++b) {
-    scratch_[b].assign(i_batch.size(), ForceAccumulator(cfg_.fmt));
-    boards_[b].compute(i_batch, eps2, scratch_[b]);
-  }
-  // Network reduction across boards — exact, order independent.
-  for (std::size_t b = 0; b < boards_.size(); ++b)
-    for (std::size_t k = 0; k < i_batch.size(); ++k) out[k] += scratch_[b][k];
+  const std::size_t ni = i_batch.size();
+  out.assign(ni, ForceAccumulator(cfg_.fmt));
+
+  // Phase 1 — boards run concurrently, each filling its own scratch_ slice
+  // (grown once, then value-reset in place: no per-call reallocation).
+  pool_->parallel_for(
+      boards_.size(),
+      [&](std::size_t b0, std::size_t b1) {
+        for (std::size_t b = b0; b < b1; ++b) {
+          G6_TRACE_SPAN_CAT("board-compute", "hw");
+          auto& part = scratch_[b];
+          part.resize(ni, ForceAccumulator(cfg_.fmt));
+          for (std::size_t k = 0; k < ni; ++k) part[k] = ForceAccumulator(cfg_.fmt);
+          boards_[b].compute(i_batch, eps2, part);
+        }
+      },
+      /*grain=*/1);
+
+  // Phase 2 — network reduction across boards: a pairwise tree over the
+  // fixed-point partials, parallel over i-particles. Fixed-point addition is
+  // exact and associative, so this is bit-identical to the serial board loop
+  // (and to any other merge order) by construction.
+  pool_->parallel_for(ni, [&](std::size_t k0, std::size_t k1) {
+    for (std::size_t width = boards_.size(); width > 1;) {
+      const std::size_t half = (width + 1) / 2;
+      for (std::size_t b = 0; b + half < width; ++b)
+        for (std::size_t k = k0; k < k1; ++k) scratch_[b][k] += scratch_[b + half][k];
+      width = half;
+    }
+    for (std::size_t k = k0; k < k1; ++k) out[k] += scratch_[0][k];
+  });
 }
 
 double Grape6Machine::pipeline_seconds(std::size_t ni) const {

@@ -10,12 +10,19 @@
 /// i-particles are broadcast to all boards through the network-board trees;
 /// partial forces come back through the hardware reduction units and are
 /// merged exactly (fixed point).
+///
+/// Like the hardware, the emulation runs the boards concurrently: compute()
+/// and predict_all() fan the boards out over a ThreadPool and merge the
+/// per-board partial forces with a deterministic fixed-point reduction tree,
+/// so the result is bit-identical to the serial board loop for any thread
+/// count (see docs/PERFORMANCE.md, "Emulation parallelism").
 
 #include <cstdint>
 #include <vector>
 
 #include "grape6/board.hpp"
 #include "grape6/netboard.hpp"
+#include "util/thread_pool.hpp"
 
 namespace g6::hw {
 
@@ -66,7 +73,13 @@ struct GlobalJAddress {
 /// Functional + cycle model of the complete GRAPE-6 installation.
 class Grape6Machine {
  public:
-  explicit Grape6Machine(MachineConfig cfg);
+  /// \p pool runs the boards concurrently; nullptr means the process-wide
+  /// g6::util::shared_pool() (G6_NUM_THREADS lanes).
+  explicit Grape6Machine(MachineConfig cfg, g6::util::ThreadPool* pool = nullptr);
+
+  /// Swap the worker pool (tests compare thread counts on one machine).
+  /// nullptr restores the shared pool.
+  void set_pool(g6::util::ThreadPool* pool);
 
   const MachineConfig& config() const { return cfg_; }
   std::size_t j_count() const { return addr_.size(); }
@@ -111,9 +124,13 @@ class Grape6Machine {
 
  private:
   MachineConfig cfg_;
+  g6::util::ThreadPool* pool_;
   std::vector<ProcessorBoard> boards_;
   std::vector<GlobalJAddress> addr_;  ///< load order -> machine address
-  std::vector<std::vector<ForceAccumulator>> scratch_;  ///< per-board partials
+  /// Per-board partial accumulators. Sized once per topology (outer) and
+  /// once per i-batch shape (inner, grow-only) — compute() resets the values
+  /// in place instead of reallocating every call.
+  std::vector<std::vector<ForceAccumulator>> scratch_;
 };
 
 }  // namespace g6::hw

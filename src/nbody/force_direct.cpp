@@ -6,12 +6,8 @@
 namespace g6::nbody {
 
 CpuDirectBackend::CpuDirectBackend(double eps, g6::util::ThreadPool* pool)
-    : eps_(eps), pool_(pool) {
+    : eps_(eps), pool_(pool != nullptr ? pool : &g6::util::shared_pool()) {
   G6_CHECK(eps >= 0.0, "softening must be non-negative");
-  if (pool_ == nullptr) {
-    owned_pool_ = std::make_unique<g6::util::ThreadPool>(1);
-    pool_ = owned_pool_.get();
-  }
 }
 
 void CpuDirectBackend::load(const ParticleSystem& ps) {

@@ -41,8 +41,9 @@ inline void pairwise_force(const Vec3& xi, const Vec3& vi, const Vec3& xj,
 /// correctors) predict once.
 class CpuDirectBackend final : public ForceBackend {
  public:
-  /// \p eps softening length; \p pool optional shared thread pool (a private
-  /// single-thread pool is created when null).
+  /// \p eps softening length; \p pool optional thread pool (null means the
+  /// process-wide g6::util::shared_pool()). Results are bit-identical for
+  /// any thread count: the per-i force sweep is independent work.
   explicit CpuDirectBackend(double eps, g6::util::ThreadPool* pool = nullptr);
 
   std::string name() const override { return "cpu-direct"; }
@@ -69,7 +70,6 @@ class CpuDirectBackend final : public ForceBackend {
 
   double eps_;
   g6::util::ThreadPool* pool_;
-  std::unique_ptr<g6::util::ThreadPool> owned_pool_;
   CpuKernel kernel_ = cpu_kernel_from_env();
 
   // j-particle store (state at each particle's own time t0).

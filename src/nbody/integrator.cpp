@@ -11,16 +11,13 @@ namespace g6::nbody {
 
 HermiteIntegrator::HermiteIntegrator(ParticleSystem& ps, ForceBackend& backend,
                                      IntegratorConfig cfg, g6::util::ThreadPool* pool)
-    : ps_(ps), backend_(backend), cfg_(cfg), pool_(pool) {
+    : ps_(ps), backend_(backend), cfg_(cfg),
+      pool_(pool != nullptr ? pool : &g6::util::shared_pool()) {
   G6_CHECK(cfg_.eta > 0.0 && cfg_.eta_init > 0.0, "eta parameters must be positive");
   G6_CHECK(is_power_of_two_step(cfg_.dt_max), "dt_max must be a power of two");
   G6_CHECK(is_power_of_two_step(cfg_.dt_min), "dt_min must be a power of two");
   G6_CHECK(cfg_.dt_min <= cfg_.dt_max, "dt_min must not exceed dt_max");
   G6_CHECK(cfg_.corrector_iterations >= 1, "need at least one corrector pass");
-  if (pool_ == nullptr) {
-    owned_pool_ = std::make_unique<g6::util::ThreadPool>(1);
-    pool_ = owned_pool_.get();
-  }
   solar_.gm = cfg_.solar_gm;
 }
 

@@ -66,7 +66,9 @@ void publish_metrics(const IntegratorStats& stats, g6::obs::MetricsRegistry& reg
 class HermiteIntegrator {
  public:
   /// The integrator borrows \p ps and \p backend (caller keeps ownership);
-  /// \p pool may be shared with the backend (nullptr = private serial pool).
+  /// \p pool may be shared with the backend (nullptr = the process-wide
+  /// g6::util::shared_pool()). The corrector is per-particle independent
+  /// work, so trajectories are bit-identical at any thread count.
   HermiteIntegrator(ParticleSystem& ps, ForceBackend& backend, IntegratorConfig cfg,
                     g6::util::ThreadPool* pool = nullptr);
 
@@ -121,7 +123,6 @@ class HermiteIntegrator {
   ForceBackend& backend_;
   IntegratorConfig cfg_;
   g6::util::ThreadPool* pool_;
-  std::unique_ptr<g6::util::ThreadPool> owned_pool_;
   SolarPotential solar_;
   BlockScheduler scheduler_;
   IntegratorStats stats_;

@@ -1,12 +1,38 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace g6::util {
 
+namespace {
+/// True while the current thread is executing a chunk of some parallel_for
+/// (as a pool worker or as the caller's own share). Nested parallel_for
+/// calls check this and degrade to serial execution: re-submitting work from
+/// inside a region would clobber the pool's job slots and deadlock the
+/// outer wait, and even on a second pool it would only oversubscribe cores.
+thread_local bool tls_in_parallel_region = false;
+}  // namespace
+
+std::size_t concurrency() {
+  static const std::size_t n = [] {
+    if (const char* env = std::getenv("G6_NUM_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }();
+  return n;
+}
+
+ThreadPool& shared_pool() {
+  static ThreadPool pool(concurrency());
+  return pool;
+}
+
 ThreadPool::ThreadPool(std::size_t nthreads) {
   std::size_t n = nthreads;
-  if (n == 0) n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (n == 0) n = concurrency();
   // n-1 workers; the calling thread contributes the n-th lane.
   jobs_.resize(n > 0 ? n - 1 : 0);
   workers_.reserve(jobs_.size());
@@ -37,9 +63,17 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     }
     const bool had_work = job.fn != nullptr && job.begin < job.end;
     if (had_work) {
-      (*job.fn)(job.begin, job.end);
+      std::exception_ptr err;
+      tls_in_parallel_region = true;
+      try {
+        (*job.fn)(job.begin, job.end);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      tls_in_parallel_region = false;
       {
         std::lock_guard lk(mu_);
+        if (err && !first_error_) first_error_ = err;
         --pending_;
       }
       cv_done_.notify_one();
@@ -48,10 +82,11 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t, std::size_t)>& fn) {
+                              const std::function<void(std::size_t, std::size_t)>& fn,
+                              std::size_t grain) {
   const std::size_t lanes = size();
   if (n == 0) return;
-  if (lanes == 1 || n < kSerialGrain) {
+  if (lanes == 1 || n < std::max<std::size_t>(1, grain) || tls_in_parallel_region) {
     fn(0, n);
     return;
   }
@@ -59,6 +94,7 @@ void ThreadPool::parallel_for(std::size_t n,
   std::size_t own_begin = 0, own_end = std::min(chunk, n);
   {
     std::lock_guard lk(mu_);
+    first_error_ = nullptr;
     for (std::size_t w = 0; w < jobs_.size(); ++w) {
       const std::size_t b = std::min(n, (w + 1) * chunk);
       const std::size_t e = std::min(n, (w + 2) * chunk);
@@ -68,9 +104,23 @@ void ThreadPool::parallel_for(std::size_t n,
     ++generation_;
   }
   cv_work_.notify_all();
-  fn(own_begin, own_end);
-  std::unique_lock lk(mu_);
-  cv_done_.wait(lk, [&] { return pending_ == 0; });
+  std::exception_ptr own_err;
+  tls_in_parallel_region = true;
+  try {
+    fn(own_begin, own_end);
+  } catch (...) {
+    own_err = std::current_exception();
+  }
+  tls_in_parallel_region = false;
+  std::exception_ptr err;
+  {
+    std::unique_lock lk(mu_);
+    cv_done_.wait(lk, [&] { return pending_ == 0; });
+    if (own_err && !first_error_) first_error_ = own_err;
+    err = first_error_;
+    first_error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 }  // namespace g6::util

@@ -3,13 +3,22 @@
 /// \brief A small work-sharing thread pool with a blocked parallel_for.
 ///
 /// The host side of the reproduction is explicitly parallel (the paper's 16
-/// PCs each integrate a slice of the active block). Within one process we use
-/// a classic pool + static block decomposition — the same structure an OpenMP
-/// `parallel for schedule(static)` would produce, but with no runtime
+/// PCs each integrate a slice of the active block), and so is the hardware:
+/// 4 boards per host and 16 hosts all run concurrently. Within one process we
+/// use a classic pool + static block decomposition — the same structure an
+/// OpenMP `parallel for schedule(static)` would produce, but with no runtime
 /// dependency and with deterministic partitioning.
+///
+/// One process-wide pool is shared by every layer (integrator, CPU force
+/// kernels, GRAPE machine emulation, cluster host simulation): see
+/// shared_pool() and the G6_NUM_THREADS knob. Nested parallel_for calls from
+/// inside a parallel region fall back to serial execution on the calling
+/// thread, so composing parallel layers is always safe (no deadlock, no
+/// oversubscription).
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -17,11 +26,16 @@
 
 namespace g6::util {
 
+/// Worker-thread count the process should use: the G6_NUM_THREADS
+/// environment variable when set to a positive integer, otherwise
+/// hardware_concurrency (at least 1). Parsed once on first call.
+std::size_t concurrency();
+
 /// Fixed-size thread pool. Threads are created once and reused; parallel_for
 /// blocks the caller until every range chunk has completed.
 class ThreadPool {
  public:
-  /// \p nthreads 0 means hardware_concurrency (at least 1).
+  /// \p nthreads 0 means concurrency() (G6_NUM_THREADS / hardware).
   explicit ThreadPool(std::size_t nthreads = 0);
   ~ThreadPool();
 
@@ -39,9 +53,18 @@ class ThreadPool {
 
   /// Run fn(begin, end) over [0, n) split into size() contiguous chunks.
   /// The caller's thread executes one chunk itself. Ranges shorter than
-  /// kSerialGrain are executed as a single fn(0, n) call on the caller.
-  /// The partition depends only on n and size() — deterministic across calls.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn);
+  /// \p grain are executed as a single fn(0, n) call on the caller — pass
+  /// grain 1 for coarse tasks (per-board, per-host) where even n = 2 is
+  /// worth distributing. The partition depends only on n and size() —
+  /// deterministic across calls.
+  ///
+  /// Re-entrancy: a call made from inside a parallel region (a pool worker,
+  /// or the caller's own chunk of an enclosing parallel_for) executes
+  /// fn(0, n) serially on the calling thread. An exception thrown by any
+  /// chunk is rethrown on the calling thread after all chunks finished
+  /// (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn,
+                    std::size_t grain = kSerialGrain);
 
  private:
   struct Job {
@@ -59,6 +82,13 @@ class ThreadPool {
   std::size_t generation_ = 0;   // bumped per parallel_for call
   std::size_t pending_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;  // first chunk failure of the current call
 };
+
+/// The process-wide pool, created on first use with concurrency() lanes.
+/// Every component that is handed a null pool uses this one, so the
+/// integrator, the CPU kernels, the GRAPE machine and the cluster simulation
+/// all share the same worker threads instead of each creating their own.
+ThreadPool& shared_pool();
 
 }  // namespace g6::util

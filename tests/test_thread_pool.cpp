@@ -7,6 +7,7 @@
 #include <atomic>
 #include <mutex>
 #include <numeric>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -101,6 +102,98 @@ TEST(ThreadPool, GrainSizedRangeUsesMultipleChunks) {
   });
   EXPECT_GT(chunks.load(), 1);
   EXPECT_EQ(covered.load(), ThreadPool::kSerialGrain);
+}
+
+// n = 4 is far below kSerialGrain, but per-board / per-host tasks are coarse
+// enough that even two of them are worth distributing: grain = 1 must
+// override the serial cutoff and split the range.
+TEST(ThreadPool, GrainOneDistributesCoarseTasks) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  int chunks = 0;
+  std::size_t covered = 0;
+  pool.parallel_for(
+      4,
+      [&](std::size_t b, std::size_t e) {
+        std::lock_guard lk(mu);
+        ++chunks;
+        covered += e - b;
+      },
+      /*grain=*/1);
+  EXPECT_GT(chunks, 1);
+  EXPECT_EQ(covered, 4u);
+}
+
+// A parallel_for issued from inside a parallel region (here: from the chunks
+// of an enclosing parallel_for, which run on pool workers and on the caller)
+// must not deadlock waiting for workers that are busy running the outer
+// loop. It falls back to a serial fn(0, n) on the calling thread, and every
+// element is still covered exactly once. The inner range is far above
+// kSerialGrain so the serial execution is due to re-entrancy, not size.
+TEST(ThreadPool, NestedParallelForSerializesInsteadOfDeadlocking) {
+  ThreadPool pool(4);
+  constexpr std::size_t outer = 8;
+  constexpr std::size_t inner = 4 * ThreadPool::kSerialGrain;
+  std::vector<std::atomic<int>> hits(outer * inner);
+  pool.parallel_for(
+      outer,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          const auto tid = std::this_thread::get_id();
+          pool.parallel_for(inner, [&](std::size_t ib, std::size_t ie) {
+            EXPECT_EQ(std::this_thread::get_id(), tid);  // serial, same thread
+            for (std::size_t j = ib; j < ie; ++j) hits[i * inner + j].fetch_add(1);
+          });
+        }
+      },
+      /*grain=*/1);
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    ASSERT_EQ(hits[i].load(), 1) << "i=" << i;
+}
+
+// The re-entrancy guard is per-thread, not per-pool: nesting across two
+// different pools (e.g. a private bench pool inside the shared pool) must
+// serialize too, or the layers would oversubscribe each other.
+TEST(ThreadPool, NestedAcrossDistinctPoolsSerializes) {
+  ThreadPool outer_pool(4);
+  ThreadPool inner_pool(4);
+  std::atomic<std::size_t> covered{0};
+  outer_pool.parallel_for(
+      4,
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          const auto tid = std::this_thread::get_id();
+          inner_pool.parallel_for(2 * ThreadPool::kSerialGrain,
+                                  [&](std::size_t ib, std::size_t ie) {
+                                    EXPECT_EQ(std::this_thread::get_id(), tid);
+                                    covered.fetch_add(ie - ib);
+                                  });
+        }
+      },
+      /*grain=*/1);
+  EXPECT_EQ(covered.load(), 4 * 2 * ThreadPool::kSerialGrain);
+}
+
+// An exception thrown by a chunk (worker or caller lane) is rethrown on the
+// calling thread once all chunks finished, and the pool stays usable.
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(1000,
+                                 [](std::size_t, std::size_t) {
+                                   throw std::runtime_error("chunk failure");
+                                 }),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  pool.parallel_for(1000, [&](std::size_t b, std::size_t e) {
+    count.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, SharedPoolIsOneProcessWideInstance) {
+  EXPECT_EQ(&g6::util::shared_pool(), &g6::util::shared_pool());
+  EXPECT_EQ(g6::util::shared_pool().size(), g6::util::concurrency());
+  EXPECT_GE(g6::util::concurrency(), 1u);
 }
 
 // The static partition is a pure function of (n, size()): repeated calls see
