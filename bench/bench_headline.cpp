@@ -10,10 +10,82 @@
 
 #include "bench_common.hpp"
 #include "bench_json.hpp"
+#include "fault/campaign.hpp"
 #include "grape6/g6_types.hpp"
 
 using namespace g6;
 using namespace g6::bench;
+
+namespace {
+
+/// --faults <seed>: run seeded machine- and cluster-level fault campaigns,
+/// fold the recovery accounting into the full-machine analytic model, and
+/// export the overhead (retries, recomputed blocks, degraded Tflops) to
+/// BENCH_faults.json (a recorded copy lives in bench/recorded/).
+int run_fault_section(std::uint64_t seed, const cluster::PerfModel& model,
+                      std::span<const cluster::BlockCount> blocks,
+                      const cluster::RunEstimate& pristine,
+                      const std::string& json_path) {
+  std::printf("fault campaign (--faults, seed %llu):\n",
+              static_cast<unsigned long long>(seed));
+  fault::CampaignConfig cfg;
+  cfg.fault_seed = seed;
+  const fault::CampaignResult machine = fault::run_machine_campaign(cfg);
+  const fault::CampaignResult cluster = fault::run_cluster_campaign(cfg);
+  std::printf("  %s\n  %s\n", machine.summary.c_str(), cluster.summary.c_str());
+
+  // Degrade the paper-scale model by the campaign's surviving topology and
+  // charge its modeled recovery time, so the fault cost reads in Tflops.
+  fault::FaultStatsSnapshot combined = machine.stats;
+  combined.dead_hosts = cluster.stats.dead_hosts;
+  combined.recovery_modeled_seconds += cluster.stats.recovery_modeled_seconds;
+  const auto deg = cluster::Degradation::from_stats(combined);
+  const auto degraded = model.run_degraded(kPaperN, blocks, deg);
+  std::printf("  degraded model: %.3f Tflops (%.1f%% of pristine %.3f), "
+              "recovery %.3g s charged\n\n",
+              degraded.sustained_flops / 1e12,
+              100.0 * degraded.sustained_flops / pristine.sustained_flops,
+              pristine.sustained_flops / 1e12, deg.recovery_seconds);
+
+  auto campaign_json = [](const fault::CampaignResult& r) {
+    return JsonBuilder::object()
+        .field("bit_identical", r.bit_identical)
+        .field("faults_scheduled", double(r.faults_scheduled))
+        .field("injected_total", double(r.stats.injected_total))
+        .field("crc_payload_mismatches", double(r.stats.crc_payload_mismatches))
+        .field("crc_jmem_mismatches", double(r.stats.crc_jmem_mismatches))
+        .field("selftest_failures", double(r.stats.selftest_failures))
+        .field("link_retries", double(r.stats.link_retries))
+        .field("resends", double(r.stats.resends))
+        .field("recomputed_chip_blocks", double(r.stats.recomputed_chip_blocks))
+        .field("jmem_rewrites", double(r.stats.jmem_rewrites))
+        .field("excluded_chips", double(r.stats.excluded_chips))
+        .field("excluded_boards", double(r.stats.excluded_boards))
+        .field("dead_hosts", double(r.stats.dead_hosts))
+        .field("remapped_particles", double(r.stats.remapped_particles))
+        .field("recovery_modeled_seconds", r.recovery_modeled_seconds)
+        .field("degraded_capacity_fraction", r.degraded_capacity_fraction);
+  };
+  const JsonBuilder doc =
+      JsonBuilder::object()
+          .field("bench", "faults")
+          .field("fault_seed", double(seed))
+          .field("machine_campaign", campaign_json(machine))
+          .field("cluster_campaign", campaign_json(cluster))
+          .field("pristine_sustained_tflops", pristine.sustained_flops / 1e12)
+          .field("degraded_sustained_tflops", degraded.sustained_flops / 1e12)
+          .field("degraded_efficiency", degraded.efficiency)
+          .field("recovery_seconds_charged", deg.recovery_seconds);
+  if (write_json_file(json_path, doc))
+    std::printf("fault JSON written to %s\n\n", json_path.c_str());
+  if (!machine.bit_identical || !cluster.bit_identical) {
+    std::printf("fault campaign bit-identity: FAIL\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const bool full = full_mode(argc, argv);
@@ -214,6 +286,15 @@ int main(int argc, char** argv) {
   if (write_json_file(json_path, doc))
     std::printf("bench JSON written to %s\n", json_path.c_str());
 
+  // Optional reliability accounting: --faults <seed> runs seeded campaigns
+  // and exports the recovery overhead next to the headline numbers.
+  int fault_rc = 0;
+  const std::string faults_seed = flag_str(argc, argv, "faults");
+  if (!faults_seed.empty())
+    fault_rc = run_fault_section(
+        std::strtoull(faults_seed.c_str(), nullptr, 10), model, blocks, est,
+        flag_str(argc, argv, "faults-json", "BENCH_faults.json"));
+
   const bool shape_ok = est.efficiency > 0.25 && est.efficiency < 0.75;
   std::printf("shape check: efficiency in the paper's band (25-75%%): %s\n",
               shape_ok ? "PASS" : "FAIL");
@@ -222,5 +303,5 @@ int main(int argc, char** argv) {
   std::printf("bit-identity check (tiled, simd, grape batched, parallel "
               "machine): %s\n",
               kernels_ok ? "PASS" : "FAIL");
-  return (shape_ok && kernels_ok) ? 0 : 1;
+  return (shape_ok && kernels_ok && fault_rc == 0) ? 0 : 1;
 }

@@ -1,5 +1,7 @@
 #include "cluster/cluster_backend.hpp"
 
+#include <cmath>
+
 #include "nbody/hermite.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
@@ -17,6 +19,11 @@ ClusterBackend::ClusterBackend(int n_hosts, HostMode mode, FormatSpec fmt,
   G6_CHECK(eps >= 0.0, "softening must be non-negative");
   sys_ = std::make_unique<ParallelHostSystem>(n_hosts, mode, fmt, eps, ethernet,
                                               pool_);
+}
+
+void ClusterBackend::set_fault_injector(fault::FaultInjector* injector) {
+  injector_ = injector;
+  sys_->set_fault_injector(injector);
 }
 
 std::string ClusterBackend::name() const {
@@ -44,9 +51,11 @@ void ClusterBackend::load(const ParticleSystem& ps) {
     a0_[i] = ps.acc(i);
     j0_[i] = ps.jerk(i);
   }
-  // Rebuild the host system so a re-load starts from empty j-stores.
+  // Rebuild the host system so a re-load starts from empty j-stores; the
+  // attached injector (if any) must survive the rebuild.
   sys_ = std::make_unique<ParallelHostSystem>(sys_->hosts(), mode_, fmt_, eps_,
                                               sys_->transport().link(), pool_);
+  sys_->set_fault_injector(injector_);
   sys_->load(js);
 }
 
@@ -115,6 +124,15 @@ void ClusterBackend::compute_states(double t, std::span<const std::uint32_t> ili
     out[k].acc = accum_[k].acc.to_vec3();
     out[k].jerk = accum_[k].jerk.to_vec3();
     out[k].pot = accum_[k].pot.to_double();
+    // Last-line detection: corruption that slipped past CRC/self-test would
+    // surface here as a non-finite acceleration.
+    if (!std::isfinite(out[k].acc.x) || !std::isfinite(out[k].acc.y) ||
+        !std::isfinite(out[k].acc.z) || !std::isfinite(out[k].pot)) {
+      if (injector_ != nullptr)
+        injector_->stats().range_guard_trips.fetch_add(1, std::memory_order_relaxed);
+      g6::util::raise("non-finite acceleration returned for i-particle " +
+                      std::to_string(ilist[k]));
+    }
   }
   interactions_ += ilist.size() * t0_.size();
 }

@@ -49,6 +49,12 @@ class ClusterBackend final : public g6::nbody::ForceBackend {
   ParallelHostSystem& system() { return *sys_; }
   const ParallelHostSystem& system() const { return *sys_; }
 
+  /// Attach (or detach with nullptr) a fault injector; survives the host-
+  /// system rebuild load() performs. Also arms the NaN/overflow guard
+  /// accounting on returned accelerations.
+  void set_fault_injector(fault::FaultInjector* injector);
+  fault::FaultInjector* fault_injector() const { return injector_; }
+
  private:
   JParticle format_j(std::uint32_t i, const g6::nbody::ParticleSystem& ps) const;
 
@@ -65,6 +71,7 @@ class ClusterBackend final : public g6::nbody::ForceBackend {
   std::uint64_t interactions_ = 0;
   std::vector<IParticle> batch_;
   std::vector<ForceAccumulator> accum_;
+  fault::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace g6::cluster

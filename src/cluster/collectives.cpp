@@ -59,7 +59,10 @@ std::vector<std::vector<std::byte>> tree_broadcast(Transport& transport, int roo
     for (int rel = 0; rel < d && rel + d < p; ++rel) {
       const int src = (root + rel) % p;
       const int dst = (root + rel + d) % p;
-      transport.send(src, dst, tag, received[static_cast<std::size_t>(src)]);
+      G6_CHECK(transport.send(src, dst, tag,
+                              received[static_cast<std::size_t>(src)]) ==
+                   SendStatus::kOk,
+               "broadcast link down");
       received[static_cast<std::size_t>(dst)] =
           transport.recv(dst, src, tag).payload;
     }
@@ -86,8 +89,11 @@ std::vector<std::vector<std::byte>> ring_all_gather(
     for (int r = 0; r < p; ++r) {
       const int dst = (r + 1) % p;
       const int block = ((r - s) % p + p) % p;
-      transport.send(r, dst, tag,
-                     blocks[static_cast<std::size_t>(r)][static_cast<std::size_t>(block)]);
+      G6_CHECK(transport.send(
+                   r, dst, tag,
+                   blocks[static_cast<std::size_t>(r)][static_cast<std::size_t>(block)]) ==
+                   SendStatus::kOk,
+               "all-gather link down");
     }
     for (int r = 0; r < p; ++r) {
       const int src = ((r - 1) % p + p) % p;
@@ -128,7 +134,10 @@ std::vector<g6::hw::ForceAccumulator> tree_reduce(
     for (int rel = 0; rel < d && rel + d < p; ++rel) {
       const int src = (root + rel + d) % p;
       const int dst = (root + rel) % p;
-      transport.send(src, dst, tag, pack_batch(batches[static_cast<std::size_t>(src)]));
+      G6_CHECK(transport.send(src, dst, tag,
+                              pack_batch(batches[static_cast<std::size_t>(src)])) ==
+                   SendStatus::kOk,
+               "reduce link down");
       const auto received =
           unpack_batch(transport.recv(dst, src, tag).payload, fmt);
       auto& acc = batches[static_cast<std::size_t>(dst)];

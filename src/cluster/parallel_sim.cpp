@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "grape6/g6_types.hpp"
 #include "obs/trace.hpp"
 
 namespace g6::cluster {
@@ -11,6 +12,10 @@ namespace {
 constexpr int kTagJUpdate = 1;
 constexpr int kTagIBatch = 2;
 constexpr int kTagPartial = 3;
+
+// Resend budget for one BSP exchange: generous — a scripted plan can drop or
+// corrupt the same op only once, but randomized plans may stack events.
+constexpr int kMaxResends = 16;
 
 std::vector<std::byte> pack_i_batch(const std::vector<IParticle>& batch) {
   std::vector<std::byte> buf;
@@ -151,19 +156,73 @@ ParallelHostSystem::ParallelHostSystem(int n_hosts, HostMode mode, FormatSpec fm
   host_partial_.resize(static_cast<std::size_t>(n_hosts));
   host_batch_.resize(static_cast<std::size_t>(n_hosts));
   host_batch_idx_.resize(static_cast<std::size_t>(n_hosts));
+  alive_.assign(static_cast<std::size_t>(n_hosts), 1);
+  alive_real_.resize(static_cast<std::size_t>(real_hosts()));
+  for (int h = 0; h < real_hosts(); ++h) alive_real_[static_cast<std::size_t>(h)] = h;
+}
+
+void ParallelHostSystem::set_fault_injector(fault::FaultInjector* injector) {
+  injector_ = injector;
+  transport_->set_fault_injector(injector);
+}
+
+int ParallelHostSystem::alive_host_count() const {
+  int n = 0;
+  for (char a : alive_) n += a != 0;
+  return n;
+}
+
+Message ParallelHostSystem::exchange(int src, int dst, int tag,
+                                     const std::vector<std::byte>& payload) {
+  const fault::RetryPolicy policy;
+  int link_retries = 0;
+  int resends = 0;
+  for (;;) {
+    if (transport_->send(src, dst, tag, payload) == SendStatus::kLinkDown) {
+      // Transient link-down: bounded retry with exponential backoff, the
+      // wait charged as modeled link time (the host spins on the NIC).
+      G6_CHECK(link_retries + 1 < policy.max_attempts,
+               "link " + std::to_string(src) + "->" + std::to_string(dst) +
+                   " still down after " + std::to_string(policy.max_attempts) +
+                   " attempts");
+      const double backoff = policy.backoff_seconds(link_retries++);
+      transport_->charge_seconds(src, backoff);
+      if (injector_ != nullptr) {
+        injector_->stats().link_retries.fetch_add(1, std::memory_order_relaxed);
+        injector_->stats().add_recovery_seconds(backoff);
+      }
+      continue;
+    }
+    Message m;
+    const RecvStatus rs = transport_->try_recv(dst, src, tag, m);
+    if (rs == RecvStatus::kOk) return m;
+    G6_CHECK(rs != RecvStatus::kTagMismatch, "BSP protocol error (tag mismatch)");
+    // Dropped in flight (kEmpty) or CRC mismatch (kCorrupt): resend. The
+    // retransmission pays full link time again via send(); count it as
+    // recovery cost too.
+    G6_CHECK(++resends <= kMaxResends, "message from " + std::to_string(src) +
+                                           " to " + std::to_string(dst) +
+                                           " undeliverable after " +
+                                           std::to_string(kMaxResends) + " resends");
+    if (injector_ != nullptr) {
+      injector_->stats().resends.fetch_add(1, std::memory_order_relaxed);
+      injector_->stats().add_recovery_seconds(transport_->link().time(payload.size()));
+    }
+  }
 }
 
 void ParallelHostSystem::parallel_partials(double t, const std::vector<IParticle>& batch,
                                            std::size_t n_hosts_active) {
-  // The barrier-separated compute phase of the BSP timeline: every simulated
-  // host runs its software GRAPE concurrently, writing only its own partial
-  // buffer and per-host scratch. parallel_for returns when all hosts are
-  // done — the synchronisation point the paper's hosts hit before the next
-  // exchange phase.
+  // The barrier-separated compute phase of the BSP timeline: every alive
+  // simulated host runs its software GRAPE concurrently, writing only its
+  // own partial buffer and per-host scratch. parallel_for returns when all
+  // hosts are done — the synchronisation point the paper's hosts hit before
+  // the next exchange phase.
   pool_->parallel_for(
       n_hosts_active,
       [&](std::size_t h0, std::size_t h1) {
         for (std::size_t h = h0; h < h1; ++h) {
+          if (alive_[h] == 0) continue;
           G6_TRACE_SPAN_CAT("host-partial", "cluster");
           hosts_[h].partial_forces(t, batch, eps2_, host_partial_[h]);
         }
@@ -180,48 +239,134 @@ int ParallelHostSystem::real_hosts() const {
 }
 
 int ParallelHostSystem::owner_of(std::uint32_t gid) const {
-  return static_cast<int>(gid % static_cast<std::uint32_t>(real_hosts()));
+  const int base = static_cast<int>(gid % static_cast<std::uint32_t>(real_hosts()));
+  if (alive_[static_cast<std::size_t>(base)] != 0) return base;
+  // Dead owner: deterministic remap over the surviving real hosts.
+  return alive_real_[gid % alive_real_.size()];
+}
+
+int ParallelHostSystem::col_root(int col) const {
+  const int side = grid_side();
+  for (int r = 0; r < side; ++r) {
+    const int h = r * side + col;
+    if (alive_[static_cast<std::size_t>(h)] != 0) return h;
+  }
+  return -1;
+}
+
+int ParallelHostSystem::replacement_host(int dead) const {
+  if (mode_ == HostMode::kMatrix2D) {
+    const int root = col_root(dead % grid_side());
+    if (root >= 0) return root;
+  }
+  for (int h = 0; h < hosts(); ++h)
+    if (alive_[static_cast<std::size_t>(h)] != 0) return h;
+  g6::util::raise("no alive host left to hold j-particles");
+}
+
+int ParallelHostSystem::matrix_holder(std::uint32_t gid) const {
+  const int side = grid_side();
+  const int col = static_cast<int>(gid % static_cast<std::uint32_t>(side));
+  const int row = static_cast<int>((gid / static_cast<std::uint32_t>(side)) %
+                                   static_cast<std::uint32_t>(side));
+  const int def = row * side + col;
+  if (alive_[static_cast<std::size_t>(def)] != 0) return def;
+  return replacement_host(def);
+}
+
+void ParallelHostSystem::drop_host(int h) {
+  G6_CHECK(h > 0 && h < hosts(), "cannot drop host 0 (the driver) or out of range");
+  G6_CHECK(injector_ != nullptr, "host drop needs an attached injector (the shadow)");
+  if (alive_[static_cast<std::size_t>(h)] == 0) return;
+
+  // Which j-images the dying host currently holds (evaluated against the
+  // pre-drop liveness so chained drops resolve correctly).
+  auto holder_of = [&](std::uint32_t gid) {
+    switch (mode_) {
+      case HostMode::kNaive: return owner_of(gid);  // replica everywhere; track owner
+      case HostMode::kHardwareNet: return owner_of(gid);
+      case HostMode::kMatrix2D: return matrix_holder(gid);
+    }
+    return 0;
+  };
+  std::vector<std::uint32_t> lost;
+  for (std::uint32_t gid = 0; gid < shadow_valid_.size(); ++gid)
+    if (shadow_valid_[gid] != 0 && holder_of(gid) == h) lost.push_back(gid);
+
+  alive_[static_cast<std::size_t>(h)] = 0;
+  alive_real_.clear();
+  for (int r = 0; r < real_hosts(); ++r)
+    if (alive_[static_cast<std::size_t>(r)] != 0) alive_real_.push_back(r);
+  G6_CHECK(!alive_real_.empty(), "all real hosts dead");
+
+  auto& stats = injector_->stats();
+  stats.dead_hosts.fetch_add(1, std::memory_order_relaxed);
+
+  // Re-replicate the lost images onto survivors from the driver's shadow.
+  // In naive mode every host already holds a full replica, so only the
+  // integration ownership moves (owner_of remaps automatically) — no bytes.
+  std::uint64_t bytes = 0;
+  for (std::uint32_t gid : lost) {
+    if (mode_ != HostMode::kNaive) {
+      const int repl = holder_of(gid);  // post-drop mapping
+      hosts_[static_cast<std::size_t>(repl)].write_j(gid, shadow_[gid]);
+      bytes += g6::hw::kJParticleBytes;
+    }
+  }
+  stats.remapped_particles.fetch_add(lost.size(), std::memory_order_relaxed);
+  if (bytes > 0) {
+    // The re-replication travels over Ethernet from the shadow's host.
+    const double t = transport_->charge(0, bytes);
+    stats.add_recovery_seconds(t);
+  }
 }
 
 void ParallelHostSystem::load(std::span<const JParticle> particles) {
   n_particles_ = particles.size();
   for (const JParticle& p : particles) {
+    if (injector_ != nullptr) {
+      if (shadow_valid_.size() <= p.id) {
+        shadow_.resize(p.id + 1);
+        shadow_valid_.resize(p.id + 1, 0);
+      }
+      shadow_[p.id] = p;
+      shadow_valid_[p.id] = 1;
+    }
     switch (mode_) {
       case HostMode::kNaive:
-        for (auto& h : hosts_) h.write_j(p.id, p);
+        for (auto& h : hosts_)
+          if (alive_[static_cast<std::size_t>(h.rank())] != 0) h.write_j(p.id, p);
         break;
       case HostMode::kHardwareNet:
         hosts_[static_cast<std::size_t>(owner_of(p.id))].write_j(p.id, p);
         break;
-      case HostMode::kMatrix2D: {
-        const int side = grid_side();
-        const int col = owner_of(p.id);
-        const int row = static_cast<int>((p.id / static_cast<std::uint32_t>(side)) %
-                                         static_cast<std::uint32_t>(side));
-        hosts_[static_cast<std::size_t>(row * side + col)].write_j(p.id, p);
+      case HostMode::kMatrix2D:
+        hosts_[static_cast<std::size_t>(matrix_holder(p.id))].write_j(p.id, p);
         break;
-      }
     }
   }
 }
 
 void ParallelHostSystem::update(std::span<const JParticle> particles) {
   for (const JParticle& p : particles) {
+    if (injector_ != nullptr && p.id < shadow_valid_.size() &&
+        shadow_valid_[p.id] != 0)
+      shadow_[p.id] = p;
     const int owner = owner_of(p.id);
     switch (mode_) {
       case HostMode::kNaive: {
-        // The owner corrects the particle, then every other host needs the
-        // new state for its full replica: all-to-all over Ethernet. This is
-        // the non-scaling traffic of figure 3.
+        // The owner corrects the particle, then every other alive host needs
+        // the new state for its full replica: all-to-all over Ethernet. This
+        // is the non-scaling traffic of figure 3.
         hosts_[static_cast<std::size_t>(owner)].write_j(p.id, p);
         for (int h = 0; h < hosts(); ++h) {
-          if (h == owner) continue;
-          transport_->send(owner, h, kTagJUpdate, pack_j(p));
-          auto msg = transport_->recv(h, owner, kTagJUpdate);
+          if (h == owner || alive_[static_cast<std::size_t>(h)] == 0) continue;
+          auto msg = exchange(owner, h, kTagJUpdate, pack_j(p));
           std::size_t off = 0;
           hosts_[static_cast<std::size_t>(h)].write_j(p.id, unpack_j(msg.payload, off));
         }
-        hw_bytes_.pci += g6::hw::kJParticleBytes * hosts_.size();
+        hw_bytes_.pci +=
+            g6::hw::kJParticleBytes * static_cast<std::uint64_t>(alive_host_count());
         break;
       }
       case HostMode::kHardwareNet:
@@ -233,17 +378,31 @@ void ParallelHostSystem::update(std::span<const JParticle> particles) {
         break;
       case HostMode::kMatrix2D: {
         const int side = grid_side();
-        const int row = static_cast<int>((p.id / static_cast<std::uint32_t>(side)) %
-                                         static_cast<std::uint32_t>(side));
-        // Hop down the owner's column to the row that holds the j-image.
-        int prev = owner;
-        for (int r = 1; r <= row; ++r) {
-          const int next = r * side + owner;
-          transport_->send(prev, next, kTagJUpdate, pack_j(p));
-          (void)transport_->recv(next, prev, kTagJUpdate);
-          prev = next;
+        const int target = matrix_holder(p.id);
+        // Hop from the owner down the holder's column, through the alive
+        // hosts that emulate network boards (entering at the column root
+        // when the owner sits in another column).
+        int cur = owner;
+        if (cur != target) {
+          const int colh = target % side;
+          std::vector<int> path;
+          if (cur % side != colh) path.push_back(col_root(colh));
+          for (int r = 0; r < side; ++r) {
+            const int hop = r * side + colh;
+            if (alive_[static_cast<std::size_t>(hop)] == 0) continue;
+            if (!path.empty() && hop <= path.back()) continue;
+            if (cur % side == colh && hop <= cur) continue;
+            path.push_back(hop);
+            if (hop == target) break;
+          }
+          for (int next : path) {
+            if (next == cur) continue;
+            (void)exchange(cur, next, kTagJUpdate, pack_j(p));
+            cur = next;
+          }
+          G6_CHECK(cur == target, "matrix j-update routing failed");
         }
-        hosts_[static_cast<std::size_t>(prev)].write_j(p.id, p);
+        hosts_[static_cast<std::size_t>(target)].write_j(p.id, p);
         hw_bytes_.pci += g6::hw::kJParticleBytes;
         break;
       }
@@ -253,6 +412,18 @@ void ParallelHostSystem::update(std::span<const JParticle> particles) {
 
 void ParallelHostSystem::compute(double t, const std::vector<IParticle>& i_batch,
                                  std::vector<ForceAccumulator>& out) {
+  // Serial driver point of the cluster fault domain: host-drop events fire
+  // here, before any phase of the step fans out.
+  if (injector_ != nullptr && injector_->armed()) {
+    for (const fault::FaultEvent& event : injector_->cluster_step()) {
+      G6_CHECK(event.kind == fault::FaultKind::kHostDrop,
+               "non-cluster fault event routed to the cluster domain");
+      injector_->stats()
+          .injected[static_cast<int>(event.kind)]
+          .fetch_add(1, std::memory_order_relaxed);
+      drop_host(event.a);
+    }
+  }
   switch (mode_) {
     case HostMode::kNaive: return compute_naive(t, i_batch, out);
     case HostMode::kHardwareNet: return compute_hardware_net(t, i_batch, out);
@@ -303,85 +474,97 @@ void ParallelHostSystem::compute_hardware_net(double t,
                                               std::vector<ForceAccumulator>& out) {
   // The network boards broadcast every i-particle to every host's boards and
   // reduce the partial forces in hardware — all on LVDS, nothing on Ethernet.
-  // All hosts compute concurrently; the reduction below merges in host order
-  // (exact fixed point, so identical to any other order bit for bit).
+  // All alive hosts compute concurrently; the reduction below merges in host
+  // order (exact fixed point, so identical to any other order bit for bit).
   parallel_partials(t, i_batch, static_cast<std::size_t>(hosts()));
   out.assign(i_batch.size(), ForceAccumulator(fmt_));
   for (int h = 0; h < hosts(); ++h) {
+    if (alive_[static_cast<std::size_t>(h)] == 0) continue;
     const auto& part = host_partial_[static_cast<std::size_t>(h)];
     for (std::size_t k = 0; k < i_batch.size(); ++k) out[k] += part[k];
   }
   hw_bytes_.pci += i_batch.size() * (g6::hw::kIParticleBytes + g6::hw::kResultBytes);
-  hw_bytes_.lvds +=
-      i_batch.size() * (g6::hw::kIParticleBytes + g6::hw::kResultBytes) * hosts_.size();
+  hw_bytes_.lvds += i_batch.size() * (g6::hw::kIParticleBytes + g6::hw::kResultBytes) *
+                    static_cast<std::uint64_t>(alive_host_count());
 }
 
 void ParallelHostSystem::compute_matrix(double t, const std::vector<IParticle>& i_batch,
                                         std::vector<ForceAccumulator>& out) {
   const int side = grid_side();
 
-  // Phase 1: row-0 all-gather — every real host sends the i-particles it
-  // owns to the other real hosts (after this all real hosts hold the full
-  // batch; we use the caller's batch directly but pay the traffic).
-  for (int c = 0; c < side; ++c) {
+  // Phase 1: row-0 all-gather — every alive real host sends the i-particles
+  // it owns to the other alive real hosts (after this all real hosts hold
+  // the full batch; we use the caller's batch directly but pay the traffic).
+  for (int c : alive_real_) {
     std::vector<IParticle> mine;
     for (const IParticle& p : i_batch)
       if (owner_of(p.id) == c) mine.push_back(p);
     const auto payload = pack_i_batch(mine);
-    for (int c2 = 0; c2 < side; ++c2) {
+    for (int c2 : alive_real_) {
       if (c2 == c) continue;
-      transport_->send(c, c2, kTagIBatch, payload);
-      (void)transport_->recv(c2, c, kTagIBatch);
+      (void)exchange(c, c2, kTagIBatch, payload);
     }
   }
 
-  // Phase 2: each real host broadcasts the full batch down its column
+  // Phase 2: each column's root receives the full batch (directly from
+  // host 0 when its row-0 host died) and broadcasts it down the column
   // (store-and-forward, hop by hop — these hosts emulate network boards).
   const auto full = pack_i_batch(i_batch);
   for (int c = 0; c < side; ++c) {
-    for (int r = 1; r < side; ++r) {
-      const int prev = (r - 1) * side + c;
+    const int root = col_root(c);
+    if (root < 0) continue;  // whole column dead: its j lives elsewhere now
+    if (root >= side && root != 0) (void)exchange(0, root, kTagIBatch, full);
+    int prev = root;
+    for (int r = root / side + 1; r < side; ++r) {
       const int next = r * side + c;
-      transport_->send(prev, next, kTagIBatch, full);
-      (void)transport_->recv(next, prev, kTagIBatch);
+      if (alive_[static_cast<std::size_t>(next)] == 0) continue;
+      (void)exchange(prev, next, kTagIBatch, full);
+      prev = next;
     }
   }
   hw_bytes_.pci += i_batch.size() * (g6::hw::kIParticleBytes + g6::hw::kResultBytes) *
-                   static_cast<std::uint64_t>(side);
+                   static_cast<std::uint64_t>(alive_real_.size());
 
-  // Phase 3a: every host computes its partial forces from its j-slice —
-  // the concurrent compute phase of the matrix timeline (all side*side
-  // hosts step in parallel, then barrier).
+  // Phase 3a: every alive host computes its partial forces from its j-slice —
+  // the concurrent compute phase of the matrix timeline (all alive hosts
+  // step in parallel, then barrier).
   parallel_partials(t, i_batch, hosts_.size());
 
-  // Phase 3b: column reduction back to row 0 (merge hop by hop, exact).
-  // The wire carries the same running sums as the serial schedule did.
+  // Phase 3b: column reduction back to each column's root (merge hop by
+  // hop, exact). The wire carries the same running sums as the serial
+  // schedule did.
   std::vector<std::vector<ForceAccumulator>> column_total(
       static_cast<std::size_t>(side));
   for (int c = 0; c < side; ++c) {
-    std::vector<ForceAccumulator> acc =
-        host_partial_[static_cast<std::size_t>((side - 1) * side + c)];
-    for (int r = side - 2; r >= 0; --r) {
-      const int from = (r + 1) * side + c;
-      const int to = r * side + c;
-      transport_->send(from, to, kTagPartial, pack_accumulators(acc));
-      auto msg = transport_->recv(to, from, kTagPartial);
+    const int root = col_root(c);
+    if (root < 0) continue;
+    std::vector<int> chain;  // alive column hosts, root first
+    for (int r = root / side; r < side; ++r) {
+      const int h = r * side + c;
+      if (alive_[static_cast<std::size_t>(h)] != 0) chain.push_back(h);
+    }
+    std::vector<ForceAccumulator> acc = host_partial_[static_cast<std::size_t>(chain.back())];
+    for (std::size_t k = chain.size() - 1; k-- > 0;) {
+      const int from = chain[k + 1];
+      const int to = chain[k];
+      auto msg = exchange(from, to, kTagPartial, pack_accumulators(acc));
       auto received = unpack_accumulators(msg.payload, fmt_);
       std::vector<ForceAccumulator> local = host_partial_[static_cast<std::size_t>(to)];
-      for (std::size_t k = 0; k < local.size(); ++k) local[k] += received[k];
+      for (std::size_t j = 0; j < local.size(); ++j) local[j] += received[j];
       acc = std::move(local);
     }
     column_total[static_cast<std::size_t>(c)] = std::move(acc);
   }
 
-  // Phase 4: row-0 all-reduce of the column totals (merge in column order so
-  // the result is deterministic — and exact anyway).
+  // Phase 4: all-reduce of the column totals to host 0 (merge in column
+  // order so the result is deterministic — and exact anyway).
   out.assign(i_batch.size(), ForceAccumulator(fmt_));
   for (int c = 0; c < side; ++c) {
-    if (c != 0) {
+    const int root = col_root(c);
+    if (root < 0) continue;
+    if (root != 0) {
       const auto payload = pack_accumulators(column_total[static_cast<std::size_t>(c)]);
-      transport_->send(c, 0, kTagPartial, payload);
-      (void)transport_->recv(0, c, kTagPartial);
+      (void)exchange(root, 0, kTagPartial, payload);
     }
     const auto& part = column_total[static_cast<std::size_t>(c)];
     for (std::size_t k = 0; k < i_batch.size(); ++k) out[k] += part[k];

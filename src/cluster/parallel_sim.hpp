@@ -126,6 +126,23 @@ class ParallelHostSystem {
   /// Total Ethernet bytes sent by all hosts so far.
   std::uint64_t ethernet_bytes() const;
 
+  /// Attach (or detach with nullptr) a fault injector. Forwarded to the
+  /// Transport; host-drop events fire at each compute() entry (the serial
+  /// driver point), and exchanges gain retry/resend recovery. While an
+  /// injector is attached the driver keeps a shadow of every loaded
+  /// j-particle so a dead host's images can be re-replicated.
+  void set_fault_injector(fault::FaultInjector* injector);
+  fault::FaultInjector* fault_injector() const { return injector_; }
+
+  bool host_alive(int h) const { return alive_[static_cast<std::size_t>(h)] != 0; }
+  int alive_host_count() const;
+
+  /// Kill host \p h (host 0 is the driver and cannot die): its j-images are
+  /// re-replicated onto surviving hosts from the shadow and its integration
+  /// ownership remaps over the alive real hosts. Requires an attached
+  /// injector (the shadow) — normally driven by a kHostDrop plan event.
+  void drop_host(int h);
+
  private:
   void compute_hardware_net(double t, const std::vector<IParticle>& i_batch,
                             std::vector<ForceAccumulator>& out);
@@ -136,11 +153,24 @@ class ParallelHostSystem {
 
   int grid_side() const;  ///< matrix mode: sqrt(n_hosts)
 
-  /// Barrier-separated parallel phase: every host in [0, n) runs its
+  /// Barrier-separated parallel phase: every alive host in [0, n) runs its
   /// software GRAPE on \p batch into host_partial_[h]. Returns after all
   /// hosts finished (the BSP barrier).
   void parallel_partials(double t, const std::vector<IParticle>& batch,
                          std::size_t n_hosts_active);
+
+  /// Reliable send+recv of one BSP message: retries with bounded backoff on
+  /// a downed link and resends on drop/CRC-corrupt deliveries, charging the
+  /// recovery time to the model. With no faults this is exactly one send and
+  /// one receive. Throws when the retry budget is exhausted.
+  Message exchange(int src, int dst, int tag, const std::vector<std::byte>& payload);
+
+  /// Matrix mode: the host currently holding gid's j-image.
+  int matrix_holder(std::uint32_t gid) const;
+  /// Matrix mode: first alive host of column \p col (-1 if the column died).
+  int col_root(int col) const;
+  /// First alive host in the dead host's column (matrix) or overall.
+  int replacement_host(int dead) const;
 
   HostMode mode_;
   FormatSpec fmt_;
@@ -150,6 +180,14 @@ class ParallelHostSystem {
   std::unique_ptr<Transport> transport_;
   HardwareBytes hw_bytes_;
   std::size_t n_particles_ = 0;
+  fault::FaultInjector* injector_ = nullptr;
+  std::vector<char> alive_;       ///< per-host liveness (1 = alive)
+  std::vector<int> alive_real_;   ///< alive hosts among [0, real_hosts)
+  /// Driver-side shadow of every loaded j-particle (indexed by gid), kept
+  /// only while an injector is attached; the re-replication source when a
+  /// host drops.
+  std::vector<JParticle> shadow_;
+  std::vector<char> shadow_valid_;
   /// Per-host partial-force buffers, persistent across compute() calls so
   /// the hot path does not reallocate (grow-only, value-reset in place).
   std::vector<std::vector<ForceAccumulator>> host_partial_;

@@ -1,5 +1,6 @@
 #include "cluster/perf_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.hpp"
@@ -118,6 +119,54 @@ StepBreakdown PerfModel::blockstep(std::size_t n_total, std::size_t n_act,
     }
   }
   return t;
+}
+
+double Degradation::alive_chip_fraction(const g6::hw::MachineConfig& m) const {
+  const double total = static_cast<double>(m.total_chips());
+  const double dead = std::min(
+      total - 1.0, static_cast<double>(dead_boards) * m.chips_per_board +
+                       static_cast<double>(dead_chips));
+  return (total - std::max(0.0, dead)) / total;
+}
+
+Degradation Degradation::from_stats(const g6::fault::FaultStatsSnapshot& s) {
+  Degradation d;
+  d.dead_chips = static_cast<int>(s.excluded_chips);
+  d.dead_boards = static_cast<int>(s.excluded_boards);
+  d.dead_hosts = static_cast<int>(s.dead_hosts);
+  d.recovery_seconds = s.recovery_modeled_seconds;
+  return d;
+}
+
+RunEstimate PerfModel::run_degraded(std::size_t n_total,
+                                    std::span<const BlockCount> blocks,
+                                    const Degradation& deg,
+                                    HostMode mode) const {
+  const double frac = deg.alive_chip_fraction(p_.machine);
+  const int p = p_.machine.total_nodes();
+  G6_CHECK(deg.dead_hosts >= 0 && deg.dead_hosts < p,
+           "at least one host must survive");
+  const double hfrac = static_cast<double>(p - deg.dead_hosts) / p;
+
+  RunEstimate est;
+  for (const BlockCount& b : blocks) {
+    if (b.count == 0 || b.n_act == 0) continue;
+    StepBreakdown t = blockstep(n_total, b.n_act, mode);
+    // The surviving chips hold 1/frac more j-particles each, stretching the
+    // j-bound terms; a dropped host's PCI traffic and integration work moves
+    // onto the survivors.
+    t.predict /= frac;
+    t.pipeline /= frac;
+    t.host /= hfrac;
+    t.j_update /= hfrac;
+    est.seconds += t.total(p_.overlap_comm) * static_cast<double>(b.count);
+    est.operations +=
+        step_operations(n_total, b.n_act) * static_cast<double>(b.count);
+  }
+  est.seconds += deg.recovery_seconds;
+  if (est.seconds > 0.0) est.sustained_flops = est.operations / est.seconds;
+  est.efficiency = est.sustained_flops / peak_flops();
+  return est;
 }
 
 RunEstimate PerfModel::run(std::size_t n_total, std::span<const BlockCount> blocks,

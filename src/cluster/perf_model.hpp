@@ -23,6 +23,7 @@
 #include <span>
 
 #include "cluster/parallel_sim.hpp"  // HostMode
+#include "fault/fault.hpp"
 #include "grape6/machine.hpp"
 #include "obs/blockstep_record.hpp"
 
@@ -82,6 +83,26 @@ struct RunEstimate {
   double efficiency = 0.0;       ///< sustained / peak
 };
 
+/// Hardware excluded by the reliability layer plus its modeled repair time —
+/// the coupling from fault recovery into the analytic model. A degraded run
+/// is slower for two reasons: the surviving chips hold more j-particles
+/// (stretching the predictor/pipeline terms), and every repair action costs
+/// modeled wall time.
+struct Degradation {
+  int dead_chips = 0;   ///< chips excluded (boards counted below overlap; see
+                        ///< alive_chip_fraction, which clamps)
+  int dead_boards = 0;  ///< whole boards excluded
+  int dead_hosts = 0;   ///< hosts dropped from the cluster
+  double recovery_seconds = 0.0;  ///< total modeled repair time of the run
+
+  /// Fraction of the machine's chips still computing (clamped to at least
+  /// one alive chip).
+  double alive_chip_fraction(const g6::hw::MachineConfig& m) const;
+
+  /// Build from the fault layer's counters after a campaign.
+  static Degradation from_stats(const g6::fault::FaultStatsSnapshot& s);
+};
+
 /// The analytic model.
 class PerfModel {
  public:
@@ -106,6 +127,15 @@ class PerfModel {
   /// Aggregate a run from a block-size distribution.
   RunEstimate run(std::size_t n_total, std::span<const BlockCount> blocks,
                   HostMode mode = HostMode::kHardwareNet) const;
+
+  /// The same aggregation on a machine degraded by excluded hardware, with
+  /// the modeled recovery time added once to the run. Efficiency is still
+  /// reported against the *pristine* peak, so degradation shows up as a
+  /// lower sustained fraction — the honest operations view.
+  RunEstimate run_degraded(std::size_t n_total,
+                           std::span<const BlockCount> blocks,
+                           const Degradation& deg,
+                           HostMode mode = HostMode::kHardwareNet) const;
 
   /// Gordon Bell operation count of one block step: 57 * N * n_act.
   static double step_operations(std::size_t n_total, std::size_t n_act) {

@@ -2,12 +2,33 @@
 
 #include <cstring>
 
+#include "util/crc.hpp"
+
 namespace g6::cluster {
+
+const char* send_status_name(SendStatus s) {
+  switch (s) {
+    case SendStatus::kOk: return "ok";
+    case SendStatus::kLinkDown: return "link-down";
+  }
+  return "?";
+}
+
+const char* recv_status_name(RecvStatus s) {
+  switch (s) {
+    case RecvStatus::kOk: return "ok";
+    case RecvStatus::kEmpty: return "empty";
+    case RecvStatus::kTagMismatch: return "tag-mismatch";
+    case RecvStatus::kCorrupt: return "corrupt";
+  }
+  return "?";
+}
 
 Transport::Transport(int n_ranks, LinkSpec link) : n_ranks_(n_ranks), link_(link) {
   G6_CHECK(n_ranks > 0, "transport needs at least one rank");
   queues_.resize(static_cast<std::size_t>(n_ranks) * n_ranks);
   failed_.assign(static_cast<std::size_t>(n_ranks) * n_ranks, false);
+  fail_window_.assign(static_cast<std::size_t>(n_ranks) * n_ranks, 0);
   stats_.resize(static_cast<std::size_t>(n_ranks));
 }
 
@@ -17,26 +38,102 @@ std::size_t Transport::link_index(int src, int dst) const {
   return static_cast<std::size_t>(src) * n_ranks_ + dst;
 }
 
-void Transport::send(int src, int dst, int tag, std::vector<std::byte> payload) {
+bool Transport::apply_event(const fault::FaultEvent& event, int src, int dst,
+                            std::vector<std::byte>& payload) {
+  auto& stats = injector_->stats();
+  stats.injected[static_cast<int>(event.kind)].fetch_add(1, std::memory_order_relaxed);
+  switch (event.kind) {
+    case fault::FaultKind::kLinkDrop:
+      return true;  // message lost in flight
+    case fault::FaultKind::kLinkCorrupt:
+      fault::flip_bit(payload.data(), payload.size(), event.bit);
+      return false;
+    case fault::FaultKind::kLinkDelay:
+      // Extra in-flight latency, charged to the sender's model.
+      stats_[static_cast<std::size_t>(src)].modeled_seconds +=
+          static_cast<double>(event.param) * 1e-6;
+      return false;
+    case fault::FaultKind::kLinkFail: {
+      // Arm a link-down window on the event's target link (which need not be
+      // the link of the current message).
+      const int fs = event.a >= 0 ? event.a : src;
+      const int fd = event.b >= 0 ? event.b : dst;
+      fail_link(fs, fd, event.param);
+      return false;
+    }
+    default:
+      g6::util::raise("non-link fault event routed to the link domain");
+  }
+  return false;
+}
+
+SendStatus Transport::send(int src, int dst, int tag, std::vector<std::byte> payload) {
   const std::size_t li = link_index(src, dst);
-  G6_CHECK(!failed_[li], "link " + std::to_string(src) + "->" + std::to_string(dst) +
-                             " has failed");
+
+  const bool armed = injector_ != nullptr && injector_->armed();
+  bool framed = false;
+  if (armed) {
+    // CRC-32 frame the payload before the in-flight corruption hook so a
+    // flipped bit (anywhere in data or trailer) is caught at the receiver.
+    const std::uint32_t crc = g6::util::crc32(payload.data(), payload.size());
+    append_pod(payload, crc);
+    framed = true;
+  }
+
+  bool drop = false;
+  if (armed) {
+    for (const fault::FaultEvent& event : injector_->link_op())
+      drop = apply_event(event, src, dst, payload) || drop;
+  }
+
+  if (failed_[li]) {
+    // One failed attempt counts against a transient window; the link resets
+    // itself once the window is exhausted.
+    if (fail_window_[li] > 0 && --fail_window_[li] == 0) failed_[li] = false;
+    return SendStatus::kLinkDown;
+  }
+
   auto& st = stats_[static_cast<std::size_t>(src)];
   st.bytes_sent += payload.size();
   st.messages_sent += 1;
   st.modeled_seconds += link_.time(payload.size());
   stats_[static_cast<std::size_t>(dst)].bytes_received += payload.size();
-  queues_[static_cast<std::size_t>(dst) * n_ranks_ + src].push_back(
-      Message{src, tag, std::move(payload)});
+  if (!drop)
+    queues_[static_cast<std::size_t>(dst) * n_ranks_ + src].push_back(
+        Message{src, tag, framed, std::move(payload)});
+  return SendStatus::kOk;
+}
+
+RecvStatus Transport::try_recv(int dst, int src, int tag, Message& out) {
+  auto& q = queues_[link_index(dst, src) /* dst*n+src */];
+  if (q.empty()) return RecvStatus::kEmpty;
+  if (q.front().tag != tag) return RecvStatus::kTagMismatch;
+  Message m = std::move(q.front());
+  q.pop_front();
+  if (m.framed) {
+    G6_CHECK(m.payload.size() >= sizeof(std::uint32_t), "framed message too short");
+    std::size_t off = m.payload.size() - sizeof(std::uint32_t);
+    const auto stored = read_pod<std::uint32_t>(m.payload, off);
+    m.payload.resize(m.payload.size() - sizeof(std::uint32_t));
+    const std::uint32_t actual = g6::util::crc32(m.payload.data(), m.payload.size());
+    if (stored != actual) {
+      if (injector_ != nullptr)
+        injector_->stats().crc_payload_mismatches.fetch_add(1,
+                                                            std::memory_order_relaxed);
+      return RecvStatus::kCorrupt;  // consumed; caller should arrange a resend
+    }
+    m.framed = false;
+  }
+  out = std::move(m);
+  return RecvStatus::kOk;
 }
 
 Message Transport::recv(int dst, int src, int tag) {
-  auto& q = queues_[link_index(dst, src) /* dst*n+src */];
-  G6_CHECK(!q.empty(), "no pending message from " + std::to_string(src) + " to " +
-                           std::to_string(dst));
-  G6_CHECK(q.front().tag == tag, "message tag mismatch (protocol error)");
-  Message m = std::move(q.front());
-  q.pop_front();
+  Message m;
+  const RecvStatus status = try_recv(dst, src, tag, m);
+  G6_CHECK(status == RecvStatus::kOk,
+           std::string("recv from ") + std::to_string(src) + " to " +
+               std::to_string(dst) + " failed: " + recv_status_name(status));
   return m;
 }
 
@@ -47,8 +144,21 @@ std::size_t Transport::pending(int dst) const {
   return n;
 }
 
-void Transport::fail_link(int src, int dst) { failed_[link_index(src, dst)] = true; }
-void Transport::restore_link(int src, int dst) { failed_[link_index(src, dst)] = false; }
+void Transport::fail_link(int src, int dst, std::uint64_t window) {
+  const std::size_t li = link_index(src, dst);
+  failed_[li] = true;
+  fail_window_[li] = window;
+}
+
+void Transport::restore_link(int src, int dst) {
+  const std::size_t li = link_index(src, dst);
+  failed_[li] = false;
+  fail_window_[li] = 0;
+}
+
+bool Transport::link_failed(int src, int dst) const {
+  return failed_[link_index(src, dst)];
+}
 
 const TransportStats& Transport::stats(int rank) const {
   G6_CHECK(rank >= 0 && rank < n_ranks_, "rank out of range");
@@ -60,6 +170,11 @@ double Transport::charge(int rank, std::size_t bytes) {
   const double t = link_.time(bytes);
   stats_[static_cast<std::size_t>(rank)].modeled_seconds += t;
   return t;
+}
+
+void Transport::charge_seconds(int rank, double seconds) {
+  G6_CHECK(rank >= 0 && rank < n_ranks_, "rank out of range");
+  stats_[static_cast<std::size_t>(rank)].modeled_seconds += seconds;
 }
 
 TransportStats Transport::total_stats() const {

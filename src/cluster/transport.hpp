@@ -5,8 +5,16 @@
 ///
 /// The parallel-host simulation is bulk-synchronous, so the transport is a
 /// deterministic mailbox fabric: FIFO queues per (src, dst) pair with
-/// per-link byte counters and a bandwidth/latency cost model. Link failure
-/// injection lets tests exercise the error paths.
+/// per-link byte counters and a bandwidth/latency cost model.
+///
+/// Reliability layer: send() returns a typed SendStatus instead of throwing
+/// on a downed link, links can fail transiently (a bounded window of failed
+/// attempts) or permanently, and — with a fault::FaultInjector attached —
+/// payloads are framed with a CRC-32 trailer so in-flight corruption is
+/// detected at try_recv() rather than folded into the physics. All injection
+/// decisions happen inside send() on the driving thread (the BSP schedule
+/// serializes sends), so fault sequences are deterministic at any thread
+/// count. With no injector armed every hook is one pointer test.
 
 #include <cstddef>
 #include <cstdint>
@@ -15,6 +23,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
 
@@ -34,8 +43,28 @@ struct LinkSpec {
 struct Message {
   int src = 0;
   int tag = 0;
+  bool framed = false;  ///< payload carries a CRC-32 trailer
   std::vector<std::byte> payload;
 };
+
+/// Result of a send attempt. A downed link is the only error the *sender*
+/// can observe; drops and corruption happen silently in flight and surface
+/// at the receiver (kEmpty / kCorrupt from try_recv).
+enum class SendStatus {
+  kOk = 0,
+  kLinkDown,  ///< link failed (transient window or permanent); retry or reroute
+};
+
+/// Result of a non-throwing receive.
+enum class RecvStatus {
+  kOk = 0,
+  kEmpty,        ///< nothing pending from (src, tag) — e.g. message dropped
+  kTagMismatch,  ///< head-of-queue tag differs (protocol error; msg left queued)
+  kCorrupt,      ///< CRC mismatch — message consumed, caller should trigger resend
+};
+
+const char* send_status_name(SendStatus s);
+const char* recv_status_name(RecvStatus s);
 
 /// Per-rank transport statistics.
 struct TransportStats {
@@ -53,21 +82,40 @@ class Transport {
   int ranks() const { return n_ranks_; }
   const LinkSpec& link() const { return link_; }
 
-  /// Enqueue a message from \p src to \p dst. Throws g6::util::Error if the
-  /// link has been failed. Charges the sender the modeled link time.
-  void send(int src, int dst, int tag, std::vector<std::byte> payload);
+  /// Attach (or detach with nullptr) a fault injector. While an armed
+  /// injector is attached, each send polls the link fault domain and
+  /// payloads are CRC-framed.
+  void set_fault_injector(fault::FaultInjector* injector) { injector_ = injector; }
+  fault::FaultInjector* fault_injector() const { return injector_; }
+
+  /// Enqueue a message from \p src to \p dst. Returns kLinkDown (without
+  /// enqueuing) when the link is failed — one failed attempt is counted
+  /// against a transient failure window. Charges the sender the modeled link
+  /// time for every attempt that reaches the wire.
+  [[nodiscard]] SendStatus send(int src, int dst, int tag,
+                                std::vector<std::byte> payload);
 
   /// Dequeue the oldest message for \p dst from \p src with \p tag.
-  /// Throws if none is pending (the BSP schedule guarantees arrival order).
+  /// Throws if none is pending, on tag mismatch, or on CRC mismatch — use
+  /// try_recv for the recoverable paths.
   Message recv(int dst, int src, int tag);
+
+  /// Non-throwing receive: kOk fills \p out (CRC verified and stripped when
+  /// framed); kEmpty when nothing is pending; kCorrupt when the frame CRC
+  /// failed (the corrupt message is consumed so a resend can replace it).
+  [[nodiscard]] RecvStatus try_recv(int dst, int src, int tag, Message& out);
 
   /// Number of pending messages for \p dst (any source).
   std::size_t pending(int dst) const;
 
-  /// Mark the (src -> dst) link as failed; subsequent sends throw.
-  void fail_link(int src, int dst);
+  /// Fail the (src -> dst) link. \p window > 0 makes the failure transient:
+  /// the link auto-restores after \p window failed send attempts (modelling
+  /// a link reset); window == 0 fails it permanently until restore_link.
+  void fail_link(int src, int dst, std::uint64_t window = 0);
   /// Restore a failed link.
   void restore_link(int src, int dst);
+  /// Is the (src -> dst) link currently down?
+  bool link_failed(int src, int dst) const;
 
   const TransportStats& stats(int rank) const;
 
@@ -77,15 +125,23 @@ class Transport {
   /// Convenience cost helpers (no data movement): charge a broadcast /
   /// all-gather pattern to the model only.
   double charge(int rank, std::size_t bytes);
+  /// Charge raw modeled seconds (retry backoff, recovery work) to a rank.
+  void charge_seconds(int rank, double seconds);
 
  private:
   std::size_t link_index(int src, int dst) const;
+  /// Apply one link-domain fault event in the context of the current send.
+  /// Returns true when the current message must be dropped.
+  bool apply_event(const fault::FaultEvent& event, int src, int dst,
+                   std::vector<std::byte>& payload);
 
   int n_ranks_;
   LinkSpec link_;
   std::vector<std::deque<Message>> queues_;  ///< indexed dst * n + src
   std::vector<bool> failed_;                 ///< indexed src * n + dst
+  std::vector<std::uint64_t> fail_window_;   ///< remaining failed attempts; 0 = permanent
   std::vector<TransportStats> stats_;
+  fault::FaultInjector* injector_ = nullptr;
 };
 
 /// Publish the fabric-wide transport counters into a metrics registry under

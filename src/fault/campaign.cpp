@@ -1,0 +1,221 @@
+#include "fault/campaign.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "cluster/parallel_sim.hpp"
+#include "grape6/machine.hpp"
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+#include "util/crc.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace g6::fault {
+
+namespace hw = g6::hw;
+namespace cluster = g6::cluster;
+using g6::util::Vec3;
+
+namespace {
+
+/// The deterministic workload both the reference and the faulted run replay:
+/// one set of j-particles plus one i-batch per step, all drawn from the
+/// campaign's IC seed.
+struct Workload {
+  std::vector<hw::JParticle> js;
+  std::vector<std::vector<hw::IParticle>> batches;  ///< one per step
+  std::vector<double> times;
+};
+
+constexpr double kEps2 = 1e-4;
+
+Workload make_workload(const CampaignConfig& cfg, const hw::FormatSpec& fmt) {
+  G6_CHECK(cfg.n > 0 && cfg.steps > 0, "campaign needs particles and steps");
+  g6::util::Rng rng(cfg.ic_seed);
+  auto vec = [&](double scale) {
+    return Vec3{scale * rng.uniform(-1.0, 1.0), scale * rng.uniform(-1.0, 1.0),
+                scale * rng.uniform(-1.0, 1.0)};
+  };
+  Workload w;
+  w.js.reserve(static_cast<std::size_t>(cfg.n));
+  const double mass = 1.0 / cfg.n;
+  for (int i = 0; i < cfg.n; ++i)
+    w.js.push_back(hw::make_j_particle(static_cast<std::uint32_t>(i), mass, 0.0,
+                                       vec(1.0), vec(0.1), vec(0.01),
+                                       vec(0.001), fmt));
+  w.batches.resize(static_cast<std::size_t>(cfg.steps));
+  for (int s = 0; s < cfg.steps; ++s) {
+    w.times.push_back(0.01 * (s + 1));
+    auto& batch = w.batches[static_cast<std::size_t>(s)];
+    batch.reserve(static_cast<std::size_t>(cfg.n));
+    for (int i = 0; i < cfg.n; ++i)
+      batch.push_back(hw::make_i_particle(static_cast<std::uint32_t>(i),
+                                          vec(1.0), vec(0.1), fmt));
+  }
+  return w;
+}
+
+/// Fold one step's force registers into a running CRC — raw fixed-point
+/// words, so "bit-identical" means exactly that.
+std::uint32_t fold_accums(std::uint32_t state,
+                          const std::vector<hw::ForceAccumulator>& accum) {
+  for (const hw::ForceAccumulator& a : accum) {
+    const std::int64_t raws[7] = {a.acc.x().raw(),  a.acc.y().raw(),
+                                  a.acc.z().raw(),  a.jerk.x().raw(),
+                                  a.jerk.y().raw(), a.jerk.z().raw(),
+                                  a.pot.raw()};
+    state = g6::util::crc32_update(state, raws, sizeof(raws));
+  }
+  return state;
+}
+
+struct RunOutcome {
+  std::uint32_t digest = 0;
+  double capacity_start = 0.0;
+  double capacity_end = 0.0;
+  std::uint64_t messages = 0;  ///< total transport sends (cluster runs)
+};
+
+RunOutcome run_machine_once(const CampaignConfig& cfg, const Workload& w,
+                            FaultInjector* injector,
+                            g6::util::ThreadPool* pool) {
+  // Per-chip SSRAM sized to hold the whole problem: the remap paths need
+  // spare capacity on the survivors.
+  hw::MachineConfig mc = hw::MachineConfig::mini(
+      cfg.boards, cfg.chips_per_board, static_cast<std::size_t>(cfg.n));
+  hw::Grape6Machine machine(mc, pool);
+  if (injector != nullptr) machine.set_fault_injector(injector);
+
+  RunOutcome out;
+  out.capacity_start = static_cast<double>(machine.capacity());
+  machine.load(w.js);
+
+  std::uint32_t digest = g6::util::crc32_init();
+  std::vector<hw::ForceAccumulator> accum;
+  for (int s = 0; s < cfg.steps; ++s) {
+    machine.predict_all(w.times[static_cast<std::size_t>(s)]);
+    machine.compute(w.batches[static_cast<std::size_t>(s)], kEps2, accum);
+    digest = fold_accums(digest, accum);
+  }
+  out.digest = g6::util::crc32_final(digest);
+  out.capacity_end = static_cast<double>(machine.capacity());
+  return out;
+}
+
+RunOutcome run_cluster_once(const CampaignConfig& cfg, const Workload& w,
+                            FaultInjector* injector,
+                            g6::util::ThreadPool* pool) {
+  cluster::ParallelHostSystem sys(cfg.hosts, cfg.mode, hw::FormatSpec{}, 0.01,
+                                  cluster::LinkSpec{}, pool);
+  if (injector != nullptr) sys.set_fault_injector(injector);
+
+  RunOutcome out;
+  out.capacity_start = static_cast<double>(sys.hosts());
+  sys.load(w.js);
+
+  std::uint32_t digest = g6::util::crc32_init();
+  std::vector<hw::ForceAccumulator> accum;
+  std::vector<hw::JParticle> corrected;
+  for (int s = 0; s < cfg.steps; ++s) {
+    sys.compute(w.times[static_cast<std::size_t>(s)],
+                w.batches[static_cast<std::size_t>(s)], accum);
+    digest = fold_accums(digest, accum);
+    // A rotating quarter of the particles gets a j-update every step — the
+    // corrected-particle traffic the link faults attack.
+    corrected.clear();
+    for (int i = s % 4; i < cfg.n; i += 4)
+      corrected.push_back(w.js[static_cast<std::size_t>(i)]);
+    sys.update(corrected);
+  }
+  out.digest = g6::util::crc32_final(digest);
+  out.capacity_end = static_cast<double>(sys.alive_host_count());
+  for (int r = 0; r < sys.hosts(); ++r)
+    out.messages += sys.transport().stats(r).messages_sent;
+  return out;
+}
+
+CampaignResult finish(const char* what, const CampaignConfig& cfg,
+                      const FaultPlan& plan, const FaultInjector& injector,
+                      const RunOutcome& ref, const RunOutcome& faulted) {
+  CampaignResult r;
+  r.bit_identical = ref.digest == faulted.digest;
+  r.faults_scheduled = static_cast<int>(plan.events().size());
+  r.stats = injector.snapshot();
+  r.recovery_modeled_seconds = r.stats.recovery_modeled_seconds;
+  r.degraded_capacity_fraction =
+      faulted.capacity_start > 0.0
+          ? faulted.capacity_end / faulted.capacity_start
+          : 1.0;
+  publish_metrics(injector.stats(), g6::obs::MetricsRegistry::global());
+
+  std::ostringstream os;
+  os << what << " campaign: n=" << cfg.n << " steps=" << cfg.steps
+     << " seed=" << cfg.fault_seed << " scheduled=" << r.faults_scheduled
+     << " | " << summarize(r.stats) << " | capacity="
+     << r.degraded_capacity_fraction * 100.0 << "% | "
+     << (r.bit_identical ? "BIT-IDENTICAL" : "MISMATCH");
+  r.summary = os.str();
+  return r;
+}
+
+std::unique_ptr<g6::util::ThreadPool> make_pool(const CampaignConfig& cfg) {
+  if (cfg.threads <= 0) return nullptr;  // shared pool
+  return std::make_unique<g6::util::ThreadPool>(
+      static_cast<std::size_t>(cfg.threads));
+}
+
+}  // namespace
+
+CampaignResult run_machine_campaign(const CampaignConfig& cfg) {
+  const auto pool = make_pool(cfg);
+  const Workload w = make_workload(cfg, hw::FormatSpec{});
+  const RunOutcome ref = run_machine_once(cfg, w, nullptr, pool.get());
+
+  CampaignShape shape;
+  shape.machine_steps = static_cast<std::uint64_t>(cfg.steps);
+  shape.boards = cfg.boards;
+  shape.chips_per_board = cfg.chips_per_board;
+  shape.jmem_slots = static_cast<std::size_t>(
+      std::max(1, cfg.n / (cfg.boards * cfg.chips_per_board)));
+  shape.n_chip_flips = cfg.n_chip_flips;
+  shape.n_chip_kills = cfg.n_chip_kills;
+  shape.n_jmem_corruptions = cfg.n_jmem_corruptions;
+  shape.n_board_fails = cfg.n_board_fails;
+
+  FaultInjector injector;
+  FaultPlan plan = FaultPlan::random(cfg.fault_seed, shape);
+  injector.arm(plan);
+  const RunOutcome faulted = run_machine_once(cfg, w, &injector, pool.get());
+  return finish("machine", cfg, plan, injector, ref, faulted);
+}
+
+CampaignResult run_cluster_campaign(const CampaignConfig& cfg) {
+  const auto pool = make_pool(cfg);
+  const Workload w = make_workload(cfg, hw::FormatSpec{});
+  const RunOutcome ref = run_cluster_once(cfg, w, nullptr, pool.get());
+
+  CampaignShape shape;
+  shape.cluster_steps = static_cast<std::uint64_t>(cfg.steps);
+  shape.hosts = cfg.hosts;
+  shape.n_host_drops = cfg.n_host_drops;
+  // kHardwareNet exchanges nothing host-to-host (the network boards carry
+  // everything on LVDS), so there are no Ethernet links to attack there —
+  // the link classes apply only when the fault-free run actually sent.
+  if (ref.messages > 0) {
+    shape.link_ops = ref.messages;  // the fault-free run's send count
+    shape.n_link_drops = cfg.n_link_drops;
+    shape.n_link_corrupts = cfg.n_link_corrupts;
+    shape.n_link_delays = cfg.n_link_delays;
+    shape.n_link_fails = cfg.n_link_fails;
+  }
+
+  FaultInjector injector;
+  FaultPlan plan = FaultPlan::random(cfg.fault_seed, shape);
+  injector.arm(plan);
+  const RunOutcome faulted = run_cluster_once(cfg, w, &injector, pool.get());
+  return finish("cluster", cfg, plan, injector, ref, faulted);
+}
+
+}  // namespace g6::fault

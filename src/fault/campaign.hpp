@@ -1,0 +1,63 @@
+#pragma once
+/// \file campaign.hpp
+/// \brief Seeded fault campaigns: run a workload twice — fault-free and with
+///        an armed FaultPlan — and check that recovery restored bit-identical
+///        final registers, with the recovery cost accounted.
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/parallel_sim.hpp"
+#include "fault/fault.hpp"
+
+namespace g6::fault {
+
+/// What to run and what to break.
+struct CampaignConfig {
+  int n = 192;                 ///< particles
+  std::uint64_t ic_seed = 42;  ///< initial-condition seed
+  int steps = 6;               ///< compute calls per run
+
+  // Machine topology under test.
+  int boards = 4;
+  int chips_per_board = 4;
+
+  // Cluster topology under test (cluster campaigns only).
+  g6::cluster::HostMode mode = g6::cluster::HostMode::kNaive;
+  int hosts = 4;
+
+  // Fault mix. Used to build a CampaignShape for FaultPlan::random.
+  std::uint64_t fault_seed = 1;
+  int n_link_drops = 1;
+  int n_link_corrupts = 2;
+  int n_link_delays = 1;
+  int n_link_fails = 1;
+  int n_chip_flips = 2;
+  int n_chip_kills = 1;
+  int n_jmem_corruptions = 1;
+  int n_board_fails = 1;
+  int n_host_drops = 1;
+
+  int threads = 0;  ///< thread-pool lanes; 0 = shared pool default
+};
+
+/// Outcome of one campaign: the reference/faulted comparison plus the
+/// recovery accounting pulled from the injector.
+struct CampaignResult {
+  bool bit_identical = false;       ///< faulted final state == fault-free
+  int faults_scheduled = 0;         ///< events in the armed plan
+  FaultStatsSnapshot stats;         ///< injections, detections, recoveries
+  double recovery_modeled_seconds = 0.0;
+  double degraded_capacity_fraction = 1.0;  ///< surviving / initial capacity
+  std::string summary;              ///< one-line human-readable outcome
+};
+
+/// Run a machine-level campaign: a Grape6Machine workload with chip flips,
+/// j-memory corruption and board failures, recovered by recompute/remap.
+CampaignResult run_machine_campaign(const CampaignConfig& cfg);
+
+/// Run a cluster-level campaign in cfg.mode: link faults plus host dropout,
+/// recovered by retry/resend and j re-replication.
+CampaignResult run_cluster_campaign(const CampaignConfig& cfg);
+
+}  // namespace g6::fault

@@ -1,0 +1,280 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace g6::fault {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDrop: return "link-drop";
+    case FaultKind::kLinkCorrupt: return "link-corrupt";
+    case FaultKind::kLinkDelay: return "link-delay";
+    case FaultKind::kLinkFail: return "link-fail";
+    case FaultKind::kChipBitFlip: return "chip-bitflip";
+    case FaultKind::kJMemCorrupt: return "jmem-corrupt";
+    case FaultKind::kBoardFail: return "board-fail";
+    case FaultKind::kHostDrop: return "host-drop";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Which injection domain an event kind belongs to.
+enum class DomainKind { kMachine, kCluster, kLink };
+
+DomainKind domain_of(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDrop:
+    case FaultKind::kLinkCorrupt:
+    case FaultKind::kLinkDelay:
+    case FaultKind::kLinkFail:
+      return DomainKind::kLink;
+    case FaultKind::kChipBitFlip:
+    case FaultKind::kJMemCorrupt:
+    case FaultKind::kBoardFail:
+      return DomainKind::kMachine;
+    case FaultKind::kHostDrop:
+      return DomainKind::kCluster;
+  }
+  return DomainKind::kLink;
+}
+
+void reset_stats(FaultStats& stats) {
+  for (auto& c : stats.injected) c.store(0, std::memory_order_relaxed);
+  stats.crc_payload_mismatches.store(0, std::memory_order_relaxed);
+  stats.crc_jmem_mismatches.store(0, std::memory_order_relaxed);
+  stats.selftest_failures.store(0, std::memory_order_relaxed);
+  stats.range_guard_trips.store(0, std::memory_order_relaxed);
+  stats.link_retries.store(0, std::memory_order_relaxed);
+  stats.resends.store(0, std::memory_order_relaxed);
+  stats.recomputed_chip_blocks.store(0, std::memory_order_relaxed);
+  stats.jmem_rewrites.store(0, std::memory_order_relaxed);
+  stats.excluded_chips.store(0, std::memory_order_relaxed);
+  stats.excluded_boards.store(0, std::memory_order_relaxed);
+  stats.dead_hosts.store(0, std::memory_order_relaxed);
+  stats.remapped_particles.store(0, std::memory_order_relaxed);
+  stats.recovery_modeled_seconds.store(0.0, std::memory_order_relaxed);
+}
+
+void sort_by_at(std::vector<FaultEvent>& events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) { return x.at < y.at; });
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::random(std::uint64_t seed, const CampaignShape& shape) {
+  g6::util::Rng rng(seed);
+  FaultPlan plan;
+
+  auto rand_at = [&](std::uint64_t horizon) {
+    return horizon == 0 ? 0 : rng.below(horizon);
+  };
+
+  // Link faults fire on uniformly-drawn send ops. kLinkFail windows target a
+  // uniformly-drawn directed link; the (a, b) pair only arms the window, the
+  // failure then hits whoever sends on that link next.
+  const bool links_ok = shape.link_ops > 0 && shape.hosts > 1;
+  G6_CHECK(links_ok || (shape.n_link_drops + shape.n_link_corrupts +
+                        shape.n_link_delays + shape.n_link_fails) == 0,
+           "link faults need link_ops > 0 and hosts > 1");
+  for (int k = 0; k < shape.n_link_drops; ++k)
+    plan.add({FaultKind::kLinkDrop, rand_at(shape.link_ops), -1, -1,
+              static_cast<std::uint32_t>(rng.below(1u << 20)), 0});
+  for (int k = 0; k < shape.n_link_corrupts; ++k)
+    plan.add({FaultKind::kLinkCorrupt, rand_at(shape.link_ops), -1, -1,
+              static_cast<std::uint32_t>(rng.below(1u << 20)), 0});
+  for (int k = 0; k < shape.n_link_delays; ++k)
+    plan.add({FaultKind::kLinkDelay, rand_at(shape.link_ops), -1, -1, 0,
+              /*extra latency [us]=*/100 + rng.below(900)});
+  for (int k = 0; k < shape.n_link_fails; ++k) {
+    const int src = static_cast<int>(rng.below(static_cast<std::uint64_t>(shape.hosts)));
+    int dst = static_cast<int>(rng.below(static_cast<std::uint64_t>(shape.hosts - 1)));
+    if (dst >= src) ++dst;
+    plan.add({FaultKind::kLinkFail, rand_at(shape.link_ops), src, dst, 0,
+              /*window (failed attempts)=*/1 + rng.below(3)});
+  }
+
+  // Machine faults. Transient flips can repeat on a (board, chip); permanent
+  // kills and board failures pick distinct victims and never exhaust a board
+  // or the machine.
+  const bool machine_ok = shape.machine_steps > 0 && shape.boards > 0 &&
+                          shape.chips_per_board > 0;
+  G6_CHECK(machine_ok || (shape.n_chip_flips + shape.n_chip_kills +
+                          shape.n_jmem_corruptions + shape.n_board_fails) == 0,
+           "machine faults need machine_steps/boards/chips_per_board > 0");
+  for (int k = 0; k < shape.n_chip_flips; ++k)
+    plan.add({FaultKind::kChipBitFlip, rand_at(shape.machine_steps),
+              static_cast<int>(rng.below(static_cast<std::uint64_t>(shape.boards))),
+              static_cast<int>(rng.below(static_cast<std::uint64_t>(shape.chips_per_board))),
+              static_cast<std::uint32_t>(rng.below(64)), /*transient=*/0});
+  G6_CHECK(shape.n_chip_kills == 0 || shape.n_chip_kills < shape.chips_per_board,
+           "cannot kill every chip of a board");
+  {
+    std::vector<int> chips;  // distinct chips, all on board 0's sibling pattern
+    for (int k = 0; k < shape.n_chip_kills; ++k) {
+      int chip;
+      do {
+        chip = static_cast<int>(rng.below(static_cast<std::uint64_t>(shape.chips_per_board)));
+      } while (std::find(chips.begin(), chips.end(), chip) != chips.end());
+      chips.push_back(chip);
+      plan.add({FaultKind::kChipBitFlip, rand_at(shape.machine_steps),
+                static_cast<int>(rng.below(static_cast<std::uint64_t>(shape.boards))),
+                chip, static_cast<std::uint32_t>(rng.below(64)), /*permanent=*/1});
+    }
+  }
+  for (int k = 0; k < shape.n_jmem_corruptions; ++k)
+    plan.add({FaultKind::kJMemCorrupt, rand_at(shape.machine_steps),
+              static_cast<int>(rng.below(static_cast<std::uint64_t>(shape.boards))),
+              static_cast<int>(rng.below(static_cast<std::uint64_t>(shape.chips_per_board))),
+              static_cast<std::uint32_t>(rng.below(1u << 10)),
+              /*slot=*/shape.jmem_slots == 0 ? 0 : rng.below(shape.jmem_slots)});
+  G6_CHECK(shape.n_board_fails == 0 || shape.n_board_fails < shape.boards,
+           "cannot fail every board");
+  {
+    std::vector<int> failed;
+    for (int k = 0; k < shape.n_board_fails; ++k) {
+      int board;
+      do {
+        board = static_cast<int>(rng.below(static_cast<std::uint64_t>(shape.boards)));
+      } while (std::find(failed.begin(), failed.end(), board) != failed.end());
+      failed.push_back(board);
+      plan.add({FaultKind::kBoardFail, rand_at(shape.machine_steps), board, -1, 0, 0});
+    }
+  }
+
+  // Host drops: distinct hosts, host 0 survives (it gathers the final
+  // reduction in matrix mode), and at least one host stays alive.
+  G6_CHECK(shape.n_host_drops == 0 ||
+               (shape.hosts > 1 && shape.n_host_drops < shape.hosts),
+           "host drops need hosts > n_host_drops");
+  {
+    std::vector<int> dropped;
+    for (int k = 0; k < shape.n_host_drops; ++k) {
+      int host;
+      do {
+        host = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(shape.hosts - 1)));
+      } while (std::find(dropped.begin(), dropped.end(), host) != dropped.end());
+      dropped.push_back(host);
+      plan.add({FaultKind::kHostDrop, rand_at(shape.cluster_steps), host, -1, 0, 0});
+    }
+  }
+
+  return plan;
+}
+
+std::span<const FaultEvent> FaultInjector::Domain::fire(std::uint64_t now) {
+  const std::size_t first = next;
+  while (next < events.size() && events[next].at <= now) ++next;
+  return {events.data() + first, next - first};
+}
+
+void FaultInjector::arm(FaultPlan plan) {
+  machine_ = {};
+  cluster_ = {};
+  link_ = {};
+  machine_steps_ = cluster_steps_ = link_ops_ = 0;
+  for (const FaultEvent& e : plan.events()) {
+    switch (domain_of(e.kind)) {
+      case DomainKind::kMachine: machine_.events.push_back(e); break;
+      case DomainKind::kCluster: cluster_.events.push_back(e); break;
+      case DomainKind::kLink: link_.events.push_back(e); break;
+    }
+  }
+  sort_by_at(machine_.events);
+  sort_by_at(cluster_.events);
+  sort_by_at(link_.events);
+  reset_stats(stats_);
+  armed_ = true;
+}
+
+std::span<const FaultEvent> FaultInjector::machine_step() {
+  if (!armed_) return {};
+  return machine_.fire(machine_steps_++);
+}
+
+std::span<const FaultEvent> FaultInjector::cluster_step() {
+  if (!armed_) return {};
+  return cluster_.fire(cluster_steps_++);
+}
+
+std::span<const FaultEvent> FaultInjector::link_op() {
+  if (!armed_) return {};
+  return link_.fire(link_ops_++);
+}
+
+FaultStatsSnapshot FaultInjector::snapshot() const {
+  FaultStatsSnapshot s;
+  for (int k = 0; k < kFaultKindCount; ++k)
+    s.injected[k] = stats_.injected[k].load(std::memory_order_relaxed);
+  s.injected_total = stats_.injected_total();
+  s.crc_payload_mismatches = stats_.crc_payload_mismatches.load(std::memory_order_relaxed);
+  s.crc_jmem_mismatches = stats_.crc_jmem_mismatches.load(std::memory_order_relaxed);
+  s.selftest_failures = stats_.selftest_failures.load(std::memory_order_relaxed);
+  s.range_guard_trips = stats_.range_guard_trips.load(std::memory_order_relaxed);
+  s.link_retries = stats_.link_retries.load(std::memory_order_relaxed);
+  s.resends = stats_.resends.load(std::memory_order_relaxed);
+  s.recomputed_chip_blocks = stats_.recomputed_chip_blocks.load(std::memory_order_relaxed);
+  s.jmem_rewrites = stats_.jmem_rewrites.load(std::memory_order_relaxed);
+  s.excluded_chips = stats_.excluded_chips.load(std::memory_order_relaxed);
+  s.excluded_boards = stats_.excluded_boards.load(std::memory_order_relaxed);
+  s.dead_hosts = stats_.dead_hosts.load(std::memory_order_relaxed);
+  s.remapped_particles = stats_.remapped_particles.load(std::memory_order_relaxed);
+  s.recovery_modeled_seconds =
+      stats_.recovery_modeled_seconds.load(std::memory_order_relaxed);
+  return s;
+}
+
+void flip_bit(void* data, std::size_t nbytes, std::uint32_t bit) {
+  if (nbytes == 0) return;
+  const std::uint32_t b = bit % static_cast<std::uint32_t>(nbytes * 8);
+  static_cast<unsigned char*>(data)[b / 8] ^= static_cast<unsigned char>(1u << (b % 8));
+}
+
+void publish_metrics(const FaultStats& stats, g6::obs::MetricsRegistry& registry) {
+  for (int k = 0; k < kFaultKindCount; ++k) {
+    const auto kind = static_cast<FaultKind>(k);
+    registry.counter(std::string("g6.fault.injected.") + fault_kind_name(kind))
+        .set(stats.injected[k].load(std::memory_order_relaxed));
+  }
+  auto set = [&](const char* name, std::uint64_t v) {
+    registry.counter(std::string("g6.fault.") + name).set(v);
+  };
+  set("crc_payload_mismatches",
+      stats.crc_payload_mismatches.load(std::memory_order_relaxed));
+  set("crc_jmem_mismatches", stats.crc_jmem_mismatches.load(std::memory_order_relaxed));
+  set("selftest_failures", stats.selftest_failures.load(std::memory_order_relaxed));
+  set("range_guard_trips", stats.range_guard_trips.load(std::memory_order_relaxed));
+  set("link_retries", stats.link_retries.load(std::memory_order_relaxed));
+  set("resends", stats.resends.load(std::memory_order_relaxed));
+  set("recomputed_chip_blocks",
+      stats.recomputed_chip_blocks.load(std::memory_order_relaxed));
+  set("jmem_rewrites", stats.jmem_rewrites.load(std::memory_order_relaxed));
+  set("excluded_chips", stats.excluded_chips.load(std::memory_order_relaxed));
+  set("excluded_boards", stats.excluded_boards.load(std::memory_order_relaxed));
+  set("dead_hosts", stats.dead_hosts.load(std::memory_order_relaxed));
+  set("remapped_particles", stats.remapped_particles.load(std::memory_order_relaxed));
+  registry.gauge("g6.fault.recovery_modeled_seconds")
+      .set(stats.recovery_modeled_seconds.load(std::memory_order_relaxed));
+}
+
+std::string summarize(const FaultStatsSnapshot& snap) {
+  auto u = [](std::uint64_t v) { return std::to_string(v); };
+  return "injected=" + u(snap.injected_total) +
+         " crc_hits=" + u(snap.crc_payload_mismatches + snap.crc_jmem_mismatches) +
+         " selftest_failures=" + u(snap.selftest_failures) +
+         " retries=" + u(snap.link_retries) + " resends=" + u(snap.resends) +
+         " recomputed_blocks=" + u(snap.recomputed_chip_blocks) +
+         " jmem_rewrites=" + u(snap.jmem_rewrites) +
+         " excluded_chips=" + u(snap.excluded_chips) +
+         " excluded_boards=" + u(snap.excluded_boards) +
+         " dead_hosts=" + u(snap.dead_hosts) +
+         " remapped=" + u(snap.remapped_particles) +
+         " recovery_s=" + std::to_string(snap.recovery_modeled_seconds);
+}
+
+}  // namespace g6::fault

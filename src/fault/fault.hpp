@@ -1,0 +1,244 @@
+#pragma once
+/// \file fault.hpp
+/// \brief Deterministic fault injection for the GRAPE-6 emulation: the plan
+///        (what breaks, and when), the injector (the armed plan plus its
+///        position in the run), and the recovery bookkeeping.
+///
+/// The real machine ran 2048 pipeline chips with no ECC on most datapaths
+/// and lived with defective chips, flaky LVDS links and host dropouts by
+/// detecting bad hardware from the host software and excluding or retrying
+/// it (astro-ph/0310702 §8, astro-ph/0504407). This subsystem reproduces
+/// that operational layer inside the emulator:
+///
+///   - chips:  force-accumulator bit flips (transient or permanent),
+///   - boards: j-memory (SSRAM) word corruption, whole-board death,
+///   - links:  dropped / corrupted / delayed messages, link-down windows,
+///   - hosts:  permanent dropout of a simulated cluster host.
+///
+/// Determinism contract: every injection decision is taken at a *serial*
+/// point of the emulation (the entry of Grape6Machine::compute, the entry of
+/// ParallelHostSystem::compute, each Transport::send on the driving thread)
+/// and is a pure function of the armed plan and a per-domain operation
+/// counter. Thread-pool parallelism fans out only *after* the decisions are
+/// fixed, so the same plan produces the same fault sequence, the same
+/// recovery actions and bit-identical final registers at any thread count.
+/// With no injector attached (or none armed) every hook is a single pointer
+/// test: zero overhead, bit-identical to the fault-free build.
+
+#include <cstddef>
+#include <cstdint>
+#include <atomic>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace g6::fault {
+
+/// What breaks. Grouped into three injection domains, each driven by its own
+/// deterministic operation counter (see FaultInjector).
+enum class FaultKind : int {
+  // -- link domain: fires on the at-th Transport::send of the run ----------
+  kLinkDrop = 0,   ///< message lost in flight (receiver sees nothing)
+  kLinkCorrupt,    ///< payload bit flipped in flight (CRC framing catches it)
+  kLinkDelay,      ///< delivery charged extra modeled latency
+  kLinkFail,       ///< link (a -> b) goes down; param = failed-attempt window
+                   ///< (0 = permanent until restore_link)
+  // -- machine domain: fires on the at-th Grape6Machine::compute -----------
+  kChipBitFlip,    ///< board a, chip b: accumulator register bit flip;
+                   ///< param = 0 transient, 1 permanent (chip excluded)
+  kJMemCorrupt,    ///< board a, chip b, slot param: j-memory word bit flip
+  kBoardFail,      ///< board a dies; its j-particles remap onto survivors
+  // -- cluster domain: fires on the at-th ParallelHostSystem::compute ------
+  kHostDrop,       ///< simulated host a dies; j-images re-replicated
+};
+
+inline constexpr int kFaultKindCount = static_cast<int>(FaultKind::kHostDrop) + 1;
+
+const char* fault_kind_name(FaultKind kind);
+
+/// One scheduled fault. `at` counts operations of the kind's domain.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kLinkDrop;
+  std::uint64_t at = 0;    ///< domain op index at which the event fires
+  int a = -1;              ///< link src / board / host
+  int b = -1;              ///< link dst / chip
+  std::uint32_t bit = 0;   ///< bit index for flips (reduced modulo the target)
+  std::uint64_t param = 0; ///< window / slot / permanence flag / delay [us]
+};
+
+/// Shape of a randomized campaign: the topology being attacked, the horizon
+/// of each injection domain, and how many faults of each class to schedule.
+struct CampaignShape {
+  std::uint64_t machine_steps = 0;  ///< Grape6Machine::compute calls
+  std::uint64_t cluster_steps = 0;  ///< ParallelHostSystem::compute calls
+  std::uint64_t link_ops = 0;       ///< Transport::send calls expected
+
+  int boards = 0;
+  int chips_per_board = 0;
+  std::size_t jmem_slots = 0;  ///< occupied j-slots per chip (corruption range)
+  int hosts = 0;
+
+  int n_link_drops = 0;
+  int n_link_corrupts = 0;
+  int n_link_delays = 0;
+  int n_link_fails = 0;       ///< transient link-down windows
+  int n_chip_flips = 0;       ///< transient accumulator flips
+  int n_chip_kills = 0;       ///< permanent chip exclusions
+  int n_jmem_corruptions = 0;
+  int n_board_fails = 0;
+  int n_host_drops = 0;       ///< hosts > 0 required; host 0 never dropped
+};
+
+/// An ordered fault schedule. Build one by hand (scripted tests) or with
+/// random() (seeded campaigns); arm it on a FaultInjector.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  void add(const FaultEvent& event) { events_.push_back(event); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /// Deterministic randomized campaign: the same (seed, shape) produces the
+  /// same plan on every platform (util::Rng is bit-stable). Targets are drawn
+  /// uniformly with the survivability constraints the recovery layer needs:
+  /// host 0 is never dropped, at most hosts-1 hosts die, dead boards/chips
+  /// are distinct, and permanent kills leave at least one chip per board and
+  /// one board per machine.
+  static FaultPlan random(std::uint64_t seed, const CampaignShape& shape);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Recovery/detection counters. Atomics because recovery (chip recompute,
+/// j-memory rewrite) runs inside thread-pool regions; the *values* are still
+/// deterministic — the set of recovery actions is fixed serially.
+struct FaultStats {
+  std::atomic<std::uint64_t> injected[kFaultKindCount] = {};
+
+  // Detection.
+  std::atomic<std::uint64_t> crc_payload_mismatches{0};  ///< transport frames
+  std::atomic<std::uint64_t> crc_jmem_mismatches{0};     ///< SSRAM slot scans
+  std::atomic<std::uint64_t> selftest_failures{0};       ///< chip test vectors
+  std::atomic<std::uint64_t> range_guard_trips{0};       ///< NaN/overflow guards
+
+  // Recovery.
+  std::atomic<std::uint64_t> link_retries{0};       ///< re-sends after link-down
+  std::atomic<std::uint64_t> resends{0};            ///< re-sends after drop/corrupt
+  std::atomic<std::uint64_t> recomputed_chip_blocks{0};
+  std::atomic<std::uint64_t> jmem_rewrites{0};
+  std::atomic<std::uint64_t> excluded_chips{0};
+  std::atomic<std::uint64_t> excluded_boards{0};
+  std::atomic<std::uint64_t> dead_hosts{0};
+  std::atomic<std::uint64_t> remapped_particles{0};  ///< j-images moved
+  std::atomic<double> recovery_modeled_seconds{0.0}; ///< time charged to recovery
+
+  std::uint64_t injected_total() const {
+    std::uint64_t n = 0;
+    for (const auto& c : injected) n += c.load(std::memory_order_relaxed);
+    return n;
+  }
+  void add_recovery_seconds(double s) {
+    recovery_modeled_seconds.fetch_add(s, std::memory_order_relaxed);
+  }
+};
+
+/// Plain-value copy of FaultStats for reports and JSON exports.
+struct FaultStatsSnapshot {
+  std::uint64_t injected[kFaultKindCount] = {};
+  std::uint64_t injected_total = 0;
+  std::uint64_t crc_payload_mismatches = 0;
+  std::uint64_t crc_jmem_mismatches = 0;
+  std::uint64_t selftest_failures = 0;
+  std::uint64_t range_guard_trips = 0;
+  std::uint64_t link_retries = 0;
+  std::uint64_t resends = 0;
+  std::uint64_t recomputed_chip_blocks = 0;
+  std::uint64_t jmem_rewrites = 0;
+  std::uint64_t excluded_chips = 0;
+  std::uint64_t excluded_boards = 0;
+  std::uint64_t dead_hosts = 0;
+  std::uint64_t remapped_particles = 0;
+  double recovery_modeled_seconds = 0.0;
+};
+
+/// Bounded retry-with-backoff policy for transient link errors. Attempt k
+/// (0-based re-try) is charged backoff_seconds(k) of modeled link time.
+struct RetryPolicy {
+  int max_attempts = 5;             ///< total send attempts before giving up
+  double backoff_base_sec = 100e-6; ///< first re-try wait
+  double backoff_mult = 4.0;        ///< exponential growth per re-try
+
+  double backoff_seconds(int retry_index) const {
+    double s = backoff_base_sec;
+    for (int k = 0; k < retry_index; ++k) s *= backoff_mult;
+    return s;
+  }
+};
+
+/// The armed plan plus the run position: per-domain operation counters and
+/// cursors into the per-domain event schedules. Attach one injector to the
+/// Transport, the Grape6Machine and/or the ParallelHostSystem under test;
+/// each layer polls its own domain from its serial driver point.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arm a plan. Resets all counters, cursors and statistics.
+  void arm(FaultPlan plan);
+  /// Disarm: hooks become no-ops again (stats are retained for inspection).
+  void disarm() { armed_ = false; }
+  bool armed() const { return armed_; }
+
+  /// Machine domain: call once per Grape6Machine::compute, on the driving
+  /// thread, before the board fan-out. Returns the chip/board events firing
+  /// at this step and advances the step counter.
+  std::span<const FaultEvent> machine_step();
+
+  /// Cluster domain: call once per ParallelHostSystem::compute, on the
+  /// driving thread. Returns the host events firing at this step.
+  std::span<const FaultEvent> cluster_step();
+
+  /// Link domain: call once per Transport::send (sends are serial by the BSP
+  /// construction). Returns the link events firing at this send op.
+  std::span<const FaultEvent> link_op();
+
+  std::uint64_t machine_steps_seen() const { return machine_steps_; }
+  std::uint64_t cluster_steps_seen() const { return cluster_steps_; }
+  std::uint64_t link_ops_seen() const { return link_ops_; }
+
+  FaultStats& stats() { return stats_; }
+  const FaultStats& stats() const { return stats_; }
+  FaultStatsSnapshot snapshot() const;
+
+ private:
+  /// Events of one domain sorted by `at`, plus the cursor of the next
+  /// not-yet-fired event.
+  struct Domain {
+    std::vector<FaultEvent> events;
+    std::size_t next = 0;
+    std::span<const FaultEvent> fire(std::uint64_t now);
+  };
+
+  bool armed_ = false;
+  Domain machine_, cluster_, link_;
+  std::uint64_t machine_steps_ = 0, cluster_steps_ = 0, link_ops_ = 0;
+  FaultStats stats_;
+};
+
+/// Flip bit \p bit (reduced modulo the buffer width) in a byte buffer.
+void flip_bit(void* data, std::size_t nbytes, std::uint32_t bit);
+
+/// Publish the fault counters into a metrics registry under `g6.fault.*`
+/// (docs/OBSERVABILITY.md naming convention).
+void publish_metrics(const FaultStats& stats, g6::obs::MetricsRegistry& registry);
+
+/// Human-readable one-line summary ("injected=7 detected=5 retries=3 ...").
+std::string summarize(const FaultStatsSnapshot& snap);
+
+}  // namespace g6::fault

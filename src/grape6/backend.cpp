@@ -1,5 +1,7 @@
 #include "grape6/backend.hpp"
 
+#include <cmath>
+
 #include "nbody/hermite.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
@@ -121,6 +123,15 @@ void Grape6Backend::compute_states(double t, std::span<const std::uint32_t> ilis
     out[k].acc = accum_[k].acc.to_vec3();
     out[k].jerk = accum_[k].jerk.to_vec3();
     out[k].pot = accum_[k].pot.to_double();
+    // Last-line detection: corruption that slipped past CRC/self-test would
+    // surface here as a non-finite acceleration.
+    if (!std::isfinite(out[k].acc.x) || !std::isfinite(out[k].acc.y) ||
+        !std::isfinite(out[k].acc.z) || !std::isfinite(out[k].pot)) {
+      if (fault::FaultInjector* inj = machine_.fault_injector())
+        inj->stats().range_guard_trips.fetch_add(1, std::memory_order_relaxed);
+      g6::util::raise("non-finite acceleration returned for i-particle " +
+                      std::to_string(ilist[k]));
+    }
   }
 }
 

@@ -52,6 +52,16 @@ class Grape6Backend final : public g6::nbody::ForceBackend {
   Grape6Machine& machine() { return machine_; }
   const Grape6Machine& machine() const { return machine_; }
 
+  /// Attach (or detach with nullptr) a fault injector — forwarded to the
+  /// machine. Also arms the NaN/overflow guard accounting on returned
+  /// accelerations.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    machine_.set_fault_injector(injector);
+  }
+  fault::FaultInjector* fault_injector() const {
+    return machine_.fault_injector();
+  }
+
  private:
   /// Format one host particle into the j-particle wire/memory image.
   JParticle to_j_particle(std::uint32_t i,

@@ -16,16 +16,21 @@ ProcessorBoard::ProcessorBoard(const FormatSpec& fmt, int n_chips,
 
 std::size_t ProcessorBoard::capacity() const {
   std::size_t cap = 0;
-  for (const Chip& c : chips_) cap += c.capacity();
+  for (const Chip& c : chips_)
+    if (!c.dead()) cap += c.capacity();
   return cap;
 }
 
 JAddress ProcessorBoard::store_j(const JParticle& p) {
-  // Least-loaded chip keeps the per-chip j-counts balanced (the critical
-  // path is the fullest chip).
-  std::size_t best = 0;
-  for (std::size_t c = 1; c < chips_.size(); ++c)
-    if (chips_[c].j_count() < chips_[best].j_count()) best = c;
+  // Least-loaded alive chip keeps the per-chip j-counts balanced (the
+  // critical path is the fullest chip).
+  std::size_t best = chips_.size();
+  for (std::size_t c = 0; c < chips_.size(); ++c) {
+    if (chips_[c].dead()) continue;
+    if (best == chips_.size() || chips_[c].j_count() < chips_[best].j_count())
+      best = c;
+  }
+  G6_CHECK(best < chips_.size(), "no alive chip on board");
   const std::size_t slot = chips_[best].store_j(p);
   ++j_total_;
   return {static_cast<std::uint32_t>(best), static_cast<std::uint32_t>(slot)};
@@ -42,19 +47,50 @@ const JParticle& ProcessorBoard::read_j(const JAddress& addr) const {
 }
 
 void ProcessorBoard::predict_all(double t) {
-  for (Chip& c : chips_) c.predict_all(t);
+  for (Chip& c : chips_)
+    if (!c.dead()) c.predict_all(t);
   counters_.predict_ops += j_total_;
 }
 
 void ProcessorBoard::compute(const std::vector<IParticle>& i_batch, double eps2,
-                             std::vector<ForceAccumulator>& out) const {
+                             std::vector<ForceAccumulator>& out) {
   G6_CHECK(out.size() == i_batch.size(), "output batch size mismatch");
 
-  // Each chip produces a partial accumulator per i-particle...
+  // Each chip produces a partial accumulator per i-particle (a dead chip
+  // contributes zeros — its j-particles were remapped when it was excluded).
   std::vector<std::vector<ForceAccumulator>> partial(chips_.size());
   for (std::size_t c = 0; c < chips_.size(); ++c) {
     partial[c].assign(i_batch.size(), ForceAccumulator(fmt_));
+    if (chips_[c].dead()) continue;
     chips_[c].compute(i_batch, eps2, partial[c]);
+  }
+
+  // Detection pass (armed runs only): run every chip's sentinel self-test.
+  // A transient glitch is repaired by recomputing that chip's partial — the
+  // recompute is charged into the recovery time model. A permanent glitch
+  // excludes the chip; the machine sees take_newly_dead(), remaps its
+  // j-particles and redoes the block, so no force contribution is lost.
+  if (fault_stats_ != nullptr) {
+    for (std::size_t c = 0; c < chips_.size(); ++c) {
+      if (chips_[c].dead() || chips_[c].self_test()) continue;
+      fault_stats_->selftest_failures.fetch_add(1, std::memory_order_relaxed);
+      if (chips_[c].glitch_permanent()) {
+        j_total_ -= chips_[c].j_count();
+        chips_[c].set_dead();
+        newly_dead_ = true;
+        fault_stats_->excluded_chips.fetch_add(1, std::memory_order_relaxed);
+        for (std::size_t k = 0; k < i_batch.size(); ++k)
+          partial[c][k] = ForceAccumulator(fmt_);
+      } else {
+        chips_[c].clear_glitch();
+        partial[c].assign(i_batch.size(), ForceAccumulator(fmt_));
+        chips_[c].compute(i_batch, eps2, partial[c]);
+        fault_stats_->recomputed_chip_blocks.fetch_add(1, std::memory_order_relaxed);
+        fault_stats_->add_recovery_seconds(
+            static_cast<double>(chips_[c].compute_cycles(i_batch.size())) /
+            kClockHz);
+      }
+    }
   }
 
   // ...and the reduction tree merges them pairwise. Fixed-point addition is
@@ -77,7 +113,8 @@ void ProcessorBoard::compute(const std::vector<IParticle>& i_batch, double eps2,
 
 std::uint64_t ProcessorBoard::compute_cycles(std::size_t ni) const {
   std::uint64_t worst = 0;
-  for (const Chip& c : chips_) worst = std::max(worst, c.compute_cycles(ni));
+  for (const Chip& c : chips_)
+    if (!c.dead()) worst = std::max(worst, c.compute_cycles(ni));
   // Reduction tree: log2(chips) stages, a few cycles each, per pass.
   const std::uint64_t passes = (ni + kIPerChipPass - 1) / kIPerChipPass;
   std::uint64_t stages = 0;
@@ -87,8 +124,40 @@ std::uint64_t ProcessorBoard::compute_cycles(std::size_t ni) const {
 
 std::uint64_t ProcessorBoard::predict_cycles() const {
   std::uint64_t worst = 0;
-  for (const Chip& c : chips_) worst = std::max(worst, c.predict_cycles());
+  for (const Chip& c : chips_)
+    if (!c.dead()) worst = std::max(worst, c.predict_cycles());
   return worst;
+}
+
+int ProcessorBoard::alive_chip_count() const {
+  int n = 0;
+  for (const Chip& c : chips_)
+    if (!c.dead()) ++n;
+  return n;
+}
+
+bool ProcessorBoard::take_newly_dead() {
+  const bool v = newly_dead_;
+  newly_dead_ = false;
+  return v;
+}
+
+void ProcessorBoard::arm_step_fault(int chip, std::uint32_t bit, bool permanent) {
+  G6_CHECK(chip >= 0 && chip < chip_count(), "chip index out of range");
+  chips_[static_cast<std::size_t>(chip)].arm_glitch(bit, permanent);
+}
+
+void ProcessorBoard::corrupt_j(int chip, std::size_t slot, std::uint32_t bit) {
+  G6_CHECK(chip >= 0 && chip < chip_count(), "chip index out of range");
+  chips_[static_cast<std::size_t>(chip)].corrupt_j(slot, bit);
+}
+
+void ProcessorBoard::repredict(double t) {
+  // Post-repair predictor pass. Chips whose caches are still valid early-out
+  // inside Chip::predict_all; the cost is charged by the fault layer as
+  // recovery time, not into the per-step predict_ops counters.
+  for (Chip& c : chips_)
+    if (!c.dead()) c.predict_all(t);
 }
 
 }  // namespace g6::hw

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "grape6/chip.hpp"
 
 namespace g6::hw {
@@ -44,9 +45,12 @@ class ProcessorBoard {
 
   /// Compute the partial force from this board's j-particles on each
   /// i-particle, returned as exact fixed-point accumulators (the output of
-  /// the board's reduction tree).
+  /// the board's reduction tree). With fault stats attached (armed runs)
+  /// every chip is self-tested afterwards: a transiently glitched chip has
+  /// its partial recomputed in place; a permanently glitched chip is
+  /// excluded and flagged for the machine to remap (see take_newly_dead).
   void compute(const std::vector<IParticle>& i_batch, double eps2,
-               std::vector<ForceAccumulator>& out) const;
+               std::vector<ForceAccumulator>& out);
 
   /// Cycle cost of one compute() call with \p ni i-particles: the slowest
   /// chip's pipeline time plus the reduction-tree drain.
@@ -61,11 +65,39 @@ class ProcessorBoard {
 
   const FormatSpec& format() const { return fmt_; }
 
+  // --- reliability hooks ----------------------------------------------------
+
+  /// Attach (or detach with nullptr) the fault counters. Non-null enables
+  /// the post-compute self-test/recovery pass.
+  void set_fault_stats(fault::FaultStats* stats) { fault_stats_ = stats; }
+
+  /// Arm a pipeline glitch on \p chip for the next compute().
+  void arm_step_fault(int chip, std::uint32_t bit, bool permanent);
+
+  /// Flip one bit of the j-particle at (chip, slot) — SSRAM corruption.
+  void corrupt_j(int chip, std::size_t slot, std::uint32_t bit);
+
+  bool chip_dead(int chip) const { return chips_[static_cast<std::size_t>(chip)].dead(); }
+  std::size_t chip_j_count(int chip) const {
+    return chips_[static_cast<std::size_t>(chip)].j_count();
+  }
+  int alive_chip_count() const;
+
+  /// True once after a compute() excluded a chip; reading clears the flag.
+  /// The machine then remaps the lost j-particles and recomputes the block.
+  bool take_newly_dead();
+
+  /// Re-run the predictors after a repair; chips with valid caches early-out
+  /// and no predict-op counters are charged (the fault layer accounts it).
+  void repredict(double t);
+
  private:
   FormatSpec fmt_;
   std::vector<Chip> chips_;
   std::size_t j_total_ = 0;
   mutable HwCounters counters_;
+  fault::FaultStats* fault_stats_ = nullptr;
+  bool newly_dead_ = false;
 };
 
 }  // namespace g6::hw

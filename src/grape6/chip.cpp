@@ -3,9 +3,87 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "fault/fault.hpp"
 #include "util/check.hpp"
 
 namespace g6::hw {
+
+namespace {
+
+/// The self-test pair: a fixed i-particle and j-particle whose interaction
+/// exercises every pipeline unit. The signature is whatever the pipeline
+/// produces at construction time — the test detects *change*, not absolute
+/// correctness (the conformance suites cover that).
+IParticle selftest_i(const FormatSpec& fmt) {
+  return make_i_particle(0x7fffffffu, Vec3{0.125, -0.25, 0.5},
+                         Vec3{-0.03125, 0.0625, -0.125}, fmt);
+}
+
+JPredicted selftest_j(const FormatSpec& fmt) {
+  const JParticle j =
+      make_j_particle(0x7ffffffeu, 1.0 / 1024.0, 0.0, Vec3{-0.5, 0.25, -0.125},
+                      Vec3{0.0625, -0.03125, 0.015625}, Vec3{}, Vec3{}, fmt);
+  return predict_j(j, 0.0, fmt);
+}
+
+constexpr double kSelftestEps2 = 1.0 / 4096.0;
+
+}  // namespace
+
+Chip::Chip(const FormatSpec& fmt, std::size_t jmem_capacity)
+    : fmt_(fmt), capacity_(jmem_capacity) {
+  const ForceAccumulator a = selftest_vector();
+  sig_[0] = a.acc.x().raw();
+  sig_[1] = a.acc.y().raw();
+  sig_[2] = a.acc.z().raw();
+  sig_[3] = a.jerk.x().raw();
+  sig_[4] = a.jerk.y().raw();
+  sig_[5] = a.jerk.z().raw();
+  sig_[6] = a.pot.raw();
+}
+
+ForceAccumulator Chip::selftest_vector() const {
+  ForceAccumulator a(fmt_);
+  pipeline_interact(selftest_i(fmt_), selftest_j(fmt_), kSelftestEps2, fmt_, a);
+  return a;
+}
+
+bool Chip::self_test() const {
+  if (dead_) return false;
+  ForceAccumulator a = selftest_vector();
+  if (glitch_armed_) {
+    // The glitching datapath corrupts the test vector the same way it
+    // corrupts real accumulators.
+    std::vector<ForceAccumulator> one{a};
+    apply_glitch(one);
+    a = one[0];
+  }
+  return a.acc.x().raw() == sig_[0] && a.acc.y().raw() == sig_[1] &&
+         a.acc.z().raw() == sig_[2] && a.jerk.x().raw() == sig_[3] &&
+         a.jerk.y().raw() == sig_[4] && a.jerk.z().raw() == sig_[5] &&
+         a.pot.raw() == sig_[6];
+}
+
+void Chip::corrupt_j(std::size_t slot, std::uint32_t bit) {
+  G6_CHECK(slot < jmem_.size(), "corrupt_j slot out of range");
+  g6::fault::flip_bit(&jmem_[slot], sizeof(JParticle), bit);
+  predictions_valid_ = false;  // the predictor re-reads the corrupted SSRAM
+}
+
+void Chip::arm_glitch(std::uint32_t bit, bool permanent) {
+  glitch_armed_ = true;
+  glitch_permanent_ = permanent;
+  glitch_bit_ = bit;
+}
+
+void Chip::apply_glitch(std::vector<ForceAccumulator>& accum) const {
+  if (!glitch_armed_ || accum.empty()) return;
+  ForceAccumulator& a = accum[glitch_bit_ % accum.size()];
+  const int bit = static_cast<int>((glitch_bit_ / 7u) % 63u);
+  a.acc = g6::util::FixedVec3::from_raw(a.acc.x().raw() ^ (std::int64_t{1} << bit),
+                                        a.acc.y().raw(), a.acc.z().raw(),
+                                        fmt_.acc_lsb);
+}
 
 bool Chip::batched_from_env() {
   static const bool value = [] {
@@ -72,6 +150,7 @@ void Chip::compute(const std::vector<IParticle>& i_batch, double eps2,
   G6_CHECK(accum.size() == i_batch.size(), "accumulator batch size mismatch");
   if (batched_) {
     compute_batched(i_batch, eps2, accum);
+    apply_glitch(accum);
     return;
   }
   for (std::size_t k = 0; k < i_batch.size(); ++k) {
@@ -79,6 +158,7 @@ void Chip::compute(const std::vector<IParticle>& i_batch, double eps2,
     ForceAccumulator& a = accum[k];
     for (const JPredicted& jp : predicted_) pipeline_interact(ip, jp, eps2, fmt_, a);
   }
+  apply_glitch(accum);
 }
 
 void Chip::compute_batched(const std::vector<IParticle>& i_batch, double eps2,

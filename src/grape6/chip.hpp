@@ -14,8 +14,7 @@ namespace g6::hw {
 /// Functional + cycle model of one processor chip.
 class Chip {
  public:
-  explicit Chip(const FormatSpec& fmt, std::size_t jmem_capacity = kJMemPerChip)
-      : fmt_(fmt), capacity_(jmem_capacity) {}
+  explicit Chip(const FormatSpec& fmt, std::size_t jmem_capacity = kJMemPerChip);
 
   /// Number of j-particles currently resident.
   std::size_t j_count() const { return jmem_.size(); }
@@ -56,6 +55,29 @@ class Chip {
   void set_batched(bool on) { batched_ = on; }
   bool batched() const { return batched_; }
 
+  // --- reliability hooks (fault injection & detection) ----------------------
+
+  /// Flip one bit of the stored j-particle at \p slot (SSRAM corruption).
+  /// Invalidates the prediction cache — the predictor re-reads the SSRAM.
+  void corrupt_j(std::size_t slot, std::uint32_t bit);
+
+  /// Arm a pipeline glitch for subsequent compute() calls: one bit of one
+  /// output accumulator is flipped, and the self-test vector fails, until
+  /// clear_glitch() (transient) or the chip is excluded (permanent).
+  void arm_glitch(std::uint32_t bit, bool permanent);
+  void clear_glitch() { glitch_armed_ = false; }
+  bool glitch_armed() const { return glitch_armed_; }
+  bool glitch_permanent() const { return glitch_permanent_; }
+
+  /// Permanently exclude this chip (a defective die, paper §8 operations).
+  void set_dead() { dead_ = true; }
+  bool dead() const { return dead_; }
+
+  /// GRAPE-style self-test: run the sentinel i/j pair through the force
+  /// pipeline and compare the fixed-point registers against the signature
+  /// precomputed at construction. A glitched or dead chip fails.
+  bool self_test() const;
+
   /// Pipeline cycles this chip needs for \p ni i-particles against its
   /// current j-count: passes * (kVmp * nj + latency).
   std::uint64_t compute_cycles(std::size_t ni) const;
@@ -78,6 +100,10 @@ class Chip {
   static bool batched_from_env();
   void compute_batched(const std::vector<IParticle>& i_batch, double eps2,
                        std::vector<ForceAccumulator>& accum) const;
+  /// Run the sentinel pair through the pipeline (the self-test evaluation).
+  ForceAccumulator selftest_vector() const;
+  /// Corrupt one accumulator of a finished batch — the armed glitch.
+  void apply_glitch(std::vector<ForceAccumulator>& accum) const;
 
   FormatSpec fmt_;
   std::size_t capacity_;
@@ -87,6 +113,11 @@ class Chip {
   double predicted_time_ = 0.0;
   bool predictions_valid_ = false;
   bool batched_ = batched_from_env();
+  bool glitch_armed_ = false;
+  bool glitch_permanent_ = false;
+  std::uint32_t glitch_bit_ = 0;
+  bool dead_ = false;
+  std::int64_t sig_[7] = {};  ///< sentinel signature registers (acc, jerk, pot)
 };
 
 }  // namespace g6::hw

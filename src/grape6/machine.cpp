@@ -4,6 +4,7 @@
 
 #include "obs/trace.hpp"
 #include "util/check.hpp"
+#include "util/crc.hpp"
 
 namespace g6::hw {
 
@@ -16,6 +17,7 @@ Grape6Machine::Grape6Machine(MachineConfig cfg, g6::util::ThreadPool* pool)
   for (int b = 0; b < nb; ++b)
     boards_.emplace_back(cfg.fmt, cfg.chips_per_board, cfg.jmem_per_chip);
   scratch_.resize(boards_.size());
+  board_alive_.assign(boards_.size(), 1);
 }
 
 void Grape6Machine::set_pool(g6::util::ThreadPool* pool) {
@@ -24,7 +26,8 @@ void Grape6Machine::set_pool(g6::util::ThreadPool* pool) {
 
 std::size_t Grape6Machine::capacity() const {
   std::size_t cap = 0;
-  for (const auto& b : boards_) cap += b.capacity();
+  for (std::size_t b = 0; b < boards_.size(); ++b)
+    if (board_alive_[b] != 0) cap += boards_[b].capacity();
   return cap;
 }
 
@@ -32,15 +35,24 @@ void Grape6Machine::clear() {
   for (auto& b : boards_) b = ProcessorBoard(cfg_.fmt, cfg_.chips_per_board,
                                              cfg_.jmem_per_chip);
   addr_.clear();
+  shadow_j_.clear();
+  board_alive_.assign(boards_.size(), 1);
+  if (injector_ != nullptr)
+    for (auto& b : boards_) b.set_fault_stats(&injector_->stats());
 }
 
 void Grape6Machine::load(std::span<const JParticle> particles) {
   G6_CHECK(addr_.size() + particles.size() <= capacity(),
            "machine j-memory capacity exceeded");
   for (const JParticle& p : particles) {
-    const auto b = static_cast<std::uint32_t>(addr_.size() % boards_.size());
+    // Round-robin over the alive boards keeps the per-board j-counts
+    // balanced (the critical path is the fullest board).
+    auto b = static_cast<std::size_t>(addr_.size() % boards_.size());
+    while (board_alive_[b] == 0 || boards_[b].j_count() >= boards_[b].capacity())
+      b = (b + 1) % boards_.size();
     const JAddress local = boards_[b].store_j(p);
-    addr_.push_back({b, local});
+    addr_.push_back({static_cast<std::uint32_t>(b), local});
+    if (injector_ != nullptr) shadow_j_.push_back(p);
   }
 }
 
@@ -48,6 +60,7 @@ void Grape6Machine::write_j(std::size_t index, const JParticle& p) {
   G6_CHECK(index < addr_.size(), "j index out of range");
   const GlobalJAddress& a = addr_[index];
   boards_[a.board].write_j(a.local, p);
+  if (index < shadow_j_.size()) shadow_j_[index] = p;
   // The update travels host -> network board -> processor board.
 }
 
@@ -58,12 +71,14 @@ const JParticle& Grape6Machine::read_j(std::size_t index) const {
 }
 
 void Grape6Machine::predict_all(double t) {
+  predict_time_ = t;
   // Every board's predictor pipelines run concurrently, as in hardware.
   // Each board only touches its own chips, so tasks are disjoint.
   pool_->parallel_for(
       boards_.size(),
       [&](std::size_t b0, std::size_t b1) {
         for (std::size_t b = b0; b < b1; ++b) {
+          if (board_alive_[b] == 0) continue;
           G6_TRACE_SPAN_CAT("board-predict", "hw");
           boards_[b].predict_all(t);
         }
@@ -73,23 +88,57 @@ void Grape6Machine::predict_all(double t) {
 
 void Grape6Machine::compute(const std::vector<IParticle>& i_batch, double eps2,
                             std::vector<ForceAccumulator>& out) {
+  // All fault decisions happen here, on the serial driving thread, before
+  // any worker fans out — a pure function of (plan, call count), so the
+  // schedule is identical at every thread count. Unarmed runs pay one branch.
+  if (injector_ != nullptr && injector_->armed()) {
+    process_events();
+    scrub_jmem();
+  }
+
   const std::size_t ni = i_batch.size();
   out.assign(ni, ForceAccumulator(cfg_.fmt));
 
   // Phase 1 — boards run concurrently, each filling its own scratch_ slice
   // (grown once, then value-reset in place: no per-call reallocation).
-  pool_->parallel_for(
-      boards_.size(),
-      [&](std::size_t b0, std::size_t b1) {
-        for (std::size_t b = b0; b < b1; ++b) {
-          G6_TRACE_SPAN_CAT("board-compute", "hw");
-          auto& part = scratch_[b];
-          part.resize(ni, ForceAccumulator(cfg_.fmt));
-          for (std::size_t k = 0; k < ni; ++k) part[k] = ForceAccumulator(cfg_.fmt);
-          boards_[b].compute(i_batch, eps2, part);
-        }
-      },
-      /*grain=*/1);
+  // If the self-test pass inside a board excluded a chip, its j-particles
+  // are remapped onto the survivors and the whole block is redone — the
+  // final registers must include every j exactly once (that is what makes
+  // recovered runs bit-identical to fault-free ones).
+  for (bool redo = true; redo;) {
+    redo = false;
+    pool_->parallel_for(
+        boards_.size(),
+        [&](std::size_t b0, std::size_t b1) {
+          for (std::size_t b = b0; b < b1; ++b) {
+            auto& part = scratch_[b];
+            part.resize(ni, ForceAccumulator(cfg_.fmt));
+            for (std::size_t k = 0; k < ni; ++k) part[k] = ForceAccumulator(cfg_.fmt);
+            if (board_alive_[b] == 0) continue;
+            G6_TRACE_SPAN_CAT("board-compute", "hw");
+            boards_[b].compute(i_batch, eps2, part);
+          }
+        },
+        /*grain=*/1);
+
+    for (std::size_t b = 0; b < boards_.size(); ++b) {
+      if (board_alive_[b] == 0 || !boards_[b].take_newly_dead()) continue;
+      remap_dead_chips(b);
+      if (boards_[b].alive_chip_count() == 0) {
+        board_alive_[b] = 0;
+        if (injector_ != nullptr)
+          injector_->stats().excluded_boards.fetch_add(1, std::memory_order_relaxed);
+      }
+      redo = true;
+    }
+    if (redo) {
+      for (std::size_t b = 0; b < boards_.size(); ++b)
+        if (board_alive_[b] != 0) boards_[b].repredict(predict_time_);
+      if (injector_ != nullptr)
+        injector_->stats().add_recovery_seconds(predict_seconds() +
+                                                pipeline_seconds(ni));
+    }
+  }
 
   // Phase 2 — network reduction across boards: a pairwise tree over the
   // fixed-point partials, parallel over i-particles. Fixed-point addition is
@@ -108,14 +157,157 @@ void Grape6Machine::compute(const std::vector<IParticle>& i_batch, double eps2,
 
 double Grape6Machine::pipeline_seconds(std::size_t ni) const {
   std::uint64_t worst = 0;
-  for (const auto& b : boards_) worst = std::max(worst, b.compute_cycles(ni));
+  for (std::size_t b = 0; b < boards_.size(); ++b)
+    if (board_alive_[b] != 0)
+      worst = std::max(worst, boards_[b].compute_cycles(ni));
   return static_cast<double>(worst) / kClockHz;
 }
 
 double Grape6Machine::predict_seconds() const {
   std::uint64_t worst = 0;
-  for (const auto& b : boards_) worst = std::max(worst, b.predict_cycles());
+  for (std::size_t b = 0; b < boards_.size(); ++b)
+    if (board_alive_[b] != 0)
+      worst = std::max(worst, boards_[b].predict_cycles());
   return static_cast<double>(worst) / kClockHz;
+}
+
+int Grape6Machine::alive_board_count() const {
+  int n = 0;
+  for (char a : board_alive_)
+    if (a != 0) ++n;
+  return n;
+}
+
+void Grape6Machine::set_fault_injector(fault::FaultInjector* injector) {
+  injector_ = injector;
+  fault::FaultStats* stats = injector != nullptr ? &injector->stats() : nullptr;
+  for (auto& b : boards_) b.set_fault_stats(stats);
+  shadow_j_.clear();
+  if (injector_ != nullptr) {
+    // Build the host-side shadow from whatever is already loaded (the
+    // "restore file" the real operators kept for machine restarts).
+    shadow_j_.reserve(addr_.size());
+    for (std::size_t i = 0; i < addr_.size(); ++i) shadow_j_.push_back(read_j(i));
+  }
+}
+
+void Grape6Machine::process_events() {
+  auto& stats = injector_->stats();
+  for (const fault::FaultEvent& e : injector_->machine_step()) {
+    switch (e.kind) {
+      case fault::FaultKind::kChipBitFlip: {
+        const std::size_t b = static_cast<std::size_t>(e.a) % boards_.size();
+        if (board_alive_[b] == 0) break;
+        const int chip = static_cast<int>(e.b) % boards_[b].chip_count();
+        if (boards_[b].chip_dead(chip)) break;
+        boards_[b].arm_step_fault(chip, e.bit, e.param > 0.5);
+        stats.injected[static_cast<std::size_t>(e.kind)].fetch_add(
+            1, std::memory_order_relaxed);
+        break;
+      }
+      case fault::FaultKind::kJMemCorrupt: {
+        const std::size_t b = static_cast<std::size_t>(e.a) % boards_.size();
+        if (board_alive_[b] == 0) break;
+        const int chip = static_cast<int>(e.b) % boards_[b].chip_count();
+        if (boards_[b].chip_dead(chip)) break;
+        const std::size_t jc = boards_[b].chip_j_count(chip);
+        if (jc == 0) break;
+        boards_[b].corrupt_j(chip, static_cast<std::size_t>(e.param) % jc, e.bit);
+        stats.injected[static_cast<std::size_t>(e.kind)].fetch_add(
+            1, std::memory_order_relaxed);
+        break;
+      }
+      case fault::FaultKind::kBoardFail: {
+        const std::size_t b = static_cast<std::size_t>(e.a) % boards_.size();
+        if (board_alive_[b] == 0 || alive_board_count() < 2) break;
+        fail_board(b);
+        stats.injected[static_cast<std::size_t>(e.kind)].fetch_add(
+            1, std::memory_order_relaxed);
+        break;
+      }
+      default:
+        g6::util::raise("unexpected machine-domain fault event");
+    }
+  }
+}
+
+void Grape6Machine::scrub_jmem() {
+  // Serial CRC scan of every stored j-image against the host shadow — the
+  // detection side of SSRAM corruption. A mismatch is repaired by rewriting
+  // the image and re-running the affected board's predictors; both are
+  // charged into the recovery time model.
+  auto& stats = injector_->stats();
+  std::vector<char> dirty(boards_.size(), 0);
+  for (std::size_t i = 0; i < addr_.size(); ++i) {
+    const GlobalJAddress& a = addr_[i];
+    const JParticle& img = boards_[a.board].read_j(a.local);
+    if (g6::util::crc32_of(img) == g6::util::crc32_of(shadow_j_[i])) continue;
+    stats.crc_jmem_mismatches.fetch_add(1, std::memory_order_relaxed);
+    boards_[a.board].write_j(a.local, shadow_j_[i]);
+    stats.jmem_rewrites.fetch_add(1, std::memory_order_relaxed);
+    dirty[a.board] = 1;
+  }
+  for (std::size_t b = 0; b < boards_.size(); ++b) {
+    if (dirty[b] == 0) continue;
+    boards_[b].repredict(predict_time_);
+    stats.add_recovery_seconds(
+        static_cast<double>(boards_[b].predict_cycles()) / kClockHz);
+  }
+}
+
+void Grape6Machine::remap_particle(std::size_t index) {
+  G6_CHECK(index < shadow_j_.size(), "no shadow image to remap from");
+  std::size_t best = boards_.size();
+  for (std::size_t b = 0; b < boards_.size(); ++b) {
+    if (board_alive_[b] == 0 || boards_[b].j_count() >= boards_[b].capacity())
+      continue;
+    if (best == boards_.size() || boards_[b].j_count() < boards_[best].j_count())
+      best = b;
+  }
+  G6_CHECK(best < boards_.size(), "no surviving j-memory capacity for remap");
+  const JAddress local = boards_[best].store_j(shadow_j_[index]);
+  addr_[index] = {static_cast<std::uint32_t>(best), local};
+}
+
+std::size_t Grape6Machine::remap_dead_chips(std::size_t b) {
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < addr_.size(); ++i) {
+    const GlobalJAddress& a = addr_[i];
+    if (a.board == b && boards_[b].chip_dead(static_cast<int>(a.local.chip))) {
+      remap_particle(i);
+      ++moved;
+    }
+  }
+  if (injector_ != nullptr && moved > 0) {
+    auto& stats = injector_->stats();
+    stats.remapped_particles.fetch_add(moved, std::memory_order_relaxed);
+    stats.jmem_rewrites.fetch_add(moved, std::memory_order_relaxed);
+  }
+  return moved;
+}
+
+void Grape6Machine::fail_board(std::size_t b) {
+  G6_CHECK(injector_ != nullptr, "fail_board requires an attached injector");
+  G6_CHECK(b < boards_.size() && board_alive_[b] != 0,
+           "board index invalid or already excluded");
+  board_alive_[b] = 0;
+  auto& stats = injector_->stats();
+  stats.excluded_boards.fetch_add(1, std::memory_order_relaxed);
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < addr_.size(); ++i) {
+    if (addr_[i].board == b) {
+      remap_particle(i);
+      ++moved;
+    }
+  }
+  stats.remapped_particles.fetch_add(moved, std::memory_order_relaxed);
+  stats.jmem_rewrites.fetch_add(moved, std::memory_order_relaxed);
+  for (std::size_t bb = 0; bb < boards_.size(); ++bb)
+    if (board_alive_[bb] != 0) boards_[bb].repredict(predict_time_);
+  // Recovery model: the moved images travel back over the host interface
+  // (one j-write each) and the surviving predictors re-run.
+  stats.add_recovery_seconds(static_cast<double>(moved) * kVmp / kClockHz +
+                             predict_seconds());
 }
 
 HwCounters Grape6Machine::counters() const {

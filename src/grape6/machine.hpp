@@ -122,11 +122,43 @@ class Grape6Machine {
   const ProcessorBoard& board(std::size_t b) const { return boards_[b]; }
   std::size_t board_count() const { return boards_.size(); }
 
+  // --- reliability hooks ----------------------------------------------------
+
+  /// Attach (or detach with nullptr) a fault injector. While attached the
+  /// machine keeps a host-side shadow of every loaded j-image (the "restore
+  /// file" of the real operations), scrubs j-memory CRCs against it at each
+  /// armed compute, runs the chip self-test/recovery pass, and processes the
+  /// machine-domain events of the armed plan. Detached runs take a single
+  /// branch per compute — the hot path is unchanged.
+  void set_fault_injector(fault::FaultInjector* injector);
+  fault::FaultInjector* fault_injector() const { return injector_; }
+
+  bool board_alive(std::size_t b) const { return board_alive_[b] != 0; }
+  int alive_board_count() const;
+
+  /// Permanently exclude board \p b, remapping its j-particles onto the
+  /// surviving boards from the shadow (requires an attached injector).
+  void fail_board(std::size_t b);
+
  private:
+  /// Scrub every stored j-image's CRC against the shadow; rewrite and
+  /// re-predict on mismatch. Serial, armed runs only.
+  void scrub_jmem();
+  /// Process the machine-domain fault events due this compute call.
+  void process_events();
+  /// Move particle \p index onto the least-loaded alive board with capacity.
+  void remap_particle(std::size_t index);
+  /// Remap everything still addressed to dead chips of board \p b.
+  std::size_t remap_dead_chips(std::size_t b);
+
   MachineConfig cfg_;
   g6::util::ThreadPool* pool_;
   std::vector<ProcessorBoard> boards_;
   std::vector<GlobalJAddress> addr_;  ///< load order -> machine address
+  fault::FaultInjector* injector_ = nullptr;
+  std::vector<JParticle> shadow_j_;   ///< load order -> pristine image
+  std::vector<char> board_alive_;
+  double predict_time_ = 0.0;         ///< block time of the last predict_all
   /// Per-board partial accumulators. Sized once per topology (outer) and
   /// once per i-batch shape (inner, grow-only) — compute() resets the values
   /// in place instead of reallocating every call.

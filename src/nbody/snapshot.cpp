@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/crc.hpp"
 
 namespace g6::nbody {
 
@@ -24,6 +25,8 @@ void write_snapshot_file(const std::string& path, const ParticleSystem& ps, doub
   std::ofstream os(path);
   G6_CHECK(os.is_open(), "cannot open snapshot file for writing: " + path);
   write_snapshot(os, ps, time);
+  os.close();
+  G6_CHECK(!os.fail(), "snapshot close failed: " + path);
 }
 
 double read_snapshot(std::istream& is, ParticleSystem& ps) {
@@ -53,33 +56,56 @@ double read_snapshot_file(const std::string& path, ParticleSystem& ps) {
 
 namespace {
 
-constexpr char kBinaryMagic[8] = {'G', '6', 'S', 'N', 'A', 'P', 'B', '1'};
+constexpr char kBinaryMagicV1[8] = {'G', '6', 'S', 'N', 'A', 'P', 'B', '1'};
+constexpr char kBinaryMagicV2[8] = {'G', '6', 'S', 'N', 'A', 'P', 'B', '2'};
 
 template <typename T>
 void write_pod(std::ostream& os, const T& value) {
   os.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
-template <typename T>
-T read_pod_stream(std::istream& is) {
-  T value{};
-  is.read(reinterpret_cast<char*>(&value), sizeof(T));
-  G6_CHECK(is.good(), "truncated binary snapshot");
-  return value;
-}
+/// Streaming writer that folds every byte after the magic into a CRC, so
+/// the trailer covers header and records without buffering the payload.
+struct CrcWriter {
+  std::ostream& os;
+  std::uint32_t crc = g6::util::crc32_init();
+  template <typename T>
+  void put(const T& value) {
+    write_pod(os, value);
+    crc = g6::util::crc32_update(crc, &value, sizeof(T));
+  }
+};
+
+/// Streaming reader mirroring CrcWriter; every read is checked so a
+/// truncated stream raises instead of returning zero-filled garbage.
+struct CrcReader {
+  std::istream& is;
+  std::uint32_t crc = g6::util::crc32_init();
+  template <typename T>
+  T get() {
+    T value{};
+    is.read(reinterpret_cast<char*>(&value), sizeof(T));
+    G6_CHECK(is.good(), "truncated binary snapshot");
+    crc = g6::util::crc32_update(crc, &value, sizeof(T));
+    return value;
+  }
+};
 
 }  // namespace
 
 void write_snapshot_binary(std::ostream& os, const ParticleSystem& ps, double time) {
-  os.write(kBinaryMagic, sizeof kBinaryMagic);
-  write_pod(os, static_cast<std::uint64_t>(ps.size()));
-  write_pod(os, time);
+  os.write(kBinaryMagicV2, sizeof kBinaryMagicV2);
+  CrcWriter w{os};
+  w.put(static_cast<std::uint64_t>(ps.size()));
+  w.put(time);
   for (std::size_t i = 0; i < ps.size(); ++i) {
-    write_pod(os, static_cast<std::uint64_t>(ps.id(i)));
-    write_pod(os, ps.mass(i));
-    write_pod(os, ps.pos(i));
-    write_pod(os, ps.vel(i));
+    w.put(static_cast<std::uint64_t>(ps.id(i)));
+    w.put(ps.mass(i));
+    w.put(ps.pos(i));
+    w.put(ps.vel(i));
   }
+  write_pod(os, g6::util::crc32_final(w.crc));
+  os.flush();
   G6_CHECK(os.good(), "binary snapshot write failed");
 }
 
@@ -88,23 +114,35 @@ void write_snapshot_binary_file(const std::string& path, const ParticleSystem& p
   std::ofstream os(path, std::ios::binary);
   G6_CHECK(os.is_open(), "cannot open snapshot file for writing: " + path);
   write_snapshot_binary(os, ps, time);
+  os.close();
+  G6_CHECK(!os.fail(), "binary snapshot close failed: " + path);
 }
 
 double read_snapshot_binary(std::istream& is, ParticleSystem& ps) {
   char magic[8] = {};
   is.read(magic, sizeof magic);
-  G6_CHECK(is.good() && std::memcmp(magic, kBinaryMagic, sizeof magic) == 0,
+  G6_CHECK(is.good(), "truncated binary snapshot header");
+  const bool checked = std::memcmp(magic, kBinaryMagicV2, sizeof magic) == 0;
+  G6_CHECK(checked || std::memcmp(magic, kBinaryMagicV1, sizeof magic) == 0,
            "not a g6 binary snapshot stream");
-  const auto n = read_pod_stream<std::uint64_t>(is);
-  const auto time = read_pod_stream<double>(is);
+  CrcReader r{is};
+  const auto n = r.get<std::uint64_t>();
+  const auto time = r.get<double>();
   ps.resize(0);
   for (std::uint64_t i = 0; i < n; ++i) {
-    (void)read_pod_stream<std::uint64_t>(is);  // id (reassigned on add)
-    const auto m = read_pod_stream<double>(is);
-    const auto x = read_pod_stream<Vec3>(is);
-    const auto v = read_pod_stream<Vec3>(is);
+    (void)r.get<std::uint64_t>();  // id (reassigned on add)
+    const auto m = r.get<double>();
+    const auto x = r.get<Vec3>();
+    const auto v = r.get<Vec3>();
     const std::size_t k = ps.add(m, x, v);
     ps.time(k) = time;
+  }
+  if (checked) {
+    std::uint32_t trailer = 0;
+    is.read(reinterpret_cast<char*>(&trailer), sizeof trailer);
+    G6_CHECK(is.good(), "truncated binary snapshot trailer");
+    G6_CHECK(g6::util::crc32_final(r.crc) == trailer,
+             "binary snapshot CRC mismatch: file is corrupted");
   }
   return time;
 }

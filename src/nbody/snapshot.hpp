@@ -23,8 +23,11 @@ double read_snapshot(std::istream& is, ParticleSystem& ps);
 double read_snapshot_file(const std::string& path, ParticleSystem& ps);
 
 /// Binary snapshot (production-run sized outputs; §6 mentions the run's
-/// file operations): magic "G6SNAPB1", particle count, time, then packed
-/// per-particle records (id, mass, pos, vel as native doubles/uint64).
+/// file operations): magic "G6SNAPB2", particle count, time, packed
+/// per-particle records (id, mass, pos, vel as native doubles/uint64),
+/// then a CRC-32 trailer over everything after the magic. Readers verify
+/// the trailer and raise g6::util::Error on any truncation or corruption;
+/// legacy "G6SNAPB1" streams (no trailer) remain readable.
 void write_snapshot_binary(std::ostream& os, const ParticleSystem& ps, double time);
 void write_snapshot_binary_file(const std::string& path, const ParticleSystem& ps,
                                 double time);

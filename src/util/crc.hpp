@@ -1,0 +1,68 @@
+#pragma once
+/// \file crc.hpp
+/// \brief CRC-32 (IEEE 802.3 polynomial, reflected) for payload framing.
+///
+/// The real GRAPE-6 datapaths mostly ran without ECC; the host library lived
+/// with that by checking what it could from software (astro-ph/0310702 §8).
+/// The reliability layer frames Transport payloads, j-memory images and
+/// binary snapshots with this CRC so single- and multi-bit corruption is
+/// *detected* rather than silently folded into the physics.
+///
+/// Table-driven, one byte per step; the table is built once per process.
+/// crc32() of the 9-byte ASCII string "123456789" is 0xCBF43926 (the
+/// standard check value), enforced by test_crc.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace g6::util {
+
+namespace detail {
+
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t n = 0; n < 256; ++n) {
+      std::uint32_t c = n;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      t[n] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+/// Incremental update: feed \p len bytes into a running CRC state. Start
+/// from crc32_init(), finish with crc32_final(). Suitable for streaming
+/// writers (binary snapshots) that cannot buffer the whole payload.
+inline constexpr std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+
+inline std::uint32_t crc32_update(std::uint32_t state, const void* data,
+                                  std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const auto& table = detail::crc32_table();
+  for (std::size_t i = 0; i < len; ++i)
+    state = table[(state ^ p[i]) & 0xFFu] ^ (state >> 8);
+  return state;
+}
+
+inline constexpr std::uint32_t crc32_final(std::uint32_t state) {
+  return state ^ 0xFFFFFFFFu;
+}
+
+/// One-shot CRC-32 of a buffer.
+inline std::uint32_t crc32(const void* data, std::size_t len) {
+  return crc32_final(crc32_update(crc32_init(), data, len));
+}
+
+/// CRC-32 of a trivially-copyable value's object representation.
+template <typename T>
+std::uint32_t crc32_of(const T& value) {
+  return crc32(&value, sizeof(T));
+}
+
+}  // namespace g6::util

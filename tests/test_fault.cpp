@@ -1,0 +1,315 @@
+// Tests for the fault-injection subsystem: plan generation, injector domain
+// routing, chip self-test semantics, and machine-level recovery bit-identity.
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "grape6/chip.hpp"
+#include "grape6/machine.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+namespace hw = g6::hw;
+using g6::fault::CampaignShape;
+using g6::fault::FaultEvent;
+using g6::fault::FaultInjector;
+using g6::fault::FaultKind;
+using g6::fault::FaultPlan;
+using g6::util::Vec3;
+
+bool same_event(const FaultEvent& x, const FaultEvent& y) {
+  return x.kind == y.kind && x.at == y.at && x.a == y.a && x.b == y.b &&
+         x.bit == y.bit && x.param == y.param;
+}
+
+CampaignShape full_shape() {
+  CampaignShape s;
+  s.machine_steps = 8;
+  s.cluster_steps = 4;
+  s.link_ops = 200;
+  s.boards = 4;
+  s.chips_per_board = 4;
+  s.jmem_slots = 16;
+  s.hosts = 4;
+  s.n_link_drops = 2;
+  s.n_link_corrupts = 2;
+  s.n_link_delays = 1;
+  s.n_link_fails = 1;
+  s.n_chip_flips = 2;
+  s.n_chip_kills = 2;
+  s.n_jmem_corruptions = 2;
+  s.n_board_fails = 2;
+  s.n_host_drops = 2;
+  return s;
+}
+
+TEST(FaultPlan, RandomIsDeterministic) {
+  const CampaignShape shape = full_shape();
+  const FaultPlan a = FaultPlan::random(9, shape);
+  const FaultPlan b = FaultPlan::random(9, shape);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i)
+    EXPECT_TRUE(same_event(a.events()[i], b.events()[i])) << "event " << i;
+
+  const FaultPlan c = FaultPlan::random(10, shape);
+  ASSERT_EQ(c.events().size(), a.events().size());
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.events().size(); ++i)
+    any_different = any_different || !same_event(a.events()[i], c.events()[i]);
+  EXPECT_TRUE(any_different) << "different seeds produced the same plan";
+}
+
+TEST(FaultPlan, RandomRespectsSurvivabilityConstraints) {
+  const CampaignShape shape = full_shape();
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    const FaultPlan plan = FaultPlan::random(seed, shape);
+    std::vector<int> killed_chips, failed_boards, dropped_hosts;
+    for (const FaultEvent& e : plan.events()) {
+      switch (e.kind) {
+        case FaultKind::kChipBitFlip:
+          ASSERT_GE(e.a, 0);
+          ASSERT_LT(e.a, shape.boards);
+          ASSERT_GE(e.b, 0);
+          ASSERT_LT(e.b, shape.chips_per_board);
+          if (e.param != 0) killed_chips.push_back(e.b);
+          break;
+        case FaultKind::kBoardFail:
+          failed_boards.push_back(e.a);
+          break;
+        case FaultKind::kHostDrop:
+          EXPECT_GT(e.a, 0) << "host 0 must never be dropped (seed " << seed << ")";
+          EXPECT_LT(e.a, shape.hosts);
+          dropped_hosts.push_back(e.a);
+          break;
+        default:
+          break;
+      }
+    }
+    // Distinct victims, never exhausting a board, the machine or the cluster.
+    auto all_distinct = [](std::vector<int> v) {
+      std::sort(v.begin(), v.end());
+      return std::adjacent_find(v.begin(), v.end()) == v.end();
+    };
+    EXPECT_TRUE(all_distinct(killed_chips)) << "seed " << seed;
+    EXPECT_TRUE(all_distinct(failed_boards)) << "seed " << seed;
+    EXPECT_TRUE(all_distinct(dropped_hosts)) << "seed " << seed;
+    EXPECT_LT(static_cast<int>(killed_chips.size()), shape.chips_per_board);
+    EXPECT_LT(static_cast<int>(failed_boards.size()), shape.boards);
+    EXPECT_LT(static_cast<int>(dropped_hosts.size()), shape.hosts);
+  }
+}
+
+TEST(FaultPlan, RejectsExhaustiveKills) {
+  CampaignShape shape = full_shape();
+  shape.n_chip_kills = shape.chips_per_board;  // would kill every chip
+  EXPECT_THROW(FaultPlan::random(1, shape), g6::util::Error);
+}
+
+TEST(FaultInjector, RoutesEventsToTheirDomains) {
+  FaultPlan plan;
+  plan.add({FaultKind::kChipBitFlip, /*at=*/1, 0, 0, 3, 0});
+  plan.add({FaultKind::kHostDrop, /*at=*/0, 1, -1, 0, 0});
+  plan.add({FaultKind::kLinkDrop, /*at=*/2, -1, -1, 0, 0});
+
+  FaultInjector inj;
+  inj.arm(plan);
+  EXPECT_TRUE(inj.armed());
+
+  // Machine domain: nothing at step 0, the flip at step 1, nothing after.
+  EXPECT_TRUE(inj.machine_step().empty());
+  auto fired = inj.machine_step();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, FaultKind::kChipBitFlip);
+  EXPECT_TRUE(inj.machine_step().empty());
+  EXPECT_EQ(inj.machine_steps_seen(), 3u);
+
+  // Cluster domain fires immediately at step 0.
+  fired = inj.cluster_step();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, FaultKind::kHostDrop);
+  EXPECT_EQ(fired[0].a, 1);
+
+  // Link domain: the drop waits for the third send op.
+  EXPECT_TRUE(inj.link_op().empty());
+  EXPECT_TRUE(inj.link_op().empty());
+  fired = inj.link_op();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, FaultKind::kLinkDrop);
+
+  // Disarmed hooks are inert and stop advancing counters.
+  inj.disarm();
+  EXPECT_TRUE(inj.machine_step().empty());
+  EXPECT_EQ(inj.machine_steps_seen(), 3u);
+}
+
+TEST(FaultInjector, CoalescesEventsAtTheSameStep) {
+  FaultPlan plan;
+  plan.add({FaultKind::kChipBitFlip, 0, 0, 0, 1, 0});
+  plan.add({FaultKind::kJMemCorrupt, 0, 0, 1, 2, 0});
+  plan.add({FaultKind::kBoardFail, 1, 1, -1, 0, 0});
+  FaultInjector inj;
+  inj.arm(plan);
+  EXPECT_EQ(inj.machine_step().size(), 2u);
+  EXPECT_EQ(inj.machine_step().size(), 1u);
+}
+
+TEST(FaultInjector, ArmResetsStats) {
+  FaultInjector inj;
+  inj.stats().resends.fetch_add(7);
+  inj.arm(FaultPlan{});
+  EXPECT_EQ(inj.snapshot().resends, 0u);
+  EXPECT_EQ(inj.snapshot().injected_total, 0u);
+}
+
+TEST(FaultUtil, FlipBitFlipsAndRestores) {
+  unsigned char buf[4] = {0, 0, 0, 0};
+  g6::fault::flip_bit(buf, sizeof buf, 11);
+  EXPECT_EQ(buf[1], 1u << 3);
+  // Bit index reduces modulo the buffer width.
+  g6::fault::flip_bit(buf, sizeof buf, 11 + 32);
+  EXPECT_EQ(buf[1], 0u);
+}
+
+TEST(FaultUtil, RetryBackoffGrowsExponentially) {
+  const g6::fault::RetryPolicy policy;
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(0), 100e-6);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(1), 400e-6);
+  EXPECT_DOUBLE_EQ(policy.backoff_seconds(2), 1600e-6);
+}
+
+TEST(FaultUtil, SummarizeMentionsTheCounters) {
+  g6::fault::FaultStatsSnapshot snap;
+  snap.injected_total = 3;
+  snap.resends = 2;
+  const std::string s = g6::fault::summarize(snap);
+  EXPECT_NE(s.find("injected=3"), std::string::npos);
+  EXPECT_NE(s.find("resends=2"), std::string::npos);
+}
+
+// --- chip self-test semantics ------------------------------------------------
+
+TEST(ChipSelfTest, DetectsGlitchedAndDeadChips) {
+  hw::Chip chip{hw::FormatSpec{}};
+  EXPECT_TRUE(chip.self_test());
+
+  chip.arm_glitch(5, /*permanent=*/false);
+  EXPECT_FALSE(chip.self_test());
+  chip.clear_glitch();
+  EXPECT_TRUE(chip.self_test());
+
+  chip.set_dead();
+  EXPECT_FALSE(chip.self_test());
+}
+
+// --- machine-level recovery bit-identity ------------------------------------
+
+struct MachineWorkload {
+  std::vector<hw::JParticle> js;
+  std::vector<std::vector<hw::IParticle>> batches;
+};
+
+MachineWorkload machine_workload(int n, int steps, std::uint64_t seed) {
+  g6::util::Rng rng(seed);
+  auto vec = [&](double scale) {
+    return Vec3{scale * rng.uniform(-1.0, 1.0), scale * rng.uniform(-1.0, 1.0),
+                scale * rng.uniform(-1.0, 1.0)};
+  };
+  const hw::FormatSpec fmt{};
+  MachineWorkload w;
+  for (int i = 0; i < n; ++i)
+    w.js.push_back(hw::make_j_particle(static_cast<std::uint32_t>(i), 1.0 / n,
+                                       0.0, vec(1.0), vec(0.1), vec(0.01),
+                                       vec(0.001), fmt));
+  w.batches.resize(static_cast<std::size_t>(steps));
+  for (auto& batch : w.batches)
+    for (int i = 0; i < n; ++i)
+      batch.push_back(hw::make_i_particle(static_cast<std::uint32_t>(i),
+                                          vec(1.0), vec(0.1), fmt));
+  return w;
+}
+
+std::vector<std::int64_t> run_machine(const MachineWorkload& w,
+                                      FaultInjector* injector) {
+  hw::MachineConfig mc = hw::MachineConfig::mini(2, 2, w.js.size());
+  hw::Grape6Machine machine(mc, nullptr);
+  if (injector != nullptr) machine.set_fault_injector(injector);
+  machine.load(w.js);
+
+  std::vector<std::int64_t> raws;
+  std::vector<hw::ForceAccumulator> accum;
+  for (std::size_t s = 0; s < w.batches.size(); ++s) {
+    machine.predict_all(0.01 * static_cast<double>(s + 1));
+    machine.compute(w.batches[s], 1e-4, accum);
+    for (const hw::ForceAccumulator& a : accum) {
+      raws.push_back(a.acc.x().raw());
+      raws.push_back(a.acc.y().raw());
+      raws.push_back(a.acc.z().raw());
+      raws.push_back(a.jerk.x().raw());
+      raws.push_back(a.jerk.y().raw());
+      raws.push_back(a.jerk.z().raw());
+      raws.push_back(a.pot.raw());
+    }
+  }
+  return raws;
+}
+
+TEST(MachineRecovery, ScriptedFaultsRecoverBitIdentically) {
+  const MachineWorkload w = machine_workload(48, 3, 11);
+  const std::vector<std::int64_t> clean = run_machine(w, nullptr);
+
+  FaultPlan plan;
+  // Step 0: SSRAM corruption on board 1 chip 0 — caught by the CRC scrub.
+  plan.add({FaultKind::kJMemCorrupt, 0, 1, 0, 5, /*slot=*/3});
+  // Step 1: transient accumulator flip — caught by the self-test, recomputed.
+  plan.add({FaultKind::kChipBitFlip, 1, 0, 1, 7, /*transient=*/0});
+  // Step 2: board 1 dies — its j-particles remap onto board 0.
+  plan.add({FaultKind::kBoardFail, 2, 1, -1, 0, 0});
+
+  FaultInjector injector;
+  injector.arm(plan);
+  const std::vector<std::int64_t> faulted = run_machine(w, &injector);
+
+  EXPECT_EQ(clean, faulted) << "recovered run is not bit-identical";
+  const auto snap = injector.snapshot();
+  EXPECT_EQ(snap.injected_total, 3u);
+  EXPECT_EQ(snap.crc_jmem_mismatches, 1u);
+  EXPECT_GE(snap.selftest_failures, 1u);
+  EXPECT_GE(snap.recomputed_chip_blocks, 1u);
+  EXPECT_EQ(snap.excluded_boards, 1u);
+  EXPECT_GT(snap.remapped_particles, 0u);
+  EXPECT_GT(snap.recovery_modeled_seconds, 0.0);
+}
+
+TEST(MachineRecovery, PermanentChipKillExcludesAndRecovers) {
+  const MachineWorkload w = machine_workload(32, 2, 13);
+  const std::vector<std::int64_t> clean = run_machine(w, nullptr);
+
+  FaultPlan plan;
+  plan.add({FaultKind::kChipBitFlip, 0, 0, 0, 9, /*permanent=*/1});
+  FaultInjector injector;
+  injector.arm(plan);
+  const std::vector<std::int64_t> faulted = run_machine(w, &injector);
+
+  EXPECT_EQ(clean, faulted);
+  const auto snap = injector.snapshot();
+  EXPECT_EQ(snap.excluded_chips, 1u);
+  EXPECT_GT(snap.remapped_particles, 0u);
+}
+
+TEST(MachineRecovery, UnarmedInjectorIsInert) {
+  const MachineWorkload w = machine_workload(24, 2, 17);
+  const std::vector<std::int64_t> clean = run_machine(w, nullptr);
+  FaultInjector injector;  // attached but never armed
+  const std::vector<std::int64_t> attached = run_machine(w, &injector);
+  EXPECT_EQ(clean, attached);
+  EXPECT_EQ(injector.snapshot().injected_total, 0u);
+}
+
+}  // namespace

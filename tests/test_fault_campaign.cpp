@@ -1,0 +1,156 @@
+// Tests for seeded fault campaigns: recovery bit-identity across all three
+// cluster modes, thread-count invariance, and error propagation out of
+// thread-pool regions when boards fault concurrently.
+#include "fault/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "grape6/machine.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+namespace hw = g6::hw;
+using g6::cluster::HostMode;
+using g6::fault::CampaignConfig;
+using g6::fault::CampaignResult;
+using g6::fault::FaultStatsSnapshot;
+
+CampaignConfig small_config() {
+  CampaignConfig cfg;
+  cfg.n = 96;
+  cfg.steps = 4;
+  cfg.boards = 3;
+  cfg.chips_per_board = 3;
+  cfg.hosts = 4;
+  return cfg;
+}
+
+void expect_recovered(const CampaignResult& r) {
+  EXPECT_TRUE(r.bit_identical) << r.summary;
+  EXPECT_GT(r.faults_scheduled, 0);
+  EXPECT_GT(r.stats.injected_total, 0u) << r.summary;
+}
+
+TEST(FaultCampaign, MachineCampaignRecoversBitIdentically) {
+  const CampaignResult r = g6::fault::run_machine_campaign(small_config());
+  expect_recovered(r);
+  // A permanent chip kill and a board failure are in the default mix, so the
+  // machine must end degraded with the recovery cost accounted.
+  EXPECT_LT(r.degraded_capacity_fraction, 1.0);
+  EXPECT_GT(r.recovery_modeled_seconds, 0.0);
+  EXPECT_GT(r.stats.remapped_particles, 0u);
+}
+
+TEST(FaultCampaign, ClusterCampaignNaive) {
+  CampaignConfig cfg = small_config();
+  cfg.mode = HostMode::kNaive;
+  const CampaignResult r = g6::fault::run_cluster_campaign(cfg);
+  expect_recovered(r);
+  EXPECT_EQ(r.stats.dead_hosts, 1u);
+}
+
+TEST(FaultCampaign, ClusterCampaignHardwareNet) {
+  CampaignConfig cfg = small_config();
+  cfg.mode = HostMode::kHardwareNet;
+  const CampaignResult r = g6::fault::run_cluster_campaign(cfg);
+  expect_recovered(r);
+  EXPECT_EQ(r.stats.dead_hosts, 1u);
+}
+
+TEST(FaultCampaign, ClusterCampaignMatrix2D) {
+  CampaignConfig cfg = small_config();
+  cfg.mode = HostMode::kMatrix2D;  // hosts=4 -> 2x2 grid
+  const CampaignResult r = g6::fault::run_cluster_campaign(cfg);
+  expect_recovered(r);
+  EXPECT_EQ(r.stats.dead_hosts, 1u);
+}
+
+TEST(FaultCampaign, SeedsAreReproducible) {
+  CampaignConfig cfg = small_config();
+  cfg.fault_seed = 3;
+  const CampaignResult a = g6::fault::run_machine_campaign(cfg);
+  const CampaignResult b = g6::fault::run_machine_campaign(cfg);
+  EXPECT_EQ(a.summary, b.summary);
+}
+
+void expect_same_stats(const FaultStatsSnapshot& a, const FaultStatsSnapshot& b) {
+  EXPECT_EQ(a.injected_total, b.injected_total);
+  EXPECT_EQ(a.crc_payload_mismatches, b.crc_payload_mismatches);
+  EXPECT_EQ(a.crc_jmem_mismatches, b.crc_jmem_mismatches);
+  EXPECT_EQ(a.selftest_failures, b.selftest_failures);
+  EXPECT_EQ(a.link_retries, b.link_retries);
+  EXPECT_EQ(a.resends, b.resends);
+  EXPECT_EQ(a.recomputed_chip_blocks, b.recomputed_chip_blocks);
+  EXPECT_EQ(a.jmem_rewrites, b.jmem_rewrites);
+  EXPECT_EQ(a.excluded_chips, b.excluded_chips);
+  EXPECT_EQ(a.excluded_boards, b.excluded_boards);
+  EXPECT_EQ(a.dead_hosts, b.dead_hosts);
+  EXPECT_EQ(a.remapped_particles, b.remapped_particles);
+  EXPECT_DOUBLE_EQ(a.recovery_modeled_seconds, b.recovery_modeled_seconds);
+}
+
+TEST(FaultCampaign, MachineRecoveryIsThreadCountInvariant) {
+  CampaignConfig cfg = small_config();
+  cfg.threads = 1;
+  const CampaignResult serial = g6::fault::run_machine_campaign(cfg);
+  cfg.threads = 4;
+  const CampaignResult parallel = g6::fault::run_machine_campaign(cfg);
+  EXPECT_TRUE(serial.bit_identical);
+  EXPECT_TRUE(parallel.bit_identical);
+  expect_same_stats(serial.stats, parallel.stats);
+  EXPECT_EQ(serial.summary, parallel.summary);
+}
+
+TEST(FaultCampaign, ClusterRecoveryIsThreadCountInvariant) {
+  CampaignConfig cfg = small_config();
+  cfg.mode = HostMode::kNaive;
+  cfg.threads = 1;
+  const CampaignResult serial = g6::fault::run_cluster_campaign(cfg);
+  cfg.threads = 4;
+  const CampaignResult parallel = g6::fault::run_cluster_campaign(cfg);
+  EXPECT_TRUE(serial.bit_identical);
+  EXPECT_TRUE(parallel.bit_identical);
+  expect_same_stats(serial.stats, parallel.stats);
+}
+
+// An error raised inside the board fan-out (every chip of every board faults
+// at once — here a violated predict/compute precondition) must propagate out
+// of the ThreadPool region as a g6::util::Error, and the pool must remain
+// usable for the recovery that follows.
+TEST(FaultCampaign, ThreadPoolRethrowsUnderConcurrentBoardFaults) {
+  g6::util::ThreadPool pool(4);
+  hw::MachineConfig mc = hw::MachineConfig::mini(4, 2, 64);
+  hw::Grape6Machine machine(mc, &pool);
+
+  g6::util::Rng rng(19);
+  auto vec = [&](double scale) {
+    return g6::util::Vec3{scale * rng.uniform(-1.0, 1.0),
+                          scale * rng.uniform(-1.0, 1.0),
+                          scale * rng.uniform(-1.0, 1.0)};
+  };
+  const hw::FormatSpec fmt{};
+  std::vector<hw::JParticle> js;
+  std::vector<hw::IParticle> batch;
+  for (int i = 0; i < 32; ++i) {
+    js.push_back(hw::make_j_particle(static_cast<std::uint32_t>(i), 1.0 / 32,
+                                     0.0, vec(1.0), vec(0.1), vec(0.01),
+                                     vec(0.001), fmt));
+    batch.push_back(hw::make_i_particle(static_cast<std::uint32_t>(i),
+                                        vec(1.0), vec(0.1), fmt));
+  }
+  machine.load(js);
+
+  std::vector<hw::ForceAccumulator> accum;
+  // No predict_all: every board's chips trip the precondition concurrently.
+  EXPECT_THROW(machine.compute(batch, 1e-4, accum), g6::util::Error);
+
+  // The pool survives the rethrow; a well-formed step still works.
+  machine.predict_all(0.01);
+  machine.compute(batch, 1e-4, accum);
+  EXPECT_EQ(accum.size(), batch.size());
+}
+
+}  // namespace

@@ -146,4 +146,71 @@ TEST(BinarySnapshot, SmallerThanTextForLargeN) {
   EXPECT_LT(binary.str().size(), text.str().size());
 }
 
+TEST(BinarySnapshot, CorruptionRoundTripDetected) {
+  const g6::nbody::ParticleSystem ps = random_system(20, 25);
+  std::stringstream ss;
+  g6::nbody::write_snapshot_binary(ss, ps, 2.5);
+  std::string data = ss.str();
+  data[data.size() / 2] ^= 0x01;  // flip one bit mid-record
+  std::stringstream bad(data);
+  g6::nbody::ParticleSystem back;
+  EXPECT_THROW(g6::nbody::read_snapshot_binary(bad, back), g6::util::Error);
+}
+
+TEST(BinarySnapshot, RandomSingleBitFlipsAllCaught) {
+  const g6::nbody::ParticleSystem ps = random_system(8, 26);
+  std::stringstream ss;
+  g6::nbody::write_snapshot_binary(ss, ps, 1.0);
+  const std::string clean = ss.str();
+  g6::util::Rng rng(27);
+  for (int trial = 0; trial < 32; ++trial) {
+    std::string data = clean;
+    // Flip a random bit anywhere after the magic — header, records, or
+    // the CRC trailer itself must all fail verification.
+    const std::size_t byte = 8 + rng.below(data.size() - 8);
+    data[byte] ^= static_cast<char>(1u << rng.below(8));
+    std::stringstream bad(data);
+    g6::nbody::ParticleSystem back;
+    EXPECT_THROW(g6::nbody::read_snapshot_binary(bad, back), g6::util::Error)
+        << "bit flip in byte " << byte << " went undetected";
+  }
+}
+
+TEST(BinarySnapshot, TruncatedTrailerDetected) {
+  const g6::nbody::ParticleSystem ps = random_system(4, 28);
+  std::stringstream ss;
+  g6::nbody::write_snapshot_binary(ss, ps, 0.5);
+  std::string data = ss.str();
+  data.resize(data.size() - 2);  // clip half the CRC trailer
+  std::stringstream cut(data);
+  g6::nbody::ParticleSystem back;
+  EXPECT_THROW(g6::nbody::read_snapshot_binary(cut, back), g6::util::Error);
+}
+
+// The pre-CRC "G6SNAPB1" layout (no trailer) must stay readable.
+TEST(BinarySnapshot, LegacyB1StillReadable) {
+  const g6::nbody::ParticleSystem ps = random_system(6, 29);
+  std::stringstream ss;
+  ss.write("G6SNAPB1", 8);
+  auto put = [&](const auto& v) {
+    ss.write(reinterpret_cast<const char*>(&v), sizeof v);
+  };
+  put(static_cast<std::uint64_t>(ps.size()));
+  put(4.5);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    put(static_cast<std::uint64_t>(ps.id(i)));
+    put(ps.mass(i));
+    put(ps.pos(i));
+    put(ps.vel(i));
+  }
+  g6::nbody::ParticleSystem back;
+  EXPECT_DOUBLE_EQ(g6::nbody::read_snapshot_binary(ss, back), 4.5);
+  ASSERT_EQ(back.size(), ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_EQ(back.mass(i), ps.mass(i));
+    EXPECT_EQ(back.pos(i), ps.pos(i));
+    EXPECT_EQ(back.vel(i), ps.vel(i));
+  }
+}
+
 }  // namespace

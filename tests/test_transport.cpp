@@ -7,6 +7,8 @@ namespace {
 
 using g6::cluster::LinkSpec;
 using g6::cluster::Message;
+using g6::cluster::RecvStatus;
+using g6::cluster::SendStatus;
 using g6::cluster::Transport;
 
 std::vector<std::byte> bytes(std::initializer_list<int> vals) {
@@ -17,7 +19,7 @@ std::vector<std::byte> bytes(std::initializer_list<int> vals) {
 
 TEST(Transport, SendRecvRoundTrip) {
   Transport t(4, {});
-  t.send(0, 2, 7, bytes({1, 2, 3}));
+  ASSERT_EQ(t.send(0, 2, 7, bytes({1, 2, 3})), SendStatus::kOk);
   const Message m = t.recv(2, 0, 7);
   EXPECT_EQ(m.src, 0);
   EXPECT_EQ(m.tag, 7);
@@ -26,8 +28,8 @@ TEST(Transport, SendRecvRoundTrip) {
 
 TEST(Transport, FifoOrderPerLink) {
   Transport t(2, {});
-  t.send(0, 1, 5, bytes({1}));
-  t.send(0, 1, 5, bytes({2}));
+  ASSERT_EQ(t.send(0, 1, 5, bytes({1})), SendStatus::kOk);
+  ASSERT_EQ(t.send(0, 1, 5, bytes({2})), SendStatus::kOk);
   EXPECT_EQ(t.recv(1, 0, 5).payload, bytes({1}));
   EXPECT_EQ(t.recv(1, 0, 5).payload, bytes({2}));
 }
@@ -37,23 +39,34 @@ TEST(Transport, RecvWithoutMessageThrows) {
   EXPECT_THROW(t.recv(1, 0, 0), g6::util::Error);
 }
 
+TEST(Transport, TryRecvReportsEmpty) {
+  Transport t(2, {});
+  Message m;
+  EXPECT_EQ(t.try_recv(1, 0, 0, m), RecvStatus::kEmpty);
+}
+
 TEST(Transport, TagMismatchThrows) {
   Transport t(2, {});
-  t.send(0, 1, 5, bytes({1}));
+  ASSERT_EQ(t.send(0, 1, 5, bytes({1})), SendStatus::kOk);
   EXPECT_THROW(t.recv(1, 0, 6), g6::util::Error);
+  // The mismatching message stays queued: the right tag still receives it.
+  Message m;
+  EXPECT_EQ(t.try_recv(1, 0, 6, m), RecvStatus::kTagMismatch);
+  EXPECT_EQ(t.try_recv(1, 0, 5, m), RecvStatus::kOk);
 }
 
 TEST(Transport, RanksValidated) {
   Transport t(2, {});
-  EXPECT_THROW(t.send(0, 5, 0, bytes({1})), g6::util::Error);
-  EXPECT_THROW(t.send(-1, 1, 0, bytes({1})), g6::util::Error);
+  EXPECT_THROW((void)t.send(0, 5, 0, bytes({1})), g6::util::Error);
+  EXPECT_THROW((void)t.send(-1, 1, 0, bytes({1})), g6::util::Error);
   EXPECT_THROW(t.stats(9), g6::util::Error);
 }
 
 TEST(Transport, StatsCountBytesAndTime) {
   LinkSpec link{100.0, 0.5};  // 100 B/s, 0.5 s latency: easy arithmetic
   Transport t(2, link);
-  t.send(0, 1, 0, bytes({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+  ASSERT_EQ(t.send(0, 1, 0, bytes({1, 2, 3, 4, 5, 6, 7, 8, 9, 10})),
+            SendStatus::kOk);
   EXPECT_EQ(t.stats(0).bytes_sent, 10u);
   EXPECT_EQ(t.stats(0).messages_sent, 1u);
   EXPECT_EQ(t.stats(1).bytes_received, 10u);
@@ -62,8 +75,8 @@ TEST(Transport, StatsCountBytesAndTime) {
 
 TEST(Transport, PendingCountsAllSources) {
   Transport t(3, {});
-  t.send(0, 2, 0, bytes({1}));
-  t.send(1, 2, 0, bytes({2}));
+  ASSERT_EQ(t.send(0, 2, 0, bytes({1})), SendStatus::kOk);
+  ASSERT_EQ(t.send(1, 2, 0, bytes({2})), SendStatus::kOk);
   EXPECT_EQ(t.pending(2), 2u);
   t.recv(2, 0, 0);
   EXPECT_EQ(t.pending(2), 1u);
@@ -72,11 +85,23 @@ TEST(Transport, PendingCountsAllSources) {
 TEST(Transport, LinkFailureInjection) {
   Transport t(2, {});
   t.fail_link(0, 1);
-  EXPECT_THROW(t.send(0, 1, 0, bytes({1})), g6::util::Error);
+  EXPECT_TRUE(t.link_failed(0, 1));
+  EXPECT_EQ(t.send(0, 1, 0, bytes({1})), SendStatus::kLinkDown);
   // Reverse direction unaffected.
-  EXPECT_NO_THROW(t.send(1, 0, 0, bytes({1})));
+  EXPECT_EQ(t.send(1, 0, 0, bytes({1})), SendStatus::kOk);
   t.restore_link(0, 1);
-  EXPECT_NO_THROW(t.send(0, 1, 0, bytes({1})));
+  EXPECT_EQ(t.send(0, 1, 0, bytes({1})), SendStatus::kOk);
+}
+
+TEST(Transport, TransientLinkFailureWindow) {
+  Transport t(2, {});
+  t.fail_link(0, 1, /*window=*/2);
+  // The link rejects exactly `window` send attempts, then self-restores —
+  // a resend loop rides through the outage.
+  EXPECT_EQ(t.send(0, 1, 0, bytes({1})), SendStatus::kLinkDown);
+  EXPECT_EQ(t.send(0, 1, 0, bytes({1})), SendStatus::kLinkDown);
+  EXPECT_EQ(t.send(0, 1, 0, bytes({1})), SendStatus::kOk);
+  EXPECT_FALSE(t.link_failed(0, 1));
 }
 
 TEST(Transport, ChargeModelsCollectiveCost) {
