@@ -164,6 +164,23 @@ ParallelHostSystem::ParallelHostSystem(int n_hosts, HostMode mode, FormatSpec fm
 void ParallelHostSystem::set_fault_injector(fault::FaultInjector* injector) {
   injector_ = injector;
   transport_->set_fault_injector(injector);
+  shadow_.clear();
+  shadow_valid_.clear();
+  if (injector_ != nullptr) {
+    // Rebuild the driver shadow from whatever the hosts already hold (the
+    // mirror of Grape6Machine::set_fault_injector), so an injector attached
+    // after load() can still re-replicate a dead host's j-images.
+    for (const SimHost& host : hosts_) {
+      for (const JParticle& p : host.jstore()) {
+        if (shadow_valid_.size() <= p.id) {
+          shadow_.resize(p.id + 1);
+          shadow_valid_.resize(p.id + 1, 0);
+        }
+        shadow_[p.id] = p;
+        shadow_valid_[p.id] = 1;
+      }
+    }
+  }
 }
 
 int ParallelHostSystem::alive_host_count() const {
@@ -387,13 +404,19 @@ void ParallelHostSystem::update(std::span<const JParticle> particles) {
           const int colh = target % side;
           std::vector<int> path;
           if (cur % side != colh) path.push_back(col_root(colh));
-          for (int r = 0; r < side; ++r) {
-            const int hop = r * side + colh;
-            if (alive_[static_cast<std::size_t>(hop)] == 0) continue;
-            if (!path.empty() && hop <= path.back()) continue;
-            if (cur % side == colh && hop <= cur) continue;
-            path.push_back(hop);
-            if (hop == target) break;
+          // The entry hop can already be the target: a dropped row-0 host
+          // promotes a deeper host to column root, and that root is exactly
+          // where the dead holder's j-images were re-replicated. Only descend
+          // while the path has not reached the target yet.
+          if (path.empty() || path.back() != target) {
+            for (int r = 0; r < side; ++r) {
+              const int hop = r * side + colh;
+              if (alive_[static_cast<std::size_t>(hop)] == 0) continue;
+              if (!path.empty() && hop <= path.back()) continue;
+              if (cur % side == colh && hop <= cur) continue;
+              path.push_back(hop);
+              if (hop == target) break;
+            }
           }
           for (int next : path) {
             if (next == cur) continue;

@@ -67,6 +67,7 @@ class SimHost {
 
   int rank() const { return rank_; }
   std::size_t j_count() const { return jstore_.size(); }
+  const std::vector<JParticle>& jstore() const { return jstore_; }
 
   /// Insert/overwrite the image of global particle \p gid.
   void write_j(std::uint32_t gid, const JParticle& p);

@@ -97,10 +97,13 @@ SendStatus Transport::send(int src, int dst, int tag, std::vector<std::byte> pay
   st.bytes_sent += payload.size();
   st.messages_sent += 1;
   st.modeled_seconds += link_.time(payload.size());
-  stats_[static_cast<std::size_t>(dst)].bytes_received += payload.size();
-  if (!drop)
+  // A message dropped in flight still costs the sender wire time, but the
+  // receiver never sees the bytes — don't count them as delivered.
+  if (!drop) {
+    stats_[static_cast<std::size_t>(dst)].bytes_received += payload.size();
     queues_[static_cast<std::size_t>(dst) * n_ranks_ + src].push_back(
         Message{src, tag, framed, std::move(payload)});
+  }
   return SendStatus::kOk;
 }
 

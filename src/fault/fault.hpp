@@ -130,6 +130,9 @@ struct FaultStats {
   std::atomic<std::uint64_t> resends{0};            ///< re-sends after drop/corrupt
   std::atomic<std::uint64_t> recomputed_chip_blocks{0};
   std::atomic<std::uint64_t> jmem_rewrites{0};
+  /// Chips excluded individually and NOT covered by an excluded board: when
+  /// a whole board is excluded, its already-dead chips are uncounted here so
+  /// dead capacity = excluded_boards * chips_per_board + excluded_chips.
   std::atomic<std::uint64_t> excluded_chips{0};
   std::atomic<std::uint64_t> excluded_boards{0};
   std::atomic<std::uint64_t> dead_hosts{0};

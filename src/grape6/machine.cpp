@@ -8,6 +8,31 @@
 
 namespace g6::hw {
 
+namespace {
+
+/// CRC-32 of a j-image's fields, fed one at a time: JParticle has padding
+/// after its uint32 id whose bytes are indeterminate, so hashing the raw
+/// object representation would flag phantom mismatches.
+std::uint32_t crc32_of_j(const JParticle& p) {
+  std::uint32_t s = g6::util::crc32_init();
+  const auto feed = [&s](const auto& v) {
+    s = g6::util::crc32_update(s, &v, sizeof v);
+  };
+  feed(p.id);
+  feed(p.mass);
+  feed(p.t0);
+  const std::int64_t raw[3] = {p.x0.x().raw(), p.x0.y().raw(), p.x0.z().raw()};
+  feed(raw);
+  const double lsb = p.x0.lsb();
+  feed(lsb);
+  feed(p.v0);
+  feed(p.a0);
+  feed(p.j0);
+  return g6::util::crc32_final(s);
+}
+
+}  // namespace
+
 Grape6Machine::Grape6Machine(MachineConfig cfg, g6::util::ThreadPool* pool)
     : cfg_(cfg), pool_(pool != nullptr ? pool : &g6::util::shared_pool()) {
   G6_CHECK(cfg.clusters > 0 && cfg.hosts_per_cluster > 0 && cfg.boards_per_host > 0,
@@ -126,8 +151,16 @@ void Grape6Machine::compute(const std::vector<IParticle>& i_batch, double eps2,
       remap_dead_chips(b);
       if (boards_[b].alive_chip_count() == 0) {
         board_alive_[b] = 0;
-        if (injector_ != nullptr)
-          injector_->stats().excluded_boards.fetch_add(1, std::memory_order_relaxed);
+        if (injector_ != nullptr) {
+          auto& stats = injector_->stats();
+          stats.excluded_boards.fetch_add(1, std::memory_order_relaxed);
+          // Every chip of this board was already counted individually as it
+          // died; the whole-board exclusion supersedes those counts so the
+          // degradation model does not subtract the chips twice.
+          stats.excluded_chips.fetch_sub(
+              static_cast<std::uint64_t>(boards_[b].chip_count()),
+              std::memory_order_relaxed);
+        }
       }
       redo = true;
     }
@@ -241,7 +274,7 @@ void Grape6Machine::scrub_jmem() {
   for (std::size_t i = 0; i < addr_.size(); ++i) {
     const GlobalJAddress& a = addr_[i];
     const JParticle& img = boards_[a.board].read_j(a.local);
-    if (g6::util::crc32_of(img) == g6::util::crc32_of(shadow_j_[i])) continue;
+    if (crc32_of_j(img) == crc32_of_j(shadow_j_[i])) continue;
     stats.crc_jmem_mismatches.fetch_add(1, std::memory_order_relaxed);
     boards_[a.board].write_j(a.local, shadow_j_[i]);
     stats.jmem_rewrites.fetch_add(1, std::memory_order_relaxed);
@@ -293,6 +326,12 @@ void Grape6Machine::fail_board(std::size_t b) {
   board_alive_[b] = 0;
   auto& stats = injector_->stats();
   stats.excluded_boards.fetch_add(1, std::memory_order_relaxed);
+  // Chips of this board that were excluded individually before the board
+  // died are now covered by the board exclusion — uncount them.
+  stats.excluded_chips.fetch_sub(
+      static_cast<std::uint64_t>(boards_[b].chip_count() -
+                                 boards_[b].alive_chip_count()),
+      std::memory_order_relaxed);
   std::size_t moved = 0;
   for (std::size_t i = 0; i < addr_.size(); ++i) {
     if (addr_[i].board == b) {

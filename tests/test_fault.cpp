@@ -303,6 +303,28 @@ TEST(MachineRecovery, PermanentChipKillExcludesAndRecovers) {
   EXPECT_GT(snap.remapped_particles, 0u);
 }
 
+TEST(MachineRecovery, BoardDeadFromChipKillsCountsCapacityOnce) {
+  const MachineWorkload w = machine_workload(32, 3, 15);
+  const std::vector<std::int64_t> clean = run_machine(w, nullptr);
+
+  FaultPlan plan;
+  // Kill both chips of board 1, one per step: the second kill empties the
+  // board, which is then excluded as a whole.
+  plan.add({FaultKind::kChipBitFlip, 0, 1, 0, 9, /*permanent=*/1});
+  plan.add({FaultKind::kChipBitFlip, 1, 1, 1, 9, /*permanent=*/1});
+  FaultInjector injector;
+  injector.arm(plan);
+  const std::vector<std::int64_t> faulted = run_machine(w, &injector);
+
+  EXPECT_EQ(clean, faulted);
+  const auto snap = injector.snapshot();
+  EXPECT_EQ(snap.excluded_boards, 1u);
+  // The board exclusion supersedes the per-chip ones: the dead capacity is
+  // excluded_boards * chips_per_board + excluded_chips, with no chip counted
+  // both ways.
+  EXPECT_EQ(snap.excluded_chips, 0u);
+}
+
 TEST(MachineRecovery, UnarmedInjectorIsInert) {
   const MachineWorkload w = machine_workload(24, 2, 17);
   const std::vector<std::int64_t> clean = run_machine(w, nullptr);

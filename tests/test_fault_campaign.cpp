@@ -68,6 +68,21 @@ TEST(FaultCampaign, ClusterCampaignMatrix2D) {
   EXPECT_EQ(r.stats.dead_hosts, 1u);
 }
 
+TEST(FaultCampaign, ClusterCampaignMatrix3x3) {
+  // A 3x3 grid (vs the 2x2 above) exercises multi-hop column routing, and
+  // host drops can hit row-0 hosts, promoting deeper hosts to column root —
+  // paths a 2x2 grid never takes.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    CampaignConfig cfg = small_config();
+    cfg.mode = HostMode::kMatrix2D;
+    cfg.hosts = 9;
+    cfg.fault_seed = seed;
+    const CampaignResult r = g6::fault::run_cluster_campaign(cfg);
+    expect_recovered(r);
+    EXPECT_EQ(r.stats.dead_hosts, 1u) << "seed " << seed;
+  }
+}
+
 TEST(FaultCampaign, SeedsAreReproducible) {
   CampaignConfig cfg = small_config();
   cfg.fault_seed = 3;

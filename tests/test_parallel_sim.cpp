@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "fault/fault.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -145,6 +146,53 @@ TEST(ParallelSim, UpdateReachesTheRightHost) {
     sys.compute(0.0, batch, a);
     fresh.compute(0.0, batch, b);
     for (std::size_t k = 0; k < batch.size(); ++k) EXPECT_EQ(a[k], b[k]) << k;
+  }
+}
+
+TEST(ParallelSim, MatrixRowZeroDropRoutesUpdateToPromotedRoot) {
+  // 3x3 grid with row-0 host 1 dropped: column 1's root becomes host 4,
+  // which directly holds the dead host's re-replicated j-images. A j-update
+  // whose holder IS that promoted root must stop there (regression: the
+  // routing path overshot to deeper column hosts and update() threw
+  // "matrix j-update routing failed").
+  const FormatSpec fmt;
+  const auto js = cloud(54, fmt, 27);
+  ParallelHostSystem sys(9, HostMode::kMatrix2D, fmt, 0.008);
+  g6::fault::FaultInjector injector;
+  sys.set_fault_injector(&injector);
+  sys.load(js);
+  sys.drop_host(1);
+  sys.update(js);
+
+  ParallelHostSystem fresh(9, HostMode::kMatrix2D, fmt, 0.008);
+  fresh.load(js);
+  const auto batch = batch_from(js, fmt, 3);
+  std::vector<ForceAccumulator> a, b;
+  sys.compute(0.0, batch, a);
+  fresh.compute(0.0, batch, b);
+  for (std::size_t k = 0; k < batch.size(); ++k) EXPECT_EQ(a[k], b[k]) << k;
+}
+
+TEST(ParallelSim, InjectorAttachedAfterLoadRebuildsShadow) {
+  // Attaching the injector after load() must rebuild the driver shadow from
+  // the hosts' j-stores, or a later host drop silently loses its j-images.
+  const FormatSpec fmt;
+  const auto js = cloud(48, fmt, 28);
+  for (HostMode mode : {HostMode::kHardwareNet, HostMode::kMatrix2D}) {
+    ParallelHostSystem sys(4, mode, fmt, 0.008);
+    sys.load(js);  // no injector yet
+    g6::fault::FaultInjector injector;
+    sys.set_fault_injector(&injector);  // late attach
+    sys.drop_host(1);
+
+    ParallelHostSystem fresh(4, mode, fmt, 0.008);
+    fresh.load(js);
+    const auto batch = batch_from(js, fmt, 5);
+    std::vector<ForceAccumulator> a, b;
+    sys.compute(0.0, batch, a);
+    fresh.compute(0.0, batch, b);
+    for (std::size_t k = 0; k < batch.size(); ++k)
+      EXPECT_EQ(a[k], b[k]) << g6::cluster::host_mode_name(mode) << " k=" << k;
   }
 }
 

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "fault/fault.hpp"
+
 namespace {
 
 using g6::cluster::LinkSpec;
@@ -71,6 +73,28 @@ TEST(Transport, StatsCountBytesAndTime) {
   EXPECT_EQ(t.stats(0).messages_sent, 1u);
   EXPECT_EQ(t.stats(1).bytes_received, 10u);
   EXPECT_NEAR(t.stats(0).modeled_seconds, 0.5 + 0.1, 1e-12);
+}
+
+TEST(Transport, DroppedMessageChargesSenderOnly) {
+  Transport t(2, {});
+  g6::fault::FaultPlan plan;
+  plan.add({g6::fault::FaultKind::kLinkDrop, /*at=*/0, -1, -1, 0, 0});
+  g6::fault::FaultInjector inj;
+  inj.arm(plan);
+  t.set_fault_injector(&inj);
+
+  // First send is dropped in flight: the sender pays wire time but the
+  // receiver never sees the bytes.
+  ASSERT_EQ(t.send(0, 1, 3, bytes({1, 2, 3, 4})), SendStatus::kOk);
+  EXPECT_GT(t.stats(0).bytes_sent, 0u);
+  EXPECT_EQ(t.stats(1).bytes_received, 0u);
+  Message m;
+  EXPECT_EQ(t.try_recv(1, 0, 3, m), RecvStatus::kEmpty);
+
+  // The resend is delivered and counted (payload + 4-byte CRC trailer).
+  ASSERT_EQ(t.send(0, 1, 3, bytes({1, 2, 3, 4})), SendStatus::kOk);
+  EXPECT_EQ(t.try_recv(1, 0, 3, m), RecvStatus::kOk);
+  EXPECT_EQ(t.stats(1).bytes_received, 8u);
 }
 
 TEST(Transport, PendingCountsAllSources) {
