@@ -23,6 +23,16 @@
 //   --out=<prefix>        write snapshots <prefix>_T.snap
 //   --binary              write binary snapshots
 //   --collisions=<f>      enable accretion with radius enhancement f
+//
+// Checkpoint/restart (docs/CHECKPOINTING.md):
+//   --checkpoint-dir=<dir>    write G6CKPT1 segments into <dir>
+//   --checkpoint-every=<dT>   segment cadence in sim time        [snap]
+//   --resume                  continue from the newest valid segment
+//   --step-budget=<int>       preempt after this many block steps
+//   --walltime-budget=<sec>   preempt after this much wall clock
+// A preempted (or SIGKILLed) run rerun with --resume finishes bit-identically
+// to an uninterrupted one. Exit status: 0 = completed, 3 = preempted.
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -38,6 +48,8 @@
 #include "nbody/integrator.hpp"
 #include "nbody/models.hpp"
 #include "nbody/snapshot.hpp"
+#include "run/checkpoint.hpp"
+#include "run/run_manager.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -125,6 +137,13 @@ int main(int argc, char** argv) {
   const bool binary = has_flag(argc, argv, "binary");
   const double collisions = flag(argc, argv, "collisions", 0.0);
 
+  const std::string ckpt_dir = flag_str(argc, argv, "checkpoint-dir");
+  const double ckpt_every = flag(argc, argv, "checkpoint-every", snap_every);
+  const bool resume = has_flag(argc, argv, "resume");
+  const auto step_budget =
+      static_cast<std::uint64_t>(flag(argc, argv, "step-budget", 0));
+  const double walltime_budget = flag(argc, argv, "walltime-budget", 0.0);
+
   g6::nbody::IntegratorConfig icfg;
   icfg.solar_gm = solar_gm;
   icfg.eta = flag(argc, argv, "eta", 0.02);
@@ -185,11 +204,41 @@ int main(int argc, char** argv) {
 
   if (collisions > 0.0) {
     // Accretion mode: the driver owns integrator + backend lifecycles.
+    // Checkpoints ride the sweep cadence (the only coherent driver states).
+    const std::size_t n_initial = ps.size();
     g6::nbody::CollisionConfig ccfg;
     ccfg.radius_enhancement = collisions;
     g6::nbody::AccretionDriver driver(std::move(ps), ccfg, icfg, eps,
                                       [&](double soft) { return make_backend(soft); });
+    std::unique_ptr<g6::run::CheckpointStore> store;
+    if (!ckpt_dir.empty()) {
+      const std::uint64_t chash = g6::run::config_hash(
+          icfg, backend_name + "+accretion", eps, n_initial, seed);
+      store = std::make_unique<g6::run::CheckpointStore>(ckpt_dir, chash);
+      if (resume && store->open_existing()) {
+        if (auto restored = store->load_latest()) {
+          driver.restore(std::move(restored->data.system),
+                         restored->data.accretion_time,
+                         restored->data.accretion_mergers, restored->data.t_sys,
+                         std::move(restored->data.stats));
+          std::printf("resumed accretion run at T=%g (segment %llu)\n",
+                      driver.current_time(),
+                      static_cast<unsigned long long>(restored->segment));
+        }
+      }
+      double next_ckpt = driver.current_time() + ckpt_every;
+      driver.on_sweep = [&, chash](const g6::nbody::AccretionDriver& d) {
+        if (d.current_time() + 1e-12 < next_ckpt) return;
+        auto data = g6::run::capture(d.integrator(), chash);
+        data.has_accretion = true;
+        data.accretion_mergers = d.total_mergers();
+        data.accretion_time = d.current_time();
+        store->append(data);
+        while (next_ckpt <= d.current_time() + 1e-12) next_ckpt += ckpt_every;
+      };
+    }
     for (double t = 0.0; t <= t_end + 1e-9; t += snap_every) {
+      if (t + 1e-9 < driver.current_time()) continue;  // resumed past this row
       driver.evolve(t, snap_every / 4.0);
       const auto& s = driver.system();
       const double e = g6::nbody::compute_energy(s, eps, solar_gm).total();
@@ -206,6 +255,56 @@ int main(int argc, char** argv) {
   }
 
   g6::nbody::HermiteIntegrator integ(ps, *backend, icfg);
+
+  if (!ckpt_dir.empty()) {
+    // Checkpointed drive: RunManager owns initialize/restore and segmenting.
+    g6::run::RunConfig rcfg;
+    rcfg.checkpoint_dir = ckpt_dir;
+    rcfg.t_end = t_end;
+    rcfg.checkpoint_every = ckpt_every;
+    rcfg.walltime_budget = walltime_budget;
+    rcfg.step_budget = step_budget;
+    rcfg.resume = resume;
+    rcfg.ic_seed = seed;
+    g6::run::RunManager manager(integ, rcfg);
+    manager.on_segment = [&](const g6::run::RunReport&, double t) {
+      // Particles sit at individual times inside a segment, so the energy
+      // column is approximate until the final (synchronised) row.
+      const double e = g6::nbody::compute_energy(ps, eps, solar_gm).total();
+      const double l = norm(g6::nbody::total_angular_momentum(ps));
+      table.row({g6::util::fmt(t, 5),
+                 g6::util::fmt_int(static_cast<long long>(ps.size())),
+                 g6::util::fmt_sci(std::abs((e - e0) / e0), 1),
+                 g6::util::fmt_sci(l0 > 0 ? std::abs((l - l0) / l0) : 0.0, 1),
+                 g6::util::fmt_int(static_cast<long long>(integ.stats().blocks)),
+                 g6::util::fmt_int(static_cast<long long>(integ.stats().steps)),
+                 g6::util::fmt(timer.seconds(), 3)});
+    };
+    const g6::run::RunReport rep = manager.run();
+    std::printf("%s\n", table.render().c_str());
+    if (rep.resumed) {
+      std::printf("resumed from segment %llu (%llu corrupt skipped, wasted "
+                  "recompute %.3g sim time)\n",
+                  static_cast<unsigned long long>(rep.resume_segment),
+                  static_cast<unsigned long long>(rep.crc_fallbacks),
+                  rep.wasted_recompute);
+    }
+    if (rep.outcome == g6::run::RunOutcome::kPreempted) {
+      std::printf("preempted at T=%g after %llu blocks; rerun with --resume\n",
+                  rep.final_time,
+                  static_cast<unsigned long long>(rep.blocks_run));
+      return 3;
+    }
+    write_snap(ps, rep.final_time);
+    std::printf("completed at T=%g: %llu blocks, %llu segments, %llu bytes\n",
+                rep.final_time, static_cast<unsigned long long>(rep.blocks_run),
+                static_cast<unsigned long long>(rep.segments_written),
+                static_cast<unsigned long long>(rep.bytes_written));
+    std::printf("interactions: %llu\n",
+                static_cast<unsigned long long>(backend->interaction_count()));
+    return 0;
+  }
+
   integ.initialize();
   for (double t = 0.0; t <= t_end + 1e-9; t += snap_every) {
     integ.evolve(t);

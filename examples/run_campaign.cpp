@@ -1,0 +1,113 @@
+// run_campaign — drive a sweep of paper-scenario runs concurrently through
+// the CampaignRunner: each job integrates the Uranus-Neptune disk with its
+// own N/eta/seed/backend, checkpointing into its own subdirectory of the
+// campaign root. Rerunning the same command continues the campaign: jobs
+// marked done in campaign.manifest are skipped, interrupted jobs resume from
+// their newest valid checkpoint (docs/CHECKPOINTING.md).
+//
+//   ./run_campaign --dir=camp --jobs=2 --n=64 --t=0.5
+//
+// Options (defaults in brackets):
+//   --dir=<path>          campaign root directory             [campaign]
+//   --jobs=<int>          number of sweep jobs                [2]
+//   --n=<int>             planetesimals per job               [64]
+//   --t=<float>           end time per job (code units)       [0.5]
+//   --eta=<float>         base accuracy parameter             [0.02]
+//   --backend=cpu|grape|cluster|mix  force engine(s)          [cpu]
+//   --checkpoint-every=<dT>  per-job segment cadence          [t/4]
+//   --step-budget=<int>   per-job block-step budget this invocation
+//   --walltime-budget=<sec>  per-job wall budget this invocation
+//
+// The sweep varies the IC seed per job (seed = 1000 + k) and, with
+// --backend=mix, cycles cpu/grape/cluster across jobs. Exit status:
+// 0 = every job done, 3 = some jobs preempted (rerun to continue),
+// 1 = a job failed.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "run/campaign_runner.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+double flag(int argc, char** argv, const char* name, double fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+      return std::atof(argv[i] + prefix.size());
+  return fallback;
+}
+
+std::string flag_str(int argc, char** argv, const char* name,
+                     const std::string& fallback = {}) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+      return argv[i] + prefix.size();
+  return fallback;
+}
+
+const char* status_name(g6::run::JobStatus s) {
+  switch (s) {
+    case g6::run::JobStatus::kCompleted: return "completed";
+    case g6::run::JobStatus::kPreempted: return "preempted";
+    case g6::run::JobStatus::kFailed: return "FAILED";
+    case g6::run::JobStatus::kSkipped: return "done (skipped)";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = flag_str(argc, argv, "dir", "campaign");
+  const auto jobs = static_cast<std::size_t>(flag(argc, argv, "jobs", 2));
+  const auto n = static_cast<std::size_t>(flag(argc, argv, "n", 64));
+  const double t_end = flag(argc, argv, "t", 0.5);
+  const double eta = flag(argc, argv, "eta", 0.02);
+  const std::string backend = flag_str(argc, argv, "backend", "cpu");
+  const double ckpt_every = flag(argc, argv, "checkpoint-every", t_end / 4.0);
+
+  g6::run::CampaignSpec spec;
+  spec.dir = dir;
+  spec.walltime_budget = flag(argc, argv, "walltime-budget", 0.0);
+  spec.step_budget =
+      static_cast<std::uint64_t>(flag(argc, argv, "step-budget", 0));
+  static const char* kMix[] = {"cpu", "grape", "cluster"};
+  for (std::size_t k = 0; k < jobs; ++k) {
+    g6::run::JobSpec job;
+    job.backend = backend == "mix" ? kMix[k % 3] : backend;
+    job.name = "job" + std::to_string(k) + "_" + job.backend;
+    job.n = n;
+    job.seed = 1000 + k;
+    job.eta = eta;
+    job.t_end = t_end;
+    job.checkpoint_every = ckpt_every;
+    spec.jobs.push_back(job);
+  }
+
+  std::printf("campaign '%s': %zu jobs, N=%zu, t_end=%g, backend=%s\n\n",
+              dir.c_str(), jobs, n, t_end, backend.c_str());
+
+  g6::run::CampaignRunner runner(std::move(spec));
+  const g6::run::CampaignReport report = runner.run();
+
+  g6::util::Table table({"job", "status", "T", "blocks", "segments", "resumed"});
+  for (const auto& res : report.jobs)
+    table.row({res.name, status_name(res.status), g6::util::fmt(res.final_time, 5),
+               g6::util::fmt_int(static_cast<long long>(res.blocks_run)),
+               g6::util::fmt_int(static_cast<long long>(res.segments_written)),
+               res.resumed ? "yes" : "no"});
+  std::printf("%s\n", table.render().c_str());
+  for (const auto& res : report.jobs)
+    if (!res.error.empty())
+      std::fprintf(stderr, "job %s failed: %s\n", res.name.c_str(),
+                   res.error.c_str());
+
+  std::printf("%zu completed, %zu skipped, %zu preempted, %zu failed\n",
+              report.completed, report.skipped, report.preempted, report.failed);
+  if (report.failed > 0) return 1;
+  return report.all_done() ? 0 : 3;
+}

@@ -12,6 +12,9 @@
 //     --trace <file>   write a Chrome trace_event JSON of the run
 //     --metrics <file> write a metrics snapshot JSON (includes the
 //                      per-blockstep measured phase breakdown)
+//     --checkpoint-dir=<dir>   write G6CKPT1 checkpoint segments into <dir>
+//     --checkpoint-every=<dT>  segment cadence in sim time (default: snap)
+//     --resume                 continue from the newest valid segment
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -31,6 +34,7 @@
 #include "obs/blockstep_record.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "run/run_manager.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 #include "util/units.hpp"
@@ -78,6 +82,9 @@ int main(int argc, char** argv) {
   const std::string out_prefix = flag_str(argc, argv, "out");
   const std::string trace_path = flag_str(argc, argv, "trace");
   const std::string metrics_path = flag_str(argc, argv, "metrics");
+  const std::string ckpt_dir = flag_str(argc, argv, "checkpoint-dir");
+  const double ckpt_every = flag(argc, argv, "checkpoint-every", snap_every);
+  const bool resume = has_flag(argc, argv, "resume");
   if (!trace_path.empty()) g6::obs::TraceRecorder::global().enable();
 
   const double eps = 0.008;
@@ -117,6 +124,73 @@ int main(int argc, char** argv) {
   const bool record_steps = !trace_path.empty() || !metrics_path.empty();
   if (record_steps) integ.set_step_recorder(&recorder);
   g6::util::Timer timer;
+
+  const auto export_telemetry = [&] {
+    if (!record_steps) return;
+    auto& registry = g6::obs::MetricsRegistry::global();
+    g6::nbody::publish_metrics(integ.stats(), registry);
+    if (use_grape)
+      g6::hw::publish_metrics(
+          static_cast<g6::hw::Grape6Backend*>(backend.get())->machine().counters(),
+          registry);
+    registry.gauge("g6.example.wall_seconds").set(timer.seconds());
+    if (!metrics_path.empty()) {
+      std::vector<std::pair<std::string, std::string>> extras;
+      extras.emplace_back("blocksteps", recorder.to_json());
+      if (g6::obs::write_metrics_json(metrics_path, registry.snapshot(), extras))
+        std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
+      else
+        std::fprintf(stderr, "failed to write metrics to %s\n",
+                     metrics_path.c_str());
+    }
+    if (!trace_path.empty() &&
+        g6::obs::TraceRecorder::global().write_chrome_trace(trace_path))
+      std::printf("trace written to %s\n", trace_path.c_str());
+  };
+
+  if (!ckpt_dir.empty()) {
+    // Checkpointed drive: RunManager owns initialize/restore and segmenting;
+    // a rerun with --resume continues bit-identically (docs/CHECKPOINTING.md).
+    const double e0 = g6::nbody::compute_energy(ps, eps, 1.0).total();
+    g6::run::RunConfig rcfg;
+    rcfg.checkpoint_dir = ckpt_dir;
+    rcfg.t_end = t_end;
+    rcfg.checkpoint_every = ckpt_every;
+    rcfg.resume = resume;
+    rcfg.ic_seed = cfg.seed;
+    g6::run::RunManager manager(integ, rcfg);
+    g6::util::Table ck_table({"T", "years", "rms e", "rms i", "|dE/E|",
+                              "segments", "wall [s]"});
+    manager.on_segment = [&](const g6::run::RunReport& rep, double t) {
+      const auto disp = g6::analysis::dispersions(ps, 1.0, exclude);
+      const double e = g6::nbody::compute_energy(ps, eps, 1.0).total();
+      ck_table.row({g6::util::fmt(t, 5), g6::util::fmt(g6::units::to_years(t), 4),
+                    g6::util::fmt(disp.rms_e, 3), g6::util::fmt(disp.rms_i, 3),
+                    g6::util::fmt_sci(std::abs((e - e0) / e0), 1),
+                    g6::util::fmt_int(static_cast<long long>(rep.segments_written)),
+                    g6::util::fmt(timer.seconds(), 3)});
+    };
+    const g6::run::RunReport rep = manager.run();
+    std::printf("%s\n", ck_table.render().c_str());
+    if (rep.resumed)
+      std::printf("resumed from segment %llu\n",
+                  static_cast<unsigned long long>(rep.resume_segment));
+    std::printf("%s at T=%g after %llu blocks, %llu segments on disk\n",
+                rep.outcome == g6::run::RunOutcome::kCompleted ? "completed"
+                                                               : "preempted",
+                rep.final_time, static_cast<unsigned long long>(rep.blocks_run),
+                static_cast<unsigned long long>(rep.segments_written));
+    if (!out_prefix.empty() &&
+        rep.outcome == g6::run::RunOutcome::kCompleted) {
+      char path[256];
+      std::snprintf(path, sizeof path, "%s_%06.0f.snap", out_prefix.c_str(),
+                    rep.final_time);
+      g6::nbody::write_snapshot_file(path, ps, rep.final_time);
+    }
+    export_telemetry();
+    return rep.outcome == g6::run::RunOutcome::kCompleted ? 0 : 3;
+  }
+
   integ.initialize();
   const double e0 = g6::nbody::compute_energy(ps, eps, 1.0).total();
 
@@ -149,26 +223,6 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(backend->interaction_count()),
               57.0 * static_cast<double>(backend->interaction_count()));
 
-  if (record_steps) {
-    auto& registry = g6::obs::MetricsRegistry::global();
-    g6::nbody::publish_metrics(integ.stats(), registry);
-    if (use_grape)
-      g6::hw::publish_metrics(
-          static_cast<g6::hw::Grape6Backend*>(backend.get())->machine().counters(),
-          registry);
-    registry.gauge("g6.example.wall_seconds").set(timer.seconds());
-    if (!metrics_path.empty()) {
-      std::vector<std::pair<std::string, std::string>> extras;
-      extras.emplace_back("blocksteps", recorder.to_json());
-      if (g6::obs::write_metrics_json(metrics_path, registry.snapshot(), extras))
-        std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
-      else
-        std::fprintf(stderr, "failed to write metrics to %s\n",
-                     metrics_path.c_str());
-    }
-    if (!trace_path.empty() &&
-        g6::obs::TraceRecorder::global().write_chrome_trace(trace_path))
-      std::printf("trace written to %s\n", trace_path.c_str());
-  }
+  export_telemetry();
   return 0;
 }

@@ -102,7 +102,18 @@ void AccretionDriver::evolve(double t_end, double check_interval) {
       ps_ = std::move(rep.system);
       rebuild();
     }
+    if (on_sweep) on_sweep(*this);
   }
+}
+
+void AccretionDriver::restore(ParticleSystem ps, double t, std::uint64_t mergers,
+                              double t_sys, IntegratorStats stats) {
+  ps_ = std::move(ps);
+  t_ = t;
+  mergers_ = mergers;
+  backend_ = factory_(eps_);
+  integ_ = std::make_unique<HermiteIntegrator>(ps_, *backend_, icfg_);
+  integ_->restore(t_sys, std::move(stats));
 }
 
 double AccretionDriver::largest_mass() const {

@@ -85,6 +85,23 @@ class AccretionDriver {
   /// Mass of the largest body (the growing protoplanet).
   double largest_mass() const;
 
+  /// The live integrator (checkpointing reads its stats/t_sys between
+  /// sweeps; only valid after construction or restore()).
+  const HermiteIntegrator& integrator() const { return *integ_; }
+
+  /// Called after every collision sweep (merges applied, system coherent at
+  /// the sweep time) — the only points where driver state is checkpointable,
+  /// since mergers rebuild integrator and backend from scratch.
+  std::function<void(const AccretionDriver&)> on_sweep;
+
+  /// Resume a driver checkpointed at a sweep boundary: \p ps replaces the
+  /// system (full Hermite state at individual times), \p t and \p mergers
+  /// restore the driver counters, and the integrator is rebuilt WITHOUT
+  /// initialize() — it continues from (t_sys, stats) bit-identically to a
+  /// driver that never stopped.
+  void restore(ParticleSystem ps, double t, std::uint64_t mergers,
+               double t_sys, IntegratorStats stats);
+
  private:
   void rebuild();
 

@@ -53,6 +53,24 @@ void HermiteIntegrator::initialize() {
   initialized_ = true;
 }
 
+void HermiteIntegrator::restore(double t_sys, IntegratorStats stats) {
+  const std::size_t n = ps_.size();
+  G6_CHECK(n > 0, "cannot restore an empty system");
+  for (std::size_t i = 0; i < n; ++i) {
+    G6_CHECK(ps_.dt(i) > 0.0 && is_power_of_two_step(ps_.dt(i)),
+             "restored particle " + std::to_string(i) + " has no valid timestep");
+    G6_CHECK(ps_.time(i) <= t_sys, "restored particle time exceeds t_sys");
+  }
+  // j-memory rebuilt from the saved full Hermite state is identical to the
+  // image the uninterrupted run accumulated through load()+update() calls:
+  // both paths write the same (mass, pos, vel, acc, jerk, t) per particle.
+  backend_.load(ps_);
+  scheduler_.reset(ps_.times(), ps_.dts());
+  stats_ = std::move(stats);
+  t_sys_ = t_sys;
+  initialized_ = true;
+}
+
 void HermiteIntegrator::correct_block(double t, std::span<const std::uint32_t> block,
                                       std::span<const Force> forces, bool requantize) {
   const std::size_t m = block.size();

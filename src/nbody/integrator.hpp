@@ -76,6 +76,16 @@ class HermiteIntegrator {
   /// time), and prime the scheduler. Must be called before step()/evolve().
   void initialize();
 
+  /// Resume from checkpointed state instead of initialize(): the particle
+  /// system already holds the saved pos/vel/acc/jerk/pot and per-particle
+  /// t/dt, so nothing is recomputed or re-quantised — j-memory is reloaded
+  /// from the system, the scheduler is rebuilt from the stored t/dt pairs
+  /// (each particle's next update is t+dt, the invariant that holds between
+  /// any two block steps), and the stats counters continue from \p stats.
+  /// A restored run is bit-identical to one that never stopped
+  /// (docs/CHECKPOINTING.md states the determinism contract).
+  void restore(double t_sys, IntegratorStats stats);
+
   /// Execute one block step; returns the time the block advanced to.
   double step();
 

@@ -85,6 +85,11 @@ class ParticleSystem {
   double dt(std::size_t i) const { return dt_[i]; }
   std::uint32_t id(std::size_t i) const { return id_[i]; }
 
+  /// Overwrite a particle's identity. add() assigns sequential ids; loaders
+  /// that must preserve external identities (snapshots, checkpoints) restore
+  /// them with this after add().
+  void set_id(std::size_t i, std::uint32_t id) { id_[i] = id; }
+
   // Whole-array views (for kernels and the hardware model).
   std::span<const double> masses() const { return mass_; }
   std::span<const Vec3> positions() const { return pos_; }

@@ -3,9 +3,10 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 
 #include "util/check.hpp"
-#include "util/crc.hpp"
+#include "util/crc_stream.hpp"
 
 namespace g6::nbody {
 
@@ -29,21 +30,63 @@ void write_snapshot_file(const std::string& path, const ParticleSystem& ps, doub
   G6_CHECK(!os.fail(), "snapshot close failed: " + path);
 }
 
+namespace {
+
+/// Parse failures name the offending line and field so a damaged
+/// multi-gigabyte production snapshot can be triaged without a hex dump.
+[[noreturn]] void snapshot_parse_error(std::size_t line_no, const std::string& what) {
+  g6::util::raise("snapshot parse error at line " + std::to_string(line_no) + ": " +
+                  what);
+}
+
+}  // namespace
+
 double read_snapshot(std::istream& is, ParticleSystem& ps) {
+  std::string line;
+  std::size_t line_no = 0;
+  if (!std::getline(is, line)) snapshot_parse_error(1, "empty stream (expected 'g6snap <n> <time>' header)");
+  ++line_no;
+  std::istringstream header(line);
   std::string magic;
   std::size_t n = 0;
   double time = 0.0;
-  is >> magic >> n >> time;
-  G6_CHECK(is.good() && magic == "g6snap", "not a g6 snapshot stream");
+  header >> magic;
+  if (magic != "g6snap")
+    snapshot_parse_error(line_no, "bad magic '" + magic + "' (expected 'g6snap')");
+  if (!(header >> n)) snapshot_parse_error(line_no, "missing or malformed field 'n'");
+  if (!(header >> time)) snapshot_parse_error(line_no, "missing or malformed field 'time'");
+
+  static constexpr const char* kFields[] = {"id", "mass", "x", "y", "z",
+                                            "vx", "vy", "vz"};
   ps.resize(0);
+  std::unordered_set<std::uint32_t> seen;
+  seen.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
+    if (!std::getline(is, line))
+      snapshot_parse_error(line_no + 1, "truncated: header promised " + std::to_string(n) +
+                                            " particles, stream ends after " +
+                                            std::to_string(i));
+    ++line_no;
+    std::istringstream fields(line);
     std::uint64_t id = 0;
-    double m = 0.0;
-    Vec3 x, v;
-    is >> id >> m >> x.x >> x.y >> x.z >> v.x >> v.y >> v.z;
-    G6_CHECK(!is.fail(), "truncated snapshot at particle " + std::to_string(i));
-    const std::size_t k = ps.add(m, x, v);
+    double value[7] = {};
+    for (int f = 0; f < 8; ++f) {
+      const bool ok = (f == 0) ? static_cast<bool>(fields >> id)
+                               : static_cast<bool>(fields >> value[f - 1]);
+      if (!ok)
+        snapshot_parse_error(line_no, std::string("missing or malformed field '") +
+                                          kFields[f] + "' (particle " +
+                                          std::to_string(i) + ")");
+    }
+    if (id > 0xFFFFFFFFull)
+      snapshot_parse_error(line_no, "particle id " + std::to_string(id) +
+                                        " exceeds 32 bits");
+    if (!seen.insert(static_cast<std::uint32_t>(id)).second)
+      snapshot_parse_error(line_no, "duplicate particle id " + std::to_string(id));
+    const std::size_t k =
+        ps.add(value[0], {value[1], value[2], value[3]}, {value[4], value[5], value[6]});
     ps.time(k) = time;
+    ps.set_id(k, static_cast<std::uint32_t>(id));
   }
   return time;
 }
@@ -59,37 +102,9 @@ namespace {
 constexpr char kBinaryMagicV1[8] = {'G', '6', 'S', 'N', 'A', 'P', 'B', '1'};
 constexpr char kBinaryMagicV2[8] = {'G', '6', 'S', 'N', 'A', 'P', 'B', '2'};
 
-template <typename T>
-void write_pod(std::ostream& os, const T& value) {
-  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-/// Streaming writer that folds every byte after the magic into a CRC, so
-/// the trailer covers header and records without buffering the payload.
-struct CrcWriter {
-  std::ostream& os;
-  std::uint32_t crc = g6::util::crc32_init();
-  template <typename T>
-  void put(const T& value) {
-    write_pod(os, value);
-    crc = g6::util::crc32_update(crc, &value, sizeof(T));
-  }
-};
-
-/// Streaming reader mirroring CrcWriter; every read is checked so a
-/// truncated stream raises instead of returning zero-filled garbage.
-struct CrcReader {
-  std::istream& is;
-  std::uint32_t crc = g6::util::crc32_init();
-  template <typename T>
-  T get() {
-    T value{};
-    is.read(reinterpret_cast<char*>(&value), sizeof(T));
-    G6_CHECK(is.good(), "truncated binary snapshot");
-    crc = g6::util::crc32_update(crc, &value, sizeof(T));
-    return value;
-  }
-};
+using g6::util::CrcReader;
+using g6::util::CrcWriter;
+using g6::util::write_pod;
 
 }  // namespace
 
@@ -104,7 +119,7 @@ void write_snapshot_binary(std::ostream& os, const ParticleSystem& ps, double ti
     w.put(ps.pos(i));
     w.put(ps.vel(i));
   }
-  write_pod(os, g6::util::crc32_final(w.crc));
+  w.put_trailer();
   os.flush();
   G6_CHECK(os.good(), "binary snapshot write failed");
 }
@@ -125,25 +140,25 @@ double read_snapshot_binary(std::istream& is, ParticleSystem& ps) {
   const bool checked = std::memcmp(magic, kBinaryMagicV2, sizeof magic) == 0;
   G6_CHECK(checked || std::memcmp(magic, kBinaryMagicV1, sizeof magic) == 0,
            "not a g6 binary snapshot stream");
-  CrcReader r{is};
+  CrcReader r{is, g6::util::crc32_init(), "binary snapshot"};
   const auto n = r.get<std::uint64_t>();
   const auto time = r.get<double>();
   ps.resize(0);
+  std::unordered_set<std::uint32_t> seen;
+  seen.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
-    (void)r.get<std::uint64_t>();  // id (reassigned on add)
+    const auto id = r.get<std::uint64_t>();
     const auto m = r.get<double>();
     const auto x = r.get<Vec3>();
     const auto v = r.get<Vec3>();
+    G6_CHECK(id <= 0xFFFFFFFFull, "binary snapshot particle id exceeds 32 bits");
+    G6_CHECK(seen.insert(static_cast<std::uint32_t>(id)).second,
+             "binary snapshot duplicate particle id " + std::to_string(id));
     const std::size_t k = ps.add(m, x, v);
     ps.time(k) = time;
+    ps.set_id(k, static_cast<std::uint32_t>(id));
   }
-  if (checked) {
-    std::uint32_t trailer = 0;
-    is.read(reinterpret_cast<char*>(&trailer), sizeof trailer);
-    G6_CHECK(is.good(), "truncated binary snapshot trailer");
-    G6_CHECK(g6::util::crc32_final(r.crc) == trailer,
-             "binary snapshot CRC mismatch: file is corrupted");
-  }
+  if (checked) r.check_trailer();
   return time;
 }
 

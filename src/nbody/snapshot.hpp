@@ -18,7 +18,9 @@ void write_snapshot_file(const std::string& path, const ParticleSystem& ps, doub
 
 /// Read a snapshot written by write_snapshot. All particles are placed at the
 /// snapshot time with zero acc/jerk (call HermiteIntegrator::initialize()
-/// to rebuild derivatives). Returns the snapshot time.
+/// to rebuild derivatives); particle ids are preserved. Returns the snapshot
+/// time. Malformed input raises g6::util::Error naming the offending line
+/// and field; duplicate particle ids are rejected.
 double read_snapshot(std::istream& is, ParticleSystem& ps);
 double read_snapshot_file(const std::string& path, ParticleSystem& ps);
 

@@ -1,0 +1,206 @@
+#include "run/campaign_runner.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "cluster/cluster_backend.hpp"
+#include "disk/disk_model.hpp"
+#include "grape6/backend.hpp"
+#include "nbody/force_direct.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "run/checkpoint.hpp"
+#include "util/check.hpp"
+
+namespace g6::run {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kCampaignMagic = "g6campaign-manifest";
+
+g6::hw::FormatSpec format_for(const g6::nbody::ParticleSystem& ps) {
+  double extent = 1.0;
+  for (std::size_t i = 0; i < ps.size(); ++i)
+    extent = std::max(extent, norm(ps.pos(i)));
+  const double acc = std::max(1e-12, ps.total_mass() / (extent * extent));
+  return g6::hw::FormatSpec::for_scales(2.0 * extent, acc);
+}
+
+std::unique_ptr<g6::nbody::ForceBackend> make_backend(
+    const JobSpec& spec, const g6::nbody::ParticleSystem& ps) {
+  if (spec.backend == "cpu")
+    return std::make_unique<g6::nbody::CpuDirectBackend>(spec.eps);
+  if (spec.backend == "grape") {
+    g6::hw::MachineConfig mc = g6::hw::MachineConfig::mini(2, 4, 1 << 14);
+    mc.fmt = format_for(ps);
+    return std::make_unique<g6::hw::Grape6Backend>(mc, spec.eps);
+  }
+  if (spec.backend == "cluster")
+    return std::make_unique<g6::cluster::ClusterBackend>(
+        spec.hosts, g6::cluster::HostMode::kHardwareNet, format_for(ps), spec.eps);
+  g6::util::raise("campaign job '" + spec.name + "': unknown backend '" +
+                  spec.backend + "' (want cpu|grape|cluster)");
+}
+
+}  // namespace
+
+std::string campaign_manifest_path(const std::string& dir) {
+  return (fs::path(dir) / "campaign.manifest").string();
+}
+
+CampaignRunner::CampaignRunner(CampaignSpec spec, g6::util::ThreadPool* pool)
+    : spec_(std::move(spec)),
+      pool_(pool != nullptr ? pool : &g6::util::shared_pool()) {
+  G6_CHECK(!spec_.dir.empty(), "CampaignSpec.dir is required");
+  G6_CHECK(!spec_.jobs.empty(), "campaign has no jobs");
+  std::set<std::string> names;
+  for (const JobSpec& job : spec_.jobs) {
+    G6_CHECK(!job.name.empty(), "campaign job needs a name");
+    G6_CHECK(names.insert(job.name).second,
+             "duplicate campaign job name '" + job.name + "'");
+  }
+}
+
+void CampaignRunner::mark_done(const std::string& name) {
+  std::lock_guard<std::mutex> lock(manifest_mu_);
+  done_.push_back(name);
+  const std::string path = campaign_manifest_path(spec_.dir);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    G6_CHECK(os.is_open(), "cannot write campaign manifest: " + tmp);
+    os.precision(17);
+    os << kCampaignMagic << " 1\n";
+    for (const std::string& done : done_) os << "done " << done << '\n';
+    os.flush();
+    G6_CHECK(os.good(), "campaign manifest write failed");
+  }
+  G6_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+           "campaign manifest rename failed");
+}
+
+JobResult CampaignRunner::run_job(const JobSpec& spec) {
+  G6_TRACE_SPAN("campaign-job");
+  JobResult res;
+  res.name = spec.name;
+
+  // Paper-scenario initial conditions, parameterized by the sweep.
+  g6::disk::DiskConfig dcfg = g6::disk::uranus_neptune_config(spec.n);
+  dcfg.seed = spec.seed;
+  for (auto& pp : dcfg.protoplanets) pp.mass = spec.mpp;
+  auto disk = g6::disk::make_disk(dcfg);
+  g6::nbody::ParticleSystem ps = std::move(disk.system);
+
+  auto backend = make_backend(spec, ps);
+  g6::nbody::IntegratorConfig icfg;
+  icfg.solar_gm = 1.0;
+  icfg.eta = spec.eta;
+  icfg.eta_init = spec.eta / 2.0;
+  icfg.dt_max = spec.dt_max;
+  g6::nbody::HermiteIntegrator integ(ps, *backend, icfg);
+
+  RunConfig rcfg;
+  rcfg.checkpoint_dir = (fs::path(spec_.dir) / spec.name).string();
+  rcfg.t_end = spec.t_end;
+  rcfg.checkpoint_every = spec.checkpoint_every;
+  rcfg.walltime_budget = spec_.walltime_budget;
+  rcfg.step_budget = spec_.step_budget;
+  rcfg.keep_segments = spec_.keep_segments;
+  rcfg.resume = true;  // continue any earlier invocation's checkpoints
+  rcfg.ic_seed = spec.seed;
+  RunManager manager(integ, rcfg);
+  const RunReport rep = manager.run();
+
+  res.status = rep.outcome == RunOutcome::kCompleted ? JobStatus::kCompleted
+                                                     : JobStatus::kPreempted;
+  res.final_time = rep.final_time;
+  res.resumed = rep.resumed;
+  res.segments_written = rep.segments_written;
+  res.blocks_run = rep.blocks_run;
+  return res;
+}
+
+CampaignReport CampaignRunner::run() {
+  G6_TRACE_SPAN("campaign");
+  fs::create_directories(spec_.dir);
+
+  // Load the campaign manifest: jobs already done are skipped this time.
+  done_.clear();
+  const std::string path = campaign_manifest_path(spec_.dir);
+  if (fs::exists(path)) {
+    std::ifstream is(path);
+    G6_CHECK(is.is_open(), "cannot read campaign manifest: " + path);
+    std::string key, name;
+    int version = 0;
+    is >> key >> version;
+    G6_CHECK(key == kCampaignMagic && version == 1,
+             "campaign manifest " + path + " has a bad header");
+    while (is >> key >> name) {
+      G6_CHECK(key == "done", "campaign manifest " + path +
+                                  ": unknown key '" + key + "'");
+      done_.push_back(name);
+    }
+  }
+  const std::vector<std::string> already_done = done_;
+
+  CampaignReport report;
+  report.jobs.resize(spec_.jobs.size());
+
+  // One lane per job; each job's nested parallel_for calls fall back to
+  // serial inside the lane, so the pool is never oversubscribed.
+  pool_->parallel_for(
+      spec_.jobs.size(),
+      [&](std::size_t b, std::size_t e) {
+        for (std::size_t k = b; k < e; ++k) {
+          const JobSpec& spec = spec_.jobs[k];
+          JobResult& res = report.jobs[k];
+          if (std::find(already_done.begin(), already_done.end(), spec.name) !=
+              already_done.end()) {
+            res.name = spec.name;
+            res.status = JobStatus::kSkipped;
+            res.final_time = spec.t_end;
+            continue;
+          }
+          try {
+            res = run_job(spec);
+          } catch (const std::exception& err) {
+            res.name = spec.name;
+            res.status = JobStatus::kFailed;
+            res.error = err.what();
+          }
+          if (res.status == JobStatus::kCompleted) mark_done(spec.name);
+        }
+      },
+      /*grain=*/1);
+
+  auto& reg = g6::obs::MetricsRegistry::global();
+  for (const JobResult& res : report.jobs) {
+    switch (res.status) {
+      case JobStatus::kCompleted:
+        ++report.completed;
+        reg.counter("g6.run.jobs_completed").add(1);
+        break;
+      case JobStatus::kPreempted:
+        ++report.preempted;
+        reg.counter("g6.run.jobs_preempted").add(1);
+        break;
+      case JobStatus::kFailed:
+        ++report.failed;
+        reg.counter("g6.run.jobs_failed").add(1);
+        break;
+      case JobStatus::kSkipped:
+        ++report.skipped;
+        break;
+    }
+  }
+  return report;
+}
+
+}  // namespace g6::run

@@ -1,0 +1,98 @@
+#pragma once
+/// \file campaign_runner.hpp
+/// \brief CampaignRunner — a queue of parameterized runs (N/eta/seed/backend
+///        sweeps, as in EXPERIMENTS.md) executed concurrently on the shared
+///        ThreadPool, each with its own checkpoint directory, under one
+///        resumable campaign manifest.
+///
+/// The north-star workload is many concurrent long runs on one machine. A
+/// campaign is restartable at two levels: jobs already marked done in the
+/// campaign manifest are skipped, and interrupted jobs resume from their
+/// newest valid checkpoint through RunManager. Per-invocation budgets
+/// preempt jobs cleanly, so a campaign can be driven to completion in
+/// walltime slices.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "run/run_manager.hpp"
+#include "util/thread_pool.hpp"
+
+namespace g6::run {
+
+/// One parameterized run of the paper's disk scenario.
+struct JobSpec {
+  std::string name;             ///< unique; also the job's checkpoint subdir
+  std::string backend = "cpu";  ///< cpu | grape | cluster
+  std::size_t n = 256;          ///< planetesimal count
+  std::uint64_t seed = 1;       ///< initial-condition seed
+  double eta = 0.02;            ///< Aarseth accuracy parameter
+  double dt_max = 4.0;          ///< largest block step (power of two)
+  double t_end = 1.0;           ///< end time (code units)
+  double mpp = 1e-5;            ///< protoplanet mass, M_sun
+  double eps = 0.008;           ///< softening length
+  double checkpoint_every = 0.0;  ///< segment cadence in sim time
+  int hosts = 4;                  ///< simulated hosts (cluster backend)
+};
+
+struct CampaignSpec {
+  std::string dir;            ///< campaign root; per-job dirs underneath
+  std::vector<JobSpec> jobs;  ///< names must be unique
+  double walltime_budget = 0.0;   ///< per-job wall budget this invocation
+  std::uint64_t step_budget = 0;  ///< per-job block-step budget (testing)
+  int keep_segments = 3;
+};
+
+enum class JobStatus {
+  kCompleted,  ///< reached t_end this invocation
+  kPreempted,  ///< budget ran out; rerun the campaign to continue
+  kFailed,     ///< raised an error (recorded, campaign continues)
+  kSkipped,    ///< campaign manifest already marks it done
+};
+
+struct JobResult {
+  std::string name;
+  JobStatus status = JobStatus::kFailed;
+  double final_time = 0.0;
+  bool resumed = false;
+  std::uint64_t segments_written = 0;
+  std::uint64_t blocks_run = 0;
+  std::string error;  ///< non-empty for kFailed
+};
+
+struct CampaignReport {
+  std::vector<JobResult> jobs;  ///< same order as the spec
+  std::size_t completed = 0, preempted = 0, failed = 0, skipped = 0;
+  /// Every job has reached its end time (this or an earlier invocation).
+  bool all_done() const { return completed + skipped == jobs.size(); }
+};
+
+/// Executes a CampaignSpec. Jobs run concurrently on \p pool (nullptr = the
+/// process-wide shared pool); each job's own integration layers then run
+/// serially inside its lane (nested parallel_for falls back), so one
+/// campaign saturates the machine without oversubscribing it.
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(CampaignSpec spec, g6::util::ThreadPool* pool = nullptr);
+
+  /// Run (or continue) the campaign. Reads the campaign manifest, skips
+  /// done jobs, resumes interrupted ones, and rewrites the manifest as jobs
+  /// finish. Call again after preemption to drive the campaign further.
+  CampaignReport run();
+
+ private:
+  JobResult run_job(const JobSpec& spec);
+  void mark_done(const std::string& name);
+
+  CampaignSpec spec_;
+  g6::util::ThreadPool* pool_;
+  std::mutex manifest_mu_;
+  std::vector<std::string> done_;  ///< job names marked done in the manifest
+};
+
+/// Campaign manifest path (plain text, atomically rewritten).
+std::string campaign_manifest_path(const std::string& dir);
+
+}  // namespace g6::run

@@ -1,0 +1,329 @@
+#include "run/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/crc_stream.hpp"
+
+namespace g6::run {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kMagic[8] = {'G', '6', 'C', 'K', 'P', 'T', '1', '\0'};
+constexpr const char* kManifestName = "MANIFEST";
+constexpr const char* kManifestMagic = "g6ckpt-manifest";
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Write \p payload to "<path>.tmp" and rename over \p path: a crash
+/// mid-write leaves at worst a stale tmp file, never a torn checkpoint.
+template <typename WriteFn>
+void atomic_write(const std::string& path, WriteFn&& write_fn) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    G6_CHECK(os.is_open(), "cannot open file for writing: " + tmp);
+    write_fn(os);
+    os.flush();
+    os.close();
+    G6_CHECK(!os.fail(), "write failed: " + tmp);
+  }
+  G6_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+           "atomic rename failed: " + tmp + " -> " + path);
+}
+
+}  // namespace
+
+std::uint64_t config_hash(const g6::nbody::IntegratorConfig& cfg,
+                          const std::string& backend_name, double softening,
+                          std::uint64_t n_particles, std::uint64_t extra) {
+  // Canonical text form (17 significant digits, exact for doubles) so the
+  // hash is independent of struct layout and padding.
+  std::ostringstream os;
+  os.precision(17);
+  os << backend_name << '|' << softening << '|' << cfg.eta << '|' << cfg.eta_init
+     << '|' << cfg.dt_max << '|' << cfg.dt_min << '|' << cfg.solar_gm << '|'
+     << cfg.corrector_iterations << '|' << cfg.record_block_sizes << '|'
+     << n_particles << '|' << extra;
+  return fnv1a64(os.str());
+}
+
+CheckpointData capture(const g6::nbody::HermiteIntegrator& integ,
+                       std::uint64_t config_hash) {
+  CheckpointData d;
+  d.config_hash = config_hash;
+  d.t_sys = integ.current_time();
+  d.stats = integ.stats();
+  d.system = integ.system();
+  return d;
+}
+
+void write_checkpoint(std::ostream& os, const CheckpointData& data) {
+  os.write(kMagic, sizeof kMagic);
+  g6::util::CrcWriter w{os};
+  w.put(data.config_hash);
+  w.put(data.t_sys);
+
+  w.put(data.stats.blocks);
+  w.put(data.stats.steps);
+  w.put(data.stats.dt_shrinks);
+  w.put(data.stats.dt_grows);
+  w.put(static_cast<std::uint64_t>(data.stats.block_sizes.size()));
+  for (std::uint32_t b : data.stats.block_sizes) w.put(b);
+
+  const auto& ps = data.system;
+  w.put(static_cast<std::uint64_t>(ps.size()));
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    w.put(static_cast<std::uint64_t>(ps.id(i)));
+    w.put(ps.mass(i));
+    w.put(ps.pos(i));
+    w.put(ps.vel(i));
+    w.put(ps.acc(i));
+    w.put(ps.jerk(i));
+    w.put(ps.pot(i));
+    w.put(ps.time(i));
+    w.put(ps.dt(i));
+  }
+
+  w.put(static_cast<std::uint64_t>(data.rng_streams.size()));
+  for (const auto& st : data.rng_streams) {
+    for (std::uint64_t word : st.s) w.put(word);
+    w.put(st.spare);
+    w.put(static_cast<std::uint8_t>(st.have_spare ? 1 : 0));
+  }
+
+  w.put(static_cast<std::uint8_t>(data.has_accretion ? 1 : 0));
+  w.put(data.accretion_mergers);
+  w.put(data.accretion_time);
+
+  w.put_trailer();
+  os.flush();
+  G6_CHECK(os.good(), "checkpoint write failed");
+}
+
+CheckpointData read_checkpoint(std::istream& is) {
+  char magic[8] = {};
+  is.read(magic, sizeof magic);
+  G6_CHECK(is.good(), "truncated checkpoint header");
+  G6_CHECK(std::memcmp(magic, kMagic, sizeof magic) == 0,
+           "not a G6CKPT1 checkpoint stream");
+  g6::util::CrcReader r{is, g6::util::crc32_init(), "checkpoint"};
+
+  CheckpointData d;
+  d.config_hash = r.get<std::uint64_t>();
+  d.t_sys = r.get<double>();
+
+  d.stats.blocks = r.get<std::uint64_t>();
+  d.stats.steps = r.get<std::uint64_t>();
+  d.stats.dt_shrinks = r.get<std::uint64_t>();
+  d.stats.dt_grows = r.get<std::uint64_t>();
+  const auto n_blocks = r.get<std::uint64_t>();
+  d.stats.block_sizes.reserve(n_blocks);
+  for (std::uint64_t i = 0; i < n_blocks; ++i)
+    d.stats.block_sizes.push_back(r.get<std::uint32_t>());
+
+  const auto n = r.get<std::uint64_t>();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto id = r.get<std::uint64_t>();
+    const auto m = r.get<double>();
+    const auto pos = r.get<g6::util::Vec3>();
+    const auto vel = r.get<g6::util::Vec3>();
+    const auto acc = r.get<g6::util::Vec3>();
+    const auto jerk = r.get<g6::util::Vec3>();
+    const auto pot = r.get<double>();
+    const auto time = r.get<double>();
+    const auto dt = r.get<double>();
+    const std::size_t k = d.system.add(m, pos, vel);
+    d.system.set_id(k, static_cast<std::uint32_t>(id));
+    d.system.acc(k) = acc;
+    d.system.jerk(k) = jerk;
+    d.system.pot(k) = pot;
+    d.system.time(k) = time;
+    d.system.dt(k) = dt;
+  }
+
+  const auto n_rng = r.get<std::uint64_t>();
+  d.rng_streams.resize(n_rng);
+  for (auto& st : d.rng_streams) {
+    for (auto& word : st.s) word = r.get<std::uint64_t>();
+    st.spare = r.get<double>();
+    st.have_spare = r.get<std::uint8_t>() != 0;
+  }
+
+  d.has_accretion = r.get<std::uint8_t>() != 0;
+  d.accretion_mergers = r.get<std::uint64_t>();
+  d.accretion_time = r.get<double>();
+
+  r.check_trailer();
+  return d;
+}
+
+void write_checkpoint_file(const std::string& path, const CheckpointData& data) {
+  atomic_write(path, [&](std::ostream& os) { write_checkpoint(os, data); });
+}
+
+CheckpointData read_checkpoint_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  G6_CHECK(is.is_open(), "cannot open checkpoint file for reading: " + path);
+  return read_checkpoint(is);
+}
+
+std::string manifest_path(const std::string& dir) {
+  return (fs::path(dir) / kManifestName).string();
+}
+
+bool manifest_exists(const std::string& dir) {
+  return fs::exists(manifest_path(dir));
+}
+
+Manifest read_manifest(const std::string& dir) {
+  const std::string path = manifest_path(dir);
+  std::ifstream is(path);
+  G6_CHECK(is.is_open(), "cannot open checkpoint manifest: " + path);
+  Manifest man;
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    const auto bad = [&](const std::string& what) {
+      g6::util::raise("checkpoint manifest " + path + " line " +
+                      std::to_string(line_no) + ": " + what);
+    };
+    if (line_no == 1) {
+      int version = 0;
+      if (key != kManifestMagic || !(fields >> version) || version != 1)
+        bad("bad header (expected '" + std::string(kManifestMagic) + " 1')");
+      saw_header = true;
+    } else if (key == "config") {
+      if (!(fields >> std::hex >> man.config_hash)) bad("malformed config hash");
+    } else if (key == "max_t") {
+      if (!(fields >> man.max_t)) bad("malformed max_t");
+    } else if (key == "segment") {
+      SegmentInfo seg;
+      if (!(fields >> seg.segment >> seg.t_sys >> seg.bytes >> seg.file))
+        bad("malformed segment entry");
+      if (!man.segments.empty() && seg.segment <= man.segments.back().segment)
+        bad("segment numbers must be strictly increasing");
+      man.segments.push_back(std::move(seg));
+    } else {
+      bad("unknown key '" + key + "'");
+    }
+  }
+  G6_CHECK(saw_header, "checkpoint manifest " + path + " is empty");
+  return man;
+}
+
+void write_manifest(const std::string& dir, const Manifest& man) {
+  atomic_write(manifest_path(dir), [&](std::ostream& os) {
+    os.precision(17);
+    os << kManifestMagic << " 1\n";
+    os << "config " << std::hex << man.config_hash << std::dec << '\n';
+    os << "max_t " << man.max_t << '\n';
+    for (const auto& seg : man.segments)
+      os << "segment " << seg.segment << ' ' << seg.t_sys << ' ' << seg.bytes
+         << ' ' << seg.file << '\n';
+    G6_CHECK(os.good(), "manifest write failed");
+  });
+}
+
+std::string segment_filename(std::uint64_t segment) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "seg_%08llu.g6ckpt",
+                static_cast<unsigned long long>(segment));
+  return buf;
+}
+
+CheckpointStore::CheckpointStore(std::string dir, std::uint64_t config_hash,
+                                 int keep_segments)
+    : dir_(std::move(dir)), config_hash_(config_hash), keep_(keep_segments) {
+  G6_CHECK(!dir_.empty(), "checkpoint directory must not be empty");
+  G6_CHECK(keep_ >= 1, "retention must keep at least one segment");
+  fs::create_directories(dir_);
+  man_.config_hash = config_hash_;
+}
+
+bool CheckpointStore::open_existing() {
+  if (!manifest_exists(dir_)) return false;
+  Manifest man = read_manifest(dir_);
+  if (man.config_hash != config_hash_) {
+    std::ostringstream os;
+    os << "refusing to resume from " << dir_ << ": manifest config hash "
+       << std::hex << man.config_hash << " differs from this run's "
+       << config_hash_ << std::dec
+       << " (integrator parameters, backend, or particle count changed)";
+    g6::util::raise(os.str());
+  }
+  man_ = std::move(man);
+  return true;
+}
+
+std::optional<CheckpointStore::Restored> CheckpointStore::load_latest() {
+  if (man_.segments.empty()) return std::nullopt;
+  Restored res;
+  for (std::size_t k = man_.segments.size(); k-- > 0;) {
+    const SegmentInfo& seg = man_.segments[k];
+    CheckpointData data;
+    try {
+      data = read_checkpoint_file((fs::path(dir_) / seg.file).string());
+    } catch (const g6::util::Error&) {
+      ++res.crc_fallbacks;
+      continue;
+    }
+    G6_CHECK(data.config_hash == config_hash_,
+             "checkpoint segment " + seg.file + " carries a different config hash");
+    res.data = std::move(data);
+    res.segment = seg.segment;
+    res.wasted_recompute = std::max(0.0, man_.max_t - res.data.t_sys);
+    // Later (corrupt) segments are dead: drop their files and manifest rows
+    // so the next append continues the numbering from the restored point.
+    for (std::size_t j = k + 1; j < man_.segments.size(); ++j) {
+      std::error_code ec;
+      fs::remove(fs::path(dir_) / man_.segments[j].file, ec);
+    }
+    man_.segments.resize(k + 1);
+    write_manifest(dir_, man_);
+    return res;
+  }
+  g6::util::raise("resume failed: all " + std::to_string(man_.segments.size()) +
+                  " checkpoint segments in " + dir_ +
+                  " are corrupted (CRC mismatch)");
+}
+
+std::uint64_t CheckpointStore::append(const CheckpointData& data) {
+  SegmentInfo seg;
+  seg.segment = man_.segments.empty() ? 0 : man_.segments.back().segment + 1;
+  seg.t_sys = data.t_sys;
+  seg.file = segment_filename(seg.segment);
+  const std::string path = (fs::path(dir_) / seg.file).string();
+  write_checkpoint_file(path, data);
+  seg.bytes = static_cast<std::uint64_t>(fs::file_size(path));
+  man_.segments.push_back(seg);
+  man_.max_t = std::max(man_.max_t, seg.t_sys);
+  while (man_.segments.size() > static_cast<std::size_t>(keep_)) {
+    std::error_code ec;
+    fs::remove(fs::path(dir_) / man_.segments.front().file, ec);
+    man_.segments.erase(man_.segments.begin());
+  }
+  write_manifest(dir_, man_);
+  return seg.bytes;
+}
+
+}  // namespace g6::run

@@ -1,0 +1,118 @@
+#include "run/run_manager.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace g6::run {
+
+RunManager::RunManager(g6::nbody::HermiteIntegrator& integ, RunConfig cfg)
+    : integ_(integ), cfg_(std::move(cfg)) {
+  G6_CHECK(!cfg_.checkpoint_dir.empty(), "RunConfig.checkpoint_dir is required");
+  G6_CHECK(cfg_.t_end >= 0.0, "t_end must be non-negative");
+  chash_ = config_hash(integ_.config(), integ_.backend().name(),
+                       integ_.backend().softening(), integ_.system().size(),
+                       cfg_.ic_seed);
+}
+
+void RunManager::attach_rng(g6::util::Rng* rng) {
+  G6_CHECK(rng != nullptr, "attach_rng(nullptr)");
+  rngs_.push_back(rng);
+}
+
+void RunManager::write_segment(CheckpointStore& store, RunReport& rep) {
+  G6_TRACE_SPAN("checkpoint-write");
+  CheckpointData data = capture(integ_, chash_);
+  data.rng_streams.reserve(rngs_.size());
+  for (g6::util::Rng* rng : rngs_) data.rng_streams.push_back(rng->save());
+  const std::uint64_t bytes = store.append(data);
+  ++rep.segments_written;
+  rep.bytes_written += bytes;
+  auto& reg = g6::obs::MetricsRegistry::global();
+  reg.counter("g6.run.segments_written").add(1);
+  reg.counter("g6.run.checkpoint_bytes").add(bytes);
+  if (on_segment) on_segment(rep, integ_.current_time());
+}
+
+void RunManager::publish(const RunReport& rep) const {
+  auto& reg = g6::obs::MetricsRegistry::global();
+  if (rep.outcome == RunOutcome::kCompleted)
+    reg.counter("g6.run.completions").add(1);
+  else
+    reg.counter("g6.run.preemptions").add(1);
+}
+
+RunReport RunManager::run() {
+  G6_TRACE_SPAN("run-manager");
+  g6::util::Timer wall;
+  RunReport rep;
+  CheckpointStore store(cfg_.checkpoint_dir, chash_, cfg_.keep_segments);
+
+  if (cfg_.resume && store.open_existing()) {
+    if (auto restored = store.load_latest()) {
+      // The saved system replaces the caller's (same object the integrator
+      // references); restore() rebuilds j-memory and the scheduler from it.
+      integ_.system() = std::move(restored->data.system);
+      integ_.restore(restored->data.t_sys, std::move(restored->data.stats));
+      const std::size_t n_rng =
+          std::min(rngs_.size(), restored->data.rng_streams.size());
+      for (std::size_t k = 0; k < n_rng; ++k)
+        rngs_[k]->restore(restored->data.rng_streams[k]);
+      rep.resumed = true;
+      rep.resume_segment = restored->segment;
+      rep.crc_fallbacks = restored->crc_fallbacks;
+      rep.wasted_recompute = restored->wasted_recompute;
+      auto& reg = g6::obs::MetricsRegistry::global();
+      reg.counter("g6.run.resumes").add(1);
+      reg.counter("g6.run.crc_fallbacks").add(rep.crc_fallbacks);
+      reg.gauge("g6.run.wasted_recompute_time").add(rep.wasted_recompute);
+    } else {
+      // Manifest exists but records no segments yet: fresh start.
+      integ_.initialize();
+    }
+  } else {
+    integ_.initialize();
+  }
+
+  const double every = cfg_.checkpoint_every;
+  double next_ckpt = every > 0.0 ? integ_.current_time() + every
+                                 : std::numeric_limits<double>::infinity();
+  const auto budget_exhausted = [&] {
+    if (cfg_.step_budget != 0 && rep.blocks_run >= cfg_.step_budget) return true;
+    if (cfg_.walltime_budget > 0.0 && wall.seconds() >= cfg_.walltime_budget)
+      return true;
+    return false;
+  };
+
+  while (integ_.next_time() <= cfg_.t_end) {
+    integ_.step();
+    ++rep.blocks_run;
+    const bool preempt = budget_exhausted();
+    if (integ_.current_time() >= next_ckpt || preempt) {
+      write_segment(store, rep);
+      while (next_ckpt <= integ_.current_time()) next_ckpt += every;
+    }
+    if (preempt) {
+      rep.outcome = RunOutcome::kPreempted;
+      rep.final_time = integ_.current_time();
+      publish(rep);
+      return rep;
+    }
+  }
+
+  // All pending block times lie beyond t_end: bring every particle to
+  // exactly t_end (same single synchronisation an uninterrupted drive does)
+  // and seal the run with a final checkpoint.
+  integ_.synchronize(cfg_.t_end);
+  write_segment(store, rep);
+  rep.outcome = RunOutcome::kCompleted;
+  rep.final_time = integ_.current_time();
+  publish(rep);
+  return rep;
+}
+
+}  // namespace g6::run

@@ -1,0 +1,90 @@
+#pragma once
+/// \file run_manager.hpp
+/// \brief RunManager — drives one integration as checkpointed segments with
+///        block-boundary preemption, retention and crash recovery.
+///
+/// The production pattern (weeks of wall clock on shared hardware): a run is
+/// a sequence of *segments*; after each segment a G6CKPT1 checkpoint is
+/// rotated into the run directory. Walltime and block-step budgets preempt
+/// the run at a block boundary — the process exits cleanly and a later
+/// invocation with resume=true continues from the newest valid checkpoint,
+/// bit-identically to a run that never stopped. A SIGKILL between segments
+/// costs only the work since the last checkpoint; a checkpoint corrupted on
+/// disk is detected by its CRC and resume falls back to the previous
+/// segment (PR 4's detection philosophy applied to the filesystem).
+///
+/// Accounting flows through g6.run.* metrics and "checkpoint-write" /
+/// "run-segment" trace spans (docs/OBSERVABILITY.md).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nbody/integrator.hpp"
+#include "run/checkpoint.hpp"
+#include "util/rng.hpp"
+
+namespace g6::run {
+
+/// What to drive and when to stop.
+struct RunConfig {
+  std::string checkpoint_dir;   ///< required; created if missing
+  double t_end = 0.0;           ///< integrate to this simulation time
+  double checkpoint_every = 0.0;  ///< sim time between segments (<= 0: only
+                                  ///< preemption/final checkpoints)
+  double walltime_budget = 0.0;   ///< wall seconds per invocation (<= 0: none)
+  std::uint64_t step_budget = 0;  ///< block steps per invocation (0: none)
+  int keep_segments = 3;          ///< retention (>= 2 enables CRC fallback)
+  bool resume = false;            ///< continue from the newest valid segment
+  std::uint64_t ic_seed = 0;      ///< folded into the config hash
+};
+
+enum class RunOutcome {
+  kCompleted,  ///< reached t_end (final state synchronised + checkpointed)
+  kPreempted,  ///< budget exhausted; resume later with resume=true
+};
+
+/// What one invocation did.
+struct RunReport {
+  RunOutcome outcome = RunOutcome::kCompleted;
+  double final_time = 0.0;          ///< t_sys when the invocation returned
+  std::uint64_t blocks_run = 0;     ///< block steps executed this invocation
+  std::uint64_t segments_written = 0;
+  std::uint64_t bytes_written = 0;
+  bool resumed = false;             ///< state came from a checkpoint
+  std::uint64_t resume_segment = 0;
+  std::uint64_t crc_fallbacks = 0;  ///< corrupt segments skipped on resume
+  double wasted_recompute = 0.0;    ///< sim time re-integrated after fallback
+};
+
+/// Segment-driving orchestrator for one HermiteIntegrator.
+class RunManager {
+ public:
+  /// The integrator must be freshly constructed (not initialized): run()
+  /// either initializes it (fresh start; all particles at a common time) or
+  /// restores it from the newest valid checkpoint (resume).
+  RunManager(g6::nbody::HermiteIntegrator& integ, RunConfig cfg);
+
+  /// Register an RNG whose stream is saved in every checkpoint and restored
+  /// on resume (order of registration defines the on-disk order).
+  void attach_rng(g6::util::Rng* rng);
+
+  /// Progress hook, called after every segment write with the running
+  /// report and the segment's simulation time.
+  std::function<void(const RunReport&, double)> on_segment;
+
+  /// Drive to completion or preemption. Safe to call once per RunManager.
+  RunReport run();
+
+ private:
+  void write_segment(CheckpointStore& store, RunReport& rep);
+  void publish(const RunReport& rep) const;
+
+  g6::nbody::HermiteIntegrator& integ_;
+  RunConfig cfg_;
+  std::vector<g6::util::Rng*> rngs_;
+  std::uint64_t chash_;
+};
+
+}  // namespace g6::run

@@ -1,0 +1,66 @@
+#pragma once
+/// \file crc_stream.hpp
+/// \brief CRC-trailed binary stream framing shared by the durable on-disk
+///        formats (binary snapshots, G6CKPT1 checkpoints).
+///
+/// Writers fold every byte after the format magic into a running CRC-32 and
+/// append the finalised value as a little trailer; readers recompute it and
+/// raise g6::util::Error on any truncation or corruption. Streaming, so a
+/// production-sized payload is never buffered.
+
+#include <istream>
+#include <ostream>
+
+#include "util/check.hpp"
+#include "util/crc.hpp"
+
+namespace g6::util {
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+/// Streaming writer that folds every put() into a CRC, so the trailer covers
+/// header and records without buffering the payload.
+struct CrcWriter {
+  std::ostream& os;
+  std::uint32_t crc = crc32_init();
+
+  template <typename T>
+  void put(const T& value) {
+    write_pod(os, value);
+    crc = crc32_update(crc, &value, sizeof(T));
+  }
+
+  /// Append the finalised CRC (not itself CRC-covered).
+  void put_trailer() { write_pod(os, crc32_final(crc)); }
+};
+
+/// Streaming reader mirroring CrcWriter; every read is checked so a
+/// truncated stream raises instead of returning zero-filled garbage.
+struct CrcReader {
+  std::istream& is;
+  std::uint32_t crc = crc32_init();
+  const char* what = "stream";  ///< format name used in error messages
+
+  template <typename T>
+  T get() {
+    T value{};
+    is.read(reinterpret_cast<char*>(&value), sizeof(T));
+    G6_CHECK(is.good(), std::string("truncated ") + what);
+    crc = crc32_update(crc, &value, sizeof(T));
+    return value;
+  }
+
+  /// Read the trailer and compare against the accumulated CRC.
+  void check_trailer() {
+    std::uint32_t trailer = 0;
+    is.read(reinterpret_cast<char*>(&trailer), sizeof trailer);
+    G6_CHECK(is.good(), std::string("truncated ") + what + " trailer");
+    G6_CHECK(crc32_final(crc) == trailer,
+             std::string(what) + " CRC mismatch: file is corrupted");
+  }
+};
+
+}  // namespace g6::util

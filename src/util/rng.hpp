@@ -17,6 +17,15 @@
 
 namespace g6::util {
 
+/// Serialisable snapshot of an Rng — the four xoshiro256** state words plus
+/// the Marsaglia spare slot. Plain data so checkpoints can store it and a
+/// resumed run continues the exact deviate sequence (docs/CHECKPOINTING.md).
+struct RngState {
+  std::uint64_t s[4] = {0, 0, 0, 0};
+  double spare = 0.0;
+  bool have_spare = false;
+};
+
 /// splitmix64 — used to expand a single 64-bit seed into generator state.
 inline std::uint64_t splitmix64(std::uint64_t& state) {
   std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
@@ -121,6 +130,25 @@ class Rng {
 
   /// Uniform angle in [0, 2*pi).
   double angle() { return uniform(0.0, 2.0 * std::numbers::pi); }
+
+  /// Capture the full generator state (checkpointing).
+  RngState save() const {
+    RngState st;
+    for (int i = 0; i < 4; ++i) st.s[i] = state_[i];
+    st.spare = spare_;
+    st.have_spare = have_spare_;
+    return st;
+  }
+
+  /// Restore a state captured with save(); the deviate sequence continues
+  /// exactly where the saved generator left off.
+  void restore(const RngState& st) {
+    G6_CHECK(st.s[0] != 0 || st.s[1] != 0 || st.s[2] != 0 || st.s[3] != 0,
+             "all-zero xoshiro256** state is invalid");
+    for (int i = 0; i < 4; ++i) state_[i] = st.s[i];
+    spare_ = st.spare;
+    have_spare_ = st.have_spare;
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

@@ -1,0 +1,198 @@
+// Tests for the CampaignRunner: concurrent parameter-sweep jobs with
+// per-job checkpoint directories, a resumable campaign manifest, and
+// preemption/rerun driving every job to a state bit-identical to a
+// single-shot run.
+#include "run/campaign_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "disk/disk_model.hpp"
+#include "nbody/force_direct.hpp"
+#include "nbody/integrator.hpp"
+#include "obs/metrics.hpp"
+#include "run/checkpoint.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using g6::run::CampaignReport;
+using g6::run::CampaignRunner;
+using g6::run::CampaignSpec;
+using g6::run::JobSpec;
+using g6::run::JobStatus;
+
+std::string test_dir(const std::string& name) {
+  const fs::path p = fs::temp_directory_path() / ("g6_campaign_test_" + name);
+  fs::remove_all(p);
+  fs::create_directories(p);
+  return p.string();
+}
+
+JobSpec small_job(const std::string& name, std::uint64_t seed,
+                  double eta = 0.05) {
+  JobSpec job;
+  job.name = name;
+  job.backend = "cpu";
+  job.n = 16;
+  job.seed = seed;
+  job.eta = eta;
+  job.t_end = 0.5;
+  job.checkpoint_every = 0.25;
+  return job;
+}
+
+TEST(CampaignRunner, SweepCompletesAndRerunSkips) {
+  CampaignSpec spec;
+  spec.dir = test_dir("sweep");
+  spec.jobs = {small_job("eta_lo", 1, 0.05), small_job("eta_hi", 2, 0.1),
+               small_job("seed_c", 3, 0.05)};
+
+  g6::util::ThreadPool pool(2);
+  CampaignRunner runner(spec, &pool);
+  const CampaignReport report = runner.run();
+  EXPECT_EQ(report.completed, 3u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_TRUE(report.all_done());
+  for (const auto& res : report.jobs) {
+    EXPECT_EQ(res.status, JobStatus::kCompleted) << res.name;
+    EXPECT_EQ(res.final_time, 0.5) << res.name;
+    EXPECT_GT(res.segments_written, 0u) << res.name;
+    EXPECT_TRUE(g6::run::manifest_exists((fs::path(spec.dir) / res.name).string()));
+  }
+  EXPECT_TRUE(fs::exists(g6::run::campaign_manifest_path(spec.dir)));
+
+  // A second invocation of the same campaign has nothing left to do.
+  CampaignRunner again(spec, &pool);
+  const CampaignReport rerun = again.run();
+  EXPECT_EQ(rerun.skipped, 3u);
+  EXPECT_EQ(rerun.completed, 0u);
+  EXPECT_TRUE(rerun.all_done());
+}
+
+TEST(CampaignRunner, PreemptedCampaignDrivesToSingleShotState) {
+  // Single-shot reference for the same job parameters, via a plain
+  // RunManager in its own directory.
+  JobSpec job = small_job("job", 9);
+  job.dt_max = 0x1p-5;  // dozens of block steps, so the budget actually bites
+  const std::string ref_dir = test_dir("preempt_ref");
+  g6::disk::DiskConfig dcfg = g6::disk::uranus_neptune_config(job.n);
+  dcfg.seed = job.seed;
+  for (auto& pp : dcfg.protoplanets) pp.mass = job.mpp;
+  auto disk = g6::disk::make_disk(dcfg);
+  g6::nbody::ParticleSystem ref_ps = std::move(disk.system);
+  g6::nbody::CpuDirectBackend ref_backend(job.eps);
+  g6::nbody::IntegratorConfig icfg;
+  icfg.solar_gm = 1.0;
+  icfg.eta = job.eta;
+  icfg.eta_init = job.eta / 2.0;
+  icfg.dt_max = job.dt_max;
+  g6::nbody::HermiteIntegrator ref_integ(ref_ps, ref_backend, icfg);
+  g6::run::RunConfig rcfg;
+  rcfg.checkpoint_dir = ref_dir;
+  rcfg.t_end = job.t_end;
+  rcfg.checkpoint_every = job.checkpoint_every;
+  rcfg.ic_seed = job.seed;
+  g6::run::RunManager ref_mgr(ref_integ, rcfg);
+  ASSERT_EQ(ref_mgr.run().outcome, g6::run::RunOutcome::kCompleted);
+
+  // The campaign version of the same job, preempted every few block steps.
+  CampaignSpec spec;
+  spec.dir = test_dir("preempt");
+  spec.jobs = {job};
+  spec.step_budget = 3;
+  g6::util::ThreadPool pool(2);
+  bool all_done = false;
+  bool ever_preempted = false;
+  for (int invocation = 0; invocation < 300 && !all_done; ++invocation) {
+    CampaignRunner runner(spec, &pool);
+    const CampaignReport report = runner.run();
+    EXPECT_EQ(report.failed, 0u);
+    ever_preempted = ever_preempted || report.preempted > 0;
+    all_done = report.all_done();
+  }
+  ASSERT_TRUE(all_done) << "campaign never finished under preemption";
+  EXPECT_TRUE(ever_preempted);
+
+  // Both directories' final checkpoints must hold identical particle state.
+  const auto last_ckpt = [](const std::string& dir) {
+    const auto man = g6::run::read_manifest(dir);
+    return g6::run::read_checkpoint_file(
+        (fs::path(dir) / man.segments.back().file).string());
+  };
+  const auto ref = last_ckpt(ref_dir);
+  const auto got = last_ckpt((fs::path(spec.dir) / job.name).string());
+  EXPECT_EQ(got.t_sys, ref.t_sys);
+  EXPECT_EQ(got.stats.blocks, ref.stats.blocks);
+  EXPECT_EQ(got.stats.steps, ref.stats.steps);
+  ASSERT_EQ(got.system.size(), ref.system.size());
+  for (std::size_t i = 0; i < ref.system.size(); ++i) {
+    EXPECT_EQ(got.system.pos(i), ref.system.pos(i)) << i;
+    EXPECT_EQ(got.system.vel(i), ref.system.vel(i)) << i;
+    EXPECT_EQ(got.system.acc(i), ref.system.acc(i)) << i;
+    EXPECT_EQ(got.system.jerk(i), ref.system.jerk(i)) << i;
+    EXPECT_EQ(got.system.time(i), ref.system.time(i)) << i;
+    EXPECT_EQ(got.system.dt(i), ref.system.dt(i)) << i;
+  }
+}
+
+TEST(CampaignRunner, MixedBackendSweepCompletes) {
+  CampaignSpec spec;
+  spec.dir = test_dir("mixed");
+  JobSpec cpu = small_job("cpu_job", 4);
+  JobSpec grape = small_job("grape_job", 4);
+  grape.backend = "grape";
+  JobSpec cluster = small_job("cluster_job", 4);
+  cluster.backend = "cluster";
+  cluster.hosts = 2;
+  spec.jobs = {cpu, grape, cluster};
+  g6::util::ThreadPool pool(3);
+  const CampaignReport report = CampaignRunner(spec, &pool).run();
+  EXPECT_TRUE(report.all_done());
+  EXPECT_EQ(report.completed, 3u);
+}
+
+TEST(CampaignRunner, FailedJobIsRecordedAndOthersContinue) {
+  CampaignSpec spec;
+  spec.dir = test_dir("failed");
+  JobSpec bad = small_job("bad", 5);
+  bad.backend = "tpu";  // not a thing
+  spec.jobs = {small_job("good", 5), bad};
+  g6::util::ThreadPool pool(2);
+  const CampaignReport report = CampaignRunner(spec, &pool).run();
+  EXPECT_EQ(report.completed, 1u);
+  EXPECT_EQ(report.failed, 1u);
+  EXPECT_FALSE(report.all_done());
+  EXPECT_EQ(report.jobs[1].status, JobStatus::kFailed);
+  EXPECT_NE(report.jobs[1].error.find("unknown backend"), std::string::npos)
+      << report.jobs[1].error;
+}
+
+TEST(CampaignRunner, DuplicateJobNamesRejected) {
+  CampaignSpec spec;
+  spec.dir = test_dir("dupe");
+  spec.jobs = {small_job("same", 1), small_job("same", 2)};
+  EXPECT_THROW(CampaignRunner runner(spec), g6::util::Error);
+}
+
+TEST(CampaignRunner, PublishesRunMetrics) {
+  auto& reg = g6::obs::MetricsRegistry::global();
+  const auto completed_before = reg.counter("g6.run.jobs_completed").value();
+  const auto segments_before = reg.counter("g6.run.segments_written").value();
+
+  CampaignSpec spec;
+  spec.dir = test_dir("metrics");
+  spec.jobs = {small_job("a", 6), small_job("b", 7)};
+  g6::util::ThreadPool pool(2);
+  ASSERT_TRUE(CampaignRunner(spec, &pool).run().all_done());
+
+  EXPECT_EQ(reg.counter("g6.run.jobs_completed").value(), completed_before + 2);
+  EXPECT_GT(reg.counter("g6.run.segments_written").value(), segments_before);
+}
+
+}  // namespace

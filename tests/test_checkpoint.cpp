@@ -1,0 +1,317 @@
+// Tests for the G6CKPT1 checkpoint format, the sidecar manifest and the
+// CheckpointStore rotation/fallback logic (docs/CHECKPOINTING.md).
+#include "run/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "nbody/force_direct.hpp"
+#include "nbody/integrator.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using g6::nbody::CpuDirectBackend;
+using g6::nbody::HermiteIntegrator;
+using g6::nbody::IntegratorConfig;
+using g6::nbody::ParticleSystem;
+using g6::run::capture;
+using g6::run::CheckpointData;
+using g6::run::CheckpointStore;
+using g6::run::config_hash;
+using g6::run::Manifest;
+using g6::run::read_checkpoint;
+using g6::run::read_checkpoint_file;
+using g6::run::read_manifest;
+using g6::run::SegmentInfo;
+using g6::run::segment_filename;
+using g6::run::write_checkpoint;
+using g6::run::write_checkpoint_file;
+using g6::run::write_manifest;
+
+std::string test_dir(const std::string& name) {
+  const fs::path p = fs::temp_directory_path() / ("g6_ckpt_test_" + name);
+  fs::remove_all(p);
+  fs::create_directories(p);
+  return p.string();
+}
+
+// A checkpoint with every section populated: a few evolved ring particles
+// (non-trivial acc/jerk/time/dt), one RNG stream and accretion counters.
+CheckpointData sample_data(std::uint64_t hash) {
+  g6::util::Rng rng(42);
+  ParticleSystem ps;
+  for (int i = 0; i < 12; ++i) {
+    const double phi = rng.uniform(0.0, 6.28);
+    ps.add(rng.uniform(1e-10, 1e-9),
+           {std::cos(phi), std::sin(phi), rng.uniform(-0.01, 0.01)},
+           {-std::sin(phi), std::cos(phi), 0.0});
+  }
+  CpuDirectBackend backend(0.01);
+  IntegratorConfig cfg;
+  cfg.solar_gm = 1.0;
+  cfg.eta = 0.05;
+  cfg.dt_max = 0.25;
+  HermiteIntegrator integ(ps, backend, cfg);
+  integ.initialize();
+  integ.evolve(0.5);
+
+  CheckpointData d = capture(integ, hash);
+  rng.normal();  // leave a cached spare deviate in the stream state
+  d.rng_streams.push_back(rng.save());
+  d.has_accretion = true;
+  d.accretion_mergers = 3;
+  d.accretion_time = 0.5;
+  return d;
+}
+
+void expect_identical(const CheckpointData& a, const CheckpointData& b) {
+  EXPECT_EQ(a.config_hash, b.config_hash);
+  EXPECT_EQ(a.t_sys, b.t_sys);
+  EXPECT_EQ(a.stats.blocks, b.stats.blocks);
+  EXPECT_EQ(a.stats.steps, b.stats.steps);
+  EXPECT_EQ(a.stats.dt_shrinks, b.stats.dt_shrinks);
+  EXPECT_EQ(a.stats.dt_grows, b.stats.dt_grows);
+  EXPECT_EQ(a.stats.block_sizes, b.stats.block_sizes);
+  ASSERT_EQ(a.system.size(), b.system.size());
+  for (std::size_t i = 0; i < a.system.size(); ++i) {
+    EXPECT_EQ(a.system.id(i), b.system.id(i)) << i;
+    EXPECT_EQ(a.system.mass(i), b.system.mass(i)) << i;
+    EXPECT_EQ(a.system.pos(i), b.system.pos(i)) << i;
+    EXPECT_EQ(a.system.vel(i), b.system.vel(i)) << i;
+    EXPECT_EQ(a.system.acc(i), b.system.acc(i)) << i;
+    EXPECT_EQ(a.system.jerk(i), b.system.jerk(i)) << i;
+    EXPECT_EQ(a.system.pot(i), b.system.pot(i)) << i;
+    EXPECT_EQ(a.system.time(i), b.system.time(i)) << i;
+    EXPECT_EQ(a.system.dt(i), b.system.dt(i)) << i;
+  }
+  ASSERT_EQ(a.rng_streams.size(), b.rng_streams.size());
+  for (std::size_t k = 0; k < a.rng_streams.size(); ++k) {
+    for (int w = 0; w < 4; ++w)
+      EXPECT_EQ(a.rng_streams[k].s[w], b.rng_streams[k].s[w]);
+    EXPECT_EQ(a.rng_streams[k].spare, b.rng_streams[k].spare);
+    EXPECT_EQ(a.rng_streams[k].have_spare, b.rng_streams[k].have_spare);
+  }
+  EXPECT_EQ(a.has_accretion, b.has_accretion);
+  EXPECT_EQ(a.accretion_mergers, b.accretion_mergers);
+  EXPECT_EQ(a.accretion_time, b.accretion_time);
+}
+
+TEST(Checkpoint, StreamRoundTripExact) {
+  const CheckpointData d = sample_data(0xfeedULL);
+  std::stringstream ss;
+  write_checkpoint(ss, d);
+  const CheckpointData back = read_checkpoint(ss);
+  expect_identical(d, back);
+}
+
+TEST(Checkpoint, FileWriteIsAtomic) {
+  const std::string dir = test_dir("atomic");
+  const std::string path = dir + "/state.g6ckpt";
+  const CheckpointData d = sample_data(1);
+  write_checkpoint_file(path, d);
+  EXPECT_FALSE(fs::exists(path + ".tmp")) << "tmp file must be renamed away";
+  expect_identical(d, read_checkpoint_file(path));
+}
+
+TEST(Checkpoint, TruncatedFileRaises) {
+  const std::string dir = test_dir("trunc");
+  const std::string path = dir + "/state.g6ckpt";
+  write_checkpoint_file(path, sample_data(1));
+  const auto size = fs::file_size(path);
+  fs::resize_file(path, size / 2);
+  EXPECT_THROW(read_checkpoint_file(path), g6::util::Error);
+}
+
+TEST(Checkpoint, BitFlipFailsCrc) {
+  const std::string dir = test_dir("bitflip");
+  const std::string path = dir + "/state.g6ckpt";
+  write_checkpoint_file(path, sample_data(1));
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(fs::file_size(path) / 2));
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(-1, std::ios::cur);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.write(&byte, 1);
+  }
+  EXPECT_THROW(read_checkpoint_file(path), g6::util::Error);
+}
+
+TEST(Checkpoint, BadMagicRaises) {
+  std::stringstream ss;
+  ss << "NOTACKPT and then some bytes that are long enough to read";
+  EXPECT_THROW(read_checkpoint(ss), g6::util::Error);
+}
+
+TEST(Checkpoint, ConfigHashSeparatesRuns) {
+  IntegratorConfig cfg;
+  cfg.eta = 0.02;
+  const std::uint64_t base = config_hash(cfg, "cpu-direct", 0.008, 100, 7);
+  EXPECT_EQ(base, config_hash(cfg, "cpu-direct", 0.008, 100, 7));
+
+  IntegratorConfig other = cfg;
+  other.eta = 0.04;
+  EXPECT_NE(base, config_hash(other, "cpu-direct", 0.008, 100, 7));
+  EXPECT_NE(base, config_hash(cfg, "grape6", 0.008, 100, 7));
+  EXPECT_NE(base, config_hash(cfg, "cpu-direct", 0.016, 100, 7));
+  EXPECT_NE(base, config_hash(cfg, "cpu-direct", 0.008, 101, 7));
+  EXPECT_NE(base, config_hash(cfg, "cpu-direct", 0.008, 100, 8));
+}
+
+TEST(Checkpoint, ManifestRoundTrip) {
+  const std::string dir = test_dir("manifest");
+  Manifest man;
+  man.config_hash = 0xdeadbeefcafef00dULL;
+  man.max_t = 12.5;
+  man.segments.push_back({3, 4.0, 1000, segment_filename(3)});
+  man.segments.push_back({4, 8.0, 1002, segment_filename(4)});
+  write_manifest(dir, man);
+
+  const Manifest back = read_manifest(dir);
+  EXPECT_EQ(back.config_hash, man.config_hash);
+  EXPECT_EQ(back.max_t, man.max_t);
+  ASSERT_EQ(back.segments.size(), 2u);
+  EXPECT_EQ(back.segments[0].segment, 3u);
+  EXPECT_EQ(back.segments[0].t_sys, 4.0);
+  EXPECT_EQ(back.segments[0].bytes, 1000u);
+  EXPECT_EQ(back.segments[0].file, segment_filename(3));
+  EXPECT_EQ(back.segments[1].segment, 4u);
+}
+
+TEST(Checkpoint, ManifestParseErrorMentionsLine) {
+  const std::string dir = test_dir("manifest_bad");
+  {
+    std::ofstream os(g6::run::manifest_path(dir));
+    os << "g6ckpt-manifest 1\nconfig abc\nsegment not-a-number\n";
+  }
+  try {
+    read_manifest(dir);
+    FAIL() << "expected g6::util::Error";
+  } catch (const g6::util::Error& err) {
+    EXPECT_NE(std::string(err.what()).find("line 3"), std::string::npos)
+        << err.what();
+  }
+}
+
+TEST(Checkpoint, ManifestRejectsNonMonotonicSegments) {
+  const std::string dir = test_dir("manifest_order");
+  {
+    std::ofstream os(g6::run::manifest_path(dir));
+    os << "g6ckpt-manifest 1\nconfig 1\nmax_t 0\n"
+       << "segment 2 1.0 10 a\nsegment 1 2.0 10 b\n";
+  }
+  EXPECT_THROW(read_manifest(dir), g6::util::Error);
+}
+
+TEST(CheckpointStore, RetentionKeepsNewestSegments) {
+  const std::string dir = test_dir("retention");
+  CheckpointStore store(dir, 99, /*keep_segments=*/3);
+  EXPECT_FALSE(store.open_existing());
+  for (int k = 0; k < 5; ++k) {
+    CheckpointData d = sample_data(99);
+    d.t_sys = k;
+    EXPECT_GT(store.append(d), 0u);
+  }
+  ASSERT_EQ(store.manifest().segments.size(), 3u);
+  EXPECT_EQ(store.manifest().segments.front().segment, 2u);
+  EXPECT_EQ(store.manifest().segments.back().segment, 4u);
+  EXPECT_FALSE(fs::exists(fs::path(dir) / segment_filename(0)));
+  EXPECT_FALSE(fs::exists(fs::path(dir) / segment_filename(1)));
+  EXPECT_TRUE(fs::exists(fs::path(dir) / segment_filename(2)));
+  EXPECT_EQ(store.manifest().max_t, 4.0);
+}
+
+TEST(CheckpointStore, LoadLatestFallsBackPastCorruptSegment) {
+  const std::string dir = test_dir("fallback");
+  CheckpointStore store(dir, 7, 3);
+  CheckpointData d0 = sample_data(7);
+  CheckpointData d1 = sample_data(7);
+  d1.t_sys = d0.t_sys + 1.0;
+  store.append(d0);
+  store.append(d1);
+
+  // Corrupt the newest segment on disk; resume must fall back to segment 0.
+  const fs::path latest = fs::path(dir) / segment_filename(1);
+  fs::resize_file(latest, fs::file_size(latest) - 6);
+
+  CheckpointStore resume(dir, 7, 3);
+  ASSERT_TRUE(resume.open_existing());
+  auto restored = resume.load_latest();
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->segment, 0u);
+  EXPECT_EQ(restored->crc_fallbacks, 1u);
+  EXPECT_EQ(restored->wasted_recompute, 1.0);
+  expect_identical(restored->data, d0);
+  // The corrupt segment is dropped so numbering continues from the restored
+  // point: the next append must reuse segment number 1.
+  EXPECT_FALSE(fs::exists(latest));
+  resume.append(d0);
+  EXPECT_EQ(resume.manifest().segments.back().segment, 1u);
+}
+
+TEST(CheckpointStore, AllSegmentsCorruptRaises) {
+  const std::string dir = test_dir("all_corrupt");
+  CheckpointStore store(dir, 7, 3);
+  store.append(sample_data(7));
+  store.append(sample_data(7));
+  for (const auto& seg : store.manifest().segments)
+    fs::resize_file(fs::path(dir) / seg.file, 16);
+
+  CheckpointStore resume(dir, 7, 3);
+  ASSERT_TRUE(resume.open_existing());
+  EXPECT_THROW(resume.load_latest(), g6::util::Error);
+}
+
+TEST(CheckpointStore, EmptyDirectoryIsAFreshStart) {
+  const std::string dir = test_dir("fresh");
+  CheckpointStore store(dir, 7, 3);
+  EXPECT_FALSE(store.open_existing());
+  EXPECT_FALSE(store.load_latest().has_value());
+}
+
+TEST(CheckpointStore, ConfigHashMismatchRefusesResume) {
+  const std::string dir = test_dir("hash_mismatch");
+  {
+    CheckpointStore store(dir, 7, 3);
+    store.append(sample_data(7));
+  }
+  CheckpointStore other(dir, 8, 3);
+  try {
+    other.open_existing();
+    FAIL() << "expected g6::util::Error";
+  } catch (const g6::util::Error& err) {
+    EXPECT_NE(std::string(err.what()).find("refusing to resume"),
+              std::string::npos)
+        << err.what();
+  }
+}
+
+TEST(Checkpoint, RngStreamContinuesAcrossSaveRestore) {
+  g6::util::Rng a(123);
+  for (int i = 0; i < 7; ++i) a.normal();  // odd count: spare is cached
+  const g6::util::RngState st = a.save();
+  std::vector<double> expected;
+  for (int i = 0; i < 16; ++i) expected.push_back(a.normal());
+
+  g6::util::Rng b(999);  // different seed: restore must fully overwrite
+  b.restore(st);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(b.normal(), expected[i]) << i;
+}
+
+TEST(Checkpoint, RngRestoreRejectsZeroState) {
+  g6::util::Rng r(1);
+  EXPECT_THROW(r.restore(g6::util::RngState{}), g6::util::Error);
+}
+
+}  // namespace

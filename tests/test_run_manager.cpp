@@ -1,0 +1,396 @@
+// Kill-and-resume tests for the RunManager: a run preempted at arbitrary
+// segment boundaries and resumed in a fresh "process image" (new particle
+// system, backend, integrator and thread pool objects) must finish
+// bit-identical to a run that never stopped — on every backend, at 1 and 4
+// threads, and with accretion enabled (the PR's acceptance criterion).
+#include "run/run_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "cluster/cluster_backend.hpp"
+#include "disk/disk_model.hpp"
+#include "grape6/backend.hpp"
+#include "nbody/accretion.hpp"
+#include "nbody/force_direct.hpp"
+#include "nbody/integrator.hpp"
+#include "run/checkpoint.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using g6::nbody::HermiteIntegrator;
+using g6::nbody::IntegratorConfig;
+using g6::nbody::ParticleSystem;
+using g6::run::RunConfig;
+using g6::run::RunManager;
+using g6::run::RunOutcome;
+using g6::run::RunReport;
+
+constexpr std::size_t kN = 24;
+constexpr std::uint64_t kSeed = 20020101;
+constexpr double kEta = 0.05;
+constexpr double kTEnd = 1.0;
+
+std::string test_dir(const std::string& name) {
+  const fs::path p = fs::temp_directory_path() / ("g6_runmgr_test_" + name);
+  fs::remove_all(p);
+  fs::create_directories(p);
+  return p.string();
+}
+
+g6::hw::FormatSpec format_for(const ParticleSystem& ps) {
+  double extent = 1.0;
+  for (std::size_t i = 0; i < ps.size(); ++i)
+    extent = std::max(extent, norm(ps.pos(i)));
+  const double acc = std::max(1e-12, ps.total_mass() / (extent * extent));
+  return g6::hw::FormatSpec::for_scales(2.0 * extent, acc);
+}
+
+std::unique_ptr<g6::nbody::ForceBackend> build_backend(
+    const std::string& kind, const ParticleSystem& ps, double eps,
+    g6::util::ThreadPool* pool) {
+  if (kind == "cpu")
+    return std::make_unique<g6::nbody::CpuDirectBackend>(eps, pool);
+  if (kind == "grape") {
+    g6::hw::MachineConfig mc = g6::hw::MachineConfig::mini(2, 4, 1 << 14);
+    mc.fmt = format_for(ps);
+    return std::make_unique<g6::hw::Grape6Backend>(mc, eps, pool);
+  }
+  if (kind == "cluster")
+    return std::make_unique<g6::cluster::ClusterBackend>(
+        4, g6::cluster::HostMode::kHardwareNet, format_for(ps), eps,
+        g6::cluster::LinkSpec{}, pool);
+  g6::util::raise("unknown test backend " + kind);
+}
+
+// One fresh "process image" of the run: new ICs, pool, backend and a
+// not-yet-initialized integrator, exactly what a restarted process has.
+struct Image {
+  explicit Image(const std::string& backend_kind, std::size_t threads,
+                 double eta = kEta, std::size_t n = kN)
+      : pool(threads) {
+    g6::disk::DiskConfig cfg = g6::disk::uranus_neptune_config(n);
+    cfg.seed = kSeed;
+    auto d = g6::disk::make_disk(cfg);
+    ps = std::move(d.system);
+    backend = build_backend(backend_kind, ps, /*eps=*/0.008, &pool);
+    IntegratorConfig icfg;
+    icfg.solar_gm = 1.0;
+    icfg.eta = eta;
+    icfg.eta_init = eta / 2.0;
+    // Small enough that a run to kTEnd spans dozens of block steps — the
+    // kill-and-resume loops need plenty of preemption points.
+    icfg.dt_max = 0x1p-5;
+    integ = std::make_unique<HermiteIntegrator>(ps, *backend, icfg, &pool);
+  }
+
+  g6::util::ThreadPool pool;
+  ParticleSystem ps;
+  std::unique_ptr<g6::nbody::ForceBackend> backend;
+  std::unique_ptr<HermiteIntegrator> integ;
+};
+
+RunConfig base_config(const std::string& dir) {
+  RunConfig cfg;
+  cfg.checkpoint_dir = dir;
+  cfg.t_end = kTEnd;
+  cfg.checkpoint_every = 0.25;
+  cfg.ic_seed = kSeed;
+  return cfg;
+}
+
+void expect_bit_identical(const ParticleSystem& a, const ParticleSystem& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.id(i), b.id(i)) << i;
+    EXPECT_EQ(a.mass(i), b.mass(i)) << i;
+    EXPECT_EQ(a.pos(i), b.pos(i)) << i;
+    EXPECT_EQ(a.vel(i), b.vel(i)) << i;
+    EXPECT_EQ(a.acc(i), b.acc(i)) << i;
+    EXPECT_EQ(a.jerk(i), b.jerk(i)) << i;
+    EXPECT_EQ(a.time(i), b.time(i)) << i;
+    EXPECT_EQ(a.dt(i), b.dt(i)) << i;
+  }
+}
+
+void expect_stats_equal(const g6::nbody::IntegratorStats& a,
+                        const g6::nbody::IntegratorStats& b) {
+  EXPECT_EQ(a.blocks, b.blocks);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.dt_shrinks, b.dt_shrinks);
+  EXPECT_EQ(a.dt_grows, b.dt_grows);
+}
+
+// Drive one uninterrupted reference run and one repeatedly-preempted run
+// (killed after a few block steps per invocation, each invocation a fresh
+// Image) and require bit-identical final state and stats.
+void kill_and_resume_case(const std::string& backend_kind, std::size_t threads) {
+  const std::string ref_dir =
+      test_dir(backend_kind + "_t" + std::to_string(threads) + "_ref");
+  Image ref(backend_kind, threads);
+  RunManager ref_mgr(*ref.integ, base_config(ref_dir));
+  const RunReport ref_rep = ref_mgr.run();
+  ASSERT_EQ(ref_rep.outcome, RunOutcome::kCompleted);
+  ASSERT_EQ(ref_rep.final_time, kTEnd);
+
+  const std::string dir =
+      test_dir(backend_kind + "_t" + std::to_string(threads) + "_kill");
+  bool completed = false;
+  bool ever_resumed = false;
+  for (int invocation = 0; invocation < 300 && !completed; ++invocation) {
+    Image im(backend_kind, threads);
+    RunConfig cfg = base_config(dir);
+    cfg.step_budget = 3;  // die after at most 3 block steps
+    cfg.resume = true;
+    RunManager mgr(*im.integ, cfg);
+    const RunReport rep = mgr.run();
+    ever_resumed = ever_resumed || rep.resumed;
+    if (rep.outcome == RunOutcome::kCompleted) {
+      completed = true;
+      EXPECT_EQ(rep.final_time, kTEnd);
+      expect_bit_identical(ref.ps, im.ps);
+      expect_stats_equal(ref.integ->stats(), im.integ->stats());
+    }
+  }
+  ASSERT_TRUE(completed) << "preempted run never finished";
+  EXPECT_TRUE(ever_resumed) << "the run was never actually preempted";
+}
+
+TEST(RunManager, KillAndResumeBitIdenticalCpu1Thread) {
+  kill_and_resume_case("cpu", 1);
+}
+
+TEST(RunManager, KillAndResumeBitIdenticalCpu4Threads) {
+  kill_and_resume_case("cpu", 4);
+}
+
+TEST(RunManager, KillAndResumeBitIdenticalGrape1Thread) {
+  kill_and_resume_case("grape", 1);
+}
+
+TEST(RunManager, KillAndResumeBitIdenticalGrape4Threads) {
+  kill_and_resume_case("grape", 4);
+}
+
+TEST(RunManager, KillAndResumeBitIdenticalCluster1Thread) {
+  kill_and_resume_case("cluster", 1);
+}
+
+TEST(RunManager, KillAndResumeBitIdenticalCluster4Threads) {
+  kill_and_resume_case("cluster", 4);
+}
+
+// A 1-thread and a 4-thread image must agree bit-for-bit on the same
+// checkpoint stream: resume one backend's run at a different thread count.
+TEST(RunManager, ResumeAtDifferentThreadCountIsBitIdentical) {
+  const std::string ref_dir = test_dir("threads_ref");
+  Image ref("cpu", 1);
+  RunManager ref_mgr(*ref.integ, base_config(ref_dir));
+  ASSERT_EQ(ref_mgr.run().outcome, RunOutcome::kCompleted);
+
+  const std::string dir = test_dir("threads_switch");
+  {
+    Image first("cpu", 1);
+    RunConfig cfg = base_config(dir);
+    cfg.step_budget = 4;
+    RunManager mgr(*first.integ, cfg);
+    ASSERT_EQ(mgr.run().outcome, RunOutcome::kPreempted);
+  }
+  bool completed = false;
+  for (int invocation = 0; invocation < 300 && !completed; ++invocation) {
+    Image im("cpu", 4);  // resumed at a different thread count
+    RunConfig cfg = base_config(dir);
+    cfg.step_budget = 4;
+    cfg.resume = true;
+    RunManager mgr(*im.integ, cfg);
+    if (mgr.run().outcome == RunOutcome::kCompleted) {
+      completed = true;
+      expect_bit_identical(ref.ps, im.ps);
+    }
+  }
+  ASSERT_TRUE(completed);
+}
+
+TEST(RunManager, ResumeAfterCorruptLatestSegmentFallsBack) {
+  const std::string ref_dir = test_dir("crc_ref");
+  Image ref("cpu", 1);
+  RunManager ref_mgr(*ref.integ, base_config(ref_dir));
+  ASSERT_EQ(ref_mgr.run().outcome, RunOutcome::kCompleted);
+
+  // Preempt once past two checkpoints, then corrupt the newest one.
+  const std::string dir = test_dir("crc_kill");
+  {
+    Image im("cpu", 1);
+    RunConfig cfg = base_config(dir);
+    cfg.checkpoint_every = 0.125;
+    cfg.step_budget = 30;
+    RunManager mgr(*im.integ, cfg);
+    ASSERT_EQ(mgr.run().outcome, RunOutcome::kPreempted);
+  }
+  auto man = g6::run::read_manifest(dir);
+  ASSERT_GE(man.segments.size(), 2u) << "test needs at least two segments";
+  const fs::path latest = fs::path(dir) / man.segments.back().file;
+  fs::resize_file(latest, fs::file_size(latest) - 9);
+
+  bool completed = false;
+  bool saw_fallback = false;
+  for (int invocation = 0; invocation < 300 && !completed; ++invocation) {
+    Image im("cpu", 1);
+    RunConfig cfg = base_config(dir);
+    cfg.checkpoint_every = 0.125;
+    cfg.resume = true;
+    RunManager mgr(*im.integ, cfg);
+    const RunReport rep = mgr.run();
+    saw_fallback = saw_fallback || rep.crc_fallbacks > 0;
+    if (rep.crc_fallbacks > 0) {
+      EXPECT_GT(rep.wasted_recompute, 0.0);
+    }
+    if (rep.outcome == RunOutcome::kCompleted) {
+      completed = true;
+      expect_bit_identical(ref.ps, im.ps);
+      expect_stats_equal(ref.integ->stats(), im.integ->stats());
+    }
+  }
+  ASSERT_TRUE(completed);
+  EXPECT_TRUE(saw_fallback) << "resume never exercised the CRC fallback";
+}
+
+TEST(RunManager, AllSegmentsCorruptRaises) {
+  const std::string dir = test_dir("crc_fatal");
+  {
+    Image im("cpu", 1);
+    RunConfig cfg = base_config(dir);
+    cfg.checkpoint_every = 0.125;
+    cfg.step_budget = 30;
+    RunManager mgr(*im.integ, cfg);
+    ASSERT_EQ(mgr.run().outcome, RunOutcome::kPreempted);
+  }
+  for (const auto& seg : g6::run::read_manifest(dir).segments)
+    fs::resize_file(fs::path(dir) / seg.file, 24);
+
+  Image im("cpu", 1);
+  RunConfig cfg = base_config(dir);
+  cfg.resume = true;
+  RunManager mgr(*im.integ, cfg);
+  EXPECT_THROW(mgr.run(), g6::util::Error);
+}
+
+TEST(RunManager, ChangedParametersRefuseResume) {
+  const std::string dir = test_dir("hash_refuse");
+  {
+    Image im("cpu", 1);
+    RunConfig cfg = base_config(dir);
+    cfg.step_budget = 3;
+    RunManager mgr(*im.integ, cfg);
+    ASSERT_EQ(mgr.run().outcome, RunOutcome::kPreempted);
+  }
+  Image im("cpu", 1, /*eta=*/0.1);  // different accuracy parameter
+  RunConfig cfg = base_config(dir);
+  cfg.resume = true;
+  RunManager mgr(*im.integ, cfg);
+  try {
+    mgr.run();
+    FAIL() << "expected g6::util::Error";
+  } catch (const g6::util::Error& err) {
+    EXPECT_NE(std::string(err.what()).find("refusing to resume"),
+              std::string::npos)
+        << err.what();
+  }
+}
+
+TEST(RunManager, AttachedRngStreamIsCheckpointed) {
+  const std::string dir = test_dir("rng");
+  g6::util::RngState at_segment{};
+  {
+    Image im("cpu", 1);
+    g6::util::Rng rng(77);
+    for (int i = 0; i < 5; ++i) rng.normal();
+    RunConfig cfg = base_config(dir);
+    cfg.step_budget = 3;
+    RunManager mgr(*im.integ, cfg);
+    mgr.attach_rng(&rng);
+    ASSERT_EQ(mgr.run().outcome, RunOutcome::kPreempted);
+    at_segment = rng.save();  // stream position at the preemption checkpoint
+  }
+  Image im("cpu", 1);
+  g6::util::Rng rng(1);  // fresh process: seed differs until restore
+  RunConfig cfg = base_config(dir);
+  cfg.step_budget = 3;
+  cfg.resume = true;
+  RunManager mgr(*im.integ, cfg);
+  mgr.attach_rng(&rng);
+  mgr.run();
+  const g6::util::RngState got = rng.save();
+  for (int w = 0; w < 4; ++w) EXPECT_EQ(got.s[w], at_segment.s[w]);
+  EXPECT_EQ(got.have_spare, at_segment.have_spare);
+}
+
+// Accretion runs checkpoint at sweep boundaries through the CheckpointStore
+// and resume via AccretionDriver::restore() — bit-identical continuation
+// with merging enabled.
+TEST(RunManager, AccretionKillAndResumeBitIdentical) {
+  const auto make_driver = [](ParticleSystem ps) {
+    g6::nbody::CollisionConfig ccfg;
+    ccfg.radius_enhancement = 30.0;  // force a few mergers at tiny N
+    IntegratorConfig icfg;
+    icfg.solar_gm = 1.0;
+    icfg.eta = kEta;
+    icfg.eta_init = kEta / 2.0;
+    icfg.dt_max = 4.0;
+    return std::make_unique<g6::nbody::AccretionDriver>(
+        std::move(ps), ccfg, icfg, 0.008, [](double eps) {
+          return std::make_unique<g6::nbody::CpuDirectBackend>(eps);
+        });
+  };
+  const auto make_ics = [] {
+    g6::disk::DiskConfig cfg = g6::disk::uranus_neptune_config(kN);
+    cfg.seed = kSeed;
+    return g6::disk::make_disk(cfg).system;
+  };
+
+  // Uninterrupted reference.
+  auto ref = make_driver(make_ics());
+  ref->evolve(kTEnd, 0.125);
+
+  // Checkpointed run killed at t = 0.5, resumed in a fresh driver.
+  const std::string dir = test_dir("accretion");
+  const std::uint64_t hash = 0xaccde7ULL;
+  g6::run::CheckpointStore store(dir, hash, 3);
+  auto a = make_driver(make_ics());
+  a->on_sweep = [&](const g6::nbody::AccretionDriver& d) {
+    auto data = g6::run::capture(d.integrator(), hash);
+    data.has_accretion = true;
+    data.accretion_mergers = d.total_mergers();
+    data.accretion_time = d.current_time();
+    store.append(data);
+  };
+  a->evolve(kTEnd / 2.0, 0.125);
+  a.reset();  // the "kill"
+
+  g6::run::CheckpointStore resume_store(dir, hash, 3);
+  ASSERT_TRUE(resume_store.open_existing());
+  auto restored = resume_store.load_latest();
+  ASSERT_TRUE(restored.has_value());
+  ASSERT_TRUE(restored->data.has_accretion);
+  EXPECT_EQ(restored->data.accretion_time, kTEnd / 2.0);
+
+  auto b = make_driver(make_ics());
+  b->restore(std::move(restored->data.system), restored->data.accretion_time,
+             restored->data.accretion_mergers, restored->data.t_sys,
+             std::move(restored->data.stats));
+  b->evolve(kTEnd, 0.125);
+
+  EXPECT_EQ(ref->total_mergers(), b->total_mergers());
+  expect_bit_identical(ref->system(), b->system());
+  expect_stats_equal(ref->integrator().stats(), b->integrator().stats());
+}
+
+}  // namespace

@@ -4,8 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <sstream>
+#include <string>
 
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -210,6 +213,92 @@ TEST(BinarySnapshot, LegacyB1StillReadable) {
     EXPECT_EQ(back.mass(i), ps.mass(i));
     EXPECT_EQ(back.pos(i), ps.pos(i));
     EXPECT_EQ(back.vel(i), ps.vel(i));
+  }
+}
+
+// --- parse diagnostics: errors name the offending line and field ----------
+
+std::string parse_error_for(const std::string& text) {
+  std::stringstream ss(text);
+  ParticleSystem ps;
+  try {
+    read_snapshot(ss, ps);
+  } catch (const g6::util::Error& err) {
+    return err.what();
+  }
+  return {};
+}
+
+TEST(Snapshot, ParseErrorNamesHeaderLine) {
+  const std::string msg = parse_error_for("g6snap two 0.0\n");
+  EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'n'"), std::string::npos) << msg;
+}
+
+TEST(Snapshot, ParseErrorNamesBadMagic) {
+  const std::string msg = parse_error_for("nbody6 2 0.0\n");
+  EXPECT_NE(msg.find("line 1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("magic"), std::string::npos) << msg;
+}
+
+TEST(Snapshot, ParseErrorNamesParticleLineAndField) {
+  // Line 3 (second particle) has a corrupted vy field.
+  const std::string msg = parse_error_for(
+      "g6snap 2 0.0\n"
+      "0 1e-9 1 0 0 0 1 0\n"
+      "1 1e-9 2 0 0 0 oops 0\n");
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("'vy'"), std::string::npos) << msg;
+}
+
+TEST(Snapshot, ParseErrorOnTruncatedBody) {
+  const std::string msg = parse_error_for(
+      "g6snap 3 0.0\n"
+      "0 1e-9 1 0 0 0 1 0\n");
+  EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
+  EXPECT_NE(msg.find('3'), std::string::npos) << msg;
+}
+
+TEST(Snapshot, DuplicateParticleIdsRejected) {
+  const std::string msg = parse_error_for(
+      "g6snap 2 0.0\n"
+      "7 1e-9 1 0 0 0 1 0\n"
+      "7 1e-9 2 0 0 0 1 0\n");
+  EXPECT_NE(msg.find("duplicate particle id 7"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+}
+
+TEST(Snapshot, ReadPreservesParticleIds) {
+  const std::string text =
+      "g6snap 2 1.5\n"
+      "42 1e-9 1 0 0 0 1 0\n"
+      "7 1e-9 2 0 0 0 0.7 0\n";
+  std::stringstream ss(text);
+  ParticleSystem ps;
+  EXPECT_DOUBLE_EQ(read_snapshot(ss, ps), 1.5);
+  ASSERT_EQ(ps.size(), 2u);
+  EXPECT_EQ(ps.id(0), 42u);
+  EXPECT_EQ(ps.id(1), 7u);
+}
+
+TEST(BinarySnapshot, DuplicateParticleIdsRejected) {
+  const g6::nbody::ParticleSystem ps = random_system(3, 31);
+  std::stringstream ss;
+  g6::nbody::write_snapshot_binary(ss, ps, 0.0);
+  std::string data = ss.str();
+  // Overwrite the second particle's id (first field of its record) with the
+  // first particle's id. Layout: 8-byte magic, u64 n, f64 time, then
+  // 8-double records of (id,mass,pos,vel) — ids at offsets 24 and 24+64.
+  std::memcpy(&data[24 + 64], &data[24], sizeof(std::uint64_t));
+  std::stringstream dup(data);
+  g6::nbody::ParticleSystem back;
+  try {
+    g6::nbody::read_snapshot_binary(dup, back);
+    FAIL() << "expected g6::util::Error";
+  } catch (const g6::util::Error& err) {
+    EXPECT_NE(std::string(err.what()).find("duplicate particle id"),
+              std::string::npos)
+        << err.what();
   }
 }
 
