@@ -8,12 +8,25 @@
 //
 //   ./fault_campaign [--layer machine|cluster|all] [--mode naive|hwnet|matrix]
 //                    [--seed S] [--n N] [--steps K] [--hosts H] [--threads T]
+//                    [--repeat R] [--monitor PORT] [--flight-dir DIR]
+//
+// --repeat R reruns the campaign R times (fresh fault seed each round) — the
+// long-running shape used to exercise live monitoring and SIGKILL post-
+// mortems. --monitor serves /metrics /metrics.json /progress /series on
+// 127.0.0.1:PORT while the campaign runs; every fired fault and recovery
+// action lands in the flight recorder, whose throttled autosave keeps a
+// flight_<ts>.json in --flight-dir current even if the process is SIGKILLed.
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "fault/campaign.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/monitor.hpp"
+#include "obs/progress.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -46,6 +59,9 @@ bool report(const g6::fault::CampaignResult& r) {
 
 int main(int argc, char** argv) {
   std::string layer = "all";
+  std::string flight_dir = ".";
+  int monitor_port = -1;
+  int repeat = 1;
   g6::fault::CampaignConfig cfg;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -63,22 +79,74 @@ int main(int argc, char** argv) {
     else if (arg == "--steps") cfg.steps = std::atoi(next());
     else if (arg == "--hosts") cfg.hosts = std::atoi(next());
     else if (arg == "--threads") cfg.threads = std::atoi(next());
+    else if (arg == "--repeat") repeat = std::atoi(next());
+    else if (arg == "--monitor") monitor_port = std::atoi(next());
+    else if (arg == "--flight-dir") flight_dir = next();
     else {
       std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
       return 2;
     }
   }
 
+  g6::obs::Monitor monitor;  // destructor stops threads
+  if (monitor_port >= 0) {
+    g6::obs::MonitorConfig mcfg;
+    mcfg.port = monitor_port;
+    mcfg.flight_dir = flight_dir;
+    mcfg.flight_autosave = 0.5;  // campaigns are short; autosave eagerly
+    if (!monitor.start(mcfg)) {
+      std::fprintf(stderr, "cannot start monitor on port %d\n", mcfg.port);
+      return 2;
+    }
+    std::printf("monitor: http://127.0.0.1:%d/metrics (.json, /progress, "
+                "/series); flight dumps in %s\n",
+                monitor.port(), flight_dir.c_str());
+    std::fflush(stdout);
+  }
+
+  const int rounds = repeat < 1 ? 1 : repeat;
+  auto ticket = g6::obs::ProgressTracker::global().add_job(
+      "fault_campaign", 0.0, static_cast<double>(rounds));
+  ticket.set_state(g6::obs::JobState::kRunning);
+  auto& flight = g6::obs::FlightRecorder::global();
+
   bool ok = true;
-  if (layer == "machine" || layer == "all")
-    ok = report(g6::fault::run_machine_campaign(cfg)) && ok;
-  if (layer == "cluster" || layer == "all")
-    ok = report(g6::fault::run_cluster_campaign(cfg)) && ok;
+  g6::util::Timer wall;
+  const std::uint64_t seed0 = cfg.fault_seed;
+  for (int round = 0; round < rounds; ++round) {
+    cfg.fault_seed = seed0 + static_cast<std::uint64_t>(round);
+    flight.note("campaign",
+                "round " + std::to_string(round + 1) + "/" +
+                    std::to_string(rounds) +
+                    " seed=" + std::to_string(cfg.fault_seed));
+    if (layer == "machine" || layer == "all") {
+      const auto r = g6::fault::run_machine_campaign(cfg);
+      ticket.set_capacity_fraction(r.degraded_capacity_fraction);
+      if (!r.bit_identical)
+        flight.note("fault", "machine campaign NOT bit-identical (seed=" +
+                                 std::to_string(cfg.fault_seed) + ")");
+      ok = report(r) && ok;
+    }
+    if (layer == "cluster" || layer == "all") {
+      const auto r = g6::fault::run_cluster_campaign(cfg);
+      ticket.set_capacity_fraction(r.degraded_capacity_fraction);
+      if (!r.bit_identical)
+        flight.note("fault", "cluster campaign NOT bit-identical (seed=" +
+                                 std::to_string(cfg.fault_seed) + ")");
+      ok = report(r) && ok;
+    }
+    ticket.update(static_cast<double>(round + 1),
+                  static_cast<std::uint64_t>(round + 1), wall.seconds());
+    std::fflush(stdout);
+  }
   if (!ok) {
     std::fprintf(stderr, "FAULT CAMPAIGN FAILED: recovered run is not "
                          "bit-identical to the fault-free run\n");
+    ticket.finish(g6::obs::JobState::kFailed);
+    flight.dump("unrecovered-fault");
     return 1;
   }
+  ticket.finish(g6::obs::JobState::kDone);
   std::printf("all campaigns recovered bit-identically\n");
   return 0;
 }

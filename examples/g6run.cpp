@@ -32,6 +32,13 @@
 //   --walltime-budget=<sec>   preempt after this much wall clock
 // A preempted (or SIGKILLed) run rerun with --resume finishes bit-identically
 // to an uninterrupted one. Exit status: 0 = completed, 3 = preempted.
+//
+// Live monitoring (docs/OBSERVABILITY.md):
+//   --monitor=<port>          serve /metrics /metrics.json /progress /series
+//                             on 127.0.0.1:<port> (0 = ephemeral, port printed)
+//   --sample-interval=<sec>   time-series sampler cadence        [1]
+//   --series=<path>           write the sampler ring as JSONL on exit
+//   --flight-dir=<dir>        flight-recorder dump directory     [.]
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -48,6 +55,10 @@
 #include "nbody/integrator.hpp"
 #include "nbody/models.hpp"
 #include "nbody/snapshot.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
+#include "obs/progress.hpp"
 #include "run/checkpoint.hpp"
 #include "run/run_manager.hpp"
 #include "util/table.hpp"
@@ -143,6 +154,26 @@ int main(int argc, char** argv) {
   const auto step_budget =
       static_cast<std::uint64_t>(flag(argc, argv, "step-budget", 0));
   const double walltime_budget = flag(argc, argv, "walltime-budget", 0.0);
+
+  // --- live monitoring --------------------------------------------------------
+  const double monitor_port = flag(argc, argv, "monitor", -1.0);
+  const bool monitored = monitor_port >= 0.0;
+  g6::obs::Monitor monitor;  // destructor stops threads + flushes series
+  if (monitored) {
+    g6::obs::MonitorConfig mcfg;
+    mcfg.port = static_cast<int>(monitor_port);
+    mcfg.sample_interval = flag(argc, argv, "sample-interval", 1.0);
+    mcfg.series_path = flag_str(argc, argv, "series");
+    mcfg.flight_dir = flag_str(argc, argv, "flight-dir", ".");
+    if (!monitor.start(mcfg)) {
+      std::fprintf(stderr, "cannot start monitor on port %d\n", mcfg.port);
+      return 2;
+    }
+    std::printf("monitor: http://127.0.0.1:%d/metrics (.json, /progress, "
+                "/series)\n",
+                monitor.port());
+    std::fflush(stdout);
+  }
 
   g6::nbody::IntegratorConfig icfg;
   icfg.solar_gm = solar_gm;
@@ -306,6 +337,24 @@ int main(int argc, char** argv) {
   }
 
   integ.initialize();
+  g6::obs::JobTicket ticket;
+  if (monitored) {
+    // Plain (non-checkpointed) drive: publish per-block progress from the
+    // driver thread so /progress and the flight recorder stay live.
+    ticket = g6::obs::ProgressTracker::global().add_job("g6run", 0.0, t_end);
+    ticket.set_state(g6::obs::JobState::kRunning);
+    auto t_gauge = g6::obs::MetricsRegistry::global().gauge("g6.run.t_sys");
+    auto blocks_ctr = g6::obs::MetricsRegistry::global().counter("g6.run.blocks");
+    integ.on_block = [&, t_gauge, blocks_ctr,
+                      block_timer = g6::util::Timer()](double t,
+                                                       std::size_t n_act) mutable {
+      t_gauge.set(t);
+      blocks_ctr.add(1);
+      ticket.update(t, integ.stats().blocks, timer.seconds());
+      g6::obs::FlightRecorder::global().record_step(t, n_act,
+                                                    block_timer.lap());
+    };
+  }
   for (double t = 0.0; t <= t_end + 1e-9; t += snap_every) {
     integ.evolve(t);
     const double e = g6::nbody::compute_energy(ps, eps, solar_gm).total();
@@ -319,6 +368,7 @@ int main(int argc, char** argv) {
                g6::util::fmt(timer.seconds(), 3)});
     write_snap(ps, t);
   }
+  ticket.finish(g6::obs::JobState::kDone);
   std::printf("%s\n", table.render().c_str());
 
   if (model == "disk") {

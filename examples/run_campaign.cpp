@@ -17,6 +17,11 @@
 //   --checkpoint-every=<dT>  per-job segment cadence          [t/4]
 //   --step-budget=<int>   per-job block-step budget this invocation
 //   --walltime-budget=<sec>  per-job wall budget this invocation
+//   --monitor=<port>      serve /metrics /metrics.json /progress /series on
+//                         127.0.0.1:<port> while the campaign runs
+//                         (0 = ephemeral; the bound port is printed)
+//   --series=<path>       write the sampler ring as JSONL on exit
+//   --flight-dir=<dir>    flight-recorder dump directory      [.]
 //
 // The sweep varies the IC seed per job (seed = 1000 + k) and, with
 // --backend=mix, cycles cpu/grape/cluster across jobs. Exit status:
@@ -27,6 +32,7 @@
 #include <cstring>
 #include <string>
 
+#include "obs/monitor.hpp"
 #include "run/campaign_runner.hpp"
 #include "util/table.hpp"
 
@@ -90,6 +96,23 @@ int main(int argc, char** argv) {
 
   std::printf("campaign '%s': %zu jobs, N=%zu, t_end=%g, backend=%s\n\n",
               dir.c_str(), jobs, n, t_end, backend.c_str());
+
+  const double monitor_port = flag(argc, argv, "monitor", -1.0);
+  g6::obs::Monitor monitor;  // destructor stops threads + flushes series
+  if (monitor_port >= 0.0) {
+    g6::obs::MonitorConfig mcfg;
+    mcfg.port = static_cast<int>(monitor_port);
+    mcfg.sample_interval = flag(argc, argv, "sample-interval", 1.0);
+    mcfg.series_path = flag_str(argc, argv, "series");
+    mcfg.flight_dir = flag_str(argc, argv, "flight-dir", ".");
+    if (!monitor.start(mcfg)) {
+      std::fprintf(stderr, "cannot start monitor on port %d\n", mcfg.port);
+      return 2;
+    }
+    std::printf("monitor: http://127.0.0.1:%d/progress (one row per job)\n\n",
+                monitor.port());
+    std::fflush(stdout);
+  }
 
   g6::run::CampaignRunner runner(std::move(spec));
   const g6::run::CampaignReport report = runner.run();

@@ -15,6 +15,10 @@
 //     --checkpoint-dir=<dir>   write G6CKPT1 checkpoint segments into <dir>
 //     --checkpoint-every=<dT>  segment cadence in sim time (default: snap)
 //     --resume                 continue from the newest valid segment
+//     --monitor=<port>         serve /metrics /metrics.json /progress /series
+//                              on 127.0.0.1:<port> (0 = ephemeral)
+//     --series=<path>          write the sampler ring as JSONL on exit
+//     --flight-dir=<dir>       flight-recorder dump directory (default .)
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -32,7 +36,10 @@
 #include "nbody/integrator.hpp"
 #include "nbody/snapshot.hpp"
 #include "obs/blockstep_record.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/monitor.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "run/run_manager.hpp"
 #include "util/table.hpp"
@@ -86,6 +93,26 @@ int main(int argc, char** argv) {
   const double ckpt_every = flag(argc, argv, "checkpoint-every", snap_every);
   const bool resume = has_flag(argc, argv, "resume");
   if (!trace_path.empty()) g6::obs::TraceRecorder::global().enable();
+
+  const double monitor_port = flag(argc, argv, "monitor", -1.0);
+  const bool monitored = monitor_port >= 0.0;
+  g6::obs::Monitor monitor;  // destructor stops threads + flushes series
+  if (monitored) {
+    g6::obs::MonitorConfig mcfg;
+    mcfg.port = static_cast<int>(monitor_port);
+    mcfg.sample_interval = flag(argc, argv, "sample-interval", 1.0);
+    mcfg.series_path = flag_str(argc, argv, "series");
+    const std::string flight_dir = flag_str(argc, argv, "flight-dir");
+    if (!flight_dir.empty()) mcfg.flight_dir = flight_dir;
+    if (!monitor.start(mcfg)) {
+      std::fprintf(stderr, "cannot start monitor on port %d\n", mcfg.port);
+      return 2;
+    }
+    std::printf("monitor: http://127.0.0.1:%d/metrics (.json, /progress, "
+                "/series)\n\n",
+                monitor.port());
+    std::fflush(stdout);
+  }
 
   const double eps = 0.008;
 
@@ -194,6 +221,26 @@ int main(int argc, char** argv) {
   integ.initialize();
   const double e0 = g6::nbody::compute_energy(ps, eps, 1.0).total();
 
+  g6::obs::JobTicket ticket;
+  if (monitored) {
+    // Plain drive: publish per-block progress from the driver thread.
+    ticket = g6::obs::ProgressTracker::global().add_job("uranus_neptune", 0.0,
+                                                        t_end);
+    ticket.set_state(g6::obs::JobState::kRunning);
+    auto t_gauge = g6::obs::MetricsRegistry::global().gauge("g6.run.t_sys");
+    auto blocks_ctr =
+        g6::obs::MetricsRegistry::global().counter("g6.run.blocks");
+    integ.on_block = [&, t_gauge, blocks_ctr,
+                      block_timer = g6::util::Timer()](double t,
+                                                       std::size_t n_act) mutable {
+      t_gauge.set(t);
+      blocks_ctr.add(1);
+      ticket.update(t, integ.stats().blocks, timer.seconds());
+      g6::obs::FlightRecorder::global().record_step(t, n_act,
+                                                    block_timer.lap());
+    };
+  }
+
   g6::util::Table table({"T", "years", "rms e", "rms i", "gap@20", "gap@30",
                          "unbound", "|dE/E|", "wall [s]"});
   for (double t = 0.0; t <= t_end + 1e-9; t += snap_every) {
@@ -213,6 +260,7 @@ int main(int argc, char** argv) {
       g6::nbody::write_snapshot_file(path, ps, t);
     }
   }
+  ticket.finish(g6::obs::JobState::kDone);
   std::printf("%s\n", table.render().c_str());
 
   std::printf("totals: %llu block steps, %llu individual steps, mean block %.1f\n",

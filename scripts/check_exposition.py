@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Validate monitor-endpoint output: Prometheus text exposition grammar
+(format 0.0.4, the /metrics endpoint) and JSON well-formedness (the
+/metrics.json, /progress, and /series endpoints).
+
+Usage: check_exposition.py TARGET [TARGET...]
+
+Each TARGET is a file path or an http:// URL (fetched with stdlib urllib,
+so the CI job needs no extra packages). Format is chosen per target:
+
+  *.json paths, and URLs whose path ends in .json, /progress or /series
+      -> JSON: must parse, must be an object or array
+  everything else
+      -> Prometheus text: every line must be empty, a # HELP / # TYPE
+         comment, or a sample `name[{labels}] value [timestamp]`; metric
+         names must match [a-zA-Z_:][a-zA-Z0-9_:]*, label values must be
+         properly quoted, and values must be floats or NaN/+Inf/-Inf.
+         At least one sample and one # TYPE line are required, and every
+         sample's base name must have been declared by a # TYPE.
+
+Exit 0 when every target validates; 1 otherwise (one line per problem).
+"""
+
+import json
+import re
+import sys
+import urllib.request
+
+METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}
+
+
+def fetch(target):
+    if target.startswith("http://") or target.startswith("https://"):
+        with urllib.request.urlopen(target, timeout=10) as r:
+            return r.read().decode("utf-8", errors="replace")
+    with open(target, encoding="utf-8") as f:
+        return f.read()
+
+
+def is_json_target(target):
+    path = target.split("?", 1)[0]
+    return path.endswith((".json", "/progress", "/series"))
+
+
+def valid_value(tok):
+    if tok in ("NaN", "+Inf", "-Inf", "Inf"):
+        return True
+    try:
+        float(tok)
+        return True
+    except ValueError:
+        return False
+
+
+def split_labels(body):
+    """Split `a="x",b="y"` on commas outside quotes (values may hold
+    escaped quotes)."""
+    parts, cur, in_quotes, escaped = [], "", False, False
+    for ch in body:
+        if escaped:
+            cur += ch
+            escaped = False
+        elif ch == "\\":
+            cur += ch
+            escaped = True
+        elif ch == '"':
+            cur += ch
+            in_quotes = not in_quotes
+        elif ch == "," and not in_quotes:
+            parts.append(cur)
+            cur = ""
+        else:
+            cur += ch
+    if cur:
+        parts.append(cur)
+    return parts, not in_quotes
+
+
+def check_sample(line, declared, errors, where):
+    # name{labels} value [timestamp]  |  name value [timestamp]
+    if "{" in line:
+        name, rest = line.split("{", 1)
+        if "}" not in rest:
+            errors.append(f"{where}: unterminated label set: {line!r}")
+            return
+        labels, tail = rest.rsplit("}", 1)
+        parts, balanced = split_labels(labels)
+        if not balanced:
+            errors.append(f"{where}: unbalanced quotes in labels: {line!r}")
+            return
+        for p in parts:
+            if "=" not in p:
+                errors.append(f"{where}: label without '=': {p!r}")
+                continue
+            lname, lval = p.split("=", 1)
+            if not LABEL_NAME.match(lname):
+                errors.append(f"{where}: bad label name {lname!r}")
+            if len(lval) < 2 or lval[0] != '"' or lval[-1] != '"':
+                errors.append(f"{where}: unquoted label value {lval!r}")
+    else:
+        fields = line.split(None, 1)
+        name, tail = fields[0], (fields[1] if len(fields) > 1 else "")
+    if not METRIC_NAME.match(name):
+        errors.append(f"{where}: bad metric name {name!r}")
+    base = re.sub(r"_(sum|count|bucket)$", "", name)
+    if declared and name not in declared and base not in declared:
+        errors.append(f"{where}: sample {name!r} has no # TYPE declaration")
+    toks = tail.split()
+    if not toks or not valid_value(toks[0]):
+        errors.append(f"{where}: bad sample value in {line!r}")
+    elif len(toks) == 2 and not re.match(r"-?\d+$", toks[1]):
+        errors.append(f"{where}: bad timestamp in {line!r}")
+    elif len(toks) > 2:
+        errors.append(f"{where}: trailing tokens in {line!r}")
+
+
+def check_prometheus(text, target, errors):
+    declared, samples = set(), 0
+    for i, line in enumerate(text.split("\n"), 1):
+        where = f"{target}:{i}"
+        if line == "":
+            continue
+        if line.startswith("#"):
+            toks = line.split(None, 3)
+            if len(toks) >= 2 and toks[1] == "TYPE":
+                if len(toks) != 4 or toks[3] not in TYPES:
+                    errors.append(f"{where}: malformed # TYPE: {line!r}")
+                elif not METRIC_NAME.match(toks[2]):
+                    errors.append(f"{where}: bad name in # TYPE: {line!r}")
+                else:
+                    declared.add(toks[2])
+            elif len(toks) >= 2 and toks[1] == "HELP":
+                if len(toks) < 3 or not METRIC_NAME.match(toks[2]):
+                    errors.append(f"{where}: malformed # HELP: {line!r}")
+            # other comments are legal and ignored
+            continue
+        check_sample(line, declared, errors, where)
+        samples += 1
+    if samples == 0:
+        errors.append(f"{target}: no samples")
+    if not declared:
+        errors.append(f"{target}: no # TYPE declarations")
+
+
+def check_json(text, target, errors):
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        errors.append(f"{target}: invalid JSON: {e}")
+        return
+    if not isinstance(doc, (dict, list)):
+        errors.append(f"{target}: top level is {type(doc).__name__}, "
+                      "expected object or array")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    errors = []
+    for target in argv[1:]:
+        try:
+            text = fetch(target)
+        except Exception as e:  # noqa: BLE001 - report and keep checking
+            errors.append(f"{target}: fetch failed: {e}")
+            continue
+        if is_json_target(target):
+            check_json(text, target, errors)
+        else:
+            check_prometheus(text, target, errors)
+        print(f"checked {target} "
+              f"({'json' if is_json_target(target) else 'prometheus'}, "
+              f"{len(text)} bytes)")
+    for e in errors:
+        print(f"FAIL: {e}", file=sys.stderr)
+    print("exposition check:", "FAIL" if errors else "PASS")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "grape6/g6_types.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace g6::cluster {
@@ -318,6 +319,9 @@ void ParallelHostSystem::drop_host(int h) {
 
   auto& stats = injector_->stats();
   stats.dead_hosts.fetch_add(1, std::memory_order_relaxed);
+  g6::obs::FlightRecorder::global().note(
+      "recovery", "host " + std::to_string(h) + " dropped: re-replicating " +
+                      std::to_string(lost.size()) + " j-images to survivors");
 
   // Re-replicate the lost images onto survivors from the driver's shadow.
   // In naive mode every host already holds a full replica, so only the

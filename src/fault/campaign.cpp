@@ -6,11 +6,13 @@
 
 #include "cluster/parallel_sim.hpp"
 #include "grape6/machine.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/crc.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace g6::fault {
 
@@ -94,10 +96,15 @@ RunOutcome run_machine_once(const CampaignConfig& cfg, const Workload& w,
 
   std::uint32_t digest = g6::util::crc32_init();
   std::vector<hw::ForceAccumulator> accum;
+  auto& flight = g6::obs::FlightRecorder::global();
+  g6::util::Timer step_timer;
   for (int s = 0; s < cfg.steps; ++s) {
     machine.predict_all(w.times[static_cast<std::size_t>(s)]);
     machine.compute(w.batches[static_cast<std::size_t>(s)], kEps2, accum);
     digest = fold_accums(digest, accum);
+    flight.record_step(w.times[static_cast<std::size_t>(s)],
+                       w.batches[static_cast<std::size_t>(s)].size(),
+                       step_timer.lap());
   }
   out.digest = g6::util::crc32_final(digest);
   out.capacity_end = static_cast<double>(machine.capacity());
@@ -118,10 +125,15 @@ RunOutcome run_cluster_once(const CampaignConfig& cfg, const Workload& w,
   std::uint32_t digest = g6::util::crc32_init();
   std::vector<hw::ForceAccumulator> accum;
   std::vector<hw::JParticle> corrected;
+  auto& flight = g6::obs::FlightRecorder::global();
+  g6::util::Timer step_timer;
   for (int s = 0; s < cfg.steps; ++s) {
     sys.compute(w.times[static_cast<std::size_t>(s)],
                 w.batches[static_cast<std::size_t>(s)], accum);
     digest = fold_accums(digest, accum);
+    flight.record_step(w.times[static_cast<std::size_t>(s)],
+                       w.batches[static_cast<std::size_t>(s)].size(),
+                       step_timer.lap());
     // A rotating quarter of the particles gets a j-update every step — the
     // corrected-particle traffic the link faults attack.
     corrected.clear();

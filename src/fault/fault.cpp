@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -192,19 +193,41 @@ void FaultInjector::arm(FaultPlan plan) {
   armed_ = true;
 }
 
+namespace {
+
+/// Flight-recorder publish point: every fired fault leaves a note in the
+/// post-mortem window (no-op while the recorder is disarmed).
+void note_fired(const char* domain, std::span<const FaultEvent> fired) {
+  auto& flight = g6::obs::FlightRecorder::global();
+  if (!flight.enabled()) return;
+  for (const FaultEvent& e : fired)
+    flight.note("fault", std::string(domain) + " " + fault_kind_name(e.kind) +
+                             " at=" + std::to_string(e.at) +
+                             " a=" + std::to_string(e.a) +
+                             " b=" + std::to_string(e.b));
+}
+
+}  // namespace
+
 std::span<const FaultEvent> FaultInjector::machine_step() {
   if (!armed_) return {};
-  return machine_.fire(machine_steps_++);
+  const auto fired = machine_.fire(machine_steps_++);
+  note_fired("machine", fired);
+  return fired;
 }
 
 std::span<const FaultEvent> FaultInjector::cluster_step() {
   if (!armed_) return {};
-  return cluster_.fire(cluster_steps_++);
+  const auto fired = cluster_.fire(cluster_steps_++);
+  note_fired("cluster", fired);
+  return fired;
 }
 
 std::span<const FaultEvent> FaultInjector::link_op() {
   if (!armed_) return {};
-  return link_.fire(link_ops_++);
+  const auto fired = link_.fire(link_ops_++);
+  note_fired("link", fired);
+  return fired;
 }
 
 FaultStatsSnapshot FaultInjector::snapshot() const {

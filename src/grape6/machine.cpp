@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/crc.hpp"
@@ -23,7 +24,9 @@ std::uint32_t crc32_of_j(const JParticle& p) {
   feed(p.t0);
   const std::int64_t raw[3] = {p.x0.x().raw(), p.x0.y().raw(), p.x0.z().raw()};
   feed(raw);
-  const double lsb = p.x0.lsb();
+  // Each component carries its own stored scale; all three must be covered or
+  // a bit flip in an unhashed lsb silently rescales a coordinate.
+  const double lsb[3] = {p.x0.x().lsb(), p.x0.y().lsb(), p.x0.z().lsb()};
   feed(lsb);
   feed(p.v0);
   feed(p.a0);
@@ -119,6 +122,14 @@ void Grape6Machine::compute(const std::vector<IParticle>& i_batch, double eps2,
   if (injector_ != nullptr && injector_->armed()) {
     process_events();
     scrub_jmem();
+    // A corruption that only flipped padding bytes is invisible to the CRC
+    // scrub (which hashes meaningful fields only) yet still invalidated the
+    // chip's predictor cache. Repredict to restore the predict-before-compute
+    // invariant; chips with valid caches early-out inside Chip::predict_all,
+    // so healthy hardware pays nothing and no recovery time is charged (the
+    // padding flip never changed a physical quantity).
+    for (std::size_t b = 0; b < boards_.size(); ++b)
+      if (board_alive_[b] != 0) boards_[b].repredict(predict_time_);
   }
 
   const std::size_t ni = i_batch.size();
@@ -148,9 +159,15 @@ void Grape6Machine::compute(const std::vector<IParticle>& i_batch, double eps2,
 
     for (std::size_t b = 0; b < boards_.size(); ++b) {
       if (board_alive_[b] == 0 || !boards_[b].take_newly_dead()) continue;
+      g6::obs::FlightRecorder::global().note(
+          "recovery", "dead chip(s) on board " + std::to_string(b) +
+                          ": remapped j-particles, repredicting");
       remap_dead_chips(b);
       if (boards_[b].alive_chip_count() == 0) {
         board_alive_[b] = 0;
+        g6::obs::FlightRecorder::global().note(
+            "recovery", "board " + std::to_string(b) +
+                            " fully dead: excluded from the machine");
         if (injector_ != nullptr) {
           auto& stats = injector_->stats();
           stats.excluded_boards.fetch_add(1, std::memory_order_relaxed);
@@ -323,6 +340,9 @@ void Grape6Machine::fail_board(std::size_t b) {
   G6_CHECK(injector_ != nullptr, "fail_board requires an attached injector");
   G6_CHECK(b < boards_.size() && board_alive_[b] != 0,
            "board index invalid or already excluded");
+  g6::obs::FlightRecorder::global().note(
+      "recovery", "board " + std::to_string(b) +
+                      " failed: excluding and remapping its j-particles");
   board_alive_[b] = 0;
   auto& stats = injector_->stats();
   stats.excluded_boards.fetch_add(1, std::memory_order_relaxed);

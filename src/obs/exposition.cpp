@@ -1,0 +1,60 @@
+#include "obs/exposition.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace g6::obs {
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    const bool digit = c >= '0' && c <= '9';
+    if (alpha || c == '_' || c == ':' || (digit && i > 0))
+      out.push_back(c);
+    else
+      out.push_back('_');
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+std::string prometheus_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string to_prometheus(const MetricsSnapshot& snap) {
+  std::string out;
+  out.reserve(snap.metrics.size() * 96);
+  for (const MetricSnapshot& m : snap.metrics) {
+    const std::string name = prometheus_name(m.name);
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + prometheus_value(m.value) + "\n";
+        break;
+      case MetricKind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + prometheus_value(m.value) + "\n";
+        break;
+      case MetricKind::kHistogram:
+        out += "# TYPE " + name + " summary\n";
+        out += name + "{quantile=\"0.5\"} " + prometheus_value(m.hist.p50) + "\n";
+        out += name + "{quantile=\"0.9\"} " + prometheus_value(m.hist.p90) + "\n";
+        out += name + "{quantile=\"0.99\"} " + prometheus_value(m.hist.p99) + "\n";
+        out += name + "_sum " + prometheus_value(m.hist.sum) + "\n";
+        out += name + "_count " +
+               prometheus_value(static_cast<double>(m.hist.count)) + "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace g6::obs

@@ -1,0 +1,36 @@
+#pragma once
+/// \file exposition.hpp
+/// \brief Prometheus text exposition (format 0.0.4) of a MetricsSnapshot.
+///
+/// The monitor server's `/metrics` endpoint renders the registry through
+/// this module so any Prometheus-compatible scraper (or the checked-in
+/// `scripts/check_exposition.py` grammar validator) can consume a live run.
+/// Mapping:
+///
+///   Counter       -> `# TYPE <name> counter`  + one sample line
+///   Gauge         -> `# TYPE <name> gauge`    + one sample line
+///   LogHistogram  -> `# TYPE <name> summary`  + quantile lines (0.5/0.9/0.99)
+///                    + `<name>_sum` and `<name>_count`
+///
+/// Metric names are sanitized to the Prometheus grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): the registry's dots become underscores,
+/// anything else illegal becomes `_` too (`g6.run.t_sys` -> `g6_run_t_sys`).
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace g6::obs {
+
+/// Sanitize one registry metric name to the Prometheus name grammar.
+std::string prometheus_name(std::string_view name);
+
+/// Format one sample value the way the exposition format expects
+/// (`NaN` / `+Inf` / `-Inf` spelled out, shortest round-trippable otherwise).
+std::string prometheus_value(double v);
+
+/// Render a whole snapshot in the text exposition format.
+std::string to_prometheus(const MetricsSnapshot& snap);
+
+}  // namespace g6::obs

@@ -1,0 +1,222 @@
+#include "obs/flight_recorder.hpp"
+
+#ifndef G6_OBS_DISABLED
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <ctime>
+#include <deque>
+#include <mutex>
+
+#include "obs/json.hpp"
+#include "util/timer.hpp"
+
+namespace g6::obs {
+
+namespace {
+
+struct StepEntry {
+  double t_sys;
+  std::uint32_t n_act;
+  double step_seconds;
+  double wall;
+};
+
+struct EventEntry {
+  double wall;
+  std::string category;
+  std::string message;
+};
+
+}  // namespace
+
+struct FlightRecorder::Impl {
+  std::atomic<bool> armed{false};  ///< cheap early-out for publish points
+
+  std::mutex mu;  ///< guards everything below
+  FlightConfig cfg;
+  long long start_ts = 0;  ///< unix time at enable(); names the dump file
+  g6::util::Timer epoch;
+  std::deque<StepEntry> steps;
+  std::deque<EventEntry> events;
+  std::deque<std::string> frames;  ///< pre-serialized SeriesFrame JSON
+  std::size_t steps_total = 0;
+  std::size_t events_total = 0;
+  double last_autosave = -1.0;
+
+  /// Serialize the rings. Caller holds mu.
+  std::string to_json_locked(const std::string& reason) const {
+    std::string out = "{\"reason\":\"" + json_escape(reason) + "\"";
+    out += ",\"start_ts\":" + json_number(static_cast<double>(start_ts));
+    out += ",\"wall_seconds\":" + json_number(epoch.seconds());
+    out +=
+        ",\"steps_total\":" + json_number(static_cast<double>(steps_total));
+    out +=
+        ",\"events_total\":" + json_number(static_cast<double>(events_total));
+    out += ",\"steps\":[";
+    bool first = true;
+    for (const StepEntry& s : steps) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"t\":" + json_number(s.t_sys) +
+             ",\"n_act\":" + json_number(static_cast<double>(s.n_act)) +
+             ",\"seconds\":" + json_number(s.step_seconds) +
+             ",\"wall\":" + json_number(s.wall) + "}";
+    }
+    out += "],\"events\":[";
+    first = true;
+    for (const EventEntry& e : events) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"wall\":" + json_number(e.wall) + ",\"category\":\"" +
+             json_escape(e.category) + "\",\"message\":\"" +
+             json_escape(e.message) + "\"}";
+    }
+    out += "],\"frames\":[";
+    first = true;
+    for (const std::string& f : frames) {
+      if (!first) out += ",";
+      first = false;
+      out += f;
+    }
+    out += "]}\n";
+    return out;
+  }
+
+  /// Atomic rewrite of the stable dump path. Caller holds mu.
+  std::string dump_locked(const std::string& reason) {
+    const std::string path =
+        cfg.dir + "/flight_" + std::to_string(start_ts) + ".json";
+    const std::string tmp = path + ".tmp";
+    const std::string doc = to_json_locked(reason);
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
+    if (f == nullptr) return {};
+    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    if (std::fclose(f) != 0 || !ok) {
+      std::remove(tmp.c_str());
+      return {};
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return {};
+    }
+    return path;
+  }
+};
+
+FlightRecorder::FlightRecorder() : impl_(std::make_unique<Impl>()) {}
+FlightRecorder::~FlightRecorder() = default;
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::enable(FlightConfig cfg) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (cfg.max_steps == 0) cfg.max_steps = 1;
+  if (cfg.max_events == 0) cfg.max_events = 1;
+  if (cfg.max_frames == 0) cfg.max_frames = 1;
+  impl_->cfg = cfg;
+  if (impl_->start_ts == 0)
+    impl_->start_ts = static_cast<long long>(std::time(nullptr));
+  impl_->armed.store(true, std::memory_order_release);
+}
+
+bool FlightRecorder::enabled() const {
+  return impl_->armed.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::record_step(double t_sys, std::size_t n_act,
+                                 double step_seconds) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->steps.push_back({t_sys, static_cast<std::uint32_t>(n_act),
+                          step_seconds, impl_->epoch.seconds()});
+  ++impl_->steps_total;
+  while (impl_->steps.size() > impl_->cfg.max_steps) impl_->steps.pop_front();
+}
+
+void FlightRecorder::note(const std::string& category,
+                          const std::string& message) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->events.push_back({impl_->epoch.seconds(), category, message});
+  ++impl_->events_total;
+  while (impl_->events.size() > impl_->cfg.max_events)
+    impl_->events.pop_front();
+}
+
+void FlightRecorder::record_frame_json(const std::string& frame_json) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->frames.push_back(frame_json);
+  while (impl_->frames.size() > impl_->cfg.max_frames)
+    impl_->frames.pop_front();
+  const double now = impl_->epoch.seconds();
+  if (impl_->last_autosave < 0.0 ||
+      now - impl_->last_autosave >= impl_->cfg.autosave_min_interval) {
+    impl_->last_autosave = now;
+    impl_->dump_locked("autosave");
+  }
+}
+
+std::string FlightRecorder::dump(const std::string& reason) {
+  if (!enabled()) return {};
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->dump_locked(reason);
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->steps.clear();
+  impl_->events.clear();
+  impl_->frames.clear();
+  impl_->steps_total = 0;
+  impl_->events_total = 0;
+}
+
+std::size_t FlightRecorder::steps_recorded() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->steps_total;
+}
+
+std::size_t FlightRecorder::events_recorded() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->events_total;
+}
+
+namespace {
+
+void fatal_signal_handler(int sig) {
+  // Not strictly async-signal-safe (allocates, locks) — acceptable for a
+  // best-effort post-mortem dump of a process that is dying anyway; the
+  // throttled autosave is the guaranteed fallback.
+  const char* name = "signal";
+  switch (sig) {
+    case SIGSEGV: name = "SIGSEGV"; break;
+    case SIGABRT: name = "SIGABRT"; break;
+    case SIGBUS: name = "SIGBUS"; break;
+    case SIGFPE: name = "SIGFPE"; break;
+    case SIGILL: name = "SIGILL"; break;
+    case SIGTERM: name = "SIGTERM"; break;
+  }
+  FlightRecorder::global().dump(std::string("fatal:") + name);
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
+
+void FlightRecorder::install_crash_handlers() {
+  static std::atomic<bool> installed{false};
+  bool expected = false;
+  if (!installed.compare_exchange_strong(expected, true)) return;
+  for (int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL, SIGTERM})
+    std::signal(sig, fatal_signal_handler);
+}
+
+}  // namespace g6::obs
+
+#endif  // G6_OBS_DISABLED

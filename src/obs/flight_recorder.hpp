@@ -1,0 +1,116 @@
+#pragma once
+/// \file flight_recorder.hpp
+/// \brief FlightRecorder — fixed-size in-memory ring of the last K step
+///        records, fault/recovery events, and sampler frames, dumped
+///        atomically to `flight_<ts>.json` when a run dies.
+///
+/// Post-mortems of SIGKILLed or faulted campaigns should not depend on
+/// stdout scrollback: the recorder keeps a bounded window of recent history
+/// in memory and writes it out on
+///   * a catchable fatal signal (SIGSEGV/SIGABRT/SIGBUS/SIGFPE/SIGILL/
+///     SIGTERM — install_crash_handlers(), which re-raises after dumping);
+///   * an unrecovered fault or checkpoint-resume failure (explicit dump());
+///   * every sampler frame, throttled (autosave) — SIGKILL cannot be
+///     caught, so the *autosaved* dump, atomically rewritten in place
+///     (tmp + rename), is what survives a kill -9.
+///
+/// All record_*()/note() calls are mutex-guarded appends to bounded rings —
+/// cheap, allocation-light, and safe from any thread. The recorder only
+/// observes; it never mutates simulation state (determinism contract).
+/// Compiles to no-ops under G6_OBS_DISABLED.
+///
+/// Dump format (one JSON document):
+///   {"reason":..,"wall_seconds":..,"start_ts":..,
+///    "steps":[{"t":..,"n_act":..,"seconds":..,"wall":..},...],
+///    "events":[{"wall":..,"category":..,"message":..},...],
+///    "frames":[<SeriesFrame::to_json() objects>]}
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace g6::obs {
+
+struct FlightConfig {
+  std::string dir = ".";         ///< where flight_<ts>.json lands
+  std::size_t max_steps = 256;   ///< ring capacity: step records
+  std::size_t max_events = 256;  ///< ring capacity: fault/recovery notes
+  std::size_t max_frames = 32;   ///< ring capacity: sampler frames
+  double autosave_min_interval = 2.0;  ///< seconds between autosaves
+};
+
+#ifndef G6_OBS_DISABLED
+
+class FlightRecorder {
+ public:
+  FlightRecorder();
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Process-wide recorder. Publish points (fault injector, transports,
+  /// RunManager) all talk to this instance; it is inert until enable().
+  static FlightRecorder& global();
+
+  /// Arm the recorder. Until this is called every record/note/dump is a
+  /// cheap early-out, so library publish points cost one relaxed load in
+  /// unmonitored runs.
+  void enable(FlightConfig cfg);
+  bool enabled() const;
+
+  /// Record one completed blockstep (driver thread, serial point).
+  void record_step(double t_sys, std::size_t n_act, double step_seconds);
+
+  /// Record a noteworthy event — fault fired, recovery action, resume
+  /// failure. \p category is a short tag ("fault", "recovery", "resume",
+  /// "campaign"); \p message is free-form.
+  void note(const std::string& category, const std::string& message);
+
+  /// Record a sampler frame (already serialized by SeriesFrame::to_json()).
+  /// Also triggers a throttled autosave so a later SIGKILL still leaves a
+  /// recent dump on disk.
+  void record_frame_json(const std::string& frame_json);
+
+  /// Write `flight_<start_ts>.json` into cfg.dir atomically (tmp + rename);
+  /// repeated dumps rewrite the same file. Returns the path, or "" when
+  /// disabled / on I/O failure.
+  std::string dump(const std::string& reason);
+
+  /// Install handlers for catchable fatal signals that dump() then re-raise
+  /// with default disposition. Idempotent; affects the whole process.
+  static void install_crash_handlers();
+
+  /// Drop all retained history (tests; between campaign repeats).
+  void clear();
+
+  std::size_t steps_recorded() const;
+  std::size_t events_recorded() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+#else  // G6_OBS_DISABLED
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& global() {
+    static FlightRecorder r;
+    return r;
+  }
+  void enable(FlightConfig) {}
+  bool enabled() const { return false; }
+  void record_step(double, std::size_t, double) {}
+  void note(const std::string&, const std::string&) {}
+  void record_frame_json(const std::string&) {}
+  std::string dump(const std::string&) { return {}; }
+  static void install_crash_handlers() {}
+  void clear() {}
+  std::size_t steps_recorded() const { return 0; }
+  std::size_t events_recorded() const { return 0; }
+};
+
+#endif  // G6_OBS_DISABLED
+
+}  // namespace g6::obs

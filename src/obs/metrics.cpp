@@ -124,7 +124,13 @@ std::size_t MetricsRegistry::size() const {
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() {
-  // Run providers outside the lock: they call back into counter()/gauge().
+  // Serialize whole snapshots: provider publishes and the node read below
+  // form one critical section, so a concurrent snapshot cannot observe half
+  // of a provider's multi-metric publish. snapshot_mu_ is distinct from mu_
+  // because providers call back into counter()/gauge(), which take mu_.
+  std::lock_guard<std::mutex> snapshot_lock(snapshot_mu_);
+
+  // Run providers outside mu_: they call back into counter()/gauge().
   std::vector<std::function<void(MetricsRegistry&)>> providers;
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -171,7 +171,12 @@ class MetricsRegistry {
   std::size_t add_provider(std::function<void(MetricsRegistry&)> fn);
   void remove_provider(std::size_t id);
 
-  /// Read every metric (after running the providers).
+  /// Read every metric (after running the providers). Snapshots are
+  /// serialized registry-wide: `snapshot_mu_` is held from before the
+  /// providers run until every node has been read, so two concurrent
+  /// snapshots can never interleave one provider's multi-metric publish
+  /// (e.g. a stats struct publishing paired counters). Writer threads are
+  /// never blocked — handle add()/set() stay lock-free relaxed atomics.
   MetricsSnapshot snapshot();
 
   /// Number of registered metrics.
@@ -188,7 +193,8 @@ class MetricsRegistry {
 
   Node& node(std::string_view name, MetricKind kind);
 
-  mutable std::mutex mu_;                    ///< guards nodes_/index_/providers_
+  mutable std::mutex mu_;           ///< guards nodes_/index_/providers_
+  mutable std::mutex snapshot_mu_;  ///< serializes whole snapshot() calls
   std::deque<Node> nodes_;                   ///< deque: stable cell addresses
   std::vector<std::pair<std::size_t, std::function<void(MetricsRegistry&)>>> providers_;
   std::size_t next_provider_id_ = 0;

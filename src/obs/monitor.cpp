@@ -1,0 +1,98 @@
+#include "obs/monitor.hpp"
+
+#ifndef G6_OBS_DISABLED
+
+#include "obs/exposition.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/monitor_server.hpp"
+#include "obs/progress.hpp"
+#include "obs/sampler.hpp"
+
+namespace g6::obs {
+
+struct Monitor::Impl {
+  MetricsRegistry& registry;
+  TimeSeriesSampler sampler;
+  MonitorServer server;
+  MonitorConfig cfg;
+  bool started = false;
+
+  explicit Impl(MetricsRegistry& reg) : registry(reg), sampler(reg) {}
+};
+
+Monitor::Monitor() : Monitor(MetricsRegistry::global()) {}
+
+Monitor::Monitor(MetricsRegistry& registry)
+    : impl_(std::make_unique<Impl>(registry)) {}
+
+Monitor::~Monitor() { stop(); }
+
+bool Monitor::start(const MonitorConfig& cfg) {
+  if (impl_->started) return true;
+  impl_->cfg = cfg;
+
+  FlightConfig fc;
+  fc.dir = cfg.flight_dir;
+  fc.max_steps = cfg.flight_steps;
+  fc.max_events = cfg.flight_events;
+  fc.max_frames = cfg.flight_frames;
+  fc.autosave_min_interval = cfg.flight_autosave;
+  FlightRecorder::global().enable(fc);
+  if (cfg.crash_handlers) FlightRecorder::install_crash_handlers();
+
+  // Feed every frame into the flight ring; its throttled autosave is what
+  // survives SIGKILL.
+  impl_->sampler.on_frame = [](const SeriesFrame& frame) {
+    FlightRecorder::global().record_frame_json(frame.to_json());
+  };
+
+  if (cfg.serve) {
+    MetricsRegistry* reg = &impl_->registry;
+    impl_->server.route("/metrics", [reg] {
+      return HttpResponse{200, "text/plain; version=0.0.4",
+                          to_prometheus(reg->snapshot())};
+    });
+    impl_->server.route("/metrics.json", [reg] {
+      return HttpResponse{200, "application/json",
+                          "{\"metrics\":" + reg->snapshot().to_json() + "}"};
+    });
+    impl_->server.route("/progress", [] {
+      return HttpResponse{200, "application/json",
+                          ProgressTracker::global().to_json()};
+    });
+    TimeSeriesSampler* sampler = &impl_->sampler;
+    impl_->server.route("/series", [sampler] {
+      return HttpResponse{200, "application/json", sampler->to_json()};
+    });
+    if (!impl_->server.start(cfg.port)) return false;
+  }
+
+  SamplerConfig sc;
+  sc.interval_seconds = cfg.sample_interval;
+  sc.max_frames = cfg.series_frames;
+  impl_->sampler.start(sc);
+  impl_->started = true;
+  return true;
+}
+
+void Monitor::stop() {
+  if (!impl_->started) return;
+  impl_->sampler.stop();
+  impl_->server.stop();
+  if (!impl_->cfg.series_path.empty())
+    impl_->sampler.write_jsonl(impl_->cfg.series_path);
+  if (!impl_->cfg.series_binary_path.empty())
+    impl_->sampler.write_binary(impl_->cfg.series_binary_path);
+  impl_->started = false;
+}
+
+bool Monitor::running() const { return impl_->started; }
+
+int Monitor::port() const { return impl_->server.port(); }
+
+TimeSeriesSampler& Monitor::sampler() { return impl_->sampler; }
+MonitorServer& Monitor::server() { return impl_->server; }
+
+}  // namespace g6::obs
+
+#endif  // G6_OBS_DISABLED

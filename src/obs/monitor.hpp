@@ -1,0 +1,97 @@
+#pragma once
+/// \file monitor.hpp
+/// \brief Monitor — one-call wiring of the live-monitoring stack: sampler +
+///        HTTP exposition server + progress tracker + flight recorder.
+///
+/// The examples' `--monitor <port>` flag constructs one of these:
+///
+///   g6::obs::Monitor monitor;
+///   g6::obs::MonitorConfig cfg;
+///   cfg.port = 8080;
+///   monitor.start(cfg);              // sampler thread + server thread
+///   ...run...                        // driver updates registry / tracker
+///   monitor.stop();                  // flush series JSONL, stop threads
+///
+/// Endpoints served (127.0.0.1 only):
+///   /metrics       Prometheus text exposition (format 0.0.4)
+///   /metrics.json  registry snapshot as JSON
+///   /progress      ProgressTracker::to_json() — per-job ETA and drift
+///   /series        TimeSeriesSampler::to_json() — the retained frame ring
+///
+/// Every sampler frame is forwarded to the FlightRecorder (bounded ring +
+/// throttled autosave), so even a SIGKILLed run leaves a recent
+/// `flight_<ts>.json` behind. Monitoring only reads simulation state —
+/// determinism contract — and compiles to no-ops under G6_OBS_DISABLED.
+
+#include <memory>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace g6::obs {
+
+struct MonitorConfig {
+  int port = 0;  ///< TCP port for the HTTP server; 0 = ephemeral (tests)
+  bool serve = true;  ///< false: sampler/flight only, no server thread
+  double sample_interval = 1.0;   ///< sampler cadence, seconds
+  std::size_t series_frames = 600;  ///< sampler ring capacity
+  std::string series_path;  ///< if non-empty, write JSONL here on stop()
+  std::string series_binary_path;  ///< if non-empty, write G6SERIES1 ring
+  std::string flight_dir = ".";    ///< where flight_<ts>.json lands
+  std::size_t flight_steps = 256;  ///< flight ring: step records
+  std::size_t flight_events = 256;  ///< flight ring: fault/recovery notes
+  std::size_t flight_frames = 32;   ///< flight ring: sampler frames
+  double flight_autosave = 2.0;     ///< min seconds between autosaves
+  bool crash_handlers = true;  ///< install fatal-signal dump handlers
+};
+
+#ifndef G6_OBS_DISABLED
+
+class MonitorServer;
+class TimeSeriesSampler;
+
+class Monitor {
+ public:
+  /// Monitors MetricsRegistry::global() and ProgressTracker::global().
+  Monitor();
+  /// Monitors a private registry (tests).
+  explicit Monitor(MetricsRegistry& registry);
+  ~Monitor();  ///< stop()s if still running
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  /// Arm the flight recorder, start the sampler thread and (when cfg.serve)
+  /// the HTTP server. Returns false when the port cannot be bound.
+  bool start(const MonitorConfig& cfg);
+
+  /// Stop both threads; flush series files if configured. Idempotent.
+  void stop();
+
+  bool running() const;
+
+  /// Bound HTTP port (resolves port 0); 0 when not serving.
+  int port() const;
+
+  TimeSeriesSampler& sampler();
+  MonitorServer& server();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+#else  // G6_OBS_DISABLED
+
+class Monitor {
+ public:
+  Monitor() = default;
+  explicit Monitor(MetricsRegistry&) {}
+  bool start(const MonitorConfig&) { return false; }
+  void stop() {}
+  bool running() const { return false; }
+  int port() const { return 0; }
+};
+
+#endif  // G6_OBS_DISABLED
+
+}  // namespace g6::obs

@@ -1,0 +1,167 @@
+#include "obs/monitor_server.hpp"
+
+#ifndef G6_OBS_DISABLED
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace g6::obs {
+
+struct MonitorServer::Impl {
+  std::map<std::string, std::function<HttpResponse()>> routes;
+  int listen_fd = -1;
+  int bound_port = 0;
+  std::thread thread;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> running{false};
+};
+
+MonitorServer::MonitorServer() : impl_(std::make_unique<Impl>()) {}
+
+MonitorServer::~MonitorServer() { stop(); }
+
+void MonitorServer::route(const std::string& path,
+                          std::function<HttpResponse()> fn) {
+  impl_->routes[path] = std::move(fn);
+}
+
+HttpResponse MonitorServer::handle(const std::string& path) const {
+  // Exact match on the path with any query string stripped.
+  std::string key = path;
+  if (const auto q = key.find('?'); q != std::string::npos) key.resize(q);
+  const auto it = impl_->routes.find(key);
+  if (it == impl_->routes.end()) return {404, "text/plain", "not found\n"};
+  return it->second();
+}
+
+namespace {
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+  }
+  return "Error";
+}
+
+void write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return;  // peer went away; response is best-effort
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Read until the end of the request headers (or 4 KiB / EOF), return the
+/// request line. Connections are short-lived, so a blocking read with a
+/// receive timeout is fine.
+std::string read_request_line(int fd) {
+  std::string buf;
+  char chunk[512];
+  while (buf.size() < 4096 && buf.find("\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  const auto eol = buf.find("\r\n");
+  return eol == std::string::npos ? buf : buf.substr(0, eol);
+}
+
+}  // namespace
+
+bool MonitorServer::start(int port) {
+  if (impl_->running.load()) return true;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+    impl_->bound_port = ntohs(addr.sin_port);
+
+  impl_->listen_fd = fd;
+  impl_->stop.store(false);
+  impl_->running.store(true);
+  impl_->thread = std::thread([this] {
+    while (!impl_->stop.load(std::memory_order_relaxed)) {
+      pollfd pfd{impl_->listen_fd, POLLIN, 0};
+      const int r = ::poll(&pfd, 1, 100);  // 100 ms: prompt stop()
+      if (r <= 0 || (pfd.revents & POLLIN) == 0) continue;
+      const int client = ::accept(impl_->listen_fd, nullptr, nullptr);
+      if (client < 0) continue;
+      timeval tv{2, 0};
+      ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+      ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+
+      const std::string req = read_request_line(client);
+      // "GET /path HTTP/1.x"
+      HttpResponse resp;
+      if (req.compare(0, 4, "GET ") != 0) {
+        resp = {405, "text/plain", "only GET is supported\n"};
+      } else {
+        const auto sp = req.find(' ', 4);
+        const std::string path =
+            sp == std::string::npos ? req.substr(4) : req.substr(4, sp - 4);
+        resp = handle(path);
+      }
+      std::string out = "HTTP/1.0 " + std::to_string(resp.status) + " " +
+                        status_text(resp.status) + "\r\n";
+      out += "Content-Type: " + resp.content_type + "\r\n";
+      out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+      out += "Connection: close\r\n\r\n";
+      out += resp.body;
+      write_all(client, out);
+      ::close(client);
+    }
+  });
+  G6_LOG_INFO("monitor: listening on 127.0.0.1:" +
+              std::to_string(impl_->bound_port));
+  return true;
+}
+
+void MonitorServer::stop() {
+  if (!impl_->running.load()) return;
+  impl_->stop.store(true);
+  impl_->thread.join();
+  ::close(impl_->listen_fd);
+  impl_->listen_fd = -1;
+  impl_->running.store(false);
+}
+
+bool MonitorServer::running() const { return impl_->running.load(); }
+
+int MonitorServer::port() const { return impl_->bound_port; }
+
+}  // namespace g6::obs
+
+#endif  // G6_OBS_DISABLED

@@ -1,0 +1,76 @@
+#pragma once
+/// \file monitor_server.hpp
+/// \brief MonitorServer — minimal blocking HTTP/1.0 server (POSIX sockets,
+///        no dependencies) serving registered GET routes.
+///
+/// One background thread accepts connections (poll() with a 100 ms timeout
+/// so stop() is prompt), reads the request line, dispatches on the path and
+/// writes the response with `Connection: close`. Handlers run on the server
+/// thread and must only *read* shared state (registry snapshots, progress
+/// tracker atomics) — the determinism contract.
+///
+/// Routes are registered before start(); the monitor facade wires
+/// `/metrics` (Prometheus text exposition), `/metrics.json`, `/progress`
+/// and `/series`. Pass port 0 to bind an ephemeral port (tests); the bound
+/// port is available from port() after start(). `handle(path)` dispatches
+/// without a socket — the unit-test hook.
+///
+/// Compiles to no-ops under G6_OBS_DISABLED.
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace g6::obs {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain";
+  std::string body;
+};
+
+#ifndef G6_OBS_DISABLED
+
+class MonitorServer {
+ public:
+  MonitorServer();
+  ~MonitorServer();  ///< stops the thread if running
+  MonitorServer(const MonitorServer&) = delete;
+  MonitorServer& operator=(const MonitorServer&) = delete;
+
+  /// Register a GET route (exact path match, query string ignored).
+  /// Must be called before start().
+  void route(const std::string& path, std::function<HttpResponse()> fn);
+
+  /// Bind 127.0.0.1:<port> (0 = ephemeral) and start the accept thread.
+  /// Returns false when the socket cannot be bound.
+  bool start(int port);
+  void stop();
+  bool running() const;
+
+  /// Port actually bound (resolves port 0); 0 when not started.
+  int port() const;
+
+  /// Dispatch \p path through the route table without any socket I/O.
+  HttpResponse handle(const std::string& path) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+#else  // G6_OBS_DISABLED
+
+class MonitorServer {
+ public:
+  void route(const std::string&, std::function<HttpResponse()>) {}
+  bool start(int) { return false; }
+  void stop() {}
+  bool running() const { return false; }
+  int port() const { return 0; }
+  HttpResponse handle(const std::string&) const { return {404, "text/plain", "monitoring disabled\n"}; }
+};
+
+#endif  // G6_OBS_DISABLED
+
+}  // namespace g6::obs

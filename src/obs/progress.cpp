@@ -1,0 +1,207 @@
+#include "obs/progress.hpp"
+
+#include "obs/json.hpp"
+
+#ifndef G6_OBS_DISABLED
+#include <atomic>
+#include <deque>
+#include <mutex>
+#endif
+
+namespace g6::obs {
+
+const char* job_state_name(JobState s) {
+  switch (s) {
+    case JobState::kPending: return "pending";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kPreempted: return "preempted";
+  }
+  return "?";
+}
+
+#ifndef G6_OBS_DISABLED
+
+/// EWMA weight for the simulation-time rate: ~63% of the estimate comes
+/// from the last kRateWindow seconds of wall time.
+static constexpr double kRateWindow = 30.0;
+
+struct JobTicket::Slot {
+  std::string name;  ///< immutable after construction
+  std::atomic<double> t_start{0.0};
+  std::atomic<double> t_end{0.0};
+  std::atomic<int> state{static_cast<int>(JobState::kPending)};
+  std::atomic<double> t_sys{0.0};
+  std::atomic<std::uint64_t> blocks{0};
+  std::atomic<double> wall{0.0};
+  std::atomic<double> sim_rate{0.0};  ///< EWMA of d(t_sys)/d(wall)
+  std::atomic<double> model_spb{0.0};
+  std::atomic<double> capacity{1.0};
+};
+
+void JobTicket::update(double t_sys, std::uint64_t blocks,
+                       double wall_seconds) {
+  if (slot_ == nullptr) return;
+  const double prev_t = slot_->t_sys.load(std::memory_order_relaxed);
+  const double prev_wall = slot_->wall.load(std::memory_order_relaxed);
+  const double dw = wall_seconds - prev_wall;
+  if (dw > 0.0) {
+    const double inst = (t_sys - prev_t) / dw;
+    const double old = slot_->sim_rate.load(std::memory_order_relaxed);
+    // EWMA weighted by elapsed wall time; first observation seeds directly.
+    const double a = old == 0.0 ? 1.0 : (dw >= kRateWindow ? 1.0 : dw / kRateWindow);
+    slot_->sim_rate.store(old + a * (inst - old), std::memory_order_relaxed);
+  }
+  slot_->t_sys.store(t_sys, std::memory_order_relaxed);
+  slot_->blocks.store(blocks, std::memory_order_relaxed);
+  slot_->wall.store(wall_seconds, std::memory_order_relaxed);
+  int expected = static_cast<int>(JobState::kPending);
+  slot_->state.compare_exchange_strong(expected,
+                                       static_cast<int>(JobState::kRunning),
+                                       std::memory_order_relaxed);
+}
+
+void JobTicket::set_model_seconds_per_block(double s) {
+  if (slot_ != nullptr) slot_->model_spb.store(s, std::memory_order_relaxed);
+}
+
+void JobTicket::set_capacity_fraction(double f) {
+  if (slot_ != nullptr) slot_->capacity.store(f, std::memory_order_relaxed);
+}
+
+void JobTicket::set_state(JobState s) {
+  if (slot_ != nullptr)
+    slot_->state.store(static_cast<int>(s), std::memory_order_relaxed);
+}
+
+struct ProgressTracker::Impl {
+  mutable std::mutex mu;            ///< guards slots (append + name lookup)
+  std::deque<JobTicket::Slot> slots;  ///< deque: stable slot addresses
+};
+
+ProgressTracker::ProgressTracker() : impl_(std::make_unique<Impl>()) {}
+ProgressTracker::~ProgressTracker() = default;
+
+ProgressTracker& ProgressTracker::global() {
+  static ProgressTracker tracker;
+  return tracker;
+}
+
+JobTicket ProgressTracker::add_job(const std::string& name, double t_start,
+                                   double t_end) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (JobTicket::Slot& s : impl_->slots) {
+    if (s.name == name) {
+      s.t_start.store(t_start, std::memory_order_relaxed);
+      s.t_end.store(t_end, std::memory_order_relaxed);
+      return JobTicket(&s);
+    }
+  }
+  JobTicket::Slot& s = impl_->slots.emplace_back();
+  s.name = name;
+  s.t_start.store(t_start, std::memory_order_relaxed);
+  s.t_end.store(t_end, std::memory_order_relaxed);
+  return JobTicket(&s);
+}
+
+namespace {
+
+JobProgress read_slot(const JobTicket::Slot& s) {
+  JobProgress p;
+  p.name = s.name;
+  p.state = static_cast<JobState>(s.state.load(std::memory_order_relaxed));
+  p.t_start = s.t_start.load(std::memory_order_relaxed);
+  p.t_end = s.t_end.load(std::memory_order_relaxed);
+  p.t_sys = s.t_sys.load(std::memory_order_relaxed);
+  p.blocks = s.blocks.load(std::memory_order_relaxed);
+  p.wall_seconds = s.wall.load(std::memory_order_relaxed);
+  p.sim_rate = s.sim_rate.load(std::memory_order_relaxed);
+  p.model_seconds_per_block = s.model_spb.load(std::memory_order_relaxed);
+  p.capacity_fraction = s.capacity.load(std::memory_order_relaxed);
+
+  const double span = p.t_end - p.t_start;
+  if (span > 0.0) {
+    p.fraction = (p.t_sys - p.t_start) / span;
+    if (p.fraction < 0.0) p.fraction = 0.0;
+    if (p.fraction > 1.0) p.fraction = 1.0;
+  } else {
+    p.fraction = p.state == JobState::kDone ? 1.0 : 0.0;
+  }
+  if (p.wall_seconds > 0.0 && p.blocks > 0)
+    p.blocks_per_second = static_cast<double>(p.blocks) / p.wall_seconds;
+
+  const double remaining = p.t_end - p.t_sys;
+  if (p.state == JobState::kDone) {
+    p.eta_seconds = 0.0;
+  } else if (remaining > 0.0 && p.sim_rate > 0.0) {
+    p.eta_seconds = remaining / p.sim_rate;
+  }
+
+  const double measured_spb =
+      p.blocks > 0 ? p.wall_seconds / static_cast<double>(p.blocks) : 0.0;
+  if (p.model_seconds_per_block > 0.0) {
+    if (measured_spb > 0.0) p.drift = measured_spb / p.model_seconds_per_block;
+    // Remaining blocks estimated from the measured pace (t per block).
+    if (remaining > 0.0 && p.blocks > 0 && p.t_sys > p.t_start) {
+      const double t_per_block =
+          (p.t_sys - p.t_start) / static_cast<double>(p.blocks);
+      if (t_per_block > 0.0)
+        p.model_eta_seconds =
+            remaining / t_per_block * p.model_seconds_per_block;
+    } else if (p.state == JobState::kDone) {
+      p.model_eta_seconds = 0.0;
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+std::vector<JobProgress> ProgressTracker::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<JobProgress> out;
+  out.reserve(impl_->slots.size());
+  for (const JobTicket::Slot& s : impl_->slots) out.push_back(read_slot(s));
+  return out;
+}
+
+std::string ProgressTracker::to_json() const {
+  const std::vector<JobProgress> jobs = snapshot();
+  std::size_t done = 0, running = 0, failed = 0;
+  std::string out = "{\"jobs\":[";
+  bool first = true;
+  for (const JobProgress& p : jobs) {
+    if (p.state == JobState::kDone) ++done;
+    if (p.state == JobState::kRunning) ++running;
+    if (p.state == JobState::kFailed) ++failed;
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + json_escape(p.name) + "\"";
+    out += ",\"state\":\"" + std::string(job_state_name(p.state)) + "\"";
+    out += ",\"t_start\":" + json_number(p.t_start);
+    out += ",\"t_sys\":" + json_number(p.t_sys);
+    out += ",\"t_end\":" + json_number(p.t_end);
+    out += ",\"fraction\":" + json_number(p.fraction);
+    out += ",\"blocks\":" + json_number(static_cast<double>(p.blocks));
+    out += ",\"wall_seconds\":" + json_number(p.wall_seconds);
+    out += ",\"blocks_per_second\":" + json_number(p.blocks_per_second);
+    out += ",\"sim_rate\":" + json_number(p.sim_rate);
+    out += ",\"eta_seconds\":" + json_number(p.eta_seconds);
+    out += ",\"model_eta_seconds\":" + json_number(p.model_eta_seconds);
+    out += ",\"model_seconds_per_block\":" +
+           json_number(p.model_seconds_per_block);
+    out += ",\"drift\":" + json_number(p.drift);
+    out += ",\"capacity_fraction\":" + json_number(p.capacity_fraction);
+    out += "}";
+  }
+  out += "],\"done\":" + json_number(static_cast<double>(done));
+  out += ",\"running\":" + json_number(static_cast<double>(running));
+  out += ",\"failed\":" + json_number(static_cast<double>(failed));
+  out += ",\"total\":" + json_number(static_cast<double>(jobs.size())) + "}";
+  return out;
+}
+
+#endif  // G6_OBS_DISABLED
+
+}  // namespace g6::obs

@@ -1,0 +1,132 @@
+#pragma once
+/// \file progress.hpp
+/// \brief ProgressTracker — live per-job progress, throughput, ETA and
+///        measured-vs-model drift for the monitor server's `/progress`.
+///
+/// A tracker holds one JobTicket per run (RunManager registers one per
+/// checkpointed run; CampaignRunner one per job). The *driver thread* of a
+/// run updates its ticket at serial points (after each blockstep / segment);
+/// every field lives in an atomic cell so the monitor thread can read a
+/// consistent-enough view without locks and without perturbing the run —
+/// the same only-reads determinism contract as the rest of the obs layer.
+///
+/// ETA combines two estimators:
+///   * measured:  remaining simulation time / recent simulation-time rate
+///                (EWMA of d(t_sys)/d(wall), so it adapts to block-size
+///                drift over a long run);
+///   * model:     remaining blocks x `model_seconds_per_block`, where the
+///                caller supplies the analytic PerfModel prediction
+///                (obs cannot depend on cluster — RunManager computes it).
+///
+/// `drift` = measured seconds-per-block / model seconds-per-block; 1.0 means
+/// the run tracks the analytic model, >1 it is slower. `capacity_fraction`
+/// is the fault subsystem's degraded-capacity figure (1.0 = healthy).
+///
+/// Compiles to no-ops under G6_OBS_DISABLED.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace g6::obs {
+
+enum class JobState { kPending, kRunning, kDone, kFailed, kPreempted };
+
+const char* job_state_name(JobState s);
+
+/// Plain-value snapshot of one job; what `/progress` serializes.
+struct JobProgress {
+  std::string name;
+  JobState state = JobState::kPending;
+  double t_start = 0.0;      ///< simulation time at job start
+  double t_sys = 0.0;        ///< current simulation time
+  double t_end = 0.0;        ///< target simulation time
+  double fraction = 0.0;     ///< (t_sys - t_start) / (t_end - t_start), 0..1
+  std::uint64_t blocks = 0;  ///< blocksteps completed
+  double wall_seconds = 0.0;          ///< wall time spent in the run loop
+  double blocks_per_second = 0.0;     ///< measured blockstep throughput
+  double sim_rate = 0.0;              ///< EWMA of d(t_sys)/d(wall)
+  double eta_seconds = -1.0;          ///< measured ETA; <0 = unknown
+  double model_eta_seconds = -1.0;    ///< PerfModel ETA; <0 = no model
+  double model_seconds_per_block = 0.0;  ///< 0 = no model supplied
+  double drift = 0.0;                 ///< measured/model sec-per-block; 0 = n/a
+  double capacity_fraction = 1.0;     ///< healthy capacity (fault subsystem)
+};
+
+#ifndef G6_OBS_DISABLED
+
+class ProgressTracker;
+
+/// Handle owned by a run's driver thread; all updates are relaxed atomic
+/// stores, all reads (from the monitor) relaxed loads. Tickets stay valid
+/// for the tracker's lifetime (jobs are never removed, only finished).
+class JobTicket {
+ public:
+  struct Slot;  ///< opaque; defined in progress.cpp
+
+  JobTicket() = default;  ///< invalid handle; every call is a no-op
+
+  void update(double t_sys, std::uint64_t blocks, double wall_seconds);
+  void set_model_seconds_per_block(double s);
+  void set_capacity_fraction(double f);
+  void set_state(JobState s);
+  void finish(JobState s) { set_state(s); }
+  bool valid() const { return slot_ != nullptr; }
+
+ private:
+  friend class ProgressTracker;
+  explicit JobTicket(Slot* slot) : slot_(slot) {}
+  Slot* slot_ = nullptr;
+};
+
+class ProgressTracker {
+ public:
+  ProgressTracker();
+  ~ProgressTracker();
+  ProgressTracker(const ProgressTracker&) = delete;
+  ProgressTracker& operator=(const ProgressTracker&) = delete;
+
+  static ProgressTracker& global();
+
+  /// Register a job. Re-using a name returns a fresh ticket onto the same
+  /// slot (a resumed run continues its predecessor's row).
+  JobTicket add_job(const std::string& name, double t_start, double t_end);
+
+  std::vector<JobProgress> snapshot() const;
+
+  /// {"jobs":[...],"done":N,"running":N,"failed":N} — `/progress` payload.
+  std::string to_json() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+#else  // G6_OBS_DISABLED
+
+class JobTicket {
+ public:
+  JobTicket() = default;
+  void update(double, std::uint64_t, double) {}
+  void set_model_seconds_per_block(double) {}
+  void set_capacity_fraction(double) {}
+  void set_state(JobState) {}
+  void finish(JobState) {}
+  bool valid() const { return false; }
+};
+
+class ProgressTracker {
+ public:
+  static ProgressTracker& global() {
+    static ProgressTracker t;
+    return t;
+  }
+  JobTicket add_job(const std::string&, double, double) { return {}; }
+  std::vector<JobProgress> snapshot() const { return {}; }
+  std::string to_json() const { return "{}"; }
+};
+
+#endif  // G6_OBS_DISABLED
+
+}  // namespace g6::obs

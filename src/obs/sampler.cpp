@@ -1,0 +1,257 @@
+#include "obs/sampler.hpp"
+
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+#ifndef G6_OBS_DISABLED
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "util/timer.hpp"
+#endif
+
+namespace g6::obs {
+
+std::string SeriesFrame::to_json() const {
+  std::string out = "{\"seq\":" + json_number(static_cast<double>(seq)) +
+                    ",\"wall\":" + json_number(wall_seconds) +
+                    ",\"dt\":" + json_number(dt) + ",\"m\":[";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const SeriesSample& s = samples[i];
+    if (i != 0) out += ",";
+    out += "[" + json_number(static_cast<double>(s.name_id)) + "," +
+           json_number(static_cast<double>(static_cast<int>(s.kind))) + "," +
+           json_number(s.value) + "," + json_number(s.delta) + "," +
+           json_number(s.rate);
+    if (s.kind == MetricKind::kHistogram)
+      out += "," + json_number(s.p50) + "," + json_number(s.p90) + "," +
+             json_number(s.p99);
+    out += "]";
+  }
+  out += "]}";
+  return out;
+}
+
+#ifndef G6_OBS_DISABLED
+
+struct TimeSeriesSampler::Impl {
+  MetricsRegistry& registry;
+  g6::util::Timer epoch;  ///< wall_seconds origin
+
+  std::mutex mu;  ///< guards everything below
+  SamplerConfig cfg;
+  std::vector<std::string> names;              ///< interned, append-only
+  std::map<std::string, std::uint32_t> index;  ///< name -> id
+  std::map<std::uint32_t, double> last_value;  ///< id -> previous frame value
+  std::deque<SeriesFrame> ring;
+  std::uint64_t taken = 0;
+  double last_wall = 0.0;
+
+  std::thread thread;
+  std::condition_variable cv;
+  bool stopping = false;
+  bool thread_running = false;
+
+  explicit Impl(MetricsRegistry& reg) : registry(reg) {}
+};
+
+TimeSeriesSampler::TimeSeriesSampler(MetricsRegistry& registry)
+    : impl_(std::make_unique<Impl>(registry)) {}
+
+TimeSeriesSampler::~TimeSeriesSampler() { stop(); }
+
+void TimeSeriesSampler::sample_now() {
+  // Snapshot outside the sampler lock: the registry serializes snapshots
+  // itself, and a provider may take arbitrarily long.
+  const MetricsSnapshot snap = impl_->registry.snapshot();
+  const double wall = impl_->epoch.seconds();
+
+  SeriesFrame frame;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    frame.seq = impl_->taken++;
+    frame.wall_seconds = wall;
+    frame.dt = frame.seq == 0 ? 0.0 : wall - impl_->last_wall;
+    impl_->last_wall = wall;
+    frame.samples.reserve(snap.metrics.size());
+    for (const MetricSnapshot& m : snap.metrics) {
+      SeriesSample s;
+      auto it = impl_->index.find(m.name);
+      if (it == impl_->index.end()) {
+        const auto id = static_cast<std::uint32_t>(impl_->names.size());
+        impl_->names.push_back(m.name);
+        it = impl_->index.emplace(m.name, id).first;
+      }
+      s.name_id = it->second;
+      s.kind = m.kind;
+      s.value = m.value;
+      const auto prev = impl_->last_value.find(s.name_id);
+      if (prev != impl_->last_value.end()) {
+        s.delta = s.value - prev->second;
+        s.rate = frame.dt > 0.0 ? s.delta / frame.dt : 0.0;
+        prev->second = s.value;
+      } else {
+        impl_->last_value.emplace(s.name_id, s.value);
+      }
+      if (m.kind == MetricKind::kHistogram) {
+        s.p50 = m.hist.p50;
+        s.p90 = m.hist.p90;
+        s.p99 = m.hist.p99;
+      }
+      frame.samples.push_back(s);
+    }
+    impl_->ring.push_back(frame);
+    while (impl_->ring.size() > impl_->cfg.max_frames) impl_->ring.pop_front();
+  }
+  if (on_frame) on_frame(frame);
+}
+
+void TimeSeriesSampler::start(SamplerConfig cfg) {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  if (impl_->thread_running) return;
+  if (cfg.interval_seconds <= 0.0) cfg.interval_seconds = 1.0;
+  if (cfg.max_frames == 0) cfg.max_frames = 1;
+  impl_->cfg = cfg;
+  impl_->stopping = false;
+  impl_->thread_running = true;
+  lock.unlock();
+  impl_->thread = std::thread([this] {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> wait_lock(impl_->mu);
+        impl_->cv.wait_for(
+            wait_lock,
+            std::chrono::duration<double>(impl_->cfg.interval_seconds),
+            [this] { return impl_->stopping; });
+        if (impl_->stopping) return;
+      }
+      sample_now();
+    }
+  });
+}
+
+void TimeSeriesSampler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (!impl_->thread_running) return;
+    impl_->stopping = true;
+  }
+  impl_->cv.notify_all();
+  impl_->thread.join();
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->thread_running = false;
+}
+
+bool TimeSeriesSampler::running() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->thread_running;
+}
+
+std::vector<std::string> TimeSeriesSampler::names() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->names;
+}
+
+std::vector<SeriesFrame> TimeSeriesSampler::frames() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return std::vector<SeriesFrame>(impl_->ring.begin(), impl_->ring.end());
+}
+
+std::uint64_t TimeSeriesSampler::frames_taken() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->taken;
+}
+
+namespace {
+
+std::string names_json(const std::vector<std::string>& names) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "\"" + json_escape(names[i]) + "\"";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::string TimeSeriesSampler::to_json() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::string out = "{\"interval\":" + json_number(impl_->cfg.interval_seconds) +
+                    ",\"frames_taken\":" +
+                    json_number(static_cast<double>(impl_->taken)) +
+                    ",\"names\":" + names_json(impl_->names) + ",\"frames\":[";
+  bool first = true;
+  for (const SeriesFrame& f : impl_->ring) {
+    if (!first) out += ",";
+    first = false;
+    out += f.to_json();
+  }
+  out += "]}";
+  return out;
+}
+
+bool TimeSeriesSampler::write_jsonl(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok = true;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    const std::string header =
+        "{\"series\":\"g6\",\"interval\":" +
+        json_number(impl_->cfg.interval_seconds) +
+        ",\"names\":" + names_json(impl_->names) + "}\n";
+    ok = std::fwrite(header.data(), 1, header.size(), f) == header.size();
+    for (const SeriesFrame& frame : impl_->ring) {
+      const std::string line = frame.to_json() + "\n";
+      ok = ok && std::fwrite(line.data(), 1, line.size(), f) == line.size();
+    }
+  }
+  return std::fclose(f) == 0 && ok;
+}
+
+namespace {
+
+template <typename T>
+bool put(std::FILE* f, const T& v) {
+  return std::fwrite(&v, sizeof v, 1, f) == 1;  // little-endian hosts only
+}
+
+}  // namespace
+
+bool TimeSeriesSampler::write_binary(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = std::fwrite("G6SERIES1", 1, 9, f) == 9;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    ok = ok && put(f, static_cast<std::uint32_t>(impl_->names.size()));
+    for (const std::string& name : impl_->names) {
+      ok = ok && put(f, static_cast<std::uint32_t>(name.size()));
+      ok = ok && std::fwrite(name.data(), 1, name.size(), f) == name.size();
+    }
+    ok = ok && put(f, static_cast<std::uint32_t>(impl_->ring.size()));
+    for (const SeriesFrame& frame : impl_->ring) {
+      ok = ok && put(f, frame.seq) && put(f, frame.wall_seconds) &&
+           put(f, frame.dt) &&
+           put(f, static_cast<std::uint32_t>(frame.samples.size()));
+      for (const SeriesSample& s : frame.samples) {
+        ok = ok && put(f, s.name_id) &&
+             put(f, static_cast<std::uint8_t>(s.kind)) && put(f, s.value) &&
+             put(f, s.delta) && put(f, s.rate) && put(f, s.p50) &&
+             put(f, s.p90) && put(f, s.p99);
+      }
+    }
+  }
+  return std::fclose(f) == 0 && ok;
+}
+
+#endif  // G6_OBS_DISABLED
+
+}  // namespace g6::obs

@@ -1,0 +1,135 @@
+#pragma once
+/// \file sampler.hpp
+/// \brief TimeSeriesSampler — periodic snapshots of a MetricsRegistry into a
+///        bounded in-memory ring of frames, with per-metric deltas and rates.
+///
+/// A sampler owns one background thread that calls `registry.snapshot()`
+/// every `interval_seconds` and reduces the result to a SeriesFrame: for
+/// every metric the current value, the delta since the previous frame, and
+/// the rate (delta / elapsed); histograms additionally carry the log-bucket
+/// p50/p90/p99. Metric names are interned once into a table so frames store
+/// 4-byte ids, keeping a multi-hour ring small (a frame is ~56 bytes per
+/// metric). The ring is bounded: the oldest frame is dropped when
+/// `max_frames` is reached.
+///
+/// The sampler only *reads* registry state (snapshot() + relaxed atomic
+/// loads), so it never perturbs simulation order — the determinism contract
+/// of docs/OBSERVABILITY.md. Snapshots are serialized registry-wide (see
+/// MetricsRegistry::snapshot), so a sampler frame is coherent with respect
+/// to provider publishes even while writer threads are hot.
+///
+/// Exports: `to_json()` (the monitor server's `/series` payload),
+/// `write_jsonl()` (one header line + one frame per line, the CI artifact
+/// format), and `write_binary()` (the compact `G6SERIES1` ring dump).
+/// Compiles to no-ops under G6_OBS_DISABLED.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace g6::obs {
+
+struct SamplerConfig {
+  double interval_seconds = 1.0;  ///< cadence of the background thread
+  std::size_t max_frames = 600;   ///< ring capacity (oldest dropped)
+};
+
+/// One metric inside one frame.
+struct SeriesSample {
+  std::uint32_t name_id = 0;  ///< index into TimeSeriesSampler::names()
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;  ///< counter/gauge value; histogram sample count
+  double delta = 0.0;  ///< value - previous frame's value (0 in first frame)
+  double rate = 0.0;   ///< delta / dt (0 in first frame)
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0;  ///< histograms only
+};
+
+/// One sampler tick.
+struct SeriesFrame {
+  std::uint64_t seq = 0;      ///< monotone frame number (never resets)
+  double wall_seconds = 0.0;  ///< seconds since the sampler was constructed
+  double dt = 0.0;            ///< seconds since the previous frame (0 first)
+  std::vector<SeriesSample> samples;
+
+  /// One JSON object (a JSONL line without the trailing newline):
+  /// {"seq":..,"wall":..,"dt":..,"m":[[id,kind,value,delta,rate,p50,p90,p99],..]}
+  std::string to_json() const;
+};
+
+#ifndef G6_OBS_DISABLED
+
+class TimeSeriesSampler {
+ public:
+  explicit TimeSeriesSampler(MetricsRegistry& registry);
+  ~TimeSeriesSampler();  ///< stops the thread if running
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+  /// Start the background thread. No-op if already running.
+  void start(SamplerConfig cfg);
+  /// Stop and join the background thread; retained frames stay readable.
+  void stop();
+  bool running() const;
+
+  /// Take one frame synchronously on the calling thread (the background
+  /// thread uses this too). Safe to call without start() — tests and
+  /// drive-by sampling at known-coherent points use it directly.
+  void sample_now();
+
+  /// Interned metric-name table; `SeriesSample::name_id` indexes it. Grows
+  /// as metrics appear; existing ids are never reassigned.
+  std::vector<std::string> names() const;
+
+  /// Copy of the retained ring, oldest first.
+  std::vector<SeriesFrame> frames() const;
+
+  /// Total frames taken (including frames already pushed out of the ring).
+  std::uint64_t frames_taken() const;
+
+  /// Hook invoked (on the sampling thread) after every frame; the monitor
+  /// uses it to feed the flight recorder. Set before start().
+  std::function<void(const SeriesFrame&)> on_frame;
+
+  /// {"interval":..,"names":[..],"frames":[..]} — the `/series` payload.
+  std::string to_json() const;
+
+  /// JSONL: first line {"series":"g6","interval":..,"names":[..]}, then one
+  /// frame object per line. False on I/O failure.
+  bool write_jsonl(const std::string& path) const;
+
+  /// Compact binary ring: magic "G6SERIES1", little-endian name table and
+  /// fixed-width frame records (see docs/OBSERVABILITY.md for the layout).
+  bool write_binary(const std::string& path) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+#else  // G6_OBS_DISABLED
+
+/// Stripped build: every member is an inline no-op, so monitored call sites
+/// compile unchanged and carry zero runtime cost.
+class TimeSeriesSampler {
+ public:
+  explicit TimeSeriesSampler(MetricsRegistry&) {}
+  void start(SamplerConfig) {}
+  void stop() {}
+  bool running() const { return false; }
+  void sample_now() {}
+  std::vector<std::string> names() const { return {}; }
+  std::vector<SeriesFrame> frames() const { return {}; }
+  std::uint64_t frames_taken() const { return 0; }
+  std::function<void(const SeriesFrame&)> on_frame;
+  std::string to_json() const { return "{}"; }
+  bool write_jsonl(const std::string&) const { return false; }
+  bool write_binary(const std::string&) const { return false; }
+};
+
+#endif  // G6_OBS_DISABLED
+
+}  // namespace g6::obs

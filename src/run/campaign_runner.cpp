@@ -12,7 +12,9 @@
 #include "disk/disk_model.hpp"
 #include "grape6/backend.hpp"
 #include "nbody/force_direct.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "run/checkpoint.hpp"
 #include "util/check.hpp"
@@ -153,6 +155,11 @@ CampaignReport CampaignRunner::run() {
   CampaignReport report;
   report.jobs.resize(spec_.jobs.size());
 
+  // Register every job with the progress tracker up front so `/progress`
+  // lists the whole campaign (pending rows included) from the first poll.
+  for (const JobSpec& spec : spec_.jobs)
+    g6::obs::ProgressTracker::global().add_job(spec.name, 0.0, spec.t_end);
+
   // One lane per job; each job's nested parallel_for calls fall back to
   // serial inside the lane, so the pool is never oversubscribed.
   pool_->parallel_for(
@@ -166,6 +173,10 @@ CampaignReport CampaignRunner::run() {
             res.name = spec.name;
             res.status = JobStatus::kSkipped;
             res.final_time = spec.t_end;
+            auto ticket = g6::obs::ProgressTracker::global().add_job(
+                spec.name, 0.0, spec.t_end);
+            ticket.update(spec.t_end, 0, 0.0);
+            ticket.finish(g6::obs::JobState::kDone);
             continue;
           }
           try {
@@ -174,6 +185,14 @@ CampaignReport CampaignRunner::run() {
             res.name = spec.name;
             res.status = JobStatus::kFailed;
             res.error = err.what();
+            // RunManager marks its own ticket failed when the run loop
+            // throws; this also covers failures before the run starts
+            // (IC build, backend construction).
+            g6::obs::ProgressTracker::global()
+                .add_job(spec.name, 0.0, spec.t_end)
+                .finish(g6::obs::JobState::kFailed);
+            g6::obs::FlightRecorder::global().note(
+                "campaign", "job '" + spec.name + "' failed: " + res.error);
           }
           if (res.status == JobStatus::kCompleted) mark_done(spec.name);
         }

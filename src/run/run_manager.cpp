@@ -3,12 +3,30 @@
 #include <algorithm>
 #include <limits>
 
+#include "cluster/perf_model.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/progress.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
 namespace g6::run {
+
+namespace {
+
+/// Progress rows are named after the run directory's final path component —
+/// the same name CampaignRunner gives per-job checkpoint directories, so a
+/// campaign's `/progress` lists one row per job.
+std::string job_name_from_dir(const std::string& dir) {
+  std::string d = dir;
+  while (!d.empty() && d.back() == '/') d.pop_back();
+  const auto slash = d.find_last_of('/');
+  const std::string name = slash == std::string::npos ? d : d.substr(slash + 1);
+  return name.empty() ? "run" : name;
+}
+
+}  // namespace
 
 RunManager::RunManager(g6::nbody::HermiteIntegrator& integ, RunConfig cfg)
     : integ_(integ), cfg_(std::move(cfg)) {
@@ -53,7 +71,18 @@ RunReport RunManager::run() {
   CheckpointStore store(cfg_.checkpoint_dir, chash_, cfg_.keep_segments);
 
   if (cfg_.resume && store.open_existing()) {
-    if (auto restored = store.load_latest()) {
+    auto restored = decltype(store.load_latest()){};
+    try {
+      restored = store.load_latest();
+    } catch (const std::exception& e) {
+      // A resume that cannot even read its checkpoints is post-mortem
+      // material: capture the flight window before propagating.
+      auto& flight = g6::obs::FlightRecorder::global();
+      flight.note("resume", std::string("resume failed: ") + e.what());
+      flight.dump("resume-failure");
+      throw;
+    }
+    if (restored) {
       // The saved system replaces the caller's (same object the integrator
       // references); restore() rebuilds j-memory and the scheduler from it.
       integ_.system() = std::move(restored->data.system);
@@ -88,29 +117,83 @@ RunReport RunManager::run() {
     return false;
   };
 
-  while (integ_.next_time() <= cfg_.t_end) {
-    integ_.step();
-    ++rep.blocks_run;
-    const bool preempt = budget_exhausted();
-    if (integ_.current_time() >= next_ckpt || preempt) {
-      write_segment(store, rep);
-      while (next_ckpt <= integ_.current_time()) next_ckpt += every;
-    }
-    if (preempt) {
-      rep.outcome = RunOutcome::kPreempted;
-      rep.final_time = integ_.current_time();
-      publish(rep);
-      return rep;
-    }
-  }
+  // Live-monitoring wiring: a progress row for this run, per-block registry
+  // gauges/counters, and flight-recorder step records. All updates happen
+  // here on the driver thread at serial points — the monitor threads only
+  // read them — so monitoring never perturbs simulation order.
+  auto& reg = g6::obs::MetricsRegistry::global();
+  auto ticket = g6::obs::ProgressTracker::global().add_job(
+      job_name_from_dir(cfg_.checkpoint_dir), integ_.current_time(),
+      cfg_.t_end);
+  ticket.set_state(g6::obs::JobState::kRunning);
+  auto t_sys_gauge = reg.gauge("g6.run.t_sys");
+  auto blocks_counter = reg.counter("g6.run.blocks");
+  auto drift_gauge = reg.gauge("g6.run.model_drift");
+  auto& flight = g6::obs::FlightRecorder::global();
+  const std::size_t n_total = integ_.system().size();
+  const g6::cluster::PerfModel model{g6::cluster::PerfParams{}};
+  const std::uint64_t steps0 = integ_.stats().steps;
+  const std::uint64_t blocks0 = integ_.stats().blocks;
 
-  // All pending block times lie beyond t_end: bring every particle to
-  // exactly t_end (same single synchronisation an uninterrupted drive does)
-  // and seal the run with a final checkpoint.
-  integ_.synchronize(cfg_.t_end);
-  write_segment(store, rep);
+  // Measured-vs-model drift: seconds per block this invocation vs the
+  // analytic PerfModel at the run's mean block size (paper-scale machine).
+  const auto update_drift = [&] {
+    const std::uint64_t blocks = integ_.stats().blocks - blocks0;
+    const std::uint64_t steps = integ_.stats().steps - steps0;
+    if (blocks == 0) return;
+    const std::size_t mean_block = static_cast<std::size_t>(std::max<std::uint64_t>(
+        1, steps / blocks));
+    const double model_spb = model.blockstep_seconds(n_total, mean_block);
+    ticket.set_model_seconds_per_block(model_spb);
+    const double measured_spb = wall.seconds() / static_cast<double>(blocks);
+    if (model_spb > 0.0) drift_gauge.set(measured_spb / model_spb);
+  };
+
+  g6::util::Timer block_timer;
+  try {
+    while (integ_.next_time() <= cfg_.t_end) {
+      const std::uint64_t steps_before = integ_.stats().steps;
+      block_timer.lap();
+      integ_.step();
+      ++rep.blocks_run;
+      const double t = integ_.current_time();
+      t_sys_gauge.set(t);
+      blocks_counter.add(1);
+      ticket.update(t, rep.blocks_run, wall.seconds());
+      flight.record_step(
+          t, static_cast<std::size_t>(integ_.stats().steps - steps_before),
+          block_timer.lap());
+      const bool preempt = budget_exhausted();
+      if (integ_.current_time() >= next_ckpt || preempt) {
+        write_segment(store, rep);
+        update_drift();
+        while (next_ckpt <= integ_.current_time()) next_ckpt += every;
+      }
+      if (preempt) {
+        rep.outcome = RunOutcome::kPreempted;
+        rep.final_time = integ_.current_time();
+        ticket.finish(g6::obs::JobState::kPreempted);
+        publish(rep);
+        return rep;
+      }
+    }
+
+    // All pending block times lie beyond t_end: bring every particle to
+    // exactly t_end (same single synchronisation an uninterrupted drive does)
+    // and seal the run with a final checkpoint.
+    integ_.synchronize(cfg_.t_end);
+    write_segment(store, rep);
+  } catch (const std::exception& e) {
+    ticket.finish(g6::obs::JobState::kFailed);
+    flight.note("run", std::string("run failed: ") + e.what());
+    flight.dump("run-failure");
+    throw;
+  }
   rep.outcome = RunOutcome::kCompleted;
   rep.final_time = integ_.current_time();
+  update_drift();
+  ticket.update(rep.final_time, rep.blocks_run, wall.seconds());
+  ticket.finish(g6::obs::JobState::kDone);
   publish(rep);
   return rep;
 }

@@ -1,0 +1,373 @@
+// Tests for the monitoring stack: Prometheus exposition (names, values, and
+// a tiny grammar parser over the full output), MonitorServer routing with
+// and without sockets, and an end-to-end monitored run polled over a real
+// client socket asserting monotone t_sys — satellite (c) of the live
+// monitoring layer.
+#include "obs/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/exposition.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/monitor_server.hpp"
+#include "obs/progress.hpp"
+#include "obs/sampler.hpp"
+#include "util/timer.hpp"
+
+#ifndef G6_OBS_DISABLED
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "nbody/force_direct.hpp"
+#include "nbody/integrator.hpp"
+#endif
+
+using g6::obs::HttpResponse;
+using g6::obs::JsonValue;
+using g6::obs::MetricsRegistry;
+using g6::obs::Monitor;
+using g6::obs::MonitorConfig;
+using g6::obs::MonitorServer;
+
+namespace {
+
+// --- Tiny Prometheus text-exposition grammar parser (format 0.0.4) --------
+// Returns std::nullopt when every line is valid, else a description of the
+// first violation. Deliberately small: names, optional labels, one value.
+
+bool valid_metric_name(const std::string& s) {
+  if (s.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(s[0])) return false;
+  for (char c : s.substr(1))
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  return true;
+}
+
+bool valid_sample_value(const std::string& s) {
+  if (s == "NaN" || s == "+Inf" || s == "-Inf") return true;
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+std::optional<std::string> check_prometheus_grammar(const std::string& text) {
+  std::size_t pos = 0;
+  int lineno = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    ++lineno;
+    auto fail = [&](const std::string& why) {
+      return "line " + std::to_string(lineno) + ": " + why + ": " + line;
+    };
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // Only "# TYPE <name> <type>" and "# HELP <name> <text>" are comments
+      // with structure; anything else after '#' is free-form.
+      if (line.rfind("# TYPE ", 0) == 0) {
+        std::istringstream is(line.substr(7));
+        std::string name, type;
+        is >> name >> type;
+        if (!valid_metric_name(name)) return fail("bad TYPE metric name");
+        if (type != "counter" && type != "gauge" && type != "summary" &&
+            type != "histogram" && type != "untyped")
+          return fail("bad TYPE kind");
+      }
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    std::size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos) return fail("no value separator");
+    if (!valid_metric_name(line.substr(0, name_end)))
+      return fail("bad sample metric name");
+    std::size_t value_start = name_end;
+    if (line[name_end] == '{') {
+      const std::size_t close = line.find('}', name_end);
+      if (close == std::string::npos) return fail("unterminated label set");
+      // label pairs: name="value" separated by commas
+      std::string labels = line.substr(name_end + 1, close - name_end - 1);
+      std::istringstream ls(labels);
+      std::string pair;
+      while (std::getline(ls, pair, ',')) {
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos) return fail("label without '='");
+        if (!valid_metric_name(pair.substr(0, eq))) return fail("bad label name");
+        const std::string v = pair.substr(eq + 1);
+        if (v.size() < 2 || v.front() != '"' || v.back() != '"')
+          return fail("label value not quoted");
+      }
+      value_start = close + 1;
+    }
+    if (value_start >= line.size() || line[value_start] != ' ')
+      return fail("no space before value");
+    if (!valid_sample_value(line.substr(value_start + 1)))
+      return fail("unparsable sample value");
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+TEST(Exposition, NameSanitization) {
+  EXPECT_EQ(g6::obs::prometheus_name("g6.run.t_sys"), "g6_run_t_sys");
+  EXPECT_EQ(g6::obs::prometheus_name("plain_name"), "plain_name");
+  EXPECT_EQ(g6::obs::prometheus_name("9starts.bad"), "_starts_bad");
+  EXPECT_EQ(g6::obs::prometheus_name(""), "_");
+  EXPECT_TRUE(valid_metric_name(g6::obs::prometheus_name("x:y.z-w 1")));
+}
+
+TEST(Exposition, ValueFormatting) {
+  EXPECT_EQ(g6::obs::prometheus_value(std::nan("")), "NaN");
+  EXPECT_EQ(g6::obs::prometheus_value(HUGE_VAL), "+Inf");
+  EXPECT_EQ(g6::obs::prometheus_value(-HUGE_VAL), "-Inf");
+  EXPECT_EQ(g6::obs::prometheus_value(3.0), "3");
+  EXPECT_TRUE(valid_sample_value(g6::obs::prometheus_value(0.1)));
+}
+
+TEST(Exposition, FullSnapshotPassesGrammar) {
+  MetricsRegistry reg;
+  reg.counter("g6.test.blocks").add(42);
+  reg.gauge("g6.test.t_sys").set(1.5);
+  auto h = reg.histogram("g6.test.block_size");
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+
+  const std::string text = g6::obs::to_prometheus(reg.snapshot());
+  const auto err = check_prometheus_grammar(text);
+  EXPECT_FALSE(err.has_value()) << *err;
+  EXPECT_NE(text.find("# TYPE g6_test_blocks counter"), std::string::npos);
+  EXPECT_NE(text.find("g6_test_blocks 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE g6_test_block_size summary"), std::string::npos);
+  EXPECT_NE(text.find("g6_test_block_size{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("g6_test_block_size_count 100"), std::string::npos);
+}
+
+#ifndef G6_OBS_DISABLED
+
+namespace {
+
+/// Minimal HTTP/1.0 GET over a real client socket; returns (status, body,
+/// content_type) — the e2e path CI's monitor-smoke exercises with curl.
+struct HttpResult {
+  int status = 0;
+  std::string content_type;
+  std::string body;
+};
+
+HttpResult http_get(int port, const std::string& path) {
+  HttpResult res;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return res;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return res;
+  }
+  const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  (void)!::write(fd, req.data(), req.size());
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  std::sscanf(raw.c_str(), "HTTP/1.0 %d", &res.status);
+  const std::size_t ct = raw.find("Content-Type: ");
+  if (ct != std::string::npos)
+    res.content_type = raw.substr(ct + 14, raw.find('\r', ct) - ct - 14);
+  const std::size_t split = raw.find("\r\n\r\n");
+  if (split != std::string::npos) res.body = raw.substr(split + 4);
+  return res;
+}
+
+std::string scratch_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "g6_monitor_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+}  // namespace
+
+TEST(MonitorServer, HandleDispatchesWithoutSockets) {
+  MonitorServer server;
+  server.route("/ping", [] {
+    return HttpResponse{200, "text/plain", "pong\n"};
+  });
+  EXPECT_EQ(server.handle("/ping").status, 200);
+  EXPECT_EQ(server.handle("/ping").body, "pong\n");
+  EXPECT_EQ(server.handle("/ping?verbose=1").status, 200);  // query stripped
+  EXPECT_EQ(server.handle("/missing").status, 404);
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.port(), 0);
+}
+
+TEST(MonitorServer, ServesOverRealSocket) {
+  MonitorServer server;
+  server.route("/hello", [] {
+    return HttpResponse{200, "application/json", "{\"ok\":true}"};
+  });
+  ASSERT_TRUE(server.start(0));  // ephemeral port
+  ASSERT_GT(server.port(), 0);
+  EXPECT_TRUE(server.running());
+
+  const HttpResult ok = http_get(server.port(), "/hello");
+  EXPECT_EQ(ok.status, 200);
+  EXPECT_EQ(ok.content_type, "application/json");
+  EXPECT_EQ(ok.body, "{\"ok\":true}");
+
+  const HttpResult missing = http_get(server.port(), "/nope");
+  EXPECT_EQ(missing.status, 404);
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+// Satellite (c): end-to-end monitored run. A real Hermite integration runs
+// with the monitor attached; /metrics and /progress are polled over a real
+// client socket between evolve segments; t_sys must be monotone and the
+// exposition must pass the grammar parser above.
+TEST(Monitor, EndToEndMonitoredRunMonotoneTsys) {
+  MetricsRegistry reg;
+  Monitor monitor(reg);
+  MonitorConfig mcfg;
+  mcfg.port = 0;
+  mcfg.sample_interval = 0.01;
+  mcfg.flight_dir = scratch_dir("e2e");
+  mcfg.crash_handlers = false;  // keep process-wide handlers out of the tests
+  ASSERT_TRUE(monitor.start(mcfg));
+  ASSERT_GT(monitor.port(), 0);
+
+  auto t_gauge = reg.gauge("g6.run.t_sys");
+  auto blocks_ctr = reg.counter("g6.run.blocks");
+  auto ticket =
+      g6::obs::ProgressTracker::global().add_job("monitor_e2e", 0.0, 1.0);
+  ticket.set_state(g6::obs::JobState::kRunning);
+
+  // Two light particles orbiting the solar potential — enough blocksteps to
+  // watch, cheap enough for CI.
+  g6::nbody::ParticleSystem ps;
+  ps.add(1e-10, {1.0, 0.0, 0.0}, {0.0, 1.0, 0.0});
+  ps.add(1e-10, {-1.2, 0.0, 0.0}, {0.0, -0.9, 0.0});
+  g6::nbody::CpuDirectBackend backend(1e-4);
+  g6::nbody::IntegratorConfig cfg;
+  cfg.solar_gm = 1.0;
+  cfg.eta = 0.02;
+  cfg.dt_max = 0x1p-5;
+  g6::nbody::HermiteIntegrator integ(ps, backend, cfg);
+  g6::util::Timer wall;
+  integ.on_block = [&](double t, std::size_t) {
+    t_gauge.set(t);
+    blocks_ctr.add(1);
+    ticket.update(t, integ.stats().blocks, wall.seconds());
+  };
+  integ.initialize();
+
+  double prev_t = -1.0;
+  for (const double target : {0.25, 0.5, 0.75, 1.0}) {
+    integ.evolve(target);
+    const HttpResult res = http_get(monitor.port(), "/progress");
+    ASSERT_EQ(res.status, 200);
+    const JsonValue doc = JsonValue::parse(res.body);
+    const JsonValue* jobs = doc.find("jobs");
+    ASSERT_NE(jobs, nullptr);
+    double t_sys = -1.0;
+    for (std::size_t i = 0; i < jobs->size(); ++i)
+      if (jobs->at(i).find("name")->as_string() == "monitor_e2e")
+        t_sys = jobs->at(i).find("t_sys")->as_number();
+    ASSERT_GE(t_sys, 0.0) << "job missing from /progress";
+    EXPECT_GE(t_sys, prev_t);  // monotone across polls
+    EXPECT_LE(t_sys, target + 1e-9);
+    prev_t = t_sys;
+  }
+  EXPECT_GT(prev_t, 0.0);
+
+  // /metrics over the socket: correct content type, passes the grammar
+  // parser, carries the run's gauge.
+  const HttpResult metrics = http_get(monitor.port(), "/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  EXPECT_EQ(metrics.content_type, "text/plain; version=0.0.4");
+  const auto err = check_prometheus_grammar(metrics.body);
+  EXPECT_FALSE(err.has_value()) << *err;
+  EXPECT_NE(metrics.body.find("g6_run_t_sys"), std::string::npos);
+
+  // /metrics.json and /series parse as JSON.
+  const HttpResult mj = http_get(monitor.port(), "/metrics.json");
+  ASSERT_EQ(mj.status, 200);
+  EXPECT_NE(JsonValue::parse(mj.body).find("metrics"), nullptr);
+  const HttpResult series = http_get(monitor.port(), "/series");
+  ASSERT_EQ(series.status, 200);
+  EXPECT_NE(JsonValue::parse(series.body).find("frames"), nullptr);
+
+  ticket.finish(g6::obs::JobState::kDone);
+  monitor.stop();
+  EXPECT_FALSE(monitor.running());
+}
+
+TEST(Monitor, StopFlushesSeriesFiles) {
+  const std::string dir = scratch_dir("flush");
+  MetricsRegistry reg;
+  reg.counter("g6.test.flush").add(1);
+  Monitor monitor(reg);
+  MonitorConfig mcfg;
+  mcfg.port = 0;
+  mcfg.serve = false;  // sampler + flight only
+  mcfg.sample_interval = 0.005;
+  mcfg.series_path = dir + "/series.jsonl";
+  mcfg.series_binary_path = dir + "/series.bin";
+  mcfg.flight_dir = dir;
+  mcfg.crash_handlers = false;
+  ASSERT_TRUE(monitor.start(mcfg));
+  monitor.sampler().sample_now();  // guarantee at least one frame
+  monitor.stop();
+  EXPECT_TRUE(std::filesystem::exists(dir + "/series.jsonl"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/series.bin"));
+}
+
+#else  // G6_OBS_DISABLED
+
+// Stripped build: the monitor facade and server must compile to no-ops so
+// `--monitor` call sites build unchanged with zero runtime cost.
+TEST(MonitorDisabled, FacadeIsNoop) {
+  Monitor monitor;
+  MonitorConfig cfg;
+  cfg.port = 0;
+  EXPECT_FALSE(monitor.start(cfg));
+  EXPECT_FALSE(monitor.running());
+  EXPECT_EQ(monitor.port(), 0);
+  monitor.stop();
+}
+
+TEST(MonitorDisabled, ServerRejectsEverything) {
+  MonitorServer server;
+  server.route("/x", [] { return HttpResponse{200, "text/plain", "y"}; });
+  EXPECT_FALSE(server.start(0));
+  EXPECT_EQ(server.handle("/x").status, 404);
+}
+
+#endif  // G6_OBS_DISABLED

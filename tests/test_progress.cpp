@@ -1,0 +1,150 @@
+// Tests for the ProgressTracker: ticket updates, fraction/ETA math, EWMA
+// sim-rate behaviour, model-drift reporting, slot reuse on resumed names,
+// and the /progress JSON payload.
+#include "obs/progress.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+
+using g6::obs::JobProgress;
+using g6::obs::JobState;
+using g6::obs::JobTicket;
+using g6::obs::JsonValue;
+using g6::obs::ProgressTracker;
+
+#ifndef G6_OBS_DISABLED
+
+TEST(Progress, StateNames) {
+  EXPECT_STREQ(g6::obs::job_state_name(JobState::kPending), "pending");
+  EXPECT_STREQ(g6::obs::job_state_name(JobState::kRunning), "running");
+  EXPECT_STREQ(g6::obs::job_state_name(JobState::kDone), "done");
+  EXPECT_STREQ(g6::obs::job_state_name(JobState::kFailed), "failed");
+  EXPECT_STREQ(g6::obs::job_state_name(JobState::kPreempted), "preempted");
+}
+
+TEST(Progress, InvalidTicketIsInert) {
+  JobTicket t;
+  EXPECT_FALSE(t.valid());
+  t.update(1.0, 10, 0.5);  // must not crash
+  t.set_model_seconds_per_block(1.0);
+  t.set_capacity_fraction(0.5);
+  t.finish(JobState::kDone);
+}
+
+TEST(Progress, UpdateComputesFractionThroughputAndEta) {
+  ProgressTracker tracker;
+  JobTicket t = tracker.add_job("job", 0.0, 10.0);
+  EXPECT_TRUE(t.valid());
+
+  // First observation seeds the EWMA directly: 2 sim-units over 1 s wall.
+  t.update(2.0, 100, 1.0);
+  auto jobs = tracker.snapshot();
+  ASSERT_EQ(jobs.size(), 1u);
+  const JobProgress& p = jobs[0];
+  EXPECT_EQ(p.name, "job");
+  EXPECT_EQ(p.state, JobState::kRunning);  // update() flips pending->running
+  EXPECT_DOUBLE_EQ(p.fraction, 0.2);
+  EXPECT_EQ(p.blocks, 100u);
+  EXPECT_DOUBLE_EQ(p.blocks_per_second, 100.0);
+  EXPECT_DOUBLE_EQ(p.sim_rate, 2.0);
+  EXPECT_DOUBLE_EQ(p.eta_seconds, (10.0 - 2.0) / 2.0);
+  EXPECT_LT(p.model_eta_seconds, 0.0);  // no model supplied
+  EXPECT_DOUBLE_EQ(p.drift, 0.0);
+  EXPECT_DOUBLE_EQ(p.capacity_fraction, 1.0);
+}
+
+TEST(Progress, EwmaTracksSteadyRate) {
+  ProgressTracker tracker;
+  JobTicket t = tracker.add_job("steady", 0.0, 100.0);
+  // A steady 2 sim-units/s pace must keep the EWMA pinned at 2.
+  for (int k = 1; k <= 20; ++k)
+    t.update(2.0 * k, static_cast<std::uint64_t>(10 * k), 1.0 * k);
+  const JobProgress p = tracker.snapshot()[0];
+  EXPECT_NEAR(p.sim_rate, 2.0, 1e-12);
+  EXPECT_NEAR(p.eta_seconds, (100.0 - 40.0) / 2.0, 1e-9);
+}
+
+TEST(Progress, ModelDriftAndModelEta) {
+  ProgressTracker tracker;
+  JobTicket t = tracker.add_job("model", 0.0, 10.0);
+  t.update(5.0, 100, 2.0);              // measured: 0.02 s/block
+  t.set_model_seconds_per_block(0.01);  // model says 0.01 s/block
+  const JobProgress p = tracker.snapshot()[0];
+  EXPECT_DOUBLE_EQ(p.model_seconds_per_block, 0.01);
+  EXPECT_DOUBLE_EQ(p.drift, 2.0);  // twice as slow as the model
+  // 5 sim-units remain at 0.05 sim-units/block -> 100 blocks * 0.01 s.
+  EXPECT_NEAR(p.model_eta_seconds, 1.0, 1e-9);
+}
+
+TEST(Progress, FinishStatesAndDoneEta) {
+  ProgressTracker tracker;
+  JobTicket a = tracker.add_job("a", 0.0, 1.0);
+  JobTicket b = tracker.add_job("b", 0.0, 1.0);
+  a.update(1.0, 4, 0.5);
+  a.finish(JobState::kDone);
+  b.finish(JobState::kFailed);
+  const auto jobs = tracker.snapshot();
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].state, JobState::kDone);
+  EXPECT_DOUBLE_EQ(jobs[0].eta_seconds, 0.0);
+  EXPECT_EQ(jobs[1].state, JobState::kFailed);
+}
+
+TEST(Progress, NameReuseContinuesSameSlot) {
+  ProgressTracker tracker;
+  JobTicket first = tracker.add_job("resumable", 0.0, 10.0);
+  first.update(3.0, 30, 1.0);
+  // A resumed run re-registers under the same name from its restart time.
+  JobTicket second = tracker.add_job("resumable", 3.0, 10.0);
+  second.update(4.0, 40, 2.0);
+  const auto jobs = tracker.snapshot();
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(jobs[0].t_start, 3.0);
+  EXPECT_DOUBLE_EQ(jobs[0].t_sys, 4.0);
+  EXPECT_EQ(jobs[0].blocks, 40u);
+}
+
+TEST(Progress, CapacityFractionPassesThrough) {
+  ProgressTracker tracker;
+  JobTicket t = tracker.add_job("degraded", 0.0, 1.0);
+  t.set_capacity_fraction(0.75);
+  EXPECT_DOUBLE_EQ(tracker.snapshot()[0].capacity_fraction, 0.75);
+}
+
+TEST(Progress, ToJsonParsesWithCounts) {
+  ProgressTracker tracker;
+  JobTicket a = tracker.add_job("alpha", 0.0, 2.0);
+  JobTicket b = tracker.add_job("beta", 0.0, 2.0);
+  a.update(1.0, 10, 0.1);
+  b.update(2.0, 20, 0.2);
+  b.finish(JobState::kDone);
+
+  const JsonValue doc = JsonValue::parse(tracker.to_json());
+  const JsonValue* jobs = doc.find("jobs");
+  ASSERT_NE(jobs, nullptr);
+  ASSERT_EQ(jobs->size(), 2u);
+  EXPECT_EQ(jobs->at(0).find("name")->as_string(), "alpha");
+  EXPECT_EQ(jobs->at(0).find("state")->as_string(), "running");
+  EXPECT_EQ(jobs->at(1).find("state")->as_string(), "done");
+  EXPECT_DOUBLE_EQ(jobs->at(1).find("fraction")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(doc.find("done")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(doc.find("running")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(doc.find("failed")->as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(doc.find("total")->as_number(), 2.0);
+}
+
+#else  // G6_OBS_DISABLED
+
+// Stripped build: the tracker API must stay callable and return nothing.
+TEST(ProgressDisabled, EverythingIsNoop) {
+  ProgressTracker& tracker = ProgressTracker::global();
+  JobTicket t = tracker.add_job("job", 0.0, 1.0);
+  EXPECT_FALSE(t.valid());
+  t.update(0.5, 1, 0.1);
+  t.finish(JobState::kDone);
+  EXPECT_TRUE(tracker.snapshot().empty());
+  EXPECT_EQ(tracker.to_json(), "{}");
+}
+
+#endif  // G6_OBS_DISABLED

@@ -1,0 +1,280 @@
+// Tests for the TimeSeriesSampler: frame contents (values, deltas, rates,
+// histogram percentiles), ring bounding, JSONL and binary exports, the
+// on_frame hook, and the snapshot-while-writing coherence torture test that
+// guards MetricsRegistry::snapshot()'s registry-wide serialization.
+#include "obs/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+using g6::obs::JsonValue;
+using g6::obs::MetricKind;
+using g6::obs::MetricsRegistry;
+using g6::obs::SamplerConfig;
+using g6::obs::SeriesFrame;
+using g6::obs::SeriesSample;
+using g6::obs::TimeSeriesSampler;
+
+#ifndef G6_OBS_DISABLED
+
+namespace {
+
+/// Find the sample for a named metric inside one frame (nullptr if absent).
+const SeriesSample* find_sample(const TimeSeriesSampler& sampler,
+                                const SeriesFrame& frame,
+                                const std::string& name) {
+  const std::vector<std::string> names = sampler.names();
+  for (const SeriesSample& s : frame.samples)
+    if (s.name_id < names.size() && names[s.name_id] == name) return &s;
+  return nullptr;
+}
+
+}  // namespace
+
+TEST(Sampler, FirstFrameHasZeroDeltaAndRate) {
+  MetricsRegistry reg;
+  auto c = reg.counter("g6.test.ticks");
+  c.add(7);
+  TimeSeriesSampler sampler(reg);
+  sampler.sample_now();
+  const auto frames = sampler.frames();
+  ASSERT_EQ(frames.size(), 1u);
+  const SeriesSample* s = find_sample(sampler, frames[0], "g6.test.ticks");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->kind, MetricKind::kCounter);
+  EXPECT_DOUBLE_EQ(s->value, 7.0);
+  EXPECT_DOUBLE_EQ(s->delta, 0.0);  // no previous frame to diff against
+  EXPECT_DOUBLE_EQ(s->rate, 0.0);
+}
+
+TEST(Sampler, DeltaAndRateAgainstPreviousFrame) {
+  MetricsRegistry reg;
+  auto c = reg.counter("g6.test.work");
+  TimeSeriesSampler sampler(reg);
+  c.add(10);
+  sampler.sample_now();
+  c.add(25);
+  sampler.sample_now();
+  const auto frames = sampler.frames();
+  ASSERT_EQ(frames.size(), 2u);
+  const SeriesSample* s = find_sample(sampler, frames[1], "g6.test.work");
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(s->value, 35.0);
+  EXPECT_DOUBLE_EQ(s->delta, 25.0);
+  ASSERT_GT(frames[1].dt, 0.0);
+  EXPECT_DOUBLE_EQ(s->rate, s->delta / frames[1].dt);
+  EXPECT_EQ(frames[1].seq, 1u);
+}
+
+TEST(Sampler, HistogramCarriesPercentiles) {
+  MetricsRegistry reg;
+  auto h = reg.histogram("g6.test.lat");
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  TimeSeriesSampler sampler(reg);
+  sampler.sample_now();
+  const auto frames = sampler.frames();
+  const SeriesSample* s = find_sample(sampler, frames[0], "g6.test.lat");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->kind, MetricKind::kHistogram);
+  EXPECT_DOUBLE_EQ(s->value, 1000.0);  // histogram value = sample count
+  EXPECT_GT(s->p50, 0.0);
+  EXPECT_LE(s->p50, s->p90);
+  EXPECT_LE(s->p90, s->p99);
+}
+
+TEST(Sampler, RingDropsOldestFrames) {
+  MetricsRegistry reg;
+  auto g = reg.gauge("g6.test.level");
+  TimeSeriesSampler sampler(reg);
+  SamplerConfig cfg;
+  cfg.interval_seconds = 3600.0;  // background thread never fires in-test
+  cfg.max_frames = 4;
+  sampler.start(cfg);
+  for (int i = 0; i < 10; ++i) {
+    g.set(static_cast<double>(i));
+    sampler.sample_now();
+  }
+  sampler.stop();
+  EXPECT_EQ(sampler.frames_taken(), 10u);
+  const auto frames = sampler.frames();
+  ASSERT_EQ(frames.size(), 4u);
+  EXPECT_EQ(frames.front().seq, 6u);  // oldest surviving frame
+  EXPECT_EQ(frames.back().seq, 9u);
+}
+
+TEST(Sampler, BackgroundThreadTakesFrames) {
+  MetricsRegistry reg;
+  auto c = reg.counter("g6.test.bg");
+  TimeSeriesSampler sampler(reg);
+  SamplerConfig cfg;
+  cfg.interval_seconds = 0.01;
+  sampler.start(cfg);
+  EXPECT_TRUE(sampler.running());
+  c.add(1);
+  // Wait (bounded) until the thread has sampled at least twice.
+  for (int spin = 0; spin < 500 && sampler.frames_taken() < 2; ++spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  EXPECT_GE(sampler.frames_taken(), 2u);
+}
+
+TEST(Sampler, OnFrameHookSeesEveryFrame) {
+  MetricsRegistry reg;
+  auto c = reg.counter("g6.test.hook");
+  TimeSeriesSampler sampler(reg);
+  std::vector<std::uint64_t> seen;
+  sampler.on_frame = [&](const SeriesFrame& f) { seen.push_back(f.seq); };
+  c.add(1);
+  sampler.sample_now();
+  sampler.sample_now();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], 0u);
+  EXPECT_EQ(seen[1], 1u);
+}
+
+TEST(Sampler, FrameJsonParses) {
+  MetricsRegistry reg;
+  auto c = reg.counter("g6.test.json");
+  auto h = reg.histogram("g6.test.jhist");
+  c.add(3);
+  h.add(1.0);
+  TimeSeriesSampler sampler(reg);
+  sampler.sample_now();
+  const JsonValue doc = JsonValue::parse(sampler.frames()[0].to_json());
+  ASSERT_NE(doc.find("m"), nullptr);
+  EXPECT_EQ(doc.find("m")->size(), 2u);
+  EXPECT_DOUBLE_EQ(doc.find("seq")->as_number(), 0.0);
+}
+
+TEST(Sampler, WriteJsonlRoundTrips) {
+  MetricsRegistry reg;
+  auto c = reg.counter("g6.test.file");
+  TimeSeriesSampler sampler(reg);
+  for (int i = 0; i < 3; ++i) {
+    c.add(2);
+    sampler.sample_now();
+  }
+  const std::string path = testing::TempDir() + "g6_series_test.jsonl";
+  ASSERT_TRUE(sampler.write_jsonl(path));
+
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  const JsonValue header = JsonValue::parse(line);
+  EXPECT_EQ(header.find("series")->as_string(), "g6");
+  ASSERT_NE(header.find("names"), nullptr);
+  EXPECT_EQ(header.find("names")->at(0).as_string(), "g6.test.file");
+  int frames = 0;
+  while (std::getline(in, line)) {
+    const JsonValue frame = JsonValue::parse(line);
+    EXPECT_NE(frame.find("m"), nullptr);
+    ++frames;
+  }
+  EXPECT_EQ(frames, 3);
+  std::remove(path.c_str());
+}
+
+TEST(Sampler, WriteBinaryHasMagicAndCounts) {
+  MetricsRegistry reg;
+  auto c = reg.counter("g6.test.bin");
+  TimeSeriesSampler sampler(reg);
+  c.add(1);
+  sampler.sample_now();
+  sampler.sample_now();
+  const std::string path = testing::TempDir() + "g6_series_test.bin";
+  ASSERT_TRUE(sampler.write_binary(path));
+
+  std::ifstream in(path, std::ios::binary);
+  char magic[9] = {};
+  in.read(magic, 9);
+  EXPECT_EQ(std::string(magic, 9), "G6SERIES1");
+  std::uint32_t n_names = 0;
+  in.read(reinterpret_cast<char*>(&n_names), sizeof n_names);
+  EXPECT_EQ(n_names, 1u);
+  std::uint32_t len = 0;
+  in.read(reinterpret_cast<char*>(&len), sizeof len);
+  std::string name(len, '\0');
+  in.read(name.data(), len);
+  EXPECT_EQ(name, "g6.test.bin");
+  std::uint32_t n_frames = 0;
+  in.read(reinterpret_cast<char*>(&n_frames), sizeof n_frames);
+  EXPECT_EQ(n_frames, 2u);
+  ASSERT_TRUE(in.good());
+  std::remove(path.c_str());
+}
+
+// Satellite (b): the snapshot-while-writing coherence guarantee. A provider
+// publishes the SAME source value into two metrics; concurrent snapshots
+// must never observe the pair out of sync, even with writer threads hot on
+// other metrics. Before snapshot() was serialized registry-wide, two
+// overlapping snapshots could interleave one provider's publishes.
+TEST(Sampler, SnapshotCoherenceUnderConcurrentWriters) {
+  MetricsRegistry reg;
+  std::atomic<std::uint64_t> source{0};
+  reg.add_provider([&source](MetricsRegistry& r) {
+    const std::uint64_t v = source.load(std::memory_order_relaxed);
+    r.counter("g6.test.pair_a").set(v);
+    r.counter("g6.test.pair_b").set(v);
+  });
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 3; ++w) {
+    writers.emplace_back([&, w] {
+      auto noise = reg.counter("g6.test.noise" + std::to_string(w));
+      auto hist = reg.histogram("g6.test.noise_hist");
+      while (!stop.load(std::memory_order_relaxed)) {
+        source.fetch_add(1, std::memory_order_relaxed);
+        noise.add(1);
+        hist.add(1.0);
+      }
+    });
+  }
+
+  TimeSeriesSampler sampler(reg);
+  int checked = 0;
+  for (int i = 0; i < 200; ++i) {
+    sampler.sample_now();
+    const auto frames = sampler.frames();
+    const SeriesFrame& f = frames.back();
+    const SeriesSample* a = find_sample(sampler, f, "g6.test.pair_a");
+    const SeriesSample* b = find_sample(sampler, f, "g6.test.pair_b");
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    // Both written from one source load under the snapshot lock: must match.
+    ASSERT_DOUBLE_EQ(a->value, b->value) << "incoherent snapshot at " << i;
+    ++checked;
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(checked, 200);
+}
+
+#else  // G6_OBS_DISABLED
+
+TEST(SamplerDisabled, EverythingIsNoop) {
+  MetricsRegistry reg;
+  TimeSeriesSampler sampler(reg);
+  sampler.start({});
+  EXPECT_FALSE(sampler.running());
+  sampler.sample_now();
+  EXPECT_TRUE(sampler.frames().empty());
+  EXPECT_EQ(sampler.frames_taken(), 0u);
+  EXPECT_EQ(sampler.to_json(), "{}");
+  EXPECT_FALSE(sampler.write_jsonl("/tmp/never_written.jsonl"));
+  sampler.stop();
+}
+
+#endif  // G6_OBS_DISABLED
