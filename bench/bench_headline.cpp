@@ -69,6 +69,8 @@ int run_fault_section(std::uint64_t seed, const cluster::PerfModel& model,
   const JsonBuilder doc =
       JsonBuilder::object()
           .field("bench", "faults")
+          .field("hardware_concurrency",
+                 double(std::max<std::size_t>(1, std::thread::hardware_concurrency())))
           .field("fault_seed", double(seed))
           .field("machine_campaign", campaign_json(machine))
           .field("cluster_campaign", campaign_json(cluster))
@@ -272,6 +274,8 @@ int main(int argc, char** argv) {
   const JsonBuilder doc =
       JsonBuilder::object()
           .field("bench", "headline")
+          .field("hardware_concurrency",
+                 double(std::max<std::size_t>(1, std::thread::hardware_concurrency())))
           .field("n_scaled", double(n_scaled))
           .field("wall_seconds", run.wall_seconds)
           .field("sustained_model_tflops", est.sustained_flops / 1e12)

@@ -115,6 +115,8 @@ int main(int argc, char** argv) {
   const JsonBuilder doc =
       JsonBuilder::object()
           .field("bench", "monitor")
+          .field("hardware_concurrency",
+                 double(std::max<std::size_t>(1, std::thread::hardware_concurrency())))
           .field("n", double(n))
           .field("t_end", t_end)
           .field("reps", double(reps))

@@ -2,13 +2,19 @@
 // the installation grows from one node (1 host, 4 boards, 128 chips) to the
 // full four-cluster system (16 hosts, 64 boards, 2048 chips), on the paper's
 // workload. Uses the analytic model with the hybrid NB-tree + GbE
-// organisation the paper adopted.
+// organisation the paper adopted, then extends the sweep past the paper's
+// 4x4 host matrix (8x8 and 16x16 grids over aggregated Gigabit Ethernet)
+// with the message-count communication model. Exports
+// BENCH_scaling_hosts.json for CI's perf-smoke job.
 #include <cstdio>
+#include <thread>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 
 using namespace g6;
 using namespace g6::bench;
+using cluster::HostMode;
 
 int main(int argc, char** argv) {
   const bool full = full_mode(argc, argv);
@@ -23,44 +29,108 @@ int main(int argc, char** argv) {
   const ScaledRun run = run_scaled_disk(n_scaled, t_end);
   const auto blocks = run.distribution_scaled_to(kPaperN);
 
+  // Representative corrected-block size for the Ethernet message model —
+  // the paper's kilo-particle operating point.
+  const std::size_t kBlock = 2000;
+
   struct Row {
     const char* label;
     int clusters, hosts;
+    HostMode mode;  // host organisation the row is modeled with
   };
+  // Rows up to the full system use the hybrid hardware-network organisation
+  // the paper ran; the beyond-paper grids only exist over Ethernet, so they
+  // use the 2-D host matrix with aggregation.
   const Row rows[] = {
-      {"1 node  (128 chips)", 1, 1},
-      {"2 nodes (256 chips)", 1, 2},
-      {"1 cluster (512 chips)", 1, 4},
-      {"2 clusters (1024 chips)", 2, 4},
-      {"full system (2048 chips)", 4, 4},
+      {"1 node  (128 chips)", 1, 1, HostMode::kHardwareNet},
+      {"2 nodes (256 chips)", 1, 2, HostMode::kHardwareNet},
+      {"1 cluster (512 chips)", 1, 4, HostMode::kHardwareNet},
+      {"2 clusters (1024 chips)", 2, 4, HostMode::kHardwareNet},
+      {"full system (2048 chips)", 4, 4, HostMode::kHardwareNet},
+      {"8x8 matrix (8192 chips)", 16, 4, HostMode::kMatrix2D},
+      {"16x16 matrix (32768 chips)", 64, 4, HostMode::kMatrix2D},
   };
 
-  util::Table t({"configuration", "peak [Tflops]", "sustained [Tflops]",
-                 "efficiency", "speedup vs 1 node"});
+  util::Table t({"configuration", "hosts", "peak [Tflops]",
+                 "sustained [Tflops]", "efficiency", "eth msgs/step (agg)",
+                 "msg cut"});
+  auto json_rows = JsonBuilder::array();
   double first = 0.0;
-  double last_eff = 0.0, last_sustained = 0.0;
+  double paper_eff = 0.0, paper_sustained = 0.0;
+  double last_eff = 0.0, last_cut = 0.0;
+  std::uint64_t last_agg_messages = 0;
   for (const Row& r : rows) {
     cluster::PerfParams p;
     p.machine.clusters = r.clusters;
     p.machine.hosts_per_cluster = r.hosts;
     const cluster::PerfModel m(p);
-    const auto est = m.run(kPaperN, blocks);
+    const int hosts = r.clusters * r.hosts;
+    const auto est = m.run(kPaperN, blocks, r.mode);
     if (first == 0.0) first = est.sustained_flops;
-    t.row({r.label, util::fmt(m.peak_flops() / 1e12, 3),
-           util::fmt(est.sustained_flops / 1e12, 3), util::fmt_pct(est.efficiency),
-           util::fmt(est.sustained_flops / first, 3) + "x"});
+
+    // Ethernet j-writeback traffic per block step, aggregated vs per-record.
+    auto plain = m.update_comm(hosts, r.mode, kBlock, /*aggregated=*/false);
+    plain += m.compute_comm(hosts, r.mode, kBlock, false, false);
+    auto agg = m.update_comm(hosts, r.mode, kBlock, /*aggregated=*/true);
+    agg += m.compute_comm(hosts, r.mode, kBlock, true, false);
+    const double cut =
+        agg.messages > 0 ? double(plain.messages) / double(agg.messages) : 1.0;
+
+    t.row({r.label, util::fmt_int(hosts), util::fmt(m.peak_flops() / 1e12, 3),
+           util::fmt(est.sustained_flops / 1e12, 3),
+           util::fmt_pct(est.efficiency), util::fmt_int(int(agg.messages)),
+           agg.messages > 0 ? util::fmt(cut, 1) + "x" : "-"});
+    if (hosts == 16) {
+      paper_eff = est.efficiency;
+      paper_sustained = est.sustained_flops;
+    }
     last_eff = est.efficiency;
-    last_sustained = est.sustained_flops;
+    last_cut = cut;
+    last_agg_messages = agg.messages;
+
+    json_rows.push(JsonBuilder::object()
+        .field("label", r.label)
+        .field("clusters", double(r.clusters))
+        .field("hosts_per_cluster", double(r.hosts))
+        .field("hosts", double(hosts))
+        .field("mode", r.mode == HostMode::kMatrix2D ? "matrix" : "hardware_net")
+        .field("peak_tflops", m.peak_flops() / 1e12)
+        .field("sustained_tflops", est.sustained_flops / 1e12)
+        .field("efficiency", est.efficiency)
+        .field("speedup_vs_first", est.sustained_flops / first)
+        .field("eth_messages_per_step_unaggregated", double(plain.messages))
+        .field("eth_messages_per_step_aggregated", double(agg.messages))
+        .field("eth_message_reduction", cut)
+        .field("eth_comm_seconds_per_step", agg.seconds));
   }
   std::printf("%s\n", t.render().c_str());
 
   std::printf("paper: full system sustained 29.5 Tflops (46.5%% of 63.4)\n\n");
 
-  // Shape checks: near-linear scaling to the full machine and a final
-  // operating point in the paper's efficiency band.
-  const bool ok = last_sustained / first > 8.0 && last_eff > 0.25 &&
-                  last_eff < 0.75;
-  std::printf("shape check: >8x speedup over 16x more hardware and final "
-              "efficiency in band: %s\n", ok ? "PASS" : "FAIL");
+  const std::string json_path =
+      flag_str(argc, argv, "json", "BENCH_scaling_hosts.json");
+  auto doc = JsonBuilder::object()
+      .field("bench", "scaling_hosts")
+      .field("hardware_concurrency",
+             double(std::max(1u, std::thread::hardware_concurrency())))
+      .field("n_scaled", double(n_scaled))
+      .field("t_end", t_end)
+      .field("n_paper", double(kPaperN))
+      .field("block_size", double(kBlock))
+      .field("rows", json_rows);
+  if (write_json_file(json_path, doc))
+    std::printf("host-scaling table written to %s\n", json_path.c_str());
+
+  // Shape checks: near-linear scaling to the full machine and a paper-point
+  // efficiency in the measured band. The beyond-paper matrix grids must show
+  // Ethernet traffic that aggregation cuts substantially — and an efficiency
+  // collapse below the paper point, which is exactly why the real machine
+  // used custom network boards instead of scaling the GbE matrix.
+  const bool ok = paper_sustained / first > 8.0 && paper_eff > 0.25 &&
+                  paper_eff < 0.75 && last_agg_messages > 0 && last_cut > 5.0 &&
+                  last_eff < paper_eff;
+  std::printf("shape check: >8x speedup over 16x more hardware, paper-point "
+              "efficiency in band, aggregated GbE matrix traffic cut >5x but "
+              "efficiency collapsing: %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }

@@ -84,6 +84,9 @@ int main(int argc, char** argv) {
       flag_str(argc, argv, "json", "BENCH_scaling_n.json");
   const JsonBuilder doc = JsonBuilder::object()
                               .field("bench", "scaling_n")
+                              .field("hardware_concurrency",
+                                     double(std::max<std::size_t>(
+                                         1, std::thread::hardware_concurrency())))
                               .field("wall_seconds", run.wall_seconds)
                               .field("active_fraction", active_fraction)
                               .field("model_scaling", model_rows)

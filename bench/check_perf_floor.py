@@ -1,27 +1,37 @@
 #!/usr/bin/env python3
-"""CI perf-smoke gate: fail when bench_headline's measured kernel throughput
-regresses past the checked-in floor, or when any of the correctness flags the
-bench embeds in its JSON export went false.
+"""CI perf-smoke gate: fail when a bench's measured numbers regress past the
+checked-in floor, or when any correctness flag a bench embeds in its JSON
+export went false.
 
-Usage: check_perf_floor.py BENCH_headline.json [perf_floor.json]
+Usage: check_perf_floor.py BENCH_*.json [more BENCH_*.json ...] [--floor=perf_floor.json]
 
-A kernel fails the gate when
+Every file is dispatched on its top-level "bench" tag:
+
+  headline      - kernel-throughput floors, bit-identity invariants, and the
+                  hardware-conditional parallel-emulation speedup gate
+  network_modes - the aggregated-transport gate: aggregation must cut
+                  j-update messages per step by the floor's factor at the
+                  floor's host count, bit-identically, with the message-count
+                  model matching the measured comm time within 20%
+  scaling_hosts - presence and sanity of the beyond-paper host grids
+  anything else - schema checks only (see below)
+
+Every file, regardless of tag, must carry a top-level hardware_concurrency
+field — the knob hardware-conditional gates key off; a bench export without
+it cannot be gated honestly and fails the check.
+
+A kernel fails the throughput gate when
 
     measured_interactions_per_sec < floor / regression_factor
 
 with both numbers from perf_floor.json (floors are already derated for CI
-hardware; regression_factor 2.0 means "fail on a >2x regression"). On top of
-the throughput floors the gate enforces the invariants the bench measured:
-the tiled/simd CPU kernels, the batched GRAPE path and the thread-parallel
-machine emulation must be bit-identical to their references, and every
-measured-vs-model term ratio must be finite and positive.
+hardware; regression_factor 2.0 means "fail on a >2x regression").
 
-The parallel_emulation floor (min speedup of the N-thread machine emulation
-over 1 thread) is hardware-conditional: it is enforced only when the bench
-ran with at least the floor's thread count AND the measuring machine has
-that many hardware threads — a 1-core runner cannot exhibit parallel
-speedup, and oversubscribed lanes prove nothing. Bit-identity of the
-parallel schedule is enforced unconditionally.
+Hardware-conditional gates (e.g. parallel_emulation's min_speedup, which
+needs >= the floor's thread count in hardware) print an explicit
+"skipped: <reason>" line whenever they do not run, so a green CI log shows
+which gates were actually enforced. The aggregation gate is deterministic
+message counting, so it is never skipped. Bit-identity is always enforced.
 """
 
 import json
@@ -29,18 +39,8 @@ import pathlib
 import sys
 
 
-def main(argv):
-    if len(argv) < 2:
-        print(__doc__)
-        return 2
-    bench = json.load(open(argv[1]))
-    floor_path = (
-        argv[2] if len(argv) > 2 else pathlib.Path(__file__).parent / "perf_floor.json"
-    )
-    floor = json.load(open(floor_path))
+def check_headline(bench, floor, failures):
     factor = float(floor.get("regression_factor", 2.0))
-
-    failures = []
     kernels = {k["kernel"]: k for k in bench["cpu_kernels"]}
     for name, fl in floor["floors_interactions_per_sec"].items():
         if name == "grape_batched":
@@ -84,14 +84,113 @@ def main(argv):
         else:
             print(
                 f"parallel x{int(par['threads'])}   speedup {par['speedup']:.2f}  "
-                f"(floor skipped: needs {need} threads, hardware has "
-                f"{int(par['hardware_concurrency'])})"
+                f"skipped: min_speedup needs {need} bench threads on {need} "
+                f"hardware threads, bench ran {int(par['threads'])} on "
+                f"{int(par['hardware_concurrency'])} "
+                f"(bit-identity still enforced)"
             )
     if not bench["measured_vs_model_ratios_finite_positive"]:
         failures.append(
             "measured-vs-model ratios not finite and positive: "
             + json.dumps(bench["measured_vs_model_ratios"])
         )
+
+
+def check_network_modes(bench, floor, failures):
+    comm = floor.get("comm", {})
+    hosts = int(comm.get("hosts", 16))
+    min_cut = float(comm.get("min_update_message_reduction", 10.0))
+    rmin = float(comm.get("model_ratio_min", 0.8))
+    rmax = float(comm.get("model_ratio_max", 1.25))
+    rows = {m["mode"]: m for m in bench["comm_modes"]}
+    for mode in ("naive", "matrix"):
+        m = rows[mode]
+        if int(m["hosts"]) != hosts:
+            failures.append(
+                f"comm row '{mode}' measured at {int(m['hosts'])} hosts, "
+                f"floor expects {hosts}"
+            )
+            continue
+        cut = m["update_message_reduction"]
+        ratio = m["model_measured_ratio"]
+        status = "ok" if cut >= min_cut else "FAIL"
+        print(
+            f"comm {mode:7s} j-update messages "
+            f"{int(m['update_messages_unaggregated'])} -> "
+            f"{int(m['update_messages_aggregated'])}  cut {cut:.1f}x  "
+            f"(floor {min_cut:.0f}x)  model/measured {ratio:.3f}  {status}"
+        )
+        if cut < min_cut:
+            failures.append(
+                f"aggregation cut {mode} j-update messages only {cut:.1f}x "
+                f"at {hosts} hosts (floor {min_cut:.0f}x)"
+            )
+        if not (rmin <= ratio <= rmax):
+            failures.append(
+                f"comm model vs measured ratio {ratio:.3f} for {mode} outside "
+                f"[{rmin}, {rmax}]"
+            )
+    for m in bench["comm_modes"]:
+        if not m["bit_identical"]:
+            failures.append(
+                f"aggregated forces differ from per-record baseline in "
+                f"{m['mode']} mode"
+            )
+    if not bench["overlap_bit_identical"]:
+        failures.append("overlapped i-block exchange changed the forces")
+    if bench["overlap_saved_seconds"] <= 0.0:
+        failures.append("overlap hid no link time")
+
+
+def check_scaling_hosts(bench, floor, failures):
+    rows = {int(r["hosts"]): r for r in bench["rows"]}
+    for hosts in (64, 256):
+        r = rows.get(hosts)
+        if r is None:
+            failures.append(f"scaling_hosts sweep is missing the {hosts}-host grid")
+            continue
+        cut = r["eth_message_reduction"]
+        status = "ok" if r["mode"] == "matrix" and cut > 1.0 else "FAIL"
+        print(
+            f"hosts {hosts:4d} ({r['mode']})  sustained "
+            f"{r['sustained_tflops']:.2f} Tflops  msg cut {cut:.1f}x  {status}"
+        )
+        if r["mode"] != "matrix":
+            failures.append(f"{hosts}-host row is not the 2-D matrix organisation")
+        elif cut <= 1.0:
+            failures.append(f"aggregation does not cut messages at {hosts} hosts")
+
+
+def main(argv):
+    floor_path = pathlib.Path(__file__).parent / "perf_floor.json"
+    bench_paths = []
+    for a in argv[1:]:
+        if a.startswith("--floor="):
+            floor_path = a.split("=", 1)[1]
+        else:
+            bench_paths.append(a)
+    if not bench_paths:
+        print(__doc__)
+        return 2
+    floor = json.load(open(floor_path))
+
+    checkers = {
+        "headline": check_headline,
+        "network_modes": check_network_modes,
+        "scaling_hosts": check_scaling_hosts,
+    }
+    failures = []
+    for path in bench_paths:
+        bench = json.load(open(path))
+        tag = bench.get("bench", "?")
+        print(f"--- {path} ({tag}) ---")
+        if "hardware_concurrency" not in bench:
+            failures.append(f"{path}: no top-level hardware_concurrency field")
+        checker = checkers.get(tag)
+        if checker is not None:
+            checker(bench, floor, failures)
+        else:
+            print(f"no floor gates for bench tag '{tag}'; schema checks only")
 
     if failures:
         print("\nperf-smoke FAILED:")

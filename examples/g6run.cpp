@@ -14,6 +14,9 @@
 //   --backend=cpu|grape|cluster                                      [cpu]
 //   --cluster-mode=naive|hwnet|matrix   host organisation            [hwnet]
 //   --hosts=<int>         simulated hosts for --backend=cluster      [16]
+//   --no-aggregation      per-record cluster transport (A/B the default)
+//   --defer-updates       stage j-update flush to the next compute entry
+//   --overlap             double-buffered i-block exchange (matrix mode)
 //   --t=<float>           end time (code units; 1 yr = 2*pi)         [400]
 //   --eta=<float>         Aarseth accuracy parameter                 [0.02]
 //   --dtmax=<float>       largest block step (power of two)          [model]
@@ -199,8 +202,18 @@ int main(int argc, char** argv) {
       if (mode_name == "naive") mode = g6::cluster::HostMode::kNaive;
       if (mode_name == "matrix") mode = g6::cluster::HostMode::kMatrix2D;
       const int hosts = static_cast<int>(flag(argc, argv, "hosts", 16));
-      return std::make_unique<g6::cluster::ClusterBackend>(hosts, mode,
-                                                           format_for(ps), soft);
+      auto cb = std::make_unique<g6::cluster::ClusterBackend>(
+          hosts, mode, format_for(ps), soft);
+      // --no-aggregation / --defer-updates / --overlap tune the transport;
+      // forces are bit-identical either way (the determinism contract in
+      // docs/PERFORMANCE.md), only the message counters move.
+      cb->set_transport_options(!has_flag(argc, argv, "no-aggregation"),
+                                has_flag(argc, argv, "defer-updates"),
+                                has_flag(argc, argv, "overlap"));
+      // A monitored run exposes the g6.net.* aggregation counters live.
+      if (monitored)
+        cb->set_metrics_registry(&g6::obs::MetricsRegistry::global());
+      return cb;
     }
     return nullptr;
   };

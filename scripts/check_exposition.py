@@ -3,7 +3,14 @@
 (format 0.0.4, the /metrics endpoint) and JSON well-formedness (the
 /metrics.json, /progress, and /series endpoints).
 
-Usage: check_exposition.py TARGET [TARGET...]
+Usage: check_exposition.py [--require=PREFIX ...] TARGET [TARGET...]
+
+Each --require=PREFIX asserts that at least one metric with that name prefix
+appears somewhere in the validated targets: a Prometheus sample whose name
+starts with the sanitized prefix (dots become underscores, e.g. `g6.net.`
+matches `g6_net_frames_sent`), or the raw prefix in a JSON target's text.
+CI's monitor-smoke uses this to prove the transport-aggregation counters
+(`--require=g6.net.`) are actually exported by a live run.
 
 Each TARGET is a file path or an http:// URL (fetched with stdlib urllib,
 so the CI job needs no extra packages). Format is chosen per target:
@@ -116,6 +123,20 @@ def check_sample(line, declared, errors, where):
         errors.append(f"{where}: trailing tokens in {line!r}")
 
 
+def sanitize(name):
+    """The same normalization obs/exposition.cpp applies to metric names."""
+    return re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+
+
+def sample_names(text):
+    """Metric names of every sample line in a Prometheus text document."""
+    names = set()
+    for line in text.split("\n"):
+        if line and not line.startswith("#"):
+            names.add(line.split("{", 1)[0].split(None, 1)[0])
+    return names
+
+
 def check_prometheus(text, target, errors):
     declared, samples = set(), 0
     for i, line in enumerate(text.split("\n"), 1):
@@ -156,11 +177,20 @@ def check_json(text, target, errors):
 
 
 def main(argv):
-    if len(argv) < 2:
+    required = []
+    targets = []
+    for a in argv[1:]:
+        if a.startswith("--require="):
+            required.append(a.split("=", 1)[1])
+        else:
+            targets.append(a)
+    if not targets:
         print(__doc__)
         return 2
     errors = []
-    for target in argv[1:]:
+    seen_prom_names = set()
+    seen_json_text = []
+    for target in targets:
         try:
             text = fetch(target)
         except Exception as e:  # noqa: BLE001 - report and keep checking
@@ -168,11 +198,24 @@ def main(argv):
             continue
         if is_json_target(target):
             check_json(text, target, errors)
+            seen_json_text.append(text)
         else:
             check_prometheus(text, target, errors)
+            seen_prom_names |= sample_names(text)
         print(f"checked {target} "
               f"({'json' if is_json_target(target) else 'prometheus'}, "
               f"{len(text)} bytes)")
+    for prefix in required:
+        want = sanitize(prefix)
+        matched = sorted(n for n in seen_prom_names if n.startswith(want))
+        if matched:
+            print(f"required prefix {prefix!r}: {len(matched)} metrics "
+                  f"(e.g. {matched[0]})")
+        elif any(prefix in text for text in seen_json_text):
+            print(f"required prefix {prefix!r}: found in JSON targets")
+        else:
+            errors.append(f"no metric with prefix {prefix!r} "
+                          f"(sanitized {want!r}) in any target")
     for e in errors:
         print(f"FAIL: {e}", file=sys.stderr)
     print("exposition check:", "FAIL" if errors else "PASS")

@@ -1,0 +1,161 @@
+#include "cluster/aggregator.hpp"
+
+#include <cstring>
+
+namespace g6::cluster {
+
+namespace {
+
+void put_u32(std::vector<std::byte>& buf, std::size_t at, std::uint32_t v) {
+  std::memcpy(buf.data() + at, &v, sizeof(v));
+}
+
+std::uint32_t get_u32(std::span<const std::byte> buf, std::size_t at) {
+  G6_CHECK(at + sizeof(std::uint32_t) <= buf.size(), "frame truncated");
+  std::uint32_t v = 0;
+  std::memcpy(&v, buf.data() + at, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+const char* record_kind_name(RecordKind kind) {
+  switch (kind) {
+    case RecordKind::kJUpdate: return "j-update";
+    case RecordKind::kIBatch: return "i-batch";
+    case RecordKind::kPartial: return "partial";
+  }
+  return "?";
+}
+
+void FrameBuilder::add(RecordKind kind, std::span<const std::byte> payload) {
+  if (buf_.empty()) {
+    buf_.resize(kFrameHeaderBytes);
+    put_u32(buf_, 0, kFrameMagic);
+    put_u32(buf_, 4, 0);  // record count, patched by take()
+  }
+  const std::size_t at = buf_.size();
+  buf_.resize(at + kRecordHeaderBytes + payload.size());
+  put_u32(buf_, at, static_cast<std::uint32_t>(kind));
+  put_u32(buf_, at + 4, static_cast<std::uint32_t>(payload.size()));
+  if (!payload.empty())
+    std::memcpy(buf_.data() + at + kRecordHeaderBytes, payload.data(), payload.size());
+  records_ += 1;
+}
+
+std::vector<std::byte> FrameBuilder::take() {
+  G6_CHECK(!empty(), "taking an empty frame");
+  put_u32(buf_, 4, static_cast<std::uint32_t>(records_));
+  records_ = 0;
+  std::vector<std::byte> out;
+  out.swap(buf_);
+  return out;
+}
+
+std::vector<FrameRecordView> parse_frame(std::span<const std::byte> frame) {
+  G6_CHECK(frame.size() >= kFrameHeaderBytes, "frame shorter than its header");
+  G6_CHECK(get_u32(frame, 0) == kFrameMagic, "bad frame magic");
+  const std::uint32_t count = get_u32(frame, 4);
+  std::vector<FrameRecordView> out;
+  out.reserve(count);
+  std::size_t off = kFrameHeaderBytes;
+  for (std::uint32_t r = 0; r < count; ++r) {
+    const std::uint32_t kind = get_u32(frame, off);
+    const std::uint32_t size = get_u32(frame, off + 4);
+    G6_CHECK(kind >= 1 && kind <= 3, "unknown frame record kind");
+    off += kRecordHeaderBytes;
+    G6_CHECK(off + size <= frame.size(), "frame record overruns the frame");
+    out.push_back({static_cast<RecordKind>(kind), off, size});
+    off += size;
+  }
+  G6_CHECK(off == frame.size(), "trailing bytes after the last frame record");
+  return out;
+}
+
+std::vector<std::byte> record_payload(std::span<const std::byte> frame,
+                                      const FrameRecordView& rec) {
+  G6_CHECK(rec.offset + rec.size <= frame.size(), "record view out of range");
+  return {frame.begin() + static_cast<std::ptrdiff_t>(rec.offset),
+          frame.begin() + static_cast<std::ptrdiff_t>(rec.offset + rec.size)};
+}
+
+std::vector<std::byte> wrap_record(RecordKind kind, std::span<const std::byte> payload) {
+  FrameBuilder fb;
+  fb.add(kind, payload);
+  return fb.take();
+}
+
+std::vector<std::byte> unwrap_record(std::span<const std::byte> frame, RecordKind kind) {
+  const auto recs = parse_frame(frame);
+  G6_CHECK(recs.size() == 1, "expected a single-record frame");
+  G6_CHECK(recs[0].kind == kind, "frame record kind mismatch");
+  return record_payload(frame, recs[0]);
+}
+
+MessageAggregator::MessageAggregator(int n_ranks, std::size_t capacity)
+    : n_ranks_(n_ranks), capacity_(capacity),
+      pair_(static_cast<std::size_t>(n_ranks) * static_cast<std::size_t>(n_ranks)) {
+  G6_CHECK(n_ranks > 0, "aggregator needs at least one rank");
+  G6_CHECK(capacity > kFrameHeaderBytes + kRecordHeaderBytes,
+           "aggregation capacity cannot hold a record");
+}
+
+void MessageAggregator::send_pair(int src, int dst, const Sink& sink) {
+  FrameBuilder& fb =
+      pair_[static_cast<std::size_t>(dst) * static_cast<std::size_t>(n_ranks_) +
+            static_cast<std::size_t>(src)];
+  const std::size_t n_records = fb.records();
+  auto frame = fb.take();
+  stats_.count_frame(frame.size(), n_records);
+  sink(src, dst, std::move(frame));
+}
+
+void MessageAggregator::stage(int src, int dst, RecordKind kind,
+                              std::span<const std::byte> record, const Sink& sink) {
+  G6_CHECK(src >= 0 && src < n_ranks_ && dst >= 0 && dst < n_ranks_ && src != dst,
+           "bad aggregation pair");
+  FrameBuilder& fb =
+      pair_[static_cast<std::size_t>(dst) * static_cast<std::size_t>(n_ranks_) +
+            static_cast<std::size_t>(src)];
+  if (fb.would_exceed(record.size(), capacity_)) {
+    stats_.capacity_flushes += 1;
+    send_pair(src, dst, sink);
+  }
+  fb.add(kind, record);
+}
+
+void MessageAggregator::flush(const Sink& sink) {
+  if (!pending()) return;
+  stats_.boundary_flushes += 1;
+  // Destination-major, ascending host ids: the wire order is a function of
+  // the staged records alone, never of their arrival order.
+  for (int dst = 0; dst < n_ranks_; ++dst)
+    for (int src = 0; src < n_ranks_; ++src)
+      if (!pair_[static_cast<std::size_t>(dst) * static_cast<std::size_t>(n_ranks_) +
+                 static_cast<std::size_t>(src)]
+               .empty())
+        send_pair(src, dst, sink);
+}
+
+bool MessageAggregator::pending() const {
+  for (const FrameBuilder& fb : pair_)
+    if (!fb.empty()) return true;
+  return false;
+}
+
+void publish_net_metrics(const NetStats& s, g6::obs::MetricsRegistry& registry) {
+  registry.counter("g6.net.frames_sent").set(s.frames_sent);
+  registry.counter("g6.net.records_coalesced").set(s.records_sent);
+  registry.counter("g6.net.capacity_flushes").set(s.capacity_flushes);
+  registry.counter("g6.net.boundary_flushes").set(s.boundary_flushes);
+  registry.counter("g6.net.deferred_flushes").set(s.deferred_flushes);
+  registry.counter("g6.net.frame_bytes").set(s.frame_bytes);
+  registry.counter("g6.net.messages_saved").set(s.messages_saved());
+  const std::int64_t saved = s.bytes_saved();
+  registry.counter("g6.net.bytes_saved").set(saved > 0 ? static_cast<std::uint64_t>(saved) : 0);
+  registry.gauge("g6.net.aggregation_factor").set(s.aggregation_factor());
+  registry.gauge("g6.net.flush_seconds").set(s.flush_seconds);
+  registry.gauge("g6.net.overlap_saved_seconds").set(s.overlap_saved_seconds);
+}
+
+}  // namespace g6::cluster

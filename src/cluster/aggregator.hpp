@@ -1,0 +1,190 @@
+#pragma once
+/// \file aggregator.hpp
+/// \brief Per-destination message aggregation for the cluster Ethernet.
+///
+/// PR 3's BSP transport ships every j-particle update as its own Transport
+/// message, so the modeled per-message overhead (Ethernet latency) dominates
+/// long before the paper's 16-host matrix. Following the RDMAAggregator
+/// design from the Grappa runtime, records bound for the same destination are
+/// staged into a per-(src, dst) frame and flushed as one bulk message:
+///
+///   frame   := magic:u32 record_count:u32 record*
+///   record  := kind:u32 payload_bytes:u32 payload
+///
+/// Flush rules (the determinism contract, see docs/PERFORMANCE.md):
+///   - capacity flush: staging a record that would push a pair's frame past
+///     the capacity sends the full frame first, on the staging (driving)
+///     thread;
+///   - step-boundary flush: every pending frame goes out in ascending
+///     (destination, source) host-id order — never arrival order — so the
+///     wire content is a pure function of the staged records.
+///
+/// The CRC-32 framing from PR 4 applies to the aggregate frame (one
+/// Transport payload), with the per-record offsets recovered by
+/// parse_frame(); corruption therefore costs one frame resend, not one
+/// resend per record.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace g6::cluster {
+
+/// What a frame record carries.
+enum class RecordKind : std::uint32_t {
+  kJUpdate = 1,  ///< one corrected j-particle (pack_j serialization)
+  kIBatch = 2,   ///< an i-particle block (collective broadcast leg)
+  kPartial = 3,  ///< partial-force accumulators (collective reduction leg)
+};
+
+const char* record_kind_name(RecordKind kind);
+
+inline constexpr std::uint32_t kFrameMagic = 0x47364147u;  // "GA6G" on the wire
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+inline constexpr std::size_t kRecordHeaderBytes = 8;
+
+/// Serialized pack_j() record size (id + mass + t0 + fixed-point position +
+/// lsb + v0/a0/j0); pinned by test_aggregator so the PerfModel byte terms
+/// cannot drift from the wire format.
+inline constexpr std::size_t kJUpdateRecordBytes = 124;
+
+/// Modeled per-message wire overhead of one GbE message (preamble + Ethernet
+/// header + FCS + interframe gap + IP + UDP): what every coalesced record
+/// avoids paying.
+inline constexpr std::size_t kPerMessageWireBytes = 78;
+
+/// Default capacity flush threshold (frame bytes).
+inline constexpr std::size_t kDefaultAggregationCapacity = 4096;
+
+/// Incrementally builds one frame.
+class FrameBuilder {
+ public:
+  void add(RecordKind kind, std::span<const std::byte> payload);
+
+  std::size_t records() const { return records_; }
+  bool empty() const { return records_ == 0; }
+  /// Frame bytes as they would appear on the wire (header included).
+  std::size_t bytes() const { return buf_.empty() ? kFrameHeaderBytes : buf_.size(); }
+  /// Would adding a payload of \p payload_bytes exceed \p capacity?
+  bool would_exceed(std::size_t payload_bytes, std::size_t capacity) const {
+    return !empty() && bytes() + kRecordHeaderBytes + payload_bytes > capacity;
+  }
+
+  /// Finalize and return the frame; the builder resets to empty.
+  std::vector<std::byte> take();
+
+ private:
+  std::vector<std::byte> buf_;
+  std::size_t records_ = 0;
+};
+
+/// One parsed record: where its payload sits inside the frame.
+struct FrameRecordView {
+  RecordKind kind = RecordKind::kJUpdate;
+  std::size_t offset = 0;  ///< payload start within the frame
+  std::size_t size = 0;    ///< payload bytes
+};
+
+/// Parse a frame built by FrameBuilder (raises on malformed framing).
+std::vector<FrameRecordView> parse_frame(std::span<const std::byte> frame);
+
+/// Copy one record's payload out of a frame.
+std::vector<std::byte> record_payload(std::span<const std::byte> frame,
+                                      const FrameRecordView& rec);
+
+/// Convenience: a frame holding exactly one record.
+std::vector<std::byte> wrap_record(RecordKind kind, std::span<const std::byte> payload);
+
+/// Inverse of wrap_record: checks the frame holds exactly one record of
+/// \p kind and returns its payload.
+std::vector<std::byte> unwrap_record(std::span<const std::byte> frame, RecordKind kind);
+
+/// Aggregation counters (the g6.net.* metrics). Mutated only from the
+/// serial driver points of the BSP schedule (or the single comm task of the
+/// overlap pipeline, which the parallel_for barrier orders against readers),
+/// so plain integers suffice.
+struct NetStats {
+  std::uint64_t frames_sent = 0;        ///< aggregate messages on the wire
+  std::uint64_t records_sent = 0;       ///< records carried by those frames
+  std::uint64_t capacity_flushes = 0;   ///< frames forced out by capacity
+  std::uint64_t boundary_flushes = 0;   ///< step-boundary flush sweeps
+  std::uint64_t deferred_flushes = 0;   ///< flushes deferred to compute() entry
+  std::uint64_t record_bytes = 0;       ///< payload bytes inside sent frames
+  std::uint64_t frame_bytes = 0;        ///< total framed bytes on the wire
+  std::uint64_t baseline_messages = 0;  ///< messages per-record sends would cost
+  double flush_seconds = 0.0;           ///< modeled link time of update flushes
+  double overlap_saved_seconds = 0.0;   ///< modeled comm hidden under compute
+
+  /// Book one frame handed to the transport.
+  void count_frame(std::size_t frame_size, std::size_t n_records) {
+    frames_sent += 1;
+    records_sent += n_records;
+    frame_bytes += frame_size;
+    record_bytes += frame_size - kFrameHeaderBytes - n_records * kRecordHeaderBytes;
+  }
+
+  std::uint64_t messages_saved() const {
+    return baseline_messages > frames_sent ? baseline_messages - frames_sent : 0;
+  }
+
+  /// Wire bytes avoided: the per-message overhead of every saved message
+  /// minus the framing bytes aggregation itself adds.
+  std::int64_t bytes_saved() const {
+    const std::int64_t framing = static_cast<std::int64_t>(
+        frames_sent * kFrameHeaderBytes + records_sent * kRecordHeaderBytes);
+    return static_cast<std::int64_t>(messages_saved() * kPerMessageWireBytes) - framing;
+  }
+
+  double aggregation_factor() const {
+    return frames_sent > 0
+               ? static_cast<double>(records_sent) / static_cast<double>(frames_sent)
+               : 1.0;
+  }
+};
+
+/// Per-destination staging buffers over an n-rank fabric. The aggregator
+/// never touches the Transport itself: the owner passes a sink (typically
+/// the reliable BSP exchange) that moves a finished frame, which keeps every
+/// fault-injection decision on the existing serialized send path.
+class MessageAggregator {
+ public:
+  /// Called with a finished frame to put on the wire.
+  using Sink = std::function<void(int src, int dst, std::vector<std::byte> frame)>;
+
+  explicit MessageAggregator(int n_ranks,
+                             std::size_t capacity = kDefaultAggregationCapacity);
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Stage one record from \p src to \p dst; runs a capacity flush of that
+  /// pair first when the record would not fit.
+  void stage(int src, int dst, RecordKind kind, std::span<const std::byte> record,
+             const Sink& sink);
+
+  /// Step-boundary flush: send every pending frame in ascending
+  /// (destination, source) order.
+  void flush(const Sink& sink);
+
+  bool pending() const;
+
+  NetStats& stats() { return stats_; }
+  const NetStats& stats() const { return stats_; }
+
+ private:
+  void send_pair(int src, int dst, const Sink& sink);
+
+  int n_ranks_;
+  std::size_t capacity_;
+  std::vector<FrameBuilder> pair_;  ///< indexed dst * n_ranks + src
+  NetStats stats_;
+};
+
+/// Publish aggregation counters under `g6.net.*` (docs/OBSERVABILITY.md).
+void publish_net_metrics(const NetStats& s, g6::obs::MetricsRegistry& registry);
+
+}  // namespace g6::cluster

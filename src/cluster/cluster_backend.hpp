@@ -55,6 +55,23 @@ class ClusterBackend final : public g6::nbody::ForceBackend {
   void set_fault_injector(fault::FaultInjector* injector);
   fault::FaultInjector* fault_injector() const { return injector_; }
 
+  /// Transport tuning, preserved across the load() rebuild. \p aggregated
+  /// coalesces j-updates into per-destination frames (default on);
+  /// \p deferred stages the update flush until the next compute entry, where
+  /// its modeled link time is charged to the j-update phase instead of the
+  /// update call; \p overlap double-buffers the matrix collectives so their
+  /// legs fly while hosts compute, with the hidden link time subtracted from
+  /// the recorded communication phases.
+  void set_transport_options(bool aggregated, bool deferred, bool overlap);
+
+  /// Publish the transport's g6.net.* counters into \p registry after every
+  /// force computation (nullptr detaches — the default). A monitored run
+  /// attaches the global registry so the live /metrics endpoint exposes the
+  /// aggregation behavior; see docs/OBSERVABILITY.md.
+  void set_metrics_registry(g6::obs::MetricsRegistry* registry) {
+    metrics_ = registry;
+  }
+
  private:
   JParticle format_j(std::uint32_t i, const g6::nbody::ParticleSystem& ps) const;
 
@@ -72,6 +89,10 @@ class ClusterBackend final : public g6::nbody::ForceBackend {
   std::vector<IParticle> batch_;
   std::vector<ForceAccumulator> accum_;
   fault::FaultInjector* injector_ = nullptr;
+  g6::obs::MetricsRegistry* metrics_ = nullptr;
+  bool aggregated_ = true;
+  bool deferred_ = false;
+  bool overlap_ = false;
 };
 
 }  // namespace g6::cluster

@@ -160,6 +160,10 @@ ParallelHostSystem::ParallelHostSystem(int n_hosts, HostMode mode, FormatSpec fm
   alive_.assign(static_cast<std::size_t>(n_hosts), 1);
   alive_real_.resize(static_cast<std::size_t>(real_hosts()));
   for (int h = 0; h < real_hosts(); ++h) alive_real_[static_cast<std::size_t>(h)] = h;
+  agg_ = std::make_unique<MessageAggregator>(n_hosts);
+  if (mode == HostMode::kMatrix2D)
+    matrix_stage_.resize(static_cast<std::size_t>(grid_side()) *
+                         static_cast<std::size_t>(grid_side()));
 }
 
 void ParallelHostSystem::set_fault_injector(fault::FaultInjector* injector) {
@@ -369,6 +373,14 @@ void ParallelHostSystem::load(std::span<const JParticle> particles) {
 }
 
 void ParallelHostSystem::update(std::span<const JParticle> particles) {
+  if (aggregate_ && mode_ != HostMode::kHardwareNet) {
+    update_aggregated(particles);
+    return;
+  }
+  update_per_record(particles);
+}
+
+void ParallelHostSystem::update_per_record(std::span<const JParticle> particles) {
   for (const JParticle& p : particles) {
     if (injector_ != nullptr && p.id < shadow_valid_.size() &&
         shadow_valid_[p.id] != 0)
@@ -437,8 +449,183 @@ void ParallelHostSystem::update(std::span<const JParticle> particles) {
   }
 }
 
+MessageAggregator::Sink ParallelHostSystem::update_sink() {
+  return [this](int src, int dst, std::vector<std::byte> frame) {
+    const Message msg = exchange(src, dst, kTagJUpdate, frame);
+    for (const FrameRecordView& rec : parse_frame(msg.payload)) {
+      G6_CHECK(rec.kind == RecordKind::kJUpdate, "non-update record in update frame");
+      const auto payload = record_payload(msg.payload, rec);
+      std::size_t off = 0;
+      const JParticle p = unpack_j(payload, off);
+      hosts_[static_cast<std::size_t>(dst)].write_j(p.id, p);
+    }
+  };
+}
+
+std::uint64_t ParallelHostSystem::matrix_update_hops(int owner, int target) const {
+  if (owner == target) return 0;
+  const int side = grid_side();
+  const int colh = target % side;
+  std::uint64_t hops = 0;
+  int cur = owner;
+  if (cur % side != colh) {
+    const int root = col_root(colh);
+    if (root != cur) {
+      ++hops;
+      cur = root;
+    }
+    if (cur == target) return hops;
+  }
+  for (int r = cur / side + 1; r < side; ++r) {
+    const int hop = r * side + colh;
+    if (alive_[static_cast<std::size_t>(hop)] == 0) continue;
+    ++hops;
+    if (hop == target) break;
+  }
+  return hops;
+}
+
+std::vector<std::byte> ParallelHostSystem::deliver_matrix_frame(
+    int host, const std::vector<std::byte>& frame, std::size_t& records) {
+  FrameBuilder keep;
+  for (const FrameRecordView& rec : parse_frame(frame)) {
+    G6_CHECK(rec.kind == RecordKind::kJUpdate, "non-update record in update frame");
+    const auto payload = record_payload(frame, rec);
+    std::size_t off = 0;
+    const JParticle p = unpack_j(payload, off);
+    if (matrix_holder(p.id) == host)
+      hosts_[static_cast<std::size_t>(host)].write_j(p.id, p);
+    else
+      keep.add(rec.kind, payload);
+  }
+  records = keep.records();
+  return keep.empty() ? std::vector<std::byte>{} : keep.take();
+}
+
+void ParallelHostSystem::route_matrix_update_frame(int owner, int col,
+                                                   FrameBuilder& fb) {
+  // Store-and-forward down the column: the frame enters at the column root
+  // (unless the owner already sits in the column), every alive hop extracts
+  // the records addressed to itself and forwards a shrinking frame.
+  const int side = grid_side();
+  std::size_t records = fb.records();
+  std::vector<std::byte> frame = fb.take();
+  int cur = owner;
+  if (cur % side != col) {
+    const int root = col_root(col);
+    G6_CHECK(root >= 0, "staged j-updates for a fully dead column");
+    agg_->stats().count_frame(frame.size(), records);
+    const Message msg = exchange(cur, root, kTagJUpdate, frame);
+    cur = root;
+    frame = deliver_matrix_frame(cur, msg.payload, records);
+  }
+  for (int r = cur / side + 1; r < side && records > 0; ++r) {
+    const int next = r * side + col;
+    if (alive_[static_cast<std::size_t>(next)] == 0) continue;
+    agg_->stats().count_frame(frame.size(), records);
+    const Message msg = exchange(cur, next, kTagJUpdate, frame);
+    cur = next;
+    frame = deliver_matrix_frame(cur, msg.payload, records);
+  }
+  G6_CHECK(records == 0, "matrix aggregated j-update routing failed");
+}
+
+void ParallelHostSystem::update_aggregated(std::span<const JParticle> particles) {
+  const int side = mode_ == HostMode::kMatrix2D ? grid_side() : 0;
+  const auto sink = update_sink();
+  for (const JParticle& p : particles) {
+    if (injector_ != nullptr && p.id < shadow_valid_.size() &&
+        shadow_valid_[p.id] != 0)
+      shadow_[p.id] = p;
+    const int owner = owner_of(p.id);
+    if (mode_ == HostMode::kNaive) {
+      hosts_[static_cast<std::size_t>(owner)].write_j(p.id, p);
+      const auto rec = pack_j(p);
+      for (int h = 0; h < hosts(); ++h) {
+        if (h == owner || alive_[static_cast<std::size_t>(h)] == 0) continue;
+        agg_->stats().baseline_messages += 1;
+        agg_->stage(owner, h, RecordKind::kJUpdate, rec, sink);
+      }
+      hw_bytes_.pci +=
+          g6::hw::kJParticleBytes * static_cast<std::uint64_t>(alive_host_count());
+    } else {  // kMatrix2D
+      const int target = matrix_holder(p.id);
+      if (target == owner) {
+        hosts_[static_cast<std::size_t>(target)].write_j(p.id, p);
+      } else {
+        const int col = target % side;
+        const auto rec = pack_j(p);
+        agg_->stats().baseline_messages += matrix_update_hops(owner, target);
+        FrameBuilder& fb =
+            matrix_stage_[static_cast<std::size_t>(owner) *
+                              static_cast<std::size_t>(side) +
+                          static_cast<std::size_t>(col)];
+        if (fb.would_exceed(rec.size(), agg_->capacity())) {
+          agg_->stats().capacity_flushes += 1;
+          route_matrix_update_frame(owner, col, fb);
+        }
+        fb.add(RecordKind::kJUpdate, rec);
+      }
+      hw_bytes_.pci += g6::hw::kJParticleBytes;
+    }
+  }
+  if (!deferred_) flush_updates();
+}
+
+void ParallelHostSystem::flush_matrix_updates() {
+  const int side = grid_side();
+  bool any = false;
+  // Destination order: ascending column, then ascending owner — never the
+  // order the records were staged in.
+  for (int col = 0; col < side; ++col) {
+    for (int owner = 0; owner < side; ++owner) {
+      FrameBuilder& fb = matrix_stage_[static_cast<std::size_t>(owner) *
+                                           static_cast<std::size_t>(side) +
+                                       static_cast<std::size_t>(col)];
+      if (fb.empty()) continue;
+      any = true;
+      route_matrix_update_frame(owner, col, fb);
+    }
+  }
+  if (any) agg_->stats().boundary_flushes += 1;
+}
+
+bool ParallelHostSystem::has_pending_updates() const {
+  if (agg_->pending()) return true;
+  for (const FrameBuilder& fb : matrix_stage_)
+    if (!fb.empty()) return true;
+  return false;
+}
+
+double ParallelHostSystem::total_modeled_seconds() const {
+  double s = 0.0;
+  for (int r = 0; r < hosts(); ++r) s += transport_->stats(r).modeled_seconds;
+  return s;
+}
+
+void ParallelHostSystem::flush_updates() {
+  if (!has_pending_updates()) {
+    last_flush_seconds_ = 0.0;
+    return;
+  }
+  const double before = total_modeled_seconds();
+  agg_->flush(update_sink());
+  if (mode_ == HostMode::kMatrix2D) flush_matrix_updates();
+  last_flush_seconds_ = total_modeled_seconds() - before;
+  agg_->stats().flush_seconds += last_flush_seconds_;
+}
+
 void ParallelHostSystem::compute(double t, const std::vector<IParticle>& i_batch,
                                  std::vector<ForceAccumulator>& out) {
+  // Deferred step-boundary flush: staged j-update frames land before any
+  // force is evaluated — and before host-drop events fire, modelling frames
+  // that were already on the wire when the host died.
+  if (aggregate_ && has_pending_updates()) {
+    agg_->stats().deferred_flushes += 1;
+    flush_updates();
+  } else {
+    last_flush_seconds_ = 0.0;
+  }
   // Serial driver point of the cluster fault domain: host-drop events fire
   // here, before any phase of the step fans out.
   if (injector_ != nullptr && injector_->armed()) {
@@ -515,8 +702,25 @@ void ParallelHostSystem::compute_hardware_net(double t,
                     static_cast<std::uint64_t>(alive_host_count());
 }
 
+Message ParallelHostSystem::exchange_leg(int src, int dst, int tag,
+                                         const std::vector<std::byte>& raw,
+                                         RecordKind kind) {
+  if (!aggregate_) return exchange(src, dst, tag, raw);
+  // Collective legs ride the aggregate frame format too, so the CRC (and the
+  // fault injector's corruption) always operates on frames with per-record
+  // offsets, and the g6.net.* counters see every Ethernet message.
+  auto frame = wrap_record(kind, raw);
+  agg_->stats().baseline_messages += 1;
+  agg_->stats().count_frame(frame.size(), 1);
+  Message m = exchange(src, dst, tag, frame);
+  m.payload = unwrap_record(m.payload, kind);
+  return m;
+}
+
 void ParallelHostSystem::compute_matrix(double t, const std::vector<IParticle>& i_batch,
                                         std::vector<ForceAccumulator>& out) {
+  if (overlap_ && i_batch.size() >= 2)
+    return compute_matrix_overlap(t, i_batch, out);
   const int side = grid_side();
 
   // Phase 1: row-0 all-gather — every alive real host sends the i-particles
@@ -529,7 +733,7 @@ void ParallelHostSystem::compute_matrix(double t, const std::vector<IParticle>& 
     const auto payload = pack_i_batch(mine);
     for (int c2 : alive_real_) {
       if (c2 == c) continue;
-      (void)exchange(c, c2, kTagIBatch, payload);
+      (void)exchange_leg(c, c2, kTagIBatch, payload, RecordKind::kIBatch);
     }
   }
 
@@ -540,12 +744,13 @@ void ParallelHostSystem::compute_matrix(double t, const std::vector<IParticle>& 
   for (int c = 0; c < side; ++c) {
     const int root = col_root(c);
     if (root < 0) continue;  // whole column dead: its j lives elsewhere now
-    if (root >= side && root != 0) (void)exchange(0, root, kTagIBatch, full);
+    if (root >= side && root != 0)
+      (void)exchange_leg(0, root, kTagIBatch, full, RecordKind::kIBatch);
     int prev = root;
     for (int r = root / side + 1; r < side; ++r) {
       const int next = r * side + c;
       if (alive_[static_cast<std::size_t>(next)] == 0) continue;
-      (void)exchange(prev, next, kTagIBatch, full);
+      (void)exchange_leg(prev, next, kTagIBatch, full, RecordKind::kIBatch);
       prev = next;
     }
   }
@@ -574,7 +779,8 @@ void ParallelHostSystem::compute_matrix(double t, const std::vector<IParticle>& 
     for (std::size_t k = chain.size() - 1; k-- > 0;) {
       const int from = chain[k + 1];
       const int to = chain[k];
-      auto msg = exchange(from, to, kTagPartial, pack_accumulators(acc));
+      auto msg = exchange_leg(from, to, kTagPartial, pack_accumulators(acc),
+                              RecordKind::kPartial);
       auto received = unpack_accumulators(msg.payload, fmt_);
       std::vector<ForceAccumulator> local = host_partial_[static_cast<std::size_t>(to)];
       for (std::size_t j = 0; j < local.size(); ++j) local[j] += received[j];
@@ -591,10 +797,144 @@ void ParallelHostSystem::compute_matrix(double t, const std::vector<IParticle>& 
     if (root < 0) continue;
     if (root != 0) {
       const auto payload = pack_accumulators(column_total[static_cast<std::size_t>(c)]);
-      (void)exchange(root, 0, kTagPartial, payload);
+      (void)exchange_leg(root, 0, kTagPartial, payload, RecordKind::kPartial);
     }
     const auto& part = column_total[static_cast<std::size_t>(c)];
     for (std::size_t k = 0; k < i_batch.size(); ++k) out[k] += part[k];
+  }
+}
+
+std::vector<std::vector<ForceAccumulator>> ParallelHostSystem::reduce_block(
+    int parity, std::size_t block_size) {
+  const int side = grid_side();
+  const auto& partial = host_partial_ovl_[static_cast<std::size_t>(parity)];
+  std::vector<std::vector<ForceAccumulator>> column_total(
+      static_cast<std::size_t>(side));
+  (void)block_size;
+  for (int c = 0; c < side; ++c) {
+    const int root = col_root(c);
+    if (root < 0) continue;
+    std::vector<int> chain;
+    for (int r = root / side; r < side; ++r) {
+      const int h = r * side + c;
+      if (alive_[static_cast<std::size_t>(h)] != 0) chain.push_back(h);
+    }
+    std::vector<ForceAccumulator> acc = partial[static_cast<std::size_t>(chain.back())];
+    for (std::size_t k = chain.size() - 1; k-- > 0;) {
+      const int from = chain[k + 1];
+      const int to = chain[k];
+      auto msg = exchange_leg(from, to, kTagPartial, pack_accumulators(acc),
+                              RecordKind::kPartial);
+      auto received = unpack_accumulators(msg.payload, fmt_);
+      std::vector<ForceAccumulator> local = partial[static_cast<std::size_t>(to)];
+      for (std::size_t j = 0; j < local.size(); ++j) local[j] += received[j];
+      acc = std::move(local);
+    }
+    column_total[static_cast<std::size_t>(c)] = std::move(acc);
+  }
+  return column_total;
+}
+
+void ParallelHostSystem::compute_matrix_overlap(double t,
+                                                const std::vector<IParticle>& i_batch,
+                                                std::vector<ForceAccumulator>& out) {
+  // Double-buffered two-block pipeline: iteration k broadcasts block k down
+  // the columns, computes block k-1 on every host, and reduces block k-2 —
+  // the collective legs of one block in flight while the hosts crunch the
+  // other. Every Transport operation runs inside the single comm task
+  // (index 0 of the parallel_for), so the wire order — and with it the fault
+  // injector's op counters — is the same at any thread count. The serial
+  // fallback executes the comm task first, which is a valid order: a block's
+  // broadcast never feeds the same iteration's compute, and its reduction
+  // reads partials finished one barrier earlier.
+  const int side = grid_side();
+
+  // Phase 1 (row all-gather of owned i-particles) covers the whole batch.
+  for (int c : alive_real_) {
+    std::vector<IParticle> mine;
+    for (const IParticle& p : i_batch)
+      if (owner_of(p.id) == c) mine.push_back(p);
+    const auto payload = pack_i_batch(mine);
+    for (int c2 : alive_real_) {
+      if (c2 == c) continue;
+      (void)exchange_leg(c, c2, kTagIBatch, payload, RecordKind::kIBatch);
+    }
+  }
+  hw_bytes_.pci += i_batch.size() * (g6::hw::kIParticleBytes + g6::hw::kResultBytes) *
+                   static_cast<std::uint64_t>(alive_real_.size());
+
+  constexpr int kBlocks = 2;
+  const std::size_t half = (i_batch.size() + 1) / 2;
+  std::array<std::vector<IParticle>, 2> blk;
+  blk[0].assign(i_batch.begin(), i_batch.begin() + static_cast<std::ptrdiff_t>(half));
+  blk[1].assign(i_batch.begin() + static_cast<std::ptrdiff_t>(half), i_batch.end());
+  const std::array<std::size_t, 2> blk_off = {0, half};
+
+  const std::size_t nh = hosts_.size();
+  for (auto& parity : host_partial_ovl_) parity.resize(nh);
+  std::array<std::vector<std::vector<ForceAccumulator>>, 2> totals;  // per block
+
+  auto broadcast_block = [&](int b) {
+    const auto full = pack_i_batch(blk[static_cast<std::size_t>(b)]);
+    for (int c = 0; c < side; ++c) {
+      const int root = col_root(c);
+      if (root < 0) continue;
+      if (root >= side && root != 0)
+        (void)exchange_leg(0, root, kTagIBatch, full, RecordKind::kIBatch);
+      int prev = root;
+      for (int r = root / side + 1; r < side; ++r) {
+        const int next = r * side + c;
+        if (alive_[static_cast<std::size_t>(next)] == 0) continue;
+        (void)exchange_leg(prev, next, kTagIBatch, full, RecordKind::kIBatch);
+        prev = next;
+      }
+    }
+  };
+
+  for (int k = 0; k < kBlocks + 2; ++k) {
+    const bool has_compute = k >= 1 && k <= kBlocks;
+    const bool has_comm = k < kBlocks || k >= 2;
+    const double comm_before = total_modeled_seconds();
+    pool_->parallel_for(
+        nh + 1,
+        [&](std::size_t i0, std::size_t i1) {
+          for (std::size_t idx = i0; idx < i1; ++idx) {
+            if (idx == 0) {
+              G6_TRACE_SPAN_CAT("overlap-comm", "cluster");
+              if (k < kBlocks) broadcast_block(k);
+              if (k >= 2)
+                totals[static_cast<std::size_t>(k - 2)] =
+                    reduce_block((k - 2) & 1, blk[static_cast<std::size_t>(k - 2)].size());
+            } else if (has_compute) {
+              const std::size_t h = idx - 1;
+              if (alive_[h] == 0) continue;
+              G6_TRACE_SPAN_CAT("host-partial", "cluster");
+              hosts_[h].partial_forces(
+                  t, blk[static_cast<std::size_t>(k - 1)], eps2_,
+                  host_partial_ovl_[static_cast<std::size_t>((k - 1) & 1)][h]);
+            }
+          }
+        },
+        /*grain=*/1);
+    if (has_compute && has_comm) {
+      // The comm legs of this iteration ran under the compute barrier: in the
+      // overlapped timeline their modeled link time is hidden.
+      agg_->stats().overlap_saved_seconds += total_modeled_seconds() - comm_before;
+    }
+  }
+
+  // Phase 4 per block: column totals to host 0, merged in column order.
+  out.assign(i_batch.size(), ForceAccumulator(fmt_));
+  for (int b = 0; b < kBlocks; ++b) {
+    for (int c = 0; c < side; ++c) {
+      const int root = col_root(c);
+      if (root < 0) continue;
+      const auto& part = totals[static_cast<std::size_t>(b)][static_cast<std::size_t>(c)];
+      if (root != 0)
+        (void)exchange_leg(root, 0, kTagPartial, pack_accumulators(part),
+                           RecordKind::kPartial);
+      for (std::size_t k = 0; k < part.size(); ++k) out[blk_off[static_cast<std::size_t>(b)] + k] += part[k];
+    }
   }
 }
 

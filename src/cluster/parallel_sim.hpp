@@ -31,10 +31,12 @@
 /// merging keeps the result bit-identical to the serial host loop at any
 /// thread count.
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "cluster/aggregator.hpp"
 #include "cluster/transport.hpp"
 #include "grape6/pipeline.hpp"
 #include "nbody/force.hpp"
@@ -124,6 +126,44 @@ class ParallelHostSystem {
   Transport& transport() { return *transport_; }
   const HardwareBytes& hardware_bytes() const { return hw_bytes_; }
 
+  /// Aggregated Ethernet transport (default on): j-update records bound for
+  /// the same destination coalesce into per-destination frames (capacity +
+  /// step-boundary flushes, destination-id flush order) and the matrix
+  /// collective legs ride the same frame format. Turning it off restores the
+  /// one-message-per-record wire of PR 3; forces are bit-identical either way.
+  void set_aggregation(bool on) { aggregate_ = on; }
+  bool aggregation() const { return aggregate_; }
+
+  /// Defer the step-boundary flush of staged j-updates to the next compute()
+  /// entry: the frames are modeled as in flight during the host's integration
+  /// work and are guaranteed delivered before any force is evaluated (and
+  /// before host-drop events fire). Requires aggregation.
+  void set_deferred_updates(bool on) { deferred_ = on; }
+  bool deferred_updates() const { return deferred_; }
+
+  /// Matrix-mode compute/comm overlap: the i-batch is split into two blocks
+  /// double-buffered through the column collectives, so the broadcast of
+  /// block k+1 and the reduction of block k-1 are in flight on the shared
+  /// ThreadPool while every host computes block k. All transport operations
+  /// stay totally ordered inside one comm task, so fault injection and wire
+  /// content remain deterministic at any thread count. No-op for the naive
+  /// and hardware-network modes (no Ethernet inside compute).
+  void set_overlap(bool on) { overlap_ = on; }
+  bool overlap() const { return overlap_; }
+
+  /// Flush staged aggregated j-updates now. Runs automatically at the end of
+  /// update() (unless deferred) and at compute() entry; callers only need it
+  /// to force a boundary mid-step.
+  void flush_updates();
+
+  /// Aggregation counters (the g6.net.* metrics).
+  const NetStats& net_stats() const { return agg_->stats(); }
+  NetStats& net_stats() { return agg_->stats(); }
+
+  /// Modeled link seconds charged by the most recent update flush (what a
+  /// deferred flush hides under the host's integration window).
+  double last_flush_seconds() const { return last_flush_seconds_; }
+
   /// Total Ethernet bytes sent by all hosts so far.
   std::uint64_t ethernet_bytes() const;
 
@@ -151,6 +191,43 @@ class ParallelHostSystem {
                      std::vector<ForceAccumulator>& out);
   void compute_matrix(double t, const std::vector<IParticle>& i_batch,
                       std::vector<ForceAccumulator>& out);
+  /// The double-buffered two-block pipeline behind set_overlap(true).
+  void compute_matrix_overlap(double t, const std::vector<IParticle>& i_batch,
+                              std::vector<ForceAccumulator>& out);
+
+  /// Aggregated update() path: stage records instead of sending per particle.
+  void update_aggregated(std::span<const JParticle> particles);
+  /// PR 3 wire: one message per record per hop.
+  void update_per_record(std::span<const JParticle> particles);
+
+  /// Sink for direct (src -> dst) update frames: reliable exchange + apply
+  /// every j-update record at the destination host.
+  MessageAggregator::Sink update_sink();
+  /// Apply the records addressed to \p host; returns the frame of records
+  /// still to forward (empty when all were delivered). \p records tracks the
+  /// remaining count.
+  std::vector<std::byte> deliver_matrix_frame(int host,
+                                              const std::vector<std::byte>& frame,
+                                              std::size_t& records);
+  /// Send one staged matrix update frame down \p col: enter at the column
+  /// root when the owner sits in another column, then store-and-forward hop
+  /// by hop, each alive host extracting its own records.
+  void route_matrix_update_frame(int owner, int col, FrameBuilder& fb);
+  /// Messages the per-record wire would need for owner -> target (baseline
+  /// for the messages-saved counter).
+  std::uint64_t matrix_update_hops(int owner, int target) const;
+  void flush_matrix_updates();
+  bool has_pending_updates() const;
+  double total_modeled_seconds() const;
+
+  /// Column reduction of one i-block from per-parity partial buffers
+  /// (overlap pipeline phase 3b). Returns the per-column totals.
+  std::vector<std::vector<ForceAccumulator>> reduce_block(int parity,
+                                                          std::size_t block_size);
+  /// One collective leg: under aggregation the payload rides as a framed
+  /// record (returned unwrapped), otherwise it goes raw — the PR 3 wire.
+  Message exchange_leg(int src, int dst, int tag, const std::vector<std::byte>& raw,
+                       RecordKind kind);
 
   int grid_side() const;  ///< matrix mode: sqrt(n_hosts)
 
@@ -194,6 +271,17 @@ class ParallelHostSystem {
   std::vector<std::vector<ForceAccumulator>> host_partial_;
   std::vector<std::vector<IParticle>> host_batch_;        ///< naive mode i-slices
   std::vector<std::vector<std::size_t>> host_batch_idx_;  ///< slice -> batch index
+
+  // --- aggregated transport state ---
+  bool aggregate_ = true;
+  bool deferred_ = false;
+  bool overlap_ = false;
+  std::unique_ptr<MessageAggregator> agg_;  ///< direct (src, dst) staging + NetStats
+  std::vector<FrameBuilder> matrix_stage_;  ///< matrix buckets: owner * side + col
+  double last_flush_seconds_ = 0.0;
+  /// Per-parity partial buffers of the overlap pipeline: the comm task
+  /// reduces parity k while the hosts fill parity 1-k.
+  std::array<std::vector<std::vector<ForceAccumulator>>, 2> host_partial_ovl_;
 };
 
 /// Serialize a JParticle / accumulator batch into transport payloads.

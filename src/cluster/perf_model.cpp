@@ -183,6 +183,143 @@ RunEstimate PerfModel::run(std::size_t n_total, std::span<const BlockCount> bloc
   return est;
 }
 
+namespace {
+// Wire size of one serialized accumulator (pack_accumulators: 7 raw int64).
+constexpr std::size_t kAccumulatorBytes = 7 * sizeof(std::int64_t);
+// One staged j-update record inside a frame: header + pack_j payload.
+constexpr std::size_t kStagedRecordBytes = kRecordHeaderBytes + kJUpdateRecordBytes;
+}  // namespace
+
+CommEstimate PerfModel::update_comm(int n_hosts, HostMode mode,
+                                    std::size_t n_corrected,
+                                    bool aggregated) const {
+  G6_CHECK(n_hosts > 0, "need at least one host");
+  CommEstimate est;
+  const auto p = static_cast<std::uint32_t>(n_hosts);
+  switch (mode) {
+    case HostMode::kHardwareNet:
+      break;  // j-updates ride PCI + LVDS only
+
+    case HostMode::kNaive: {
+      if (!aggregated) {
+        // One message per (corrected particle, other host).
+        est.messages = static_cast<std::uint64_t>(n_corrected) * (p - 1);
+        est.bytes = est.messages * kJUpdateRecordBytes;
+        break;
+      }
+      // Each ordered (owner, dst) pair stages one record per particle the
+      // owner corrects; a pair's frame flushes whenever the next record
+      // would push it past capacity, and once more at the step boundary.
+      const std::uint64_t per_frame =
+          (p_.aggregation_capacity_bytes - kFrameHeaderBytes) / kStagedRecordBytes;
+      G6_CHECK(per_frame > 0, "aggregation capacity below one j-update record");
+      for (std::uint32_t owner = 0; owner < p; ++owner) {
+        const std::uint64_t cnt = n_corrected / p + (owner < n_corrected % p ? 1 : 0);
+        if (cnt == 0) continue;
+        const std::uint64_t frames = (cnt + per_frame - 1) / per_frame;
+        est.messages += frames * (p - 1);
+        est.bytes += (frames * kFrameHeaderBytes + cnt * kStagedRecordBytes) * (p - 1);
+      }
+      break;
+    }
+
+    case HostMode::kMatrix2D: {
+      const int side = static_cast<int>(std::lround(std::sqrt(double(n_hosts))));
+      G6_CHECK(side * side == n_hosts, "matrix mode needs a square host count");
+      const auto s = static_cast<std::uint32_t>(side);
+      if (!aggregated) {
+        // With all hosts alive the owner (gid % side) already sits in the
+        // holder's column, so a record hops straight down: row hops each.
+        for (std::uint32_t gid = 0; gid < n_corrected; ++gid) {
+          const std::uint32_t row = (gid / s) % s;
+          est.messages += row;
+          est.bytes += static_cast<std::uint64_t>(row) * kJUpdateRecordBytes;
+        }
+        break;
+      }
+      // One staging bucket per column (owner == column fault-free). Chunks
+      // forced out by capacity — and the boundary remainder — descend the
+      // column store-and-forward, shedding records at their target rows.
+      auto descend = [&](const std::vector<std::uint32_t>& rows) {
+        std::size_t remaining = rows.size();
+        std::size_t frame = kFrameHeaderBytes + remaining * kStagedRecordBytes;
+        std::vector<std::size_t> at_row(s, 0);
+        for (std::uint32_t r : rows) at_row[r] += 1;
+        for (std::uint32_t r = 1; r < s && remaining > 0; ++r) {
+          est.messages += 1;
+          est.bytes += frame;
+          remaining -= at_row[r];
+          frame -= at_row[r] * kStagedRecordBytes;
+        }
+      };
+      const std::uint64_t per_frame =
+          (p_.aggregation_capacity_bytes - kFrameHeaderBytes) / kStagedRecordBytes;
+      G6_CHECK(per_frame > 0, "aggregation capacity below one j-update record");
+      std::vector<std::vector<std::uint32_t>> bucket(s);  // staged record rows
+      for (std::uint32_t gid = 0; gid < n_corrected; ++gid) {
+        const std::uint32_t row = (gid / s) % s;
+        if (row == 0) continue;  // holder == owner: no Ethernet
+        auto& b = bucket[gid % s];
+        if (b.size() == per_frame) {
+          descend(b);
+          b.clear();
+        }
+        b.push_back(row);
+      }
+      for (auto& b : bucket)
+        if (!b.empty()) descend(b);
+      break;
+    }
+  }
+  est.seconds = static_cast<double>(est.messages) * p_.gbe_per_message_sec +
+                static_cast<double>(est.bytes) / p_.gbe_bytes_per_sec;
+  return est;
+}
+
+CommEstimate PerfModel::compute_comm(int n_hosts, HostMode mode, std::size_t n_act,
+                                     bool aggregated, bool overlap) const {
+  G6_CHECK(n_hosts > 0, "need at least one host");
+  CommEstimate est;
+  if (mode == HostMode::kMatrix2D) {
+    const int side = static_cast<int>(std::lround(std::sqrt(double(n_hosts))));
+    G6_CHECK(side * side == n_hosts, "matrix mode needs a square host count");
+    const auto s = static_cast<std::uint64_t>(side);
+    // Collective legs are single-record frames when aggregated.
+    const std::uint64_t wrap =
+        aggregated ? kFrameHeaderBytes + kRecordHeaderBytes : 0;
+    const std::uint64_t i_bytes = sizeof(IParticle);
+
+    // Phase 1: row-0 all-gather of owned i-particles (sent even when empty).
+    for (std::uint64_t c = 0; c < s; ++c) {
+      const std::uint64_t own = n_act / s + (c < n_act % s ? 1 : 0);
+      est.messages += s - 1;
+      est.bytes += (s - 1) * (own * i_bytes + wrap);
+    }
+
+    // Column broadcast + reduction + root-to-driver return, per i-block.
+    auto block_legs = [&](std::uint64_t blk) {
+      est.messages += s * (s - 1);                      // broadcast hops
+      est.bytes += s * (s - 1) * (blk * i_bytes + wrap);
+      est.messages += s * (s - 1);                      // reduction hops
+      est.bytes += s * (s - 1) * (blk * kAccumulatorBytes + wrap);
+      est.messages += s - 1;                            // column roots -> host 0
+      est.bytes += (s - 1) * (blk * kAccumulatorBytes + wrap);
+    };
+    if (overlap && n_act >= 2) {
+      const std::uint64_t b0 = (n_act + 1) / 2;
+      block_legs(b0);
+      block_legs(n_act - b0);
+    } else {
+      block_legs(n_act);
+    }
+  }
+  // Naive compute works on full replicas and hardware-net rides LVDS: no
+  // Ethernet in either.
+  est.seconds = static_cast<double>(est.messages) * p_.gbe_per_message_sec +
+                static_cast<double>(est.bytes) / p_.gbe_bytes_per_sec;
+  return est;
+}
+
 std::array<double, g6::obs::kPhaseCount> to_phase_array(const StepBreakdown& bd) {
   using g6::obs::Phase;
   std::array<double, g6::obs::kPhaseCount> out{};

@@ -49,6 +49,32 @@ struct PerfParams {
   /// summed. The paper-era driver overlapped only partially — the default
   /// (false) reproduces the measured efficiency band.
   bool overlap_comm = false;
+
+  /// Fixed software/NIC overhead of one Ethernet message, charged per frame
+  /// by the message-count model below (distinct from gbe_latency_sec, which
+  /// the classic blockstep() terms keep using unchanged).
+  double gbe_per_message_sec = g6::hw::kGbeLatencySec;
+
+  /// Aggregator capacity mirrored by the message-count model; must match the
+  /// MessageAggregator the run actually used for the counts to line up.
+  std::size_t aggregation_capacity_bytes = kDefaultAggregationCapacity;
+};
+
+/// Ethernet traffic of one phase, predicted by counting loops that mirror
+/// ParallelHostSystem's wire protocol exactly (fault-free links, corrected /
+/// active ids taken as the contiguous block 0..n-1). Validated against the
+/// measured NetStats / Transport counters in bench_network_modes.
+struct CommEstimate {
+  std::uint64_t messages = 0;  ///< Ethernet messages (frames when aggregated)
+  std::uint64_t bytes = 0;     ///< payload bytes handed to the transport
+  double seconds = 0.0;        ///< messages * per-message + bytes / bandwidth
+
+  CommEstimate& operator+=(const CommEstimate& o) {
+    messages += o.messages;
+    bytes += o.bytes;
+    seconds += o.seconds;
+    return *this;
+  }
 };
 
 /// Per-term breakdown of one block step (seconds).
@@ -123,6 +149,20 @@ class PerfModel {
                            HostMode mode = HostMode::kHardwareNet) const {
     return blockstep(n_total, n_act, mode).total(p_.overlap_comm);
   }
+
+  /// Ethernet traffic of one update() over \p n_corrected particles
+  /// (contiguous ids 0..n_corrected-1) on \p n_hosts in \p mode, with or
+  /// without frame aggregation. Message counts are exact; byte counts mirror
+  /// the wire serialization (pack_j records, frame headers).
+  CommEstimate update_comm(int n_hosts, HostMode mode, std::size_t n_corrected,
+                           bool aggregated) const;
+
+  /// Ethernet traffic of one compute() over a block of \p n_act i-particles
+  /// (contiguous ids) — the matrix collectives; naive and hardware-net
+  /// compute put nothing on the Ethernet. \p overlap counts the
+  /// double-buffered two-block pipeline's legs.
+  CommEstimate compute_comm(int n_hosts, HostMode mode, std::size_t n_act,
+                            bool aggregated, bool overlap) const;
 
   /// Aggregate a run from a block-size distribution.
   RunEstimate run(std::size_t n_total, std::span<const BlockCount> blocks,

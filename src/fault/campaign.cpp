@@ -116,6 +116,9 @@ RunOutcome run_cluster_once(const CampaignConfig& cfg, const Workload& w,
                             g6::util::ThreadPool* pool) {
   cluster::ParallelHostSystem sys(cfg.hosts, cfg.mode, hw::FormatSpec{}, 0.01,
                                   cluster::LinkSpec{}, pool);
+  sys.set_aggregation(cfg.aggregated);
+  sys.set_deferred_updates(cfg.deferred);
+  sys.set_overlap(cfg.overlap);
   if (injector != nullptr) sys.set_fault_injector(injector);
 
   RunOutcome out;

@@ -39,6 +39,12 @@ struct CampaignConfig {
   int n_host_drops = 1;
 
   int threads = 0;  ///< thread-pool lanes; 0 = shared pool default
+
+  // Transport shape under test (applies to both the reference and the
+  // faulted run, so the bit-identity check exercises the same wire format).
+  bool aggregated = true;  ///< coalesce j-updates / frame the collective legs
+  bool deferred = false;   ///< defer the update flush to the next compute()
+  bool overlap = false;    ///< double-buffered matrix compute/comm overlap
 };
 
 /// Outcome of one campaign: the reference/faulted comparison plus the

@@ -1,0 +1,194 @@
+// Tests for the per-destination message aggregator: frame encode/decode,
+// the pinned j-update record size the PerfModel byte terms depend on,
+// capacity/boundary flush behavior, deterministic flush order, and the
+// g6.net.* counter arithmetic.
+#include "cluster/aggregator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "cluster/parallel_sim.hpp"
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using g6::cluster::FrameBuilder;
+using g6::cluster::kDefaultAggregationCapacity;
+using g6::cluster::kFrameHeaderBytes;
+using g6::cluster::kJUpdateRecordBytes;
+using g6::cluster::kRecordHeaderBytes;
+using g6::cluster::MessageAggregator;
+using g6::cluster::NetStats;
+using g6::cluster::RecordKind;
+
+std::vector<std::byte> bytes_of(std::initializer_list<int> vals) {
+  std::vector<std::byte> out;
+  for (int v : vals) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+TEST(FrameFormat, RoundTripsMixedRecords) {
+  FrameBuilder fb;
+  const auto a = bytes_of({1, 2, 3});
+  const auto b = bytes_of({});
+  const auto c = bytes_of({9, 8, 7, 6, 5});
+  fb.add(RecordKind::kJUpdate, a);
+  fb.add(RecordKind::kIBatch, b);
+  fb.add(RecordKind::kPartial, c);
+  EXPECT_EQ(fb.records(), 3u);
+  const auto frame = fb.take();
+  EXPECT_TRUE(fb.empty());
+  EXPECT_EQ(frame.size(), kFrameHeaderBytes + 3 * kRecordHeaderBytes + a.size() +
+                              b.size() + c.size());
+
+  const auto recs = g6::cluster::parse_frame(frame);
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0].kind, RecordKind::kJUpdate);
+  EXPECT_EQ(recs[1].kind, RecordKind::kIBatch);
+  EXPECT_EQ(recs[2].kind, RecordKind::kPartial);
+  EXPECT_EQ(g6::cluster::record_payload(frame, recs[0]), a);
+  EXPECT_EQ(g6::cluster::record_payload(frame, recs[1]), b);
+  EXPECT_EQ(g6::cluster::record_payload(frame, recs[2]), c);
+}
+
+TEST(FrameFormat, WrapUnwrapSingleRecord) {
+  const auto payload = bytes_of({42, 43, 44});
+  const auto frame = g6::cluster::wrap_record(RecordKind::kPartial, payload);
+  EXPECT_EQ(g6::cluster::unwrap_record(frame, RecordKind::kPartial), payload);
+  EXPECT_THROW(g6::cluster::unwrap_record(frame, RecordKind::kIBatch),
+               g6::util::Error);
+}
+
+TEST(FrameFormat, RejectsMalformedFrames) {
+  // Too short for a header.
+  EXPECT_THROW(g6::cluster::parse_frame(bytes_of({1, 2, 3})), g6::util::Error);
+  // Bad magic.
+  auto frame = g6::cluster::wrap_record(RecordKind::kJUpdate, bytes_of({1}));
+  auto bad = frame;
+  bad[0] = static_cast<std::byte>(0xFF);
+  EXPECT_THROW(g6::cluster::parse_frame(bad), g6::util::Error);
+  // Unknown record kind.
+  bad = frame;
+  bad[kFrameHeaderBytes] = static_cast<std::byte>(77);
+  EXPECT_THROW(g6::cluster::parse_frame(bad), g6::util::Error);
+  // Record overruns the frame.
+  bad = frame;
+  bad.pop_back();
+  EXPECT_THROW(g6::cluster::parse_frame(bad), g6::util::Error);
+  // Trailing garbage after the last record.
+  bad = frame;
+  bad.push_back(std::byte{0});
+  EXPECT_THROW(g6::cluster::parse_frame(bad), g6::util::Error);
+  // An empty frame cannot be taken.
+  FrameBuilder fb;
+  EXPECT_THROW(fb.take(), g6::util::Error);
+}
+
+// The PerfModel's byte terms and the capacity-flush arithmetic both assume
+// this serialized size; if pack_j() grows, this pin fails first.
+TEST(FrameFormat, JUpdateRecordSizeIsPinned) {
+  g6::cluster::JParticle p;
+  p.id = 7;
+  EXPECT_EQ(g6::cluster::pack_j(p).size(), kJUpdateRecordBytes);
+}
+
+using SentFrame = std::tuple<int, int, std::vector<std::byte>>;
+
+MessageAggregator::Sink capture(std::vector<SentFrame>& out) {
+  return [&out](int src, int dst, std::vector<std::byte> frame) {
+    out.emplace_back(src, dst, std::move(frame));
+  };
+}
+
+TEST(MessageAggregator, CapacityFlushKeepsFramesUnderCapacity) {
+  // Capacity for exactly two 16-byte records per frame.
+  const std::size_t cap = kFrameHeaderBytes + 2 * (kRecordHeaderBytes + 16);
+  MessageAggregator agg(2, cap);
+  std::vector<SentFrame> sent;
+  const auto sink = capture(sent);
+  const auto rec = std::vector<std::byte>(16);
+  for (int i = 0; i < 5; ++i) agg.stage(0, 1, RecordKind::kJUpdate, rec, sink);
+  // Two capacity flushes (at the 3rd and 5th stage), one record pending.
+  ASSERT_EQ(sent.size(), 2u);
+  EXPECT_TRUE(agg.pending());
+  EXPECT_EQ(agg.stats().capacity_flushes, 2u);
+  for (const auto& [src, dst, frame] : sent) {
+    EXPECT_LE(frame.size(), cap);
+    EXPECT_EQ(g6::cluster::parse_frame(frame).size(), 2u);
+  }
+  agg.flush(sink);
+  ASSERT_EQ(sent.size(), 3u);
+  EXPECT_FALSE(agg.pending());
+  EXPECT_EQ(g6::cluster::parse_frame(std::get<2>(sent[2])).size(), 1u);
+  EXPECT_EQ(agg.stats().records_sent, 5u);
+  EXPECT_EQ(agg.stats().frames_sent, 3u);
+}
+
+TEST(MessageAggregator, BoundaryFlushOrderIsDestinationMajor) {
+  MessageAggregator agg(3);
+  std::vector<SentFrame> sent;
+  const auto sink = capture(sent);
+  const auto rec = bytes_of({1});
+  // Stage in an order that is neither source- nor destination-sorted.
+  agg.stage(2, 0, RecordKind::kJUpdate, rec, sink);
+  agg.stage(0, 2, RecordKind::kJUpdate, rec, sink);
+  agg.stage(1, 0, RecordKind::kJUpdate, rec, sink);
+  agg.stage(0, 1, RecordKind::kJUpdate, rec, sink);
+  agg.stage(2, 1, RecordKind::kJUpdate, rec, sink);
+  EXPECT_TRUE(sent.empty());  // all below capacity
+  agg.flush(sink);
+  ASSERT_EQ(sent.size(), 5u);
+  // Ascending (destination, source) — never arrival order.
+  const std::vector<std::pair<int, int>> want = {
+      {1, 0}, {2, 0}, {0, 1}, {2, 1}, {0, 2}};
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(std::get<0>(sent[i]), want[i].first) << i;
+    EXPECT_EQ(std::get<1>(sent[i]), want[i].second) << i;
+  }
+}
+
+TEST(MessageAggregator, RejectsBadPairsAndTinyCapacity) {
+  MessageAggregator agg(2);
+  const auto rec = bytes_of({1});
+  const auto sink = [](int, int, std::vector<std::byte>) {};
+  EXPECT_THROW(agg.stage(0, 0, RecordKind::kJUpdate, rec, sink), g6::util::Error);
+  EXPECT_THROW(agg.stage(0, 2, RecordKind::kJUpdate, rec, sink), g6::util::Error);
+  EXPECT_THROW(MessageAggregator(2, kFrameHeaderBytes), g6::util::Error);
+}
+
+TEST(NetStatsCounters, SavingsArithmetic) {
+  NetStats s;
+  // Three frames carrying 30 records of 124 bytes each.
+  for (int f = 0; f < 3; ++f)
+    s.count_frame(kFrameHeaderBytes +
+                      10 * (kRecordHeaderBytes + kJUpdateRecordBytes),
+                  10);
+  s.baseline_messages = 30;
+  EXPECT_EQ(s.frames_sent, 3u);
+  EXPECT_EQ(s.records_sent, 30u);
+  EXPECT_EQ(s.record_bytes, 30u * kJUpdateRecordBytes);
+  EXPECT_EQ(s.messages_saved(), 27u);
+  EXPECT_DOUBLE_EQ(s.aggregation_factor(), 10.0);
+  // 27 saved messages at 78 wire-overhead bytes, minus the framing added.
+  const std::int64_t framing = 3 * static_cast<std::int64_t>(kFrameHeaderBytes) +
+                               30 * static_cast<std::int64_t>(kRecordHeaderBytes);
+  EXPECT_EQ(s.bytes_saved(), 27 * 78 - framing);
+}
+
+TEST(NetStatsCounters, PublishesG6NetMetrics) {
+  NetStats s;
+  s.count_frame(kFrameHeaderBytes + 2 * (kRecordHeaderBytes + 4), 2);
+  s.baseline_messages = 2;
+  s.capacity_flushes = 1;
+  g6::obs::MetricsRegistry reg;
+  g6::cluster::publish_net_metrics(s, reg);
+  const std::string text = reg.snapshot().to_json();
+  EXPECT_NE(text.find("g6.net.frames_sent"), std::string::npos);
+  EXPECT_NE(text.find("g6.net.records_coalesced"), std::string::npos);
+  EXPECT_NE(text.find("g6.net.aggregation_factor"), std::string::npos);
+}
+
+}  // namespace

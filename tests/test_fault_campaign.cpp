@@ -5,8 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
+#include "cluster/parallel_sim.hpp"
 #include "grape6/machine.hpp"
 #include "util/check.hpp"
+#include "util/crc.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -129,6 +133,196 @@ TEST(FaultCampaign, ClusterRecoveryIsThreadCountInvariant) {
   EXPECT_TRUE(serial.bit_identical);
   EXPECT_TRUE(parallel.bit_identical);
   expect_same_stats(serial.stats, parallel.stats);
+}
+
+// --- Aggregated-frame faults -----------------------------------------------
+//
+// The aggregation layer changes what rides the wire (bulk frames instead of
+// per-record messages), so the fault campaign must hold on frames too: a
+// link-down window stalling a flush, a corrupted record inside a frame
+// (CRC -> whole-frame resend), and a host dying while the overlap pipeline
+// has collective legs in flight — all recovered bit-identically at any
+// thread count.
+
+struct ClusterRunResult {
+  std::uint32_t digest = 0;
+  std::uint64_t messages = 0;
+  FaultStatsSnapshot stats;
+};
+
+struct ClusterRunOptions {
+  HostMode mode = HostMode::kNaive;
+  int hosts = 4;
+  bool aggregated = true;
+  bool deferred = false;
+  bool overlap = false;
+  int threads = 1;
+};
+
+ClusterRunResult run_cluster_workload(const ClusterRunOptions& opt,
+                                      const g6::fault::FaultPlan* plan) {
+  const hw::FormatSpec fmt{};
+  constexpr int kN = 96;
+  constexpr int kSteps = 4;
+  g6::util::Rng rng(11);
+  auto vec = [&](double scale) {
+    return g6::util::Vec3{scale * rng.uniform(-1.0, 1.0),
+                          scale * rng.uniform(-1.0, 1.0),
+                          scale * rng.uniform(-1.0, 1.0)};
+  };
+  std::vector<hw::JParticle> js;
+  for (int i = 0; i < kN; ++i)
+    js.push_back(hw::make_j_particle(static_cast<std::uint32_t>(i), 1.0 / kN,
+                                     0.0, vec(1.0), vec(0.1), vec(0.01),
+                                     vec(0.001), fmt));
+  std::vector<std::vector<hw::IParticle>> batches(kSteps);
+  for (int s = 0; s < kSteps; ++s)
+    for (int i = 0; i < kN; ++i)
+      batches[static_cast<std::size_t>(s)].push_back(hw::make_i_particle(
+          static_cast<std::uint32_t>(i), vec(1.0), vec(0.1), fmt));
+
+  g6::util::ThreadPool pool(static_cast<std::size_t>(opt.threads));
+  g6::cluster::ParallelHostSystem sys(opt.hosts, opt.mode, fmt, 0.01,
+                                      g6::cluster::LinkSpec{}, &pool);
+  sys.set_aggregation(opt.aggregated);
+  sys.set_deferred_updates(opt.deferred);
+  sys.set_overlap(opt.overlap);
+  g6::fault::FaultInjector injector;
+  if (plan != nullptr) {
+    injector.arm(*plan);
+    sys.set_fault_injector(&injector);
+  }
+  sys.load(js);
+
+  ClusterRunResult out;
+  std::uint32_t digest = g6::util::crc32_init();
+  std::vector<hw::ForceAccumulator> accum;
+  std::vector<hw::JParticle> corrected;
+  for (int s = 0; s < kSteps; ++s) {
+    sys.compute(0.01 * (s + 1), batches[static_cast<std::size_t>(s)], accum);
+    for (const hw::ForceAccumulator& a : accum) {
+      const std::int64_t raws[7] = {a.acc.x().raw(),  a.acc.y().raw(),
+                                    a.acc.z().raw(),  a.jerk.x().raw(),
+                                    a.jerk.y().raw(), a.jerk.z().raw(),
+                                    a.pot.raw()};
+      digest = g6::util::crc32_update(digest, raws, sizeof(raws));
+    }
+    corrected.clear();
+    for (int i = s % 4; i < kN; i += 4)
+      corrected.push_back(js[static_cast<std::size_t>(i)]);
+    sys.update(corrected);
+  }
+  out.digest = g6::util::crc32_final(digest);
+  for (int r = 0; r < sys.hosts(); ++r)
+    out.messages += sys.transport().stats(r).messages_sent;
+  out.stats = injector.snapshot();
+  return out;
+}
+
+// Aggregation (and deferred flushing, and the overlap pipeline) may change
+// only the wire layout, never the physics: same digest as per-record sends
+// in every host organisation, with strictly fewer Ethernet messages.
+TEST(AggregatedFaults, AggregationModesAreBitIdenticalToPerRecord) {
+  for (const auto& [mode, hosts] :
+       {std::pair{HostMode::kNaive, 4}, {HostMode::kHardwareNet, 4},
+        {HostMode::kMatrix2D, 9}}) {
+    ClusterRunOptions opt;
+    opt.mode = mode;
+    opt.hosts = hosts;
+    opt.aggregated = false;
+    const ClusterRunResult plain = run_cluster_workload(opt, nullptr);
+    opt.aggregated = true;
+    const ClusterRunResult agg = run_cluster_workload(opt, nullptr);
+    EXPECT_EQ(plain.digest, agg.digest) << "mode " << static_cast<int>(mode);
+    if (mode != HostMode::kHardwareNet) {
+      EXPECT_LT(agg.messages, plain.messages) << "mode " << static_cast<int>(mode);
+    }
+
+    opt.deferred = true;
+    EXPECT_EQ(run_cluster_workload(opt, nullptr).digest, plain.digest);
+    if (mode == HostMode::kMatrix2D) {
+      opt.overlap = true;
+      EXPECT_EQ(run_cluster_workload(opt, nullptr).digest, plain.digest);
+    }
+  }
+}
+
+// A link-down window opening mid-flush: in naive aggregated mode every
+// Transport send IS an update-flush frame, so a window at any op stalls the
+// flush; retry-with-backoff must deliver the same frames in the same order.
+TEST(AggregatedFaults, LinkDownWindowMidFlushRecovers) {
+  ClusterRunOptions opt;
+  const ClusterRunResult clean = run_cluster_workload(opt, nullptr);
+  ASSERT_GT(clean.messages, 8u);
+
+  // a/b = -1: the window opens on whatever link the at-th send (a flush
+  // frame) is using, so that very frame hits the down link and must back off.
+  g6::fault::FaultPlan plan;
+  plan.add({g6::fault::FaultKind::kLinkFail, clean.messages / 3, -1, -1, 0, 2});
+  plan.add({g6::fault::FaultKind::kLinkFail, clean.messages - 1, -1, -1, 0, 2});
+  for (int threads : {1, 2, 8}) {
+    opt.threads = threads;
+    const ClusterRunResult faulted = run_cluster_workload(opt, &plan);
+    EXPECT_EQ(faulted.digest, clean.digest) << threads << " threads";
+    EXPECT_GT(faulted.stats.link_retries, 0u) << threads << " threads";
+  }
+}
+
+// A flipped bit inside one record of a coalesced frame: the frame-level CRC
+// detects it, and exactly the failed frame is resent (not one resend per
+// coalesced record).
+TEST(AggregatedFaults, CorruptRecordInFrameResendsOnlyThatFrame) {
+  ClusterRunOptions opt;
+  const ClusterRunResult clean = run_cluster_workload(opt, nullptr);
+
+  g6::fault::FaultPlan plan;
+  plan.add({g6::fault::FaultKind::kLinkCorrupt, clean.messages / 4, -1, -1, 501, 0});
+  plan.add({g6::fault::FaultKind::kLinkCorrupt, clean.messages / 2, -1, -1, 77, 0});
+  for (int threads : {1, 2, 8}) {
+    opt.threads = threads;
+    const ClusterRunResult faulted = run_cluster_workload(opt, &plan);
+    EXPECT_EQ(faulted.digest, clean.digest) << threads << " threads";
+    EXPECT_EQ(faulted.stats.crc_payload_mismatches, 2u) << threads << " threads";
+    EXPECT_EQ(faulted.stats.resends, 2u) << threads << " threads";
+  }
+}
+
+// A host dies while the overlap pipeline is double-buffering collective
+// legs. The drop fires at the serial compute entry (after the deferred
+// flush), so recovery — re-replication plus rerouted columns — must leave
+// the digest bit-identical at any thread count.
+TEST(AggregatedFaults, HostDropoutDuringOverlapRecovers) {
+  ClusterRunOptions opt;
+  opt.mode = HostMode::kMatrix2D;
+  opt.hosts = 9;
+  opt.overlap = true;
+  opt.deferred = true;
+  const ClusterRunResult clean = run_cluster_workload(opt, nullptr);
+
+  g6::fault::FaultPlan plan;
+  plan.add({g6::fault::FaultKind::kHostDrop, 2, 4, -1, 0, 0});
+  for (int threads : {1, 2, 8}) {
+    opt.threads = threads;
+    const ClusterRunResult faulted = run_cluster_workload(opt, &plan);
+    EXPECT_EQ(faulted.digest, clean.digest) << threads << " threads";
+    EXPECT_EQ(faulted.stats.dead_hosts, 1u) << threads << " threads";
+    EXPECT_GT(faulted.stats.remapped_particles, 0u) << threads << " threads";
+  }
+}
+
+// The full randomized campaign, with the new transport shapes switched on.
+TEST(AggregatedFaults, RandomizedCampaignsHoldUnderAggregationShapes) {
+  CampaignConfig cfg = small_config();
+  cfg.mode = HostMode::kMatrix2D;
+  cfg.hosts = 9;
+  cfg.overlap = true;
+  cfg.deferred = true;
+  expect_recovered(g6::fault::run_cluster_campaign(cfg));
+
+  cfg = small_config();
+  cfg.mode = HostMode::kNaive;
+  cfg.aggregated = false;  // the per-record path stays campaign-covered too
+  expect_recovered(g6::fault::run_cluster_campaign(cfg));
 }
 
 // An error raised inside the board fan-out (every chip of every board faults

@@ -161,4 +161,102 @@ TEST(PerfModel, PredictTermScalesWithPerChipLoad) {
   EXPECT_GT(large.predict, small.predict);
 }
 
+// --- CommEstimate vs the emulated wire --------------------------------------
+//
+// The message/byte terms are counting loops that mirror ParallelHostSystem's
+// protocol, so against an actual run (contiguous ids, fault-free) they must
+// match the transport counters *exactly* — far inside the 20% acceptance
+// band of the bench validation.
+
+struct MeasuredComm {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+MeasuredComm total_traffic(const g6::cluster::ParallelHostSystem& sys) {
+  MeasuredComm m;
+  for (int r = 0; r < sys.hosts(); ++r) {
+    m.messages += sys.transport().stats(r).messages_sent;
+    m.bytes += sys.transport().stats(r).bytes_sent;
+  }
+  return m;
+}
+
+MeasuredComm measure_update(HostMode mode, int hosts, std::size_t n,
+                            bool aggregated) {
+  g6::cluster::ParallelHostSystem sys(hosts, mode, g6::hw::FormatSpec{}, 0.01);
+  sys.set_aggregation(aggregated);
+  std::vector<g6::hw::JParticle> js(n);
+  for (std::size_t i = 0; i < n; ++i)
+    js[i].id = static_cast<std::uint32_t>(i);
+  sys.update(js);
+  return total_traffic(sys);
+}
+
+MeasuredComm measure_compute(int hosts, std::size_t n_act, bool aggregated,
+                             bool overlap) {
+  g6::cluster::ParallelHostSystem sys(hosts, HostMode::kMatrix2D,
+                                      g6::hw::FormatSpec{}, 0.01);
+  sys.set_aggregation(aggregated);
+  sys.set_overlap(overlap);
+  std::vector<g6::hw::IParticle> batch(n_act);
+  for (std::size_t i = 0; i < n_act; ++i)
+    batch[i].id = static_cast<std::uint32_t>(i);
+  std::vector<g6::hw::ForceAccumulator> out;
+  sys.compute(0.01, batch, out);
+  return total_traffic(sys);
+}
+
+TEST(CommEstimate, UpdateTrafficMatchesMeasuredExactly) {
+  const PerfModel m = full_model();
+  for (const bool aggregated : {false, true}) {
+    for (const HostMode mode : {HostMode::kNaive, HostMode::kMatrix2D}) {
+      const MeasuredComm measured = measure_update(mode, 16, 384, aggregated);
+      const auto est = m.update_comm(16, mode, 384, aggregated);
+      EXPECT_EQ(est.messages, measured.messages)
+          << "mode " << static_cast<int>(mode) << " agg " << aggregated;
+      EXPECT_EQ(est.bytes, measured.bytes)
+          << "mode " << static_cast<int>(mode) << " agg " << aggregated;
+      EXPECT_GT(est.seconds, 0.0);
+    }
+    // Hardware-net updates never touch the Ethernet.
+    EXPECT_EQ(m.update_comm(16, HostMode::kHardwareNet, 384, aggregated).messages,
+              0u);
+  }
+}
+
+TEST(CommEstimate, ComputeTrafficMatchesMeasuredExactly) {
+  const PerfModel m = full_model();
+  for (const bool aggregated : {false, true}) {
+    for (const bool overlap : {false, true}) {
+      const MeasuredComm measured = measure_compute(16, 32, aggregated, overlap);
+      const auto est = m.compute_comm(16, HostMode::kMatrix2D, 32, aggregated,
+                                      overlap);
+      EXPECT_EQ(est.messages, measured.messages)
+          << "agg " << aggregated << " overlap " << overlap;
+      EXPECT_EQ(est.bytes, measured.bytes)
+          << "agg " << aggregated << " overlap " << overlap;
+    }
+  }
+  EXPECT_EQ(m.compute_comm(16, HostMode::kNaive, 32, true, false).messages, 0u);
+  EXPECT_EQ(m.compute_comm(16, HostMode::kHardwareNet, 32, true, false).messages,
+            0u);
+}
+
+// The headline claim of this layer, in model form: at the paper-scale 16
+// hosts, aggregation cuts j-update messages per step by at least 10x.
+TEST(CommEstimate, AggregationCutsMessagesTenfoldAtSixteenHosts) {
+  const PerfModel m = full_model();
+  for (const HostMode mode : {HostMode::kNaive, HostMode::kMatrix2D}) {
+    const auto plain = m.update_comm(16, mode, 384, /*aggregated=*/false);
+    const auto agg = m.update_comm(16, mode, 384, /*aggregated=*/true);
+    ASSERT_GT(agg.messages, 0u);
+    EXPECT_GE(static_cast<double>(plain.messages) /
+                  static_cast<double>(agg.messages),
+              10.0)
+        << "mode " << static_cast<int>(mode);
+    EXPECT_LT(agg.seconds, plain.seconds) << "mode " << static_cast<int>(mode);
+  }
+}
+
 }  // namespace
