@@ -24,6 +24,7 @@
 #include "grape6/chip.hpp"
 #include "grape6/machine.hpp"
 #include "nbody/force_direct.hpp"
+#include "nbody/simd_dispatch.hpp"
 #include "obs/json.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -186,7 +187,7 @@ inline KernelMeasurement measure_cpu_kernel(
   return m;
 }
 
-/// All four kernels on one system; speedups are relative to the measured
+/// All six kernels on one system; speedups are relative to the measured
 /// reference (the seed's scalar loop, the pre-SoA operating point).
 inline std::vector<KernelMeasurement> measure_cpu_kernels(std::size_t n, int reps) {
   const g6::nbody::ParticleSystem ps = kernel_bench_system(n);
@@ -196,11 +197,142 @@ inline std::vector<KernelMeasurement> measure_cpu_kernels(std::size_t n, int rep
                                    nullptr, &ref_forces));
   out.front().bit_identical = true;
   for (auto k : {g6::nbody::CpuKernel::kTiled, g6::nbody::CpuKernel::kSimd,
-                 g6::nbody::CpuKernel::kFast}) {
+                 g6::nbody::CpuKernel::kBlocked, g6::nbody::CpuKernel::kFast,
+                 g6::nbody::CpuKernel::kMixed}) {
     out.push_back(measure_cpu_kernel(k, ps, reps, &ref_forces));
   }
   for (auto& m : out)
     m.speedup_vs_reference = m.interactions_per_sec / out.front().interactions_per_sec;
+  return out;
+}
+
+/// Find one kernel's row by name; dies loudly (empty row) if absent so the
+/// pass/fail logic never silently indexes the wrong kernel again.
+inline const KernelMeasurement* find_kernel(
+    const std::vector<KernelMeasurement>& ms, std::string_view name) {
+  for (const auto& m : ms)
+    if (m.kernel == name) return &m;
+  return nullptr;
+}
+
+// --- Kernel × ISA dispatch sweep -------------------------------------------
+
+/// One (kernel, ISA level) cell of the dispatch sweep. Unlike
+/// KernelMeasurement this bypasses active_kernel_table() — which is resolved
+/// once per process — and drives each level's kernel_table() entry points
+/// directly, so a single binary can time every dispatchable rung.
+struct SweepMeasurement {
+  std::string kernel;
+  std::string level;
+  double interactions_per_sec = 0.0;
+  double ns_per_interaction = 0.0;
+  bool exact = false;          ///< contract is bit-identity (vs error bound)
+  bool bit_identical = false;  ///< vs the shared reference oracle
+  double max_rel_err = 0.0;
+
+  JsonBuilder to_json() const {
+    return JsonBuilder::object()
+        .field("kernel", kernel)
+        .field("level", level)
+        .field("interactions_per_sec", interactions_per_sec)
+        .field("ns_per_interaction", ns_per_interaction)
+        .field("exact", exact)
+        .field("bit_identical", bit_identical)
+        .field("max_rel_err", max_rel_err);
+  }
+};
+
+/// Time every dispatched kernel at every level this CPU can actually run
+/// (scalar .. detect_simd_level()), best-of-\p reps full sweeps each, and
+/// compare forces against the reference oracle. kReference itself is level-
+/// independent (one shared compiled copy) so it has no rows here.
+inline std::vector<SweepMeasurement> measure_kernel_isa_sweep(std::size_t n,
+                                                              int reps) {
+  namespace nb = g6::nbody;
+  const nb::ParticleSystem ps = kernel_bench_system(n);
+  nb::SoAPredicted js;
+  js.resize(n);
+  std::vector<nb::Vec3> xs(n), vs(n);
+  std::vector<std::uint32_t> selves(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    js.x[i] = ps.pos(i).x;
+    js.y[i] = ps.pos(i).y;
+    js.z[i] = ps.pos(i).z;
+    js.vx[i] = ps.vel(i).x;
+    js.vy[i] = ps.vel(i).y;
+    js.vz[i] = ps.vel(i).z;
+    js.m[i] = ps.mass(i);
+    xs[i] = ps.pos(i);
+    vs[i] = ps.vel(i);
+    selves[i] = static_cast<std::uint32_t>(i);
+  }
+  js.ensure_mixed();  // shared fill; keeps the kMixed rows compute-only
+  const double eps2 = 0.008 * 0.008;
+  const nb::BlockGeometry geom = nb::active_block_geometry();
+  const double interactions = double(n) * double(n - 1);
+
+  std::vector<nb::Force> ref(n);
+  for (std::size_t i = 0; i < n; ++i)
+    nb::reference_force_range(js, 0, n, xs[i], vs[i], i, eps2, ref[i]);
+
+  auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  std::vector<nb::Force> f(n);
+  std::vector<SweepMeasurement> out;
+  auto run = [&](const char* kernel, const char* level, bool exact,
+                 auto&& full_sweep) {
+    SweepMeasurement m;
+    m.kernel = kernel;
+    m.level = level;
+    m.exact = exact;
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep <= reps; ++rep) {  // rep 0 is the warm-up
+      std::fill(f.begin(), f.end(), nb::Force{});
+      g6::util::Timer t;
+      full_sweep();
+      if (rep > 0) best = std::min(best, t.seconds());
+    }
+    m.interactions_per_sec = interactions / best;
+    m.ns_per_interaction = 1e9 * best / interactions;
+    m.bit_identical = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      const nb::Force& r = ref[i];
+      for (auto [a, b] : {std::pair{f[i].acc.x, r.acc.x}, {f[i].acc.y, r.acc.y},
+                          {f[i].acc.z, r.acc.z}, {f[i].jerk.x, r.jerk.x},
+                          {f[i].jerk.y, r.jerk.y}, {f[i].jerk.z, r.jerk.z},
+                          {f[i].pot, r.pot}}) {
+        if (bits(a) != bits(b)) m.bit_identical = false;
+      }
+      const double scale = std::sqrt(norm2(r.acc)) + 1e-300;
+      for (auto [a, b] : {std::pair{f[i].acc.x, r.acc.x}, {f[i].acc.y, r.acc.y},
+                          {f[i].acc.z, r.acc.z}}) {
+        m.max_rel_err = std::max(m.max_rel_err, std::abs(a - b) / scale);
+      }
+    }
+    out.push_back(std::move(m));
+  };
+
+  const int top = static_cast<int>(nb::detect_simd_level());
+  for (int li = 0; li <= top; ++li) {
+    const nb::KernelTable& t = nb::kernel_table(static_cast<nb::SimdLevel>(li));
+    auto per_i = [&](nb::KernelTable::ForceFn fn) {
+      return [&, fn] {
+        for (std::size_t i = 0; i < n; ++i) fn(js, xs[i], vs[i], i, eps2, f[i]);
+      };
+    };
+    run("tiled", t.name, true, per_i(t.tiled));
+    run("simd", t.name, true, per_i(t.simd));
+    run("blocked", t.name, true, [&] {
+      t.blocked(js, xs.data(), vs.data(), selves.data(), n, eps2, geom,
+                f.data());
+    });
+    run("fast", t.name, false, per_i(t.fast));
+    // Through the block entry — the path force_on_block (and hence the
+    // backend) actually takes, with paired i-rows sharing the j-stream.
+    run("mixed", t.name, false, [&] {
+      t.mixed_block(js, xs.data(), vs.data(), selves.data(), n, eps2, geom,
+                    f.data());
+    });
+  }
   return out;
 }
 

@@ -56,11 +56,76 @@ def check_headline(bench, floor, failures):
         if measured < limit:
             failures.append(f"{name}: {measured / 1e6:.1f} < {limit / 1e6:.1f} Minter/s")
 
-    for name in ("tiled", "simd"):
+    for name in ("tiled", "simd", "blocked"):
         if not kernels[name]["bit_identical"]:
             failures.append(f"{name} kernel is not bit-identical to the reference")
     if not bench["grape_chip"]["bit_identical"]:
         failures.append("GRAPE batched path accumulators differ from unbatched")
+
+    # --- runtime-dispatch gates (PR 8) ------------------------------------
+    # Unconditional: every exact kernel must be bit-identical to the scalar
+    # reference at EVERY dispatchable ISA level, and the approximate kernels
+    # must respect their documented error bounds at every level. These are
+    # correctness gates, so no hardware skip applies.
+    kd = floor.get("kernel_dispatch", {})
+    fast_bound = float(kd.get("fast_max_rel_err", 1e-12))
+    mixed_bound = float(kd.get("mixed_max_rel_err", 2e-5))
+    sweep = bench.get("kernel_isa_sweep")
+    if sweep is None:
+        failures.append("bench export has no kernel_isa_sweep section")
+        sweep = []
+    levels_seen = []
+    for row in sweep:
+        tag = f"{row['kernel']}@{row['level']}"
+        if row["level"] not in levels_seen:
+            levels_seen.append(row["level"])
+        if row["exact"]:
+            status = "ok" if row["bit_identical"] else "FAIL"
+            if not row["bit_identical"]:
+                failures.append(f"dispatch sweep: {tag} is not bit-identical")
+        else:
+            bound = fast_bound if row["kernel"] == "fast" else mixed_bound
+            status = "ok" if row["max_rel_err"] <= bound else "FAIL"
+            if row["max_rel_err"] > bound:
+                failures.append(
+                    f"dispatch sweep: {tag} max rel err "
+                    f"{row['max_rel_err']:.3e} > bound {bound:.0e}"
+                )
+        if status == "FAIL":
+            print(f"dispatch {tag:16s} {status}")
+    if sweep:
+        print(
+            f"dispatch sweep: {len(sweep)} kernel x ISA rows over "
+            f"levels {'/'.join(levels_seen)}: exact rows bit-identical, "
+            f"fast <= {fast_bound:.0e}, mixed <= {mixed_bound:.0e}  ok"
+        )
+
+    # Hardware-conditional: the cache-blocked or mixed-precision kernel must
+    # beat the previous fast kernel by kernel_speedup_min at the sweep size -
+    # but only where fast is a real rsqrt kernel (AVX2+; below that it aliases
+    # the exact SIMD kernel and the ratio is meaningless).
+    min_speedup = float(kd.get("kernel_speedup_min", 2.0))
+    gate_levels = kd.get("kernel_speedup_levels", ["avx2", "avx512"])
+    speedup = bench.get("kernel_speedup")
+    level = bench.get("simd_level", "?")
+    if speedup is not None:
+        if level in gate_levels:
+            status = "ok" if speedup >= min_speedup else "FAIL"
+            print(
+                f"kernel speedup (max(blocked, mixed)/fast @ {level}) "
+                f"{speedup:.2f}x  (floor {min_speedup:.1f}x)  {status}"
+            )
+            if speedup < min_speedup:
+                failures.append(
+                    f"kernel_speedup {speedup:.2f} < {min_speedup:.1f} "
+                    f"at level {level}"
+                )
+        else:
+            print(
+                f"kernel speedup {speedup:.2f}x  skipped: active level "
+                f"'{level}' not in {gate_levels} (fast kernel aliases the "
+                f"exact SIMD kernel there; bit-identity still enforced)"
+            )
 
     par_floor = floor.get("parallel_emulation")
     par = bench.get("grape_parallel")

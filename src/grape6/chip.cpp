@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "fault/fault.hpp"
+#include "grape6/chip_kernels.hpp"
 #include "util/check.hpp"
 
 namespace g6::hw {
@@ -164,8 +165,14 @@ void Chip::compute(const std::vector<IParticle>& i_batch, double eps2,
 void Chip::compute_batched(const std::vector<IParticle>& i_batch, double eps2,
                            std::vector<ForceAccumulator>& accum) const {
   const std::size_t ni = i_batch.size();
-  const std::size_t nj = jmem_.size();
   constexpr std::size_t kGroup = kIPerChipPass;
+  // The j-stream loop itself is runtime-dispatched to the host's ISA level
+  // (chip_kernels.hpp): same pass body, compiled per level, bit-identical
+  // everywhere by fixed-point construction.
+  const ChipPassFn pass = active_chip_pass();
+  const ChipJStream js{soa_.id.data(), soa_.m.data(), soa_.x.data(),
+                       soa_.y.data(), soa_.z.data(), soa_.vx.data(),
+                       soa_.vy.data(), soa_.vz.data(), jmem_.size()};
   for (std::size_t g0 = 0; g0 < ni; g0 += kGroup) {
     const std::size_t gn = std::min(kGroup, ni - g0);
     // Hoist each i-particle's fixed-point -> double conversion out of the
@@ -181,15 +188,7 @@ void Chip::compute_batched(const std::vector<IParticle>& i_batch, double eps2,
     }
     // Stream the predicted j-memory once per pass; each j is loaded once and
     // served to the whole i-group.
-    for (std::size_t jj = 0; jj < nj; ++jj) {
-      const std::uint32_t jid = soa_.id[jj];
-      const double jm = soa_.m[jj];
-      const Vec3 jx{soa_.x[jj], soa_.y[jj], soa_.z[jj]};
-      const Vec3 jv{soa_.vx[jj], soa_.vy[jj], soa_.vz[jj]};
-      for (std::size_t k = 0; k < gn; ++k)
-        pipeline_interact_core(iid[k], ix[k], iv[k], jid, jm, jx, jv, eps2, fmt_,
-                               accum[g0 + k]);
-    }
+    pass(js, iid, ix, iv, gn, eps2, fmt_, accum.data() + g0);
   }
 }
 

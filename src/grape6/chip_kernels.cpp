@@ -1,0 +1,26 @@
+#include "grape6/chip_kernels.hpp"
+
+namespace g6::hw {
+
+namespace chip_kernels_scalar { ChipPassFn pass(); }
+namespace chip_kernels_sse2 { ChipPassFn pass(); }
+namespace chip_kernels_avx2 { ChipPassFn pass(); }
+namespace chip_kernels_avx512 { ChipPassFn pass(); }
+
+ChipPassFn chip_batched_pass(g6::nbody::SimdLevel level) {
+  using g6::nbody::SimdLevel;
+  switch (level) {
+    case SimdLevel::kAvx512: return chip_kernels_avx512::pass();
+    case SimdLevel::kAvx2: return chip_kernels_avx2::pass();
+    case SimdLevel::kSse2: return chip_kernels_sse2::pass();
+    case SimdLevel::kScalar: return chip_kernels_scalar::pass();
+  }
+  return chip_kernels_scalar::pass();
+}
+
+ChipPassFn active_chip_pass() {
+  static const ChipPassFn fn = chip_batched_pass(g6::nbody::active_simd_level());
+  return fn;
+}
+
+}  // namespace g6::hw

@@ -1,0 +1,53 @@
+#pragma once
+/// \file chip_kernels.hpp
+/// \brief Runtime-dispatched batched pipeline pass of the GRAPE-6 chip model.
+///
+/// Chip::compute_batched streams the predicted j-memory through a group of
+/// up to kIPerChipPass latched i-particles — the emulator's hottest loop.
+/// Like the nbody force kernels, that pass is compiled once per ISA level
+/// (chip_kernels_<isa>.cpp, per-file flags in CMakeLists.txt) so the j-loop
+/// auto-vectorizes to the full width of whatever host runs the binary, and
+/// one pass function is picked at startup via the shared CPUID probe
+/// (nbody/simd_dispatch.hpp, overridable with G6_SIMD_LEVEL).
+///
+/// Every level is bit-identical by construction: the per-pair datapath is
+/// scalar IEEE double arithmetic (identical on every rung) and the
+/// accumulation is fixed-point integer addition (order-independent), so the
+/// dispatch can only change throughput — enforced by the conformance tests
+/// run under each G6_SIMD_LEVEL in CI.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "grape6/g6_types.hpp"
+#include "nbody/simd_dispatch.hpp"
+
+namespace g6::hw {
+
+/// Raw view of Chip's predicted j-memory SoA (one pointer per column).
+struct ChipJStream {
+  const std::uint32_t* id = nullptr;
+  const double* m = nullptr;
+  const double* x = nullptr;
+  const double* y = nullptr;
+  const double* z = nullptr;
+  const double* vx = nullptr;
+  const double* vy = nullptr;
+  const double* vz = nullptr;
+  std::size_t n = 0;
+};
+
+/// One batched pass: all j in \p js against the latched i-group
+/// (iid/ix/iv, \p ni <= kIPerChipPass), accumulating into accum[0..ni).
+using ChipPassFn = void (*)(const ChipJStream& js, const std::uint32_t* iid,
+                            const Vec3* ix, const Vec3* iv, std::size_t ni,
+                            double eps2, const FormatSpec& fmt,
+                            ForceAccumulator* accum);
+
+/// The pass compiled for \p level.
+ChipPassFn chip_batched_pass(g6::nbody::SimdLevel level);
+
+/// chip_batched_pass(active_simd_level()) — resolved once on first use.
+ChipPassFn active_chip_pass();
+
+}  // namespace g6::hw

@@ -1,0 +1,4 @@
+/// AVX2+FMA rung of the chip-pass dispatch ladder (-mavx2 -mfma; FMA cannot
+/// contract here — the build sets -ffp-contract=off for bit-identity).
+#define G6_CHIP_IMPL_NS chip_kernels_avx2
+#include "grape6/chip_kernels_impl.hpp"

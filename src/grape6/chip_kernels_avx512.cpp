@@ -1,0 +1,3 @@
+/// AVX-512 rung of the chip-pass dispatch ladder (-mavx512f/dq/vl -mfma).
+#define G6_CHIP_IMPL_NS chip_kernels_avx512
+#include "grape6/chip_kernels_impl.hpp"

@@ -1,0 +1,44 @@
+/// \file chip_kernels_impl.hpp
+/// \brief The batched pipeline pass body, instantiated once per ISA level.
+///
+/// NOT a normal header: no include guard on purpose. Each per-ISA TU
+/// (chip_kernels_<isa>.cpp) defines G6_CHIP_IMPL_NS and includes this file
+/// exactly once under that level's compile flags (see CMakeLists.txt). The
+/// pass body sits in an anonymous namespace — only the function pointer
+/// escapes — so the linker can never swap in a copy compiled for a
+/// different ISA. pipeline_interact_core is `static inline` for the same
+/// reason (pipeline.hpp).
+
+#include "grape6/chip_kernels.hpp"
+#include "grape6/pipeline.hpp"
+
+#if !defined(G6_CHIP_IMPL_NS)
+#error "chip_kernels_impl.hpp must be included by a per-ISA chip-kernel TU"
+#endif
+
+namespace g6::hw::G6_CHIP_IMPL_NS {
+namespace {
+
+/// Stream the predicted j-memory once; each j is loaded once and served to
+/// the whole latched i-group — the emulator's image of the hardware's
+/// broadcast i-registers and virtual multiple pipelines.
+void batched_pass_impl(const ChipJStream& js, const std::uint32_t* iid,
+                       const Vec3* ix, const Vec3* iv, std::size_t ni,
+                       double eps2, const FormatSpec& fmt,
+                       ForceAccumulator* accum) {
+  for (std::size_t jj = 0; jj < js.n; ++jj) {
+    const std::uint32_t jid = js.id[jj];
+    const double jm = js.m[jj];
+    const Vec3 jx{js.x[jj], js.y[jj], js.z[jj]};
+    const Vec3 jv{js.vx[jj], js.vy[jj], js.vz[jj]};
+    for (std::size_t k = 0; k < ni; ++k)
+      pipeline_interact_core(iid[k], ix[k], iv[k], jid, jm, jx, jv, eps2, fmt,
+                             accum[k]);
+  }
+}
+
+}  // namespace
+
+ChipPassFn pass() { return &batched_pass_impl; }
+
+}  // namespace g6::hw::G6_CHIP_IMPL_NS

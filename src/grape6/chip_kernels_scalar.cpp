@@ -1,0 +1,3 @@
+/// Scalar rung of the chip-pass dispatch ladder (baseline x86-64 codegen).
+#define G6_CHIP_IMPL_NS chip_kernels_scalar
+#include "grape6/chip_kernels_impl.hpp"

@@ -1,0 +1,3 @@
+/// SSE2 rung of the chip-pass dispatch ladder (baseline x86-64 ISA).
+#define G6_CHIP_IMPL_NS chip_kernels_sse2
+#include "grape6/chip_kernels_impl.hpp"

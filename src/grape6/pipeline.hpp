@@ -43,7 +43,14 @@ void pipeline_interact(const IParticle& i, const JPredicted& j, double eps2,
 /// predict); since to_vec3() is a pure function of the register content, the
 /// per-interaction arithmetic — and therefore every accumulator register — is
 /// bit-identical to the unbatched path (enforced by the conformance tests).
-inline void pipeline_interact_core(std::uint32_t i_id, const Vec3& ix, const Vec3& iv,
+///
+/// `static inline`: the per-ISA batched-pass TUs (chip_kernels_<isa>.cpp)
+/// each compile this core with their own vector flags, and internal linkage
+/// stops the linker from collapsing those copies onto one ISA's code. The
+/// double arithmetic itself is IEEE-identical at every level (and the
+/// fixed-point accumulation is integer), so results don't depend on which
+/// rung runs — only the surrounding loop's vectorization does.
+static inline void pipeline_interact_core(std::uint32_t i_id, const Vec3& ix, const Vec3& iv,
                                    std::uint32_t j_id, double j_mass, const Vec3& jx,
                                    const Vec3& jv, double eps2, const FormatSpec& fmt,
                                    ForceAccumulator& accum) {

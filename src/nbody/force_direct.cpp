@@ -1,6 +1,8 @@
 #include "nbody/force_direct.hpp"
 
 #include "nbody/hermite.hpp"
+#include "nbody/simd_dispatch.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace g6::nbody {
@@ -8,6 +10,11 @@ namespace g6::nbody {
 CpuDirectBackend::CpuDirectBackend(double eps, g6::util::ThreadPool* pool)
     : eps_(eps), pool_(pool != nullptr ? pool : &g6::util::shared_pool()) {
   G6_CHECK(eps >= 0.0, "softening must be non-negative");
+  publish_kernel_metrics(g6::obs::MetricsRegistry::global());
+  for (int k = 0; k < kCpuKernelCount; ++k)
+    kernel_interactions_[k] = g6::obs::MetricsRegistry::global().counter(
+        std::string("g6.kernel.") + cpu_kernel_name(static_cast<CpuKernel>(k)) +
+        ".interactions");
 }
 
 void CpuDirectBackend::load(const ParticleSystem& ps) {
@@ -61,6 +68,7 @@ void CpuDirectBackend::predict_all(double t) {
       pred_.vz[j] = p.vel.z;
     }
   });
+  pred_.mixed_valid = false;  // the kMixed mirror tracks the predicted state
   predicted_t_ = t;
   predictions_valid_ = true;
 }
@@ -95,16 +103,35 @@ void CpuDirectBackend::compute_states(double t, std::span<const std::uint32_t> i
   const std::size_t n = mass_.size();
   const double eps2 = eps_ * eps_;
   const CpuKernel kernel = kernel_;
-  pool_->parallel_for(ilist.size(), [&](std::size_t b, std::size_t e) {
-    for (std::size_t k = b; k < e; ++k) {
-      const std::uint32_t i = ilist[k];
-      G6_CHECK(i < n, "i-particle index out of range");
-      Force f{};
-      force_on_i(kernel, pred_, pos[k], vel[k], i, eps2, f);
-      out[k] = f;
-    }
-  });
-  interactions_ += static_cast<std::uint64_t>(ilist.size()) * (n - 1);
+  // Build the reduced-precision mirror once, before fanning out: the lazy
+  // fill inside the kernel would otherwise race across worker threads.
+  if (kernel == CpuKernel::kMixed) pred_.ensure_mixed();
+  if (kernel == CpuKernel::kBlocked) {
+    // Block entry point: the i×j tiling needs whole i-ranges, and each
+    // parallel_for chunk is one. Results are independent per i, so the
+    // thread-count invariance of the per-i path carries over.
+    pool_->parallel_for(ilist.size(), [&](std::size_t b, std::size_t e) {
+      for (std::size_t k = b; k < e; ++k) {
+        G6_CHECK(ilist[k] < n, "i-particle index out of range");
+        out[k] = Force{};
+      }
+      force_on_block(kernel, pred_, pos.data() + b, vel.data() + b,
+                     ilist.data() + b, e - b, eps2, out.data() + b);
+    });
+  } else {
+    pool_->parallel_for(ilist.size(), [&](std::size_t b, std::size_t e) {
+      for (std::size_t k = b; k < e; ++k) {
+        const std::uint32_t i = ilist[k];
+        G6_CHECK(i < n, "i-particle index out of range");
+        Force f{};
+        force_on_i(kernel, pred_, pos[k], vel[k], i, eps2, f);
+        out[k] = f;
+      }
+    });
+  }
+  const std::uint64_t count = static_cast<std::uint64_t>(ilist.size()) * (n - 1);
+  interactions_ += count;
+  kernel_interactions_[static_cast<int>(kernel)].add(count);
 }
 
 }  // namespace g6::nbody

@@ -9,6 +9,7 @@
 
 #include "nbody/force.hpp"
 #include "nbody/force_kernels.hpp"
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace g6::nbody {
@@ -81,6 +82,9 @@ class CpuDirectBackend final : public ForceBackend {
   bool predictions_valid_ = false;
   // Scratch i-particle staging for compute() (avoids per-call allocation).
   std::vector<Vec3> scratch_pos_, scratch_vel_;
+
+  // g6.kernel.<name>.interactions counters, one per kernel variant.
+  g6::obs::Counter kernel_interactions_[kCpuKernelCount];
 
   std::uint64_t interactions_ = 0;
 };

@@ -1,20 +1,43 @@
 #include "nbody/force_kernels.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 
 #include "nbody/force_direct.hpp"
-#include "util/simd.hpp"
+#include "nbody/simd_dispatch.hpp"
+#include "util/log.hpp"
 
 namespace g6::nbody {
+
+bool cpu_kernel_from_name(const char* name, CpuKernel* out) {
+  if (name == nullptr) return false;
+  for (int i = 0; i < kCpuKernelCount; ++i) {
+    const CpuKernel k = static_cast<CpuKernel>(i);
+    if (std::strcmp(name, cpu_kernel_name(k)) == 0) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
 
 CpuKernel cpu_kernel_from_env() {
   const char* env = std::getenv("G6_CPU_KERNEL");
   if (env == nullptr) return CpuKernel::kSimd;
-  if (std::strcmp(env, "reference") == 0) return CpuKernel::kReference;
-  if (std::strcmp(env, "tiled") == 0) return CpuKernel::kTiled;
-  if (std::strcmp(env, "fast") == 0) return CpuKernel::kFast;
+  CpuKernel k;
+  if (cpu_kernel_from_name(env, &k)) return k;
+  // One-shot: the backend constructs per run/board, and a misspelt kernel
+  // silently running the default cost PR 2's bench users real confusion.
+  static const bool warned = [env] {
+    G6_LOG_WARN("unrecognised G6_CPU_KERNEL '"
+                << env
+                << "' (accepted: reference, tiled, simd, blocked, fast, "
+                   "mixed); using 'simd'");
+    return true;
+  }();
+  (void)warned;
   return CpuKernel::kSimd;
 }
 
@@ -23,18 +46,51 @@ const char* cpu_kernel_name(CpuKernel k) {
     case CpuKernel::kReference: return "reference";
     case CpuKernel::kTiled: return "tiled";
     case CpuKernel::kSimd: return "simd";
+    case CpuKernel::kBlocked: return "blocked";
     case CpuKernel::kFast: return "fast";
+    case CpuKernel::kMixed: return "mixed";
   }
   return "?";
+}
+
+void SoAPredicted::ensure_mixed() const {
+  if (mixed_valid) return;
+  const std::size_t n = size();
+  qx.resize(n); qy.resize(n); qz.resize(n);
+  fvx.resize(n); fvy.resize(n); fvz.resize(n);
+  fm3.resize(n);
+  double maxc = 1.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    maxc = std::max(maxc, std::fabs(x[j]));
+    maxc = std::max(maxc, std::fabs(y[j]));
+    maxc = std::max(maxc, std::fabs(z[j]));
+  }
+  // Power-of-two grid spacing with max|coord|/lsb <= 2^29: positions use 30
+  // signed bits, position differences (incl. an i-particle up to twice the
+  // span away) stay well inside int32 — mirroring the hardware's fixed-point
+  // j-memory, where differences on the common grid are exact.
+  mixed_lsb = std::ldexp(1.0, std::ilogb(maxc) + 1 - 29);
+  const double inv = 1.0 / mixed_lsb;
+  // Masses are pre-divided by lsb^3 so the kernel can run entirely in grid
+  // units (no per-pair rescaling of dr): lsb is a power of two, so this and
+  // the kernel's final undo are exact exponent shifts, not roundings.
+  const double inv3 = inv * inv * inv;
+  for (std::size_t j = 0; j < n; ++j) {
+    qx[j] = static_cast<std::int32_t>(std::lrint(x[j] * inv));
+    qy[j] = static_cast<std::int32_t>(std::lrint(y[j] * inv));
+    qz[j] = static_cast<std::int32_t>(std::lrint(z[j] * inv));
+    fvx[j] = static_cast<float>(vx[j]);
+    fvy[j] = static_cast<float>(vy[j]);
+    fvz[j] = static_cast<float>(vz[j]);
+    fm3[j] = static_cast<float>(m[j] * inv3);
+  }
+  mixed_valid = true;
 }
 
 namespace {
 
 /// The seven running sums of one i-particle, held in scalar locals so the
-/// optimizer keeps them in registers: accumulating straight into a Force&
-/// would alias (in the compiler's view) the js arrays and force a
-/// load-add-store round trip per term. The add sequence is unchanged, so
-/// values stay bit-identical to accumulating in the struct.
+/// optimizer keeps them in registers (see kernels_impl.hpp).
 struct Sums {
   double ax, ay, az, jx, jy, jz, po;
 
@@ -58,13 +114,16 @@ struct Sums {
 #define G6_NO_VECTORIZE
 #endif
 
+}  // namespace
+
 /// The seed's scalar loop over [b, e) — the bit-exactness oracle, also used
-/// by the other kernels for the tile containing `self` and for tails.
+/// by every per-ISA kernel TU for the tile containing `self` and for tails
+/// (one shared compiled copy; scalar double arithmetic is ISA-independent).
 /// Expression-for-expression identical to pairwise_force (force_direct.hpp).
 G6_NO_VECTORIZE
-void reference_range(const SoAPredicted& js, std::size_t b, std::size_t e,
-                     const Vec3& xi, const Vec3& vi, std::size_t self,
-                     double eps2, Force& f) {
+void reference_force_range(const SoAPredicted& js, std::size_t b, std::size_t e,
+                           const Vec3& xi, const Vec3& vi, std::size_t self,
+                           double eps2, Force& f) {
   const double* const gx = js.x.data();
   const double* const gy = js.y.data();
   const double* const gz = js.z.data();
@@ -99,247 +158,55 @@ void reference_range(const SoAPredicted& js, std::size_t b, std::size_t e,
   s.flush(f);
 }
 
-/// Plain-C tiled kernel: the contribution loop below carries no loop-carried
-/// dependence and auto-vectorizes (inspect with -fopt-info-vec); the ordered
-/// accumulation loop replays the seed's summation order.
-void force_tiled(const SoAPredicted& js, const Vec3& xi, const Vec3& vi,
-                 std::size_t self, double eps2, Force& f) {
-  constexpr std::size_t kTile = 64;
-  const std::size_t n = js.size();
-  double ax[kTile], ay[kTile], az[kTile];
-  double jx[kTile], jy[kTile], jz[kTile], po[kTile];
-  Sums s(f);
-  for (std::size_t b = 0; b < n; b += kTile) {
-    const std::size_t len = std::min(kTile, n - b);
-    if (self - b < len) {  // tile holds the self-particle: scalar path
-      s.flush(f);
-      reference_range(js, b, b + len, xi, vi, self, eps2, f);
-      s = Sums(f);
-      continue;
-    }
-    for (std::size_t k = 0; k < len; ++k) {
-      const std::size_t j = b + k;
-      const double drx = js.x[j] - xi.x;
-      const double dry = js.y[j] - xi.y;
-      const double drz = js.z[j] - xi.z;
-      const double dvx = js.vx[j] - vi.x;
-      const double dvy = js.vy[j] - vi.y;
-      const double dvz = js.vz[j] - vi.z;
-      const double r2 = ((drx * drx + dry * dry) + drz * drz) + eps2;
-      const double rinv = 1.0 / std::sqrt(r2);
-      const double rinv2 = rinv * rinv;
-      const double mr = js.m[j] * rinv;
-      const double mr3 = mr * rinv2;
-      const double rv = (drx * dvx + dry * dvy) + drz * dvz;
-      const double c = 3.0 * (rv * rinv2);
-      ax[k] = mr3 * drx;
-      ay[k] = mr3 * dry;
-      az[k] = mr3 * drz;
-      jx[k] = mr3 * (dvx - c * drx);
-      jy[k] = mr3 * (dvy - c * dry);
-      jz[k] = mr3 * (dvz - c * drz);
-      po[k] = mr;
-    }
-    for (std::size_t k = 0; k < len; ++k) {
-      s.ax += ax[k];
-      s.ay += ay[k];
-      s.az += az[k];
-      s.jx += jx[k];
-      s.jy += jy[k];
-      s.jz += jz[k];
-      s.po -= po[k];
-    }
-  }
-  s.flush(f);
-}
-
-/// One W-wide block of the explicit kernel: the seven contribution vectors of
-/// j-particles [j0, j0+W), computed in vector registers in the seed's
-/// expression order and staged column-wise into \p b.
-template <std::size_t W>
-inline void simd_fill_block(const double* gx, const double* gy, const double* gz,
-                            const double* gvx, const double* gvy, const double* gvz,
-                            const double* gm, std::size_t j0,
-                            const g6::util::simd::VecD xiv, const g6::util::simd::VecD yiv,
-                            const g6::util::simd::VecD ziv, const g6::util::simd::VecD vxiv,
-                            const g6::util::simd::VecD vyiv, const g6::util::simd::VecD vziv,
-                            const g6::util::simd::VecD eps2v, const g6::util::simd::VecD one,
-                            const g6::util::simd::VecD three, double (*b)[W]) {
-  namespace s = g6::util::simd;
-  const s::VecD drx = s::load(gx + j0) - xiv;
-  const s::VecD dry = s::load(gy + j0) - yiv;
-  const s::VecD drz = s::load(gz + j0) - ziv;
-  const s::VecD dvx = s::load(gvx + j0) - vxiv;
-  const s::VecD dvy = s::load(gvy + j0) - vyiv;
-  const s::VecD dvz = s::load(gvz + j0) - vziv;
-  const s::VecD mj = s::load(gm + j0);
-  const s::VecD r2 = ((drx * drx + dry * dry) + drz * drz) + eps2v;
-  const s::VecD rinv = one / s::vsqrt(r2);
-  const s::VecD rinv2 = rinv * rinv;
-  const s::VecD mr = mj * rinv;
-  const s::VecD mr3 = mr * rinv2;
-  const s::VecD rv = (drx * dvx + dry * dvy) + drz * dvz;
-  const s::VecD c = three * (rv * rinv2);
-  s::store(b[0], mr3 * drx);
-  s::store(b[1], mr3 * dry);
-  s::store(b[2], mr3 * drz);
-  s::store(b[3], mr3 * (dvx - c * drx));
-  s::store(b[4], mr3 * (dvy - c * dry));
-  s::store(b[5], mr3 * (dvz - c * drz));
-  s::store(b[6], mr);
-}
-
-/// Explicit G6_SIMD kernel: per W-wide j-block the contributions are computed
-/// in vector registers (the divider works on a whole block at once), staged
-/// through a double-buffered stack staging area, and accumulated in strict
-/// j-order one block behind the vector fill. The one-block lag lets the
-/// out-of-order core run block b+1's sqrt/div under block b's serial
-/// ordered-summation chain, which is the kernel's other latency floor.
-void force_simd(const SoAPredicted& js, const Vec3& xi, const Vec3& vi,
-                std::size_t self, double eps2, Force& f) {
-  namespace s = g6::util::simd;
-  constexpr std::size_t W = s::kWidth;
-  const std::size_t n = js.size();
-  const double* const gx = js.x.data();
-  const double* const gy = js.y.data();
-  const double* const gz = js.z.data();
-  const double* const gvx = js.vx.data();
-  const double* const gvy = js.vy.data();
-  const double* const gvz = js.vz.data();
-  const double* const gm = js.m.data();
-  const s::VecD xiv = s::broadcast(xi.x), yiv = s::broadcast(xi.y),
-                ziv = s::broadcast(xi.z);
-  const s::VecD vxiv = s::broadcast(vi.x), vyiv = s::broadcast(vi.y),
-                vziv = s::broadcast(vi.z);
-  const s::VecD eps2v = s::broadcast(eps2);
-  const s::VecD one = s::broadcast(1.0);
-  const s::VecD three = s::broadcast(3.0);
-  alignas(64) double buf[2][7][W];
-  Sums acc(f);
-  int cur = 0;
-  bool pending = false;  // buf[cur ^ 1] holds a filled, not-yet-summed block
-  std::size_t j0 = 0;
-  auto drain = [&] {
-    if (!pending) return;
-    double(*b)[W] = buf[cur ^ 1];
-    for (std::size_t k = 0; k < W; ++k) {
-      acc.ax += b[0][k];
-      acc.ay += b[1][k];
-      acc.az += b[2][k];
-      acc.jx += b[3][k];
-      acc.jy += b[4][k];
-      acc.jz += b[5][k];
-      acc.po -= b[6][k];
-    }
-    pending = false;
-  };
-  for (; j0 + W <= n; j0 += W) {
-    if (self - j0 < W) {  // block holds the self-particle: scalar path
-      drain();
-      acc.flush(f);
-      reference_range(js, j0, j0 + W, xi, vi, self, eps2, f);
-      acc = Sums(f);
-      continue;
-    }
-    simd_fill_block<W>(gx, gy, gz, gvx, gvy, gvz, gm, j0, xiv, yiv, ziv, vxiv,
-                       vyiv, vziv, eps2v, one, three, buf[cur]);
-#if defined(__GNUC__)
-    // Keep the staging stores real. Without this barrier GCC forwards the
-    // vector stores straight into the ordered-sum loads via ~50 cross-lane
-    // shuffles per block, which serialize on the shuffle port and run ~3x
-    // slower than store-forwarding through the stack buffer.
-    asm volatile("" : "+m"(buf));
-#endif
-    drain();  // sum the previous block while this block's vectors retire
-    pending = true;
-    cur ^= 1;  // the just-filled block is now buf[cur ^ 1]
-  }
-  drain();
-  acc.flush(f);
-  reference_range(js, j0, n, xi, vi, self, eps2, f);
-}
-
-/// Opt-in approximate kernel: reciprocal-sqrt estimate + two Newton steps,
-/// FMA everywhere, vector-lane accumulators (no ordering constraint). Only
-/// meaningfully different from force_simd on AVX-512 hardware.
-void force_fast(const SoAPredicted& js, const Vec3& xi, const Vec3& vi,
-                std::size_t self, double eps2, Force& f) {
-  namespace s = g6::util::simd;
-  if constexpr (!s::kHasFastRsqrt) {
-    force_simd(js, xi, vi, self, eps2, f);
-    return;
-  } else {
-    constexpr std::size_t W = s::kWidth;
-    const std::size_t n = js.size();
-    const s::VecD xiv = s::broadcast(xi.x), yiv = s::broadcast(xi.y),
-                  ziv = s::broadcast(xi.z);
-    const s::VecD vxiv = s::broadcast(vi.x), vyiv = s::broadcast(vi.y),
-                  vziv = s::broadcast(vi.z);
-    const s::VecD eps2v = s::broadcast(eps2);
-    const s::VecD half = s::broadcast(0.5);
-    const s::VecD c15 = s::broadcast(1.5);
-    const s::VecD three = s::broadcast(3.0);
-    s::VecD accx = s::broadcast(0.0), accy = accx, accz = accx;
-    s::VecD jkx = accx, jky = accx, jkz = accx, pot = accx;
-    std::size_t j0 = 0;
-    for (; j0 + W <= n; j0 += W) {
-      if (self - j0 < W) {
-        reference_range(js, j0, j0 + W, xi, vi, self, eps2, f);
-        continue;
-      }
-      const s::VecD drx = s::load(js.x.data() + j0) - xiv;
-      const s::VecD dry = s::load(js.y.data() + j0) - yiv;
-      const s::VecD drz = s::load(js.z.data() + j0) - ziv;
-      const s::VecD dvx = s::load(js.vx.data() + j0) - vxiv;
-      const s::VecD dvy = s::load(js.vy.data() + j0) - vyiv;
-      const s::VecD dvz = s::load(js.vz.data() + j0) - vziv;
-      const s::VecD mj = s::load(js.m.data() + j0);
-      const s::VecD r2 = s::fmadd(drz, drz, s::fmadd(dry, dry, s::fmadd(drx, drx, eps2v)));
-      s::VecD y = s::rsqrt_approx(r2);
-      const s::VecD h = half * r2;
-      y = y * s::fnmadd(h * y, y, c15);  // Newton: y (1.5 - r2/2 y^2)
-      y = y * s::fnmadd(h * y, y, c15);
-      const s::VecD rinv2 = y * y;
-      const s::VecD mr = mj * y;
-      const s::VecD mr3 = mr * rinv2;
-      const s::VecD rv = s::fmadd(drz, dvz, s::fmadd(dry, dvy, drx * dvx));
-      const s::VecD c = three * (rv * rinv2);
-      accx = s::fmadd(mr3, drx, accx);
-      accy = s::fmadd(mr3, dry, accy);
-      accz = s::fmadd(mr3, drz, accz);
-      jkx = s::fmadd(mr3, s::fnmadd(c, drx, dvx), jkx);
-      jky = s::fmadd(mr3, s::fnmadd(c, dry, dvy), jky);
-      jkz = s::fmadd(mr3, s::fnmadd(c, drz, dvz), jkz);
-      pot = pot - mr;
-    }
-    reference_range(js, j0, n, xi, vi, self, eps2, f);
-    f.acc.x += s::reduce_add(accx);
-    f.acc.y += s::reduce_add(accy);
-    f.acc.z += s::reduce_add(accz);
-    f.jerk.x += s::reduce_add(jkx);
-    f.jerk.y += s::reduce_add(jky);
-    f.jerk.z += s::reduce_add(jkz);
-    f.pot += s::reduce_add(pot);
-  }
-}
-
-}  // namespace
-
 void force_on_i(CpuKernel kernel, const SoAPredicted& js, const Vec3& xi,
                 const Vec3& vi, std::size_t self, double eps2, Force& out) {
+  if (kernel == CpuKernel::kReference) {
+    reference_force_range(js, 0, js.size(), xi, vi, self, eps2, out);
+    return;
+  }
+  const KernelTable& t = active_kernel_table();
   switch (kernel) {
     case CpuKernel::kReference:
-      reference_range(js, 0, js.size(), xi, vi, self, eps2, out);
-      return;
+      return;  // handled above
     case CpuKernel::kTiled:
-      force_tiled(js, xi, vi, self, eps2, out);
+      t.tiled(js, xi, vi, self, eps2, out);
       return;
     case CpuKernel::kSimd:
-      force_simd(js, xi, vi, self, eps2, out);
+      t.simd(js, xi, vi, self, eps2, out);
       return;
+    case CpuKernel::kBlocked: {
+      const std::uint32_t self32 =
+          self == kNoSelf ? kNoSelf32 : static_cast<std::uint32_t>(self);
+      t.blocked(js, &xi, &vi, &self32, 1, eps2, active_block_geometry(), &out);
+      return;
+    }
     case CpuKernel::kFast:
-      force_fast(js, xi, vi, self, eps2, out);
+      t.fast(js, xi, vi, self, eps2, out);
       return;
+    case CpuKernel::kMixed:
+      t.mixed(js, xi, vi, self, eps2, out);
+      return;
+  }
+}
+
+void force_on_block(CpuKernel kernel, const SoAPredicted& js, const Vec3* xis,
+                    const Vec3* vis, const std::uint32_t* selves, std::size_t ni,
+                    double eps2, Force* out) {
+  if (kernel == CpuKernel::kBlocked) {
+    active_kernel_table().blocked(js, xis, vis, selves, ni, eps2,
+                                  active_block_geometry(), out);
+    return;
+  }
+  if (kernel == CpuKernel::kMixed) {
+    js.ensure_mixed();  // outside the block entry's pair loop, once per sweep
+    active_kernel_table().mixed_block(js, xis, vis, selves, ni, eps2,
+                                      active_block_geometry(), out);
+    return;
+  }
+  for (std::size_t k = 0; k < ni; ++k) {
+    const std::size_t self =
+        selves[k] == kNoSelf32 ? kNoSelf : static_cast<std::size_t>(selves[k]);
+    force_on_i(kernel, js, xis[k], vis[k], self, eps2, out[k]);
   }
 }
 

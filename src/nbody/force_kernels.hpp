@@ -5,7 +5,7 @@
 ///
 /// The backend keeps its predicted j-particle store as seven contiguous
 /// double arrays (x, y, z, vx, vy, vz, m) instead of arrays of Vec3, so the
-/// inner force loop streams unit-stride and vectorizes. Four kernels share
+/// inner force loop streams unit-stride and vectorizes. Six kernels share
 /// that layout:
 ///
 ///   kReference — the seed's scalar loop (pairwise_force per j). The oracle.
@@ -17,17 +17,37 @@
 ///                arithmetic runs at vector width, the accumulation replays
 ///                in strict j-order. Bit-identical to kReference; this is the
 ///                default.
-///   kFast      — opt-in approximate kernel: rsqrt estimate + two
+///   kBlocked   — the kSimd inner loop tiled over BOTH i and j to the cache
+///                geometry probed at startup (simd_dispatch.hpp): each
+///                L1-sized j-block is streamed once per i-block instead of
+///                once per i-particle. Bit-identical to kReference (per-i
+///                j-order is unchanged; only the traversal order of the
+///                (i, j-block) plane changes, and each i has independent
+///                accumulators).
+///   kFast      — opt-in approximate kernel: double rsqrt estimate + two
 ///                Newton–Raphson steps, FMA contraction, vector-lane
-///                accumulators. Not bit-identical (relative error ~1e-15);
-///                mirrors the spirit of the GRAPE pipeline's shortened
-///                arithmetic. Selected only via G6_CPU_KERNEL=fast.
+///                accumulators. Not bit-identical (relative error ~1e-15).
+///                Needs AVX-512's vrsqrt14pd; elsewhere it degrades to kSimd.
+///   kMixed     — opt-in GRAPE-6-mirror kernel: j-positions quantised to an
+///                int32 fixed-point grid (position differences are exact, as
+///                in the hardware), float32 pair arithmetic with a hardware
+///                rsqrt estimate + one Newton step, float64 fixed-order
+///                accumulation in short chunks. Max relative acceleration
+///                error bounded by kMixedMaxRelErr vs kReference (test- and
+///                CI-enforced). Works at every ISA level incl. SSE2.
 ///
-/// Bit-identity of kTiled/kSimd holds because (a) every per-pair expression
-/// is evaluated in the seed's association order with no FMA contraction, and
-/// (b) the per-accumulator additions happen in exactly the seed's j-order.
+/// All kernels except kReference are runtime-dispatched: the same binary
+/// carries scalar/SSE2/AVX2/AVX-512 instantiations and picks one at startup
+/// via CPUID (see nbody/simd_dispatch.hpp, overridable with G6_SIMD_LEVEL).
+///
+/// Bit-identity of kTiled/kSimd/kBlocked holds because (a) every per-pair
+/// expression is evaluated in the seed's association order with no FMA
+/// contraction, and (b) the per-accumulator additions happen in exactly the
+/// seed's j-order — at any vector width, which is what makes cross-ISA
+/// dispatch invisible to results.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "nbody/particle.hpp"
@@ -36,14 +56,37 @@ namespace g6::nbody {
 
 /// Inner-kernel selector for CpuDirectBackend. Runtime-selectable so the
 /// benches and conformance tests can pin any variant against the reference.
-enum class CpuKernel { kReference, kTiled, kSimd, kFast };
+enum class CpuKernel { kReference, kTiled, kSimd, kBlocked, kFast, kMixed };
+
+inline constexpr int kCpuKernelCount = 6;
 
 /// Kernel requested by the G6_CPU_KERNEL environment variable
-/// (reference|tiled|simd|fast); kSimd when unset or unrecognised.
+/// (reference|tiled|simd|blocked|fast|mixed); kSimd when unset. An
+/// unrecognised value logs a one-shot warning naming the accepted values and
+/// falls back to kSimd.
 CpuKernel cpu_kernel_from_env();
 
-/// Display name ("reference", "tiled", "simd", "fast").
+/// Parse one kernel name; returns false (and leaves \p out untouched) when
+/// the name is not recognised. The pure core of cpu_kernel_from_env().
+bool cpu_kernel_from_name(const char* name, CpuKernel* out);
+
+/// Display name ("reference", "tiled", "simd", "blocked", "fast", "mixed").
 const char* cpu_kernel_name(CpuKernel k);
+
+/// Documented error contracts of the approximate kernels: max |da|/|a| vs
+/// kReference over any i-particle, enforced by tests/test_force_kernels.cpp
+/// and bench/check_perf_floor.py across clustered/Plummer/disk systems.
+///
+/// kFast: rsqrt14 + two double Newton steps leaves ~1-ulp error per pair;
+/// the vector-lane accumulators reassociate the sum. Bound dominated by
+/// cancellation amplification, measured <= ~1e-13 in practice.
+inline constexpr double kFastMaxRelErr = 1e-12;
+/// kMixed: float pair arithmetic (~2^-22 after one Newton step) plus int32
+/// position quantisation (grid lsb = 2^ceil(log2(max|coord|)) / 2^30, so the
+/// relative position error is <= ~2^-30 of the system span; it only matters
+/// for very close pairs) plus short-chunk float accumulation (<= 32 same-sign
+/// adds before widening to double). Measured <= ~3e-6; bound with headroom:
+inline constexpr double kMixedMaxRelErr = 2e-5;
 
 /// The SoA predicted j-particle store.
 struct SoAPredicted {
@@ -51,20 +94,55 @@ struct SoAPredicted {
   std::vector<double> vx, vy, vz;  ///< predicted velocities
   std::vector<double> m;           ///< masses
 
+  // Reduced-precision mirror for kMixed, rebuilt lazily from the arrays
+  // above (ensure_mixed): int32 fixed-point positions on a power-of-two grid
+  // (mirroring GRAPE-6's j-memory format — position *differences* are exact)
+  // plus float32 velocities and masses. `mutable` because building the
+  // mirror is a cache fill, not a logical mutation.
+  mutable std::vector<std::int32_t> qx, qy, qz;  ///< positions / mixed_lsb
+  mutable std::vector<float> fvx, fvy, fvz;      ///< float32 velocities
+  mutable std::vector<float> fm3;  ///< mass / mixed_lsb^3 (exact: lsb = 2^k)
+  mutable double mixed_lsb = 0.0;  ///< grid spacing of qx/qy/qz (power of 2)
+  mutable bool mixed_valid = false;
+
+  /// Build (or reuse) the reduced-precision mirror. Called by the kMixed
+  /// kernel itself and, once per force sweep, by CpuDirectBackend so the
+  /// parallel per-i loop never races on the fill.
+  void ensure_mixed() const;
+
   void resize(std::size_t n) {
     x.resize(n); y.resize(n); z.resize(n);
     vx.resize(n); vy.resize(n); vz.resize(n);
     m.resize(n);
+    mixed_valid = false;
   }
   std::size_t size() const { return m.size(); }
 };
 
 /// Index value meaning "no self-particle in the j-range".
 inline constexpr std::size_t kNoSelf = static_cast<std::size_t>(-1);
+/// 32-bit spelling of kNoSelf for the blocked kernel's self-index array.
+inline constexpr std::uint32_t kNoSelf32 = static_cast<std::uint32_t>(-1);
+
+/// The seed's scalar loop over j in [b, e) — the bit-exactness oracle. One
+/// shared compiled copy (force_kernels.cpp): the per-ISA kernel TUs call it
+/// for self-tiles and tails, so "the oracle" is literally one function.
+void reference_force_range(const SoAPredicted& js, std::size_t b, std::size_t e,
+                           const Vec3& xi, const Vec3& vi, std::size_t self,
+                           double eps2, Force& f);
 
 /// Force of all j-particles in \p js (except index \p self) on the i-particle
-/// at (xi, vi), accumulated into \p out exactly like the seed loop.
+/// at (xi, vi), accumulated into \p out exactly like the seed loop. Routes
+/// through the active ISA dispatch table (simd_dispatch.hpp).
 void force_on_i(CpuKernel kernel, const SoAPredicted& js, const Vec3& xi,
                 const Vec3& vi, std::size_t self, double eps2, Force& out);
+
+/// Force on a block of \p ni i-particles (positions \p xis, velocities
+/// \p vis, self-indices \p selves — kNoSelf32 for none), accumulated into
+/// \p out[0..ni). For kBlocked this is the real entry point (the i×j tiling
+/// needs the whole i-block); every other kernel just loops force_on_i.
+void force_on_block(CpuKernel kernel, const SoAPredicted& js, const Vec3* xis,
+                    const Vec3* vis, const std::uint32_t* selves, std::size_t ni,
+                    double eps2, Force* out);
 
 }  // namespace g6::nbody

@@ -1,0 +1,5 @@
+/// AVX2+FMA rung of the dispatch ladder: 4 double / 8 float lanes.
+/// Compiled with -mavx2 -mfma on top of baseline x86-64 — see CMakeLists.txt.
+#define G6_KERNEL_IMPL_NS kernels_avx2
+#define G6_KERNEL_LEVEL ::g6::nbody::SimdLevel::kAvx2
+#include "nbody/kernels_impl.hpp"

@@ -1,0 +1,6 @@
+/// AVX-512 rung of the dispatch ladder: 8 double / 16 float lanes, FMA, and
+/// vrsqrt14 (which makes kFast a real rsqrt kernel at this level only).
+/// Compiled with -mavx512f/dq/vl -mfma on top of baseline x86-64.
+#define G6_KERNEL_IMPL_NS kernels_avx512
+#define G6_KERNEL_LEVEL ::g6::nbody::SimdLevel::kAvx512
+#include "nbody/kernels_impl.hpp"

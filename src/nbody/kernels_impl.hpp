@@ -1,0 +1,666 @@
+/// \file kernels_impl.hpp
+/// \brief The force-kernel bodies, instantiated once per ISA level.
+///
+/// NOT a normal header: no include guard on purpose. Each per-ISA
+/// translation unit (kernels_scalar.cpp, kernels_sse2.cpp, kernels_avx2.cpp,
+/// kernels_avx512.cpp) defines
+///
+///   G6_KERNEL_IMPL_NS  — the namespace the instantiation lives in
+///   G6_KERNEL_LEVEL    — the SimdLevel enumerator it implements
+///   (G6_SIMD_FORCE_SCALAR, scalar TU only, before any include)
+///
+/// and includes this file exactly once; CMake compiles each TU with that
+/// level's ISA flags (see src/nbody/CMakeLists.txt), so the same source
+/// yields scalar, SSE2, AVX2+FMA and AVX-512 kernels in one binary. The
+/// kernel bodies sit in an anonymous namespace (the dispatch table escapes
+/// only function pointers), so nothing here can collide across TUs or be
+/// substituted by the linker with a copy compiled for the wrong ISA.
+///
+/// Everything routed through util/simd.hpp inherits the including TU's
+/// vector width; scalar self-tiles and tails call the single shared
+/// reference_force_range() oracle in force_kernels.cpp.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "nbody/force_kernels.hpp"
+#include "nbody/simd_dispatch.hpp"
+#include "util/simd.hpp"
+
+#if !defined(G6_KERNEL_IMPL_NS) || !defined(G6_KERNEL_LEVEL)
+#error "kernels_impl.hpp must be included by a per-ISA kernel TU"
+#endif
+
+namespace g6::nbody::G6_KERNEL_IMPL_NS {
+namespace {
+
+namespace s = g6::util::simd;
+
+/// The seven running sums of one i-particle, held in scalar locals so the
+/// optimizer keeps them in registers: accumulating straight into a Force&
+/// would alias (in the compiler's view) the js arrays and force a
+/// load-add-store round trip per term. The add sequence is unchanged, so
+/// values stay bit-identical to accumulating in the struct.
+struct Sums {
+  double ax, ay, az, jx, jy, jz, po;
+
+  explicit Sums(const Force& f)
+      : ax(f.acc.x), ay(f.acc.y), az(f.acc.z),
+        jx(f.jerk.x), jy(f.jerk.y), jz(f.jerk.z), po(f.pot) {}
+
+  void flush(Force& f) const {
+    f.acc = {ax, ay, az};
+    f.jerk = {jx, jy, jz};
+    f.pot = po;
+  }
+};
+
+/// Plain-C tiled kernel: the contribution loop below carries no loop-carried
+/// dependence and auto-vectorizes at this TU's -march (inspect with
+/// -fopt-info-vec); the ordered accumulation loop replays the seed's
+/// summation order.
+void force_tiled(const SoAPredicted& js, const Vec3& xi, const Vec3& vi,
+                 std::size_t self, double eps2, Force& f) {
+  constexpr std::size_t kTile = 64;
+  const std::size_t n = js.size();
+  double ax[kTile], ay[kTile], az[kTile];
+  double jx[kTile], jy[kTile], jz[kTile], po[kTile];
+  Sums acc(f);
+  for (std::size_t b = 0; b < n; b += kTile) {
+    const std::size_t len = std::min(kTile, n - b);
+    if (self - b < len) {  // tile holds the self-particle: scalar path
+      acc.flush(f);
+      reference_force_range(js, b, b + len, xi, vi, self, eps2, f);
+      acc = Sums(f);
+      continue;
+    }
+    for (std::size_t k = 0; k < len; ++k) {
+      const std::size_t j = b + k;
+      const double drx = js.x[j] - xi.x;
+      const double dry = js.y[j] - xi.y;
+      const double drz = js.z[j] - xi.z;
+      const double dvx = js.vx[j] - vi.x;
+      const double dvy = js.vy[j] - vi.y;
+      const double dvz = js.vz[j] - vi.z;
+      const double r2 = ((drx * drx + dry * dry) + drz * drz) + eps2;
+      const double rinv = 1.0 / std::sqrt(r2);
+      const double rinv2 = rinv * rinv;
+      const double mr = js.m[j] * rinv;
+      const double mr3 = mr * rinv2;
+      const double rv = (drx * dvx + dry * dvy) + drz * dvz;
+      const double c = 3.0 * (rv * rinv2);
+      ax[k] = mr3 * drx;
+      ay[k] = mr3 * dry;
+      az[k] = mr3 * drz;
+      jx[k] = mr3 * (dvx - c * drx);
+      jy[k] = mr3 * (dvy - c * dry);
+      jz[k] = mr3 * (dvz - c * drz);
+      po[k] = mr;
+    }
+    for (std::size_t k = 0; k < len; ++k) {
+      acc.ax += ax[k];
+      acc.ay += ay[k];
+      acc.az += az[k];
+      acc.jx += jx[k];
+      acc.jy += jy[k];
+      acc.jz += jz[k];
+      acc.po -= po[k];
+    }
+  }
+  acc.flush(f);
+}
+
+/// One W-wide block of the explicit kernel: the seven contribution vectors of
+/// j-particles [j0, j0+W), computed in vector registers in the seed's
+/// expression order and staged column-wise into \p b.
+template <std::size_t W>
+inline void simd_fill_block(const double* gx, const double* gy, const double* gz,
+                            const double* gvx, const double* gvy, const double* gvz,
+                            const double* gm, std::size_t j0,
+                            const s::VecD xiv, const s::VecD yiv,
+                            const s::VecD ziv, const s::VecD vxiv,
+                            const s::VecD vyiv, const s::VecD vziv,
+                            const s::VecD eps2v, const s::VecD one,
+                            const s::VecD three, double (*b)[W]) {
+  const s::VecD drx = s::load(gx + j0) - xiv;
+  const s::VecD dry = s::load(gy + j0) - yiv;
+  const s::VecD drz = s::load(gz + j0) - ziv;
+  const s::VecD dvx = s::load(gvx + j0) - vxiv;
+  const s::VecD dvy = s::load(gvy + j0) - vyiv;
+  const s::VecD dvz = s::load(gvz + j0) - vziv;
+  const s::VecD mj = s::load(gm + j0);
+  const s::VecD r2 = ((drx * drx + dry * dry) + drz * drz) + eps2v;
+  const s::VecD rinv = one / s::vsqrt(r2);
+  const s::VecD rinv2 = rinv * rinv;
+  const s::VecD mr = mj * rinv;
+  const s::VecD mr3 = mr * rinv2;
+  const s::VecD rv = (drx * dvx + dry * dvy) + drz * dvz;
+  const s::VecD c = three * (rv * rinv2);
+  s::store(b[0], mr3 * drx);
+  s::store(b[1], mr3 * dry);
+  s::store(b[2], mr3 * drz);
+  s::store(b[3], mr3 * (dvx - c * drx));
+  s::store(b[4], mr3 * (dvy - c * dry));
+  s::store(b[5], mr3 * (dvz - c * drz));
+  s::store(b[6], mr);
+}
+
+/// Explicit G6_SIMD kernel over j in [jb, je): per W-wide j-block the
+/// contributions are computed in vector registers (the divider works on a
+/// whole block at once), staged through a double-buffered stack staging
+/// area, and accumulated in strict j-order one block behind the vector fill.
+/// The one-block lag lets the out-of-order core run block b+1's sqrt/div
+/// under block b's serial ordered-summation chain, which is the kernel's
+/// other latency floor. Bit-identity is independent of [jb, je): per-i
+/// contributions always land in ascending-j order, so the blocked kernel can
+/// replay this over any partition of [0, n).
+void simd_range(const SoAPredicted& js, std::size_t jb, std::size_t je,
+                const Vec3& xi, const Vec3& vi, std::size_t self, double eps2,
+                Force& f) {
+  constexpr std::size_t W = s::kWidth;
+  const double* const gx = js.x.data();
+  const double* const gy = js.y.data();
+  const double* const gz = js.z.data();
+  const double* const gvx = js.vx.data();
+  const double* const gvy = js.vy.data();
+  const double* const gvz = js.vz.data();
+  const double* const gm = js.m.data();
+  const s::VecD xiv = s::broadcast(xi.x), yiv = s::broadcast(xi.y),
+                ziv = s::broadcast(xi.z);
+  const s::VecD vxiv = s::broadcast(vi.x), vyiv = s::broadcast(vi.y),
+                vziv = s::broadcast(vi.z);
+  const s::VecD eps2v = s::broadcast(eps2);
+  const s::VecD one = s::broadcast(1.0);
+  const s::VecD three = s::broadcast(3.0);
+  alignas(64) double buf[2][7][W];
+  Sums acc(f);
+  int cur = 0;
+  bool pending = false;  // buf[cur ^ 1] holds a filled, not-yet-summed block
+  std::size_t j0 = jb;
+  auto drain = [&] {
+    if (!pending) return;
+    double(*b)[W] = buf[cur ^ 1];
+    for (std::size_t k = 0; k < W; ++k) {
+      acc.ax += b[0][k];
+      acc.ay += b[1][k];
+      acc.az += b[2][k];
+      acc.jx += b[3][k];
+      acc.jy += b[4][k];
+      acc.jz += b[5][k];
+      acc.po -= b[6][k];
+    }
+    pending = false;
+  };
+  for (; j0 + W <= je; j0 += W) {
+    if (self - j0 < W) {  // block holds the self-particle: scalar path
+      drain();
+      acc.flush(f);
+      reference_force_range(js, j0, j0 + W, xi, vi, self, eps2, f);
+      acc = Sums(f);
+      continue;
+    }
+    simd_fill_block<W>(gx, gy, gz, gvx, gvy, gvz, gm, j0, xiv, yiv, ziv, vxiv,
+                       vyiv, vziv, eps2v, one, three, buf[cur]);
+#if defined(__GNUC__)
+    // Keep the staging stores real. Without this barrier GCC forwards the
+    // vector stores straight into the ordered-sum loads via ~50 cross-lane
+    // shuffles per block, which serialize on the shuffle port and run ~3x
+    // slower than store-forwarding through the stack buffer.
+    asm volatile("" : "+m"(buf));
+#endif
+    drain();  // sum the previous block while this block's vectors retire
+    pending = true;
+    cur ^= 1;  // the just-filled block is now buf[cur ^ 1]
+  }
+  drain();
+  acc.flush(f);
+  reference_force_range(js, j0, je, xi, vi, self, eps2, f);
+}
+
+void force_simd(const SoAPredicted& js, const Vec3& xi, const Vec3& vi,
+                std::size_t self, double eps2, Force& f) {
+  simd_range(js, 0, js.size(), xi, vi, self, eps2, f);
+}
+
+/// i×j cache-blocked kernel: the j-store is walked in L1-sized column blocks
+/// (outer), each served to a whole i-block (inner), so every j-column is
+/// streamed from memory once per i_block i-particles instead of once per
+/// i-particle. Each i keeps its own accumulator and still sees its j-terms
+/// in ascending order, so the result is bit-identical to force_simd — only
+/// the traversal order of the (i, j-block) plane changes.
+void force_blocked(const SoAPredicted& js, const Vec3* xis, const Vec3* vis,
+                   const std::uint32_t* selves, std::size_t ni, double eps2,
+                   const BlockGeometry& geom, Force* out) {
+  const std::size_t n = js.size();
+  const std::size_t ib = std::max<std::size_t>(geom.i_block, 1);
+  const std::size_t jb = std::max<std::size_t>(geom.j_block, s::kWidth);
+  for (std::size_t i0 = 0; i0 < ni; i0 += ib) {
+    const std::size_t in = std::min(ib, ni - i0);
+    for (std::size_t b = 0; b < n; b += jb) {
+      const std::size_t e = std::min(n, b + jb);
+      for (std::size_t k = i0; k < i0 + in; ++k) {
+        const std::size_t self =
+            selves[k] == kNoSelf32 ? kNoSelf : static_cast<std::size_t>(selves[k]);
+        simd_range(js, b, e, xis[k], vis[k], self, eps2, out[k]);
+      }
+    }
+  }
+}
+
+/// Opt-in approximate kernel: double reciprocal-sqrt estimate + two Newton
+/// steps, FMA everywhere, vector-lane accumulators (no ordering constraint).
+/// Real only where the hardware has a double rsqrt (AVX-512); elsewhere it
+/// degrades to the exact kernel.
+void force_fast(const SoAPredicted& js, const Vec3& xi, const Vec3& vi,
+                std::size_t self, double eps2, Force& f) {
+  if constexpr (!s::kHasFastRsqrt) {
+    force_simd(js, xi, vi, self, eps2, f);
+    return;
+  } else {
+    constexpr std::size_t W = s::kWidth;
+    const std::size_t n = js.size();
+    const s::VecD xiv = s::broadcast(xi.x), yiv = s::broadcast(xi.y),
+                  ziv = s::broadcast(xi.z);
+    const s::VecD vxiv = s::broadcast(vi.x), vyiv = s::broadcast(vi.y),
+                  vziv = s::broadcast(vi.z);
+    const s::VecD eps2v = s::broadcast(eps2);
+    const s::VecD half = s::broadcast(0.5);
+    const s::VecD c15 = s::broadcast(1.5);
+    const s::VecD three = s::broadcast(3.0);
+    s::VecD accx = s::broadcast(0.0), accy = accx, accz = accx;
+    s::VecD jkx = accx, jky = accx, jkz = accx, pot = accx;
+    std::size_t j0 = 0;
+    for (; j0 + W <= n; j0 += W) {
+      if (self - j0 < W) {
+        reference_force_range(js, j0, j0 + W, xi, vi, self, eps2, f);
+        continue;
+      }
+      const s::VecD drx = s::load(js.x.data() + j0) - xiv;
+      const s::VecD dry = s::load(js.y.data() + j0) - yiv;
+      const s::VecD drz = s::load(js.z.data() + j0) - ziv;
+      const s::VecD dvx = s::load(js.vx.data() + j0) - vxiv;
+      const s::VecD dvy = s::load(js.vy.data() + j0) - vyiv;
+      const s::VecD dvz = s::load(js.vz.data() + j0) - vziv;
+      const s::VecD mj = s::load(js.m.data() + j0);
+      const s::VecD r2 = s::fmadd(drz, drz, s::fmadd(dry, dry, s::fmadd(drx, drx, eps2v)));
+      s::VecD y = s::rsqrt_approx(r2);
+      const s::VecD h = half * r2;
+      y = y * s::fnmadd(h * y, y, c15);  // Newton: y (1.5 - r2/2 y^2)
+      y = y * s::fnmadd(h * y, y, c15);
+      const s::VecD rinv2 = y * y;
+      const s::VecD mr = mj * y;
+      const s::VecD mr3 = mr * rinv2;
+      const s::VecD rv = s::fmadd(drz, dvz, s::fmadd(dry, dvy, drx * dvx));
+      const s::VecD c = three * (rv * rinv2);
+      accx = s::fmadd(mr3, drx, accx);
+      accy = s::fmadd(mr3, dry, accy);
+      accz = s::fmadd(mr3, drz, accz);
+      jkx = s::fmadd(mr3, s::fnmadd(c, drx, dvx), jkx);
+      jky = s::fmadd(mr3, s::fnmadd(c, dry, dvy), jky);
+      jkz = s::fmadd(mr3, s::fnmadd(c, drz, dvz), jkz);
+      pot = pot - mr;
+    }
+    reference_force_range(js, j0, n, xi, vi, self, eps2, f);
+    f.acc.x += s::reduce_add(accx);
+    f.acc.y += s::reduce_add(accy);
+    f.acc.z += s::reduce_add(accz);
+    f.jerk.x += s::reduce_add(jkx);
+    f.jerk.y += s::reduce_add(jky);
+    f.jerk.z += s::reduce_add(jkz);
+    f.pot += s::reduce_add(pot);
+  }
+}
+
+/// Number of float j-blocks accumulated in float32 before the running sums
+/// are widened into the per-lane double accumulators. Bounds the same-sign
+/// float summation chain (error <= kMixedChunk adds of float epsilon each,
+/// folded into the kMixedMaxRelErr contract) while keeping the widening cost
+/// off the per-pair critical path (~1/kMixedChunk of it per j-block).
+inline constexpr int kMixedChunk = 32;
+
+/// Fixed-order pairwise (log-depth) sum of N doubles. Deterministic — the
+/// tree shape depends only on N — but unlike a left fold the partial sums
+/// are independent, so the adds pipeline instead of serialising on the
+/// 4-cycle FP-add latency (N serial adds per accumulator per i-particle was
+/// a measurable share of kMixed's per-i cost at small n).
+template <std::size_t N>
+inline double pairwise_sum(const double* v) {
+  if constexpr (N == 1) {
+    return v[0];
+  } else {
+    return pairwise_sum<N / 2>(v) + pairwise_sum<N - N / 2>(v + N / 2);
+  }
+}
+
+/// GRAPE-6-mirror mixed-precision kernel. The j-store's reduced-precision
+/// image (SoAPredicted::ensure_mixed) holds positions as int32 multiples of
+/// a power-of-two lsb — like the hardware's fixed-point j-memory — so the
+/// position *difference* below is exact integer arithmetic and converting it
+/// to float32 keeps full relative precision for close pairs (where a plain
+/// float32 absolute position would have cancelled catastrophically). The
+/// pair arithmetic is float32 with a hardware rsqrt estimate + one Newton
+/// step (the hardware's shortened arithmetic), and the accumulation is
+/// float64 fixed-order (the hardware's wide accumulators), reached via short
+/// float32 chunks. Self-blocks and tails use the exact scalar oracle.
+void force_mixed(const SoAPredicted& js, const Vec3& xi, const Vec3& vi,
+                 std::size_t self, double eps2, Force& f) {
+  constexpr std::size_t W = s::kWidthF;
+  const std::size_t n = js.size();
+  js.ensure_mixed();
+  const double inv = 1.0 / js.mixed_lsb;
+  // Quantise the i-particle onto the j-grid. An i far outside the j-cloud
+  // (|coord| beyond twice the span) would overflow the int32 grid; fall back
+  // to the exact kernel for that (pathological) i instead of wrapping. An
+  // unsoftened potential would likewise break the self-lane trick below
+  // (r2 = 0 makes the rsqrt estimate infinite).
+  const double sx = xi.x * inv, sy = xi.y * inv, sz = xi.z * inv;
+  constexpr double kQMax = 2147483000.0;
+  if (!(std::fabs(sx) < kQMax && std::fabs(sy) < kQMax && std::fabs(sz) < kQMax) ||
+      !(eps2 > 0.0)) {
+    force_simd(js, xi, vi, self, eps2, f);
+    return;
+  }
+  const s::VecI qxi = s::broadcasti(static_cast<std::int32_t>(std::lrint(sx)));
+  const s::VecI qyi = s::broadcasti(static_cast<std::int32_t>(std::lrint(sy)));
+  const s::VecI qzi = s::broadcasti(static_cast<std::int32_t>(std::lrint(sz)));
+  // The i-side quantisation rounds xi to the grid; account for it exactly by
+  // using the rounded i-position nowhere else (dr comes only from the grid).
+  //
+  // The whole pair computation runs in grid units — dr stays the raw int32
+  // difference converted to float, never rescaled by the lsb. With the
+  // masses pre-divided by lsb^3 (ensure_mixed) the per-pair terms come out
+  // as acc/lsb, jerk exactly, and pot/lsb^2; the two rescalings are applied
+  // once per i-particle to the final double sums, and because the lsb is a
+  // power of two they are exact. Saves three vector multiplies per j-block.
+  const s::VecF vxiv = s::broadcastf(static_cast<float>(vi.x));
+  const s::VecF vyiv = s::broadcastf(static_cast<float>(vi.y));
+  const s::VecF vziv = s::broadcastf(static_cast<float>(vi.z));
+  const s::VecF eps2v = s::broadcastf(static_cast<float>(eps2 * inv * inv));
+  const s::VecF half = s::broadcastf(0.5f);
+  const s::VecF c15 = s::broadcastf(1.5f);
+  const s::VecF three = s::broadcastf(3.0f);
+  const std::int32_t* const gqx = js.qx.data();
+  const std::int32_t* const gqy = js.qy.data();
+  const std::int32_t* const gqz = js.qz.data();
+  const float* const gvx = js.fvx.data();
+  const float* const gvy = js.fvy.data();
+  const float* const gvz = js.fvz.data();
+  const float* const gm = js.fm3.data();
+  // Seven float32 running sums, widened into per-lane double accumulators
+  // every kMixedChunk j-blocks (fixed order: chunk by chunk, lane by lane).
+  // The float sums live in chunk-local named variables — an array indexed
+  // from a widening helper keeps them pinned in memory (each j-block then
+  // pays a load+fma+store round trip per accumulator, measured ~1.5x slower).
+  // The vector loop runs over the WHOLE vectorised region with no self test:
+  // the i-particle quantises onto the same grid cell as its own j-image
+  // (identical lrint) and its float velocity converts identically, so the
+  // self lane's dr and dv are exactly zero and it contributes exactly zero
+  // acc and jerk. The one spurious term — its softened pot, fm3*y(eps2g) —
+  // is recomputed lane-identically below and subtracted. This removes both
+  // the per-block branch and a ~50x-costlier scalar detour block per i.
+  // (Callers pass the particle's own predicted state as (xi, vi) whenever
+  // self is a real index, which is what makes the zero-lane argument hold.)
+  double dacc[7][W] = {};
+  std::size_t j0 = 0;
+  const std::size_t nw = n - n % W;  // vectorised region; tail is scalar
+  while (j0 < nw) {
+    const std::size_t chunk_end = std::min(nw, j0 + kMixedChunk * W);
+    s::VecF a0{}, a1{}, a2{}, a3{}, a4{}, a5{}, a6{};
+    for (; j0 < chunk_end; j0 += W) {
+      const s::VecF drx = s::to_float(s::loadi(gqx + j0) - qxi);
+      const s::VecF dry = s::to_float(s::loadi(gqy + j0) - qyi);
+      const s::VecF drz = s::to_float(s::loadi(gqz + j0) - qzi);
+      const s::VecF dvx = s::loadf(gvx + j0) - vxiv;
+      const s::VecF dvy = s::loadf(gvy + j0) - vyiv;
+      const s::VecF dvz = s::loadf(gvz + j0) - vziv;
+      const s::VecF mj = s::loadf(gm + j0);
+      const s::VecF r2 = s::fmaddf(drz, drz, s::fmaddf(dry, dry, s::fmaddf(drx, drx, eps2v)));
+      s::VecF y = s::rsqrt_approx_f(r2);
+      const s::VecF h = half * r2;
+      y = y * s::fnmaddf(h * y, y, c15);  // one Newton step saturates float32
+      const s::VecF rinv2 = y * y;
+      const s::VecF mr = mj * y;
+      const s::VecF mr3 = mr * rinv2;
+      const s::VecF rv = s::fmaddf(drz, dvz, s::fmaddf(dry, dvy, drx * dvx));
+      const s::VecF c = three * (rv * rinv2);
+      a0 = s::fmaddf(mr3, drx, a0);
+      a1 = s::fmaddf(mr3, dry, a1);
+      a2 = s::fmaddf(mr3, drz, a2);
+      a3 = s::fmaddf(mr3, s::fnmaddf(c, drx, dvx), a3);
+      a4 = s::fmaddf(mr3, s::fnmaddf(c, dry, dvy), a4);
+      a5 = s::fmaddf(mr3, s::fnmaddf(c, drz, dvz), a5);
+      a6 = a6 + mr;  // potential accumulates positive, negated below
+    }
+    alignas(64) float tmp[7][W];
+    s::storef(tmp[0], a0);
+    s::storef(tmp[1], a1);
+    s::storef(tmp[2], a2);
+    s::storef(tmp[3], a3);
+    s::storef(tmp[4], a4);
+    s::storef(tmp[5], a5);
+    s::storef(tmp[6], a6);
+    for (int cmp = 0; cmp < 7; ++cmp)
+      for (std::size_t k = 0; k < W; ++k)
+        dacc[cmp][k] += static_cast<double>(tmp[cmp][k]);
+  }
+  reference_force_range(js, j0, n, xi, vi, self, eps2, f);
+  // Final fixed-order lane reduction (pairwise) of the double accumulators,
+  // then the exact power-of-two undo of the grid units: the sums carry
+  // acc/lsb, jerk as-is, and pot/lsb^2.
+  const double lsb = js.mixed_lsb;
+  double pot_g = pairwise_sum<W>(dacc[6]);
+  if (self < nw) {
+    // Remove the self lane's spurious softened-pot term, replaying the exact
+    // float sequence the vector lane ran on r2 = eps2g.
+    s::VecF y = s::rsqrt_approx_f(eps2v);
+    y = y * s::fnmaddf((half * eps2v) * y, y, c15);
+    alignas(64) float ylane[W];
+    s::storef(ylane, y);
+    pot_g -= static_cast<double>(js.fm3[self] * ylane[0]);
+  }
+  f.acc.x += pairwise_sum<W>(dacc[0]) * lsb;
+  f.acc.y += pairwise_sum<W>(dacc[1]) * lsb;
+  f.acc.z += pairwise_sum<W>(dacc[2]) * lsb;
+  f.jerk.x += pairwise_sum<W>(dacc[3]);
+  f.jerk.y += pairwise_sum<W>(dacc[4]);
+  f.jerk.z += pairwise_sum<W>(dacc[5]);
+  f.pot -= pot_g * (lsb * lsb);
+}
+
+/// Two-i-row variant of the kMixed inner loop: both i-particles consume each
+/// j-block's seven loads (positions, velocities, mass) once, so the loop does
+/// the same vector arithmetic per (i, j) pair but half the memory traffic —
+/// the j-stream is the only memory the loop touches, and it was the largest
+/// non-arithmetic cost left in the one-row kernel. Everything numerical is
+/// the one-row kernel run twice in lockstep: same chunking, same per-i
+/// accumulation order, so results are bit-identical to force_mixed per i.
+/// Returns false (without touching \p out) when either i-particle needs the
+/// out-of-grid / unsoftened fallback — the caller then runs the one-row
+/// kernel, which handles the fallback per i.
+bool force_mixed_pair(const SoAPredicted& js, const Vec3* xis, const Vec3* vis,
+                      const std::uint32_t* selves, double eps2, Force* out) {
+  constexpr std::size_t W = s::kWidthF;
+  const std::size_t n = js.size();
+  js.ensure_mixed();
+  const double inv = 1.0 / js.mixed_lsb;
+  constexpr double kQMax = 2147483000.0;
+  double sq[2][3];
+  for (int r = 0; r < 2; ++r) {
+    sq[r][0] = xis[r].x * inv;
+    sq[r][1] = xis[r].y * inv;
+    sq[r][2] = xis[r].z * inv;
+    if (!(std::fabs(sq[r][0]) < kQMax && std::fabs(sq[r][1]) < kQMax &&
+          std::fabs(sq[r][2]) < kQMax))
+      return false;
+  }
+  if (!(eps2 > 0.0)) return false;
+  const s::VecI qxi0 = s::broadcasti(static_cast<std::int32_t>(std::lrint(sq[0][0])));
+  const s::VecI qyi0 = s::broadcasti(static_cast<std::int32_t>(std::lrint(sq[0][1])));
+  const s::VecI qzi0 = s::broadcasti(static_cast<std::int32_t>(std::lrint(sq[0][2])));
+  const s::VecI qxi1 = s::broadcasti(static_cast<std::int32_t>(std::lrint(sq[1][0])));
+  const s::VecI qyi1 = s::broadcasti(static_cast<std::int32_t>(std::lrint(sq[1][1])));
+  const s::VecI qzi1 = s::broadcasti(static_cast<std::int32_t>(std::lrint(sq[1][2])));
+  const s::VecF vxi0 = s::broadcastf(static_cast<float>(vis[0].x));
+  const s::VecF vyi0 = s::broadcastf(static_cast<float>(vis[0].y));
+  const s::VecF vzi0 = s::broadcastf(static_cast<float>(vis[0].z));
+  const s::VecF vxi1 = s::broadcastf(static_cast<float>(vis[1].x));
+  const s::VecF vyi1 = s::broadcastf(static_cast<float>(vis[1].y));
+  const s::VecF vzi1 = s::broadcastf(static_cast<float>(vis[1].z));
+  const s::VecF eps2v = s::broadcastf(static_cast<float>(eps2 * inv * inv));
+  const s::VecF half = s::broadcastf(0.5f);
+  const s::VecF c15 = s::broadcastf(1.5f);
+  const s::VecF three = s::broadcastf(3.0f);
+  const std::int32_t* const gqx = js.qx.data();
+  const std::int32_t* const gqy = js.qy.data();
+  const std::int32_t* const gqz = js.qz.data();
+  const float* const gvx = js.fvx.data();
+  const float* const gvy = js.fvy.data();
+  const float* const gvz = js.fvz.data();
+  const float* const gm = js.fm3.data();
+  double dacc0[7][W] = {};
+  double dacc1[7][W] = {};
+  std::size_t j0 = 0;
+  const std::size_t nw = n - n % W;
+  while (j0 < nw) {
+    const std::size_t chunk_end = std::min(nw, j0 + kMixedChunk * W);
+    s::VecF a0{}, a1{}, a2{}, a3{}, a4{}, a5{}, a6{};
+    s::VecF b0{}, b1{}, b2{}, b3{}, b4{}, b5{}, b6{};
+    for (; j0 < chunk_end; j0 += W) {
+      const s::VecI jqx = s::loadi(gqx + j0);
+      const s::VecI jqy = s::loadi(gqy + j0);
+      const s::VecI jqz = s::loadi(gqz + j0);
+      const s::VecF jvx = s::loadf(gvx + j0);
+      const s::VecF jvy = s::loadf(gvy + j0);
+      const s::VecF jvz = s::loadf(gvz + j0);
+      const s::VecF mj = s::loadf(gm + j0);
+// One i-row of the pair body — textually the force_mixed inner block with the
+// j loads hoisted out. A macro (not a lambda) so the accumulators stay plain
+// named locals: capturing them by reference pins them to memory (see the
+// force_mixed comment), costing a load+fma+store round trip per j-block.
+#define G6_MIXED_ROW(QXI, QYI, QZI, VXI, VYI, VZI, A0, A1, A2, A3, A4, A5, A6) \
+  {                                                                            \
+    const s::VecF drx = s::to_float(jqx - QXI);                                \
+    const s::VecF dry = s::to_float(jqy - QYI);                                \
+    const s::VecF drz = s::to_float(jqz - QZI);                                \
+    const s::VecF dvx = jvx - VXI;                                             \
+    const s::VecF dvy = jvy - VYI;                                             \
+    const s::VecF dvz = jvz - VZI;                                             \
+    const s::VecF r2 =                                                         \
+        s::fmaddf(drz, drz, s::fmaddf(dry, dry, s::fmaddf(drx, drx, eps2v))); \
+    s::VecF y = s::rsqrt_approx_f(r2);                                         \
+    const s::VecF h = half * r2;                                               \
+    y = y * s::fnmaddf(h * y, y, c15);                                         \
+    const s::VecF rinv2 = y * y;                                               \
+    const s::VecF mr = mj * y;                                                 \
+    const s::VecF mr3 = mr * rinv2;                                            \
+    const s::VecF rv = s::fmaddf(drz, dvz, s::fmaddf(dry, dvy, drx * dvx));    \
+    const s::VecF c = three * (rv * rinv2);                                    \
+    A0 = s::fmaddf(mr3, drx, A0);                                              \
+    A1 = s::fmaddf(mr3, dry, A1);                                              \
+    A2 = s::fmaddf(mr3, drz, A2);                                              \
+    A3 = s::fmaddf(mr3, s::fnmaddf(c, drx, dvx), A3);                          \
+    A4 = s::fmaddf(mr3, s::fnmaddf(c, dry, dvy), A4);                          \
+    A5 = s::fmaddf(mr3, s::fnmaddf(c, drz, dvz), A5);                          \
+    A6 = A6 + mr;                                                              \
+  }
+      G6_MIXED_ROW(qxi0, qyi0, qzi0, vxi0, vyi0, vzi0, a0, a1, a2, a3, a4, a5, a6)
+      G6_MIXED_ROW(qxi1, qyi1, qzi1, vxi1, vyi1, vzi1, b0, b1, b2, b3, b4, b5, b6)
+#undef G6_MIXED_ROW
+    }
+    alignas(64) float tmp[14][W];
+    s::storef(tmp[0], a0);
+    s::storef(tmp[1], a1);
+    s::storef(tmp[2], a2);
+    s::storef(tmp[3], a3);
+    s::storef(tmp[4], a4);
+    s::storef(tmp[5], a5);
+    s::storef(tmp[6], a6);
+    s::storef(tmp[7], b0);
+    s::storef(tmp[8], b1);
+    s::storef(tmp[9], b2);
+    s::storef(tmp[10], b3);
+    s::storef(tmp[11], b4);
+    s::storef(tmp[12], b5);
+    s::storef(tmp[13], b6);
+    for (int cmp = 0; cmp < 7; ++cmp)
+      for (std::size_t k = 0; k < W; ++k) {
+        dacc0[cmp][k] += static_cast<double>(tmp[cmp][k]);
+        dacc1[cmp][k] += static_cast<double>(tmp[7 + cmp][k]);
+      }
+  }
+  const double lsb = js.mixed_lsb;
+  const double(*daccs[2])[W] = {dacc0, dacc1};
+  for (int r = 0; r < 2; ++r) {
+    const std::size_t self =
+        selves[r] == kNoSelf32 ? kNoSelf : static_cast<std::size_t>(selves[r]);
+    Force& f = out[r];
+    reference_force_range(js, j0, n, xis[r], vis[r], self, eps2, f);
+    const double(*dacc)[W] = daccs[r];
+    double pot_g = pairwise_sum<W>(dacc[6]);
+    if (self < nw) {
+      s::VecF y = s::rsqrt_approx_f(eps2v);
+      y = y * s::fnmaddf((half * eps2v) * y, y, c15);
+      alignas(64) float ylane[W];
+      s::storef(ylane, y);
+      pot_g -= static_cast<double>(js.fm3[self] * ylane[0]);
+    }
+    f.acc.x += pairwise_sum<W>(dacc[0]) * lsb;
+    f.acc.y += pairwise_sum<W>(dacc[1]) * lsb;
+    f.acc.z += pairwise_sum<W>(dacc[2]) * lsb;
+    f.jerk.x += pairwise_sum<W>(dacc[3]);
+    f.jerk.y += pairwise_sum<W>(dacc[4]);
+    f.jerk.z += pairwise_sum<W>(dacc[5]);
+    f.pot -= pot_g * (lsb * lsb);
+  }
+  return true;
+}
+
+/// kMixed over a block of i-particles: pairs of i-rows share the j-stream
+/// (force_mixed_pair); the odd tail and any row needing the exact fallback
+/// drop to the one-row kernel. This is the entry force_on_block routes
+/// CpuKernel::kMixed through — the backend's per-sweep i-blocks all take it.
+void force_mixed_block(const SoAPredicted& js, const Vec3* xis, const Vec3* vis,
+                       const std::uint32_t* selves, std::size_t ni, double eps2,
+                       const BlockGeometry& /*geom*/, Force* out) {
+  std::size_t k = 0;
+  for (; k + 1 < ni; k += 2) {
+    if (force_mixed_pair(js, xis + k, vis + k, selves + k, eps2, out + k))
+      continue;
+    for (int r = 0; r < 2; ++r) {
+      const std::size_t self = selves[k + r] == kNoSelf32
+                                   ? kNoSelf
+                                   : static_cast<std::size_t>(selves[k + r]);
+      force_mixed(js, xis[k + r], vis[k + r], self, eps2, out[k + r]);
+    }
+  }
+  for (; k < ni; ++k) {
+    const std::size_t self =
+        selves[k] == kNoSelf32 ? kNoSelf : static_cast<std::size_t>(selves[k]);
+    force_mixed(js, xis[k], vis[k], self, eps2, out[k]);
+  }
+}
+
+}  // namespace
+
+const KernelTable& table() {
+  static const KernelTable t = [] {
+    KernelTable kt;
+    kt.level = G6_KERNEL_LEVEL;
+    kt.name = simd_level_name(G6_KERNEL_LEVEL);
+    kt.width = s::kWidth;
+    kt.width_f = s::kWidthF;
+    kt.has_fast_rsqrt = s::kHasFastRsqrt;
+    kt.tiled = &force_tiled;
+    kt.simd = &force_simd;
+    kt.fast = &force_fast;
+    kt.mixed = &force_mixed;
+    kt.mixed_block = &force_mixed_block;
+    kt.blocked = &force_blocked;
+    return kt;
+  }();
+  return t;
+}
+
+}  // namespace g6::nbody::G6_KERNEL_IMPL_NS

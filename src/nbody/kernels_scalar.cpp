@@ -1,0 +1,7 @@
+/// Scalar rung of the dispatch ladder: the explicit vector kernels run one
+/// lane wide (G6_SIMD_FORCE_SCALAR must be seen before util/simd.hpp).
+/// Compiled for baseline x86-64 — see src/nbody/CMakeLists.txt.
+#define G6_SIMD_FORCE_SCALAR 1
+#define G6_KERNEL_IMPL_NS kernels_scalar
+#define G6_KERNEL_LEVEL ::g6::nbody::SimdLevel::kScalar
+#include "nbody/kernels_impl.hpp"

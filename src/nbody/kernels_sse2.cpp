@@ -1,0 +1,5 @@
+/// SSE2 rung of the dispatch ladder: 2 double / 4 float lanes, no FMA.
+/// Compiled for baseline x86-64 (which includes SSE2) — see CMakeLists.txt.
+#define G6_KERNEL_IMPL_NS kernels_sse2
+#define G6_KERNEL_LEVEL ::g6::nbody::SimdLevel::kSse2
+#include "nbody/kernels_impl.hpp"

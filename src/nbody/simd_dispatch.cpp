@@ -1,0 +1,190 @@
+#include "nbody/simd_dispatch.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace g6::nbody {
+
+// Each per-ISA translation unit (kernels_<isa>.cpp) exports exactly one
+// symbol: its dispatch table.
+namespace kernels_scalar { const KernelTable& table(); }
+namespace kernels_sse2 { const KernelTable& table(); }
+namespace kernels_avx2 { const KernelTable& table(); }
+namespace kernels_avx512 { const KernelTable& table(); }
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kSse2: return "sse2";
+    case SimdLevel::kAvx2: return "avx2";
+    case SimdLevel::kAvx512: return "avx512";
+  }
+  return "?";
+}
+
+bool simd_level_from_name(const char* name, SimdLevel* out) {
+  if (name == nullptr) return false;
+  for (int i = 0; i < kSimdLevelCount; ++i) {
+    const SimdLevel level = static_cast<SimdLevel>(i);
+    if (std::strcmp(name, simd_level_name(level)) == 0) {
+      *out = level;
+      return true;
+    }
+  }
+  return false;
+}
+
+SimdLevel detect_simd_level() {
+  static const SimdLevel level = [] {
+#if (defined(__x86_64__) || defined(__i386__)) && (defined(__GNUC__) || defined(__clang__))
+    __builtin_cpu_init();
+    // Each rung needs every feature its kernels may emit. AVX-512: the F
+    // foundation plus DQ/VL (GCC uses them freely at -mavx512dq -mavx512vl)
+    // and FMA. AVX2 implies AVX; FMA is checked separately (early AVX2-less
+    // FMA parts and vice versa exist).
+    if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512dq") &&
+        __builtin_cpu_supports("avx512vl") && __builtin_cpu_supports("fma"))
+      return SimdLevel::kAvx512;
+    if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+      return SimdLevel::kAvx2;
+    return SimdLevel::kSse2;  // part of the x86-64 baseline, always present
+#else
+    return SimdLevel::kScalar;
+#endif
+  }();
+  return level;
+}
+
+SimdLevel resolve_simd_level(const char* env_value, SimdLevel detected,
+                             std::string* warning) {
+  if (warning != nullptr) warning->clear();
+  if (env_value == nullptr) return detected;
+  SimdLevel requested;
+  if (!simd_level_from_name(env_value, &requested)) {
+    if (warning != nullptr)
+      *warning = std::string("unrecognised G6_SIMD_LEVEL '") + env_value +
+                 "' (accepted: scalar, sse2, avx2, avx512); using detected '" +
+                 simd_level_name(detected) + "'";
+    return detected;
+  }
+  if (static_cast<int>(requested) > static_cast<int>(detected)) {
+    if (warning != nullptr)
+      *warning = std::string("G6_SIMD_LEVEL=") + env_value +
+                 " is not supported by this CPU; clamping to detected '" +
+                 simd_level_name(detected) + "'";
+    return detected;
+  }
+  return requested;
+}
+
+SimdLevel active_simd_level() {
+  static const SimdLevel level = [] {
+    std::string warning;
+    const SimdLevel resolved =
+        resolve_simd_level(std::getenv("G6_SIMD_LEVEL"), detect_simd_level(), &warning);
+    if (!warning.empty()) G6_LOG_WARN(warning);
+    return resolved;
+  }();
+  return level;
+}
+
+CacheInfo probe_cache_info() {
+  CacheInfo info;
+#if defined(_SC_LEVEL1_DCACHE_SIZE)
+  const long l1 = ::sysconf(_SC_LEVEL1_DCACHE_SIZE);
+  if (l1 > 0) info.l1d_bytes = static_cast<std::size_t>(l1);
+#endif
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+  const long l2 = ::sysconf(_SC_LEVEL2_CACHE_SIZE);
+  if (l2 > 0) info.l2_bytes = static_cast<std::size_t>(l2);
+#endif
+  if (info.l1d_bytes == 0) info.l1d_bytes = 32 * 1024;
+  if (info.l2_bytes == 0) info.l2_bytes = 1024 * 1024;
+  return info;
+}
+
+BlockGeometry derive_block_geometry(const CacheInfo& cache) {
+  // 7 streamed double columns = 56 bytes per j. Half of L1d for the j-block
+  // keeps the block resident while the i-states and accumulators (~104 B
+  // per i, capped at a quarter of L1d) cycle over it.
+  constexpr std::size_t kBytesPerJ = 7 * sizeof(double);
+  constexpr std::size_t kBytesPerI = 104;
+  BlockGeometry geom;
+  geom.j_block = (cache.l1d_bytes / 2) / kBytesPerJ;
+  geom.j_block = (geom.j_block / 64) * 64;              // vector-friendly
+  geom.j_block = std::clamp<std::size_t>(geom.j_block, 64, 8192);
+  geom.i_block = (cache.l1d_bytes / 4) / kBytesPerI;
+  geom.i_block = (geom.i_block / 8) * 8;
+  geom.i_block = std::clamp<std::size_t>(geom.i_block, 8, 1024);
+  return geom;
+}
+
+namespace {
+
+/// One env override for the geometry: positive integer, else one-shot warn.
+std::size_t geometry_override(const char* var, std::size_t fallback) {
+  const char* env = std::getenv(var);
+  if (env == nullptr) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v <= 0) {
+    G6_LOG_WARN("ignoring invalid " << var << "='" << env
+                                    << "' (expected a positive integer)");
+    return fallback;
+  }
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+BlockGeometry active_block_geometry() {
+  static const BlockGeometry geom = [] {
+    BlockGeometry g = derive_block_geometry(probe_cache_info());
+    g.i_block = geometry_override("G6_BLOCK_I", g.i_block);
+    g.j_block = geometry_override("G6_BLOCK_J", g.j_block);
+    return g;
+  }();
+  return geom;
+}
+
+const KernelTable& kernel_table(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx512: return kernels_avx512::table();
+    case SimdLevel::kAvx2: return kernels_avx2::table();
+    case SimdLevel::kSse2: return kernels_sse2::table();
+    case SimdLevel::kScalar: return kernels_scalar::table();
+  }
+  return kernels_scalar::table();
+}
+
+const KernelTable& active_kernel_table() {
+  static const KernelTable& t = kernel_table(active_simd_level());
+  return t;
+}
+
+void publish_kernel_metrics(g6::obs::MetricsRegistry& reg) {
+  const KernelTable& t = active_kernel_table();
+  const BlockGeometry geom = active_block_geometry();
+  const CacheInfo cache = probe_cache_info();
+  reg.gauge("g6.kernel.simd_level").set(static_cast<double>(t.level));
+  for (int i = 0; i < kSimdLevelCount; ++i) {
+    const SimdLevel level = static_cast<SimdLevel>(i);
+    reg.gauge(std::string("g6.kernel.level.") + simd_level_name(level))
+        .set(level == t.level ? 1.0 : 0.0);
+  }
+  reg.gauge("g6.kernel.simd_width").set(static_cast<double>(t.width));
+  reg.gauge("g6.kernel.block_i").set(static_cast<double>(geom.i_block));
+  reg.gauge("g6.kernel.block_j").set(static_cast<double>(geom.j_block));
+  reg.gauge("g6.kernel.l1d_bytes").set(static_cast<double>(cache.l1d_bytes));
+  reg.gauge("g6.kernel.l2_bytes").set(static_cast<double>(cache.l2_bytes));
+}
+
+}  // namespace g6::nbody

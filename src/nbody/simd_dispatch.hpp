@@ -1,0 +1,143 @@
+#pragma once
+/// \file simd_dispatch.hpp
+/// \brief Runtime multi-ISA dispatch for the force-kernel stack.
+///
+/// One binary carries four instantiations of every vector kernel — scalar,
+/// SSE2, AVX2+FMA and AVX-512 — compiled in separate translation units with
+/// per-file ISA flags (src/nbody/kernels_<isa>.cpp, see CMakeLists.txt).
+/// At startup the CPU is probed once via CPUID and the highest supported
+/// level is selected; `G6_SIMD_LEVEL=scalar|sse2|avx2|avx512` overrides the
+/// choice (clamped, with a one-shot warning, to what the CPU supports) so
+/// tests and CI can exercise the whole fallback ladder on one machine.
+///
+/// The same probe derives the kBlocked kernel's i×j tile geometry from the
+/// host's L1d/L2 sizes (overridable with G6_BLOCK_I / G6_BLOCK_J), and
+/// publish_kernel_metrics() exposes the whole decision as `g6.kernel.*`
+/// gauges so `--monitor` shows what the hot path is actually running.
+///
+/// The exact kernels are bit-identical across every level (per-pair
+/// arithmetic is IEEE-identical at any width and accumulation replays the
+/// seed's j-order), so dispatch changes throughput only — enforced by the
+/// conformance tests run under each G6_SIMD_LEVEL in CI.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "nbody/force_kernels.hpp"
+
+namespace g6::obs {
+class MetricsRegistry;
+}
+
+namespace g6::nbody {
+
+/// The dispatch ladder, lowest to highest. Each level requires all the
+/// features of the levels below it.
+enum class SimdLevel : int {
+  kScalar = 0,  ///< no explicit vectors (x86-64 baseline codegen)
+  kSse2 = 1,    ///< 2 double lanes (x86-64 baseline ISA, explicit vectors)
+  kAvx2 = 2,    ///< 4 double lanes + FMA
+  kAvx512 = 3,  ///< 8 double lanes + FMA + vrsqrt14 (enables kFast)
+};
+
+inline constexpr int kSimdLevelCount = 4;
+
+/// Display name ("scalar", "sse2", "avx2", "avx512").
+const char* simd_level_name(SimdLevel level);
+
+/// Parse one level name; returns false (and leaves \p out untouched) when
+/// the name is not recognised.
+bool simd_level_from_name(const char* name, SimdLevel* out);
+
+/// Highest level this CPU supports, probed once via CPUID (cached).
+/// Non-x86 builds report kScalar.
+SimdLevel detect_simd_level();
+
+/// Resolve an environment override against the detected level. Pure —
+/// \p env_value is the raw G6_SIMD_LEVEL string (nullptr = unset). On an
+/// unrecognised name or a request above \p detected, falls back/clamps and
+/// explains why in \p warning (left empty otherwise). Exposed for tests.
+SimdLevel resolve_simd_level(const char* env_value, SimdLevel detected,
+                             std::string* warning);
+
+/// The level the process runs at: detect_simd_level() clamped against
+/// G6_SIMD_LEVEL. Resolved once on first use; a warning (unknown name /
+/// unsupported request) is logged exactly once.
+SimdLevel active_simd_level();
+
+/// Cache sizes used to derive the kBlocked tile geometry.
+struct CacheInfo {
+  std::size_t l1d_bytes = 0;
+  std::size_t l2_bytes = 0;
+};
+
+/// Per-core data-cache sizes via sysconf, with 32 KiB / 1 MiB fallbacks when
+/// the platform does not report them.
+CacheInfo probe_cache_info();
+
+/// i×j tile geometry of the kBlocked kernel.
+struct BlockGeometry {
+  std::size_t i_block = 0;  ///< i-particles per tile row
+  std::size_t j_block = 0;  ///< j-particles per tile column
+};
+
+/// Derive the tile geometry from cache sizes: the j-block (7 doubles = 56 B
+/// per j) fills half of L1d so the streamed j-columns stay resident across
+/// the i-block, and the i-block's working set (pos+vel+Force ~ 104 B per i)
+/// is capped at a quarter of L1d. Both are clamped to sane bounds and
+/// rounded to vector-friendly multiples.
+BlockGeometry derive_block_geometry(const CacheInfo& cache);
+
+/// The process-wide geometry: derive_block_geometry(probe_cache_info()) with
+/// G6_BLOCK_I / G6_BLOCK_J overrides applied (invalid values warn once and
+/// are ignored). Resolved once on first use.
+BlockGeometry active_block_geometry();
+
+/// One ISA level's kernel entry points. `level`/`width`/`width_f` describe
+/// what the TU was compiled as; `has_fast_rsqrt` tells whether kFast is a
+/// real rsqrt kernel at this level (AVX-512) or an alias of kSimd.
+struct KernelTable {
+  SimdLevel level = SimdLevel::kScalar;
+  const char* name = "scalar";
+  int width = 1;            ///< double lanes per vector op
+  int width_f = 2;          ///< float/int32 lanes per vector op
+  bool has_fast_rsqrt = false;
+
+  using ForceFn = void (*)(const SoAPredicted& js, const Vec3& xi,
+                           const Vec3& vi, std::size_t self, double eps2,
+                           Force& out);
+  using BlockFn = void (*)(const SoAPredicted& js, const Vec3* xis,
+                           const Vec3* vis, const std::uint32_t* selves,
+                           std::size_t ni, double eps2,
+                           const BlockGeometry& geom, Force* out);
+
+  ForceFn tiled = nullptr;
+  ForceFn simd = nullptr;
+  ForceFn fast = nullptr;
+  ForceFn mixed = nullptr;
+  BlockFn blocked = nullptr;
+  /// kMixed over an i-block: pairs of i-rows share each j-block's seven
+  /// loads (halving the loop's memory traffic); results are bit-identical
+  /// to `mixed` row by row. Ignores the geometry argument.
+  BlockFn mixed_block = nullptr;
+};
+
+/// The dispatch table compiled for \p level (every level is always linked
+/// in; running one above detect_simd_level() would fault on real silicon,
+/// which is why active_simd_level() clamps).
+const KernelTable& kernel_table(SimdLevel level);
+
+/// kernel_table(active_simd_level()) — what force_on_i routes through.
+const KernelTable& active_kernel_table();
+
+/// Publish the dispatch decision as gauges:
+///   g6.kernel.simd_level       numeric level (0 scalar .. 3 avx512)
+///   g6.kernel.level.<name>     one-hot per level (1 = active)
+///   g6.kernel.simd_width       double lanes of the active table
+///   g6.kernel.block_i/block_j  active kBlocked geometry
+///   g6.kernel.l1d_bytes/l2_bytes  probed cache sizes
+/// Idempotent; CpuDirectBackend calls it at construction.
+void publish_kernel_metrics(g6::obs::MetricsRegistry& reg);
+
+}  // namespace g6::nbody

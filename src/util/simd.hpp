@@ -2,26 +2,44 @@
 /// \file simd.hpp
 /// \brief Width-agnostic SIMD wrapper for the force kernels (G6_SIMD).
 ///
-/// The hot kernels operate on packs of `kWidth` doubles. The pack type is a
-/// GCC/Clang vector extension, so +,-,* compile to single vector instructions
-/// and the same kernel source serves AVX-512 (8 lanes), AVX (4), SSE2 (2) and
-/// plain scalar (1) builds — the width is fixed at compile time from the
-/// target architecture.
+/// The hot kernels operate on packs of `kWidth` doubles (and, for the
+/// mixed-precision kernel, `kWidthF = 2*kWidth` floats / int32 lanes). The
+/// pack types are GCC/Clang vector extensions, so +,-,* compile to single
+/// vector instructions and the same kernel source serves AVX-512 (8 double
+/// lanes), AVX2 (4), SSE2 (2) and plain scalar (1) — the width is fixed by
+/// the ISA flags of the *including translation unit*, not of the build:
+/// nbody/kernels_<isa>.cpp and grape6/chip_kernels_<isa>.cpp each include
+/// this header under their own per-file `-m` flags (see
+/// src/nbody/CMakeLists.txt) and the runtime dispatch table in
+/// nbody/simd_dispatch.hpp picks one set at startup.
 ///
-/// Two classes of helpers live here:
+/// Because several TUs of one binary instantiate this header at different
+/// widths, everything lives in an inline namespace keyed on the variant
+/// (w1/w2/w4/w8): same spelling at every width, distinct symbols per
+/// variant. A TU can force the scalar variant on x86 by defining
+/// G6_SIMD_FORCE_SCALAR before inclusion (the runtime fallback ladder's
+/// lowest rung; the ABI still uses SSE registers, the *kernels* are scalar).
 ///
-///  * IEEE-exact: load/store/broadcast/vsqrt/div. Lane k of the result is
-///    bit-identical to the corresponding scalar expression, which is what
-///    lets force_kernels.cpp replay the scalar reference kernel at vector
-///    width (the build disables FMA contraction, see the top-level
+/// Three classes of helpers live here:
+///
+///  * IEEE-exact (double): load/store/broadcast/vsqrt/div. Lane k of the
+///    result is bit-identical to the corresponding scalar expression, which
+///    is what lets the exact kernels replay the scalar reference kernel at
+///    vector width (the build disables FMA contraction, see the top-level
 ///    CMakeLists).
-///  * Approximate: rsqrt_approx / fmadd / fnmadd, used only by the opt-in
-///    "fast" kernel (docs/PERFORMANCE.md). kHasFastRsqrt tells the kernel
-///    whether a hardware reciprocal-sqrt estimate exists; without it the
-///    fast kernel falls back to the exact one.
+///  * Approximate (double): rsqrt_approx / fmadd / fnmadd, used only by the
+///    opt-in "fast" kernel (docs/PERFORMANCE.md). kHasFastRsqrt tells the
+///    kernel whether a hardware double-precision reciprocal-sqrt estimate
+///    exists; without it the fast kernel falls back to the exact one.
+///  * Reduced precision (float/int32): the "mixed" kernel's software mirror
+///    of the GRAPE-6 pipeline — int32 fixed-point position lanes, float
+///    pair arithmetic, hardware float rsqrt estimate. Available at every
+///    x86 level (rsqrtps is SSE1), so unlike the fast kernel the mixed
+///    kernel speeds up SSE2/AVX2 hosts too.
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 
 #if defined(__SSE2__) || defined(__x86_64__)
@@ -40,43 +58,78 @@
 #endif
 #endif
 
-namespace g6::util::simd {
+// One macro gates every vector branch: x86 vector hardware available AND the
+// TU did not opt into the forced-scalar variant.
+#if (defined(__SSE2__) || defined(__x86_64__)) && !defined(G6_SIMD_FORCE_SCALAR)
+#define G6_SIMD_X86 1
+#endif
 
-#if defined(__AVX512F__)
+// The inline-namespace variant tag. Distinct widths get distinct mangled
+// names, so the per-ISA kernel TUs can coexist in one binary.
+#if !defined(G6_SIMD_X86)
+#define G6_SIMD_VARIANT w1
+#elif defined(__AVX512F__)
+#define G6_SIMD_VARIANT w8
+#elif defined(__AVX__)
+#define G6_SIMD_VARIANT w4
+#else
+#define G6_SIMD_VARIANT w2
+#endif
+
+namespace g6::util::simd {
+inline namespace G6_SIMD_VARIANT {
+
+#if !defined(G6_SIMD_X86)
+inline constexpr int kWidth = 1;
+#elif defined(__AVX512F__)
 inline constexpr int kWidth = 8;
 #elif defined(__AVX__)
 inline constexpr int kWidth = 4;
-#elif defined(__SSE2__) || defined(__x86_64__)
-inline constexpr int kWidth = 2;
 #else
-inline constexpr int kWidth = 1;
+inline constexpr int kWidth = 2;
 #endif
 
-#if defined(__FMA__) && defined(__AVX512F__)
+/// Float/int32 lanes of the reduced-precision helpers: twice the double
+/// width (a full vector register of floats), or one in the scalar variant.
+#if defined(G6_SIMD_X86)
+inline constexpr int kWidthF = 2 * kWidth;
+#else
+inline constexpr int kWidthF = 1;
+#endif
+
+#if defined(G6_SIMD_X86) && defined(__AVX512F__) && defined(__FMA__)
 inline constexpr bool kHasFastRsqrt = true;
 #else
 inline constexpr bool kHasFastRsqrt = false;
 #endif
 
-#if defined(__SSE2__) || defined(__x86_64__)
+#if defined(G6_SIMD_X86)
 typedef double VecD __attribute__((vector_size(kWidth * sizeof(double))));
+typedef float VecF __attribute__((vector_size(kWidthF * sizeof(float))));
+typedef std::int32_t VecI __attribute__((vector_size(kWidthF * sizeof(std::int32_t))));
 #else
-using VecD = double;  // scalar fallback: a "vector" of one lane
+using VecD = double;        // scalar fallback: a "vector" of one lane
+using VecF = float;
+using VecI = std::int32_t;
 #endif
 
+// All helpers are `static`: each TU gets its own copy compiled with its own
+// ISA flags, so the linker can never substitute (say) an AVX-512-encoded
+// copy into the SSE2 fallback path of the dispatch ladder.
+
 /// Unaligned load of kWidth consecutive doubles.
-inline VecD load(const double* p) {
+static inline VecD load(const double* p) {
   VecD v;
   std::memcpy(&v, p, sizeof(VecD));
   return v;
 }
 
 /// Unaligned store of kWidth consecutive doubles.
-inline void store(double* p, VecD v) { std::memcpy(p, &v, sizeof(VecD)); }
+static inline void store(double* p, VecD v) { std::memcpy(p, &v, sizeof(VecD)); }
 
 /// All lanes = s.
-inline VecD broadcast(double s) {
-#if defined(__SSE2__) || defined(__x86_64__)
+static inline VecD broadcast(double s) {
+#if defined(G6_SIMD_X86)
   VecD v = {};
   v += s;  // vector + scalar broadcasts
   return v;
@@ -86,15 +139,15 @@ inline VecD broadcast(double s) {
 }
 
 /// Per-lane IEEE-correctly-rounded sqrt (bit-identical to std::sqrt per lane).
-inline VecD vsqrt(VecD v) {
-#if defined(__AVX512F__)
+static inline VecD vsqrt(VecD v) {
+#if !defined(G6_SIMD_X86)
+  return std::sqrt(v);
+#elif defined(__AVX512F__)
   return (VecD)_mm512_sqrt_pd((__m512d)v);
 #elif defined(__AVX__)
   return (VecD)_mm256_sqrt_pd((__m256d)v);
-#elif defined(__SSE2__) || defined(__x86_64__)
-  return (VecD)_mm_sqrt_pd((__m128d)v);
 #else
-  return std::sqrt(v);
+  return (VecD)_mm_sqrt_pd((__m128d)v);
 #endif
 }
 
@@ -102,8 +155,8 @@ inline VecD vsqrt(VecD v) {
 
 /// ~14-bit reciprocal square root estimate (AVX-512 only; elsewhere the fast
 /// kernel is not selected, see kHasFastRsqrt).
-inline VecD rsqrt_approx(VecD v) {
-#if defined(__AVX512F__)
+static inline VecD rsqrt_approx(VecD v) {
+#if defined(G6_SIMD_X86) && defined(__AVX512F__)
   return (VecD)_mm512_rsqrt14_pd((__m512d)v);
 #else
   return vsqrt(v);  // placeholder, never reached when !kHasFastRsqrt
@@ -111,10 +164,10 @@ inline VecD rsqrt_approx(VecD v) {
 }
 
 /// a*b + c with a single rounding where FMA hardware exists.
-inline VecD fmadd(VecD a, VecD b, VecD c) {
-#if defined(__AVX512F__) && defined(__FMA__)
+static inline VecD fmadd(VecD a, VecD b, VecD c) {
+#if defined(G6_SIMD_X86) && defined(__AVX512F__) && defined(__FMA__)
   return (VecD)_mm512_fmadd_pd((__m512d)a, (__m512d)b, (__m512d)c);
-#elif defined(__AVX__) && defined(__FMA__)
+#elif defined(G6_SIMD_X86) && defined(__AVX__) && defined(__FMA__)
   return (VecD)_mm256_fmadd_pd((__m256d)a, (__m256d)b, (__m256d)c);
 #else
   return a * b + c;
@@ -122,10 +175,10 @@ inline VecD fmadd(VecD a, VecD b, VecD c) {
 }
 
 /// -(a*b) + c with a single rounding where FMA hardware exists.
-inline VecD fnmadd(VecD a, VecD b, VecD c) {
-#if defined(__AVX512F__) && defined(__FMA__)
+static inline VecD fnmadd(VecD a, VecD b, VecD c) {
+#if defined(G6_SIMD_X86) && defined(__AVX512F__) && defined(__FMA__)
   return (VecD)_mm512_fnmadd_pd((__m512d)a, (__m512d)b, (__m512d)c);
-#elif defined(__AVX__) && defined(__FMA__)
+#elif defined(G6_SIMD_X86) && defined(__AVX__) && defined(__FMA__)
   return (VecD)_mm256_fnmadd_pd((__m256d)a, (__m256d)b, (__m256d)c);
 #else
   return c - a * b;
@@ -133,8 +186,8 @@ inline VecD fnmadd(VecD a, VecD b, VecD c) {
 }
 
 /// Horizontal sum, left-to-right over the lanes (deterministic order).
-inline double reduce_add(VecD v) {
-#if defined(__SSE2__) || defined(__x86_64__)
+static inline double reduce_add(VecD v) {
+#if defined(G6_SIMD_X86)
   alignas(64) double lanes[kWidth];
   store(lanes, v);
   double s = lanes[0];
@@ -145,4 +198,95 @@ inline double reduce_add(VecD v) {
 #endif
 }
 
+// --- reduced-precision helpers (mixed kernel only) -------------------------
+
+/// Unaligned load of kWidthF consecutive floats.
+static inline VecF loadf(const float* p) {
+  VecF v;
+  std::memcpy(&v, p, sizeof(VecF));
+  return v;
+}
+
+/// Unaligned store of kWidthF consecutive floats.
+static inline void storef(float* p, VecF v) { std::memcpy(p, &v, sizeof(VecF)); }
+
+/// Unaligned load of kWidthF consecutive int32 lanes.
+static inline VecI loadi(const std::int32_t* p) {
+  VecI v;
+  std::memcpy(&v, p, sizeof(VecI));
+  return v;
+}
+
+/// All float lanes = s.
+static inline VecF broadcastf(float s) {
+#if defined(G6_SIMD_X86)
+  VecF v = {};
+  v += s;
+  return v;
+#else
+  return s;
+#endif
+}
+
+/// All int32 lanes = s.
+static inline VecI broadcasti(std::int32_t s) {
+#if defined(G6_SIMD_X86)
+  VecI v = {};
+  v += s;
+  return v;
+#else
+  return s;
+#endif
+}
+
+/// Per-lane int32 -> float conversion (cvtdq2ps; exact for |v| < 2^24, and
+/// correctly rounded beyond — the fixed-point position differences of the
+/// mixed kernel land here).
+static inline VecF to_float(VecI v) {
+#if defined(G6_SIMD_X86)
+  return __builtin_convertvector(v, VecF);
+#else
+  return static_cast<float>(v);
+#endif
+}
+
+/// Hardware reciprocal-sqrt estimate on float lanes. Worst-case relative
+/// error: 2^-14 on AVX-512 (vrsqrt14ps), 1.5*2^-12 on SSE/AVX (rsqrtps);
+/// the scalar fallback computes 1/sqrt exactly. One Newton step after any
+/// of these saturates float precision (~2^-22 or better).
+static inline VecF rsqrt_approx_f(VecF v) {
+#if !defined(G6_SIMD_X86)
+  return 1.0f / std::sqrt(v);
+#elif defined(__AVX512F__)
+  return (VecF)_mm512_rsqrt14_ps((__m512)v);
+#elif defined(__AVX__)
+  return (VecF)_mm256_rsqrt_ps((__m256)v);
+#else
+  return (VecF)_mm_rsqrt_ps((__m128)v);
+#endif
+}
+
+/// a*b + c on float lanes, single rounding where FMA hardware exists.
+static inline VecF fmaddf(VecF a, VecF b, VecF c) {
+#if defined(G6_SIMD_X86) && defined(__AVX512F__) && defined(__FMA__)
+  return (VecF)_mm512_fmadd_ps((__m512)a, (__m512)b, (__m512)c);
+#elif defined(G6_SIMD_X86) && defined(__AVX__) && defined(__FMA__)
+  return (VecF)_mm256_fmadd_ps((__m256)a, (__m256)b, (__m256)c);
+#else
+  return a * b + c;
+#endif
+}
+
+/// -(a*b) + c on float lanes, single rounding where FMA hardware exists.
+static inline VecF fnmaddf(VecF a, VecF b, VecF c) {
+#if defined(G6_SIMD_X86) && defined(__AVX512F__) && defined(__FMA__)
+  return (VecF)_mm512_fnmadd_ps((__m512)a, (__m512)b, (__m512)c);
+#elif defined(G6_SIMD_X86) && defined(__AVX__) && defined(__FMA__)
+  return (VecF)_mm256_fnmadd_ps((__m256)a, (__m256)b, (__m256)c);
+#else
+  return c - a * b;
+#endif
+}
+
+}  // inline namespace G6_SIMD_VARIANT
 }  // namespace g6::util::simd

@@ -7,12 +7,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "nbody/force_direct.hpp"
+#include "nbody/simd_dispatch.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -116,10 +120,40 @@ TEST_P(ExactKernels, AccumulatesIntoExistingForce) {
 
 INSTANTIATE_TEST_SUITE_P(All, ExactKernels,
                          ::testing::Values(CpuKernel::kReference, CpuKernel::kTiled,
-                                           CpuKernel::kSimd),
+                                           CpuKernel::kSimd, CpuKernel::kBlocked),
                          [](const ::testing::TestParamInfo<CpuKernel>& info) {
                            return g6::nbody::cpu_kernel_name(info.param);
                          });
+
+// The blocked kernel's bit-identity must hold at ANY tile geometry, not just
+// the cache-derived one: the tiling only reorders which (i, j-block) cell is
+// visited when, never the j-order within one i. Degenerate, tiny, huge and
+// lopsided tiles all hit different tail/self-tile paths.
+TEST(BlockedKernel, BitIdenticalAtAnyGeometry) {
+  const std::size_t n = 200;
+  const SoAPredicted js = random_store(n, 0xb10c);
+  const std::size_t ni = 37;  // odd, not a multiple of anything
+  std::vector<Vec3> xs(ni), vs(ni);
+  std::vector<std::uint32_t> selves(ni);
+  std::vector<Force> want(ni);
+  for (std::size_t k = 0; k < ni; ++k) {
+    xs[k] = {js.x[k], js.y[k], js.z[k]};
+    vs[k] = {js.vx[k], js.vy[k], js.vz[k]};
+    selves[k] = k % 5 == 0 ? g6::nbody::kNoSelf32 : static_cast<std::uint32_t>(k);
+    const std::size_t self =
+        selves[k] == g6::nbody::kNoSelf32 ? g6::nbody::kNoSelf : k;
+    want[k] = seed_loop(js, xs[k], vs[k], self, 1e-4);
+  }
+  const auto& t = g6::nbody::active_kernel_table();
+  for (g6::nbody::BlockGeometry geom :
+       {g6::nbody::BlockGeometry{1, 1}, {1, 1024}, {1024, 1}, {3, 17},
+        {64, 512}, {4096, 4096}}) {
+    std::vector<Force> got(ni);
+    t.blocked(js, xs.data(), vs.data(), selves.data(), ni, 1e-4, geom,
+              got.data());
+    for (std::size_t k = 0; k < ni; ++k) expect_force_bits_equal(want[k], got[k], "blocked");
+  }
+}
 
 TEST(FastKernel, WithinRsqrtNewtonTolerance) {
   for (std::size_t n : {7ul, 64ul, 200ul, 1024ul}) {
@@ -140,11 +174,177 @@ TEST(FastKernel, WithinRsqrtNewtonTolerance) {
   }
 }
 
+// --- Approximate-kernel error-bound suite ---------------------------------
+//
+// kFast and kMixed carry documented error contracts (kFastMaxRelErr,
+// kMixedMaxRelErr in force_kernels.hpp). Enforce them against the scalar
+// seed loop over three system shapes the planetesimal runs actually produce:
+// a thin disk (the paper's geometry), a Plummer sphere (close-encounter
+// heavy), and a clustered distribution (tight subgroups -> large dynamic
+// range between in-cluster and cross-cluster pair distances, the worst case
+// for kMixed's shared position grid).
+
+enum class Shape { kDisk, kClustered, kPlummer };
+
+SoAPredicted shaped_store(Shape shape, std::size_t n, std::uint64_t seed) {
+  g6::util::Rng rng(seed);
+  SoAPredicted js;
+  js.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double x = 0, y = 0, z = 0;
+    switch (shape) {
+      case Shape::kDisk: {
+        const double r = 20.0 + 10.0 * rng.uniform(0.0, 1.0);
+        const double ph = rng.uniform(0.0, 6.283185307179586);
+        x = r * std::cos(ph);
+        y = r * std::sin(ph);
+        z = rng.uniform(-0.5, 0.5);
+        break;
+      }
+      case Shape::kClustered: {
+        // 8 tight clusters spread over a wide box: intra-cluster distances
+        // ~1e-3 of the span exercise the grid's relative position error.
+        const int c = static_cast<int>(rng.uniform(0.0, 8.0));
+        const double cx = ((c & 1) ? 1.0 : -1.0) * 25.0;
+        const double cy = ((c & 2) ? 1.0 : -1.0) * 25.0;
+        const double cz = ((c & 4) ? 1.0 : -1.0) * 0.5;
+        x = cx + rng.uniform(-0.05, 0.05);
+        y = cy + rng.uniform(-0.05, 0.05);
+        z = cz + rng.uniform(-0.05, 0.05);
+        break;
+      }
+      case Shape::kPlummer: {
+        // Standard inversion: r = a / sqrt(u^(-2/3) - 1), isotropic angles.
+        const double u = rng.uniform(1e-6, 0.999);
+        const double r = 10.0 / std::sqrt(std::pow(u, -2.0 / 3.0) - 1.0);
+        const double ct = rng.uniform(-1.0, 1.0);
+        const double st = std::sqrt(std::max(0.0, 1.0 - ct * ct));
+        const double ph = rng.uniform(0.0, 6.283185307179586);
+        x = r * st * std::cos(ph);
+        y = r * st * std::sin(ph);
+        z = r * ct;
+        break;
+      }
+    }
+    js.x[j] = x;
+    js.y[j] = y;
+    js.z[j] = z;
+    js.vx[j] = rng.uniform(-0.3, 0.3);
+    js.vy[j] = rng.uniform(-0.3, 0.3);
+    js.vz[j] = rng.uniform(-0.03, 0.03);
+    js.m[j] = rng.uniform(1e-12, 1e-9);
+  }
+  return js;
+}
+
+const char* shape_name(Shape s) {
+  switch (s) {
+    case Shape::kDisk: return "disk";
+    case Shape::kClustered: return "clustered";
+    case Shape::kPlummer: return "plummer";
+  }
+  return "?";
+}
+
+/// Max over the sampled i-particles of |acc_kernel - acc_ref| / |acc_ref| —
+/// the same metric bench_headline's sweep reports and check_perf_floor gates.
+double max_rel_acc_err(CpuKernel kernel, const SoAPredicted& js, double eps2,
+                       std::size_t max_is) {
+  const std::size_t n = js.size();
+  const std::size_t stride = std::max<std::size_t>(1, n / max_is);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; i += stride) {
+    const Vec3 xi{js.x[i], js.y[i], js.z[i]};
+    const Vec3 vi{js.vx[i], js.vy[i], js.vz[i]};
+    const Force ref = seed_loop(js, xi, vi, i, eps2);
+    Force got;
+    g6::nbody::force_on_i(kernel, js, xi, vi, i, eps2, got);
+    const double scale = std::sqrt(norm2(ref.acc)) + 1e-300;
+    worst = std::max(worst, std::abs(got.acc.x - ref.acc.x) / scale);
+    worst = std::max(worst, std::abs(got.acc.y - ref.acc.y) / scale);
+    worst = std::max(worst, std::abs(got.acc.z - ref.acc.z) / scale);
+  }
+  return worst;
+}
+
+class ApproxKernelBounds
+    : public ::testing::TestWithParam<std::tuple<Shape, std::size_t>> {};
+
+TEST_P(ApproxKernelBounds, FastAndMixedWithinDocumentedBounds) {
+  const auto [shape, n] = GetParam();
+  const SoAPredicted js = shaped_store(shape, n, 0xb0u + n);
+  const double eps2 = 0.008 * 0.008;  // the runs' softening scale
+  const std::size_t max_is = 128;     // sampled i-particles (full j-sums)
+  const double fast_err = max_rel_acc_err(CpuKernel::kFast, js, eps2, max_is);
+  const double mixed_err = max_rel_acc_err(CpuKernel::kMixed, js, eps2, max_is);
+  EXPECT_LE(fast_err, g6::nbody::kFastMaxRelErr)
+      << shape_name(shape) << " n=" << n;
+  EXPECT_LE(mixed_err, g6::nbody::kMixedMaxRelErr)
+      << shape_name(shape) << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ApproxKernelBounds,
+    ::testing::Combine(::testing::Values(Shape::kDisk, Shape::kClustered,
+                                         Shape::kPlummer),
+                       ::testing::Values(64ul, 1024ul, 4096ul)),
+    [](const ::testing::TestParamInfo<std::tuple<Shape, std::size_t>>& info) {
+      return std::string(shape_name(std::get<0>(info.param))) + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// The paired-row block entry force_on_block routes kMixed through must give
+// bit-identical results to the one-row kernel (same chunking, same per-i
+// order), including at odd block sizes and with fallback rows mixed in.
+TEST(MixedKernel, BlockEntryMatchesPerRow) {
+  const std::size_t n = 200;
+  const SoAPredicted js = shaped_store(Shape::kDisk, n, 77);
+  for (std::size_t ni : {1ul, 2ul, 3ul, 64ul, 65ul}) {
+    std::vector<Vec3> xs(ni), vs(ni);
+    std::vector<std::uint32_t> selves(ni);
+    std::vector<Force> want(ni), got(ni);
+    for (std::size_t k = 0; k < ni; ++k) {
+      xs[k] = {js.x[k], js.y[k], js.z[k]};
+      vs[k] = {js.vx[k], js.vy[k], js.vz[k]};
+      selves[k] = static_cast<std::uint32_t>(k);
+      g6::nbody::force_on_i(CpuKernel::kMixed, js, xs[k], vs[k], k, 0.008 * 0.008,
+                            want[k]);
+    }
+    g6::nbody::force_on_block(CpuKernel::kMixed, js, xs.data(), vs.data(),
+                              selves.data(), ni, 0.008 * 0.008, got.data());
+    for (std::size_t k = 0; k < ni; ++k)
+      expect_force_bits_equal(want[k], got[k], "mixed block vs per-row");
+  }
+}
+
+// Unsoftened systems (eps2 = 0) must take the exact fallback: the mixed
+// kernel's self-lane trick divides by sqrt(eps2), so the kernel routes those
+// calls to the exact SIMD kernel — results must be bit-identical to it.
+TEST(MixedKernel, UnsoftenedFallsBackToExact) {
+  const SoAPredicted js = random_store(100, 9);
+  const Vec3 xi{js.x[3], js.y[3], js.z[3]}, vi{js.vx[3], js.vy[3], js.vz[3]};
+  Force want, got;
+  g6::nbody::force_on_i(CpuKernel::kSimd, js, xi, vi, 3, 0.0, want);
+  g6::nbody::force_on_i(CpuKernel::kMixed, js, xi, vi, 3, 0.0, got);
+  expect_force_bits_equal(want, got, "mixed eps2=0 fallback");
+}
+
 TEST(KernelSelection, EnvNamesRoundTrip) {
   EXPECT_STREQ(g6::nbody::cpu_kernel_name(CpuKernel::kReference), "reference");
   EXPECT_STREQ(g6::nbody::cpu_kernel_name(CpuKernel::kTiled), "tiled");
   EXPECT_STREQ(g6::nbody::cpu_kernel_name(CpuKernel::kSimd), "simd");
+  EXPECT_STREQ(g6::nbody::cpu_kernel_name(CpuKernel::kBlocked), "blocked");
   EXPECT_STREQ(g6::nbody::cpu_kernel_name(CpuKernel::kFast), "fast");
+  EXPECT_STREQ(g6::nbody::cpu_kernel_name(CpuKernel::kMixed), "mixed");
+
+  CpuKernel k = CpuKernel::kReference;
+  EXPECT_TRUE(g6::nbody::cpu_kernel_from_name("blocked", &k));
+  EXPECT_EQ(k, CpuKernel::kBlocked);
+  EXPECT_TRUE(g6::nbody::cpu_kernel_from_name("mixed", &k));
+  EXPECT_EQ(k, CpuKernel::kMixed);
+  EXPECT_FALSE(g6::nbody::cpu_kernel_from_name("blokced", &k));
+  EXPECT_FALSE(g6::nbody::cpu_kernel_from_name(nullptr, &k));
+  EXPECT_EQ(k, CpuKernel::kMixed);  // unrecognised names leave *out untouched
 }
 
 }  // namespace
