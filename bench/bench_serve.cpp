@@ -1,0 +1,247 @@
+// S1 — serving-layer saturation: the g6serve stack end to end.
+//
+// Phase 1 (unconditional gates): the same n=1024 disk job submitted twice
+// against one scheduler. The first run computes and caches; the duplicate
+// must be answered from the result cache bit-identically, with zero
+// integrator steps, at least 10x faster than the cold run. These gates do
+// not depend on host speed — a cache hit is a memcpy either way — so
+// check_perf_floor.py enforces them everywhere.
+//
+// Phase 2 (saturation): a real JobServer on a localhost socket driven by
+// the line-protocol client with a mixed-tenant burst (~40% duplicate
+// submissions, a queue sized to force admission rejections). Exports
+// jobs/s, client-observed p50/p99 submit-to-complete latency and the cache
+// hit rate into BENCH_serve.json; the jobs/s floor is hardware-conditional.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "bench_json.hpp"
+#include "serve/client.hpp"
+#include "serve/job_server.hpp"
+#include "util/timer.hpp"
+
+using namespace g6;
+using namespace g6::bench;
+
+namespace {
+
+double percentile(std::vector<double> xs, double frac) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const auto idx = static_cast<std::size_t>(
+      frac * static_cast<double>(xs.size() - 1) + 0.5);
+  return xs[std::min(idx, xs.size() - 1)];
+}
+
+std::uint64_t counter_value(const char* name) {
+  return obs::MetricsRegistry::global().counter(name).value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool full = full_mode(argc, argv);
+  const auto n_cold =
+      static_cast<std::uint64_t>(flag_value(argc, argv, "n", 1024));
+  const double t_cold = flag_value(argc, argv, "t", 0.25);
+  const int burst = static_cast<int>(flag_value(argc, argv, "jobs", full ? 96 : 48));
+  const int tenants = static_cast<int>(flag_value(argc, argv, "tenants", 3));
+  const int workers = static_cast<int>(flag_value(argc, argv, "workers", 2));
+
+  std::printf("S1: simulation-as-a-service — cache-hit gates and saturation\n\n");
+
+  // --- Phase 1: cold vs cache-hit, in-process scheduler ---------------------
+  serve::ResultCache cache;
+  serve::SchedulerConfig scfg;
+  scfg.workers = 1;
+  serve::Scheduler sched(scfg, cache);
+  sched.start();
+
+  serve::JobRequest req;
+  req.n = n_cold;
+  req.t_end = t_cold;
+  req.seed = 20020101;
+
+  const std::uint64_t steps_before_cold = counter_value("g6.serve.steps_executed");
+  double cold_seconds = 0.0;
+  std::string cold_bytes;
+  {
+    util::ScopedTimer wall(cold_seconds);
+    const serve::SubmitOutcome out = sched.submit(req);
+    if (!out.accepted || out.cached) {
+      std::fprintf(stderr, "S1: cold submit not a computed run\n");
+      return 1;
+    }
+    const auto rec = sched.wait(out.id, 600.0);
+    if (!rec.has_value() || rec->state != serve::ServeJobState::kDone) {
+      std::fprintf(stderr, "S1: cold job did not complete\n");
+      return 1;
+    }
+    sched.result(out.id, &cold_bytes);
+  }
+  const std::uint64_t steps_cold =
+      counter_value("g6.serve.steps_executed") - steps_before_cold;
+
+  const std::uint64_t hits_before = counter_value("g6.serve.cache.hits");
+  double hit_seconds = 0.0;
+  std::string hit_bytes;
+  bool hit_cached = false;
+  {
+    util::ScopedTimer wall(hit_seconds);
+    const serve::SubmitOutcome out = sched.submit(req);
+    hit_cached = out.accepted && out.cached;
+    if (hit_cached) sched.result(out.id, &hit_bytes);
+  }
+  const std::uint64_t steps_on_hit =
+      counter_value("g6.serve.steps_executed") - steps_before_cold - steps_cold;
+  const std::uint64_t hit_counter_delta =
+      counter_value("g6.serve.cache.hits") - hits_before;
+  sched.stop();
+
+  const bool bit_identical = !cold_bytes.empty() && cold_bytes == hit_bytes;
+  const double hit_speedup =
+      hit_seconds > 0.0 ? cold_seconds / hit_seconds : 0.0;
+  std::printf("phase 1: n=%llu t=%g  cold %.4fs (%llu steps)  hit %.6fs  "
+              "speedup %.0fx\n",
+              static_cast<unsigned long long>(n_cold), t_cold, cold_seconds,
+              static_cast<unsigned long long>(steps_cold), hit_seconds,
+              hit_speedup);
+  std::printf("  cached=%d bit_identical=%d steps_on_hit=%llu "
+              "cache_hits_delta=%llu\n",
+              hit_cached, bit_identical,
+              static_cast<unsigned long long>(steps_on_hit),
+              static_cast<unsigned long long>(hit_counter_delta));
+
+  // --- Phase 2: socket saturation -------------------------------------------
+  serve::JobServerConfig jcfg;
+  jcfg.port = 0;
+  jcfg.scheduler.workers = workers;
+  jcfg.scheduler.max_queue = static_cast<std::size_t>(
+      flag_value(argc, argv, "queue", 12));  // sized to force rejections
+  serve::JobServer server(jcfg);
+  if (!server.start()) {
+    std::fprintf(stderr, "S1: cannot start job server\n");
+    return 1;
+  }
+  serve::Client client;
+  if (!client.connect(server.port())) {
+    std::fprintf(stderr, "S1: cannot connect to job server\n");
+    return 1;
+  }
+
+  // ~40% duplicates: jobs cycle through ceil(60%) distinct seeds.
+  const int unique = std::max(1, burst * 6 / 10);
+  serve::JobRequest base;
+  base.n = static_cast<std::uint64_t>(flag_value(argc, argv, "burst-n", 64));
+  base.t_end = flag_value(argc, argv, "burst-t", 0.125);
+
+  struct Pending {
+    std::string id;
+    double submit_seconds = 0.0;
+    double latency = -1.0;
+  };
+  std::vector<Pending> accepted;
+  int rejected = 0, cached_replies = 0;
+  util::Timer wall;
+  for (int k = 0; k < burst; ++k) {
+    serve::JobRequest r = base;
+    r.tenant = "tenant-" + std::to_string(k % tenants);
+    r.seed = static_cast<std::uint64_t>(1 + k % unique);
+    const double at = wall.seconds();
+    const serve::SubmitReply reply = client.submit(r);
+    if (!reply.ok) {
+      ++rejected;
+      continue;
+    }
+    if (reply.cached) ++cached_replies;
+    accepted.push_back({reply.id, at, reply.cached ? wall.seconds() - at : -1.0});
+  }
+  int open = 0;
+  for (const Pending& p : accepted)
+    if (p.latency < 0.0) ++open;
+  while (open > 0 && wall.seconds() < 600.0) {
+    for (Pending& p : accepted) {
+      if (p.latency >= 0.0) continue;
+      const obs::JsonValue job = client.status(p.id);
+      const obs::JsonValue* state = job.find("state");
+      const std::string s =
+          state != nullptr && state->is_string() ? state->as_string() : "";
+      if (s == "done" || s == "failed") {
+        p.latency = wall.seconds() - p.submit_seconds;
+        --open;
+      }
+    }
+  }
+  const double burst_wall = wall.seconds();
+  const obs::JsonValue stats = client.stats();
+  auto stat = [&](const char* group, const char* name) -> double {
+    const obs::JsonValue* v = group == nullptr ? stats.find(name) : nullptr;
+    if (group != nullptr)
+      if (const obs::JsonValue* sub = stats.find(group); sub != nullptr)
+        v = sub->find(name);
+    return v != nullptr && v->is_number() ? v->as_number() : 0.0;
+  };
+  const double srv_hits = stat("cache", "hits");
+  const double srv_misses = stat("cache", "misses");
+  client.close();
+  server.stop();
+
+  std::vector<double> latencies;
+  for (const Pending& p : accepted)
+    if (p.latency >= 0.0) latencies.push_back(p.latency);
+  const double jobs_per_sec =
+      burst_wall > 0.0 ? static_cast<double>(latencies.size()) / burst_wall : 0.0;
+  const double p50 = percentile(latencies, 0.50);
+  const double p99 = percentile(latencies, 0.99);
+  const double hit_rate = srv_hits + srv_misses > 0.0
+                              ? srv_hits / (srv_hits + srv_misses)
+                              : 0.0;
+  std::printf("\nphase 2: %d jobs (%d tenants, %d unique seeds, queue %zu): "
+              "%zu accepted, %d rejected, %d cached replies\n",
+              burst, tenants, unique, jcfg.scheduler.max_queue, accepted.size(),
+              rejected, cached_replies);
+  std::printf("  %.2f jobs/s  p50 %.4fs  p99 %.4fs  hit rate %.0f%% "
+              "(unresolved %d)\n",
+              jobs_per_sec, p50, p99, hit_rate * 100.0, open);
+
+  const std::string json_path = flag_str(argc, argv, "json", "BENCH_serve.json");
+  const JsonBuilder doc =
+      JsonBuilder::object()
+          .field("bench", "serve")
+          .field("hardware_concurrency",
+                 double(std::max<std::size_t>(
+                     1, std::thread::hardware_concurrency())))
+          .field("n_cold", double(n_cold))
+          .field("t_cold", t_cold)
+          .field("cold_seconds", cold_seconds)
+          .field("hit_seconds", hit_seconds)
+          .field("hit_speedup", hit_speedup)
+          .field("steps_cold", double(steps_cold))
+          .field("steps_on_hit", double(steps_on_hit))
+          .field("cache_hits_delta", double(hit_counter_delta))
+          .field("bit_identical", bit_identical)
+          .field("burst_jobs", double(burst))
+          .field("burst_tenants", double(tenants))
+          .field("burst_unique", double(unique))
+          .field("burst_workers", double(workers))
+          .field("burst_queue", double(jcfg.scheduler.max_queue))
+          .field("burst_accepted", double(accepted.size()))
+          .field("burst_rejected", double(rejected))
+          .field("burst_unresolved", double(open))
+          .field("jobs_per_sec", jobs_per_sec)
+          .field("p50_seconds", p50)
+          .field("p99_seconds", p99)
+          .field("cache_hit_rate", hit_rate);
+  if (write_json_file(json_path, doc))
+    std::printf("bench JSON written to %s\n", json_path.c_str());
+
+  // Unconditional gates only; throughput floors live in check_perf_floor.py.
+  const bool pass = hit_cached && bit_identical && steps_on_hit == 0 &&
+                    hit_counter_delta >= 1 && hit_speedup >= 10.0 && open == 0;
+  std::printf("cache-hit gates (>=10x, bit-identical, 0 steps): %s\n",
+              pass ? "PASS" : "MISS");
+  return pass ? 0 : 1;
+}

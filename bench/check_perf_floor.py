@@ -14,6 +14,10 @@ Every file is dispatched on its top-level "bench" tag:
                   floor's host count, bit-identically, with the message-count
                   model matching the measured comm time within 20%
   scaling_hosts - presence and sanity of the beyond-paper host grids
+  serve         - the serving-layer gates: duplicate submissions answered from
+                  the result cache >= 10x faster, bit-identically, with zero
+                  integrator steps (unconditional), plus a hardware-
+                  conditional burst jobs/s floor
   anything else - schema checks only (see below)
 
 Every file, regardless of tag, must carry a top-level hardware_concurrency
@@ -207,6 +211,58 @@ def check_network_modes(bench, floor, failures):
         failures.append("overlap hid no link time")
 
 
+def check_serve(bench, floor, failures):
+    sv = floor.get("serve", {})
+    min_speedup = float(sv.get("min_hit_speedup", 10.0))
+
+    # Unconditional gates: cache hits are lookups, not simulations, so these
+    # hold on any hardware.
+    speedup = float(bench["hit_speedup"])
+    status = "ok" if speedup >= min_speedup else "FAIL"
+    print(
+        f"cache hit speedup {speedup:10.1f}x  (floor {min_speedup:.0f}x, "
+        f"cold {bench['cold_seconds']:.4f}s -> hit {bench['hit_seconds']:.6f}s)"
+        f"  {status}"
+    )
+    if speedup < min_speedup:
+        failures.append(
+            f"cache hit only {speedup:.1f}x faster than cold run "
+            f"(floor {min_speedup:.0f}x)"
+        )
+    if not bench["bit_identical"]:
+        failures.append("cache-served result bytes differ from the computed run")
+    if int(bench["steps_on_hit"]) != 0:
+        failures.append(
+            f"cache hit executed {int(bench['steps_on_hit'])} integrator steps "
+            f"(must be 0)"
+        )
+    if int(bench["cache_hits_delta"]) < 1:
+        failures.append("duplicate submission did not bump g6.serve.cache.hits")
+    if int(bench["burst_unresolved"]) != 0:
+        failures.append(
+            f"{int(bench['burst_unresolved'])} burst jobs never reached a "
+            f"terminal state"
+        )
+
+    # Hardware-conditional: burst throughput needs real concurrency for the
+    # worker lanes; on smaller hosts print the skip and enforce nothing.
+    min_jps = float(sv.get("min_jobs_per_sec", 50.0))
+    need = int(sv.get("min_concurrency", 4))
+    hw = int(bench["hardware_concurrency"])
+    jps = float(bench["jobs_per_sec"])
+    if hw >= need:
+        status = "ok" if jps >= min_jps else "FAIL"
+        print(f"burst throughput {jps:10.1f} jobs/s  (floor {min_jps:.0f})  {status}")
+        if jps < min_jps:
+            failures.append(f"burst throughput {jps:.1f} < {min_jps:.0f} jobs/s")
+    else:
+        print(
+            f"burst throughput {jps:10.1f} jobs/s  skipped: min_jobs_per_sec "
+            f"needs {need} hardware threads, this machine has {hw} "
+            f"(cache-hit gates still enforced)"
+        )
+
+
 def check_scaling_hosts(bench, floor, failures):
     rows = {int(r["hosts"]): r for r in bench["rows"]}
     for hosts in (64, 256):
@@ -243,6 +299,7 @@ def main(argv):
         "headline": check_headline,
         "network_modes": check_network_modes,
         "scaling_hosts": check_scaling_hosts,
+        "serve": check_serve,
     }
     failures = []
     for path in bench_paths:

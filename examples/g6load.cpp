@@ -1,0 +1,190 @@
+// g6load — load generator for a running g6serve: submit a mixed-tenant
+// stream of jobs over the line protocol, poll to completion, and report
+// jobs/s, client-observed p50/p99 submit-to-complete latency, cache hit
+// rate and admission rejections (docs/SERVING.md).
+//
+//   ./g6load --port=7364 --jobs=32 --tenants=2 --dup=0.4
+//
+// Options (defaults in brackets):
+//   --port=<int>       g6serve protocol port (required)
+//   --jobs=<int>       submissions to issue                        [32]
+//   --tenants=<int>    spread jobs across tenant-0..tenant-k       [2]
+//   --n=<int>          particles per job                           [64]
+//   --t=<float>        t_end per job                               [0.125]
+//   --model=<name>     disk | plummer | coldsphere                 [disk]
+//   --backend=<name>   cpu | grape | cluster                       [cpu]
+//   --unique=<int>     distinct seeds; jobs cycle through them, so
+//                      jobs > unique yields repeats (cache hits)   [jobs]
+//   --fault-every=<k>  every k-th job injects a fault at block 1      [0]
+//   --timeout=<sec>    overall completion deadline                 [120]
+//   --shutdown         send {"op":"shutdown"} when done
+//
+// Exit status: 0 when every accepted job reached a terminal state in
+// time, 1 otherwise (rejections are reported, not failures — admission
+// control refusing a burst is the server working as specified).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+
+namespace {
+
+double flag(int argc, char** argv, const char* name, double fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+      return std::atof(argv[i] + prefix.size());
+  return fallback;
+}
+
+std::string flag_str(int argc, char** argv, const char* name,
+                     const std::string& fallback = {}) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+      return argv[i] + prefix.size();
+  return fallback;
+}
+
+bool has_flag(int argc, char** argv, const char* name) {
+  const std::string want = std::string("--") + name;
+  for (int i = 1; i < argc; ++i)
+    if (want == argv[i]) return true;
+  return false;
+}
+
+double percentile(std::vector<double> xs, double frac) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const auto idx = static_cast<std::size_t>(
+      frac * static_cast<double>(xs.size() - 1) + 0.5);
+  return xs[std::min(idx, xs.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int port = static_cast<int>(flag(argc, argv, "port", -1.0));
+  if (port <= 0) {
+    std::fprintf(stderr, "g6load: needs --port=<g6serve protocol port>\n");
+    return 2;
+  }
+  const int jobs = static_cast<int>(flag(argc, argv, "jobs", 32));
+  const int tenants = std::max(1, static_cast<int>(flag(argc, argv, "tenants", 2)));
+  const int unique =
+      std::max(1, static_cast<int>(flag(argc, argv, "unique", jobs)));
+  const int fault_every = static_cast<int>(flag(argc, argv, "fault-every", 0));
+  const double deadline = flag(argc, argv, "timeout", 120.0);
+
+  g6::serve::Client client;
+  if (!client.connect(port)) {
+    std::fprintf(stderr, "g6load: cannot connect to 127.0.0.1:%d\n", port);
+    return 2;
+  }
+
+  g6::serve::JobRequest base;
+  base.model = flag_str(argc, argv, "model", "disk");
+  base.backend = flag_str(argc, argv, "backend", "cpu");
+  base.n = static_cast<std::uint64_t>(flag(argc, argv, "n", 64));
+  base.t_end = flag(argc, argv, "t", 0.125);
+
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  auto seconds = [&] {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  };
+
+  struct Pending {
+    std::string id;
+    double submit_seconds = 0.0;
+    double latency = -1.0;  ///< filled when observed terminal
+    std::string state;
+  };
+  std::vector<Pending> accepted;
+  std::map<std::string, int> rejections;
+  int cached = 0;
+
+  for (int k = 0; k < jobs; ++k) {
+    g6::serve::JobRequest req = base;
+    req.tenant = "tenant-" + std::to_string(k % tenants);
+    req.seed = static_cast<std::uint64_t>(1 + k % unique);
+    if (fault_every > 0 && (k + 1) % fault_every == 0) req.fault_after_blocks = 1;
+    const double at = seconds();
+    const g6::serve::SubmitReply reply = client.submit(req);
+    if (!reply.ok) {
+      ++rejections[reply.reason.empty() ? "error" : reply.reason];
+      continue;
+    }
+    if (reply.cached) ++cached;
+    accepted.push_back({reply.id, at, reply.cached ? seconds() - at : -1.0,
+                        reply.cached ? "done" : ""});
+  }
+  const double submit_done = seconds();
+
+  // Poll every accepted job to a terminal state (round-robin; waits would
+  // serialize on the slowest job and skew per-job latency).
+  int open = 0;
+  for (const Pending& p : accepted)
+    if (p.latency < 0.0) ++open;
+  while (open > 0 && seconds() < deadline) {
+    for (Pending& p : accepted) {
+      if (p.latency >= 0.0) continue;
+      const g6::obs::JsonValue job = client.status(p.id);
+      const auto* state = job.find("state");
+      p.state = state != nullptr && state->is_string() ? state->as_string() : "?";
+      if (p.state == "done" || p.state == "failed") {
+        p.latency = seconds() - p.submit_seconds;
+        --open;
+      }
+    }
+    if (open > 0) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  int done = 0, failed = 0;
+  std::vector<double> latencies;
+  for (const Pending& p : accepted) {
+    if (p.latency < 0.0) continue;
+    latencies.push_back(p.latency);
+    const g6::obs::JsonValue job = client.status(p.id);
+    const auto* state = job.find("state");
+    if (state != nullptr && state->is_string() && state->as_string() == "done")
+      ++done;
+    else
+      ++failed;
+  }
+
+  const g6::obs::JsonValue stats = client.stats();
+  auto stat = [&](const char* path, const char* name) -> double {
+    const g6::obs::JsonValue* v =
+        path == nullptr ? stats.find(name) : nullptr;
+    if (path != nullptr)
+      if (const auto* sub = stats.find(path); sub != nullptr)
+        v = sub->find(name);
+    return v != nullptr && v->is_number() ? v->as_number() : 0.0;
+  };
+
+  const double wall = seconds();
+  std::printf("g6load: %d submitted in %.2fs (%zu accepted, %d cached)\n",
+              jobs, submit_done, accepted.size(), cached);
+  for (const auto& [reason, count] : rejections)
+    std::printf("  rejected %-18s %d\n", reason.c_str(), count);
+  std::printf("  done %d  failed %d  unresolved %d\n", done, failed, open);
+  if (!latencies.empty())
+    std::printf("  latency p50 %.3fs  p99 %.3fs  throughput %.2f jobs/s\n",
+                percentile(latencies, 0.50), percentile(latencies, 0.99),
+                static_cast<double>(latencies.size()) / wall);
+  std::printf("  server: completed %.0f failed %.0f rejected %.0f  cache "
+              "hits %.0f misses %.0f\n",
+              stat(nullptr, "completed"), stat(nullptr, "failed"),
+              stat(nullptr, "rejected"), stat("cache", "hits"),
+              stat("cache", "misses"));
+
+  if (has_flag(argc, argv, "shutdown")) client.shutdown_server();
+  return open == 0 ? 0 : 1;
+}

@@ -1,0 +1,149 @@
+// g6serve — the long-lived simulation-as-a-service daemon: accept job
+// submissions over a line-delimited JSON protocol on a localhost TCP
+// socket, schedule them with per-tenant quotas and priorities, serve
+// repeated requests bit-identically from the result cache, and expose
+// /jobs (+ the full monitor stack) over HTTP (docs/SERVING.md).
+//
+//   ./g6serve --port=7364 --http=8080 --workers=2 --cache-mb=64
+//
+// Options (defaults in brackets):
+//   --port=<int>          protocol port; 0 = ephemeral, printed     [7364]
+//   --http=<int>          HTTP port for /jobs /metrics /progress;
+//                         0 = ephemeral, -1 = no HTTP               [0]
+//   --workers=<int>       concurrent job lanes                      [2]
+//   --queue=<int>         bounded admission queue length            [32]
+//   --max-job-n=<int>     per-job particle cap                      [262144]
+//   --max-concurrent=<int>   default tenant quota: live jobs        [4]
+//   --max-particles=<int>    default tenant quota: live particles   [1048576]
+//   --tenant=<name>:<prio>:<jobs>:<particles>   per-tenant override
+//                         (repeatable)
+//   --cache-mb=<float>    result-cache LRU byte budget, MiB         [64]
+//   --cache-dir=<path>    persist results to disk (warm restarts)
+//   --max-connections=<int>  concurrent protocol connections        [32]
+//   --idle-timeout=<sec>  drop idle protocol connections            [30]
+//
+// The daemon exits cleanly on SIGINT/SIGTERM or a client's
+// {"op":"shutdown"}. Exit status 0.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "obs/monitor.hpp"
+#include "serve/job_server.hpp"
+
+namespace {
+
+double flag(int argc, char** argv, const char* name, double fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+      return std::atof(argv[i] + prefix.size());
+  return fallback;
+}
+
+std::string flag_str(int argc, char** argv, const char* name,
+                     const std::string& fallback = {}) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+      return argv[i] + prefix.size();
+  return fallback;
+}
+
+volatile std::sig_atomic_t g_signalled = 0;
+void on_signal(int) { g_signalled = 1; }
+
+/// Parse every --tenant=name:priority:jobs:particles occurrence.
+void parse_tenants(int argc, char** argv, g6::serve::SchedulerConfig* cfg) {
+  const std::string prefix = "--tenant=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) != 0) continue;
+    const std::string spec = argv[i] + prefix.size();
+    g6::serve::TenantQuota quota = cfg->default_quota;
+    std::string name = spec;
+    const auto c1 = spec.find(':');
+    if (c1 != std::string::npos) {
+      name = spec.substr(0, c1);
+      int prio = 0, jobs = quota.max_concurrent;
+      long long particles = static_cast<long long>(quota.max_particles);
+      std::sscanf(spec.c_str() + c1, ":%d:%d:%lld", &prio, &jobs, &particles);
+      quota.priority = prio;
+      quota.max_concurrent = jobs;
+      quota.max_particles = static_cast<std::uint64_t>(particles);
+    }
+    cfg->tenant_quotas[name] = quota;
+    std::printf("g6serve: tenant '%s' priority=%d max_concurrent=%d "
+                "max_particles=%llu\n",
+                name.c_str(), quota.priority, quota.max_concurrent,
+                static_cast<unsigned long long>(quota.max_particles));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g6::serve::JobServerConfig cfg;
+  cfg.port = static_cast<int>(flag(argc, argv, "port", 7364));
+  cfg.scheduler.workers = static_cast<int>(flag(argc, argv, "workers", 2));
+  cfg.scheduler.max_queue =
+      static_cast<std::size_t>(flag(argc, argv, "queue", 32));
+  cfg.scheduler.max_job_particles =
+      static_cast<std::uint64_t>(flag(argc, argv, "max-job-n", 262144));
+  cfg.scheduler.default_quota.max_concurrent =
+      static_cast<int>(flag(argc, argv, "max-concurrent", 4));
+  cfg.scheduler.default_quota.max_particles =
+      static_cast<std::uint64_t>(flag(argc, argv, "max-particles", 1048576));
+  parse_tenants(argc, argv, &cfg.scheduler);
+  cfg.cache.max_bytes =
+      static_cast<std::size_t>(flag(argc, argv, "cache-mb", 64.0) * 1048576.0);
+  cfg.cache.persist_dir = flag_str(argc, argv, "cache-dir");
+  cfg.max_connections =
+      static_cast<int>(flag(argc, argv, "max-connections", 32));
+  cfg.idle_timeout = flag(argc, argv, "idle-timeout", 30.0);
+
+  g6::serve::JobServer server(cfg);
+  if (!server.start()) {
+    std::fprintf(stderr, "g6serve: cannot bind protocol port %d\n", cfg.port);
+    return 2;
+  }
+  std::printf("g6serve: job protocol on 127.0.0.1:%d (%d workers, queue %zu, "
+              "cache %.0f MiB)\n",
+              server.port(), cfg.scheduler.workers, cfg.scheduler.max_queue,
+              static_cast<double>(cfg.cache.max_bytes) / 1048576.0);
+
+  const double http_port = flag(argc, argv, "http", 0.0);
+  g6::obs::Monitor monitor;
+#ifndef G6_OBS_DISABLED
+  if (http_port >= 0.0) {
+    // One HTTP port serves the whole story: /metrics (g6.serve.* counters
+    // included), /progress (per-job ETAs) and the /jobs family.
+    server.attach_http(monitor.server());
+    g6::obs::MonitorConfig mcfg;
+    mcfg.port = static_cast<int>(http_port);
+    mcfg.flight_dir = "/tmp";
+    if (!monitor.start(mcfg)) {
+      std::fprintf(stderr, "g6serve: cannot bind HTTP port %d\n", mcfg.port);
+      return 2;
+    }
+    std::printf("g6serve: http://127.0.0.1:%d/jobs (/metrics, /metrics.json, "
+                "/progress)\n",
+                monitor.port());
+  }
+#else
+  if (http_port >= 0.0)
+    std::printf("g6serve: built with G6_OBS_DISABLED — no HTTP endpoints\n");
+#endif
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (g_signalled == 0 && !server.wants_shutdown())
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::printf("g6serve: shutting down (%s)\n",
+              g_signalled != 0 ? "signal" : "shutdown op");
+  server.stop();
+  return 0;
+}

@@ -15,8 +15,12 @@ CI's monitor-smoke uses this to prove the transport-aggregation counters
 Each TARGET is a file path or an http:// URL (fetched with stdlib urllib,
 so the CI job needs no extra packages). Format is chosen per target:
 
-  *.json paths, and URLs whose path ends in .json, /progress or /series
-      -> JSON: must parse, must be an object or array
+  *.json paths, and URLs whose path ends in .json, /progress, /series,
+  /jobs or /jobs/<id> (but not the binary /jobs/<id>/result)
+      -> JSON: must parse, must be an object or array; /jobs documents
+         are additionally schema-checked: the summary counters and every
+         job record must carry the full field set the job server's
+         record_json emits, with the right JSON types (docs/SERVING.md)
   everything else
       -> Prometheus text: every line must be empty, a # HELP / # TYPE
          comment, or a sample `name[{labels}] value [timestamp]`; metric
@@ -48,7 +52,17 @@ def fetch(target):
 
 def is_json_target(target):
     path = target.split("?", 1)[0]
-    return path.endswith((".json", "/progress", "/series"))
+    if path.endswith((".json", "/progress", "/series")):
+        return True
+    return is_jobs_target(target)
+
+
+def is_jobs_target(target):
+    """/jobs and /jobs/<id> serve JSON; /jobs/<id>/result is raw bytes."""
+    path = target.split("?", 1)[0]
+    if path.endswith("/result"):
+        return False
+    return path.endswith("/jobs") or "/jobs/" in path
 
 
 def valid_value(tok):
@@ -165,6 +179,67 @@ def check_prometheus(text, target, errors):
         errors.append(f"{target}: no # TYPE declarations")
 
 
+# Field -> required JSON type(s), mirroring record_json in src/serve/job.cpp.
+# bool is checked before int (Python bools are ints); integer-valued fields
+# must arrive as JSON integers, not floats — the server emits them with
+# std::to_string precisely so schema checks like this one stay strict.
+JOB_RECORD_SCHEMA = {
+    "id": str, "tenant": str, "state": str, "key": str, "cache_hit": bool,
+    "model": str, "backend": str, "n": int, "seed": int, "t_end": (int, float),
+    "priority": int, "submit_seconds": (int, float),
+    "start_seconds": (int, float), "finish_seconds": (int, float),
+    "t_sys": (int, float), "blocks": int, "steps": int, "result_bytes": int,
+    "result_crc32": int, "error": str,
+}
+JOB_STATES = {"queued", "running", "done", "failed"}
+JOBS_SUMMARY_FIELDS = ("queued", "running", "submitted", "completed",
+                       "failed", "rejected", "cache_hits", "cache_misses")
+
+
+def check_job_record(rec, where, errors):
+    if not isinstance(rec, dict):
+        errors.append(f"{where}: job record is {type(rec).__name__}, "
+                      "expected object")
+        return
+    for field, want in JOB_RECORD_SCHEMA.items():
+        if field not in rec:
+            errors.append(f"{where}: job record missing field {field!r}")
+            continue
+        val = rec[field]
+        if want is int and isinstance(val, bool):
+            errors.append(f"{where}: field {field!r} is bool, expected int")
+        elif not isinstance(val, want):
+            errors.append(f"{where}: field {field!r} is "
+                          f"{type(val).__name__}, expected {want}")
+    for field in rec:
+        if field not in JOB_RECORD_SCHEMA:
+            errors.append(f"{where}: unknown job-record field {field!r}")
+    state = rec.get("state")
+    if isinstance(state, str) and state not in JOB_STATES:
+        errors.append(f"{where}: unknown job state {state!r}")
+    key = rec.get("key")
+    if isinstance(key, str) and not re.match(r"[0-9a-f]{16}$", key):
+        errors.append(f"{where}: key {key!r} is not 16 lowercase hex digits")
+
+
+def check_jobs_document(doc, target, errors):
+    if isinstance(doc, dict) and "jobs" in doc:
+        # /jobs listing: summary counters plus an array of records.
+        for field in JOBS_SUMMARY_FIELDS:
+            if not isinstance(doc.get(field), int) or \
+                    isinstance(doc.get(field), bool):
+                errors.append(f"{target}: summary field {field!r} missing "
+                              "or not an integer")
+        if not isinstance(doc["jobs"], list):
+            errors.append(f"{target}: 'jobs' is not an array")
+            return
+        for i, rec in enumerate(doc["jobs"]):
+            check_job_record(rec, f"{target} jobs[{i}]", errors)
+        print(f"  {target}: {len(doc['jobs'])} job records schema-checked")
+    else:
+        check_job_record(doc, target, errors)
+
+
 def check_json(text, target, errors):
     try:
         doc = json.loads(text)
@@ -174,6 +249,9 @@ def check_json(text, target, errors):
     if not isinstance(doc, (dict, list)):
         errors.append(f"{target}: top level is {type(doc).__name__}, "
                       "expected object or array")
+        return
+    if is_jobs_target(target):
+        check_jobs_document(doc, target, errors)
 
 
 def main(argv):

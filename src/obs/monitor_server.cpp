@@ -9,6 +9,8 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstring>
 #include <map>
 #include <thread>
@@ -20,6 +22,9 @@ namespace g6::obs {
 
 struct MonitorServer::Impl {
   std::map<std::string, std::function<HttpResponse()>> routes;
+  std::map<std::string, std::function<HttpResponse(const std::string&)>> prefix_routes;
+  std::map<std::string, std::function<HttpResponse(const std::string&)>> post_routes;
+  double request_timeout = 2.0;
   int listen_fd = -1;
   int bound_port = 0;
   std::thread thread;
@@ -36,13 +41,57 @@ void MonitorServer::route(const std::string& path,
   impl_->routes[path] = std::move(fn);
 }
 
+void MonitorServer::route_prefix(
+    const std::string& prefix,
+    std::function<HttpResponse(const std::string&)> fn) {
+  impl_->prefix_routes[prefix] = std::move(fn);
+}
+
+void MonitorServer::route_post(
+    const std::string& path,
+    std::function<HttpResponse(const std::string&)> fn) {
+  impl_->post_routes[path] = std::move(fn);
+}
+
+void MonitorServer::set_request_timeout(double seconds) {
+  if (seconds > 0.0) impl_->request_timeout = seconds;
+}
+
+namespace {
+
+std::string strip_query(const std::string& path) {
+  const auto q = path.find('?');
+  return q == std::string::npos ? path : path.substr(0, q);
+}
+
+}  // namespace
+
 HttpResponse MonitorServer::handle(const std::string& path) const {
-  // Exact match on the path with any query string stripped.
-  std::string key = path;
-  if (const auto q = key.find('?'); q != std::string::npos) key.resize(q);
+  const std::string key = strip_query(path);
   const auto it = impl_->routes.find(key);
-  if (it == impl_->routes.end()) return {404, "text/plain", "not found\n"};
-  return it->second();
+  if (it != impl_->routes.end()) return it->second();
+  // Longest matching prefix wins (map iterates ascending; keep the last hit).
+  const std::function<HttpResponse(const std::string&)>* best = nullptr;
+  for (const auto& [prefix, fn] : impl_->prefix_routes)
+    if (key.compare(0, prefix.size(), prefix) == 0) best = &fn;
+  if (best != nullptr) return (*best)(key);
+  // A path that only exists as a POST route is a method mismatch (405),
+  // not an unknown resource (404) — tells clients the fix is the verb.
+  if (impl_->post_routes.count(key) != 0)
+    return {405, "text/plain", "use POST for this path\n"};
+  return {404, "text/plain", "not found\n"};
+}
+
+HttpResponse MonitorServer::handle_post(const std::string& path,
+                                        const std::string& body) const {
+  const std::string key = strip_query(path);
+  const auto it = impl_->post_routes.find(key);
+  if (it == impl_->post_routes.end()) {
+    if (impl_->routes.count(key) != 0)
+      return {405, "text/plain", "use GET for this path\n"};
+    return {404, "text/plain", "not found\n"};
+  }
+  return it->second(body);
 }
 
 namespace {
@@ -53,6 +102,10 @@ const char* status_text(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
   }
   return "Error";
 }
@@ -72,19 +125,111 @@ void write_all(int fd, const std::string& data) {
   }
 }
 
-/// Read until the end of the request headers (or 4 KiB / EOF), return the
-/// request line. Connections are short-lived, so a blocking read with a
-/// receive timeout is fine.
-std::string read_request_line(int fd) {
-  std::string buf;
-  char chunk[512];
-  while (buf.size() < 4096 && buf.find("\r\n") == std::string::npos) {
+using Clock = std::chrono::steady_clock;
+
+/// Append whatever arrives on \p fd to \p buf until \p done(buf) is
+/// satisfied, \p cap is reached, EOF, or the absolute \p deadline passes.
+/// Returns false on deadline expiry — the caller answers 408. The deadline
+/// is absolute per connection, not per recv: a client dripping one byte at
+/// a time makes no progress against it.
+template <typename DoneFn>
+bool read_until(int fd, std::string& buf, std::size_t cap, Clock::time_point deadline,
+                const DoneFn& done) {
+  char chunk[1024];
+  while (buf.size() < cap && !done(buf)) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0) return false;
+    pollfd pfd{fd, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, static_cast<int>(std::min<long long>(
+                                      left.count(), 1000)));
+    if (r < 0) break;
+    if (r == 0 || (pfd.revents & POLLIN) == 0) continue;  // re-check deadline
     const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n <= 0) break;
+    if (n <= 0) break;  // EOF / error: work with what we have
     buf.append(chunk, static_cast<std::size_t>(n));
   }
+  return true;
+}
+
+/// One parsed request: method, path, body (POST only).
+struct Request {
+  std::string method, path, body;
+  int error = 0;  ///< non-zero: respond with this status instead
+};
+
+Request read_request(int fd, double timeout_seconds, std::size_t max_header,
+                     std::size_t max_body) {
+  const auto deadline =
+      Clock::now() + std::chrono::microseconds(
+                         static_cast<long long>(timeout_seconds * 1e6));
+  Request req;
+  std::string buf;
+  const auto have_headers = [](const std::string& b) {
+    return b.find("\r\n\r\n") != std::string::npos;
+  };
+  if (!read_until(fd, buf, max_header, deadline, have_headers)) {
+    req.error = 408;
+    return req;
+  }
+  const auto head_end = buf.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    req.error = 400;  // EOF or oversized headers without a complete request
+    return req;
+  }
+  // Request line: METHOD SP PATH SP VERSION
   const auto eol = buf.find("\r\n");
-  return eol == std::string::npos ? buf : buf.substr(0, eol);
+  const std::string line = buf.substr(0, eol);
+  const auto sp1 = line.find(' ');
+  const auto sp2 = sp1 == std::string::npos ? std::string::npos
+                                            : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    req.error = 400;
+    return req;
+  }
+  req.method = line.substr(0, sp1);
+  req.path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (req.method != "POST") return req;
+
+  // POST: honour Content-Length (case-insensitive header match).
+  std::size_t content_length = 0;
+  bool have_length = false;
+  std::size_t pos = eol + 2;
+  while (pos < head_end) {
+    auto nl = buf.find("\r\n", pos);
+    if (nl == std::string::npos || nl > head_end) nl = head_end;
+    std::string header = buf.substr(pos, nl - pos);
+    pos = nl + 2;
+    const auto colon = header.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = header.substr(0, colon);
+    for (char& c : name) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (name != "content-length") continue;
+    content_length = static_cast<std::size_t>(
+        std::strtoull(header.c_str() + colon + 1, nullptr, 10));
+    have_length = true;
+  }
+  if (!have_length) {
+    req.error = 400;
+    return req;
+  }
+  if (content_length > max_body) {
+    req.error = 413;
+    return req;
+  }
+  const std::size_t body_start = head_end + 4;
+  const std::size_t want = body_start + content_length;
+  const auto have_body = [want](const std::string& b) { return b.size() >= want; };
+  if (!read_until(fd, buf, want, deadline, have_body)) {
+    req.error = 408;
+    return req;
+  }
+  if (buf.size() < want) {
+    req.error = 400;  // connection closed before the promised body arrived
+    return req;
+  }
+  req.body = buf.substr(body_start, content_length);
+  return req;
 }
 
 }  // namespace
@@ -120,19 +265,20 @@ bool MonitorServer::start(int port) {
       const int client = ::accept(impl_->listen_fd, nullptr, nullptr);
       if (client < 0) continue;
       timeval tv{2, 0};
-      ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
       ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
 
-      const std::string req = read_request_line(client);
-      // "GET /path HTTP/1.x"
+      const Request req = read_request(client, impl_->request_timeout,
+                                       kMaxHeaderBytes, kMaxBodyBytes);
       HttpResponse resp;
-      if (req.compare(0, 4, "GET ") != 0) {
-        resp = {405, "text/plain", "only GET is supported\n"};
+      if (req.error != 0) {
+        resp = {req.error, "text/plain",
+                std::string(status_text(req.error)) + "\n"};
+      } else if (req.method == "GET") {
+        resp = handle(req.path);
+      } else if (req.method == "POST") {
+        resp = handle_post(req.path, req.body);
       } else {
-        const auto sp = req.find(' ', 4);
-        const std::string path =
-            sp == std::string::npos ? req.substr(4) : req.substr(4, sp - 4);
-        resp = handle(path);
+        resp = {405, "text/plain", "only GET and POST are supported\n"};
       }
       std::string out = "HTTP/1.0 " + std::to_string(resp.status) + " " +
                         status_text(resp.status) + "\r\n";

@@ -1,19 +1,29 @@
 #pragma once
 /// \file monitor_server.hpp
 /// \brief MonitorServer — minimal blocking HTTP/1.0 server (POSIX sockets,
-///        no dependencies) serving registered GET routes.
+///        no dependencies) serving registered GET/POST routes.
 ///
 /// One background thread accepts connections (poll() with a 100 ms timeout
-/// so stop() is prompt), reads the request line, dispatches on the path and
-/// writes the response with `Connection: close`. Handlers run on the server
-/// thread and must only *read* shared state (registry snapshots, progress
-/// tracker atomics) — the determinism contract.
+/// so stop() is prompt), reads the request — headers plus, for POST, a
+/// Content-Length body — dispatches on method and path and writes the
+/// response with `Connection: close`. Handlers run on the server thread and
+/// must only *read* shared state (registry snapshots, progress tracker
+/// atomics) — the determinism contract — except POST handlers, which may
+/// hand work to a queue (the job server's admission path).
+///
+/// Every connection is read under one absolute wall deadline
+/// (set_request_timeout, default 2 s): a client that connects and stalls —
+/// or drips one byte per second, which a plain per-recv SO_RCVTIMEO never
+/// catches — is answered with 408 and closed when the deadline passes, so
+/// a single slow client cannot wedge the accept thread.
 ///
 /// Routes are registered before start(); the monitor facade wires
 /// `/metrics` (Prometheus text exposition), `/metrics.json`, `/progress`
-/// and `/series`. Pass port 0 to bind an ephemeral port (tests); the bound
-/// port is available from port() after start(). `handle(path)` dispatches
-/// without a socket — the unit-test hook.
+/// and `/series`; the job server adds `/jobs`, the `/jobs/<id>` prefix
+/// family and `POST /jobs`. Pass port 0 to bind an ephemeral port (tests);
+/// the bound port is available from port() after start(). `handle(path)` /
+/// `handle_post(path, body)` dispatch without a socket — the unit-test
+/// hooks.
 ///
 /// Compiles to no-ops under G6_OBS_DISABLED.
 
@@ -42,6 +52,22 @@ class MonitorServer {
   /// Must be called before start().
   void route(const std::string& path, std::function<HttpResponse()> fn);
 
+  /// Register a GET route matching every path that starts with \p prefix
+  /// (e.g. "/jobs/" serves /jobs/<id> and /jobs/<id>/result). The handler
+  /// receives the full request path (query string stripped). Exact routes
+  /// win over prefixes; among prefixes the longest match wins.
+  void route_prefix(const std::string& prefix,
+                    std::function<HttpResponse(const std::string&)> fn);
+
+  /// Register a POST route (exact path match). The handler receives the
+  /// request body (up to max_body_bytes; larger requests are answered 400).
+  void route_post(const std::string& path,
+                  std::function<HttpResponse(const std::string&)> fn);
+
+  /// Absolute per-connection wall deadline for reading one request
+  /// (headers + body). Must be set before start(). Seconds; > 0.
+  void set_request_timeout(double seconds);
+
   /// Bind 127.0.0.1:<port> (0 = ephemeral) and start the accept thread.
   /// Returns false when the socket cannot be bound.
   bool start(int port);
@@ -51,8 +77,17 @@ class MonitorServer {
   /// Port actually bound (resolves port 0); 0 when not started.
   int port() const;
 
-  /// Dispatch \p path through the route table without any socket I/O.
+  /// Dispatch a GET for \p path through the route table without any socket
+  /// I/O (exact routes, then prefix routes).
   HttpResponse handle(const std::string& path) const;
+
+  /// Dispatch a POST without socket I/O.
+  HttpResponse handle_post(const std::string& path, const std::string& body) const;
+
+  /// Requests (request line + headers + body) larger than this are
+  /// rejected with 400/413 instead of buffered without bound.
+  static constexpr std::size_t kMaxHeaderBytes = 16 * 1024;
+  static constexpr std::size_t kMaxBodyBytes = 1024 * 1024;
 
  private:
   struct Impl;
@@ -64,11 +99,23 @@ class MonitorServer {
 class MonitorServer {
  public:
   void route(const std::string&, std::function<HttpResponse()>) {}
+  void route_prefix(const std::string&,
+                    std::function<HttpResponse(const std::string&)>) {}
+  void route_post(const std::string&,
+                  std::function<HttpResponse(const std::string&)>) {}
+  void set_request_timeout(double) {}
   bool start(int) { return false; }
   void stop() {}
   bool running() const { return false; }
   int port() const { return 0; }
   HttpResponse handle(const std::string&) const { return {404, "text/plain", "monitoring disabled\n"}; }
+  HttpResponse handle_post(const std::string&, const std::string&) const {
+    return {404, "text/plain", "monitoring disabled\n"};
+  }
+  // Request-size limits stay available: non-HTTP users (the job server's
+  // line protocol) share them so both builds enforce the same bounds.
+  static constexpr std::size_t kMaxHeaderBytes = 16 * 1024;
+  static constexpr std::size_t kMaxBodyBytes = 1024 * 1024;
 };
 
 #endif  // G6_OBS_DISABLED

@@ -1,0 +1,179 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/check.hpp"
+#include "util/crc.hpp"
+
+namespace g6::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void send_line(int fd, const std::string& line) {
+  const std::string out = line + "\n";
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n = ::send(fd, out.data() + off, out.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    G6_CHECK(n > 0, "serve client: send failed");
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string recv_line(int fd, double timeout) {
+  const auto deadline =
+      Clock::now() +
+      std::chrono::microseconds(static_cast<long long>(timeout * 1e6));
+  std::string buf;
+  char chunk[4096];
+  for (;;) {
+    const auto nl = buf.find('\n');
+    if (nl != std::string::npos) return buf.substr(0, nl);
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    G6_CHECK(left.count() > 0, "serve client: reply deadline exceeded");
+    pollfd pfd{fd, POLLIN, 0};
+    const int r = ::poll(
+        &pfd, 1, static_cast<int>(std::min<long long>(left.count(), 1000)));
+    G6_CHECK(r >= 0, "serve client: poll failed");
+    if (r == 0 || (pfd.revents & POLLIN) == 0) continue;
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    G6_CHECK(n > 0, "serve client: connection closed mid-reply");
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  g6::util::raise("serve client: bad hex digit in result data");
+}
+
+std::string hex_decode(const std::string& hex) {
+  G6_CHECK(hex.size() % 2 == 0, "serve client: odd-length hex result");
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2)
+    out.push_back(static_cast<char>((hex_nibble(hex[i]) << 4) |
+                                    hex_nibble(hex[i + 1])));
+  return out;
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+bool Client::connect(int port) {
+  close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  return true;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+g6::obs::JsonValue Client::call(const std::string& line, double timeout) {
+  G6_CHECK(fd_ >= 0, "serve client: not connected");
+  send_line(fd_, line);
+  return g6::obs::JsonValue::parse(recv_line(fd_, timeout));
+}
+
+SubmitReply Client::submit(const JobRequest& req) {
+  const g6::obs::JsonValue reply =
+      call("{\"op\":\"submit\",\"job\":" + job_json(req) + "}");
+  SubmitReply out;
+  if (const auto* ok = reply.find("ok"); ok != nullptr && ok->is_bool())
+    out.ok = ok->as_bool();
+  if (const auto* rej = reply.find("rejected"); rej != nullptr && rej->is_bool())
+    out.rejected = rej->as_bool();
+  if (const auto* r = reply.find("reason"); r != nullptr && r->is_string())
+    out.reason = r->as_string();
+  if (const auto* e = reply.find("error"); e != nullptr && e->is_string())
+    out.error = e->as_string();
+  if (const auto* id = reply.find("id"); id != nullptr && id->is_string())
+    out.id = id->as_string();
+  if (const auto* k = reply.find("key"); k != nullptr && k->is_string())
+    out.key = k->as_string();
+  if (const auto* c = reply.find("cached"); c != nullptr && c->is_bool())
+    out.cached = c->as_bool();
+  return out;
+}
+
+g6::obs::JsonValue Client::wait(const std::string& id, double timeout) {
+  const g6::obs::JsonValue reply =
+      call("{\"op\":\"wait\",\"id\":\"" + id + "\",\"timeout\":" +
+               g6::obs::json_number(timeout) + "}",
+           timeout + 10.0);
+  const auto* job = reply.find("job");
+  if (job == nullptr) {
+    const auto* err = reply.find("error");
+    g6::util::raise("serve client: wait(" + id + ") failed: " +
+                    (err != nullptr && err->is_string() ? err->as_string()
+                                                        : "no job in reply"));
+  }
+  return *job;
+}
+
+g6::obs::JsonValue Client::status(const std::string& id) {
+  const g6::obs::JsonValue reply =
+      call("{\"op\":\"status\",\"id\":\"" + id + "\"}");
+  const auto* job = reply.find("job");
+  G6_CHECK(job != nullptr, "serve client: status(" + id + ") has no job");
+  return *job;
+}
+
+std::string Client::result_bytes(const std::string& id) {
+  const g6::obs::JsonValue reply =
+      call("{\"op\":\"result\",\"id\":\"" + id + "\"}");
+  const auto* ok = reply.find("ok");
+  if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
+    const auto* err = reply.find("error");
+    g6::util::raise("serve client: result(" + id + ") failed: " +
+                    (err != nullptr && err->is_string() ? err->as_string()
+                                                        : "unknown error"));
+  }
+  const auto* data = reply.find("data");
+  G6_CHECK(data != nullptr && data->is_string(),
+           "serve client: result reply has no data");
+  std::string bytes = hex_decode(data->as_string());
+  if (const auto* crc = reply.find("crc32"); crc != nullptr && crc->is_number())
+    G6_CHECK(g6::util::crc32(bytes.data(), bytes.size()) ==
+                 static_cast<std::uint32_t>(crc->as_number()),
+             "serve client: result crc mismatch");
+  return bytes;
+}
+
+g6::obs::JsonValue Client::stats() { return call("{\"op\":\"stats\"}"); }
+
+void Client::shutdown_server() { call("{\"op\":\"shutdown\"}"); }
+
+}  // namespace g6::serve

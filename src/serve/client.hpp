@@ -1,0 +1,68 @@
+#pragma once
+/// \file client.hpp
+/// \brief Client — thin blocking client for the g6serve line protocol.
+///
+/// One TCP connection, one JSON line per request, one per reply
+/// (docs/SERVING.md). Shared by the load generator (examples/g6load), the
+/// saturation bench (bench/bench_serve.cpp) and the tests so they all speak
+/// the wire protocol instead of private server hooks. Transport failures
+/// (connect refused, mid-reply EOF, reply deadline) raise g6::util::Error;
+/// protocol-level rejections are returned as values.
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.hpp"
+#include "serve/job.hpp"
+
+namespace g6::serve {
+
+/// What a submit op came back with.
+struct SubmitReply {
+  bool ok = false;        ///< accepted
+  bool rejected = false;  ///< admission said no (reason below)
+  std::string reason;     ///< reject_reason_name when rejected
+  std::string error;      ///< transport-visible error text when !ok
+  std::string id;         ///< job id when accepted
+  std::string key;        ///< 16-hex-digit cache key when accepted
+  bool cached = false;    ///< served from the result cache at admission
+};
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connect to 127.0.0.1:\p port. Returns false on refusal.
+  bool connect(int port);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Send one request line, read one reply line, parse it. \p timeout is
+  /// the reply deadline in seconds (waits server-side may take a while).
+  g6::obs::JsonValue call(const std::string& line, double timeout = 60.0);
+
+  SubmitReply submit(const JobRequest& req);
+
+  /// Block until the job is terminal; returns the reply's "job" object.
+  /// Raises on timeout or unknown id.
+  g6::obs::JsonValue wait(const std::string& id, double timeout = 60.0);
+
+  g6::obs::JsonValue status(const std::string& id);
+
+  /// Fetch and hex-decode a done job's result (G6SNAPB2 bytes); verifies
+  /// the reply's crc32. Raises when the job has no result.
+  std::string result_bytes(const std::string& id);
+
+  g6::obs::JsonValue stats();
+
+  /// Ask the server to exit its main loop ({"op":"shutdown"}).
+  void shutdown_server();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace g6::serve

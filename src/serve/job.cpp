@@ -1,0 +1,199 @@
+#include "serve/job.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "nbody/integrator.hpp"
+#include "run/checkpoint.hpp"
+#include "util/check.hpp"
+
+namespace g6::serve {
+
+namespace {
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Append-only on purpose: chained std::string operator+ trips a GCC 12
+// -Wrestrict false positive at -O3 (PR105329) under -Werror CI builds.
+std::string quoted(const std::string& s) {
+  std::string out;
+  out += '"';
+  out += g6::obs::json_escape(s);
+  out += '"';
+  return out;
+}
+
+double number_field(const g6::obs::JsonValue& v, const std::string& name) {
+  G6_CHECK(v.is_number(), "job field '" + name + "' must be a number");
+  return v.as_number();
+}
+
+std::uint64_t uint_field(const g6::obs::JsonValue& v, const std::string& name) {
+  const double d = number_field(v, name);
+  G6_CHECK(d >= 0.0 && d == std::floor(d),
+           "job field '" + name + "' must be a non-negative integer");
+  return static_cast<std::uint64_t>(d);
+}
+
+std::string string_field(const g6::obs::JsonValue& v, const std::string& name) {
+  G6_CHECK(v.is_string(), "job field '" + name + "' must be a string");
+  return v.as_string();
+}
+
+}  // namespace
+
+const char* serve_job_state_name(ServeJobState s) {
+  switch (s) {
+    case ServeJobState::kQueued: return "queued";
+    case ServeJobState::kRunning: return "running";
+    case ServeJobState::kDone: return "done";
+    case ServeJobState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+const char* reject_reason_name(RejectReason r) {
+  switch (r) {
+    case RejectReason::kQueueFull: return "queue_full";
+    case RejectReason::kJobTooLarge: return "job_too_large";
+    case RejectReason::kTenantConcurrent: return "tenant_concurrent";
+    case RejectReason::kTenantParticles: return "tenant_particles";
+    case RejectReason::kBadRequest: return "bad_request";
+    case RejectReason::kShuttingDown: return "shutting_down";
+  }
+  return "?";
+}
+
+std::uint64_t job_key(const JobRequest& req) {
+  g6::nbody::IntegratorConfig icfg;
+  icfg.eta = req.eta;
+  icfg.eta_init = req.eta / 2.0;
+  icfg.dt_max = req.dt_max;
+  icfg.solar_gm = req.model == "disk" ? 1.0 : 0.0;
+  // IC identity beyond what config_hash covers, in the same canonical
+  // 17-digit text form, folded into the extra word.
+  std::ostringstream extra;
+  extra.precision(17);
+  extra << req.model << '|' << req.seed << '|' << req.t_end << '|' << req.mpp
+        << '|' << (req.backend == "cluster" ? req.hosts : 0);
+  return g6::run::config_hash(icfg, req.backend, req.eps, req.n,
+                              fnv1a64(extra.str()));
+}
+
+std::string key_hex(std::uint64_t key) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+JobRequest parse_job(const g6::obs::JsonValue& v) {
+  G6_CHECK(v.is_object(), "job spec must be a JSON object");
+  JobRequest req;
+  for (const auto& [name, value] : v.as_object()) {
+    if (name == "tenant") {
+      req.tenant = string_field(value, name);
+    } else if (name == "priority") {
+      req.priority = static_cast<int>(number_field(value, name));
+    } else if (name == "model") {
+      req.model = string_field(value, name);
+    } else if (name == "backend") {
+      req.backend = string_field(value, name);
+    } else if (name == "n") {
+      req.n = uint_field(value, name);
+    } else if (name == "seed") {
+      req.seed = uint_field(value, name);
+    } else if (name == "eta") {
+      req.eta = number_field(value, name);
+    } else if (name == "dt_max") {
+      req.dt_max = number_field(value, name);
+    } else if (name == "t_end") {
+      req.t_end = number_field(value, name);
+    } else if (name == "mpp") {
+      req.mpp = number_field(value, name);
+    } else if (name == "eps") {
+      req.eps = number_field(value, name);
+    } else if (name == "hosts") {
+      req.hosts = static_cast<int>(number_field(value, name));
+    } else if (name == "fault_after_blocks") {
+      req.fault_after_blocks = uint_field(value, name);
+    } else if (name == "no_cache") {
+      G6_CHECK(value.is_bool(), "job field 'no_cache' must be a bool");
+      req.no_cache = value.as_bool();
+    } else {
+      g6::util::raise("unknown job field '" + name + "'");
+    }
+  }
+  G6_CHECK(req.n > 0, "job needs n > 0");
+  G6_CHECK(req.t_end > 0.0, "job needs t_end > 0");
+  G6_CHECK(req.eta > 0.0, "job needs eta > 0");
+  G6_CHECK(req.dt_max > 0.0, "job needs dt_max > 0");
+  G6_CHECK(req.model == "disk" || req.model == "plummer" ||
+               req.model == "coldsphere",
+           "unknown model '" + req.model + "' (want disk|plummer|coldsphere)");
+  G6_CHECK(req.backend == "cpu" || req.backend == "grape" ||
+               req.backend == "cluster",
+           "unknown backend '" + req.backend + "' (want cpu|grape|cluster)");
+  return req;
+}
+
+std::string job_json(const JobRequest& req) {
+  using g6::obs::json_number;
+  using std::to_string;
+  std::string out = "{";
+  out += "\"tenant\":" + quoted(req.tenant);
+  out += ",\"priority\":" + to_string(req.priority);
+  out += ",\"model\":" + quoted(req.model);
+  out += ",\"backend\":" + quoted(req.backend);
+  out += ",\"n\":" + to_string(req.n);
+  out += ",\"seed\":" + to_string(req.seed);
+  out += ",\"eta\":" + json_number(req.eta);
+  out += ",\"dt_max\":" + json_number(req.dt_max);
+  out += ",\"t_end\":" + json_number(req.t_end);
+  out += ",\"mpp\":" + json_number(req.mpp);
+  out += ",\"eps\":" + json_number(req.eps);
+  out += ",\"hosts\":" + to_string(req.hosts);
+  if (req.fault_after_blocks != 0)
+    out += ",\"fault_after_blocks\":" + to_string(req.fault_after_blocks);
+  if (req.no_cache) out += ",\"no_cache\":true";
+  out += "}";
+  return out;
+}
+
+std::string record_json(const JobRecord& rec) {
+  using g6::obs::json_number;
+  using std::to_string;
+  std::string out = "{";
+  out += "\"id\":" + quoted(rec.id);
+  out += ",\"tenant\":" + quoted(rec.request.tenant);
+  out += ",\"state\":" + quoted(serve_job_state_name(rec.state));
+  out += ",\"key\":" + quoted(key_hex(rec.key));
+  out += ",\"cache_hit\":" + std::string(rec.cache_hit ? "true" : "false");
+  out += ",\"model\":" + quoted(rec.request.model);
+  out += ",\"backend\":" + quoted(rec.request.backend);
+  out += ",\"n\":" + to_string(rec.request.n);
+  out += ",\"seed\":" + to_string(rec.request.seed);
+  out += ",\"t_end\":" + json_number(rec.request.t_end);
+  out += ",\"priority\":" + to_string(rec.request.priority);
+  out += ",\"submit_seconds\":" + json_number(rec.submit_seconds);
+  out += ",\"start_seconds\":" + json_number(rec.start_seconds);
+  out += ",\"finish_seconds\":" + json_number(rec.finish_seconds);
+  out += ",\"t_sys\":" + json_number(rec.t_sys);
+  out += ",\"blocks\":" + to_string(rec.blocks);
+  out += ",\"steps\":" + to_string(rec.steps);
+  out += ",\"result_bytes\":" + to_string(rec.result_bytes);
+  out += ",\"result_crc32\":" + to_string(rec.result_crc32);
+  out += ",\"error\":" + quoted(rec.error);
+  out += "}";
+  return out;
+}
+
+}  // namespace g6::serve

@@ -1,0 +1,101 @@
+#pragma once
+/// \file job.hpp
+/// \brief The serving layer's job model: what a tenant submits, what the
+///        server records, and the JSON codec both sides of the wire share.
+///
+/// The GRAPE-6 cluster was a shared facility — many queued runs scheduled
+/// onto fixed special-purpose capacity (Makino et al., SC 2002). The
+/// software analogue promotes the batch CampaignRunner job into a network
+/// request: a JobRequest names a scenario (model, n, seed, integrator
+/// tunables, backend), a tenant and a priority; the server answers with a
+/// JobRecord that tracks it from admission to completion.
+///
+/// A job's *identity* is its result-cache key: the same FNV-1a config_hash
+/// the checkpoint layer refuses to resume across (src/run/checkpoint.hpp),
+/// extended with the IC identity (model, seed, t_end, mpp, hosts). Two
+/// requests with equal keys are the same simulation — the determinism
+/// contract (bit-identical at any thread count, docs/CHECKPOINTING.md)
+/// makes the cached snapshot byte-identical to a recompute, so serving it
+/// is not an approximation (docs/SERVING.md states the cache-key contract).
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace g6::serve {
+
+/// One simulation job as submitted over the wire. Field names match the
+/// JSON protocol ("op":"submit" requests carry these under "job").
+struct JobRequest {
+  std::string tenant = "default";
+  int priority = 0;             ///< added to the tenant's base priority
+  std::string model = "disk";   ///< disk | plummer | coldsphere
+  std::string backend = "cpu";  ///< cpu | grape | cluster
+  std::uint64_t n = 256;        ///< particle count
+  std::uint64_t seed = 1;       ///< initial-condition seed
+  double eta = 0.02;            ///< Aarseth accuracy parameter
+  double dt_max = 4.0;          ///< largest block step (power of two)
+  double t_end = 1.0;           ///< end time (code units)
+  double mpp = 1e-5;            ///< disk protoplanet mass, M_sun
+  double eps = 0.008;           ///< softening length
+  int hosts = 4;                ///< simulated hosts (cluster backend)
+  /// Fault injection for resilience tests: when > 0 the worker raises a
+  /// deterministic error after this many block steps — the same isolation
+  /// path any worker exception takes (docs/SERVING.md, degraded mode).
+  std::uint64_t fault_after_blocks = 0;
+  bool no_cache = false;  ///< skip the result cache (bench cold path)
+};
+
+enum class ServeJobState { kQueued, kRunning, kDone, kFailed };
+
+const char* serve_job_state_name(ServeJobState s);
+
+/// Why admission refused a submission (the "reason" field of a rejection).
+enum class RejectReason {
+  kQueueFull,         ///< bounded queue at capacity
+  kJobTooLarge,       ///< n exceeds the per-job particle cap
+  kTenantConcurrent,  ///< tenant already has max_concurrent live jobs
+  kTenantParticles,   ///< tenant's live particles + n exceed the quota
+  kBadRequest,        ///< unparseable / invalid job spec
+  kShuttingDown,      ///< server is draining
+};
+
+const char* reject_reason_name(RejectReason r);
+
+/// What the server tracks per admitted job; `/jobs` serializes these.
+struct JobRecord {
+  std::string id;       ///< "j-<seq>", unique per server lifetime
+  JobRequest request;
+  std::uint64_t key = 0;  ///< result-cache key (config_hash + IC identity)
+  ServeJobState state = ServeJobState::kQueued;
+  bool cache_hit = false;   ///< served from the result cache, zero recompute
+  double submit_seconds = 0.0;  ///< wall clock since server start
+  double start_seconds = -1.0;  ///< < 0 until the job starts running
+  double finish_seconds = -1.0;
+  double t_sys = 0.0;           ///< simulation progress
+  std::uint64_t blocks = 0, steps = 0;  ///< integrator work (0 on cache hit)
+  std::uint64_t result_bytes = 0;
+  std::uint32_t result_crc32 = 0;
+  std::string error;  ///< non-empty for kFailed
+};
+
+/// The cache key: run::config_hash over the integrator/backend/n identity,
+/// with the IC identity (model, seed, t_end, mpp, hosts) folded into the
+/// `extra` word. Changing ANY field that changes the physics changes the
+/// key (tests pin this; tenant/priority/fault knobs are deliberately NOT
+/// part of the key — they do not change the result).
+std::uint64_t job_key(const JobRequest& req);
+
+/// Format a key the way the protocol does: 16 lower-case hex digits.
+std::string key_hex(std::uint64_t key);
+
+/// JSON codec. parse_job reads the members of \p v (an object) into a
+/// JobRequest, raising g6::util::Error naming the offending field on a
+/// type mismatch or an unknown member — admission rejects, it does not
+/// guess. job_json/record_json render protocol/endpoint payloads.
+JobRequest parse_job(const g6::obs::JsonValue& v);
+std::string job_json(const JobRequest& req);
+std::string record_json(const JobRecord& rec);
+
+}  // namespace g6::serve

@@ -1,0 +1,427 @@
+#include "serve/job_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/progress.hpp"
+#include "util/check.hpp"
+#include "util/crc.hpp"
+#include "util/log.hpp"
+
+namespace g6::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string hex_encode(const std::string& bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(digits[c >> 4]);
+    out.push_back(digits[c & 0xF]);
+  }
+  return out;
+}
+
+std::string error_line(const std::string& message) {
+  return "{\"ok\":false,\"error\":\"" + g6::obs::json_escape(message) + "\"}";
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+struct JobServer::Impl {
+  explicit Impl(JobServerConfig c)
+      : cfg(std::move(c)), cache(cfg.cache), sched(cfg.scheduler, cache) {}
+
+  JobServerConfig cfg;
+  ResultCache cache;
+  Scheduler sched;
+
+  int listen_fd = -1;
+  int bound_port = 0;
+  std::thread accept_thread;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> running{false};
+  std::atomic<bool> shutdown_requested{false};
+  std::atomic<int> active_connections{0};
+  g6::obs::Counter connections_total, connections_rejected, protocol_errors;
+
+  std::mutex conn_mu;
+  std::set<int> conn_fds;  ///< open client fds; stop() shuts them down
+  std::map<std::uint64_t, std::thread> handlers;  ///< by handler id
+  std::vector<std::uint64_t> finished;  ///< handler ids ready to join
+  std::uint64_t next_handler_id = 0;
+
+  void accept_loop(JobServer* server);
+  void handle_connection(JobServer* server, int fd, std::uint64_t id);
+  void reap_finished_handlers();
+};
+
+void JobServer::Impl::reap_finished_handlers() {
+  // A finished handler's LAST locked action was pushing its id, so join()
+  // here returns promptly; never join under conn_mu (the handler's final
+  // bookkeeping needs it).
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu);
+    for (std::uint64_t id : finished) {
+      const auto it = handlers.find(id);
+      if (it != handlers.end()) {
+        done.push_back(std::move(it->second));
+        handlers.erase(it);
+      }
+    }
+    finished.clear();
+  }
+  for (std::thread& t : done) t.join();
+}
+
+JobServer::JobServer(JobServerConfig cfg)
+    : impl_(std::make_unique<Impl>(std::move(cfg))) {
+  auto& reg = g6::obs::MetricsRegistry::global();
+  impl_->connections_total = reg.counter("g6.serve.connections");
+  impl_->connections_rejected = reg.counter("g6.serve.connections_rejected");
+  impl_->protocol_errors = reg.counter("g6.serve.protocol_errors");
+}
+
+JobServer::~JobServer() { stop(); }
+
+bool JobServer::start() {
+  if (impl_->running.load()) return true;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(impl_->cfg.port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 64) != 0) {
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+    impl_->bound_port = ntohs(addr.sin_port);
+  impl_->listen_fd = fd;
+  impl_->stop.store(false);
+  impl_->shutdown_requested.store(false);
+  impl_->sched.start();
+  impl_->running.store(true);
+  impl_->accept_thread = std::thread([this] { impl_->accept_loop(this); });
+  G6_LOG_INFO("serve: job protocol on 127.0.0.1:" +
+              std::to_string(impl_->bound_port));
+  return true;
+}
+
+void JobServer::stop() {
+  if (!impl_->running.load()) return;
+  impl_->stop.store(true);
+  {
+    // Wake blocked connection reads so their threads exit promptly.
+    std::lock_guard<std::mutex> lock(impl_->conn_mu);
+    for (int fd : impl_->conn_fds) ::shutdown(fd, SHUT_RDWR);
+  }
+  impl_->accept_thread.join();
+  {
+    std::map<std::uint64_t, std::thread> rest;
+    {
+      std::lock_guard<std::mutex> lock(impl_->conn_mu);
+      rest.swap(impl_->handlers);
+      impl_->finished.clear();
+    }
+    for (auto& [id, t] : rest) t.join();
+  }
+  ::close(impl_->listen_fd);
+  impl_->listen_fd = -1;
+  impl_->sched.stop();
+  impl_->running.store(false);
+}
+
+bool JobServer::running() const { return impl_->running.load(); }
+
+int JobServer::port() const { return impl_->bound_port; }
+
+bool JobServer::wants_shutdown() const {
+  return impl_->shutdown_requested.load();
+}
+
+Scheduler& JobServer::scheduler() { return impl_->sched; }
+
+ResultCache& JobServer::cache() { return impl_->cache; }
+
+const JobServerConfig& JobServer::config() const { return impl_->cfg; }
+
+void JobServer::Impl::accept_loop(JobServer* server) {
+  while (!stop.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, 100);  // 100 ms: prompt stop()
+    if (r <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd, nullptr, nullptr);
+    if (client < 0) continue;
+    connections_total.add();
+    if (active_connections.load() >= cfg.max_connections) {
+      // Admission control applies to connections too: refuse, don't queue.
+      connections_rejected.add();
+      send_all(client, error_line("too many connections") + "\n");
+      ::close(client);
+      continue;
+    }
+    active_connections.fetch_add(1);
+    reap_finished_handlers();  // keeps the registry bounded by live conns
+    std::lock_guard<std::mutex> lock(conn_mu);
+    conn_fds.insert(client);
+    const std::uint64_t id = next_handler_id++;
+    handlers.emplace(id, std::thread([this, server, client, id] {
+                       handle_connection(server, client, id);
+                     }));
+  }
+}
+
+void JobServer::Impl::handle_connection(JobServer* server, int fd,
+                                        std::uint64_t id) {
+  std::string buf;
+  char chunk[4096];
+  auto idle_deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(cfg.idle_timeout));
+  while (!stop.load(std::memory_order_relaxed)) {
+    // Serve every complete line already buffered.
+    std::size_t nl;
+    while ((nl = buf.find('\n')) != std::string::npos) {
+      std::string line = buf.substr(0, nl);
+      buf.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      send_all(fd, server->handle_line(line) + "\n");
+      idle_deadline =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(cfg.idle_timeout));
+    }
+    if (buf.size() > g6::obs::MonitorServer::kMaxBodyBytes) {
+      protocol_errors.add();
+      send_all(fd, error_line("request line too long") + "\n");
+      break;
+    }
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        idle_deadline - Clock::now());
+    if (left.count() <= 0) break;  // idle client: free the slot
+    pollfd pfd{fd, POLLIN, 0};
+    const int r = ::poll(
+        &pfd, 1, static_cast<int>(std::min<long long>(left.count(), 500)));
+    if (r < 0) break;
+    if (r == 0 || (pfd.revents & POLLIN) == 0) continue;
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) break;  // EOF or error
+    buf.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  active_connections.fetch_sub(1);
+  std::lock_guard<std::mutex> lock(conn_mu);
+  conn_fds.erase(fd);
+  finished.push_back(id);
+}
+
+std::string JobServer::handle_line(const std::string& line) {
+  g6::obs::JsonValue req;
+  try {
+    req = g6::obs::JsonValue::parse(line);
+  } catch (const std::exception& e) {
+    impl_->protocol_errors.add();
+    return error_line(std::string("bad json: ") + e.what());
+  }
+  if (!req.is_object()) {
+    impl_->protocol_errors.add();
+    return error_line("request must be a JSON object");
+  }
+  const g6::obs::JsonValue* op = req.find("op");
+  if (op == nullptr || !op->is_string())
+    return error_line("request needs a string \"op\"");
+
+  Scheduler& sched = impl_->sched;
+  if (op->as_string() == "submit") {
+    const g6::obs::JsonValue* spec = req.find("job");
+    if (spec == nullptr) return error_line("submit needs a \"job\" object");
+    JobRequest job;
+    try {
+      job = parse_job(*spec);
+    } catch (const std::exception& e) {
+      // An unparseable job is an admission rejection, with the bad field
+      // named — the tenant can fix and resubmit; nothing was queued.
+      g6::obs::MetricsRegistry::global()
+          .counter("g6.serve.jobs_rejected")
+          .add();
+      g6::obs::MetricsRegistry::global()
+          .counter("g6.serve.rejected.bad_request")
+          .add();
+      return "{\"ok\":false,\"rejected\":true,\"reason\":\"bad_request\","
+             "\"error\":\"" +
+             g6::obs::json_escape(e.what()) + "\"}";
+    }
+    const SubmitOutcome out = sched.submit(job);
+    if (!out.accepted)
+      return std::string("{\"ok\":false,\"rejected\":true,\"reason\":\"") +
+             reject_reason_name(out.reason) + "\"}";
+    return "{\"ok\":true,\"id\":\"" + out.id + "\",\"key\":\"" +
+           key_hex(out.key) + "\",\"cached\":" +
+           (out.cached ? "true" : "false") + "}";
+  }
+  if (op->as_string() == "status" || op->as_string() == "wait") {
+    const g6::obs::JsonValue* id = req.find("id");
+    if (id == nullptr || !id->is_string())
+      return error_line("needs a string \"id\"");
+    std::optional<JobRecord> rec;
+    if (op->as_string() == "wait") {
+      double timeout = 30.0;
+      if (const g6::obs::JsonValue* t = req.find("timeout");
+          t != nullptr && t->is_number())
+        timeout = t->as_number();
+      timeout = std::min(std::max(timeout, 0.0), impl_->cfg.wait_cap);
+      rec = sched.wait(id->as_string(), timeout);
+      if (!rec.has_value() && sched.record(id->as_string()).has_value())
+        return error_line("timeout");
+    } else {
+      rec = sched.record(id->as_string());
+    }
+    if (!rec.has_value()) return error_line("unknown job '" + id->as_string() + "'");
+    return "{\"ok\":true,\"job\":" + record_json(*rec) + "}";
+  }
+  if (op->as_string() == "result") {
+    const g6::obs::JsonValue* id = req.find("id");
+    if (id == nullptr || !id->is_string())
+      return error_line("needs a string \"id\"");
+    std::string bytes;
+    if (!sched.result(id->as_string(), &bytes))
+      return error_line("no result for '" + id->as_string() +
+                        "' (unknown, failed, or still running)");
+    return "{\"ok\":true,\"bytes\":" + std::to_string(bytes.size()) +
+           ",\"crc32\":" +
+           std::to_string(g6::util::crc32(bytes.data(), bytes.size())) +
+           ",\"data\":\"" + hex_encode(bytes) + "\"}";
+  }
+  if (op->as_string() == "stats") {
+    const SchedulerStats s = sched.stats();
+    std::string out = "{\"ok\":true";
+    out += ",\"queued\":" + std::to_string(s.queued);
+    out += ",\"running\":" + std::to_string(s.running);
+    out += ",\"submitted\":" + std::to_string(s.submitted);
+    out += ",\"completed\":" + std::to_string(s.completed);
+    out += ",\"failed\":" + std::to_string(s.failed);
+    out += ",\"rejected\":" + std::to_string(s.rejected);
+    out += ",\"cache\":{\"hits\":" + std::to_string(impl_->cache.hits());
+    out += ",\"misses\":" + std::to_string(impl_->cache.misses());
+    out += ",\"evictions\":" + std::to_string(impl_->cache.evictions());
+    out += ",\"disk_hits\":" + std::to_string(impl_->cache.disk_hits());
+    out += ",\"bytes\":" + std::to_string(impl_->cache.bytes());
+    out += ",\"entries\":" + std::to_string(impl_->cache.entries());
+    out += "}}";
+    return out;
+  }
+  if (op->as_string() == "ping") return "{\"ok\":true}";
+  if (op->as_string() == "shutdown") {
+    impl_->shutdown_requested.store(true);
+    return "{\"ok\":true}";
+  }
+  impl_->protocol_errors.add();
+  return error_line("unknown op '" + op->as_string() + "'");
+}
+
+void JobServer::attach_http(g6::obs::MonitorServer& http) {
+  Impl* impl = impl_.get();
+  http.route("/jobs", [impl]() -> g6::obs::HttpResponse {
+    const SchedulerStats s = impl->sched.stats();
+    std::string body = "{\"queued\":" + std::to_string(s.queued);
+    body += ",\"running\":" + std::to_string(s.running);
+    body += ",\"submitted\":" + std::to_string(s.submitted);
+    body += ",\"completed\":" + std::to_string(s.completed);
+    body += ",\"failed\":" + std::to_string(s.failed);
+    body += ",\"rejected\":" + std::to_string(s.rejected);
+    body += ",\"cache_hits\":" + std::to_string(impl->cache.hits());
+    body += ",\"cache_misses\":" + std::to_string(impl->cache.misses());
+    body += ",\"jobs\":[";
+    bool first = true;
+    for (const JobRecord& rec : impl->sched.records()) {
+      if (!first) body += ",";
+      first = false;
+      body += record_json(rec);
+    }
+    body += "]}";
+    return {200, "application/json", body};
+  });
+  http.route_prefix("/jobs/", [impl](const std::string& path)
+                                  -> g6::obs::HttpResponse {
+    std::string rest = path.substr(std::string("/jobs/").size());
+    const bool want_result = rest.size() > 7 &&
+                             rest.compare(rest.size() - 7, 7, "/result") == 0;
+    if (want_result) rest = rest.substr(0, rest.size() - 7);
+    if (rest.empty() || rest.find('/') != std::string::npos)
+      return {404, "text/plain", "not found\n"};
+    if (want_result) {
+      std::string bytes;
+      if (!impl->sched.result(rest, &bytes))
+        return {404, "text/plain", "no result for '" + rest + "'\n"};
+      return {200, "application/octet-stream", std::move(bytes)};
+    }
+    const std::optional<JobRecord> rec = impl->sched.record(rest);
+    if (!rec.has_value())
+      return {404, "text/plain", "unknown job '" + rest + "'\n"};
+    return {200, "application/json", record_json(*rec)};
+  });
+  http.route_post("/jobs", [this](const std::string& body)
+                               -> g6::obs::HttpResponse {
+    // POST body is the bare job object; reuse the protocol handler by
+    // wrapping it as a submit op so both paths share one code path.
+    const std::string reply =
+        handle_line("{\"op\":\"submit\",\"job\":" + body + "}");
+    g6::obs::JsonValue parsed;
+    try {
+      parsed = g6::obs::JsonValue::parse(reply);
+    } catch (...) {
+      return {500, "application/json", reply};
+    }
+    const g6::obs::JsonValue* ok = parsed.find("ok");
+    const bool accepted = ok != nullptr && ok->is_bool() && ok->as_bool();
+    const bool rejected = parsed.find("rejected") != nullptr;
+    const g6::obs::JsonValue* reason = parsed.find("reason");
+    // 429 = admission control said no (back off and retry); 400 = the
+    // request itself was malformed (retrying verbatim cannot help).
+    const bool malformed = reason != nullptr && reason->is_string() &&
+                           reason->as_string() == "bad_request";
+    const int status = accepted ? 200 : (rejected && !malformed ? 429 : 400);
+    return {status, "application/json", reply};
+  });
+}
+
+}  // namespace g6::serve

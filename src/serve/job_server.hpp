@@ -1,0 +1,92 @@
+#pragma once
+/// \file job_server.hpp
+/// \brief JobServer — the long-lived simulation-as-a-service daemon core:
+///        line-delimited JSON protocol on a localhost TCP socket, plus
+///        `/jobs` HTTP endpoints on a MonitorServer.
+///
+/// Wire protocol (docs/SERVING.md has the grammar): one JSON object per
+/// line in each direction, UTF-8, '\n'-terminated. Requests carry an "op":
+///
+///   {"op":"submit","job":{...}}   -> {"ok":true,"id":"j-0","key":"<hex16>",
+///                                     "cached":false}
+///                                  | {"ok":false,"rejected":true,
+///                                     "reason":"queue_full"}
+///   {"op":"status","id":"j-0"}    -> {"ok":true,"job":{<record>}}
+///   {"op":"wait","id":"j-0","timeout":30}
+///                                 -> {"ok":true,"job":{...}} | timeout error
+///   {"op":"result","id":"j-0"}    -> {"ok":true,"bytes":N,"crc32":C,
+///                                     "data":"<hex>"}  (G6SNAPB2 payload)
+///   {"op":"stats"}                -> {"ok":true,...queue/cache counters...}
+///   {"op":"ping"}                 -> {"ok":true}
+///   {"op":"shutdown"}             -> {"ok":true}  (then wants_shutdown())
+///
+/// Malformed JSON, unknown ops and invalid job specs answer
+/// {"ok":false,"error":"..."} — the connection survives; an unparseable
+/// job also counts one g6.serve.rejected.bad_request.
+///
+/// HTTP (read side, via attach_http): GET /jobs (stats + every retained
+/// record), GET /jobs/<id>, GET /jobs/<id>/result (application/octet-stream
+/// snapshot bytes), POST /jobs (submit; 200 accepted / 429 rejected with
+/// the reason). The daemon wires these onto its Monitor's server so one
+/// port serves /metrics, /progress and /jobs alike.
+///
+/// Fault isolation: a connection handler or job failure never takes down
+/// the accept loop; the protocol listener enforces an idle deadline and a
+/// connection cap so stalled clients cannot exhaust it.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "obs/monitor_server.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/scheduler.hpp"
+
+namespace g6::serve {
+
+struct JobServerConfig {
+  int port = 0;  ///< protocol listener port (0 = ephemeral; port() tells)
+  SchedulerConfig scheduler;
+  ResultCacheConfig cache;
+  int max_connections = 32;     ///< concurrent protocol connections
+  double idle_timeout = 30.0;   ///< seconds a connection may sit idle
+  double wait_cap = 600.0;      ///< ceiling on a single wait op's timeout
+};
+
+class JobServer {
+ public:
+  explicit JobServer(JobServerConfig cfg = {});
+  ~JobServer();  ///< stops everything
+  JobServer(const JobServer&) = delete;
+  JobServer& operator=(const JobServer&) = delete;
+
+  /// Start scheduler lanes and the protocol listener. Returns false when
+  /// the socket cannot be bound.
+  bool start();
+  void stop();
+  bool running() const;
+
+  /// Protocol port actually bound (resolves port 0); 0 when not started.
+  int port() const;
+
+  /// Register the /jobs route family on \p http (call before http.start()).
+  void attach_http(g6::obs::MonitorServer& http);
+
+  /// One protocol request -> one response line (no trailing '\n'). Exposed
+  /// for tests; the socket handler calls exactly this per line.
+  std::string handle_line(const std::string& line);
+
+  /// True once a client issued {"op":"shutdown"} — the daemon's main loop
+  /// polls this and exits cleanly.
+  bool wants_shutdown() const;
+
+  Scheduler& scheduler();
+  ResultCache& cache();
+  const JobServerConfig& config() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace g6::serve

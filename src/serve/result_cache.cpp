@@ -1,0 +1,184 @@
+#include "serve/result_cache.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "serve/job.hpp"
+#include "util/crc.hpp"
+#include "util/log.hpp"
+
+namespace fs = std::filesystem;
+
+namespace g6::serve {
+
+namespace {
+
+// Spill-file framing: magic, payload size, payload CRC-32, payload. The
+// frame detects truncation/corruption; the payload is the raw result bytes.
+constexpr char kSpillMagic[8] = {'G', '6', 'R', 'C', 'A', 'C', 'H', '1'};
+
+}  // namespace
+
+ResultCache::ResultCache(ResultCacheConfig cfg) : cfg_(std::move(cfg)) {
+  auto& reg = g6::obs::MetricsRegistry::global();
+  hits_ = reg.counter("g6.serve.cache.hits");
+  misses_ = reg.counter("g6.serve.cache.misses");
+  evictions_ = reg.counter("g6.serve.cache.evictions");
+  disk_hits_ = reg.counter("g6.serve.cache.disk_hits");
+  bytes_gauge_ = reg.gauge("g6.serve.cache.bytes");
+  entries_gauge_ = reg.gauge("g6.serve.cache.entries");
+  if (!cfg_.persist_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(cfg_.persist_dir, ec);
+    if (ec)
+      G6_LOG_WARN("serve: cannot create cache dir " + cfg_.persist_dir +
+                  ": " + ec.message());
+  }
+}
+
+bool ResultCache::lookup(std::uint64_t key, std::string* out) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.erase(it->second.lru_it);
+      lru_.push_front(key);
+      it->second.lru_it = lru_.begin();
+      if (out != nullptr) *out = it->second.bytes;
+      hits_.add();
+      return true;
+    }
+  }
+  if (!cfg_.persist_dir.empty()) {
+    std::string bytes;
+    if (load_spill(key, &bytes)) {
+      hits_.add();
+      disk_hits_.add();
+      // Re-admit to the memory tier (skips spill rewrite: same bytes).
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (map_.find(key) == map_.end() && bytes.size() <= cfg_.max_bytes) {
+          evict_to_fit_locked(bytes.size());
+          lru_.push_front(key);
+          map_[key] = Entry{lru_.begin(), bytes};
+          bytes_ += bytes.size();
+          publish_locked();
+        }
+      }
+      if (out != nullptr) *out = std::move(bytes);
+      return true;
+    }
+  }
+  misses_.add();
+  return false;
+}
+
+bool ResultCache::contains(std::uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.find(key) != map_.end();
+}
+
+void ResultCache::insert(std::uint64_t key, const std::string& bytes) {
+  if (!cfg_.persist_dir.empty()) store_spill(key, bytes);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Same key, same deterministic bytes — just promote.
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(key);
+    it->second.lru_it = lru_.begin();
+    return;
+  }
+  if (bytes.size() > cfg_.max_bytes) return;  // would evict everything
+  evict_to_fit_locked(bytes.size());
+  lru_.push_front(key);
+  map_[key] = Entry{lru_.begin(), bytes};
+  bytes_ += bytes.size();
+  publish_locked();
+}
+
+std::size_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+std::size_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+void ResultCache::evict_to_fit_locked(std::size_t incoming) {
+  while (!lru_.empty() && bytes_ + incoming > cfg_.max_bytes) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    const auto it = map_.find(victim);
+    bytes_ -= it->second.bytes.size();
+    map_.erase(it);
+    evictions_.add();
+  }
+  publish_locked();
+}
+
+std::string ResultCache::spill_path(std::uint64_t key) const {
+  return cfg_.persist_dir + "/" + key_hex(key) + ".bsnap";
+}
+
+bool ResultCache::load_spill(std::uint64_t key, std::string* out) const {
+  const std::string path = spill_path(key);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[8];
+  std::uint64_t size = 0;
+  std::uint32_t crc = 0;
+  in.read(magic, sizeof magic);
+  in.read(reinterpret_cast<char*>(&size), sizeof size);
+  in.read(reinterpret_cast<char*>(&crc), sizeof crc);
+  std::string bytes;
+  if (in && std::memcmp(magic, kSpillMagic, sizeof magic) == 0 &&
+      size < (1ull << 40)) {
+    bytes.resize(size);
+    in.read(bytes.data(), static_cast<std::streamsize>(size));
+  }
+  if (!in || std::memcmp(magic, kSpillMagic, sizeof magic) != 0 ||
+      g6::util::crc32(bytes.data(), bytes.size()) != crc) {
+    in.close();
+    std::error_code ec;
+    fs::remove(path, ec);  // corrupt spill: drop it, count a miss
+    return false;
+  }
+  *out = std::move(bytes);
+  return true;
+}
+
+void ResultCache::store_spill(std::uint64_t key, const std::string& bytes) const {
+  const std::string path = spill_path(key);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    const std::uint64_t size = bytes.size();
+    const std::uint32_t crc = g6::util::crc32(bytes.data(), bytes.size());
+    out.write(kSpillMagic, sizeof kSpillMagic);
+    out.write(reinterpret_cast<const char*>(&size), sizeof size);
+    out.write(reinterpret_cast<const char*>(&crc), sizeof crc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      out.close();
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) fs::remove(tmp, ec);
+}
+
+void ResultCache::publish_locked() {
+  bytes_gauge_.set(static_cast<double>(bytes_));
+  entries_gauge_.set(static_cast<double>(map_.size()));
+}
+
+}  // namespace g6::serve

@@ -1,0 +1,82 @@
+#pragma once
+/// \file result_cache.hpp
+/// \brief ResultCache — byte-budgeted LRU of finished simulation snapshots,
+///        keyed by the job's config_hash identity (job_key).
+///
+/// The serving layer's central bet: the determinism contract (bit-identical
+/// results at any thread count, docs/CHECKPOINTING.md) makes a cached
+/// snapshot *exactly* what a recompute would produce, so a repeated request
+/// is served with zero integrator steps and zero approximation. Entries are
+/// the raw G6SNAPB2 result bytes; the LRU evicts by total byte budget (an
+/// entry larger than the whole budget is never admitted).
+///
+/// Optionally spills to a persist directory: every insert also writes
+/// `<key-hex>.bsnap` (atomic tmp+rename, CRC-framed), and a memory miss
+/// falls back to disk — a restarted server keeps its cache warm. Corrupt
+/// or truncated spill files are deleted and treated as misses.
+///
+/// Metrics (docs/OBSERVABILITY.md): g6.serve.cache.{hits,misses,evictions,
+/// disk_hits} counters and g6.serve.cache.{bytes,entries} gauges. Thread
+/// safe; every operation takes one internal mutex.
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+
+namespace g6::serve {
+
+struct ResultCacheConfig {
+  std::size_t max_bytes = 64ull << 20;  ///< in-memory LRU byte budget
+  std::string persist_dir;              ///< empty: memory-only
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(ResultCacheConfig cfg = {});
+
+  /// Copy the cached bytes for \p key into \p out and promote the entry to
+  /// most-recently-used. Counts a hit or a miss; a disk fallback that
+  /// succeeds counts both a hit and a disk_hit.
+  bool lookup(std::uint64_t key, std::string* out);
+
+  /// Probe without touching LRU order, metrics, or disk (admission peek).
+  bool contains(std::uint64_t key) const;
+
+  /// Admit \p bytes under \p key, evicting least-recently-used entries
+  /// until the budget holds. Oversized payloads (> max_bytes) skip the
+  /// memory tier but still spill to disk when persistence is on.
+  void insert(std::uint64_t key, const std::string& bytes);
+
+  std::size_t bytes() const;
+  std::size_t entries() const;
+  std::uint64_t hits() const { return hits_.value(); }
+  std::uint64_t misses() const { return misses_.value(); }
+  std::uint64_t evictions() const { return evictions_.value(); }
+  std::uint64_t disk_hits() const { return disk_hits_.value(); }
+
+ private:
+  struct Entry {
+    std::list<std::uint64_t>::iterator lru_it;
+    std::string bytes;
+  };
+
+  void evict_to_fit_locked(std::size_t incoming);
+  std::string spill_path(std::uint64_t key) const;
+  bool load_spill(std::uint64_t key, std::string* out) const;
+  void store_spill(std::uint64_t key, const std::string& bytes) const;
+  void publish_locked();
+
+  ResultCacheConfig cfg_;
+  mutable std::mutex mu_;
+  std::list<std::uint64_t> lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, Entry> map_;
+  std::size_t bytes_ = 0;
+
+  g6::obs::Counter hits_, misses_, evictions_, disk_hits_;
+  g6::obs::Gauge bytes_gauge_, entries_gauge_;
+};
+
+}  // namespace g6::serve

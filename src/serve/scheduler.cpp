@@ -1,0 +1,412 @@
+#include "serve/scheduler.hpp"
+
+#include <sstream>
+
+#include "cluster/cluster_backend.hpp"
+#include "disk/disk_model.hpp"
+#include "grape6/backend.hpp"
+#include "nbody/force_direct.hpp"
+#include "nbody/integrator.hpp"
+#include "nbody/models.hpp"
+#include "nbody/snapshot.hpp"
+#include "obs/progress.hpp"
+#include "util/check.hpp"
+#include "util/crc.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace g6::serve {
+
+namespace {
+
+g6::nbody::ParticleSystem build_ics(const JobRequest& req) {
+  if (req.model == "disk") {
+    g6::disk::DiskConfig dcfg =
+        g6::disk::uranus_neptune_config(static_cast<std::size_t>(req.n));
+    dcfg.seed = req.seed;
+    for (auto& pp : dcfg.protoplanets) pp.mass = req.mpp;
+    return std::move(g6::disk::make_disk(dcfg).system);
+  }
+  g6::util::Rng rng(req.seed);
+  if (req.model == "plummer")
+    return g6::nbody::plummer_sphere(static_cast<std::size_t>(req.n), 1.0, 1.0,
+                                     rng);
+  if (req.model == "coldsphere")
+    return g6::nbody::cold_uniform_sphere(static_cast<std::size_t>(req.n), 1.0,
+                                          1.0, rng);
+  g6::util::raise("unknown model '" + req.model + "'");
+}
+
+g6::hw::FormatSpec format_for(const g6::nbody::ParticleSystem& ps) {
+  double extent = 1.0;
+  for (std::size_t i = 0; i < ps.size(); ++i)
+    extent = std::max(extent, norm(ps.pos(i)));
+  const double acc = std::max(1e-12, ps.total_mass() / (extent * extent));
+  return g6::hw::FormatSpec::for_scales(2.0 * extent, acc);
+}
+
+std::unique_ptr<g6::nbody::ForceBackend> make_backend(
+    const JobRequest& req, const g6::nbody::ParticleSystem& ps,
+    g6::util::ThreadPool* pool) {
+  if (req.backend == "cpu")
+    return std::make_unique<g6::nbody::CpuDirectBackend>(req.eps, pool);
+  if (req.backend == "grape") {
+    g6::hw::MachineConfig mc = g6::hw::MachineConfig::mini(2, 4, 1 << 14);
+    mc.fmt = format_for(ps);
+    return std::make_unique<g6::hw::Grape6Backend>(mc, req.eps, pool);
+  }
+  if (req.backend == "cluster")
+    return std::make_unique<g6::cluster::ClusterBackend>(
+        req.hosts, g6::cluster::HostMode::kHardwareNet, format_for(ps),
+        req.eps, g6::cluster::LinkSpec{}, pool);
+  g6::util::raise("unknown backend '" + req.backend + "'");
+}
+
+}  // namespace
+
+Scheduler::Scheduler(SchedulerConfig cfg, ResultCache& cache)
+    : cfg_(std::move(cfg)), cache_(cache) {
+  // workers == 0 is a valid "paused" scheduler: submissions are admitted
+  // and queued but never started. Useful for drain scenarios and for
+  // exercising admission control deterministically.
+  G6_CHECK(cfg_.workers >= 0, "scheduler worker count must be non-negative");
+  G6_CHECK(cfg_.max_queue >= 1, "scheduler needs a queue of at least one");
+  epoch_ = std::chrono::steady_clock::now();
+  auto& reg = g6::obs::MetricsRegistry::global();
+  submitted_ = reg.counter("g6.serve.jobs_submitted");
+  completed_ = reg.counter("g6.serve.jobs_completed");
+  failed_ = reg.counter("g6.serve.jobs_failed");
+  rejected_ = reg.counter("g6.serve.jobs_rejected");
+  for (int r = 0; r < 6; ++r)
+    rejected_by_reason_[r] = reg.counter(
+        std::string("g6.serve.rejected.") +
+        reject_reason_name(static_cast<RejectReason>(r)));
+  steps_executed_ = reg.counter("g6.serve.steps_executed");
+  queue_gauge_ = reg.gauge("g6.serve.queue_depth");
+  running_gauge_ = reg.gauge("g6.serve.running");
+  latency_ = reg.histogram("g6.serve.latency_seconds");
+}
+
+Scheduler::~Scheduler() { stop(); }
+
+void Scheduler::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  shutting_down_ = false;
+  for (int i = 0; i < cfg_.workers; ++i)
+    lanes_.emplace_back([this] { worker_loop(); });
+}
+
+void Scheduler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    shutting_down_ = true;
+    // Jobs that never ran are failed, not silently dropped: their tenants
+    // get a terminal answer and their quota is released.
+    for (auto& [key, id] : queue_) {
+      Job& job = *jobs_.at(id);
+      job.record.error = "server shutdown";
+      finish_locked(job, ServeJobState::kFailed);
+    }
+    queue_.clear();
+    queue_gauge_.set(0.0);
+  }
+  cv_work_.notify_all();
+  cv_done_.notify_all();
+  for (std::thread& t : lanes_) t.join();
+  lanes_.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+}
+
+const TenantQuota& Scheduler::quota_for(const std::string& tenant) const {
+  const auto it = cfg_.tenant_quotas.find(tenant);
+  return it == cfg_.tenant_quotas.end() ? cfg_.default_quota : it->second;
+}
+
+double Scheduler::now_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+SubmitOutcome Scheduler::submit(const JobRequest& req) {
+  SubmitOutcome out;
+  out.key = job_key(req);
+
+  const auto reject = [&](RejectReason reason) {
+    out.accepted = false;
+    out.reason = reason;
+    rejected_.add();
+    rejected_by_reason_[static_cast<int>(reason)].add();
+    return out;
+  };
+
+  // Cache probe before any quota accounting: a hit consumes no capacity.
+  // Fault-injected jobs always run for real — the knob exists to exercise
+  // failure isolation, which a cached result would silently skip.
+  std::string cached_bytes;
+  const bool cacheable = !req.no_cache && req.fault_after_blocks == 0;
+  const bool hit = cacheable && cache_.lookup(out.key, &cached_bytes);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutting_down_ || !started_) return reject(RejectReason::kShuttingDown);
+  if (!hit) {
+    if (req.n > cfg_.max_job_particles) return reject(RejectReason::kJobTooLarge);
+    if (queue_.size() >= cfg_.max_queue) return reject(RejectReason::kQueueFull);
+    const TenantQuota& quota = quota_for(req.tenant);
+    const TenantLive live = live_[req.tenant];
+    if (live.jobs >= quota.max_concurrent)
+      return reject(RejectReason::kTenantConcurrent);
+    if (live.particles + req.n > quota.max_particles)
+      return reject(RejectReason::kTenantParticles);
+  }
+
+  const std::uint64_t seq = next_seq_++;
+  auto job = std::make_unique<Job>();
+  job->record.id = "j-" + std::to_string(seq);
+  job->record.request = req;
+  job->record.key = out.key;
+  job->record.submit_seconds = now_seconds();
+  out.accepted = true;
+  out.id = job->record.id;
+  submitted_.add();
+
+  if (hit) {
+    // Terminal at admission: the cached snapshot IS the result (determinism
+    // contract), so the job never touches queue, quota, or a worker lane.
+    job->record.cache_hit = true;
+    job->record.start_seconds = job->record.submit_seconds;
+    job->record.t_sys = req.t_end;
+    job->record.result_bytes = cached_bytes.size();
+    job->record.result_crc32 =
+        g6::util::crc32(cached_bytes.data(), cached_bytes.size());
+    job->result = std::move(cached_bytes);
+    out.cached = true;
+    Job& ref = *job;
+    job_order_.push_back(ref.record.id);
+    jobs_[ref.record.id] = std::move(job);
+    finish_locked(ref, ServeJobState::kDone);
+    prune_locked();
+    return out;
+  }
+
+  const TenantQuota& quota = quota_for(req.tenant);
+  TenantLive& live = live_[req.tenant];
+  live.jobs += 1;
+  live.particles += req.n;
+  const int eff_priority = quota.priority + req.priority;
+  queue_[{-eff_priority, seq}] = job->record.id;
+  job_order_.push_back(job->record.id);
+  jobs_[job->record.id] = std::move(job);
+  queue_gauge_.set(static_cast<double>(queue_.size()));
+  prune_locked();
+  lock.unlock();
+  cv_work_.notify_one();
+  return out;
+}
+
+void Scheduler::worker_loop() {
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      const auto first = queue_.begin();
+      job = jobs_.at(first->second).get();
+      queue_.erase(first);
+      queue_gauge_.set(static_cast<double>(queue_.size()));
+      job->record.state = ServeJobState::kRunning;
+      job->record.start_seconds = now_seconds();
+      running_ += 1;
+      running_gauge_.set(static_cast<double>(running_));
+    }
+    try {
+      run_job(*job);
+      std::lock_guard<std::mutex> lock(mu_);
+      finish_locked(*job, ServeJobState::kDone);
+    } catch (const std::exception& e) {
+      // Isolation: the job dies, the lane and the server do not.
+      G6_LOG_WARN("serve: job " + job->record.id + " failed: " + e.what());
+      std::lock_guard<std::mutex> lock(mu_);
+      job->record.error = e.what();
+      finish_locked(*job, ServeJobState::kFailed);
+    }
+    cv_done_.notify_all();
+  }
+}
+
+void Scheduler::run_job(Job& job) {
+  const JobRequest& req = job.record.request;
+  g6::nbody::ParticleSystem ps = build_ics(req);
+
+  // One serial lane per job: the shared pool's parallel_for has a single
+  // external caller by contract, so every job gets a private ThreadPool(1)
+  // and jobs parallelise across lanes instead of within them.
+  g6::util::ThreadPool serial(1);
+  auto backend = make_backend(req, ps, &serial);
+
+  g6::nbody::IntegratorConfig icfg;
+  icfg.eta = req.eta;
+  icfg.eta_init = req.eta / 2.0;
+  icfg.dt_max = req.dt_max;
+  icfg.solar_gm = req.model == "disk" ? 1.0 : 0.0;
+  g6::nbody::HermiteIntegrator integ(ps, *backend, icfg, &serial);
+
+  auto ticket =
+      g6::obs::ProgressTracker::global().add_job(job.record.id, 0.0, req.t_end);
+  ticket.set_state(g6::obs::JobState::kRunning);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t blocks = 0;
+  integ.on_block = [&](double t, std::size_t) {
+    ++blocks;
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    ticket.update(t, blocks, wall);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job.record.t_sys = t;
+      job.record.blocks = blocks;
+    }
+    if (req.fault_after_blocks != 0 && blocks >= req.fault_after_blocks)
+      g6::util::raise("injected fault after " + std::to_string(blocks) +
+                      " blocks");
+  };
+
+  try {
+    integ.initialize();
+    integ.evolve(req.t_end);
+    // A short run can finish entirely inside synchronize(), which never
+    // invokes on_block — honor the fault knob after the fact so failure
+    // isolation is testable at any job size.
+    if (req.fault_after_blocks != 0 &&
+        integ.stats().blocks >= req.fault_after_blocks)
+      g6::util::raise("injected fault after " +
+                      std::to_string(integ.stats().blocks) + " blocks");
+  } catch (...) {
+    ticket.finish(g6::obs::JobState::kFailed);
+    throw;
+  }
+
+  std::ostringstream os;
+  g6::nbody::write_snapshot_binary(os, ps, integ.current_time());
+  std::string bytes = os.str();
+  if (!req.no_cache && req.fault_after_blocks == 0)
+    cache_.insert(job.record.key, bytes);
+  steps_executed_.add(integ.stats().steps);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job.record.t_sys = integ.current_time();
+    job.record.blocks = integ.stats().blocks;
+    job.record.steps = integ.stats().steps;
+    job.record.result_bytes = bytes.size();
+    job.record.result_crc32 = g6::util::crc32(bytes.data(), bytes.size());
+    job.result = std::move(bytes);
+  }
+  ticket.update(integ.current_time(), integ.stats().blocks,
+                std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              t0)
+                    .count());
+  ticket.finish(g6::obs::JobState::kDone);
+}
+
+void Scheduler::finish_locked(Job& job, ServeJobState state) {
+  const bool was_running = job.record.state == ServeJobState::kRunning;
+  job.record.state = state;
+  job.record.finish_seconds = now_seconds();
+  if (was_running) {
+    running_ -= 1;
+    running_gauge_.set(static_cast<double>(running_));
+  }
+  if (!job.record.cache_hit) {
+    // Release the tenant's quota (cache hits never consumed any).
+    const auto it = live_.find(job.record.request.tenant);
+    if (it != live_.end()) {
+      it->second.jobs -= 1;
+      it->second.particles -= job.record.request.n;
+      if (it->second.jobs <= 0) live_.erase(it);
+    }
+  }
+  if (state == ServeJobState::kDone) completed_.add();
+  else failed_.add();
+  latency_.add(
+      std::max(1e-9, job.record.finish_seconds - job.record.submit_seconds));
+  cv_done_.notify_all();
+}
+
+void Scheduler::prune_locked() {
+  while (job_order_.size() > cfg_.keep_records) {
+    // Only terminal records are evicted; live jobs are never dropped.
+    const std::string id = job_order_.front();
+    const auto it = jobs_.find(id);
+    if (it != jobs_.end()) {
+      const ServeJobState s = it->second->record.state;
+      if (s != ServeJobState::kDone && s != ServeJobState::kFailed) break;
+      jobs_.erase(it);
+    }
+    job_order_.pop_front();
+  }
+}
+
+std::optional<JobRecord> Scheduler::record(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second->record;
+}
+
+std::vector<JobRecord> Scheduler::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobRecord> out;
+  out.reserve(job_order_.size());
+  for (const std::string& id : job_order_) {
+    const auto it = jobs_.find(id);
+    if (it != jobs_.end()) out.push_back(it->second->record);
+  }
+  return out;
+}
+
+bool Scheduler::result(const std::string& id, std::string* bytes) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second->record.state != ServeJobState::kDone)
+    return false;
+  if (bytes != nullptr) *bytes = it->second->result;
+  return true;
+}
+
+std::optional<JobRecord> Scheduler::wait(const std::string& id,
+                                         double timeout_seconds) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(static_cast<long long>(timeout_seconds * 1e6));
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return std::nullopt;
+    const ServeJobState s = it->second->record.state;
+    if (s == ServeJobState::kDone || s == ServeJobState::kFailed)
+      return it->second->record;
+    if (cv_done_.wait_until(lock, deadline) == std::cv_status::timeout)
+      return std::nullopt;
+  }
+}
+
+SchedulerStats Scheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SchedulerStats s;
+  s.queued = queue_.size();
+  s.running = running_;
+  s.submitted = submitted_.value();
+  s.completed = completed_.value();
+  s.failed = failed_.value();
+  s.rejected = rejected_.value();
+  return s;
+}
+
+}  // namespace g6::serve

@@ -1,0 +1,161 @@
+#pragma once
+/// \file scheduler.hpp
+/// \brief Scheduler — bounded admission queue, per-tenant quotas and
+///        priorities, and dedicated worker lanes running simulations.
+///
+/// The GRAPE-6 installation was a shared facility: many users' runs queued
+/// onto fixed capacity, and the schedulers of the day admitted, prioritised
+/// or refused — they did not buffer without bound. This is that discipline
+/// in software:
+///
+///   * admission control — a full queue or an over-quota tenant is refused
+///     *now* with a machine-readable reason (RejectReason), instead of
+///     queueing work the server cannot promise to run;
+///   * per-tenant quotas — max live jobs and max live particles per tenant,
+///     plus a base priority; a burst from one tenant cannot starve another
+///     (TenantQuota, SchedulerConfig.tenant_quotas);
+///   * priority scheduling — queued jobs are ordered by effective priority
+///     (tenant base + per-request bump), FIFO within a level;
+///   * result caching — a submission whose job_key hits the ResultCache is
+///     answered terminal-done at admission with zero integrator steps;
+///   * fault isolation — a worker exception (including the deterministic
+///     fault_after_blocks injection) fails THAT job and releases its quota;
+///     the lane survives and takes the next job.
+///
+/// Each worker lane runs its job with a private serial ThreadPool(1): the
+/// shared pool's parallel_for is not safe for concurrent external callers,
+/// so lanes follow CampaignRunner's one-lane-per-job discipline — jobs are
+/// concurrent with each other, serial within (docs/SERVING.md).
+///
+/// Metrics: g6.serve.{jobs_submitted,jobs_completed,jobs_failed,
+/// jobs_rejected,rejected.<reason>,steps_executed} counters,
+/// g6.serve.{queue_depth,running} gauges, g6.serve.latency_seconds
+/// histogram (submit-to-terminal wall seconds).
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/job.hpp"
+#include "serve/result_cache.hpp"
+
+namespace g6::serve {
+
+/// Per-tenant admission limits. Live = queued + running.
+struct TenantQuota {
+  int max_concurrent = 4;                  ///< live jobs
+  std::uint64_t max_particles = 1 << 20;   ///< sum of live jobs' n
+  int priority = 0;                        ///< base priority (higher = sooner)
+};
+
+struct SchedulerConfig {
+  int workers = 2;  ///< concurrent job lanes (0 = paused: admit, never run)
+  std::size_t max_queue = 32;              ///< queued (not yet running) jobs
+  std::uint64_t max_job_particles = 1 << 18;  ///< hard per-job n cap
+  TenantQuota default_quota;
+  std::map<std::string, TenantQuota> tenant_quotas;  ///< overrides by name
+  std::size_t keep_records = 4096;  ///< terminal records retained for /jobs
+};
+
+/// What submit() tells the client.
+struct SubmitOutcome {
+  bool accepted = false;
+  RejectReason reason = RejectReason::kBadRequest;  ///< valid when !accepted
+  std::string id;       ///< valid when accepted
+  std::uint64_t key = 0;
+  bool cached = false;  ///< answered from the result cache, already done
+};
+
+/// Point-in-time queue/lane occupancy (the protocol's "stats" op).
+struct SchedulerStats {
+  std::size_t queued = 0, running = 0;
+  std::uint64_t submitted = 0, completed = 0, failed = 0, rejected = 0;
+};
+
+class Scheduler {
+ public:
+  /// The cache outlives the scheduler (the job server owns both).
+  Scheduler(SchedulerConfig cfg, ResultCache& cache);
+  ~Scheduler();  ///< stop()s if running
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  void start();
+  /// Stop accepting, fail still-queued jobs with "server shutdown", join
+  /// the lanes (running jobs finish first).
+  void stop();
+
+  /// Admission: quota/queue checks, cache probe, enqueue. Never blocks on
+  /// job execution.
+  SubmitOutcome submit(const JobRequest& req);
+
+  /// Copy of one job's record; nullopt for an unknown id.
+  std::optional<JobRecord> record(const std::string& id) const;
+
+  /// Copies of every retained record, oldest first.
+  std::vector<JobRecord> records() const;
+
+  /// Result bytes of a done job (computed or cache-served). False when the
+  /// id is unknown or the job is not kDone.
+  bool result(const std::string& id, std::string* bytes) const;
+
+  /// Block until \p id is terminal (kDone/kFailed) or \p timeout_seconds
+  /// passes. Returns the record, nullopt on unknown id or timeout.
+  std::optional<JobRecord> wait(const std::string& id, double timeout_seconds);
+
+  SchedulerStats stats() const;
+  const SchedulerConfig& config() const { return cfg_; }
+
+ private:
+  struct Job {
+    JobRecord record;
+    std::string result;  ///< result bytes once kDone
+  };
+
+  const TenantQuota& quota_for(const std::string& tenant) const;
+  void worker_loop();
+  void run_job(Job& job);
+  void finish_locked(Job& job, ServeJobState state);
+  void prune_locked();
+  double now_seconds() const;
+
+  SchedulerConfig cfg_;
+  ResultCache& cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;  ///< lanes wait here for queued jobs
+  std::condition_variable cv_done_;  ///< wait() callers wait here
+  bool started_ = false;
+  bool shutting_down_ = false;
+  std::uint64_t next_seq_ = 0;
+
+  /// Queued job ids ordered by (-effective priority, submit seq).
+  std::map<std::pair<int, std::uint64_t>, std::string> queue_;
+  std::map<std::string, std::unique_ptr<Job>> jobs_;  ///< by id
+  std::deque<std::string> job_order_;                 ///< creation order
+  struct TenantLive {
+    int jobs = 0;
+    std::uint64_t particles = 0;
+  };
+  std::map<std::string, TenantLive> live_;
+  std::size_t running_ = 0;
+  std::vector<std::thread> lanes_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  g6::obs::Counter submitted_, completed_, failed_, rejected_;
+  g6::obs::Counter rejected_by_reason_[6];
+  g6::obs::Counter steps_executed_;
+  g6::obs::Gauge queue_gauge_, running_gauge_;
+  g6::obs::LogHistogram latency_;
+};
+
+}  // namespace g6::serve

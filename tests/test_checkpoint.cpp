@@ -169,6 +169,19 @@ TEST(Checkpoint, ConfigHashSeparatesRuns) {
   EXPECT_NE(base, config_hash(cfg, "cpu-direct", 0.008, 100, 8));
 }
 
+// The exact hash value is pinned: checkpoint manifests on disk and the job
+// server's result cache (src/serve) both key on config_hash, so any change
+// to the recipe — field order, precision, a new field — silently orphans
+// every stored artifact. If this test fails you changed the recipe: bump it
+// deliberately and document the break, never let it drift.
+TEST(Checkpoint, ConfigHashGoldenValuePinned) {
+  IntegratorConfig cfg;  // default-constructed on purpose: defaults are
+                         // part of the contract this test pins
+  cfg.eta = 0.02;
+  EXPECT_EQ(config_hash(cfg, "cpu-direct", 0.008, 100, 7),
+            0x80b4984d437a8ec5ULL);
+}
+
 TEST(Checkpoint, ManifestRoundTrip) {
   const std::string dir = test_dir("manifest");
   Manifest man;

@@ -329,6 +329,120 @@ TEST(Monitor, EndToEndMonitoredRunMonotoneTsys) {
   EXPECT_FALSE(monitor.running());
 }
 
+TEST(MonitorServer, PrefixAndPostDispatchWithoutSockets) {
+  MonitorServer server;
+  server.route("/jobs", [] {
+    return HttpResponse{200, "application/json", "{\"jobs\":[]}"};
+  });
+  server.route_prefix("/jobs/", [](const std::string& path) {
+    return HttpResponse{200, "text/plain", "prefix:" + path};
+  });
+  server.route_post("/jobs", [](const std::string& body) {
+    return HttpResponse{200, "application/json", "posted:" + body};
+  });
+  // Exact routes win over prefixes; the prefix handler sees the full path.
+  EXPECT_EQ(server.handle("/jobs").body, "{\"jobs\":[]}");
+  EXPECT_EQ(server.handle("/jobs/j-7").body, "prefix:/jobs/j-7");
+  EXPECT_EQ(server.handle("/jobs/j-7/result?x=1").body,
+            "prefix:/jobs/j-7/result");
+  EXPECT_EQ(server.handle_post("/jobs", "{\"n\":8}").body,
+            "posted:{\"n\":8}");
+  EXPECT_EQ(server.handle_post("/metrics", "x").status, 404);
+}
+
+TEST(MonitorServer, PostOverRealSocketAndMethodMismatch) {
+  MonitorServer server;
+  server.route("/get-only", [] {
+    return HttpResponse{200, "text/plain", "got\n"};
+  });
+  server.route_post("/submit", [](const std::string& body) {
+    return HttpResponse{200, "text/plain", "len=" + std::to_string(body.size())};
+  });
+  ASSERT_TRUE(server.start(0));
+
+  auto raw_request = [&](const std::string& text) {
+    HttpResult res;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd);
+      return res;
+    }
+    (void)!::write(fd, text.data(), text.size());
+    std::string raw;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n <= 0) break;
+      raw.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    std::sscanf(raw.c_str(), "HTTP/1.0 %d", &res.status);
+    const std::size_t split = raw.find("\r\n\r\n");
+    if (split != std::string::npos) res.body = raw.substr(split + 4);
+    return res;
+  };
+
+  const HttpResult posted = raw_request(
+      "POST /submit HTTP/1.0\r\nContent-Length: 7\r\n\r\n{\"n\":8}");
+  EXPECT_EQ(posted.status, 200);
+  EXPECT_EQ(posted.body, "len=7");
+
+  // POST to a GET-only route (and vice versa) is a 405, not a 404.
+  EXPECT_EQ(raw_request("POST /get-only HTTP/1.0\r\nContent-Length: 1\r\n\r\nx")
+                .status,
+            405);
+  EXPECT_EQ(raw_request("GET /submit HTTP/1.0\r\n\r\n").status, 405);
+  server.stop();
+}
+
+// Satellite fix: a client that connects and stalls (or drips bytes) must be
+// answered 408 at the absolute deadline and must NOT wedge the accept loop —
+// a concurrent well-behaved client is served while the slow one stalls.
+TEST(MonitorServer, StalledClientGets408AndDoesNotWedgeAcceptLoop) {
+  MonitorServer server;
+  server.route("/ping", [] {
+    return HttpResponse{200, "text/plain", "pong\n"};
+  });
+  server.set_request_timeout(0.4);
+  ASSERT_TRUE(server.start(0));
+
+  // Stalled client: connects, sends half a request line, then nothing.
+  const int slow_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(slow_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(server.port()));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(slow_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  const char half[] = "GET /pi";
+  (void)!::write(slow_fd, half, sizeof half - 1);
+
+  // While it stalls, a normal client must be served promptly.
+  g6::util::Timer t;
+  const HttpResult ok = http_get(server.port(), "/ping");
+  EXPECT_EQ(ok.status, 200);
+  EXPECT_LT(t.seconds(), 5.0) << "well-behaved client waited on the stalled one";
+
+  // The stalled connection is answered 408 once the deadline passes.
+  std::string raw;
+  char buf[1024];
+  for (;;) {
+    const ssize_t n = ::read(slow_fd, buf, sizeof buf);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(slow_fd);
+  int status = 0;
+  std::sscanf(raw.c_str(), "HTTP/1.0 %d", &status);
+  EXPECT_EQ(status, 408);
+  server.stop();
+}
+
 TEST(Monitor, StopFlushesSeriesFiles) {
   const std::string dir = scratch_dir("flush");
   MetricsRegistry reg;

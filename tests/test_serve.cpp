@@ -1,0 +1,514 @@
+// Tests for the simulation-as-a-service layer: job parsing and cache keys,
+// scheduler admission control (bounded queue, per-tenant quotas,
+// priorities), fault isolation, the line protocol (via handle_line and over
+// a real socket with the Client), and the /jobs HTTP family
+// (docs/SERVING.md).
+#include "serve/job_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/job.hpp"
+#include "serve/scheduler.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using g6::obs::JsonValue;
+using g6::serve::Client;
+using g6::serve::JobRequest;
+using g6::serve::JobServer;
+using g6::serve::JobServerConfig;
+using g6::serve::RejectReason;
+using g6::serve::ResultCache;
+using g6::serve::Scheduler;
+using g6::serve::SchedulerConfig;
+using g6::serve::ServeJobState;
+using g6::serve::SubmitOutcome;
+using g6::serve::SubmitReply;
+using g6::serve::TenantQuota;
+
+}  // namespace
+
+// --- Job model -------------------------------------------------------------
+
+TEST(ServeJob, KeyCoversPhysicsNotScheduling) {
+  const JobRequest base;
+  const std::uint64_t key = g6::serve::job_key(base);
+  EXPECT_EQ(key, g6::serve::job_key(base));  // deterministic
+
+  // Every physics field moves the key...
+  auto with = [&](auto&& mutate) {
+    JobRequest r = base;
+    mutate(r);
+    return g6::serve::job_key(r);
+  };
+  EXPECT_NE(key, with([](JobRequest& r) { r.n = 57; }));
+  EXPECT_NE(key, with([](JobRequest& r) { r.seed = 2; }));
+  EXPECT_NE(key, with([](JobRequest& r) { r.model = "plummer"; }));
+  EXPECT_NE(key, with([](JobRequest& r) { r.backend = "grape"; }));
+  EXPECT_NE(key, with([](JobRequest& r) { r.eta = 0.01; }));
+  EXPECT_NE(key, with([](JobRequest& r) { r.dt_max = 2.0; }));
+  EXPECT_NE(key, with([](JobRequest& r) { r.t_end = 2.0; }));
+  EXPECT_NE(key, with([](JobRequest& r) { r.mpp = 2e-5; }));
+  EXPECT_NE(key, with([](JobRequest& r) { r.eps = 0.016; }));
+
+  // ...while scheduling/testing knobs do not: the same physics from another
+  // tenant, at another priority, or with fault injection is the same result.
+  EXPECT_EQ(key, with([](JobRequest& r) { r.tenant = "other"; }));
+  EXPECT_EQ(key, with([](JobRequest& r) { r.priority = 9; }));
+  EXPECT_EQ(key, with([](JobRequest& r) { r.no_cache = true; }));
+  EXPECT_EQ(key, with([](JobRequest& r) { r.fault_after_blocks = 3; }));
+
+  // hosts only matters for the cluster backend's decomposition.
+  JobRequest cl = base;
+  cl.backend = "cluster";
+  JobRequest cl8 = cl;
+  cl8.hosts = 8;
+  EXPECT_NE(g6::serve::job_key(cl), g6::serve::job_key(cl8));
+}
+
+TEST(ServeJob, KeyHexIsSixteenLowercaseDigits) {
+  const std::string hex = g6::serve::key_hex(0xdeadbeef12345678ULL);
+  EXPECT_EQ(hex, "deadbeef12345678");
+  EXPECT_EQ(g6::serve::key_hex(0x5ULL).size(), 16u);
+  EXPECT_EQ(g6::serve::key_hex(0x5ULL), "0000000000000005");
+}
+
+TEST(ServeJob, JsonRoundTripPreservesKey) {
+  JobRequest req;
+  req.tenant = "alice \"quoted\"";
+  req.model = "plummer";
+  req.n = 123;
+  req.seed = 99;
+  req.t_end = 0.75;
+  req.priority = 3;
+  req.fault_after_blocks = 2;
+  req.no_cache = true;
+  const JobRequest back =
+      g6::serve::parse_job(JsonValue::parse(g6::serve::job_json(req)));
+  EXPECT_EQ(back.tenant, req.tenant);
+  EXPECT_EQ(back.n, req.n);
+  EXPECT_EQ(back.priority, req.priority);
+  EXPECT_EQ(back.fault_after_blocks, req.fault_after_blocks);
+  EXPECT_TRUE(back.no_cache);
+  EXPECT_EQ(g6::serve::job_key(back), g6::serve::job_key(req));
+}
+
+TEST(ServeJob, ParseRejectsBadSpecs) {
+  auto parse = [](const std::string& json) {
+    return g6::serve::parse_job(JsonValue::parse(json));
+  };
+  EXPECT_THROW(parse("{\"n\":-4}"), g6::util::Error);
+  EXPECT_THROW(parse("{\"n\":0}"), g6::util::Error);
+  EXPECT_THROW(parse("{\"t_end\":0}"), g6::util::Error);
+  EXPECT_THROW(parse("{\"model\":\"sphere-of-doom\"}"), g6::util::Error);
+  EXPECT_THROW(parse("{\"backend\":\"tpu\"}"), g6::util::Error);
+  EXPECT_THROW(parse("{\"frobnicate\":1}"), g6::util::Error);  // unknown field
+  EXPECT_THROW(parse("{\"n\":\"many\"}"), g6::util::Error);    // wrong type
+}
+
+// --- Scheduler admission ---------------------------------------------------
+
+// workers=0 keeps accepted jobs queued forever: admission decisions become
+// deterministic (nothing drains between submits).
+TEST(SchedulerAdmission, BoundedQueueRejectsWithReason) {
+  ResultCache cache;
+  SchedulerConfig cfg;
+  cfg.workers = 0;
+  cfg.max_queue = 2;
+  cfg.default_quota.max_concurrent = 10;
+  Scheduler sched(cfg, cache);
+  sched.start();
+
+  JobRequest req;
+  req.n = 16;
+  EXPECT_TRUE(sched.submit(req).accepted);
+  req.seed = 2;
+  EXPECT_TRUE(sched.submit(req).accepted);
+  req.seed = 3;
+  const SubmitOutcome full = sched.submit(req);
+  EXPECT_FALSE(full.accepted);
+  EXPECT_EQ(full.reason, RejectReason::kQueueFull);
+  EXPECT_EQ(sched.stats().queued, 2u);
+  EXPECT_EQ(sched.stats().rejected, 1u);
+  sched.stop();
+}
+
+TEST(SchedulerAdmission, PerJobParticleCap) {
+  ResultCache cache;
+  SchedulerConfig cfg;
+  cfg.workers = 0;
+  cfg.max_job_particles = 128;
+  Scheduler sched(cfg, cache);
+  sched.start();
+  JobRequest req;
+  req.n = 256;
+  const SubmitOutcome out = sched.submit(req);
+  EXPECT_FALSE(out.accepted);
+  EXPECT_EQ(out.reason, RejectReason::kJobTooLarge);
+  sched.stop();
+}
+
+TEST(SchedulerAdmission, TenantQuotasConcurrentAndParticles) {
+  ResultCache cache;
+  SchedulerConfig cfg;
+  cfg.workers = 0;
+  cfg.max_queue = 100;
+  cfg.tenant_quotas["cramped"] = TenantQuota{1, 1 << 20, 0};
+  cfg.tenant_quotas["thin"] = TenantQuota{10, 100, 0};
+  Scheduler sched(cfg, cache);
+  sched.start();
+
+  JobRequest req;
+  req.tenant = "cramped";
+  req.n = 16;
+  EXPECT_TRUE(sched.submit(req).accepted);
+  req.seed = 2;
+  const SubmitOutcome conc = sched.submit(req);
+  EXPECT_FALSE(conc.accepted);
+  EXPECT_EQ(conc.reason, RejectReason::kTenantConcurrent);
+
+  req.tenant = "thin";
+  req.n = 64;
+  EXPECT_TRUE(sched.submit(req).accepted);
+  req.seed = 3;
+  const SubmitOutcome parts = sched.submit(req);
+  EXPECT_FALSE(parts.accepted);
+  EXPECT_EQ(parts.reason, RejectReason::kTenantParticles);
+
+  // Other tenants are unaffected by a saturated one — isolation.
+  req.tenant = "free";
+  EXPECT_TRUE(sched.submit(req).accepted);
+  sched.stop();
+}
+
+TEST(SchedulerAdmission, StopFailsQueuedJobsAndRejectsNewOnes) {
+  ResultCache cache;
+  SchedulerConfig cfg;
+  cfg.workers = 0;
+  Scheduler sched(cfg, cache);
+  sched.start();
+  JobRequest req;
+  req.n = 16;
+  const SubmitOutcome out = sched.submit(req);
+  ASSERT_TRUE(out.accepted);
+  sched.stop();
+
+  const auto rec = sched.record(out.id);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->state, ServeJobState::kFailed);
+  EXPECT_NE(rec->error.find("shutdown"), std::string::npos);
+
+  const SubmitOutcome late = sched.submit(req);
+  EXPECT_FALSE(late.accepted);
+  EXPECT_EQ(late.reason, RejectReason::kShuttingDown);
+}
+
+TEST(SchedulerAdmission, HigherPriorityStartsFirst) {
+  ResultCache cache;
+  SchedulerConfig cfg;
+  cfg.workers = 1;  // one lane: queued order IS start order
+  cfg.tenant_quotas["vip"] = TenantQuota{4, 1 << 20, 10};
+  Scheduler sched(cfg, cache);
+  sched.start();
+
+  // Occupy the lane long enough to queue the contenders behind it.
+  JobRequest blocker;
+  blocker.n = 2048;
+  blocker.t_end = 1.0;
+  blocker.seed = 11;
+  const SubmitOutcome b = sched.submit(blocker);
+  ASSERT_TRUE(b.accepted);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  JobRequest low;
+  low.n = 16;
+  low.seed = 21;
+  low.t_end = 0.0625;
+  const SubmitOutcome lo = sched.submit(low);   // default priority 0
+  JobRequest high = low;
+  high.tenant = "vip";                          // +10 base priority
+  high.seed = 22;
+  const SubmitOutcome hi = sched.submit(high);  // submitted AFTER low
+  ASSERT_TRUE(lo.accepted);
+  ASSERT_TRUE(hi.accepted);
+
+  ASSERT_TRUE(sched.wait(lo.id, 300.0).has_value());
+  ASSERT_TRUE(sched.wait(hi.id, 300.0).has_value());
+  const auto lo_rec = sched.record(lo.id);
+  const auto hi_rec = sched.record(hi.id);
+  ASSERT_TRUE(lo_rec.has_value());
+  ASSERT_TRUE(hi_rec.has_value());
+  EXPECT_LT(hi_rec->start_seconds, lo_rec->start_seconds)
+      << "the vip-tenant job queued later must start first";
+  sched.stop();
+}
+
+// --- Fault isolation -------------------------------------------------------
+
+TEST(SchedulerFaults, InjectedFaultFailsJobNotServer) {
+  ResultCache cache;
+  SchedulerConfig cfg;
+  cfg.workers = 1;
+  Scheduler sched(cfg, cache);
+  sched.start();
+  // Scheduler stats are backed by process-global metrics counters; measure
+  // deltas so this test is immune to whatever ran before it.
+  const std::uint64_t failed0 = sched.stats().failed;
+  const std::uint64_t completed0 = sched.stats().completed;
+
+  JobRequest dying;
+  dying.n = 32;
+  dying.seed = 666;
+  dying.t_end = 0.125;
+  dying.fault_after_blocks = 1;
+  const SubmitOutcome d = sched.submit(dying);
+  ASSERT_TRUE(d.accepted);
+  EXPECT_FALSE(d.cached) << "fault-injected jobs must always run for real";
+  const auto drec = sched.wait(d.id, 120.0);
+  ASSERT_TRUE(drec.has_value());
+  EXPECT_EQ(drec->state, ServeJobState::kFailed);
+  EXPECT_NE(drec->error.find("injected fault"), std::string::npos);
+  EXPECT_FALSE(cache.contains(d.key)) << "failed jobs must not be cached";
+
+  // The lane survived: an ordinary job completes on the same scheduler,
+  // and the dead job's quota was released.
+  JobRequest ok;
+  ok.n = 32;
+  ok.seed = 667;
+  ok.t_end = 0.0625;
+  const SubmitOutcome o = sched.submit(ok);
+  ASSERT_TRUE(o.accepted);
+  const auto orec = sched.wait(o.id, 120.0);
+  ASSERT_TRUE(orec.has_value());
+  EXPECT_EQ(orec->state, ServeJobState::kDone);
+  EXPECT_EQ(sched.stats().failed - failed0, 1u);
+  EXPECT_EQ(sched.stats().completed - completed0, 1u);
+  sched.stop();
+}
+
+TEST(SchedulerFaults, FaultInjectionBypassesCacheReadToo) {
+  ResultCache cache;
+  SchedulerConfig cfg;
+  cfg.workers = 1;
+  Scheduler sched(cfg, cache);
+  sched.start();
+
+  JobRequest clean;
+  clean.n = 32;
+  clean.seed = 777;
+  clean.t_end = 0.0625;
+  const SubmitOutcome c = sched.submit(clean);
+  ASSERT_TRUE(c.accepted);
+  ASSERT_TRUE(sched.wait(c.id, 120.0).has_value());
+  ASSERT_TRUE(cache.contains(c.key));
+
+  // Identical physics plus the fault knob: same key, but the cached clean
+  // result must NOT short-circuit the failure we were asked to exercise.
+  JobRequest faulted = clean;
+  faulted.fault_after_blocks = 1;
+  const SubmitOutcome f = sched.submit(faulted);
+  ASSERT_TRUE(f.accepted);
+  EXPECT_FALSE(f.cached);
+  EXPECT_EQ(f.key, c.key);
+  const auto frec = sched.wait(f.id, 120.0);
+  ASSERT_TRUE(frec.has_value());
+  EXPECT_EQ(frec->state, ServeJobState::kFailed);
+  sched.stop();
+}
+
+// --- Line protocol (handle_line: no sockets) -------------------------------
+
+TEST(ServeProtocol, PingStatsAndErrors) {
+  JobServer server;  // not started: handle_line still works
+  const JsonValue pong = JsonValue::parse(server.handle_line("{\"op\":\"ping\"}"));
+  EXPECT_TRUE(pong.find("ok")->as_bool());
+
+  const JsonValue stats = JsonValue::parse(server.handle_line("{\"op\":\"stats\"}"));
+  EXPECT_TRUE(stats.find("ok")->as_bool());
+  EXPECT_NE(stats.find("cache"), nullptr);
+
+  const JsonValue bad = JsonValue::parse(server.handle_line("not json at all"));
+  EXPECT_FALSE(bad.find("ok")->as_bool());
+  const JsonValue unk =
+      JsonValue::parse(server.handle_line("{\"op\":\"frobnicate\"}"));
+  EXPECT_FALSE(unk.find("ok")->as_bool());
+  const JsonValue noid =
+      JsonValue::parse(server.handle_line("{\"op\":\"status\",\"id\":\"j-9\"}"));
+  EXPECT_FALSE(noid.find("ok")->as_bool());
+}
+
+TEST(ServeProtocol, SubmitBadJobCountsBadRequest) {
+  JobServer server;
+  const JsonValue r = JsonValue::parse(
+      server.handle_line("{\"op\":\"submit\",\"job\":{\"n\":-1}}"));
+  EXPECT_FALSE(r.find("ok")->as_bool());
+  ASSERT_NE(r.find("reason"), nullptr);
+  EXPECT_EQ(r.find("reason")->as_string(), "bad_request");
+}
+
+TEST(ServeProtocol, ShutdownOpSetsFlag) {
+  JobServer server;
+  EXPECT_FALSE(server.wants_shutdown());
+  const JsonValue r =
+      JsonValue::parse(server.handle_line("{\"op\":\"shutdown\"}"));
+  EXPECT_TRUE(r.find("ok")->as_bool());
+  EXPECT_TRUE(server.wants_shutdown());
+}
+
+// --- Full stack over a real socket -----------------------------------------
+
+TEST(ServeSocket, SubmitWaitResultRoundTrip) {
+  JobServerConfig cfg;
+  cfg.scheduler.workers = 1;
+  JobServer server(cfg);
+  ASSERT_TRUE(server.start());
+  ASSERT_GT(server.port(), 0);
+
+  Client client;
+  ASSERT_TRUE(client.connect(server.port()));
+
+  JobRequest req;
+  req.n = 48;
+  req.seed = 31337;
+  req.t_end = 0.125;
+  const SubmitReply cold = client.submit(req);
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_FALSE(cold.cached);
+  EXPECT_EQ(cold.key.size(), 16u);
+
+  const JsonValue done = client.wait(cold.id, 120.0);
+  EXPECT_EQ(done.find("state")->as_string(), "done");
+  const std::string bytes = client.result_bytes(cold.id);  // verifies crc32
+  ASSERT_GE(bytes.size(), 8u);
+  EXPECT_EQ(bytes.substr(0, 8), "G6SNAPB2");
+
+  // Duplicate over a SECOND connection: same cache, bit-identical bytes.
+  Client other;
+  ASSERT_TRUE(other.connect(server.port()));
+  const SubmitReply dup = other.submit(req);
+  ASSERT_TRUE(dup.ok);
+  EXPECT_TRUE(dup.cached);
+  EXPECT_EQ(dup.key, cold.key);
+  EXPECT_EQ(other.result_bytes(dup.id), bytes);
+
+  client.close();
+  other.close();
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(ServeSocket, ConnectionCapRefusesExtraClients) {
+  JobServerConfig cfg;
+  cfg.max_connections = 1;
+  JobServer server(cfg);
+  ASSERT_TRUE(server.start());
+
+  Client first;
+  ASSERT_TRUE(first.connect(server.port()));
+  const JsonValue pong = first.call("{\"op\":\"ping\"}");
+  EXPECT_TRUE(pong.find("ok")->as_bool());
+
+  // The TCP connect succeeds but the server answers one error line and
+  // closes instead of serving.
+  Client second;
+  ASSERT_TRUE(second.connect(server.port()));
+  const JsonValue refused = second.call("{\"op\":\"ping\"}", 10.0);
+  EXPECT_FALSE(refused.find("ok")->as_bool());
+  ASSERT_NE(refused.find("error"), nullptr);
+  EXPECT_NE(refused.find("error")->as_string().find("too many connections"),
+            std::string::npos);
+
+  first.close();
+  second.close();
+  server.stop();
+}
+
+TEST(ServeSocket, WaitTimesOutOnSlowJob) {
+  JobServerConfig cfg;
+  cfg.scheduler.workers = 0;  // nothing ever runs
+  JobServer server(cfg);
+  ASSERT_TRUE(server.start());
+  Client client;
+  ASSERT_TRUE(client.connect(server.port()));
+  const SubmitReply r = client.submit(JobRequest{});
+  ASSERT_TRUE(r.ok);
+  EXPECT_THROW(client.wait(r.id, 0.2), g6::util::Error);
+  client.close();
+  server.stop();
+}
+
+// --- /jobs HTTP family (no sockets: dispatch through MonitorServer) --------
+
+#ifndef G6_OBS_DISABLED
+
+TEST(ServeHttp, JobsEndpointsServeRecordsAndResults) {
+  JobServerConfig cfg;
+  cfg.scheduler.workers = 1;
+  JobServer server(cfg);
+  ASSERT_TRUE(server.start());
+  g6::obs::MonitorServer http;
+  server.attach_http(http);
+
+  // POST /jobs submits; a malformed body is 400, an accepted one 200.
+  const g6::obs::HttpResponse bad = http.handle_post("/jobs", "{\"n\":0}");
+  EXPECT_EQ(bad.status, 400);
+  const g6::obs::HttpResponse posted =
+      http.handle_post("/jobs", "{\"n\":32,\"seed\":71,\"t_end\":0.0625}");
+  ASSERT_EQ(posted.status, 200) << posted.body;
+  const std::string id = JsonValue::parse(posted.body).find("id")->as_string();
+  ASSERT_TRUE(server.scheduler().wait(id, 120.0).has_value());
+
+  // GET /jobs lists stats + records; GET /jobs/<id> one record; .../result
+  // streams the snapshot bytes.
+  const g6::obs::HttpResponse list = http.handle("/jobs");
+  ASSERT_EQ(list.status, 200);
+  const JsonValue doc = JsonValue::parse(list.body);
+  EXPECT_NE(doc.find("jobs"), nullptr);
+  EXPECT_NE(doc.find("cache_hits"), nullptr);
+
+  const g6::obs::HttpResponse one = http.handle("/jobs/" + id);
+  ASSERT_EQ(one.status, 200);
+  EXPECT_EQ(JsonValue::parse(one.body).find("id")->as_string(), id);
+
+  const g6::obs::HttpResponse result = http.handle("/jobs/" + id + "/result");
+  ASSERT_EQ(result.status, 200);
+  EXPECT_EQ(result.content_type, "application/octet-stream");
+  EXPECT_EQ(result.body.substr(0, 8), "G6SNAPB2");
+
+  EXPECT_EQ(http.handle("/jobs/nope").status, 404);
+  EXPECT_EQ(http.handle("/jobs/nope/result").status, 404);
+  server.stop();
+}
+
+#else  // G6_OBS_DISABLED
+
+// Stripped build: the protocol server (plain POSIX sockets, not part of the
+// monitor stack) still serves jobs; attach_http degrades to a no-op.
+TEST(ServeDisabled, ProtocolStillServesJobs) {
+  JobServerConfig cfg;
+  cfg.scheduler.workers = 1;
+  JobServer server(cfg);
+  g6::obs::MonitorServer http;
+  server.attach_http(http);  // must be callable and harmless
+  ASSERT_TRUE(server.start());
+  Client client;
+  ASSERT_TRUE(client.connect(server.port()));
+  JobRequest req;
+  req.n = 32;
+  req.seed = 5;
+  req.t_end = 0.0625;
+  const SubmitReply r = client.submit(req);
+  ASSERT_TRUE(r.ok);
+  const JsonValue done = client.wait(r.id, 120.0);
+  EXPECT_EQ(done.find("state")->as_string(), "done");
+  client.close();
+  server.stop();
+}
+
+#endif  // G6_OBS_DISABLED

@@ -1,0 +1,260 @@
+// Tests for the serving layer's ResultCache — LRU order, byte budget,
+// eviction accounting, disk spill/warm restart, corrupt-spill recovery —
+// plus the end-to-end acceptance property: a duplicate submission is served
+// from the cache bit-identically with zero integrator steps
+// (docs/SERVING.md).
+#include "serve/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "serve/job.hpp"
+#include "serve/scheduler.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using g6::serve::JobRequest;
+using g6::serve::ResultCache;
+using g6::serve::ResultCacheConfig;
+using g6::serve::Scheduler;
+using g6::serve::SchedulerConfig;
+using g6::serve::ServeJobState;
+using g6::serve::SubmitOutcome;
+
+std::string scratch_dir(const std::string& name) {
+  const fs::path p = fs::path(testing::TempDir()) / ("g6_serve_cache_" + name);
+  fs::remove_all(p);
+  fs::create_directories(p);
+  return p.string();
+}
+
+std::string payload(char fill, std::size_t size) {
+  return std::string(size, fill);
+}
+
+std::uint64_t counter_value(const char* name) {
+  return g6::obs::MetricsRegistry::global().counter(name).value();
+}
+
+}  // namespace
+
+TEST(ResultCache, HitMissAndAccounting) {
+  ResultCache cache;
+  const std::uint64_t hits0 = cache.hits(), misses0 = cache.misses();
+
+  std::string out;
+  EXPECT_FALSE(cache.lookup(1, &out));
+  EXPECT_EQ(cache.misses() - misses0, 1u);
+
+  cache.insert(1, payload('a', 100));
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.bytes(), 100u);
+  ASSERT_TRUE(cache.lookup(1, &out));
+  EXPECT_EQ(out, payload('a', 100));
+  EXPECT_EQ(cache.hits() - hits0, 1u);
+
+  // contains() is a pure peek: no hit/miss movement.
+  const std::uint64_t hits1 = cache.hits(), misses1 = cache.misses();
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_EQ(cache.hits(), hits1);
+  EXPECT_EQ(cache.misses(), misses1);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedAtByteBudget) {
+  ResultCacheConfig cfg;
+  cfg.max_bytes = 1000;
+  ResultCache cache(cfg);
+  const std::uint64_t evict0 = cache.evictions();
+
+  cache.insert(1, payload('a', 400));
+  cache.insert(2, payload('b', 400));
+  cache.insert(3, payload('c', 400));  // budget forces key 1 out
+
+  std::string out;
+  EXPECT_FALSE(cache.lookup(1, &out));
+  EXPECT_TRUE(cache.lookup(2, &out));
+  EXPECT_TRUE(cache.lookup(3, &out));
+  EXPECT_EQ(cache.evictions() - evict0, 1u);
+  EXPECT_LE(cache.bytes(), cfg.max_bytes);
+  EXPECT_EQ(cache.entries(), 2u);
+}
+
+TEST(ResultCache, LookupPromotesAgainstEviction) {
+  ResultCacheConfig cfg;
+  cfg.max_bytes = 1000;
+  ResultCache cache(cfg);
+
+  cache.insert(1, payload('a', 400));
+  cache.insert(2, payload('b', 400));
+  std::string out;
+  ASSERT_TRUE(cache.lookup(1, &out));   // 1 becomes most recent
+  cache.insert(3, payload('c', 400));   // so 2 is the eviction victim
+
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(ResultCache, OversizedPayloadNeverAdmittedToMemory) {
+  ResultCacheConfig cfg;
+  cfg.max_bytes = 100;
+  ResultCache cache(cfg);
+  cache.insert(1, payload('x', 500));  // larger than the whole budget
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+}
+
+TEST(ResultCache, DiskSpillSurvivesRestart) {
+  const std::string dir = scratch_dir("spill");
+  const std::uint64_t disk0 = counter_value("g6.serve.cache.disk_hits");
+
+  ResultCacheConfig cfg;
+  cfg.persist_dir = dir;
+  {
+    ResultCache first(cfg);
+    first.insert(0xabcdef, payload('s', 256));
+  }
+  // A fresh cache on the same directory starts cold in memory but warm on
+  // disk: the lookup is a hit AND a disk_hit, then re-admitted to memory.
+  ResultCache second(cfg);
+  EXPECT_EQ(second.entries(), 0u);
+  std::string out;
+  ASSERT_TRUE(second.lookup(0xabcdef, &out));
+  EXPECT_EQ(out, payload('s', 256));
+  EXPECT_EQ(counter_value("g6.serve.cache.disk_hits") - disk0, 1u);
+  EXPECT_EQ(second.entries(), 1u);
+
+  // Second lookup is served from memory: no further disk hit.
+  ASSERT_TRUE(second.lookup(0xabcdef, &out));
+  EXPECT_EQ(counter_value("g6.serve.cache.disk_hits") - disk0, 1u);
+}
+
+TEST(ResultCache, CorruptSpillDeletedAndTreatedAsMiss) {
+  const std::string dir = scratch_dir("corrupt");
+  ResultCacheConfig cfg;
+  cfg.persist_dir = dir;
+  {
+    ResultCache writer(cfg);
+    writer.insert(7, payload('k', 64));
+  }
+  // Find the spill file and truncate it mid-payload.
+  fs::path spill;
+  for (const auto& e : fs::directory_iterator(dir)) spill = e.path();
+  ASSERT_FALSE(spill.empty());
+  {
+    std::ofstream f(spill, std::ios::binary | std::ios::trunc);
+    f << "G6RCACH1 but then garbage";
+  }
+  ResultCache reader(cfg);
+  std::string out;
+  EXPECT_FALSE(reader.lookup(7, &out));
+  EXPECT_FALSE(fs::exists(spill)) << "corrupt spill file must be deleted";
+}
+
+// The acceptance property of the serving tentpole: an identical second
+// submission is answered from the cache with BIT-IDENTICAL result bytes,
+// ZERO additional integrator steps, and exactly one g6.serve.cache.hits
+// increment — recompute-free by construction, not by luck.
+TEST(ResultCache, DuplicateJobServedBitIdenticallyWithZeroSteps) {
+  ResultCache cache;
+  SchedulerConfig cfg;
+  cfg.workers = 1;
+  Scheduler sched(cfg, cache);
+  sched.start();
+
+  JobRequest req;
+  req.n = 64;
+  req.seed = 424242;
+  req.t_end = 0.125;
+
+  const SubmitOutcome cold = sched.submit(req);
+  ASSERT_TRUE(cold.accepted);
+  EXPECT_FALSE(cold.cached);
+  const auto cold_rec = sched.wait(cold.id, 120.0);
+  ASSERT_TRUE(cold_rec.has_value());
+  ASSERT_EQ(cold_rec->state, ServeJobState::kDone);
+  std::string cold_bytes;
+  ASSERT_TRUE(sched.result(cold.id, &cold_bytes));
+  ASSERT_FALSE(cold_bytes.empty());
+
+  const std::uint64_t hits_before = cache.hits();
+  const std::uint64_t steps_before = counter_value("g6.serve.steps_executed");
+
+  const SubmitOutcome dup = sched.submit(req);
+  ASSERT_TRUE(dup.accepted);
+  EXPECT_TRUE(dup.cached);
+  EXPECT_EQ(dup.key, cold.key);
+  const auto dup_rec = sched.wait(dup.id, 10.0);
+  ASSERT_TRUE(dup_rec.has_value());
+  EXPECT_EQ(dup_rec->state, ServeJobState::kDone);
+  EXPECT_TRUE(dup_rec->cache_hit);
+
+  std::string dup_bytes;
+  ASSERT_TRUE(sched.result(dup.id, &dup_bytes));
+  EXPECT_EQ(dup_bytes, cold_bytes) << "cache must serve bit-identical bytes";
+  EXPECT_EQ(cache.hits() - hits_before, 1u);
+  EXPECT_EQ(counter_value("g6.serve.steps_executed") - steps_before, 0u)
+      << "cache hit must not run the integrator";
+  EXPECT_EQ(dup_rec->result_crc32, cold_rec->result_crc32);
+  sched.stop();
+}
+
+// no_cache opts a request out of both cache read and write.
+TEST(ResultCache, NoCacheRequestsAlwaysCompute) {
+  ResultCache cache;
+  SchedulerConfig cfg;
+  cfg.workers = 1;
+  Scheduler sched(cfg, cache);
+  sched.start();
+
+  JobRequest req;
+  req.n = 48;
+  req.seed = 515151;
+  req.t_end = 0.0625;
+  req.no_cache = true;
+
+  const SubmitOutcome a = sched.submit(req);
+  ASSERT_TRUE(a.accepted);
+  EXPECT_FALSE(a.cached);
+  ASSERT_TRUE(sched.wait(a.id, 120.0).has_value());
+  EXPECT_FALSE(cache.contains(a.key));
+
+  const SubmitOutcome b = sched.submit(req);
+  ASSERT_TRUE(b.accepted);
+  EXPECT_FALSE(b.cached) << "no_cache submissions must not read the cache";
+  ASSERT_TRUE(sched.wait(b.id, 120.0).has_value());
+  sched.stop();
+}
+
+#ifdef G6_OBS_DISABLED
+
+// Stripped-observability build: the cache (metrics are always compiled) and
+// the whole submit -> compute -> duplicate-hit loop must work unchanged.
+TEST(ServeCacheDisabled, DuplicateStillServedFromCache) {
+  ResultCache cache;
+  SchedulerConfig cfg;
+  cfg.workers = 1;
+  Scheduler sched(cfg, cache);
+  sched.start();
+  JobRequest req;
+  req.n = 32;
+  req.seed = 9;
+  req.t_end = 0.0625;
+  const SubmitOutcome cold = sched.submit(req);
+  ASSERT_TRUE(cold.accepted);
+  ASSERT_TRUE(sched.wait(cold.id, 120.0).has_value());
+  const SubmitOutcome dup = sched.submit(req);
+  ASSERT_TRUE(dup.accepted);
+  EXPECT_TRUE(dup.cached);
+  sched.stop();
+}
+
+#endif  // G6_OBS_DISABLED
