@@ -8,11 +8,20 @@
 //        - direct + block individual timesteps (the paper's scheme),
 //        - tree + shared leapfrog whose single dt must track the SMALLEST
 //          individual timescale in the system (the §3 point).
+//   (c) the P3T hybrid (src/p3t): tree far field + direct neighbor forces
+//       under the SAME block-timestep Hermite scheme — the resolution of the
+//       §3 dilemma. Exports BENCH_p3t.json (ns/interaction for direct vs
+//       hybrid force sweeps, the N where the hybrid takes over, force
+//       accuracy, energy drift) for CI's perf floor (bench/perf_floor.json).
 #include <cstdio>
+#include <numeric>
+#include <thread>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "nbody/energy.hpp"
 #include "nbody/leapfrog.hpp"
+#include "p3t/p3t_backend.hpp"
 #include "tree/bh_tree.hpp"
 
 using namespace g6;
@@ -145,7 +154,132 @@ int main(int argc, char** argv) {
   // the cheap shared step buys its speed with accuracy.
   const bool ok = fair_wall > hermite_wall && loose.drift > hermite_drift;
   std::printf("shape check: direct+blockstep beats resolution-matched "
-              "tree+shared-dt, and the cheap shared step loses accuracy: %s\n",
+              "tree+shared-dt, and the cheap shared step loses accuracy: %s\n\n",
               ok ? "PASS" : "FAIL");
+
+  // (c) P3T hybrid vs direct: one full force sweep per N, both engines on
+  // the shared pool. The hybrid keeps every neighbor pair on the exact
+  // direct path and takes the far field off the epoch tree, so its cost is
+  // O(N log N) per sweep — the crossover N is where that wins outright.
+  std::printf("(c) P3T hybrid force sweeps (theta = 0.4):\n");
+  auto& pool = util::shared_pool();
+  const std::vector<std::size_t> sweep_ns =
+      full ? std::vector<std::size_t>{1024, 4096, 16384, 65536}
+           : std::vector<std::size_t>{512, 2048, 8192};
+  util::Table tc({"N", "direct [ms]", "hybrid [ms]", "direct ns/i",
+                  "hybrid ns/i*", "tree frac", "max rel err", "rms rel err"});
+  JsonBuilder sweep_json = JsonBuilder::array();
+  std::size_t crossover_n = 0;
+  for (const std::size_t ns : sweep_ns) {
+    disk::DiskConfig scfg = disk::uranus_neptune_config(ns);
+    scfg.seed = 31415;
+    auto ds = disk::make_disk(scfg);
+    auto& ps = ds.system;
+    std::vector<std::uint32_t> ilist(ps.size());
+    std::iota(ilist.begin(), ilist.end(), 0u);
+    std::vector<nbody::Force> fd(ps.size()), fh(ps.size());
+
+    nbody::CpuDirectBackend direct(eps, &pool);
+    direct.load(ps);
+    direct.compute(0.0, ilist, fd);  // warm-up
+    util::Timer td;
+    direct.compute(0.0, ilist, fd);
+    const double direct_ms = td.seconds() * 1e3;
+
+    p3t::P3TConfig pcfg;
+    pcfg.gm_central = 1.0;
+    p3t::P3THybridBackend hybrid(pcfg, eps, &pool);
+    hybrid.load(ps);
+    hybrid.ensure_epoch(0.0);  // epoch build amortizes over many blocks
+    hybrid.compute(0.0, ilist, fh);  // warm-up
+    const std::uint64_t inter0 = hybrid.interaction_count();
+    util::Timer thy;
+    hybrid.compute(0.0, ilist, fh);
+    const double hybrid_ms = thy.seconds() * 1e3;
+    const double hybrid_inter = double(hybrid.interaction_count() - inter0);
+
+    double max_rel = 0.0, sum_sq = 0.0;
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      const double na = norm(fd[i].acc);
+      if (na <= 0.0) continue;
+      const double rel = norm(fh[i].acc - fd[i].acc) / na;
+      max_rel = std::max(max_rel, rel);
+      sum_sq += rel * rel;
+    }
+    const double rms_rel = std::sqrt(sum_sq / double(ps.size()));
+    const double pair_inter = double(ps.size()) * double(ps.size() - 1);
+    const double direct_nsi = 1e9 * direct_ms * 1e-3 / pair_inter;
+    // *hybrid ns/i is per direct-equivalent interaction: the honest currency
+    // for the crossover (the hybrid simply evaluates far fewer of them).
+    const double hybrid_nsi = 1e9 * hybrid_ms * 1e-3 / pair_inter;
+    const double tree_frac = 1.0 - hybrid_inter / pair_inter;
+    if (crossover_n == 0 && hybrid_ms < direct_ms) crossover_n = ps.size();
+
+    tc.row({util::fmt_int(static_cast<long long>(ps.size())),
+            util::fmt(direct_ms, 3), util::fmt(hybrid_ms, 3),
+            util::fmt(direct_nsi, 3), util::fmt(hybrid_nsi, 3),
+            util::fmt(tree_frac, 3), util::fmt_sci(max_rel, 2),
+            util::fmt_sci(rms_rel, 2)});
+    sweep_json.push(JsonBuilder::object()
+                        .field("n", double(ps.size()))
+                        .field("direct_ms", direct_ms)
+                        .field("hybrid_ms", hybrid_ms)
+                        .field("direct_ns_per_interaction", direct_nsi)
+                        .field("hybrid_ns_per_interaction", hybrid_nsi)
+                        .field("tree_fraction", tree_frac)
+                        .field("max_rel_err", max_rel)
+                        .field("rms_rel_err", rms_rel));
+  }
+  std::printf("%s\n", tc.render().c_str());
+  if (crossover_n != 0)
+    std::printf("hybrid beats direct from N = %zu in this sweep\n\n",
+                crossover_n);
+  else
+    std::printf("no crossover inside this sweep (largest N = %zu)\n\n",
+                sweep_ns.back());
+
+  // Energy drift over a real block-timestep integration: the hybrid must
+  // hold the same conservation class as direct (docs/P3T.md gate).
+  const std::size_t en = full ? 4000 : 1000;
+  const double et = 2.0;
+  auto drift_of = [&](nbody::ForceBackend& backend) {
+    disk::DiskConfig ecfg = disk::uranus_neptune_config(en);
+    ecfg.seed = 31415;
+    auto de = disk::make_disk(ecfg);
+    nbody::HermiteIntegrator integ(de.system, backend, disk_config(), &pool);
+    integ.initialize();
+    const double e0 = energy_of(de.system);
+    integ.evolve(et);
+    return std::abs((energy_of(de.system) - e0) / e0);
+  };
+  nbody::CpuDirectBackend edirect(eps, &pool);
+  p3t::P3TConfig epcfg;
+  epcfg.gm_central = 1.0;
+  p3t::P3THybridBackend ehybrid(epcfg, eps, &pool);
+  const double direct_drift = drift_of(edirect);
+  const double hybrid_drift = drift_of(ehybrid);
+  std::printf("energy drift to T=%g at N=%zu: direct %.3g, hybrid %.3g\n\n",
+              et, en, direct_drift, hybrid_drift);
+
+  const std::string json_path =
+      flag_str(argc, argv, "json", "BENCH_p3t.json");
+  JsonBuilder doc =
+      JsonBuilder::object()
+          .field("bench", "p3t")
+          .field("full", full)
+          .field("hardware_concurrency",
+                 double(std::max<unsigned>(1, std::thread::hardware_concurrency())))
+          .field("theta", 0.4)
+          .field("sweep", sweep_json)
+          .field("crossover_n", double(crossover_n))
+          .field("max_sweep_n", double(sweep_ns.back()))
+          .field("energy", JsonBuilder::object()
+                               .field("n", double(en))
+                               .field("t_end", et)
+                               .field("direct_drift", direct_drift)
+                               .field("hybrid_drift", hybrid_drift));
+  if (write_json_file(json_path, doc))
+    std::printf("bench JSON written to %s\n", json_path.c_str());
+
   return ok ? 0 : 1;
 }

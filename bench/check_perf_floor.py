@@ -18,6 +18,10 @@ Every file is dispatched on its top-level "bench" tag:
                   the result cache >= 10x faster, bit-identically, with zero
                   integrator steps (unconditional), plus a hardware-
                   conditional burst jobs/s floor
+  p3t           - the hybrid tree+direct backend gates: unconditional force
+                  accuracy (RMS + max relative error per sweep row) and
+                  energy-drift floors, plus a sweep-conditional "hybrid beats
+                  direct by N=16k" crossover gate (full-mode exports only)
   anything else - schema checks only (see below)
 
 Every file, regardless of tag, must carry a top-level hardware_concurrency
@@ -263,6 +267,77 @@ def check_serve(bench, floor, failures):
         )
 
 
+def check_p3t(bench, floor, failures):
+    p3 = floor.get("p3t", {})
+    rms_bound = float(p3.get("max_rms_rel_err", 2e-3))
+    abs_bound = float(p3.get("max_abs_rel_err", 5e-2))
+
+    # Unconditional accuracy gates: the changeover split is exact by
+    # construction, so the only error is the tree far-field - an algorithmic
+    # property that holds on any hardware.
+    for row in bench["sweep"]:
+        n = int(row["n"])
+        ok_row = (
+            row["rms_rel_err"] <= rms_bound and row["max_rel_err"] <= abs_bound
+        )
+        status = "ok" if ok_row else "FAIL"
+        print(
+            f"p3t n={n:6d}  hybrid {row['hybrid_ns_per_interaction']:6.2f} ns/i  "
+            f"tree frac {row['tree_fraction']:.3f}  rms err "
+            f"{row['rms_rel_err']:.2e} (floor {rms_bound:.0e})  max err "
+            f"{row['max_rel_err']:.2e} (floor {abs_bound:.0e})  {status}"
+        )
+        if row["rms_rel_err"] > rms_bound:
+            failures.append(
+                f"p3t rms force error {row['rms_rel_err']:.2e} > "
+                f"{rms_bound:.0e} at n={n}"
+            )
+        if row["max_rel_err"] > abs_bound:
+            failures.append(
+                f"p3t max force error {row['max_rel_err']:.2e} > "
+                f"{abs_bound:.0e} at n={n}"
+            )
+
+    drift_bound = float(p3.get("max_energy_drift", 1e-6))
+    en = bench["energy"]
+    drift = abs(float(en["hybrid_drift"]))
+    status = "ok" if drift <= drift_bound else "FAIL"
+    print(
+        f"p3t energy drift |dE/E| {drift:.2e} to t={en['t_end']:g} at "
+        f"n={int(en['n'])}  (floor {drift_bound:.0e}, direct "
+        f"{abs(float(en['direct_drift'])):.2e})  {status}"
+    )
+    if drift > drift_bound:
+        failures.append(
+            f"p3t hybrid energy drift {drift:.2e} > {drift_bound:.0e}"
+        )
+
+    # Sweep-conditional: crossover_n compares two timings on the same
+    # machine, but the quick-mode sweep ends below the gate, so only a
+    # --full export can honestly answer "does hybrid win by 16k?".
+    need_sweep = int(p3.get("crossover_min_sweep_n", 16384))
+    max_cross = int(p3.get("max_crossover_n", 16384))
+    cross = int(bench["crossover_n"])
+    if int(bench["max_sweep_n"]) >= need_sweep:
+        ok_cross = 0 < cross <= max_cross
+        status = "ok" if ok_cross else "FAIL"
+        print(
+            f"p3t crossover n={cross}  (hybrid must beat direct by "
+            f"n={max_cross})  {status}"
+        )
+        if not ok_cross:
+            failures.append(
+                f"p3t hybrid did not beat direct by n={max_cross} "
+                f"(crossover_n={cross})"
+            )
+    else:
+        print(
+            f"p3t crossover n={cross}  skipped: sweep tops out at "
+            f"{int(bench['max_sweep_n'])} < {need_sweep} (quick mode; "
+            f"accuracy + drift floors still enforced)"
+        )
+
+
 def check_scaling_hosts(bench, floor, failures):
     rows = {int(r["hosts"]): r for r in bench["rows"]}
     for hosts in (64, 256):
@@ -300,6 +375,7 @@ def main(argv):
         "network_modes": check_network_modes,
         "scaling_hosts": check_scaling_hosts,
         "serve": check_serve,
+        "p3t": check_p3t,
     }
     failures = []
     for path in bench_paths:

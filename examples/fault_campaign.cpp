@@ -6,7 +6,8 @@
 // accounting. Exit status is non-zero on a bit-identity mismatch, so the
 // driver doubles as a CI smoke check.
 //
-//   ./fault_campaign [--layer machine|cluster|all] [--mode naive|hwnet|matrix]
+//   ./fault_campaign [--layer machine|cluster|hybrid|all]
+//                    [--mode naive|hwnet|matrix]
 //                    [--seed S] [--n N] [--steps K] [--hosts H] [--threads T]
 //                    [--repeat R] [--monitor PORT] [--flight-dir DIR]
 //
@@ -132,6 +133,16 @@ int main(int argc, char** argv) {
       ticket.set_capacity_fraction(r.degraded_capacity_fraction);
       if (!r.bit_identical)
         flight.note("fault", "cluster campaign NOT bit-identical (seed=" +
+                                 std::to_string(cfg.fault_seed) + ")");
+      ok = report(r) && ok;
+    }
+    // Process-level kill/resume on the stateful P3T hybrid backend — proves
+    // the fault machinery holds beyond the direct-summation force paths.
+    if (layer == "hybrid" || layer == "all") {
+      const auto r = g6::fault::run_hybrid_campaign(cfg);
+      ticket.set_capacity_fraction(r.degraded_capacity_fraction);
+      if (!r.bit_identical)
+        flight.note("fault", "hybrid campaign NOT bit-identical (seed=" +
                                  std::to_string(cfg.fault_seed) + ")");
       ok = report(r) && ok;
     }

@@ -11,9 +11,11 @@
 //   --n=<int>             particle count                             [1000]
 //   --seed=<int>          RNG seed                                   [20020101]
 //   --mpp=<float>         disk protoplanet mass, M_sun               [1e-5]
-//   --backend=cpu|grape|cluster                                      [cpu]
+//   --backend=cpu|grape|cluster|p3t                                  [cpu]
 //   --cluster-mode=naive|hwnet|matrix   host organisation            [hwnet]
 //   --hosts=<int>         simulated hosts for --backend=cluster      [16]
+//   --theta=<float>       tree opening angle for --backend=p3t       [0.4]
+//   --r-search=<float>    changeover outer radius r_out (0 = auto)   [0]
 //   --no-aggregation      per-record cluster transport (A/B the default)
 //   --defer-updates       stage j-update flush to the next compute entry
 //   --overlap             double-buffered i-block exchange (matrix mode)
@@ -62,6 +64,7 @@
 #include "obs/metrics.hpp"
 #include "obs/monitor.hpp"
 #include "obs/progress.hpp"
+#include "p3t/p3t_backend.hpp"
 #include "run/checkpoint.hpp"
 #include "run/run_manager.hpp"
 #include "util/table.hpp"
@@ -215,6 +218,18 @@ int main(int argc, char** argv) {
         cb->set_metrics_registry(&g6::obs::MetricsRegistry::global());
       return cb;
     }
+    if (backend_name == "p3t") {
+      // Hybrid tree+direct: far field from the Barnes-Hut tree, neighbor
+      // forces on the exact Hermite path — opens N well past the direct
+      // O(N^2) wall (docs/P3T.md).
+      g6::p3t::P3TConfig pc;
+      pc.theta = flag(argc, argv, "theta", 0.4);
+      pc.r_out = flag(argc, argv, "r-search", 0.0);
+      pc.r_in = pc.r_out > 0.0 ? pc.r_out / 8.0 : 0.0;
+      pc.gm_central = solar_gm;
+      return std::make_unique<g6::p3t::P3THybridBackend>(
+          pc, soft, &g6::util::shared_pool());
+    }
     return nullptr;
   };
   auto backend = make_backend(eps);
@@ -231,7 +246,7 @@ int main(int argc, char** argv) {
   g6::util::Timer timer;
   g6::util::Table table({"T", "N", "|dE/E|", "|dL/L|", "blocks", "steps",
                          "wall [s]"});
-  const auto e0 = g6::nbody::compute_energy(ps, eps, solar_gm).total();
+  const auto e0 = g6::nbody::compute_energy(ps, eps, solar_gm, &g6::util::shared_pool()).total();
   const auto l0 = norm(g6::nbody::total_angular_momentum(ps));
 
   auto write_snap = [&](const g6::nbody::ParticleSystem& s, double t) {
@@ -285,7 +300,7 @@ int main(int argc, char** argv) {
       if (t + 1e-9 < driver.current_time()) continue;  // resumed past this row
       driver.evolve(t, snap_every / 4.0);
       const auto& s = driver.system();
-      const double e = g6::nbody::compute_energy(s, eps, solar_gm).total();
+      const double e = g6::nbody::compute_energy(s, eps, solar_gm, &g6::util::shared_pool()).total();
       table.row({g6::util::fmt(t, 5),
                  g6::util::fmt_int(static_cast<long long>(s.size())),
                  g6::util::fmt_sci(std::abs((e - e0) / e0), 1), "-",
@@ -314,7 +329,7 @@ int main(int argc, char** argv) {
     manager.on_segment = [&](const g6::run::RunReport&, double t) {
       // Particles sit at individual times inside a segment, so the energy
       // column is approximate until the final (synchronised) row.
-      const double e = g6::nbody::compute_energy(ps, eps, solar_gm).total();
+      const double e = g6::nbody::compute_energy(ps, eps, solar_gm, &g6::util::shared_pool()).total();
       const double l = norm(g6::nbody::total_angular_momentum(ps));
       table.row({g6::util::fmt(t, 5),
                  g6::util::fmt_int(static_cast<long long>(ps.size())),
@@ -370,7 +385,7 @@ int main(int argc, char** argv) {
   }
   for (double t = 0.0; t <= t_end + 1e-9; t += snap_every) {
     integ.evolve(t);
-    const double e = g6::nbody::compute_energy(ps, eps, solar_gm).total();
+    const double e = g6::nbody::compute_energy(ps, eps, solar_gm, &g6::util::shared_pool()).total();
     const double l = norm(g6::nbody::total_angular_momentum(ps));
     table.row({g6::util::fmt(t, 5),
                g6::util::fmt_int(static_cast<long long>(ps.size())),

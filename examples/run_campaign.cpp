@@ -13,7 +13,7 @@
 //   --n=<int>             planetesimals per job               [64]
 //   --t=<float>           end time per job (code units)       [0.5]
 //   --eta=<float>         base accuracy parameter             [0.02]
-//   --backend=cpu|grape|cluster|mix  force engine(s)          [cpu]
+//   --backend=cpu|grape|cluster|p3t|mix  force engine(s)      [cpu]
 //   --checkpoint-every=<dT>  per-job segment cadence          [t/4]
 //   --step-budget=<int>   per-job block-step budget this invocation
 //   --walltime-budget=<sec>  per-job wall budget this invocation
@@ -24,7 +24,7 @@
 //   --flight-dir=<dir>    flight-recorder dump directory      [.]
 //
 // The sweep varies the IC seed per job (seed = 1000 + k) and, with
-// --backend=mix, cycles cpu/grape/cluster across jobs. Exit status:
+// --backend=mix, cycles cpu/grape/cluster/p3t across jobs. Exit status:
 // 0 = every job done, 3 = some jobs preempted (rerun to continue),
 // 1 = a job failed.
 #include <cstdint>
@@ -81,10 +81,10 @@ int main(int argc, char** argv) {
   spec.walltime_budget = flag(argc, argv, "walltime-budget", 0.0);
   spec.step_budget =
       static_cast<std::uint64_t>(flag(argc, argv, "step-budget", 0));
-  static const char* kMix[] = {"cpu", "grape", "cluster"};
+  static const char* kMix[] = {"cpu", "grape", "cluster", "p3t"};
   for (std::size_t k = 0; k < jobs; ++k) {
     g6::run::JobSpec job;
-    job.backend = backend == "mix" ? kMix[k % 3] : backend;
+    job.backend = backend == "mix" ? kMix[k % 4] : backend;
     job.name = "job" + std::to_string(k) + "_" + job.backend;
     job.n = n;
     job.seed = 1000 + k;

@@ -8,6 +8,9 @@
 //     --mpp=<float>    protoplanet mass in M_sun       (default 1e-5, paper)
 //     --snap=<float>   snapshot interval               (default 400)
 //     --grape          run on the GRAPE-6 machine model instead of the CPU
+//     --backend=cpu|grape|p3t  force engine (--grape is shorthand for grape)
+//     --theta=<float>  tree opening angle for --backend=p3t (default 0.4)
+//     --r-search=<float>  changeover outer radius r_out (0 = auto from Hill)
 //     --out=<prefix>   write snapshot files <prefix>_T.snap
 //     --trace <file>   write a Chrome trace_event JSON of the run
 //     --metrics <file> write a metrics snapshot JSON (includes the
@@ -41,6 +44,7 @@
 #include "obs/monitor.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
+#include "p3t/p3t_backend.hpp"
 #include "run/run_manager.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -130,16 +134,35 @@ int main(int argc, char** argv) {
               "(Hill radius at 20 AU: %.3f AU)\n\n",
               disk.ring_mass, eps, g6::disk::hill_radius(20.0, mpp, 1.0));
 
+  std::string backend_name = flag_str(argc, argv, "backend");
+  if (backend_name.empty()) backend_name = use_grape ? "grape" : "cpu";
   std::unique_ptr<g6::nbody::ForceBackend> backend;
-  if (use_grape) {
+  if (backend_name == "grape") {
     g6::hw::MachineConfig mc = g6::hw::MachineConfig::mini(4, 8, 4096);
     mc.fmt = g6::hw::FormatSpec::for_scales(64.0, 1e-4);
     backend = std::make_unique<g6::hw::Grape6Backend>(mc, eps);
     std::printf("force engine: GRAPE-6 machine model (%lld chips)\n\n",
                 mc.total_chips());
-  } else {
+  } else if (backend_name == "p3t") {
+    // Hybrid tree+direct (docs/P3T.md): neighbor forces stay on the exact
+    // Hermite path, the far field comes from the Barnes-Hut tree — this is
+    // what opens planetesimal counts past the direct O(N^2) wall.
+    g6::p3t::P3TConfig pc;
+    pc.theta = flag(argc, argv, "theta", 0.4);
+    pc.r_out = flag(argc, argv, "r-search", 0.0);
+    pc.r_in = pc.r_out > 0.0 ? pc.r_out / 8.0 : 0.0;
+    pc.gm_central = 1.0;
+    backend = std::make_unique<g6::p3t::P3THybridBackend>(
+        pc, eps, &g6::util::shared_pool());
+    std::printf("force engine: P3T hybrid tree+direct (theta=%g)\n\n",
+                pc.theta);
+  } else if (backend_name == "cpu") {
     backend = std::make_unique<g6::nbody::CpuDirectBackend>(eps);
     std::printf("force engine: CPU direct summation\n\n");
+  } else {
+    std::fprintf(stderr, "unknown backend '%s' (want cpu|grape|p3t)\n",
+                 backend_name.c_str());
+    return 2;
   }
 
   g6::nbody::IntegratorConfig icfg;
@@ -156,7 +179,7 @@ int main(int argc, char** argv) {
     if (!record_steps) return;
     auto& registry = g6::obs::MetricsRegistry::global();
     g6::nbody::publish_metrics(integ.stats(), registry);
-    if (use_grape)
+    if (backend_name == "grape")
       g6::hw::publish_metrics(
           static_cast<g6::hw::Grape6Backend*>(backend.get())->machine().counters(),
           registry);

@@ -1,13 +1,18 @@
 #include "fault/campaign.hpp"
 
 #include <algorithm>
+#include <filesystem>
 #include <memory>
 #include <sstream>
 
 #include "cluster/parallel_sim.hpp"
+#include "disk/disk_model.hpp"
 #include "grape6/machine.hpp"
+#include "nbody/integrator.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "p3t/p3t_backend.hpp"
+#include "run/run_manager.hpp"
 #include "util/check.hpp"
 #include "util/crc.hpp"
 #include "util/rng.hpp"
@@ -181,7 +186,128 @@ std::unique_ptr<g6::util::ThreadPool> make_pool(const CampaignConfig& cfg) {
       static_cast<std::size_t>(cfg.threads));
 }
 
+// ----------------------------------------------------------------- hybrid
+
+/// One fresh "process image" for the hybrid campaign: ICs regenerated from
+/// the seed, its own pool, backend and integrator — exactly the state a
+/// restarted process has before RunManager resumes it.
+struct HybridImage {
+  HybridImage(const CampaignConfig& cfg, std::size_t threads) : pool(threads) {
+    g6::disk::DiskConfig dc =
+        g6::disk::uranus_neptune_config(static_cast<std::size_t>(cfg.n));
+    dc.seed = cfg.ic_seed;
+    ps = std::move(g6::disk::make_disk(dc).system);
+    g6::p3t::P3TConfig pc;
+    pc.gm_central = 1.0;
+    backend = std::make_unique<g6::p3t::P3THybridBackend>(pc, 0.008, &pool);
+    g6::nbody::IntegratorConfig icfg;
+    icfg.solar_gm = 1.0;
+    icfg.eta = 0.02;
+    icfg.eta_init = 0.01;
+    icfg.dt_max = 0x1p-5;
+    integ = std::make_unique<g6::nbody::HermiteIntegrator>(ps, *backend, icfg,
+                                                           &pool);
+  }
+  g6::util::ThreadPool pool;
+  g6::nbody::ParticleSystem ps;
+  std::unique_ptr<g6::p3t::P3THybridBackend> backend;
+  std::unique_ptr<g6::nbody::HermiteIntegrator> integ;
+};
+
+/// CRC over the raw bits of the full per-particle Hermite state, so
+/// "bit-identical" means exactly that — any last-ulp divergence shows.
+std::uint32_t fold_system(const g6::nbody::ParticleSystem& ps) {
+  std::uint32_t crc = g6::util::crc32_init();
+  const auto fold = [&](const void* p, std::size_t bytes) {
+    crc = g6::util::crc32_update(crc, p, bytes);
+  };
+  fold(ps.positions().data(), ps.size() * sizeof(Vec3));
+  fold(ps.velocities().data(), ps.size() * sizeof(Vec3));
+  fold(ps.accelerations().data(), ps.size() * sizeof(Vec3));
+  fold(ps.jerks().data(), ps.size() * sizeof(Vec3));
+  fold(ps.times().data(), ps.size() * sizeof(double));
+  fold(ps.dts().data(), ps.size() * sizeof(double));
+  return g6::util::crc32_final(crc);
+}
+
 }  // namespace
+
+CampaignResult run_hybrid_campaign(const CampaignConfig& cfg) {
+  namespace fs = std::filesystem;
+  G6_CHECK(cfg.n > 0 && cfg.steps > 0, "campaign needs particles and steps");
+  const double t_end = 0x1p-5 * cfg.steps;  // cfg.steps top-level blocks
+
+  g6::run::RunConfig rc;
+  rc.t_end = t_end;
+  rc.checkpoint_every = 0x1p-4;
+  rc.ic_seed = cfg.ic_seed;
+
+  const fs::path base =
+      fs::temp_directory_path() /
+      ("g6_hybrid_campaign_" + std::to_string(cfg.fault_seed));
+  fs::remove_all(base);
+  fs::create_directories(base);
+
+  // Reference: one uninterrupted run.
+  std::uint32_t ref_digest = 0;
+  {
+    HybridImage img(cfg, cfg.threads > 0 ? static_cast<std::size_t>(cfg.threads)
+                                         : 2);
+    g6::run::RunConfig ref_rc = rc;
+    ref_rc.checkpoint_dir = (base / "ref").string();
+    g6::run::RunManager mgr(*img.integ, ref_rc);
+    const auto rep = mgr.run();
+    G6_CHECK(rep.outcome == g6::run::RunOutcome::kCompleted,
+             "hybrid campaign reference run did not complete");
+    ref_digest = fold_system(img.ps);
+  }
+
+  // Faulted: seeded kill/resume cycles. The fault seed chooses where each
+  // "process" dies (block-step budget) and how many threads its successor
+  // runs with — the two dimensions a real preemption varies.
+  g6::util::Rng rng(cfg.fault_seed * 0x9e3779b97f4a7c15ull + 1);
+  static constexpr std::size_t kThreadChoices[] = {1, 2, 3, 4, 8};
+  rc.checkpoint_dir = (base / "faulted").string();
+  rc.resume = true;
+  int kills = 0;
+  std::uint32_t faulted_digest = 0;
+  auto& flight = g6::obs::FlightRecorder::global();
+  for (;;) {
+    const std::size_t threads = kThreadChoices[rng() % 5];
+    HybridImage img(cfg, threads);
+    g6::run::RunConfig leg = rc;
+    leg.step_budget = 2 + rng() % 7;
+    g6::run::RunManager mgr(*img.integ, leg);
+    const auto rep = mgr.run();
+    if (rep.outcome == g6::run::RunOutcome::kCompleted) {
+      faulted_digest = fold_system(img.ps);
+      break;
+    }
+    ++kills;
+    flight.note("fault", "hybrid campaign kill #" + std::to_string(kills) +
+                             " at t=" + std::to_string(rep.final_time) +
+                             " threads=" + std::to_string(threads));
+    G6_CHECK(kills < 4096, "hybrid campaign does not converge");
+  }
+  fs::remove_all(base);
+
+  CampaignResult r;
+  r.bit_identical = ref_digest == faulted_digest;
+  r.faults_scheduled = kills;
+  r.stats.injected_total = static_cast<std::uint64_t>(kills);
+  r.recovery_modeled_seconds = 0.0;
+  r.degraded_capacity_fraction = 1.0;
+  auto& reg = g6::obs::MetricsRegistry::global();
+  reg.counter("g6.fault.hybrid_kills").add(static_cast<std::uint64_t>(kills));
+  std::ostringstream os;
+  os << "hybrid campaign: n=" << cfg.n << " steps=" << cfg.steps
+     << " seed=" << cfg.fault_seed << " scheduled=" << kills
+     << " | kills=" << kills << " resumes=" << kills << " backend=p3t-hybrid"
+     << " | capacity=100% | "
+     << (r.bit_identical ? "BIT-IDENTICAL" : "MISMATCH");
+  r.summary = os.str();
+  return r;
+}
 
 CampaignResult run_machine_campaign(const CampaignConfig& cfg) {
   const auto pool = make_pool(cfg);

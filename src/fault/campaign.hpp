@@ -66,4 +66,13 @@ CampaignResult run_machine_campaign(const CampaignConfig& cfg);
 /// recovered by retry/resend and j re-replication.
 CampaignResult run_cluster_campaign(const CampaignConfig& cfg);
 
+/// Run a process-level campaign on the P3T hybrid tree+direct backend: an
+/// uninterrupted reference integration of a planetesimal disk versus the
+/// same run repeatedly SIGKILL-simulated (budget preemption) and resumed
+/// from checkpoints in fresh "process images" with fault-seed-chosen thread
+/// counts and kill points. Bit-identity here proves the stateful backend's
+/// epoch snapshot (tree + neighbor lists) survives kill/resume exactly —
+/// the fault layer makes no direct-summation assumptions.
+CampaignResult run_hybrid_campaign(const CampaignConfig& cfg);
+
 }  // namespace g6::fault

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "nbody/particle.hpp"
 #include "obs/blockstep_record.hpp"
@@ -79,6 +80,20 @@ class ForceBackend {
   /// wall time of compute() to the pipeline phase and of update() to the
   /// j-update phase.
   virtual bool records_phases() const { return false; }
+
+  /// Opaque backend-private state for checkpoints. Backends whose force
+  /// answers depend on internal history beyond the j-particle images (e.g.
+  /// the P3T hybrid's epoch snapshot: tree + neighbor lists are rebuilt from
+  /// positions frozen at the last rebuild time) serialize that history here
+  /// so kill-and-resume reproduces the uninterrupted run bit for bit. The
+  /// blob is stored verbatim in the G6CKPT1 stream (docs/CHECKPOINTING.md)
+  /// and handed back through load_checkpoint_state() on resume, after the
+  /// particle system has been restored and load() has been called. Stateless
+  /// backends keep the defaults (empty blob, ignore on restore).
+  virtual std::vector<std::uint8_t> save_checkpoint_state() const { return {}; }
+  virtual void load_checkpoint_state(std::span<const std::uint8_t> blob) {
+    (void)blob;
+  }
 
  protected:
   g6::obs::BlockstepRecorder* recorder_ = nullptr;

@@ -1,0 +1,47 @@
+#pragma once
+/// \file changeover.hpp
+/// \brief P3T changeover function: the C¹-smooth weight that splits every
+///        pair force between the direct Hermite path (near field) and the
+///        Barnes–Hut tree (far field). See docs/P3T.md.
+///
+/// K(r) = 1 for r <= r_in, 0 for r >= r_out, and the complementary quintic
+/// smoothstep in between:
+///
+///   x    = (r - r_in) / (r_out - r_in)
+///   S(x) = 10 x^3 - 15 x^4 + 6 x^5        (S(0)=0, S(1)=1, S'=S''=0 at ends)
+///   K    = 1 - S(x)
+///
+/// The direct part of a pair force is weighted K, the tree part (1 - K), so
+/// the total is continuous (with continuous first and second derivatives)
+/// across both boundaries — the property the Hermite corrector needs to keep
+/// timestep estimates meaningful through the transition shell.
+
+#include <cmath>
+
+namespace g6::p3t {
+
+/// Changeover weights for a fixed (r_in, r_out) shell.
+struct Changeover {
+  double r_in = 0.0;
+  double r_out = 0.0;
+
+  /// Direct-path weight at separation \p r (unsoftened).
+  double K(double r) const {
+    if (r <= r_in) return 1.0;
+    if (r >= r_out) return 0.0;
+    const double x = (r - r_in) / (r_out - r_in);
+    const double x2 = x * x;
+    return 1.0 - x2 * x * (10.0 + x * (-15.0 + 6.0 * x));
+  }
+
+  /// dK/dr at separation \p r; zero outside (r_in, r_out).
+  double dKdr(double r) const {
+    if (r <= r_in || r >= r_out) return 0.0;
+    const double w = r_out - r_in;
+    const double x = (r - r_in) / w;
+    const double u = x * (1.0 - x);
+    return -30.0 * u * u / w;
+  }
+};
+
+}  // namespace g6::p3t

@@ -1,0 +1,680 @@
+#include "p3t/p3t_backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "disk/hill.hpp"
+#include "nbody/force_direct.hpp"
+#include "nbody/hermite.hpp"
+#include "util/check.hpp"
+
+namespace g6::p3t {
+
+namespace {
+
+using g6::tree::TreeNode;
+
+/// Squared distance from \p x to the surface of node \p n's cube (0 inside).
+double box_dist2(const TreeNode& n, const Vec3& x) {
+  const double dx = std::max(std::abs(x.x - n.center.x) - n.half, 0.0);
+  const double dy = std::max(std::abs(x.y - n.center.y) - n.half, 0.0);
+  const double dz = std::max(std::abs(x.z - n.center.z) - n.half, 0.0);
+  return dx * dx + dy * dy + dz * dz;
+}
+
+void append_bytes(std::vector<std::uint8_t>& out, const void* p, std::size_t n) {
+  const auto* b = static_cast<const std::uint8_t*>(p);
+  out.insert(out.end(), b, b + n);
+}
+
+template <typename T>
+void append_pod(std::vector<std::uint8_t>& out, const T& v) {
+  append_bytes(out, &v, sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::span<const std::uint8_t> blob, std::size_t& off) {
+  G6_CHECK(off + sizeof(T) <= blob.size(), "p3t checkpoint blob truncated");
+  T v;
+  std::memcpy(&v, blob.data() + off, sizeof(T));
+  off += sizeof(T);
+  return v;
+}
+
+constexpr char kBlobMagic[8] = {'G', '6', 'P', '3', 'T', 'C', 'K', '1'};
+constexpr std::uint32_t kBlobVersion = 1;
+
+}  // namespace
+
+P3THybridBackend::P3THybridBackend(P3TConfig cfg, double eps,
+                                   g6::util::ThreadPool* pool)
+    : cfg_(cfg),
+      eps_(eps),
+      pool_(pool != nullptr ? pool : &g6::util::shared_pool()),
+      tree_(g6::tree::TreeConfig{cfg.theta, cfg.leaf_capacity, cfg.quadrupole,
+                                 64}),
+      rebuilds_metric_(
+          g6::obs::MetricsRegistry::global().counter("g6.p3t.rebuilds")),
+      tree_inter_metric_(g6::obs::MetricsRegistry::global().counter(
+          "g6.p3t.tree_interactions")),
+      direct_inter_metric_(g6::obs::MetricsRegistry::global().counter(
+          "g6.p3t.direct_interactions")),
+      neighbor_pairs_metric_(
+          g6::obs::MetricsRegistry::global().gauge("g6.p3t.neighbor_pairs")),
+      groups_metric_(g6::obs::MetricsRegistry::global().gauge("g6.p3t.groups")),
+      grouped_metric_(g6::obs::MetricsRegistry::global().gauge(
+          "g6.p3t.grouped_particles")),
+      epoch_dt_metric_(
+          g6::obs::MetricsRegistry::global().gauge("g6.p3t.epoch_dt")),
+      r_out_metric_(g6::obs::MetricsRegistry::global().gauge("g6.p3t.r_out")) {
+  G6_CHECK(cfg_.theta > 0.0, "p3t: theta must be positive");
+  G6_CHECK(cfg_.rebuild_safety > 0.0, "p3t: rebuild_safety must be positive");
+  G6_CHECK(cfg_.dt_rebuild_max > 0.0, "p3t: dt_rebuild_max must be positive");
+  if (cfg_.r_out > 0.0 && cfg_.r_in > 0.0)
+    G6_CHECK(cfg_.r_in < cfg_.r_out, "p3t: need r_in < r_out");
+}
+
+void P3THybridBackend::load(const g6::nbody::ParticleSystem& ps) {
+  const std::size_t n = ps.size();
+  t0_.resize(n);
+  mass_.resize(n);
+  x0_.resize(n);
+  v0_.resize(n);
+  a0_.resize(n);
+  j0_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t0_[i] = ps.time(i);
+    mass_[i] = ps.mass(i);
+    x0_[i] = ps.pos(i);
+    v0_[i] = ps.vel(i);
+    a0_[i] = ps.acc(i);
+    j0_[i] = ps.jerk(i);
+  }
+  // The epoch snapshot is a function of load-time state; invalidate so the
+  // next force evaluation re-establishes it (or checkpoint restore injects
+  // the saved one — see load_checkpoint_state()).
+  tree_valid_ = false;
+}
+
+void P3THybridBackend::update(std::span<const std::uint32_t> indices,
+                              const g6::nbody::ParticleSystem& ps) {
+  G6_CHECK(ps.size() == mass_.size(),
+           "p3t: update() with a different particle count; use load()");
+  for (const std::uint32_t i : indices) {
+    t0_[i] = ps.time(i);
+    mass_[i] = ps.mass(i);
+    x0_[i] = ps.pos(i);
+    v0_[i] = ps.vel(i);
+    a0_[i] = ps.acc(i);
+    j0_[i] = ps.jerk(i);
+  }
+  // The tree and the neighbor lists deliberately go stale between rebuilds;
+  // the changeover weighting and the search-radius margin absorb the drift.
+}
+
+void P3THybridBackend::compute(double t, std::span<const std::uint32_t> ilist,
+                               std::span<Force> out) {
+  eval(t, ilist, {}, {}, out);
+}
+
+void P3THybridBackend::compute_states(double t,
+                                      std::span<const std::uint32_t> ilist,
+                                      std::span<const Vec3> pos,
+                                      std::span<const Vec3> vel,
+                                      std::span<Force> out) {
+  G6_CHECK(pos.size() == ilist.size() && vel.size() == ilist.size(),
+           "p3t: state span size mismatch");
+  eval(t, ilist, pos, vel, out);
+}
+
+void P3THybridBackend::ensure_epoch(double t) {
+  if (!tree_valid_ || t >= next_rebuild_) rebuild_epoch(t);
+}
+
+void P3THybridBackend::rebuild_epoch(double t) {
+  const std::size_t n = mass_.size();
+  G6_CHECK(n > 0, "p3t: no particles loaded");
+  epoch_pos_.resize(n);
+  epoch_vel_.resize(n);
+  epoch_mass_ = mass_;
+
+  pool_->parallel_for(n, [&](std::size_t b, std::size_t e) {
+    for (std::size_t j = b; j < e; ++j) {
+      const auto p = g6::nbody::hermite_predict(x0_[j], v0_[j], a0_[j], j0_[j],
+                                                t - t0_[j]);
+      epoch_pos_[j] = p.pos;
+      epoch_vel_[j] = p.vel;
+    }
+  });
+
+  t_epoch_ = t;
+  resolve_radii();
+
+  // Epoch length: the fastest particle may drift at most rebuild_safety*r_in
+  // before the tree and the neighbor lists are refreshed.
+  double vmax = 0.0;
+  for (std::size_t j = 0; j < n; ++j)
+    vmax = std::max(vmax, g6::util::norm(epoch_vel_[j]));
+  double dt_epoch = cfg_.dt_rebuild_max;
+  if (vmax > 0.0)
+    dt_epoch = std::min(dt_epoch, cfg_.rebuild_safety * change_.r_in / vmax);
+  dt_epoch = std::max(dt_epoch, 0x1p-30);
+  next_rebuild_ = t + dt_epoch;
+
+  finalize_epoch();
+  ++rebuilds_;
+  rebuilds_metric_.add();
+}
+
+void P3THybridBackend::resolve_radii() {
+  if (radii_set_) return;
+  const std::size_t n = epoch_mass_.size();
+  double r_out = cfg_.r_out;
+  double r_in = cfg_.r_in;
+  if (r_out <= 0.0) {
+    if (cfg_.gm_central > 0.0) {
+      // Disk regime: a few Hill radii of the mean body at the mean orbital
+      // distance — the scale below which collisional dynamics must be exact.
+      double sum_a = 0.0, sum_m = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        sum_a += g6::util::norm(epoch_pos_[j]);
+        sum_m += epoch_mass_[j];
+      }
+      const double a_mean = sum_a / static_cast<double>(n);
+      const double m_mean = sum_m / static_cast<double>(n);
+      r_out = 10.0 * g6::disk::hill_radius(a_mean, m_mean, cfg_.gm_central);
+    } else {
+      // No central body: a multiple of the mean interparticle spacing.
+      Vec3 lo = epoch_pos_[0], hi = epoch_pos_[0];
+      for (std::size_t j = 1; j < n; ++j) {
+        lo = g6::util::min(lo, epoch_pos_[j]);
+        hi = g6::util::max(hi, epoch_pos_[j]);
+      }
+      double vol = 1.0;
+      for (int c = 0; c < 3; ++c) vol *= std::max(hi[c] - lo[c], 1e-12);
+      r_out = 2.0 * std::cbrt(vol / static_cast<double>(n));
+    }
+  }
+  if (r_in <= 0.0) r_in = r_out / 8.0;
+  G6_CHECK(r_out > r_in && r_in > 0.0, "p3t: invalid changeover radii");
+  change_ = Changeover{r_in, r_out};
+  radii_set_ = true;
+}
+
+void P3THybridBackend::finalize_epoch() {
+  const std::size_t n = epoch_mass_.size();
+  const double dt_epoch = next_rebuild_ - t_epoch_;
+  const double r_in = change_.r_in;
+  const double r_out = change_.r_out;
+
+  tree_.build(epoch_pos_, epoch_vel_, epoch_mass_, pool_);
+
+  // Per-particle drift reach over the epoch (safety factor 2 on top of the
+  // current speed: velocities change between rebuilds) and search radii:
+  // any pair that can come inside r_out before the next rebuild satisfies
+  // |x_i - x_j| < max(rs_i, rs_j) at the epoch.
+  double vmax = 0.0;
+  for (std::size_t j = 0; j < n; ++j)
+    vmax = std::max(vmax, g6::util::norm(epoch_vel_[j]));
+  const double reach_max = 2.0 * vmax * dt_epoch;
+  reach_.resize(n);
+  rs_.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    reach_[j] = 2.0 * g6::util::norm(epoch_vel_[j]) * dt_epoch;
+    rs_[j] = r_out + reach_[j] + reach_max;
+  }
+
+  // Per-node max search radius. Nodes are in depth-first preorder (parent
+  // index < child index), so a reverse sweep sees every child before its
+  // parent.
+  const auto nodes = tree_.nodes();
+  const auto order = tree_.order();
+  node_rs_.assign(nodes.size(), 0.0);
+  for (std::size_t k = nodes.size(); k-- > 0;) {
+    const TreeNode& node = nodes[k];
+    double m = 0.0;
+    if (node.leaf) {
+      for (std::uint32_t q = node.first; q < node.first + node.count; ++q)
+        m = std::max(m, rs_[order[q]]);
+    } else {
+      for (const std::int32_t ch : node.child)
+        if (ch >= 0) m = std::max(m, node_rs_[static_cast<std::size_t>(ch)]);
+    }
+    node_rs_[k] = m;
+  }
+
+  // Neighbor lists: per-i tree query in DFS order (deterministic), inner
+  // pairs (K guaranteed 1 for the whole epoch) ahead of transition pairs.
+  nbr_scratch_.resize(n);
+  inner_count_.resize(n);
+  pool_->parallel_for(n, [&](std::size_t b, std::size_t e) {
+    std::vector<std::uint32_t> inner, trans;
+    std::vector<std::int32_t> stack;
+    for (std::size_t i = b; i < e; ++i) {
+      inner.clear();
+      trans.clear();
+      const Vec3 xi = epoch_pos_[i];
+      const double rs_i = rs_[i];
+      stack.clear();
+      stack.push_back(0);
+      while (!stack.empty()) {
+        const std::int32_t nk = stack.back();
+        stack.pop_back();
+        const TreeNode& node = nodes[static_cast<std::size_t>(nk)];
+        const double reach =
+            std::max(rs_i, node_rs_[static_cast<std::size_t>(nk)]);
+        if (box_dist2(node, xi) >= reach * reach) continue;
+        if (node.leaf) {
+          for (std::uint32_t q = node.first; q < node.first + node.count; ++q) {
+            const std::uint32_t p = order[q];
+            if (p == i) continue;
+            const Vec3 d = epoch_pos_[p] - xi;
+            const double d2 = norm2(d);
+            const double rij = std::max(rs_i, rs_[p]);
+            if (d2 >= rij * rij) continue;
+            const double r = std::sqrt(d2);
+            if (r + reach_[i] + reach_[p] <= r_in)
+              inner.push_back(p);
+            else
+              trans.push_back(p);
+          }
+        } else {
+          // Push in reverse so children pop in ascending octant order.
+          for (int oct = 7; oct >= 0; --oct)
+            if (node.child[oct] >= 0) stack.push_back(node.child[oct]);
+        }
+      }
+      auto& dst = nbr_scratch_[i];
+      dst.clear();
+      dst.insert(dst.end(), inner.begin(), inner.end());
+      dst.insert(dst.end(), trans.begin(), trans.end());
+      inner_count_[i] = static_cast<std::uint32_t>(inner.size());
+    }
+  });
+
+  nbr_start_.resize(n + 1);
+  nbr_inner_end_.resize(n);
+  nbr_start_[0] = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    nbr_start_[i + 1] =
+        nbr_start_[i] + static_cast<std::uint32_t>(nbr_scratch_[i].size());
+    nbr_inner_end_[i] = nbr_start_[i] + inner_count_[i];
+  }
+  nbr_.resize(nbr_start_[n]);
+  for (std::size_t i = 0; i < n; ++i)
+    std::copy(nbr_scratch_[i].begin(), nbr_scratch_[i].end(),
+              nbr_.begin() + nbr_start_[i]);
+
+  // Close-encounter groups: union-find over epoch pairs inside the mutual
+  // group radius (a few mutual Hill radii, capped at r_in — so members sit
+  // on the pure K = 1 direct path by construction). Serial and in index
+  // order: deterministic.
+  group_parent_.resize(n);
+  for (std::size_t i = 0; i < n; ++i)
+    group_parent_[i] = static_cast<std::uint32_t>(i);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::uint32_t q = nbr_start_[i]; q < nbr_start_[i + 1]; ++q) {
+      const std::uint32_t j = nbr_[q];
+      if (j <= i) continue;  // each pair once
+      double rg = r_in;
+      if (cfg_.gm_central > 0.0) {
+        const double a =
+            0.5 * (g6::util::norm(epoch_pos_[i]) + g6::util::norm(epoch_pos_[j]));
+        const double rh = g6::disk::hill_radius(
+            a, epoch_mass_[i] + epoch_mass_[j], cfg_.gm_central);
+        rg = std::min(cfg_.group_factor * rh, r_in);
+      }
+      const Vec3 d = epoch_pos_[j] - epoch_pos_[i];
+      if (norm2(d) < rg * rg) {
+        const std::uint32_t ri = find_group(static_cast<std::uint32_t>(i));
+        const std::uint32_t rj = find_group(j);
+        if (ri != rj) group_parent_[std::max(ri, rj)] = std::min(ri, rj);
+      }
+    }
+  }
+  group_size_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    ++group_size_[find_group(static_cast<std::uint32_t>(i))];
+  group_count_ = 0;
+  grouped_particles_ = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (group_size_[i] >= 2) {
+      ++group_count_;
+      grouped_particles_ += group_size_[i];
+    }
+  }
+
+  tree_valid_ = true;
+
+  neighbor_pairs_metric_.set(static_cast<double>(nbr_.size()));
+  groups_metric_.set(static_cast<double>(group_count_));
+  grouped_metric_.set(static_cast<double>(grouped_particles_));
+  epoch_dt_metric_.set(dt_epoch);
+  r_out_metric_.set(r_out);
+}
+
+std::uint32_t P3THybridBackend::find_group(std::uint32_t i) const {
+  std::uint32_t r = i;
+  while (group_parent_[r] != r) r = group_parent_[r];
+  while (group_parent_[i] != r) {
+    const std::uint32_t next = group_parent_[i];
+    group_parent_[i] = r;
+    i = next;
+  }
+  return r;
+}
+
+std::uint32_t P3THybridBackend::group_of(std::size_t i) const {
+  G6_CHECK(tree_valid_ && i < group_parent_.size(), "p3t: no epoch built");
+  return find_group(static_cast<std::uint32_t>(i));
+}
+
+std::span<const std::uint32_t> P3THybridBackend::neighbors(
+    std::size_t i) const {
+  G6_CHECK(tree_valid_ && i + 1 < nbr_start_.size(), "p3t: no epoch built");
+  return std::span<const std::uint32_t>(nbr_).subspan(
+      nbr_start_[i], nbr_start_[i + 1] - nbr_start_[i]);
+}
+
+std::uint64_t P3THybridBackend::walk_tree(const Vec3& xi, const Vec3& vi,
+                                          Force& f) const {
+  const auto nodes = tree_.nodes();
+  const auto order = tree_.order();
+  const auto tpos = tree_.positions();
+  const auto tvel = tree_.velocities();
+  const auto tmass = tree_.masses();
+  const double eps2 = eps_ * eps_;
+  const double theta2 = cfg_.theta * cfg_.theta;
+  const double r_out2 = change_.r_out * change_.r_out;
+  std::uint64_t ops = 0;
+
+  const auto rec = [&](const auto& self, std::int32_t nk) -> void {
+    const TreeNode& node = nodes[static_cast<std::size_t>(nk)];
+    if (node.count == 0) return;
+
+    const Vec3 d = xi - node.com;
+    const double r2 = norm2(d) + eps2;
+    const double s = 2.0 * node.half;
+    // Open on the angle criterion, or whenever the cell could hold particles
+    // inside r_out: accepted cells are then entirely beyond the changeover
+    // shell and carry weight exactly 1 (box_dist2 = 0 covers "xi inside").
+    const bool must_open =
+        s * s >= theta2 * r2 || box_dist2(node, xi) < r_out2;
+
+    if (must_open && !node.leaf) {
+      for (const std::int32_t ch : node.child)
+        if (ch >= 0) self(self, ch);
+      return;
+    }
+
+    if (must_open) {
+      // Leaf inside (or straddling) the shell: per-particle epoch forces,
+      // weighted (1 - K). The weight vanishes for every K = 1 pair —
+      // including the i-particle itself (r ≈ 0) — so no index exclusion is
+      // needed, and pairs handled fully by the direct path contribute
+      // nothing here.
+      for (std::uint32_t q = node.first; q < node.first + node.count; ++q) {
+        const std::uint32_t p = order[q];
+        const Vec3 dr = tpos[p] - xi;
+        const double re2 = norm2(dr);
+        const double re = std::sqrt(re2);
+        const double w = 1.0 - change_.K(re);
+        if (w == 0.0) continue;
+        const double rp2 = re2 + eps2;
+        const double rinv = 1.0 / std::sqrt(rp2);
+        const double rinv2 = rinv * rinv;
+        const double mr3 = tmass[p] * rinv * rinv2;
+        const Vec3 dv = tvel[p] - vi;
+        const Vec3 a_e = mr3 * dr;
+        f.acc += w * a_e;
+        f.jerk += w * (mr3 * (dv - 3.0 * (dot(dr, dv) * rinv2) * dr));
+        const double dK = change_.dKdr(re);
+        if (dK != 0.0) f.jerk -= (dK * (dot(dr, dv) / re)) * a_e;
+        f.pot -= w * tmass[p] * rinv;
+        ++ops;
+      }
+      return;
+    }
+
+    // Accepted cell: monopole (+ optional quadrupole) and the mean-velocity
+    // jerk — the cell acts as one pseudo-particle at (com, vcom).
+    const double rinv = 1.0 / std::sqrt(r2);
+    const double rinv2 = rinv * rinv;
+    const double mr3 = node.mass * rinv * rinv2;
+    const Vec3 dvd = vi - node.vcom;
+    f.acc -= mr3 * d;
+    f.jerk -= mr3 * (dvd - 3.0 * (dot(d, dvd) * rinv2) * d);
+    f.pot -= node.mass * rinv;
+    if (cfg_.quadrupole) {
+      const double* q = node.quad;
+      const Vec3 qd{q[0] * d.x + q[3] * d.y + q[4] * d.z,
+                    q[3] * d.x + q[1] * d.y + q[5] * d.z,
+                    q[4] * d.x + q[5] * d.y + q[2] * d.z};
+      const double dqd = dot(d, qd);
+      const double rinv5 = rinv2 * rinv2 * rinv;
+      const double rinv7 = rinv5 * rinv2;
+      f.acc += qd * rinv5 - (2.5 * dqd * rinv7) * d;
+      f.pot -= 0.5 * dqd * rinv5;
+    }
+    ++ops;
+  };
+  rec(rec, 0);
+  return ops;
+}
+
+void P3THybridBackend::eval(double t, std::span<const std::uint32_t> ilist,
+                            std::span<const Vec3> pos,
+                            std::span<const Vec3> vel, std::span<Force> out) {
+  G6_CHECK(out.size() == ilist.size(), "p3t: output span size mismatch");
+  ensure_epoch(t);
+  const double eps2 = eps_ * eps_;
+  std::atomic<std::uint64_t> tree_ops{0}, direct_ops{0};
+
+  const auto chunk = [&](std::size_t cb, std::size_t ce) {
+    g6::nbody::SoAPredicted js;  // per-chunk scratch: grow-only within chunk
+    std::uint64_t local_tree = 0, local_direct = 0;
+    for (std::size_t k = cb; k < ce; ++k) {
+      const std::uint32_t i = ilist[k];
+      Vec3 xi, vi;
+      if (pos.empty()) {
+        const auto p = g6::nbody::hermite_predict(x0_[i], v0_[i], a0_[i],
+                                                  j0_[i], t - t0_[i]);
+        xi = p.pos;
+        vi = p.vel;
+      } else {
+        xi = pos[k];
+        vi = vel[k];
+      }
+
+      Force f{};
+      local_tree += walk_tree(xi, vi, f);
+
+      // Near field. Inner pairs (K = 1 guaranteed): fresh predictions batched
+      // through the dispatched direct kernel — the same bit-reproducible
+      // SIMD path CpuDirectBackend runs.
+      const std::uint32_t nb = nbr_start_[i];
+      const std::uint32_t ni = nbr_inner_end_[i];
+      const std::uint32_t ne = nbr_start_[i + 1];
+      const std::size_t ninner = ni - nb;
+      if (ninner > 0) {
+        js.resize(ninner);
+        for (std::size_t q = 0; q < ninner; ++q) {
+          const std::uint32_t j = nbr_[nb + q];
+          const auto pj = g6::nbody::hermite_predict(x0_[j], v0_[j], a0_[j],
+                                                     j0_[j], t - t0_[j]);
+          js.x[q] = pj.pos.x;
+          js.y[q] = pj.pos.y;
+          js.z[q] = pj.pos.z;
+          js.vx[q] = pj.vel.x;
+          js.vy[q] = pj.vel.y;
+          js.vz[q] = pj.vel.z;
+          js.m[q] = mass_[j];
+        }
+        js.mixed_valid = false;
+        g6::nbody::force_on_i(cfg_.kernel, js, xi, vi, g6::nbody::kNoSelf,
+                              eps2, f);
+        local_direct += ninner;
+      }
+
+      // Transition pairs: fresh force at weight K(r_fresh) plus the epoch
+      // correction (K(r_epoch) - K(r_fresh)) * f_epoch, which together with
+      // the tree-leaf term (1 - K(r_epoch)) * f_epoch makes the pair total
+      // exactly K(r_fresh) * f_fresh + (1 - K(r_fresh)) * f_epoch — a true
+      // partition of unity with the fresh separation as argument.
+      for (std::uint32_t q = ni; q < ne; ++q) {
+        const std::uint32_t j = nbr_[q];
+        const auto pj = g6::nbody::hermite_predict(x0_[j], v0_[j], a0_[j],
+                                                   j0_[j], t - t0_[j]);
+        const Vec3 dr_f = pj.pos - xi;
+        const Vec3 dv_f = pj.vel - vi;
+        const double rf2 = norm2(dr_f);
+        const double rf = std::sqrt(rf2);
+        const double Kf = change_.K(rf);
+        const Vec3 dr_e = epoch_pos_[j] - xi;
+        const Vec3 dv_e = epoch_vel_[j] - vi;
+        const double re2 = norm2(dr_e);
+        const double re = std::sqrt(re2);
+        const double Ke = change_.K(re);
+        const double wc = Ke - Kf;
+
+        if (Kf != 0.0) {
+          const double r2 = rf2 + eps2;
+          const double rinv = 1.0 / std::sqrt(r2);
+          const double rinv2 = rinv * rinv;
+          const double mr3 = mass_[j] * rinv * rinv2;
+          const Vec3 a_f = mr3 * dr_f;
+          f.acc += Kf * a_f;
+          f.jerk +=
+              Kf * (mr3 * (dv_f - 3.0 * (dot(dr_f, dv_f) * rinv2) * dr_f));
+          f.pot -= Kf * mass_[j] * rinv;
+          const double dKf = change_.dKdr(rf);
+          if (dKf != 0.0) f.jerk += (dKf * (dot(dr_f, dv_f) / rf)) * a_f;
+        }
+        if (wc != 0.0) {
+          const double r2 = re2 + eps2;
+          const double rinv = 1.0 / std::sqrt(r2);
+          const double rinv2 = rinv * rinv;
+          const double mr3 = epoch_mass_[j] * rinv * rinv2;
+          const Vec3 a_e = mr3 * dr_e;
+          f.acc += wc * a_e;
+          f.jerk +=
+              wc * (mr3 * (dv_e - 3.0 * (dot(dr_e, dv_e) * rinv2) * dr_e));
+          f.pot -= wc * epoch_mass_[j] * rinv;
+        }
+        // Weight-rate cross terms on the epoch force: d/dt of the pair's
+        // epoch weight, combining this loop's (Ke - Kf) with the tree's
+        // (1 - Ke) so the total epoch weight is (1 - K(r_fresh)).
+        const double dKe = change_.dKdr(re);
+        const double dKf = change_.dKdr(rf);
+        if (dKe != 0.0 || dKf != 0.0) {
+          const double r2 = re2 + eps2;
+          const double rinv = 1.0 / std::sqrt(r2);
+          const double mr3 = epoch_mass_[j] * rinv * rinv * rinv;
+          const Vec3 a_e = mr3 * dr_e;
+          double rate = 0.0;
+          if (dKe != 0.0 && re > 0.0) rate += dKe * (dot(dr_e, dv_e) / re);
+          if (dKf != 0.0 && rf > 0.0) rate -= dKf * (dot(dr_f, dv_f) / rf);
+          f.jerk += rate * a_e;
+        }
+        ++local_direct;
+      }
+
+      out[k] = f;
+    }
+    tree_ops.fetch_add(local_tree, std::memory_order_relaxed);
+    direct_ops.fetch_add(local_direct, std::memory_order_relaxed);
+  };
+
+  pool_->parallel_for(ilist.size(), chunk);
+
+  const std::uint64_t to = tree_ops.load(std::memory_order_relaxed);
+  const std::uint64_t dp = direct_ops.load(std::memory_order_relaxed);
+  interactions_.fetch_add(to + dp, std::memory_order_relaxed);
+  tree_inter_metric_.add(to);
+  direct_inter_metric_.add(dp);
+}
+
+std::vector<std::uint8_t> P3THybridBackend::save_checkpoint_state() const {
+  if (!tree_valid_) return {};
+  const std::uint64_t n = epoch_mass_.size();
+  std::vector<std::uint8_t> blob;
+  blob.reserve(sizeof(kBlobMagic) + 2 * sizeof(std::uint32_t) +
+               6 * sizeof(double) + sizeof(std::uint64_t) +
+               static_cast<std::size_t>(n) * 7 * sizeof(double));
+  append_bytes(blob, kBlobMagic, sizeof(kBlobMagic));
+  append_pod(blob, kBlobVersion);
+  append_pod(blob, std::uint32_t{0});  // reserved
+  append_pod(blob, n);
+  append_pod(blob, cfg_.theta);
+  append_pod(blob, change_.r_in);
+  append_pod(blob, change_.r_out);
+  append_pod(blob, t_epoch_);
+  append_pod(blob, next_rebuild_);
+  for (std::uint64_t j = 0; j < n; ++j) {
+    append_pod(blob, epoch_pos_[j].x);
+    append_pod(blob, epoch_pos_[j].y);
+    append_pod(blob, epoch_pos_[j].z);
+  }
+  for (std::uint64_t j = 0; j < n; ++j) {
+    append_pod(blob, epoch_vel_[j].x);
+    append_pod(blob, epoch_vel_[j].y);
+    append_pod(blob, epoch_vel_[j].z);
+  }
+  for (std::uint64_t j = 0; j < n; ++j) append_pod(blob, epoch_mass_[j]);
+  return blob;
+}
+
+void P3THybridBackend::load_checkpoint_state(
+    std::span<const std::uint8_t> blob) {
+  if (blob.empty()) return;  // checkpoint predates the first epoch
+  std::size_t off = 0;
+  char magic[8];
+  G6_CHECK(blob.size() >= sizeof(magic), "p3t checkpoint blob truncated");
+  std::memcpy(magic, blob.data(), sizeof(magic));
+  off = sizeof(magic);
+  G6_CHECK(std::memcmp(magic, kBlobMagic, sizeof(magic)) == 0,
+           "p3t checkpoint blob: bad magic");
+  const auto version = read_pod<std::uint32_t>(blob, off);
+  G6_CHECK(version == kBlobVersion, "p3t checkpoint blob: unknown version");
+  (void)read_pod<std::uint32_t>(blob, off);  // reserved
+  const auto n = read_pod<std::uint64_t>(blob, off);
+  G6_CHECK(n == mass_.size(),
+           "p3t checkpoint blob: particle count mismatch (load() first)");
+  const auto theta = read_pod<double>(blob, off);
+  G6_CHECK(theta == cfg_.theta,
+           "p3t checkpoint blob: theta differs from configured value");
+  const auto r_in = read_pod<double>(blob, off);
+  const auto r_out = read_pod<double>(blob, off);
+  G6_CHECK(r_out > r_in && r_in > 0.0, "p3t checkpoint blob: bad radii");
+  const auto t_epoch = read_pod<double>(blob, off);
+  const auto next_rebuild = read_pod<double>(blob, off);
+
+  epoch_pos_.resize(n);
+  epoch_vel_.resize(n);
+  epoch_mass_.resize(n);
+  for (std::uint64_t j = 0; j < n; ++j) {
+    epoch_pos_[j].x = read_pod<double>(blob, off);
+    epoch_pos_[j].y = read_pod<double>(blob, off);
+    epoch_pos_[j].z = read_pod<double>(blob, off);
+  }
+  for (std::uint64_t j = 0; j < n; ++j) {
+    epoch_vel_[j].x = read_pod<double>(blob, off);
+    epoch_vel_[j].y = read_pod<double>(blob, off);
+    epoch_vel_[j].z = read_pod<double>(blob, off);
+  }
+  for (std::uint64_t j = 0; j < n; ++j)
+    epoch_mass_[j] = read_pod<double>(blob, off);
+  G6_CHECK(off == blob.size(), "p3t checkpoint blob: trailing bytes");
+
+  // Adopt the saved epoch and rebuild every derived structure from it: the
+  // resumed run then evaluates forces against exactly the tree and lists
+  // the uninterrupted run was using.
+  change_ = Changeover{r_in, r_out};
+  radii_set_ = true;
+  t_epoch_ = t_epoch;
+  next_rebuild_ = next_rebuild;
+  finalize_epoch();
+}
+
+}  // namespace g6::p3t

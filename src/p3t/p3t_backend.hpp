@@ -1,0 +1,183 @@
+#pragma once
+/// \file p3t_backend.hpp
+/// \brief P3T hybrid tree+direct force backend (docs/P3T.md) — the scheme
+///        that opens N ≫ 16k real dynamics, past the paper's direct-summation
+///        science ceiling.
+///
+/// Every pair force is split by the changeover function K(r) (changeover.hpp):
+/// the near part (weight K) is evaluated fresh on the direct Hermite kernel
+/// path against neighbor-list particles predicted to the current block time;
+/// the far part (weight 1−K) comes from a Barnes–Hut walk over a tree frozen
+/// at the last rebuild epoch. Neighbor lists carry PeTar-style per-particle
+/// search radii sized so that no pair can cross into the changeover shell
+/// between rebuilds; pairs already inside the mutual group radius (a few
+/// mutual Hill radii, capped at r_in) are bookkept as close-encounter groups
+/// and are automatically on the pure direct path (K = 1).
+///
+/// Determinism contract: per-i evaluation is independent work with
+/// fixed-order reductions (the tree walk recurses in octant order, neighbor
+/// lists are in tree DFS order, the inner-neighbor sum delegates to the
+/// bit-reproducible dispatched kernels), so results are bit-identical at any
+/// thread count. The epoch snapshot (tree + lists are functions of it) is
+/// serialized through save/load_checkpoint_state() into the G6CKPT1 stream,
+/// which makes kill-and-resume bit-identical to the uninterrupted run.
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nbody/force.hpp"
+#include "nbody/force_kernels.hpp"
+#include "obs/metrics.hpp"
+#include "p3t/changeover.hpp"
+#include "tree/bh_tree.hpp"
+#include "util/thread_pool.hpp"
+
+namespace g6::p3t {
+
+using g6::nbody::Force;
+using g6::util::Vec3;
+
+/// P3T accuracy/scheduling knobs.
+struct P3TConfig {
+  double theta = 0.4;        ///< tree opening angle for the far field
+  double r_in = 0.0;         ///< changeover inner radius (0 = r_out / 8)
+  double r_out = 0.0;        ///< changeover outer radius (0 = auto-derive)
+  double gm_central = 0.0;   ///< central-body GM; >0 enables Hill-radius
+                             ///< auto-scaling of r_out and group radii
+  double rebuild_safety = 0.25;   ///< max drift per epoch, fraction of r_in
+  double dt_rebuild_max = 0.25;   ///< hard cap on epoch length (sim time)
+  double group_factor = 3.0;      ///< group radius in mutual Hill radii
+  std::size_t leaf_capacity = 16; ///< tree leaf size
+  bool quadrupole = true;         ///< quadrupole far-field moments
+  g6::nbody::CpuKernel kernel = g6::nbody::cpu_kernel_from_env();
+};
+
+/// ForceBackend composing BarnesHutTree (far field) with the dispatched
+/// direct kernels (near field). See file comment and docs/P3T.md.
+class P3THybridBackend final : public g6::nbody::ForceBackend {
+ public:
+  /// \p eps softening length; \p pool optional thread pool (null means the
+  /// process-wide g6::util::shared_pool()).
+  explicit P3THybridBackend(P3TConfig cfg, double eps,
+                            g6::util::ThreadPool* pool = nullptr);
+
+  std::string name() const override { return "p3t-hybrid"; }
+  void load(const g6::nbody::ParticleSystem& ps) override;
+  void update(std::span<const std::uint32_t> indices,
+              const g6::nbody::ParticleSystem& ps) override;
+  void compute(double t, std::span<const std::uint32_t> ilist,
+               std::span<Force> out) override;
+  void compute_states(double t, std::span<const std::uint32_t> ilist,
+                      std::span<const Vec3> pos, std::span<const Vec3> vel,
+                      std::span<Force> out) override;
+  std::uint64_t interaction_count() const override {
+    return interactions_.load(std::memory_order_relaxed);
+  }
+  double softening() const override { return eps_; }
+
+  std::vector<std::uint8_t> save_checkpoint_state() const override;
+  void load_checkpoint_state(std::span<const std::uint8_t> blob) override;
+
+  const P3TConfig& config() const { return cfg_; }
+
+  // --- epoch/neighbor introspection (tests, diagnostics) ------------------
+
+  /// Resolved changeover radii (auto-derived at the first rebuild when the
+  /// config left them 0). Valid once an epoch exists.
+  double r_in() const { return change_.r_in; }
+  double r_out() const { return change_.r_out; }
+  bool epoch_valid() const { return tree_valid_; }
+  double epoch_time() const { return t_epoch_; }
+  double next_rebuild_time() const { return next_rebuild_; }
+  std::uint64_t rebuild_count() const { return rebuilds_; }
+
+  /// Force an epoch (tree + neighbor lists) at time \p t if none is valid or
+  /// the current one expired. compute() calls this itself; exposed for tests.
+  void ensure_epoch(double t);
+
+  /// Neighbor list of particle \p i (tree-DFS-ordered, excludes i). The
+  /// first inner_neighbor_count(i) entries are guaranteed-K=1 pairs.
+  std::span<const std::uint32_t> neighbors(std::size_t i) const;
+  std::size_t inner_neighbor_count(std::size_t i) const {
+    return nbr_inner_end_[i] - nbr_start_[i];
+  }
+
+  /// Close-encounter group bookkeeping at the current epoch.
+  std::size_t group_count() const { return group_count_; }
+  std::size_t grouped_particles() const { return grouped_particles_; }
+  /// Group representative (union-find root) of particle \p i.
+  std::uint32_t group_of(std::size_t i) const;
+
+  const g6::tree::BarnesHutTree& tree() const { return tree_; }
+
+ private:
+  void rebuild_epoch(double t);
+  /// Derive tree + search radii + neighbor lists + groups from the epoch
+  /// arrays (epoch_pos_/vel_/mass_) and [t_epoch_, next_rebuild_]. Shared by
+  /// rebuild_epoch() and checkpoint restore — both must produce identical
+  /// state for kill-and-resume bit-identity.
+  void finalize_epoch();
+  void resolve_radii();
+  void eval(double t, std::span<const std::uint32_t> ilist,
+            std::span<const Vec3> pos, std::span<const Vec3> vel,
+            std::span<Force> out);
+  /// Far-field changeover walk for one i-particle; returns the number of
+  /// (cell + epoch-leaf) interactions.
+  std::uint64_t walk_tree(const Vec3& xi, const Vec3& vi, Force& f) const;
+  std::uint32_t find_group(std::uint32_t i) const;
+
+  P3TConfig cfg_;
+  double eps_;
+  g6::util::ThreadPool* pool_;
+
+  // j-particle store (state at each particle's own time), as in
+  // CpuDirectBackend: per-pair prediction reads these polynomials directly.
+  std::vector<double> t0_, mass_;
+  std::vector<Vec3> x0_, v0_, a0_, j0_;
+
+  // Epoch snapshot: everything below is a pure function of these arrays plus
+  // [t_epoch_, next_rebuild_] — that is what makes checkpoint restore exact.
+  std::vector<Vec3> epoch_pos_, epoch_vel_;
+  std::vector<double> epoch_mass_;
+  double t_epoch_ = 0.0;
+  double next_rebuild_ = 0.0;
+  bool tree_valid_ = false;
+  Changeover change_{};
+  bool radii_set_ = false;
+
+  g6::tree::BarnesHutTree tree_;
+  std::vector<double> rs_;       ///< per-particle search radius
+  std::vector<double> reach_;    ///< per-particle drift bound over the epoch
+  std::vector<double> node_rs_;  ///< per-tree-node max search radius
+  // Neighbor lists, CSR over original particle indices. Per i:
+  // [nbr_start_[i], nbr_inner_end_[i]) inner (K = 1 all epoch),
+  // [nbr_inner_end_[i], nbr_start_[i+1]) transition (changeover-weighted).
+  std::vector<std::uint32_t> nbr_;
+  std::vector<std::uint32_t> nbr_start_, nbr_inner_end_;
+  std::vector<std::vector<std::uint32_t>> nbr_scratch_;  ///< grow-only, per i
+  std::vector<std::uint32_t> inner_count_;               ///< per-i inner size
+
+  // Close-encounter groups (union-find over epoch pairs inside the mutual
+  // group radius; bookkeeping — members are on the K=1 path by construction).
+  mutable std::vector<std::uint32_t> group_parent_;
+  std::vector<std::uint32_t> group_size_;
+  std::size_t group_count_ = 0;
+  std::size_t grouped_particles_ = 0;
+
+  std::uint64_t rebuilds_ = 0;
+  std::atomic<std::uint64_t> interactions_{0};
+
+  g6::obs::Counter rebuilds_metric_;       ///< g6.p3t.rebuilds
+  g6::obs::Counter tree_inter_metric_;     ///< g6.p3t.tree_interactions
+  g6::obs::Counter direct_inter_metric_;   ///< g6.p3t.direct_interactions
+  g6::obs::Gauge neighbor_pairs_metric_;   ///< g6.p3t.neighbor_pairs
+  g6::obs::Gauge groups_metric_;           ///< g6.p3t.groups
+  g6::obs::Gauge grouped_metric_;          ///< g6.p3t.grouped_particles
+  g6::obs::Gauge epoch_dt_metric_;         ///< g6.p3t.epoch_dt
+  g6::obs::Gauge r_out_metric_;            ///< g6.p3t.r_out
+};
+
+}  // namespace g6::p3t

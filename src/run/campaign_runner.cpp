@@ -16,6 +16,7 @@
 #include "obs/metrics.hpp"
 #include "obs/progress.hpp"
 #include "obs/trace.hpp"
+#include "p3t/p3t_backend.hpp"
 #include "run/checkpoint.hpp"
 #include "util/check.hpp"
 
@@ -47,8 +48,14 @@ std::unique_ptr<g6::nbody::ForceBackend> make_backend(
   if (spec.backend == "cluster")
     return std::make_unique<g6::cluster::ClusterBackend>(
         spec.hosts, g6::cluster::HostMode::kHardwareNet, format_for(ps), spec.eps);
+  if (spec.backend == "p3t") {
+    g6::p3t::P3TConfig pc;
+    pc.gm_central = 1.0;  // campaign jobs are always the heliocentric disk
+    return std::make_unique<g6::p3t::P3THybridBackend>(
+        pc, spec.eps, &g6::util::shared_pool());
+  }
   g6::util::raise("campaign job '" + spec.name + "': unknown backend '" +
-                  spec.backend + "' (want cpu|grape|cluster)");
+                  spec.backend + "' (want cpu|grape|cluster|p3t)");
 }
 
 }  // namespace

@@ -109,6 +109,10 @@ void write_checkpoint(std::ostream& os, const CheckpointData& data) {
   w.put(data.accretion_mergers);
   w.put(data.accretion_time);
 
+  w.put(static_cast<std::uint64_t>(data.backend_state.size()));
+  if (!data.backend_state.empty())
+    w.put_bytes(data.backend_state.data(), data.backend_state.size());
+
   w.put_trailer();
   os.flush();
   G6_CHECK(os.good(), "checkpoint write failed");
@@ -166,6 +170,10 @@ CheckpointData read_checkpoint(std::istream& is) {
   d.has_accretion = r.get<std::uint8_t>() != 0;
   d.accretion_mergers = r.get<std::uint64_t>();
   d.accretion_time = r.get<double>();
+
+  const auto n_backend = r.get<std::uint64_t>();
+  d.backend_state.resize(n_backend);
+  if (n_backend > 0) r.get_bytes(d.backend_state.data(), n_backend);
 
   r.check_trailer();
   return d;

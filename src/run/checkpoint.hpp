@@ -45,6 +45,12 @@ struct CheckpointData {
   bool has_accretion = false;
   std::uint64_t accretion_mergers = 0;
   double accretion_time = 0.0;
+
+  // Opaque backend-private state (ForceBackend::save_checkpoint_state()) —
+  // e.g. the P3T hybrid's epoch snapshot. Empty for stateless backends.
+  // Stored verbatim; resume hands it back through load_checkpoint_state()
+  // after the backend has been load()ed with the restored system.
+  std::vector<std::uint8_t> backend_state;
 };
 
 /// 64-bit FNV-1a hash of the parameters that define a run's identity: the

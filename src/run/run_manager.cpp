@@ -47,6 +47,7 @@ void RunManager::write_segment(CheckpointStore& store, RunReport& rep) {
   CheckpointData data = capture(integ_, chash_);
   data.rng_streams.reserve(rngs_.size());
   for (g6::util::Rng* rng : rngs_) data.rng_streams.push_back(rng->save());
+  data.backend_state = integ_.backend().save_checkpoint_state();
   const std::uint64_t bytes = store.append(data);
   ++rep.segments_written;
   rep.bytes_written += bytes;
@@ -87,6 +88,10 @@ RunReport RunManager::run() {
       // references); restore() rebuilds j-memory and the scheduler from it.
       integ_.system() = std::move(restored->data.system);
       integ_.restore(restored->data.t_sys, std::move(restored->data.stats));
+      // restore() has re-load()ed the backend from the restored system;
+      // stateful backends now re-establish their private history (e.g. the
+      // P3T epoch snapshot) so forces match the uninterrupted run exactly.
+      integ_.backend().load_checkpoint_state(restored->data.backend_state);
       const std::size_t n_rng =
           std::min(rngs_.size(), restored->data.rng_streams.size());
       for (std::size_t k = 0; k < n_rng; ++k)

@@ -140,8 +140,9 @@ JobRequest parse_job(const g6::obs::JsonValue& v) {
                req.model == "coldsphere",
            "unknown model '" + req.model + "' (want disk|plummer|coldsphere)");
   G6_CHECK(req.backend == "cpu" || req.backend == "grape" ||
-               req.backend == "cluster",
-           "unknown backend '" + req.backend + "' (want cpu|grape|cluster)");
+               req.backend == "cluster" || req.backend == "p3t",
+           "unknown backend '" + req.backend +
+               "' (want cpu|grape|cluster|p3t)");
   return req;
 }
 

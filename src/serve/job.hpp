@@ -31,7 +31,7 @@ struct JobRequest {
   std::string tenant = "default";
   int priority = 0;             ///< added to the tenant's base priority
   std::string model = "disk";   ///< disk | plummer | coldsphere
-  std::string backend = "cpu";  ///< cpu | grape | cluster
+  std::string backend = "cpu";  ///< cpu | grape | cluster | p3t
   std::uint64_t n = 256;        ///< particle count
   std::uint64_t seed = 1;       ///< initial-condition seed
   double eta = 0.02;            ///< Aarseth accuracy parameter

@@ -10,6 +10,7 @@
 #include "nbody/models.hpp"
 #include "nbody/snapshot.hpp"
 #include "obs/progress.hpp"
+#include "p3t/p3t_backend.hpp"
 #include "util/check.hpp"
 #include "util/crc.hpp"
 #include "util/log.hpp"
@@ -60,6 +61,11 @@ std::unique_ptr<g6::nbody::ForceBackend> make_backend(
     return std::make_unique<g6::cluster::ClusterBackend>(
         req.hosts, g6::cluster::HostMode::kHardwareNet, format_for(ps),
         req.eps, g6::cluster::LinkSpec{}, pool);
+  if (req.backend == "p3t") {
+    g6::p3t::P3TConfig pc;
+    pc.gm_central = req.model == "disk" ? 1.0 : 0.0;
+    return std::make_unique<g6::p3t::P3THybridBackend>(pc, req.eps, pool);
+  }
   g6::util::raise("unknown backend '" + req.backend + "'");
 }
 

@@ -1,7 +1,6 @@
 #include "tree/bh_tree.hpp"
 
 #include <algorithm>
-#include <array>
 #include <cmath>
 
 #include "util/check.hpp"
@@ -28,15 +27,40 @@ bool contains(const TreeNode& n, const Vec3& x) {
 }
 }  // namespace
 
-void BarnesHutTree::build(std::span<const Vec3> pos, std::span<const double> mass) {
+BarnesHutTree::BarnesHutTree(TreeConfig cfg)
+    : cfg_(cfg),
+      builds_metric_(
+          g6::obs::MetricsRegistry::global().counter("g6.tree.builds")),
+      parallel_builds_metric_(g6::obs::MetricsRegistry::global().counter(
+          "g6.tree.parallel_builds")),
+      nodes_metric_(g6::obs::MetricsRegistry::global().gauge("g6.tree.nodes")) {
+}
+
+void BarnesHutTree::build(std::span<const Vec3> pos,
+                          std::span<const double> mass) {
+  build(pos, {}, mass, nullptr);
+}
+
+void BarnesHutTree::build(std::span<const Vec3> pos, std::span<const Vec3> vel,
+                          std::span<const double> mass,
+                          g6::util::ThreadPool* pool) {
   G6_CHECK(pos.size() == mass.size(), "position/mass size mismatch");
+  G6_CHECK(vel.empty() || vel.size() == pos.size(),
+           "position/velocity size mismatch");
   G6_CHECK(!pos.empty(), "cannot build a tree over zero particles");
 
+  // All containers are grow-only across rebuilds: assign()/clear()/resize()
+  // reuse existing capacity, so steady-state rebuilds allocate nothing.
   pos_.assign(pos.begin(), pos.end());
+  if (vel.empty())
+    vel_.clear();
+  else
+    vel_.assign(vel.begin(), vel.end());
   mass_.assign(mass.begin(), mass.end());
   order_.resize(pos.size());
   for (std::size_t i = 0; i < pos.size(); ++i)
     order_[i] = static_cast<std::uint32_t>(i);
+  scratch_.resize(pos.size());
 
   Vec3 lo = pos[0], hi = pos[0];
   for (const Vec3& x : pos) {
@@ -49,18 +73,107 @@ void BarnesHutTree::build(std::span<const Vec3> pos, std::span<const double> mas
   half = std::max(half, 1e-12) * 1.0000001;  // avoid zero-size root
 
   nodes_.clear();
-  nodes_.reserve(2 * pos.size());
-  build_node(center, half, 0, static_cast<std::uint32_t>(pos.size()), 0);
-  compute_moments(0);
+  if (nodes_.capacity() < 2 * pos.size()) nodes_.reserve(2 * pos.size());
+  const auto n = static_cast<std::uint32_t>(pos.size());
+
+  if (pool != nullptr && pos.size() >= kParallelBuildMin &&
+      pos.size() > cfg_.leaf_capacity) {
+    // Deterministic parallel build: partition the root octants serially,
+    // build the eight subtrees concurrently into per-octant node pools, then
+    // splice them back in octant order. The splice reproduces the serial
+    // depth-first preorder exactly (a parent always precedes its children and
+    // octants appear in ascending order), and every node's moments are
+    // computed from its particle range with the same arithmetic as the serial
+    // path — so the result is bit-identical at any thread count.
+    nodes_.push_back({});
+    {
+      TreeNode& root = nodes_.back();
+      root.center = center;
+      root.half = half;
+      root.first = 0;
+      root.count = n;
+      root.leaf = false;
+    }
+    std::uint32_t begin[8], len[8];
+    partition_octants(center, 0, n, begin, len);
+
+    const double quarter = 0.5 * half;
+    for (auto& sub : sub_nodes_) sub.clear();
+    pool->parallel_for(
+        8,
+        [&](std::size_t b, std::size_t e) {
+          for (std::size_t oct = b; oct < e; ++oct) {
+            if (len[oct] == 0) continue;
+            build_node(sub_nodes_[oct],
+                       child_center(center, quarter, static_cast<int>(oct)),
+                       quarter, begin[oct], len[oct], 1);
+            compute_moments(sub_nodes_[oct], 0);
+          }
+        },
+        1);
+
+    std::int32_t base = 1;
+    for (int oct = 0; oct < 8; ++oct) {
+      if (len[oct] == 0) continue;
+      nodes_[0].child[oct] = base;
+      base += static_cast<std::int32_t>(sub_nodes_[oct].size());
+    }
+    if (nodes_.capacity() < static_cast<std::size_t>(base))
+      nodes_.reserve(static_cast<std::size_t>(base));
+    for (int oct = 0; oct < 8; ++oct) {
+      const std::int32_t off = nodes_[0].child[oct];
+      for (const TreeNode& sn : sub_nodes_[oct]) {
+        nodes_.push_back(sn);
+        TreeNode& nn = nodes_.back();
+        for (std::int32_t& ch : nn.child)
+          if (ch >= 0) ch += off;
+      }
+    }
+    node_moments(nodes_[0]);
+    parallel_builds_metric_.add();
+  } else {
+    build_node(nodes_, center, half, 0, n, 0);
+    compute_moments(nodes_, 0);
+  }
+
+  builds_metric_.add();
+  nodes_metric_.set(static_cast<double>(nodes_.size()));
 }
 
-std::int32_t BarnesHutTree::build_node(const Vec3& center, double half,
+/// Stable counting sort of order_[first, first+count) by octant relative to
+/// \p center, via the shared scratch buffer (disjoint subranges, so parallel
+/// subtree builds never touch the same scratch elements). Produces exactly
+/// the order the old per-call bucket vectors produced, without allocating.
+void BarnesHutTree::partition_octants(const Vec3& center, std::uint32_t first,
+                                      std::uint32_t count,
+                                      std::uint32_t (&begin)[8],
+                                      std::uint32_t (&len)[8]) {
+  for (int oct = 0; oct < 8; ++oct) len[oct] = 0;
+  for (std::uint32_t k = first; k < first + count; ++k)
+    ++len[octant_of(pos_[order_[k]], center)];
+  std::uint32_t cursor = first;
+  std::uint32_t fill[8];
+  for (int oct = 0; oct < 8; ++oct) {
+    begin[oct] = cursor;
+    fill[oct] = cursor;
+    cursor += len[oct];
+  }
+  for (std::uint32_t k = first; k < first + count; ++k) {
+    const std::uint32_t p = order_[k];
+    scratch_[fill[octant_of(pos_[p], center)]++] = p;
+  }
+  std::copy(scratch_.begin() + first, scratch_.begin() + first + count,
+            order_.begin() + first);
+}
+
+std::int32_t BarnesHutTree::build_node(std::vector<TreeNode>& nodes,
+                                       const Vec3& center, double half,
                                        std::uint32_t first, std::uint32_t count,
                                        int depth) {
-  const auto id = static_cast<std::int32_t>(nodes_.size());
-  nodes_.push_back({});
+  const auto id = static_cast<std::int32_t>(nodes.size());
+  nodes.push_back({});
   {
-    TreeNode& n = nodes_.back();
+    TreeNode& n = nodes.back();
     n.center = center;
     n.half = half;
     n.first = first;
@@ -68,49 +181,44 @@ std::int32_t BarnesHutTree::build_node(const Vec3& center, double half,
   }
 
   if (count <= cfg_.leaf_capacity || depth >= cfg_.max_depth) {
-    nodes_[static_cast<std::size_t>(id)].leaf = true;
+    nodes[static_cast<std::size_t>(id)].leaf = true;
     return id;
   }
 
-  // Bucket the subrange by octant (stable; keeps ranges contiguous).
-  std::array<std::vector<std::uint32_t>, 8> bucket;
-  for (std::uint32_t k = first; k < first + count; ++k) {
-    const std::uint32_t p = order_[k];
-    bucket[static_cast<std::size_t>(octant_of(pos_[p], center))].push_back(p);
-  }
-  std::uint32_t cursor = first;
-  std::array<std::pair<std::uint32_t, std::uint32_t>, 8> range;
-  for (int oct = 0; oct < 8; ++oct) {
-    range[static_cast<std::size_t>(oct)] = {
-        cursor, static_cast<std::uint32_t>(bucket[static_cast<std::size_t>(oct)].size())};
-    for (std::uint32_t p : bucket[static_cast<std::size_t>(oct)]) order_[cursor++] = p;
-  }
+  std::uint32_t begin[8], len[8];
+  partition_octants(center, first, count, begin, len);
 
-  nodes_[static_cast<std::size_t>(id)].leaf = false;
+  nodes[static_cast<std::size_t>(id)].leaf = false;
   const double quarter = 0.5 * half;
   for (int oct = 0; oct < 8; ++oct) {
-    const auto [b, c] = range[static_cast<std::size_t>(oct)];
-    if (c == 0) continue;
+    if (len[oct] == 0) continue;
     const std::int32_t ch =
-        build_node(child_center(center, quarter, oct), quarter, b, c, depth + 1);
-    nodes_[static_cast<std::size_t>(id)].child[oct] = ch;
+        build_node(nodes, child_center(center, quarter, oct), quarter,
+                   begin[oct], len[oct], depth + 1);
+    nodes[static_cast<std::size_t>(id)].child[oct] = ch;
   }
   return id;
 }
 
-void BarnesHutTree::compute_moments(std::int32_t n) {
-  TreeNode& node = nodes_[static_cast<std::size_t>(n)];
-  // Every node covers a contiguous order_ range, so moments come straight
-  // from the particles (leaves and internal nodes alike).
+/// Mass, centre of mass, mean velocity and (optional) quadrupole of one node,
+/// straight from its particle range. Every node covers a contiguous order_
+/// range, so this applies to leaves and internal nodes alike — and, because
+/// the summation order is the tree order, the serial and parallel build paths
+/// run the identical arithmetic per node.
+void BarnesHutTree::node_moments(TreeNode& node) const {
   double m = 0.0;
   Vec3 com{};
+  Vec3 vcom{};
+  const bool with_vel = !vel_.empty();
   for (std::uint32_t k = node.first; k < node.first + node.count; ++k) {
     const std::uint32_t p = order_[k];
     m += mass_[p];
     com += mass_[p] * pos_[p];
+    if (with_vel) vcom += mass_[p] * vel_[p];
   }
   node.mass = m;
   node.com = m > 0.0 ? com / m : node.center;
+  node.vcom = (with_vel && m > 0.0) ? vcom / m : Vec3{};
 
   if (cfg_.quadrupole) {
     double q[6] = {};
@@ -127,10 +235,15 @@ void BarnesHutTree::compute_moments(std::int32_t n) {
     }
     for (int c = 0; c < 6; ++c) node.quad[c] = q[c];
   }
+}
 
+void BarnesHutTree::compute_moments(std::vector<TreeNode>& nodes,
+                                    std::int32_t n) const {
+  TreeNode& node = nodes[static_cast<std::size_t>(n)];
+  node_moments(node);
   if (!node.leaf) {
     for (const std::int32_t ch : node.child)
-      if (ch >= 0) compute_moments(ch);
+      if (ch >= 0) compute_moments(nodes, ch);
   }
 }
 

@@ -8,6 +8,25 @@
 /// Built to make that comparison quantitative (bench E4): recursive octree
 /// with monopole and optional quadrupole cell moments, opening-angle
 /// acceptance criterion, softened forces, and interaction counting.
+///
+/// Beyond the baseline role, the tree is the far-field engine of the P3T
+/// hybrid backend (src/p3t, docs/P3T.md). That hot-loop use adds:
+///   - grow-only rebuilds: build() reuses every internal array (node pool,
+///     tree order, counting-sort scratch), so steady-state rebuilds allocate
+///     nothing — the same idiom as the per-board scratch partials in the
+///     GRAPE machine emulation;
+///   - per-node velocity moments (mass-weighted mean velocity `vcom`) from
+///     the velocity-carrying build() overload, giving the walker a far-field
+///     jerk estimate;
+///   - a deterministic parallel build: the root's octants are partitioned
+///     serially, the eight subtrees are built concurrently over the shared
+///     ThreadPool and spliced back in octant order — node numbering, node
+///     contents and particle order are bit-identical to the serial build at
+///     any thread count;
+///   - read access to nodes/order/particle arrays so external walkers
+///     (the P3T changeover walk, the neighbor search) can traverse without
+///     growing this class;
+///   - g6.tree.* metrics (docs/OBSERVABILITY.md).
 
 #include <cstdint>
 #include <span>
@@ -15,6 +34,8 @@
 
 #include "nbody/leapfrog.hpp"
 #include "nbody/particle.hpp"
+#include "obs/metrics.hpp"
+#include "util/thread_pool.hpp"
 #include "util/vec3.hpp"
 
 namespace g6::tree {
@@ -36,6 +57,7 @@ struct TreeNode {
   double half = 0.0;   ///< half edge length
   double mass = 0.0;   ///< total mass
   Vec3 com;            ///< centre of mass
+  Vec3 vcom;           ///< mass-weighted mean velocity (velocity builds only)
   double quad[6] = {}; ///< traceless quadrupole: xx, yy, zz, xy, xz, yz
   std::int32_t child[8] = {-1, -1, -1, -1, -1, -1, -1, -1};
   std::uint32_t first = 0, count = 0;  ///< particle index range (leaves)
@@ -45,12 +67,20 @@ struct TreeNode {
 /// Barnes–Hut octree over a particle snapshot.
 class BarnesHutTree {
  public:
-  explicit BarnesHutTree(TreeConfig cfg = {}) : cfg_(cfg) {}
+  explicit BarnesHutTree(TreeConfig cfg = {});
 
   const TreeConfig& config() const { return cfg_; }
 
   /// Build from positions/masses (copied by index; rebuild after motion).
   void build(std::span<const Vec3> pos, std::span<const double> mass);
+
+  /// Build from positions, velocities and masses. Nodes additionally carry
+  /// the mass-weighted mean velocity (`vcom`) for far-field jerk estimates.
+  /// With \p pool non-null and enough particles, the eight root subtrees are
+  /// built concurrently — bit-identical to the serial build (node numbering
+  /// included) at any thread count.
+  void build(std::span<const Vec3> pos, std::span<const Vec3> vel,
+             std::span<const double> mass, g6::util::ThreadPool* pool = nullptr);
 
   /// Number of nodes in the current tree.
   std::size_t node_count() const { return nodes_.size(); }
@@ -69,10 +99,31 @@ class BarnesHutTree {
   const TreeNode& root() const { return nodes_.front(); }
   const TreeNode& node(std::size_t k) const { return nodes_[k]; }
 
+  // Read access for external walkers (the P3T changeover walk and the
+  // neighbor search in src/p3t traverse the node array directly). Nodes are
+  // in depth-first preorder: a parent's index is always smaller than its
+  // children's, and every node covers a contiguous range of order().
+  std::span<const TreeNode> nodes() const { return nodes_; }
+  std::span<const std::uint32_t> order() const { return order_; }
+  std::span<const Vec3> positions() const { return pos_; }
+  std::span<const Vec3> velocities() const { return vel_; }
+  std::span<const double> masses() const { return mass_; }
+  bool has_velocities() const { return !vel_.empty(); }
+
+  /// Number of particles a parallel-capable build hands to the pool per
+  /// subtree task at minimum; below this everything runs serially (tiny
+  /// trees are cheaper to build than to fan out).
+  static constexpr std::size_t kParallelBuildMin = 8192;
+
  private:
-  std::int32_t build_node(const Vec3& center, double half, std::uint32_t first,
-                          std::uint32_t count, int depth);
-  void compute_moments(std::int32_t n);
+  std::int32_t build_node(std::vector<TreeNode>& nodes, const Vec3& center,
+                          double half, std::uint32_t first, std::uint32_t count,
+                          int depth);
+  void partition_octants(const Vec3& center, std::uint32_t first,
+                         std::uint32_t count,
+                         std::uint32_t (&begin)[8], std::uint32_t (&len)[8]);
+  void node_moments(TreeNode& node) const;
+  void compute_moments(std::vector<TreeNode>& nodes, std::int32_t n) const;
   void accumulate(std::int32_t n, const Vec3& x, double eps2, std::int64_t skip,
                   Force& f) const;
 
@@ -80,8 +131,15 @@ class BarnesHutTree {
   std::vector<TreeNode> nodes_;
   std::vector<std::uint32_t> order_;  ///< particle indices, tree-ordered
   std::vector<Vec3> pos_;
+  std::vector<Vec3> vel_;             ///< empty unless built with velocities
   std::vector<double> mass_;
+  std::vector<std::uint32_t> scratch_;  ///< counting-sort scratch (grow-only)
+  std::vector<TreeNode> sub_nodes_[8];  ///< parallel-build subtree pools
   mutable std::uint64_t interactions_ = 0;
+
+  g6::obs::Counter builds_metric_;          ///< g6.tree.builds
+  g6::obs::Counter parallel_builds_metric_; ///< g6.tree.parallel_builds
+  g6::obs::Gauge nodes_metric_;             ///< g6.tree.nodes
 };
 
 /// AccelBackend adapter: rebuilds the tree and evaluates all forces — the

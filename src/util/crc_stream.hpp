@@ -33,6 +33,13 @@ struct CrcWriter {
     crc = crc32_update(crc, &value, sizeof(T));
   }
 
+  /// Bulk write (opaque blobs, e.g. backend checkpoint state): one stream
+  /// write and one CRC fold instead of a per-byte loop.
+  void put_bytes(const void* p, std::size_t n) {
+    os.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+    crc = crc32_update(crc, p, n);
+  }
+
   /// Append the finalised CRC (not itself CRC-covered).
   void put_trailer() { write_pod(os, crc32_final(crc)); }
 };
@@ -51,6 +58,13 @@ struct CrcReader {
     G6_CHECK(is.good(), std::string("truncated ") + what);
     crc = crc32_update(crc, &value, sizeof(T));
     return value;
+  }
+
+  /// Bulk read mirroring CrcWriter::put_bytes.
+  void get_bytes(void* p, std::size_t n) {
+    is.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+    G6_CHECK(is.good(), std::string("truncated ") + what);
+    crc = crc32_update(crc, p, n);
   }
 
   /// Read the trailer and compare against the accumulated CRC.

@@ -362,4 +362,22 @@ TEST(FaultCampaign, ThreadPoolRethrowsUnderConcurrentBoardFaults) {
   EXPECT_EQ(accum.size(), batch.size());
 }
 
+// The process-level campaign on the stateful P3T hybrid backend: seeded
+// kill/resume cycles with varying thread counts must reproduce the
+// uninterrupted run bit-for-bit — the epoch snapshot in the checkpoint is
+// what makes this hold.
+TEST(FaultCampaign, HybridKillResumeBitIdentical) {
+  g6::fault::CampaignConfig cfg;
+  cfg.n = 96;
+  cfg.steps = 8;
+  cfg.ic_seed = 4242;
+  for (const std::uint64_t seed : {1ull, 7ull}) {
+    cfg.fault_seed = seed;
+    const auto r = g6::fault::run_hybrid_campaign(cfg);
+    EXPECT_TRUE(r.bit_identical) << r.summary;
+    EXPECT_GT(r.faults_scheduled, 0) << r.summary;
+    EXPECT_NE(r.summary.find("BIT-IDENTICAL"), std::string::npos);
+  }
+}
+
 }  // namespace

@@ -1,0 +1,483 @@
+// P3T hybrid backend tests (docs/P3T.md): changeover math, force accuracy
+// against direct summation, the energy-conservation gate at overlapping N,
+// neighbor-list symmetry/determinism, close-encounter group bookkeeping,
+// thread-count bit-identity, and checkpoint kill-and-resume bit-identity
+// through a RunManager — plus the grow-only/parallel-build contracts of the
+// refactored BarnesHutTree.
+#include "p3t/p3t_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "disk/disk_model.hpp"
+#include "nbody/energy.hpp"
+#include "nbody/force_direct.hpp"
+#include "nbody/integrator.hpp"
+#include "p3t/changeover.hpp"
+#include "run/run_manager.hpp"
+#include "tree/bh_tree.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using g6::nbody::Force;
+using g6::nbody::HermiteIntegrator;
+using g6::nbody::IntegratorConfig;
+using g6::nbody::ParticleSystem;
+using g6::p3t::Changeover;
+using g6::p3t::P3TConfig;
+using g6::p3t::P3THybridBackend;
+using g6::util::Vec3;
+
+constexpr double kEps = 0.008;
+constexpr std::uint64_t kSeed = 20020101;
+
+ParticleSystem make_test_disk(std::size_t n) {
+  g6::disk::DiskConfig cfg = g6::disk::uranus_neptune_config(n);
+  cfg.seed = kSeed;
+  return std::move(g6::disk::make_disk(cfg).system);
+}
+
+IntegratorConfig disk_icfg() {
+  IntegratorConfig icfg;
+  icfg.solar_gm = 1.0;
+  icfg.eta = 0.02;
+  icfg.eta_init = 0.01;
+  icfg.dt_max = 0.125;
+  return icfg;
+}
+
+std::vector<std::uint32_t> all_indices(std::size_t n) {
+  std::vector<std::uint32_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = static_cast<std::uint32_t>(i);
+  return idx;
+}
+
+// ---------------------------------------------------------------- changeover
+
+TEST(Changeover, BoundaryValuesAndMonotonicity) {
+  const Changeover ch{1.0, 3.0};
+  EXPECT_EQ(ch.K(0.0), 1.0);
+  EXPECT_EQ(ch.K(1.0), 1.0);
+  EXPECT_EQ(ch.K(3.0), 0.0);
+  EXPECT_EQ(ch.K(10.0), 0.0);
+  EXPECT_EQ(ch.dKdr(0.5), 0.0);
+  EXPECT_EQ(ch.dKdr(5.0), 0.0);
+  double prev = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double r = 1.0 + 2.0 * k / 100.0;
+    const double v = ch.K(r);
+    EXPECT_LE(v, prev) << r;
+    prev = v;
+  }
+  EXPECT_NEAR(ch.K(2.0), 0.5, 1e-12);  // midpoint of the quintic smoothstep
+}
+
+TEST(Changeover, DerivativeMatchesFiniteDifference) {
+  const Changeover ch{0.03, 0.24};
+  const double h = 1e-7;
+  for (double r : {0.05, 0.1, 0.15, 0.2, 0.23}) {
+    const double fd = (ch.K(r + h) - ch.K(r - h)) / (2.0 * h);
+    EXPECT_NEAR(ch.dKdr(r), fd, 1e-5 * std::max(1.0, std::abs(fd))) << r;
+  }
+  // C1 at both ends: derivative tends to zero.
+  EXPECT_NEAR(ch.dKdr(0.030001), 0.0, 1e-4);
+  EXPECT_NEAR(ch.dKdr(0.239999), 0.0, 1e-4);
+}
+
+// ------------------------------------------------------------ force accuracy
+
+// At the synchronised start, the hybrid force must agree with direct
+// summation: neighbor pairs are exact (partition of unity, fresh = epoch at
+// t=0), so the only error is the tree multipole on the far field.
+TEST(P3TForce, MatchesDirectAtT0) {
+  const std::size_t n = 1000;
+  ParticleSystem ps = make_test_disk(n);
+  const auto idx = all_indices(ps.size());
+
+  g6::nbody::CpuDirectBackend direct(kEps);
+  direct.load(ps);
+  std::vector<Force> fd(ps.size());
+  direct.compute(0.0, idx, fd);
+
+  P3THybridBackend p3t(P3TConfig{.gm_central = 1.0}, kEps);
+  p3t.load(ps);
+  std::vector<Force> fh(ps.size());
+  p3t.compute(0.0, idx, fh);
+
+  double max_rel = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const double na = norm(fd[i].acc);
+    ASSERT_GT(na, 0.0);
+    const double rel = norm(fh[i].acc - fd[i].acc) / na;
+    max_rel = std::max(max_rel, rel);
+    sum_sq += rel * rel;
+  }
+  const double rms_rel = std::sqrt(sum_sq / static_cast<double>(ps.size()));
+  // theta = 0.4 with quadrupole moments; bounds documented in docs/P3T.md.
+  // The max is dominated by particles whose mutual force nearly cancels —
+  // the RMS is the meaningful accuracy figure for the disk.
+  EXPECT_LT(max_rel, 2e-2);
+  EXPECT_LT(rms_rel, 2e-3);
+}
+
+TEST(P3TForce, SmallThetaApproachesDirect) {
+  const std::size_t n = 500;
+  ParticleSystem ps = make_test_disk(n);
+  const auto idx = all_indices(ps.size());
+
+  g6::nbody::CpuDirectBackend direct(kEps);
+  direct.load(ps);
+  std::vector<Force> fd(ps.size());
+  direct.compute(0.0, idx, fd);
+
+  P3TConfig cfg;
+  cfg.gm_central = 1.0;
+  cfg.theta = 0.05;
+  P3THybridBackend p3t(cfg, kEps);
+  p3t.load(ps);
+  std::vector<Force> fh(ps.size());
+  p3t.compute(0.0, idx, fh);
+
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const double na = norm(fd[i].acc);
+    EXPECT_LT(norm(fh[i].acc - fd[i].acc) / na, 2e-5) << i;
+  }
+}
+
+// ------------------------------------------------------- neighbor lists
+
+TEST(P3TNeighbors, SymmetricDeterministicAndCoverChangeoverShell) {
+  const std::size_t n = 800;
+  ParticleSystem ps = make_test_disk(n);
+  P3THybridBackend p3t(P3TConfig{.gm_central = 1.0}, kEps);
+  p3t.load(ps);
+  p3t.ensure_epoch(0.0);
+  ASSERT_TRUE(p3t.epoch_valid());
+  ASSERT_GT(p3t.r_out(), p3t.r_in());
+  ASSERT_GT(p3t.r_in(), 0.0);
+
+  // Symmetry: j in N(i) <=> i in N(j).
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    for (const std::uint32_t j : p3t.neighbors(i)) {
+      ASSERT_NE(j, i);
+      const auto back = p3t.neighbors(j);
+      EXPECT_NE(std::find(back.begin(), back.end(),
+                          static_cast<std::uint32_t>(i)),
+                back.end())
+          << i << " " << j;
+      ++pairs;
+    }
+  }
+  // The disk is dense enough that some neighbor pairs must exist.
+  EXPECT_GT(pairs, 0u);
+
+  // Coverage: every pair within r_out is on someone's list (brute force).
+  const double r_out = p3t.r_out();
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    for (std::size_t j = i + 1; j < ps.size(); ++j) {
+      const double d2 = norm2(ps.pos(j) - ps.pos(i));
+      if (d2 >= r_out * r_out) continue;
+      const auto nb = p3t.neighbors(i);
+      EXPECT_NE(std::find(nb.begin(), nb.end(), static_cast<std::uint32_t>(j)),
+                nb.end())
+          << i << " " << j;
+    }
+  }
+
+  // Determinism: rebuilding from the same state reproduces the lists.
+  std::vector<std::uint32_t> before(p3t.neighbors(0).begin(),
+                                    p3t.neighbors(0).end());
+  P3THybridBackend again(P3TConfig{.gm_central = 1.0}, kEps);
+  again.load(ps);
+  again.ensure_epoch(0.0);
+  std::vector<std::uint32_t> after(again.neighbors(0).begin(),
+                                   again.neighbors(0).end());
+  EXPECT_EQ(before, after);
+}
+
+TEST(P3TNeighbors, InnerPairsAreInsideRin) {
+  const std::size_t n = 600;
+  ParticleSystem ps = make_test_disk(n);
+  P3THybridBackend p3t(P3TConfig{.gm_central = 1.0}, kEps);
+  p3t.load(ps);
+  p3t.ensure_epoch(0.0);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    const auto nb = p3t.neighbors(i);
+    const std::size_t inner = p3t.inner_neighbor_count(i);
+    for (std::size_t q = 0; q < inner; ++q) {
+      const double d = norm(ps.pos(nb[q]) - ps.pos(i));
+      EXPECT_LE(d, p3t.r_in()) << i;
+    }
+  }
+}
+
+// --------------------------------------------------------------- groups
+
+TEST(P3TGroups, ClosePairIsGrouped) {
+  // Two heavy particles well inside their mutual Hill radius, plus a distant
+  // third body: the pair must form one group, the third stays alone.
+  ParticleSystem ps;
+  ps.add(1e-5, {20.0, 0.0, 0.0}, {0.0, 0.223, 0.0});
+  ps.add(1e-5, {20.0 + 1e-4, 0.0, 0.0}, {0.0, 0.223, 0.0});
+  ps.add(1e-5, {-25.0, 0.0, 0.0}, {0.0, -0.2, 0.0});
+  P3THybridBackend p3t(P3TConfig{.gm_central = 1.0}, kEps);
+  p3t.load(ps);
+  p3t.ensure_epoch(0.0);
+  EXPECT_EQ(p3t.group_count(), 1u);
+  EXPECT_EQ(p3t.grouped_particles(), 2u);
+  EXPECT_EQ(p3t.group_of(0), p3t.group_of(1));
+  EXPECT_NE(p3t.group_of(0), p3t.group_of(2));
+  // Group members must be mutual neighbors on the fully-direct (K = 1) path:
+  // the group radius is capped at r_in.
+  const auto nb = p3t.neighbors(0);
+  EXPECT_NE(std::find(nb.begin(), nb.end(), 1u), nb.end());
+}
+
+// ------------------------------------------------------------- energy gate
+
+// The documented acceptance gate (docs/P3T.md): relative energy drift of a
+// hybrid disk run stays within 2e-6 over t = 4 at the default theta = 0.4.
+// Direct summation on the same system drifts ~1e-9; the hybrid budget is
+// dominated by the tree's multipole truncation plus epoch staleness.
+void run_energy_gate(std::size_t n, double t_end, double bound) {
+  ParticleSystem ps = make_test_disk(n);
+  P3THybridBackend backend(P3TConfig{.gm_central = 1.0}, kEps);
+  HermiteIntegrator integ(ps, backend, disk_icfg());
+  integ.initialize();
+  const double e0 =
+      g6::nbody::compute_energy(ps, kEps, 1.0, &g6::util::shared_pool())
+          .total();
+  integ.evolve(t_end);
+  const double e1 =
+      g6::nbody::compute_energy(ps, kEps, 1.0, &g6::util::shared_pool())
+          .total();
+  EXPECT_LT(std::abs((e1 - e0) / e0), bound) << "n=" << n;
+}
+
+TEST(P3TEnergy, GateN1k) { run_energy_gate(1000, 4.0, 2e-6); }
+
+TEST(P3TEnergy, GateN4k) { run_energy_gate(4000, 2.0, 2e-6); }
+
+TEST(P3TEnergy, GateN16k) { run_energy_gate(16384, 1.0, 2e-6); }
+
+// ------------------------------------------------------ thread bit-identity
+
+TEST(P3TDeterminism, BitIdenticalAcrossThreadCounts) {
+  const std::size_t n = 400;
+  const double t_end = 1.0;
+  std::vector<ParticleSystem> finals;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    g6::util::ThreadPool pool(threads);
+    ParticleSystem ps = make_test_disk(n);
+    P3THybridBackend backend(P3TConfig{.gm_central = 1.0}, kEps, &pool);
+    HermiteIntegrator integ(ps, backend, disk_icfg(), &pool);
+    integ.initialize();
+    integ.evolve(t_end);
+    finals.push_back(ps);
+  }
+  for (std::size_t v = 1; v < finals.size(); ++v) {
+    ASSERT_EQ(finals[0].size(), finals[v].size());
+    for (std::size_t i = 0; i < finals[0].size(); ++i) {
+      EXPECT_EQ(finals[0].pos(i), finals[v].pos(i)) << i;
+      EXPECT_EQ(finals[0].vel(i), finals[v].vel(i)) << i;
+      EXPECT_EQ(finals[0].acc(i), finals[v].acc(i)) << i;
+      EXPECT_EQ(finals[0].jerk(i), finals[v].jerk(i)) << i;
+    }
+  }
+}
+
+// ------------------------------------------------- checkpoint kill-and-resume
+
+std::string test_dir(const std::string& name) {
+  const fs::path p = fs::temp_directory_path() / ("g6_p3t_test_" + name);
+  fs::remove_all(p);
+  fs::create_directories(p);
+  return p.string();
+}
+
+// One fresh "process image" (test_run_manager idiom): new ICs, pool, backend
+// and integrator, exactly what a restarted process has.
+struct Image {
+  explicit Image(std::size_t threads, std::size_t n = 96) : pool(threads) {
+    ps = make_test_disk(n);
+    backend = std::make_unique<P3THybridBackend>(P3TConfig{.gm_central = 1.0},
+                                                 kEps, &pool);
+    IntegratorConfig icfg = disk_icfg();
+    icfg.dt_max = 0x1p-5;  // many preemption points before t_end
+    integ = std::make_unique<HermiteIntegrator>(ps, *backend, icfg, &pool);
+  }
+  g6::util::ThreadPool pool;
+  ParticleSystem ps;
+  std::unique_ptr<P3THybridBackend> backend;
+  std::unique_ptr<HermiteIntegrator> integ;
+};
+
+TEST(P3TCheckpoint, KillAndResumeBitIdenticalAcrossThreadCounts) {
+  const double t_end = 0.5;
+  g6::run::RunConfig rcfg;
+  rcfg.t_end = t_end;
+  rcfg.checkpoint_every = 0.05;
+  rcfg.ic_seed = kSeed;
+
+  // Reference: uninterrupted run, 2 threads.
+  Image ref(2);
+  rcfg.checkpoint_dir = test_dir("ref");
+  g6::run::RunManager ref_mgr(*ref.integ, rcfg);
+  const auto ref_rep = ref_mgr.run();
+  ASSERT_EQ(ref_rep.outcome, g6::run::RunOutcome::kCompleted);
+
+  // Faulted: kill after a step budget, resume in a fresh image with a
+  // different thread count each leg.
+  rcfg.checkpoint_dir = test_dir("faulted");
+  rcfg.resume = true;
+  const std::size_t legs_threads[] = {1, 8, 3, 2, 1, 4};
+  std::size_t leg = 0;
+  for (;; ++leg) {
+    ASSERT_LT(leg, 64u) << "run did not converge";
+    Image img(legs_threads[leg % 6]);
+    g6::run::RunConfig legcfg = rcfg;
+    legcfg.step_budget = 3;  // preempt mid-epoch
+    g6::run::RunManager mgr(*img.integ, legcfg);
+    const auto rep = mgr.run();
+    if (rep.outcome == g6::run::RunOutcome::kCompleted) {
+      ASSERT_GE(leg, 2u);  // the budget must actually have preempted us
+      ASSERT_EQ(ref.ps.size(), img.ps.size());
+      for (std::size_t i = 0; i < ref.ps.size(); ++i) {
+        EXPECT_EQ(ref.ps.pos(i), img.ps.pos(i)) << i;
+        EXPECT_EQ(ref.ps.vel(i), img.ps.vel(i)) << i;
+        EXPECT_EQ(ref.ps.acc(i), img.ps.acc(i)) << i;
+        EXPECT_EQ(ref.ps.jerk(i), img.ps.jerk(i)) << i;
+        EXPECT_EQ(ref.ps.time(i), img.ps.time(i)) << i;
+        EXPECT_EQ(ref.ps.dt(i), img.ps.dt(i)) << i;
+      }
+      break;
+    }
+  }
+  fs::remove_all(fs::path(rcfg.checkpoint_dir));
+}
+
+TEST(P3TCheckpoint, BlobRoundTripsThroughSaveLoad) {
+  ParticleSystem ps = make_test_disk(64);
+  P3THybridBackend a(P3TConfig{.gm_central = 1.0}, kEps);
+  a.load(ps);
+  a.ensure_epoch(0.0);
+  const auto blob = a.save_checkpoint_state();
+  ASSERT_FALSE(blob.empty());
+
+  P3THybridBackend b(P3TConfig{.gm_central = 1.0}, kEps);
+  b.load(ps);
+  b.load_checkpoint_state(blob);
+  ASSERT_TRUE(b.epoch_valid());
+  EXPECT_EQ(a.r_in(), b.r_in());
+  EXPECT_EQ(a.r_out(), b.r_out());
+  EXPECT_EQ(a.epoch_time(), b.epoch_time());
+  EXPECT_EQ(a.next_rebuild_time(), b.next_rebuild_time());
+
+  // Forces computed against the restored epoch are bit-identical.
+  const auto idx = all_indices(ps.size());
+  std::vector<Force> fa(ps.size()), fb(ps.size());
+  a.compute(0.0, idx, fa);
+  b.compute(0.0, idx, fb);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_EQ(fa[i].acc, fb[i].acc) << i;
+    EXPECT_EQ(fa[i].jerk, fb[i].jerk) << i;
+    EXPECT_EQ(fa[i].pot, fb[i].pot) << i;
+  }
+
+  // A backend that never built an epoch saves an empty blob, and loading an
+  // empty blob is a no-op.
+  P3THybridBackend c(P3TConfig{.gm_central = 1.0}, kEps);
+  c.load(ps);
+  EXPECT_TRUE(c.save_checkpoint_state().empty());
+  c.load_checkpoint_state({});
+  EXPECT_FALSE(c.epoch_valid());
+}
+
+// ----------------------------------------------------- tree rebuild reuse
+
+TEST(TreeReuse, RebuildAllocatesNothingAtSteadyState) {
+  const std::size_t n = 2000;
+  ParticleSystem ps = make_test_disk(n);
+  std::vector<Vec3> pos(ps.positions().begin(), ps.positions().end());
+  std::vector<Vec3> vel(ps.velocities().begin(), ps.velocities().end());
+  std::vector<double> mass(ps.masses().begin(), ps.masses().end());
+
+  g6::tree::BarnesHutTree tree;
+  tree.build(pos, vel, mass);
+  const auto* nodes_data = tree.nodes().data();
+  const auto* order_data = tree.order().data();
+  const std::size_t node_count = tree.node_count();
+
+  // Jiggle positions slightly (structure-preserving) and rebuild: the same
+  // storage must be reused — no reallocation of the node pool or order array.
+  for (auto& x : pos) x.x += 1e-9;
+  for (int rep = 0; rep < 3; ++rep) {
+    tree.build(pos, vel, mass);
+    EXPECT_EQ(tree.nodes().data(), nodes_data);
+    EXPECT_EQ(tree.order().data(), order_data);
+    EXPECT_EQ(tree.node_count(), node_count);
+  }
+}
+
+TEST(TreeParallelBuild, BitIdenticalToSerial) {
+  const std::size_t n = g6::tree::BarnesHutTree::kParallelBuildMin + 1234;
+  ParticleSystem ps = make_test_disk(n);
+  std::vector<Vec3> pos(ps.positions().begin(), ps.positions().end());
+  std::vector<Vec3> vel(ps.velocities().begin(), ps.velocities().end());
+  std::vector<double> mass(ps.masses().begin(), ps.masses().end());
+
+  g6::tree::TreeConfig tcfg;
+  tcfg.quadrupole = true;
+  g6::tree::BarnesHutTree serial(tcfg), parallel(tcfg);
+  serial.build(pos, vel, mass, nullptr);
+  g6::util::ThreadPool pool(8);
+  parallel.build(pos, vel, mass, &pool);
+
+  ASSERT_EQ(serial.node_count(), parallel.node_count());
+  ASSERT_EQ(serial.order().size(), parallel.order().size());
+  for (std::size_t k = 0; k < serial.order().size(); ++k)
+    ASSERT_EQ(serial.order()[k], parallel.order()[k]) << k;
+  for (std::size_t k = 0; k < serial.node_count(); ++k) {
+    const auto& a = serial.node(k);
+    const auto& b = parallel.node(k);
+    ASSERT_EQ(a.center, b.center) << k;
+    ASSERT_EQ(a.half, b.half) << k;
+    ASSERT_EQ(a.mass, b.mass) << k;
+    ASSERT_EQ(a.com, b.com) << k;
+    ASSERT_EQ(a.vcom, b.vcom) << k;
+    for (int c = 0; c < 6; ++c) ASSERT_EQ(a.quad[c], b.quad[c]) << k;
+    for (int c = 0; c < 8; ++c) ASSERT_EQ(a.child[c], b.child[c]) << k;
+    ASSERT_EQ(a.first, b.first) << k;
+    ASSERT_EQ(a.count, b.count) << k;
+    ASSERT_EQ(a.leaf, b.leaf) << k;
+  }
+}
+
+TEST(TreeVelocities, NodeVcomIsMassWeightedMean) {
+  ParticleSystem ps = make_test_disk(300);
+  g6::tree::BarnesHutTree tree;
+  tree.build(ps.positions(), ps.velocities(), ps.masses());
+  ASSERT_TRUE(tree.has_velocities());
+  Vec3 vsum{};
+  double msum = 0.0;
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    vsum += ps.mass(i) * ps.vel(i);
+    msum += ps.mass(i);
+  }
+  const Vec3 expect = vsum / msum;
+  EXPECT_NEAR(tree.root().vcom.x, expect.x, 1e-12);
+  EXPECT_NEAR(tree.root().vcom.y, expect.y, 1e-12);
+  EXPECT_NEAR(tree.root().vcom.z, expect.z, 1e-12);
+}
+
+}  // namespace
